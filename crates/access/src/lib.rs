@@ -1,0 +1,24 @@
+//! Access control substrate.
+//!
+//! Paper §3.5 requires "access control: to map credentials to roles between
+//! organisations. The exchange of credentials at first connection … can be
+//! used as hooks to trigger the mapping of credentials to roles in a
+//! virtual enterprise," and points at Cambridge's event-based access
+//! control (ref [2]) "where roles are activated, based on credentials
+//! presented, and de-activated in response to events".
+//!
+//! * [`policy`] — [`Role`], [`Action`], [`AccessPolicy`] (role →
+//!   permission sets with wildcard resources).
+//! * [`mapper`] — [`CredentialRoleMapper`]: certificate attribute strings →
+//!   virtual-enterprise roles.
+//! * [`session`] — [`SessionManager`]: per-organisation sessions with
+//!   event-driven role activation/deactivation and the final
+//!   `authorize(org, resource, action)` decision.
+
+pub mod mapper;
+pub mod policy;
+pub mod session;
+
+pub use mapper::CredentialRoleMapper;
+pub use policy::{AccessPolicy, Action, Permission, Role};
+pub use session::{AccessDecision, SessionManager};

@@ -1,0 +1,115 @@
+//! Credential → role mapping.
+//!
+//! The hook the paper describes (§3.5): when an organisation first presents
+//! its certificate, its attribute strings are mapped to roles *within this
+//! virtual enterprise*. The mapping is local policy — two VEs may map the
+//! same certificate differently.
+
+use std::collections::HashMap;
+
+use nonrep_pki::cert::Certificate;
+
+use crate::policy::Role;
+
+/// Maps certificate attribute strings to virtual-enterprise roles.
+#[derive(Debug, Clone, Default)]
+pub struct CredentialRoleMapper {
+    /// attribute → roles granted for it.
+    rules: HashMap<String, Vec<Role>>,
+    /// Roles granted to any organisation presenting a valid certificate.
+    baseline: Vec<Role>,
+}
+
+impl CredentialRoleMapper {
+    /// Creates an empty mapper (no roles for anyone).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grants `role` to any certificate carrying `attribute` (builder).
+    #[must_use]
+    pub fn map_attribute(mut self, attribute: impl Into<String>, role: Role) -> Self {
+        self.rules.entry(attribute.into()).or_default().push(role);
+        self
+    }
+
+    /// Grants `role` to every valid certificate holder (builder).
+    #[must_use]
+    pub fn baseline_role(mut self, role: Role) -> Self {
+        self.baseline.push(role);
+        self
+    }
+
+    /// Computes the roles granted by `cert`'s attributes.
+    pub fn roles_for(&self, cert: &Certificate) -> Vec<Role> {
+        let mut roles = self.baseline.clone();
+        for attr in &cert.roles {
+            if let Some(mapped) = self.rules.get(attr) {
+                roles.extend(mapped.iter().cloned());
+            }
+        }
+        roles.sort();
+        roles.dedup();
+        roles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nonrep_crypto::rng::SecureRandom;
+    use nonrep_crypto::sig::{KeyPair, SignatureScheme};
+    use nonrep_pki::cert::CertificateAuthority;
+    use nonrep_types::ids::OrgId;
+    use nonrep_types::time::LogicalClock;
+    use std::sync::Arc;
+
+    fn cert_with_attrs(attrs: Vec<String>) -> Certificate {
+        let clock = Arc::new(LogicalClock::new());
+        let ca_keys = KeyPair::generate(
+            SignatureScheme::Mss { height: 2 },
+            &mut SecureRandom::from_seed(1),
+        );
+        let ca = CertificateAuthority::new(OrgId::new("ca"), ca_keys, clock);
+        let subject = KeyPair::generate(
+            SignatureScheme::Arbitrated,
+            &mut SecureRandom::from_seed(2),
+        );
+        ca.issue(OrgId::new("org"), subject.verifying_key(), attrs, 1000).unwrap()
+    }
+
+    #[test]
+    fn attributes_map_to_roles() {
+        let mapper = CredentialRoleMapper::new()
+            .map_attribute("supplier", Role::new("ve-supplier"))
+            .map_attribute("supplier", Role::new("ve-member"))
+            .map_attribute("dealer", Role::new("ve-dealer"));
+        let cert = cert_with_attrs(vec!["supplier".into()]);
+        let roles = mapper.roles_for(&cert);
+        assert_eq!(roles, vec![Role::new("ve-member"), Role::new("ve-supplier")]);
+    }
+
+    #[test]
+    fn unknown_attributes_grant_nothing() {
+        let mapper = CredentialRoleMapper::new().map_attribute("supplier", Role::new("s"));
+        let cert = cert_with_attrs(vec!["stranger".into()]);
+        assert!(mapper.roles_for(&cert).is_empty());
+    }
+
+    #[test]
+    fn baseline_role_always_granted() {
+        let mapper = CredentialRoleMapper::new().baseline_role(Role::new("authenticated"));
+        let cert = cert_with_attrs(vec![]);
+        assert_eq!(mapper.roles_for(&cert), vec![Role::new("authenticated")]);
+    }
+
+    #[test]
+    fn roles_are_deduplicated() {
+        let mapper = CredentialRoleMapper::new()
+            .baseline_role(Role::new("member"))
+            .map_attribute("a", Role::new("member"))
+            .map_attribute("b", Role::new("member"));
+        let cert = cert_with_attrs(vec!["a".into(), "b".into()]);
+        assert_eq!(mapper.roles_for(&cert), vec![Role::new("member")]);
+    }
+}

@@ -1,0 +1,178 @@
+//! Roles, actions, permissions and policies.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// A role within the virtual enterprise (e.g. `"supplier"`, `"dealer"`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Role(String);
+
+impl Role {
+    /// Creates a role.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self(name.into())
+    }
+
+    /// The role name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Role {
+    fn from(s: &str) -> Self {
+        Self::new(s)
+    }
+}
+
+/// Actions a principal can be permitted to take.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// Invoke a service method.
+    Invoke,
+    /// Read shared information.
+    Read,
+    /// Propose an update to shared information.
+    Update,
+    /// Vote on (validate) a proposed update.
+    Validate,
+    /// Join or leave a sharing group.
+    Member,
+}
+
+/// A permission: an action on a resource.
+///
+/// Resources are dotted paths (`"parts.quote"`, `"shared.spec"`); the
+/// wildcard `"*"` matches everything, and a trailing `".*"` matches a
+/// subtree (`"parts.*"` matches `"parts.quote"`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Permission {
+    /// Resource pattern.
+    pub resource: String,
+    /// Permitted action.
+    pub action: Action,
+}
+
+impl Permission {
+    /// Creates a permission.
+    pub fn new(resource: impl Into<String>, action: Action) -> Self {
+        Self { resource: resource.into(), action }
+    }
+
+    /// `true` if this permission covers `resource`/`action`.
+    pub fn covers(&self, resource: &str, action: Action) -> bool {
+        if self.action != action {
+            return false;
+        }
+        if self.resource == "*" {
+            return true;
+        }
+        if let Some(prefix) = self.resource.strip_suffix(".*") {
+            return resource == prefix || resource.starts_with(&format!("{prefix}."));
+        }
+        self.resource == resource
+    }
+}
+
+/// A role-based access policy.
+#[derive(Debug, Clone, Default)]
+pub struct AccessPolicy {
+    grants: HashMap<Role, HashSet<Permission>>,
+}
+
+impl AccessPolicy {
+    /// Creates an empty (deny-all) policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grants `permission` to `role` (builder style).
+    #[must_use]
+    pub fn grant(mut self, role: Role, permission: Permission) -> Self {
+        self.grants.entry(role).or_default().insert(permission);
+        self
+    }
+
+    /// Adds a grant in place.
+    pub fn add_grant(&mut self, role: Role, permission: Permission) {
+        self.grants.entry(role).or_default().insert(permission);
+    }
+
+    /// `true` if any of `roles` covers `resource`/`action`.
+    pub fn permits(&self, roles: &[Role], resource: &str, action: Action) -> bool {
+        roles.iter().any(|role| {
+            self.grants
+                .get(role)
+                .map(|perms| perms.iter().any(|p| p.covers(resource, action)))
+                .unwrap_or(false)
+        })
+    }
+
+    /// All permissions of a role.
+    pub fn permissions_of(&self, role: &Role) -> Vec<Permission> {
+        self.grants.get(role).map(|s| s.iter().cloned().collect()).unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_resource_match() {
+        let p = Permission::new("parts.quote", Action::Invoke);
+        assert!(p.covers("parts.quote", Action::Invoke));
+        assert!(!p.covers("parts.order", Action::Invoke));
+        assert!(!p.covers("parts.quote", Action::Update));
+    }
+
+    #[test]
+    fn wildcard_matches_everything() {
+        let p = Permission::new("*", Action::Read);
+        assert!(p.covers("anything.at.all", Action::Read));
+        assert!(!p.covers("anything", Action::Update));
+    }
+
+    #[test]
+    fn subtree_wildcard() {
+        let p = Permission::new("parts.*", Action::Invoke);
+        assert!(p.covers("parts.quote", Action::Invoke));
+        assert!(p.covers("parts.quote.rush", Action::Invoke));
+        assert!(p.covers("parts", Action::Invoke));
+        assert!(!p.covers("partsX", Action::Invoke));
+        assert!(!p.covers("orders.create", Action::Invoke));
+    }
+
+    #[test]
+    fn policy_permits_by_any_active_role() {
+        let policy = AccessPolicy::new()
+            .grant(Role::new("supplier"), Permission::new("parts.*", Action::Invoke))
+            .grant(Role::new("member"), Permission::new("shared.spec", Action::Read));
+        let roles = [Role::new("member"), Role::new("supplier")];
+        assert!(policy.permits(&roles, "parts.quote", Action::Invoke));
+        assert!(policy.permits(&roles, "shared.spec", Action::Read));
+        assert!(!policy.permits(&roles, "shared.spec", Action::Update));
+        assert!(!policy.permits(&[Role::new("member")], "parts.quote", Action::Invoke));
+    }
+
+    #[test]
+    fn empty_policy_denies() {
+        let policy = AccessPolicy::new();
+        assert!(!policy.permits(&[Role::new("any")], "x", Action::Read));
+        assert!(policy.permissions_of(&Role::new("any")).is_empty());
+    }
+
+    #[test]
+    fn add_grant_in_place() {
+        let mut policy = AccessPolicy::new();
+        policy.add_grant(Role::new("r"), Permission::new("a", Action::Validate));
+        assert!(policy.permits(&[Role::new("r")], "a", Action::Validate));
+        assert_eq!(policy.permissions_of(&Role::new("r")).len(), 1);
+    }
+}

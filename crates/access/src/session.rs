@@ -1,0 +1,270 @@
+//! Event-driven role sessions.
+//!
+//! Roles are *activated* when an organisation presents a valid certificate
+//! and *deactivated* in response to events (contract breach, membership
+//! departure, timeout…), following the OASIS model the paper cites (§3.5,
+//! ref [2]).
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use parking_lot::RwLock;
+
+use nonrep_pki::cert::Certificate;
+use nonrep_types::ids::OrgId;
+
+use crate::mapper::CredentialRoleMapper;
+use crate::policy::{AccessPolicy, Action, Role};
+
+/// The outcome of an authorization check, with enough context to audit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccessDecision {
+    /// Permitted under the given role.
+    Permit {
+        /// The roles that were active for the principal at decision time.
+        active_roles: Vec<Role>,
+    },
+    /// Denied: no active role grants the action.
+    Deny {
+        /// The roles that were active (but insufficient).
+        active_roles: Vec<Role>,
+    },
+    /// Denied: the organisation has no session (never activated).
+    NoSession,
+}
+
+impl AccessDecision {
+    /// `true` if access was granted.
+    pub fn is_permit(&self) -> bool {
+        matches!(self, AccessDecision::Permit { .. })
+    }
+}
+
+impl fmt::Display for AccessDecision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessDecision::Permit { .. } => f.write_str("permit"),
+            AccessDecision::Deny { .. } => f.write_str("deny"),
+            AccessDecision::NoSession => f.write_str("deny (no session)"),
+        }
+    }
+}
+
+/// A rule deactivating `role` when `event` occurs for the organisation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DeactivationRule {
+    /// The event name (free-form, e.g. `"contract.breach"`).
+    pub event: String,
+    /// The role to deactivate.
+    pub role: Role,
+}
+
+#[derive(Debug, Default)]
+struct Sessions {
+    active: HashMap<OrgId, HashSet<Role>>,
+}
+
+/// Per-organisation role sessions with event-driven deactivation.
+#[derive(Debug)]
+pub struct SessionManager {
+    mapper: CredentialRoleMapper,
+    policy: AccessPolicy,
+    deactivations: Vec<DeactivationRule>,
+    sessions: RwLock<Sessions>,
+}
+
+impl SessionManager {
+    /// Creates a manager with the given mapper and policy.
+    pub fn new(mapper: CredentialRoleMapper, policy: AccessPolicy) -> Self {
+        Self { mapper, policy, deactivations: Vec::new(), sessions: RwLock::new(Sessions::default()) }
+    }
+
+    /// Adds an event-driven deactivation rule (builder).
+    #[must_use]
+    pub fn deactivate_on(mut self, event: impl Into<String>, role: Role) -> Self {
+        self.deactivations.push(DeactivationRule { event: event.into(), role });
+        self
+    }
+
+    /// Activates roles for `cert.subject` from the certificate's
+    /// attributes. Returns the activated roles.
+    ///
+    /// The caller is responsible for having *verified* the certificate
+    /// (via `nonrep_pki::CredentialManager`) before presenting it here.
+    pub fn activate(&self, cert: &Certificate) -> Vec<Role> {
+        let roles = self.mapper.roles_for(cert);
+        let mut sessions = self.sessions.write();
+        let entry = sessions.active.entry(cert.subject.clone()).or_default();
+        for role in &roles {
+            entry.insert(role.clone());
+        }
+        roles
+    }
+
+    /// Signals an event concerning `org`, deactivating matching roles.
+    /// Returns the roles deactivated.
+    pub fn on_event(&self, org: &OrgId, event: &str) -> Vec<Role> {
+        let to_remove: Vec<Role> = self
+            .deactivations
+            .iter()
+            .filter(|rule| rule.event == event)
+            .map(|rule| rule.role.clone())
+            .collect();
+        let mut removed = Vec::new();
+        let mut sessions = self.sessions.write();
+        if let Some(active) = sessions.active.get_mut(org) {
+            for role in to_remove {
+                if active.remove(&role) {
+                    removed.push(role);
+                }
+            }
+        }
+        removed
+    }
+
+    /// Ends the session for `org` entirely.
+    pub fn end_session(&self, org: &OrgId) {
+        self.sessions.write().active.remove(org);
+    }
+
+    /// The currently active roles of `org` (sorted).
+    pub fn active_roles(&self, org: &OrgId) -> Vec<Role> {
+        let mut roles: Vec<Role> = self
+            .sessions
+            .read()
+            .active
+            .get(org)
+            .map(|s| s.iter().cloned().collect())
+            .unwrap_or_default();
+        roles.sort();
+        roles
+    }
+
+    /// Authorizes `org` to perform `action` on `resource`.
+    pub fn authorize(&self, org: &OrgId, resource: &str, action: Action) -> AccessDecision {
+        let sessions = self.sessions.read();
+        let Some(active) = sessions.active.get(org) else {
+            return AccessDecision::NoSession;
+        };
+        let mut roles: Vec<Role> = active.iter().cloned().collect();
+        roles.sort();
+        if self.policy.permits(&roles, resource, action) {
+            AccessDecision::Permit { active_roles: roles }
+        } else {
+            AccessDecision::Deny { active_roles: roles }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Permission;
+    use nonrep_crypto::rng::SecureRandom;
+    use nonrep_crypto::sig::{KeyPair, SignatureScheme};
+    use nonrep_pki::cert::CertificateAuthority;
+    use nonrep_types::time::LogicalClock;
+    use std::sync::Arc;
+
+    fn cert_for(org: &str, attrs: Vec<String>) -> Certificate {
+        let clock = Arc::new(LogicalClock::new());
+        let ca_keys = KeyPair::generate(
+            SignatureScheme::Mss { height: 3 },
+            &mut SecureRandom::from_seed(42),
+        );
+        let ca = CertificateAuthority::new(OrgId::new("ca"), ca_keys, clock);
+        let subject =
+            KeyPair::generate(SignatureScheme::Arbitrated, &mut SecureRandom::from_seed(43));
+        ca.issue(OrgId::new(org), subject.verifying_key(), attrs, 1000).unwrap()
+    }
+
+    fn manager() -> SessionManager {
+        let mapper = CredentialRoleMapper::new()
+            .map_attribute("supplier", Role::new("supplier"))
+            .baseline_role(Role::new("member"));
+        let policy = AccessPolicy::new()
+            .grant(Role::new("supplier"), Permission::new("parts.*", Action::Invoke))
+            .grant(Role::new("member"), Permission::new("shared.spec", Action::Read));
+        SessionManager::new(mapper, policy)
+            .deactivate_on("contract.breach", Role::new("supplier"))
+    }
+
+    #[test]
+    fn activation_grants_roles_and_authorizes() {
+        let mgr = manager();
+        let org = OrgId::new("supplier-a");
+        let cert = cert_for("supplier-a", vec!["supplier".into()]);
+        let roles = mgr.activate(&cert);
+        assert_eq!(roles.len(), 2);
+        assert!(mgr.authorize(&org, "parts.quote", Action::Invoke).is_permit());
+        assert!(mgr.authorize(&org, "shared.spec", Action::Read).is_permit());
+        assert!(!mgr.authorize(&org, "shared.spec", Action::Update).is_permit());
+    }
+
+    #[test]
+    fn no_session_is_denied() {
+        let mgr = manager();
+        assert_eq!(mgr.authorize(&OrgId::new("ghost"), "parts.quote", Action::Invoke), AccessDecision::NoSession);
+    }
+
+    #[test]
+    fn event_deactivates_role() {
+        let mgr = manager();
+        let org = OrgId::new("supplier-a");
+        mgr.activate(&cert_for("supplier-a", vec!["supplier".into()]));
+        assert!(mgr.authorize(&org, "parts.quote", Action::Invoke).is_permit());
+        let removed = mgr.on_event(&org, "contract.breach");
+        assert_eq!(removed, vec![Role::new("supplier")]);
+        // Supplier role gone; member role remains.
+        assert!(!mgr.authorize(&org, "parts.quote", Action::Invoke).is_permit());
+        assert!(mgr.authorize(&org, "shared.spec", Action::Read).is_permit());
+    }
+
+    #[test]
+    fn unrelated_event_changes_nothing() {
+        let mgr = manager();
+        let org = OrgId::new("supplier-a");
+        mgr.activate(&cert_for("supplier-a", vec!["supplier".into()]));
+        assert!(mgr.on_event(&org, "weather.rain").is_empty());
+        assert!(mgr.authorize(&org, "parts.quote", Action::Invoke).is_permit());
+    }
+
+    #[test]
+    fn end_session_removes_everything() {
+        let mgr = manager();
+        let org = OrgId::new("supplier-a");
+        mgr.activate(&cert_for("supplier-a", vec!["supplier".into()]));
+        mgr.end_session(&org);
+        assert_eq!(mgr.authorize(&org, "shared.spec", Action::Read), AccessDecision::NoSession);
+        assert!(mgr.active_roles(&org).is_empty());
+    }
+
+    #[test]
+    fn reactivation_restores_roles() {
+        let mgr = manager();
+        let org = OrgId::new("supplier-a");
+        let cert = cert_for("supplier-a", vec!["supplier".into()]);
+        mgr.activate(&cert);
+        mgr.on_event(&org, "contract.breach");
+        assert!(!mgr.authorize(&org, "parts.quote", Action::Invoke).is_permit());
+        mgr.activate(&cert);
+        assert!(mgr.authorize(&org, "parts.quote", Action::Invoke).is_permit());
+    }
+
+    #[test]
+    fn decisions_carry_audit_context() {
+        let mgr = manager();
+        let org = OrgId::new("supplier-a");
+        mgr.activate(&cert_for("supplier-a", vec!["supplier".into()]));
+        match mgr.authorize(&org, "parts.quote", Action::Invoke) {
+            AccessDecision::Permit { active_roles } => {
+                assert!(active_roles.contains(&Role::new("supplier")));
+            }
+            other => panic!("expected permit, got {other}"),
+        }
+        match mgr.authorize(&org, "secret", Action::Update) {
+            AccessDecision::Deny { active_roles } => assert_eq!(active_roles.len(), 2),
+            other => panic!("expected deny, got {other}"),
+        }
+    }
+}

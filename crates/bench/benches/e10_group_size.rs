@@ -1,0 +1,49 @@
+//! E10 (paper §3.3/[5]): NR-sharing coordination cost vs sharing-group
+//! size.
+//!
+//! Expected shape: linear in the number of validators — the proposer runs
+//! one request/response pair per member for votes and another for the
+//! decision, and every member verifies every vote.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nonrep_bench::{install_group, World};
+use nonrep_core::OrgMiddleware;
+use nonrep_types::ids::GroupId;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_group_size(c: &mut Criterion) {
+    let mut group_bench = c.benchmark_group("e10_group_size");
+    group_bench
+        .sample_size(15)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    println!("\nE10 report — messages per accepted round by group size:");
+    for n in [2usize, 4, 8, 12] {
+        let w = World::new();
+        let orgs: Vec<Arc<OrgMiddleware>> =
+            (0..n).map(|i| w.org(&format!("org-{i}"))).collect();
+        let named: Vec<(String, &Arc<OrgMiddleware>)> =
+            orgs.iter().enumerate().map(|(i, o)| (format!("org-{i}"), o)).collect();
+        let borrowed: Vec<(&str, &Arc<OrgMiddleware>)> =
+            named.iter().map(|(s, o)| (s.as_str(), *o)).collect();
+        let group = GroupId::new("ve");
+        install_group(&borrowed, &group);
+        // One measured accepted round.
+        w.bus.reset_stats();
+        orgs[0].propose_update(&group, "warm", vec![1u8; 64]).unwrap();
+        let msgs = w.bus.stats().delivered;
+        println!("  n={n:<3} messages per round = {msgs}");
+        group_bench.bench_with_input(BenchmarkId::new("accepted_round", n), &n, |b, _| {
+            b.iter(|| {
+                let out = orgs[0].propose_update(&group, "obj", vec![7u8; 64]).unwrap();
+                assert!(out.accepted);
+            })
+        });
+    }
+    println!();
+    group_bench.finish();
+}
+
+criterion_group!(benches, bench_group_size);
+criterion_main!(benches);

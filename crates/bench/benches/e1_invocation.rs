@@ -1,0 +1,58 @@
+//! E1 (paper Fig 4): cost of a service invocation — plain vs voluntary vs
+//! the full non-repudiable direct exchange, across payload sizes.
+//!
+//! Expected shape: NR adds a near-constant overhead per invocation
+//! (token generation/verification + the extra receipt round trip);
+//! voluntary sits between plain and direct.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nonrep_bench::{deploy_echo, payload, World};
+use nonrep_core::TrustDomain;
+use std::time::Duration;
+
+fn bench_invocation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_invocation");
+    group.sample_size(20).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    for size in [64usize, 1024, 16 * 1024] {
+        // Plain baseline (Fig 4(a)).
+        {
+            let w = World::new();
+            let client = w.org("client");
+            let server = w.org("server");
+            deploy_echo(&server);
+            let proxy = client.plain_proxy(server.org(), "urn:svc");
+            let args = payload(size);
+            group.bench_with_input(BenchmarkId::new("plain", size), &size, |b, _| {
+                b.iter(|| proxy.invoke("work", args.clone()).unwrap())
+            });
+        }
+        // Voluntary (asymmetric baseline, ref [23]).
+        {
+            let w = World::new();
+            let client = w.org_in("client", TrustDomain::Voluntary);
+            let server = w.org("server");
+            deploy_echo(&server);
+            let proxy = client.nr_proxy(server.org(), "urn:svc");
+            let args = payload(size);
+            group.bench_with_input(BenchmarkId::new("voluntary", size), &size, |b, _| {
+                b.iter(|| proxy.invoke("work", args.clone()).unwrap())
+            });
+        }
+        // Direct NR exchange (Fig 4(b)).
+        {
+            let w = World::new();
+            let client = w.org("client");
+            let server = w.org("server");
+            deploy_echo(&server);
+            let proxy = client.nr_proxy(server.org(), "urn:svc");
+            let args = payload(size);
+            group.bench_with_input(BenchmarkId::new("direct", size), &size, |b, _| {
+                b.iter(|| proxy.invoke("work", args.clone()).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_invocation);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! E2 (paper Fig 5): one NR-sharing coordination round — accepted vs
+//! vetoed, across state sizes.
+//!
+//! Expected shape: vetoed rounds cost slightly *less* than accepted ones
+//! (no replica writes), and cost grows mildly with state size (hashing +
+//! transfer of the full proposed state).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nonrep_bench::{install_group, World};
+use nonrep_types::ids::GroupId;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_sharing(c: &mut Criterion) {
+    let mut group_bench = c.benchmark_group("e2_sharing");
+    group_bench
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for size in [64usize, 4096, 65536] {
+        // Accepted round among 3 organisations.
+        {
+            let w = World::new();
+            let a = w.org("a");
+            let b = w.org("b");
+            let c3 = w.org("c");
+            let group = GroupId::new("ve");
+            install_group(&[("a", &a), ("b", &b), ("c", &c3)], &group);
+            let state = vec![7u8; size];
+            group_bench.bench_with_input(BenchmarkId::new("accepted", size), &size, |bch, _| {
+                bch.iter(|| {
+                    let out = a.propose_update(&group, "obj", state.clone()).unwrap();
+                    assert!(out.accepted);
+                })
+            });
+        }
+        // Vetoed round (one validator always rejects).
+        {
+            let w = World::new();
+            let a = w.org("a");
+            let b = w.org("b");
+            let c3 = w.org("c");
+            let group = GroupId::new("ve");
+            install_group(&[("a", &a), ("b", &b), ("c", &c3)], &group);
+            b.add_validator(Arc::new(|_: &str, _: Option<&[u8]>, _: &[u8]| {
+                Err("always veto".to_string())
+            }));
+            let state = vec![7u8; size];
+            group_bench.bench_with_input(BenchmarkId::new("vetoed", size), &size, |bch, _| {
+                bch.iter(|| {
+                    let out = a.propose_update(&group, "obj", state.clone()).unwrap();
+                    assert!(!out.accepted);
+                })
+            });
+        }
+    }
+    group_bench.finish();
+}
+
+criterion_group!(benches, bench_sharing);
+criterion_main!(benches);

@@ -1,0 +1,136 @@
+//! E3 (paper Fig 3): the same invocation under each trust-domain
+//! deployment. Criterion measures wall time; the bench additionally prints
+//! the message/byte/simulated-WAN-latency table (who pays how many hops).
+//!
+//! Expected shape: direct < fair-offline < inline TTP < distributed TTP in
+//! both message count and end-to-end latency; plain and voluntary below
+//! all of them.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nonrep_bench::{deploy_echo, payload, World};
+use nonrep_core::{OrgMiddleware, TrustDomain};
+use nonrep_net::bus::LocalBus;
+use nonrep_net::fault::FaultPlan;
+use nonrep_net::latency::LatencyModel;
+use nonrep_types::ids::OrgId;
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Deployment {
+    label: &'static str,
+    world: World,
+    client: Arc<OrgMiddleware>,
+    server: Arc<OrgMiddleware>,
+    plain: bool,
+}
+
+fn deployments(latency: LatencyModel) -> Vec<Deployment> {
+    let mk_world = || World::with_bus(LocalBus::with_config(FaultPlan::none(), latency, 42));
+    let mut out = Vec::new();
+    // plain
+    {
+        let w = mk_world();
+        let client = w.org("client");
+        let server = w.org("server");
+        deploy_echo(&server);
+        out.push(Deployment { label: "plain", world: w, client, server, plain: true });
+    }
+    // voluntary
+    {
+        let w = mk_world();
+        let client = w.org_in("client", TrustDomain::Voluntary);
+        let server = w.org("server");
+        deploy_echo(&server);
+        out.push(Deployment { label: "voluntary", world: w, client, server, plain: false });
+    }
+    // direct
+    {
+        let w = mk_world();
+        let client = w.org("client");
+        let server = w.org("server");
+        deploy_echo(&server);
+        out.push(Deployment { label: "direct", world: w, client, server, plain: false });
+    }
+    // inline ttp (Fig 3a)
+    {
+        let w = mk_world();
+        let client = w.org_in("client", TrustDomain::InlineTtp { first_hop: OrgId::new("ttp") });
+        let server = w.org("server");
+        let ttp = w.org("ttp");
+        ttp.serve_as_inline_ttp(None);
+        deploy_echo(&server);
+        out.push(Deployment { label: "inline-ttp", world: w, client, server, plain: false });
+    }
+    // distributed inline ttp (Fig 3b)
+    {
+        let w = mk_world();
+        let client = w.org_in("client", TrustDomain::InlineTtp { first_hop: OrgId::new("ttp-a") });
+        let server = w.org("server");
+        let ttp_a = w.org("ttp-a");
+        ttp_a.serve_as_inline_ttp(Some(OrgId::new("ttp-b")));
+        let ttp_b = w.org("ttp-b");
+        ttp_b.serve_as_inline_ttp(None);
+        deploy_echo(&server);
+        out.push(Deployment { label: "distributed-ttp", world: w, client, server, plain: false });
+    }
+    // fair offline
+    {
+        let w = mk_world();
+        let client = w.org_in("client", TrustDomain::FairOffline { ttp: OrgId::new("ttp") });
+        let server = w.org_in("server", TrustDomain::FairOffline { ttp: OrgId::new("ttp") });
+        let ttp = w.org("ttp");
+        ttp.serve_as_offline_ttp();
+        deploy_echo(&server);
+        out.push(Deployment { label: "fair-offline", world: w, client, server, plain: false });
+    }
+    out
+}
+
+fn report_table() {
+    println!(
+        "\nE3 report — one 64B invocation per deployment (WAN latency model):\n{:<18} {:>9} {:>9} {:>12}",
+        "deployment", "messages", "bytes", "latency(ms)"
+    );
+    for d in deployments(LatencyModel::Wan) {
+        let started = d.world.bus.now();
+        let proxy = if d.plain {
+            d.client.plain_proxy(d.server.org(), "urn:svc")
+        } else {
+            d.client.nr_proxy(d.server.org(), "urn:svc")
+        };
+        proxy.invoke("work", payload(64)).unwrap();
+        let stats = d.world.bus.stats();
+        println!(
+            "{:<18} {:>9} {:>9} {:>12}",
+            d.label,
+            stats.delivered,
+            stats.bytes,
+            d.world.bus.now().since(started)
+        );
+    }
+    println!();
+}
+
+fn bench_domains(c: &mut Criterion) {
+    report_table();
+    let mut group = c.benchmark_group("e3_trust_domains");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for d in deployments(LatencyModel::Zero) {
+        let proxy = if d.plain {
+            d.client.plain_proxy(d.server.org(), "urn:svc")
+        } else {
+            d.client.nr_proxy(d.server.org(), "urn:svc")
+        };
+        let args = payload(64);
+        group.bench_function(d.label, |b| {
+            b.iter(|| proxy.invoke("work", args.clone()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_domains);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! E5 (paper Fig 6/7): cost of the container invocation path itself —
+//! interceptor-chain depth sweep, local vs remote (bus) dispatch.
+//!
+//! Expected shape: per-interceptor cost is tens of nanoseconds (an Arc
+//! clone and a dynamic call); the chain is *not* where NR overhead comes
+//! from — the crypto is (see e6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nonrep_container::component::FnComponent;
+use nonrep_container::descriptor::DeploymentDescriptor;
+use nonrep_container::interceptor::{Chain, Interceptor, Invocation, MetricsInterceptor};
+use nonrep_container::proxy::{BusTransport, ClientProxy, ContainerEndpoint};
+use nonrep_container::Container;
+use nonrep_net::bus::LocalBus;
+use nonrep_types::ids::{MethodName, OrgId};
+use nonrep_types::value::Value;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn container_with_chain(depth: usize) -> Arc<Container> {
+    let c = Container::new("server");
+    c.deploy(
+        DeploymentDescriptor::new("urn:svc", [MethodName::new("work")]),
+        Arc::new(FnComponent::new().method("work", |args| Ok(args.clone()))),
+    )
+    .unwrap();
+    for _ in 0..depth {
+        c.add_interceptor(Arc::new(MetricsInterceptor::new()));
+    }
+    c
+}
+
+fn bench_container(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_container");
+    group
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    // Chain-depth sweep on local invocation.
+    for depth in [0usize, 1, 4, 8, 16] {
+        let container = container_with_chain(depth);
+        group.bench_with_input(BenchmarkId::new("local_chain", depth), &depth, |b, _| {
+            b.iter(|| {
+                container
+                    .invoke(Invocation::new("client", "urn:svc", "work", Value::from(1i64)))
+                    .unwrap()
+            })
+        });
+    }
+
+    // Remote dispatch through proxy + bus (serialisation included).
+    {
+        let bus = LocalBus::new();
+        let container = container_with_chain(4);
+        bus.register(OrgId::new("server"), Arc::new(ContainerEndpoint::new(container)));
+        let transport = Arc::new(BusTransport::new(bus, OrgId::new("client")));
+        let proxy = ClientProxy::new("client", "server", "urn:svc", transport);
+        group.bench_function("remote_dispatch", |b| {
+            b.iter(|| proxy.invoke("work", Value::from(1i64)).unwrap())
+        });
+    }
+
+    // Raw chain mechanics (no container lookup).
+    {
+        let interceptors: Vec<Arc<dyn Interceptor>> =
+            (0..8).map(|_| Arc::new(MetricsInterceptor::new()) as Arc<dyn Interceptor>).collect();
+        let target = |inv: Invocation| Ok(inv.args);
+        group.bench_function("raw_chain_8", |b| {
+            b.iter(|| {
+                let chain = Chain::new(&interceptors, &target);
+                chain
+                    .proceed(Invocation::new("c", "s", "m", Value::from(1i64)))
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_container);
+criterion_main!(benches);

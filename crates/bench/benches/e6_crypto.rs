@@ -1,0 +1,103 @@
+//! E6 (paper §6): "the computational overhead of cryptographic
+//! algorithms" — hash throughput, token signing/verification under both
+//! schemes, key generation.
+//!
+//! Expected shape: arbitrated HMAC tags are ~2 hash compressions; MSS
+//! signatures cost hundreds of compressions to sign/verify and are the
+//! dominant cost of every NR protocol message; MSS key generation is
+//! linear in capacity.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use nonrep_crypto::digest::sha256;
+use nonrep_crypto::hmac::hmac_sha256;
+use nonrep_crypto::rng::SecureRandom;
+use nonrep_crypto::sig::{KeyPair, SignatureScheme};
+use std::time::Duration;
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_crypto");
+    group
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    // Hashing throughput.
+    for size in [64usize, 1024, 65536] {
+        let data = vec![0xABu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("sha256", size), &size, |b, _| {
+            b.iter(|| sha256(&data))
+        });
+    }
+    group.throughput(Throughput::Elements(1));
+
+    // HMAC.
+    {
+        let key = [7u8; 32];
+        let msg = vec![0u8; 256];
+        group.bench_function("hmac_sha256_256B", |b| b.iter(|| hmac_sha256(&key, &msg)));
+    }
+
+    // Arbitrated scheme: sign + verify.
+    {
+        let kp = KeyPair::generate(SignatureScheme::Arbitrated, &mut SecureRandom::from_seed(1));
+        group.bench_function("arbitrated_sign", |b| b.iter(|| kp.sign(b"message").unwrap()));
+        let sig = kp.sign(b"message").unwrap();
+        let vk = kp.verifying_key();
+        group.bench_function("arbitrated_verify", |b| b.iter(|| assert!(vk.verify(b"message", &sig))));
+    }
+
+    // MSS: sign (fresh key per iteration so capacity never runs out;
+    // keygen happens in the excluded setup phase).
+    {
+        group.bench_function("mss_sign_h4", |b| {
+            let mut seed = 0u64;
+            b.iter_batched(
+                || {
+                    seed += 1;
+                    KeyPair::generate(
+                        SignatureScheme::Mss { height: 4 },
+                        &mut SecureRandom::from_seed(seed),
+                    )
+                },
+                |kp| kp.sign(b"message").unwrap(),
+                BatchSize::PerIteration,
+            )
+        });
+        // MSS verify (stateless; one signature reused).
+        let kp = KeyPair::generate(
+            SignatureScheme::Mss { height: 4 },
+            &mut SecureRandom::from_seed(99),
+        );
+        let sig = kp.sign(b"message").unwrap();
+        let vk = kp.verifying_key();
+        group.bench_function("mss_verify", |b| b.iter(|| assert!(vk.verify(b"message", &sig))));
+    }
+
+    // MSS keygen across capacities (2^h signatures).
+    for height in [4u8, 6, 8] {
+        group.bench_with_input(BenchmarkId::new("mss_keygen", height), &height, |b, &h| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                KeyPair::generate(
+                    SignatureScheme::Mss { height: h },
+                    &mut SecureRandom::from_seed(seed),
+                )
+            })
+        });
+    }
+    group.finish();
+
+    // Signature size report.
+    let arb = KeyPair::generate(SignatureScheme::Arbitrated, &mut SecureRandom::from_seed(1));
+    let mss = KeyPair::generate(SignatureScheme::Mss { height: 8 }, &mut SecureRandom::from_seed(2));
+    println!(
+        "\nE6 report — signature material sizes: arbitrated {} B, MSS(h=8) {} B\n",
+        arb.sign(b"m").unwrap().byte_len(),
+        mss.sign(b"m").unwrap().byte_len()
+    );
+}
+
+criterion_group!(benches, bench_crypto);
+criterion_main!(benches);

@@ -1,0 +1,175 @@
+//! E7 (paper §6): "the space overhead of evidence generated" — evidence
+//! bytes per invocation and per sharing round, per protocol, per scheme;
+//! linear log growth; log-append cost.
+//!
+//! Expected shape: evidence volume is constant per interaction (4 tokens
+//! per direct invocation, 1 for voluntary, N+2 per sharing round for N
+//! validators); the signature scheme dominates record size (MSS tokens
+//! are ~2.3 KB vs ~100 B arbitrated).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nonrep_bench::{deploy_echo, install_group, payload, World};
+use nonrep_core::{OrgMiddleware, TrustDomain};
+use nonrep_crypto::digest::sha256;
+use nonrep_crypto::sig::SignatureScheme;
+use nonrep_store::record::RecordDraft;
+use nonrep_store::{EvidenceLog, MemoryLog};
+use nonrep_types::ids::{GroupId, OrgId, RunId};
+use nonrep_types::time::Timestamp;
+use std::time::Duration;
+
+fn report() {
+    println!("\nE7 report — evidence space per interaction:");
+    println!(
+        "{:<26} {:>8} {:>12} {:>14}",
+        "interaction", "records", "client B", "server B"
+    );
+    // Direct invocation, arbitrated scheme.
+    {
+        let w = World::new();
+        let client = w.org("client");
+        let server = w.org("server");
+        deploy_echo(&server);
+        client.nr_proxy(server.org(), "urn:svc").invoke("work", payload(64)).unwrap();
+        println!(
+            "{:<26} {:>8} {:>12} {:>14}",
+            "direct (arbitrated)",
+            client.log().len() + server.log().len(),
+            client.log().total_bytes(),
+            server.log().total_bytes()
+        );
+    }
+    // Direct invocation, MSS scheme.
+    {
+        let w = World::new();
+        let client = nonrep_core::OrgMiddleware::builder(
+            "client",
+            w.bus.clone(),
+            w.dir.clone(),
+            w.clock.clone(),
+        )
+        .scheme(SignatureScheme::Mss { height: 4 })
+        .build();
+        let server = nonrep_core::OrgMiddleware::builder(
+            "server",
+            w.bus.clone(),
+            w.dir.clone(),
+            w.clock.clone(),
+        )
+        .scheme(SignatureScheme::Mss { height: 4 })
+        .build();
+        deploy_echo(&server);
+        client.nr_proxy(server.org(), "urn:svc").invoke("work", payload(64)).unwrap();
+        println!(
+            "{:<26} {:>8} {:>12} {:>14}",
+            "direct (MSS h=4)",
+            client.log().len() + server.log().len(),
+            client.log().total_bytes(),
+            server.log().total_bytes()
+        );
+    }
+    // Voluntary.
+    {
+        let w = World::new();
+        let client = w.org_in("client", TrustDomain::Voluntary);
+        let server = w.org("server");
+        deploy_echo(&server);
+        client.nr_proxy(server.org(), "urn:svc").invoke("work", payload(64)).unwrap();
+        println!(
+            "{:<26} {:>8} {:>12} {:>14}",
+            "voluntary (arbitrated)",
+            client.log().len() + server.log().len(),
+            client.log().total_bytes(),
+            server.log().total_bytes()
+        );
+    }
+    // Sharing round (3 orgs).
+    {
+        let w = World::new();
+        let a = w.org("a");
+        let b = w.org("b");
+        let c = w.org("c");
+        let group = GroupId::new("g");
+        install_group(&[("a", &a), ("b", &b), ("c", &c)], &group);
+        a.propose_update(&group, "obj", vec![0u8; 64]).unwrap();
+        println!(
+            "{:<26} {:>8} {:>12} {:>14}",
+            "sharing 3-org (arb.)",
+            a.log().len() + b.log().len() + c.log().len(),
+            a.log().total_bytes(),
+            b.log().total_bytes()
+        );
+    }
+    // Linear growth over n invocations.
+    {
+        let w = World::new();
+        let client = w.org("client");
+        let server = w.org("server");
+        deploy_echo(&server);
+        let proxy = client.nr_proxy(server.org(), "urn:svc");
+        print!("growth (client log bytes after n invocations): ");
+        for n in [1usize, 10, 100] {
+            while (client.log().len() as usize) < n * 4 {
+                proxy.invoke("work", payload(64)).unwrap();
+            }
+            print!("n={n}:{}B ", client.log().total_bytes());
+        }
+        println!("\n");
+    }
+}
+
+fn log_growth(client: &OrgMiddleware) -> u64 {
+    client.log().total_bytes()
+}
+
+fn bench_space(c: &mut Criterion) {
+    report();
+    let mut group = c.benchmark_group("e7_evidence_space");
+    group
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    // Log append cost (memory backend, chained hashing included).
+    {
+        let log = MemoryLog::new();
+        let mut n = 0u64;
+        group.bench_function("log_append", |b| {
+            b.iter(|| {
+                n += 1;
+                log.append(RecordDraft {
+                    run_id: RunId::from_u128(u128::from(n)),
+                    kind: "NRO_req".into(),
+                    actor: OrgId::new("org"),
+                    at: Timestamp(n),
+                    content_digest: sha256(&n.to_le_bytes()),
+                    payload: vec![0u8; 128],
+                })
+                .unwrap()
+            })
+        });
+    }
+    // Chain verification cost over a 1k-record log.
+    {
+        let log = MemoryLog::new();
+        for n in 0..1000u64 {
+            log.append(RecordDraft {
+                run_id: RunId::from_u128(u128::from(n)),
+                kind: "NRO_req".into(),
+                actor: OrgId::new("org"),
+                at: Timestamp(n),
+                content_digest: sha256(&n.to_le_bytes()),
+                payload: vec![0u8; 128],
+            })
+            .unwrap();
+        }
+        group.bench_function("chain_verify_1k", |b| b.iter(|| log.verify().unwrap()));
+    }
+    // Keep the helper used (silence dead-code in some configs).
+    let w = World::new();
+    let client = w.org("client");
+    let _ = log_growth(&client);
+    group.finish();
+}
+
+criterion_group!(benches, bench_space);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! E8 (paper §6): "the communication overhead of additional messages to
+//! execute protocols" — bus messages and bytes per interaction, for every
+//! protocol, across payload sizes.
+//!
+//! Expected shape (messages per invocation): plain 2, voluntary 2,
+//! direct 4 (two request/response pairs), inline TTP 8 (two legs, the
+//! inner one a full direct exchange), distributed TTP 12, fair-offline 8
+//! (incl. escrow); byte overhead tracks token count and scheme.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nonrep_bench::{deploy_echo, payload, World};
+use nonrep_core::TrustDomain;
+use nonrep_types::ids::OrgId;
+use std::time::Duration;
+
+fn run_case(label: &str, domain: Option<TrustDomain>, size: usize) {
+    let w = World::new();
+    let client = match &domain {
+        Some(d) => w.org_in("client", d.clone()),
+        None => w.org("client"),
+    };
+    let server = match &domain {
+        Some(TrustDomain::FairOffline { ttp }) => {
+            w.org_in("server", TrustDomain::FairOffline { ttp: ttp.clone() })
+        }
+        _ => w.org("server"),
+    };
+    match &domain {
+        Some(TrustDomain::InlineTtp { first_hop }) if first_hop.as_str() == "ttp-a" => {
+            w.org("ttp-a").serve_as_inline_ttp(Some(OrgId::new("ttp-b")));
+            w.org("ttp-b").serve_as_inline_ttp(None);
+        }
+        Some(TrustDomain::InlineTtp { first_hop }) => {
+            w.org(first_hop.as_str()).serve_as_inline_ttp(None);
+        }
+        Some(TrustDomain::FairOffline { ttp }) => {
+            w.org(ttp.as_str()).serve_as_offline_ttp();
+        }
+        _ => {}
+    }
+    deploy_echo(&server);
+    w.bus.reset_stats();
+    let proxy = match domain {
+        None => client.plain_proxy(server.org(), "urn:svc"),
+        Some(_) => client.nr_proxy(server.org(), "urn:svc"),
+    };
+    proxy.invoke("work", payload(size)).unwrap();
+    let stats = w.bus.stats();
+    println!(
+        "{label:<18} {size:>8} {:>9} {:>10} {:>10}",
+        stats.delivered,
+        stats.bytes,
+        stats.mean_message_bytes()
+    );
+}
+
+fn report() {
+    println!(
+        "\nE8 report — messages & bytes per invocation:\n{:<18} {:>8} {:>9} {:>10} {:>10}",
+        "protocol", "payload", "messages", "bytes", "mean/msg"
+    );
+    for size in [64usize, 4096] {
+        run_case("plain", None, size);
+        run_case("voluntary", Some(TrustDomain::Voluntary), size);
+        run_case("direct", Some(TrustDomain::Direct), size);
+        run_case(
+            "inline-ttp",
+            Some(TrustDomain::InlineTtp { first_hop: OrgId::new("ttp") }),
+            size,
+        );
+        run_case(
+            "distributed-ttp",
+            Some(TrustDomain::InlineTtp { first_hop: OrgId::new("ttp-a") }),
+            size,
+        );
+        run_case("fair-offline", Some(TrustDomain::FairOffline { ttp: OrgId::new("ttp") }), size);
+    }
+    println!();
+}
+
+fn bench_messages(c: &mut Criterion) {
+    report();
+    // A token criterion measurement so the harness records something
+    // numeric for this experiment too: message counting itself.
+    let w = World::new();
+    let client = w.org("client");
+    let server = w.org("server");
+    deploy_echo(&server);
+    let proxy = client.nr_proxy(server.org(), "urn:svc");
+    let mut group = c.benchmark_group("e8_messages");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    group.bench_function("direct_with_accounting", |b| {
+        b.iter(|| proxy.invoke("work", payload(64)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_messages);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! E9 (paper §3.1 liveness): exchange completion under bounded temporary
+//! failures — cost of the retry machinery as loss probability rises.
+//!
+//! Expected shape: completion is *always* achieved (drops are bounded and
+//! retries exceed the bound — the paper's liveness argument), with
+//! wall-time growing with the drop rate as retransmissions are consumed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nonrep_bench::{deploy_echo, lossy_bus, payload, World};
+use std::time::Duration;
+
+fn bench_faults(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_faults");
+    group
+        .sample_size(15)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for loss in [0u32, 20, 50] {
+        let w = World::with_bus(lossy_bus(f64::from(loss) / 100.0, 3, 1234));
+        let client = w.org("client");
+        let server = w.org("server");
+        deploy_echo(&server);
+        let proxy = client.nr_proxy(server.org(), "urn:svc");
+        let args = payload(64);
+        group.bench_with_input(BenchmarkId::new("direct_loss_pct", loss), &loss, |b, _| {
+            b.iter(|| proxy.invoke("work", args.clone()).unwrap())
+        });
+    }
+    group.finish();
+
+    // Liveness + at-most-once report under heavy loss.
+    let w = World::with_bus(lossy_bus(0.5, 3, 99));
+    let client = w.org("client");
+    let server = w.org("server");
+    deploy_echo(&server);
+    let proxy = client.nr_proxy(server.org(), "urn:svc");
+    let mut completed = 0;
+    for _ in 0..200 {
+        if proxy.invoke("work", payload(64)).is_ok() {
+            completed += 1;
+        }
+    }
+    let stats = w.bus.stats();
+    println!(
+        "\nE9 report — 200 invocations at 50% loss (bound 3): {completed}/200 completed, \
+         {} deliveries, {} drops\n",
+        stats.delivered, stats.dropped
+    );
+    assert_eq!(completed, 200, "bounded faults + retries must guarantee liveness");
+}
+
+criterion_group!(benches, bench_faults);
+criterion_main!(benches);

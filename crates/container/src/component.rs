@@ -1,0 +1,122 @@
+//! Components ("enterprise beans").
+
+use std::fmt;
+
+use nonrep_types::ids::MethodName;
+use nonrep_types::value::Value;
+
+use crate::ContainerError;
+
+/// A deployable component: business logic invoked by method name.
+///
+/// The Rust analogue of an EJB's remote interface. Implementations must be
+/// thread-safe: the container may invoke them concurrently, exactly like an
+/// EJB container manages bean concurrency.
+pub trait Component: Send + Sync {
+    /// Invokes `method` with `args`.
+    ///
+    /// # Errors
+    ///
+    /// [`ContainerError::Application`] for business failures, or
+    /// implementations may return other variants where appropriate.
+    fn invoke(&self, method: &MethodName, args: &Value) -> Result<Value, ContainerError>;
+
+    /// Methods this component exports (used to validate descriptors).
+    fn methods(&self) -> Vec<MethodName>;
+}
+
+type Handler = Box<dyn Fn(&Value) -> Result<Value, ContainerError> + Send + Sync>;
+
+/// A component assembled from named closures — convenient for tests,
+/// examples and simple services.
+///
+/// # Example
+///
+/// ```
+/// use nonrep_container::{Component, FnComponent};
+/// use nonrep_types::ids::MethodName;
+/// use nonrep_types::value::Value;
+///
+/// let quote = FnComponent::new()
+///     .method("quote", |args| {
+///         let part = args.get("part").and_then(Value::as_str).unwrap_or("?");
+///         Ok(Value::map([("part", Value::from(part)), ("price", Value::from(100i64))]))
+///     });
+/// let out = quote.invoke(&MethodName::new("quote"),
+///                        &Value::map([("part", Value::from("gearbox"))])).unwrap();
+/// assert_eq!(out.get("price").and_then(Value::as_i64), Some(100));
+/// ```
+#[derive(Default)]
+pub struct FnComponent {
+    handlers: Vec<(MethodName, Handler)>,
+}
+
+impl fmt::Debug for FnComponent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<&str> = self.handlers.iter().map(|(m, _)| m.as_str()).collect();
+        f.debug_struct("FnComponent").field("methods", &names).finish()
+    }
+}
+
+impl FnComponent {
+    /// Creates an empty component.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a method handler (builder).
+    #[must_use]
+    pub fn method(
+        mut self,
+        name: impl Into<MethodName>,
+        handler: impl Fn(&Value) -> Result<Value, ContainerError> + Send + Sync + 'static,
+    ) -> Self {
+        self.handlers.push((name.into(), Box::new(handler)));
+        self
+    }
+}
+
+impl Component for FnComponent {
+    fn invoke(&self, method: &MethodName, args: &Value) -> Result<Value, ContainerError> {
+        for (name, handler) in &self.handlers {
+            if name == method {
+                return handler(args);
+            }
+        }
+        Err(ContainerError::NoSuchMethod(
+            nonrep_types::ids::ServiceUri::new("<unbound>"),
+            method.clone(),
+        ))
+    }
+
+    fn methods(&self) -> Vec<MethodName> {
+        self.handlers.iter().map(|(m, _)| m.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_component_dispatches() {
+        let c = FnComponent::new()
+            .method("add", |args| {
+                let a = args.get("a").and_then(Value::as_i64).unwrap_or(0);
+                let b = args.get("b").and_then(Value::as_i64).unwrap_or(0);
+                Ok(Value::from(a + b))
+            })
+            .method("fail", |_| Err(ContainerError::Application("boom".into())));
+        let args = Value::map([("a", Value::from(2i64)), ("b", Value::from(3i64))]);
+        assert_eq!(c.invoke(&MethodName::new("add"), &args).unwrap(), Value::from(5i64));
+        assert!(matches!(
+            c.invoke(&MethodName::new("fail"), &Value::Null),
+            Err(ContainerError::Application(_))
+        ));
+        assert!(matches!(
+            c.invoke(&MethodName::new("nope"), &Value::Null),
+            Err(ContainerError::NoSuchMethod(_, _))
+        ));
+        assert_eq!(c.methods().len(), 2);
+    }
+}

@@ -1,0 +1,150 @@
+//! Deployment descriptors.
+//!
+//! The declarative half of the paper's programming model: the application
+//! programmer *identifies* (not implements) the container services a
+//! component needs. §4.2: the server-side programmer identifies "when
+//! non-repudiation is required and … the platform and protocol for
+//! instantiation of the B2BInvocationHandler". §4.3: the programmer
+//! identifies "an entity bean as a B2BObject", names validator beans, and
+//! may mark methods whose operations are rolled up into one coordination
+//! event.
+
+use std::collections::HashMap;
+
+use nonrep_types::ids::{MethodName, ProtocolId, ServiceUri};
+
+/// Non-repudiation configuration for a component.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NrConfig {
+    /// The platform tag handed to the invocation-handler factory
+    /// (`"JBossJ2EE"` in the paper; `"rust"` here).
+    pub platform: String,
+    /// Which registered protocol to execute (e.g. `"direct"`).
+    pub protocol: ProtocolId,
+}
+
+impl NrConfig {
+    /// Configuration selecting `protocol` on the native platform.
+    pub fn protocol(protocol: impl Into<ProtocolId>) -> Self {
+        Self { platform: "rust".into(), protocol: protocol.into() }
+    }
+}
+
+/// Shared-information (B2BObject) configuration for a component.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SharedObjectConfig {
+    /// Key of the coordinated object in the state store.
+    pub object_key: String,
+    /// Names of validator components consulted on remote proposals.
+    pub validators: Vec<String>,
+    /// Methods whose internal operations are rolled up into a single
+    /// coordination event.
+    pub rollup_methods: Vec<MethodName>,
+}
+
+/// A component's deployment descriptor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeploymentDescriptor {
+    /// Service name the component is bound to.
+    pub service: ServiceUri,
+    /// Exported methods (subset of the component's methods).
+    pub methods: Vec<MethodName>,
+    /// Non-repudiation requirement, if any.
+    pub non_repudiation: Option<NrConfig>,
+    /// Shared-object coordination, if the component encapsulates shared
+    /// information.
+    pub shared_object: Option<SharedObjectConfig>,
+    /// Free-form extra configuration.
+    pub metadata: HashMap<String, String>,
+}
+
+impl DeploymentDescriptor {
+    /// Starts a descriptor for `service` exporting `methods`.
+    pub fn new(
+        service: impl Into<ServiceUri>,
+        methods: impl IntoIterator<Item = MethodName>,
+    ) -> Self {
+        Self {
+            service: service.into(),
+            methods: methods.into_iter().collect(),
+            non_repudiation: None,
+            shared_object: None,
+            metadata: HashMap::new(),
+        }
+    }
+
+    /// Requires non-repudiation with `config` (builder).
+    #[must_use]
+    pub fn with_non_repudiation(mut self, config: NrConfig) -> Self {
+        self.non_repudiation = Some(config);
+        self
+    }
+
+    /// Marks the component as encapsulating a shared object (builder).
+    #[must_use]
+    pub fn with_shared_object(mut self, config: SharedObjectConfig) -> Self {
+        self.shared_object = Some(config);
+        self
+    }
+
+    /// Adds a metadata entry (builder).
+    #[must_use]
+    pub fn with_metadata(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.metadata.insert(key.into(), value.into());
+        self
+    }
+
+    /// `true` if `method` is exported.
+    pub fn exports(&self, method: &MethodName) -> bool {
+        self.methods.iter().any(|m| m == method)
+    }
+
+    /// `true` if invocations must run a non-repudiation protocol.
+    pub fn requires_nr(&self) -> bool {
+        self.non_repudiation.is_some()
+    }
+
+    /// `true` if `method`'s operations roll up into one coordination event.
+    pub fn rolls_up(&self, method: &MethodName) -> bool {
+        self.shared_object
+            .as_ref()
+            .map(|c| c.rollup_methods.iter().any(|m| m == method))
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_queries() {
+        let d = DeploymentDescriptor::new(
+            "urn:parts",
+            [MethodName::new("quote"), MethodName::new("order")],
+        )
+        .with_non_repudiation(NrConfig::protocol("direct"))
+        .with_shared_object(SharedObjectConfig {
+            object_key: "spec".into(),
+            validators: vec!["spec-validator".into()],
+            rollup_methods: vec![MethodName::new("order")],
+        })
+        .with_metadata("owner", "manufacturer");
+
+        assert!(d.exports(&MethodName::new("quote")));
+        assert!(!d.exports(&MethodName::new("secret")));
+        assert!(d.requires_nr());
+        assert_eq!(d.non_repudiation.as_ref().unwrap().protocol, ProtocolId::new("direct"));
+        assert!(d.rolls_up(&MethodName::new("order")));
+        assert!(!d.rolls_up(&MethodName::new("quote")));
+        assert_eq!(d.metadata["owner"], "manufacturer");
+    }
+
+    #[test]
+    fn plain_descriptor_has_no_nr() {
+        let d = DeploymentDescriptor::new("urn:plain", [MethodName::new("m")]);
+        assert!(!d.requires_nr());
+        assert!(!d.rolls_up(&MethodName::new("m")));
+        assert!(d.shared_object.is_none());
+    }
+}

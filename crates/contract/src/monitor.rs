@@ -1,0 +1,199 @@
+//! Run-time contract monitoring.
+
+use std::fmt;
+
+use parking_lot::Mutex;
+
+use crate::fsm::{ContractSpec, State};
+
+/// A contract violation observed at run time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContractViolation {
+    /// The event is not permitted in the current state.
+    UnexpectedEvent {
+        /// State the contract was in.
+        state: State,
+        /// The offending event.
+        event: String,
+    },
+    /// The event moved the contract into a breach state.
+    Breach {
+        /// The breach state entered.
+        state: State,
+        /// The event that caused it.
+        event: String,
+    },
+    /// The contract is already breached; no further events are accepted.
+    AlreadyBreached(State),
+}
+
+impl fmt::Display for ContractViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ContractViolation::UnexpectedEvent { state, event } => {
+                write!(f, "event {event} not permitted in state {state}")
+            }
+            ContractViolation::Breach { state, event } => {
+                write!(f, "event {event} breached the contract (state {state})")
+            }
+            ContractViolation::AlreadyBreached(state) => {
+                write!(f, "contract already breached (state {state})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ContractViolation {}
+
+/// Executes a (checked) [`ContractSpec`] against the observed events.
+#[derive(Debug)]
+pub struct ContractMonitor {
+    spec: ContractSpec,
+    state: Mutex<State>,
+    history: Mutex<Vec<(String, State)>>,
+}
+
+impl ContractMonitor {
+    /// Creates a monitor at the contract's initial state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the specification fails its static check — running an
+    /// unverified contract is a deployment error (the paper's FSMs are
+    /// "verified using model-checking tools" *before* use).
+    pub fn new(spec: ContractSpec) -> Self {
+        let issues = spec.check();
+        assert!(issues.is_empty(), "contract spec has defects: {issues:?}");
+        let initial = spec.initial().clone();
+        Self { spec, state: Mutex::new(initial), history: Mutex::new(Vec::new()) }
+    }
+
+    /// The current contract state.
+    pub fn state(&self) -> State {
+        self.state.lock().clone()
+    }
+
+    /// `true` if the contract has been breached.
+    pub fn breached(&self) -> bool {
+        self.spec.is_breach(&self.state())
+    }
+
+    /// The `(event, resulting state)` history.
+    pub fn history(&self) -> Vec<(String, State)> {
+        self.history.lock().clone()
+    }
+
+    /// Observes `event`, advancing the contract.
+    ///
+    /// # Errors
+    ///
+    /// [`ContractViolation`] if the event is not permitted, breaches the
+    /// contract, or the contract was already breached. On
+    /// [`ContractViolation::UnexpectedEvent`] the state does not change.
+    pub fn observe(&self, event: &str) -> Result<State, ContractViolation> {
+        let mut state = self.state.lock();
+        if self.spec.is_breach(&state) {
+            return Err(ContractViolation::AlreadyBreached(state.clone()));
+        }
+        let next = self
+            .spec
+            .next(&state, event)
+            .cloned()
+            .ok_or_else(|| ContractViolation::UnexpectedEvent {
+                state: state.clone(),
+                event: event.to_string(),
+            })?;
+        *state = next.clone();
+        self.history.lock().push((event.to_string(), next.clone()));
+        if self.spec.is_breach(&next) {
+            return Err(ContractViolation::Breach { state: next, event: event.to_string() });
+        }
+        Ok(next)
+    }
+
+    /// Checks whether `event` would be accepted, without advancing.
+    pub fn permits(&self, event: &str) -> bool {
+        let state = self.state.lock();
+        if self.spec.is_breach(&state) {
+            return false;
+        }
+        match self.spec.next(&state, event) {
+            Some(next) => !self.spec.is_breach(next),
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fsm::ContractSpec;
+
+    fn monitor() -> ContractMonitor {
+        ContractMonitor::new(
+            ContractSpec::new("part-order", "negotiating")
+                .state("agreed")
+                .state("delivered")
+                .breach_state("breached")
+                .transition("negotiating", "spec.agreed", "agreed")
+                .transition("negotiating", "spec.rejected", "negotiating")
+                .transition("agreed", "part.delivered", "delivered")
+                .transition("agreed", "deadline.missed", "breached"),
+        )
+    }
+
+    #[test]
+    fn happy_path() {
+        let m = monitor();
+        assert_eq!(m.observe("spec.agreed").unwrap(), State::new("agreed"));
+        assert_eq!(m.observe("part.delivered").unwrap(), State::new("delivered"));
+        assert!(!m.breached());
+        assert_eq!(m.history().len(), 2);
+    }
+
+    #[test]
+    fn self_loop_allowed() {
+        let m = monitor();
+        assert_eq!(m.observe("spec.rejected").unwrap(), State::new("negotiating"));
+        assert_eq!(m.state(), State::new("negotiating"));
+    }
+
+    #[test]
+    fn unexpected_event_leaves_state_unchanged() {
+        let m = monitor();
+        let err = m.observe("part.delivered").unwrap_err();
+        assert!(matches!(err, ContractViolation::UnexpectedEvent { .. }));
+        assert_eq!(m.state(), State::new("negotiating"));
+    }
+
+    #[test]
+    fn breach_is_reported_and_terminal() {
+        let m = monitor();
+        m.observe("spec.agreed").unwrap();
+        let err = m.observe("deadline.missed").unwrap_err();
+        assert!(matches!(err, ContractViolation::Breach { .. }));
+        assert!(m.breached());
+        assert!(matches!(
+            m.observe("part.delivered").unwrap_err(),
+            ContractViolation::AlreadyBreached(_)
+        ));
+    }
+
+    #[test]
+    fn permits_is_side_effect_free() {
+        let m = monitor();
+        assert!(m.permits("spec.agreed"));
+        assert!(!m.permits("part.delivered"));
+        assert_eq!(m.state(), State::new("negotiating"));
+        m.observe("spec.agreed").unwrap();
+        // deadline.missed leads to breach: permitted? No — it would breach.
+        assert!(!m.permits("deadline.missed"));
+        assert!(m.permits("part.delivered"));
+    }
+
+    #[test]
+    #[should_panic(expected = "contract spec has defects")]
+    fn defective_spec_rejected() {
+        let _ = ContractMonitor::new(ContractSpec::new("bad", "a").transition("a", "e", "ghost"));
+    }
+}

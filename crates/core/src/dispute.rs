@@ -1,0 +1,317 @@
+//! Dispute resolution.
+//!
+//! Paper §3.1: "To support dispute resolution, the fact that trusted
+//! interceptors mediated the interaction provides any honest party with
+//! irrefutable evidence of their own actions within the domain and of the
+//! observed actions of other parties" and "trusted interceptors will
+//! support the conclusion of dispute resolution in favour of honest
+//! parties".
+//!
+//! [`Adjudicator`] makes that mechanically checkable: given the evidence
+//! logs the disputing organisations submit, it
+//!
+//! 1. verifies each log's hash chain (tampered logs are flagged and their
+//!    *unverifiable* records ignored),
+//! 2. decodes and cryptographically verifies every token against the key
+//!    directory,
+//! 3. produces the set of [`Fact`]s — token assertions that some submitted
+//!    log proves and that their issuer therefore **cannot deny**.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use nonrep_crypto::digest::Digest;
+use nonrep_protocols::party::KeyDirectory;
+use nonrep_protocols::tokens::{NrToken, TokenKind};
+use nonrep_store::record::{verify_chain, ChainViolation, EvidenceRecord};
+use nonrep_types::codec::Decode;
+use nonrep_types::ids::{OrgId, RunId};
+
+/// Verification report for one submitted log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogReport {
+    /// Who submitted the log.
+    pub submitter: OrgId,
+    /// Hash-chain verification result.
+    pub chain: Result<(), ChainViolation>,
+    /// Tokens decoded from the log: `(token, signature_valid)`.
+    pub tokens: Vec<(NrToken, bool)>,
+    /// Records whose payload was not a decodable token.
+    pub undecodable: usize,
+}
+
+impl LogReport {
+    /// `true` if the chain verified, every token's signature verified, and
+    /// every record payload decoded as a token.
+    ///
+    /// Undecodable payloads count against the submitter: the middleware
+    /// only ever logs canonically-encoded tokens, so a record that fails
+    /// to decode is evidence of tampering (e.g. edits to a terminal record
+    /// that the hash chain alone cannot catch).
+    pub fn clean(&self) -> bool {
+        self.chain.is_ok() && self.undecodable == 0 && self.tokens.iter().all(|(_, ok)| *ok)
+    }
+}
+
+/// A token assertion established by the adjudication.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fact {
+    /// What was attested.
+    pub kind: TokenKind,
+    /// Who signed (and therefore cannot deny) it.
+    pub issuer: OrgId,
+    /// Digest of the subject matter.
+    pub subject: Digest,
+    /// The protocol run.
+    pub run_id: RunId,
+    /// Which submitters' logs prove this fact.
+    pub held_by: Vec<OrgId>,
+}
+
+/// The outcome of an adjudication over one protocol run.
+#[derive(Debug, Clone)]
+pub struct Verdict {
+    /// The run adjudicated.
+    pub run_id: RunId,
+    /// Per-submission verification reports.
+    pub reports: Vec<LogReport>,
+    /// Established, undeniable facts.
+    pub facts: Vec<Fact>,
+}
+
+impl Verdict {
+    /// `true` if some verified token of `kind` was issued by `issuer` —
+    /// i.e. `issuer` cannot deny the corresponding action.
+    pub fn cannot_deny(&self, issuer: &OrgId, kind: TokenKind) -> bool {
+        self.facts.iter().any(|f| f.issuer == *issuer && f.kind == kind)
+    }
+
+    /// Submitters whose logs failed verification (tampering or forgery).
+    pub fn suspect_submitters(&self) -> Vec<OrgId> {
+        self.reports
+            .iter()
+            .filter(|r| !r.clean())
+            .map(|r| r.submitter.clone())
+            .collect()
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "verdict for run {}", self.run_id)?;
+        for fact in &self.facts {
+            writeln!(
+                f,
+                "  established: {} issued {} (held by {:?})",
+                fact.issuer,
+                fact.kind,
+                fact.held_by.iter().map(OrgId::as_str).collect::<Vec<_>>()
+            )?;
+        }
+        for suspect in self.suspect_submitters() {
+            writeln!(f, "  suspect submission from {suspect}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The dispute-resolution service.
+pub struct Adjudicator {
+    directory: Arc<dyn KeyDirectory>,
+}
+
+impl fmt::Debug for Adjudicator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Adjudicator")
+    }
+}
+
+impl Adjudicator {
+    /// Creates an adjudicator trusting `directory` for key resolution.
+    pub fn new(directory: Arc<dyn KeyDirectory>) -> Self {
+        Self { directory }
+    }
+
+    /// Verifies one submitted log in isolation.
+    pub fn verify_log(&self, submitter: OrgId, records: &[EvidenceRecord]) -> LogReport {
+        let chain = verify_chain(records);
+        let mut tokens = Vec::new();
+        let mut undecodable = 0;
+        for record in records {
+            match NrToken::decode_from_slice(&record.draft.payload) {
+                Ok(token) => {
+                    let ok = self
+                        .directory
+                        .key_of(&token.issuer)
+                        .map(|key| token.verify(&key, None, None, None))
+                        .unwrap_or(false);
+                    tokens.push((token, ok));
+                }
+                Err(_) => undecodable += 1,
+            }
+        }
+        LogReport { submitter, chain, tokens, undecodable }
+    }
+
+    /// Adjudicates `run_id` over the submitted logs.
+    ///
+    /// Facts are established only from tokens that verify
+    /// cryptographically; an unverifiable (forged) token contributes
+    /// nothing except suspicion against its submitter.
+    pub fn adjudicate(&self, run_id: RunId, submissions: &[(OrgId, Vec<EvidenceRecord>)]) -> Verdict {
+        let mut reports = Vec::new();
+        // (kind-tag, issuer, subject) → holders.
+        let mut facts: BTreeMap<(String, OrgId, Digest), Fact> = BTreeMap::new();
+        for (submitter, records) in submissions {
+            let report = self.verify_log(submitter.clone(), records);
+            for (token, ok) in &report.tokens {
+                if !*ok || token.run_id != run_id {
+                    continue;
+                }
+                let key = (token.kind.label().to_string(), token.issuer.clone(), token.subject);
+                let entry = facts.entry(key).or_insert_with(|| Fact {
+                    kind: token.kind,
+                    issuer: token.issuer.clone(),
+                    subject: token.subject,
+                    run_id,
+                    held_by: Vec::new(),
+                });
+                if !entry.held_by.contains(submitter) {
+                    entry.held_by.push(submitter.clone());
+                }
+            }
+            reports.push(report);
+        }
+        Verdict { run_id, reports, facts: facts.into_values().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nonrep_crypto::digest::sha256;
+    use nonrep_protocols::party::{Party, StaticKeyDirectory};
+    use nonrep_types::time::LogicalClock;
+
+    struct Pair {
+        alice: Arc<Party>,
+        bob: Arc<Party>,
+        dir: Arc<StaticKeyDirectory>,
+    }
+
+    fn pair() -> Pair {
+        let clock = LogicalClock::new();
+        let dir = Arc::new(StaticKeyDirectory::new());
+        Pair {
+            alice: Party::quick("alice", 1, &clock, &dir),
+            bob: Party::quick("bob", 2, &clock, &dir),
+            dir,
+        }
+    }
+
+    fn run_exchange(p: &Pair) -> RunId {
+        // Alice issues NRO, Bob verifies+stores; Bob issues NRR, Alice
+        // verifies+stores — a miniature exchange.
+        let run = p.alice.new_run_id();
+        let subject = sha256(b"request");
+        let nro = p.alice.issue_token(TokenKind::NroReq, run, subject).unwrap();
+        p.alice.store_token(&nro).unwrap();
+        p.bob.verify_and_store(&nro, TokenKind::NroReq, run, Some(&subject)).unwrap();
+        let nrr = p.bob.issue_token(TokenKind::NrrReq, run, subject).unwrap();
+        p.bob.store_token(&nrr).unwrap();
+        p.alice.verify_and_store(&nrr, TokenKind::NrrReq, run, Some(&subject)).unwrap();
+        run
+    }
+
+    #[test]
+    fn honest_logs_establish_mutual_facts() {
+        let p = pair();
+        let run = run_exchange(&p);
+        let adjudicator = Adjudicator::new(p.dir.clone() as Arc<dyn KeyDirectory>);
+        let verdict = adjudicator.adjudicate(
+            run,
+            &[
+                (OrgId::new("alice"), p.alice.log().records()),
+                (OrgId::new("bob"), p.bob.log().records()),
+            ],
+        );
+        // Neither party can deny their token.
+        assert!(verdict.cannot_deny(&OrgId::new("alice"), TokenKind::NroReq));
+        assert!(verdict.cannot_deny(&OrgId::new("bob"), TokenKind::NrrReq));
+        assert!(verdict.suspect_submitters().is_empty());
+        // Both facts are held by both parties.
+        for fact in &verdict.facts {
+            assert_eq!(fact.held_by.len(), 2, "{fact:?}");
+        }
+        assert!(verdict.to_string().contains("established"));
+    }
+
+    #[test]
+    fn denial_defeated_by_counterparty_log() {
+        // Bob "loses" his log (submits nothing) and denies having received
+        // the request. Alice's log alone proves Bob's NRR_req.
+        let p = pair();
+        let run = run_exchange(&p);
+        let adjudicator = Adjudicator::new(p.dir.clone() as Arc<dyn KeyDirectory>);
+        let verdict =
+            adjudicator.adjudicate(run, &[(OrgId::new("alice"), p.alice.log().records())]);
+        assert!(verdict.cannot_deny(&OrgId::new("bob"), TokenKind::NrrReq));
+    }
+
+    #[test]
+    fn tampered_log_is_flagged() {
+        let p = pair();
+        let run = run_exchange(&p);
+        let mut records = p.alice.log().records();
+        records[0].draft.kind = "doctored".into();
+        let adjudicator = Adjudicator::new(p.dir.clone() as Arc<dyn KeyDirectory>);
+        let verdict = adjudicator.adjudicate(run, &[(OrgId::new("alice"), records)]);
+        assert_eq!(verdict.suspect_submitters(), vec![OrgId::new("alice")]);
+    }
+
+    #[test]
+    fn forged_token_contributes_no_fact() {
+        let p = pair();
+        let run = p.alice.new_run_id();
+        // Alice fabricates a token claiming bob signed a receipt: she can
+        // only sign with her own key, so issuer=bob + alice's signature.
+        let mut forged = p.alice.issue_token(TokenKind::NrrReq, run, sha256(b"x")).unwrap();
+        forged.issuer = OrgId::new("bob");
+        p.alice.store_token(&forged).unwrap();
+        let adjudicator = Adjudicator::new(p.dir.clone() as Arc<dyn KeyDirectory>);
+        let verdict =
+            adjudicator.adjudicate(run, &[(OrgId::new("alice"), p.alice.log().records())]);
+        assert!(!verdict.cannot_deny(&OrgId::new("bob"), TokenKind::NrrReq));
+        // Alice's submission contains an unverifiable token → suspect.
+        assert_eq!(verdict.suspect_submitters(), vec![OrgId::new("alice")]);
+    }
+
+    #[test]
+    fn facts_are_scoped_to_the_run() {
+        let p = pair();
+        let run1 = run_exchange(&p);
+        let run2 = run_exchange(&p);
+        assert_ne!(run1, run2);
+        let adjudicator = Adjudicator::new(p.dir.clone() as Arc<dyn KeyDirectory>);
+        let verdict =
+            adjudicator.adjudicate(run1, &[(OrgId::new("alice"), p.alice.log().records())]);
+        assert!(verdict.facts.iter().all(|f| f.run_id == run1));
+    }
+
+    #[test]
+    fn unknown_issuer_tokens_are_unverified() {
+        let clock = LogicalClock::new();
+        // The stranger's key lives in a directory the adjudicator never sees.
+        let private_dir = Arc::new(StaticKeyDirectory::new());
+        let stranger = Party::quick("stranger", 9, &clock, &private_dir);
+        let run = stranger.new_run_id();
+        let token = stranger.issue_token(TokenKind::NroReq, run, sha256(b"x")).unwrap();
+        stranger.store_token(&token).unwrap();
+        let adjudicator = Adjudicator::new(Arc::new(StaticKeyDirectory::new()) as Arc<dyn KeyDirectory>);
+        let verdict =
+            adjudicator.adjudicate(run, &[(OrgId::new("stranger"), stranger.log().records())]);
+        assert!(verdict.facts.is_empty());
+        assert_eq!(verdict.suspect_submitters(), vec![OrgId::new("stranger")]);
+    }
+}

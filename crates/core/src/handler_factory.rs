@@ -1,0 +1,226 @@
+//! The `B2BInvocationHandler` factory (paper §4.2).
+//!
+//! The paper's client-side NR interceptor obtains its protocol machinery
+//! through a factory:
+//!
+//! ```java
+//! B2BInvocationHandler b2bInvHdlr =
+//!     B2BInvocationHandler.getInstance("JBossJ2EE", "direct");
+//! ```
+//!
+//! "getInstance is a factory method that returns a reference to a
+//! B2BInvocationHandler for the given platform … to execute the given
+//! protocol. The concrete implementation of a B2BInvocationHandler is
+//! under control of the client." This module reproduces that indirection:
+//! the platform tag is `"rust"`, the protocol tags are the registered
+//! protocol ids, and clients may re-negotiate by asking the factory for a
+//! different protocol.
+
+use std::fmt;
+use std::sync::Arc;
+
+use nonrep_protocols::invocation::direct::DirectClient;
+use nonrep_protocols::invocation::fair_offline::FairClient;
+use nonrep_protocols::invocation::inline_ttp::InlineTtpClient;
+use nonrep_protocols::invocation::voluntary::VoluntaryClient;
+use nonrep_protocols::invocation::ServerResponse;
+use nonrep_protocols::party::Party;
+use nonrep_protocols::{B2BCoordinator, ProtocolError};
+use nonrep_types::ids::OrgId;
+
+/// The generic wrapper for a platform-specific invocation (paper §4.2:
+/// "A B2BInvocation object is a generic wrapper for platform-specific
+/// representations of the service to invoke and the invocation
+/// parameter(s)").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct B2BInvocation {
+    /// The organisation serving the invocation.
+    pub target: OrgId,
+    /// The serialised platform-specific request.
+    pub request: Vec<u8>,
+}
+
+impl B2BInvocation {
+    /// Wraps a serialised request for `target`.
+    pub fn new(target: OrgId, request: Vec<u8>) -> Self {
+        Self { target, request }
+    }
+}
+
+/// Executes a non-repudiation protocol for an invocation.
+pub trait B2BInvocationHandler: Send + Sync {
+    /// Runs the protocol, returning the evidenced server response.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ProtocolError`] from the exchange.
+    fn invoke(&self, inv: B2BInvocation) -> Result<ServerResponse, ProtocolError>;
+
+    /// The protocol this handler executes.
+    fn protocol(&self) -> &'static str;
+}
+
+struct DirectHandler(DirectClient);
+struct VoluntaryHandler(VoluntaryClient);
+struct InlineHandler(InlineTtpClient);
+struct FairHandler(FairClient);
+
+impl B2BInvocationHandler for DirectHandler {
+    fn invoke(&self, inv: B2BInvocation) -> Result<ServerResponse, ProtocolError> {
+        Ok(self.0.invoke(&inv.target, inv.request)?.response)
+    }
+    fn protocol(&self) -> &'static str {
+        nonrep_protocols::invocation::direct::PROTOCOL_ID
+    }
+}
+
+impl B2BInvocationHandler for VoluntaryHandler {
+    fn invoke(&self, inv: B2BInvocation) -> Result<ServerResponse, ProtocolError> {
+        Ok(self.0.invoke(&inv.target, inv.request)?.response)
+    }
+    fn protocol(&self) -> &'static str {
+        nonrep_protocols::invocation::voluntary::PROTOCOL_ID
+    }
+}
+
+impl B2BInvocationHandler for InlineHandler {
+    fn invoke(&self, inv: B2BInvocation) -> Result<ServerResponse, ProtocolError> {
+        Ok(self.0.invoke(&inv.target, inv.request)?.response)
+    }
+    fn protocol(&self) -> &'static str {
+        nonrep_protocols::invocation::inline_ttp::PROTOCOL_ID
+    }
+}
+
+impl B2BInvocationHandler for FairHandler {
+    fn invoke(&self, inv: B2BInvocation) -> Result<ServerResponse, ProtocolError> {
+        Ok(self.0.invoke(&inv.target, inv.request)?.response)
+    }
+    fn protocol(&self) -> &'static str {
+        nonrep_protocols::invocation::fair_offline::PROTOCOL_ID
+    }
+}
+
+/// Factory resolving `(platform, protocol)` to a handler.
+pub struct InvocationHandlerFactory {
+    party: Arc<Party>,
+    coordinator: Arc<B2BCoordinator>,
+    /// TTP used by TTP-dependent protocols, if configured.
+    ttp: Option<OrgId>,
+}
+
+impl fmt::Debug for InvocationHandlerFactory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "InvocationHandlerFactory({})", self.party.org())
+    }
+}
+
+impl InvocationHandlerFactory {
+    /// Creates a factory over this party's coordinator.
+    pub fn new(party: Arc<Party>, coordinator: Arc<B2BCoordinator>, ttp: Option<OrgId>) -> Self {
+        Self { party, coordinator, ttp }
+    }
+
+    /// Resolves a handler for `(platform, protocol)` — the paper's
+    /// `getInstance`.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::UnknownProtocol`] for unknown platform/protocol
+    /// tags, or [`ProtocolError::Rejected`] when a TTP-dependent protocol
+    /// is requested without a configured TTP.
+    pub fn instance(
+        &self,
+        platform: &str,
+        protocol: &str,
+    ) -> Result<Box<dyn B2BInvocationHandler>, ProtocolError> {
+        if platform != "rust" {
+            return Err(ProtocolError::Rejected(format!("unknown platform {platform}")));
+        }
+        match protocol {
+            nonrep_protocols::invocation::direct::PROTOCOL_ID => Ok(Box::new(DirectHandler(
+                DirectClient::new(self.party.clone(), self.coordinator.clone()),
+            ))),
+            nonrep_protocols::invocation::voluntary::PROTOCOL_ID => {
+                Ok(Box::new(VoluntaryHandler(VoluntaryClient::new(
+                    self.party.clone(),
+                    self.coordinator.clone(),
+                ))))
+            }
+            nonrep_protocols::invocation::inline_ttp::PROTOCOL_ID => {
+                let ttp = self.ttp.clone().ok_or_else(|| {
+                    ProtocolError::Rejected("inline-ttp requires a configured TTP".into())
+                })?;
+                Ok(Box::new(InlineHandler(InlineTtpClient::new(
+                    self.party.clone(),
+                    self.coordinator.clone(),
+                    ttp,
+                ))))
+            }
+            nonrep_protocols::invocation::fair_offline::PROTOCOL_ID => {
+                let ttp = self.ttp.clone().ok_or_else(|| {
+                    ProtocolError::Rejected("fair-offline requires a configured TTP".into())
+                })?;
+                Ok(Box::new(FairHandler(FairClient::new(
+                    self.party.clone(),
+                    self.coordinator.clone(),
+                    ttp,
+                ))))
+            }
+            other => Err(ProtocolError::UnknownProtocol(other.into())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nonrep_net::bus::LocalBus;
+    use nonrep_net::retry::{ReliableRequester, RetryPolicy};
+    use nonrep_protocols::party::StaticKeyDirectory;
+    use nonrep_types::time::LogicalClock;
+
+    fn factory(ttp: Option<OrgId>) -> InvocationHandlerFactory {
+        let clock = LogicalClock::new();
+        let dir = Arc::new(StaticKeyDirectory::new());
+        let party = Party::quick("client", 1, &clock, &dir);
+        let bus = LocalBus::new();
+        let coordinator =
+            B2BCoordinator::new("client", ReliableRequester::new(bus, RetryPolicy::new(2)));
+        InvocationHandlerFactory::new(party, coordinator, ttp)
+    }
+
+    #[test]
+    fn resolves_all_known_protocols() {
+        let f = factory(Some(OrgId::new("ttp")));
+        for proto in ["direct", "voluntary", "inline-ttp", "fair-offline"] {
+            let h = f.instance("rust", proto).unwrap();
+            assert_eq!(h.protocol(), proto);
+        }
+    }
+
+    #[test]
+    fn unknown_platform_rejected() {
+        let f = factory(None);
+        assert!(matches!(
+            f.instance("JBossJ2EE", "direct"),
+            Err(ProtocolError::Rejected(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_protocol_rejected() {
+        let f = factory(None);
+        assert!(matches!(
+            f.instance("rust", "quantum"),
+            Err(ProtocolError::UnknownProtocol(_))
+        ));
+    }
+
+    #[test]
+    fn ttp_protocols_require_ttp() {
+        let f = factory(None);
+        assert!(matches!(f.instance("rust", "inline-ttp"), Err(ProtocolError::Rejected(_))));
+        assert!(matches!(f.instance("rust", "fair-offline"), Err(ProtocolError::Rejected(_))));
+    }
+}

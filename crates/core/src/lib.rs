@@ -1,0 +1,40 @@
+//! The non-repudiation middleware core: trusted interceptors.
+//!
+//! This crate assembles the substrates (crypto, net, store, pki, access,
+//! container, protocols) into the paper's architecture:
+//!
+//! * [`middleware`] — [`OrgMiddleware`], one organisation's full stack:
+//!   party identity (keys, clock, evidence log), component container,
+//!   B2B coordinator (registered on the bus at `"{org}#b2b"`), state
+//!   store, sharing membership, and protocol handlers. The programmatic
+//!   face of "the NR interceptor, B2BInvocationHandler, B2BProtocolHandler
+//!   and B2BCoordinator comprise each party's trusted interceptor" (§4.2).
+//! * [`interceptor`] — [`ClientNrInterceptor`], the client-side JBoss-NR-
+//!   interceptor analogue: first on the outgoing path, it diverts the
+//!   invocation into a non-repudiation protocol instead of the plain
+//!   transport; plus [`ContainerExecutor`], the server-side hook through
+//!   which protocol handlers finally execute the request on the container.
+//! * [`handler_factory`] — the paper's
+//!   `B2BInvocationHandler.getInstance(platform, protocol)` factory (§4.2).
+//! * [`domain`] — [`TrustDomain`]: deployment-level choice between the
+//!   direct domain, inline TTP(s) and the offline-TTP fair exchange
+//!   (paper Fig 3), applied when building proxies.
+//! * [`dispute`] — [`Adjudicator`]: replays evidence logs, verifies every
+//!   token and hash chain, and derives the facts no party can deny.
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs` at the workspace root, or the integration
+//! tests under `tests/`.
+
+pub mod dispute;
+pub mod domain;
+pub mod handler_factory;
+pub mod interceptor;
+pub mod middleware;
+
+pub use dispute::{Adjudicator, Fact, LogReport, Verdict};
+pub use domain::TrustDomain;
+pub use handler_factory::{B2BInvocation, B2BInvocationHandler, InvocationHandlerFactory};
+pub use interceptor::{ClientNrInterceptor, ContainerExecutor};
+pub use middleware::{b2b_address, MiddlewareBuilder, OrgMiddleware};

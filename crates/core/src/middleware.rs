@@ -1,0 +1,525 @@
+//! Per-organisation middleware assembly.
+//!
+//! [`OrgMiddleware`] is one organisation's complete trusted-interceptor
+//! stack (paper §4.2: "the NR interceptor, B2BInvocationHandler,
+//! B2BProtocolHandler and B2BCoordinator comprise each party's trusted
+//! interceptor"), wired over the shared bus:
+//!
+//! * the component **container** is registered at the organisation's plain
+//!   bus address (ordinary, un-evidenced remoting stays available as the
+//!   baseline);
+//! * the **B2B coordinator** is registered at [`b2b_address`]
+//!   (`"{org}#b2b"`), with the full protocol-handler suite.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+use nonrep_container::component::Component;
+use nonrep_container::descriptor::DeploymentDescriptor;
+use nonrep_container::proxy::{BusTransport, ClientProxy, ContainerEndpoint};
+use nonrep_container::{Container, ContainerError};
+use nonrep_crypto::rng::SecureRandom;
+use nonrep_crypto::sig::{KeyPair, SignatureScheme};
+use nonrep_net::bus::LocalBus;
+use nonrep_net::retry::{ReliableRequester, RetryPolicy};
+use nonrep_protocols::invocation::direct::{DirectClient, DirectServerHandler};
+use nonrep_protocols::invocation::fair_offline::{
+    FairClient, FairServerHandler, OfflineTtpHandler, ServerConduct,
+};
+use nonrep_protocols::invocation::inline_ttp::{InlineTtpClient, InlineTtpHandler};
+use nonrep_protocols::invocation::voluntary::{VoluntaryClient, VoluntaryServerHandler};
+use nonrep_protocols::party::{Party, StaticKeyDirectory};
+use nonrep_protocols::sharing::coordination::{
+    CoordinationOutcome, SharingMember, UpdateValidator,
+};
+use nonrep_protocols::sharing::membership::{self, MembershipHandler};
+use nonrep_protocols::sharing::GroupRegistry;
+use nonrep_protocols::{B2BCoordinator, ProtocolError};
+use nonrep_store::{EvidenceLog, MemoryLog, StateStore};
+use nonrep_types::ids::{GroupId, OrgId, ServiceUri};
+use nonrep_types::time::LogicalClock;
+
+use crate::domain::TrustDomain;
+use crate::interceptor::{ClientNrInterceptor, ContainerExecutor, ProtocolClient};
+
+/// The bus address of an organisation's B2B coordinator.
+pub fn b2b_address(org: &OrgId) -> OrgId {
+    OrgId::new(format!("{org}#b2b"))
+}
+
+/// Builder for [`OrgMiddleware`].
+pub struct MiddlewareBuilder {
+    org: OrgId,
+    bus: Arc<LocalBus>,
+    directory: Arc<StaticKeyDirectory>,
+    clock: LogicalClock,
+    seed: u64,
+    scheme: SignatureScheme,
+    retry: RetryPolicy,
+    domain: TrustDomain,
+    offline_ttp: Option<OrgId>,
+    server_conduct: ServerConduct,
+}
+
+impl fmt::Debug for MiddlewareBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MiddlewareBuilder({})", self.org)
+    }
+}
+
+impl MiddlewareBuilder {
+    /// Sets the random seed (keys + run ids); defaults to a per-org hash.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the signature scheme; defaults to MSS of height 8
+    /// (256 signatures).
+    #[must_use]
+    pub fn scheme(mut self, scheme: SignatureScheme) -> Self {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Sets the retry policy for outgoing protocol messages.
+    #[must_use]
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Sets the default trust domain for outgoing NR invocations.
+    #[must_use]
+    pub fn domain(mut self, domain: TrustDomain) -> Self {
+        self.domain = domain;
+        self
+    }
+
+    /// Names the offline TTP this organisation escrows response keys with
+    /// when *serving* fair-offline invocations.
+    #[must_use]
+    pub fn offline_ttp(mut self, ttp: OrgId) -> Self {
+        self.offline_ttp = Some(ttp);
+        self
+    }
+
+    /// Configures server conduct for fair-offline (tests/fault injection).
+    #[must_use]
+    pub fn server_conduct(mut self, conduct: ServerConduct) -> Self {
+        self.server_conduct = conduct;
+        self
+    }
+
+    /// Assembles the middleware and registers it on the bus.
+    pub fn build(self) -> Arc<OrgMiddleware> {
+        let mut rng = SecureRandom::from_seed(self.seed);
+        let keys = Arc::new(KeyPair::generate(self.scheme, &mut rng));
+        self.directory.insert(self.org.clone(), keys.verifying_key());
+        let log: Arc<dyn EvidenceLog> = Arc::new(MemoryLog::new());
+        let party = Party::new(
+            self.org.clone(),
+            keys,
+            Arc::new(self.clock.clone()),
+            log,
+            Arc::clone(&self.directory) as Arc<_>,
+            rng,
+        );
+
+        let requester = ReliableRequester::new(self.bus.clone(), self.retry);
+        let coordinator =
+            B2BCoordinator::with_peer_suffix(self.org.clone(), requester, "#b2b");
+        self.bus.register(b2b_address(&self.org), coordinator.clone());
+
+        let container = Container::new(self.org.clone());
+        self.bus
+            .register(self.org.clone(), Arc::new(ContainerEndpoint::new(container.clone())));
+
+        // Server-side protocol handlers over the container executor.
+        let executor = ContainerExecutor::new(container.clone());
+        coordinator.register_handler(DirectServerHandler::new(
+            party.clone(),
+            executor.clone(),
+        ));
+        coordinator.register_handler(VoluntaryServerHandler::new(
+            party.clone(),
+            executor.clone(),
+        ));
+        if let Some(ttp) = &self.offline_ttp {
+            coordinator.register_handler(FairServerHandler::new(
+                party.clone(),
+                coordinator.clone(),
+                executor,
+                ttp.clone(),
+                self.server_conduct,
+            ));
+        }
+
+        // Information sharing.
+        let store = Arc::new(StateStore::new());
+        let groups = Arc::new(GroupRegistry::new());
+        let sharing = SharingMember::new(party.clone(), store.clone(), groups.clone());
+        coordinator.register_handler(sharing.clone());
+        coordinator.register_handler(MembershipHandler::new(sharing.clone()));
+
+        Arc::new(OrgMiddleware {
+            org: self.org,
+            bus: self.bus,
+            directory: self.directory,
+            party,
+            coordinator,
+            container,
+            store,
+            groups,
+            sharing,
+            domain: self.domain,
+        })
+    }
+}
+
+/// One organisation's assembled middleware stack.
+pub struct OrgMiddleware {
+    org: OrgId,
+    bus: Arc<LocalBus>,
+    directory: Arc<StaticKeyDirectory>,
+    party: Arc<Party>,
+    coordinator: Arc<B2BCoordinator>,
+    container: Arc<Container>,
+    store: Arc<StateStore>,
+    groups: Arc<GroupRegistry>,
+    sharing: Arc<SharingMember>,
+    domain: TrustDomain,
+}
+
+impl fmt::Debug for OrgMiddleware {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "OrgMiddleware({}, domain={})", self.org, self.domain)
+    }
+}
+
+impl OrgMiddleware {
+    /// Starts building middleware for `org` on `bus` with a shared key
+    /// `directory` and `clock`.
+    pub fn builder(
+        org: impl Into<OrgId>,
+        bus: Arc<LocalBus>,
+        directory: Arc<StaticKeyDirectory>,
+        clock: LogicalClock,
+    ) -> MiddlewareBuilder {
+        let org = org.into();
+        // Default seed derived from the org name so multi-org tests get
+        // distinct deterministic keys without explicit seeding.
+        let seed = org
+            .as_str()
+            .bytes()
+            .fold(0u64, |acc, b| acc.wrapping_mul(31).wrapping_add(u64::from(b)));
+        MiddlewareBuilder {
+            org,
+            bus,
+            directory,
+            clock,
+            seed,
+            scheme: SignatureScheme::Mss { height: 8 },
+            retry: RetryPolicy::new(8),
+            domain: TrustDomain::Direct,
+            offline_ttp: None,
+            server_conduct: ServerConduct::Honest,
+        }
+    }
+
+    /// The owning organisation.
+    pub fn org(&self) -> &OrgId {
+        &self.org
+    }
+
+    /// This organisation's protocol identity.
+    pub fn party(&self) -> &Arc<Party> {
+        &self.party
+    }
+
+    /// This organisation's coordinator.
+    pub fn coordinator(&self) -> &Arc<B2BCoordinator> {
+        &self.coordinator
+    }
+
+    /// This organisation's component container.
+    pub fn container(&self) -> &Arc<Container> {
+        &self.container
+    }
+
+    /// This organisation's replica state store.
+    pub fn store(&self) -> &Arc<StateStore> {
+        &self.store
+    }
+
+    /// This organisation's evidence log.
+    pub fn log(&self) -> &Arc<dyn EvidenceLog> {
+        self.party.log()
+    }
+
+    /// The default trust domain for outgoing invocations.
+    pub fn domain(&self) -> &TrustDomain {
+        &self.domain
+    }
+
+    /// Deploys a component.
+    ///
+    /// # Errors
+    ///
+    /// See [`Container::deploy`].
+    pub fn deploy(
+        &self,
+        descriptor: DeploymentDescriptor,
+        component: Arc<dyn Component>,
+    ) -> Result<(), ContainerError> {
+        self.container.deploy(descriptor, component)
+    }
+
+    /// Turns this node into an inline TTP (paper Fig 3(a)/(b)): it will
+    /// verify, receipt and forward inline-TTP invocations, relaying to
+    /// `next` or invoking the destination server directly.
+    pub fn serve_as_inline_ttp(&self, next: Option<OrgId>) {
+        let handler = match next {
+            Some(next) => {
+                InlineTtpHandler::relay(self.party.clone(), self.coordinator.clone(), next)
+            }
+            None => InlineTtpHandler::terminal(self.party.clone(), self.coordinator.clone()),
+        };
+        self.coordinator.register_handler(handler);
+    }
+
+    /// Turns this node into an offline TTP (escrow/resolve/abort/fetch for
+    /// the fair-offline protocol).
+    pub fn serve_as_offline_ttp(&self) {
+        self.coordinator.register_handler(OfflineTtpHandler::new(self.party.clone()));
+    }
+
+    fn protocol_client(&self, domain: &TrustDomain) -> ProtocolClient {
+        match domain {
+            TrustDomain::Direct => ProtocolClient::Direct(DirectClient::new(
+                self.party.clone(),
+                self.coordinator.clone(),
+            )),
+            TrustDomain::Voluntary => ProtocolClient::Voluntary(VoluntaryClient::new(
+                self.party.clone(),
+                self.coordinator.clone(),
+            )),
+            TrustDomain::InlineTtp { first_hop } => ProtocolClient::InlineTtp(
+                InlineTtpClient::new(self.party.clone(), self.coordinator.clone(), first_hop.clone()),
+            ),
+            TrustDomain::FairOffline { ttp } => ProtocolClient::FairOffline(FairClient::new(
+                self.party.clone(),
+                self.coordinator.clone(),
+                ttp.clone(),
+            )),
+        }
+    }
+
+    /// Builds a non-repudiable proxy for `service` at `target` using the
+    /// middleware's default trust domain.
+    pub fn nr_proxy(&self, target: &OrgId, service: impl Into<ServiceUri>) -> ClientProxy {
+        self.nr_proxy_in(self.domain.clone(), target, service)
+    }
+
+    /// Builds a non-repudiable proxy under an explicit trust domain
+    /// (per-interaction override; paper §3.1: "As an interaction evolves it
+    /// may be appropriate to change the deployment of interceptors").
+    pub fn nr_proxy_in(
+        &self,
+        domain: TrustDomain,
+        target: &OrgId,
+        service: impl Into<ServiceUri>,
+    ) -> ClientProxy {
+        let transport = Arc::new(BusTransport::new(
+            self.bus.clone() as Arc<dyn nonrep_net::bus::RequestBus>,
+            self.org.clone(),
+        ));
+        let mut proxy = ClientProxy::new(self.org.clone(), target.clone(), service, transport);
+        let client = self.protocol_client(&domain);
+        proxy.add_first_interceptor(ClientNrInterceptor::new(target.clone(), client));
+        proxy
+    }
+
+    /// Builds a *plain* proxy (no evidence; the paper's Fig 4(a) baseline).
+    pub fn plain_proxy(&self, target: &OrgId, service: impl Into<ServiceUri>) -> ClientProxy {
+        let transport = Arc::new(BusTransport::new(
+            self.bus.clone() as Arc<dyn nonrep_net::bus::RequestBus>,
+            self.org.clone(),
+        ));
+        ClientProxy::new(self.org.clone(), target.clone(), service, transport)
+    }
+
+    /// Seeds a sharing group locally (the out-of-band initial agreement;
+    /// subsequent changes go through the connect/disconnect protocols).
+    pub fn install_group(&self, group: GroupId, members: BTreeSet<OrgId>) {
+        self.groups.set(group, members);
+    }
+
+    /// Adds an application validator consulted on every incoming proposal.
+    pub fn add_validator(&self, validator: Arc<dyn UpdateValidator>) {
+        self.sharing.add_validator(validator);
+    }
+
+    /// Proposes an update to shared information (paper Fig 5(b)).
+    ///
+    /// # Errors
+    ///
+    /// See [`SharingMember::propose`]. A veto is *not* an error.
+    pub fn propose_update(
+        &self,
+        group: &GroupId,
+        object: &str,
+        new_state: Vec<u8>,
+    ) -> Result<CoordinationOutcome, ProtocolError> {
+        self.sharing.propose(&self.coordinator, group, object, new_state)
+    }
+
+    /// The latest agreed state of a shared object.
+    pub fn current_state(&self, object: &str) -> Option<Vec<u8>> {
+        self.sharing.current_state(object)
+    }
+
+    /// Sponsors `joiner` into `group` (connect protocol).
+    ///
+    /// # Errors
+    ///
+    /// See [`membership::connect`].
+    pub fn connect(
+        &self,
+        group: &GroupId,
+        joiner: &OrgId,
+    ) -> Result<CoordinationOutcome, ProtocolError> {
+        membership::connect(&self.sharing, &self.coordinator, group, joiner)
+    }
+
+    /// Proposes removing `leaver` from `group` (disconnect protocol).
+    ///
+    /// # Errors
+    ///
+    /// See [`membership::disconnect`].
+    pub fn disconnect(
+        &self,
+        group: &GroupId,
+        leaver: &OrgId,
+    ) -> Result<CoordinationOutcome, ProtocolError> {
+        membership::disconnect(&self.sharing, &self.coordinator, group, leaver)
+    }
+
+    /// The local view of `group`'s membership.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Rejected`] if the group is unknown.
+    pub fn group_members(&self, group: &GroupId) -> Result<BTreeSet<OrgId>, ProtocolError> {
+        self.groups.members(group)
+    }
+
+    /// The shared key directory (the simple-PKI stand-in used in tests and
+    /// examples; production deployments adapt `nonrep_pki::CredentialManager`).
+    pub fn directory(&self) -> &Arc<StaticKeyDirectory> {
+        &self.directory
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nonrep_container::component::FnComponent;
+    use nonrep_types::ids::MethodName;
+    use nonrep_types::value::Value;
+
+    fn world() -> (Arc<LocalBus>, Arc<StaticKeyDirectory>, LogicalClock) {
+        (LocalBus::new(), Arc::new(StaticKeyDirectory::new()), LogicalClock::new())
+    }
+
+    fn deploy_echo(mw: &OrgMiddleware) {
+        mw.deploy(
+            DeploymentDescriptor::new("urn:echo", [MethodName::new("echo")]),
+            Arc::new(FnComponent::new().method("echo", |args| Ok(args.clone()))),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn nr_invocation_end_to_end_through_middleware() {
+        let (bus, dir, clock) = world();
+        let client = OrgMiddleware::builder("client", bus.clone(), dir.clone(), clock.clone()).build();
+        let server = OrgMiddleware::builder("server", bus, dir, clock).build();
+        deploy_echo(&server);
+        let proxy = client.nr_proxy(server.org(), "urn:echo");
+        let out = proxy.invoke("echo", Value::from(42i64)).unwrap();
+        assert_eq!(out, Value::from(42i64));
+        // Evidence on both sides.
+        assert_eq!(client.log().len(), 4);
+        assert_eq!(server.log().len(), 4);
+        client.log().verify().unwrap();
+        server.log().verify().unwrap();
+    }
+
+    #[test]
+    fn plain_proxy_leaves_no_evidence() {
+        let (bus, dir, clock) = world();
+        let client = OrgMiddleware::builder("client", bus.clone(), dir.clone(), clock.clone()).build();
+        let server = OrgMiddleware::builder("server", bus, dir, clock).build();
+        deploy_echo(&server);
+        let proxy = client.plain_proxy(server.org(), "urn:echo");
+        assert_eq!(proxy.invoke("echo", Value::from(1i64)).unwrap(), Value::from(1i64));
+        assert_eq!(client.log().len(), 0);
+        assert_eq!(server.log().len(), 0);
+    }
+
+    #[test]
+    fn sharing_through_middleware() {
+        let (bus, dir, clock) = world();
+        let a = OrgMiddleware::builder("a", bus.clone(), dir.clone(), clock.clone()).build();
+        let b = OrgMiddleware::builder("b", bus, dir, clock).build();
+        let group = GroupId::new("ve");
+        let members: BTreeSet<OrgId> = [OrgId::new("a"), OrgId::new("b")].into();
+        a.install_group(group.clone(), members.clone());
+        b.install_group(group.clone(), members);
+        let out = a.propose_update(&group, "spec", b"v1".to_vec()).unwrap();
+        assert!(out.accepted);
+        assert_eq!(b.current_state("spec").unwrap(), b"v1");
+        assert_eq!(a.group_members(&group).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn fair_offline_through_middleware() {
+        let (bus, dir, clock) = world();
+        let ttp_org = OrgId::new("ttp");
+        let client = OrgMiddleware::builder("client", bus.clone(), dir.clone(), clock.clone())
+            .domain(TrustDomain::FairOffline { ttp: ttp_org.clone() })
+            .build();
+        let server = OrgMiddleware::builder("server", bus.clone(), dir.clone(), clock.clone())
+            .offline_ttp(ttp_org.clone())
+            .build();
+        let ttp = OrgMiddleware::builder("ttp", bus, dir, clock).build();
+        ttp.serve_as_offline_ttp();
+        deploy_echo(&server);
+        let proxy = client.nr_proxy(server.org(), "urn:echo");
+        assert_eq!(proxy.invoke("echo", Value::from(7i64)).unwrap(), Value::from(7i64));
+    }
+
+    #[test]
+    fn inline_ttp_through_middleware() {
+        let (bus, dir, clock) = world();
+        let client = OrgMiddleware::builder("client", bus.clone(), dir.clone(), clock.clone())
+            .domain(TrustDomain::InlineTtp { first_hop: OrgId::new("ttp") })
+            .build();
+        let server = OrgMiddleware::builder("server", bus.clone(), dir.clone(), clock.clone()).build();
+        let ttp = OrgMiddleware::builder("ttp", bus, dir, clock).build();
+        ttp.serve_as_inline_ttp(None);
+        deploy_echo(&server);
+        let proxy = client.nr_proxy(server.org(), "urn:echo");
+        assert_eq!(proxy.invoke("echo", Value::from(9i64)).unwrap(), Value::from(9i64));
+        // TTP kept a full audit trail.
+        assert!(ttp.log().len() >= 3);
+    }
+
+    #[test]
+    fn b2b_address_formatting() {
+        assert_eq!(b2b_address(&OrgId::new("acme")), OrgId::new("acme#b2b"));
+    }
+}

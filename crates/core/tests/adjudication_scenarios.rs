@@ -1,0 +1,127 @@
+//! Additional adversarial adjudication scenarios for the dispute service
+//! (complementing the unit tests in `nonrep-core::dispute`).
+
+use std::sync::Arc;
+
+use nonrep_core::Adjudicator;
+use nonrep_crypto::digest::sha256;
+use nonrep_protocols::party::{KeyDirectory, Party, StaticKeyDirectory};
+use nonrep_protocols::tokens::TokenKind;
+use nonrep_store::EvidenceLog;
+use nonrep_types::ids::{OrgId, RunId};
+use nonrep_types::time::LogicalClock;
+
+struct Duo {
+    alice: Arc<Party>,
+    bob: Arc<Party>,
+    dir: Arc<StaticKeyDirectory>,
+}
+
+fn duo() -> Duo {
+    let clock = LogicalClock::new();
+    let dir = Arc::new(StaticKeyDirectory::new());
+    Duo {
+        alice: Party::quick("alice", 1, &clock, &dir),
+        bob: Party::quick("bob", 2, &clock, &dir),
+        dir,
+    }
+}
+
+fn exchange(duo: &Duo) -> RunId {
+    let run = duo.alice.new_run_id();
+    let subject = sha256(b"payload");
+    let nro = duo.alice.issue_token(TokenKind::NroReq, run, subject).unwrap();
+    duo.alice.store_token(&nro).unwrap();
+    duo.bob.verify_and_store(&nro, TokenKind::NroReq, run, Some(&subject)).unwrap();
+    let nrr = duo.bob.issue_token(TokenKind::NrrReq, run, subject).unwrap();
+    duo.bob.store_token(&nrr).unwrap();
+    duo.alice.verify_and_store(&nrr, TokenKind::NrrReq, run, Some(&subject)).unwrap();
+    run
+}
+
+#[test]
+fn replayed_records_from_another_run_do_not_pollute_the_verdict() {
+    let d = duo();
+    let run1 = exchange(&d);
+    let run2 = exchange(&d);
+    let adj = Adjudicator::new(d.dir.clone() as Arc<dyn KeyDirectory>);
+    // Submitting *everything* while adjudicating run2: run1 tokens are
+    // verified but contribute no facts to run2.
+    let verdict = adj.adjudicate(run2, &[(OrgId::new("alice"), d.alice.log().records())]);
+    assert!(verdict.facts.iter().all(|f| f.run_id == run2));
+    assert_ne!(run1, run2);
+}
+
+#[test]
+fn reordered_log_is_flagged_but_tokens_still_count() {
+    let d = duo();
+    let run = exchange(&d);
+    let mut records = d.alice.log().records();
+    records.swap(0, 1); // breaks seq order + chain
+    let adj = Adjudicator::new(d.dir.clone() as Arc<dyn KeyDirectory>);
+    let verdict = adj.adjudicate(run, &[(OrgId::new("alice"), records)]);
+    assert_eq!(verdict.suspect_submitters(), vec![OrgId::new("alice")]);
+    // The tokens themselves are genuine, so the facts still stand —
+    // tampering with ordering does not let alice *suppress* bob's receipt.
+    assert!(verdict.cannot_deny(&OrgId::new("bob"), TokenKind::NrrReq));
+}
+
+#[test]
+fn empty_submission_set_yields_no_facts() {
+    let d = duo();
+    let run = exchange(&d);
+    let adj = Adjudicator::new(d.dir.clone() as Arc<dyn KeyDirectory>);
+    let verdict = adj.adjudicate(run, &[]);
+    assert!(verdict.facts.is_empty());
+    assert!(verdict.suspect_submitters().is_empty());
+}
+
+#[test]
+fn both_parties_tampering_is_both_flagged() {
+    let d = duo();
+    let run = exchange(&d);
+    let mut a = d.alice.log().records();
+    let mut b = d.bob.log().records();
+    a[0].draft.kind = "edited".into();
+    b[1].draft.payload.push(0xFF);
+    let adj = Adjudicator::new(d.dir.clone() as Arc<dyn KeyDirectory>);
+    let verdict = adj.adjudicate(
+        run,
+        &[(OrgId::new("alice"), a), (OrgId::new("bob"), b)],
+    );
+    let mut suspects = verdict.suspect_submitters();
+    suspects.sort();
+    assert_eq!(suspects, vec![OrgId::new("alice"), OrgId::new("bob")]);
+}
+
+#[test]
+fn third_party_submission_corroborates() {
+    // A TTP-like witness holding copies of the tokens corroborates facts
+    // even if both principals refuse to submit.
+    let d = duo();
+    let clock = LogicalClock::new();
+    let witness = Party::new(
+        "witness",
+        Arc::new(nonrep_crypto::sig::KeyPair::generate(
+            nonrep_crypto::sig::SignatureScheme::Arbitrated,
+            &mut nonrep_crypto::rng::SecureRandom::from_seed(9),
+        )),
+        Arc::new(clock),
+        Arc::new(nonrep_store::MemoryLog::new()),
+        d.dir.clone() as Arc<dyn KeyDirectory>,
+        nonrep_crypto::rng::SecureRandom::from_seed(10),
+    );
+    let run = exchange(&d);
+    // Witness stores copies of both parties' tokens.
+    for record in d.alice.log().records() {
+        use nonrep_types::codec::Decode;
+        let token =
+            nonrep_protocols::tokens::NrToken::decode_from_slice(&record.draft.payload).unwrap();
+        witness.store_token(&token).unwrap();
+    }
+    let adj = Adjudicator::new(d.dir.clone() as Arc<dyn KeyDirectory>);
+    let verdict = adj.adjudicate(run, &[(OrgId::new("witness"), witness.log().records())]);
+    assert!(verdict.cannot_deny(&OrgId::new("alice"), TokenKind::NroReq));
+    assert!(verdict.cannot_deny(&OrgId::new("bob"), TokenKind::NrrReq));
+    assert!(verdict.suspect_submitters().is_empty());
+}

@@ -1,0 +1,91 @@
+//! Arbitrated (shared-key) authentication scheme.
+//!
+//! The lightweight end of the paper's trust spectrum (§3.1): "a more
+//! lightweight mechanism can be used when parties, who otherwise trust each
+//! other, need a verifiable audit trail of their interaction". An HMAC tag
+//! under a key shared with a mutually trusted arbiter (e.g. an inline TTP)
+//! is such a mechanism: it is *not* a publicly verifiable signature — anyone
+//! holding the key can forge — so its evidentiary value rests on the
+//! arbiter's honesty. The benchmark suite (experiment E6) uses it as the
+//! cheap baseline against the hash-based public-key scheme.
+
+use crate::digest::Digest;
+use crate::hmac::{hmac_sha256, verify_mac};
+use crate::rng::SecureRandom;
+
+/// A shared authentication key.
+#[derive(Clone)]
+pub struct ArbitratedKey {
+    secret: [u8; 32],
+}
+
+impl std::fmt::Debug for ArbitratedKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material.
+        f.write_str("ArbitratedKey(..)")
+    }
+}
+
+impl ArbitratedKey {
+    /// Generates a fresh random key.
+    pub fn generate(rng: &mut SecureRandom) -> Self {
+        Self { secret: rng.secret32() }
+    }
+
+    /// Reconstructs a key from raw bytes (distribution to the arbiter is
+    /// out of band).
+    pub fn from_bytes(secret: [u8; 32]) -> Self {
+        Self { secret }
+    }
+
+    /// The raw key bytes (for escrow with the arbiter).
+    pub fn to_bytes(&self) -> [u8; 32] {
+        self.secret
+    }
+
+    /// Produces the authentication tag for `msg`.
+    pub fn tag(&self, msg: &[u8]) -> Digest {
+        hmac_sha256(&self.secret, msg)
+    }
+
+    /// Verifies a tag in constant time.
+    pub fn verify(&self, msg: &[u8], tag: &Digest) -> bool {
+        verify_mac(&self.tag(msg), tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_verify_roundtrip() {
+        let key = ArbitratedKey::generate(&mut SecureRandom::from_seed(1));
+        let tag = key.tag(b"audit record");
+        assert!(key.verify(b"audit record", &tag));
+        assert!(!key.verify(b"tampered", &tag));
+    }
+
+    #[test]
+    fn different_keys_do_not_cross_verify() {
+        let mut rng = SecureRandom::from_seed(2);
+        let k1 = ArbitratedKey::generate(&mut rng);
+        let k2 = ArbitratedKey::generate(&mut rng);
+        let tag = k1.tag(b"m");
+        assert!(!k2.verify(b"m", &tag));
+    }
+
+    #[test]
+    fn key_roundtrips_through_bytes() {
+        let key = ArbitratedKey::generate(&mut SecureRandom::from_seed(3));
+        let clone = ArbitratedKey::from_bytes(key.to_bytes());
+        assert!(clone.verify(b"m", &key.tag(b"m")));
+    }
+
+    #[test]
+    fn debug_never_leaks_key() {
+        let key = ArbitratedKey::from_bytes([0xAB; 32]);
+        let s = format!("{key:?}");
+        assert!(!s.contains("ab"), "debug output leaked key bytes: {s}");
+    }
+}

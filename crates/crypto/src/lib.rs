@@ -1,0 +1,48 @@
+//! Cryptographic primitives for the non-repudiation middleware.
+//!
+//! Paper §3.5 requires: "a signature scheme such that signature sigA(x) by A
+//! on data x is both verifiable and unforgeable; a secure (one-way and
+//! collision-resistant) hash function; and a secure pseudo-random sequence
+//! generator". This crate provides all three from scratch:
+//!
+//! * [`digest`] — SHA-256 (FIPS 180-4) and the 32-byte [`Digest`] type,
+//! * [`hmac`] — HMAC-SHA-256,
+//! * [`rng`] — a seedable secure-random facade (deterministic under test),
+//! * [`merkle`] — Merkle trees (used by the signature scheme and by the
+//!   evidence store's tamper-evident log),
+//! * [`wots`] — Winternitz one-time signatures,
+//! * [`mss`] — a stateful, **forward-secure** Merkle signature scheme (the
+//!   many-time signature built from WOTS leaves; forward security matches
+//!   the paper's discussion of forward-secure schemes, ref [25]),
+//! * [`arbitrated`] — a shared-key HMAC "signature" for TTP-arbitrated
+//!   deployments (the lightweight end of the paper's trust spectrum, §3.1),
+//! * [`sig`] — scheme-agnostic [`Signature`]/[`KeyPair`] types and traits,
+//! * [`timestamp`] — a time-stamping authority (§3.5).
+//!
+//! # Example
+//!
+//! ```
+//! use nonrep_crypto::rng::SecureRandom;
+//! use nonrep_crypto::sig::{KeyPair, SignatureScheme};
+//!
+//! let mut rng = SecureRandom::from_seed(7);
+//! let keys = KeyPair::generate(SignatureScheme::Mss { height: 4 }, &mut rng);
+//! let sig = keys.sign(b"order #42").expect("fresh key has leaves left");
+//! assert!(keys.verifying_key().verify(b"order #42", &sig));
+//! assert!(!keys.verifying_key().verify(b"order #43", &sig));
+//! ```
+
+pub mod arbitrated;
+pub mod digest;
+pub mod hmac;
+pub mod merkle;
+pub mod mss;
+pub mod rng;
+pub mod sig;
+pub mod stream;
+pub mod timestamp;
+pub mod wots;
+
+pub use digest::{sha256, Digest, Sha256};
+pub use rng::SecureRandom;
+pub use sig::{KeyId, KeyPair, Signature, SignatureScheme, VerifyingKey};

@@ -1,0 +1,239 @@
+//! Merkle trees.
+//!
+//! Used in two places: as the key-authentication tree of the Merkle
+//! signature scheme ([`crate::mss`]), and for batch commitments over
+//! evidence records. Leaf and interior hashes are domain-separated
+//! (`0x00` / `0x01` tags) so a leaf can never be confused with a node —
+//! the classic second-preimage defence.
+
+use crate::digest::{sha256_pair, Digest, Sha256};
+
+const LEAF_TAG: u8 = 0x00;
+const NODE_TAG: u8 = 0x01;
+
+/// Hashes a leaf payload with leaf domain separation.
+pub fn leaf_hash(data: &[u8]) -> Digest {
+    let mut h = Sha256::new();
+    h.update(&[LEAF_TAG]);
+    h.update(data);
+    h.finalize()
+}
+
+/// Hashes two child digests into their parent.
+pub fn node_hash(left: &Digest, right: &Digest) -> Digest {
+    sha256_pair(NODE_TAG, left.as_bytes(), right.as_bytes())
+}
+
+/// A complete binary Merkle tree over a power-of-two number of leaves.
+///
+/// Odd leaf counts are padded by duplicating the final leaf *hash* at each
+/// level (Bitcoin-style), which keeps proofs simple.
+#[derive(Debug, Clone)]
+pub struct MerkleTree {
+    /// `levels[0]` = leaf hashes, last level = `[root]`.
+    levels: Vec<Vec<Digest>>,
+}
+
+/// One step of an authentication path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PathStep {
+    /// The sibling digest at this level.
+    pub sibling: Digest,
+    /// `true` if the sibling is on the right of the running hash.
+    pub sibling_on_right: bool,
+}
+
+/// An authentication path from a leaf to the root.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AuthPath {
+    /// Steps from the leaf level upward.
+    pub steps: Vec<PathStep>,
+}
+
+impl AuthPath {
+    /// Recomputes the root implied by `leaf` under this path.
+    pub fn implied_root(&self, leaf: &Digest) -> Digest {
+        let mut acc = *leaf;
+        for step in &self.steps {
+            acc = if step.sibling_on_right {
+                node_hash(&acc, &step.sibling)
+            } else {
+                node_hash(&step.sibling, &acc)
+            };
+        }
+        acc
+    }
+
+    /// Serialized size in bytes (32 per step + 1 direction byte).
+    pub fn byte_len(&self) -> usize {
+        self.steps.len() * 33
+    }
+}
+
+impl MerkleTree {
+    /// Builds a tree over already-hashed leaves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaves` is empty.
+    pub fn from_leaf_hashes(leaves: Vec<Digest>) -> Self {
+        assert!(!leaves.is_empty(), "merkle tree needs at least one leaf");
+        let mut levels = vec![leaves];
+        while levels.last().unwrap().len() > 1 {
+            let prev = levels.last().unwrap();
+            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
+            for pair in prev.chunks(2) {
+                let left = pair[0];
+                let right = if pair.len() == 2 { pair[1] } else { pair[0] };
+                next.push(node_hash(&left, &right));
+            }
+            levels.push(next);
+        }
+        Self { levels }
+    }
+
+    /// Builds a tree by leaf-hashing each payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payloads` is empty.
+    pub fn from_payloads<'a, I: IntoIterator<Item = &'a [u8]>>(payloads: I) -> Self {
+        let leaves: Vec<Digest> = payloads.into_iter().map(leaf_hash).collect();
+        Self::from_leaf_hashes(leaves)
+    }
+
+    /// The root digest.
+    pub fn root(&self) -> Digest {
+        self.levels.last().unwrap()[0]
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.levels[0].len()
+    }
+
+    /// The hash of leaf `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn leaf(&self, index: usize) -> Digest {
+        self.levels[0][index]
+    }
+
+    /// Builds the authentication path for leaf `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= leaf_count()`.
+    pub fn auth_path(&self, index: usize) -> AuthPath {
+        assert!(index < self.leaf_count(), "leaf index out of range");
+        let mut steps = Vec::new();
+        let mut idx = index;
+        for level in &self.levels[..self.levels.len() - 1] {
+            let sibling_idx = idx ^ 1;
+            let sibling = if sibling_idx < level.len() { level[sibling_idx] } else { level[idx] };
+            steps.push(PathStep { sibling, sibling_on_right: idx % 2 == 0 });
+            idx /= 2;
+        }
+        AuthPath { steps }
+    }
+
+    /// Verifies that `leaf` at `index`'s path reproduces `root`.
+    pub fn verify(root: &Digest, leaf: &Digest, path: &AuthPath) -> bool {
+        path.implied_root(leaf) == *root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payloads(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| format!("leaf-{i}").into_bytes()).collect()
+    }
+
+    #[test]
+    fn single_leaf_root_is_leaf_hash() {
+        let tree = MerkleTree::from_payloads([b"only".as_slice()]);
+        assert_eq!(tree.root(), leaf_hash(b"only"));
+        assert_eq!(tree.leaf_count(), 1);
+        let path = tree.auth_path(0);
+        assert!(path.steps.is_empty());
+        assert!(MerkleTree::verify(&tree.root(), &leaf_hash(b"only"), &path));
+    }
+
+    #[test]
+    fn all_paths_verify_for_various_sizes() {
+        for n in [1usize, 2, 3, 4, 5, 7, 8, 9, 16, 33] {
+            let data = payloads(n);
+            let tree = MerkleTree::from_payloads(data.iter().map(Vec::as_slice));
+            let root = tree.root();
+            for (i, payload) in data.iter().enumerate() {
+                let path = tree.auth_path(i);
+                assert!(
+                    MerkleTree::verify(&root, &leaf_hash(payload), &path),
+                    "n={n} leaf={i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_leaf_fails_verification() {
+        let data = payloads(8);
+        let tree = MerkleTree::from_payloads(data.iter().map(Vec::as_slice));
+        let path = tree.auth_path(3);
+        assert!(!MerkleTree::verify(&tree.root(), &leaf_hash(b"forged"), &path));
+    }
+
+    #[test]
+    fn wrong_position_fails_verification() {
+        let data = payloads(8);
+        let tree = MerkleTree::from_payloads(data.iter().map(Vec::as_slice));
+        let path_for_2 = tree.auth_path(2);
+        // Leaf 3's hash with leaf 2's path must not verify.
+        assert!(!MerkleTree::verify(&tree.root(), &leaf_hash(&data[3]), &path_for_2));
+    }
+
+    #[test]
+    fn tampered_path_fails() {
+        let data = payloads(4);
+        let tree = MerkleTree::from_payloads(data.iter().map(Vec::as_slice));
+        let mut path = tree.auth_path(0);
+        path.steps[0].sibling = leaf_hash(b"evil");
+        assert!(!MerkleTree::verify(&tree.root(), &leaf_hash(&data[0]), &path));
+    }
+
+    #[test]
+    fn leaf_and_node_domains_are_separated() {
+        // A 2-leaf tree whose leaves happen to be digests should not equal
+        // a node hash of those digests interpreted as leaves.
+        let a = leaf_hash(b"a");
+        let b = leaf_hash(b"b");
+        let tree = MerkleTree::from_leaf_hashes(vec![a, b]);
+        assert_eq!(tree.root(), node_hash(&a, &b));
+        assert_ne!(tree.root(), leaf_hash(&[a.as_bytes().as_slice(), b.as_bytes().as_slice()].concat()));
+    }
+
+    #[test]
+    fn deterministic_roots() {
+        let data = payloads(5);
+        let t1 = MerkleTree::from_payloads(data.iter().map(Vec::as_slice));
+        let t2 = MerkleTree::from_payloads(data.iter().map(Vec::as_slice));
+        assert_eq!(t1.root(), t2.root());
+    }
+
+    #[test]
+    fn path_byte_len() {
+        let data = payloads(8);
+        let tree = MerkleTree::from_payloads(data.iter().map(Vec::as_slice));
+        assert_eq!(tree.auth_path(0).byte_len(), 3 * 33);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one leaf")]
+    fn empty_tree_panics() {
+        let _ = MerkleTree::from_leaf_hashes(vec![]);
+    }
+}

@@ -1,0 +1,282 @@
+//! Merkle signature scheme (MSS): a stateful, forward-secure, many-time
+//! signature built from W-OTS leaves under a Merkle tree.
+//!
+//! * **Many-time**: a key of height `h` signs `2^h` messages.
+//! * **Stateful**: the signer tracks the next unused leaf.
+//! * **Forward-secure**: each leaf seed is destroyed after use, so
+//!   compromising the signer later cannot forge signatures for earlier
+//!   indices — this mirrors the paper's interest in forward-secure schemes
+//!   that "obviate the need for a third party signature on time-stamps"
+//!   (§3.5, ref [25]).
+//!
+//! The public key is the 32-byte Merkle root. A signature carries the leaf
+//! index, the W-OTS signature, and the authentication path.
+
+use std::error::Error;
+use std::fmt;
+
+use nonrep_types::codec::{CodecError, Decode, Encode, Reader, Writer};
+
+use crate::digest::Digest;
+use crate::merkle::{leaf_hash, AuthPath, MerkleTree, PathStep};
+use crate::rng::SecureRandom;
+use crate::wots::{self, WotsKeyPair, WotsSignature};
+
+/// Errors from the signing side of MSS.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MssError {
+    /// All `2^h` one-time leaves have been used.
+    KeyExhausted,
+}
+
+impl fmt::Display for MssError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MssError::KeyExhausted => f.write_str("all one-time signature leaves used"),
+        }
+    }
+}
+
+impl Error for MssError {}
+
+/// An MSS signature.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MssSignature {
+    /// Index of the one-time leaf used.
+    pub leaf_index: u32,
+    /// The W-OTS signature over the message digest.
+    pub wots: WotsSignature,
+    /// Authentication path from the leaf to the root.
+    pub path: AuthPath,
+}
+
+impl MssSignature {
+    /// Serialized size in bytes.
+    pub fn byte_len(&self) -> usize {
+        4 + WotsSignature::BYTE_LEN + self.path.byte_len()
+    }
+}
+
+impl Encode for MssSignature {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32(self.leaf_index);
+        w.put_bytes(&self.wots.to_bytes());
+        w.put_u32(self.path.steps.len() as u32);
+        for step in &self.path.steps {
+            w.put_raw(step.sibling.as_bytes());
+            w.put_bool(step.sibling_on_right);
+        }
+    }
+}
+
+impl Decode for MssSignature {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let leaf_index = r.get_u32()?;
+        let wots_bytes = r.get_bytes()?;
+        let wots = WotsSignature::from_bytes(wots_bytes)
+            .ok_or_else(|| CodecError::Invalid("bad wots signature length".into()))?;
+        let n = r.get_u32()? as usize;
+        if n > 64 {
+            return Err(CodecError::Invalid(format!("auth path too deep: {n}")));
+        }
+        let mut steps = Vec::with_capacity(n);
+        for _ in 0..n {
+            let sibling = Digest::decode(r)?;
+            let sibling_on_right = r.get_bool()?;
+            steps.push(PathStep { sibling, sibling_on_right });
+        }
+        Ok(Self { leaf_index, wots, path: AuthPath { steps } })
+    }
+}
+
+/// The signing half of an MSS key.
+#[derive(Debug)]
+pub struct MssSigner {
+    /// Per-leaf W-OTS seeds; `None` once used (forward security).
+    leaf_seeds: Vec<Option<[u8; 32]>>,
+    tree: MerkleTree,
+    next_leaf: u32,
+}
+
+impl MssSigner {
+    /// Generates a new key of height `height` (capacity `2^height`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `height` is 0 or greater than 20 (a million-signature key
+    /// already takes noticeable time to generate; anything larger is
+    /// a configuration mistake).
+    pub fn generate(height: u8, rng: &mut SecureRandom) -> Self {
+        assert!((1..=20).contains(&height), "height must be in 1..=20");
+        let count = 1usize << height;
+        let mut leaf_seeds = Vec::with_capacity(count);
+        let mut leaf_hashes = Vec::with_capacity(count);
+        for _ in 0..count {
+            let seed = rng.secret32();
+            let kp = WotsKeyPair::from_seed(seed);
+            leaf_hashes.push(leaf_hash(kp.public_key().as_bytes()));
+            leaf_seeds.push(Some(seed));
+        }
+        let tree = MerkleTree::from_leaf_hashes(leaf_hashes);
+        Self { leaf_seeds, tree, next_leaf: 0 }
+    }
+
+    /// The public key (Merkle root).
+    pub fn public_key(&self) -> Digest {
+        self.tree.root()
+    }
+
+    /// Remaining signature capacity.
+    pub fn remaining(&self) -> u32 {
+        self.leaf_seeds.len() as u32 - self.next_leaf
+    }
+
+    /// Total capacity (`2^height`).
+    pub fn capacity(&self) -> u32 {
+        self.leaf_seeds.len() as u32
+    }
+
+    /// Signs a message digest with the next unused leaf and destroys that
+    /// leaf's secret (forward security).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MssError::KeyExhausted`] when all leaves are used.
+    pub fn sign(&mut self, digest: &Digest) -> Result<MssSignature, MssError> {
+        let idx = self.next_leaf as usize;
+        if idx >= self.leaf_seeds.len() {
+            return Err(MssError::KeyExhausted);
+        }
+        let seed = self.leaf_seeds[idx].take().expect("unused leaf seed present");
+        self.next_leaf += 1;
+        let kp = WotsKeyPair::from_seed(seed);
+        let wots = kp.sign(digest);
+        let path = self.tree.auth_path(idx);
+        Ok(MssSignature { leaf_index: idx as u32, wots, path })
+    }
+}
+
+/// Verifies an MSS signature over `digest` against `public_key` (root).
+///
+/// Besides the Merkle path check, the declared `leaf_index` must agree with
+/// the direction bits of the authentication path (the index is what binds a
+/// signature to *one* one-time key, so it must not be forgeable
+/// independently of the path).
+pub fn verify(public_key: &Digest, digest: &Digest, sig: &MssSignature) -> bool {
+    // Path directions encode the leaf position: at level l the sibling is on
+    // the right iff bit l of the index is 0.
+    let mut implied_index: u64 = 0;
+    for (level, step) in sig.path.steps.iter().enumerate() {
+        if !step.sibling_on_right {
+            implied_index |= 1 << level;
+        }
+    }
+    if implied_index != u64::from(sig.leaf_index) {
+        return false;
+    }
+    let candidate_pk = wots::recover_public_key(digest, &sig.wots);
+    let leaf = leaf_hash(candidate_pk.as_bytes());
+    MerkleTree::verify(public_key, &leaf, &sig.path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digest::sha256;
+
+    fn signer(height: u8, seed: u64) -> MssSigner {
+        MssSigner::generate(height, &mut SecureRandom::from_seed(seed))
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let mut s = signer(2, 1);
+        let pk = s.public_key();
+        let d = sha256(b"hello");
+        let sig = s.sign(&d).unwrap();
+        assert!(verify(&pk, &d, &sig));
+    }
+
+    #[test]
+    fn each_signature_uses_fresh_leaf() {
+        let mut s = signer(2, 2);
+        let pk = s.public_key();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..4 {
+            let d = sha256(format!("msg-{i}").as_bytes());
+            let sig = s.sign(&d).unwrap();
+            assert!(verify(&pk, &d, &sig));
+            assert!(seen.insert(sig.leaf_index));
+        }
+        assert_eq!(s.remaining(), 0);
+    }
+
+    #[test]
+    fn key_exhaustion_reported() {
+        let mut s = signer(1, 3);
+        assert_eq!(s.capacity(), 2);
+        s.sign(&sha256(b"a")).unwrap();
+        s.sign(&sha256(b"b")).unwrap();
+        assert_eq!(s.sign(&sha256(b"c")).unwrap_err(), MssError::KeyExhausted);
+    }
+
+    #[test]
+    fn forward_security_deletes_used_seeds() {
+        let mut s = signer(2, 4);
+        s.sign(&sha256(b"a")).unwrap();
+        assert!(s.leaf_seeds[0].is_none(), "used leaf seed must be destroyed");
+        assert!(s.leaf_seeds[1].is_some());
+    }
+
+    #[test]
+    fn wrong_digest_fails() {
+        let mut s = signer(2, 5);
+        let pk = s.public_key();
+        let sig = s.sign(&sha256(b"real")).unwrap();
+        assert!(!verify(&pk, &sha256(b"fake"), &sig));
+    }
+
+    #[test]
+    fn wrong_root_fails() {
+        let mut s1 = signer(2, 6);
+        let s2 = signer(2, 7);
+        let d = sha256(b"msg");
+        let sig = s1.sign(&d).unwrap();
+        assert!(!verify(&s2.public_key(), &d, &sig));
+    }
+
+    #[test]
+    fn tampered_leaf_index_fails() {
+        let mut s = signer(3, 8);
+        let pk = s.public_key();
+        let d = sha256(b"msg");
+        let mut sig = s.sign(&d).unwrap();
+        sig.leaf_index = 5; // path no longer matches
+        assert!(!verify(&pk, &d, &sig));
+    }
+
+    #[test]
+    fn signature_codec_roundtrip() {
+        let mut s = signer(2, 9);
+        let d = sha256(b"codec");
+        let sig = s.sign(&d).unwrap();
+        let bytes = sig.encode_to_vec();
+        let back = MssSignature::decode_from_slice(&bytes).unwrap();
+        assert_eq!(back, sig);
+        assert!(verify(&s.public_key(), &d, &back));
+    }
+
+    #[test]
+    fn byte_len_matches_reported() {
+        let mut s = signer(3, 10);
+        let sig = s.sign(&sha256(b"len")).unwrap();
+        // encode has some length prefixes; byte_len reports the raw payload.
+        assert!(sig.encode_to_vec().len() >= sig.byte_len());
+    }
+
+    #[test]
+    #[should_panic(expected = "height must be in 1..=20")]
+    fn zero_height_panics() {
+        let _ = signer(0, 11);
+    }
+}

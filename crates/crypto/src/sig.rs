@@ -1,0 +1,464 @@
+//! Scheme-agnostic signatures.
+//!
+//! The middleware never hard-codes a signature algorithm: the paper's
+//! framework is explicitly protocol- and mechanism-neutral ("interceptors
+//! can implement different mechanisms to meet different interaction
+//! requirements", §3.1). [`KeyPair`]/[`VerifyingKey`]/[`Signature`] abstract
+//! over:
+//!
+//! * [`SignatureScheme::Mss`] — publicly verifiable, forward-secure
+//!   hash-based signatures (default for inter-organisation evidence), and
+//! * [`SignatureScheme::Arbitrated`] — shared-key HMAC tags whose
+//!   evidentiary value rests on a trusted arbiter (for lightweight/inline
+//!   TTP deployments).
+
+use std::error::Error;
+use std::fmt;
+
+use parking_lot::Mutex;
+
+use nonrep_types::codec::{CodecError, Decode, Encode, Reader, Writer};
+
+use crate::arbitrated::ArbitratedKey;
+use crate::digest::{sha256, Digest};
+use crate::mss::{self, MssError, MssSignature, MssSigner};
+use crate::rng::SecureRandom;
+
+/// Identifies a verifying key: the SHA-256 of its canonical encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct KeyId(pub Digest);
+
+impl KeyId {
+    /// Derives the key id of a verifying key.
+    pub fn of(key: &VerifyingKey) -> Self {
+        Self(sha256(&key.encode_to_vec()))
+    }
+}
+
+impl fmt::Display for KeyId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "key:{}", &self.0.to_hex()[..16])
+    }
+}
+
+impl Encode for KeyId {
+    fn encode(&self, w: &mut Writer) {
+        self.0.encode(w);
+    }
+}
+
+impl Decode for KeyId {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Self(Digest::decode(r)?))
+    }
+}
+
+/// Which signature scheme a key pair uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SignatureScheme {
+    /// Forward-secure Merkle signature scheme with `2^height` capacity.
+    Mss {
+        /// Tree height; capacity is `2^height` signatures.
+        height: u8,
+    },
+    /// Shared-key HMAC tags (arbitrated; not publicly verifiable).
+    Arbitrated,
+}
+
+/// Errors from signing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SignError {
+    /// A stateful key ran out of one-time leaves.
+    KeyExhausted,
+}
+
+impl fmt::Display for SignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SignError::KeyExhausted => f.write_str("signing key exhausted"),
+        }
+    }
+}
+
+impl Error for SignError {}
+
+impl From<MssError> for SignError {
+    fn from(e: MssError) -> Self {
+        match e {
+            MssError::KeyExhausted => SignError::KeyExhausted,
+        }
+    }
+}
+
+/// A signature (or arbitrated tag) over a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Signature {
+    /// Which key produced this signature.
+    pub key_id: KeyId,
+    /// Scheme-specific signature payload.
+    pub payload: SignaturePayload,
+}
+
+/// Scheme-specific signature material.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SignaturePayload {
+    /// MSS signature.
+    Mss(MssSignature),
+    /// Arbitrated HMAC tag.
+    Arbitrated(Digest),
+}
+
+impl Signature {
+    /// Size of the signature material in bytes (for the space-overhead
+    /// experiment, E7).
+    pub fn byte_len(&self) -> usize {
+        32 + match &self.payload {
+            SignaturePayload::Mss(s) => s.byte_len(),
+            SignaturePayload::Arbitrated(_) => 32,
+        }
+    }
+}
+
+const SIG_TAG_MSS: u8 = 0;
+const SIG_TAG_ARB: u8 = 1;
+
+impl Encode for Signature {
+    fn encode(&self, w: &mut Writer) {
+        self.key_id.encode(w);
+        match &self.payload {
+            SignaturePayload::Mss(s) => {
+                w.put_u8(SIG_TAG_MSS);
+                s.encode(w);
+            }
+            SignaturePayload::Arbitrated(d) => {
+                w.put_u8(SIG_TAG_ARB);
+                d.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for Signature {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let key_id = KeyId::decode(r)?;
+        let payload = match r.get_u8()? {
+            SIG_TAG_MSS => SignaturePayload::Mss(MssSignature::decode(r)?),
+            SIG_TAG_ARB => SignaturePayload::Arbitrated(Digest::decode(r)?),
+            tag => return Err(CodecError::InvalidTag { ty: "Signature", tag }),
+        };
+        Ok(Self { key_id, payload })
+    }
+}
+
+/// The public half of a key pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyingKey {
+    /// MSS Merkle root: publicly verifiable.
+    Mss {
+        /// The Merkle root of the key's authentication tree.
+        root: Digest,
+    },
+    /// Arbitrated shared key. **Holding this key allows forging tags**; it
+    /// is distributed only to the mutually trusted arbiter. Its evidentiary
+    /// value is "the arbiter vouches", which is exactly the inline-TTP trust
+    /// model of paper Fig 3(a).
+    Arbitrated {
+        /// The shared secret (also held by the signer and the arbiter).
+        secret: [u8; 32],
+    },
+}
+
+const VK_TAG_MSS: u8 = 0;
+const VK_TAG_ARB: u8 = 1;
+
+impl Encode for VerifyingKey {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            VerifyingKey::Mss { root } => {
+                w.put_u8(VK_TAG_MSS);
+                root.encode(w);
+            }
+            VerifyingKey::Arbitrated { secret } => {
+                w.put_u8(VK_TAG_ARB);
+                w.put_raw(secret);
+            }
+        }
+    }
+}
+
+impl Decode for VerifyingKey {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.get_u8()? {
+            VK_TAG_MSS => Ok(VerifyingKey::Mss { root: Digest::decode(r)? }),
+            VK_TAG_ARB => {
+                let raw = r.get_raw(32)?;
+                let mut secret = [0u8; 32];
+                secret.copy_from_slice(raw);
+                Ok(VerifyingKey::Arbitrated { secret })
+            }
+            tag => Err(CodecError::InvalidTag { ty: "VerifyingKey", tag }),
+        }
+    }
+}
+
+impl VerifyingKey {
+    /// This key's identifier.
+    pub fn key_id(&self) -> KeyId {
+        KeyId::of(self)
+    }
+
+    /// Verifies `sig` over `message`.
+    ///
+    /// Returns `false` (never errors) on any mismatch: wrong key id, wrong
+    /// scheme, bad signature. A verifier must treat all failures alike.
+    pub fn verify(&self, message: &[u8], sig: &Signature) -> bool {
+        if sig.key_id != self.key_id() {
+            return false;
+        }
+        let digest = sha256(message);
+        match (self, &sig.payload) {
+            (VerifyingKey::Mss { root }, SignaturePayload::Mss(s)) => {
+                mss::verify(root, &digest, s)
+            }
+            (VerifyingKey::Arbitrated { secret }, SignaturePayload::Arbitrated(tag)) => {
+                ArbitratedKey::from_bytes(*secret).verify(digest.as_bytes(), tag)
+            }
+            _ => false,
+        }
+    }
+
+    /// Verifies a signature over a precomputed digest (when the message
+    /// itself is elsewhere, e.g. a state snapshot in the state store).
+    pub fn verify_digest(&self, digest: &Digest, sig: &Signature) -> bool {
+        if sig.key_id != self.key_id() {
+            return false;
+        }
+        match (self, &sig.payload) {
+            (VerifyingKey::Mss { root }, SignaturePayload::Mss(s)) => mss::verify(root, digest, s),
+            (VerifyingKey::Arbitrated { secret }, SignaturePayload::Arbitrated(tag)) => {
+                ArbitratedKey::from_bytes(*secret).verify(digest.as_bytes(), tag)
+            }
+            _ => false,
+        }
+    }
+}
+
+enum SignerInner {
+    Mss(MssSigner),
+    Arbitrated(ArbitratedKey),
+}
+
+impl fmt::Debug for SignerInner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SignerInner::Mss(_) => f.write_str("Mss(..)"),
+            SignerInner::Arbitrated(_) => f.write_str("Arbitrated(..)"),
+        }
+    }
+}
+
+/// A signing key pair.
+///
+/// Signing takes `&self` (MSS statefulness is handled internally with a
+/// mutex) so key pairs can be shared across middleware components.
+#[derive(Debug)]
+pub struct KeyPair {
+    inner: Mutex<SignerInner>,
+    verifying: VerifyingKey,
+    key_id: KeyId,
+}
+
+impl KeyPair {
+    /// Generates a key pair for `scheme`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an MSS height outside `1..=20` is requested.
+    pub fn generate(scheme: SignatureScheme, rng: &mut SecureRandom) -> Self {
+        match scheme {
+            SignatureScheme::Mss { height } => {
+                let signer = MssSigner::generate(height, rng);
+                let verifying = VerifyingKey::Mss { root: signer.public_key() };
+                let key_id = verifying.key_id();
+                Self { inner: Mutex::new(SignerInner::Mss(signer)), verifying, key_id }
+            }
+            SignatureScheme::Arbitrated => {
+                let key = ArbitratedKey::generate(rng);
+                let verifying = VerifyingKey::Arbitrated { secret: key.to_bytes() };
+                let key_id = verifying.key_id();
+                Self { inner: Mutex::new(SignerInner::Arbitrated(key)), verifying, key_id }
+            }
+        }
+    }
+
+    /// The public verifying key.
+    pub fn verifying_key(&self) -> VerifyingKey {
+        self.verifying.clone()
+    }
+
+    /// This key's identifier.
+    pub fn key_id(&self) -> KeyId {
+        self.key_id
+    }
+
+    /// Remaining signatures, if the scheme is stateful.
+    pub fn remaining(&self) -> Option<u32> {
+        match &*self.inner.lock() {
+            SignerInner::Mss(s) => Some(s.remaining()),
+            SignerInner::Arbitrated(_) => None,
+        }
+    }
+
+    /// Signs `message`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SignError::KeyExhausted`] if a stateful key has no leaves
+    /// left.
+    pub fn sign(&self, message: &[u8]) -> Result<Signature, SignError> {
+        self.sign_digest(&sha256(message))
+    }
+
+    /// Signs a precomputed digest.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SignError::KeyExhausted`] if a stateful key has no leaves
+    /// left.
+    pub fn sign_digest(&self, digest: &Digest) -> Result<Signature, SignError> {
+        let payload = match &mut *self.inner.lock() {
+            SignerInner::Mss(s) => SignaturePayload::Mss(s.sign(digest)?),
+            SignerInner::Arbitrated(k) => {
+                SignaturePayload::Arbitrated(k.tag(digest.as_bytes()))
+            }
+        };
+        Ok(Signature { key_id: self.key_id, payload })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mss_pair(seed: u64) -> KeyPair {
+        KeyPair::generate(SignatureScheme::Mss { height: 3 }, &mut SecureRandom::from_seed(seed))
+    }
+
+    #[test]
+    fn mss_sign_verify() {
+        let kp = mss_pair(1);
+        let sig = kp.sign(b"contract").unwrap();
+        assert!(kp.verifying_key().verify(b"contract", &sig));
+        assert!(!kp.verifying_key().verify(b"tampered", &sig));
+    }
+
+    #[test]
+    fn arbitrated_sign_verify() {
+        let kp = KeyPair::generate(SignatureScheme::Arbitrated, &mut SecureRandom::from_seed(2));
+        let sig = kp.sign(b"audit").unwrap();
+        assert!(kp.verifying_key().verify(b"audit", &sig));
+        assert!(!kp.verifying_key().verify(b"other", &sig));
+        assert_eq!(kp.remaining(), None);
+    }
+
+    #[test]
+    fn cross_scheme_verification_fails() {
+        let mss = mss_pair(3);
+        let arb = KeyPair::generate(SignatureScheme::Arbitrated, &mut SecureRandom::from_seed(4));
+        let sig = mss.sign(b"m").unwrap();
+        assert!(!arb.verifying_key().verify(b"m", &sig));
+    }
+
+    #[test]
+    fn key_id_binds_signature_to_key() {
+        let a = mss_pair(5);
+        let b = mss_pair(6);
+        let mut sig = a.sign(b"m").unwrap();
+        // Forge the key id: verification under b must still fail
+        // (and under a too, since the id no longer matches).
+        sig.key_id = b.key_id();
+        assert!(!a.verifying_key().verify(b"m", &sig));
+        assert!(!b.verifying_key().verify(b"m", &sig));
+    }
+
+    #[test]
+    fn mss_capacity_tracked() {
+        let kp = KeyPair::generate(
+            SignatureScheme::Mss { height: 1 },
+            &mut SecureRandom::from_seed(7),
+        );
+        assert_eq!(kp.remaining(), Some(2));
+        kp.sign(b"a").unwrap();
+        kp.sign(b"b").unwrap();
+        assert_eq!(kp.remaining(), Some(0));
+        assert_eq!(kp.sign(b"c").unwrap_err(), SignError::KeyExhausted);
+    }
+
+    #[test]
+    fn signature_codec_roundtrip_both_schemes() {
+        let mss = mss_pair(8);
+        let arb = KeyPair::generate(SignatureScheme::Arbitrated, &mut SecureRandom::from_seed(9));
+        for kp in [&mss, &arb] {
+            let sig = kp.sign(b"wire").unwrap();
+            let back = Signature::decode_from_slice(&sig.encode_to_vec()).unwrap();
+            assert_eq!(back, sig);
+            assert!(kp.verifying_key().verify(b"wire", &back));
+        }
+    }
+
+    #[test]
+    fn verifying_key_codec_roundtrip() {
+        let kp = mss_pair(10);
+        let vk = kp.verifying_key();
+        let back = VerifyingKey::decode_from_slice(&vk.encode_to_vec()).unwrap();
+        assert_eq!(back, vk);
+        assert_eq!(back.key_id(), kp.key_id());
+    }
+
+    #[test]
+    fn sign_digest_matches_sign() {
+        let kp = KeyPair::generate(SignatureScheme::Arbitrated, &mut SecureRandom::from_seed(11));
+        let m = b"same bytes";
+        let s1 = kp.sign(m).unwrap();
+        let s2 = kp.sign_digest(&sha256(m)).unwrap();
+        assert_eq!(s1, s2);
+        assert!(kp.verifying_key().verify_digest(&sha256(m), &s1));
+    }
+
+    #[test]
+    fn signature_sizes_differ_between_schemes() {
+        let mss_sig = mss_pair(12).sign(b"m").unwrap();
+        let arb_sig = KeyPair::generate(SignatureScheme::Arbitrated, &mut SecureRandom::from_seed(13))
+            .sign(b"m")
+            .unwrap();
+        assert!(mss_sig.byte_len() > 50 * arb_sig.byte_len() / 10, "MSS should be much larger");
+    }
+
+    #[test]
+    fn concurrent_signing_is_safe() {
+        use std::sync::Arc;
+        let kp = Arc::new(KeyPair::generate(
+            SignatureScheme::Mss { height: 5 },
+            &mut SecureRandom::from_seed(14),
+        ));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let kp = Arc::clone(&kp);
+                std::thread::spawn(move || {
+                    (0..8)
+                        .map(|i| kp.sign(format!("{t}-{i}").as_bytes()).unwrap())
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let mut leaf_indices = std::collections::HashSet::new();
+        for h in handles {
+            for sig in h.join().unwrap() {
+                if let SignaturePayload::Mss(m) = sig.payload {
+                    assert!(leaf_indices.insert(m.leaf_index), "leaf reused across threads");
+                }
+            }
+        }
+        assert_eq!(leaf_indices.len(), 32);
+    }
+}

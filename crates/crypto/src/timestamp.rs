@@ -1,0 +1,179 @@
+//! Time-stamping service.
+//!
+//! Paper §3.5: "non-repudiation evidence should be time-stamped for logging
+//! and to support the assertion that the signature used to sign evidence
+//! was not compromised at time of use". A [`TimeStampAuthority`] binds a
+//! digest to a time by signing `(digest, time)`; any party holding the
+//! authority's verifying key can check the binding.
+//!
+//! When the signing organisations use the forward-secure MSS scheme, a
+//! third-party timestamp becomes optional for the compromise argument
+//! (paper ref [25]) — the TSA remains useful as a neutral time source.
+
+use std::fmt;
+use std::sync::Arc;
+
+use nonrep_types::codec::{CodecError, Decode, Encode, Reader, Writer};
+use nonrep_types::time::{Clock, Timestamp};
+
+use crate::digest::Digest;
+use crate::sig::{KeyPair, SignError, Signature, VerifyingKey};
+
+/// A signed binding of a digest to a time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimeStampToken {
+    /// The digest that was stamped.
+    pub digest: Digest,
+    /// The authority's clock reading.
+    pub time: Timestamp,
+    /// The authority's signature over `(digest, time)`.
+    pub signature: Signature,
+}
+
+impl TimeStampToken {
+    fn signed_bytes(digest: &Digest, time: Timestamp) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_str("nonrep.tst.v1");
+        digest.encode(&mut w);
+        time.encode(&mut w);
+        w.into_vec()
+    }
+
+    /// Verifies this token under the authority's verifying key, optionally
+    /// also checking it stamps the expected digest.
+    pub fn verify(&self, tsa_key: &VerifyingKey, expected: Option<&Digest>) -> bool {
+        if let Some(d) = expected {
+            if *d != self.digest {
+                return false;
+            }
+        }
+        tsa_key.verify(&Self::signed_bytes(&self.digest, self.time), &self.signature)
+    }
+}
+
+impl Encode for TimeStampToken {
+    fn encode(&self, w: &mut Writer) {
+        self.digest.encode(w);
+        self.time.encode(w);
+        self.signature.encode(w);
+    }
+}
+
+impl Decode for TimeStampToken {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            digest: Digest::decode(r)?,
+            time: Timestamp::decode(r)?,
+            signature: Signature::decode(r)?,
+        })
+    }
+}
+
+/// A time-stamping authority.
+pub struct TimeStampAuthority {
+    keys: KeyPair,
+    clock: Arc<dyn Clock>,
+}
+
+impl fmt::Debug for TimeStampAuthority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TimeStampAuthority({})", self.keys.key_id())
+    }
+}
+
+impl TimeStampAuthority {
+    /// Creates an authority from its key pair and clock.
+    pub fn new(keys: KeyPair, clock: Arc<dyn Clock>) -> Self {
+        Self { keys, clock }
+    }
+
+    /// The authority's verifying key, to be distributed to relying parties.
+    pub fn verifying_key(&self) -> VerifyingKey {
+        self.keys.verifying_key()
+    }
+
+    /// Issues a timestamp token over `digest` at the current clock reading.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SignError`] if the authority's signing key is exhausted.
+    pub fn stamp(&self, digest: &Digest) -> Result<TimeStampToken, SignError> {
+        let time = self.clock.now();
+        let signature = self.keys.sign(&TimeStampToken::signed_bytes(digest, time))?;
+        Ok(TimeStampToken { digest: *digest, time, signature })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digest::sha256;
+    use crate::rng::SecureRandom;
+    use crate::sig::SignatureScheme;
+    use nonrep_types::time::LogicalClock;
+
+    fn tsa(clock: LogicalClock) -> TimeStampAuthority {
+        let keys = KeyPair::generate(
+            SignatureScheme::Mss { height: 4 },
+            &mut SecureRandom::from_seed(99),
+        );
+        TimeStampAuthority::new(keys, Arc::new(clock))
+    }
+
+    #[test]
+    fn stamp_and_verify() {
+        let clock = LogicalClock::new();
+        clock.advance(1234);
+        let authority = tsa(clock);
+        let d = sha256(b"evidence");
+        let token = authority.stamp(&d).unwrap();
+        assert_eq!(token.time, Timestamp(1234));
+        assert!(token.verify(&authority.verifying_key(), Some(&d)));
+        assert!(token.verify(&authority.verifying_key(), None));
+    }
+
+    #[test]
+    fn wrong_digest_rejected() {
+        let authority = tsa(LogicalClock::new());
+        let token = authority.stamp(&sha256(b"a")).unwrap();
+        assert!(!token.verify(&authority.verifying_key(), Some(&sha256(b"b"))));
+    }
+
+    #[test]
+    fn tampered_time_rejected() {
+        let authority = tsa(LogicalClock::new());
+        let mut token = authority.stamp(&sha256(b"a")).unwrap();
+        token.time = Timestamp(9999);
+        assert!(!token.verify(&authority.verifying_key(), None));
+    }
+
+    #[test]
+    fn wrong_authority_rejected() {
+        let a1 = tsa(LogicalClock::new());
+        let keys2 = KeyPair::generate(
+            SignatureScheme::Mss { height: 2 },
+            &mut SecureRandom::from_seed(5),
+        );
+        let token = a1.stamp(&sha256(b"a")).unwrap();
+        assert!(!token.verify(&keys2.verifying_key(), None));
+    }
+
+    #[test]
+    fn token_codec_roundtrip() {
+        let authority = tsa(LogicalClock::new());
+        let token = authority.stamp(&sha256(b"wire")).unwrap();
+        let back = TimeStampToken::decode_from_slice(&token.encode_to_vec()).unwrap();
+        assert_eq!(back, token);
+        assert!(back.verify(&authority.verifying_key(), None));
+    }
+
+    #[test]
+    fn successive_stamps_reflect_clock_progress() {
+        let clock = LogicalClock::new();
+        let authority = tsa(clock.clone());
+        let t1 = authority.stamp(&sha256(b"a")).unwrap();
+        clock.advance(10);
+        let t2 = authority.stamp(&sha256(b"b")).unwrap();
+        assert!(t2.time > t1.time);
+    }
+}

@@ -1,0 +1,250 @@
+//! Winternitz one-time signatures (W-OTS) over SHA-256.
+//!
+//! The one-time building block of the many-time Merkle signature scheme
+//! ([`crate::mss`]). Parameters: `w = 16` (4 bits per chunk), so a 256-bit
+//! message digest is cut into 64 chunks plus 3 checksum chunks — 67 hash
+//! chains of length 15.
+//!
+//! Chain steps are domain-separated by chain index and step number so that
+//! values from one chain/step can never be replayed in another.
+//!
+//! **One-time** means exactly that: signing two different messages with the
+//! same key reveals enough chain preimages to forge. The MSS layer enforces
+//! single use; this module documents and tests the primitive in isolation.
+
+use crate::digest::{Digest, Sha256};
+use crate::hmac::hmac_sha256;
+
+/// Chunks carrying message digest bits (256 / 4).
+pub const MSG_CHUNKS: usize = 64;
+/// Chunks carrying the checksum (max checksum 64*15 = 960 < 16^3).
+pub const CSUM_CHUNKS: usize = 3;
+/// Total number of hash chains.
+pub const CHAINS: usize = MSG_CHUNKS + CSUM_CHUNKS;
+/// Maximum chain step (w - 1).
+pub const MAX_STEP: u8 = 15;
+
+const CHAIN_TAG: u8 = 0x02;
+const PK_TAG: u8 = 0x03;
+
+/// A W-OTS signature: one 32-byte chain value per chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WotsSignature {
+    /// Chain values, one per chain, in chain order.
+    pub chains: [[u8; 32]; CHAINS],
+}
+
+impl WotsSignature {
+    /// Serialized size in bytes.
+    pub const BYTE_LEN: usize = CHAINS * 32;
+
+    /// Flattens the signature to bytes (for transport/evidence encoding).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(Self::BYTE_LEN);
+        for chain in &self.chains {
+            out.extend_from_slice(chain);
+        }
+        out
+    }
+
+    /// Parses a signature from bytes produced by [`WotsSignature::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != Self::BYTE_LEN {
+            return None;
+        }
+        let mut chains = [[0u8; 32]; CHAINS];
+        for (i, chunk) in bytes.chunks(32).enumerate() {
+            chains[i].copy_from_slice(chunk);
+        }
+        Some(Self { chains })
+    }
+}
+
+/// A W-OTS key pair derived from a 32-byte seed.
+///
+/// Per-chain secrets are derived `sk_i = HMAC(seed, chain_index)`, so only
+/// the seed needs storing; destroying the seed after use gives forward
+/// security at the MSS layer.
+#[derive(Debug, Clone)]
+pub struct WotsKeyPair {
+    seed: [u8; 32],
+    public: Digest,
+}
+
+/// Splits a digest into the 67 Winternitz chunk values (message + checksum).
+fn chunks_of(digest: &Digest) -> [u8; CHAINS] {
+    let mut out = [0u8; CHAINS];
+    for (i, byte) in digest.as_bytes().iter().enumerate() {
+        out[2 * i] = byte >> 4;
+        out[2 * i + 1] = byte & 0x0F;
+    }
+    let csum: u16 = out[..MSG_CHUNKS].iter().map(|&c| u16::from(MAX_STEP - c)).sum();
+    // 3 base-16 digits, most significant first.
+    out[MSG_CHUNKS] = ((csum >> 8) & 0x0F) as u8;
+    out[MSG_CHUNKS + 1] = ((csum >> 4) & 0x0F) as u8;
+    out[MSG_CHUNKS + 2] = (csum & 0x0F) as u8;
+    out
+}
+
+/// Applies the domain-separated chain function `steps` times starting at
+/// step `from`.
+fn chain(mut value: [u8; 32], chain_idx: u16, from: u8, steps: u8) -> [u8; 32] {
+    for s in from..from + steps {
+        let mut h = Sha256::new();
+        h.update(&[CHAIN_TAG]);
+        h.update(&chain_idx.to_le_bytes());
+        h.update(&[s]);
+        h.update(&value);
+        value = *h.finalize().as_bytes();
+    }
+    value
+}
+
+fn derive_secret(seed: &[u8; 32], chain_idx: u16) -> [u8; 32] {
+    *hmac_sha256(seed, &chain_idx.to_le_bytes()).as_bytes()
+}
+
+fn compress_pk(ends: &[[u8; 32]; CHAINS]) -> Digest {
+    let mut h = Sha256::new();
+    h.update(&[PK_TAG]);
+    for end in ends {
+        h.update(end);
+    }
+    h.finalize()
+}
+
+impl WotsKeyPair {
+    /// Derives a key pair from a 32-byte seed.
+    pub fn from_seed(seed: [u8; 32]) -> Self {
+        let mut ends = [[0u8; 32]; CHAINS];
+        for i in 0..CHAINS {
+            let sk = derive_secret(&seed, i as u16);
+            ends[i] = chain(sk, i as u16, 0, MAX_STEP);
+        }
+        Self { seed, public: compress_pk(&ends) }
+    }
+
+    /// The compressed public key (hash of all chain ends).
+    pub fn public_key(&self) -> Digest {
+        self.public
+    }
+
+    /// Signs a message digest.
+    ///
+    /// The caller (the MSS layer) is responsible for using the key at most
+    /// once.
+    pub fn sign(&self, digest: &Digest) -> WotsSignature {
+        let chunks = chunks_of(digest);
+        let mut chains = [[0u8; 32]; CHAINS];
+        for i in 0..CHAINS {
+            let sk = derive_secret(&self.seed, i as u16);
+            chains[i] = chain(sk, i as u16, 0, chunks[i]);
+        }
+        WotsSignature { chains }
+    }
+}
+
+/// Recomputes the candidate public key from a signature and digest.
+///
+/// Verification succeeds iff the result equals the signer's public key.
+pub fn recover_public_key(digest: &Digest, sig: &WotsSignature) -> Digest {
+    let chunks = chunks_of(digest);
+    let mut ends = [[0u8; 32]; CHAINS];
+    for i in 0..CHAINS {
+        ends[i] = chain(sig.chains[i], i as u16, chunks[i], MAX_STEP - chunks[i]);
+    }
+    compress_pk(&ends)
+}
+
+/// Verifies `sig` over `digest` against `public_key`.
+pub fn verify(public_key: &Digest, digest: &Digest, sig: &WotsSignature) -> bool {
+    recover_public_key(digest, sig) == *public_key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digest::sha256;
+
+    fn keypair(seed_byte: u8) -> WotsKeyPair {
+        WotsKeyPair::from_seed([seed_byte; 32])
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let kp = keypair(1);
+        let d = sha256(b"message");
+        let sig = kp.sign(&d);
+        assert!(verify(&kp.public_key(), &d, &sig));
+    }
+
+    #[test]
+    fn wrong_message_fails() {
+        let kp = keypair(2);
+        let sig = kp.sign(&sha256(b"message"));
+        assert!(!verify(&kp.public_key(), &sha256(b"other"), &sig));
+    }
+
+    #[test]
+    fn wrong_key_fails() {
+        let kp1 = keypair(3);
+        let kp2 = keypair(4);
+        let d = sha256(b"message");
+        let sig = kp1.sign(&d);
+        assert!(!verify(&kp2.public_key(), &d, &sig));
+    }
+
+    #[test]
+    fn tampered_signature_fails() {
+        let kp = keypair(5);
+        let d = sha256(b"message");
+        let mut sig = kp.sign(&d);
+        sig.chains[0][0] ^= 0xFF;
+        assert!(!verify(&kp.public_key(), &d, &sig));
+    }
+
+    #[test]
+    fn checksum_prevents_chunk_increase_forgery() {
+        // Advancing a message chain must be detectable because the checksum
+        // chains would have to be *reversed* (preimage). Simulate the naive
+        // forgery: take a signature and advance one message chain one step.
+        let kp = keypair(6);
+        let d = sha256(b"message");
+        let chunks = chunks_of(&d);
+        // Find a message chunk that can be advanced.
+        let i = (0..MSG_CHUNKS).find(|&i| chunks[i] < MAX_STEP).unwrap();
+        let mut sig = kp.sign(&d);
+        sig.chains[i] = chain(sig.chains[i], i as u16, chunks[i], 1);
+        // The forged signature must not verify for any digest we can cheaply
+        // construct — in particular not for the original.
+        assert!(!verify(&kp.public_key(), &d, &sig));
+    }
+
+    #[test]
+    fn chunks_and_checksum_are_consistent() {
+        let d = sha256(b"x");
+        let chunks = chunks_of(&d);
+        let csum: u16 = chunks[..MSG_CHUNKS].iter().map(|&c| u16::from(MAX_STEP - c)).sum();
+        let encoded = (u16::from(chunks[MSG_CHUNKS]) << 8)
+            | (u16::from(chunks[MSG_CHUNKS + 1]) << 4)
+            | u16::from(chunks[MSG_CHUNKS + 2]);
+        assert_eq!(csum, encoded);
+        assert!(chunks.iter().all(|&c| c <= MAX_STEP));
+    }
+
+    #[test]
+    fn signature_bytes_roundtrip() {
+        let kp = keypair(7);
+        let sig = kp.sign(&sha256(b"bytes"));
+        let bytes = sig.to_bytes();
+        assert_eq!(bytes.len(), WotsSignature::BYTE_LEN);
+        assert_eq!(WotsSignature::from_bytes(&bytes).unwrap(), sig);
+        assert!(WotsSignature::from_bytes(&bytes[1..]).is_none());
+    }
+
+    #[test]
+    fn deterministic_keys_from_seed() {
+        assert_eq!(keypair(9).public_key(), keypair(9).public_key());
+        assert_ne!(keypair(9).public_key(), keypair(10).public_key());
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests for the cryptographic primitives.
+
+use nonrep_crypto::digest::{sha256, Digest, Sha256};
+use nonrep_crypto::hmac::hmac_sha256;
+use nonrep_crypto::merkle::{leaf_hash, MerkleTree};
+use nonrep_crypto::rng::SecureRandom;
+use nonrep_crypto::sig::{KeyPair, Signature, SignatureScheme};
+use nonrep_types::codec::{Decode, Encode};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+proptest! {
+    /// Incremental hashing equals one-shot hashing for any split.
+    #[test]
+    fn sha256_incremental_equals_oneshot(data in vec(any::<u8>(), 0..512), split in 0usize..512) {
+        let split = split.min(data.len());
+        let mut h = Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), sha256(&data));
+    }
+
+    /// Distinct messages produce distinct digests (collision witness test).
+    #[test]
+    fn sha256_no_trivial_collisions(a in vec(any::<u8>(), 0..64), b in vec(any::<u8>(), 0..64)) {
+        prop_assume!(a != b);
+        prop_assert_ne!(sha256(&a), sha256(&b));
+    }
+
+    /// HMAC differs under different keys.
+    #[test]
+    fn hmac_key_separation(k1 in vec(any::<u8>(), 1..64), k2 in vec(any::<u8>(), 1..64),
+                           msg in vec(any::<u8>(), 0..128)) {
+        prop_assume!(k1 != k2);
+        prop_assert_ne!(hmac_sha256(&k1, &msg), hmac_sha256(&k2, &msg));
+    }
+
+    /// Every leaf of every tree size verifies against the root.
+    #[test]
+    fn merkle_all_leaves_verify(n in 1usize..24, seed in any::<u64>()) {
+        let payloads: Vec<Vec<u8>> =
+            (0..n).map(|i| format!("{seed}-{i}").into_bytes()).collect();
+        let tree = MerkleTree::from_payloads(payloads.iter().map(Vec::as_slice));
+        for (i, p) in payloads.iter().enumerate() {
+            let path = tree.auth_path(i);
+            prop_assert!(MerkleTree::verify(&tree.root(), &leaf_hash(p), &path));
+        }
+    }
+
+    /// A flipped bit anywhere in a leaf payload breaks verification.
+    #[test]
+    fn merkle_bitflip_detected(n in 2usize..16, idx in 0usize..16, byte in any::<u8>()) {
+        let idx = idx % n;
+        let payloads: Vec<Vec<u8>> = (0..n).map(|i| vec![i as u8; 8]).collect();
+        let tree = MerkleTree::from_payloads(payloads.iter().map(Vec::as_slice));
+        let mut forged = payloads[idx].clone();
+        forged[0] ^= byte | 1; // guarantee at least one bit flips
+        let path = tree.auth_path(idx);
+        prop_assert!(!MerkleTree::verify(&tree.root(), &leaf_hash(&forged), &path));
+    }
+
+    /// Signatures verify for the signed message and fail for any other.
+    #[test]
+    fn signature_soundness(seed in any::<u64>(), m1 in vec(any::<u8>(), 0..64),
+                           m2 in vec(any::<u8>(), 0..64)) {
+        prop_assume!(m1 != m2);
+        let kp = KeyPair::generate(
+            SignatureScheme::Mss { height: 1 },
+            &mut SecureRandom::from_seed(seed),
+        );
+        let sig = kp.sign(&m1).unwrap();
+        prop_assert!(kp.verifying_key().verify(&m1, &sig));
+        prop_assert!(!kp.verifying_key().verify(&m2, &sig));
+    }
+
+    /// Signature decoding never panics on arbitrary bytes.
+    #[test]
+    fn signature_decode_never_panics(bytes in vec(any::<u8>(), 0..256)) {
+        let _ = Signature::decode_from_slice(&bytes);
+    }
+
+    /// Encoded signatures round-trip.
+    #[test]
+    fn signature_codec_roundtrip(seed in any::<u64>(), msg in vec(any::<u8>(), 0..64)) {
+        let kp = KeyPair::generate(SignatureScheme::Arbitrated, &mut SecureRandom::from_seed(seed));
+        let sig = kp.sign(&msg).unwrap();
+        let back = Signature::decode_from_slice(&sig.encode_to_vec()).unwrap();
+        prop_assert_eq!(back, sig);
+    }
+
+    /// Digest hex round-trips.
+    #[test]
+    fn digest_hex_roundtrip(bytes in proptest::array::uniform32(any::<u8>())) {
+        let d = Digest::from_bytes(bytes);
+        prop_assert_eq!(Digest::from_hex(&d.to_hex()).unwrap(), d);
+    }
+}

@@ -1,0 +1,278 @@
+//! Fault injection.
+//!
+//! [`FaultPlan`] implements the paper's failure model (§3.1, assumption 2):
+//! *temporary* network and node failures, bounded in number. Drops are
+//! probabilistic but each link is forced to deliver after
+//! `max_consecutive_drops` consecutive failures, so with retries above that
+//! bound delivery is guaranteed — the liveness assumption becomes a testable
+//! mechanism rather than an axiom.
+//!
+//! Partitions and crashes are explicit (not probabilistic) so tests can
+//! script failure scenarios: a partition or a crash persists until healed,
+//! which *violates* the bounded-failure assumption while in force — exactly
+//! the situation in which the paper only promises safety, not liveness.
+
+use std::collections::{HashMap, HashSet};
+
+use parking_lot::Mutex;
+
+use nonrep_crypto::rng::SecureRandom;
+use nonrep_types::ids::OrgId;
+
+/// What the fault plan decides for one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Deliver the message.
+    Deliver,
+    /// Drop the message (temporary failure).
+    Drop,
+    /// The link is partitioned.
+    Partitioned,
+    /// The destination is crashed.
+    Crashed,
+}
+
+#[derive(Debug, Default)]
+struct FaultState {
+    /// Consecutive drops per directed link.
+    consecutive: HashMap<(OrgId, OrgId), u32>,
+    crashed: HashSet<OrgId>,
+    /// Partitioned unordered pairs.
+    partitions: HashSet<(OrgId, OrgId)>,
+    rng: Option<SecureRandom>,
+}
+
+/// Configurable fault injection shared by bus and simulator.
+///
+/// The default plan injects no faults.
+#[derive(Debug)]
+pub struct FaultPlan {
+    drop_probability: f64,
+    max_consecutive_drops: u32,
+    /// Probability that a *response* (rather than the request) is lost,
+    /// given a drop occurs. Exercises at-most-once ambiguity.
+    response_drop_share: f64,
+    state: Mutex<FaultState>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+fn pair_key(a: &OrgId, b: &OrgId) -> (OrgId, OrgId) {
+    if a <= b {
+        (a.clone(), b.clone())
+    } else {
+        (b.clone(), a.clone())
+    }
+}
+
+impl FaultPlan {
+    /// A plan that never injects faults.
+    pub fn none() -> Self {
+        Self {
+            drop_probability: 0.0,
+            max_consecutive_drops: 0,
+            response_drop_share: 0.0,
+            state: Mutex::new(FaultState::default()),
+        }
+    }
+
+    /// A plan with probabilistic drops, bounded per link.
+    ///
+    /// `seed` makes the plan deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `drop_probability` is not within `[0, 1)`. (Probability 1
+    /// would contradict the bounded-failure model.)
+    pub fn lossy(drop_probability: f64, max_consecutive_drops: u32, seed: u64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&drop_probability),
+            "drop probability must be in [0,1)"
+        );
+        Self {
+            drop_probability,
+            max_consecutive_drops,
+            response_drop_share: 0.3,
+            state: Mutex::new(FaultState {
+                rng: Some(SecureRandom::from_seed(seed)),
+                ..FaultState::default()
+            }),
+        }
+    }
+
+    /// Sets how often a drop manifests as a lost *response* instead of a
+    /// lost request (see [`Verdict`] handling in the bus).
+    #[must_use]
+    pub fn with_response_drop_share(mut self, share: f64) -> Self {
+        self.response_drop_share = share.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Marks `org` crashed. Messages to it fail until [`FaultPlan::recover`].
+    pub fn crash(&self, org: &OrgId) {
+        self.state.lock().crashed.insert(org.clone());
+    }
+
+    /// Recovers a crashed organisation.
+    pub fn recover(&self, org: &OrgId) {
+        self.state.lock().crashed.remove(org);
+    }
+
+    /// `true` if `org` is currently crashed.
+    pub fn is_crashed(&self, org: &OrgId) -> bool {
+        self.state.lock().crashed.contains(org)
+    }
+
+    /// Partitions the link between `a` and `b` (both directions).
+    pub fn partition(&self, a: &OrgId, b: &OrgId) {
+        self.state.lock().partitions.insert(pair_key(a, b));
+    }
+
+    /// Heals the partition between `a` and `b`.
+    pub fn heal(&self, a: &OrgId, b: &OrgId) {
+        self.state.lock().partitions.remove(&pair_key(a, b));
+    }
+
+    /// Decides the fate of a message from `from` to `to`.
+    ///
+    /// Crash and partition checks come first (scripted failures); then the
+    /// probabilistic drop, bounded per directed link.
+    pub fn judge(&self, from: &OrgId, to: &OrgId) -> Verdict {
+        let mut st = self.state.lock();
+        if st.crashed.contains(to) || st.crashed.contains(from) {
+            return Verdict::Crashed;
+        }
+        if st.partitions.contains(&pair_key(from, to)) {
+            return Verdict::Partitioned;
+        }
+        if self.drop_probability <= 0.0 {
+            return Verdict::Deliver;
+        }
+        let key = (from.clone(), to.clone());
+        let count = st.consecutive.get(&key).copied().unwrap_or(0);
+        if count >= self.max_consecutive_drops {
+            st.consecutive.insert(key, 0);
+            return Verdict::Deliver;
+        }
+        let p = self.drop_probability;
+        let dropped = st
+            .rng
+            .as_mut()
+            .map(|rng| rng.chance(p))
+            .unwrap_or(false);
+        if dropped {
+            *st.consecutive.entry(key).or_insert(0) += 1;
+            Verdict::Drop
+        } else {
+            st.consecutive.insert(key, 0);
+            Verdict::Deliver
+        }
+    }
+
+    /// Whether a decided drop should be a lost response instead of a lost
+    /// request.
+    pub fn drop_is_response_loss(&self) -> bool {
+        if self.response_drop_share <= 0.0 {
+            return false;
+        }
+        let share = self.response_drop_share;
+        let mut st = self.state.lock();
+        st.rng.as_mut().map(|rng| rng.chance(share)).unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn orgs() -> (OrgId, OrgId) {
+        (OrgId::new("a"), OrgId::new("b"))
+    }
+
+    #[test]
+    fn none_always_delivers() {
+        let (a, b) = orgs();
+        let plan = FaultPlan::none();
+        for _ in 0..100 {
+            assert_eq!(plan.judge(&a, &b), Verdict::Deliver);
+        }
+    }
+
+    #[test]
+    fn crash_and_recover() {
+        let (a, b) = orgs();
+        let plan = FaultPlan::none();
+        plan.crash(&b);
+        assert!(plan.is_crashed(&b));
+        assert_eq!(plan.judge(&a, &b), Verdict::Crashed);
+        // Crashed sender also cannot send.
+        assert_eq!(plan.judge(&b, &a), Verdict::Crashed);
+        plan.recover(&b);
+        assert_eq!(plan.judge(&a, &b), Verdict::Deliver);
+    }
+
+    #[test]
+    fn partition_is_symmetric_and_healable() {
+        let (a, b) = orgs();
+        let plan = FaultPlan::none();
+        plan.partition(&a, &b);
+        assert_eq!(plan.judge(&a, &b), Verdict::Partitioned);
+        assert_eq!(plan.judge(&b, &a), Verdict::Partitioned);
+        plan.heal(&a, &b);
+        assert_eq!(plan.judge(&a, &b), Verdict::Deliver);
+    }
+
+    #[test]
+    fn drops_are_bounded_per_link() {
+        let (a, b) = orgs();
+        // Very high drop probability but bound of 3.
+        let plan = FaultPlan::lossy(0.99, 3, 42);
+        let mut consecutive = 0u32;
+        let mut max_seen = 0u32;
+        for _ in 0..500 {
+            match plan.judge(&a, &b) {
+                Verdict::Drop => {
+                    consecutive += 1;
+                    max_seen = max_seen.max(consecutive);
+                }
+                Verdict::Deliver => consecutive = 0,
+                other => panic!("unexpected verdict {other:?}"),
+            }
+        }
+        assert!(max_seen <= 3, "observed {max_seen} consecutive drops");
+    }
+
+    #[test]
+    fn lossy_plan_is_deterministic_per_seed() {
+        let (a, b) = orgs();
+        let run = |seed| {
+            let plan = FaultPlan::lossy(0.5, 10, seed);
+            (0..50).map(|_| plan.judge(&a, &b)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn links_have_independent_drop_budgets() {
+        let a = OrgId::new("a");
+        let b = OrgId::new("b");
+        let c = OrgId::new("c");
+        let plan = FaultPlan::lossy(0.99, 1, 1);
+        // Exhaust a->b's budget.
+        let _ = plan.judge(&a, &b);
+        // a->c should still be able to drop (its own budget).
+        let verdicts: Vec<_> = (0..10).map(|_| plan.judge(&a, &c)).collect();
+        assert!(verdicts.contains(&Verdict::Drop));
+    }
+
+    #[test]
+    #[should_panic(expected = "drop probability")]
+    fn probability_one_rejected() {
+        let _ = FaultPlan::lossy(1.0, 3, 0);
+    }
+}

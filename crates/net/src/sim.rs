@@ -1,0 +1,350 @@
+//! Discrete-event network simulator.
+//!
+//! [`SimNet`] delivers asynchronous messages between [`SimNode`]s through a
+//! time-ordered event queue over a logical clock, with the same
+//! [`FaultPlan`]/[`LatencyModel`] machinery as the synchronous bus. Nodes
+//! can also set timers, which is what retransmission loops are built from.
+//!
+//! The simulator is used by the fault-tolerance experiments (E9): it shows
+//! *eventual delivery* emerging from bounded loss plus retransmission, the
+//! exact channel assumption of paper §3.1.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use nonrep_crypto::rng::SecureRandom;
+use nonrep_types::ids::OrgId;
+use nonrep_types::time::{Clock, LogicalClock, Timestamp};
+
+use crate::fault::{FaultPlan, Verdict};
+use crate::latency::LatencyModel;
+use crate::stats::{NetStats, StatsSnapshot};
+
+/// A participant in the simulation.
+pub trait SimNode: Send + Sync {
+    /// Called when a message addressed to this node is delivered.
+    fn on_message(&self, net: &SimNet, from: &OrgId, payload: &[u8]);
+
+    /// Called when a timer set via [`SimNet::set_timer`] fires.
+    fn on_timer(&self, net: &SimNet, tag: u64) {
+        let _ = (net, tag);
+    }
+}
+
+#[derive(Debug)]
+enum EventKind {
+    Deliver { from: OrgId, to: OrgId, payload: Vec<u8> },
+    Timer { org: OrgId, tag: u64 },
+}
+
+#[derive(Debug)]
+struct Event {
+    at: Timestamp,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+struct SimInner {
+    queue: Mutex<BinaryHeap<Reverse<Event>>>,
+    nodes: RwLock<HashMap<OrgId, Arc<dyn SimNode>>>,
+    clock: LogicalClock,
+    fault: FaultPlan,
+    latency: LatencyModel,
+    rng: Mutex<SecureRandom>,
+    stats: NetStats,
+    seq: AtomicU64,
+}
+
+/// The simulator handle; cheap to clone and safe to use from node callbacks.
+#[derive(Clone)]
+pub struct SimNet {
+    inner: Arc<SimInner>,
+}
+
+impl fmt::Debug for SimNet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimNet")
+            .field("now", &self.inner.clock.now())
+            .field("pending", &self.inner.queue.lock().len())
+            .finish()
+    }
+}
+
+impl SimNet {
+    /// Creates a simulator with the given fault plan and latency model.
+    pub fn new(fault: FaultPlan, latency: LatencyModel, seed: u64) -> Self {
+        Self {
+            inner: Arc::new(SimInner {
+                queue: Mutex::new(BinaryHeap::new()),
+                nodes: RwLock::new(HashMap::new()),
+                clock: LogicalClock::new(),
+                fault,
+                latency,
+                rng: Mutex::new(SecureRandom::from_seed(seed)),
+                stats: NetStats::new(),
+                seq: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Registers a node.
+    pub fn register(&self, org: OrgId, node: Arc<dyn SimNode>) {
+        self.inner.nodes.write().insert(org, node);
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Timestamp {
+        self.inner.clock.now()
+    }
+
+    /// The shared fault plan.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.inner.fault
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.inner.stats.snapshot()
+    }
+
+    fn push(&self, at: Timestamp, kind: EventKind) {
+        let seq = self.inner.seq.fetch_add(1, Ordering::SeqCst);
+        self.inner.queue.lock().push(Reverse(Event { at, seq, kind }));
+    }
+
+    /// Sends `payload` from `from` to `to`; it will be delivered after a
+    /// sampled latency unless the fault plan discards it.
+    pub fn send(&self, from: &OrgId, to: &OrgId, payload: Vec<u8>) {
+        match self.inner.fault.judge(from, to) {
+            Verdict::Deliver => {
+                let delay = self.inner.latency.sample(&mut self.inner.rng.lock());
+                let at = self.now().plus_millis(delay.max(1));
+                self.push(
+                    at,
+                    EventKind::Deliver { from: from.clone(), to: to.clone(), payload },
+                );
+            }
+            _ => self.inner.stats.record_drop(),
+        }
+    }
+
+    /// Schedules `on_timer(tag)` for `org` after `delay_ms`.
+    pub fn set_timer(&self, org: &OrgId, delay_ms: u64, tag: u64) {
+        let at = self.now().plus_millis(delay_ms.max(1));
+        self.push(at, EventKind::Timer { org: org.clone(), tag });
+    }
+
+    /// Runs until the queue is empty or `max_events` have been processed.
+    /// Returns the number of events processed.
+    pub fn run(&self, max_events: usize) -> usize {
+        let mut processed = 0;
+        while processed < max_events {
+            let event = match self.inner.queue.lock().pop() {
+                Some(Reverse(e)) => e,
+                None => break,
+            };
+            self.inner.clock.advance_to(event.at);
+            processed += 1;
+            match event.kind {
+                EventKind::Deliver { from, to, payload } => {
+                    let node = self.inner.nodes.read().get(&to).cloned();
+                    if let Some(node) = node {
+                        // Re-check crash at delivery time: a node that
+                        // crashed after send must not receive.
+                        if self.inner.fault.is_crashed(&to) {
+                            self.inner.stats.record_drop();
+                        } else {
+                            self.inner.stats.record_delivery(&from, &to, payload.len());
+                            node.on_message(self, &from, &payload);
+                        }
+                    }
+                }
+                EventKind::Timer { org, tag } => {
+                    let node = self.inner.nodes.read().get(&org).cloned();
+                    if let Some(node) = node {
+                        if !self.inner.fault.is_crashed(&org) {
+                            node.on_timer(self, tag);
+                        }
+                    }
+                }
+            }
+        }
+        processed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Node that stores received payloads.
+    #[derive(Default)]
+    struct Sink {
+        got: Mutex<Vec<(OrgId, Vec<u8>)>>,
+    }
+
+    impl SimNode for Sink {
+        fn on_message(&self, _net: &SimNet, from: &OrgId, payload: &[u8]) {
+            self.got.lock().push((from.clone(), payload.to_vec()));
+        }
+    }
+
+    /// Node that retransmits a payload on a timer until acked.
+    struct Retransmitter {
+        me: OrgId,
+        peer: OrgId,
+        payload: Vec<u8>,
+        acked: Mutex<bool>,
+    }
+
+    impl SimNode for Retransmitter {
+        fn on_message(&self, _net: &SimNet, _from: &OrgId, payload: &[u8]) {
+            if payload == b"ack" {
+                *self.acked.lock() = true;
+            }
+        }
+        fn on_timer(&self, net: &SimNet, tag: u64) {
+            if !*self.acked.lock() {
+                net.send(&self.me, &self.peer, self.payload.clone());
+                net.set_timer(&self.me, 10, tag);
+            }
+        }
+    }
+
+    /// Node that acknowledges everything.
+    struct Acker {
+        me: OrgId,
+    }
+
+    impl SimNode for Acker {
+        fn on_message(&self, net: &SimNet, from: &OrgId, _payload: &[u8]) {
+            net.send(&self.me, from, b"ack".to_vec());
+        }
+    }
+
+    #[test]
+    fn messages_delivered_in_time_order() {
+        let net = SimNet::new(FaultPlan::none(), LatencyModel::Constant(5), 0);
+        let sink = Arc::new(Sink::default());
+        let a = OrgId::new("a");
+        let b = OrgId::new("b");
+        net.register(b.clone(), sink.clone());
+        net.send(&a, &b, b"first".to_vec());
+        net.send(&a, &b, b"second".to_vec());
+        let processed = net.run(100);
+        assert_eq!(processed, 2);
+        let got = sink.got.lock();
+        assert_eq!(got[0].1, b"first");
+        assert_eq!(got[1].1, b"second");
+        assert_eq!(net.now(), Timestamp(5));
+    }
+
+    #[test]
+    fn latency_orders_events_not_send_order() {
+        // Two sends with different constant latencies via two nets is
+        // awkward; instead check that timers interleave with messages.
+        let net = SimNet::new(FaultPlan::none(), LatencyModel::Constant(50), 1);
+        let sink = Arc::new(Sink::default());
+        let b = OrgId::new("b");
+        net.register(b.clone(), sink.clone());
+        net.send(&OrgId::new("a"), &b, b"slow".to_vec());
+        // Timer fires earlier than the message arrives.
+        struct T(Arc<Mutex<Vec<&'static str>>>);
+        impl SimNode for T {
+            fn on_message(&self, _: &SimNet, _: &OrgId, _: &[u8]) {}
+            fn on_timer(&self, _: &SimNet, _: u64) {
+                self.0.lock().push("timer");
+            }
+        }
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let t = OrgId::new("t");
+        net.register(t.clone(), Arc::new(T(order.clone())));
+        net.set_timer(&t, 10, 0);
+        net.run(10);
+        assert_eq!(order.lock().as_slice(), &["timer"]);
+        assert!(!sink.got.lock().is_empty());
+    }
+
+    #[test]
+    fn retransmission_achieves_eventual_delivery_under_loss() {
+        // 60% loss bounded at 4 consecutive: retransmit every 10ms.
+        let net = SimNet::new(FaultPlan::lossy(0.6, 4, 9), LatencyModel::Constant(2), 2);
+        let a = OrgId::new("a");
+        let b = OrgId::new("b");
+        let sender = Arc::new(Retransmitter {
+            me: a.clone(),
+            peer: b.clone(),
+            payload: b"data".to_vec(),
+            acked: Mutex::new(false),
+        });
+        net.register(a.clone(), sender.clone());
+        net.register(b.clone(), Arc::new(Acker { me: b.clone() }));
+        net.send(&a, &b, b"data".to_vec());
+        net.set_timer(&a, 10, 1);
+        net.run(10_000);
+        assert!(*sender.acked.lock(), "retransmission must eventually get through");
+    }
+
+    #[test]
+    fn crashed_node_does_not_receive() {
+        let net = SimNet::new(FaultPlan::none(), LatencyModel::Constant(5), 0);
+        let sink = Arc::new(Sink::default());
+        let a = OrgId::new("a");
+        let b = OrgId::new("b");
+        net.register(b.clone(), sink.clone());
+        net.send(&a, &b, b"x".to_vec());
+        // Crash b after the message is in flight.
+        net.fault_plan().crash(&b);
+        net.run(10);
+        assert!(sink.got.lock().is_empty());
+        assert_eq!(net.stats().dropped, 1);
+    }
+
+    #[test]
+    fn run_respects_max_events() {
+        let net = SimNet::new(FaultPlan::none(), LatencyModel::Constant(1), 0);
+        let sink = Arc::new(Sink::default());
+        let b = OrgId::new("b");
+        net.register(b.clone(), sink.clone());
+        for _ in 0..10 {
+            net.send(&OrgId::new("a"), &b, b"x".to_vec());
+        }
+        assert_eq!(net.run(3), 3);
+        assert_eq!(sink.got.lock().len(), 3);
+        assert_eq!(net.run(100), 7);
+    }
+
+    #[test]
+    fn stats_track_bytes() {
+        let net = SimNet::new(FaultPlan::none(), LatencyModel::Constant(1), 0);
+        let b = OrgId::new("b");
+        net.register(b.clone(), Arc::new(Sink::default()));
+        net.send(&OrgId::new("a"), &b, vec![0; 10]);
+        net.run(10);
+        let snap = net.stats();
+        assert_eq!(snap.delivered, 1);
+        assert_eq!(snap.bytes, 10);
+    }
+}

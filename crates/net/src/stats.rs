@@ -1,0 +1,103 @@
+//! Communication accounting.
+//!
+//! The paper's closing agenda (§6) includes "the communication overhead of
+//! additional messages to execute protocols". [`NetStats`] counts messages,
+//! bytes and drops on every channel so benches can report exactly that.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use nonrep_types::ids::OrgId;
+
+/// A snapshot of the counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Application messages successfully delivered.
+    pub delivered: u64,
+    /// Bytes of delivered payloads.
+    pub bytes: u64,
+    /// Messages lost to fault injection.
+    pub dropped: u64,
+    /// Delivered message count per directed link.
+    pub per_link: HashMap<(OrgId, OrgId), u64>,
+}
+
+impl StatsSnapshot {
+    /// Average payload size of delivered messages (0 when none).
+    pub fn mean_message_bytes(&self) -> u64 {
+        if self.delivered == 0 {
+            0
+        } else {
+            self.bytes / self.delivered
+        }
+    }
+}
+
+/// Thread-safe communication counters.
+#[derive(Debug, Default)]
+pub struct NetStats {
+    inner: Mutex<StatsSnapshot>,
+}
+
+impl NetStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a successful delivery of `bytes` payload bytes.
+    pub fn record_delivery(&self, from: &OrgId, to: &OrgId, bytes: usize) {
+        let mut s = self.inner.lock();
+        s.delivered += 1;
+        s.bytes += bytes as u64;
+        *s.per_link.entry((from.clone(), to.clone())).or_insert(0) += 1;
+    }
+
+    /// Records a dropped message.
+    pub fn record_drop(&self) {
+        self.inner.lock().dropped += 1;
+    }
+
+    /// Takes a snapshot of the counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        self.inner.lock().clone()
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&self) {
+        *self.inner.lock() = StatsSnapshot::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_accumulate() {
+        let stats = NetStats::new();
+        let a = OrgId::new("a");
+        let b = OrgId::new("b");
+        stats.record_delivery(&a, &b, 100);
+        stats.record_delivery(&a, &b, 50);
+        stats.record_delivery(&b, &a, 10);
+        stats.record_drop();
+        let snap = stats.snapshot();
+        assert_eq!(snap.delivered, 3);
+        assert_eq!(snap.bytes, 160);
+        assert_eq!(snap.dropped, 1);
+        assert_eq!(snap.per_link[&(a.clone(), b.clone())], 2);
+        assert_eq!(snap.per_link[&(b, a)], 1);
+        assert_eq!(snap.mean_message_bytes(), 53);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let stats = NetStats::new();
+        stats.record_delivery(&OrgId::new("a"), &OrgId::new("b"), 9);
+        stats.reset();
+        assert_eq!(stats.snapshot(), StatsSnapshot::default());
+        assert_eq!(stats.snapshot().mean_message_bytes(), 0);
+    }
+}

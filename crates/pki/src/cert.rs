@@ -1,0 +1,325 @@
+//! Certificates and certificate authorities.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use nonrep_crypto::sig::{KeyId, KeyPair, SignError, Signature, VerifyingKey};
+use nonrep_types::codec::{decode_seq, encode_seq, CodecError, Decode, Encode, Reader, Writer};
+use nonrep_types::ids::OrgId;
+use nonrep_types::time::{Clock, Timestamp};
+
+use crate::crl::RevocationList;
+
+/// A validity window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Validity {
+    /// First instant at which the certificate is valid.
+    pub not_before: Timestamp,
+    /// Last instant at which the certificate is valid.
+    pub not_after: Timestamp,
+}
+
+impl Validity {
+    /// A window of `duration_ms` starting at `from`.
+    pub fn starting_at(from: Timestamp, duration_ms: u64) -> Self {
+        Self { not_before: from, not_after: from.plus_millis(duration_ms) }
+    }
+
+    /// `true` if `at` lies within the window.
+    pub fn contains(&self, at: Timestamp) -> bool {
+        self.not_before <= at && at <= self.not_after
+    }
+}
+
+impl Encode for Validity {
+    fn encode(&self, w: &mut Writer) {
+        self.not_before.encode(w);
+        self.not_after.encode(w);
+    }
+}
+
+impl Decode for Validity {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Self { not_before: Timestamp::decode(r)?, not_after: Timestamp::decode(r)? })
+    }
+}
+
+/// A certificate binding an organisation to a verifying key.
+///
+/// `roles` carries attribute strings consumed by the access-control
+/// substrate (credential → role mapping, paper §3.5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Certificate {
+    /// Serial number, unique per issuer.
+    pub serial: u64,
+    /// The organisation this certificate identifies.
+    pub subject: OrgId,
+    /// The subject's verifying key.
+    pub subject_key: VerifyingKey,
+    /// Who issued (and signed) this certificate.
+    pub issuer: OrgId,
+    /// The issuer's key identifier (which key signed).
+    pub issuer_key_id: KeyId,
+    /// Validity window.
+    pub validity: Validity,
+    /// Attribute/role strings for access control.
+    pub roles: Vec<String>,
+    /// Issuer signature over the to-be-signed encoding.
+    pub signature: Signature,
+}
+
+impl Certificate {
+    /// The bytes the issuer signs (everything except the signature).
+    pub fn tbs_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_str("nonrep.cert.v1");
+        w.put_u64(self.serial);
+        self.subject.encode(&mut w);
+        self.subject_key.encode(&mut w);
+        self.issuer.encode(&mut w);
+        self.issuer_key_id.encode(&mut w);
+        self.validity.encode(&mut w);
+        encode_seq(&self.roles, &mut w);
+        w.into_vec()
+    }
+
+    /// `true` if this certificate is self-signed (issuer == subject and the
+    /// signature verifies under the certificate's own key).
+    pub fn is_self_signed(&self) -> bool {
+        self.issuer == self.subject && self.subject_key.verify(&self.tbs_bytes(), &self.signature)
+    }
+
+    /// Verifies the issuer signature under `issuer_key`.
+    pub fn verify_signature(&self, issuer_key: &VerifyingKey) -> bool {
+        issuer_key.key_id() == self.issuer_key_id
+            && issuer_key.verify(&self.tbs_bytes(), &self.signature)
+    }
+}
+
+impl Encode for Certificate {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.serial);
+        self.subject.encode(w);
+        self.subject_key.encode(w);
+        self.issuer.encode(w);
+        self.issuer_key_id.encode(w);
+        self.validity.encode(w);
+        encode_seq(&self.roles, w);
+        self.signature.encode(w);
+    }
+}
+
+impl Decode for Certificate {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            serial: r.get_u64()?,
+            subject: OrgId::decode(r)?,
+            subject_key: VerifyingKey::decode(r)?,
+            issuer: OrgId::decode(r)?,
+            issuer_key_id: KeyId::decode(r)?,
+            validity: Validity::decode(r)?,
+            roles: decode_seq(r)?,
+            signature: Signature::decode(r)?,
+        })
+    }
+}
+
+/// A certificate authority: issues certificates and revocation lists.
+pub struct CertificateAuthority {
+    org: OrgId,
+    keys: KeyPair,
+    clock: Arc<dyn Clock>,
+    next_serial: AtomicU64,
+}
+
+impl std::fmt::Debug for CertificateAuthority {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CertificateAuthority({})", self.org)
+    }
+}
+
+impl CertificateAuthority {
+    /// Creates an authority owned by `org`.
+    pub fn new(org: OrgId, keys: KeyPair, clock: Arc<dyn Clock>) -> Self {
+        Self { org, keys, clock, next_serial: AtomicU64::new(1) }
+    }
+
+    /// The authority's organisation id.
+    pub fn org(&self) -> &OrgId {
+        &self.org
+    }
+
+    /// The authority's verifying key.
+    pub fn verifying_key(&self) -> VerifyingKey {
+        self.keys.verifying_key()
+    }
+
+    fn sign_cert(
+        &self,
+        serial: u64,
+        subject: OrgId,
+        subject_key: VerifyingKey,
+        validity: Validity,
+        roles: Vec<String>,
+    ) -> Result<Certificate, SignError> {
+        let mut cert = Certificate {
+            serial,
+            subject,
+            subject_key,
+            issuer: self.org.clone(),
+            issuer_key_id: self.keys.key_id(),
+            validity,
+            roles,
+            // placeholder, replaced below
+            signature: Signature {
+                key_id: self.keys.key_id(),
+                payload: nonrep_crypto::sig::SignaturePayload::Arbitrated(
+                    nonrep_crypto::digest::Digest::ZERO,
+                ),
+            },
+        };
+        cert.signature = self.keys.sign(&cert.tbs_bytes())?;
+        Ok(cert)
+    }
+
+    /// Issues the authority's self-signed root certificate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SignError`] if the CA key is exhausted.
+    pub fn self_signed(&self, duration_ms: u64) -> Result<Certificate, SignError> {
+        let validity = Validity::starting_at(self.clock.now(), duration_ms);
+        self.sign_cert(
+            self.next_serial.fetch_add(1, Ordering::SeqCst),
+            self.org.clone(),
+            self.keys.verifying_key(),
+            validity,
+            vec!["ca".into()],
+        )
+    }
+
+    /// Issues a certificate for `subject` with the given key and roles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SignError`] if the CA key is exhausted.
+    pub fn issue(
+        &self,
+        subject: OrgId,
+        subject_key: VerifyingKey,
+        roles: Vec<String>,
+        duration_ms: u64,
+    ) -> Result<Certificate, SignError> {
+        let validity = Validity::starting_at(self.clock.now(), duration_ms);
+        self.sign_cert(
+            self.next_serial.fetch_add(1, Ordering::SeqCst),
+            subject,
+            subject_key,
+            validity,
+            roles,
+        )
+    }
+
+    /// Issues a signed revocation list covering `revoked_serials`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SignError`] if the CA key is exhausted.
+    pub fn issue_crl(&self, revoked_serials: Vec<u64>) -> Result<RevocationList, SignError> {
+        RevocationList::issue(&self.org, &self.keys, self.clock.now(), revoked_serials)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nonrep_crypto::rng::SecureRandom;
+    use nonrep_crypto::sig::SignatureScheme;
+    use nonrep_types::time::LogicalClock;
+
+    fn ca(seed: u64) -> (CertificateAuthority, LogicalClock) {
+        let clock = LogicalClock::new();
+        let keys = KeyPair::generate(
+            SignatureScheme::Mss { height: 4 },
+            &mut SecureRandom::from_seed(seed),
+        );
+        (CertificateAuthority::new(OrgId::new("root-ca"), keys, Arc::new(clock.clone())), clock)
+    }
+
+    fn subject_key(seed: u64) -> VerifyingKey {
+        KeyPair::generate(SignatureScheme::Mss { height: 2 }, &mut SecureRandom::from_seed(seed))
+            .verifying_key()
+    }
+
+    #[test]
+    fn self_signed_root_verifies() {
+        let (ca, _clock) = ca(1);
+        let root = ca.self_signed(1000).unwrap();
+        assert!(root.is_self_signed());
+        assert!(root.verify_signature(&ca.verifying_key()));
+    }
+
+    #[test]
+    fn issued_cert_verifies_under_ca_key() {
+        let (ca, _clock) = ca(2);
+        let cert = ca
+            .issue(OrgId::new("supplier-a"), subject_key(10), vec!["supplier".into()], 1000)
+            .unwrap();
+        assert!(cert.verify_signature(&ca.verifying_key()));
+        assert!(!cert.is_self_signed());
+        assert_eq!(cert.roles, vec!["supplier".to_string()]);
+    }
+
+    #[test]
+    fn tampered_cert_fails() {
+        let (ca, _clock) = ca(3);
+        let mut cert = ca.issue(OrgId::new("x"), subject_key(11), vec![], 1000).unwrap();
+        cert.subject = OrgId::new("mallory");
+        assert!(!cert.verify_signature(&ca.verifying_key()));
+    }
+
+    #[test]
+    fn wrong_issuer_key_fails() {
+        let (ca1, _c1) = ca(4);
+        let (ca2, _c2) = ca(5);
+        let cert = ca1.issue(OrgId::new("x"), subject_key(12), vec![], 1000).unwrap();
+        assert!(!cert.verify_signature(&ca2.verifying_key()));
+    }
+
+    #[test]
+    fn serials_are_unique_and_increasing() {
+        let (ca, _clock) = ca(6);
+        let c1 = ca.issue(OrgId::new("a"), subject_key(13), vec![], 1000).unwrap();
+        let c2 = ca.issue(OrgId::new("b"), subject_key(14), vec![], 1000).unwrap();
+        assert!(c2.serial > c1.serial);
+    }
+
+    #[test]
+    fn validity_window_arithmetic() {
+        let v = Validity::starting_at(Timestamp(100), 50);
+        assert!(!v.contains(Timestamp(99)));
+        assert!(v.contains(Timestamp(100)));
+        assert!(v.contains(Timestamp(150)));
+        assert!(!v.contains(Timestamp(151)));
+    }
+
+    #[test]
+    fn certificate_codec_roundtrip() {
+        let (ca, _clock) = ca(7);
+        let cert = ca
+            .issue(OrgId::new("x"), subject_key(15), vec!["r1".into(), "r2".into()], 1000)
+            .unwrap();
+        let back = Certificate::decode_from_slice(&cert.encode_to_vec()).unwrap();
+        assert_eq!(back, cert);
+        assert!(back.verify_signature(&ca.verifying_key()));
+    }
+
+    #[test]
+    fn validity_reflects_clock() {
+        let (ca, clock) = ca(8);
+        clock.advance(500);
+        let cert = ca.issue(OrgId::new("x"), subject_key(16), vec![], 100).unwrap();
+        assert_eq!(cert.validity.not_before, Timestamp(500));
+        assert_eq!(cert.validity.not_after, Timestamp(600));
+    }
+}

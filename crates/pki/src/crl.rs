@@ -1,0 +1,146 @@
+//! Signed certificate revocation lists.
+
+use std::collections::BTreeSet;
+
+use nonrep_crypto::sig::{KeyPair, SignError, Signature, VerifyingKey};
+use nonrep_types::codec::{CodecError, Decode, Encode, Reader, Writer};
+use nonrep_types::ids::OrgId;
+use nonrep_types::time::Timestamp;
+
+/// A revocation list: the set of serials the issuer has revoked, signed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RevocationList {
+    /// The issuing authority.
+    pub issuer: OrgId,
+    /// When the list was issued.
+    pub issued_at: Timestamp,
+    /// Revoked certificate serial numbers.
+    pub revoked: BTreeSet<u64>,
+    /// Issuer signature over the to-be-signed encoding.
+    pub signature: Signature,
+}
+
+impl RevocationList {
+    fn tbs_bytes(issuer: &OrgId, issued_at: Timestamp, revoked: &BTreeSet<u64>) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_str("nonrep.crl.v1");
+        issuer.encode(&mut w);
+        issued_at.encode(&mut w);
+        w.put_u32(revoked.len() as u32);
+        for serial in revoked {
+            w.put_u64(*serial);
+        }
+        w.into_vec()
+    }
+
+    /// Issues a signed list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SignError`] if the issuer key is exhausted.
+    pub fn issue(
+        issuer: &OrgId,
+        keys: &KeyPair,
+        issued_at: Timestamp,
+        revoked_serials: Vec<u64>,
+    ) -> Result<Self, SignError> {
+        let revoked: BTreeSet<u64> = revoked_serials.into_iter().collect();
+        let signature = keys.sign(&Self::tbs_bytes(issuer, issued_at, &revoked))?;
+        Ok(Self { issuer: issuer.clone(), issued_at, revoked, signature })
+    }
+
+    /// Verifies the list's signature under `issuer_key`.
+    pub fn verify_signature(&self, issuer_key: &VerifyingKey) -> bool {
+        issuer_key.verify(
+            &Self::tbs_bytes(&self.issuer, self.issued_at, &self.revoked),
+            &self.signature,
+        )
+    }
+
+    /// `true` if `serial` is revoked.
+    pub fn is_revoked(&self, serial: u64) -> bool {
+        self.revoked.contains(&serial)
+    }
+}
+
+impl Encode for RevocationList {
+    fn encode(&self, w: &mut Writer) {
+        self.issuer.encode(w);
+        self.issued_at.encode(w);
+        w.put_u32(self.revoked.len() as u32);
+        for serial in &self.revoked {
+            w.put_u64(*serial);
+        }
+        self.signature.encode(w);
+    }
+}
+
+impl Decode for RevocationList {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let issuer = OrgId::decode(r)?;
+        let issued_at = Timestamp::decode(r)?;
+        let n = r.get_u32()? as usize;
+        let mut revoked = BTreeSet::new();
+        for _ in 0..n {
+            revoked.insert(r.get_u64()?);
+        }
+        let signature = Signature::decode(r)?;
+        Ok(Self { issuer, issued_at, revoked, signature })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nonrep_crypto::rng::SecureRandom;
+    use nonrep_crypto::sig::SignatureScheme;
+
+    fn keys(seed: u64) -> KeyPair {
+        KeyPair::generate(SignatureScheme::Mss { height: 3 }, &mut SecureRandom::from_seed(seed))
+    }
+
+    #[test]
+    fn issue_and_verify() {
+        let kp = keys(1);
+        let crl =
+            RevocationList::issue(&OrgId::new("ca"), &kp, Timestamp(10), vec![3, 1, 2]).unwrap();
+        assert!(crl.verify_signature(&kp.verifying_key()));
+        assert!(crl.is_revoked(1));
+        assert!(crl.is_revoked(2));
+        assert!(!crl.is_revoked(4));
+    }
+
+    #[test]
+    fn tampering_detected() {
+        let kp = keys(2);
+        let mut crl = RevocationList::issue(&OrgId::new("ca"), &kp, Timestamp(0), vec![7]).unwrap();
+        crl.revoked.remove(&7); // un-revoke by editing
+        assert!(!crl.verify_signature(&kp.verifying_key()));
+    }
+
+    #[test]
+    fn empty_crl_is_valid() {
+        let kp = keys(3);
+        let crl = RevocationList::issue(&OrgId::new("ca"), &kp, Timestamp(0), vec![]).unwrap();
+        assert!(crl.verify_signature(&kp.verifying_key()));
+        assert!(!crl.is_revoked(1));
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let kp = keys(4);
+        let crl =
+            RevocationList::issue(&OrgId::new("ca"), &kp, Timestamp(99), vec![5, 6]).unwrap();
+        let back = RevocationList::decode_from_slice(&crl.encode_to_vec()).unwrap();
+        assert_eq!(back, crl);
+        assert!(back.verify_signature(&kp.verifying_key()));
+    }
+
+    #[test]
+    fn serial_order_does_not_matter() {
+        let kp = keys(5);
+        let a = RevocationList::issue(&OrgId::new("ca"), &kp, Timestamp(0), vec![1, 2, 3]).unwrap();
+        let b = RevocationList::issue(&OrgId::new("ca"), &kp, Timestamp(0), vec![3, 2, 1]).unwrap();
+        assert_eq!(a.revoked, b.revoked);
+    }
+}

@@ -1,0 +1,67 @@
+//! Credential (certificate) management.
+//!
+//! Paper §3.5: "a service to support signature verification that stores
+//! certificates and certificate revocation information, and can be used to
+//! verify certificate chains."
+//!
+//! * [`cert`] — [`Certificate`]: binds an organisation to a verifying key
+//!   (plus role attributes used by `nonrep-access`), signed by an issuer.
+//!   [`CertificateAuthority`] issues certificates and revocation lists.
+//! * [`crl`] — signed certificate revocation lists.
+//! * [`manager`] — [`CredentialManager`]: stores certificates, trust
+//!   anchors and CRLs; verifies chains (signature, validity window,
+//!   revocation, bounded depth) and resolves organisation → key.
+
+pub mod cert;
+pub mod crl;
+pub mod manager;
+
+pub use cert::{Certificate, CertificateAuthority, Validity};
+pub use crl::RevocationList;
+pub use manager::CredentialManager;
+
+use std::error::Error;
+use std::fmt;
+
+use nonrep_types::ids::OrgId;
+
+/// Certificate verification failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PkiError {
+    /// No certificate stored for the organisation.
+    NoCertificate(OrgId),
+    /// The issuer is not a trust anchor and has no stored certificate.
+    UnknownIssuer(OrgId),
+    /// The certificate signature does not verify under the issuer key.
+    BadSignature,
+    /// Current time is past `not_after`.
+    Expired,
+    /// Current time is before `not_before`.
+    NotYetValid,
+    /// The certificate's serial appears in the issuer's CRL.
+    Revoked {
+        /// Serial number of the revoked certificate.
+        serial: u64,
+    },
+    /// Chain exceeded the maximum verification depth.
+    ChainTooDeep,
+    /// A CRL signature did not verify.
+    BadCrlSignature,
+}
+
+impl fmt::Display for PkiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PkiError::NoCertificate(org) => write!(f, "no certificate for {org}"),
+            PkiError::UnknownIssuer(org) => write!(f, "unknown issuer {org}"),
+            PkiError::BadSignature => f.write_str("certificate signature invalid"),
+            PkiError::Expired => f.write_str("certificate expired"),
+            PkiError::NotYetValid => f.write_str("certificate not yet valid"),
+            PkiError::Revoked { serial } => write!(f, "certificate {serial} revoked"),
+            PkiError::ChainTooDeep => f.write_str("certificate chain too deep"),
+            PkiError::BadCrlSignature => f.write_str("revocation list signature invalid"),
+        }
+    }
+}
+
+impl Error for PkiError {}

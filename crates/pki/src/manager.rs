@@ -1,0 +1,382 @@
+//! The credential manager.
+//!
+//! Stores trust anchors, certificates and revocation lists, and answers the
+//! two questions interceptors ask: *is this certificate (chain) valid right
+//! now?* and *what verifying key speaks for organisation X?*
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use nonrep_crypto::sig::{KeyId, VerifyingKey};
+use nonrep_types::ids::OrgId;
+use nonrep_types::time::Clock;
+
+use crate::cert::Certificate;
+use crate::crl::RevocationList;
+use crate::PkiError;
+
+/// Maximum chain length walked during verification.
+const MAX_CHAIN_DEPTH: usize = 8;
+
+/// Certificate store + chain verifier.
+pub struct CredentialManager {
+    clock: Arc<dyn Clock>,
+    /// Self-signed roots, keyed by their key id.
+    anchors: RwLock<HashMap<KeyId, Certificate>>,
+    /// Issued certificates by subject organisation.
+    certs: RwLock<HashMap<OrgId, Vec<Certificate>>>,
+    /// Latest CRL per issuer key id.
+    crls: RwLock<HashMap<KeyId, RevocationList>>,
+}
+
+impl std::fmt::Debug for CredentialManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CredentialManager")
+            .field("anchors", &self.anchors.read().len())
+            .field("subjects", &self.certs.read().len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl CredentialManager {
+    /// Creates an empty manager using `clock` for validity checks.
+    pub fn new(clock: Arc<dyn Clock>) -> Self {
+        Self {
+            clock,
+            anchors: RwLock::new(HashMap::new()),
+            certs: RwLock::new(HashMap::new()),
+            crls: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Installs a self-signed root as a trust anchor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PkiError::BadSignature`] if the certificate is not a valid
+    /// self-signed root.
+    pub fn add_anchor(&self, root: Certificate) -> Result<(), PkiError> {
+        if !root.is_self_signed() {
+            return Err(PkiError::BadSignature);
+        }
+        self.anchors.write().insert(root.subject_key.key_id(), root);
+        Ok(())
+    }
+
+    /// Stores a certificate (does not validate; validation happens on use).
+    pub fn add_certificate(&self, cert: Certificate) {
+        self.certs.write().entry(cert.subject.clone()).or_default().push(cert);
+    }
+
+    /// Installs a CRL after checking its signature against the issuer key
+    /// (anchor or stored certificate).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PkiError::BadCrlSignature`] if no known key of the issuer
+    /// verifies the list, or [`PkiError::UnknownIssuer`] if the issuer is
+    /// entirely unknown.
+    pub fn add_crl(&self, crl: RevocationList) -> Result<(), PkiError> {
+        let issuer_keys = self.keys_of(&crl.issuer);
+        if issuer_keys.is_empty() {
+            return Err(PkiError::UnknownIssuer(crl.issuer.clone()));
+        }
+        let valid = issuer_keys.iter().any(|k| crl.verify_signature(k));
+        if !valid {
+            return Err(PkiError::BadCrlSignature);
+        }
+        // Index the CRL under every matching issuer key.
+        let mut crls = self.crls.write();
+        for key in issuer_keys {
+            if crl.verify_signature(&key) {
+                crls.insert(key.key_id(), crl.clone());
+            }
+        }
+        Ok(())
+    }
+
+    /// All known verifying keys for `org` (anchor + issued certificates).
+    fn keys_of(&self, org: &OrgId) -> Vec<VerifyingKey> {
+        let mut keys = Vec::new();
+        for anchor in self.anchors.read().values() {
+            if anchor.subject == *org {
+                keys.push(anchor.subject_key.clone());
+            }
+        }
+        if let Some(certs) = self.certs.read().get(org) {
+            for cert in certs {
+                keys.push(cert.subject_key.clone());
+            }
+        }
+        keys
+    }
+
+    fn check_revocation(&self, cert: &Certificate) -> Result<(), PkiError> {
+        if let Some(crl) = self.crls.read().get(&cert.issuer_key_id) {
+            if crl.is_revoked(cert.serial) {
+                return Err(PkiError::Revoked { serial: cert.serial });
+            }
+        }
+        Ok(())
+    }
+
+    /// Verifies `cert` by walking its issuer chain to a trust anchor.
+    ///
+    /// Checks, at every link: issuer signature, validity window at the
+    /// current clock reading, and revocation status.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`PkiError`] encountered on the chain.
+    pub fn verify_certificate(&self, cert: &Certificate) -> Result<(), PkiError> {
+        let now = self.clock.now();
+        let mut current = cert.clone();
+        for _ in 0..MAX_CHAIN_DEPTH {
+            if now < current.validity.not_before {
+                return Err(PkiError::NotYetValid);
+            }
+            if !current.validity.contains(now) {
+                return Err(PkiError::Expired);
+            }
+            self.check_revocation(&current)?;
+            // Anchor reached?
+            if let Some(anchor) = self.anchors.read().get(&current.issuer_key_id) {
+                if current.verify_signature(&anchor.subject_key) {
+                    return Ok(());
+                }
+                return Err(PkiError::BadSignature);
+            }
+            // Otherwise find the issuer's certificate and recurse.
+            let issuer_certs = self.certs.read().get(&current.issuer).cloned();
+            let issuer_cert = issuer_certs
+                .into_iter()
+                .flatten()
+                .find(|c| c.subject_key.key_id() == current.issuer_key_id)
+                .ok_or_else(|| PkiError::UnknownIssuer(current.issuer.clone()))?;
+            if !current.verify_signature(&issuer_cert.subject_key) {
+                return Err(PkiError::BadSignature);
+            }
+            current = issuer_cert;
+        }
+        Err(PkiError::ChainTooDeep)
+    }
+
+    /// Resolves the currently valid verifying key for `org`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PkiError::NoCertificate`] if no certificate for `org`
+    /// verifies; the last verification error otherwise.
+    pub fn resolve_key(&self, org: &OrgId) -> Result<VerifyingKey, PkiError> {
+        let certs = self
+            .certs
+            .read()
+            .get(org)
+            .cloned()
+            .ok_or_else(|| PkiError::NoCertificate(org.clone()))?;
+        let mut last_err = PkiError::NoCertificate(org.clone());
+        for cert in certs {
+            match self.verify_certificate(&cert) {
+                Ok(()) => return Ok(cert.subject_key),
+                Err(e) => last_err = e,
+            }
+        }
+        Err(last_err)
+    }
+
+    /// Returns the first valid certificate for `org`, with roles intact.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CredentialManager::resolve_key`].
+    pub fn resolve_certificate(&self, org: &OrgId) -> Result<Certificate, PkiError> {
+        let certs = self
+            .certs
+            .read()
+            .get(org)
+            .cloned()
+            .ok_or_else(|| PkiError::NoCertificate(org.clone()))?;
+        let mut last_err = PkiError::NoCertificate(org.clone());
+        for cert in certs {
+            match self.verify_certificate(&cert) {
+                Ok(()) => return Ok(cert),
+                Err(e) => last_err = e,
+            }
+        }
+        Err(last_err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cert::CertificateAuthority;
+    use nonrep_crypto::rng::SecureRandom;
+    use nonrep_crypto::sig::{KeyPair, SignatureScheme};
+    use nonrep_types::time::LogicalClock;
+
+    struct Fixture {
+        clock: LogicalClock,
+        ca: CertificateAuthority,
+        manager: CredentialManager,
+    }
+
+    fn fixture(seed: u64) -> Fixture {
+        let clock = LogicalClock::new();
+        let keys = KeyPair::generate(
+            SignatureScheme::Mss { height: 5 },
+            &mut SecureRandom::from_seed(seed),
+        );
+        let ca = CertificateAuthority::new(OrgId::new("root-ca"), keys, Arc::new(clock.clone()));
+        let manager = CredentialManager::new(Arc::new(clock.clone()));
+        manager.add_anchor(ca.self_signed(1_000_000).unwrap()).unwrap();
+        Fixture { clock, ca, manager }
+    }
+
+    fn org_keys(seed: u64) -> KeyPair {
+        KeyPair::generate(SignatureScheme::Mss { height: 2 }, &mut SecureRandom::from_seed(seed))
+    }
+
+    #[test]
+    fn direct_issue_verifies() {
+        let fx = fixture(1);
+        let kp = org_keys(100);
+        let cert = fx
+            .ca
+            .issue(OrgId::new("supplier"), kp.verifying_key(), vec!["supplier".into()], 10_000)
+            .unwrap();
+        fx.manager.add_certificate(cert.clone());
+        fx.manager.verify_certificate(&cert).unwrap();
+        assert_eq!(fx.manager.resolve_key(&OrgId::new("supplier")).unwrap(), kp.verifying_key());
+        assert_eq!(
+            fx.manager.resolve_certificate(&OrgId::new("supplier")).unwrap().roles,
+            vec!["supplier".to_string()]
+        );
+    }
+
+    #[test]
+    fn chain_through_intermediate_verifies() {
+        let fx = fixture(2);
+        // Intermediate CA certified by root.
+        let inter_keys = org_keys(200);
+        let inter_cert = fx
+            .ca
+            .issue(OrgId::new("inter-ca"), inter_keys.verifying_key(), vec!["ca".into()], 10_000)
+            .unwrap();
+        fx.manager.add_certificate(inter_cert);
+        // Leaf issued by intermediate.
+        let inter =
+            CertificateAuthority::new(OrgId::new("inter-ca"), inter_keys, Arc::new(fx.clock.clone()));
+        let leaf_keys = org_keys(201);
+        let leaf =
+            inter.issue(OrgId::new("leaf-org"), leaf_keys.verifying_key(), vec![], 10_000).unwrap();
+        fx.manager.add_certificate(leaf.clone());
+        fx.manager.verify_certificate(&leaf).unwrap();
+        assert_eq!(fx.manager.resolve_key(&OrgId::new("leaf-org")).unwrap(), leaf_keys.verifying_key());
+    }
+
+    #[test]
+    fn expired_certificate_rejected() {
+        let fx = fixture(3);
+        let cert = fx
+            .ca
+            .issue(OrgId::new("x"), org_keys(300).verifying_key(), vec![], 100)
+            .unwrap();
+        fx.manager.add_certificate(cert.clone());
+        fx.clock.advance(200);
+        assert_eq!(fx.manager.verify_certificate(&cert), Err(PkiError::Expired));
+        assert_eq!(fx.manager.resolve_key(&OrgId::new("x")), Err(PkiError::Expired));
+    }
+
+    #[test]
+    fn revoked_certificate_rejected() {
+        let fx = fixture(4);
+        let cert = fx
+            .ca
+            .issue(OrgId::new("x"), org_keys(400).verifying_key(), vec![], 10_000)
+            .unwrap();
+        fx.manager.add_certificate(cert.clone());
+        fx.manager.verify_certificate(&cert).unwrap();
+        let crl = fx.ca.issue_crl(vec![cert.serial]).unwrap();
+        fx.manager.add_crl(crl).unwrap();
+        assert_eq!(
+            fx.manager.verify_certificate(&cert),
+            Err(PkiError::Revoked { serial: cert.serial })
+        );
+    }
+
+    #[test]
+    fn forged_certificate_rejected() {
+        let fx = fixture(5);
+        // Certificate claiming to be issued by root-ca but signed by mallory.
+        let mallory = CertificateAuthority::new(
+            OrgId::new("root-ca"), // imposter claims the same name
+            org_keys(500),
+            Arc::new(fx.clock.clone()),
+        );
+        let forged = mallory
+            .issue(OrgId::new("x"), org_keys(501).verifying_key(), vec![], 10_000)
+            .unwrap();
+        fx.manager.add_certificate(forged.clone());
+        // The imposter's key id doesn't match the anchor, and there is no
+        // stored issuer certificate for it.
+        assert!(matches!(
+            fx.manager.verify_certificate(&forged),
+            Err(PkiError::UnknownIssuer(_)) | Err(PkiError::BadSignature)
+        ));
+    }
+
+    #[test]
+    fn unknown_org_has_no_certificate() {
+        let fx = fixture(6);
+        assert_eq!(
+            fx.manager.resolve_key(&OrgId::new("ghost")),
+            Err(PkiError::NoCertificate(OrgId::new("ghost")))
+        );
+    }
+
+    #[test]
+    fn crl_from_unknown_issuer_rejected() {
+        let fx = fixture(7);
+        let rogue = org_keys(700);
+        let crl =
+            RevocationList::issue(&OrgId::new("rogue"), &rogue, fx.clock.now(), vec![1]).unwrap();
+        assert!(matches!(fx.manager.add_crl(crl), Err(PkiError::UnknownIssuer(_))));
+    }
+
+    #[test]
+    fn crl_with_bad_signature_rejected() {
+        let fx = fixture(8);
+        let rogue = org_keys(800);
+        // Claims to be from root-ca but signed by a rogue key.
+        let crl =
+            RevocationList::issue(&OrgId::new("root-ca"), &rogue, fx.clock.now(), vec![1]).unwrap();
+        assert_eq!(fx.manager.add_crl(crl), Err(PkiError::BadCrlSignature));
+    }
+
+    #[test]
+    fn non_self_signed_anchor_rejected() {
+        let fx = fixture(9);
+        let cert = fx
+            .ca
+            .issue(OrgId::new("x"), org_keys(900).verifying_key(), vec![], 10_000)
+            .unwrap();
+        let mgr = CredentialManager::new(Arc::new(fx.clock.clone()));
+        assert_eq!(mgr.add_anchor(cert), Err(PkiError::BadSignature));
+    }
+
+    #[test]
+    fn renewal_after_expiry_resolves_new_key() {
+        let fx = fixture(10);
+        let old = org_keys(111);
+        let cert1 = fx.ca.issue(OrgId::new("x"), old.verifying_key(), vec![], 100).unwrap();
+        fx.manager.add_certificate(cert1);
+        fx.clock.advance(200);
+        let new = org_keys(112);
+        let cert2 = fx.ca.issue(OrgId::new("x"), new.verifying_key(), vec![], 10_000).unwrap();
+        fx.manager.add_certificate(cert2);
+        assert_eq!(fx.manager.resolve_key(&OrgId::new("x")).unwrap(), new.verifying_key());
+    }
+}

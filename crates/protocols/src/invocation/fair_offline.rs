@@ -1,0 +1,918 @@
+//! Fair NR-invocation with an *offline* TTP.
+//!
+//! The paper's stronger trust domain (§3.1): the TTP is "not directly
+//! involved in all communication between the parties but may be called upon
+//! to resolve or abort a protocol run to deliver fairness and/or liveness
+//! guarantees to honest parties". The construction follows the
+//! Zhou–Gollmann key-escrow idea (paper refs [12]/[26]):
+//!
+//! ```text
+//! main protocol
+//!   1  C → S : req, NRO_req
+//!      S → T : escrow(run, K)            — key deposited before commitment
+//!      T → S : escrow_ack (signed)
+//!   2  S → C : enc_K(resp), NRR_req, NRO_resp, escrow_ack
+//!   3  C → S : NRR_resp                  — client commits; it can now
+//!                                          always recover K from T
+//!   4  S → C : K                         — normal completion
+//!
+//! recovery sub-protocols at T
+//!   resolve (C) : present NRR_resp  → T stores it for S, releases K
+//!   abort   (S) : if not resolved   → run dead; future resolve refused
+//!   fetch   (S) : retrieve the NRR_resp deposited by a resolving client
+//! ```
+//!
+//! **Fairness**: after step 3 the client can always obtain `K` (from S or
+//! T), and the server can always obtain `NRR_resp` (from C or T). Before
+//! step 3 neither party holds the other's item — aborting is harmless.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use nonrep_crypto::digest::{sha256, Digest};
+use nonrep_crypto::stream::xor_keystream;
+use nonrep_types::codec::{CodecError, Decode, Encode, Reader, Writer};
+use nonrep_types::ids::{OrgId, ProtocolId, RunId};
+
+use crate::handler::ProtocolHandler;
+use crate::invocation::direct::Step1;
+use crate::invocation::{RequestExecutor, RunRegistry, ServerResponse};
+use crate::message::ProtocolMessage;
+use crate::party::Party;
+use crate::tokens::{NrToken, TokenKind};
+use crate::{B2BCoordinator, ProtocolError};
+
+/// Protocol id of the fair offline-TTP protocol.
+pub const PROTOCOL_ID: &str = "fair-offline";
+
+// Step numbers. 1–4 are the main exchange; 10+ are TTP sub-protocols.
+const STEP_REQUEST: u32 = 1;
+const STEP_RESPONSE: u32 = 2;
+const STEP_RECEIPT: u32 = 3;
+const STEP_KEY: u32 = 4;
+const STEP_ESCROW: u32 = 10;
+const STEP_ESCROW_ACK: u32 = 11;
+const STEP_RESOLVE: u32 = 20;
+const STEP_RESOLVE_ACK: u32 = 21;
+const STEP_ABORT: u32 = 30;
+const STEP_ABORT_ACK: u32 = 31;
+const STEP_FETCH: u32 = 40;
+const STEP_FETCH_ACK: u32 = 41;
+
+/// Step-2 body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FairStep2 {
+    /// The response encrypted under the escrowed key.
+    pub enc_response: Vec<u8>,
+    /// Digest of the *plaintext* encoded response.
+    pub resp_digest: Digest,
+    /// Server's receipt for the request.
+    pub nrr_req: NrToken,
+    /// Server's origin token over the plaintext response digest.
+    pub nro_resp: NrToken,
+    /// TTP's escrow acknowledgement (proof the key is recoverable).
+    pub escrow_ack: NrToken,
+}
+
+impl Encode for FairStep2 {
+    fn encode(&self, w: &mut Writer) {
+        w.put_bytes(&self.enc_response);
+        self.resp_digest.encode(w);
+        self.nrr_req.encode(w);
+        self.nro_resp.encode(w);
+        self.escrow_ack.encode(w);
+    }
+}
+
+impl Decode for FairStep2 {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            enc_response: r.get_bytes()?.to_vec(),
+            resp_digest: Digest::decode(r)?,
+            nrr_req: NrToken::decode(r)?,
+            nro_resp: NrToken::decode(r)?,
+            escrow_ack: NrToken::decode(r)?,
+        })
+    }
+}
+
+/// Escrow deposit body (server → TTP).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct EscrowBody {
+    key: [u8; 32],
+    resp_digest: Digest,
+    client: OrgId,
+}
+
+impl Encode for EscrowBody {
+    fn encode(&self, w: &mut Writer) {
+        w.put_raw(&self.key);
+        self.resp_digest.encode(w);
+        self.client.encode(w);
+    }
+}
+
+impl Decode for EscrowBody {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let raw = r.get_raw(32)?;
+        let mut key = [0u8; 32];
+        key.copy_from_slice(raw);
+        Ok(Self { key, resp_digest: Digest::decode(r)?, client: OrgId::decode(r)? })
+    }
+}
+
+/// The client's view of a fair exchange.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FairOutcome {
+    /// The run identifier.
+    pub run_id: RunId,
+    /// The decrypted server response.
+    pub response: ServerResponse,
+    /// Server's receipt for the request.
+    pub nrr_req: NrToken,
+    /// Server's origin token over the response.
+    pub nro_resp: NrToken,
+    /// How the client obtained the decryption key.
+    pub key_source: KeySource,
+}
+
+/// Where the decryption key came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeySource {
+    /// The server completed step 4 normally.
+    Server,
+    /// The server defected; the TTP resolved the run.
+    TtpResolve,
+}
+
+/// Client side of the fair offline-TTP protocol.
+pub struct FairClient {
+    party: Arc<Party>,
+    coordinator: Arc<B2BCoordinator>,
+    ttp: OrgId,
+}
+
+impl fmt::Debug for FairClient {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FairClient({} ttp={})", self.party.org(), self.ttp)
+    }
+}
+
+impl FairClient {
+    /// Creates a client whose recovery TTP is `ttp`.
+    pub fn new(party: Arc<Party>, coordinator: Arc<B2BCoordinator>, ttp: OrgId) -> Self {
+        Self { party, coordinator, ttp }
+    }
+
+    /// Runs the fair exchange against `server`.
+    ///
+    /// If the server defects after collecting the receipt (step 4 never
+    /// arrives), the client automatically runs the resolve sub-protocol
+    /// with the TTP; [`FairOutcome::key_source`] records which path
+    /// delivered the key.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Aborted`] if the server aborted before the client's
+    /// receipt was committed; other [`ProtocolError`]s on bad evidence or
+    /// unreachable peers.
+    pub fn invoke(&self, server: &OrgId, request: Vec<u8>) -> Result<FairOutcome, ProtocolError> {
+        let run_id = self.party.new_run_id();
+        let req_digest = sha256(&request);
+        let nro_req = self.party.issue_token(TokenKind::NroReq, run_id, req_digest)?;
+        self.party.store_token(&nro_req)?;
+        let msg1 = ProtocolMessage::new(
+            PROTOCOL_ID,
+            run_id,
+            STEP_REQUEST,
+            self.party.org().clone(),
+            Step1 { request, nro_req }.encode_to_vec(),
+        )
+        .signed(self.party.keys())
+        .map_err(ProtocolError::from)?;
+
+        let msg2 = self.coordinator.deliver_request(server, &msg1)?;
+        if msg2.step != STEP_RESPONSE || msg2.run_id != run_id {
+            return Err(ProtocolError::BadMessage("expected fair step-2 reply".into()));
+        }
+        let server_key = self.party.key_of(server)?;
+        if !msg2.verify_frame(&server_key) {
+            return Err(ProtocolError::BadSignature {
+                org: server.clone(),
+                what: "fair step-2 frame".into(),
+            });
+        }
+        let step2 = FairStep2::decode_from_slice(&msg2.body)
+            .map_err(|e| ProtocolError::BadMessage(e.to_string()))?;
+        // Verify all evidence before committing.
+        self.party.verify_and_store(&step2.nrr_req, TokenKind::NrrReq, run_id, Some(&req_digest))?;
+        self.party.verify_and_store(
+            &step2.nro_resp,
+            TokenKind::NroResp,
+            run_id,
+            Some(&step2.resp_digest),
+        )?;
+        // The escrow ack must come from *our* TTP and cover this run.
+        if step2.escrow_ack.issuer != self.ttp {
+            return Err(ProtocolError::BadMessage("escrow ack not from the agreed TTP".into()));
+        }
+        self.party.verify_and_store(
+            &step2.escrow_ack,
+            TokenKind::Escrow,
+            run_id,
+            Some(&step2.resp_digest),
+        )?;
+
+        // Step 3: commit the receipt. From here the exchange must end
+        // fairly: K from the server or from the TTP.
+        let nrr_resp = self.party.issue_token(TokenKind::NrrResp, run_id, step2.resp_digest)?;
+        self.party.store_token(&nrr_resp)?;
+        let msg3 = ProtocolMessage::new(
+            PROTOCOL_ID,
+            run_id,
+            STEP_RECEIPT,
+            self.party.org().clone(),
+            nrr_resp.encode_to_vec(),
+        )
+        .signed(self.party.keys())
+        .map_err(ProtocolError::from)?;
+
+        let (key, key_source) = match self.coordinator.deliver_request(server, &msg3) {
+            Ok(msg4) if msg4.step == STEP_KEY && msg4.body.len() == 32 => {
+                let mut key = [0u8; 32];
+                key.copy_from_slice(&msg4.body);
+                (key, KeySource::Server)
+            }
+            // Server defected or vanished: resolve with the TTP.
+            _ => (self.resolve(run_id, &nrr_resp)?, KeySource::TtpResolve),
+        };
+
+        let plain = xor_keystream(&key, &step2.enc_response);
+        if sha256(&plain) != step2.resp_digest {
+            return Err(ProtocolError::BadMessage(
+                "decrypted response does not match committed digest".into(),
+            ));
+        }
+        let response = ServerResponse::decode_from_slice(&plain)
+            .map_err(|e| ProtocolError::BadMessage(e.to_string()))?;
+        Ok(FairOutcome {
+            run_id,
+            response,
+            nrr_req: step2.nrr_req,
+            nro_resp: step2.nro_resp,
+            key_source,
+        })
+    }
+
+    /// The resolve sub-protocol: deposit the receipt with the TTP, get the
+    /// key back.
+    fn resolve(&self, run_id: RunId, nrr_resp: &NrToken) -> Result<[u8; 32], ProtocolError> {
+        let msg = ProtocolMessage::new(
+            PROTOCOL_ID,
+            run_id,
+            STEP_RESOLVE,
+            self.party.org().clone(),
+            nrr_resp.encode_to_vec(),
+        )
+        .signed(self.party.keys())
+        .map_err(ProtocolError::from)?;
+        let reply = self.coordinator.deliver_request(&self.ttp, &msg)?;
+        if reply.step != STEP_RESOLVE_ACK || reply.body.len() != 32 {
+            return Err(ProtocolError::Aborted(run_id));
+        }
+        let mut key = [0u8; 32];
+        key.copy_from_slice(&reply.body);
+        // Record the TTP's involvement in our log.
+        let resolve_note = self.party.issue_token(TokenKind::Resolve, run_id, sha256(&key))?;
+        self.party.store_token(&resolve_note)?;
+        Ok(key)
+    }
+}
+
+/// Server behaviour knobs for testing defection scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServerConduct {
+    /// Follow the protocol.
+    #[default]
+    Honest,
+    /// Collect the client's receipt at step 3 but never send the key
+    /// (the defection the resolve sub-protocol exists for).
+    WithholdKey,
+}
+
+#[derive(Debug)]
+struct FairRunState {
+    key: [u8; 32],
+    receipt_received: bool,
+}
+
+/// Server side of the fair offline-TTP protocol.
+pub struct FairServerHandler {
+    party: Arc<Party>,
+    coordinator: Arc<B2BCoordinator>,
+    executor: Arc<dyn RequestExecutor>,
+    ttp: OrgId,
+    conduct: ServerConduct,
+    runs: RunRegistry,
+    keys: Mutex<HashMap<RunId, FairRunState>>,
+}
+
+impl fmt::Debug for FairServerHandler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FairServerHandler({})", self.party.org())
+    }
+}
+
+impl FairServerHandler {
+    /// Creates the handler (escrowing keys with `ttp`).
+    pub fn new(
+        party: Arc<Party>,
+        coordinator: Arc<B2BCoordinator>,
+        executor: Arc<dyn RequestExecutor>,
+        ttp: OrgId,
+        conduct: ServerConduct,
+    ) -> Arc<Self> {
+        Arc::new(Self {
+            party,
+            coordinator,
+            executor,
+            ttp,
+            conduct,
+            runs: RunRegistry::new(),
+            keys: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// `true` if the client's receipt arrived directly for `run`.
+    pub fn receipt_received(&self, run: &RunId) -> bool {
+        self.keys.lock().get(run).map(|s| s.receipt_received).unwrap_or(false)
+    }
+
+    /// Runs the abort sub-protocol for `run` at the TTP.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Rejected`] if the run was already resolved (the
+    /// TTP then holds the client's receipt — fetch it instead).
+    pub fn abort(&self, run: RunId) -> Result<NrToken, ProtocolError> {
+        let msg = ProtocolMessage::new(
+            PROTOCOL_ID,
+            run,
+            STEP_ABORT,
+            self.party.org().clone(),
+            Vec::new(),
+        )
+        .signed(self.party.keys())
+        .map_err(ProtocolError::from)?;
+        let reply = self.coordinator.deliver_request(&self.ttp, &msg)?;
+        if reply.step != STEP_ABORT_ACK {
+            return Err(ProtocolError::Rejected("run already resolved at TTP".into()));
+        }
+        let token = NrToken::decode_from_slice(&reply.body)
+            .map_err(|e| ProtocolError::BadMessage(e.to_string()))?;
+        self.party.verify_and_store(&token, TokenKind::Abort, run, None)?;
+        Ok(token)
+    }
+
+    /// Fetches the client's receipt from the TTP after a resolve.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::UnknownRun`] if the TTP holds no receipt for `run`.
+    pub fn fetch_receipt(&self, run: RunId) -> Result<NrToken, ProtocolError> {
+        let msg = ProtocolMessage::new(
+            PROTOCOL_ID,
+            run,
+            STEP_FETCH,
+            self.party.org().clone(),
+            Vec::new(),
+        )
+        .signed(self.party.keys())
+        .map_err(ProtocolError::from)?;
+        let reply = self.coordinator.deliver_request(&self.ttp, &msg)?;
+        if reply.step != STEP_FETCH_ACK {
+            return Err(ProtocolError::UnknownRun(run));
+        }
+        let token = NrToken::decode_from_slice(&reply.body)
+            .map_err(|e| ProtocolError::BadMessage(e.to_string()))?;
+        self.party.verify_and_store(&token, TokenKind::NrrResp, run, None)?;
+        Ok(token)
+    }
+
+    fn handle_step1(
+        &self,
+        from: &OrgId,
+        msg: ProtocolMessage,
+    ) -> Result<ProtocolMessage, ProtocolError> {
+        if let Some(cached) = self.runs.cached_response(&msg.run_id) {
+            return Ok(cached);
+        }
+        let client_key = self.party.key_of(from)?;
+        if !msg.verify_frame(&client_key) {
+            return Err(ProtocolError::BadSignature {
+                org: from.clone(),
+                what: "fair step-1 frame".into(),
+            });
+        }
+        let step1 = Step1::decode_from_slice(&msg.body)
+            .map_err(|e| ProtocolError::BadMessage(e.to_string()))?;
+        let req_digest = sha256(&step1.request);
+        self.party.verify_and_store(
+            &step1.nro_req,
+            TokenKind::NroReq,
+            msg.run_id,
+            Some(&req_digest),
+        )?;
+
+        let response = match self.executor.execute(from, &step1.request) {
+            Ok(result) => ServerResponse::Executed(result),
+            Err(reason) => ServerResponse::Failed(reason),
+        };
+        let plain = response.encode_to_vec();
+        let resp_digest = sha256(&plain);
+        let key = self.party.fresh_secret();
+        let enc_response = xor_keystream(&key, &plain);
+
+        // Escrow the key with the TTP *before* committing to step 2.
+        let escrow = EscrowBody { key, resp_digest, client: from.clone() };
+        let escrow_msg = ProtocolMessage::new(
+            PROTOCOL_ID,
+            msg.run_id,
+            STEP_ESCROW,
+            self.party.org().clone(),
+            escrow.encode_to_vec(),
+        )
+        .signed(self.party.keys())
+        .map_err(ProtocolError::from)?;
+        let ack = self.coordinator.deliver_request(&self.ttp, &escrow_msg)?;
+        if ack.step != STEP_ESCROW_ACK {
+            return Err(ProtocolError::BadMessage("TTP refused escrow".into()));
+        }
+        let escrow_ack = NrToken::decode_from_slice(&ack.body)
+            .map_err(|e| ProtocolError::BadMessage(e.to_string()))?;
+        self.party.verify_and_store(
+            &escrow_ack,
+            TokenKind::Escrow,
+            msg.run_id,
+            Some(&resp_digest),
+        )?;
+
+        let nrr_req = self.party.issue_token(TokenKind::NrrReq, msg.run_id, req_digest)?;
+        self.party.store_token(&nrr_req)?;
+        let nro_resp = self.party.issue_token(TokenKind::NroResp, msg.run_id, resp_digest)?;
+        self.party.store_token(&nro_resp)?;
+
+        let msg2 = ProtocolMessage::new(
+            PROTOCOL_ID,
+            msg.run_id,
+            STEP_RESPONSE,
+            self.party.org().clone(),
+            FairStep2 { enc_response, resp_digest, nrr_req, nro_resp, escrow_ack }
+                .encode_to_vec(),
+        )
+        .signed(self.party.keys())
+        .map_err(ProtocolError::from)?;
+        self.keys.lock().insert(msg.run_id, FairRunState { key, receipt_received: false });
+        self.runs.record_response(msg.run_id, msg2.clone());
+        Ok(msg2)
+    }
+
+    fn handle_step3(
+        &self,
+        from: &OrgId,
+        msg: ProtocolMessage,
+    ) -> Result<ProtocolMessage, ProtocolError> {
+        let client_key = self.party.key_of(from)?;
+        if !msg.verify_frame(&client_key) {
+            return Err(ProtocolError::BadSignature {
+                org: from.clone(),
+                what: "fair step-3 frame".into(),
+            });
+        }
+        let nrr_resp = NrToken::decode_from_slice(&msg.body)
+            .map_err(|e| ProtocolError::BadMessage(e.to_string()))?;
+        let key = {
+            let mut keys = self.keys.lock();
+            let state = keys.get_mut(&msg.run_id).ok_or(ProtocolError::UnknownRun(msg.run_id))?;
+            state.receipt_received = true;
+            state.key
+        };
+        self.party.verify_and_store(&nrr_resp, TokenKind::NrrResp, msg.run_id, None)?;
+        match self.conduct {
+            ServerConduct::Honest => Ok(ProtocolMessage::new(
+                PROTOCOL_ID,
+                msg.run_id,
+                STEP_KEY,
+                self.party.org().clone(),
+                key.to_vec(),
+            )),
+            // Defection: acknowledge nothing useful (wrong step forces the
+            // client down the resolve path).
+            ServerConduct::WithholdKey => Ok(ProtocolMessage::new(
+                PROTOCOL_ID,
+                msg.run_id,
+                99,
+                self.party.org().clone(),
+                Vec::new(),
+            )),
+        }
+    }
+}
+
+impl ProtocolHandler for FairServerHandler {
+    fn protocol(&self) -> ProtocolId {
+        ProtocolId::new(PROTOCOL_ID)
+    }
+
+    fn process(&self, _from: &OrgId, _msg: ProtocolMessage) -> Result<(), ProtocolError> {
+        Err(ProtocolError::BadMessage("fair-offline has no one-way steps".into()))
+    }
+
+    fn process_request(
+        &self,
+        from: &OrgId,
+        msg: ProtocolMessage,
+    ) -> Result<ProtocolMessage, ProtocolError> {
+        match msg.step {
+            STEP_REQUEST => self.handle_step1(from, msg),
+            STEP_RECEIPT => self.handle_step3(from, msg),
+            step => Err(ProtocolError::BadMessage(format!("unexpected step {step}"))),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct EscrowEntry {
+    key: Option<([u8; 32], Digest, OrgId)>,
+    aborted: bool,
+    resolved: bool,
+    receipt: Option<NrToken>,
+}
+
+/// The offline TTP: escrow ledger plus resolve/abort/fetch sub-protocols.
+pub struct OfflineTtpHandler {
+    party: Arc<Party>,
+    ledger: Mutex<HashMap<RunId, EscrowEntry>>,
+}
+
+impl fmt::Debug for OfflineTtpHandler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "OfflineTtpHandler({})", self.party.org())
+    }
+}
+
+impl OfflineTtpHandler {
+    /// Creates the TTP handler.
+    pub fn new(party: Arc<Party>) -> Arc<Self> {
+        Arc::new(Self { party, ledger: Mutex::new(HashMap::new()) })
+    }
+
+    /// `true` if `run` is marked aborted.
+    pub fn is_aborted(&self, run: &RunId) -> bool {
+        self.ledger.lock().get(run).map(|e| e.aborted).unwrap_or(false)
+    }
+
+    /// `true` if `run` was resolved for the client.
+    pub fn is_resolved(&self, run: &RunId) -> bool {
+        self.ledger.lock().get(run).map(|e| e.resolved).unwrap_or(false)
+    }
+
+    fn handle_escrow(
+        &self,
+        from: &OrgId,
+        msg: ProtocolMessage,
+    ) -> Result<ProtocolMessage, ProtocolError> {
+        let server_key = self.party.key_of(from)?;
+        if !msg.verify_frame(&server_key) {
+            return Err(ProtocolError::BadSignature { org: from.clone(), what: "escrow".into() });
+        }
+        let body = EscrowBody::decode_from_slice(&msg.body)
+            .map_err(|e| ProtocolError::BadMessage(e.to_string()))?;
+        {
+            let mut ledger = self.ledger.lock();
+            let entry = ledger.entry(msg.run_id).or_default();
+            if entry.aborted {
+                return Err(ProtocolError::Aborted(msg.run_id));
+            }
+            entry.key = Some((body.key, body.resp_digest, body.client.clone()));
+        }
+        let ack = self.party.issue_token(TokenKind::Escrow, msg.run_id, body.resp_digest)?;
+        self.party.store_token(&ack)?;
+        Ok(ProtocolMessage::new(
+            PROTOCOL_ID,
+            msg.run_id,
+            STEP_ESCROW_ACK,
+            self.party.org().clone(),
+            ack.encode_to_vec(),
+        ))
+    }
+
+    fn handle_resolve(
+        &self,
+        from: &OrgId,
+        msg: ProtocolMessage,
+    ) -> Result<ProtocolMessage, ProtocolError> {
+        let client_key = self.party.key_of(from)?;
+        if !msg.verify_frame(&client_key) {
+            return Err(ProtocolError::BadSignature { org: from.clone(), what: "resolve".into() });
+        }
+        let nrr_resp = NrToken::decode_from_slice(&msg.body)
+            .map_err(|e| ProtocolError::BadMessage(e.to_string()))?;
+        let key = {
+            let mut ledger = self.ledger.lock();
+            let entry = ledger.get_mut(&msg.run_id).ok_or(ProtocolError::UnknownRun(msg.run_id))?;
+            if entry.aborted {
+                return Err(ProtocolError::Aborted(msg.run_id));
+            }
+            let (key, resp_digest, client) =
+                entry.key.clone().ok_or(ProtocolError::UnknownRun(msg.run_id))?;
+            if client != *from {
+                return Err(ProtocolError::Rejected("resolver is not the escrowed client".into()));
+            }
+            // The receipt must cover the escrowed response digest.
+            if !nrr_resp.verify(&client_key, Some(TokenKind::NrrResp), Some(msg.run_id), Some(&resp_digest)) {
+                return Err(ProtocolError::BadSignature {
+                    org: from.clone(),
+                    what: "NRR_resp presented at resolve".into(),
+                });
+            }
+            entry.resolved = true;
+            entry.receipt = Some(nrr_resp.clone());
+            key
+        };
+        self.party.store_token(&nrr_resp)?;
+        let note = self.party.issue_token(TokenKind::Resolve, msg.run_id, sha256(&key))?;
+        self.party.store_token(&note)?;
+        Ok(ProtocolMessage::new(
+            PROTOCOL_ID,
+            msg.run_id,
+            STEP_RESOLVE_ACK,
+            self.party.org().clone(),
+            key.to_vec(),
+        ))
+    }
+
+    fn handle_abort(
+        &self,
+        from: &OrgId,
+        msg: ProtocolMessage,
+    ) -> Result<ProtocolMessage, ProtocolError> {
+        let server_key = self.party.key_of(from)?;
+        if !msg.verify_frame(&server_key) {
+            return Err(ProtocolError::BadSignature { org: from.clone(), what: "abort".into() });
+        }
+        let mut ledger = self.ledger.lock();
+        let entry = ledger.entry(msg.run_id).or_default();
+        if entry.resolved {
+            // Resolve won the race: the server should fetch the receipt.
+            return Err(ProtocolError::Rejected("already resolved".into()));
+        }
+        entry.aborted = true;
+        drop(ledger);
+        let token = self.party.issue_token(TokenKind::Abort, msg.run_id, Digest::ZERO)?;
+        self.party.store_token(&token)?;
+        Ok(ProtocolMessage::new(
+            PROTOCOL_ID,
+            msg.run_id,
+            STEP_ABORT_ACK,
+            self.party.org().clone(),
+            token.encode_to_vec(),
+        ))
+    }
+
+    fn handle_fetch(
+        &self,
+        from: &OrgId,
+        msg: ProtocolMessage,
+    ) -> Result<ProtocolMessage, ProtocolError> {
+        let server_key = self.party.key_of(from)?;
+        if !msg.verify_frame(&server_key) {
+            return Err(ProtocolError::BadSignature { org: from.clone(), what: "fetch".into() });
+        }
+        let receipt = self
+            .ledger
+            .lock()
+            .get(&msg.run_id)
+            .and_then(|e| e.receipt.clone())
+            .ok_or(ProtocolError::UnknownRun(msg.run_id))?;
+        Ok(ProtocolMessage::new(
+            PROTOCOL_ID,
+            msg.run_id,
+            STEP_FETCH_ACK,
+            self.party.org().clone(),
+            receipt.encode_to_vec(),
+        ))
+    }
+}
+
+impl ProtocolHandler for OfflineTtpHandler {
+    fn protocol(&self) -> ProtocolId {
+        ProtocolId::new(PROTOCOL_ID)
+    }
+
+    fn process(&self, _from: &OrgId, _msg: ProtocolMessage) -> Result<(), ProtocolError> {
+        Err(ProtocolError::BadMessage("TTP sub-protocols are request/response".into()))
+    }
+
+    fn process_request(
+        &self,
+        from: &OrgId,
+        msg: ProtocolMessage,
+    ) -> Result<ProtocolMessage, ProtocolError> {
+        match msg.step {
+            STEP_ESCROW => self.handle_escrow(from, msg),
+            STEP_RESOLVE => self.handle_resolve(from, msg),
+            STEP_ABORT => self.handle_abort(from, msg),
+            STEP_FETCH => self.handle_fetch(from, msg),
+            step => Err(ProtocolError::BadMessage(format!("unexpected TTP step {step}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::party::StaticKeyDirectory;
+    use nonrep_net::bus::LocalBus;
+    use nonrep_net::retry::{ReliableRequester, RetryPolicy};
+    use nonrep_types::time::LogicalClock;
+
+    struct World {
+        client: FairClient,
+        client_party: Arc<Party>,
+        server_handler: Arc<FairServerHandler>,
+        server_party: Arc<Party>,
+        ttp_handler: Arc<OfflineTtpHandler>,
+        server: OrgId,
+    }
+
+    fn world(conduct: ServerConduct) -> World {
+        let bus = LocalBus::new();
+        let clock = LogicalClock::new();
+        let dir = Arc::new(StaticKeyDirectory::new());
+        let client_party = Party::quick("client", 1, &clock, &dir);
+        let server_party = Party::quick("server", 2, &clock, &dir);
+        let ttp_party = Party::quick("ttp", 3, &clock, &dir);
+
+        let mk = |org: &str| {
+            let c = B2BCoordinator::new(
+                org,
+                ReliableRequester::new(bus.clone(), RetryPolicy::new(4)),
+            );
+            bus.register(OrgId::new(org), c.clone());
+            c
+        };
+        let coord_c = mk("client");
+        let coord_s = mk("server");
+        let coord_t = mk("ttp");
+
+        let server_handler = FairServerHandler::new(
+            server_party.clone(),
+            coord_s.clone(),
+            Arc::new(|_: &OrgId, req: &[u8]| Ok([b"res:".as_slice(), req].concat())),
+            OrgId::new("ttp"),
+            conduct,
+        );
+        coord_s.register_handler(server_handler.clone());
+        let ttp_handler = OfflineTtpHandler::new(ttp_party);
+        coord_t.register_handler(ttp_handler.clone());
+
+        World {
+            client: FairClient::new(client_party.clone(), coord_c, OrgId::new("ttp")),
+            client_party,
+            server_handler,
+            server_party,
+            ttp_handler,
+            server: OrgId::new("server"),
+        }
+    }
+
+    #[test]
+    fn honest_exchange_completes_via_server_key() {
+        let w = world(ServerConduct::Honest);
+        let out = w.client.invoke(&w.server, b"req".to_vec()).unwrap();
+        assert_eq!(out.response, ServerResponse::Executed(b"res:req".to_vec()));
+        assert_eq!(out.key_source, KeySource::Server);
+        assert!(w.server_handler.receipt_received(&out.run_id));
+        assert!(!w.ttp_handler.is_resolved(&out.run_id));
+        // Evidence set complete on both sides.
+        assert!(w.client_party.log().by_run(&out.run_id).len() >= 5);
+        assert!(w.server_party.log().by_run(&out.run_id).len() >= 4);
+    }
+
+    #[test]
+    fn defecting_server_is_defeated_by_resolve() {
+        let w = world(ServerConduct::WithholdKey);
+        let out = w.client.invoke(&w.server, b"req".to_vec()).unwrap();
+        // The client still got the plaintext — via the TTP.
+        assert_eq!(out.response, ServerResponse::Executed(b"res:req".to_vec()));
+        assert_eq!(out.key_source, KeySource::TtpResolve);
+        assert!(w.ttp_handler.is_resolved(&out.run_id));
+        // Fairness: the server can fetch the receipt the client deposited.
+        let receipt = w.server_handler.fetch_receipt(out.run_id).unwrap();
+        assert_eq!(receipt.kind, TokenKind::NrrResp);
+        assert_eq!(receipt.issuer, OrgId::new("client"));
+    }
+
+    #[test]
+    fn abort_before_receipt_blocks_resolve() {
+        let w = world(ServerConduct::Honest);
+        // Simulate: server escrows, but client never sends step 3; server
+        // aborts; a later resolve attempt by the client must fail.
+        // Drive the protocol manually up to step 2.
+        let run = w.client_party.new_run_id();
+        let request = b"req".to_vec();
+        let nro = w
+            .client_party
+            .issue_token(TokenKind::NroReq, run, sha256(&request))
+            .unwrap();
+        let msg1 = ProtocolMessage::new(
+            PROTOCOL_ID,
+            run,
+            STEP_REQUEST,
+            "client",
+            Step1 { request, nro_req: nro }.encode_to_vec(),
+        )
+        .signed(w.client_party.keys())
+        .unwrap();
+        let msg2 = w
+            .server_handler
+            .process_request(&OrgId::new("client"), msg1)
+            .unwrap();
+        let step2 = FairStep2::decode_from_slice(&msg2.body).unwrap();
+
+        // Server aborts (client went silent).
+        let abort_token = w.server_handler.abort(run).unwrap();
+        assert_eq!(abort_token.kind, TokenKind::Abort);
+        assert!(w.ttp_handler.is_aborted(&run));
+
+        // Client belatedly tries to resolve: refused, and it never gets K.
+        let nrr = w
+            .client_party
+            .issue_token(TokenKind::NrrResp, run, step2.resp_digest)
+            .unwrap();
+        let err = w.client.resolve(run, &nrr).unwrap_err();
+        assert!(matches!(err, ProtocolError::Aborted(_) | ProtocolError::Net(_)));
+    }
+
+    #[test]
+    fn abort_after_resolve_is_refused() {
+        let w = world(ServerConduct::WithholdKey);
+        let out = w.client.invoke(&w.server, b"req".to_vec()).unwrap();
+        assert_eq!(out.key_source, KeySource::TtpResolve);
+        let err = w.server_handler.abort(out.run_id).unwrap_err();
+        assert!(matches!(
+            err,
+            ProtocolError::Rejected(_) | ProtocolError::Net(nonrep_net::NetError::Endpoint(_))
+        ));
+        // But fetch works.
+        assert!(w.server_handler.fetch_receipt(out.run_id).is_ok());
+    }
+
+    #[test]
+    fn resolve_with_forged_receipt_refused() {
+        let w = world(ServerConduct::Honest);
+        let out = w.client.invoke(&w.server, b"req".to_vec()).unwrap();
+        // A receipt over the wrong digest cannot resolve.
+        let bogus = w
+            .client_party
+            .issue_token(TokenKind::NrrResp, out.run_id, sha256(b"wrong"))
+            .unwrap();
+        let err = w.client.resolve(out.run_id, &bogus).unwrap_err();
+        assert!(matches!(err, ProtocolError::Aborted(_) | ProtocolError::Net(_)));
+    }
+
+    #[test]
+    fn stranger_cannot_resolve_someone_elses_run() {
+        let w = world(ServerConduct::Honest);
+        let out = w.client.invoke(&w.server, b"req".to_vec()).unwrap();
+        // The server itself tries to "resolve" as if it were the client.
+        let msg = ProtocolMessage::new(
+            PROTOCOL_ID,
+            out.run_id,
+            STEP_RESOLVE,
+            "server",
+            w.server_party
+                .issue_token(TokenKind::NrrResp, out.run_id, sha256(b"x"))
+                .unwrap()
+                .encode_to_vec(),
+        )
+        .signed(w.server_party.keys())
+        .unwrap();
+        let err = w.ttp_handler.process_request(&OrgId::new("server"), msg).unwrap_err();
+        assert!(matches!(err, ProtocolError::Rejected(_) | ProtocolError::BadSignature { .. }));
+    }
+
+    #[test]
+    fn ciphertext_alone_reveals_nothing_useful() {
+        // Construction-level check: a wrong key fails the digest check.
+        let key = [1u8; 32];
+        let plain = ServerResponse::Executed(b"secret".to_vec()).encode_to_vec();
+        let enc = xor_keystream(&key, &plain);
+        let wrong = xor_keystream(&[2u8; 32], &enc);
+        assert_ne!(sha256(&wrong), sha256(&plain));
+    }
+}

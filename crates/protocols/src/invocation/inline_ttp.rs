@@ -1,0 +1,474 @@
+//! Inline-TTP NR-invocation (paper Fig 3(a) and 3(b)).
+//!
+//! All communication between client and server is routed through one or
+//! more trusted third parties. Each TTP hop verifies the client's evidence,
+//! issues its own signed receipts (request and response), logs everything,
+//! and forwards. The *terminal* TTP invokes the server using the ordinary
+//! [direct protocol](crate::invocation::direct) — the server needs no
+//! inline-TTP-specific code, which is exactly the paper's point about
+//! interceptor composability.
+//!
+//! * Fig 3(a): `client → TTP → server` — one [`InlineTtpHandler`] in
+//!   terminal mode.
+//! * Fig 3(b): `client → TTP_A → TTP_B → server` — TTP_A relays to TTP_B
+//!   (relay mode), TTP_B is terminal.
+
+use std::fmt;
+use std::sync::Arc;
+
+use nonrep_crypto::digest::sha256;
+use nonrep_types::codec::{decode_seq, encode_seq, CodecError, Decode, Encode, Reader, Writer};
+use nonrep_types::ids::{OrgId, ProtocolId, RunId};
+
+use crate::handler::ProtocolHandler;
+use crate::invocation::direct::DirectClient;
+use crate::invocation::{RunRegistry, ServerResponse};
+use crate::message::ProtocolMessage;
+use crate::party::Party;
+use crate::tokens::{NrToken, TokenKind};
+use crate::{B2BCoordinator, ProtocolError};
+
+/// Protocol id of the inline-TTP protocol.
+pub const PROTOCOL_ID: &str = "inline-ttp";
+
+/// Step-1 body: the request, its NRO, and the ultimate destination.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InlineStep1 {
+    /// The server that should ultimately execute the request.
+    pub server: OrgId,
+    /// Encoded application request.
+    pub request: Vec<u8>,
+    /// Client's NRO over the request digest.
+    pub nro_req: NrToken,
+}
+
+impl Encode for InlineStep1 {
+    fn encode(&self, w: &mut Writer) {
+        self.server.encode(w);
+        w.put_bytes(&self.request);
+        self.nro_req.encode(w);
+    }
+}
+
+impl Decode for InlineStep1 {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            server: OrgId::decode(r)?,
+            request: r.get_bytes()?.to_vec(),
+            nro_req: NrToken::decode(r)?,
+        })
+    }
+}
+
+/// Step-2 body: the response, the server's origin token, and the
+/// accumulated TTP receipts (outermost relay first).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InlineResp {
+    /// The server-side outcome.
+    pub response: ServerResponse,
+    /// The server's NRO over the response (forwarded by the terminal TTP).
+    pub server_nro_resp: NrToken,
+    /// TTP receipts accumulated along the path.
+    pub receipts: Vec<NrToken>,
+}
+
+impl Encode for InlineResp {
+    fn encode(&self, w: &mut Writer) {
+        self.response.encode(w);
+        self.server_nro_resp.encode(w);
+        encode_seq(&self.receipts, w);
+    }
+}
+
+impl Decode for InlineResp {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            response: ServerResponse::decode(r)?,
+            server_nro_resp: NrToken::decode(r)?,
+            receipts: decode_seq(r)?,
+        })
+    }
+}
+
+/// What the client ends up holding after an inline-TTP exchange.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InlineOutcome {
+    /// The run identifier.
+    pub run_id: RunId,
+    /// The server's response.
+    pub response: ServerResponse,
+    /// The server's NRO over the response.
+    pub server_nro_resp: NrToken,
+    /// Verified TTP receipts (request and response, per hop).
+    pub receipts: Vec<NrToken>,
+}
+
+/// Client side of the inline-TTP protocol.
+pub struct InlineTtpClient {
+    party: Arc<Party>,
+    coordinator: Arc<B2BCoordinator>,
+    /// First TTP hop.
+    ttp: OrgId,
+}
+
+impl fmt::Debug for InlineTtpClient {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "InlineTtpClient({} via {})", self.party.org(), self.ttp)
+    }
+}
+
+impl InlineTtpClient {
+    /// Creates a client that routes through `ttp`.
+    pub fn new(party: Arc<Party>, coordinator: Arc<B2BCoordinator>, ttp: OrgId) -> Self {
+        Self { party, coordinator, ttp }
+    }
+
+    /// Invokes `request` on `server` via the TTP path.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError`] on communication failure or bad evidence.
+    pub fn invoke(&self, server: &OrgId, request: Vec<u8>) -> Result<InlineOutcome, ProtocolError> {
+        let run_id = self.party.new_run_id();
+        let req_digest = sha256(&request);
+        let nro_req = self.party.issue_token(TokenKind::NroReq, run_id, req_digest)?;
+        self.party.store_token(&nro_req)?;
+        let step1 = InlineStep1 { server: server.clone(), request, nro_req };
+        let msg1 = ProtocolMessage::new(
+            PROTOCOL_ID,
+            run_id,
+            1,
+            self.party.org().clone(),
+            step1.encode_to_vec(),
+        )
+        .signed(self.party.keys())
+        .map_err(ProtocolError::from)?;
+        let msg2 = self.coordinator.deliver_request(&self.ttp, &msg1)?;
+        if msg2.step != 2 || msg2.run_id != run_id {
+            return Err(ProtocolError::BadMessage("expected inline step-2 reply".into()));
+        }
+        // The reply frame is signed by the first TTP hop.
+        let hop_key = self.party.key_of(&msg2.sender)?;
+        if !msg2.verify_frame(&hop_key) {
+            return Err(ProtocolError::BadSignature {
+                org: msg2.sender.clone(),
+                what: "inline step-2 frame".into(),
+            });
+        }
+        let resp = InlineResp::decode_from_slice(&msg2.body)
+            .map_err(|e| ProtocolError::BadMessage(e.to_string()))?;
+        // Verify every receipt under its issuer key and persist it.
+        for receipt in &resp.receipts {
+            self.party.verify_and_store(receipt, TokenKind::TtpReceipt, run_id, None)?;
+        }
+        // Verify the server's own response-origin token. It is bound to the
+        // *inner* run id of the TTP↔server direct exchange (the TTP acts as
+        // the protocol client there), so only kind and subject are pinned;
+        // the TTP receipts bind the inner exchange to this outer run.
+        let resp_digest = sha256(&resp.response.encode_to_vec());
+        let server_key = self.party.key_of(&resp.server_nro_resp.issuer)?;
+        if !resp.server_nro_resp.verify(
+            &server_key,
+            Some(TokenKind::NroResp),
+            None,
+            Some(&resp_digest),
+        ) {
+            return Err(ProtocolError::BadSignature {
+                org: resp.server_nro_resp.issuer.clone(),
+                what: "server NRO_resp".into(),
+            });
+        }
+        self.party.store_token(&resp.server_nro_resp)?;
+        Ok(InlineOutcome {
+            run_id,
+            response: resp.response,
+            server_nro_resp: resp.server_nro_resp,
+            receipts: resp.receipts,
+        })
+    }
+}
+
+/// An inline TTP node: relay or terminal.
+pub struct InlineTtpHandler {
+    party: Arc<Party>,
+    coordinator: Arc<B2BCoordinator>,
+    /// `Some(next)` = relay to the next TTP; `None` = terminal (invoke the
+    /// server directly).
+    next_hop: Option<OrgId>,
+    runs: RunRegistry,
+}
+
+impl fmt::Debug for InlineTtpHandler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "InlineTtpHandler({}, next={:?})", self.party.org(), self.next_hop)
+    }
+}
+
+impl InlineTtpHandler {
+    /// Creates a terminal TTP: verifies, receipts, and invokes the server
+    /// with the direct protocol.
+    pub fn terminal(party: Arc<Party>, coordinator: Arc<B2BCoordinator>) -> Arc<Self> {
+        Arc::new(Self { party, coordinator, next_hop: None, runs: RunRegistry::new() })
+    }
+
+    /// Creates a relay TTP forwarding to `next` (distributed inline TTP,
+    /// Fig 3(b)).
+    pub fn relay(party: Arc<Party>, coordinator: Arc<B2BCoordinator>, next: OrgId) -> Arc<Self> {
+        Arc::new(Self { party, coordinator, next_hop: Some(next), runs: RunRegistry::new() })
+    }
+
+    fn handle_step1(
+        &self,
+        _from: &OrgId,
+        msg: ProtocolMessage,
+    ) -> Result<ProtocolMessage, ProtocolError> {
+        if let Some(cached) = self.runs.cached_response(&msg.run_id) {
+            return Ok(cached);
+        }
+        // The frame is signed by the *originating client* (msg.sender), not
+        // necessarily the bus-level previous hop.
+        let client_key = self.party.key_of(&msg.sender)?;
+        if !msg.verify_frame(&client_key) {
+            return Err(ProtocolError::BadSignature {
+                org: msg.sender.clone(),
+                what: "inline step-1 frame".into(),
+            });
+        }
+        let step1 = InlineStep1::decode_from_slice(&msg.body)
+            .map_err(|e| ProtocolError::BadMessage(e.to_string()))?;
+        let req_digest = sha256(&step1.request);
+        self.party.verify_and_store(
+            &step1.nro_req,
+            TokenKind::NroReq,
+            msg.run_id,
+            Some(&req_digest),
+        )?;
+        // Receipt for the request passing through this TTP.
+        let receipt_req = self.party.issue_token(TokenKind::TtpReceipt, msg.run_id, req_digest)?;
+        self.party.store_token(&receipt_req)?;
+
+        let (response, server_nro_resp, mut receipts) = match &self.next_hop {
+            None => {
+                // Terminal: invoke the server with the direct protocol,
+                // acting as the client's proxy.
+                let direct =
+                    DirectClient::new(Arc::clone(&self.party), Arc::clone(&self.coordinator));
+                let outcome = direct.invoke(&step1.server, step1.request.clone())?;
+                (outcome.response, outcome.nro_resp, Vec::new())
+            }
+            Some(next) => {
+                // Relay: forward the original message unchanged.
+                let reply = self.coordinator.deliver_request(next, &msg)?;
+                let hop_key = self.party.key_of(&reply.sender)?;
+                if !reply.verify_frame(&hop_key) {
+                    return Err(ProtocolError::BadSignature {
+                        org: reply.sender.clone(),
+                        what: "relayed step-2 frame".into(),
+                    });
+                }
+                let inner = InlineResp::decode_from_slice(&reply.body)
+                    .map_err(|e| ProtocolError::BadMessage(e.to_string()))?;
+                (inner.response, inner.server_nro_resp, inner.receipts)
+            }
+        };
+        let resp_digest = sha256(&response.encode_to_vec());
+        let receipt_resp =
+            self.party.issue_token(TokenKind::TtpReceipt, msg.run_id, resp_digest)?;
+        self.party.store_token(&receipt_resp)?;
+        // This hop's receipts go in front of any inner receipts.
+        let mut all = vec![receipt_req, receipt_resp];
+        all.append(&mut receipts);
+        let body = InlineResp { response, server_nro_resp, receipts: all };
+        let msg2 = ProtocolMessage::new(
+            PROTOCOL_ID,
+            msg.run_id,
+            2,
+            self.party.org().clone(),
+            body.encode_to_vec(),
+        )
+        .signed(self.party.keys())
+        .map_err(ProtocolError::from)?;
+        self.runs.record_response(msg.run_id, msg2.clone());
+        Ok(msg2)
+    }
+}
+
+impl ProtocolHandler for InlineTtpHandler {
+    fn protocol(&self) -> ProtocolId {
+        ProtocolId::new(PROTOCOL_ID)
+    }
+
+    fn process(&self, _from: &OrgId, _msg: ProtocolMessage) -> Result<(), ProtocolError> {
+        Err(ProtocolError::BadMessage("inline-ttp has no one-way steps".into()))
+    }
+
+    fn process_request(
+        &self,
+        from: &OrgId,
+        msg: ProtocolMessage,
+    ) -> Result<ProtocolMessage, ProtocolError> {
+        match msg.step {
+            1 => self.handle_step1(from, msg),
+            step => Err(ProtocolError::BadMessage(format!("unexpected step {step}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::invocation::direct::DirectServerHandler;
+    use crate::party::StaticKeyDirectory;
+    use nonrep_net::bus::LocalBus;
+    use nonrep_net::retry::{ReliableRequester, RetryPolicy};
+    use nonrep_types::time::LogicalClock;
+
+    struct World {
+        bus: Arc<LocalBus>,
+        clock: LogicalClock,
+        dir: Arc<StaticKeyDirectory>,
+    }
+
+    impl World {
+        fn new() -> Self {
+            Self {
+                bus: LocalBus::new(),
+                clock: LogicalClock::new(),
+                dir: Arc::new(StaticKeyDirectory::new()),
+            }
+        }
+
+        fn coordinator(&self, org: &str) -> Arc<B2BCoordinator> {
+            let c = B2BCoordinator::new(
+                org,
+                ReliableRequester::new(self.bus.clone(), RetryPolicy::new(6)),
+            );
+            self.bus.register(OrgId::new(org), c.clone());
+            c
+        }
+    }
+
+    fn echo_server(world: &World, name: &str, seed: u64) -> Arc<Party> {
+        let party = Party::quick(name, seed, &world.clock, &world.dir);
+        let coord = world.coordinator(name);
+        let handler = DirectServerHandler::new(
+            party.clone(),
+            Arc::new(|_: &OrgId, req: &[u8]| Ok([b"res:", req].concat())),
+        );
+        coord.register_handler(handler);
+        party
+    }
+
+    #[test]
+    fn single_inline_ttp_fig3a() {
+        let world = World::new();
+        let client_party = Party::quick("client", 1, &world.clock, &world.dir);
+        let ttp_party = Party::quick("ttp", 2, &world.clock, &world.dir);
+        let _server_party = echo_server(&world, "server", 3);
+
+        let ttp_coord = world.coordinator("ttp");
+        ttp_coord.register_handler(InlineTtpHandler::terminal(ttp_party.clone(), ttp_coord.clone()));
+        let client_coord = world.coordinator("client");
+        let client = InlineTtpClient::new(client_party.clone(), client_coord, OrgId::new("ttp"));
+
+        let out = client.invoke(&OrgId::new("server"), b"req".to_vec()).unwrap();
+        assert_eq!(out.response, ServerResponse::Executed(b"res:req".to_vec()));
+        // Two TTP receipts (request + response).
+        assert_eq!(out.receipts.len(), 2);
+        assert!(out.receipts.iter().all(|r| r.issuer == OrgId::new("ttp")));
+        // Client log: own NRO + 2 receipts bound to the outer run, plus the
+        // server's NRO_resp (bound to the TTP↔server inner run).
+        assert_eq!(client_party.log().by_run(&out.run_id).len(), 3);
+        assert_eq!(client_party.log().len(), 4);
+        // TTP log holds the full audit trail of both legs: client NRO +
+        // 2 own receipts (outer run) + 4 direct-leg tokens (inner run).
+        assert_eq!(ttp_party.log().by_run(&out.run_id).len(), 3);
+        assert_eq!(ttp_party.log().len(), 7);
+    }
+
+    #[test]
+    fn distributed_inline_ttp_fig3b() {
+        let world = World::new();
+        let client_party = Party::quick("client", 1, &world.clock, &world.dir);
+        let ttp_a_party = Party::quick("ttp-a", 2, &world.clock, &world.dir);
+        let ttp_b_party = Party::quick("ttp-b", 3, &world.clock, &world.dir);
+        let _server_party = echo_server(&world, "server", 4);
+
+        let coord_b = world.coordinator("ttp-b");
+        coord_b.register_handler(InlineTtpHandler::terminal(ttp_b_party.clone(), coord_b.clone()));
+        let coord_a = world.coordinator("ttp-a");
+        coord_a.register_handler(InlineTtpHandler::relay(
+            ttp_a_party.clone(),
+            coord_a.clone(),
+            OrgId::new("ttp-b"),
+        ));
+        let client_coord = world.coordinator("client");
+        let client = InlineTtpClient::new(client_party.clone(), client_coord, OrgId::new("ttp-a"));
+
+        let out = client.invoke(&OrgId::new("server"), b"req".to_vec()).unwrap();
+        assert_eq!(out.response, ServerResponse::Executed(b"res:req".to_vec()));
+        // Four receipts: A(req, resp), B(req, resp).
+        assert_eq!(out.receipts.len(), 4);
+        assert_eq!(out.receipts[0].issuer, OrgId::new("ttp-a"));
+        assert_eq!(out.receipts[2].issuer, OrgId::new("ttp-b"));
+        // Both TTPs logged their legs.
+        assert!(ttp_a_party.log().len() >= 3);
+        assert!(ttp_b_party.log().len() >= 3);
+    }
+
+    #[test]
+    fn ttp_rejects_forged_client_message() {
+        let world = World::new();
+        let client_party = Party::quick("client", 1, &world.clock, &world.dir);
+        let ttp_party = Party::quick("ttp", 2, &world.clock, &world.dir);
+        let _server = echo_server(&world, "server", 3);
+        let ttp_coord = world.coordinator("ttp");
+        let handler = InlineTtpHandler::terminal(ttp_party, ttp_coord);
+
+        // NRO over a different request than the one sent.
+        let run = client_party.new_run_id();
+        let nro = client_party.issue_token(TokenKind::NroReq, run, sha256(b"other")).unwrap();
+        let msg = ProtocolMessage::new(
+            PROTOCOL_ID,
+            run,
+            1,
+            "client",
+            InlineStep1 {
+                server: OrgId::new("server"),
+                request: b"real".to_vec(),
+                nro_req: nro,
+            }
+            .encode_to_vec(),
+        )
+        .signed(client_party.keys())
+        .unwrap();
+        let err = handler.process_request(&OrgId::new("client"), msg).unwrap_err();
+        assert!(matches!(err, ProtocolError::BadSignature { .. }));
+    }
+
+    #[test]
+    fn duplicate_request_uses_cached_response() {
+        let world = World::new();
+        let client_party = Party::quick("client", 1, &world.clock, &world.dir);
+        let ttp_party = Party::quick("ttp", 2, &world.clock, &world.dir);
+        let _server = echo_server(&world, "server", 3);
+        let ttp_coord = world.coordinator("ttp");
+        let handler = InlineTtpHandler::terminal(ttp_party, ttp_coord);
+
+        let run = client_party.new_run_id();
+        let request = b"dup".to_vec();
+        let nro = client_party.issue_token(TokenKind::NroReq, run, sha256(&request)).unwrap();
+        let msg = ProtocolMessage::new(
+            PROTOCOL_ID,
+            run,
+            1,
+            "client",
+            InlineStep1 { server: OrgId::new("server"), request, nro_req: nro }.encode_to_vec(),
+        )
+        .signed(client_party.keys())
+        .unwrap();
+        let r1 = handler.process_request(&OrgId::new("client"), msg.clone()).unwrap();
+        let r2 = handler.process_request(&OrgId::new("client"), msg).unwrap();
+        assert_eq!(r1, r2);
+    }
+}

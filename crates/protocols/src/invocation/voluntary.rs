@@ -1,0 +1,253 @@
+//! The asymmetric "voluntary" baseline protocol.
+//!
+//! Reproduces the CORBA-filter approach of Wichert et al (paper §5, ref
+//! [23]): "the client provides the server with non-repudiation of origin of
+//! a request but there is no exchange to provide corresponding evidence to
+//! the client."
+//!
+//! ```text
+//! client → server : req, NRO_req      (step 1)
+//! server → client : resp              (step 2, no evidence)
+//! ```
+//!
+//! The comparison baseline for experiments E8/E11: half the messages and a
+//! fraction of the evidence bytes of the direct protocol — and none of the
+//! client-side guarantees.
+
+use std::fmt;
+use std::sync::Arc;
+
+use nonrep_crypto::digest::sha256;
+use nonrep_types::ids::{OrgId, ProtocolId, RunId};
+
+use crate::handler::ProtocolHandler;
+use crate::invocation::direct::Step1;
+use crate::invocation::{RequestExecutor, RunRegistry, ServerResponse};
+use crate::message::ProtocolMessage;
+use crate::party::Party;
+use crate::tokens::TokenKind;
+use crate::{B2BCoordinator, ProtocolError};
+use nonrep_types::codec::{Decode, Encode};
+
+/// Protocol id of the voluntary protocol.
+pub const PROTOCOL_ID: &str = "voluntary";
+
+/// Client side: sends NRO, receives a bare response.
+pub struct VoluntaryClient {
+    party: Arc<Party>,
+    coordinator: Arc<B2BCoordinator>,
+}
+
+impl fmt::Debug for VoluntaryClient {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VoluntaryClient({})", self.party.org())
+    }
+}
+
+/// The client's view of a completed voluntary exchange: a response and the
+/// run id — *no* evidence about the server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VoluntaryOutcome {
+    /// The run identifier.
+    pub run_id: RunId,
+    /// The server's response (unauthenticated at the protocol level).
+    pub response: ServerResponse,
+}
+
+impl VoluntaryClient {
+    /// Creates a client executing through `coordinator`.
+    pub fn new(party: Arc<Party>, coordinator: Arc<B2BCoordinator>) -> Self {
+        Self { party, coordinator }
+    }
+
+    /// Sends `request` with an NRO token and returns the bare response.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError`] on communication or signing failure.
+    pub fn invoke(
+        &self,
+        server: &OrgId,
+        request: Vec<u8>,
+    ) -> Result<VoluntaryOutcome, ProtocolError> {
+        let run_id = self.party.new_run_id();
+        let req_digest = sha256(&request);
+        let nro_req = self.party.issue_token(TokenKind::NroReq, run_id, req_digest)?;
+        self.party.store_token(&nro_req)?;
+        let msg1 = ProtocolMessage::new(
+            PROTOCOL_ID,
+            run_id,
+            1,
+            self.party.org().clone(),
+            Step1 { request, nro_req }.encode_to_vec(),
+        )
+        .signed(self.party.keys())
+        .map_err(ProtocolError::from)?;
+        let msg2 = self.coordinator.deliver_request(server, &msg1)?;
+        if msg2.step != 2 || msg2.run_id != run_id {
+            return Err(ProtocolError::BadMessage("expected step-2 reply".into()));
+        }
+        let response = ServerResponse::decode_from_slice(&msg2.body)
+            .map_err(|e| ProtocolError::BadMessage(e.to_string()))?;
+        Ok(VoluntaryOutcome { run_id, response })
+    }
+}
+
+/// Server side: verifies + stores the client's NRO, executes, answers with
+/// a bare response.
+pub struct VoluntaryServerHandler {
+    party: Arc<Party>,
+    executor: Arc<dyn RequestExecutor>,
+    runs: RunRegistry,
+}
+
+impl fmt::Debug for VoluntaryServerHandler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VoluntaryServerHandler({})", self.party.org())
+    }
+}
+
+impl VoluntaryServerHandler {
+    /// Creates the handler.
+    pub fn new(party: Arc<Party>, executor: Arc<dyn RequestExecutor>) -> Arc<Self> {
+        Arc::new(Self { party, executor, runs: RunRegistry::new() })
+    }
+}
+
+impl ProtocolHandler for VoluntaryServerHandler {
+    fn protocol(&self) -> ProtocolId {
+        ProtocolId::new(PROTOCOL_ID)
+    }
+
+    fn process(&self, _from: &OrgId, _msg: ProtocolMessage) -> Result<(), ProtocolError> {
+        Err(ProtocolError::BadMessage("voluntary protocol has no one-way steps".into()))
+    }
+
+    fn process_request(
+        &self,
+        from: &OrgId,
+        msg: ProtocolMessage,
+    ) -> Result<ProtocolMessage, ProtocolError> {
+        if msg.step != 1 {
+            return Err(ProtocolError::BadMessage(format!("unexpected step {}", msg.step)));
+        }
+        if let Some(cached) = self.runs.cached_response(&msg.run_id) {
+            return Ok(cached);
+        }
+        let client_key = self.party.key_of(from)?;
+        if !msg.verify_frame(&client_key) {
+            return Err(ProtocolError::BadSignature {
+                org: from.clone(),
+                what: "step-1 frame".into(),
+            });
+        }
+        let step1 = Step1::decode_from_slice(&msg.body)
+            .map_err(|e| ProtocolError::BadMessage(e.to_string()))?;
+        let req_digest = sha256(&step1.request);
+        self.party.verify_and_store(
+            &step1.nro_req,
+            TokenKind::NroReq,
+            msg.run_id,
+            Some(&req_digest),
+        )?;
+        let response = match self.executor.execute(from, &step1.request) {
+            Ok(result) => ServerResponse::Executed(result),
+            Err(reason) => ServerResponse::Failed(reason),
+        };
+        let msg2 = ProtocolMessage::new(
+            PROTOCOL_ID,
+            msg.run_id,
+            2,
+            self.party.org().clone(),
+            response.encode_to_vec(),
+        );
+        self.runs.record_response(msg.run_id, msg2.clone());
+        Ok(msg2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::party::StaticKeyDirectory;
+    use nonrep_net::bus::LocalBus;
+    use nonrep_net::retry::{ReliableRequester, RetryPolicy};
+    use nonrep_types::time::LogicalClock;
+
+    fn fixture() -> (VoluntaryClient, Arc<Party>, Arc<Party>, OrgId) {
+        let clock = LogicalClock::new();
+        let dir = Arc::new(StaticKeyDirectory::new());
+        let client_party = Party::quick("client", 1, &clock, &dir);
+        let server_party = Party::quick("server", 2, &clock, &dir);
+        let bus = LocalBus::new();
+        let coord_c =
+            B2BCoordinator::new("client", ReliableRequester::new(bus.clone(), RetryPolicy::new(4)));
+        let coord_s =
+            B2BCoordinator::new("server", ReliableRequester::new(bus.clone(), RetryPolicy::new(4)));
+        let handler = VoluntaryServerHandler::new(
+            server_party.clone(),
+            Arc::new(|_: &OrgId, req: &[u8]| Ok([b"ok:", req].concat())),
+        );
+        coord_s.register_handler(handler);
+        bus.register(OrgId::new("client"), coord_c.clone());
+        bus.register(OrgId::new("server"), coord_s);
+        (
+            VoluntaryClient::new(client_party.clone(), coord_c),
+            client_party,
+            server_party,
+            OrgId::new("server"),
+        )
+    }
+
+    #[test]
+    fn exchange_completes_with_one_sided_evidence() {
+        let (client, client_party, server_party, server) = fixture();
+        let out = client.invoke(&server, b"req".to_vec()).unwrap();
+        assert_eq!(out.response, ServerResponse::Executed(b"ok:req".to_vec()));
+        // The asymmetry: server holds the client's NRO; client holds only
+        // its own NRO copy — no token *about the server* at all.
+        let server_kinds: Vec<String> =
+            server_party.log().by_run(&out.run_id).iter().map(|r| r.draft.kind.clone()).collect();
+        assert_eq!(server_kinds, vec!["NRO_req"]);
+        let client_kinds: Vec<String> =
+            client_party.log().by_run(&out.run_id).iter().map(|r| r.draft.kind.clone()).collect();
+        assert_eq!(client_kinds, vec!["NRO_req"]);
+    }
+
+    #[test]
+    fn forged_nro_rejected() {
+        let (client, client_party, _server_party, server) = fixture();
+        drop(client);
+        // Build a message whose NRO subject doesn't match the request.
+        let run = client_party.new_run_id();
+        let nro = client_party.issue_token(TokenKind::NroReq, run, sha256(b"other")).unwrap();
+        let msg = ProtocolMessage::new(
+            PROTOCOL_ID,
+            run,
+            1,
+            "client",
+            Step1 { request: b"real".to_vec(), nro_req: nro }.encode_to_vec(),
+        )
+        .signed(client_party.keys())
+        .unwrap();
+        // Dispatch directly at a fresh handler.
+        let clock = LogicalClock::new();
+        let dir = Arc::new(StaticKeyDirectory::new());
+        dir.insert(OrgId::new("client"), client_party.keys().verifying_key());
+        let sp = Party::quick("server", 5, &clock, &dir);
+        let handler = VoluntaryServerHandler::new(sp, Arc::new(|_: &OrgId, _: &[u8]| Ok(vec![])));
+        let err = handler.process_request(&OrgId::new("client"), msg).unwrap_err();
+        assert!(matches!(err, ProtocolError::BadSignature { .. }));
+        drop(server);
+    }
+
+    #[test]
+    fn duplicate_requests_are_deduplicated() {
+        let (client, _cp, server_party, server) = fixture();
+        let out1 = client.invoke(&server, b"a".to_vec()).unwrap();
+        let out2 = client.invoke(&server, b"a".to_vec()).unwrap();
+        // Distinct runs (fresh run ids), both logged once each.
+        assert_ne!(out1.run_id, out2.run_id);
+        assert_eq!(server_party.log().len(), 2);
+    }
+}

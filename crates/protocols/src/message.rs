@@ -1,0 +1,181 @@
+//! Protocol messages.
+//!
+//! [`ProtocolMessage`] is the Rust rendering of the paper's
+//! `B2BProtocolMessage` (§4.1): "an interface to information common to
+//! non-repudiation protocol messages — request (protocol run) identifier,
+//! sender, protocol step, signed content, payload etc." Step-specific
+//! content lives in `body` (canonically encoded by each protocol); the
+//! optional signature covers the whole frame.
+
+use nonrep_crypto::digest::{sha256, Digest};
+use nonrep_crypto::sig::{Signature, VerifyingKey};
+use nonrep_types::codec::{CodecError, Decode, Encode, Reader, Writer};
+use nonrep_types::ids::{OrgId, ProtocolId, RunId};
+
+/// A framed protocol message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolMessage {
+    /// Which protocol this message belongs to.
+    pub protocol: ProtocolId,
+    /// The protocol run it is part of.
+    pub run_id: RunId,
+    /// Step number within the run (1-based).
+    pub step: u32,
+    /// The sending organisation.
+    pub sender: OrgId,
+    /// Step-specific encoded content.
+    pub body: Vec<u8>,
+    /// Optional sender signature over the frame.
+    pub signature: Option<Signature>,
+}
+
+impl ProtocolMessage {
+    /// Creates an unsigned message.
+    pub fn new(
+        protocol: impl Into<ProtocolId>,
+        run_id: RunId,
+        step: u32,
+        sender: impl Into<OrgId>,
+        body: Vec<u8>,
+    ) -> Self {
+        Self {
+            protocol: protocol.into(),
+            run_id,
+            step,
+            sender: sender.into(),
+            body,
+            signature: None,
+        }
+    }
+
+    /// The bytes covered by the frame signature.
+    pub fn signed_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_str("nonrep.pmsg.v1");
+        self.protocol.encode(&mut w);
+        self.run_id.encode(&mut w);
+        w.put_u32(self.step);
+        self.sender.encode(&mut w);
+        w.put_bytes(&self.body);
+        w.into_vec()
+    }
+
+    /// Digest of the signed frame (for evidence records).
+    pub fn frame_digest(&self) -> Digest {
+        sha256(&self.signed_bytes())
+    }
+
+    /// Signs the frame with `keys` (builder).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`nonrep_crypto::sig::SignError`] if the key is exhausted.
+    pub fn signed(
+        mut self,
+        keys: &nonrep_crypto::sig::KeyPair,
+    ) -> Result<Self, nonrep_crypto::sig::SignError> {
+        self.signature = Some(keys.sign(&self.signed_bytes())?);
+        Ok(self)
+    }
+
+    /// Verifies the frame signature under `key`.
+    ///
+    /// Returns `false` if the message is unsigned.
+    pub fn verify_frame(&self, key: &VerifyingKey) -> bool {
+        match &self.signature {
+            Some(sig) => key.verify(&self.signed_bytes(), sig),
+            None => false,
+        }
+    }
+
+    /// Serialized size in bytes (communication-overhead accounting).
+    pub fn byte_len(&self) -> usize {
+        self.encode_to_vec().len()
+    }
+}
+
+impl Encode for ProtocolMessage {
+    fn encode(&self, w: &mut Writer) {
+        self.protocol.encode(w);
+        self.run_id.encode(w);
+        w.put_u32(self.step);
+        self.sender.encode(w);
+        w.put_bytes(&self.body);
+        self.signature.encode(w);
+    }
+}
+
+impl Decode for ProtocolMessage {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            protocol: ProtocolId::decode(r)?,
+            run_id: RunId::decode(r)?,
+            step: r.get_u32()?,
+            sender: OrgId::decode(r)?,
+            body: r.get_bytes()?.to_vec(),
+            signature: Option::<Signature>::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nonrep_crypto::rng::SecureRandom;
+    use nonrep_crypto::sig::{KeyPair, SignatureScheme};
+
+    fn keys(seed: u64) -> KeyPair {
+        KeyPair::generate(SignatureScheme::Mss { height: 2 }, &mut SecureRandom::from_seed(seed))
+    }
+
+    fn msg() -> ProtocolMessage {
+        ProtocolMessage::new("direct", RunId::from_u128(5), 1, "client", b"payload".to_vec())
+    }
+
+    #[test]
+    fn sign_and_verify_frame() {
+        let kp = keys(1);
+        let m = msg().signed(&kp).unwrap();
+        assert!(m.verify_frame(&kp.verifying_key()));
+        assert!(!msg().verify_frame(&kp.verifying_key()), "unsigned frame must not verify");
+    }
+
+    #[test]
+    fn tampered_fields_break_signature() {
+        let kp = keys(2);
+        let signed = msg().signed(&kp).unwrap();
+        for tamper in 0..4 {
+            let mut m = signed.clone();
+            match tamper {
+                0 => m.step = 99,
+                1 => m.sender = OrgId::new("mallory"),
+                2 => m.body = b"forged".to_vec(),
+                _ => m.run_id = RunId::from_u128(6),
+            }
+            assert!(!m.verify_frame(&kp.verifying_key()), "tamper {tamper} passed");
+        }
+    }
+
+    #[test]
+    fn codec_roundtrip_signed_and_unsigned() {
+        let kp = keys(3);
+        for m in [msg(), msg().signed(&kp).unwrap()] {
+            let back = ProtocolMessage::decode_from_slice(&m.encode_to_vec()).unwrap();
+            assert_eq!(back, m);
+        }
+    }
+
+    #[test]
+    fn frame_digest_is_stable_and_signature_independent() {
+        let kp = keys(4);
+        let unsigned = msg();
+        let signed = msg().signed(&kp).unwrap();
+        assert_eq!(unsigned.frame_digest(), signed.frame_digest());
+    }
+
+    #[test]
+    fn byte_len_counts_encoding() {
+        let m = msg();
+        assert_eq!(m.byte_len(), m.encode_to_vec().len());
+    }
+}

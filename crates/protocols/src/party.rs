@@ -1,0 +1,287 @@
+//! A party's protocol identity.
+//!
+//! [`Party`] bundles what every protocol role needs: the organisation's
+//! identity, signing keys, clock, evidence log, random source, and a
+//! [`KeyDirectory`] to resolve other organisations' verifying keys. This is
+//! the protocol-facing face of a trusted interceptor's local resources.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use nonrep_crypto::digest::Digest;
+use nonrep_crypto::rng::SecureRandom;
+use nonrep_crypto::sig::{KeyPair, VerifyingKey};
+use nonrep_store::{EvidenceLog, MemoryLog, RecordDraft};
+use nonrep_types::ids::{OrgId, RunId};
+use nonrep_types::time::{Clock, LogicalClock, Timestamp};
+
+use crate::tokens::{NrToken, TokenKind};
+use crate::ProtocolError;
+
+/// Resolves an organisation's verifying key.
+///
+/// Backed by `nonrep_pki::CredentialManager` in full deployments; tests use
+/// [`StaticKeyDirectory`].
+pub trait KeyDirectory: Send + Sync {
+    /// The verifying key of `org`, if known and currently valid.
+    fn key_of(&self, org: &OrgId) -> Option<VerifyingKey>;
+}
+
+/// A fixed in-memory key directory.
+#[derive(Debug, Default)]
+pub struct StaticKeyDirectory {
+    keys: Mutex<HashMap<OrgId, VerifyingKey>>,
+}
+
+impl StaticKeyDirectory {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) the key of `org`.
+    pub fn insert(&self, org: OrgId, key: VerifyingKey) {
+        self.keys.lock().insert(org, key);
+    }
+}
+
+impl KeyDirectory for StaticKeyDirectory {
+    fn key_of(&self, org: &OrgId) -> Option<VerifyingKey> {
+        self.keys.lock().get(org).cloned()
+    }
+}
+
+/// One organisation's protocol-level identity and local services.
+pub struct Party {
+    org: OrgId,
+    keys: Arc<KeyPair>,
+    clock: Arc<dyn Clock>,
+    log: Arc<dyn EvidenceLog>,
+    directory: Arc<dyn KeyDirectory>,
+    rng: Mutex<SecureRandom>,
+}
+
+impl fmt::Debug for Party {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Party({})", self.org)
+    }
+}
+
+impl Party {
+    /// Creates a party.
+    pub fn new(
+        org: impl Into<OrgId>,
+        keys: Arc<KeyPair>,
+        clock: Arc<dyn Clock>,
+        log: Arc<dyn EvidenceLog>,
+        directory: Arc<dyn KeyDirectory>,
+        rng: SecureRandom,
+    ) -> Arc<Self> {
+        Arc::new(Self { org: org.into(), keys, clock, log, directory, rng: Mutex::new(rng) })
+    }
+
+    /// Convenience constructor for tests/examples: fresh MSS keys, memory
+    /// log, shared logical clock, registration in the given directory.
+    pub fn quick(
+        org: &str,
+        seed: u64,
+        clock: &LogicalClock,
+        directory: &Arc<StaticKeyDirectory>,
+    ) -> Arc<Self> {
+        let mut rng = SecureRandom::from_seed(seed);
+        let keys = Arc::new(KeyPair::generate(
+            nonrep_crypto::sig::SignatureScheme::Mss { height: 8 },
+            &mut rng,
+        ));
+        directory.insert(OrgId::new(org), keys.verifying_key());
+        Party::new(
+            org,
+            keys,
+            Arc::new(clock.clone()),
+            Arc::new(MemoryLog::new()),
+            Arc::clone(directory) as Arc<dyn KeyDirectory>,
+            rng,
+        )
+    }
+
+    /// This party's organisation id.
+    pub fn org(&self) -> &OrgId {
+        &self.org
+    }
+
+    /// This party's signing keys.
+    pub fn keys(&self) -> &Arc<KeyPair> {
+        &self.keys
+    }
+
+    /// This party's clock.
+    pub fn now(&self) -> Timestamp {
+        self.clock.now()
+    }
+
+    /// This party's evidence log.
+    pub fn log(&self) -> &Arc<dyn EvidenceLog> {
+        &self.log
+    }
+
+    /// Mints a fresh protocol run identifier.
+    pub fn new_run_id(&self) -> RunId {
+        self.rng.lock().run_id()
+    }
+
+    /// Fresh random 32 bytes (per-run encryption keys etc.).
+    pub fn fresh_secret(&self) -> [u8; 32] {
+        self.rng.lock().secret32()
+    }
+
+    /// Resolves `org`'s verifying key.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::UnknownKey`] if the directory has no key.
+    pub fn key_of(&self, org: &OrgId) -> Result<VerifyingKey, ProtocolError> {
+        self.directory.key_of(org).ok_or_else(|| ProtocolError::UnknownKey(org.clone()))
+    }
+
+    /// Issues a signed token as this party.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Signing`] if the key is exhausted.
+    pub fn issue_token(
+        &self,
+        kind: TokenKind,
+        run_id: RunId,
+        subject: Digest,
+    ) -> Result<NrToken, ProtocolError> {
+        Ok(NrToken::issue(kind, run_id, self.org.clone(), subject, self.now(), &self.keys)?)
+    }
+
+    /// Verifies a token allegedly issued by `issuer`, pinned to
+    /// `kind`/`run_id` (and `subject` if given), then persists it.
+    ///
+    /// This is the paper's interceptor duty in one call: "the interceptors
+    /// are responsible for verification and persistence of evidence
+    /// generated during the exchange" (§3.2).
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::BadSignature`]/[`ProtocolError::UnknownKey`] on
+    /// verification failure, [`ProtocolError::Storage`] on logging failure.
+    pub fn verify_and_store(
+        &self,
+        token: &NrToken,
+        expect_kind: TokenKind,
+        expect_run: RunId,
+        expect_subject: Option<&Digest>,
+    ) -> Result<(), ProtocolError> {
+        if token.issuer != *self.org() || token.kind != expect_kind {
+            // Tokens we issued ourselves are stored via `store_own_token`;
+            // this path is for peers' tokens.
+        }
+        let key = self.key_of(&token.issuer)?;
+        if !token.verify(&key, Some(expect_kind), Some(expect_run), expect_subject) {
+            return Err(ProtocolError::BadSignature {
+                org: token.issuer.clone(),
+                what: expect_kind.label().to_string(),
+            });
+        }
+        self.store_token(token)?;
+        Ok(())
+    }
+
+    /// Persists a token in the evidence log without verification (used for
+    /// tokens this party itself issued).
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Storage`] on logging failure.
+    pub fn store_token(&self, token: &NrToken) -> Result<(), ProtocolError> {
+        use nonrep_types::codec::Encode;
+        self.log.append(RecordDraft {
+            run_id: token.run_id,
+            kind: token.kind.label().to_string(),
+            actor: token.issuer.clone(),
+            at: self.now(),
+            content_digest: token.subject,
+            payload: token.encode_to_vec(),
+        })?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nonrep_crypto::digest::sha256;
+
+    fn setup() -> (Arc<Party>, Arc<Party>, Arc<StaticKeyDirectory>) {
+        let clock = LogicalClock::new();
+        let dir = Arc::new(StaticKeyDirectory::new());
+        let alice = Party::quick("alice", 1, &clock, &dir);
+        let bob = Party::quick("bob", 2, &clock, &dir);
+        (alice, bob, dir)
+    }
+
+    #[test]
+    fn issue_verify_store_roundtrip() {
+        let (alice, bob, _dir) = setup();
+        let run = alice.new_run_id();
+        let subject = sha256(b"request");
+        let token = alice.issue_token(TokenKind::NroReq, run, subject).unwrap();
+        // Bob verifies and stores Alice's token.
+        bob.verify_and_store(&token, TokenKind::NroReq, run, Some(&subject)).unwrap();
+        assert_eq!(bob.log().len(), 1);
+        assert_eq!(bob.log().by_run(&run).len(), 1);
+        bob.log().verify().unwrap();
+    }
+
+    #[test]
+    fn verification_failure_is_not_stored() {
+        let (alice, bob, _dir) = setup();
+        let run = alice.new_run_id();
+        let mut token = alice.issue_token(TokenKind::NroReq, run, sha256(b"x")).unwrap();
+        token.subject = sha256(b"forged");
+        let err = bob.verify_and_store(&token, TokenKind::NroReq, run, None).unwrap_err();
+        assert!(matches!(err, ProtocolError::BadSignature { .. }));
+        assert_eq!(bob.log().len(), 0);
+    }
+
+    #[test]
+    fn unknown_issuer_rejected() {
+        let clock = LogicalClock::new();
+        let dir = Arc::new(StaticKeyDirectory::new());
+        let alice = Party::quick("alice", 1, &clock, &dir);
+        // Mallory is not in the directory.
+        let mallory_dir = Arc::new(StaticKeyDirectory::new());
+        let mallory = Party::quick("mallory", 9, &clock, &mallory_dir);
+        let run = mallory.new_run_id();
+        let token = mallory.issue_token(TokenKind::NroReq, run, sha256(b"x")).unwrap();
+        assert!(matches!(
+            alice.verify_and_store(&token, TokenKind::NroReq, run, None),
+            Err(ProtocolError::UnknownKey(_))
+        ));
+    }
+
+    #[test]
+    fn run_ids_are_unique() {
+        let (alice, _bob, _dir) = setup();
+        let a = alice.new_run_id();
+        let b = alice.new_run_id();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn kind_pinning_rejects_substituted_kind() {
+        let (alice, bob, _dir) = setup();
+        let run = alice.new_run_id();
+        let token = alice.issue_token(TokenKind::NroReq, run, sha256(b"x")).unwrap();
+        assert!(matches!(
+            bob.verify_and_store(&token, TokenKind::NroResp, run, None),
+            Err(ProtocolError::BadSignature { .. })
+        ));
+    }
+}

@@ -1,0 +1,882 @@
+//! The non-repudiable state coordination protocol.
+//!
+//! One coordination round (run) moves a shared object from version `v` to
+//! version `v+1`, or leaves it untouched:
+//!
+//! ```text
+//! 1  P → each member : proposal, Proposal-token          (deliver_request)
+//! 2  member → P      : signed vote (accept/reject)       (response)
+//! 3  P → each member : decision + all signed votes       (deliver_request)
+//! 4  member → P      : ack                               (response)
+//! ```
+//!
+//! Members do **not** trust the proposer's word on the outcome: the
+//! decision message carries every member's *signed* vote, and each member
+//! re-verifies all of them before applying. An update is applied iff every
+//! member other than the proposer produced a verifiable `accept` vote over
+//! exactly this proposal digest — realising the paper's safety property
+//! "no invalid changes to shared information whatever the behaviour of
+//! participants" (§4).
+//!
+//! Rounds for the same object are serialised by the `base_version` check:
+//! a proposal built against anything but the member's current version is
+//! voted down as stale.
+
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use nonrep_crypto::digest::{sha256, Digest};
+use nonrep_store::StateStore;
+use nonrep_types::codec::{decode_seq, encode_seq, CodecError, Decode, Encode, Reader, Writer};
+use nonrep_types::ids::{GroupId, OrgId, ProtocolId, RunId};
+
+use crate::handler::ProtocolHandler;
+use crate::message::ProtocolMessage;
+use crate::party::Party;
+use crate::sharing::GroupRegistry;
+use crate::tokens::{NrToken, TokenKind};
+use crate::{B2BCoordinator, ProtocolError};
+
+/// Protocol id of the sharing coordination protocol.
+pub const PROTOCOL_ID: &str = "nr-sharing";
+
+const STEP_PROPOSE: u32 = 1;
+const STEP_VOTE: u32 = 2;
+const STEP_DECISION: u32 = 3;
+const STEP_ACK: u32 = 4;
+
+/// A proposed update to a shared object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProposalBody {
+    /// The sharing group.
+    pub group: GroupId,
+    /// The shared object's key.
+    pub object: String,
+    /// The number of agreed versions the proposer has seen (the proposal
+    /// creates version `base_version`, 0-based).
+    pub base_version: u64,
+    /// The full proposed state.
+    pub new_state: Vec<u8>,
+    /// The proposing organisation.
+    pub proposer: OrgId,
+}
+
+impl ProposalBody {
+    /// The digest every token and vote in this round is bound to.
+    pub fn digest(&self) -> Digest {
+        sha256(&self.encode_to_vec())
+    }
+}
+
+impl Encode for ProposalBody {
+    fn encode(&self, w: &mut Writer) {
+        self.group.encode(w);
+        w.put_str(&self.object);
+        w.put_u64(self.base_version);
+        w.put_bytes(&self.new_state);
+        self.proposer.encode(w);
+    }
+}
+
+impl Decode for ProposalBody {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            group: GroupId::decode(r)?,
+            object: r.get_string()?,
+            base_version: r.get_u64()?,
+            new_state: r.get_bytes()?.to_vec(),
+            proposer: OrgId::decode(r)?,
+        })
+    }
+}
+
+/// Step-1 body: proposal + proposer token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ProposeMsg {
+    proposal: ProposalBody,
+    token: NrToken,
+}
+
+impl Encode for ProposeMsg {
+    fn encode(&self, w: &mut Writer) {
+        self.proposal.encode(w);
+        self.token.encode(w);
+    }
+}
+
+impl Decode for ProposeMsg {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Self { proposal: ProposalBody::decode(r)?, token: NrToken::decode(r)? })
+    }
+}
+
+/// A validator's decision, signed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignedVote {
+    /// The voting organisation.
+    pub voter: OrgId,
+    /// `true` = accept.
+    pub accept: bool,
+    /// Human-readable justification (audit trail).
+    pub reason: String,
+    /// Digest of the proposal voted on.
+    pub proposal_digest: Digest,
+    /// Voter's token over the vote content.
+    pub token: NrToken,
+}
+
+impl SignedVote {
+    /// The digest the vote token must be signed over.
+    pub fn vote_digest(
+        voter: &OrgId,
+        accept: bool,
+        reason: &str,
+        proposal_digest: &Digest,
+    ) -> Digest {
+        let mut w = Writer::new();
+        w.put_str("nonrep.vote.v1");
+        voter.encode(&mut w);
+        w.put_bool(accept);
+        w.put_str(reason);
+        proposal_digest.encode(&mut w);
+        sha256(&w.into_vec())
+    }
+
+    /// Verifies the vote's internal consistency and signature.
+    pub fn verify(&self, voter_key: &nonrep_crypto::sig::VerifyingKey, run: RunId) -> bool {
+        let expected =
+            Self::vote_digest(&self.voter, self.accept, &self.reason, &self.proposal_digest);
+        self.token.issuer == self.voter
+            && self.token.verify(voter_key, Some(TokenKind::Vote), Some(run), Some(&expected))
+    }
+}
+
+impl Encode for SignedVote {
+    fn encode(&self, w: &mut Writer) {
+        self.voter.encode(w);
+        w.put_bool(self.accept);
+        w.put_str(&self.reason);
+        self.proposal_digest.encode(w);
+        self.token.encode(w);
+    }
+}
+
+impl Decode for SignedVote {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            voter: OrgId::decode(r)?,
+            accept: r.get_bool()?,
+            reason: r.get_string()?,
+            proposal_digest: Digest::decode(r)?,
+            token: NrToken::decode(r)?,
+        })
+    }
+}
+
+/// Step-3 body: the decision with all signed votes (and the proposal, so
+/// the message is self-contained).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecisionBody {
+    /// `true` iff every vote accepted.
+    pub accepted: bool,
+    /// The proposal being decided.
+    pub proposal: ProposalBody,
+    /// Every member's signed vote.
+    pub votes: Vec<SignedVote>,
+    /// The proposer's token over the decision digest.
+    pub token: NrToken,
+}
+
+impl DecisionBody {
+    /// The digest the decision token is signed over.
+    pub fn decision_digest(accepted: bool, proposal_digest: &Digest, votes: &[SignedVote]) -> Digest {
+        let mut w = Writer::new();
+        w.put_str("nonrep.decision.v1");
+        w.put_bool(accepted);
+        proposal_digest.encode(&mut w);
+        encode_seq(votes, &mut w);
+        sha256(&w.into_vec())
+    }
+}
+
+impl Encode for DecisionBody {
+    fn encode(&self, w: &mut Writer) {
+        w.put_bool(self.accepted);
+        self.proposal.encode(w);
+        encode_seq(&self.votes, w);
+        self.token.encode(w);
+    }
+}
+
+impl Decode for DecisionBody {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            accepted: r.get_bool()?,
+            proposal: ProposalBody::decode(r)?,
+            votes: decode_seq(r)?,
+            token: NrToken::decode(r)?,
+        })
+    }
+}
+
+/// The proposer's view of a finished round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoordinationOutcome {
+    /// The run identifier.
+    pub run_id: RunId,
+    /// Whether the update was unanimously accepted and applied.
+    pub accepted: bool,
+    /// The version the update became, if accepted.
+    pub version: Option<u64>,
+    /// Every member's signed vote.
+    pub votes: Vec<SignedVote>,
+}
+
+/// Application-specific validation of proposed updates (the "state
+/// validators … implemented as session beans" of paper §4.3).
+pub trait UpdateValidator: Send + Sync {
+    /// Validates `proposed` as the next state of `object` given `current`.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable rejection reason, which becomes the (signed,
+    /// attributable) veto.
+    fn validate(&self, object: &str, current: Option<&[u8]>, proposed: &[u8])
+        -> Result<(), String>;
+}
+
+impl<F> UpdateValidator for F
+where
+    F: Fn(&str, Option<&[u8]>, &[u8]) -> Result<(), String> + Send + Sync,
+{
+    fn validate(
+        &self,
+        object: &str,
+        current: Option<&[u8]>,
+        proposed: &[u8],
+    ) -> Result<(), String> {
+        self(object, current, proposed)
+    }
+}
+
+/// One organisation's NR-sharing node: proposes updates and votes on and
+/// applies others' proposals. Register as the `nr-sharing` handler.
+pub struct SharingMember {
+    party: Arc<Party>,
+    store: Arc<StateStore>,
+    groups: Arc<GroupRegistry>,
+    validators: Mutex<Vec<Arc<dyn UpdateValidator>>>,
+    pending: Mutex<HashMap<RunId, ProposalBody>>,
+}
+
+impl fmt::Debug for SharingMember {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SharingMember({})", self.party.org())
+    }
+}
+
+impl SharingMember {
+    /// Creates a sharing node.
+    pub fn new(party: Arc<Party>, store: Arc<StateStore>, groups: Arc<GroupRegistry>) -> Arc<Self> {
+        Arc::new(Self {
+            party,
+            store,
+            groups,
+            validators: Mutex::new(Vec::new()),
+            pending: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// Adds an application validator consulted on every remote proposal.
+    pub fn add_validator(&self, validator: Arc<dyn UpdateValidator>) {
+        self.validators.lock().push(validator);
+    }
+
+    /// This node's replica store.
+    pub fn store(&self) -> &Arc<StateStore> {
+        &self.store
+    }
+
+    /// This node's group registry.
+    pub fn groups(&self) -> &Arc<GroupRegistry> {
+        &self.groups
+    }
+
+    /// This node's party identity.
+    pub fn party(&self) -> &Arc<Party> {
+        &self.party
+    }
+
+    /// The latest agreed state of `object`, if any.
+    pub fn current_state(&self, object: &str) -> Option<Vec<u8>> {
+        let (_v, digest) = self.store.latest(object)?;
+        self.store.get(&digest)
+    }
+
+    /// Proposes `new_state` for `object` to every member of `group`.
+    ///
+    /// Runs the full coordination round; on unanimous acceptance the update
+    /// is applied locally (remote replicas applied it during step 3).
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError`] if the round cannot complete (communication,
+    /// evidence, or membership failure). A *vetoed* round is **not** an
+    /// error: it returns `accepted == false` with the signed veto votes.
+    pub fn propose(
+        &self,
+        coordinator: &B2BCoordinator,
+        group: &GroupId,
+        object: &str,
+        new_state: Vec<u8>,
+    ) -> Result<CoordinationOutcome, ProtocolError> {
+        let members = self.groups.members(group)?;
+        if !members.contains(self.party.org()) {
+            return Err(ProtocolError::Rejected("proposer is not a group member".into()));
+        }
+        let run_id = self.party.new_run_id();
+        let base_version = self.store.history(object).len() as u64;
+        let proposal = ProposalBody {
+            group: group.clone(),
+            object: object.to_owned(),
+            base_version,
+            new_state,
+            proposer: self.party.org().clone(),
+        };
+        let digest = proposal.digest();
+        let token = self.party.issue_token(TokenKind::Proposal, run_id, digest)?;
+        self.party.store_token(&token)?;
+        let propose_msg = ProtocolMessage::new(
+            PROTOCOL_ID,
+            run_id,
+            STEP_PROPOSE,
+            self.party.org().clone(),
+            ProposeMsg { proposal: proposal.clone(), token }.encode_to_vec(),
+        )
+        .signed(self.party.keys())
+        .map_err(ProtocolError::from)?;
+
+        // Step 1/2: collect signed votes from every other member.
+        let mut votes = Vec::new();
+        for member in members.iter().filter(|m| *m != self.party.org()) {
+            let reply = coordinator.deliver_request(member, &propose_msg)?;
+            if reply.step != STEP_VOTE || reply.run_id != run_id {
+                return Err(ProtocolError::BadMessage(format!(
+                    "expected vote from {member}, got step {}",
+                    reply.step
+                )));
+            }
+            let vote = SignedVote::decode_from_slice(&reply.body)
+                .map_err(|e| ProtocolError::BadMessage(e.to_string()))?;
+            let voter_key = self.party.key_of(member)?;
+            if vote.voter != *member
+                || vote.proposal_digest != digest
+                || !vote.verify(&voter_key, run_id)
+            {
+                return Err(ProtocolError::BadSignature {
+                    org: member.clone(),
+                    what: "vote".into(),
+                });
+            }
+            self.party.store_token(&vote.token)?;
+            votes.push(vote);
+        }
+        let accepted = votes.iter().all(|v| v.accept);
+
+        // Step 3/4: disseminate the decision with all signed votes.
+        let decision_digest = DecisionBody::decision_digest(accepted, &digest, &votes);
+        let decision_token = self.party.issue_token(TokenKind::Decision, run_id, decision_digest)?;
+        self.party.store_token(&decision_token)?;
+        let decision = DecisionBody {
+            accepted,
+            proposal: proposal.clone(),
+            votes: votes.clone(),
+            token: decision_token,
+        };
+        let decision_msg = ProtocolMessage::new(
+            PROTOCOL_ID,
+            run_id,
+            STEP_DECISION,
+            self.party.org().clone(),
+            decision.encode_to_vec(),
+        )
+        .signed(self.party.keys())
+        .map_err(ProtocolError::from)?;
+        for member in members.iter().filter(|m| *m != self.party.org()) {
+            let ack = coordinator.deliver_request(member, &decision_msg)?;
+            if ack.step != STEP_ACK {
+                return Err(ProtocolError::BadMessage(format!("bad decision ack from {member}")));
+            }
+        }
+
+        // Apply locally last (remote replicas applied during step 3).
+        let version = if accepted {
+            let (v, _) = self.store.record_version(object, &proposal.new_state);
+            self.apply_side_effects(&proposal);
+            Some(v)
+        } else {
+            None
+        };
+        Ok(CoordinationOutcome { run_id, accepted, version, votes })
+    }
+
+    /// Group-object side effects (membership updates) after an applied
+    /// proposal; see [`crate::sharing::membership`].
+    fn apply_side_effects(&self, proposal: &ProposalBody) {
+        if let Some(members) =
+            crate::sharing::membership::decode_group_state(&proposal.object, &proposal.new_state)
+        {
+            self.groups.set(proposal.group.clone(), members);
+        }
+    }
+
+    fn handle_propose(
+        &self,
+        from: &OrgId,
+        msg: ProtocolMessage,
+    ) -> Result<ProtocolMessage, ProtocolError> {
+        let proposer_key = self.party.key_of(from)?;
+        if !msg.verify_frame(&proposer_key) {
+            return Err(ProtocolError::BadSignature {
+                org: from.clone(),
+                what: "proposal frame".into(),
+            });
+        }
+        let propose = ProposeMsg::decode_from_slice(&msg.body)
+            .map_err(|e| ProtocolError::BadMessage(e.to_string()))?;
+        let proposal = propose.proposal;
+        if proposal.proposer != *from {
+            return Err(ProtocolError::BadMessage("proposal proposer is not the sender".into()));
+        }
+        let digest = proposal.digest();
+        self.party.verify_and_store(&propose.token, TokenKind::Proposal, msg.run_id, Some(&digest))?;
+
+        // Membership check: both proposer and this node must be members.
+        let members = self.groups.members(&proposal.group)?;
+        if !members.contains(from) || !members.contains(self.party.org()) {
+            return Err(ProtocolError::Rejected("proposer or validator not in group".into()));
+        }
+
+        // Decide the vote: staleness first, then application validators.
+        let local_version = self.store.history(&proposal.object).len() as u64;
+        let (accept, reason) = if proposal.base_version != local_version {
+            (
+                false,
+                format!(
+                    "stale proposal: base {} but replica at {}",
+                    proposal.base_version, local_version
+                ),
+            )
+        } else {
+            let current = self.current_state(&proposal.object);
+            let verdict = self
+                .validators
+                .lock()
+                .iter()
+                .map(|v| v.validate(&proposal.object, current.as_deref(), &proposal.new_state))
+                .find(Result::is_err);
+            match verdict {
+                Some(Err(why)) => (false, why),
+                _ => (true, "ok".to_owned()),
+            }
+        };
+
+        let vote_digest = SignedVote::vote_digest(self.party.org(), accept, &reason, &digest);
+        let token = self.party.issue_token(TokenKind::Vote, msg.run_id, vote_digest)?;
+        self.party.store_token(&token)?;
+        let vote = SignedVote {
+            voter: self.party.org().clone(),
+            accept,
+            reason,
+            proposal_digest: digest,
+            token,
+        };
+        if accept {
+            self.pending.lock().insert(msg.run_id, proposal);
+        }
+        Ok(ProtocolMessage::new(
+            PROTOCOL_ID,
+            msg.run_id,
+            STEP_VOTE,
+            self.party.org().clone(),
+            vote.encode_to_vec(),
+        ))
+    }
+
+    fn handle_decision(
+        &self,
+        from: &OrgId,
+        msg: ProtocolMessage,
+    ) -> Result<ProtocolMessage, ProtocolError> {
+        let proposer_key = self.party.key_of(from)?;
+        if !msg.verify_frame(&proposer_key) {
+            return Err(ProtocolError::BadSignature {
+                org: from.clone(),
+                what: "decision frame".into(),
+            });
+        }
+        let decision = DecisionBody::decode_from_slice(&msg.body)
+            .map_err(|e| ProtocolError::BadMessage(e.to_string()))?;
+        if decision.proposal.proposer != *from {
+            return Err(ProtocolError::BadMessage("decision not from the proposer".into()));
+        }
+        let digest = decision.proposal.digest();
+        // If we voted on this run, the decided proposal must be the one we
+        // saw (the proposer cannot substitute content after the votes).
+        if let Some(pending) = self.pending.lock().get(&msg.run_id) {
+            if pending.digest() != digest {
+                return Err(ProtocolError::BadMessage(
+                    "decision proposal differs from the voted proposal".into(),
+                ));
+            }
+        }
+        // Verify the proposer's decision token.
+        let decision_digest =
+            DecisionBody::decision_digest(decision.accepted, &digest, &decision.votes);
+        self.party.verify_and_store(
+            &decision.token,
+            TokenKind::Decision,
+            msg.run_id,
+            Some(&decision_digest),
+        )?;
+        // Independently verify every vote; the proposer's claim of
+        // unanimity is never taken on trust.
+        let members = self.groups.members(&decision.proposal.group)?;
+        let expected_voters: BTreeSet<&OrgId> =
+            members.iter().filter(|m| *m != from).collect();
+        let actual_voters: BTreeSet<&OrgId> = decision.votes.iter().map(|v| &v.voter).collect();
+        if expected_voters != actual_voters {
+            return Err(ProtocolError::BadMessage("vote set does not match membership".into()));
+        }
+        let mut all_accept = true;
+        for vote in &decision.votes {
+            let voter_key = self.party.key_of(&vote.voter)?;
+            if vote.proposal_digest != digest || !vote.verify(&voter_key, msg.run_id) {
+                return Err(ProtocolError::BadSignature {
+                    org: vote.voter.clone(),
+                    what: "vote in decision".into(),
+                });
+            }
+            all_accept &= vote.accept;
+        }
+        if decision.accepted != all_accept {
+            return Err(ProtocolError::BadMessage(
+                "decision flag contradicts the signed votes".into(),
+            ));
+        }
+
+        // Apply if unanimously accepted.
+        if decision.accepted {
+            let local_version = self.store.history(&decision.proposal.object).len() as u64;
+            if decision.proposal.base_version != local_version {
+                return Err(ProtocolError::StaleVersion {
+                    proposed_base: decision.proposal.base_version,
+                    current: local_version,
+                });
+            }
+            self.store.record_version(&decision.proposal.object, &decision.proposal.new_state);
+            self.apply_side_effects(&decision.proposal);
+        }
+        self.pending.lock().remove(&msg.run_id);
+        Ok(ProtocolMessage::new(
+            PROTOCOL_ID,
+            msg.run_id,
+            STEP_ACK,
+            self.party.org().clone(),
+            Vec::new(),
+        ))
+    }
+}
+
+impl ProtocolHandler for SharingMember {
+    fn protocol(&self) -> ProtocolId {
+        ProtocolId::new(PROTOCOL_ID)
+    }
+
+    fn process(&self, from: &OrgId, msg: ProtocolMessage) -> Result<(), ProtocolError> {
+        match msg.step {
+            STEP_DECISION => self.handle_decision(from, msg).map(|_| ()),
+            step => Err(ProtocolError::BadMessage(format!("unexpected one-way step {step}"))),
+        }
+    }
+
+    fn process_request(
+        &self,
+        from: &OrgId,
+        msg: ProtocolMessage,
+    ) -> Result<ProtocolMessage, ProtocolError> {
+        match msg.step {
+            STEP_PROPOSE => self.handle_propose(from, msg),
+            STEP_DECISION => self.handle_decision(from, msg),
+            step => Err(ProtocolError::BadMessage(format!("unexpected request step {step}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::party::StaticKeyDirectory;
+    use nonrep_net::bus::LocalBus;
+    use nonrep_net::retry::{ReliableRequester, RetryPolicy};
+    use nonrep_types::time::LogicalClock;
+
+    struct Node {
+        member: Arc<SharingMember>,
+        coordinator: Arc<B2BCoordinator>,
+    }
+
+    fn world(names: &[&str]) -> Vec<Node> {
+        let bus = LocalBus::new();
+        let clock = LogicalClock::new();
+        let dir = Arc::new(StaticKeyDirectory::new());
+        let group: GroupId = GroupId::new("ve");
+        let member_set: BTreeSet<OrgId> = names.iter().map(|n| OrgId::new(*n)).collect();
+        names
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                let party = Party::quick(name, i as u64 + 1, &clock, &dir);
+                let coordinator = B2BCoordinator::new(
+                    *name,
+                    ReliableRequester::new(bus.clone(), RetryPolicy::new(4)),
+                );
+                let groups = Arc::new(GroupRegistry::new());
+                groups.set(group.clone(), member_set.clone());
+                let member = SharingMember::new(party, Arc::new(StateStore::new()), groups);
+                coordinator.register_handler(member.clone());
+                bus.register(OrgId::new(*name), coordinator.clone());
+                Node { member, coordinator }
+            })
+            .collect()
+    }
+
+    fn group() -> GroupId {
+        GroupId::new("ve")
+    }
+
+    #[test]
+    fn unanimous_update_applies_everywhere() {
+        let nodes = world(&["a", "b", "c"]);
+        let out = nodes[0]
+            .member
+            .propose(&nodes[0].coordinator, &group(), "spec", b"v1 spec".to_vec())
+            .unwrap();
+        assert!(out.accepted);
+        assert_eq!(out.version, Some(0));
+        assert_eq!(out.votes.len(), 2);
+        for node in &nodes {
+            assert_eq!(node.member.current_state("spec").unwrap(), b"v1 spec");
+        }
+    }
+
+    #[test]
+    fn veto_leaves_all_replicas_untouched() {
+        let nodes = world(&["a", "b", "c"]);
+        // Seed an initial version.
+        nodes[0]
+            .member
+            .propose(&nodes[0].coordinator, &group(), "spec", b"v1".to_vec())
+            .unwrap();
+        // b vetoes anything containing "bad".
+        nodes[1].member.add_validator(Arc::new(
+            |_obj: &str, _cur: Option<&[u8]>, proposed: &[u8]| {
+                if proposed.windows(3).any(|w| w == b"bad") {
+                    Err("contains bad content".to_string())
+                } else {
+                    Ok(())
+                }
+            },
+        ));
+        let out = nodes[0]
+            .member
+            .propose(&nodes[0].coordinator, &group(), "spec", b"v2 bad".to_vec())
+            .unwrap();
+        assert!(!out.accepted);
+        assert_eq!(out.version, None);
+        let veto = out.votes.iter().find(|v| !v.accept).unwrap();
+        assert_eq!(veto.voter, OrgId::new("b"));
+        assert!(veto.reason.contains("bad content"));
+        // Every replica still at v1.
+        for node in &nodes {
+            assert_eq!(node.member.current_state("spec").unwrap(), b"v1");
+        }
+    }
+
+    #[test]
+    fn sequential_updates_advance_versions() {
+        let nodes = world(&["a", "b"]);
+        for (i, state) in [b"v1".as_slice(), b"v2", b"v3"].iter().enumerate() {
+            let out = nodes[i % 2]
+                .member
+                .propose(&nodes[i % 2].coordinator, &group(), "doc", state.to_vec())
+                .unwrap();
+            assert!(out.accepted);
+            assert_eq!(out.version, Some(i as u64));
+        }
+        assert_eq!(nodes[0].member.store().history("doc").len(), 3);
+        assert_eq!(nodes[1].member.store().history("doc").len(), 3);
+        assert_eq!(nodes[0].member.current_state("doc").unwrap(), b"v3");
+    }
+
+    #[test]
+    fn stale_proposal_is_vetoed() {
+        let nodes = world(&["a", "b"]);
+        nodes[0]
+            .member
+            .propose(&nodes[0].coordinator, &group(), "doc", b"v1".to_vec())
+            .unwrap();
+        // Forge a proposal with base_version 0 while replicas are at 1.
+        let run = nodes[0].member.party().new_run_id();
+        let proposal = ProposalBody {
+            group: group(),
+            object: "doc".into(),
+            base_version: 0,
+            new_state: b"conflicting".to_vec(),
+            proposer: OrgId::new("a"),
+        };
+        let token = nodes[0]
+            .member
+            .party()
+            .issue_token(TokenKind::Proposal, run, proposal.digest())
+            .unwrap();
+        let msg = ProtocolMessage::new(
+            PROTOCOL_ID,
+            run,
+            STEP_PROPOSE,
+            "a",
+            ProposeMsg { proposal, token }.encode_to_vec(),
+        )
+        .signed(nodes[0].member.party().keys())
+        .unwrap();
+        let reply = nodes[1].member.handle_propose(&OrgId::new("a"), msg).unwrap();
+        let vote = SignedVote::decode_from_slice(&reply.body).unwrap();
+        assert!(!vote.accept);
+        assert!(vote.reason.contains("stale"));
+    }
+
+    #[test]
+    fn proposer_cannot_claim_false_unanimity() {
+        // Build a decision with a forged accept vote: members must reject it.
+        let nodes = world(&["a", "b", "c"]);
+        let run = nodes[0].member.party().new_run_id();
+        let proposal = ProposalBody {
+            group: group(),
+            object: "doc".into(),
+            base_version: 0,
+            new_state: b"sneaky".to_vec(),
+            proposer: OrgId::new("a"),
+        };
+        let digest = proposal.digest();
+        // "a" forges a vote for "b" (signed with a's key — all it has).
+        let forged_vote_digest = SignedVote::vote_digest(&OrgId::new("b"), true, "ok", &digest);
+        let forged_token = nodes[0]
+            .member
+            .party()
+            .issue_token(TokenKind::Vote, run, forged_vote_digest)
+            .unwrap();
+        let forged_b = SignedVote {
+            voter: OrgId::new("b"),
+            accept: true,
+            reason: "ok".into(),
+            proposal_digest: digest,
+            token: forged_token,
+        };
+        let own_digest = SignedVote::vote_digest(&OrgId::new("c"), true, "ok", &digest);
+        let c_token_by_a = nodes[0]
+            .member
+            .party()
+            .issue_token(TokenKind::Vote, run, own_digest)
+            .unwrap();
+        let forged_c = SignedVote {
+            voter: OrgId::new("c"),
+            accept: true,
+            reason: "ok".into(),
+            proposal_digest: digest,
+            token: c_token_by_a,
+        };
+        let votes = vec![forged_b, forged_c];
+        let decision_digest = DecisionBody::decision_digest(true, &digest, &votes);
+        let token = nodes[0]
+            .member
+            .party()
+            .issue_token(TokenKind::Decision, run, decision_digest)
+            .unwrap();
+        let decision = DecisionBody { accepted: true, proposal, votes, token };
+        let msg = ProtocolMessage::new(
+            PROTOCOL_ID,
+            run,
+            STEP_DECISION,
+            "a",
+            decision.encode_to_vec(),
+        )
+        .signed(nodes[0].member.party().keys())
+        .unwrap();
+        let err = nodes[1].member.handle_decision(&OrgId::new("a"), msg).unwrap_err();
+        assert!(matches!(err, ProtocolError::BadSignature { .. }));
+        // And the replica was not updated.
+        assert!(nodes[1].member.current_state("doc").is_none());
+    }
+
+    #[test]
+    fn decision_flag_must_match_votes() {
+        // An honest-looking decision with accepted=true but a reject vote
+        // inside must be refused.
+        let nodes = world(&["a", "b"]);
+        nodes[1].member.add_validator(Arc::new(
+            |_: &str, _: Option<&[u8]>, _: &[u8]| Err("never".to_string()),
+        ));
+        let out = nodes[0]
+            .member
+            .propose(&nodes[0].coordinator, &group(), "doc", b"x".to_vec())
+            .unwrap();
+        assert!(!out.accepted);
+        // b's replica untouched.
+        assert!(nodes[1].member.current_state("doc").is_none());
+    }
+
+    #[test]
+    fn non_member_proposal_rejected() {
+        let nodes = world(&["a", "b"]);
+        // Shrink b's view of the group to exclude a.
+        nodes[1]
+            .member
+            .groups()
+            .set(group(), [OrgId::new("b")].into());
+        let err = nodes[0]
+            .member
+            .propose(&nodes[0].coordinator, &group(), "doc", b"x".to_vec())
+            .unwrap_err();
+        assert!(matches!(err, ProtocolError::Net(nonrep_net::NetError::Endpoint(_))));
+    }
+
+    #[test]
+    fn evidence_trail_is_complete_on_all_sides() {
+        let nodes = world(&["a", "b", "c"]);
+        let out = nodes[0]
+            .member
+            .propose(&nodes[0].coordinator, &group(), "spec", b"v1".to_vec())
+            .unwrap();
+        // Proposer: proposal + 2 votes + decision = 4 records.
+        assert_eq!(nodes[0].member.party().log().by_run(&out.run_id).len(), 4);
+        // Members: proposal + own vote + decision = 3 records.
+        for node in &nodes[1..] {
+            assert_eq!(node.member.party().log().by_run(&out.run_id).len(), 3);
+            node.member.party().log().verify().unwrap();
+        }
+    }
+
+    #[test]
+    fn two_party_sharing_works() {
+        let nodes = world(&["a", "b"]);
+        let out = nodes[1]
+            .member
+            .propose(&nodes[1].coordinator, &group(), "doc", b"from-b".to_vec())
+            .unwrap();
+        assert!(out.accepted);
+        assert_eq!(nodes[0].member.current_state("doc").unwrap(), b"from-b");
+    }
+}

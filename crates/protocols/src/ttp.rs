@@ -1,0 +1,16 @@
+//! Trusted-third-party nodes.
+//!
+//! Two TTP styles from the paper:
+//!
+//! * **Inline** (Fig 3(a)/(b)) — [`crate::invocation::inline_ttp::InlineTtpHandler`]:
+//!   in the message path of every exchange, relaying and issuing receipts.
+//! * **Offline** — [`crate::invocation::fair_offline::OfflineTtpHandler`]:
+//!   "not directly involved in all communication between the parties but
+//!   may be called upon to resolve or abort a protocol run to deliver
+//!   fairness and/or liveness guarantees to honest parties" (§3.1).
+//!
+//! This module re-exports both so deployments can name TTP node types from
+//! one place.
+
+pub use crate::invocation::fair_offline::OfflineTtpHandler;
+pub use crate::invocation::inline_ttp::InlineTtpHandler;

@@ -1,0 +1,309 @@
+//! Evidence log backends.
+//!
+//! The log is the local half of the paper's audit requirement (§2: "Audit
+//! ensures that evidence is available in case of dispute and to inform
+//! future interactions"); interceptor assumption 3 (§3.1) makes interceptors
+//! responsible for persisting evidence at least until their protocol
+//! obligations are met.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufReader, Read, Write as IoWrite};
+use std::path::{Path, PathBuf};
+
+use parking_lot::Mutex;
+
+use nonrep_crypto::digest::Digest;
+use nonrep_types::codec::{Decode, Encode, Reader};
+use nonrep_types::ids::RunId;
+
+use crate::record::{verify_chain, ChainViolation, EvidenceRecord, RecordDraft};
+use crate::StoreError;
+
+/// An append-only, hash-chained evidence log.
+///
+/// Object-safe so middleware holds `Arc<dyn EvidenceLog>`.
+pub trait EvidenceLog: Send + Sync {
+    /// Appends `draft`, assigning its sequence number and chain link.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] if persisting fails (file backend).
+    fn append(&self, draft: RecordDraft) -> Result<EvidenceRecord, StoreError>;
+
+    /// All records, in sequence order.
+    fn records(&self) -> Vec<EvidenceRecord>;
+
+    /// Records belonging to one protocol run.
+    fn by_run(&self, run_id: &RunId) -> Vec<EvidenceRecord> {
+        self.records().into_iter().filter(|r| r.draft.run_id == *run_id).collect()
+    }
+
+    /// Number of records.
+    fn len(&self) -> u64;
+
+    /// `true` if the log is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Verifies the hash chain.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ChainViolation`].
+    fn verify(&self) -> Result<(), ChainViolation> {
+        verify_chain(&self.records())
+    }
+
+    /// Total serialized bytes of all records (space-overhead experiment).
+    fn total_bytes(&self) -> u64 {
+        self.records().iter().map(|r| r.byte_len() as u64).sum()
+    }
+}
+
+/// In-memory evidence log.
+#[derive(Debug, Default)]
+pub struct MemoryLog {
+    records: Mutex<Vec<EvidenceRecord>>,
+}
+
+impl MemoryLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl EvidenceLog for MemoryLog {
+    fn append(&self, draft: RecordDraft) -> Result<EvidenceRecord, StoreError> {
+        let mut records = self.records.lock();
+        let prev_hash = records.last().map(EvidenceRecord::record_hash).unwrap_or(Digest::ZERO);
+        let record = EvidenceRecord { seq: records.len() as u64, prev_hash, draft };
+        records.push(record.clone());
+        Ok(record)
+    }
+
+    fn records(&self) -> Vec<EvidenceRecord> {
+        self.records.lock().clone()
+    }
+
+    fn len(&self) -> u64 {
+        self.records.lock().len() as u64
+    }
+}
+
+/// Append-only file-backed evidence log.
+///
+/// On-disk format: a sequence of `u32` little-endian length prefixes, each
+/// followed by one canonically-encoded [`EvidenceRecord`]. The whole log is
+/// loaded and chain-verified on open; appends are written through and
+/// flushed.
+#[derive(Debug)]
+pub struct FileLog {
+    path: PathBuf,
+    inner: Mutex<FileLogInner>,
+}
+
+#[derive(Debug)]
+struct FileLogInner {
+    file: File,
+    records: Vec<EvidenceRecord>,
+}
+
+impl FileLog {
+    /// Opens (or creates) the log at `path`, verifying any existing chain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] on I/O failure, undecodable bytes or a chain
+    /// violation.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let path = path.as_ref().to_path_buf();
+        let mut records = Vec::new();
+        if path.exists() {
+            let mut bytes = Vec::new();
+            BufReader::new(File::open(&path)?).read_to_end(&mut bytes)?;
+            let mut offset = 0usize;
+            while offset < bytes.len() {
+                if offset + 4 > bytes.len() {
+                    return Err(StoreError::Corrupt("truncated length prefix".into()));
+                }
+                let len = u32::from_le_bytes([
+                    bytes[offset],
+                    bytes[offset + 1],
+                    bytes[offset + 2],
+                    bytes[offset + 3],
+                ]) as usize;
+                offset += 4;
+                if offset + len > bytes.len() {
+                    return Err(StoreError::Corrupt("truncated record".into()));
+                }
+                let mut r = Reader::new(&bytes[offset..offset + len]);
+                let record = EvidenceRecord::decode(&mut r)
+                    .map_err(|e| StoreError::Corrupt(e.to_string()))?;
+                r.finish().map_err(|e| StoreError::Corrupt(e.to_string()))?;
+                records.push(record);
+                offset += len;
+            }
+            verify_chain(&records).map_err(StoreError::Chain)?;
+        }
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(Self { path, inner: Mutex::new(FileLogInner { file, records }) })
+    }
+
+    /// The path of the backing file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl EvidenceLog for FileLog {
+    fn append(&self, draft: RecordDraft) -> Result<EvidenceRecord, StoreError> {
+        let mut inner = self.inner.lock();
+        let prev_hash =
+            inner.records.last().map(EvidenceRecord::record_hash).unwrap_or(Digest::ZERO);
+        let record = EvidenceRecord { seq: inner.records.len() as u64, prev_hash, draft };
+        let encoded = record.encode_to_vec();
+        let len = u32::try_from(encoded.len())
+            .map_err(|_| StoreError::Corrupt("record too large".into()))?;
+        inner.file.write_all(&len.to_le_bytes())?;
+        inner.file.write_all(&encoded)?;
+        inner.file.flush()?;
+        inner.records.push(record.clone());
+        Ok(record)
+    }
+
+    fn records(&self) -> Vec<EvidenceRecord> {
+        self.inner.lock().records.clone()
+    }
+
+    fn len(&self) -> u64 {
+        self.inner.lock().records.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nonrep_crypto::digest::sha256;
+    use nonrep_types::ids::OrgId;
+    use nonrep_types::time::Timestamp;
+
+    fn draft(n: u64) -> RecordDraft {
+        RecordDraft {
+            run_id: RunId::from_u128(u128::from(n % 3)),
+            kind: format!("kind-{n}"),
+            actor: OrgId::new("org"),
+            at: Timestamp(n),
+            content_digest: sha256(&n.to_le_bytes()),
+            payload: vec![n as u8; 8],
+        }
+    }
+
+    #[test]
+    fn memory_log_appends_and_chains() {
+        let log = MemoryLog::new();
+        for i in 0..5 {
+            let rec = log.append(draft(i)).unwrap();
+            assert_eq!(rec.seq, i);
+        }
+        assert_eq!(log.len(), 5);
+        assert!(!log.is_empty());
+        log.verify().unwrap();
+    }
+
+    #[test]
+    fn by_run_filters() {
+        let log = MemoryLog::new();
+        for i in 0..6 {
+            log.append(draft(i)).unwrap();
+        }
+        let run0 = log.by_run(&RunId::from_u128(0));
+        assert_eq!(run0.len(), 2);
+        assert!(run0.iter().all(|r| r.draft.run_id == RunId::from_u128(0)));
+    }
+
+    #[test]
+    fn total_bytes_positive() {
+        let log = MemoryLog::new();
+        log.append(draft(0)).unwrap();
+        assert!(log.total_bytes() > 0);
+    }
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("nonrep-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn file_log_persists_across_reopen() {
+        let path = temp_path("persist.log");
+        let _ = std::fs::remove_file(&path);
+        {
+            let log = FileLog::open(&path).unwrap();
+            for i in 0..4 {
+                log.append(draft(i)).unwrap();
+            }
+            log.verify().unwrap();
+        }
+        {
+            let log = FileLog::open(&path).unwrap();
+            assert_eq!(log.len(), 4);
+            log.verify().unwrap();
+            // Appending continues the chain.
+            let rec = log.append(draft(4)).unwrap();
+            assert_eq!(rec.seq, 4);
+            log.verify().unwrap();
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn file_log_detects_tampering_on_open() {
+        let path = temp_path("tamper.log");
+        let _ = std::fs::remove_file(&path);
+        {
+            let log = FileLog::open(&path).unwrap();
+            for i in 0..3 {
+                log.append(draft(i)).unwrap();
+            }
+        }
+        // Flip a byte somewhere in the middle of the file.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = FileLog::open(&path).unwrap_err();
+        assert!(
+            matches!(err, StoreError::Chain(_) | StoreError::Corrupt(_)),
+            "unexpected error: {err:?}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn file_log_detects_truncated_record() {
+        let path = temp_path("trunc.log");
+        let _ = std::fs::remove_file(&path);
+        {
+            let log = FileLog::open(&path).unwrap();
+            log.append(draft(0)).unwrap();
+        }
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        assert!(matches!(FileLog::open(&path).unwrap_err(), StoreError::Corrupt(_)));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_file_log_is_valid() {
+        let path = temp_path("empty.log");
+        let _ = std::fs::remove_file(&path);
+        let log = FileLog::open(&path).unwrap();
+        assert!(log.is_empty());
+        log.verify().unwrap();
+        assert_eq!(log.path(), path.as_path());
+        let _ = std::fs::remove_file(&path);
+    }
+}

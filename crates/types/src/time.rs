@@ -1,0 +1,183 @@
+//! Timestamps and clocks.
+//!
+//! Evidence must be time-stamped (paper §3.5). The middleware never reads
+//! the OS clock directly: it is handed a [`Clock`] so that tests and the
+//! discrete-event network simulator can control time deterministically.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::codec::{CodecError, Decode, Encode, Reader, Writer};
+
+/// A point in time, in milliseconds since an epoch.
+///
+/// For [`SystemClock`] the epoch is the Unix epoch; for [`LogicalClock`]
+/// it is the start of the simulation. Evidence produced by different
+/// organisations in one trust domain must use the same epoch — that is part
+/// of the inter-organisation agreement, like the evidence format itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// Millisecond count since the epoch.
+    pub fn millis(&self) -> u64 {
+        self.0
+    }
+
+    /// Returns this timestamp advanced by `ms` milliseconds.
+    #[must_use]
+    pub fn plus_millis(&self, ms: u64) -> Self {
+        Self(self.0.saturating_add(ms))
+    }
+
+    /// Milliseconds elapsed from `earlier` to `self` (saturating at zero).
+    pub fn since(&self, earlier: Timestamp) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}ms", self.0)
+    }
+}
+
+impl Encode for Timestamp {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.0);
+    }
+}
+
+impl Decode for Timestamp {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Self(r.get_u64()?))
+    }
+}
+
+/// A source of timestamps.
+///
+/// Object-safe so middleware components can hold `Arc<dyn Clock>`.
+pub trait Clock: Send + Sync + fmt::Debug {
+    /// The current time.
+    fn now(&self) -> Timestamp;
+}
+
+/// Wall-clock time from the operating system.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SystemClock;
+
+impl SystemClock {
+    /// Creates a system clock.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Clock for SystemClock {
+    fn now(&self) -> Timestamp {
+        let ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        Timestamp(ms)
+    }
+}
+
+/// A manually-advanced logical clock, shared between components.
+///
+/// Cloning shares the underlying counter, so a simulator can advance time
+/// for every component holding the clock.
+#[derive(Debug, Clone, Default)]
+pub struct LogicalClock {
+    millis: Arc<AtomicU64>,
+}
+
+impl LogicalClock {
+    /// Creates a logical clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a logical clock starting at `start`.
+    pub fn starting_at(start: Timestamp) -> Self {
+        let clock = Self::new();
+        clock.millis.store(start.0, Ordering::SeqCst);
+        clock
+    }
+
+    /// Advances the clock by `ms` milliseconds, returning the new time.
+    pub fn advance(&self, ms: u64) -> Timestamp {
+        let new = self.millis.fetch_add(ms, Ordering::SeqCst) + ms;
+        Timestamp(new)
+    }
+
+    /// Sets the clock to `t` if `t` is later than the current time.
+    ///
+    /// Used by the discrete-event simulator, whose event queue only ever
+    /// moves time forward.
+    pub fn advance_to(&self, t: Timestamp) {
+        self.millis.fetch_max(t.0, Ordering::SeqCst);
+    }
+}
+
+impl Clock for LogicalClock {
+    fn now(&self) -> Timestamp {
+        Timestamp(self.millis.load(Ordering::SeqCst))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logical_clock_advances() {
+        let clock = LogicalClock::new();
+        assert_eq!(clock.now(), Timestamp(0));
+        assert_eq!(clock.advance(10), Timestamp(10));
+        assert_eq!(clock.now(), Timestamp(10));
+    }
+
+    #[test]
+    fn logical_clock_is_shared_between_clones() {
+        let a = LogicalClock::new();
+        let b = a.clone();
+        a.advance(5);
+        assert_eq!(b.now(), Timestamp(5));
+    }
+
+    #[test]
+    fn advance_to_never_goes_backwards() {
+        let clock = LogicalClock::starting_at(Timestamp(100));
+        clock.advance_to(Timestamp(50));
+        assert_eq!(clock.now(), Timestamp(100));
+        clock.advance_to(Timestamp(150));
+        assert_eq!(clock.now(), Timestamp(150));
+    }
+
+    #[test]
+    fn timestamp_arithmetic() {
+        let t = Timestamp(100);
+        assert_eq!(t.plus_millis(50), Timestamp(150));
+        assert_eq!(Timestamp(150).since(t), 50);
+        assert_eq!(t.since(Timestamp(150)), 0);
+        assert_eq!(t.to_string(), "t+100ms");
+    }
+
+    #[test]
+    fn system_clock_is_nonzero_and_monotonic_enough() {
+        let clock = SystemClock::new();
+        let a = clock.now();
+        let b = clock.now();
+        assert!(a.0 > 0);
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn timestamp_codec_roundtrip() {
+        let t = Timestamp(12345);
+        assert_eq!(Timestamp::decode_from_slice(&t.encode_to_vec()).unwrap(), t);
+    }
+}

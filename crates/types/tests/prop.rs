@@ -1,0 +1,68 @@
+//! Property tests for the canonical codec and `Value` model.
+
+use nonrep_types::codec::{Decode, Encode};
+use nonrep_types::value::Value;
+use proptest::collection::{btree_map, vec};
+use proptest::prelude::*;
+
+/// Strategy producing arbitrary `Value` trees of bounded depth/size.
+fn value_strategy() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::I64),
+        any::<u64>().prop_map(Value::U64),
+        any::<u64>().prop_map(Value::F64Bits),
+        ".{0,24}".prop_map(Value::Str),
+        vec(any::<u8>(), 0..32).prop_map(Value::Bytes),
+    ];
+    leaf.prop_recursive(4, 64, 8, |inner| {
+        prop_oneof![
+            vec(inner.clone(), 0..8).prop_map(Value::List),
+            btree_map("[a-z]{1,8}", inner, 0..8).prop_map(Value::Map),
+        ]
+    })
+}
+
+proptest! {
+    /// Every value round-trips through the canonical codec.
+    #[test]
+    fn value_roundtrip(v in value_strategy()) {
+        let bytes = v.encode_to_vec();
+        let back = Value::decode_from_slice(&bytes).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    /// Encoding is deterministic: encoding twice yields identical bytes.
+    #[test]
+    fn value_encoding_deterministic(v in value_strategy()) {
+        prop_assert_eq!(v.encode_to_vec(), v.clone().encode_to_vec());
+    }
+
+    /// Decoding arbitrary bytes never panics (it may error).
+    #[test]
+    fn decode_arbitrary_bytes_never_panics(bytes in vec(any::<u8>(), 0..256)) {
+        let _ = Value::decode_from_slice(&bytes);
+    }
+
+    /// Structurally different values encode to different bytes
+    /// (injectivity witness on a sample pair).
+    #[test]
+    fn distinct_scalars_encode_distinctly(a in any::<i64>(), b in any::<i64>()) {
+        prop_assume!(a != b);
+        prop_assert_ne!(Value::I64(a).encode_to_vec(), Value::I64(b).encode_to_vec());
+    }
+
+    /// u64 primitives round-trip.
+    #[test]
+    fn u64_roundtrip(v in any::<u64>()) {
+        prop_assert_eq!(u64::decode_from_slice(&v.encode_to_vec()).unwrap(), v);
+    }
+
+    /// Strings round-trip.
+    #[test]
+    fn string_roundtrip(s in ".{0,64}") {
+        let owned = s.to_string();
+        prop_assert_eq!(String::decode_from_slice(&owned.encode_to_vec()).unwrap(), owned);
+    }
+}

@@ -1,0 +1,91 @@
+//! Dispute resolution: a cheating organisation is defeated by evidence.
+//!
+//! Paper §3.1: "the guarantee is that trusted interceptors will support
+//! the conclusion of dispute resolution in favour of honest parties."
+//!
+//! Scenario: a dealer orders a car; later the manufacturer *denies ever
+//! receiving the order* and submits a doctored log. The adjudicator
+//! (i) catches the tampering via the hash chain, and (ii) establishes the
+//! manufacturer's receipt from the dealer's log alone.
+//!
+//! Run with: `cargo run --example dispute_resolution`
+
+use std::error::Error;
+use std::sync::Arc;
+
+use nonrep::prelude::*;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let bus = LocalBus::new();
+    let dir = Arc::new(StaticKeyDirectory::new());
+    let clock = LogicalClock::new();
+    let dealer = OrgMiddleware::builder("dealer", bus.clone(), dir.clone(), clock.clone()).build();
+    let manufacturer =
+        OrgMiddleware::builder("manufacturer", bus, dir.clone(), clock).build();
+
+    manufacturer.deploy(
+        DeploymentDescriptor::new("urn:cars", [MethodName::new("order")])
+            .with_non_repudiation(NrConfig::protocol("direct")),
+        Arc::new(FnComponent::new().method("order", |_args| {
+            Ok(Value::map([("status", Value::from("accepted"))]))
+        })),
+    )?;
+
+    // Some ordinary business before and after the disputed order, so the
+    // manufacturer's log has history around it (erasing the middle of a
+    // hash chain is detectable; truncating the very end would not be —
+    // which is exactly why logs are cross-checked against counterparties).
+    let proxy = dealer.nr_proxy(manufacturer.org(), "urn:cars");
+    proxy.invoke("order", Value::map([("model", Value::from("Roadster"))]))?;
+
+    // The interaction that will later be disputed.
+    let order = proxy.invoke("order", Value::map([("model", Value::from("GT-Special"))]))?;
+    println!("order placed: {order}");
+    let run_id = dealer.log().records()[4].draft.run_id;
+
+    // Later business.
+    proxy.invoke("order", Value::map([("model", Value::from("Estate"))]))?;
+
+    // --- The dispute -----------------------------------------------------
+    // The manufacturer doctors its log to erase the order: it drops the
+    // records of this run before submitting.
+    let doctored: Vec<_> = manufacturer
+        .log()
+        .records()
+        .into_iter()
+        .filter(|r| r.draft.run_id != run_id)
+        .collect();
+    println!(
+        "\nmanufacturer submits a doctored log ({} of {} records)",
+        doctored.len(),
+        manufacturer.log().len()
+    );
+
+    let adjudicator = Adjudicator::new(dir as Arc<dyn KeyDirectory>);
+    let verdict = adjudicator.adjudicate(
+        run_id,
+        &[
+            (OrgId::new("dealer"), dealer.log().records()),
+            (OrgId::new("manufacturer"), doctored),
+        ],
+    );
+    println!("{verdict}");
+
+    // 1. The doctored log fails chain verification (records removed).
+    assert_eq!(verdict.suspect_submitters(), vec![OrgId::new("manufacturer")]);
+    println!("=> the manufacturer's submission is flagged as tampered");
+
+    // 2. The dealer's log alone proves the manufacturer's signed receipt:
+    //    the denial is refuted.
+    assert!(verdict.cannot_deny(&OrgId::new("manufacturer"), TokenKind::NrrReq));
+    assert!(verdict.cannot_deny(&OrgId::new("manufacturer"), TokenKind::NroResp));
+    println!("=> the manufacturer cannot deny receiving the order (NRR_req verified)");
+    println!("=> the manufacturer cannot deny producing the response (NRO_resp verified)");
+
+    // 3. Symmetrically, the dealer cannot deny having placed the order.
+    assert!(verdict.cannot_deny(&OrgId::new("dealer"), TokenKind::NroReq));
+    println!("=> the dealer cannot deny having placed the order (NRO_req verified)");
+
+    println!("\ndispute resolved in favour of the honest party");
+    Ok(())
+}

@@ -1,0 +1,108 @@
+//! E12 integration: contract-FSM validation of shared-information updates
+//! through the full middleware (paper §6 future work).
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use nonrep::contract::{ContractMonitor, ContractSpec, ContractValidator};
+use nonrep::prelude::*;
+
+fn contract() -> ContractSpec {
+    ContractSpec::new("negotiation", "open")
+        .state("agreed")
+        .breach_state("withdrawn-after-agreement")
+        .transition("open", "spec.revise", "open")
+        .transition("open", "spec.agree", "agreed")
+        .transition("agreed", "spec.withdraw", "withdrawn-after-agreement")
+}
+
+fn event_of(object: &str, _cur: Option<&[u8]>, proposed: &[u8]) -> Option<String> {
+    if object != "spec" {
+        return None;
+    }
+    let text = String::from_utf8_lossy(proposed);
+    let verb = text.split(';').next()?;
+    Some(format!("spec.{verb}"))
+}
+
+struct World {
+    a: Arc<OrgMiddleware>,
+    b: Arc<OrgMiddleware>,
+    group: GroupId,
+    monitor: Arc<ContractMonitor>,
+}
+
+fn world() -> World {
+    let bus = LocalBus::new();
+    let dir = Arc::new(StaticKeyDirectory::new());
+    let clock = LogicalClock::new();
+    let a = OrgMiddleware::builder("a", bus.clone(), dir.clone(), clock.clone()).build();
+    let b = OrgMiddleware::builder("b", bus, dir, clock).build();
+    let group = GroupId::new("g");
+    let set: BTreeSet<OrgId> = [OrgId::new("a"), OrgId::new("b")].into();
+    a.install_group(group.clone(), set.clone());
+    b.install_group(group.clone(), set);
+    let monitor = Arc::new(ContractMonitor::new(contract()));
+    b.add_validator(ContractValidator::new(monitor.clone(), event_of));
+    World { a, b, group, monitor }
+}
+
+#[test]
+fn contract_is_verified_before_use() {
+    assert!(contract().check().is_empty());
+}
+
+#[test]
+fn compliant_updates_flow_and_monitor_advances() {
+    let w = world();
+    for (state, event) in [
+        (&b"revise;v=1"[..], "spec.revise"),
+        (b"revise;v=2", "spec.revise"),
+        (b"agree;v=2", "spec.agree"),
+    ] {
+        let out = w.a.propose_update(&w.group, "spec", state.to_vec()).unwrap();
+        assert!(out.accepted, "{event}");
+        w.monitor.observe(event).unwrap();
+    }
+    assert_eq!(w.monitor.state().as_str(), "agreed");
+    assert_eq!(w.b.current_state("spec").unwrap(), b"agree;v=2");
+}
+
+#[test]
+fn breaching_update_is_vetoed_with_signed_reason() {
+    let w = world();
+    w.a.propose_update(&w.group, "spec", b"agree;v=1".to_vec()).unwrap();
+    w.monitor.observe("spec.agree").unwrap();
+    // Withdrawing after agreement would breach: vetoed.
+    let out = w.a.propose_update(&w.group, "spec", b"withdraw;v=1".to_vec()).unwrap();
+    assert!(!out.accepted);
+    let veto = out.votes.iter().find(|v| !v.accept).unwrap();
+    assert!(veto.reason.contains("contract violation"));
+    // Replicas keep the agreed state; the monitor never advanced.
+    assert_eq!(w.b.current_state("spec").unwrap(), b"agree;v=1");
+    assert_eq!(w.monitor.state().as_str(), "agreed");
+    // The veto is in A's evidence log, attributable to B.
+    let veto_records = w
+        .a
+        .log()
+        .records()
+        .iter()
+        .filter(|r| r.draft.kind == "vote" && r.draft.actor == OrgId::new("b"))
+        .count();
+    assert!(veto_records >= 1);
+}
+
+#[test]
+fn out_of_scope_objects_are_not_contract_checked() {
+    let w = world();
+    let out = w.a.propose_update(&w.group, "other-doc", b"anything".to_vec()).unwrap();
+    assert!(out.accepted);
+}
+
+#[test]
+fn unknown_contract_event_is_rejected() {
+    let w = world();
+    let out = w.a.propose_update(&w.group, "spec", b"explode;v=1".to_vec()).unwrap();
+    assert!(!out.accepted);
+    assert!(out.votes[0].reason.contains("spec.explode"));
+}

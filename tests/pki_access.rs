@@ -1,0 +1,163 @@
+//! E5/§3.5 integration: PKI-backed credentials drive event-based role
+//! activation, and the access-control interceptor enforces the result on
+//! the container invocation path.
+
+use std::sync::Arc;
+
+use nonrep::access::{AccessPolicy, Action, CredentialRoleMapper, Permission, Role, SessionManager};
+use nonrep::container::interceptor::AccessControlInterceptor;
+use nonrep::pki::{CertificateAuthority, CredentialManager};
+use nonrep::prelude::*;
+
+struct PkiWorld {
+    ca: CertificateAuthority,
+    manager: CredentialManager,
+    sessions: Arc<SessionManager>,
+    clock: LogicalClock,
+}
+
+fn pki_world() -> PkiWorld {
+    let clock = LogicalClock::new();
+    let ca_keys = KeyPair::generate(
+        SignatureScheme::Mss { height: 6 },
+        &mut SecureRandom::from_seed(1),
+    );
+    let ca = CertificateAuthority::new(OrgId::new("root-ca"), ca_keys, Arc::new(clock.clone()));
+    let manager = CredentialManager::new(Arc::new(clock.clone()));
+    manager.add_anchor(ca.self_signed(1_000_000).unwrap()).unwrap();
+    let mapper = CredentialRoleMapper::new()
+        .map_attribute("supplier", Role::new("supplier"))
+        .baseline_role(Role::new("member"));
+    let policy = AccessPolicy::new()
+        .grant(Role::new("supplier"), Permission::new("urn:parts.*", Action::Invoke))
+        .grant(Role::new("member"), Permission::new("urn:info.read", Action::Invoke));
+    let sessions = Arc::new(
+        SessionManager::new(mapper, policy).deactivate_on("contract.breach", Role::new("supplier")),
+    );
+    PkiWorld { ca, manager, sessions, clock }
+}
+
+fn guarded_container(sessions: Arc<SessionManager>) -> Arc<Container> {
+    let c = Container::new("server");
+    c.deploy(
+        DeploymentDescriptor::new("urn:parts", [MethodName::new("order")]),
+        Arc::new(FnComponent::new().method("order", |_| Ok(Value::from("ordered")))),
+    )
+    .unwrap();
+    c.deploy(
+        DeploymentDescriptor::new("urn:info", [MethodName::new("read")]),
+        Arc::new(FnComponent::new().method("read", |_| Ok(Value::from("info")))),
+    )
+    .unwrap();
+    c.add_first_interceptor(Arc::new(AccessControlInterceptor::new(sessions)));
+    c
+}
+
+#[test]
+fn certificate_to_invocation_pipeline() {
+    let w = pki_world();
+    // Supplier-a presents a CA-issued certificate with the supplier role.
+    let subject_keys =
+        KeyPair::generate(SignatureScheme::Arbitrated, &mut SecureRandom::from_seed(2));
+    let cert = w
+        .ca
+        .issue(
+            OrgId::new("supplier-a"),
+            subject_keys.verifying_key(),
+            vec!["supplier".into()],
+            10_000,
+        )
+        .unwrap();
+    w.manager.add_certificate(cert.clone());
+    // Verify through the credential manager before activation (§3.5).
+    w.manager.verify_certificate(&cert).unwrap();
+    w.sessions.activate(&cert);
+
+    let container = guarded_container(w.sessions.clone());
+    let order = container.invoke(nonrep::container::Invocation::new(
+        "supplier-a",
+        "urn:parts",
+        "order",
+        Value::Null,
+    ));
+    assert_eq!(order.unwrap(), Value::from("ordered"));
+    // Baseline member role also granted.
+    assert!(container
+        .invoke(nonrep::container::Invocation::new("supplier-a", "urn:info", "read", Value::Null))
+        .is_ok());
+}
+
+#[test]
+fn unknown_caller_denied() {
+    let w = pki_world();
+    let container = guarded_container(w.sessions.clone());
+    let err = container
+        .invoke(nonrep::container::Invocation::new("ghost", "urn:parts", "order", Value::Null))
+        .unwrap_err();
+    assert!(matches!(err, ContainerError::AccessDenied(_)));
+}
+
+#[test]
+fn breach_event_deactivates_role_mid_session() {
+    let w = pki_world();
+    let subject_keys =
+        KeyPair::generate(SignatureScheme::Arbitrated, &mut SecureRandom::from_seed(3));
+    let cert = w
+        .ca
+        .issue(
+            OrgId::new("supplier-a"),
+            subject_keys.verifying_key(),
+            vec!["supplier".into()],
+            10_000,
+        )
+        .unwrap();
+    w.manager.add_certificate(cert.clone());
+    w.sessions.activate(&cert);
+    let container = guarded_container(w.sessions.clone());
+    let inv =
+        || nonrep::container::Invocation::new("supplier-a", "urn:parts", "order", Value::Null);
+    assert!(container.invoke(inv()).is_ok());
+    // A contract breach event strips the supplier role (OASIS-style).
+    w.sessions.on_event(&OrgId::new("supplier-a"), "contract.breach");
+    assert!(matches!(container.invoke(inv()), Err(ContainerError::AccessDenied(_))));
+    // The baseline member role survives.
+    assert!(container
+        .invoke(nonrep::container::Invocation::new("supplier-a", "urn:info", "read", Value::Null))
+        .is_ok());
+}
+
+#[test]
+fn revoked_certificate_cannot_activate() {
+    let w = pki_world();
+    let subject_keys =
+        KeyPair::generate(SignatureScheme::Arbitrated, &mut SecureRandom::from_seed(4));
+    let cert = w
+        .ca
+        .issue(
+            OrgId::new("supplier-b"),
+            subject_keys.verifying_key(),
+            vec!["supplier".into()],
+            10_000,
+        )
+        .unwrap();
+    w.manager.add_certificate(cert.clone());
+    let crl = w.ca.issue_crl(vec![cert.serial]).unwrap();
+    w.manager.add_crl(crl).unwrap();
+    // Verification fails; a compliant deployment therefore never activates.
+    assert!(w.manager.verify_certificate(&cert).is_err());
+}
+
+#[test]
+fn expired_certificate_rejected_by_clock() {
+    let w = pki_world();
+    let subject_keys =
+        KeyPair::generate(SignatureScheme::Arbitrated, &mut SecureRandom::from_seed(5));
+    let cert = w
+        .ca
+        .issue(OrgId::new("supplier-c"), subject_keys.verifying_key(), vec![], 100)
+        .unwrap();
+    w.manager.add_certificate(cert.clone());
+    w.manager.verify_certificate(&cert).unwrap();
+    w.clock.advance(500);
+    assert!(w.manager.verify_certificate(&cert).is_err());
+}

@@ -1,0 +1,104 @@
+//! Cross-crate property tests: middleware invariants under generated
+//! workloads.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use nonrep::prelude::*;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn world() -> (Arc<LocalBus>, Arc<StaticKeyDirectory>, LogicalClock) {
+    (LocalBus::new(), Arc::new(StaticKeyDirectory::new()), LogicalClock::new())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any sequence of successful NR invocations leaves both logs with
+    /// 4 records per invocation and intact chains.
+    #[test]
+    fn evidence_grows_linearly_and_chains_hold(payloads in vec(vec(any::<u8>(), 0..64), 1..6)) {
+        let (bus, dir, clock) = world();
+        let client = OrgMiddleware::builder("client", bus.clone(), dir.clone(), clock.clone()).build();
+        let server = OrgMiddleware::builder("server", bus, dir, clock).build();
+        server.deploy(
+            DeploymentDescriptor::new("urn:svc", [MethodName::new("work")])
+                .with_non_repudiation(NrConfig::protocol("direct")),
+            Arc::new(FnComponent::new().method("work", |args| Ok(args.clone()))),
+        ).unwrap();
+        let proxy = client.nr_proxy(server.org(), "urn:svc");
+        for p in &payloads {
+            let v = Value::Bytes(p.clone());
+            prop_assert_eq!(proxy.invoke("work", v.clone()).unwrap(), v);
+        }
+        prop_assert_eq!(client.log().len(), 4 * payloads.len() as u64);
+        prop_assert_eq!(server.log().len(), 4 * payloads.len() as u64);
+        client.log().verify().unwrap();
+        server.log().verify().unwrap();
+    }
+
+    /// Replicas of a shared object are identical across members after any
+    /// sequence of proposals from arbitrary members, and version history
+    /// length equals the number of accepted rounds.
+    #[test]
+    fn replicas_never_diverge(updates in vec((0usize..3, vec(any::<u8>(), 1..32)), 1..8)) {
+        let (bus, dir, clock) = world();
+        let orgs: Vec<Arc<OrgMiddleware>> = ["a", "b", "c"]
+            .iter()
+            .map(|n| OrgMiddleware::builder(*n, bus.clone(), dir.clone(), clock.clone()).build())
+            .collect();
+        let group = GroupId::new("g");
+        let set: BTreeSet<OrgId> = ["a", "b", "c"].iter().map(|n| OrgId::new(*n)).collect();
+        for mw in &orgs {
+            mw.install_group(group.clone(), set.clone());
+        }
+        let mut accepted = 0u64;
+        for (who, state) in &updates {
+            let out = orgs[*who].propose_update(&group, "obj", state.clone()).unwrap();
+            if out.accepted {
+                accepted += 1;
+            }
+        }
+        prop_assert_eq!(accepted, updates.len() as u64, "no validator ⇒ all accepted");
+        let reference = orgs[0].current_state("obj");
+        for mw in &orgs[1..] {
+            let state = mw.current_state("obj");
+            prop_assert_eq!(state, reference.clone());
+            prop_assert_eq!(mw.store().history("obj").len() as u64, accepted);
+        }
+    }
+
+    /// Under arbitrary bounded loss, invocations still complete and
+    /// execute exactly once each.
+    #[test]
+    fn liveness_under_bounded_loss(loss_pct in 0u32..60, n in 1usize..6, seed in any::<u64>()) {
+        let bus = LocalBus::with_config(
+            FaultPlan::lossy(f64::from(loss_pct) / 100.0, 3, seed)
+                .with_response_drop_share(0.5),
+            LatencyModel::Zero,
+            0,
+        );
+        let dir = Arc::new(StaticKeyDirectory::new());
+        let clock = LogicalClock::new();
+        let client = OrgMiddleware::builder("client", bus.clone(), dir.clone(), clock.clone())
+            .retry(RetryPolicy::new(8))
+            .build();
+        let server = OrgMiddleware::builder("server", bus, dir, clock).build();
+        let hits = Arc::new(std::sync::Mutex::new(0u32));
+        let counter = Arc::clone(&hits);
+        server.deploy(
+            DeploymentDescriptor::new("urn:svc", [MethodName::new("work")])
+                .with_non_repudiation(NrConfig::protocol("direct")),
+            Arc::new(FnComponent::new().method("work", move |args| {
+                *counter.lock().unwrap() += 1;
+                Ok(args.clone())
+            })),
+        ).unwrap();
+        let proxy = client.nr_proxy(server.org(), "urn:svc");
+        for i in 0..n {
+            proxy.invoke("work", Value::from(i as u64)).unwrap();
+        }
+        prop_assert_eq!(*hits.lock().unwrap(), n as u32);
+    }
+}

@@ -1,0 +1,142 @@
+//! E2 integration: non-repudiable information sharing (paper Fig 5) plus
+//! membership connect/disconnect, through the full middleware stack.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use nonrep::prelude::*;
+
+fn orgs(names: &[&str]) -> Vec<Arc<OrgMiddleware>> {
+    let bus = LocalBus::new();
+    let dir = Arc::new(StaticKeyDirectory::new());
+    let clock = LogicalClock::new();
+    names
+        .iter()
+        .map(|n| OrgMiddleware::builder(*n, bus.clone(), dir.clone(), clock.clone()).build())
+        .collect()
+}
+
+fn with_group(names: &[&str]) -> (Vec<Arc<OrgMiddleware>>, GroupId) {
+    let mws = orgs(names);
+    let group = GroupId::new("ve");
+    let set: BTreeSet<OrgId> = names.iter().map(|n| OrgId::new(*n)).collect();
+    for mw in &mws {
+        mw.install_group(group.clone(), set.clone());
+    }
+    (mws, group)
+}
+
+#[test]
+fn unanimous_update_reaches_every_replica() {
+    let (mws, group) = with_group(&["a", "b", "c", "d"]);
+    let out = mws[0].propose_update(&group, "spec", b"v1".to_vec()).unwrap();
+    assert!(out.accepted);
+    assert_eq!(out.votes.len(), 3);
+    for mw in &mws {
+        assert_eq!(mw.current_state("spec").unwrap(), b"v1");
+    }
+}
+
+#[test]
+fn any_member_can_propose_and_versions_stay_in_lockstep() {
+    let (mws, group) = with_group(&["a", "b", "c"]);
+    for (i, state) in [b"s0".as_slice(), b"s1", b"s2", b"s3", b"s4", b"s5"].iter().enumerate() {
+        let proposer = &mws[i % 3];
+        let out = proposer.propose_update(&group, "doc", state.to_vec()).unwrap();
+        assert!(out.accepted);
+        assert_eq!(out.version, Some(i as u64));
+    }
+    for mw in &mws {
+        assert_eq!(mw.store().history("doc").len(), 6);
+        assert_eq!(mw.current_state("doc").unwrap(), b"s5");
+    }
+}
+
+#[test]
+fn veto_is_attributable_and_blocks_everywhere() {
+    let (mws, group) = with_group(&["a", "b", "c"]);
+    mws[0].propose_update(&group, "spec", b"good".to_vec()).unwrap();
+    mws[2].add_validator(Arc::new(|_: &str, _: Option<&[u8]>, p: &[u8]| {
+        if p.starts_with(b"evil") {
+            Err("rejected by policy".to_string())
+        } else {
+            Ok(())
+        }
+    }));
+    let out = mws[1].propose_update(&group, "spec", b"evil update".to_vec()).unwrap();
+    assert!(!out.accepted);
+    let veto = out.votes.iter().find(|v| !v.accept).unwrap();
+    assert_eq!(veto.voter, OrgId::new("c"));
+    assert_eq!(veto.reason, "rejected by policy");
+    for mw in &mws {
+        assert_eq!(mw.current_state("spec").unwrap(), b"good");
+    }
+    // The veto vote is signed, stored by the proposer, and verifiable.
+    let c_key = mws[1].directory().key_of(&OrgId::new("c")).unwrap();
+    assert!(veto.verify(&c_key, out.run_id));
+}
+
+#[test]
+fn connect_transfers_state_and_extends_membership() {
+    // A world with three orgs where only a+b start in the group.
+    let bus = LocalBus::new();
+    let dir = Arc::new(StaticKeyDirectory::new());
+    let clock = LogicalClock::new();
+    let a = OrgMiddleware::builder("a", bus.clone(), dir.clone(), clock.clone()).build();
+    let b = OrgMiddleware::builder("b", bus.clone(), dir.clone(), clock.clone()).build();
+    let c = OrgMiddleware::builder("c", bus, dir, clock).build();
+    let group = GroupId::new("ve");
+    let set: BTreeSet<OrgId> = [OrgId::new("a"), OrgId::new("b")].into();
+    a.install_group(group.clone(), set.clone());
+    b.install_group(group.clone(), set);
+    a.propose_update(&group, "spec", b"v0".to_vec()).unwrap();
+    b.propose_update(&group, "spec", b"v1".to_vec()).unwrap();
+
+    let out = a.connect(&group, c.org()).unwrap();
+    assert!(out.accepted);
+    // c received the group, the spec history, and the latest state.
+    assert_eq!(c.group_members(&group).unwrap().len(), 3);
+    assert_eq!(c.current_state("spec").unwrap(), b"v1");
+    assert_eq!(c.store().history("spec").len(), 2);
+    // And can propose immediately.
+    let update = c.propose_update(&group, "spec", b"v2-from-c".to_vec()).unwrap();
+    assert!(update.accepted);
+    assert_eq!(a.current_state("spec").unwrap(), b"v2-from-c");
+}
+
+#[test]
+fn disconnect_shrinks_the_group_everywhere() {
+    let (mws, group) = with_group(&["a", "b", "c"]);
+    let out = mws[0].disconnect(&group, &OrgId::new("c")).unwrap();
+    assert!(out.accepted);
+    for mw in &mws[..2] {
+        assert_eq!(mw.group_members(&group).unwrap().len(), 2);
+    }
+    // A subsequent update involves only the remaining members.
+    let update = mws[1].propose_update(&group, "doc", b"post-leave".to_vec()).unwrap();
+    assert!(update.accepted);
+    assert_eq!(update.votes.len(), 1);
+}
+
+#[test]
+fn evidence_of_rounds_is_complete_and_verifiable() {
+    let (mws, group) = with_group(&["a", "b", "c"]);
+    let out = mws[0].propose_update(&group, "spec", b"v".to_vec()).unwrap();
+    // Proposer: proposal + 2 votes + decision.
+    assert_eq!(mws[0].log().by_run(&out.run_id).len(), 4);
+    // Validators: proposal + own vote + decision.
+    for mw in &mws[1..] {
+        assert_eq!(mw.log().by_run(&out.run_id).len(), 3);
+        mw.log().verify().unwrap();
+    }
+}
+
+#[test]
+fn concurrent_object_histories_are_independent() {
+    let (mws, group) = with_group(&["a", "b"]);
+    mws[0].propose_update(&group, "alpha", b"a1".to_vec()).unwrap();
+    mws[1].propose_update(&group, "beta", b"b1".to_vec()).unwrap();
+    mws[0].propose_update(&group, "alpha", b"a2".to_vec()).unwrap();
+    assert_eq!(mws[1].store().history("alpha").len(), 2);
+    assert_eq!(mws[1].store().history("beta").len(), 1);
+}

@@ -1,0 +1,151 @@
+//! E3 integration: the same invocation under every trust-domain deployment
+//! of paper Fig 3, with message-count shape assertions.
+
+use std::sync::Arc;
+
+use nonrep::prelude::*;
+
+struct Case {
+    bus: Arc<LocalBus>,
+    client: Arc<OrgMiddleware>,
+    server: Arc<OrgMiddleware>,
+}
+
+fn build(domain: TrustDomain) -> Case {
+    let bus = LocalBus::new();
+    let dir = Arc::new(StaticKeyDirectory::new());
+    let clock = LogicalClock::new();
+    let client = OrgMiddleware::builder("client", bus.clone(), dir.clone(), clock.clone())
+        .domain(domain.clone())
+        .build();
+    let mut sb = OrgMiddleware::builder("server", bus.clone(), dir.clone(), clock.clone());
+    if let TrustDomain::FairOffline { ttp } = &domain {
+        sb = sb.offline_ttp(ttp.clone());
+    }
+    let server = sb.build();
+    match &domain {
+        TrustDomain::InlineTtp { first_hop } if first_hop.as_str() == "ttp-a" => {
+            let a = OrgMiddleware::builder("ttp-a", bus.clone(), dir.clone(), clock.clone()).build();
+            a.serve_as_inline_ttp(Some(OrgId::new("ttp-b")));
+            let b = OrgMiddleware::builder("ttp-b", bus.clone(), dir.clone(), clock).build();
+            b.serve_as_inline_ttp(None);
+        }
+        TrustDomain::InlineTtp { first_hop } => {
+            let t =
+                OrgMiddleware::builder(first_hop.clone(), bus.clone(), dir.clone(), clock).build();
+            t.serve_as_inline_ttp(None);
+        }
+        TrustDomain::FairOffline { ttp } => {
+            let t = OrgMiddleware::builder(ttp.clone(), bus.clone(), dir.clone(), clock).build();
+            t.serve_as_offline_ttp();
+        }
+        _ => {}
+    }
+    server
+        .deploy(
+            DeploymentDescriptor::new("urn:svc", [MethodName::new("work")])
+                .with_non_repudiation(NrConfig::protocol("direct")),
+            Arc::new(FnComponent::new().method("work", |args| Ok(args.clone()))),
+        )
+        .unwrap();
+    Case { bus, client, server }
+}
+
+fn messages_for(domain: TrustDomain) -> u64 {
+    let case = build(domain);
+    let proxy = case.client.nr_proxy(case.server.org(), "urn:svc");
+    assert_eq!(proxy.invoke("work", Value::from(1i64)).unwrap(), Value::from(1i64));
+    case.bus.stats().delivered
+}
+
+#[test]
+fn every_domain_delivers_the_correct_result() {
+    for domain in [
+        TrustDomain::Direct,
+        TrustDomain::Voluntary,
+        TrustDomain::InlineTtp { first_hop: OrgId::new("ttp") },
+        TrustDomain::InlineTtp { first_hop: OrgId::new("ttp-a") },
+        TrustDomain::FairOffline { ttp: OrgId::new("ttp") },
+    ] {
+        let case = build(domain.clone());
+        let proxy = case.client.nr_proxy(case.server.org(), "urn:svc");
+        assert_eq!(
+            proxy.invoke("work", Value::from(7i64)).unwrap(),
+            Value::from(7i64),
+            "domain {domain}"
+        );
+    }
+}
+
+#[test]
+fn message_counts_follow_the_paper_shape() {
+    let voluntary = messages_for(TrustDomain::Voluntary);
+    let direct = messages_for(TrustDomain::Direct);
+    let inline = messages_for(TrustDomain::InlineTtp { first_hop: OrgId::new("ttp") });
+    let distributed = messages_for(TrustDomain::InlineTtp { first_hop: OrgId::new("ttp-a") });
+    let fair = messages_for(TrustDomain::FairOffline { ttp: OrgId::new("ttp") });
+
+    // Shape (paper §3.1/Fig 3): voluntary < direct < fair-offline,
+    // direct < single inline TTP < distributed inline TTPs.
+    assert!(voluntary < direct, "voluntary {voluntary} vs direct {direct}");
+    assert!(direct < inline, "direct {direct} vs inline {inline}");
+    assert!(inline < distributed, "inline {inline} vs distributed {distributed}");
+    assert!(direct < fair, "direct {direct} vs fair {fair}");
+}
+
+#[test]
+fn inline_ttp_holds_the_full_audit_trail() {
+    let bus = LocalBus::new();
+    let dir = Arc::new(StaticKeyDirectory::new());
+    let clock = LogicalClock::new();
+    let client = OrgMiddleware::builder("client", bus.clone(), dir.clone(), clock.clone())
+        .domain(TrustDomain::InlineTtp { first_hop: OrgId::new("ttp") })
+        .build();
+    let server = OrgMiddleware::builder("server", bus.clone(), dir.clone(), clock.clone()).build();
+    let ttp = OrgMiddleware::builder("ttp", bus, dir, clock).build();
+    ttp.serve_as_inline_ttp(None);
+    server
+        .deploy(
+            DeploymentDescriptor::new("urn:svc", [MethodName::new("work")])
+                .with_non_repudiation(NrConfig::protocol("inline-ttp")),
+            Arc::new(FnComponent::new().method("work", |args| Ok(args.clone()))),
+        )
+        .unwrap();
+    client.nr_proxy(server.org(), "urn:svc").invoke("work", Value::from(1i64)).unwrap();
+    // TTP: client NRO + own 2 receipts + 4 tokens of the inner direct leg.
+    assert_eq!(ttp.log().len(), 7);
+    ttp.log().verify().unwrap();
+    // Server still produced the standard direct-protocol evidence.
+    assert_eq!(server.log().len(), 4);
+}
+
+#[test]
+fn per_interaction_domain_override() {
+    // One client talks to the same server directly *and* via a TTP,
+    // choosing per proxy — the paper's "one part of an interaction may
+    // deploy interceptors at trusted third parties while another uses
+    // interceptors hosted within each organisation".
+    let bus = LocalBus::new();
+    let dir = Arc::new(StaticKeyDirectory::new());
+    let clock = LogicalClock::new();
+    let client = OrgMiddleware::builder("client", bus.clone(), dir.clone(), clock.clone()).build();
+    let server = OrgMiddleware::builder("server", bus.clone(), dir.clone(), clock.clone()).build();
+    let ttp = OrgMiddleware::builder("ttp", bus, dir, clock).build();
+    ttp.serve_as_inline_ttp(None);
+    server
+        .deploy(
+            DeploymentDescriptor::new("urn:svc", [MethodName::new("work")])
+                .with_non_repudiation(NrConfig::protocol("direct")),
+            Arc::new(FnComponent::new().method("work", |args| Ok(args.clone()))),
+        )
+        .unwrap();
+    let direct = client.nr_proxy(server.org(), "urn:svc");
+    let via_ttp = client.nr_proxy_in(
+        TrustDomain::InlineTtp { first_hop: OrgId::new("ttp") },
+        server.org(),
+        "urn:svc",
+    );
+    assert!(direct.invoke("work", Value::from(1i64)).is_ok());
+    assert!(via_ttp.invoke("work", Value::from(2i64)).is_ok());
+    assert!(ttp.log().len() > 0);
+}
