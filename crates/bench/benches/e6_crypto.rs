@@ -8,8 +8,9 @@
 //! linear in capacity.
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
-use nonrep_crypto::digest::sha256;
+use nonrep_crypto::digest::{sha256, sha256_pair, Digest};
 use nonrep_crypto::hmac::hmac_sha256;
+use nonrep_crypto::merkle::MerkleTree;
 use nonrep_crypto::rng::SecureRandom;
 use nonrep_crypto::sig::{KeyPair, SignatureScheme};
 use std::time::Duration;
@@ -72,6 +73,34 @@ fn bench_crypto(c: &mut Criterion) {
         let sig = kp.sign(b"message").unwrap();
         let vk = kp.verifying_key();
         group.bench_function("mss_verify", |b| b.iter(|| assert!(vk.verify(b"message", &sig))));
+    }
+
+    // The Merkle-node pair hash (every tree node and chain link pays this).
+    {
+        let left = sha256(b"left");
+        let right = sha256(b"right");
+        group.bench_function("sha256_pair", |b| {
+            b.iter(|| sha256_pair(1, left.as_bytes(), right.as_bytes()))
+        });
+    }
+
+    // Merkle-tree construction over pre-hashed leaves: pure sha256_pair
+    // (the leaf clone happens in the untimed setup phase).
+    {
+        let leaves: Vec<Digest> = (0u64..4096).map(|i| sha256(&i.to_le_bytes())).collect();
+        group.bench_function("merkle_build_4096", |b| {
+            b.iter_batched(
+                || leaves.clone(),
+                MerkleTree::from_leaf_hashes,
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    // Digest hex rendering (logging / adjudication reports).
+    {
+        let d = sha256(b"hex");
+        group.bench_function("digest_to_hex", |b| b.iter(|| d.to_hex()));
     }
 
     // MSS keygen across capacities (2^h signatures).

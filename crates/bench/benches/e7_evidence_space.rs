@@ -164,6 +164,25 @@ fn bench_space(c: &mut Criterion) {
         }
         group.bench_function("chain_verify_1k", |b| b.iter(|| log.verify().unwrap()));
     }
+    // Per-run retrieval and full-snapshot cost over a 1k-record log with
+    // 50 interleaved protocol runs (the dispute/audit query shape).
+    {
+        let log = MemoryLog::new();
+        for n in 0..1000u64 {
+            log.append(RecordDraft {
+                run_id: RunId::from_u128(u128::from(n % 50)),
+                kind: "NRO_req".into(),
+                actor: OrgId::new("org"),
+                at: Timestamp(n),
+                content_digest: sha256(&n.to_le_bytes()),
+                payload: vec![0u8; 128],
+            })
+            .unwrap();
+        }
+        let target = RunId::from_u128(17);
+        group.bench_function("by_run_1k", |b| b.iter(|| log.by_run(&target)));
+        group.bench_function("records_snapshot_1k", |b| b.iter(|| log.records()));
+    }
     // Keep the helper used (silence dead-code in some configs).
     let w = World::new();
     let client = w.org("client");

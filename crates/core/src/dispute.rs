@@ -24,7 +24,8 @@ use std::sync::Arc;
 use nonrep_crypto::digest::Digest;
 use nonrep_protocols::party::KeyDirectory;
 use nonrep_protocols::tokens::{NrToken, TokenKind};
-use nonrep_store::record::{verify_chain, ChainViolation, EvidenceRecord};
+use nonrep_store::record::{ChainVerifier, ChainViolation, EvidenceRecord};
+use nonrep_store::EvidenceLog;
 use nonrep_types::codec::Decode;
 use nonrep_types::ids::{OrgId, RunId};
 
@@ -135,23 +136,27 @@ impl Adjudicator {
 
     /// Verifies one submitted log in isolation.
     pub fn verify_log(&self, submitter: OrgId, records: &[EvidenceRecord]) -> LogReport {
-        let chain = verify_chain(records);
-        let mut tokens = Vec::new();
-        let mut undecodable = 0;
+        let mut builder = ReportBuilder::new(submitter, &*self.directory);
         for record in records {
-            match NrToken::decode_from_slice(&record.draft.payload) {
-                Ok(token) => {
-                    let ok = self
-                        .directory
-                        .key_of(&token.issuer)
-                        .map(|key| token.verify(&key, None, None, None))
-                        .unwrap_or(false);
-                    tokens.push((token, ok));
-                }
-                Err(_) => undecodable += 1,
-            }
+            builder.check(record);
         }
-        LogReport { submitter, chain, tokens, undecodable }
+        builder.finish()
+    }
+
+    /// Verifies a live log in place, reading it in bounded windows via
+    /// [`EvidenceLog::for_each_window`] — peak memory stays one window
+    /// (never a whole-log clone), and the log's internal lock is *not*
+    /// held while token signatures are cryptographically verified, so
+    /// concurrent appenders are not stalled behind an audit.
+    pub fn verify_log_in_place(&self, submitter: OrgId, log: &dyn EvidenceLog) -> LogReport {
+        let mut builder = ReportBuilder::new(submitter, &*self.directory);
+        log.for_each_window(256, &mut |window| {
+            for record in window {
+                builder.check(record);
+            }
+            true
+        });
+        builder.finish()
     }
 
     /// Adjudicates `run_id` over the submitted logs.
@@ -160,31 +165,95 @@ impl Adjudicator {
     /// cryptographically; an unverifiable (forged) token contributes
     /// nothing except suspicion against its submitter.
     pub fn adjudicate(&self, run_id: RunId, submissions: &[(OrgId, Vec<EvidenceRecord>)]) -> Verdict {
-        let mut reports = Vec::new();
-        // (kind-tag, issuer, subject) → holders.
-        let mut facts: BTreeMap<(String, OrgId, Digest), Fact> = BTreeMap::new();
-        for (submitter, records) in submissions {
-            let report = self.verify_log(submitter.clone(), records);
-            for (token, ok) in &report.tokens {
-                if !*ok || token.run_id != run_id {
-                    continue;
-                }
-                let key = (token.kind.label().to_string(), token.issuer.clone(), token.subject);
-                let entry = facts.entry(key).or_insert_with(|| Fact {
-                    kind: token.kind,
-                    issuer: token.issuer.clone(),
-                    subject: token.subject,
-                    run_id,
-                    held_by: Vec::new(),
-                });
-                if !entry.held_by.contains(submitter) {
-                    entry.held_by.push(submitter.clone());
-                }
-            }
-            reports.push(report);
-        }
-        Verdict { run_id, reports, facts: facts.into_values().collect() }
+        let reports = submissions
+            .iter()
+            .map(|(submitter, records)| self.verify_log(submitter.clone(), records))
+            .collect();
+        verdict_from_reports(run_id, reports)
     }
+
+    /// Adjudicates `run_id` directly over live evidence logs, verifying
+    /// each chain and decoding tokens in place instead of snapshotting
+    /// whole logs first. This is the hot path for audit/dispute queries
+    /// within one process (trust-domain adjudication, monitoring).
+    pub fn adjudicate_logs(&self, run_id: RunId, submissions: &[(OrgId, &dyn EvidenceLog)]) -> Verdict {
+        let reports = submissions
+            .iter()
+            .map(|(submitter, log)| self.verify_log_in_place(submitter.clone(), *log))
+            .collect();
+        verdict_from_reports(run_id, reports)
+    }
+}
+
+/// Incremental [`LogReport`] construction shared by the slice-based and
+/// visitor-based verification paths.
+struct ReportBuilder<'a> {
+    submitter: OrgId,
+    directory: &'a dyn KeyDirectory,
+    chain: ChainVerifier,
+    tokens: Vec<(NrToken, bool)>,
+    undecodable: usize,
+}
+
+impl<'a> ReportBuilder<'a> {
+    fn new(submitter: OrgId, directory: &'a dyn KeyDirectory) -> Self {
+        Self {
+            submitter,
+            directory,
+            chain: ChainVerifier::new(),
+            tokens: Vec::new(),
+            undecodable: 0,
+        }
+    }
+
+    fn check(&mut self, record: &EvidenceRecord) {
+        self.chain.check(record);
+        match NrToken::decode_from_slice(&record.draft.payload) {
+            Ok(token) => {
+                let ok = self
+                    .directory
+                    .key_of(&token.issuer)
+                    .map(|key| token.verify(&key, None, None, None))
+                    .unwrap_or(false);
+                self.tokens.push((token, ok));
+            }
+            Err(_) => self.undecodable += 1,
+        }
+    }
+
+    fn finish(self) -> LogReport {
+        LogReport {
+            submitter: self.submitter,
+            chain: self.chain.finish(),
+            tokens: self.tokens,
+            undecodable: self.undecodable,
+        }
+    }
+}
+
+/// Merges verified per-log reports into the final [`Verdict`].
+fn verdict_from_reports(run_id: RunId, reports: Vec<LogReport>) -> Verdict {
+    // (kind-tag, issuer, subject) → holders.
+    let mut facts: BTreeMap<(String, OrgId, Digest), Fact> = BTreeMap::new();
+    for report in &reports {
+        for (token, ok) in &report.tokens {
+            if !*ok || token.run_id != run_id {
+                continue;
+            }
+            let key = (token.kind.label().to_string(), token.issuer.clone(), token.subject);
+            let entry = facts.entry(key).or_insert_with(|| Fact {
+                kind: token.kind,
+                issuer: token.issuer.clone(),
+                subject: token.subject,
+                run_id,
+                held_by: Vec::new(),
+            });
+            if !entry.held_by.contains(&report.submitter) {
+                entry.held_by.push(report.submitter.clone());
+            }
+        }
+    }
+    Verdict { run_id, reports, facts: facts.into_values().collect() }
 }
 
 #[cfg(test)]
@@ -229,11 +298,11 @@ mod tests {
         let p = pair();
         let run = run_exchange(&p);
         let adjudicator = Adjudicator::new(p.dir.clone() as Arc<dyn KeyDirectory>);
-        let verdict = adjudicator.adjudicate(
+        let verdict = adjudicator.adjudicate_logs(
             run,
             &[
-                (OrgId::new("alice"), p.alice.log().records()),
-                (OrgId::new("bob"), p.bob.log().records()),
+                (OrgId::new("alice"), &**p.alice.log()),
+                (OrgId::new("bob"), &**p.bob.log()),
             ],
         );
         // Neither party can deny their token.
@@ -255,7 +324,7 @@ mod tests {
         let run = run_exchange(&p);
         let adjudicator = Adjudicator::new(p.dir.clone() as Arc<dyn KeyDirectory>);
         let verdict =
-            adjudicator.adjudicate(run, &[(OrgId::new("alice"), p.alice.log().records())]);
+            adjudicator.adjudicate_logs(run, &[(OrgId::new("alice"), &**p.alice.log())]);
         assert!(verdict.cannot_deny(&OrgId::new("bob"), TokenKind::NrrReq));
     }
 

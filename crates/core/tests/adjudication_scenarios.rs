@@ -7,7 +7,6 @@ use nonrep_core::Adjudicator;
 use nonrep_crypto::digest::sha256;
 use nonrep_protocols::party::{KeyDirectory, Party, StaticKeyDirectory};
 use nonrep_protocols::tokens::TokenKind;
-use nonrep_store::EvidenceLog;
 use nonrep_types::ids::{OrgId, RunId};
 use nonrep_types::time::LogicalClock;
 

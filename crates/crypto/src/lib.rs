@@ -16,6 +16,8 @@
 //!   the paper's discussion of forward-secure schemes, ref [25]),
 //! * [`arbitrated`] — a shared-key HMAC "signature" for TTP-arbitrated
 //!   deployments (the lightweight end of the paper's trust spectrum, §3.1),
+//! * [`par`] — scoped-thread data parallelism used by key generation,
+//!   Merkle construction and batch commitments,
 //! * [`sig`] — scheme-agnostic [`Signature`]/[`KeyPair`] types and traits,
 //! * [`timestamp`] — a time-stamping authority (§3.5).
 //!
@@ -37,6 +39,7 @@ pub mod digest;
 pub mod hmac;
 pub mod merkle;
 pub mod mss;
+pub mod par;
 pub mod rng;
 pub mod sig;
 pub mod stream;

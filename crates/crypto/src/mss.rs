@@ -19,8 +19,14 @@ use nonrep_types::codec::{CodecError, Decode, Encode, Reader, Writer};
 
 use crate::digest::Digest;
 use crate::merkle::{leaf_hash, AuthPath, MerkleTree, PathStep};
+use crate::par;
 use crate::rng::SecureRandom;
 use crate::wots::{self, WotsKeyPair, WotsSignature};
+
+/// Minimum W-OTS leaves per worker before keygen fans out to threads
+/// (each leaf costs ~1300 compressions, so even small chunks amortize
+/// thread spawn).
+const PAR_MIN_LEAVES: usize = 8;
 
 /// Errors from the signing side of MSS.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -107,6 +113,39 @@ impl MssSigner {
     /// already takes noticeable time to generate; anything larger is
     /// a configuration mistake).
     pub fn generate(height: u8, rng: &mut SecureRandom) -> Self {
+        Self::generate_with_workers(height, rng, par::workers())
+    }
+
+    /// [`MssSigner::generate`] with an explicit worker budget.
+    ///
+    /// Seeds are drawn from `rng` sequentially (so the key is identical
+    /// for a given seed stream regardless of the worker count); the
+    /// expensive W-OTS chain walks and the Merkle levels are split across
+    /// scoped threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `height` is 0 or greater than 20 (a million-signature key
+    /// already takes noticeable time to generate; anything larger is
+    /// a configuration mistake).
+    pub fn generate_with_workers(height: u8, rng: &mut SecureRandom, workers: usize) -> Self {
+        assert!((1..=20).contains(&height), "height must be in 1..=20");
+        let count = 1usize << height;
+        let seeds: Vec<[u8; 32]> = (0..count).map(|_| rng.secret32()).collect();
+        let leaf_hashes = par::par_map_with(workers, &seeds, PAR_MIN_LEAVES, |seed| {
+            leaf_hash(WotsKeyPair::from_seed(*seed).public_key().as_bytes())
+        });
+        let tree = MerkleTree::from_leaf_hashes_with_workers(leaf_hashes, workers);
+        Self { leaf_seeds: seeds.into_iter().map(Some).collect(), tree, next_leaf: 0 }
+    }
+
+    /// Strictly sequential key generation (the pre-parallel reference
+    /// path, kept for differential tests and benchmarks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `height` is 0 or greater than 20.
+    pub fn generate_sequential(height: u8, rng: &mut SecureRandom) -> Self {
         assert!((1..=20).contains(&height), "height must be in 1..=20");
         let count = 1usize << height;
         let mut leaf_seeds = Vec::with_capacity(count);
@@ -117,7 +156,7 @@ impl MssSigner {
             leaf_hashes.push(leaf_hash(kp.public_key().as_bytes()));
             leaf_seeds.push(Some(seed));
         }
-        let tree = MerkleTree::from_leaf_hashes(leaf_hashes);
+        let tree = MerkleTree::from_leaf_hashes_with_workers(leaf_hashes, 1);
         Self { leaf_seeds, tree, next_leaf: 0 }
     }
 
@@ -278,5 +317,32 @@ mod tests {
     #[should_panic(expected = "height must be in 1..=20")]
     fn zero_height_panics() {
         let _ = signer(0, 11);
+    }
+
+    #[test]
+    fn parallel_and_sequential_keygen_agree() {
+        // Same seed stream ⇒ identical key material and root, for every
+        // worker budget (including oversubscription on a 1-core host).
+        for height in [1u8, 3, 5] {
+            let reference = MssSigner::generate_sequential(height, &mut SecureRandom::from_seed(42));
+            for workers in [1usize, 2, 4, 7] {
+                let par = MssSigner::generate_with_workers(
+                    height,
+                    &mut SecureRandom::from_seed(42),
+                    workers,
+                );
+                assert_eq!(par.public_key(), reference.public_key(), "h={height} w={workers}");
+                assert_eq!(par.leaf_seeds, reference.leaf_seeds, "h={height} w={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_keygen_signatures_verify_against_sequential_root() {
+        let mut par = MssSigner::generate_with_workers(3, &mut SecureRandom::from_seed(9), 4);
+        let seq = MssSigner::generate_sequential(3, &mut SecureRandom::from_seed(9));
+        let d = sha256(b"cross");
+        let sig = par.sign(&d).unwrap();
+        assert!(verify(&seq.public_key(), &d, &sig));
     }
 }

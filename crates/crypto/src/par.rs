@@ -1,0 +1,150 @@
+//! Scoped-thread data parallelism (no external dependencies).
+//!
+//! [`par_map`] / [`par_map_indexed`] split an embarrassingly parallel map
+//! over `std::thread::scope` workers. They are used by MSS key generation
+//! (per-leaf W-OTS chain walks) and Merkle level construction, and are
+//! reusable by any batch workload — e.g. batch evidence commitments that
+//! leaf-hash many records at once.
+//!
+//! Work is only split when it is worth it: each worker must receive at
+//! least `min_per_worker` items, and the worker count is capped by
+//! [`workers`] (the detected parallelism, overridable with the
+//! `NONREP_WORKERS` environment variable). On a single-core host every
+//! call degrades to a plain sequential map with no thread overhead.
+
+use std::sync::OnceLock;
+
+/// The worker count used by the `par_map*` convenience wrappers:
+/// `NONREP_WORKERS` if set, otherwise `std::thread::available_parallelism`.
+pub fn workers() -> usize {
+    static WORKERS: OnceLock<usize> = OnceLock::new();
+    *WORKERS.get_or_init(|| {
+        if let Ok(v) = std::env::var("NONREP_WORKERS") {
+            if let Ok(n) = v.parse::<usize>() {
+                return n.max(1);
+            }
+        }
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    })
+}
+
+/// Maps `f` over `0..n` with an explicit worker budget, preserving order.
+///
+/// Splits into contiguous index ranges, one per worker; falls back to a
+/// sequential map when `n / min_per_worker` does not justify a second
+/// worker.
+///
+/// # Panics
+///
+/// Propagates panics from `f` (the scope joins all workers first).
+pub fn par_map_indexed_with<R, F>(worker_budget: usize, n: usize, min_per_worker: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let max_useful = if min_per_worker == 0 { worker_budget } else { n / min_per_worker };
+    let workers = worker_budget.min(max_useful).max(1);
+    if workers == 1 || n == 0 {
+        return (0..n).map(f).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut out: Vec<R> = Vec::with_capacity(n);
+    std::thread::scope(|s| {
+        let f = &f;
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let start = (w * chunk).min(n);
+                let end = ((w + 1) * chunk).min(n);
+                s.spawn(move || (start..end).map(f).collect::<Vec<R>>())
+            })
+            .collect();
+        for handle in handles {
+            out.extend(handle.join().expect("parallel worker panicked"));
+        }
+    });
+    out
+}
+
+/// [`par_map_indexed_with`] using the default [`workers`] budget.
+pub fn par_map_indexed<R, F>(n: usize, min_per_worker: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    par_map_indexed_with(workers(), n, min_per_worker, f)
+}
+
+/// Maps `f` over a slice with an explicit worker budget, preserving order.
+pub fn par_map_with<T, R, F>(worker_budget: usize, items: &[T], min_per_worker: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_indexed_with(worker_budget, items.len(), min_per_worker, |i| f(&items[i]))
+}
+
+/// [`par_map_with`] using the default [`workers`] budget.
+pub fn par_map<T, R, F>(items: &[T], min_per_worker: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_with(workers(), items, min_per_worker, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_sequential_map_for_all_worker_counts() {
+        let items: Vec<u64> = (0..1000).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for workers in [1usize, 2, 3, 4, 7, 16] {
+            assert_eq!(
+                par_map_with(workers, &items, 1, |x| x * 3 + 1),
+                expected,
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn indexed_preserves_order() {
+        let out = par_map_indexed_with(4, 100, 1, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn small_inputs_stay_sequential() {
+        // min_per_worker larger than n forces the sequential path.
+        let out = par_map_indexed_with(8, 10, 100, |i| i + 1);
+        assert_eq!(out, (1..=10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<usize> = par_map_indexed_with(4, 0, 1, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn uneven_split_covers_every_index() {
+        // 7 items across 4 workers: chunks of 2 with a short tail.
+        let out = par_map_indexed_with(4, 7, 1, |i| i);
+        assert_eq!(out, vec![0, 1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel worker panicked")]
+    fn worker_panic_propagates() {
+        let _ = par_map_indexed_with(2, 100, 1, |i| {
+            if i == 73 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+}

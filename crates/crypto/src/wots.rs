@@ -12,7 +12,7 @@
 //! same key reveals enough chain preimages to forge. The MSS layer enforces
 //! single use; this module documents and tests the primitive in isolation.
 
-use crate::digest::{Digest, Sha256};
+use crate::digest::{sha256_short, Digest, Sha256};
 use crate::hmac::hmac_sha256;
 
 /// Chunks carrying message digest bits (256 / 4).
@@ -89,13 +89,15 @@ fn chunks_of(digest: &Digest) -> [u8; CHAINS] {
 /// Applies the domain-separated chain function `steps` times starting at
 /// step `from`.
 fn chain(mut value: [u8; 32], chain_idx: u16, from: u8, steps: u8) -> [u8; 32] {
+    // 36-byte message — fits one padded block, so each step is a single
+    // compression over a stack buffer (this loop dominates key generation).
+    let mut buf = [0u8; 36];
+    buf[0] = CHAIN_TAG;
+    buf[1..3].copy_from_slice(&chain_idx.to_le_bytes());
     for s in from..from + steps {
-        let mut h = Sha256::new();
-        h.update(&[CHAIN_TAG]);
-        h.update(&chain_idx.to_le_bytes());
-        h.update(&[s]);
-        h.update(&value);
-        value = *h.finalize().as_bytes();
+        buf[3] = s;
+        buf[4..].copy_from_slice(&value);
+        value = *sha256_short(&buf).as_bytes();
     }
     value
 }

@@ -5,23 +5,45 @@
 //! future interactions"); interceptor assumption 3 (§3.1) makes interceptors
 //! responsible for persisting evidence at least until their protocol
 //! obligations are met.
+//!
+//! # Read API
+//!
+//! Dispute and audit queries are hot under load, so the trait is built
+//! around zero-clone access: [`EvidenceLog::for_each`] visits records in
+//! place, [`EvidenceLog::snapshot_range`] clones only a window, and
+//! [`EvidenceLog::by_run`] is backed by a per-run sequence index in both
+//! backends. [`EvidenceLog::records`] (a full snapshot) remains for
+//! callers that genuinely need an owned copy — e.g. submitting a log for
+//! adjudication.
+//!
+//! # Append path
+//!
+//! Both backends cache the chain-head digest, so appending hashes only
+//! the new record (into a reused scratch buffer) instead of re-encoding
+//! and re-hashing its predecessor on every call.
 
+use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{BufReader, Read, Write as IoWrite};
+use std::ops::Range;
 use std::path::{Path, PathBuf};
 
 use parking_lot::Mutex;
 
 use nonrep_crypto::digest::Digest;
-use nonrep_types::codec::{Decode, Encode, Reader};
+use nonrep_types::codec::{Decode, Reader, Writer};
 use nonrep_types::ids::RunId;
 
-use crate::record::{verify_chain, ChainViolation, EvidenceRecord, RecordDraft};
+use crate::record::{ChainVerifier, ChainViolation, EvidenceRecord, RecordDraft};
 use crate::StoreError;
 
 /// An append-only, hash-chained evidence log.
 ///
 /// Object-safe so middleware holds `Arc<dyn EvidenceLog>`.
+///
+/// The visitor methods ([`EvidenceLog::for_each`] and the defaults built
+/// on it) hold the backend's internal lock while the callback runs: the
+/// callback must not call back into the same log.
 pub trait EvidenceLog: Send + Sync {
     /// Appends `draft`, assigning its sequence number and chain link.
     ///
@@ -30,13 +52,69 @@ pub trait EvidenceLog: Send + Sync {
     /// Returns [`StoreError`] if persisting fails (file backend).
     fn append(&self, draft: RecordDraft) -> Result<EvidenceRecord, StoreError>;
 
-    /// All records, in sequence order.
-    fn records(&self) -> Vec<EvidenceRecord>;
+    /// Visits every record in sequence order, without cloning.
+    fn for_each(&self, f: &mut dyn FnMut(&EvidenceRecord));
+
+    /// Clones the records whose sequence numbers fall in `range`
+    /// (clamped to the log's length).
+    fn snapshot_range(&self, range: Range<u64>) -> Vec<EvidenceRecord>;
+
+    /// Visits the log in bounded snapshot windows of `window_len`
+    /// records: peak memory stays one window and the backend's lock is
+    /// released between windows, so long scans do not stall appenders.
+    /// The callback returns `false` to stop early.
+    ///
+    /// Coverage is bounded to the log's length at entry — records
+    /// appended concurrently are not chased, so the scan terminates even
+    /// under a sustained appender (it sees a consistent prefix).
+    fn for_each_window(&self, window_len: u64, f: &mut dyn FnMut(&[EvidenceRecord]) -> bool) {
+        let window_len = window_len.max(1);
+        let end = self.len();
+        let mut start = 0u64;
+        while start < end {
+            let window = self.snapshot_range(start..(start + window_len).min(end));
+            if window.is_empty() || !f(&window) {
+                break;
+            }
+            start += window.len() as u64;
+        }
+    }
+
+    /// All records, in sequence order (full snapshot — prefer
+    /// [`EvidenceLog::for_each`] or [`EvidenceLog::snapshot_range`] when
+    /// a clone of the whole log is not required).
+    fn records(&self) -> Vec<EvidenceRecord> {
+        self.snapshot_range(0..self.len())
+    }
 
     /// Records belonging to one protocol run.
+    ///
+    /// The default is a full scan; backends should override it with an
+    /// indexed lookup (both in-tree backends keep a `RunId → seqs` index).
     fn by_run(&self, run_id: &RunId) -> Vec<EvidenceRecord> {
-        self.records().into_iter().filter(|r| r.draft.run_id == *run_id).collect()
+        let mut out = Vec::new();
+        self.for_each(&mut |r| {
+            if r.draft.run_id == *run_id {
+                out.push(r.clone());
+            }
+        });
+        out
     }
+
+    /// Counts records matching `pred` without cloning any.
+    fn count_where(&self, pred: &dyn Fn(&EvidenceRecord) -> bool) -> u64 {
+        let mut count = 0;
+        self.for_each(&mut |r| {
+            if pred(r) {
+                count += 1;
+            }
+        });
+        count
+    }
+
+    /// The chain head: the hash of the last record ([`Digest::ZERO`] for
+    /// an empty log).
+    fn head(&self) -> Digest;
 
     /// Number of records.
     fn len(&self) -> u64;
@@ -46,25 +124,91 @@ pub trait EvidenceLog: Send + Sync {
         self.len() == 0
     }
 
-    /// Verifies the hash chain.
+    /// Verifies the hash chain, reading the log in bounded windows so
+    /// the backend's lock is not held while records are re-hashed (a
+    /// concurrent appender only ever waits one window's snapshot).
     ///
     /// # Errors
     ///
     /// Returns the first [`ChainViolation`].
     fn verify(&self) -> Result<(), ChainViolation> {
-        verify_chain(&self.records())
+        let mut verifier = ChainVerifier::new();
+        self.for_each_window(256, &mut |window| {
+            for record in window {
+                verifier.check(record);
+            }
+            !verifier.violated()
+        });
+        verifier.finish()
     }
 
     /// Total serialized bytes of all records (space-overhead experiment).
     fn total_bytes(&self) -> u64 {
-        self.records().iter().map(|r| r.byte_len() as u64).sum()
+        let mut total = 0u64;
+        self.for_each(&mut |r| total += r.byte_len() as u64);
+        total
+    }
+}
+
+/// Shared backend state: the records, the cached chain head, and the
+/// `RunId → sequence numbers` index.
+#[derive(Debug, Default)]
+struct LogState {
+    records: Vec<EvidenceRecord>,
+    head: Digest,
+    run_index: HashMap<RunId, Vec<u64>>,
+    scratch: Writer,
+}
+
+impl LogState {
+    /// Builds the state for already-verified records loaded from disk,
+    /// with `head` as verified (so the tail record is not re-hashed).
+    fn from_records(records: Vec<EvidenceRecord>, head: Digest) -> Self {
+        let mut run_index: HashMap<RunId, Vec<u64>> = HashMap::new();
+        for rec in &records {
+            run_index.entry(rec.draft.run_id).or_default().push(rec.seq);
+        }
+        Self { records, head, run_index, scratch: Writer::new() }
+    }
+
+    /// Chains `draft` onto the log. `persist` receives the record's
+    /// canonical encoding and runs *before* anything is committed to
+    /// memory — if it fails, the state is untouched, so a failed write
+    /// can never leave a record in memory that is missing from disk.
+    fn append_with(
+        &mut self,
+        draft: RecordDraft,
+        persist: impl FnOnce(&[u8]) -> Result<(), StoreError>,
+    ) -> Result<EvidenceRecord, StoreError> {
+        let record =
+            EvidenceRecord { seq: self.records.len() as u64, prev_hash: self.head, draft };
+        let hash = record.record_hash_with(&mut self.scratch);
+        persist(self.scratch.as_slice())?;
+        self.head = hash;
+        self.run_index.entry(record.draft.run_id).or_default().push(record.seq);
+        self.records.push(record.clone());
+        Ok(record)
+    }
+
+    fn snapshot_range(&self, range: Range<u64>) -> Vec<EvidenceRecord> {
+        let len = self.records.len() as u64;
+        let start = range.start.min(len) as usize;
+        let end = range.end.min(len) as usize;
+        self.records[start..start.max(end)].to_vec()
+    }
+
+    fn by_run(&self, run_id: &RunId) -> Vec<EvidenceRecord> {
+        match self.run_index.get(run_id) {
+            Some(seqs) => seqs.iter().map(|&s| self.records[s as usize].clone()).collect(),
+            None => Vec::new(),
+        }
     }
 }
 
 /// In-memory evidence log.
 #[derive(Debug, Default)]
 pub struct MemoryLog {
-    records: Mutex<Vec<EvidenceRecord>>,
+    state: Mutex<LogState>,
 }
 
 impl MemoryLog {
@@ -76,19 +220,29 @@ impl MemoryLog {
 
 impl EvidenceLog for MemoryLog {
     fn append(&self, draft: RecordDraft) -> Result<EvidenceRecord, StoreError> {
-        let mut records = self.records.lock();
-        let prev_hash = records.last().map(EvidenceRecord::record_hash).unwrap_or(Digest::ZERO);
-        let record = EvidenceRecord { seq: records.len() as u64, prev_hash, draft };
-        records.push(record.clone());
-        Ok(record)
+        self.state.lock().append_with(draft, |_| Ok(()))
     }
 
-    fn records(&self) -> Vec<EvidenceRecord> {
-        self.records.lock().clone()
+    fn for_each(&self, f: &mut dyn FnMut(&EvidenceRecord)) {
+        for rec in &self.state.lock().records {
+            f(rec);
+        }
+    }
+
+    fn snapshot_range(&self, range: Range<u64>) -> Vec<EvidenceRecord> {
+        self.state.lock().snapshot_range(range)
+    }
+
+    fn by_run(&self, run_id: &RunId) -> Vec<EvidenceRecord> {
+        self.state.lock().by_run(run_id)
+    }
+
+    fn head(&self) -> Digest {
+        self.state.lock().head
     }
 
     fn len(&self) -> u64 {
-        self.records.lock().len() as u64
+        self.state.lock().records.len() as u64
     }
 }
 
@@ -96,8 +250,8 @@ impl EvidenceLog for MemoryLog {
 ///
 /// On-disk format: a sequence of `u32` little-endian length prefixes, each
 /// followed by one canonically-encoded [`EvidenceRecord`]. The whole log is
-/// loaded and chain-verified on open; appends are written through and
-/// flushed.
+/// loaded and chain-verified on open (rebuilding the head cache and run
+/// index); appends are written through and flushed.
 #[derive(Debug)]
 pub struct FileLog {
     path: PathBuf,
@@ -107,7 +261,10 @@ pub struct FileLog {
 #[derive(Debug)]
 struct FileLogInner {
     file: File,
-    records: Vec<EvidenceRecord>,
+    /// Committed on-disk length, tracked so the error path can truncate
+    /// a partial write without a per-append stat.
+    file_len: u64,
+    state: LogState,
 }
 
 impl FileLog {
@@ -120,9 +277,12 @@ impl FileLog {
     pub fn open(path: impl AsRef<Path>) -> Result<Self, StoreError> {
         let path = path.as_ref().to_path_buf();
         let mut records = Vec::new();
+        let mut verifier = ChainVerifier::new();
+        let mut file_len = 0u64;
         if path.exists() {
             let mut bytes = Vec::new();
             BufReader::new(File::open(&path)?).read_to_end(&mut bytes)?;
+            file_len = bytes.len() as u64;
             let mut offset = 0usize;
             while offset < bytes.len() {
                 if offset + 4 > bytes.len() {
@@ -142,13 +302,24 @@ impl FileLog {
                 let record = EvidenceRecord::decode(&mut r)
                     .map_err(|e| StoreError::Corrupt(e.to_string()))?;
                 r.finish().map_err(|e| StoreError::Corrupt(e.to_string()))?;
+                verifier.check(&record);
                 records.push(record);
                 offset += len;
             }
-            verify_chain(&records).map_err(StoreError::Chain)?;
         }
+        // The verifier's running head doubles as the cached chain head,
+        // so the tail record is not re-encoded and re-hashed.
+        let head = verifier.head();
+        verifier.finish().map_err(StoreError::Chain)?;
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
-        Ok(Self { path, inner: Mutex::new(FileLogInner { file, records }) })
+        Ok(Self {
+            path,
+            inner: Mutex::new(FileLogInner {
+                file,
+                file_len,
+                state: LogState::from_records(records, head),
+            }),
+        })
     }
 
     /// The path of the backing file.
@@ -160,25 +331,48 @@ impl FileLog {
 impl EvidenceLog for FileLog {
     fn append(&self, draft: RecordDraft) -> Result<EvidenceRecord, StoreError> {
         let mut inner = self.inner.lock();
-        let prev_hash =
-            inner.records.last().map(EvidenceRecord::record_hash).unwrap_or(Digest::ZERO);
-        let record = EvidenceRecord { seq: inner.records.len() as u64, prev_hash, draft };
-        let encoded = record.encode_to_vec();
-        let len = u32::try_from(encoded.len())
-            .map_err(|_| StoreError::Corrupt("record too large".into()))?;
-        inner.file.write_all(&len.to_le_bytes())?;
-        inner.file.write_all(&encoded)?;
-        inner.file.flush()?;
-        inner.records.push(record.clone());
-        Ok(record)
+        let FileLogInner { file, file_len, state } = &mut *inner;
+        state.append_with(draft, |encoded| {
+            let len = u32::try_from(encoded.len())
+                .map_err(|_| StoreError::Corrupt("record too large".into()))?;
+            let result = (|| {
+                file.write_all(&len.to_le_bytes())?;
+                file.write_all(encoded)?;
+                file.flush()?;
+                Ok(())
+            })();
+            match result {
+                Ok(()) => *file_len += 4 + encoded.len() as u64,
+                Err(_) => {
+                    // Best-effort truncation of a partial write, so stray
+                    // bytes cannot corrupt the file ahead of later appends.
+                    let _ = file.set_len(*file_len);
+                }
+            }
+            result
+        })
     }
 
-    fn records(&self) -> Vec<EvidenceRecord> {
-        self.inner.lock().records.clone()
+    fn for_each(&self, f: &mut dyn FnMut(&EvidenceRecord)) {
+        for rec in &self.inner.lock().state.records {
+            f(rec);
+        }
+    }
+
+    fn snapshot_range(&self, range: Range<u64>) -> Vec<EvidenceRecord> {
+        self.inner.lock().state.snapshot_range(range)
+    }
+
+    fn by_run(&self, run_id: &RunId) -> Vec<EvidenceRecord> {
+        self.inner.lock().state.by_run(run_id)
+    }
+
+    fn head(&self) -> Digest {
+        self.inner.lock().state.head
     }
 
     fn len(&self) -> u64 {
-        self.inner.lock().records.len() as u64
+        self.inner.lock().state.records.len() as u64
     }
 }
 
@@ -213,6 +407,19 @@ mod tests {
     }
 
     #[test]
+    fn head_tracks_last_record_hash() {
+        let log = MemoryLog::new();
+        assert_eq!(log.head(), Digest::ZERO);
+        let mut expected = Digest::ZERO;
+        for i in 0..4 {
+            let rec = log.append(draft(i)).unwrap();
+            assert_eq!(rec.prev_hash, expected, "append chains from cached head");
+            expected = rec.record_hash();
+            assert_eq!(log.head(), expected);
+        }
+    }
+
+    #[test]
     fn by_run_filters() {
         let log = MemoryLog::new();
         for i in 0..6 {
@@ -221,6 +428,83 @@ mod tests {
         let run0 = log.by_run(&RunId::from_u128(0));
         assert_eq!(run0.len(), 2);
         assert!(run0.iter().all(|r| r.draft.run_id == RunId::from_u128(0)));
+    }
+
+    #[test]
+    fn by_run_index_consistent_after_interleaved_appends() {
+        // Interleave appends across runs and check the indexed lookup
+        // matches a full filtering scan, in order, for every run.
+        let log = MemoryLog::new();
+        for i in 0..40 {
+            log.append(draft(i * 7 % 13)).unwrap();
+        }
+        for run in 0..3u128 {
+            let run_id = RunId::from_u128(run);
+            let indexed = log.by_run(&run_id);
+            let scanned: Vec<EvidenceRecord> = log
+                .records()
+                .into_iter()
+                .filter(|r| r.draft.run_id == run_id)
+                .collect();
+            assert_eq!(indexed, scanned, "run {run}");
+            assert!(indexed.windows(2).all(|w| w[0].seq < w[1].seq), "ordered by seq");
+        }
+        assert!(log.by_run(&RunId::from_u128(99)).is_empty());
+    }
+
+    #[test]
+    fn for_each_visits_in_order_without_clone() {
+        let log = MemoryLog::new();
+        for i in 0..7 {
+            log.append(draft(i)).unwrap();
+        }
+        let mut seqs = Vec::new();
+        log.for_each(&mut |r| seqs.push(r.seq));
+        assert_eq!(seqs, (0..7).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn for_each_window_covers_log_and_stops_early() {
+        let log = MemoryLog::new();
+        for i in 0..10 {
+            log.append(draft(i)).unwrap();
+        }
+        // Window of 4 over 10 records → windows of 4, 4, 2.
+        let mut sizes = Vec::new();
+        let mut seqs = Vec::new();
+        log.for_each_window(4, &mut |w| {
+            sizes.push(w.len());
+            seqs.extend(w.iter().map(|r| r.seq));
+            true
+        });
+        assert_eq!(sizes, [4, 4, 2]);
+        assert_eq!(seqs, (0..10).collect::<Vec<u64>>());
+        // Returning false stops after the first window.
+        let mut windows = 0;
+        log.for_each_window(4, &mut |_| {
+            windows += 1;
+            false
+        });
+        assert_eq!(windows, 1);
+        // A zero window length is clamped, not an infinite loop.
+        let mut total = 0;
+        log.for_each_window(0, &mut |w| {
+            total += w.len();
+            true
+        });
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn snapshot_range_clamps() {
+        let log = MemoryLog::new();
+        for i in 0..5 {
+            log.append(draft(i)).unwrap();
+        }
+        assert_eq!(log.snapshot_range(1..3).iter().map(|r| r.seq).collect::<Vec<_>>(), [1, 2]);
+        assert_eq!(log.snapshot_range(3..100).len(), 2);
+        assert!(log.snapshot_range(7..9).is_empty());
+        assert_eq!(log.snapshot_range(0..5), log.records());
     }
 
     #[test]
@@ -251,11 +535,30 @@ mod tests {
             let log = FileLog::open(&path).unwrap();
             assert_eq!(log.len(), 4);
             log.verify().unwrap();
-            // Appending continues the chain.
+            // Appending continues the chain from the rebuilt head cache.
             let rec = log.append(draft(4)).unwrap();
             assert_eq!(rec.seq, 4);
             log.verify().unwrap();
         }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn file_log_rebuilds_run_index_on_reopen() {
+        let path = temp_path("reindex.log");
+        let _ = std::fs::remove_file(&path);
+        {
+            let log = FileLog::open(&path).unwrap();
+            for i in 0..9 {
+                log.append(draft(i)).unwrap();
+            }
+        }
+        let log = FileLog::open(&path).unwrap();
+        let run1 = log.by_run(&RunId::from_u128(1));
+        assert_eq!(run1.iter().map(|r| r.seq).collect::<Vec<_>>(), [1, 4, 7]);
+        // Index keeps absorbing post-reopen appends.
+        log.append(draft(1)).unwrap();
+        assert_eq!(log.by_run(&RunId::from_u128(1)).len(), 4);
         let _ = std::fs::remove_file(&path);
     }
 
@@ -304,6 +607,7 @@ mod tests {
         assert!(log.is_empty());
         log.verify().unwrap();
         assert_eq!(log.path(), path.as_path());
+        assert_eq!(log.head(), Digest::ZERO);
         let _ = std::fs::remove_file(&path);
     }
 }

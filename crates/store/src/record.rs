@@ -44,6 +44,16 @@ impl EvidenceRecord {
         sha256(&self.encode_to_vec())
     }
 
+    /// [`EvidenceRecord::record_hash`] encoding into a caller-supplied
+    /// scratch writer, so hot append paths avoid a fresh allocation per
+    /// record. The scratch is cleared first and left holding the record's
+    /// canonical encoding.
+    pub fn record_hash_with(&self, scratch: &mut Writer) -> Digest {
+        scratch.clear();
+        self.encode(scratch);
+        sha256(scratch.as_slice())
+    }
+
     /// Total serialized size in bytes (for the space-overhead experiment).
     pub fn byte_len(&self) -> usize {
         self.encode_to_vec().len()
@@ -125,27 +135,90 @@ impl fmt::Display for ChainViolation {
 
 impl std::error::Error for ChainViolation {}
 
+/// Streaming hash-chain verifier: feed records in order with
+/// [`ChainVerifier::check`], then [`ChainVerifier::finish`].
+///
+/// Lets log backends verify in place (via a visitor) instead of
+/// snapshotting every record first.
+#[derive(Debug)]
+pub struct ChainVerifier {
+    prev_hash: Digest,
+    next_seq: u64,
+    scratch: Writer,
+    violation: Option<ChainViolation>,
+}
+
+impl Default for ChainVerifier {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ChainVerifier {
+    /// Creates a verifier expecting a chain starting at sequence 0 from
+    /// [`Digest::ZERO`].
+    pub fn new() -> Self {
+        Self { prev_hash: Digest::ZERO, next_seq: 0, scratch: Writer::new(), violation: None }
+    }
+
+    /// Checks the next record; after the first violation further records
+    /// are ignored.
+    pub fn check(&mut self, rec: &EvidenceRecord) {
+        if self.violation.is_some() {
+            return;
+        }
+        if rec.seq != self.next_seq {
+            self.violation =
+                Some(ChainViolation::BadSequence { expected: self.next_seq, found: rec.seq });
+            return;
+        }
+        if rec.prev_hash != self.prev_hash {
+            self.violation = Some(if self.next_seq == 0 {
+                ChainViolation::BadGenesis
+            } else {
+                ChainViolation::BrokenLink { seq: rec.seq }
+            });
+            return;
+        }
+        self.prev_hash = rec.record_hash_with(&mut self.scratch);
+        self.next_seq += 1;
+    }
+
+    /// The running chain head (hash of the last valid record).
+    pub fn head(&self) -> Digest {
+        self.prev_hash
+    }
+
+    /// `true` once a violation has been recorded (further checks no-op,
+    /// so callers can stop feeding records early).
+    pub fn violated(&self) -> bool {
+        self.violation.is_some()
+    }
+
+    /// Completes verification.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ChainViolation`] observed.
+    pub fn finish(self) -> Result<(), ChainViolation> {
+        match self.violation {
+            Some(v) => Err(v),
+            None => Ok(()),
+        }
+    }
+}
+
 /// Verifies the hash chain over a slice of records.
 ///
 /// # Errors
 ///
 /// Returns the first [`ChainViolation`] found.
 pub fn verify_chain(records: &[EvidenceRecord]) -> Result<(), ChainViolation> {
-    let mut prev_hash = Digest::ZERO;
-    for (i, rec) in records.iter().enumerate() {
-        let expected_seq = i as u64;
-        if rec.seq != expected_seq {
-            return Err(ChainViolation::BadSequence { expected: expected_seq, found: rec.seq });
-        }
-        if rec.prev_hash != prev_hash {
-            if i == 0 {
-                return Err(ChainViolation::BadGenesis);
-            }
-            return Err(ChainViolation::BrokenLink { seq: rec.seq });
-        }
-        prev_hash = rec.record_hash();
+    let mut verifier = ChainVerifier::new();
+    for rec in records {
+        verifier.check(rec);
     }
-    Ok(())
+    verifier.finish()
 }
 
 #[cfg(test)]

@@ -105,6 +105,17 @@ impl Writer {
         self.buf
     }
 
+    /// The bytes written so far.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Clears the buffer, keeping its allocation (scratch-buffer reuse on
+    /// hot encode-then-hash paths).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
     /// Writes a single byte.
     pub fn put_u8(&mut self, v: u8) {
         self.buf.push(v);

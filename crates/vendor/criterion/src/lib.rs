@@ -1,0 +1,363 @@
+//! Minimal local stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the subset of the criterion API the `nonrep_bench` crate
+//! uses: groups, `bench_function` / `bench_with_input`, `iter` /
+//! `iter_batched`, throughput annotation and the `criterion_group!` /
+//! `criterion_main!` macros. Measurement is a plain warm-up + timed loop
+//! reporting mean ns/iter over the measurement window.
+//!
+//! Two environment variables integrate with `scripts/bench.sh`:
+//!
+//! * `NONREP_BENCH_JSON=<path>` — append one JSON line per benchmark:
+//!   `{"group":"..","bench":"..","ns_per_iter":..,"iters":..}`.
+//! * `NONREP_BENCH_FILTER=<substr>` — run only benchmarks whose
+//!   `group/bench` id contains the substring.
+
+use std::fmt::Display;
+use std::fs::OpenOptions;
+use std::hint::black_box as std_black_box;
+use std::io::Write as IoWrite;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How batched inputs are grouped between setup calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// One fresh input per routine invocation.
+    PerIteration,
+    /// Small inputs (shim treats the same as `PerIteration`).
+    SmallInput,
+    /// Large inputs (shim treats the same as `PerIteration`).
+    LargeInput,
+}
+
+/// Throughput annotation for a group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier composed of a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id rendered as `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        Self { id: format!("{name}/{parameter}") }
+    }
+}
+
+/// Conversion into a benchmark id string (criterion's `IntoBenchmarkId`).
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Parses command-line configuration (no-op in the shim).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples (shim: scales nothing, kept for API parity).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement duration.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs a benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_id();
+        if !filter_matches(&self.name, &id) {
+            return self;
+        }
+        let mut bencher =
+            Bencher { warm_up_time: self.warm_up_time, measurement_time: self.measurement_time, result: None };
+        f(&mut bencher);
+        self.report(&id, bencher.result);
+        self
+    }
+
+    /// Runs a benchmark parameterized by an input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into_id();
+        if !filter_matches(&self.name, &id) {
+            return self;
+        }
+        let mut bencher =
+            Bencher { warm_up_time: self.warm_up_time, measurement_time: self.measurement_time, result: None };
+        f(&mut bencher, input);
+        self.report(&id, bencher.result);
+        self
+    }
+
+    /// Finishes the group (printing is per-benchmark in the shim).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, result: Option<Measurement>) {
+        let Some(m) = result else { return };
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) if m.ns_per_iter > 0.0 => {
+                format!("  ({:.1} MiB/s)", n as f64 / m.ns_per_iter * 1e9 / (1024.0 * 1024.0))
+            }
+            Some(Throughput::Elements(n)) if m.ns_per_iter > 0.0 => {
+                format!("  ({:.0} elem/s)", n as f64 / m.ns_per_iter * 1e9)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{}: {} ns/iter ({} iters){rate}",
+            self.name,
+            id,
+            format_ns(m.ns_per_iter),
+            m.iters
+        );
+        if let Ok(path) = std::env::var("NONREP_BENCH_JSON") {
+            if let Ok(mut f) = OpenOptions::new().create(true).append(true).open(path) {
+                let _ = writeln!(
+                    f,
+                    "{{\"group\":\"{}\",\"bench\":\"{}\",\"ns_per_iter\":{:.2},\"iters\":{}}}",
+                    escape(&self.name),
+                    escape(id),
+                    m.ns_per_iter,
+                    m.iters
+                );
+            }
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3}e9", ns / 1e9)
+    } else if ns >= 1000.0 {
+        let v = ns as u64;
+        let s = v.to_string();
+        let mut out = String::new();
+        for (i, c) in s.chars().enumerate() {
+            if i > 0 && (s.len() - i) % 3 == 0 {
+                out.push(',');
+            }
+            out.push(c);
+        }
+        out
+    } else {
+        format!("{ns:.1}")
+    }
+}
+
+fn filter_matches(group: &str, id: &str) -> bool {
+    match std::env::var("NONREP_BENCH_FILTER") {
+        Ok(f) if !f.is_empty() => format!("{group}/{id}").contains(&f),
+        _ => true,
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Measurement {
+    ns_per_iter: f64,
+    iters: u64,
+}
+
+/// Times a routine inside a benchmark.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    result: Option<Measurement>,
+}
+
+impl Bencher {
+    /// Times `routine` over the measurement window.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up.
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_deadline {
+            std_black_box(routine());
+        }
+        // Measurement.
+        let start = Instant::now();
+        let deadline = start + self.measurement_time;
+        let mut iters = 0u64;
+        loop {
+            std_black_box(routine());
+            iters += 1;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        let elapsed = start.elapsed();
+        self.result =
+            Some(Measurement { ns_per_iter: elapsed.as_nanos() as f64 / iters as f64, iters });
+    }
+
+    /// Times `routine` with a per-iteration setup excluded from the timing.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Warm-up (one batch).
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_deadline {
+            let input = setup();
+            std_black_box(routine(input));
+        }
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while total < self.measurement_time {
+            let input = setup();
+            let start = Instant::now();
+            std_black_box(routine(input));
+            total += start.elapsed();
+            iters += 1;
+        }
+        self.result =
+            Some(Measurement { ns_per_iter: total.as_nanos() as f64 / iters as f64, iters });
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut ran = 0u32;
+        group.bench_function("noop", |b| {
+            ran += 1;
+            b.iter(|| 1 + 1)
+        });
+        group.bench_with_input(BenchmarkId::new("param", 3), &3, |b, &x| b.iter(|| x * 2));
+        group.finish();
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn iter_batched_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim2");
+        group.warm_up_time(Duration::from_millis(1)).measurement_time(Duration::from_millis(2));
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 8], |v| v.len(), BatchSize::PerIteration)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_renders() {
+        assert_eq!(BenchmarkId::new("keygen", 8).into_id(), "keygen/8");
+    }
+}

@@ -105,10 +105,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     // The veto is in the evidence logs, signed by the seller.
     let vetoes = buyer
         .log()
-        .records()
-        .into_iter()
-        .filter(|r| r.draft.kind == "vote" && r.draft.actor == *seller.org())
-        .count();
+        .count_where(&|r| r.draft.kind == "vote" && r.draft.actor == *seller.org());
     println!("\nbuyer holds {vetoes} signed seller votes (incl. the contract veto)");
     buyer.log().verify()?;
     seller.log().verify()?;

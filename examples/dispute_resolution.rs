@@ -41,7 +41,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     // The interaction that will later be disputed.
     let order = proxy.invoke("order", Value::map([("model", Value::from("GT-Special"))]))?;
     println!("order placed: {order}");
-    let run_id = dealer.log().records()[4].draft.run_id;
+    let run_id = dealer.log().snapshot_range(4..5)[0].draft.run_id;
 
     // Later business.
     proxy.invoke("order", Value::map([("model", Value::from("Estate"))]))?;

@@ -48,7 +48,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     // Inspect the evidence both parties now hold.
     for (name, mw) in [("dealer", &dealer), ("manufacturer", &manufacturer)] {
         println!("\n{name} evidence log ({} records):", mw.log().len());
-        for record in mw.log().records() {
+        mw.log().for_each(&mut |record| {
             println!(
                 "  #{} {:<9} by {:<12} subject {}…",
                 record.seq,
@@ -56,20 +56,20 @@ fn main() -> Result<(), Box<dyn Error>> {
                 record.draft.actor,
                 &record.draft.content_digest.to_hex()[..12]
             );
-        }
+        });
         mw.log().verify()?;
         println!("  hash chain: OK");
     }
 
     // Neither party can now deny its part: run the adjudicator over both
     // logs as a dispute-resolution dry run.
-    let run_id = dealer.log().records()[0].draft.run_id;
+    let run_id = dealer.log().snapshot_range(0..1)[0].draft.run_id;
     let adjudicator = Adjudicator::new(dealer.directory().clone() as Arc<dyn KeyDirectory>);
-    let verdict = adjudicator.adjudicate(
+    let verdict = adjudicator.adjudicate_logs(
         run_id,
         &[
-            (OrgId::new("dealer"), dealer.log().records()),
-            (OrgId::new("manufacturer"), manufacturer.log().records()),
+            (OrgId::new("dealer"), &**dealer.log()),
+            (OrgId::new("manufacturer"), &**manufacturer.log()),
         ],
     );
     println!("\n{verdict}");

@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Runs the perf-tracked benches (e1 invocation, e6 crypto, e7 evidence
+# space) and writes BENCH_<N>.json at the repo root with before/after
+# numbers, where "before" is the checked-in baseline captured from the
+# seed implementation (scripts/bench_baseline_1.jsonl).
+#
+# Usage: scripts/bench.sh [N]    (default N=1)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+N="${1:-1}"
+BASELINE="scripts/bench_baseline_${N}.jsonl"
+CURRENT="$(mktemp /tmp/nonrep-bench-XXXX.jsonl)"
+trap 'rm -f "$CURRENT"' EXIT
+
+for bench in e1_invocation e6_crypto e7_evidence_space; do
+    NONREP_BENCH_JSON="$CURRENT" cargo bench -p nonrep_bench --bench "$bench"
+done
+
+python3 - "$BASELINE" "$CURRENT" "BENCH_${N}.json" <<'PY'
+import json, sys, platform, subprocess
+
+baseline_path, current_path, out_path = sys.argv[1:4]
+
+def load(path):
+    rows = {}
+    try:
+        with open(path) as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                row = json.loads(line)
+                # last run of a bench wins
+                rows[f"{row['group']}/{row['bench']}"] = row["ns_per_iter"]
+    except FileNotFoundError:
+        pass
+    return rows
+
+before = load(baseline_path)
+after = load(current_path)
+
+benches = {}
+for key in sorted(set(before) | set(after)):
+    entry = {}
+    if key in before:
+        entry["before_ns"] = before[key]
+    if key in after:
+        entry["after_ns"] = after[key]
+    if key in before and key in after and after[key] > 0:
+        entry["speedup"] = round(before[key] / after[key], 2)
+    benches[key] = entry
+
+try:
+    cpu = subprocess.run(
+        ["sh", "-c", "grep -m1 'model name' /proc/cpuinfo | cut -d: -f2"],
+        capture_output=True, text=True, check=False,
+    ).stdout.strip() or platform.processor()
+    cores = subprocess.run(["nproc"], capture_output=True, text=True, check=False).stdout.strip()
+except OSError:
+    cpu, cores = platform.processor(), "?"
+
+doc = {
+    "description": (
+        "Before/after benchmark numbers (ns per iteration). 'before' is the "
+        "seed implementation baseline captured in scripts/bench_baseline_%s"
+        ".jsonl; 'after' is the current tree. Regenerate with scripts/bench.sh."
+    ) % out_path.split("_")[1].split(".")[0],
+    "host": {"cpu": cpu, "cores": cores, "sha_ni": "sha_ni" in open("/proc/cpuinfo").read()},
+    "benches": benches,
+}
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"wrote {out_path} ({len(benches)} benches)")
+PY

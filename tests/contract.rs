@@ -82,13 +82,8 @@ fn breaching_update_is_vetoed_with_signed_reason() {
     assert_eq!(w.b.current_state("spec").unwrap(), b"agree;v=1");
     assert_eq!(w.monitor.state().as_str(), "agreed");
     // The veto is in A's evidence log, attributable to B.
-    let veto_records = w
-        .a
-        .log()
-        .records()
-        .iter()
-        .filter(|r| r.draft.kind == "vote" && r.draft.actor == OrgId::new("b"))
-        .count();
+    let veto_records =
+        w.a.log().count_where(&|r| r.draft.kind == "vote" && r.draft.actor == OrgId::new("b"));
     assert!(veto_records >= 1);
 }
 

@@ -111,12 +111,9 @@ fn adjudication_after_interrupted_exchange_favours_the_honest_party() {
     let proxy = client.nr_proxy(server.org(), "urn:svc");
     proxy.invoke("work", Value::from(1i64)).unwrap();
 
-    let run = client.log().records()[0].draft.run_id;
+    let run = client.log().snapshot_range(0..1)[0].draft.run_id;
     let adjudicator = Adjudicator::new(dir as Arc<dyn KeyDirectory>);
-    let verdict = adjudicator.adjudicate(
-        run,
-        &[(OrgId::new("client"), client.log().records())],
-    );
+    let verdict = adjudicator.adjudicate_logs(run, &[(OrgId::new("client"), &**client.log())]);
     assert!(verdict.cannot_deny(&OrgId::new("server"), TokenKind::NroResp));
     assert!(verdict.cannot_deny(&OrgId::new("server"), TokenKind::NrrReq));
 }
@@ -144,11 +141,5 @@ fn fair_exchange_defeats_defecting_server_end_to_end() {
     let out = proxy.invoke("work", Value::from(5i64)).unwrap();
     assert_eq!(out, Value::from(5i64));
     // The TTP logged the resolution.
-    let resolves = ttp
-        .log()
-        .records()
-        .iter()
-        .filter(|r| r.draft.kind == "resolve")
-        .count();
-    assert_eq!(resolves, 1);
+    assert_eq!(ttp.log().count_where(&|r| r.draft.kind == "resolve"), 1);
 }

@@ -42,8 +42,8 @@ fn full_exchange_produces_symmetric_evidence() {
     assert_eq!(quote.get("price").and_then(Value::as_i64), Some(100));
 
     for mw in [&client, &server] {
-        let kinds: Vec<String> =
-            mw.log().records().iter().map(|r| r.draft.kind.clone()).collect();
+        let mut kinds: Vec<String> = Vec::new();
+        mw.log().for_each(&mut |r| kinds.push(r.draft.kind.clone()));
         assert_eq!(kinds, vec!["NRO_req", "NRR_req", "NRO_resp", "NRR_resp"], "{}", mw.org());
         mw.log().verify().unwrap();
     }
@@ -114,16 +114,10 @@ fn voluntary_baseline_gives_client_nothing() {
     proxy.invoke("quote", Value::map([("part", Value::from("hub"))])).unwrap();
     // Asymmetry (E11): the server holds the client's NRO; the client holds
     // nothing *about the server*.
-    let server_kinds: Vec<String> =
-        server.log().records().iter().map(|r| r.draft.kind.clone()).collect();
+    let mut server_kinds: Vec<String> = Vec::new();
+    server.log().for_each(&mut |r| server_kinds.push(r.draft.kind.clone()));
     assert_eq!(server_kinds, vec!["NRO_req"]);
-    let client_foreign = client
-        .log()
-        .records()
-        .iter()
-        .filter(|r| r.draft.actor == *server.org())
-        .count();
-    assert_eq!(client_foreign, 0);
+    assert_eq!(client.log().count_where(&|r| r.draft.actor == *server.org()), 0);
 }
 
 #[test]
