@@ -71,11 +71,10 @@ mod tests {
             &mut SecureRandom::from_seed(1),
         );
         let ca = CertificateAuthority::new(OrgId::new("ca"), ca_keys, clock);
-        let subject = KeyPair::generate(
-            SignatureScheme::Arbitrated,
-            &mut SecureRandom::from_seed(2),
-        );
-        ca.issue(OrgId::new("org"), subject.verifying_key(), attrs, 1000).unwrap()
+        let subject =
+            KeyPair::generate(SignatureScheme::Arbitrated, &mut SecureRandom::from_seed(2));
+        ca.issue(OrgId::new("org"), subject.verifying_key(), attrs, 1000)
+            .unwrap()
     }
 
     #[test]
@@ -86,7 +85,10 @@ mod tests {
             .map_attribute("dealer", Role::new("ve-dealer"));
         let cert = cert_with_attrs(vec!["supplier".into()]);
         let roles = mapper.roles_for(&cert);
-        assert_eq!(roles, vec![Role::new("ve-member"), Role::new("ve-supplier")]);
+        assert_eq!(
+            roles,
+            vec![Role::new("ve-member"), Role::new("ve-supplier")]
+        );
     }
 
     #[test]

@@ -62,7 +62,10 @@ pub struct Permission {
 impl Permission {
     /// Creates a permission.
     pub fn new(resource: impl Into<String>, action: Action) -> Self {
-        Self { resource: resource.into(), action }
+        Self {
+            resource: resource.into(),
+            action,
+        }
     }
 
     /// `true` if this permission covers `resource`/`action`.
@@ -116,7 +119,10 @@ impl AccessPolicy {
 
     /// All permissions of a role.
     pub fn permissions_of(&self, role: &Role) -> Vec<Permission> {
-        self.grants.get(role).map(|s| s.iter().cloned().collect()).unwrap_or_default()
+        self.grants
+            .get(role)
+            .map(|s| s.iter().cloned().collect())
+            .unwrap_or_default()
     }
 }
 
@@ -152,8 +158,14 @@ mod tests {
     #[test]
     fn policy_permits_by_any_active_role() {
         let policy = AccessPolicy::new()
-            .grant(Role::new("supplier"), Permission::new("parts.*", Action::Invoke))
-            .grant(Role::new("member"), Permission::new("shared.spec", Action::Read));
+            .grant(
+                Role::new("supplier"),
+                Permission::new("parts.*", Action::Invoke),
+            )
+            .grant(
+                Role::new("member"),
+                Permission::new("shared.spec", Action::Read),
+            );
         let roles = [Role::new("member"), Role::new("supplier")];
         assert!(policy.permits(&roles, "parts.quote", Action::Invoke));
         assert!(policy.permits(&roles, "shared.spec", Action::Read));

@@ -76,13 +76,21 @@ pub struct SessionManager {
 impl SessionManager {
     /// Creates a manager with the given mapper and policy.
     pub fn new(mapper: CredentialRoleMapper, policy: AccessPolicy) -> Self {
-        Self { mapper, policy, deactivations: Vec::new(), sessions: RwLock::new(Sessions::default()) }
+        Self {
+            mapper,
+            policy,
+            deactivations: Vec::new(),
+            sessions: RwLock::new(Sessions::default()),
+        }
     }
 
     /// Adds an event-driven deactivation rule (builder).
     #[must_use]
     pub fn deactivate_on(mut self, event: impl Into<String>, role: Role) -> Self {
-        self.deactivations.push(DeactivationRule { event: event.into(), role });
+        self.deactivations.push(DeactivationRule {
+            event: event.into(),
+            role,
+        });
         self
     }
 
@@ -149,9 +157,13 @@ impl SessionManager {
         let mut roles: Vec<Role> = active.iter().cloned().collect();
         roles.sort();
         if self.policy.permits(&roles, resource, action) {
-            AccessDecision::Permit { active_roles: roles }
+            AccessDecision::Permit {
+                active_roles: roles,
+            }
         } else {
-            AccessDecision::Deny { active_roles: roles }
+            AccessDecision::Deny {
+                active_roles: roles,
+            }
         }
     }
 }
@@ -173,9 +185,12 @@ mod tests {
             &mut SecureRandom::from_seed(42),
         );
         let ca = CertificateAuthority::new(OrgId::new("ca"), ca_keys, clock);
-        let subject =
-            KeyPair::generate(SignatureScheme::Arbitrated, &mut SecureRandom::from_seed(43));
-        ca.issue(OrgId::new(org), subject.verifying_key(), attrs, 1000).unwrap()
+        let subject = KeyPair::generate(
+            SignatureScheme::Arbitrated,
+            &mut SecureRandom::from_seed(43),
+        );
+        ca.issue(OrgId::new(org), subject.verifying_key(), attrs, 1000)
+            .unwrap()
     }
 
     fn manager() -> SessionManager {
@@ -183,10 +198,15 @@ mod tests {
             .map_attribute("supplier", Role::new("supplier"))
             .baseline_role(Role::new("member"));
         let policy = AccessPolicy::new()
-            .grant(Role::new("supplier"), Permission::new("parts.*", Action::Invoke))
-            .grant(Role::new("member"), Permission::new("shared.spec", Action::Read));
-        SessionManager::new(mapper, policy)
-            .deactivate_on("contract.breach", Role::new("supplier"))
+            .grant(
+                Role::new("supplier"),
+                Permission::new("parts.*", Action::Invoke),
+            )
+            .grant(
+                Role::new("member"),
+                Permission::new("shared.spec", Action::Read),
+            );
+        SessionManager::new(mapper, policy).deactivate_on("contract.breach", Role::new("supplier"))
     }
 
     #[test]
@@ -196,15 +216,22 @@ mod tests {
         let cert = cert_for("supplier-a", vec!["supplier".into()]);
         let roles = mgr.activate(&cert);
         assert_eq!(roles.len(), 2);
-        assert!(mgr.authorize(&org, "parts.quote", Action::Invoke).is_permit());
+        assert!(mgr
+            .authorize(&org, "parts.quote", Action::Invoke)
+            .is_permit());
         assert!(mgr.authorize(&org, "shared.spec", Action::Read).is_permit());
-        assert!(!mgr.authorize(&org, "shared.spec", Action::Update).is_permit());
+        assert!(!mgr
+            .authorize(&org, "shared.spec", Action::Update)
+            .is_permit());
     }
 
     #[test]
     fn no_session_is_denied() {
         let mgr = manager();
-        assert_eq!(mgr.authorize(&OrgId::new("ghost"), "parts.quote", Action::Invoke), AccessDecision::NoSession);
+        assert_eq!(
+            mgr.authorize(&OrgId::new("ghost"), "parts.quote", Action::Invoke),
+            AccessDecision::NoSession
+        );
     }
 
     #[test]
@@ -212,11 +239,15 @@ mod tests {
         let mgr = manager();
         let org = OrgId::new("supplier-a");
         mgr.activate(&cert_for("supplier-a", vec!["supplier".into()]));
-        assert!(mgr.authorize(&org, "parts.quote", Action::Invoke).is_permit());
+        assert!(mgr
+            .authorize(&org, "parts.quote", Action::Invoke)
+            .is_permit());
         let removed = mgr.on_event(&org, "contract.breach");
         assert_eq!(removed, vec![Role::new("supplier")]);
         // Supplier role gone; member role remains.
-        assert!(!mgr.authorize(&org, "parts.quote", Action::Invoke).is_permit());
+        assert!(!mgr
+            .authorize(&org, "parts.quote", Action::Invoke)
+            .is_permit());
         assert!(mgr.authorize(&org, "shared.spec", Action::Read).is_permit());
     }
 
@@ -226,7 +257,9 @@ mod tests {
         let org = OrgId::new("supplier-a");
         mgr.activate(&cert_for("supplier-a", vec!["supplier".into()]));
         assert!(mgr.on_event(&org, "weather.rain").is_empty());
-        assert!(mgr.authorize(&org, "parts.quote", Action::Invoke).is_permit());
+        assert!(mgr
+            .authorize(&org, "parts.quote", Action::Invoke)
+            .is_permit());
     }
 
     #[test]
@@ -235,7 +268,10 @@ mod tests {
         let org = OrgId::new("supplier-a");
         mgr.activate(&cert_for("supplier-a", vec!["supplier".into()]));
         mgr.end_session(&org);
-        assert_eq!(mgr.authorize(&org, "shared.spec", Action::Read), AccessDecision::NoSession);
+        assert_eq!(
+            mgr.authorize(&org, "shared.spec", Action::Read),
+            AccessDecision::NoSession
+        );
         assert!(mgr.active_roles(&org).is_empty());
     }
 
@@ -246,9 +282,13 @@ mod tests {
         let cert = cert_for("supplier-a", vec!["supplier".into()]);
         mgr.activate(&cert);
         mgr.on_event(&org, "contract.breach");
-        assert!(!mgr.authorize(&org, "parts.quote", Action::Invoke).is_permit());
+        assert!(!mgr
+            .authorize(&org, "parts.quote", Action::Invoke)
+            .is_permit());
         mgr.activate(&cert);
-        assert!(mgr.authorize(&org, "parts.quote", Action::Invoke).is_permit());
+        assert!(mgr
+            .authorize(&org, "parts.quote", Action::Invoke)
+            .is_permit());
     }
 
     #[test]

@@ -21,22 +21,28 @@ fn bench_group_size(c: &mut Criterion) {
     println!("\nE10 report — messages per accepted round by group size:");
     for n in [2usize, 4, 8, 12] {
         let w = World::new();
-        let orgs: Vec<Arc<OrgMiddleware>> =
-            (0..n).map(|i| w.org(&format!("org-{i}"))).collect();
-        let named: Vec<(String, &Arc<OrgMiddleware>)> =
-            orgs.iter().enumerate().map(|(i, o)| (format!("org-{i}"), o)).collect();
+        let orgs: Vec<Arc<OrgMiddleware>> = (0..n).map(|i| w.org(&format!("org-{i}"))).collect();
+        let named: Vec<(String, &Arc<OrgMiddleware>)> = orgs
+            .iter()
+            .enumerate()
+            .map(|(i, o)| (format!("org-{i}"), o))
+            .collect();
         let borrowed: Vec<(&str, &Arc<OrgMiddleware>)> =
             named.iter().map(|(s, o)| (s.as_str(), *o)).collect();
         let group = GroupId::new("ve");
         install_group(&borrowed, &group);
         // One measured accepted round.
         w.bus.reset_stats();
-        orgs[0].propose_update(&group, "warm", vec![1u8; 64]).unwrap();
+        orgs[0]
+            .propose_update(&group, "warm", vec![1u8; 64])
+            .unwrap();
         let msgs = w.bus.stats().delivered;
         println!("  n={n:<3} messages per round = {msgs}");
         group_bench.bench_with_input(BenchmarkId::new("accepted_round", n), &n, |b, _| {
             b.iter(|| {
-                let out = orgs[0].propose_update(&group, "obj", vec![7u8; 64]).unwrap();
+                let out = orgs[0]
+                    .propose_update(&group, "obj", vec![7u8; 64])
+                    .unwrap();
                 assert!(out.accepted);
             })
         });

@@ -12,7 +12,10 @@ use std::time::Duration;
 
 fn bench_invocation(c: &mut Criterion) {
     let mut group = c.benchmark_group("e1_invocation");
-    group.sample_size(20).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
     for size in [64usize, 1024, 16 * 1024] {
         // Plain baseline (Fig 4(a)).
         {

@@ -33,7 +33,13 @@ fn deployments(latency: LatencyModel) -> Vec<Deployment> {
         let client = w.org("client");
         let server = w.org("server");
         deploy_echo(&server);
-        out.push(Deployment { label: "plain", world: w, client, server, plain: true });
+        out.push(Deployment {
+            label: "plain",
+            world: w,
+            client,
+            server,
+            plain: true,
+        });
     }
     // voluntary
     {
@@ -41,7 +47,13 @@ fn deployments(latency: LatencyModel) -> Vec<Deployment> {
         let client = w.org_in("client", TrustDomain::Voluntary);
         let server = w.org("server");
         deploy_echo(&server);
-        out.push(Deployment { label: "voluntary", world: w, client, server, plain: false });
+        out.push(Deployment {
+            label: "voluntary",
+            world: w,
+            client,
+            server,
+            plain: false,
+        });
     }
     // direct
     {
@@ -49,39 +61,83 @@ fn deployments(latency: LatencyModel) -> Vec<Deployment> {
         let client = w.org("client");
         let server = w.org("server");
         deploy_echo(&server);
-        out.push(Deployment { label: "direct", world: w, client, server, plain: false });
+        out.push(Deployment {
+            label: "direct",
+            world: w,
+            client,
+            server,
+            plain: false,
+        });
     }
     // inline ttp (Fig 3a)
     {
         let w = mk_world();
-        let client = w.org_in("client", TrustDomain::InlineTtp { first_hop: OrgId::new("ttp") });
+        let client = w.org_in(
+            "client",
+            TrustDomain::InlineTtp {
+                first_hop: OrgId::new("ttp"),
+            },
+        );
         let server = w.org("server");
         let ttp = w.org("ttp");
         ttp.serve_as_inline_ttp(None);
         deploy_echo(&server);
-        out.push(Deployment { label: "inline-ttp", world: w, client, server, plain: false });
+        out.push(Deployment {
+            label: "inline-ttp",
+            world: w,
+            client,
+            server,
+            plain: false,
+        });
     }
     // distributed inline ttp (Fig 3b)
     {
         let w = mk_world();
-        let client = w.org_in("client", TrustDomain::InlineTtp { first_hop: OrgId::new("ttp-a") });
+        let client = w.org_in(
+            "client",
+            TrustDomain::InlineTtp {
+                first_hop: OrgId::new("ttp-a"),
+            },
+        );
         let server = w.org("server");
         let ttp_a = w.org("ttp-a");
         ttp_a.serve_as_inline_ttp(Some(OrgId::new("ttp-b")));
         let ttp_b = w.org("ttp-b");
         ttp_b.serve_as_inline_ttp(None);
         deploy_echo(&server);
-        out.push(Deployment { label: "distributed-ttp", world: w, client, server, plain: false });
+        out.push(Deployment {
+            label: "distributed-ttp",
+            world: w,
+            client,
+            server,
+            plain: false,
+        });
     }
     // fair offline
     {
         let w = mk_world();
-        let client = w.org_in("client", TrustDomain::FairOffline { ttp: OrgId::new("ttp") });
-        let server = w.org_in("server", TrustDomain::FairOffline { ttp: OrgId::new("ttp") });
+        let client = w.org_in(
+            "client",
+            TrustDomain::FairOffline {
+                ttp: OrgId::new("ttp"),
+            },
+        );
+        let server = w.org_in(
+            "server",
+            TrustDomain::FairOffline {
+                ttp: OrgId::new("ttp"),
+            },
+        );
         let ttp = w.org("ttp");
         ttp.serve_as_offline_ttp();
         deploy_echo(&server);
-        out.push(Deployment { label: "fair-offline", world: w, client, server, plain: false });
+        out.push(Deployment {
+            label: "fair-offline",
+            world: w,
+            client,
+            server,
+            plain: false,
+        });
     }
     out
 }

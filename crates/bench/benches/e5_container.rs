@@ -43,7 +43,12 @@ fn bench_container(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("local_chain", depth), &depth, |b, _| {
             b.iter(|| {
                 container
-                    .invoke(Invocation::new("client", "urn:svc", "work", Value::from(1i64)))
+                    .invoke(Invocation::new(
+                        "client",
+                        "urn:svc",
+                        "work",
+                        Value::from(1i64),
+                    ))
                     .unwrap()
             })
         });
@@ -53,7 +58,10 @@ fn bench_container(c: &mut Criterion) {
     {
         let bus = LocalBus::new();
         let container = container_with_chain(4);
-        bus.register(OrgId::new("server"), Arc::new(ContainerEndpoint::new(container)));
+        bus.register(
+            OrgId::new("server"),
+            Arc::new(ContainerEndpoint::new(container)),
+        );
         let transport = Arc::new(BusTransport::new(bus, OrgId::new("client")));
         let proxy = ClientProxy::new("client", "server", "urn:svc", transport);
         group.bench_function("remote_dispatch", |b| {
@@ -63,8 +71,9 @@ fn bench_container(c: &mut Criterion) {
 
     // Raw chain mechanics (no container lookup).
     {
-        let interceptors: Vec<Arc<dyn Interceptor>> =
-            (0..8).map(|_| Arc::new(MetricsInterceptor::new()) as Arc<dyn Interceptor>).collect();
+        let interceptors: Vec<Arc<dyn Interceptor>> = (0..8)
+            .map(|_| Arc::new(MetricsInterceptor::new()) as Arc<dyn Interceptor>)
+            .collect();
         let target = |inv: Invocation| Ok(inv.args);
         group.bench_function("raw_chain_8", |b| {
             b.iter(|| {

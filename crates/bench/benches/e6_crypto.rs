@@ -42,10 +42,14 @@ fn bench_crypto(c: &mut Criterion) {
     // Arbitrated scheme: sign + verify.
     {
         let kp = KeyPair::generate(SignatureScheme::Arbitrated, &mut SecureRandom::from_seed(1));
-        group.bench_function("arbitrated_sign", |b| b.iter(|| kp.sign(b"message").unwrap()));
+        group.bench_function("arbitrated_sign", |b| {
+            b.iter(|| kp.sign(b"message").unwrap())
+        });
         let sig = kp.sign(b"message").unwrap();
         let vk = kp.verifying_key();
-        group.bench_function("arbitrated_verify", |b| b.iter(|| assert!(vk.verify(b"message", &sig))));
+        group.bench_function("arbitrated_verify", |b| {
+            b.iter(|| assert!(vk.verify(b"message", &sig)))
+        });
     }
 
     // MSS: sign (fresh key per iteration so capacity never runs out;
@@ -72,7 +76,9 @@ fn bench_crypto(c: &mut Criterion) {
         );
         let sig = kp.sign(b"message").unwrap();
         let vk = kp.verifying_key();
-        group.bench_function("mss_verify", |b| b.iter(|| assert!(vk.verify(b"message", &sig))));
+        group.bench_function("mss_verify", |b| {
+            b.iter(|| assert!(vk.verify(b"message", &sig)))
+        });
     }
 
     // The Merkle-node pair hash (every tree node and chain link pays this).
@@ -120,7 +126,10 @@ fn bench_crypto(c: &mut Criterion) {
 
     // Signature size report.
     let arb = KeyPair::generate(SignatureScheme::Arbitrated, &mut SecureRandom::from_seed(1));
-    let mss = KeyPair::generate(SignatureScheme::Mss { height: 8 }, &mut SecureRandom::from_seed(2));
+    let mss = KeyPair::generate(
+        SignatureScheme::Mss { height: 8 },
+        &mut SecureRandom::from_seed(2),
+    );
     println!(
         "\nE6 report — signature material sizes: arbitrated {} B, MSS(h=8) {} B\n",
         arb.sign(b"m").unwrap().byte_len(),

@@ -30,7 +30,10 @@ fn report() {
         let client = w.org("client");
         let server = w.org("server");
         deploy_echo(&server);
-        client.nr_proxy(server.org(), "urn:svc").invoke("work", payload(64)).unwrap();
+        client
+            .nr_proxy(server.org(), "urn:svc")
+            .invoke("work", payload(64))
+            .unwrap();
         println!(
             "{:<26} {:>8} {:>12} {:>14}",
             "direct (arbitrated)",
@@ -59,7 +62,10 @@ fn report() {
         .scheme(SignatureScheme::Mss { height: 4 })
         .build();
         deploy_echo(&server);
-        client.nr_proxy(server.org(), "urn:svc").invoke("work", payload(64)).unwrap();
+        client
+            .nr_proxy(server.org(), "urn:svc")
+            .invoke("work", payload(64))
+            .unwrap();
         println!(
             "{:<26} {:>8} {:>12} {:>14}",
             "direct (MSS h=4)",
@@ -74,7 +80,10 @@ fn report() {
         let client = w.org_in("client", TrustDomain::Voluntary);
         let server = w.org("server");
         deploy_echo(&server);
-        client.nr_proxy(server.org(), "urn:svc").invoke("work", payload(64)).unwrap();
+        client
+            .nr_proxy(server.org(), "urn:svc")
+            .invoke("work", payload(64))
+            .unwrap();
         println!(
             "{:<26} {:>8} {:>12} {:>14}",
             "voluntary (arbitrated)",

@@ -27,7 +27,8 @@ fn run_case(label: &str, domain: Option<TrustDomain>, size: usize) {
     };
     match &domain {
         Some(TrustDomain::InlineTtp { first_hop }) if first_hop.as_str() == "ttp-a" => {
-            w.org("ttp-a").serve_as_inline_ttp(Some(OrgId::new("ttp-b")));
+            w.org("ttp-a")
+                .serve_as_inline_ttp(Some(OrgId::new("ttp-b")));
             w.org("ttp-b").serve_as_inline_ttp(None);
         }
         Some(TrustDomain::InlineTtp { first_hop }) => {
@@ -65,15 +66,25 @@ fn report() {
         run_case("direct", Some(TrustDomain::Direct), size);
         run_case(
             "inline-ttp",
-            Some(TrustDomain::InlineTtp { first_hop: OrgId::new("ttp") }),
+            Some(TrustDomain::InlineTtp {
+                first_hop: OrgId::new("ttp"),
+            }),
             size,
         );
         run_case(
             "distributed-ttp",
-            Some(TrustDomain::InlineTtp { first_hop: OrgId::new("ttp-a") }),
+            Some(TrustDomain::InlineTtp {
+                first_hop: OrgId::new("ttp-a"),
+            }),
             size,
         );
-        run_case("fair-offline", Some(TrustDomain::FairOffline { ttp: OrgId::new("ttp") }), size);
+        run_case(
+            "fair-offline",
+            Some(TrustDomain::FairOffline {
+                ttp: OrgId::new("ttp"),
+            }),
+            size,
+        );
     }
     println!();
 }

@@ -46,7 +46,10 @@ fn bench_faults(c: &mut Criterion) {
          {} deliveries, {} drops\n",
         stats.delivered, stats.dropped
     );
-    assert_eq!(completed, 200, "bounded faults + retries must guarantee liveness");
+    assert_eq!(
+        completed, 200,
+        "bounded faults + retries must guarantee liveness"
+    );
 }
 
 criterion_group!(benches, bench_faults);

@@ -40,7 +40,11 @@ impl World {
     /// Creates a world over a configured bus.
     pub fn with_bus(bus: Arc<LocalBus>) -> Self {
         let clock = bus.clock();
-        Self { bus, dir: Arc::new(StaticKeyDirectory::new()), clock }
+        Self {
+            bus,
+            dir: Arc::new(StaticKeyDirectory::new()),
+            clock,
+        }
     }
 
     /// Spawns an organisation with the arbitrated (unbounded) scheme.
@@ -106,10 +110,17 @@ mod tests {
         let a = w.org("a");
         let b = w.org("b");
         deploy_echo(&b);
-        let out = a.nr_proxy(b.org(), "urn:svc").invoke("work", payload(16)).unwrap();
+        let out = a
+            .nr_proxy(b.org(), "urn:svc")
+            .invoke("work", payload(16))
+            .unwrap();
         assert!(out.get("payload").is_some());
         let group = GroupId::new("g");
         install_group(&[("a", &a), ("b", &b)], &group);
-        assert!(a.propose_update(&group, "o", b"s".to_vec()).unwrap().accepted);
+        assert!(
+            a.propose_update(&group, "o", b"s".to_vec())
+                .unwrap()
+                .accepted
+        );
     }
 }

@@ -54,7 +54,9 @@ pub struct FnComponent {
 impl fmt::Debug for FnComponent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let names: Vec<&str> = self.handlers.iter().map(|(m, _)| m.as_str()).collect();
-        f.debug_struct("FnComponent").field("methods", &names).finish()
+        f.debug_struct("FnComponent")
+            .field("methods", &names)
+            .finish()
     }
 }
 
@@ -108,7 +110,10 @@ mod tests {
             })
             .method("fail", |_| Err(ContainerError::Application("boom".into())));
         let args = Value::map([("a", Value::from(2i64)), ("b", Value::from(3i64))]);
-        assert_eq!(c.invoke(&MethodName::new("add"), &args).unwrap(), Value::from(5i64));
+        assert_eq!(
+            c.invoke(&MethodName::new("add"), &args).unwrap(),
+            Value::from(5i64)
+        );
         assert!(matches!(
             c.invoke(&MethodName::new("fail"), &Value::Null),
             Err(ContainerError::Application(_))

@@ -75,9 +75,13 @@ impl Container {
                 )));
             }
         }
-        self.deployments
-            .write()
-            .insert(descriptor.service.clone(), Arc::new(Deployment { component, descriptor }));
+        self.deployments.write().insert(
+            descriptor.service.clone(),
+            Arc::new(Deployment {
+                component,
+                descriptor,
+            }),
+        );
         Ok(())
     }
 
@@ -100,7 +104,10 @@ impl Container {
 
     /// The deployment descriptor of `service`, if deployed.
     pub fn descriptor(&self, service: &ServiceUri) -> Option<DeploymentDescriptor> {
-        self.deployments.read().get(service).map(|d| d.descriptor.clone())
+        self.deployments
+            .read()
+            .get(service)
+            .map(|d| d.descriptor.clone())
     }
 
     /// Deployed service names.
@@ -123,7 +130,10 @@ impl Container {
             .cloned()
             .ok_or_else(|| ContainerError::NoSuchService(inv.service.clone()))?;
         if !deployment.descriptor.exports(&inv.method) {
-            return Err(ContainerError::NoSuchMethod(inv.service.clone(), inv.method.clone()));
+            return Err(ContainerError::NoSuchMethod(
+                inv.service.clone(),
+                inv.method.clone(),
+            ));
         }
         let interceptors = self.server_chain.read().clone();
         let component = Arc::clone(&deployment.component);
@@ -150,7 +160,10 @@ impl Container {
             .cloned()
             .ok_or_else(|| ContainerError::NoSuchService(inv.service.clone()))?;
         if !deployment.descriptor.exports(&inv.method) {
-            return Err(ContainerError::NoSuchMethod(inv.service.clone(), inv.method.clone()));
+            return Err(ContainerError::NoSuchMethod(
+                inv.service.clone(),
+                inv.method.clone(),
+            ));
         }
         deployment.component.invoke(&inv.method, &inv.args)
     }
@@ -176,7 +189,12 @@ mod tests {
         let c = Container::new("org-a");
         c.deploy(descriptor(), echo_component()).unwrap();
         let out = c
-            .invoke(Invocation::new("caller", "urn:echo", "echo", Value::from(7i64)))
+            .invoke(Invocation::new(
+                "caller",
+                "urn:echo",
+                "echo",
+                Value::from(7i64),
+            ))
             .unwrap();
         assert_eq!(out, Value::from(7i64));
         assert_eq!(c.services(), vec![ServiceUri::new("urn:echo")]);
@@ -187,7 +205,10 @@ mod tests {
     fn descriptor_must_match_component() {
         let c = Container::new("org-a");
         let bad = DeploymentDescriptor::new("urn:echo", [MethodName::new("missing")]);
-        assert!(matches!(c.deploy(bad, echo_component()), Err(ContainerError::Application(_))));
+        assert!(matches!(
+            c.deploy(bad, echo_component()),
+            Err(ContainerError::Application(_))
+        ));
     }
 
     #[test]
@@ -212,7 +233,8 @@ mod tests {
         let metrics = Arc::new(MetricsInterceptor::new());
         c.add_interceptor(log.clone());
         c.add_interceptor(metrics.clone());
-        c.invoke(Invocation::new("x", "urn:echo", "echo", Value::Null)).unwrap();
+        c.invoke(Invocation::new("x", "urn:echo", "echo", Value::Null))
+            .unwrap();
         assert_eq!(metrics.counts(), (1, 0));
         assert_eq!(log.entries().len(), 1);
     }
@@ -231,7 +253,8 @@ mod tests {
         let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
         c.add_interceptor(Arc::new(Marker(order.clone(), "second")));
         c.add_first_interceptor(Arc::new(Marker(order.clone(), "first")));
-        c.invoke(Invocation::new("x", "urn:echo", "echo", Value::Null)).unwrap();
+        c.invoke(Invocation::new("x", "urn:echo", "echo", Value::Null))
+            .unwrap();
         assert_eq!(order.lock().as_slice(), &["first", "second"]);
     }
 

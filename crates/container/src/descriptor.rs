@@ -21,12 +21,32 @@ pub struct NrConfig {
     pub platform: String,
     /// Which registered protocol to execute (e.g. `"direct"`).
     pub protocol: ProtocolId,
+    /// Requested evidence batching: `None` keeps per-record signatures;
+    /// `Some(n)` asks the hosting middleware to run its evidence through
+    /// the batched commitment pipeline, sealing an epoch every `n`
+    /// records (one signature per batch instead of one per record).
+    ///
+    /// Declarative, like the rest of the descriptor: the programmer
+    /// *identifies* the batching requirement; the middleware instantiates
+    /// the commitment scheduler that satisfies it.
+    pub evidence_batch: Option<u32>,
 }
 
 impl NrConfig {
     /// Configuration selecting `protocol` on the native platform.
     pub fn protocol(protocol: impl Into<ProtocolId>) -> Self {
-        Self { platform: "rust".into(), protocol: protocol.into() }
+        Self {
+            platform: "rust".into(),
+            protocol: protocol.into(),
+            evidence_batch: None,
+        }
+    }
+
+    /// Requests batched evidence commitments with the given batch size.
+    #[must_use]
+    pub fn with_batched_evidence(mut self, batch_size: u32) -> Self {
+        self.evidence_batch = Some(batch_size.max(1));
+        self
     }
 }
 
@@ -134,7 +154,10 @@ mod tests {
         assert!(d.exports(&MethodName::new("quote")));
         assert!(!d.exports(&MethodName::new("secret")));
         assert!(d.requires_nr());
-        assert_eq!(d.non_repudiation.as_ref().unwrap().protocol, ProtocolId::new("direct"));
+        assert_eq!(
+            d.non_repudiation.as_ref().unwrap().protocol,
+            ProtocolId::new("direct")
+        );
         assert!(d.rolls_up(&MethodName::new("order")));
         assert!(!d.rolls_up(&MethodName::new("quote")));
         assert_eq!(d.metadata["owner"], "manufacturer");

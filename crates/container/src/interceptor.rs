@@ -100,7 +100,13 @@ impl Decode for Invocation {
             let v = Value::decode(r)?;
             context.insert(k, v);
         }
-        Ok(Self { caller, service, method, args, context })
+        Ok(Self {
+            caller,
+            service,
+            method,
+            args,
+            context,
+        })
     }
 }
 
@@ -150,14 +156,19 @@ pub struct Chain<'a> {
 
 impl fmt::Debug for Chain<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Chain").field("remaining", &self.rest.len()).finish()
+        f.debug_struct("Chain")
+            .field("remaining", &self.rest.len())
+            .finish()
     }
 }
 
 impl<'a> Chain<'a> {
     /// Builds a chain over `interceptors` ending at `target`.
     pub fn new(interceptors: &'a [Arc<dyn Interceptor>], target: &'a dyn InvocationTarget) -> Self {
-        Self { rest: interceptors, target }
+        Self {
+            rest: interceptors,
+            target,
+        }
     }
 
     /// Passes the invocation to the next interceptor (or the target).
@@ -168,7 +179,10 @@ impl<'a> Chain<'a> {
     pub fn proceed(&self, inv: Invocation) -> Result<Value, ContainerError> {
         match self.rest.split_first() {
             Some((head, tail)) => {
-                let next = Chain { rest: tail, target: self.target };
+                let next = Chain {
+                    rest: tail,
+                    target: self.target,
+                };
                 head.invoke(inv, &next)
             }
             None => self.target.execute(inv),
@@ -201,7 +215,9 @@ impl LoggingInterceptor {
 
 impl Interceptor for LoggingInterceptor {
     fn invoke(&self, inv: Invocation, chain: &Chain<'_>) -> Result<Value, ContainerError> {
-        self.seen.lock().push(format!("{} -> {}.{}", inv.caller, inv.service, inv.method));
+        self.seen
+            .lock()
+            .push(format!("{} -> {}.{}", inv.caller, inv.service, inv.method));
         let result = chain.proceed(inv);
         if result.is_err() {
             self.seen.lock().push("  !! failed".into());
@@ -271,7 +287,9 @@ impl AccessControlInterceptor {
 
 impl Interceptor for AccessControlInterceptor {
     fn invoke(&self, inv: Invocation, chain: &Chain<'_>) -> Result<Value, ContainerError> {
-        let decision = self.sessions.authorize(&inv.caller, &inv.resource(), Action::Invoke);
+        let decision = self
+            .sessions
+            .authorize(&inv.caller, &inv.resource(), Action::Invoke);
         if decision.is_permit() {
             chain.proceed(inv)
         } else {
@@ -320,7 +338,9 @@ mod tests {
         ];
         let target = ok_target();
         let chain = Chain::new(&chain_vec, &target);
-        chain.proceed(Invocation::new("a", "s", "m", Value::Null)).unwrap();
+        chain
+            .proceed(Invocation::new("a", "s", "m", Value::Null))
+            .unwrap();
         assert_eq!(order.lock().as_slice(), &["first", "second"]);
     }
 
@@ -328,7 +348,11 @@ mod tests {
     fn interceptor_can_short_circuit() {
         struct Block;
         impl Interceptor for Block {
-            fn invoke(&self, _inv: Invocation, _chain: &Chain<'_>) -> Result<Value, ContainerError> {
+            fn invoke(
+                &self,
+                _inv: Invocation,
+                _chain: &Chain<'_>,
+            ) -> Result<Value, ContainerError> {
                 Err(ContainerError::AccessDenied("blocked".into()))
             }
         }
@@ -345,7 +369,11 @@ mod tests {
     fn interceptor_can_rewrite_invocation_and_result() {
         struct Rewrite;
         impl Interceptor for Rewrite {
-            fn invoke(&self, mut inv: Invocation, chain: &Chain<'_>) -> Result<Value, ContainerError> {
+            fn invoke(
+                &self,
+                mut inv: Invocation,
+                chain: &Chain<'_>,
+            ) -> Result<Value, ContainerError> {
                 inv.method = MethodName::new("rewritten");
                 let out = chain.proceed(inv)?;
                 Ok(Value::list([out, Value::from("suffix")]))
@@ -354,7 +382,9 @@ mod tests {
         let chain_vec: Vec<Arc<dyn Interceptor>> = vec![Arc::new(Rewrite)];
         let target = ok_target();
         let chain = Chain::new(&chain_vec, &target);
-        let out = chain.proceed(Invocation::new("a", "s", "m", Value::Null)).unwrap();
+        let out = chain
+            .proceed(Invocation::new("a", "s", "m", Value::Null))
+            .unwrap();
         assert_eq!(out.as_list().unwrap()[0], Value::from("ran rewritten"));
     }
 

@@ -240,7 +240,10 @@ mod tests {
     #[test]
     fn next_and_enabled() {
         let c = order_contract();
-        assert_eq!(c.next(&State::new("negotiating"), "spec.agreed"), Some(&State::new("agreed")));
+        assert_eq!(
+            c.next(&State::new("negotiating"), "spec.agreed"),
+            Some(&State::new("agreed"))
+        );
         assert_eq!(c.next(&State::new("agreed"), "spec.agreed"), None);
         let mut enabled = c.enabled(&State::new("agreed"));
         enabled.sort_unstable();
@@ -252,7 +255,9 @@ mod tests {
     #[test]
     fn unreachable_state_detected() {
         let c = ContractSpec::new("c", "a").state("island");
-        assert!(c.check().contains(&SpecIssue::Unreachable(State::new("island"))));
+        assert!(c
+            .check()
+            .contains(&SpecIssue::Unreachable(State::new("island"))));
     }
 
     #[test]
@@ -271,7 +276,9 @@ mod tests {
     #[test]
     fn undeclared_state_detected() {
         let c = ContractSpec::new("c", "a").transition("a", "e", "ghost");
-        assert!(c.check().contains(&SpecIssue::UndeclaredState(State::new("ghost"))));
+        assert!(c
+            .check()
+            .contains(&SpecIssue::UndeclaredState(State::new("ghost"))));
     }
 
     #[test]
@@ -280,12 +287,17 @@ mod tests {
             .breach_state("bad")
             .transition("a", "e", "bad")
             .transition("bad", "undo", "a");
-        assert!(c.check().contains(&SpecIssue::BreachNotTerminal(State::new("bad"))));
+        assert!(c
+            .check()
+            .contains(&SpecIssue::BreachNotTerminal(State::new("bad"))));
     }
 
     #[test]
     fn issues_display() {
-        for issue in ContractSpec::new("c", "a").transition("a", "e", "ghost").check() {
+        for issue in ContractSpec::new("c", "a")
+            .transition("a", "e", "ghost")
+            .check()
+        {
             assert!(!issue.to_string().is_empty());
         }
     }

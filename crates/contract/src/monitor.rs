@@ -65,7 +65,11 @@ impl ContractMonitor {
         let issues = spec.check();
         assert!(issues.is_empty(), "contract spec has defects: {issues:?}");
         let initial = spec.initial().clone();
-        Self { spec, state: Mutex::new(initial), history: Mutex::new(Vec::new()) }
+        Self {
+            spec,
+            state: Mutex::new(initial),
+            history: Mutex::new(Vec::new()),
+        }
     }
 
     /// The current contract state.
@@ -95,18 +99,19 @@ impl ContractMonitor {
         if self.spec.is_breach(&state) {
             return Err(ContractViolation::AlreadyBreached(state.clone()));
         }
-        let next = self
-            .spec
-            .next(&state, event)
-            .cloned()
-            .ok_or_else(|| ContractViolation::UnexpectedEvent {
+        let next = self.spec.next(&state, event).cloned().ok_or_else(|| {
+            ContractViolation::UnexpectedEvent {
                 state: state.clone(),
                 event: event.to_string(),
-            })?;
+            }
+        })?;
         *state = next.clone();
         self.history.lock().push((event.to_string(), next.clone()));
         if self.spec.is_breach(&next) {
-            return Err(ContractViolation::Breach { state: next, event: event.to_string() });
+            return Err(ContractViolation::Breach {
+                state: next,
+                event: event.to_string(),
+            });
         }
         Ok(next)
     }
@@ -146,7 +151,10 @@ mod tests {
     fn happy_path() {
         let m = monitor();
         assert_eq!(m.observe("spec.agreed").unwrap(), State::new("agreed"));
-        assert_eq!(m.observe("part.delivered").unwrap(), State::new("delivered"));
+        assert_eq!(
+            m.observe("part.delivered").unwrap(),
+            State::new("delivered")
+        );
         assert!(!m.breached());
         assert_eq!(m.history().len(), 2);
     }
@@ -154,7 +162,10 @@ mod tests {
     #[test]
     fn self_loop_allowed() {
         let m = monitor();
-        assert_eq!(m.observe("spec.rejected").unwrap(), State::new("negotiating"));
+        assert_eq!(
+            m.observe("spec.rejected").unwrap(),
+            State::new("negotiating")
+        );
         assert_eq!(m.state(), State::new("negotiating"));
     }
 

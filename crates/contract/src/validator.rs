@@ -21,8 +21,7 @@ use crate::monitor::ContractMonitor;
 ///
 /// Returns `None` when the update is outside the contract's scope (then
 /// the validator abstains, i.e. accepts).
-pub type EventExtractor =
-    dyn Fn(&str, Option<&[u8]>, &[u8]) -> Option<String> + Send + Sync;
+pub type EventExtractor = dyn Fn(&str, Option<&[u8]>, &[u8]) -> Option<String> + Send + Sync;
 
 /// An [`UpdateValidator`] enforcing a contract monitor.
 pub struct ContractValidator {
@@ -43,7 +42,10 @@ impl ContractValidator {
         monitor: Arc<ContractMonitor>,
         extractor: impl Fn(&str, Option<&[u8]>, &[u8]) -> Option<String> + Send + Sync + 'static,
     ) -> Arc<Self> {
-        Arc::new(Self { monitor, extractor: Box::new(extractor) })
+        Arc::new(Self {
+            monitor,
+            extractor: Box::new(extractor),
+        })
     }
 
     /// The underlying monitor (e.g. to advance it when a validated update

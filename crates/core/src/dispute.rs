@@ -12,24 +12,39 @@
 //!
 //! 1. verifies each log's hash chain (tampered logs are flagged and their
 //!    *unverifiable* records ignored),
-//! 2. decodes and cryptographically verifies every token against the key
-//!    directory,
-//! 3. produces the set of [`Fact`]s — token assertions that some submitted
+//! 2. verifies every epoch commitment — the batched pipeline's one
+//!    signature per sealed range — against the records it claims to cover,
+//! 3. decodes and cryptographically verifies every token against the key
+//!    directory (per-record and batch signatures alike),
+//! 4. produces the set of [`Fact`]s — token assertions that some submitted
 //!    log proves and that their issuer therefore **cannot deny**.
+//!
+//! # Windowed submissions
+//!
+//! Cloning a whole log to submit it does not scale; the batched pipeline
+//! makes it unnecessary. A [`WindowSubmission`] carries a
+//! `snapshot_range` window of `Arc`-backed records, the submitter's
+//! claimed chain head, and (inside the window, as ordinary records) the
+//! epoch commitments whose signed roots attest the window's content.
+//! [`Adjudicator::adjudicate_windows`] anchors chain verification at the
+//! window's first record ([`ChainVerifier::resume`]) instead of replaying
+//! from genesis, checks the tail against the claimed head, and verifies
+//! every in-window commitment over the records it covers.
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::ops::Range;
 use std::sync::Arc;
 
 use nonrep_crypto::digest::Digest;
 use nonrep_protocols::party::KeyDirectory;
 use nonrep_protocols::tokens::{NrToken, TokenKind};
-use nonrep_store::record::{ChainVerifier, ChainViolation, EvidenceRecord};
+use nonrep_store::record::{ChainVerifier, ChainViolation, EpochCommitment, EvidenceRecord};
 use nonrep_store::EvidenceLog;
 use nonrep_types::codec::Decode;
 use nonrep_types::ids::{OrgId, RunId};
 
-/// Verification report for one submitted log.
+/// Verification report for one submitted log (or log window).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LogReport {
     /// Who submitted the log.
@@ -38,20 +53,71 @@ pub struct LogReport {
     pub chain: Result<(), ChainViolation>,
     /// Tokens decoded from the log: `(token, signature_valid)`.
     pub tokens: Vec<(NrToken, bool)>,
-    /// Records whose payload was not a decodable token.
+    /// Records whose payload was not a decodable token (or a decodable
+    /// epoch commitment).
     pub undecodable: usize,
+    /// Epoch commitments encountered in the submission.
+    pub epoch_commits: usize,
+    /// Epoch commitments that verified (signature by the submitter, and —
+    /// when the covered range lies inside the submission — the recomputed
+    /// root over the covered records).
+    pub epoch_verified: usize,
 }
 
 impl LogReport {
-    /// `true` if the chain verified, every token's signature verified, and
-    /// every record payload decoded as a token.
+    /// `true` if the chain verified, every token's signature verified,
+    /// every record payload decoded, and every epoch commitment checked
+    /// out.
     ///
     /// Undecodable payloads count against the submitter: the middleware
     /// only ever logs canonically-encoded tokens, so a record that fails
     /// to decode is evidence of tampering (e.g. edits to a terminal record
-    /// that the hash chain alone cannot catch).
+    /// that the hash chain alone cannot catch). Likewise an epoch
+    /// commitment whose signature or recomputed root does not match is
+    /// evidence of tampering with the sealed range.
     pub fn clean(&self) -> bool {
-        self.chain.is_ok() && self.undecodable == 0 && self.tokens.iter().all(|(_, ok)| *ok)
+        self.chain.is_ok()
+            && self.undecodable == 0
+            && self.tokens.iter().all(|(_, ok)| *ok)
+            && self.epoch_verified == self.epoch_commits
+    }
+}
+
+/// One organisation's windowed evidence submission: a `snapshot_range`
+/// window of its log plus its claimed chain head — never a clone of the
+/// full record set.
+#[derive(Debug, Clone)]
+pub struct WindowSubmission {
+    /// Who submitted the window.
+    pub submitter: OrgId,
+    /// A contiguous range of the submitter's log (epoch-commitment
+    /// records included — they are the window's batch proofs).
+    pub records: Vec<Arc<EvidenceRecord>>,
+    /// The submitter's claimed chain head. [`Digest::ZERO`] when the
+    /// window does not extend to the log's tail (the head then cannot be
+    /// cross-checked against the window).
+    pub head: Digest,
+}
+
+impl WindowSubmission {
+    /// Builds a submission directly from a live log: `range` is clamped,
+    /// and the head claim is attached automatically when the window
+    /// reaches the log's tail.
+    pub fn from_log(submitter: impl Into<OrgId>, log: &dyn EvidenceLog, range: Range<u64>) -> Self {
+        let records = log.snapshot_range(range.start..range.end);
+        // Read order matters under concurrent appenders: head before len.
+        // If an append lands anywhere in between, len() comes back larger
+        // than the snapshot and the head claim is dropped — the claim is
+        // only ever attached when head provably hashes the window's tail
+        // (len is monotonic, so a head newer than the snapshot implies a
+        // larger len).
+        let head = log.head();
+        let reaches_tail = records.last().map(|r| r.seq + 1) == Some(log.len());
+        Self {
+            submitter: submitter.into(),
+            records,
+            head: if reaches_tail { head } else { Digest::ZERO },
+        }
     }
 }
 
@@ -85,7 +151,9 @@ impl Verdict {
     /// `true` if some verified token of `kind` was issued by `issuer` —
     /// i.e. `issuer` cannot deny the corresponding action.
     pub fn cannot_deny(&self, issuer: &OrgId, kind: TokenKind) -> bool {
-        self.facts.iter().any(|f| f.issuer == *issuer && f.kind == kind)
+        self.facts
+            .iter()
+            .any(|f| f.issuer == *issuer && f.kind == kind)
     }
 
     /// Submitters whose logs failed verification (tampering or forgery).
@@ -134,12 +202,31 @@ impl Adjudicator {
         Self { directory }
     }
 
-    /// Verifies one submitted log in isolation.
-    pub fn verify_log(&self, submitter: OrgId, records: &[EvidenceRecord]) -> LogReport {
+    /// Verifies one submitted log in isolation (full-log submission:
+    /// chain anchored at genesis).
+    pub fn verify_log(&self, submitter: OrgId, records: &[Arc<EvidenceRecord>]) -> LogReport {
         let mut builder = ReportBuilder::new(submitter, &*self.directory);
         for record in records {
             builder.check(record);
         }
+        builder.finish()
+    }
+
+    /// Verifies a windowed submission: the chain is anchored at the
+    /// window's first record (genesis rules still apply when the window
+    /// starts at sequence 0), in-window epoch commitments are checked
+    /// over the records they cover, and — when a head is claimed — the
+    /// window's tail must hash to it.
+    pub fn verify_window(&self, submission: &WindowSubmission) -> LogReport {
+        let mut builder = ReportBuilder::for_window(
+            submission.submitter.clone(),
+            &*self.directory,
+            submission.records.first().map(|r| (r.seq, r.prev_hash)),
+        );
+        for record in &submission.records {
+            builder.check(record);
+        }
+        builder.check_head_claim(&submission.head);
         builder.finish()
     }
 
@@ -164,7 +251,11 @@ impl Adjudicator {
     /// Facts are established only from tokens that verify
     /// cryptographically; an unverifiable (forged) token contributes
     /// nothing except suspicion against its submitter.
-    pub fn adjudicate(&self, run_id: RunId, submissions: &[(OrgId, Vec<EvidenceRecord>)]) -> Verdict {
+    pub fn adjudicate(
+        &self,
+        run_id: RunId,
+        submissions: &[(OrgId, Vec<Arc<EvidenceRecord>>)],
+    ) -> Verdict {
         let reports = submissions
             .iter()
             .map(|(submitter, records)| self.verify_log(submitter.clone(), records))
@@ -172,11 +263,24 @@ impl Adjudicator {
         verdict_from_reports(run_id, reports)
     }
 
+    /// Adjudicates `run_id` over windowed submissions — the scalable
+    /// submission path: each party sends a `snapshot_range` window plus
+    /// its chain head and the epoch commitments (batch proofs) sealed
+    /// inside it, instead of a clone of its full log.
+    pub fn adjudicate_windows(&self, run_id: RunId, submissions: &[WindowSubmission]) -> Verdict {
+        let reports = submissions.iter().map(|s| self.verify_window(s)).collect();
+        verdict_from_reports(run_id, reports)
+    }
+
     /// Adjudicates `run_id` directly over live evidence logs, verifying
     /// each chain and decoding tokens in place instead of snapshotting
     /// whole logs first. This is the hot path for audit/dispute queries
     /// within one process (trust-domain adjudication, monitoring).
-    pub fn adjudicate_logs(&self, run_id: RunId, submissions: &[(OrgId, &dyn EvidenceLog)]) -> Verdict {
+    pub fn adjudicate_logs(
+        &self,
+        run_id: RunId,
+        submissions: &[(OrgId, &dyn EvidenceLog)],
+    ) -> Verdict {
         let reports = submissions
             .iter()
             .map(|(submitter, log)| self.verify_log_in_place(submitter.clone(), *log))
@@ -185,14 +289,22 @@ impl Adjudicator {
     }
 }
 
-/// Incremental [`LogReport`] construction shared by the slice-based and
-/// visitor-based verification paths.
+/// Incremental [`LogReport`] construction shared by the slice-based,
+/// windowed and visitor-based verification paths.
 struct ReportBuilder<'a> {
     submitter: OrgId,
     directory: &'a dyn KeyDirectory,
     chain: ChainVerifier,
     tokens: Vec<(NrToken, bool)>,
     undecodable: usize,
+    /// First sequence number fed in (window offset for epoch ranges).
+    first_seq: Option<u64>,
+    /// Running record hashes, reused for epoch-root recomputation (32
+    /// bytes per record — never a clone of the records themselves).
+    hashes: Vec<Digest>,
+    epoch_commits: usize,
+    epoch_verified: usize,
+    head_violation: Option<ChainViolation>,
 }
 
 impl<'a> ReportBuilder<'a> {
@@ -203,11 +315,53 @@ impl<'a> ReportBuilder<'a> {
             chain: ChainVerifier::new(),
             tokens: Vec::new(),
             undecodable: 0,
+            first_seq: None,
+            hashes: Vec::new(),
+            epoch_commits: 0,
+            epoch_verified: 0,
+            head_violation: None,
         }
     }
 
+    /// Builder for a windowed submission anchored at `anchor` (first
+    /// record's sequence number and claimed predecessor hash). A window
+    /// starting at sequence 0 keeps the genesis rule.
+    fn for_window(
+        submitter: OrgId,
+        directory: &'a dyn KeyDirectory,
+        anchor: Option<(u64, Digest)>,
+    ) -> Self {
+        let mut builder = Self::new(submitter, directory);
+        if let Some((seq, prev_hash)) = anchor {
+            if seq > 0 {
+                builder.chain = ChainVerifier::resume(seq, prev_hash);
+            }
+        }
+        builder
+    }
+
     fn check(&mut self, record: &EvidenceRecord) {
+        self.first_seq.get_or_insert(record.seq);
+        let chain_was_ok = !self.chain.violated();
         self.chain.check(record);
+        // The chain verifier's running head doubles as this record's hash
+        // while the chain holds; once broken, fall back to hashing the
+        // record directly so epoch checks still see true content hashes.
+        let hash = if chain_was_ok && !self.chain.violated() {
+            self.chain.head()
+        } else {
+            record.record_hash()
+        };
+        self.hashes.push(hash);
+
+        if record.is_epoch_commit() {
+            self.epoch_commits += 1;
+            match EpochCommitment::from_record(record) {
+                Some(commitment) => self.check_epoch(&commitment),
+                None => self.undecodable += 1,
+            }
+            return;
+        }
         match NrToken::decode_from_slice(&record.draft.payload) {
             Ok(token) => {
                 let ok = self
@@ -221,12 +375,63 @@ impl<'a> ReportBuilder<'a> {
         }
     }
 
+    /// Verifies one epoch commitment. When `[lo, hi]` lies inside the
+    /// submission the root is recomputed over the covered record hashes;
+    /// a range reaching outside the window can only have its signature
+    /// checked (the window's own integrity still rests on the chain and
+    /// the in-window commitments).
+    fn check_epoch(&mut self, commitment: &EpochCommitment) {
+        let Some(key) = self.directory.key_of(&self.submitter) else {
+            return; // unknown submitter key: commitment stays unverified
+        };
+        let first = self.first_seq.unwrap_or(0);
+        let in_window = commitment.lo >= first
+            && commitment.hi >= commitment.lo
+            && commitment.hi - first + 1 < self.hashes.len() as u64;
+        let ok = if in_window {
+            let lo = (commitment.lo - first) as usize;
+            let hi = (commitment.hi - first) as usize;
+            commitment.verify_hashes(&key, &self.hashes[lo..=hi])
+        } else {
+            key.verify_digest(
+                &EpochCommitment::signing_digest(commitment.lo, commitment.hi, &commitment.root),
+                &commitment.signature,
+            )
+        };
+        if ok {
+            self.epoch_verified += 1;
+        }
+    }
+
+    /// Cross-checks a claimed chain head against the last record fed in
+    /// ([`Digest::ZERO`] claims nothing).
+    fn check_head_claim(&mut self, head: &Digest) {
+        if *head == Digest::ZERO {
+            return;
+        }
+        if let Some(last) = self.hashes.last() {
+            if last != head && !self.chain.violated() {
+                let seq = self.first_seq.unwrap_or(0) + self.hashes.len() as u64 - 1;
+                self.head_violation = Some(ChainViolation::HeadMismatch { seq });
+            }
+        }
+    }
+
     fn finish(self) -> LogReport {
+        let chain = match self.chain.finish() {
+            Ok(()) => match self.head_violation {
+                Some(v) => Err(v),
+                None => Ok(()),
+            },
+            Err(v) => Err(v),
+        };
         LogReport {
             submitter: self.submitter,
-            chain: self.chain.finish(),
+            chain,
             tokens: self.tokens,
             undecodable: self.undecodable,
+            epoch_commits: self.epoch_commits,
+            epoch_verified: self.epoch_verified,
         }
     }
 }
@@ -240,7 +445,11 @@ fn verdict_from_reports(run_id: RunId, reports: Vec<LogReport>) -> Verdict {
             if !*ok || token.run_id != run_id {
                 continue;
             }
-            let key = (token.kind.label().to_string(), token.issuer.clone(), token.subject);
+            let key = (
+                token.kind.label().to_string(),
+                token.issuer.clone(),
+                token.subject,
+            );
             let entry = facts.entry(key).or_insert_with(|| Fact {
                 kind: token.kind,
                 issuer: token.issuer.clone(),
@@ -253,7 +462,11 @@ fn verdict_from_reports(run_id: RunId, reports: Vec<LogReport>) -> Verdict {
             }
         }
     }
-    Verdict { run_id, reports, facts: facts.into_values().collect() }
+    Verdict {
+        run_id,
+        reports,
+        facts: facts.into_values().collect(),
+    }
 }
 
 #[cfg(test)]
@@ -284,12 +497,19 @@ mod tests {
         // verifies+stores — a miniature exchange.
         let run = p.alice.new_run_id();
         let subject = sha256(b"request");
-        let nro = p.alice.issue_token(TokenKind::NroReq, run, subject).unwrap();
+        let nro = p
+            .alice
+            .issue_token(TokenKind::NroReq, run, subject)
+            .unwrap();
         p.alice.store_token(&nro).unwrap();
-        p.bob.verify_and_store(&nro, TokenKind::NroReq, run, Some(&subject)).unwrap();
+        p.bob
+            .verify_and_store(&nro, TokenKind::NroReq, run, Some(&subject))
+            .unwrap();
         let nrr = p.bob.issue_token(TokenKind::NrrReq, run, subject).unwrap();
         p.bob.store_token(&nrr).unwrap();
-        p.alice.verify_and_store(&nrr, TokenKind::NrrReq, run, Some(&subject)).unwrap();
+        p.alice
+            .verify_and_store(&nrr, TokenKind::NrrReq, run, Some(&subject))
+            .unwrap();
         run
     }
 
@@ -323,8 +543,7 @@ mod tests {
         let p = pair();
         let run = run_exchange(&p);
         let adjudicator = Adjudicator::new(p.dir.clone() as Arc<dyn KeyDirectory>);
-        let verdict =
-            adjudicator.adjudicate_logs(run, &[(OrgId::new("alice"), &**p.alice.log())]);
+        let verdict = adjudicator.adjudicate_logs(run, &[(OrgId::new("alice"), &**p.alice.log())]);
         assert!(verdict.cannot_deny(&OrgId::new("bob"), TokenKind::NrrReq));
     }
 
@@ -333,7 +552,7 @@ mod tests {
         let p = pair();
         let run = run_exchange(&p);
         let mut records = p.alice.log().records();
-        records[0].draft.kind = "doctored".into();
+        Arc::make_mut(&mut records[0]).draft.kind = "doctored".into();
         let adjudicator = Adjudicator::new(p.dir.clone() as Arc<dyn KeyDirectory>);
         let verdict = adjudicator.adjudicate(run, &[(OrgId::new("alice"), records)]);
         assert_eq!(verdict.suspect_submitters(), vec![OrgId::new("alice")]);
@@ -345,7 +564,10 @@ mod tests {
         let run = p.alice.new_run_id();
         // Alice fabricates a token claiming bob signed a receipt: she can
         // only sign with her own key, so issuer=bob + alice's signature.
-        let mut forged = p.alice.issue_token(TokenKind::NrrReq, run, sha256(b"x")).unwrap();
+        let mut forged = p
+            .alice
+            .issue_token(TokenKind::NrrReq, run, sha256(b"x"))
+            .unwrap();
         forged.issuer = OrgId::new("bob");
         p.alice.store_token(&forged).unwrap();
         let adjudicator = Adjudicator::new(p.dir.clone() as Arc<dyn KeyDirectory>);
@@ -375,9 +597,12 @@ mod tests {
         let private_dir = Arc::new(StaticKeyDirectory::new());
         let stranger = Party::quick("stranger", 9, &clock, &private_dir);
         let run = stranger.new_run_id();
-        let token = stranger.issue_token(TokenKind::NroReq, run, sha256(b"x")).unwrap();
+        let token = stranger
+            .issue_token(TokenKind::NroReq, run, sha256(b"x"))
+            .unwrap();
         stranger.store_token(&token).unwrap();
-        let adjudicator = Adjudicator::new(Arc::new(StaticKeyDirectory::new()) as Arc<dyn KeyDirectory>);
+        let adjudicator =
+            Adjudicator::new(Arc::new(StaticKeyDirectory::new()) as Arc<dyn KeyDirectory>);
         let verdict =
             adjudicator.adjudicate(run, &[(OrgId::new("stranger"), stranger.log().records())]);
         assert!(verdict.facts.is_empty());

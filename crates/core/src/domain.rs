@@ -82,13 +82,22 @@ mod tests {
     #[test]
     fn protocol_ids_match_registered_protocols() {
         assert_eq!(TrustDomain::Direct.protocol_id(), ProtocolId::new("direct"));
-        assert_eq!(TrustDomain::Voluntary.protocol_id(), ProtocolId::new("voluntary"));
         assert_eq!(
-            TrustDomain::InlineTtp { first_hop: OrgId::new("t") }.protocol_id(),
+            TrustDomain::Voluntary.protocol_id(),
+            ProtocolId::new("voluntary")
+        );
+        assert_eq!(
+            TrustDomain::InlineTtp {
+                first_hop: OrgId::new("t")
+            }
+            .protocol_id(),
             ProtocolId::new("inline-ttp")
         );
         assert_eq!(
-            TrustDomain::FairOffline { ttp: OrgId::new("t") }.protocol_id(),
+            TrustDomain::FairOffline {
+                ttp: OrgId::new("t")
+            }
+            .protocol_id(),
             ProtocolId::new("fair-offline")
         );
     }
@@ -98,7 +107,13 @@ mod tests {
         assert_eq!(TrustDomain::Direct.ttp(), None);
         assert_eq!(TrustDomain::Voluntary.ttp(), None);
         let t = OrgId::new("ttp");
-        assert_eq!(TrustDomain::InlineTtp { first_hop: t.clone() }.ttp(), Some(&t));
+        assert_eq!(
+            TrustDomain::InlineTtp {
+                first_hop: t.clone()
+            }
+            .ttp(),
+            Some(&t)
+        );
         assert_eq!(TrustDomain::FairOffline { ttp: t.clone() }.ttp(), Some(&t));
     }
 
@@ -106,7 +121,10 @@ mod tests {
     fn display_is_informative() {
         assert_eq!(TrustDomain::Direct.to_string(), "direct");
         assert_eq!(
-            TrustDomain::InlineTtp { first_hop: OrgId::new("t") }.to_string(),
+            TrustDomain::InlineTtp {
+                first_hop: OrgId::new("t")
+            }
+            .to_string(),
             "inline-ttp via t"
         );
     }

@@ -118,7 +118,11 @@ impl fmt::Debug for InvocationHandlerFactory {
 impl InvocationHandlerFactory {
     /// Creates a factory over this party's coordinator.
     pub fn new(party: Arc<Party>, coordinator: Arc<B2BCoordinator>, ttp: Option<OrgId>) -> Self {
-        Self { party, coordinator, ttp }
+        Self {
+            party,
+            coordinator,
+            ttp,
+        }
     }
 
     /// Resolves a handler for `(platform, protocol)` — the paper's
@@ -135,18 +139,17 @@ impl InvocationHandlerFactory {
         protocol: &str,
     ) -> Result<Box<dyn B2BInvocationHandler>, ProtocolError> {
         if platform != "rust" {
-            return Err(ProtocolError::Rejected(format!("unknown platform {platform}")));
+            return Err(ProtocolError::Rejected(format!(
+                "unknown platform {platform}"
+            )));
         }
         match protocol {
             nonrep_protocols::invocation::direct::PROTOCOL_ID => Ok(Box::new(DirectHandler(
                 DirectClient::new(self.party.clone(), self.coordinator.clone()),
             ))),
-            nonrep_protocols::invocation::voluntary::PROTOCOL_ID => {
-                Ok(Box::new(VoluntaryHandler(VoluntaryClient::new(
-                    self.party.clone(),
-                    self.coordinator.clone(),
-                ))))
-            }
+            nonrep_protocols::invocation::voluntary::PROTOCOL_ID => Ok(Box::new(VoluntaryHandler(
+                VoluntaryClient::new(self.party.clone(), self.coordinator.clone()),
+            ))),
             nonrep_protocols::invocation::inline_ttp::PROTOCOL_ID => {
                 let ttp = self.ttp.clone().ok_or_else(|| {
                     ProtocolError::Rejected("inline-ttp requires a configured TTP".into())
@@ -220,7 +223,13 @@ mod tests {
     #[test]
     fn ttp_protocols_require_ttp() {
         let f = factory(None);
-        assert!(matches!(f.instance("rust", "inline-ttp"), Err(ProtocolError::Rejected(_))));
-        assert!(matches!(f.instance("rust", "fair-offline"), Err(ProtocolError::Rejected(_))));
+        assert!(matches!(
+            f.instance("rust", "inline-ttp"),
+            Err(ProtocolError::Rejected(_))
+        ));
+        assert!(matches!(
+            f.instance("rust", "fair-offline"),
+            Err(ProtocolError::Rejected(_))
+        ));
     }
 }

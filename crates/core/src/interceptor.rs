@@ -69,7 +69,11 @@ pub struct ClientNrInterceptor {
 
 impl fmt::Debug for ClientNrInterceptor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "ClientNrInterceptor(target={}, {:?})", self.target, self.client)
+        write!(
+            f,
+            "ClientNrInterceptor(target={}, {:?})",
+            self.target, self.client
+        )
     }
 }
 
@@ -79,8 +83,9 @@ fn map_protocol_err(e: ProtocolError) -> ContainerError {
 
 fn decode_response(response: ServerResponse) -> Result<Value, ContainerError> {
     match response {
-        ServerResponse::Executed(bytes) => Value::decode_from_slice(&bytes)
-            .map_err(|e| ContainerError::Wire(e.to_string())),
+        ServerResponse::Executed(bytes) => {
+            Value::decode_from_slice(&bytes).map_err(|e| ContainerError::Wire(e.to_string()))
+        }
         ServerResponse::Failed(msg) => Err(ContainerError::Application(msg)),
     }
 }
@@ -171,9 +176,9 @@ mod tests {
         let c = Container::new("server");
         c.deploy(
             DeploymentDescriptor::new("urn:svc", [MethodName::new("who")]),
-            Arc::new(FnComponent::new().method("who", |args| {
-                Ok(Value::map([("echo", args.clone())]))
-            })),
+            Arc::new(
+                FnComponent::new().method("who", |args| Ok(Value::map([("echo", args.clone())]))),
+            ),
         )
         .unwrap();
         c
@@ -183,7 +188,9 @@ mod tests {
     fn executor_roundtrips_invocations() {
         let exec = ContainerExecutor::new(container());
         let inv = Invocation::new("claimed-caller", "urn:svc", "who", Value::from(1i64));
-        let out = exec.execute(&OrgId::new("real-caller"), &inv.encode_to_vec()).unwrap();
+        let out = exec
+            .execute(&OrgId::new("real-caller"), &inv.encode_to_vec())
+            .unwrap();
         let value = Value::decode_from_slice(&out).unwrap();
         assert_eq!(value.get("echo"), Some(&Value::from(1i64)));
     }
@@ -198,7 +205,9 @@ mod tests {
     fn executor_reports_container_errors() {
         let exec = ContainerExecutor::new(container());
         let inv = Invocation::new("c", "urn:svc", "missing", Value::Null);
-        let err = exec.execute(&OrgId::new("c"), &inv.encode_to_vec()).unwrap_err();
+        let err = exec
+            .execute(&OrgId::new("c"), &inv.encode_to_vec())
+            .unwrap_err();
         assert!(err.contains("missing"));
     }
 

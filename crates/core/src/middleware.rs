@@ -30,6 +30,7 @@ use nonrep_protocols::invocation::fair_offline::{
 use nonrep_protocols::invocation::inline_ttp::{InlineTtpClient, InlineTtpHandler};
 use nonrep_protocols::invocation::voluntary::{VoluntaryClient, VoluntaryServerHandler};
 use nonrep_protocols::party::{Party, StaticKeyDirectory};
+use nonrep_protocols::scheduler::CommitmentMode;
 use nonrep_protocols::sharing::coordination::{
     CoordinationOutcome, SharingMember, UpdateValidator,
 };
@@ -40,6 +41,7 @@ use nonrep_store::{EvidenceLog, MemoryLog, StateStore};
 use nonrep_types::ids::{GroupId, OrgId, ServiceUri};
 use nonrep_types::time::LogicalClock;
 
+use crate::dispute::WindowSubmission;
 use crate::domain::TrustDomain;
 use crate::interceptor::{ClientNrInterceptor, ContainerExecutor, ProtocolClient};
 
@@ -60,6 +62,7 @@ pub struct MiddlewareBuilder {
     domain: TrustDomain,
     offline_ttp: Option<OrgId>,
     server_conduct: ServerConduct,
+    commitment: CommitmentMode,
 }
 
 impl fmt::Debug for MiddlewareBuilder {
@@ -113,40 +116,48 @@ impl MiddlewareBuilder {
         self
     }
 
+    /// Sets the evidence-commitment mode; defaults to per-record signing.
+    /// [`CommitmentMode::batched`] routes this organisation's evidence
+    /// through the batched pipeline: one signature per token batch, and
+    /// epoch commitments sealing the log every `batch_size` records.
+    #[must_use]
+    pub fn commitment(mut self, mode: CommitmentMode) -> Self {
+        self.commitment = mode;
+        self
+    }
+
     /// Assembles the middleware and registers it on the bus.
     pub fn build(self) -> Arc<OrgMiddleware> {
         let mut rng = SecureRandom::from_seed(self.seed);
         let keys = Arc::new(KeyPair::generate(self.scheme, &mut rng));
-        self.directory.insert(self.org.clone(), keys.verifying_key());
+        self.directory
+            .insert(self.org.clone(), keys.verifying_key());
         let log: Arc<dyn EvidenceLog> = Arc::new(MemoryLog::new());
-        let party = Party::new(
+        let party = Party::with_commitment(
             self.org.clone(),
             keys,
             Arc::new(self.clock.clone()),
             log,
             Arc::clone(&self.directory) as Arc<_>,
             rng,
+            self.commitment,
         );
 
         let requester = ReliableRequester::new(self.bus.clone(), self.retry);
-        let coordinator =
-            B2BCoordinator::with_peer_suffix(self.org.clone(), requester, "#b2b");
-        self.bus.register(b2b_address(&self.org), coordinator.clone());
+        let coordinator = B2BCoordinator::with_peer_suffix(self.org.clone(), requester, "#b2b");
+        self.bus
+            .register(b2b_address(&self.org), coordinator.clone());
 
         let container = Container::new(self.org.clone());
-        self.bus
-            .register(self.org.clone(), Arc::new(ContainerEndpoint::new(container.clone())));
+        self.bus.register(
+            self.org.clone(),
+            Arc::new(ContainerEndpoint::new(container.clone())),
+        );
 
         // Server-side protocol handlers over the container executor.
         let executor = ContainerExecutor::new(container.clone());
-        coordinator.register_handler(DirectServerHandler::new(
-            party.clone(),
-            executor.clone(),
-        ));
-        coordinator.register_handler(VoluntaryServerHandler::new(
-            party.clone(),
-            executor.clone(),
-        ));
+        coordinator.register_handler(DirectServerHandler::new(party.clone(), executor.clone()));
+        coordinator.register_handler(VoluntaryServerHandler::new(party.clone(), executor.clone()));
         if let Some(ttp) = &self.offline_ttp {
             coordinator.register_handler(FairServerHandler::new(
                 party.clone(),
@@ -211,10 +222,9 @@ impl OrgMiddleware {
         let org = org.into();
         // Default seed derived from the org name so multi-org tests get
         // distinct deterministic keys without explicit seeding.
-        let seed = org
-            .as_str()
-            .bytes()
-            .fold(0u64, |acc, b| acc.wrapping_mul(31).wrapping_add(u64::from(b)));
+        let seed = org.as_str().bytes().fold(0u64, |acc, b| {
+            acc.wrapping_mul(31).wrapping_add(u64::from(b))
+        });
         MiddlewareBuilder {
             org,
             bus,
@@ -226,6 +236,7 @@ impl OrgMiddleware {
             domain: TrustDomain::Direct,
             offline_ttp: None,
             server_conduct: ServerConduct::Honest,
+            commitment: CommitmentMode::PerRecord,
         }
     }
 
@@ -259,21 +270,81 @@ impl OrgMiddleware {
         self.party.log()
     }
 
+    /// Seals any pending evidence under an epoch commitment (no-op in
+    /// per-record mode). Call before submitting evidence for adjudication
+    /// so the log's tail is covered by a batch proof.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Storage`] if the seal cannot be persisted.
+    pub fn flush_evidence(&self) -> Result<(), ProtocolError> {
+        self.party.flush_evidence()
+    }
+
+    /// Builds a windowed adjudication submission covering `range` of this
+    /// organisation's log — a `snapshot_range` of `Arc`-backed records
+    /// plus the chain head, never a clone of the full record set.
+    pub fn submit_window(&self, range: std::ops::Range<u64>) -> WindowSubmission {
+        WindowSubmission::from_log(self.org.clone(), &**self.party.log(), range)
+    }
+
+    /// [`OrgMiddleware::submit_window`] over the whole log (handles are
+    /// cloned, record payloads are not).
+    pub fn submit_full_window(&self) -> WindowSubmission {
+        self.submit_window(0..self.party.log().len())
+    }
+
     /// The default trust domain for outgoing invocations.
     pub fn domain(&self) -> &TrustDomain {
         &self.domain
     }
 
-    /// Deploys a component.
+    /// Deploys a component, honouring the descriptor's declarative NR
+    /// configuration: a component that requests batched evidence
+    /// (`NrConfig::with_batched_evidence`) upgrades this organisation's
+    /// commitment scheduler to the batched pipeline.
     ///
     /// # Errors
     ///
-    /// See [`Container::deploy`].
+    /// See [`Container::deploy`]; additionally
+    /// [`ContainerError::Protocol`] if two components declare *different*
+    /// batch sizes (the pipeline is org-global, so that is a deployment
+    /// conflict) or if switching commitment mode fails to persist its
+    /// closing seal.
     pub fn deploy(
         &self,
         descriptor: DeploymentDescriptor,
         component: Arc<dyn Component>,
     ) -> Result<(), ContainerError> {
+        if let Some(batch) = descriptor
+            .non_repudiation
+            .as_ref()
+            .and_then(|nr| nr.evidence_batch)
+        {
+            let requested = CommitmentMode::batched(batch as usize);
+            match self.party.scheduler().mode() {
+                // The commitment pipeline is org-global: the first batching
+                // component switches it on; a later component asking for a
+                // *different* batch size is a deployment conflict, not a
+                // silent reconfiguration.
+                CommitmentMode::Batched(existing)
+                    if CommitmentMode::Batched(existing) != requested =>
+                {
+                    return Err(ContainerError::Protocol(format!(
+                        "conflicting evidence batch sizes: org already batches {} per epoch, \
+                         descriptor for {} requests {batch}",
+                        existing.batch_size, descriptor.service
+                    )));
+                }
+                CommitmentMode::Batched(_) => {}
+                CommitmentMode::PerRecord => {
+                    self.party
+                        .scheduler()
+                        .set_mode(requested)
+                        .map_err(|e| ContainerError::Protocol(e.to_string()))?;
+                }
+            }
+        }
         self.container.deploy(descriptor, component)
     }
 
@@ -293,7 +364,8 @@ impl OrgMiddleware {
     /// Turns this node into an offline TTP (escrow/resolve/abort/fetch for
     /// the fair-offline protocol).
     pub fn serve_as_offline_ttp(&self) {
-        self.coordinator.register_handler(OfflineTtpHandler::new(self.party.clone()));
+        self.coordinator
+            .register_handler(OfflineTtpHandler::new(self.party.clone()));
     }
 
     fn protocol_client(&self, domain: &TrustDomain) -> ProtocolClient {
@@ -306,9 +378,13 @@ impl OrgMiddleware {
                 self.party.clone(),
                 self.coordinator.clone(),
             )),
-            TrustDomain::InlineTtp { first_hop } => ProtocolClient::InlineTtp(
-                InlineTtpClient::new(self.party.clone(), self.coordinator.clone(), first_hop.clone()),
-            ),
+            TrustDomain::InlineTtp { first_hop } => {
+                ProtocolClient::InlineTtp(InlineTtpClient::new(
+                    self.party.clone(),
+                    self.coordinator.clone(),
+                    first_hop.clone(),
+                ))
+            }
             TrustDomain::FairOffline { ttp } => ProtocolClient::FairOffline(FairClient::new(
                 self.party.clone(),
                 self.coordinator.clone(),
@@ -373,7 +449,8 @@ impl OrgMiddleware {
         object: &str,
         new_state: Vec<u8>,
     ) -> Result<CoordinationOutcome, ProtocolError> {
-        self.sharing.propose(&self.coordinator, group, object, new_state)
+        self.sharing
+            .propose(&self.coordinator, group, object, new_state)
     }
 
     /// The latest agreed state of a shared object.
@@ -431,7 +508,11 @@ mod tests {
     use nonrep_types::value::Value;
 
     fn world() -> (Arc<LocalBus>, Arc<StaticKeyDirectory>, LogicalClock) {
-        (LocalBus::new(), Arc::new(StaticKeyDirectory::new()), LogicalClock::new())
+        (
+            LocalBus::new(),
+            Arc::new(StaticKeyDirectory::new()),
+            LogicalClock::new(),
+        )
     }
 
     fn deploy_echo(mw: &OrgMiddleware) {
@@ -445,7 +526,8 @@ mod tests {
     #[test]
     fn nr_invocation_end_to_end_through_middleware() {
         let (bus, dir, clock) = world();
-        let client = OrgMiddleware::builder("client", bus.clone(), dir.clone(), clock.clone()).build();
+        let client =
+            OrgMiddleware::builder("client", bus.clone(), dir.clone(), clock.clone()).build();
         let server = OrgMiddleware::builder("server", bus, dir, clock).build();
         deploy_echo(&server);
         let proxy = client.nr_proxy(server.org(), "urn:echo");
@@ -459,13 +541,90 @@ mod tests {
     }
 
     #[test]
+    fn batched_commitment_through_middleware_builder() {
+        let (bus, dir, clock) = world();
+        let client = OrgMiddleware::builder("client", bus.clone(), dir.clone(), clock.clone())
+            .commitment(CommitmentMode::batched(16))
+            .build();
+        let server = OrgMiddleware::builder("server", bus, dir.clone(), clock).build();
+        deploy_echo(&server);
+        let proxy = client.nr_proxy(server.org(), "urn:echo");
+        proxy.invoke("echo", Value::from(1i64)).unwrap();
+        // Client sealed its run under an epoch commitment: 4 tokens + 1
+        // epoch record; the per-record server has exactly 4.
+        assert_eq!(client.log().len(), 5);
+        assert_eq!(client.log().count_where(&|r| r.is_epoch_commit()), 1);
+        assert_eq!(server.log().len(), 4);
+        client.log().verify().unwrap();
+        // Windowed adjudication over both submissions is clean and
+        // establishes the full fact set.
+        let run = client.log().snapshot_range(0..1)[0].draft.run_id;
+        let adjudicator = crate::Adjudicator::new(
+            client.directory().clone() as Arc<dyn nonrep_protocols::party::KeyDirectory>
+        );
+        let verdict = adjudicator.adjudicate_windows(
+            run,
+            &[client.submit_full_window(), server.submit_full_window()],
+        );
+        assert!(verdict.suspect_submitters().is_empty());
+        assert!(verdict.cannot_deny(&OrgId::new("client"), nonrep_protocols::TokenKind::NroReq));
+        assert!(verdict.cannot_deny(&OrgId::new("server"), nonrep_protocols::TokenKind::NroResp));
+    }
+
+    #[test]
+    fn descriptor_batching_upgrades_the_scheduler() {
+        use nonrep_container::component::FnComponent;
+        use nonrep_types::ids::MethodName;
+        let (bus, dir, clock) = world();
+        let server = OrgMiddleware::builder("server", bus, dir, clock).build();
+        assert_eq!(server.party().scheduler().mode(), CommitmentMode::PerRecord);
+        // A component declaring batched evidence upgrades the org's
+        // commitment pipeline at deploy time.
+        server
+            .deploy(
+                DeploymentDescriptor::new("urn:batched", [MethodName::new("m")])
+                    .with_non_repudiation(
+                        nonrep_container::descriptor::NrConfig::protocol("direct")
+                            .with_batched_evidence(32),
+                    ),
+                Arc::new(FnComponent::new().method("m", |args| Ok(args.clone()))),
+            )
+            .unwrap();
+        assert_eq!(
+            server.party().scheduler().mode(),
+            CommitmentMode::batched(32)
+        );
+        // Same batch size again is fine; a different size is a conflict.
+        server
+            .deploy(
+                DeploymentDescriptor::new("urn:same", [MethodName::new("m")]).with_non_repudiation(
+                    nonrep_container::descriptor::NrConfig::protocol("direct")
+                        .with_batched_evidence(32),
+                ),
+                Arc::new(FnComponent::new().method("m", |args| Ok(args.clone()))),
+            )
+            .unwrap();
+        let conflict = server.deploy(
+            DeploymentDescriptor::new("urn:conflict", [MethodName::new("m")]).with_non_repudiation(
+                nonrep_container::descriptor::NrConfig::protocol("direct").with_batched_evidence(4),
+            ),
+            Arc::new(FnComponent::new().method("m", |args| Ok(args.clone()))),
+        );
+        assert!(matches!(conflict, Err(ContainerError::Protocol(_))));
+    }
+
+    #[test]
     fn plain_proxy_leaves_no_evidence() {
         let (bus, dir, clock) = world();
-        let client = OrgMiddleware::builder("client", bus.clone(), dir.clone(), clock.clone()).build();
+        let client =
+            OrgMiddleware::builder("client", bus.clone(), dir.clone(), clock.clone()).build();
         let server = OrgMiddleware::builder("server", bus, dir, clock).build();
         deploy_echo(&server);
         let proxy = client.plain_proxy(server.org(), "urn:echo");
-        assert_eq!(proxy.invoke("echo", Value::from(1i64)).unwrap(), Value::from(1i64));
+        assert_eq!(
+            proxy.invoke("echo", Value::from(1i64)).unwrap(),
+            Value::from(1i64)
+        );
         assert_eq!(client.log().len(), 0);
         assert_eq!(server.log().len(), 0);
     }
@@ -490,7 +649,9 @@ mod tests {
         let (bus, dir, clock) = world();
         let ttp_org = OrgId::new("ttp");
         let client = OrgMiddleware::builder("client", bus.clone(), dir.clone(), clock.clone())
-            .domain(TrustDomain::FairOffline { ttp: ttp_org.clone() })
+            .domain(TrustDomain::FairOffline {
+                ttp: ttp_org.clone(),
+            })
             .build();
         let server = OrgMiddleware::builder("server", bus.clone(), dir.clone(), clock.clone())
             .offline_ttp(ttp_org.clone())
@@ -499,21 +660,30 @@ mod tests {
         ttp.serve_as_offline_ttp();
         deploy_echo(&server);
         let proxy = client.nr_proxy(server.org(), "urn:echo");
-        assert_eq!(proxy.invoke("echo", Value::from(7i64)).unwrap(), Value::from(7i64));
+        assert_eq!(
+            proxy.invoke("echo", Value::from(7i64)).unwrap(),
+            Value::from(7i64)
+        );
     }
 
     #[test]
     fn inline_ttp_through_middleware() {
         let (bus, dir, clock) = world();
         let client = OrgMiddleware::builder("client", bus.clone(), dir.clone(), clock.clone())
-            .domain(TrustDomain::InlineTtp { first_hop: OrgId::new("ttp") })
+            .domain(TrustDomain::InlineTtp {
+                first_hop: OrgId::new("ttp"),
+            })
             .build();
-        let server = OrgMiddleware::builder("server", bus.clone(), dir.clone(), clock.clone()).build();
+        let server =
+            OrgMiddleware::builder("server", bus.clone(), dir.clone(), clock.clone()).build();
         let ttp = OrgMiddleware::builder("ttp", bus, dir, clock).build();
         ttp.serve_as_inline_ttp(None);
         deploy_echo(&server);
         let proxy = client.nr_proxy(server.org(), "urn:echo");
-        assert_eq!(proxy.invoke("echo", Value::from(9i64)).unwrap(), Value::from(9i64));
+        assert_eq!(
+            proxy.invoke("echo", Value::from(9i64)).unwrap(),
+            Value::from(9i64)
+        );
         // TTP kept a full audit trail.
         assert!(ttp.log().len() >= 3);
     }

@@ -29,12 +29,22 @@ fn duo() -> Duo {
 fn exchange(duo: &Duo) -> RunId {
     let run = duo.alice.new_run_id();
     let subject = sha256(b"payload");
-    let nro = duo.alice.issue_token(TokenKind::NroReq, run, subject).unwrap();
+    let nro = duo
+        .alice
+        .issue_token(TokenKind::NroReq, run, subject)
+        .unwrap();
     duo.alice.store_token(&nro).unwrap();
-    duo.bob.verify_and_store(&nro, TokenKind::NroReq, run, Some(&subject)).unwrap();
-    let nrr = duo.bob.issue_token(TokenKind::NrrReq, run, subject).unwrap();
+    duo.bob
+        .verify_and_store(&nro, TokenKind::NroReq, run, Some(&subject))
+        .unwrap();
+    let nrr = duo
+        .bob
+        .issue_token(TokenKind::NrrReq, run, subject)
+        .unwrap();
     duo.bob.store_token(&nrr).unwrap();
-    duo.alice.verify_and_store(&nrr, TokenKind::NrrReq, run, Some(&subject)).unwrap();
+    duo.alice
+        .verify_and_store(&nrr, TokenKind::NrrReq, run, Some(&subject))
+        .unwrap();
     run
 }
 
@@ -81,13 +91,10 @@ fn both_parties_tampering_is_both_flagged() {
     let run = exchange(&d);
     let mut a = d.alice.log().records();
     let mut b = d.bob.log().records();
-    a[0].draft.kind = "edited".into();
-    b[1].draft.payload.push(0xFF);
+    Arc::make_mut(&mut a[0]).draft.kind = "edited".into();
+    Arc::make_mut(&mut b[1]).draft.payload.push(0xFF);
     let adj = Adjudicator::new(d.dir.clone() as Arc<dyn KeyDirectory>);
-    let verdict = adj.adjudicate(
-        run,
-        &[(OrgId::new("alice"), a), (OrgId::new("bob"), b)],
-    );
+    let verdict = adj.adjudicate(run, &[(OrgId::new("alice"), a), (OrgId::new("bob"), b)]);
     let mut suspects = verdict.suspect_submitters();
     suspects.sort();
     assert_eq!(suspects, vec![OrgId::new("alice"), OrgId::new("bob")]);

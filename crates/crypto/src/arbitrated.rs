@@ -29,7 +29,9 @@ impl std::fmt::Debug for ArbitratedKey {
 impl ArbitratedKey {
     /// Generates a fresh random key.
     pub fn generate(rng: &mut SecureRandom) -> Self {
-        Self { secret: rng.secret32() }
+        Self {
+            secret: rng.secret32(),
+        }
     }
 
     /// Reconstructs a key from raw bytes (distribution to the arbiter is

@@ -268,7 +268,10 @@ mod shani {
     #[target_feature(enable = "sha,ssse3,sse4.1")]
     pub(super) unsafe fn compress_blocks(state: &mut [u32; 8], data: &[u8]) {
         // Byte shuffle turning little-endian loads into big-endian words.
-        let mask = _mm_set_epi64x(0x0c0d_0e0f_0809_0a0bu64 as i64, 0x0405_0607_0001_0203u64 as i64);
+        let mask = _mm_set_epi64x(
+            0x0c0d_0e0f_0809_0a0bu64 as i64,
+            0x0405_0607_0001_0203u64 as i64,
+        );
 
         // Pack the state into the ABEF / CDGH register layout SHA-NI uses.
         let tmp = _mm_loadu_si128(state.as_ptr().cast());
@@ -400,7 +403,12 @@ impl Default for Sha256 {
 impl Sha256 {
     /// Creates a fresh hasher.
     pub fn new() -> Self {
-        Self { state: H0, buf: [0u8; 64], buf_len: 0, total_len: 0 }
+        Self {
+            state: H0,
+            buf: [0u8; 64],
+            buf_len: 0,
+            total_len: 0,
+        }
     }
 
     /// Absorbs `data` into the hash state.
@@ -485,7 +493,10 @@ pub fn sha256(data: &[u8]) -> Digest {
 ///
 /// Panics if `data` exceeds 55 bytes.
 pub fn sha256_short(data: &[u8]) -> Digest {
-    assert!(data.len() <= 55, "sha256_short: message does not fit one padded block");
+    assert!(
+        data.len() <= 55,
+        "sha256_short: message does not fit one padded block"
+    );
     let mut block = [0u8; 64];
     block[..data.len()].copy_from_slice(data);
     block[data.len()] = 0x80;
@@ -618,8 +629,7 @@ ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu";
             tail[..rem.len()].copy_from_slice(rem);
             tail[rem.len()] = 0x80;
             let tail_len = if rem.len() + 1 > 56 { 128 } else { 64 };
-            tail[tail_len - 8..tail_len]
-                .copy_from_slice(&((len as u64) * 8).to_be_bytes());
+            tail[tail_len - 8..tail_len].copy_from_slice(&((len as u64) * 8).to_be_bytes());
             scalar::compress_blocks(&mut state, &tail[..tail_len]);
             assert_eq!(state_to_digest(&state), sha256(&data), "len {len}");
         }
@@ -655,7 +665,13 @@ ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu";
                 three.update(chunk);
             }
             assert_eq!(three.finalize(), expected, "3-chunk len {len}");
-            for split in [len.saturating_sub(1), len / 2, 63.min(len), 64.min(len), 65.min(len)] {
+            for split in [
+                len.saturating_sub(1),
+                len / 2,
+                63.min(len),
+                64.min(len),
+                65.min(len),
+            ] {
                 let mut h = Sha256::new();
                 h.update(&data[..split]);
                 h.update(&data[split..len]);
@@ -689,7 +705,10 @@ ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu";
             h.update(&[tag]);
             h.update(left.as_bytes());
             h.update(right.as_bytes());
-            assert_eq!(sha256_pair(tag, left.as_bytes(), right.as_bytes()), h.finalize());
+            assert_eq!(
+                sha256_pair(tag, left.as_bytes(), right.as_bytes()),
+                h.finalize()
+            );
         }
         // Non-32-byte operands use the generic path.
         let mut h = Sha256::new();

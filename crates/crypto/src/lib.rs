@@ -16,6 +16,9 @@
 //!   the paper's discussion of forward-secure schemes, ref [25]),
 //! * [`arbitrated`] — a shared-key HMAC "signature" for TTP-arbitrated
 //!   deployments (the lightweight end of the paper's trust spectrum, §3.1),
+//! * [`batch`] — incremental Merkle accumulator and [`BatchSignature`]:
+//!   one signature over a batch root covers N records, each individually
+//!   verifiable via its authentication path,
 //! * [`par`] — scoped-thread data parallelism used by key generation,
 //!   Merkle construction and batch commitments,
 //! * [`sig`] — scheme-agnostic [`Signature`]/[`KeyPair`] types and traits,
@@ -35,6 +38,7 @@
 //! ```
 
 pub mod arbitrated;
+pub mod batch;
 pub mod digest;
 pub mod hmac;
 pub mod merkle;
@@ -46,6 +50,7 @@ pub mod stream;
 pub mod timestamp;
 pub mod wots;
 
+pub use batch::{BatchSignature, MerkleAccumulator};
 pub use digest::{sha256, Digest, Sha256};
 pub use rng::SecureRandom;
 pub use sig::{KeyId, KeyPair, Signature, SignatureScheme, VerifyingKey};

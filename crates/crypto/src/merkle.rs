@@ -9,6 +9,8 @@
 use crate::digest::{sha256_pair, Digest, Sha256};
 use crate::par;
 
+use nonrep_types::codec::{CodecError, Decode, Encode, Reader, Writer};
+
 const LEAF_TAG: u8 = 0x00;
 const NODE_TAG: u8 = 0x01;
 
@@ -76,6 +78,39 @@ impl AuthPath {
     }
 }
 
+/// The canonical wire format for authentication paths, shared by every
+/// signature type that carries one (`MssSignature`, `BatchSignature`):
+/// `u32` step count, then 32 raw sibling bytes + one direction bool per
+/// step. Depth is capped at 64 on decode.
+impl Encode for AuthPath {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32(self.steps.len() as u32);
+        for step in &self.steps {
+            w.put_raw(step.sibling.as_bytes());
+            w.put_bool(step.sibling_on_right);
+        }
+    }
+}
+
+impl Decode for AuthPath {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let n = r.get_u32()? as usize;
+        if n > 64 {
+            return Err(CodecError::Invalid(format!("auth path too deep: {n}")));
+        }
+        let mut steps = Vec::with_capacity(n);
+        for _ in 0..n {
+            let sibling = Digest::decode(r)?;
+            let sibling_on_right = r.get_bool()?;
+            steps.push(PathStep {
+                sibling,
+                sibling_on_right,
+            });
+        }
+        Ok(Self { steps })
+    }
+}
+
 impl MerkleTree {
     /// Builds a tree over already-hashed leaves.
     ///
@@ -102,7 +137,11 @@ impl MerkleTree {
             let parents = prev.len().div_ceil(2);
             let next = par::par_map_indexed_with(workers, parents, PAR_MIN_NODES, |i| {
                 let left = prev[2 * i];
-                let right = if 2 * i + 1 < prev.len() { prev[2 * i + 1] } else { left };
+                let right = if 2 * i + 1 < prev.len() {
+                    prev[2 * i + 1]
+                } else {
+                    left
+                };
                 node_hash(&left, &right)
             });
             levels.push(next);
@@ -152,8 +191,15 @@ impl MerkleTree {
         let mut idx = index;
         for level in &self.levels[..self.levels.len() - 1] {
             let sibling_idx = idx ^ 1;
-            let sibling = if sibling_idx < level.len() { level[sibling_idx] } else { level[idx] };
-            steps.push(PathStep { sibling, sibling_on_right: idx % 2 == 0 });
+            let sibling = if sibling_idx < level.len() {
+                level[sibling_idx]
+            } else {
+                level[idx]
+            };
+            steps.push(PathStep {
+                sibling,
+                sibling_on_right: idx.is_multiple_of(2),
+            });
             idx /= 2;
         }
         AuthPath { steps }
@@ -204,7 +250,11 @@ mod tests {
         let data = payloads(8);
         let tree = MerkleTree::from_payloads(data.iter().map(Vec::as_slice));
         let path = tree.auth_path(3);
-        assert!(!MerkleTree::verify(&tree.root(), &leaf_hash(b"forged"), &path));
+        assert!(!MerkleTree::verify(
+            &tree.root(),
+            &leaf_hash(b"forged"),
+            &path
+        ));
     }
 
     #[test]
@@ -213,7 +263,11 @@ mod tests {
         let tree = MerkleTree::from_payloads(data.iter().map(Vec::as_slice));
         let path_for_2 = tree.auth_path(2);
         // Leaf 3's hash with leaf 2's path must not verify.
-        assert!(!MerkleTree::verify(&tree.root(), &leaf_hash(&data[3]), &path_for_2));
+        assert!(!MerkleTree::verify(
+            &tree.root(),
+            &leaf_hash(&data[3]),
+            &path_for_2
+        ));
     }
 
     #[test]
@@ -222,7 +276,11 @@ mod tests {
         let tree = MerkleTree::from_payloads(data.iter().map(Vec::as_slice));
         let mut path = tree.auth_path(0);
         path.steps[0].sibling = leaf_hash(b"evil");
-        assert!(!MerkleTree::verify(&tree.root(), &leaf_hash(&data[0]), &path));
+        assert!(!MerkleTree::verify(
+            &tree.root(),
+            &leaf_hash(&data[0]),
+            &path
+        ));
     }
 
     #[test]
@@ -233,7 +291,10 @@ mod tests {
         let b = leaf_hash(b"b");
         let tree = MerkleTree::from_leaf_hashes(vec![a, b]);
         assert_eq!(tree.root(), node_hash(&a, &b));
-        assert_ne!(tree.root(), leaf_hash(&[a.as_bytes().as_slice(), b.as_bytes().as_slice()].concat()));
+        assert_ne!(
+            tree.root(),
+            leaf_hash(&[a.as_bytes().as_slice(), b.as_bytes().as_slice()].concat())
+        );
     }
 
     #[test]

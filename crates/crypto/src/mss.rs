@@ -18,7 +18,7 @@ use std::fmt;
 use nonrep_types::codec::{CodecError, Decode, Encode, Reader, Writer};
 
 use crate::digest::Digest;
-use crate::merkle::{leaf_hash, AuthPath, MerkleTree, PathStep};
+use crate::merkle::{leaf_hash, AuthPath, MerkleTree};
 use crate::par;
 use crate::rng::SecureRandom;
 use crate::wots::{self, WotsKeyPair, WotsSignature};
@@ -67,11 +67,7 @@ impl Encode for MssSignature {
     fn encode(&self, w: &mut Writer) {
         w.put_u32(self.leaf_index);
         w.put_bytes(&self.wots.to_bytes());
-        w.put_u32(self.path.steps.len() as u32);
-        for step in &self.path.steps {
-            w.put_raw(step.sibling.as_bytes());
-            w.put_bool(step.sibling_on_right);
-        }
+        self.path.encode(w);
     }
 }
 
@@ -81,17 +77,11 @@ impl Decode for MssSignature {
         let wots_bytes = r.get_bytes()?;
         let wots = WotsSignature::from_bytes(wots_bytes)
             .ok_or_else(|| CodecError::Invalid("bad wots signature length".into()))?;
-        let n = r.get_u32()? as usize;
-        if n > 64 {
-            return Err(CodecError::Invalid(format!("auth path too deep: {n}")));
-        }
-        let mut steps = Vec::with_capacity(n);
-        for _ in 0..n {
-            let sibling = Digest::decode(r)?;
-            let sibling_on_right = r.get_bool()?;
-            steps.push(PathStep { sibling, sibling_on_right });
-        }
-        Ok(Self { leaf_index, wots, path: AuthPath { steps } })
+        Ok(Self {
+            leaf_index,
+            wots,
+            path: AuthPath::decode(r)?,
+        })
     }
 }
 
@@ -136,7 +126,11 @@ impl MssSigner {
             leaf_hash(WotsKeyPair::from_seed(*seed).public_key().as_bytes())
         });
         let tree = MerkleTree::from_leaf_hashes_with_workers(leaf_hashes, workers);
-        Self { leaf_seeds: seeds.into_iter().map(Some).collect(), tree, next_leaf: 0 }
+        Self {
+            leaf_seeds: seeds.into_iter().map(Some).collect(),
+            tree,
+            next_leaf: 0,
+        }
     }
 
     /// Strictly sequential key generation (the pre-parallel reference
@@ -157,7 +151,11 @@ impl MssSigner {
             leaf_seeds.push(Some(seed));
         }
         let tree = MerkleTree::from_leaf_hashes_with_workers(leaf_hashes, 1);
-        Self { leaf_seeds, tree, next_leaf: 0 }
+        Self {
+            leaf_seeds,
+            tree,
+            next_leaf: 0,
+        }
     }
 
     /// The public key (Merkle root).
@@ -186,12 +184,18 @@ impl MssSigner {
         if idx >= self.leaf_seeds.len() {
             return Err(MssError::KeyExhausted);
         }
-        let seed = self.leaf_seeds[idx].take().expect("unused leaf seed present");
+        let seed = self.leaf_seeds[idx]
+            .take()
+            .expect("unused leaf seed present");
         self.next_leaf += 1;
         let kp = WotsKeyPair::from_seed(seed);
         let wots = kp.sign(digest);
         let path = self.tree.auth_path(idx);
-        Ok(MssSignature { leaf_index: idx as u32, wots, path })
+        Ok(MssSignature {
+            leaf_index: idx as u32,
+            wots,
+            path,
+        })
     }
 }
 
@@ -263,7 +267,10 @@ mod tests {
     fn forward_security_deletes_used_seeds() {
         let mut s = signer(2, 4);
         s.sign(&sha256(b"a")).unwrap();
-        assert!(s.leaf_seeds[0].is_none(), "used leaf seed must be destroyed");
+        assert!(
+            s.leaf_seeds[0].is_none(),
+            "used leaf seed must be destroyed"
+        );
         assert!(s.leaf_seeds[1].is_some());
     }
 
@@ -324,15 +331,23 @@ mod tests {
         // Same seed stream ⇒ identical key material and root, for every
         // worker budget (including oversubscription on a 1-core host).
         for height in [1u8, 3, 5] {
-            let reference = MssSigner::generate_sequential(height, &mut SecureRandom::from_seed(42));
+            let reference =
+                MssSigner::generate_sequential(height, &mut SecureRandom::from_seed(42));
             for workers in [1usize, 2, 4, 7] {
                 let par = MssSigner::generate_with_workers(
                     height,
                     &mut SecureRandom::from_seed(42),
                     workers,
                 );
-                assert_eq!(par.public_key(), reference.public_key(), "h={height} w={workers}");
-                assert_eq!(par.leaf_seeds, reference.leaf_seeds, "h={height} w={workers}");
+                assert_eq!(
+                    par.public_key(),
+                    reference.public_key(),
+                    "h={height} w={workers}"
+                );
+                assert_eq!(
+                    par.leaf_seeds, reference.leaf_seeds,
+                    "h={height} w={workers}"
+                );
             }
         }
     }

@@ -24,7 +24,9 @@ pub fn workers() -> usize {
                 return n.max(1);
             }
         }
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     })
 }
 
@@ -37,12 +39,17 @@ pub fn workers() -> usize {
 /// # Panics
 ///
 /// Propagates panics from `f` (the scope joins all workers first).
-pub fn par_map_indexed_with<R, F>(worker_budget: usize, n: usize, min_per_worker: usize, f: F) -> Vec<R>
+pub fn par_map_indexed_with<R, F>(
+    worker_budget: usize,
+    n: usize,
+    min_per_worker: usize,
+    f: F,
+) -> Vec<R>
 where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
-    let max_useful = if min_per_worker == 0 { worker_budget } else { n / min_per_worker };
+    let max_useful = n.checked_div(min_per_worker).unwrap_or(worker_budget);
     let workers = worker_budget.min(max_useful).max(1);
     if workers == 1 || n == 0 {
         return (0..n).map(f).collect();
@@ -75,7 +82,12 @@ where
 }
 
 /// Maps `f` over a slice with an explicit worker budget, preserving order.
-pub fn par_map_with<T, R, F>(worker_budget: usize, items: &[T], min_per_worker: usize, f: F) -> Vec<R>
+pub fn par_map_with<T, R, F>(
+    worker_budget: usize,
+    items: &[T],
+    min_per_worker: usize,
+    f: F,
+) -> Vec<R>
 where
     T: Sync,
     R: Send,

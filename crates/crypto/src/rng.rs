@@ -24,12 +24,16 @@ pub struct SecureRandom {
 impl SecureRandom {
     /// Seeds from a 64-bit value (deterministic; tests and simulations).
     pub fn from_seed(seed: u64) -> Self {
-        Self { inner: StdRng::seed_from_u64(seed) }
+        Self {
+            inner: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Seeds from operating-system entropy (production).
     pub fn from_entropy() -> Self {
-        Self { inner: StdRng::from_entropy() }
+        Self {
+            inner: StdRng::from_entropy(),
+        }
     }
 
     /// Fills `buf` with random bytes.

@@ -20,7 +20,9 @@ use parking_lot::Mutex;
 use nonrep_types::codec::{CodecError, Decode, Encode, Reader, Writer};
 
 use crate::arbitrated::ArbitratedKey;
+use crate::batch::{batch_digest, batch_leaves, BatchSignature};
 use crate::digest::{sha256, Digest};
+use crate::merkle::MerkleTree;
 use crate::mss::{self, MssError, MssSignature, MssSigner};
 use crate::rng::SecureRandom;
 
@@ -106,6 +108,10 @@ pub enum SignaturePayload {
     Mss(MssSignature),
     /// Arbitrated HMAC tag.
     Arbitrated(Digest),
+    /// One MSS signature shared by a whole batch of records, plus this
+    /// record's authentication path to the signed batch root (see
+    /// [`crate::batch`]).
+    BatchedMss(BatchSignature),
 }
 
 impl Signature {
@@ -115,12 +121,20 @@ impl Signature {
         32 + match &self.payload {
             SignaturePayload::Mss(s) => s.byte_len(),
             SignaturePayload::Arbitrated(_) => 32,
+            SignaturePayload::BatchedMss(b) => b.byte_len(),
         }
+    }
+
+    /// `true` if this signature was produced by a batch seal (one
+    /// underlying signature shared across the batch).
+    pub fn is_batched(&self) -> bool {
+        matches!(self.payload, SignaturePayload::BatchedMss(_))
     }
 }
 
 const SIG_TAG_MSS: u8 = 0;
 const SIG_TAG_ARB: u8 = 1;
+const SIG_TAG_BATCH: u8 = 2;
 
 impl Encode for Signature {
     fn encode(&self, w: &mut Writer) {
@@ -134,6 +148,10 @@ impl Encode for Signature {
                 w.put_u8(SIG_TAG_ARB);
                 d.encode(w);
             }
+            SignaturePayload::BatchedMss(b) => {
+                w.put_u8(SIG_TAG_BATCH);
+                b.encode(w);
+            }
         }
     }
 }
@@ -144,7 +162,13 @@ impl Decode for Signature {
         let payload = match r.get_u8()? {
             SIG_TAG_MSS => SignaturePayload::Mss(MssSignature::decode(r)?),
             SIG_TAG_ARB => SignaturePayload::Arbitrated(Digest::decode(r)?),
-            tag => return Err(CodecError::InvalidTag { ty: "Signature", tag }),
+            SIG_TAG_BATCH => SignaturePayload::BatchedMss(BatchSignature::decode(r)?),
+            tag => {
+                return Err(CodecError::InvalidTag {
+                    ty: "Signature",
+                    tag,
+                })
+            }
         };
         Ok(Self { key_id, payload })
     }
@@ -189,14 +213,19 @@ impl Encode for VerifyingKey {
 impl Decode for VerifyingKey {
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
         match r.get_u8()? {
-            VK_TAG_MSS => Ok(VerifyingKey::Mss { root: Digest::decode(r)? }),
+            VK_TAG_MSS => Ok(VerifyingKey::Mss {
+                root: Digest::decode(r)?,
+            }),
             VK_TAG_ARB => {
                 let raw = r.get_raw(32)?;
                 let mut secret = [0u8; 32];
                 secret.copy_from_slice(raw);
                 Ok(VerifyingKey::Arbitrated { secret })
             }
-            tag => Err(CodecError::InvalidTag { ty: "VerifyingKey", tag }),
+            tag => Err(CodecError::InvalidTag {
+                ty: "VerifyingKey",
+                tag,
+            }),
         }
     }
 }
@@ -215,16 +244,7 @@ impl VerifyingKey {
         if sig.key_id != self.key_id() {
             return false;
         }
-        let digest = sha256(message);
-        match (self, &sig.payload) {
-            (VerifyingKey::Mss { root }, SignaturePayload::Mss(s)) => {
-                mss::verify(root, &digest, s)
-            }
-            (VerifyingKey::Arbitrated { secret }, SignaturePayload::Arbitrated(tag)) => {
-                ArbitratedKey::from_bytes(*secret).verify(digest.as_bytes(), tag)
-            }
-            _ => false,
-        }
+        self.verify_payload(&sha256(message), sig)
     }
 
     /// Verifies a signature over a precomputed digest (when the message
@@ -233,8 +253,15 @@ impl VerifyingKey {
         if sig.key_id != self.key_id() {
             return false;
         }
+        self.verify_payload(digest, sig)
+    }
+
+    /// Scheme dispatch shared by [`VerifyingKey::verify`] and
+    /// [`VerifyingKey::verify_digest`] (key id already checked).
+    fn verify_payload(&self, digest: &Digest, sig: &Signature) -> bool {
         match (self, &sig.payload) {
             (VerifyingKey::Mss { root }, SignaturePayload::Mss(s)) => mss::verify(root, digest, s),
+            (VerifyingKey::Mss { root }, SignaturePayload::BatchedMss(b)) => b.verify(root, digest),
             (VerifyingKey::Arbitrated { secret }, SignaturePayload::Arbitrated(tag)) => {
                 ArbitratedKey::from_bytes(*secret).verify(digest.as_bytes(), tag)
             }
@@ -278,15 +305,27 @@ impl KeyPair {
         match scheme {
             SignatureScheme::Mss { height } => {
                 let signer = MssSigner::generate(height, rng);
-                let verifying = VerifyingKey::Mss { root: signer.public_key() };
+                let verifying = VerifyingKey::Mss {
+                    root: signer.public_key(),
+                };
                 let key_id = verifying.key_id();
-                Self { inner: Mutex::new(SignerInner::Mss(signer)), verifying, key_id }
+                Self {
+                    inner: Mutex::new(SignerInner::Mss(signer)),
+                    verifying,
+                    key_id,
+                }
             }
             SignatureScheme::Arbitrated => {
                 let key = ArbitratedKey::generate(rng);
-                let verifying = VerifyingKey::Arbitrated { secret: key.to_bytes() };
+                let verifying = VerifyingKey::Arbitrated {
+                    secret: key.to_bytes(),
+                };
                 let key_id = verifying.key_id();
-                Self { inner: Mutex::new(SignerInner::Arbitrated(key)), verifying, key_id }
+                Self {
+                    inner: Mutex::new(SignerInner::Arbitrated(key)),
+                    verifying,
+                    key_id,
+                }
             }
         }
     }
@@ -328,11 +367,60 @@ impl KeyPair {
     pub fn sign_digest(&self, digest: &Digest) -> Result<Signature, SignError> {
         let payload = match &mut *self.inner.lock() {
             SignerInner::Mss(s) => SignaturePayload::Mss(s.sign(digest)?),
-            SignerInner::Arbitrated(k) => {
-                SignaturePayload::Arbitrated(k.tag(digest.as_bytes()))
-            }
+            SignerInner::Arbitrated(k) => SignaturePayload::Arbitrated(k.tag(digest.as_bytes())),
         };
-        Ok(Signature { key_id: self.key_id, payload })
+        Ok(Signature {
+            key_id: self.key_id,
+            payload,
+        })
+    }
+
+    /// Signs a batch of message digests with **one** underlying signature.
+    ///
+    /// For MSS keys this builds a Merkle tree over the digests, signs the
+    /// batch root once (consuming a single one-time leaf), and returns one
+    /// [`SignaturePayload::BatchedMss`] per digest — each independently
+    /// verifiable through [`VerifyingKey::verify_digest`]. For arbitrated
+    /// keys, HMAC tags are already cheap, so each digest gets its own tag.
+    ///
+    /// Returns signatures aligned index-for-index with `digests`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SignError::KeyExhausted`] if a stateful key has no leaves
+    /// left. An empty batch returns an empty vector without consuming
+    /// capacity.
+    pub fn sign_batch(&self, digests: &[Digest]) -> Result<Vec<Signature>, SignError> {
+        if digests.is_empty() {
+            return Ok(Vec::new());
+        }
+        match &mut *self.inner.lock() {
+            SignerInner::Mss(s) => {
+                // One-shot tree build: the incremental accumulator is for
+                // streaming producers; here all leaves are in hand, and
+                // building the tree directly hashes each node once.
+                let tree = MerkleTree::from_leaf_hashes(batch_leaves(digests));
+                let mss_sig = s.sign(&batch_digest(&tree.root()))?;
+                Ok((0..digests.len())
+                    .map(|i| Signature {
+                        key_id: self.key_id,
+                        payload: SignaturePayload::BatchedMss(BatchSignature {
+                            mss_sig: mss_sig.clone(),
+                            leaf_index: i as u32,
+                            leaf_count: digests.len() as u32,
+                            auth_path: tree.auth_path(i),
+                        }),
+                    })
+                    .collect())
+            }
+            SignerInner::Arbitrated(k) => Ok(digests
+                .iter()
+                .map(|d| Signature {
+                    key_id: self.key_id,
+                    payload: SignaturePayload::Arbitrated(k.tag(d.as_bytes())),
+                })
+                .collect()),
+        }
     }
 }
 
@@ -341,7 +429,10 @@ mod tests {
     use super::*;
 
     fn mss_pair(seed: u64) -> KeyPair {
-        KeyPair::generate(SignatureScheme::Mss { height: 3 }, &mut SecureRandom::from_seed(seed))
+        KeyPair::generate(
+            SignatureScheme::Mss { height: 3 },
+            &mut SecureRandom::from_seed(seed),
+        )
     }
 
     #[test]
@@ -417,7 +508,10 @@ mod tests {
 
     #[test]
     fn sign_digest_matches_sign() {
-        let kp = KeyPair::generate(SignatureScheme::Arbitrated, &mut SecureRandom::from_seed(11));
+        let kp = KeyPair::generate(
+            SignatureScheme::Arbitrated,
+            &mut SecureRandom::from_seed(11),
+        );
         let m = b"same bytes";
         let s1 = kp.sign(m).unwrap();
         let s2 = kp.sign_digest(&sha256(m)).unwrap();
@@ -428,10 +522,77 @@ mod tests {
     #[test]
     fn signature_sizes_differ_between_schemes() {
         let mss_sig = mss_pair(12).sign(b"m").unwrap();
-        let arb_sig = KeyPair::generate(SignatureScheme::Arbitrated, &mut SecureRandom::from_seed(13))
-            .sign(b"m")
-            .unwrap();
-        assert!(mss_sig.byte_len() > 50 * arb_sig.byte_len() / 10, "MSS should be much larger");
+        let arb_sig = KeyPair::generate(
+            SignatureScheme::Arbitrated,
+            &mut SecureRandom::from_seed(13),
+        )
+        .sign(b"m")
+        .unwrap();
+        assert!(
+            mss_sig.byte_len() > 50 * arb_sig.byte_len() / 10,
+            "MSS should be much larger"
+        );
+    }
+
+    #[test]
+    fn batch_signing_covers_every_digest_with_one_leaf() {
+        let kp = KeyPair::generate(
+            SignatureScheme::Mss { height: 2 },
+            &mut SecureRandom::from_seed(20),
+        );
+        let digests: Vec<_> = (0..7u8).map(|i| sha256(&[i])).collect();
+        let before = kp.remaining().unwrap();
+        let sigs = kp.sign_batch(&digests).unwrap();
+        // One batch of 7 consumed exactly one one-time leaf.
+        assert_eq!(kp.remaining().unwrap(), before - 1);
+        assert_eq!(sigs.len(), 7);
+        let vk = kp.verifying_key();
+        for (d, s) in digests.iter().zip(&sigs) {
+            assert!(s.is_batched());
+            assert!(vk.verify_digest(d, s));
+        }
+        // A signature does not verify for a different digest in the batch.
+        assert!(!vk.verify_digest(&digests[0], &sigs[1]));
+        // Codec roundtrip preserves verifiability.
+        let back = Signature::decode_from_slice(&sigs[3].encode_to_vec()).unwrap();
+        assert!(vk.verify_digest(&digests[3], &back));
+    }
+
+    #[test]
+    fn batch_signing_empty_and_arbitrated() {
+        let kp = mss_pair(21);
+        assert!(kp.sign_batch(&[]).unwrap().is_empty());
+        let arb = KeyPair::generate(
+            SignatureScheme::Arbitrated,
+            &mut SecureRandom::from_seed(22),
+        );
+        let digests = [sha256(b"a"), sha256(b"b")];
+        let sigs = arb.sign_batch(&digests).unwrap();
+        for (d, s) in digests.iter().zip(&sigs) {
+            assert!(!s.is_batched());
+            assert!(arb.verifying_key().verify_digest(d, s));
+        }
+    }
+
+    #[test]
+    fn batched_signature_rejects_tampered_path_and_root() {
+        use crate::batch::BatchSignature;
+        let kp = mss_pair(23);
+        let digests: Vec<_> = (0..4u8).map(|i| sha256(&[i])).collect();
+        let sigs = kp.sign_batch(&digests).unwrap();
+        let vk = kp.verifying_key();
+        // Tamper the auth path.
+        let mut doctored = sigs[2].clone();
+        if let SignaturePayload::BatchedMss(BatchSignature { auth_path, .. }) =
+            &mut doctored.payload
+        {
+            auth_path.steps[0].sibling = sha256(b"evil");
+        }
+        assert!(!vk.verify_digest(&digests[2], &doctored));
+        // A batched signature does not verify as a direct signature over
+        // the batch digest (domain separation).
+        let direct = kp.sign_digest(&sha256(b"msg")).unwrap();
+        assert!(!vk.verify_digest(&sha256(b"other"), &direct));
     }
 
     #[test]
@@ -455,7 +616,10 @@ mod tests {
         for h in handles {
             for sig in h.join().unwrap() {
                 if let SignaturePayload::Mss(m) = sig.payload {
-                    assert!(leaf_indices.insert(m.leaf_index), "leaf reused across threads");
+                    assert!(
+                        leaf_indices.insert(m.leaf_index),
+                        "leaf reused across threads"
+                    );
                 }
             }
         }

@@ -80,7 +80,7 @@ mod tests {
     #[test]
     fn keystream_blocks_differ() {
         // Encrypting zeros reveals the keystream; successive blocks differ.
-        let ks = xor_keystream(&[3u8; 32], &vec![0u8; 64]);
+        let ks = xor_keystream(&[3u8; 32], &[0u8; 64]);
         assert_ne!(&ks[..32], &ks[32..]);
     }
 }

@@ -47,7 +47,10 @@ impl TimeStampToken {
                 return false;
             }
         }
-        tsa_key.verify(&Self::signed_bytes(&self.digest, self.time), &self.signature)
+        tsa_key.verify(
+            &Self::signed_bytes(&self.digest, self.time),
+            &self.signature,
+        )
     }
 }
 
@@ -99,8 +102,14 @@ impl TimeStampAuthority {
     /// Returns [`SignError`] if the authority's signing key is exhausted.
     pub fn stamp(&self, digest: &Digest) -> Result<TimeStampToken, SignError> {
         let time = self.clock.now();
-        let signature = self.keys.sign(&TimeStampToken::signed_bytes(digest, time))?;
-        Ok(TimeStampToken { digest: *digest, time, signature })
+        let signature = self
+            .keys
+            .sign(&TimeStampToken::signed_bytes(digest, time))?;
+        Ok(TimeStampToken {
+            digest: *digest,
+            time,
+            signature,
+        })
     }
 }
 

@@ -78,7 +78,10 @@ fn chunks_of(digest: &Digest) -> [u8; CHAINS] {
         out[2 * i] = byte >> 4;
         out[2 * i + 1] = byte & 0x0F;
     }
-    let csum: u16 = out[..MSG_CHUNKS].iter().map(|&c| u16::from(MAX_STEP - c)).sum();
+    let csum: u16 = out[..MSG_CHUNKS]
+        .iter()
+        .map(|&c| u16::from(MAX_STEP - c))
+        .sum();
     // 3 base-16 digits, most significant first.
     out[MSG_CHUNKS] = ((csum >> 8) & 0x0F) as u8;
     out[MSG_CHUNKS + 1] = ((csum >> 4) & 0x0F) as u8;
@@ -119,11 +122,14 @@ impl WotsKeyPair {
     /// Derives a key pair from a 32-byte seed.
     pub fn from_seed(seed: [u8; 32]) -> Self {
         let mut ends = [[0u8; 32]; CHAINS];
-        for i in 0..CHAINS {
+        for (i, end) in ends.iter_mut().enumerate() {
             let sk = derive_secret(&seed, i as u16);
-            ends[i] = chain(sk, i as u16, 0, MAX_STEP);
+            *end = chain(sk, i as u16, 0, MAX_STEP);
         }
-        Self { seed, public: compress_pk(&ends) }
+        Self {
+            seed,
+            public: compress_pk(&ends),
+        }
     }
 
     /// The compressed public key (hash of all chain ends).
@@ -226,7 +232,10 @@ mod tests {
     fn chunks_and_checksum_are_consistent() {
         let d = sha256(b"x");
         let chunks = chunks_of(&d);
-        let csum: u16 = chunks[..MSG_CHUNKS].iter().map(|&c| u16::from(MAX_STEP - c)).sum();
+        let csum: u16 = chunks[..MSG_CHUNKS]
+            .iter()
+            .map(|&c| u16::from(MAX_STEP - c))
+            .sum();
         let encoded = (u16::from(chunks[MSG_CHUNKS]) << 8)
             | (u16::from(chunks[MSG_CHUNKS + 1]) << 4)
             | u16::from(chunks[MSG_CHUNKS + 2]);

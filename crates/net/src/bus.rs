@@ -178,7 +178,9 @@ impl RequestBus for LocalBus {
         self.judge(from, to)?;
         self.advance_hop();
         self.stats.record_delivery(from, to, payload.len());
-        endpoint.handle_oneway(from, payload).map_err(NetError::Endpoint)
+        endpoint
+            .handle_oneway(from, payload)
+            .map_err(NetError::Endpoint)
     }
 
     fn request(&self, from: &OrgId, to: &OrgId, payload: &[u8]) -> Result<Vec<u8>, NetError> {
@@ -201,7 +203,9 @@ impl RequestBus for LocalBus {
         }
         self.advance_hop();
         self.stats.record_delivery(from, to, payload.len());
-        let response = endpoint.handle_request(from, payload).map_err(NetError::Endpoint)?;
+        let response = endpoint
+            .handle_request(from, payload)
+            .map_err(NetError::Endpoint)?;
         // Response hop.
         self.advance_hop();
         self.stats.record_delivery(to, from, response.len());
@@ -275,7 +279,10 @@ mod tests {
     fn crashed_node_unreachable_until_recovery() {
         let (bus, _echo, a, b) = setup();
         bus.fault_plan().crash(&b);
-        assert_eq!(bus.request(&a, &b, b"x").unwrap_err(), NetError::Crashed(b.clone()));
+        assert_eq!(
+            bus.request(&a, &b, b"x").unwrap_err(),
+            NetError::Crashed(b.clone())
+        );
         bus.fault_plan().recover(&b);
         assert!(bus.request(&a, &b, b"x").is_ok());
     }
@@ -373,13 +380,19 @@ mod tests {
         let a = OrgId::new("a");
         let b = OrgId::new("b");
         bus.register(b.clone(), Arc::new(Failing));
-        assert_eq!(bus.request(&a, &b, b"x").unwrap_err(), NetError::Endpoint("nope".into()));
+        assert_eq!(
+            bus.request(&a, &b, b"x").unwrap_err(),
+            NetError::Endpoint("nope".into())
+        );
     }
 
     #[test]
     fn unregister_removes_endpoint() {
         let (bus, _echo, a, b) = setup();
         bus.unregister(&b);
-        assert!(matches!(bus.send(&a, &b, b"x"), Err(NetError::UnknownDestination(_))));
+        assert!(matches!(
+            bus.send(&a, &b, b"x"),
+            Err(NetError::UnknownDestination(_))
+        ));
     }
 }

@@ -159,11 +159,7 @@ impl FaultPlan {
             return Verdict::Deliver;
         }
         let p = self.drop_probability;
-        let dropped = st
-            .rng
-            .as_mut()
-            .map(|rng| rng.chance(p))
-            .unwrap_or(false);
+        let dropped = st.rng.as_mut().map(|rng| rng.chance(p)).unwrap_or(false);
         if dropped {
             *st.consecutive.entry(key).or_insert(0) += 1;
             Verdict::Drop
@@ -181,7 +177,10 @@ impl FaultPlan {
         }
         let share = self.response_drop_share;
         let mut st = self.state.lock();
-        st.rng.as_mut().map(|rng| rng.chance(share)).unwrap_or(false)
+        st.rng
+            .as_mut()
+            .map(|rng| rng.chance(share))
+            .unwrap_or(false)
     }
 }
 

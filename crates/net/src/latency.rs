@@ -9,9 +9,10 @@
 use nonrep_crypto::rng::SecureRandom;
 
 /// A one-way link latency distribution, in milliseconds.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum LatencyModel {
     /// Zero latency (pure message-count experiments).
+    #[default]
     Zero,
     /// A fixed latency.
     Constant(u64),
@@ -26,12 +27,6 @@ pub enum LatencyModel {
     Lan,
     /// Typical inter-organisation WAN: uniform 20–80 ms.
     Wan,
-}
-
-impl Default for LatencyModel {
-    fn default() -> Self {
-        LatencyModel::Zero
-    }
 }
 
 impl LatencyModel {

@@ -58,7 +58,9 @@ pub struct ReliableRequester {
 
 impl std::fmt::Debug for ReliableRequester {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ReliableRequester").field("policy", &self.policy).finish()
+        f.debug_struct("ReliableRequester")
+            .field("policy", &self.policy)
+            .finish()
     }
 }
 
@@ -79,7 +81,12 @@ impl ReliableRequester {
     ///
     /// [`NetError::RetriesExhausted`] after `max_attempts` transient
     /// failures; non-transient errors propagate immediately.
-    pub fn send(&self, from: &OrgId, to: &OrgId, payload: &[u8]) -> Result<Attempted<()>, NetError> {
+    pub fn send(
+        &self,
+        from: &OrgId,
+        to: &OrgId,
+        payload: &[u8],
+    ) -> Result<Attempted<()>, NetError> {
         self.run(|| self.bus.send(from, to, payload))
     }
 
@@ -102,16 +109,17 @@ impl ReliableRequester {
         self.run(|| self.bus.request(from, to, payload))
     }
 
-    fn run<T>(&self, mut op: impl FnMut() -> Result<T, NetError>) -> Result<Attempted<T>, NetError> {
+    fn run<T>(
+        &self,
+        mut op: impl FnMut() -> Result<T, NetError>,
+    ) -> Result<Attempted<T>, NetError> {
         let mut attempts = 0;
         loop {
             attempts += 1;
             match op() {
                 Ok(value) => return Ok(Attempted { value, attempts }),
                 Err(e) if e.is_transient() && attempts < self.policy.max_attempts => continue,
-                Err(e) if e.is_transient() => {
-                    return Err(NetError::RetriesExhausted { attempts })
-                }
+                Err(e) if e.is_transient() => return Err(NetError::RetriesExhausted { attempts }),
                 Err(e) => return Err(e),
             }
         }
@@ -152,7 +160,12 @@ mod tests {
         let a = OrgId::new("a");
         let b = OrgId::new("b");
         bus.register(b.clone(), counter.clone());
-        (ReliableRequester::new(bus, RetryPolicy::new(attempts)), counter, a, b)
+        (
+            ReliableRequester::new(bus, RetryPolicy::new(attempts)),
+            counter,
+            a,
+            b,
+        )
     }
 
     #[test]
@@ -178,7 +191,10 @@ mod tests {
                 break;
             }
         }
-        assert!(exhausted, "expected at least one exhaustion under heavy loss");
+        assert!(
+            exhausted,
+            "expected at least one exhaustion under heavy loss"
+        );
     }
 
     #[test]

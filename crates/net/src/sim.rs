@@ -38,8 +38,15 @@ pub trait SimNode: Send + Sync {
 
 #[derive(Debug)]
 enum EventKind {
-    Deliver { from: OrgId, to: OrgId, payload: Vec<u8> },
-    Timer { org: OrgId, tag: u64 },
+    Deliver {
+        from: OrgId,
+        to: OrgId,
+        payload: Vec<u8>,
+    },
+    Timer {
+        org: OrgId,
+        tag: u64,
+    },
 }
 
 #[derive(Debug)]
@@ -131,7 +138,10 @@ impl SimNet {
 
     fn push(&self, at: Timestamp, kind: EventKind) {
         let seq = self.inner.seq.fetch_add(1, Ordering::SeqCst);
-        self.inner.queue.lock().push(Reverse(Event { at, seq, kind }));
+        self.inner
+            .queue
+            .lock()
+            .push(Reverse(Event { at, seq, kind }));
     }
 
     /// Sends `payload` from `from` to `to`; it will be delivered after a
@@ -143,7 +153,11 @@ impl SimNet {
                 let at = self.now().plus_millis(delay.max(1));
                 self.push(
                     at,
-                    EventKind::Deliver { from: from.clone(), to: to.clone(), payload },
+                    EventKind::Deliver {
+                        from: from.clone(),
+                        to: to.clone(),
+                        payload,
+                    },
                 );
             }
             _ => self.inner.stats.record_drop(),
@@ -153,7 +167,13 @@ impl SimNet {
     /// Schedules `on_timer(tag)` for `org` after `delay_ms`.
     pub fn set_timer(&self, org: &OrgId, delay_ms: u64, tag: u64) {
         let at = self.now().plus_millis(delay_ms.max(1));
-        self.push(at, EventKind::Timer { org: org.clone(), tag });
+        self.push(
+            at,
+            EventKind::Timer {
+                org: org.clone(),
+                tag,
+            },
+        );
     }
 
     /// Runs until the queue is empty or `max_events` have been processed.
@@ -304,7 +324,10 @@ mod tests {
         net.send(&a, &b, b"data".to_vec());
         net.set_timer(&a, 10, 1);
         net.run(10_000);
-        assert!(*sender.acked.lock(), "retransmission must eventually get through");
+        assert!(
+            *sender.acked.lock(),
+            "retransmission must eventually get through"
+        );
     }
 
     #[test]

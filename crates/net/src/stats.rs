@@ -26,11 +26,7 @@ pub struct StatsSnapshot {
 impl StatsSnapshot {
     /// Average payload size of delivered messages (0 when none).
     pub fn mean_message_bytes(&self) -> u64 {
-        if self.delivered == 0 {
-            0
-        } else {
-            self.bytes / self.delivered
-        }
+        self.bytes.checked_div(self.delivered).unwrap_or(0)
     }
 }
 

@@ -22,7 +22,10 @@ pub struct Validity {
 impl Validity {
     /// A window of `duration_ms` starting at `from`.
     pub fn starting_at(from: Timestamp, duration_ms: u64) -> Self {
-        Self { not_before: from, not_after: from.plus_millis(duration_ms) }
+        Self {
+            not_before: from,
+            not_after: from.plus_millis(duration_ms),
+        }
     }
 
     /// `true` if `at` lies within the window.
@@ -40,7 +43,10 @@ impl Encode for Validity {
 
 impl Decode for Validity {
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
-        Ok(Self { not_before: Timestamp::decode(r)?, not_after: Timestamp::decode(r)? })
+        Ok(Self {
+            not_before: Timestamp::decode(r)?,
+            not_after: Timestamp::decode(r)?,
+        })
     }
 }
 
@@ -141,7 +147,12 @@ impl std::fmt::Debug for CertificateAuthority {
 impl CertificateAuthority {
     /// Creates an authority owned by `org`.
     pub fn new(org: OrgId, keys: KeyPair, clock: Arc<dyn Clock>) -> Self {
-        Self { org, keys, clock, next_serial: AtomicU64::new(1) }
+        Self {
+            org,
+            keys,
+            clock,
+            next_serial: AtomicU64::new(1),
+        }
     }
 
     /// The authority's organisation id.
@@ -243,12 +254,18 @@ mod tests {
             SignatureScheme::Mss { height: 4 },
             &mut SecureRandom::from_seed(seed),
         );
-        (CertificateAuthority::new(OrgId::new("root-ca"), keys, Arc::new(clock.clone())), clock)
+        (
+            CertificateAuthority::new(OrgId::new("root-ca"), keys, Arc::new(clock.clone())),
+            clock,
+        )
     }
 
     fn subject_key(seed: u64) -> VerifyingKey {
-        KeyPair::generate(SignatureScheme::Mss { height: 2 }, &mut SecureRandom::from_seed(seed))
-            .verifying_key()
+        KeyPair::generate(
+            SignatureScheme::Mss { height: 2 },
+            &mut SecureRandom::from_seed(seed),
+        )
+        .verifying_key()
     }
 
     #[test]
@@ -263,7 +280,12 @@ mod tests {
     fn issued_cert_verifies_under_ca_key() {
         let (ca, _clock) = ca(2);
         let cert = ca
-            .issue(OrgId::new("supplier-a"), subject_key(10), vec!["supplier".into()], 1000)
+            .issue(
+                OrgId::new("supplier-a"),
+                subject_key(10),
+                vec!["supplier".into()],
+                1000,
+            )
             .unwrap();
         assert!(cert.verify_signature(&ca.verifying_key()));
         assert!(!cert.is_self_signed());
@@ -273,7 +295,9 @@ mod tests {
     #[test]
     fn tampered_cert_fails() {
         let (ca, _clock) = ca(3);
-        let mut cert = ca.issue(OrgId::new("x"), subject_key(11), vec![], 1000).unwrap();
+        let mut cert = ca
+            .issue(OrgId::new("x"), subject_key(11), vec![], 1000)
+            .unwrap();
         cert.subject = OrgId::new("mallory");
         assert!(!cert.verify_signature(&ca.verifying_key()));
     }
@@ -282,15 +306,21 @@ mod tests {
     fn wrong_issuer_key_fails() {
         let (ca1, _c1) = ca(4);
         let (ca2, _c2) = ca(5);
-        let cert = ca1.issue(OrgId::new("x"), subject_key(12), vec![], 1000).unwrap();
+        let cert = ca1
+            .issue(OrgId::new("x"), subject_key(12), vec![], 1000)
+            .unwrap();
         assert!(!cert.verify_signature(&ca2.verifying_key()));
     }
 
     #[test]
     fn serials_are_unique_and_increasing() {
         let (ca, _clock) = ca(6);
-        let c1 = ca.issue(OrgId::new("a"), subject_key(13), vec![], 1000).unwrap();
-        let c2 = ca.issue(OrgId::new("b"), subject_key(14), vec![], 1000).unwrap();
+        let c1 = ca
+            .issue(OrgId::new("a"), subject_key(13), vec![], 1000)
+            .unwrap();
+        let c2 = ca
+            .issue(OrgId::new("b"), subject_key(14), vec![], 1000)
+            .unwrap();
         assert!(c2.serial > c1.serial);
     }
 
@@ -307,7 +337,12 @@ mod tests {
     fn certificate_codec_roundtrip() {
         let (ca, _clock) = ca(7);
         let cert = ca
-            .issue(OrgId::new("x"), subject_key(15), vec!["r1".into(), "r2".into()], 1000)
+            .issue(
+                OrgId::new("x"),
+                subject_key(15),
+                vec!["r1".into(), "r2".into()],
+                1000,
+            )
             .unwrap();
         let back = Certificate::decode_from_slice(&cert.encode_to_vec()).unwrap();
         assert_eq!(back, cert);
@@ -318,7 +353,9 @@ mod tests {
     fn validity_reflects_clock() {
         let (ca, clock) = ca(8);
         clock.advance(500);
-        let cert = ca.issue(OrgId::new("x"), subject_key(16), vec![], 100).unwrap();
+        let cert = ca
+            .issue(OrgId::new("x"), subject_key(16), vec![], 100)
+            .unwrap();
         assert_eq!(cert.validity.not_before, Timestamp(500));
         assert_eq!(cert.validity.not_after, Timestamp(600));
     }

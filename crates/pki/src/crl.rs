@@ -46,7 +46,12 @@ impl RevocationList {
     ) -> Result<Self, SignError> {
         let revoked: BTreeSet<u64> = revoked_serials.into_iter().collect();
         let signature = keys.sign(&Self::tbs_bytes(issuer, issued_at, &revoked))?;
-        Ok(Self { issuer: issuer.clone(), issued_at, revoked, signature })
+        Ok(Self {
+            issuer: issuer.clone(),
+            issued_at,
+            revoked,
+            signature,
+        })
     }
 
     /// Verifies the list's signature under `issuer_key`.
@@ -85,7 +90,12 @@ impl Decode for RevocationList {
             revoked.insert(r.get_u64()?);
         }
         let signature = Signature::decode(r)?;
-        Ok(Self { issuer, issued_at, revoked, signature })
+        Ok(Self {
+            issuer,
+            issued_at,
+            revoked,
+            signature,
+        })
     }
 }
 
@@ -96,7 +106,10 @@ mod tests {
     use nonrep_crypto::sig::SignatureScheme;
 
     fn keys(seed: u64) -> KeyPair {
-        KeyPair::generate(SignatureScheme::Mss { height: 3 }, &mut SecureRandom::from_seed(seed))
+        KeyPair::generate(
+            SignatureScheme::Mss { height: 3 },
+            &mut SecureRandom::from_seed(seed),
+        )
     }
 
     #[test]
@@ -129,8 +142,7 @@ mod tests {
     #[test]
     fn codec_roundtrip() {
         let kp = keys(4);
-        let crl =
-            RevocationList::issue(&OrgId::new("ca"), &kp, Timestamp(99), vec![5, 6]).unwrap();
+        let crl = RevocationList::issue(&OrgId::new("ca"), &kp, Timestamp(99), vec![5, 6]).unwrap();
         let back = RevocationList::decode_from_slice(&crl.encode_to_vec()).unwrap();
         assert_eq!(back, crl);
         assert!(back.verify_signature(&kp.verifying_key()));

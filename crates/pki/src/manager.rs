@@ -67,7 +67,11 @@ impl CredentialManager {
 
     /// Stores a certificate (does not validate; validation happens on use).
     pub fn add_certificate(&self, cert: Certificate) {
-        self.certs.write().entry(cert.subject.clone()).or_default().push(cert);
+        self.certs
+            .write()
+            .entry(cert.subject.clone())
+            .or_default()
+            .push(cert);
     }
 
     /// Installs a CRL after checking its signature against the issuer key
@@ -116,7 +120,9 @@ impl CredentialManager {
     fn check_revocation(&self, cert: &Certificate) -> Result<(), PkiError> {
         if let Some(crl) = self.crls.read().get(&cert.issuer_key_id) {
             if crl.is_revoked(cert.serial) {
-                return Err(PkiError::Revoked { serial: cert.serial });
+                return Err(PkiError::Revoked {
+                    serial: cert.serial,
+                });
             }
         }
         Ok(())
@@ -231,12 +237,17 @@ mod tests {
         );
         let ca = CertificateAuthority::new(OrgId::new("root-ca"), keys, Arc::new(clock.clone()));
         let manager = CredentialManager::new(Arc::new(clock.clone()));
-        manager.add_anchor(ca.self_signed(1_000_000).unwrap()).unwrap();
+        manager
+            .add_anchor(ca.self_signed(1_000_000).unwrap())
+            .unwrap();
         Fixture { clock, ca, manager }
     }
 
     fn org_keys(seed: u64) -> KeyPair {
-        KeyPair::generate(SignatureScheme::Mss { height: 2 }, &mut SecureRandom::from_seed(seed))
+        KeyPair::generate(
+            SignatureScheme::Mss { height: 2 },
+            &mut SecureRandom::from_seed(seed),
+        )
     }
 
     #[test]
@@ -245,13 +256,24 @@ mod tests {
         let kp = org_keys(100);
         let cert = fx
             .ca
-            .issue(OrgId::new("supplier"), kp.verifying_key(), vec!["supplier".into()], 10_000)
+            .issue(
+                OrgId::new("supplier"),
+                kp.verifying_key(),
+                vec!["supplier".into()],
+                10_000,
+            )
             .unwrap();
         fx.manager.add_certificate(cert.clone());
         fx.manager.verify_certificate(&cert).unwrap();
-        assert_eq!(fx.manager.resolve_key(&OrgId::new("supplier")).unwrap(), kp.verifying_key());
         assert_eq!(
-            fx.manager.resolve_certificate(&OrgId::new("supplier")).unwrap().roles,
+            fx.manager.resolve_key(&OrgId::new("supplier")).unwrap(),
+            kp.verifying_key()
+        );
+        assert_eq!(
+            fx.manager
+                .resolve_certificate(&OrgId::new("supplier"))
+                .unwrap()
+                .roles,
             vec!["supplier".to_string()]
         );
     }
@@ -263,18 +285,35 @@ mod tests {
         let inter_keys = org_keys(200);
         let inter_cert = fx
             .ca
-            .issue(OrgId::new("inter-ca"), inter_keys.verifying_key(), vec!["ca".into()], 10_000)
+            .issue(
+                OrgId::new("inter-ca"),
+                inter_keys.verifying_key(),
+                vec!["ca".into()],
+                10_000,
+            )
             .unwrap();
         fx.manager.add_certificate(inter_cert);
         // Leaf issued by intermediate.
-        let inter =
-            CertificateAuthority::new(OrgId::new("inter-ca"), inter_keys, Arc::new(fx.clock.clone()));
+        let inter = CertificateAuthority::new(
+            OrgId::new("inter-ca"),
+            inter_keys,
+            Arc::new(fx.clock.clone()),
+        );
         let leaf_keys = org_keys(201);
-        let leaf =
-            inter.issue(OrgId::new("leaf-org"), leaf_keys.verifying_key(), vec![], 10_000).unwrap();
+        let leaf = inter
+            .issue(
+                OrgId::new("leaf-org"),
+                leaf_keys.verifying_key(),
+                vec![],
+                10_000,
+            )
+            .unwrap();
         fx.manager.add_certificate(leaf.clone());
         fx.manager.verify_certificate(&leaf).unwrap();
-        assert_eq!(fx.manager.resolve_key(&OrgId::new("leaf-org")).unwrap(), leaf_keys.verifying_key());
+        assert_eq!(
+            fx.manager.resolve_key(&OrgId::new("leaf-org")).unwrap(),
+            leaf_keys.verifying_key()
+        );
     }
 
     #[test]
@@ -287,7 +326,10 @@ mod tests {
         fx.manager.add_certificate(cert.clone());
         fx.clock.advance(200);
         assert_eq!(fx.manager.verify_certificate(&cert), Err(PkiError::Expired));
-        assert_eq!(fx.manager.resolve_key(&OrgId::new("x")), Err(PkiError::Expired));
+        assert_eq!(
+            fx.manager.resolve_key(&OrgId::new("x")),
+            Err(PkiError::Expired)
+        );
     }
 
     #[test]
@@ -295,7 +337,12 @@ mod tests {
         let fx = fixture(4);
         let cert = fx
             .ca
-            .issue(OrgId::new("x"), org_keys(400).verifying_key(), vec![], 10_000)
+            .issue(
+                OrgId::new("x"),
+                org_keys(400).verifying_key(),
+                vec![],
+                10_000,
+            )
             .unwrap();
         fx.manager.add_certificate(cert.clone());
         fx.manager.verify_certificate(&cert).unwrap();
@@ -303,7 +350,9 @@ mod tests {
         fx.manager.add_crl(crl).unwrap();
         assert_eq!(
             fx.manager.verify_certificate(&cert),
-            Err(PkiError::Revoked { serial: cert.serial })
+            Err(PkiError::Revoked {
+                serial: cert.serial
+            })
         );
     }
 
@@ -317,7 +366,12 @@ mod tests {
             Arc::new(fx.clock.clone()),
         );
         let forged = mallory
-            .issue(OrgId::new("x"), org_keys(501).verifying_key(), vec![], 10_000)
+            .issue(
+                OrgId::new("x"),
+                org_keys(501).verifying_key(),
+                vec![],
+                10_000,
+            )
             .unwrap();
         fx.manager.add_certificate(forged.clone());
         // The imposter's key id doesn't match the anchor, and there is no
@@ -343,7 +397,10 @@ mod tests {
         let rogue = org_keys(700);
         let crl =
             RevocationList::issue(&OrgId::new("rogue"), &rogue, fx.clock.now(), vec![1]).unwrap();
-        assert!(matches!(fx.manager.add_crl(crl), Err(PkiError::UnknownIssuer(_))));
+        assert!(matches!(
+            fx.manager.add_crl(crl),
+            Err(PkiError::UnknownIssuer(_))
+        ));
     }
 
     #[test]
@@ -361,7 +418,12 @@ mod tests {
         let fx = fixture(9);
         let cert = fx
             .ca
-            .issue(OrgId::new("x"), org_keys(900).verifying_key(), vec![], 10_000)
+            .issue(
+                OrgId::new("x"),
+                org_keys(900).verifying_key(),
+                vec![],
+                10_000,
+            )
             .unwrap();
         let mgr = CredentialManager::new(Arc::new(fx.clock.clone()));
         assert_eq!(mgr.add_anchor(cert), Err(PkiError::BadSignature));
@@ -371,12 +433,21 @@ mod tests {
     fn renewal_after_expiry_resolves_new_key() {
         let fx = fixture(10);
         let old = org_keys(111);
-        let cert1 = fx.ca.issue(OrgId::new("x"), old.verifying_key(), vec![], 100).unwrap();
+        let cert1 = fx
+            .ca
+            .issue(OrgId::new("x"), old.verifying_key(), vec![], 100)
+            .unwrap();
         fx.manager.add_certificate(cert1);
         fx.clock.advance(200);
         let new = org_keys(112);
-        let cert2 = fx.ca.issue(OrgId::new("x"), new.verifying_key(), vec![], 10_000).unwrap();
+        let cert2 = fx
+            .ca
+            .issue(OrgId::new("x"), new.verifying_key(), vec![], 10_000)
+            .unwrap();
         fx.manager.add_certificate(cert2);
-        assert_eq!(fx.manager.resolve_key(&OrgId::new("x")).unwrap(), new.verifying_key());
+        assert_eq!(
+            fx.manager.resolve_key(&OrgId::new("x")).unwrap(),
+            new.verifying_key()
+        );
     }
 }

@@ -108,7 +108,10 @@ impl B2BCoordinator {
         self.handlers.read().keys().cloned().collect()
     }
 
-    fn handler_for(&self, protocol: &ProtocolId) -> Result<Arc<dyn ProtocolHandler>, ProtocolError> {
+    fn handler_for(
+        &self,
+        protocol: &ProtocolId,
+    ) -> Result<Arc<dyn ProtocolHandler>, ProtocolError> {
         self.handlers
             .read()
             .get(protocol)
@@ -144,7 +147,8 @@ impl B2BCoordinator {
     ///
     /// [`ProtocolError::Net`] after retries are exhausted.
     pub fn deliver(&self, to: &OrgId, msg: &ProtocolMessage) -> Result<(), ProtocolError> {
-        self.requester.send(&self.org, &self.wire_addr(to), &msg.encode_to_vec())?;
+        self.requester
+            .send(&self.org, &self.wire_addr(to), &msg.encode_to_vec())?;
         Ok(())
     }
 
@@ -160,7 +164,9 @@ impl B2BCoordinator {
         to: &OrgId,
         msg: &ProtocolMessage,
     ) -> Result<ProtocolMessage, ProtocolError> {
-        let out = self.requester.request(&self.org, &self.wire_addr(to), &msg.encode_to_vec())?;
+        let out = self
+            .requester
+            .request(&self.org, &self.wire_addr(to), &msg.encode_to_vec())?;
         ProtocolMessage::decode_from_slice(&out.value)
             .map_err(|e| ProtocolError::BadMessage(format!("undecodable response: {e}")))
     }
@@ -174,7 +180,9 @@ impl BusEndpoint for B2BCoordinator {
 
     fn handle_request(&self, from: &OrgId, payload: &[u8]) -> Result<Vec<u8>, String> {
         let msg = ProtocolMessage::decode_from_slice(payload).map_err(|e| e.to_string())?;
-        let resp = self.dispatch_request(from, msg).map_err(|e| e.to_string())?;
+        let resp = self
+            .dispatch_request(from, msg)
+            .map_err(|e| e.to_string())?;
         Ok(resp.encode_to_vec())
     }
 }
@@ -228,7 +236,10 @@ mod tests {
             b.clone(),
             ReliableRequester::new(bus.clone(), RetryPolicy::new(4)),
         );
-        let handler = Arc::new(EchoHandler { seen_oneway: Mutex::new(Vec::new()), me: b.clone() });
+        let handler = Arc::new(EchoHandler {
+            seen_oneway: Mutex::new(Vec::new()),
+            me: b.clone(),
+        });
         coord_b.register_handler(handler.clone());
         bus.register(a, coord_a.clone());
         bus.register(b, coord_b.clone());
@@ -260,7 +271,10 @@ mod tests {
         let (coord_a, _coord_b, _handler) = wired_pair();
         let bad = ProtocolMessage::new("nope", RunId::from_u128(1), 1, "a", vec![]);
         let err = coord_a.deliver_request(&OrgId::new("b"), &bad).unwrap_err();
-        assert!(matches!(err, ProtocolError::Net(nonrep_net::NetError::Endpoint(_))));
+        assert!(matches!(
+            err,
+            ProtocolError::Net(nonrep_net::NetError::Endpoint(_))
+        ));
     }
 
     #[test]

@@ -25,6 +25,7 @@ use crate::handler::ProtocolHandler;
 use crate::invocation::{RequestExecutor, RunRegistry, ServerResponse};
 use crate::message::ProtocolMessage;
 use crate::party::Party;
+use crate::scheduler::TokenSpec;
 use crate::tokens::{NrToken, TokenKind};
 use crate::{B2BCoordinator, ProtocolError};
 
@@ -49,7 +50,10 @@ impl Encode for Step1 {
 
 impl Decode for Step1 {
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
-        Ok(Self { request: r.get_bytes()?.to_vec(), nro_req: NrToken::decode(r)? })
+        Ok(Self {
+            request: r.get_bytes()?.to_vec(),
+            nro_req: NrToken::decode(r)?,
+        })
     }
 }
 
@@ -97,7 +101,9 @@ impl Encode for Step3 {
 
 impl Decode for Step3 {
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
-        Ok(Self { nrr_resp: NrToken::decode(r)? })
+        Ok(Self {
+            nrr_resp: NrToken::decode(r)?,
+        })
     }
 }
 
@@ -150,7 +156,9 @@ impl DirectClient {
         let req_digest = sha256(&request);
 
         // Step 1: NRO_req + request.
-        let nro_req = self.party.issue_token(TokenKind::NroReq, run_id, req_digest)?;
+        let nro_req = self
+            .party
+            .issue_token(TokenKind::NroReq, run_id, req_digest)?;
         self.party.store_token(&nro_req)?;
         let step1 = Step1 { request, nro_req };
         let msg1 = ProtocolMessage::new(
@@ -182,7 +190,12 @@ impl DirectClient {
             .map_err(|e| ProtocolError::BadMessage(e.to_string()))?;
 
         // Verify and persist the server's evidence.
-        self.party.verify_and_store(&step2.nrr_req, TokenKind::NrrReq, run_id, Some(&req_digest))?;
+        self.party.verify_and_store(
+            &step2.nrr_req,
+            TokenKind::NrrReq,
+            run_id,
+            Some(&req_digest),
+        )?;
         let resp_digest = sha256(&step2.response.encode_to_vec());
         self.party.verify_and_store(
             &step2.nro_resp,
@@ -192,7 +205,9 @@ impl DirectClient {
         )?;
 
         // Step 3: client receipt for the response.
-        let nrr_resp = self.party.issue_token(TokenKind::NrrResp, run_id, resp_digest)?;
+        let nrr_resp = self
+            .party
+            .issue_token(TokenKind::NrrResp, run_id, resp_digest)?;
         self.party.store_token(&nrr_resp)?;
         let msg3 = ProtocolMessage::new(
             PROTOCOL_ID,
@@ -211,6 +226,10 @@ impl DirectClient {
             Err(ProtocolError::Net(_)) => false,
             Err(e) => return Err(e),
         };
+
+        // The run is complete for the client: let the commitment policy
+        // seal its evidence (no-op in per-record mode).
+        self.party.end_of_run()?;
 
         Ok(DirectOutcome {
             run_id,
@@ -238,7 +257,11 @@ impl fmt::Debug for DirectServerHandler {
 impl DirectServerHandler {
     /// Creates the handler; register it with the server's coordinator.
     pub fn new(party: Arc<Party>, executor: Arc<dyn RequestExecutor>) -> Arc<Self> {
-        Arc::new(Self { party, executor, runs: RunRegistry::new() })
+        Arc::new(Self {
+            party,
+            executor,
+            runs: RunRegistry::new(),
+        })
     }
 
     /// `true` if the client's final receipt arrived for `run`.
@@ -266,7 +289,9 @@ impl DirectServerHandler {
         let step1 = Step1::decode_from_slice(&msg.body)
             .map_err(|e| ProtocolError::BadMessage(e.to_string()))?;
         if step1.nro_req.issuer != *from {
-            return Err(ProtocolError::BadMessage("NRO_req issuer is not the sender".into()));
+            return Err(ProtocolError::BadMessage(
+                "NRO_req issuer is not the sender".into(),
+            ));
         }
         let req_digest = sha256(&step1.request);
         self.party.verify_and_store(
@@ -284,9 +309,15 @@ impl DirectServerHandler {
         };
         let resp_digest = sha256(&response.encode_to_vec());
 
-        let nrr_req = self.party.issue_token(TokenKind::NrrReq, msg.run_id, req_digest)?;
+        // Both server tokens are issued in one scheduler call: in batched
+        // commitment mode the pair shares a single signature.
+        let mut tokens = self.party.issue_tokens(&[
+            TokenSpec::new(TokenKind::NrrReq, msg.run_id, req_digest),
+            TokenSpec::new(TokenKind::NroResp, msg.run_id, resp_digest),
+        ])?;
+        let nro_resp = tokens.pop().expect("two specs yield two tokens");
+        let nrr_req = tokens.pop().expect("two specs yield two tokens");
         self.party.store_token(&nrr_req)?;
-        let nro_resp = self.party.issue_token(TokenKind::NroResp, msg.run_id, resp_digest)?;
         self.party.store_token(&nro_resp)?;
 
         let msg2 = ProtocolMessage::new(
@@ -294,7 +325,12 @@ impl DirectServerHandler {
             msg.run_id,
             2,
             self.party.org().clone(),
-            Step2 { response, nrr_req, nro_resp }.encode_to_vec(),
+            Step2 {
+                response,
+                nrr_req,
+                nro_resp,
+            }
+            .encode_to_vec(),
         )
         .signed(self.party.keys())
         .map_err(ProtocolError::from)?;
@@ -332,6 +368,8 @@ impl DirectServerHandler {
                 Some(&resp_digest),
             )?;
             self.runs.mark_receipt(&msg.run_id);
+            // The server's evidence set for this run is complete.
+            self.party.end_of_run()?;
         }
         Ok(ProtocolMessage::new(
             PROTOCOL_ID,
@@ -351,7 +389,9 @@ impl ProtocolHandler for DirectServerHandler {
     fn process(&self, from: &OrgId, msg: ProtocolMessage) -> Result<(), ProtocolError> {
         match msg.step {
             3 => self.handle_step3(from, msg).map(|_| ()),
-            step => Err(ProtocolError::BadMessage(format!("unexpected one-way step {step}"))),
+            step => Err(ProtocolError::BadMessage(format!(
+                "unexpected one-way step {step}"
+            ))),
         }
     }
 
@@ -363,7 +403,9 @@ impl ProtocolHandler for DirectServerHandler {
         match msg.step {
             1 => self.handle_step1(from, msg),
             3 => self.handle_step3(from, msg),
-            step => Err(ProtocolError::BadMessage(format!("unexpected request step {step}"))),
+            step => Err(ProtocolError::BadMessage(format!(
+                "unexpected request step {step}"
+            ))),
         }
     }
 }
@@ -433,9 +475,15 @@ mod tests {
     #[test]
     fn full_exchange_produces_all_four_tokens() {
         let fx = fixture();
-        let out = fx.client.invoke(&fx.server, b"order gearbox".to_vec()).unwrap();
+        let out = fx
+            .client
+            .invoke(&fx.server, b"order gearbox".to_vec())
+            .unwrap();
         assert!(out.receipt_acked);
-        assert_eq!(out.response, ServerResponse::Executed(b"echo:order gearbox".to_vec()));
+        assert_eq!(
+            out.response,
+            ServerResponse::Executed(b"echo:order gearbox".to_vec())
+        );
         // Client log: own NRO_req + NRR_resp, server's NRR_req + NRO_resp.
         let client_kinds: Vec<String> = fx
             .client_party
@@ -444,7 +492,10 @@ mod tests {
             .iter()
             .map(|r| r.draft.kind.clone())
             .collect();
-        assert_eq!(client_kinds, vec!["NRO_req", "NRR_req", "NRO_resp", "NRR_resp"]);
+        assert_eq!(
+            client_kinds,
+            vec!["NRO_req", "NRR_req", "NRO_resp", "NRR_resp"]
+        );
         // Server log: client's NRO_req + NRR_resp, own NRR_req + NRO_resp.
         let server_kinds: Vec<String> = fx
             .server_party
@@ -453,7 +504,10 @@ mod tests {
             .iter()
             .map(|r| r.draft.kind.clone())
             .collect();
-        assert_eq!(server_kinds, vec!["NRO_req", "NRR_req", "NRO_resp", "NRR_resp"]);
+        assert_eq!(
+            server_kinds,
+            vec!["NRO_req", "NRR_req", "NRO_resp", "NRR_resp"]
+        );
         assert!(fx.server_handler.receipt_received(&out.run_id));
         // Both chains verify.
         fx.client_party.log().verify().unwrap();
@@ -466,8 +520,15 @@ mod tests {
         let fx = fixture();
         let out = fx.client.invoke(&fx.server, b"req".to_vec()).unwrap();
         let server_key = fx.client_party.key_of(&fx.server).unwrap();
-        assert!(out.nrr_req.verify(&server_key, Some(TokenKind::NrrReq), Some(out.run_id), None));
-        assert!(out.nro_resp.verify(&server_key, Some(TokenKind::NroResp), Some(out.run_id), None));
+        assert!(out
+            .nrr_req
+            .verify(&server_key, Some(TokenKind::NrrReq), Some(out.run_id), None));
+        assert!(out.nro_resp.verify(
+            &server_key,
+            Some(TokenKind::NroResp),
+            Some(out.run_id),
+            None
+        ));
     }
 
     #[test]
@@ -481,10 +542,14 @@ mod tests {
         let client_party = Party::quick("client", 11, &clock, &dir);
         let server_party = Party::quick("server", 12, &clock, &dir);
         let bus = LocalBus::new();
-        let coord_client =
-            B2BCoordinator::new("client", ReliableRequester::new(bus.clone(), RetryPolicy::new(4)));
-        let coord_server =
-            B2BCoordinator::new("server", ReliableRequester::new(bus.clone(), RetryPolicy::new(4)));
+        let coord_client = B2BCoordinator::new(
+            "client",
+            ReliableRequester::new(bus.clone(), RetryPolicy::new(4)),
+        );
+        let coord_server = B2BCoordinator::new(
+            "server",
+            ReliableRequester::new(bus.clone(), RetryPolicy::new(4)),
+        );
         let handler = DirectServerHandler::new(
             server_party.clone(),
             Arc::new(|_: &OrgId, _: &[u8]| Err("out of stock".to_string())),
@@ -493,7 +558,9 @@ mod tests {
         bus.register(OrgId::new("client"), coord_client.clone());
         bus.register(OrgId::new("server"), coord_server);
         let client = DirectClient::new(client_party.clone(), coord_client);
-        let out = client.invoke(&OrgId::new("server"), b"order".to_vec()).unwrap();
+        let out = client
+            .invoke(&OrgId::new("server"), b"order".to_vec())
+            .unwrap();
         assert_eq!(out.response, ServerResponse::Failed("out of stock".into()));
         // Failure outcome still has the full evidence set.
         assert_eq!(client_party.log().by_run(&out.run_id).len(), 4);
@@ -510,12 +577,18 @@ mod tests {
         );
         let fx = fixture_with_bus(bus);
         for i in 0..10 {
-            let out = fx.client.invoke(&fx.server, format!("req-{i}").into_bytes()).unwrap();
+            let out = fx
+                .client
+                .invoke(&fx.server, format!("req-{i}").into_bytes())
+                .unwrap();
             assert!(out.response.is_executed());
         }
         // At-most-once: despite retried deliveries, each request executed once.
         assert_eq!(*fx.exec_count.lock(), 10);
-        assert!(fx.bus.stats().dropped > 0, "fault injection must have fired");
+        assert!(
+            fx.bus.stats().dropped > 0,
+            "fault injection must have fired"
+        );
     }
 
     #[test]
@@ -527,7 +600,10 @@ mod tests {
         let rogue = Party::quick("rogue", 99, &clock, &rogue_dir);
         // Rogue knows the server key (copies the directory entry) but not
         // vice versa.
-        rogue_dir.insert(fx.server.clone(), fx.client_party.key_of(&fx.server).unwrap());
+        rogue_dir.insert(
+            fx.server.clone(),
+            fx.client_party.key_of(&fx.server).unwrap(),
+        );
         let coord = B2BCoordinator::new(
             "rogue",
             ReliableRequester::new(fx.bus.clone(), RetryPolicy::new(2)),
@@ -535,7 +611,10 @@ mod tests {
         fx.bus.register(OrgId::new("rogue"), coord.clone());
         let client = DirectClient::new(rogue, coord);
         let err = client.invoke(&fx.server, b"req".to_vec()).unwrap_err();
-        assert!(matches!(err, ProtocolError::Net(nonrep_net::NetError::Endpoint(_))));
+        assert!(matches!(
+            err,
+            ProtocolError::Net(nonrep_net::NetError::Endpoint(_))
+        ));
         assert_eq!(*fx.exec_count.lock(), 0, "request must not execute");
     }
 
@@ -553,12 +632,19 @@ mod tests {
             run,
             1,
             "client",
-            Step1 { request, nro_req: nro }.encode_to_vec(),
+            Step1 {
+                request,
+                nro_req: nro,
+            }
+            .encode_to_vec(),
         )
         .signed(fx.client_party.keys())
         .unwrap();
         let from = OrgId::new("client");
-        let r1 = fx.server_handler.process_request(&from, msg1.clone()).unwrap();
+        let r1 = fx
+            .server_handler
+            .process_request(&from, msg1.clone())
+            .unwrap();
         let r2 = fx.server_handler.process_request(&from, msg1).unwrap();
         assert_eq!(r1, r2);
         assert_eq!(*fx.exec_count.lock(), 1);
@@ -582,7 +668,8 @@ mod tests {
         .signed(fx.client_party.keys())
         .unwrap();
         assert!(matches!(
-            fx.server_handler.process_request(&OrgId::new("client"), msg3),
+            fx.server_handler
+                .process_request(&OrgId::new("client"), msg3),
             Err(ProtocolError::UnknownRun(_))
         ));
     }
@@ -592,7 +679,8 @@ mod tests {
         let fx = fixture();
         let msg = ProtocolMessage::new(PROTOCOL_ID, RunId::from_u128(1), 9, "client", vec![]);
         assert!(matches!(
-            fx.server_handler.process_request(&OrgId::new("client"), msg),
+            fx.server_handler
+                .process_request(&OrgId::new("client"), msg),
             Err(ProtocolError::BadMessage(_))
         ));
     }

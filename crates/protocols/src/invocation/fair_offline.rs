@@ -42,6 +42,7 @@ use crate::invocation::direct::Step1;
 use crate::invocation::{RequestExecutor, RunRegistry, ServerResponse};
 use crate::message::ProtocolMessage;
 use crate::party::Party;
+use crate::scheduler::TokenSpec;
 use crate::tokens::{NrToken, TokenKind};
 use crate::{B2BCoordinator, ProtocolError};
 
@@ -120,7 +121,11 @@ impl Decode for EscrowBody {
         let raw = r.get_raw(32)?;
         let mut key = [0u8; 32];
         key.copy_from_slice(raw);
-        Ok(Self { key, resp_digest: Digest::decode(r)?, client: OrgId::decode(r)? })
+        Ok(Self {
+            key,
+            resp_digest: Digest::decode(r)?,
+            client: OrgId::decode(r)?,
+        })
     }
 }
 
@@ -164,7 +169,11 @@ impl fmt::Debug for FairClient {
 impl FairClient {
     /// Creates a client whose recovery TTP is `ttp`.
     pub fn new(party: Arc<Party>, coordinator: Arc<B2BCoordinator>, ttp: OrgId) -> Self {
-        Self { party, coordinator, ttp }
+        Self {
+            party,
+            coordinator,
+            ttp,
+        }
     }
 
     /// Runs the fair exchange against `server`.
@@ -182,7 +191,9 @@ impl FairClient {
     pub fn invoke(&self, server: &OrgId, request: Vec<u8>) -> Result<FairOutcome, ProtocolError> {
         let run_id = self.party.new_run_id();
         let req_digest = sha256(&request);
-        let nro_req = self.party.issue_token(TokenKind::NroReq, run_id, req_digest)?;
+        let nro_req = self
+            .party
+            .issue_token(TokenKind::NroReq, run_id, req_digest)?;
         self.party.store_token(&nro_req)?;
         let msg1 = ProtocolMessage::new(
             PROTOCOL_ID,
@@ -196,7 +207,9 @@ impl FairClient {
 
         let msg2 = self.coordinator.deliver_request(server, &msg1)?;
         if msg2.step != STEP_RESPONSE || msg2.run_id != run_id {
-            return Err(ProtocolError::BadMessage("expected fair step-2 reply".into()));
+            return Err(ProtocolError::BadMessage(
+                "expected fair step-2 reply".into(),
+            ));
         }
         let server_key = self.party.key_of(server)?;
         if !msg2.verify_frame(&server_key) {
@@ -208,7 +221,12 @@ impl FairClient {
         let step2 = FairStep2::decode_from_slice(&msg2.body)
             .map_err(|e| ProtocolError::BadMessage(e.to_string()))?;
         // Verify all evidence before committing.
-        self.party.verify_and_store(&step2.nrr_req, TokenKind::NrrReq, run_id, Some(&req_digest))?;
+        self.party.verify_and_store(
+            &step2.nrr_req,
+            TokenKind::NrrReq,
+            run_id,
+            Some(&req_digest),
+        )?;
         self.party.verify_and_store(
             &step2.nro_resp,
             TokenKind::NroResp,
@@ -217,7 +235,9 @@ impl FairClient {
         )?;
         // The escrow ack must come from *our* TTP and cover this run.
         if step2.escrow_ack.issuer != self.ttp {
-            return Err(ProtocolError::BadMessage("escrow ack not from the agreed TTP".into()));
+            return Err(ProtocolError::BadMessage(
+                "escrow ack not from the agreed TTP".into(),
+            ));
         }
         self.party.verify_and_store(
             &step2.escrow_ack,
@@ -228,7 +248,9 @@ impl FairClient {
 
         // Step 3: commit the receipt. From here the exchange must end
         // fairly: K from the server or from the TTP.
-        let nrr_resp = self.party.issue_token(TokenKind::NrrResp, run_id, step2.resp_digest)?;
+        let nrr_resp = self
+            .party
+            .issue_token(TokenKind::NrrResp, run_id, step2.resp_digest)?;
         self.party.store_token(&nrr_resp)?;
         let msg3 = ProtocolMessage::new(
             PROTOCOL_ID,
@@ -258,6 +280,9 @@ impl FairClient {
         }
         let response = ServerResponse::decode_from_slice(&plain)
             .map_err(|e| ProtocolError::BadMessage(e.to_string()))?;
+        // Run complete (key in hand, evidence stored): let the commitment
+        // policy seal it.
+        self.party.end_of_run()?;
         Ok(FairOutcome {
             run_id,
             response,
@@ -286,7 +311,9 @@ impl FairClient {
         let mut key = [0u8; 32];
         key.copy_from_slice(&reply.body);
         // Record the TTP's involvement in our log.
-        let resolve_note = self.party.issue_token(TokenKind::Resolve, run_id, sha256(&key))?;
+        let resolve_note = self
+            .party
+            .issue_token(TokenKind::Resolve, run_id, sha256(&key))?;
         self.party.store_token(&resolve_note)?;
         Ok(key)
     }
@@ -348,7 +375,11 @@ impl FairServerHandler {
 
     /// `true` if the client's receipt arrived directly for `run`.
     pub fn receipt_received(&self, run: &RunId) -> bool {
-        self.keys.lock().get(run).map(|s| s.receipt_received).unwrap_or(false)
+        self.keys
+            .lock()
+            .get(run)
+            .map(|s| s.receipt_received)
+            .unwrap_or(false)
     }
 
     /// Runs the abort sub-protocol for `run` at the TTP.
@@ -369,11 +400,14 @@ impl FairServerHandler {
         .map_err(ProtocolError::from)?;
         let reply = self.coordinator.deliver_request(&self.ttp, &msg)?;
         if reply.step != STEP_ABORT_ACK {
-            return Err(ProtocolError::Rejected("run already resolved at TTP".into()));
+            return Err(ProtocolError::Rejected(
+                "run already resolved at TTP".into(),
+            ));
         }
         let token = NrToken::decode_from_slice(&reply.body)
             .map_err(|e| ProtocolError::BadMessage(e.to_string()))?;
-        self.party.verify_and_store(&token, TokenKind::Abort, run, None)?;
+        self.party
+            .verify_and_store(&token, TokenKind::Abort, run, None)?;
         Ok(token)
     }
 
@@ -398,7 +432,8 @@ impl FairServerHandler {
         }
         let token = NrToken::decode_from_slice(&reply.body)
             .map_err(|e| ProtocolError::BadMessage(e.to_string()))?;
-        self.party.verify_and_store(&token, TokenKind::NrrResp, run, None)?;
+        self.party
+            .verify_and_store(&token, TokenKind::NrrResp, run, None)?;
         Ok(token)
     }
 
@@ -437,7 +472,11 @@ impl FairServerHandler {
         let enc_response = xor_keystream(&key, &plain);
 
         // Escrow the key with the TTP *before* committing to step 2.
-        let escrow = EscrowBody { key, resp_digest, client: from.clone() };
+        let escrow = EscrowBody {
+            key,
+            resp_digest,
+            client: from.clone(),
+        };
         let escrow_msg = ProtocolMessage::new(
             PROTOCOL_ID,
             msg.run_id,
@@ -460,9 +499,15 @@ impl FairServerHandler {
             Some(&resp_digest),
         )?;
 
-        let nrr_req = self.party.issue_token(TokenKind::NrrReq, msg.run_id, req_digest)?;
+        // One scheduler call for the pair: a single signature in batched
+        // commitment mode.
+        let mut tokens = self.party.issue_tokens(&[
+            TokenSpec::new(TokenKind::NrrReq, msg.run_id, req_digest),
+            TokenSpec::new(TokenKind::NroResp, msg.run_id, resp_digest),
+        ])?;
+        let nro_resp = tokens.pop().expect("two specs yield two tokens");
+        let nrr_req = tokens.pop().expect("two specs yield two tokens");
         self.party.store_token(&nrr_req)?;
-        let nro_resp = self.party.issue_token(TokenKind::NroResp, msg.run_id, resp_digest)?;
         self.party.store_token(&nro_resp)?;
 
         let msg2 = ProtocolMessage::new(
@@ -470,12 +515,24 @@ impl FairServerHandler {
             msg.run_id,
             STEP_RESPONSE,
             self.party.org().clone(),
-            FairStep2 { enc_response, resp_digest, nrr_req, nro_resp, escrow_ack }
-                .encode_to_vec(),
+            FairStep2 {
+                enc_response,
+                resp_digest,
+                nrr_req,
+                nro_resp,
+                escrow_ack,
+            }
+            .encode_to_vec(),
         )
         .signed(self.party.keys())
         .map_err(ProtocolError::from)?;
-        self.keys.lock().insert(msg.run_id, FairRunState { key, receipt_received: false });
+        self.keys.lock().insert(
+            msg.run_id,
+            FairRunState {
+                key,
+                receipt_received: false,
+            },
+        );
         self.runs.record_response(msg.run_id, msg2.clone());
         Ok(msg2)
     }
@@ -496,11 +553,14 @@ impl FairServerHandler {
             .map_err(|e| ProtocolError::BadMessage(e.to_string()))?;
         let key = {
             let mut keys = self.keys.lock();
-            let state = keys.get_mut(&msg.run_id).ok_or(ProtocolError::UnknownRun(msg.run_id))?;
+            let state = keys
+                .get_mut(&msg.run_id)
+                .ok_or(ProtocolError::UnknownRun(msg.run_id))?;
             state.receipt_received = true;
             state.key
         };
-        self.party.verify_and_store(&nrr_resp, TokenKind::NrrResp, msg.run_id, None)?;
+        self.party
+            .verify_and_store(&nrr_resp, TokenKind::NrrResp, msg.run_id, None)?;
         match self.conduct {
             ServerConduct::Honest => Ok(ProtocolMessage::new(
                 PROTOCOL_ID,
@@ -528,7 +588,9 @@ impl ProtocolHandler for FairServerHandler {
     }
 
     fn process(&self, _from: &OrgId, _msg: ProtocolMessage) -> Result<(), ProtocolError> {
-        Err(ProtocolError::BadMessage("fair-offline has no one-way steps".into()))
+        Err(ProtocolError::BadMessage(
+            "fair-offline has no one-way steps".into(),
+        ))
     }
 
     fn process_request(
@@ -567,17 +629,28 @@ impl fmt::Debug for OfflineTtpHandler {
 impl OfflineTtpHandler {
     /// Creates the TTP handler.
     pub fn new(party: Arc<Party>) -> Arc<Self> {
-        Arc::new(Self { party, ledger: Mutex::new(HashMap::new()) })
+        Arc::new(Self {
+            party,
+            ledger: Mutex::new(HashMap::new()),
+        })
     }
 
     /// `true` if `run` is marked aborted.
     pub fn is_aborted(&self, run: &RunId) -> bool {
-        self.ledger.lock().get(run).map(|e| e.aborted).unwrap_or(false)
+        self.ledger
+            .lock()
+            .get(run)
+            .map(|e| e.aborted)
+            .unwrap_or(false)
     }
 
     /// `true` if `run` was resolved for the client.
     pub fn is_resolved(&self, run: &RunId) -> bool {
-        self.ledger.lock().get(run).map(|e| e.resolved).unwrap_or(false)
+        self.ledger
+            .lock()
+            .get(run)
+            .map(|e| e.resolved)
+            .unwrap_or(false)
     }
 
     fn handle_escrow(
@@ -587,7 +660,10 @@ impl OfflineTtpHandler {
     ) -> Result<ProtocolMessage, ProtocolError> {
         let server_key = self.party.key_of(from)?;
         if !msg.verify_frame(&server_key) {
-            return Err(ProtocolError::BadSignature { org: from.clone(), what: "escrow".into() });
+            return Err(ProtocolError::BadSignature {
+                org: from.clone(),
+                what: "escrow".into(),
+            });
         }
         let body = EscrowBody::decode_from_slice(&msg.body)
             .map_err(|e| ProtocolError::BadMessage(e.to_string()))?;
@@ -599,7 +675,9 @@ impl OfflineTtpHandler {
             }
             entry.key = Some((body.key, body.resp_digest, body.client.clone()));
         }
-        let ack = self.party.issue_token(TokenKind::Escrow, msg.run_id, body.resp_digest)?;
+        let ack = self
+            .party
+            .issue_token(TokenKind::Escrow, msg.run_id, body.resp_digest)?;
         self.party.store_token(&ack)?;
         Ok(ProtocolMessage::new(
             PROTOCOL_ID,
@@ -617,23 +695,37 @@ impl OfflineTtpHandler {
     ) -> Result<ProtocolMessage, ProtocolError> {
         let client_key = self.party.key_of(from)?;
         if !msg.verify_frame(&client_key) {
-            return Err(ProtocolError::BadSignature { org: from.clone(), what: "resolve".into() });
+            return Err(ProtocolError::BadSignature {
+                org: from.clone(),
+                what: "resolve".into(),
+            });
         }
         let nrr_resp = NrToken::decode_from_slice(&msg.body)
             .map_err(|e| ProtocolError::BadMessage(e.to_string()))?;
         let key = {
             let mut ledger = self.ledger.lock();
-            let entry = ledger.get_mut(&msg.run_id).ok_or(ProtocolError::UnknownRun(msg.run_id))?;
+            let entry = ledger
+                .get_mut(&msg.run_id)
+                .ok_or(ProtocolError::UnknownRun(msg.run_id))?;
             if entry.aborted {
                 return Err(ProtocolError::Aborted(msg.run_id));
             }
-            let (key, resp_digest, client) =
-                entry.key.clone().ok_or(ProtocolError::UnknownRun(msg.run_id))?;
+            let (key, resp_digest, client) = entry
+                .key
+                .clone()
+                .ok_or(ProtocolError::UnknownRun(msg.run_id))?;
             if client != *from {
-                return Err(ProtocolError::Rejected("resolver is not the escrowed client".into()));
+                return Err(ProtocolError::Rejected(
+                    "resolver is not the escrowed client".into(),
+                ));
             }
             // The receipt must cover the escrowed response digest.
-            if !nrr_resp.verify(&client_key, Some(TokenKind::NrrResp), Some(msg.run_id), Some(&resp_digest)) {
+            if !nrr_resp.verify(
+                &client_key,
+                Some(TokenKind::NrrResp),
+                Some(msg.run_id),
+                Some(&resp_digest),
+            ) {
                 return Err(ProtocolError::BadSignature {
                     org: from.clone(),
                     what: "NRR_resp presented at resolve".into(),
@@ -644,7 +736,9 @@ impl OfflineTtpHandler {
             key
         };
         self.party.store_token(&nrr_resp)?;
-        let note = self.party.issue_token(TokenKind::Resolve, msg.run_id, sha256(&key))?;
+        let note = self
+            .party
+            .issue_token(TokenKind::Resolve, msg.run_id, sha256(&key))?;
         self.party.store_token(&note)?;
         Ok(ProtocolMessage::new(
             PROTOCOL_ID,
@@ -662,7 +756,10 @@ impl OfflineTtpHandler {
     ) -> Result<ProtocolMessage, ProtocolError> {
         let server_key = self.party.key_of(from)?;
         if !msg.verify_frame(&server_key) {
-            return Err(ProtocolError::BadSignature { org: from.clone(), what: "abort".into() });
+            return Err(ProtocolError::BadSignature {
+                org: from.clone(),
+                what: "abort".into(),
+            });
         }
         let mut ledger = self.ledger.lock();
         let entry = ledger.entry(msg.run_id).or_default();
@@ -672,7 +769,9 @@ impl OfflineTtpHandler {
         }
         entry.aborted = true;
         drop(ledger);
-        let token = self.party.issue_token(TokenKind::Abort, msg.run_id, Digest::ZERO)?;
+        let token = self
+            .party
+            .issue_token(TokenKind::Abort, msg.run_id, Digest::ZERO)?;
         self.party.store_token(&token)?;
         Ok(ProtocolMessage::new(
             PROTOCOL_ID,
@@ -690,7 +789,10 @@ impl OfflineTtpHandler {
     ) -> Result<ProtocolMessage, ProtocolError> {
         let server_key = self.party.key_of(from)?;
         if !msg.verify_frame(&server_key) {
-            return Err(ProtocolError::BadSignature { org: from.clone(), what: "fetch".into() });
+            return Err(ProtocolError::BadSignature {
+                org: from.clone(),
+                what: "fetch".into(),
+            });
         }
         let receipt = self
             .ledger
@@ -714,7 +816,9 @@ impl ProtocolHandler for OfflineTtpHandler {
     }
 
     fn process(&self, _from: &OrgId, _msg: ProtocolMessage) -> Result<(), ProtocolError> {
-        Err(ProtocolError::BadMessage("TTP sub-protocols are request/response".into()))
+        Err(ProtocolError::BadMessage(
+            "TTP sub-protocols are request/response".into(),
+        ))
     }
 
     fn process_request(
@@ -727,7 +831,9 @@ impl ProtocolHandler for OfflineTtpHandler {
             STEP_RESOLVE => self.handle_resolve(from, msg),
             STEP_ABORT => self.handle_abort(from, msg),
             STEP_FETCH => self.handle_fetch(from, msg),
-            step => Err(ProtocolError::BadMessage(format!("unexpected TTP step {step}"))),
+            step => Err(ProtocolError::BadMessage(format!(
+                "unexpected TTP step {step}"
+            ))),
         }
     }
 }
@@ -834,7 +940,11 @@ mod tests {
             run,
             STEP_REQUEST,
             "client",
-            Step1 { request, nro_req: nro }.encode_to_vec(),
+            Step1 {
+                request,
+                nro_req: nro,
+            }
+            .encode_to_vec(),
         )
         .signed(w.client_party.keys())
         .unwrap();
@@ -855,7 +965,10 @@ mod tests {
             .issue_token(TokenKind::NrrResp, run, step2.resp_digest)
             .unwrap();
         let err = w.client.resolve(run, &nrr).unwrap_err();
-        assert!(matches!(err, ProtocolError::Aborted(_) | ProtocolError::Net(_)));
+        assert!(matches!(
+            err,
+            ProtocolError::Aborted(_) | ProtocolError::Net(_)
+        ));
     }
 
     #[test]
@@ -882,7 +995,10 @@ mod tests {
             .issue_token(TokenKind::NrrResp, out.run_id, sha256(b"wrong"))
             .unwrap();
         let err = w.client.resolve(out.run_id, &bogus).unwrap_err();
-        assert!(matches!(err, ProtocolError::Aborted(_) | ProtocolError::Net(_)));
+        assert!(matches!(
+            err,
+            ProtocolError::Aborted(_) | ProtocolError::Net(_)
+        ));
     }
 
     #[test]
@@ -902,8 +1018,14 @@ mod tests {
         )
         .signed(w.server_party.keys())
         .unwrap();
-        let err = w.ttp_handler.process_request(&OrgId::new("server"), msg).unwrap_err();
-        assert!(matches!(err, ProtocolError::Rejected(_) | ProtocolError::BadSignature { .. }));
+        let err = w
+            .ttp_handler
+            .process_request(&OrgId::new("server"), msg)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ProtocolError::Rejected(_) | ProtocolError::BadSignature { .. }
+        ));
     }
 
     #[test]

@@ -120,7 +120,11 @@ impl fmt::Debug for InlineTtpClient {
 impl InlineTtpClient {
     /// Creates a client that routes through `ttp`.
     pub fn new(party: Arc<Party>, coordinator: Arc<B2BCoordinator>, ttp: OrgId) -> Self {
-        Self { party, coordinator, ttp }
+        Self {
+            party,
+            coordinator,
+            ttp,
+        }
     }
 
     /// Invokes `request` on `server` via the TTP path.
@@ -131,9 +135,15 @@ impl InlineTtpClient {
     pub fn invoke(&self, server: &OrgId, request: Vec<u8>) -> Result<InlineOutcome, ProtocolError> {
         let run_id = self.party.new_run_id();
         let req_digest = sha256(&request);
-        let nro_req = self.party.issue_token(TokenKind::NroReq, run_id, req_digest)?;
+        let nro_req = self
+            .party
+            .issue_token(TokenKind::NroReq, run_id, req_digest)?;
         self.party.store_token(&nro_req)?;
-        let step1 = InlineStep1 { server: server.clone(), request, nro_req };
+        let step1 = InlineStep1 {
+            server: server.clone(),
+            request,
+            nro_req,
+        };
         let msg1 = ProtocolMessage::new(
             PROTOCOL_ID,
             run_id,
@@ -145,7 +155,9 @@ impl InlineTtpClient {
         .map_err(ProtocolError::from)?;
         let msg2 = self.coordinator.deliver_request(&self.ttp, &msg1)?;
         if msg2.step != 2 || msg2.run_id != run_id {
-            return Err(ProtocolError::BadMessage("expected inline step-2 reply".into()));
+            return Err(ProtocolError::BadMessage(
+                "expected inline step-2 reply".into(),
+            ));
         }
         // The reply frame is signed by the first TTP hop.
         let hop_key = self.party.key_of(&msg2.sender)?;
@@ -159,7 +171,8 @@ impl InlineTtpClient {
             .map_err(|e| ProtocolError::BadMessage(e.to_string()))?;
         // Verify every receipt under its issuer key and persist it.
         for receipt in &resp.receipts {
-            self.party.verify_and_store(receipt, TokenKind::TtpReceipt, run_id, None)?;
+            self.party
+                .verify_and_store(receipt, TokenKind::TtpReceipt, run_id, None)?;
         }
         // Verify the server's own response-origin token. It is bound to the
         // *inner* run id of the TTP↔server direct exchange (the TTP acts as
@@ -179,6 +192,8 @@ impl InlineTtpClient {
             });
         }
         self.party.store_token(&resp.server_nro_resp)?;
+        // Run complete: seal pending evidence if the policy asks for it.
+        self.party.end_of_run()?;
         Ok(InlineOutcome {
             run_id,
             response: resp.response,
@@ -200,7 +215,12 @@ pub struct InlineTtpHandler {
 
 impl fmt::Debug for InlineTtpHandler {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "InlineTtpHandler({}, next={:?})", self.party.org(), self.next_hop)
+        write!(
+            f,
+            "InlineTtpHandler({}, next={:?})",
+            self.party.org(),
+            self.next_hop
+        )
     }
 }
 
@@ -208,13 +228,23 @@ impl InlineTtpHandler {
     /// Creates a terminal TTP: verifies, receipts, and invokes the server
     /// with the direct protocol.
     pub fn terminal(party: Arc<Party>, coordinator: Arc<B2BCoordinator>) -> Arc<Self> {
-        Arc::new(Self { party, coordinator, next_hop: None, runs: RunRegistry::new() })
+        Arc::new(Self {
+            party,
+            coordinator,
+            next_hop: None,
+            runs: RunRegistry::new(),
+        })
     }
 
     /// Creates a relay TTP forwarding to `next` (distributed inline TTP,
     /// Fig 3(b)).
     pub fn relay(party: Arc<Party>, coordinator: Arc<B2BCoordinator>, next: OrgId) -> Arc<Self> {
-        Arc::new(Self { party, coordinator, next_hop: Some(next), runs: RunRegistry::new() })
+        Arc::new(Self {
+            party,
+            coordinator,
+            next_hop: Some(next),
+            runs: RunRegistry::new(),
+        })
     }
 
     fn handle_step1(
@@ -244,7 +274,9 @@ impl InlineTtpHandler {
             Some(&req_digest),
         )?;
         // Receipt for the request passing through this TTP.
-        let receipt_req = self.party.issue_token(TokenKind::TtpReceipt, msg.run_id, req_digest)?;
+        let receipt_req = self
+            .party
+            .issue_token(TokenKind::TtpReceipt, msg.run_id, req_digest)?;
         self.party.store_token(&receipt_req)?;
 
         let (response, server_nro_resp, mut receipts) = match &self.next_hop {
@@ -273,12 +305,17 @@ impl InlineTtpHandler {
         };
         let resp_digest = sha256(&response.encode_to_vec());
         let receipt_resp =
-            self.party.issue_token(TokenKind::TtpReceipt, msg.run_id, resp_digest)?;
+            self.party
+                .issue_token(TokenKind::TtpReceipt, msg.run_id, resp_digest)?;
         self.party.store_token(&receipt_resp)?;
         // This hop's receipts go in front of any inner receipts.
         let mut all = vec![receipt_req, receipt_resp];
         all.append(&mut receipts);
-        let body = InlineResp { response, server_nro_resp, receipts: all };
+        let body = InlineResp {
+            response,
+            server_nro_resp,
+            receipts: all,
+        };
         let msg2 = ProtocolMessage::new(
             PROTOCOL_ID,
             msg.run_id,
@@ -299,7 +336,9 @@ impl ProtocolHandler for InlineTtpHandler {
     }
 
     fn process(&self, _from: &OrgId, _msg: ProtocolMessage) -> Result<(), ProtocolError> {
-        Err(ProtocolError::BadMessage("inline-ttp has no one-way steps".into()))
+        Err(ProtocolError::BadMessage(
+            "inline-ttp has no one-way steps".into(),
+        ))
     }
 
     fn process_request(
@@ -367,11 +406,16 @@ mod tests {
         let _server_party = echo_server(&world, "server", 3);
 
         let ttp_coord = world.coordinator("ttp");
-        ttp_coord.register_handler(InlineTtpHandler::terminal(ttp_party.clone(), ttp_coord.clone()));
+        ttp_coord.register_handler(InlineTtpHandler::terminal(
+            ttp_party.clone(),
+            ttp_coord.clone(),
+        ));
         let client_coord = world.coordinator("client");
         let client = InlineTtpClient::new(client_party.clone(), client_coord, OrgId::new("ttp"));
 
-        let out = client.invoke(&OrgId::new("server"), b"req".to_vec()).unwrap();
+        let out = client
+            .invoke(&OrgId::new("server"), b"req".to_vec())
+            .unwrap();
         assert_eq!(out.response, ServerResponse::Executed(b"res:req".to_vec()));
         // Two TTP receipts (request + response).
         assert_eq!(out.receipts.len(), 2);
@@ -395,7 +439,10 @@ mod tests {
         let _server_party = echo_server(&world, "server", 4);
 
         let coord_b = world.coordinator("ttp-b");
-        coord_b.register_handler(InlineTtpHandler::terminal(ttp_b_party.clone(), coord_b.clone()));
+        coord_b.register_handler(InlineTtpHandler::terminal(
+            ttp_b_party.clone(),
+            coord_b.clone(),
+        ));
         let coord_a = world.coordinator("ttp-a");
         coord_a.register_handler(InlineTtpHandler::relay(
             ttp_a_party.clone(),
@@ -405,7 +452,9 @@ mod tests {
         let client_coord = world.coordinator("client");
         let client = InlineTtpClient::new(client_party.clone(), client_coord, OrgId::new("ttp-a"));
 
-        let out = client.invoke(&OrgId::new("server"), b"req".to_vec()).unwrap();
+        let out = client
+            .invoke(&OrgId::new("server"), b"req".to_vec())
+            .unwrap();
         assert_eq!(out.response, ServerResponse::Executed(b"res:req".to_vec()));
         // Four receipts: A(req, resp), B(req, resp).
         assert_eq!(out.receipts.len(), 4);
@@ -427,7 +476,9 @@ mod tests {
 
         // NRO over a different request than the one sent.
         let run = client_party.new_run_id();
-        let nro = client_party.issue_token(TokenKind::NroReq, run, sha256(b"other")).unwrap();
+        let nro = client_party
+            .issue_token(TokenKind::NroReq, run, sha256(b"other"))
+            .unwrap();
         let msg = ProtocolMessage::new(
             PROTOCOL_ID,
             run,
@@ -442,7 +493,9 @@ mod tests {
         )
         .signed(client_party.keys())
         .unwrap();
-        let err = handler.process_request(&OrgId::new("client"), msg).unwrap_err();
+        let err = handler
+            .process_request(&OrgId::new("client"), msg)
+            .unwrap_err();
         assert!(matches!(err, ProtocolError::BadSignature { .. }));
     }
 
@@ -457,17 +510,26 @@ mod tests {
 
         let run = client_party.new_run_id();
         let request = b"dup".to_vec();
-        let nro = client_party.issue_token(TokenKind::NroReq, run, sha256(&request)).unwrap();
+        let nro = client_party
+            .issue_token(TokenKind::NroReq, run, sha256(&request))
+            .unwrap();
         let msg = ProtocolMessage::new(
             PROTOCOL_ID,
             run,
             1,
             "client",
-            InlineStep1 { server: OrgId::new("server"), request, nro_req: nro }.encode_to_vec(),
+            InlineStep1 {
+                server: OrgId::new("server"),
+                request,
+                nro_req: nro,
+            }
+            .encode_to_vec(),
         )
         .signed(client_party.keys())
         .unwrap();
-        let r1 = handler.process_request(&OrgId::new("client"), msg.clone()).unwrap();
+        let r1 = handler
+            .process_request(&OrgId::new("client"), msg.clone())
+            .unwrap();
         let r2 = handler.process_request(&OrgId::new("client"), msg).unwrap();
         assert_eq!(r1, r2);
     }

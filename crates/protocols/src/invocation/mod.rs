@@ -91,7 +91,10 @@ impl Decode for ServerResponse {
         match r.get_u8()? {
             0 => Ok(ServerResponse::Executed(r.get_bytes()?.to_vec())),
             1 => Ok(ServerResponse::Failed(r.get_string()?)),
-            tag => Err(CodecError::InvalidTag { ty: "ServerResponse", tag }),
+            tag => Err(CodecError::InvalidTag {
+                ty: "ServerResponse",
+                tag,
+            }),
         }
     }
 }
@@ -123,9 +126,13 @@ impl RunRegistry {
 
     /// Records the response produced for `run`.
     pub fn record_response(&self, run: RunId, response: ProtocolMessage) {
-        self.runs
-            .lock()
-            .insert(run, RunEntry { response, receipt_received: false });
+        self.runs.lock().insert(
+            run,
+            RunEntry {
+                response,
+                receipt_received: false,
+            },
+        );
     }
 
     /// Marks the client receipt as received for `run`. Returns `false` if
@@ -142,7 +149,11 @@ impl RunRegistry {
 
     /// `true` if the client's receipt arrived for `run`.
     pub fn receipt_received(&self, run: &RunId) -> bool {
-        self.runs.lock().get(run).map(|e| e.receipt_received).unwrap_or(false)
+        self.runs
+            .lock()
+            .get(run)
+            .map(|e| e.receipt_received)
+            .unwrap_or(false)
     }
 
     /// Number of runs tracked.

@@ -72,7 +72,9 @@ impl VoluntaryClient {
     ) -> Result<VoluntaryOutcome, ProtocolError> {
         let run_id = self.party.new_run_id();
         let req_digest = sha256(&request);
-        let nro_req = self.party.issue_token(TokenKind::NroReq, run_id, req_digest)?;
+        let nro_req = self
+            .party
+            .issue_token(TokenKind::NroReq, run_id, req_digest)?;
         self.party.store_token(&nro_req)?;
         let msg1 = ProtocolMessage::new(
             PROTOCOL_ID,
@@ -89,6 +91,8 @@ impl VoluntaryClient {
         }
         let response = ServerResponse::decode_from_slice(&msg2.body)
             .map_err(|e| ProtocolError::BadMessage(e.to_string()))?;
+        // Run complete: seal pending evidence if the policy asks for it.
+        self.party.end_of_run()?;
         Ok(VoluntaryOutcome { run_id, response })
     }
 }
@@ -110,7 +114,11 @@ impl fmt::Debug for VoluntaryServerHandler {
 impl VoluntaryServerHandler {
     /// Creates the handler.
     pub fn new(party: Arc<Party>, executor: Arc<dyn RequestExecutor>) -> Arc<Self> {
-        Arc::new(Self { party, executor, runs: RunRegistry::new() })
+        Arc::new(Self {
+            party,
+            executor,
+            runs: RunRegistry::new(),
+        })
     }
 }
 
@@ -120,7 +128,9 @@ impl ProtocolHandler for VoluntaryServerHandler {
     }
 
     fn process(&self, _from: &OrgId, _msg: ProtocolMessage) -> Result<(), ProtocolError> {
-        Err(ProtocolError::BadMessage("voluntary protocol has no one-way steps".into()))
+        Err(ProtocolError::BadMessage(
+            "voluntary protocol has no one-way steps".into(),
+        ))
     }
 
     fn process_request(
@@ -129,7 +139,10 @@ impl ProtocolHandler for VoluntaryServerHandler {
         msg: ProtocolMessage,
     ) -> Result<ProtocolMessage, ProtocolError> {
         if msg.step != 1 {
-            return Err(ProtocolError::BadMessage(format!("unexpected step {}", msg.step)));
+            return Err(ProtocolError::BadMessage(format!(
+                "unexpected step {}",
+                msg.step
+            )));
         }
         if let Some(cached) = self.runs.cached_response(&msg.run_id) {
             return Ok(cached);
@@ -162,6 +175,9 @@ impl ProtocolHandler for VoluntaryServerHandler {
             response.encode_to_vec(),
         );
         self.runs.record_response(msg.run_id, msg2.clone());
+        // The server holds all the evidence it will ever get for this
+        // one-sided run; seal it if the commitment policy asks for it.
+        self.party.end_of_run()?;
         Ok(msg2)
     }
 }
@@ -180,10 +196,14 @@ mod tests {
         let client_party = Party::quick("client", 1, &clock, &dir);
         let server_party = Party::quick("server", 2, &clock, &dir);
         let bus = LocalBus::new();
-        let coord_c =
-            B2BCoordinator::new("client", ReliableRequester::new(bus.clone(), RetryPolicy::new(4)));
-        let coord_s =
-            B2BCoordinator::new("server", ReliableRequester::new(bus.clone(), RetryPolicy::new(4)));
+        let coord_c = B2BCoordinator::new(
+            "client",
+            ReliableRequester::new(bus.clone(), RetryPolicy::new(4)),
+        );
+        let coord_s = B2BCoordinator::new(
+            "server",
+            ReliableRequester::new(bus.clone(), RetryPolicy::new(4)),
+        );
         let handler = VoluntaryServerHandler::new(
             server_party.clone(),
             Arc::new(|_: &OrgId, req: &[u8]| Ok([b"ok:", req].concat())),
@@ -206,11 +226,19 @@ mod tests {
         assert_eq!(out.response, ServerResponse::Executed(b"ok:req".to_vec()));
         // The asymmetry: server holds the client's NRO; client holds only
         // its own NRO copy — no token *about the server* at all.
-        let server_kinds: Vec<String> =
-            server_party.log().by_run(&out.run_id).iter().map(|r| r.draft.kind.clone()).collect();
+        let server_kinds: Vec<String> = server_party
+            .log()
+            .by_run(&out.run_id)
+            .iter()
+            .map(|r| r.draft.kind.clone())
+            .collect();
         assert_eq!(server_kinds, vec!["NRO_req"]);
-        let client_kinds: Vec<String> =
-            client_party.log().by_run(&out.run_id).iter().map(|r| r.draft.kind.clone()).collect();
+        let client_kinds: Vec<String> = client_party
+            .log()
+            .by_run(&out.run_id)
+            .iter()
+            .map(|r| r.draft.kind.clone())
+            .collect();
         assert_eq!(client_kinds, vec!["NRO_req"]);
     }
 
@@ -220,13 +248,19 @@ mod tests {
         drop(client);
         // Build a message whose NRO subject doesn't match the request.
         let run = client_party.new_run_id();
-        let nro = client_party.issue_token(TokenKind::NroReq, run, sha256(b"other")).unwrap();
+        let nro = client_party
+            .issue_token(TokenKind::NroReq, run, sha256(b"other"))
+            .unwrap();
         let msg = ProtocolMessage::new(
             PROTOCOL_ID,
             run,
             1,
             "client",
-            Step1 { request: b"real".to_vec(), nro_req: nro }.encode_to_vec(),
+            Step1 {
+                request: b"real".to_vec(),
+                nro_req: nro,
+            }
+            .encode_to_vec(),
         )
         .signed(client_party.keys())
         .unwrap();
@@ -236,7 +270,9 @@ mod tests {
         dir.insert(OrgId::new("client"), client_party.keys().verifying_key());
         let sp = Party::quick("server", 5, &clock, &dir);
         let handler = VoluntaryServerHandler::new(sp, Arc::new(|_: &OrgId, _: &[u8]| Ok(vec![])));
-        let err = handler.process_request(&OrgId::new("client"), msg).unwrap_err();
+        let err = handler
+            .process_request(&OrgId::new("client"), msg)
+            .unwrap_err();
         assert!(matches!(err, ProtocolError::BadSignature { .. }));
         drop(server);
     }

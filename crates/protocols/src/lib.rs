@@ -32,7 +32,9 @@
 //! Supporting pieces: [`message::ProtocolMessage`] (the
 //! `B2BProtocolMessage` of §4.1), [`tokens::NrToken`] (NRO/NRR & friends),
 //! [`party::Party`] (one organisation's protocol identity: keys, clock,
-//! evidence log, key directory), [`coordinator::B2BCoordinator`]
+//! evidence log, key directory), [`scheduler::CommitmentScheduler`] (the
+//! batched evidence-commitment pipeline every party routes token issuance
+//! and log appends through), [`coordinator::B2BCoordinator`]
 //! (`deliver`/`deliverRequest` dispatch to registered
 //! [`handler::ProtocolHandler`]s), and [`ttp`] (inline relay and offline
 //! escrow TTP nodes).
@@ -42,6 +44,7 @@ pub mod handler;
 pub mod invocation;
 pub mod message;
 pub mod party;
+pub mod scheduler;
 pub mod sharing;
 pub mod tokens;
 pub mod ttp;
@@ -50,6 +53,7 @@ pub use coordinator::B2BCoordinator;
 pub use handler::ProtocolHandler;
 pub use message::ProtocolMessage;
 pub use party::{KeyDirectory, Party, StaticKeyDirectory};
+pub use scheduler::{BatchPolicy, CommitmentMode, CommitmentScheduler, TokenSpec};
 pub use tokens::{NrToken, TokenKind};
 
 use std::error::Error;
@@ -107,8 +111,14 @@ impl fmt::Display for ProtocolError {
             ProtocolError::UnknownProtocol(p) => write!(f, "unknown protocol: {p}"),
             ProtocolError::UnknownRun(r) => write!(f, "unknown run: {r}"),
             ProtocolError::Rejected(msg) => write!(f, "rejected: {msg}"),
-            ProtocolError::StaleVersion { proposed_base, current } => {
-                write!(f, "stale version: proposed base {proposed_base}, current {current}")
+            ProtocolError::StaleVersion {
+                proposed_base,
+                current,
+            } => {
+                write!(
+                    f,
+                    "stale version: proposed base {proposed_base}, current {current}"
+                )
             }
             ProtocolError::Aborted(r) => write!(f, "run {r} aborted"),
             ProtocolError::Signing(msg) => write!(f, "signing failure: {msg}"),

@@ -125,11 +125,20 @@ mod tests {
     use nonrep_crypto::sig::{KeyPair, SignatureScheme};
 
     fn keys(seed: u64) -> KeyPair {
-        KeyPair::generate(SignatureScheme::Mss { height: 2 }, &mut SecureRandom::from_seed(seed))
+        KeyPair::generate(
+            SignatureScheme::Mss { height: 2 },
+            &mut SecureRandom::from_seed(seed),
+        )
     }
 
     fn msg() -> ProtocolMessage {
-        ProtocolMessage::new("direct", RunId::from_u128(5), 1, "client", b"payload".to_vec())
+        ProtocolMessage::new(
+            "direct",
+            RunId::from_u128(5),
+            1,
+            "client",
+            b"payload".to_vec(),
+        )
     }
 
     #[test]
@@ -137,7 +146,10 @@ mod tests {
         let kp = keys(1);
         let m = msg().signed(&kp).unwrap();
         assert!(m.verify_frame(&kp.verifying_key()));
-        assert!(!msg().verify_frame(&kp.verifying_key()), "unsigned frame must not verify");
+        assert!(
+            !msg().verify_frame(&kp.verifying_key()),
+            "unsigned frame must not verify"
+        );
     }
 
     #[test]
@@ -152,7 +164,10 @@ mod tests {
                 2 => m.body = b"forged".to_vec(),
                 _ => m.run_id = RunId::from_u128(6),
             }
-            assert!(!m.verify_frame(&kp.verifying_key()), "tamper {tamper} passed");
+            assert!(
+                !m.verify_frame(&kp.verifying_key()),
+                "tamper {tamper} passed"
+            );
         }
     }
 

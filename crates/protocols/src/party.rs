@@ -4,6 +4,12 @@
 //! identity, signing keys, clock, evidence log, random source, and a
 //! [`KeyDirectory`] to resolve other organisations' verifying keys. This is
 //! the protocol-facing face of a trusted interceptor's local resources.
+//!
+//! All evidence generation — token issuance *and* log appends — routes
+//! through the party's [`CommitmentScheduler`], so switching between
+//! per-record signing and the batched commitment pipeline is a
+//! construction-time (or [`Party::scheduler`]-level) choice that protocol
+//! code never sees.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -18,6 +24,7 @@ use nonrep_store::{EvidenceLog, MemoryLog, RecordDraft};
 use nonrep_types::ids::{OrgId, RunId};
 use nonrep_types::time::{Clock, LogicalClock, Timestamp};
 
+use crate::scheduler::{CommitmentMode, CommitmentScheduler, TokenSpec};
 use crate::tokens::{NrToken, TokenKind};
 use crate::ProtocolError;
 
@@ -62,6 +69,7 @@ pub struct Party {
     log: Arc<dyn EvidenceLog>,
     directory: Arc<dyn KeyDirectory>,
     rng: Mutex<SecureRandom>,
+    scheduler: CommitmentScheduler,
 }
 
 impl fmt::Debug for Party {
@@ -71,7 +79,8 @@ impl fmt::Debug for Party {
 }
 
 impl Party {
-    /// Creates a party.
+    /// Creates a party in per-record commitment mode (see
+    /// [`Party::with_commitment`] for the batched pipeline).
     pub fn new(
         org: impl Into<OrgId>,
         keys: Arc<KeyPair>,
@@ -80,7 +89,44 @@ impl Party {
         directory: Arc<dyn KeyDirectory>,
         rng: SecureRandom,
     ) -> Arc<Self> {
-        Arc::new(Self { org: org.into(), keys, clock, log, directory, rng: Mutex::new(rng) })
+        Self::with_commitment(
+            org,
+            keys,
+            clock,
+            log,
+            directory,
+            rng,
+            CommitmentMode::PerRecord,
+        )
+    }
+
+    /// Creates a party with an explicit evidence-commitment mode.
+    pub fn with_commitment(
+        org: impl Into<OrgId>,
+        keys: Arc<KeyPair>,
+        clock: Arc<dyn Clock>,
+        log: Arc<dyn EvidenceLog>,
+        directory: Arc<dyn KeyDirectory>,
+        rng: SecureRandom,
+        mode: CommitmentMode,
+    ) -> Arc<Self> {
+        let org = org.into();
+        let scheduler = CommitmentScheduler::new(
+            Arc::clone(&keys),
+            Arc::clone(&log),
+            org.clone(),
+            Arc::clone(&clock),
+            mode,
+        );
+        Arc::new(Self {
+            org,
+            keys,
+            clock,
+            log,
+            directory,
+            rng: Mutex::new(rng),
+            scheduler,
+        })
     }
 
     /// Convenience constructor for tests/examples: fresh MSS keys, memory
@@ -91,19 +137,47 @@ impl Party {
         clock: &LogicalClock,
         directory: &Arc<StaticKeyDirectory>,
     ) -> Arc<Self> {
+        Self::quick_with(org, seed, clock, directory, CommitmentMode::PerRecord)
+    }
+
+    /// [`Party::quick`] with the batched commitment pipeline enabled.
+    pub fn quick_batched(
+        org: &str,
+        seed: u64,
+        clock: &LogicalClock,
+        directory: &Arc<StaticKeyDirectory>,
+        batch_size: usize,
+    ) -> Arc<Self> {
+        Self::quick_with(
+            org,
+            seed,
+            clock,
+            directory,
+            CommitmentMode::batched(batch_size),
+        )
+    }
+
+    fn quick_with(
+        org: &str,
+        seed: u64,
+        clock: &LogicalClock,
+        directory: &Arc<StaticKeyDirectory>,
+        mode: CommitmentMode,
+    ) -> Arc<Self> {
         let mut rng = SecureRandom::from_seed(seed);
         let keys = Arc::new(KeyPair::generate(
             nonrep_crypto::sig::SignatureScheme::Mss { height: 8 },
             &mut rng,
         ));
         directory.insert(OrgId::new(org), keys.verifying_key());
-        Party::new(
+        Party::with_commitment(
             org,
             keys,
             Arc::new(clock.clone()),
             Arc::new(MemoryLog::new()),
             Arc::clone(directory) as Arc<dyn KeyDirectory>,
             rng,
+            mode,
         )
     }
 
@@ -143,10 +217,19 @@ impl Party {
     ///
     /// [`ProtocolError::UnknownKey`] if the directory has no key.
     pub fn key_of(&self, org: &OrgId) -> Result<VerifyingKey, ProtocolError> {
-        self.directory.key_of(org).ok_or_else(|| ProtocolError::UnknownKey(org.clone()))
+        self.directory
+            .key_of(org)
+            .ok_or_else(|| ProtocolError::UnknownKey(org.clone()))
     }
 
-    /// Issues a signed token as this party.
+    /// This party's evidence-commitment scheduler (flush policy, epoch
+    /// sealing state).
+    pub fn scheduler(&self) -> &CommitmentScheduler {
+        &self.scheduler
+    }
+
+    /// Issues a signed token as this party (routed through the
+    /// commitment scheduler).
     ///
     /// # Errors
     ///
@@ -157,7 +240,44 @@ impl Party {
         run_id: RunId,
         subject: Digest,
     ) -> Result<NrToken, ProtocolError> {
-        Ok(NrToken::issue(kind, run_id, self.org.clone(), subject, self.now(), &self.keys)?)
+        let mut tokens = self
+            .scheduler
+            .issue(&[TokenSpec::new(kind, run_id, subject)])?;
+        Ok(tokens.pop().expect("one spec yields one token"))
+    }
+
+    /// Issues several tokens at once. In batched commitment mode the whole
+    /// call consumes a **single** signature (each token carries the shared
+    /// batch signature plus its own authentication path); in per-record
+    /// mode each token is signed individually.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Signing`] if the key is exhausted.
+    pub fn issue_tokens(&self, specs: &[TokenSpec]) -> Result<Vec<NrToken>, ProtocolError> {
+        self.scheduler.issue(specs)
+    }
+
+    /// Marks the end of a protocol run: seals any pending evidence if the
+    /// commitment policy asks for run-end sealing (no-op per-record).
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Storage`] if the seal cannot be persisted.
+    pub fn end_of_run(&self) -> Result<(), ProtocolError> {
+        self.scheduler.end_of_run().map_err(ProtocolError::from)
+    }
+
+    /// Explicitly seals pending evidence under an epoch commitment.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Storage`] if the seal cannot be persisted.
+    pub fn flush_evidence(&self) -> Result<(), ProtocolError> {
+        self.scheduler
+            .seal()
+            .map(|_| ())
+            .map_err(ProtocolError::from)
     }
 
     /// Verifies a token allegedly issued by `issuer`, pinned to
@@ -178,10 +298,6 @@ impl Party {
         expect_run: RunId,
         expect_subject: Option<&Digest>,
     ) -> Result<(), ProtocolError> {
-        if token.issuer != *self.org() || token.kind != expect_kind {
-            // Tokens we issued ourselves are stored via `store_own_token`;
-            // this path is for peers' tokens.
-        }
         let key = self.key_of(&token.issuer)?;
         if !token.verify(&key, Some(expect_kind), Some(expect_run), expect_subject) {
             return Err(ProtocolError::BadSignature {
@@ -194,14 +310,16 @@ impl Party {
     }
 
     /// Persists a token in the evidence log without verification (used for
-    /// tokens this party itself issued).
+    /// tokens this party itself issued). Routed through the commitment
+    /// scheduler, so in batched mode the append counts toward the next
+    /// epoch seal.
     ///
     /// # Errors
     ///
     /// [`ProtocolError::Storage`] on logging failure.
     pub fn store_token(&self, token: &NrToken) -> Result<(), ProtocolError> {
         use nonrep_types::codec::Encode;
-        self.log.append(RecordDraft {
+        self.scheduler.record(RecordDraft {
             run_id: token.run_id,
             kind: token.kind.label().to_string(),
             actor: token.issuer.clone(),
@@ -233,7 +351,8 @@ mod tests {
         let subject = sha256(b"request");
         let token = alice.issue_token(TokenKind::NroReq, run, subject).unwrap();
         // Bob verifies and stores Alice's token.
-        bob.verify_and_store(&token, TokenKind::NroReq, run, Some(&subject)).unwrap();
+        bob.verify_and_store(&token, TokenKind::NroReq, run, Some(&subject))
+            .unwrap();
         assert_eq!(bob.log().len(), 1);
         assert_eq!(bob.log().by_run(&run).len(), 1);
         bob.log().verify().unwrap();
@@ -243,9 +362,13 @@ mod tests {
     fn verification_failure_is_not_stored() {
         let (alice, bob, _dir) = setup();
         let run = alice.new_run_id();
-        let mut token = alice.issue_token(TokenKind::NroReq, run, sha256(b"x")).unwrap();
+        let mut token = alice
+            .issue_token(TokenKind::NroReq, run, sha256(b"x"))
+            .unwrap();
         token.subject = sha256(b"forged");
-        let err = bob.verify_and_store(&token, TokenKind::NroReq, run, None).unwrap_err();
+        let err = bob
+            .verify_and_store(&token, TokenKind::NroReq, run, None)
+            .unwrap_err();
         assert!(matches!(err, ProtocolError::BadSignature { .. }));
         assert_eq!(bob.log().len(), 0);
     }
@@ -259,7 +382,9 @@ mod tests {
         let mallory_dir = Arc::new(StaticKeyDirectory::new());
         let mallory = Party::quick("mallory", 9, &clock, &mallory_dir);
         let run = mallory.new_run_id();
-        let token = mallory.issue_token(TokenKind::NroReq, run, sha256(b"x")).unwrap();
+        let token = mallory
+            .issue_token(TokenKind::NroReq, run, sha256(b"x"))
+            .unwrap();
         assert!(matches!(
             alice.verify_and_store(&token, TokenKind::NroReq, run, None),
             Err(ProtocolError::UnknownKey(_))
@@ -278,7 +403,9 @@ mod tests {
     fn kind_pinning_rejects_substituted_kind() {
         let (alice, bob, _dir) = setup();
         let run = alice.new_run_id();
-        let token = alice.issue_token(TokenKind::NroReq, run, sha256(b"x")).unwrap();
+        let token = alice
+            .issue_token(TokenKind::NroReq, run, sha256(b"x"))
+            .unwrap();
         assert!(matches!(
             bob.verify_and_store(&token, TokenKind::NroResp, run, None),
             Err(ProtocolError::BadSignature { .. })

@@ -1,0 +1,543 @@
+//! The batched evidence-commitment pipeline.
+//!
+//! PR 1 made hashing cheap; what dominates the evidence hot path now is
+//! **signing** — every token and every sealed log range costs one MSS
+//! signature. [`CommitmentScheduler`] is the single chokepoint all
+//! evidence generation routes through ([`crate::party::Party`] delegates
+//! both token issuance and log appends here), and it amortizes that cost
+//! two ways when batching is enabled:
+//!
+//! 1. **Token batches** — [`CommitmentScheduler::issue`] signs all the
+//!    tokens of one call with a *single* MSS signature over a Merkle
+//!    batch root ([`nonrep_crypto::sig::KeyPair::sign_batch`]); each
+//!    token carries the shared signature plus its own authentication
+//!    path and verifies through the ordinary
+//!    [`nonrep_crypto::sig::VerifyingKey::verify`] path, so peers and
+//!    adjudicators need no new machinery.
+//! 2. **Epoch commitments** — appended records accumulate until the
+//!    policy's batch size is reached, then one signature seals the whole
+//!    range `[lo, hi]` as an [`EpochCommitment`] record. A sealed range
+//!    can later be submitted for adjudication as a `snapshot_range`
+//!    *window* (plus the chain head and the epoch's batch proof) instead
+//!    of a clone of the full log.
+//!
+//! Per-record signing ([`CommitmentMode::PerRecord`]) remains the
+//! compatibility mode and the default: every token gets its own
+//! signature and no epoch records are written.
+//!
+//! # Flush policy
+//!
+//! Sealing is policy-driven: automatically when `batch_size` unsealed
+//! records accumulate, explicitly via [`CommitmentScheduler::seal`], and
+//! (if [`BatchPolicy::seal_on_run_end`] is set) whenever a protocol run
+//! completes ([`CommitmentScheduler::end_of_run`]), so a finished
+//! exchange's evidence is always covered by a commitment.
+
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use nonrep_crypto::digest::Digest;
+use nonrep_crypto::sig::KeyPair;
+use nonrep_store::record::EpochCommitment;
+use nonrep_store::{EvidenceLog, EvidenceRecord, RecordDraft, StoreError};
+use nonrep_types::ids::{OrgId, RunId};
+use nonrep_types::time::Clock;
+
+use crate::tokens::{NrToken, TokenKind};
+use crate::ProtocolError;
+
+/// When a batched scheduler seals an epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Seal automatically once this many unsealed records accumulate.
+    pub batch_size: usize,
+    /// Also seal when a protocol run completes
+    /// ([`CommitmentScheduler::end_of_run`]). Keeps completed exchanges
+    /// fully covered at the cost of smaller batches; high-throughput
+    /// deployments with many concurrent runs can disable it and rely on
+    /// `batch_size` alone.
+    pub seal_on_run_end: bool,
+}
+
+impl BatchPolicy {
+    /// Seal every `batch_size` records and at each run end.
+    pub fn new(batch_size: usize) -> Self {
+        Self {
+            batch_size: batch_size.max(1),
+            seal_on_run_end: true,
+        }
+    }
+
+    /// Seal on batch size only (maximum amortization).
+    #[must_use]
+    pub fn size_only(mut self) -> Self {
+        self.seal_on_run_end = false;
+        self
+    }
+}
+
+/// How evidence is signed and committed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitmentMode {
+    /// Compatibility mode: one signature per token, no epoch records.
+    PerRecord,
+    /// One signature per token *batch* and one per sealed epoch.
+    Batched(BatchPolicy),
+}
+
+impl CommitmentMode {
+    /// Batched mode with the given batch size and run-end sealing.
+    pub fn batched(batch_size: usize) -> Self {
+        CommitmentMode::Batched(BatchPolicy::new(batch_size))
+    }
+}
+
+/// What a token should attest — the unsigned part of an [`NrToken`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TokenSpec {
+    /// Token kind.
+    pub kind: TokenKind,
+    /// The protocol run.
+    pub run_id: RunId,
+    /// Digest of the subject matter.
+    pub subject: Digest,
+}
+
+impl TokenSpec {
+    /// Creates a spec.
+    pub fn new(kind: TokenKind, run_id: RunId, subject: Digest) -> Self {
+        Self {
+            kind,
+            run_id,
+            subject,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct SchedulerState {
+    mode: CommitmentMode,
+    /// First log sequence number not yet covered by an epoch commitment.
+    sealed_next: u64,
+}
+
+/// Routes all of a party's evidence generation, amortizing signatures in
+/// batched mode. See the [module docs](self).
+pub struct CommitmentScheduler {
+    keys: Arc<KeyPair>,
+    log: Arc<dyn EvidenceLog>,
+    actor: OrgId,
+    clock: Arc<dyn Clock>,
+    state: Mutex<SchedulerState>,
+}
+
+impl fmt::Debug for CommitmentScheduler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CommitmentScheduler({}, {:?})",
+            self.actor,
+            self.state.lock().mode
+        )
+    }
+}
+
+impl CommitmentScheduler {
+    /// Creates a scheduler over a party's keys, log and clock.
+    ///
+    /// The sealing watermark resumes from the log's last epoch-commitment
+    /// record (everything after it is pending), so reopening a recovered
+    /// log re-seals exactly the records whose commitment was lost — and a
+    /// log with no commitments yet is sealed from the start on the first
+    /// flush in batched mode.
+    pub fn new(
+        keys: Arc<KeyPair>,
+        log: Arc<dyn EvidenceLog>,
+        actor: OrgId,
+        clock: Arc<dyn Clock>,
+        mode: CommitmentMode,
+    ) -> Self {
+        let mut sealed_next = 0u64;
+        log.for_each(&mut |r| {
+            if r.is_epoch_commit() {
+                sealed_next = r.seq + 1;
+            }
+        });
+        Self {
+            keys,
+            log,
+            actor,
+            clock,
+            state: Mutex::new(SchedulerState { mode, sealed_next }),
+        }
+    }
+
+    /// The current commitment mode.
+    pub fn mode(&self) -> CommitmentMode {
+        self.state.lock().mode
+    }
+
+    /// The evidence log this scheduler appends to.
+    pub fn log(&self) -> &Arc<dyn EvidenceLog> {
+        &self.log
+    }
+
+    /// Switches commitment mode. Leaving batched mode seals any pending
+    /// range first so no records are left uncovered.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] if the closing seal cannot be persisted.
+    pub fn set_mode(&self, mode: CommitmentMode) -> Result<(), StoreError> {
+        let mut state = self.state.lock();
+        if matches!(state.mode, CommitmentMode::Batched(_)) {
+            self.seal_locked(&mut state)?;
+        }
+        state.mode = mode;
+        Ok(())
+    }
+
+    /// Number of appended records not yet covered by an epoch commitment.
+    pub fn unsealed_len(&self) -> u64 {
+        self.log.len().saturating_sub(self.state.lock().sealed_next)
+    }
+
+    /// Issues signed tokens for `specs` — one signature for the whole
+    /// call in batched mode, one per token in per-record mode.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Signing`] if the key is exhausted.
+    pub fn issue(&self, specs: &[TokenSpec]) -> Result<Vec<NrToken>, ProtocolError> {
+        let batched = matches!(self.mode(), CommitmentMode::Batched(_));
+        if !batched || specs.len() <= 1 {
+            // A batch of one gains nothing over a direct signature and
+            // would carry a (pointless) single-leaf auth path.
+            return specs
+                .iter()
+                .map(|s| {
+                    NrToken::issue(
+                        s.kind,
+                        s.run_id,
+                        self.actor.clone(),
+                        s.subject,
+                        self.clock.now(),
+                        &self.keys,
+                    )
+                    .map_err(ProtocolError::from)
+                })
+                .collect();
+        }
+        let stamped: Vec<(TokenSpec, nonrep_types::time::Timestamp)> =
+            specs.iter().map(|s| (*s, self.clock.now())).collect();
+        let digests: Vec<Digest> = stamped
+            .iter()
+            .map(|(s, at)| NrToken::signing_digest(s.kind, &s.run_id, &self.actor, &s.subject, *at))
+            .collect();
+        let signatures = self.keys.sign_batch(&digests)?;
+        Ok(stamped
+            .into_iter()
+            .zip(signatures)
+            .map(|((s, at), signature)| {
+                NrToken::from_parts(
+                    s.kind,
+                    s.run_id,
+                    self.actor.clone(),
+                    s.subject,
+                    at,
+                    signature,
+                )
+            })
+            .collect())
+    }
+
+    /// Appends an evidence record, sealing an epoch automatically when
+    /// the batch policy's size is reached.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] if persisting (or sealing) fails.
+    pub fn record(&self, draft: RecordDraft) -> Result<Arc<EvidenceRecord>, StoreError> {
+        let mut state = self.state.lock();
+        let record = self.log.append(draft)?;
+        if let CommitmentMode::Batched(policy) = state.mode {
+            if self.log.len().saturating_sub(state.sealed_next) >= policy.batch_size as u64 {
+                self.seal_locked(&mut state)?;
+            }
+        }
+        Ok(record)
+    }
+
+    /// Explicitly seals the pending unsealed range, if any, returning the
+    /// appended epoch record. No-op in per-record mode (that mode means
+    /// *no* epoch commitments, so flushing has nothing to seal).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] if signing the root or persisting the record fails.
+    pub fn seal(&self) -> Result<Option<Arc<EvidenceRecord>>, StoreError> {
+        let mut state = self.state.lock();
+        if matches!(state.mode, CommitmentMode::PerRecord) {
+            return Ok(None);
+        }
+        self.seal_locked(&mut state)
+    }
+
+    /// Run-completion hook: seals pending evidence when the policy asks
+    /// for run-end sealing. No-op in per-record mode.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] if the seal cannot be persisted.
+    pub fn end_of_run(&self) -> Result<(), StoreError> {
+        let mut state = self.state.lock();
+        if let CommitmentMode::Batched(policy) = state.mode {
+            if policy.seal_on_run_end {
+                self.seal_locked(&mut state)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Seals `[sealed_next, len)` under one signature. Caller holds the
+    /// state lock, serializing seals against scheduler appends.
+    fn seal_locked(
+        &self,
+        state: &mut SchedulerState,
+    ) -> Result<Option<Arc<EvidenceRecord>>, StoreError> {
+        let len = self.log.len();
+        if state.sealed_next >= len {
+            return Ok(None);
+        }
+        let lo = state.sealed_next;
+        let hi = len - 1;
+        let covered = self.log.snapshot_range(lo..len);
+        let hashes: Vec<Digest> = covered.iter().map(|r| r.record_hash()).collect();
+        let root = EpochCommitment::root_over_hashes(&hashes);
+        let signature = self
+            .keys
+            .sign_digest(&EpochCommitment::signing_digest(lo, hi, &root))
+            .map_err(|e| StoreError::Corrupt(format!("epoch seal failed: {e}")))?;
+        let commitment = EpochCommitment {
+            lo,
+            hi,
+            root,
+            signature,
+        };
+        let record = self
+            .log
+            .append(commitment.to_draft(self.actor.clone(), self.clock.now()))?;
+        // The epoch record itself is not covered; the next epoch starts
+        // after it, so commitments always cover ordinary records only.
+        state.sealed_next = record.seq + 1;
+        Ok(Some(record))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nonrep_crypto::digest::sha256;
+    use nonrep_crypto::rng::SecureRandom;
+    use nonrep_crypto::sig::SignatureScheme;
+    use nonrep_store::{MemoryLog, EPOCH_KIND};
+    use nonrep_types::time::{LogicalClock, Timestamp};
+
+    fn scheduler(mode: CommitmentMode) -> (CommitmentScheduler, Arc<dyn EvidenceLog>) {
+        let keys = Arc::new(KeyPair::generate(
+            SignatureScheme::Mss { height: 6 },
+            &mut SecureRandom::from_seed(1),
+        ));
+        let log: Arc<dyn EvidenceLog> = Arc::new(MemoryLog::new());
+        let clock = Arc::new(LogicalClock::new());
+        let s = CommitmentScheduler::new(keys, log.clone(), OrgId::new("org"), clock, mode);
+        (s, log)
+    }
+
+    fn draft(n: u64) -> RecordDraft {
+        RecordDraft {
+            run_id: RunId::from_u128(u128::from(n) + 1),
+            kind: "NRO_req".into(),
+            actor: OrgId::new("org"),
+            at: Timestamp(n),
+            content_digest: sha256(&n.to_le_bytes()),
+            payload: vec![n as u8; 16],
+        }
+    }
+
+    #[test]
+    fn per_record_mode_writes_no_epochs() {
+        let (s, log) = scheduler(CommitmentMode::PerRecord);
+        for i in 0..10 {
+            s.record(draft(i)).unwrap();
+        }
+        s.end_of_run().unwrap();
+        assert_eq!(log.len(), 10);
+        assert_eq!(log.count_where(&|r| r.is_epoch_commit()), 0);
+        assert_eq!(s.unsealed_len(), 10, "per-record mode never seals");
+    }
+
+    #[test]
+    fn batched_mode_seals_every_batch_size_records() {
+        let (s, log) = scheduler(CommitmentMode::batched(4));
+        for i in 0..9 {
+            s.record(draft(i)).unwrap();
+        }
+        // 9 ordinary records → seals after the 4th and 8th: 2 epochs.
+        assert_eq!(log.count_where(&|r| r.is_epoch_commit()), 2);
+        assert_eq!(s.unsealed_len(), 1);
+        log.verify().unwrap();
+        // Every commitment verifies against its covered range.
+        let keys_vk = {
+            let keys = KeyPair::generate(
+                SignatureScheme::Mss { height: 6 },
+                &mut SecureRandom::from_seed(1),
+            );
+            keys.verifying_key()
+        };
+        let mut checked = 0;
+        for rec in log.records() {
+            if let Some(commit) = EpochCommitment::from_record(&rec) {
+                let covered = log.snapshot_range(commit.lo..commit.hi + 1);
+                assert!(
+                    commit.verify(&keys_vk, &covered),
+                    "epoch [{},{}]",
+                    commit.lo,
+                    commit.hi
+                );
+                checked += 1;
+            }
+        }
+        assert_eq!(checked, 2);
+    }
+
+    #[test]
+    fn explicit_seal_and_run_end_cover_the_tail() {
+        let (s, log) = scheduler(CommitmentMode::batched(100));
+        for i in 0..3 {
+            s.record(draft(i)).unwrap();
+        }
+        assert_eq!(s.unsealed_len(), 3);
+        let epoch = s.seal().unwrap().unwrap();
+        assert_eq!(epoch.draft.kind, EPOCH_KIND);
+        assert_eq!(s.unsealed_len(), 0);
+        assert!(s.seal().unwrap().is_none(), "nothing pending");
+        // end_of_run seals when the policy says so.
+        s.record(draft(9)).unwrap();
+        s.end_of_run().unwrap();
+        assert_eq!(s.unsealed_len(), 0);
+        // size_only policy ignores run ends.
+        let (s2, _) = scheduler(CommitmentMode::Batched(BatchPolicy::new(100).size_only()));
+        s2.record(draft(0)).unwrap();
+        s2.end_of_run().unwrap();
+        assert_eq!(s2.unsealed_len(), 1);
+        log.verify().unwrap();
+    }
+
+    #[test]
+    fn issue_batches_share_one_signature() {
+        let (s, _) = scheduler(CommitmentMode::batched(16));
+        let run = RunId::from_u128(7);
+        let specs = [
+            TokenSpec::new(TokenKind::NrrReq, run, sha256(b"req")),
+            TokenSpec::new(TokenKind::NroResp, run, sha256(b"resp")),
+        ];
+        let tokens = s.issue(&specs).unwrap();
+        assert_eq!(tokens.len(), 2);
+        let vk = s.keys.verifying_key();
+        for t in &tokens {
+            assert!(t.signature.is_batched());
+            assert!(t.verify(&vk, Some(t.kind), Some(run), None));
+        }
+        // A single-token call uses a direct signature (no path overhead).
+        let one = s.issue(&specs[..1]).unwrap();
+        assert!(!one[0].signature.is_batched());
+        assert!(one[0].verify(&vk, Some(TokenKind::NrrReq), Some(run), None));
+    }
+
+    #[test]
+    fn issue_per_record_mode_signs_individually() {
+        let (s, _) = scheduler(CommitmentMode::PerRecord);
+        let run = RunId::from_u128(7);
+        let remaining_before = s.keys.remaining().unwrap();
+        let tokens = s
+            .issue(&[
+                TokenSpec::new(TokenKind::NrrReq, run, sha256(b"a")),
+                TokenSpec::new(TokenKind::NroResp, run, sha256(b"b")),
+            ])
+            .unwrap();
+        assert_eq!(s.keys.remaining().unwrap(), remaining_before - 2);
+        assert!(tokens.iter().all(|t| !t.signature.is_batched()));
+    }
+
+    #[test]
+    fn file_log_crash_mid_commitment_recovers_and_reseals() {
+        use nonrep_store::FileLog;
+        let path = {
+            let mut p = std::env::temp_dir();
+            p.push(format!("nonrep-sched-recover-{}.log", std::process::id()));
+            p
+        };
+        let _ = std::fs::remove_file(&path);
+        let keys = Arc::new(KeyPair::generate(
+            SignatureScheme::Mss { height: 6 },
+            &mut SecureRandom::from_seed(5),
+        ));
+        let clock = Arc::new(LogicalClock::new());
+        {
+            let log: Arc<dyn EvidenceLog> = Arc::new(FileLog::open(&path).unwrap());
+            let s = CommitmentScheduler::new(
+                keys.clone(),
+                log.clone(),
+                OrgId::new("org"),
+                clock.clone(),
+                CommitmentMode::batched(3),
+            );
+            for i in 0..7 {
+                s.record(draft(i)).unwrap();
+            }
+            // 7 records → epochs sealed after 3 and 6 appends; one record
+            // (seq 8) pending. Seal it so the tail is an epoch record.
+            s.seal().unwrap().unwrap();
+        }
+        // Crash mid-append of the final epoch commitment: chop into the
+        // tail record (epoch records are large — 40 bytes is mid-record).
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 40]).unwrap();
+        // Recovery drops the torn commitment; the covered prefix is intact.
+        let log: Arc<dyn EvidenceLog> = Arc::new(FileLog::open_recover(&path).unwrap());
+        log.verify().unwrap();
+        let epoch_count = log.count_where(&|r| r.is_epoch_commit());
+        assert_eq!(epoch_count, 2, "torn third commitment dropped");
+        // A fresh scheduler resumes from the last surviving commitment,
+        // so the record whose seal was lost in the crash (seq 8) is
+        // pending again and the next seal re-covers it.
+        let s = CommitmentScheduler::new(
+            keys.clone(),
+            log.clone(),
+            OrgId::new("org"),
+            clock,
+            CommitmentMode::batched(3),
+        );
+        assert_eq!(s.unsealed_len(), 1, "the orphaned record is pending again");
+        s.record(draft(99)).unwrap();
+        let epoch = s.seal().unwrap().unwrap();
+        let commit = EpochCommitment::from_record(&epoch).unwrap();
+        assert_eq!(commit.lo, 8, "re-seal covers the orphaned record");
+        let covered = log.snapshot_range(commit.lo..commit.hi + 1);
+        assert!(commit.verify(&keys.verifying_key(), &covered));
+        log.verify().unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn set_mode_seals_pending_before_switching() {
+        let (s, log) = scheduler(CommitmentMode::batched(100));
+        s.record(draft(0)).unwrap();
+        s.set_mode(CommitmentMode::PerRecord).unwrap();
+        assert_eq!(log.count_where(&|r| r.is_epoch_commit()), 1);
+        assert_eq!(s.mode(), CommitmentMode::PerRecord);
+    }
+}

@@ -109,7 +109,10 @@ impl Encode for ProposeMsg {
 
 impl Decode for ProposeMsg {
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
-        Ok(Self { proposal: ProposalBody::decode(r)?, token: NrToken::decode(r)? })
+        Ok(Self {
+            proposal: ProposalBody::decode(r)?,
+            token: NrToken::decode(r)?,
+        })
     }
 }
 
@@ -147,10 +150,16 @@ impl SignedVote {
 
     /// Verifies the vote's internal consistency and signature.
     pub fn verify(&self, voter_key: &nonrep_crypto::sig::VerifyingKey, run: RunId) -> bool {
-        let expected =
-            Self::vote_digest(&self.voter, self.accept, &self.reason, &self.proposal_digest);
+        let expected = Self::vote_digest(
+            &self.voter,
+            self.accept,
+            &self.reason,
+            &self.proposal_digest,
+        );
         self.token.issuer == self.voter
-            && self.token.verify(voter_key, Some(TokenKind::Vote), Some(run), Some(&expected))
+            && self
+                .token
+                .verify(voter_key, Some(TokenKind::Vote), Some(run), Some(&expected))
     }
 }
 
@@ -192,7 +201,11 @@ pub struct DecisionBody {
 
 impl DecisionBody {
     /// The digest the decision token is signed over.
-    pub fn decision_digest(accepted: bool, proposal_digest: &Digest, votes: &[SignedVote]) -> Digest {
+    pub fn decision_digest(
+        accepted: bool,
+        proposal_digest: &Digest,
+        votes: &[SignedVote],
+    ) -> Digest {
         let mut w = Writer::new();
         w.put_str("nonrep.decision.v1");
         w.put_bool(accepted);
@@ -335,7 +348,9 @@ impl SharingMember {
     ) -> Result<CoordinationOutcome, ProtocolError> {
         let members = self.groups.members(group)?;
         if !members.contains(self.party.org()) {
-            return Err(ProtocolError::Rejected("proposer is not a group member".into()));
+            return Err(ProtocolError::Rejected(
+                "proposer is not a group member".into(),
+            ));
         }
         let run_id = self.party.new_run_id();
         let base_version = self.store.history(object).len() as u64;
@@ -347,14 +362,20 @@ impl SharingMember {
             proposer: self.party.org().clone(),
         };
         let digest = proposal.digest();
-        let token = self.party.issue_token(TokenKind::Proposal, run_id, digest)?;
+        let token = self
+            .party
+            .issue_token(TokenKind::Proposal, run_id, digest)?;
         self.party.store_token(&token)?;
         let propose_msg = ProtocolMessage::new(
             PROTOCOL_ID,
             run_id,
             STEP_PROPOSE,
             self.party.org().clone(),
-            ProposeMsg { proposal: proposal.clone(), token }.encode_to_vec(),
+            ProposeMsg {
+                proposal: proposal.clone(),
+                token,
+            }
+            .encode_to_vec(),
         )
         .signed(self.party.keys())
         .map_err(ProtocolError::from)?;
@@ -388,7 +409,9 @@ impl SharingMember {
 
         // Step 3/4: disseminate the decision with all signed votes.
         let decision_digest = DecisionBody::decision_digest(accepted, &digest, &votes);
-        let decision_token = self.party.issue_token(TokenKind::Decision, run_id, decision_digest)?;
+        let decision_token =
+            self.party
+                .issue_token(TokenKind::Decision, run_id, decision_digest)?;
         self.party.store_token(&decision_token)?;
         let decision = DecisionBody {
             accepted,
@@ -408,7 +431,9 @@ impl SharingMember {
         for member in members.iter().filter(|m| *m != self.party.org()) {
             let ack = coordinator.deliver_request(member, &decision_msg)?;
             if ack.step != STEP_ACK {
-                return Err(ProtocolError::BadMessage(format!("bad decision ack from {member}")));
+                return Err(ProtocolError::BadMessage(format!(
+                    "bad decision ack from {member}"
+                )));
             }
         }
 
@@ -420,7 +445,12 @@ impl SharingMember {
         } else {
             None
         };
-        Ok(CoordinationOutcome { run_id, accepted, version, votes })
+        Ok(CoordinationOutcome {
+            run_id,
+            accepted,
+            version,
+            votes,
+        })
     }
 
     /// Group-object side effects (membership updates) after an applied
@@ -449,15 +479,24 @@ impl SharingMember {
             .map_err(|e| ProtocolError::BadMessage(e.to_string()))?;
         let proposal = propose.proposal;
         if proposal.proposer != *from {
-            return Err(ProtocolError::BadMessage("proposal proposer is not the sender".into()));
+            return Err(ProtocolError::BadMessage(
+                "proposal proposer is not the sender".into(),
+            ));
         }
         let digest = proposal.digest();
-        self.party.verify_and_store(&propose.token, TokenKind::Proposal, msg.run_id, Some(&digest))?;
+        self.party.verify_and_store(
+            &propose.token,
+            TokenKind::Proposal,
+            msg.run_id,
+            Some(&digest),
+        )?;
 
         // Membership check: both proposer and this node must be members.
         let members = self.groups.members(&proposal.group)?;
         if !members.contains(from) || !members.contains(self.party.org()) {
-            return Err(ProtocolError::Rejected("proposer or validator not in group".into()));
+            return Err(ProtocolError::Rejected(
+                "proposer or validator not in group".into(),
+            ));
         }
 
         // Decide the vote: staleness first, then application validators.
@@ -485,7 +524,9 @@ impl SharingMember {
         };
 
         let vote_digest = SignedVote::vote_digest(self.party.org(), accept, &reason, &digest);
-        let token = self.party.issue_token(TokenKind::Vote, msg.run_id, vote_digest)?;
+        let token = self
+            .party
+            .issue_token(TokenKind::Vote, msg.run_id, vote_digest)?;
         self.party.store_token(&token)?;
         let vote = SignedVote {
             voter: self.party.org().clone(),
@@ -521,7 +562,9 @@ impl SharingMember {
         let decision = DecisionBody::decode_from_slice(&msg.body)
             .map_err(|e| ProtocolError::BadMessage(e.to_string()))?;
         if decision.proposal.proposer != *from {
-            return Err(ProtocolError::BadMessage("decision not from the proposer".into()));
+            return Err(ProtocolError::BadMessage(
+                "decision not from the proposer".into(),
+            ));
         }
         let digest = decision.proposal.digest();
         // If we voted on this run, the decided proposal must be the one we
@@ -545,11 +588,12 @@ impl SharingMember {
         // Independently verify every vote; the proposer's claim of
         // unanimity is never taken on trust.
         let members = self.groups.members(&decision.proposal.group)?;
-        let expected_voters: BTreeSet<&OrgId> =
-            members.iter().filter(|m| *m != from).collect();
+        let expected_voters: BTreeSet<&OrgId> = members.iter().filter(|m| *m != from).collect();
         let actual_voters: BTreeSet<&OrgId> = decision.votes.iter().map(|v| &v.voter).collect();
         if expected_voters != actual_voters {
-            return Err(ProtocolError::BadMessage("vote set does not match membership".into()));
+            return Err(ProtocolError::BadMessage(
+                "vote set does not match membership".into(),
+            ));
         }
         let mut all_accept = true;
         for vote in &decision.votes {
@@ -577,7 +621,8 @@ impl SharingMember {
                     current: local_version,
                 });
             }
-            self.store.record_version(&decision.proposal.object, &decision.proposal.new_state);
+            self.store
+                .record_version(&decision.proposal.object, &decision.proposal.new_state);
             self.apply_side_effects(&decision.proposal);
         }
         self.pending.lock().remove(&msg.run_id);
@@ -599,7 +644,9 @@ impl ProtocolHandler for SharingMember {
     fn process(&self, from: &OrgId, msg: ProtocolMessage) -> Result<(), ProtocolError> {
         match msg.step {
             STEP_DECISION => self.handle_decision(from, msg).map(|_| ()),
-            step => Err(ProtocolError::BadMessage(format!("unexpected one-way step {step}"))),
+            step => Err(ProtocolError::BadMessage(format!(
+                "unexpected one-way step {step}"
+            ))),
         }
     }
 
@@ -611,7 +658,9 @@ impl ProtocolHandler for SharingMember {
         match msg.step {
             STEP_PROPOSE => self.handle_propose(from, msg),
             STEP_DECISION => self.handle_decision(from, msg),
-            step => Err(ProtocolError::BadMessage(format!("unexpected request step {step}"))),
+            step => Err(ProtocolError::BadMessage(format!(
+                "unexpected request step {step}"
+            ))),
         }
     }
 }
@@ -649,7 +698,10 @@ mod tests {
                 let member = SharingMember::new(party, Arc::new(StateStore::new()), groups);
                 coordinator.register_handler(member.clone());
                 bus.register(OrgId::new(*name), coordinator.clone());
-                Node { member, coordinator }
+                Node {
+                    member,
+                    coordinator,
+                }
             })
             .collect()
     }
@@ -752,7 +804,10 @@ mod tests {
         )
         .signed(nodes[0].member.party().keys())
         .unwrap();
-        let reply = nodes[1].member.handle_propose(&OrgId::new("a"), msg).unwrap();
+        let reply = nodes[1]
+            .member
+            .handle_propose(&OrgId::new("a"), msg)
+            .unwrap();
         let vote = SignedVote::decode_from_slice(&reply.body).unwrap();
         assert!(!vote.accept);
         assert!(vote.reason.contains("stale"));
@@ -805,7 +860,12 @@ mod tests {
             .party()
             .issue_token(TokenKind::Decision, run, decision_digest)
             .unwrap();
-        let decision = DecisionBody { accepted: true, proposal, votes, token };
+        let decision = DecisionBody {
+            accepted: true,
+            proposal,
+            votes,
+            token,
+        };
         let msg = ProtocolMessage::new(
             PROTOCOL_ID,
             run,
@@ -815,7 +875,10 @@ mod tests {
         )
         .signed(nodes[0].member.party().keys())
         .unwrap();
-        let err = nodes[1].member.handle_decision(&OrgId::new("a"), msg).unwrap_err();
+        let err = nodes[1]
+            .member
+            .handle_decision(&OrgId::new("a"), msg)
+            .unwrap_err();
         assert!(matches!(err, ProtocolError::BadSignature { .. }));
         // And the replica was not updated.
         assert!(nodes[1].member.current_state("doc").is_none());
@@ -826,9 +889,11 @@ mod tests {
         // An honest-looking decision with accepted=true but a reject vote
         // inside must be refused.
         let nodes = world(&["a", "b"]);
-        nodes[1].member.add_validator(Arc::new(
-            |_: &str, _: Option<&[u8]>, _: &[u8]| Err("never".to_string()),
-        ));
+        nodes[1]
+            .member
+            .add_validator(Arc::new(|_: &str, _: Option<&[u8]>, _: &[u8]| {
+                Err("never".to_string())
+            }));
         let out = nodes[0]
             .member
             .propose(&nodes[0].coordinator, &group(), "doc", b"x".to_vec())
@@ -850,7 +915,10 @@ mod tests {
             .member
             .propose(&nodes[0].coordinator, &group(), "doc", b"x".to_vec())
             .unwrap_err();
-        assert!(matches!(err, ProtocolError::Net(nonrep_net::NetError::Endpoint(_))));
+        assert!(matches!(
+            err,
+            ProtocolError::Net(nonrep_net::NetError::Endpoint(_))
+        ));
     }
 
     #[test]

@@ -143,7 +143,9 @@ pub fn connect(
 ) -> Result<CoordinationOutcome, ProtocolError> {
     let mut members = sponsor.groups().members(group)?;
     if members.contains(joiner) {
-        return Err(ProtocolError::Rejected(format!("{joiner} is already a member")));
+        return Err(ProtocolError::Rejected(format!(
+            "{joiner} is already a member"
+        )));
     }
     members.insert(joiner.clone());
     let outcome = sponsor.propose(
@@ -165,9 +167,10 @@ pub fn connect(
     };
     let digest = proposal.digest();
     let decision_digest = DecisionBody::decision_digest(true, &digest, &outcome.votes);
-    let token = sponsor
-        .party()
-        .issue_token(TokenKind::Membership, outcome.run_id, decision_digest)?;
+    let token =
+        sponsor
+            .party()
+            .issue_token(TokenKind::Membership, outcome.run_id, decision_digest)?;
     sponsor.party().store_token(&token)?;
     // Snapshot every shared object (including the group object, whose
     // history now ends at the just-agreed member set) for the joiner.
@@ -179,7 +182,11 @@ pub fn connect(
             .latest(&object)
             .and_then(|(_, digest)| store.get(&digest))
             .unwrap_or_default();
-        snapshots.push(ObjectSnapshot { object, history, latest_state });
+        snapshots.push(ObjectSnapshot {
+            object,
+            history,
+            latest_state,
+        });
     }
     let welcome = Welcome {
         group: group.clone(),
@@ -202,7 +209,9 @@ pub fn connect(
     .map_err(ProtocolError::from)?;
     let ack = coordinator.deliver_request(joiner, &msg)?;
     if ack.step != STEP_WELCOME_ACK {
-        return Err(ProtocolError::BadMessage("joiner did not acknowledge welcome".into()));
+        return Err(ProtocolError::BadMessage(
+            "joiner did not acknowledge welcome".into(),
+        ));
     }
     Ok(outcome)
 }
@@ -225,9 +234,16 @@ pub fn disconnect(
         return Err(ProtocolError::Rejected(format!("{leaver} is not a member")));
     }
     if members.is_empty() {
-        return Err(ProtocolError::Rejected("cannot empty a sharing group".into()));
+        return Err(ProtocolError::Rejected(
+            "cannot empty a sharing group".into(),
+        ));
     }
-    proposer.propose(coordinator, group, &group_object(group), encode_group_state(&members))
+    proposer.propose(
+        coordinator,
+        group,
+        &group_object(group),
+        encode_group_state(&members),
+    )
 }
 
 /// The joiner-side handler for welcome messages.
@@ -267,17 +283,22 @@ impl MembershipHandler {
             .map_err(|e| ProtocolError::BadMessage(e.to_string()))?;
         let decision = &welcome.decision;
         if !decision.accepted {
-            return Err(ProtocolError::BadMessage("welcome with a rejected decision".into()));
+            return Err(ProtocolError::BadMessage(
+                "welcome with a rejected decision".into(),
+            ));
         }
         let members = decode_group_state(&decision.proposal.object, &decision.proposal.new_state)
-            .ok_or_else(|| ProtocolError::BadMessage("welcome state is not a group object".into()))?;
+            .ok_or_else(|| {
+            ProtocolError::BadMessage("welcome state is not a group object".into())
+        })?;
         if !members.contains(party.org()) {
-            return Err(ProtocolError::Rejected("welcome does not include this member".into()));
+            return Err(ProtocolError::Rejected(
+                "welcome does not include this member".into(),
+            ));
         }
         // Verify the membership token and all votes independently.
         let digest = decision.proposal.digest();
-        let decision_digest =
-            DecisionBody::decision_digest(true, &digest, &decision.votes);
+        let decision_digest = DecisionBody::decision_digest(true, &digest, &decision.votes);
         party.verify_and_store(
             &decision.token,
             TokenKind::Membership,
@@ -309,9 +330,14 @@ impl MembershipHandler {
                     ));
                 }
             }
-            let latest =
-                if snap.latest_state.is_empty() { None } else { Some(snap.latest_state.as_slice()) };
-            self.member.store().install_history(&snap.object, snap.history.clone(), latest);
+            let latest = if snap.latest_state.is_empty() {
+                None
+            } else {
+                Some(snap.latest_state.as_slice())
+            };
+            self.member
+                .store()
+                .install_history(&snap.object, snap.history.clone(), latest);
         }
         Ok(ProtocolMessage::new(
             WELCOME_PROTOCOL_ID,
@@ -341,6 +367,18 @@ impl ProtocolHandler for MembershipHandler {
             STEP_WELCOME => self.handle_welcome(from, msg),
             step => Err(ProtocolError::BadMessage(format!("unexpected step {step}"))),
         }
+    }
+}
+
+#[cfg(test)]
+impl SharingMember {
+    /// Test hook: drive a welcome message into this member directly.
+    fn coordinatorless_welcome_for_tests(
+        self: &Arc<Self>,
+        from: &OrgId,
+        msg: ProtocolMessage,
+    ) -> Result<ProtocolMessage, ProtocolError> {
+        MembershipHandler::new(Arc::clone(self)).handle_welcome(from, msg)
     }
 }
 
@@ -380,7 +418,10 @@ mod tests {
             coordinator.register_handler(member.clone());
             coordinator.register_handler(MembershipHandler::new(member.clone()));
             self.bus.register(OrgId::new(name), coordinator.clone());
-            Node { member, coordinator }
+            Node {
+                member,
+                coordinator,
+            }
         }
     }
 
@@ -415,11 +456,15 @@ mod tests {
     fn connect_adds_member_everywhere_and_welcomes_joiner() {
         let (world, nodes) = setup();
         let joiner = world.node("c", 3, None);
-        let out = connect(&nodes[0].member, &nodes[0].coordinator, &group(), &OrgId::new("c"))
-            .unwrap();
+        let out = connect(
+            &nodes[0].member,
+            &nodes[0].coordinator,
+            &group(),
+            &OrgId::new("c"),
+        )
+        .unwrap();
         assert!(out.accepted);
-        let expected: BTreeSet<OrgId> =
-            [OrgId::new("a"), OrgId::new("b"), OrgId::new("c")].into();
+        let expected: BTreeSet<OrgId> = [OrgId::new("a"), OrgId::new("b"), OrgId::new("c")].into();
         for node in &nodes {
             assert_eq!(node.member.groups().members(&group()).unwrap(), expected);
         }
@@ -438,10 +483,20 @@ mod tests {
     fn disconnect_removes_member_everywhere() {
         let (world, nodes) = setup();
         let _c = world.node("c", 3, None);
-        connect(&nodes[0].member, &nodes[0].coordinator, &group(), &OrgId::new("c")).unwrap();
-        let out =
-            disconnect(&nodes[0].member, &nodes[0].coordinator, &group(), &OrgId::new("c"))
-                .unwrap();
+        connect(
+            &nodes[0].member,
+            &nodes[0].coordinator,
+            &group(),
+            &OrgId::new("c"),
+        )
+        .unwrap();
+        let out = disconnect(
+            &nodes[0].member,
+            &nodes[0].coordinator,
+            &group(),
+            &OrgId::new("c"),
+        )
+        .unwrap();
         assert!(out.accepted);
         let expected: BTreeSet<OrgId> = [OrgId::new("a"), OrgId::new("b")].into();
         for node in &nodes {
@@ -452,27 +507,46 @@ mod tests {
     #[test]
     fn connect_existing_member_rejected() {
         let (_world, nodes) = setup();
-        let err = connect(&nodes[0].member, &nodes[0].coordinator, &group(), &OrgId::new("b"))
-            .unwrap_err();
+        let err = connect(
+            &nodes[0].member,
+            &nodes[0].coordinator,
+            &group(),
+            &OrgId::new("b"),
+        )
+        .unwrap_err();
         assert!(matches!(err, ProtocolError::Rejected(_)));
     }
 
     #[test]
     fn disconnect_non_member_rejected() {
         let (_world, nodes) = setup();
-        let err =
-            disconnect(&nodes[0].member, &nodes[0].coordinator, &group(), &OrgId::new("z"))
-                .unwrap_err();
+        let err = disconnect(
+            &nodes[0].member,
+            &nodes[0].coordinator,
+            &group(),
+            &OrgId::new("z"),
+        )
+        .unwrap_err();
         assert!(matches!(err, ProtocolError::Rejected(_)));
     }
 
     #[test]
     fn cannot_empty_a_group() {
         let (_world, nodes) = setup();
-        disconnect(&nodes[0].member, &nodes[0].coordinator, &group(), &OrgId::new("b")).unwrap();
-        let err =
-            disconnect(&nodes[0].member, &nodes[0].coordinator, &group(), &OrgId::new("a"))
-                .unwrap_err();
+        disconnect(
+            &nodes[0].member,
+            &nodes[0].coordinator,
+            &group(),
+            &OrgId::new("b"),
+        )
+        .unwrap();
+        let err = disconnect(
+            &nodes[0].member,
+            &nodes[0].coordinator,
+            &group(),
+            &OrgId::new("a"),
+        )
+        .unwrap_err();
         assert!(matches!(err, ProtocolError::Rejected(_)));
     }
 
@@ -490,14 +564,22 @@ mod tests {
                 }
             },
         ));
-        let out = connect(&nodes[0].member, &nodes[0].coordinator, &group(), &OrgId::new("c"))
-            .unwrap();
+        let out = connect(
+            &nodes[0].member,
+            &nodes[0].coordinator,
+            &group(),
+            &OrgId::new("c"),
+        )
+        .unwrap();
         assert!(!out.accepted);
         // Joiner knows nothing of the group.
         assert!(joiner.member.groups().members(&group()).is_err());
         // Membership unchanged.
         let expected: BTreeSet<OrgId> = [OrgId::new("a"), OrgId::new("b")].into();
-        assert_eq!(nodes[1].member.groups().members(&group()).unwrap(), expected);
+        assert_eq!(
+            nodes[1].member.groups().members(&group()).unwrap(),
+            expected
+        );
     }
 
     #[test]
@@ -505,8 +587,7 @@ mod tests {
         let (world, nodes) = setup();
         let joiner = world.node("c", 3, None);
         // "b" (not having run any round) forges a welcome claiming c is in.
-        let members: BTreeSet<OrgId> =
-            [OrgId::new("a"), OrgId::new("b"), OrgId::new("c")].into();
+        let members: BTreeSet<OrgId> = [OrgId::new("a"), OrgId::new("b"), OrgId::new("c")].into();
         let run = nodes[1].member.party().new_run_id();
         let proposal = crate::sharing::coordination::ProposalBody {
             group: group(),
@@ -524,7 +605,12 @@ mod tests {
             .unwrap();
         let welcome = Welcome {
             group: group(),
-            decision: DecisionBody { accepted: true, proposal, votes: vec![], token },
+            decision: DecisionBody {
+                accepted: true,
+                proposal,
+                votes: vec![],
+                token,
+            },
             snapshots: vec![],
         };
         let msg = ProtocolMessage::new(
@@ -555,17 +641,5 @@ mod tests {
             let log = joiner.member.party().log();
             assert!(log.count_where(&|r| r.draft.actor == OrgId::new("b")) > 0);
         }
-    }
-}
-
-#[cfg(test)]
-impl SharingMember {
-    /// Test hook: drive a welcome message into this member directly.
-    fn coordinatorless_welcome_for_tests(
-        self: &Arc<Self>,
-        from: &OrgId,
-        msg: ProtocolMessage,
-    ) -> Result<ProtocolMessage, ProtocolError> {
-        MembershipHandler::new(Arc::clone(self)).handle_welcome(from, msg)
     }
 }

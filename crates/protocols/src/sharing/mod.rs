@@ -64,7 +64,11 @@ impl GroupRegistry {
 
     /// `true` if `org` is a member of `group`.
     pub fn contains(&self, group: &GroupId, org: &OrgId) -> bool {
-        self.groups.read().get(group).map(|m| m.contains(org)).unwrap_or(false)
+        self.groups
+            .read()
+            .get(group)
+            .map(|m| m.contains(org))
+            .unwrap_or(false)
     }
 
     /// Removes a group entirely.

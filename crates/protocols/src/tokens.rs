@@ -121,7 +121,13 @@ pub struct NrToken {
 }
 
 impl NrToken {
-    fn tbs(kind: TokenKind, run_id: &RunId, issuer: &OrgId, subject: &Digest, at: Timestamp) -> Vec<u8> {
+    fn tbs(
+        kind: TokenKind,
+        run_id: &RunId,
+        issuer: &OrgId,
+        subject: &Digest,
+        at: Timestamp,
+    ) -> Vec<u8> {
         let mut w = Writer::new();
         w.put_str("nonrep.token.v1");
         w.put_u8(kind.tag());
@@ -130,6 +136,40 @@ impl NrToken {
         subject.encode(&mut w);
         at.encode(&mut w);
         w.into_vec()
+    }
+
+    /// The digest a signer commits to for the given token body — what
+    /// [`NrToken::issue`] signs, exposed so the batching scheduler can
+    /// sign many token bodies under one batch signature.
+    pub fn signing_digest(
+        kind: TokenKind,
+        run_id: &RunId,
+        issuer: &OrgId,
+        subject: &Digest,
+        at: Timestamp,
+    ) -> Digest {
+        nonrep_crypto::sha256(&Self::tbs(kind, run_id, issuer, subject, at))
+    }
+
+    /// Assembles a token from a body and an externally produced signature
+    /// (the batch-commitment path; the signature must cover
+    /// [`NrToken::signing_digest`] of the same body to verify).
+    pub fn from_parts(
+        kind: TokenKind,
+        run_id: RunId,
+        issuer: OrgId,
+        subject: Digest,
+        at: Timestamp,
+        signature: Signature,
+    ) -> Self {
+        Self {
+            kind,
+            run_id,
+            issuer,
+            subject,
+            at,
+            signature,
+        }
     }
 
     /// Issues a token signed by `keys`.
@@ -146,7 +186,14 @@ impl NrToken {
         keys: &KeyPair,
     ) -> Result<Self, SignError> {
         let signature = keys.sign(&Self::tbs(kind, &run_id, &issuer, &subject, at))?;
-        Ok(Self { kind, run_id, issuer, subject, at, signature })
+        Ok(Self {
+            kind,
+            run_id,
+            issuer,
+            subject,
+            at,
+            signature,
+        })
     }
 
     /// Verifies the token under the issuer's verifying key, optionally
@@ -174,7 +221,13 @@ impl NrToken {
             }
         }
         key.verify(
-            &Self::tbs(self.kind, &self.run_id, &self.issuer, &self.subject, self.at),
+            &Self::tbs(
+                self.kind,
+                &self.run_id,
+                &self.issuer,
+                &self.subject,
+                self.at,
+            ),
             &self.signature,
         )
     }
@@ -199,8 +252,10 @@ impl Encode for NrToken {
 impl Decode for NrToken {
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
         let tag = r.get_u8()?;
-        let kind = TokenKind::from_tag(tag)
-            .ok_or(CodecError::InvalidTag { ty: "TokenKind", tag })?;
+        let kind = TokenKind::from_tag(tag).ok_or(CodecError::InvalidTag {
+            ty: "TokenKind",
+            tag,
+        })?;
         Ok(Self {
             kind,
             run_id: RunId::decode(r)?,
@@ -220,7 +275,10 @@ mod tests {
     use nonrep_crypto::sig::SignatureScheme;
 
     fn keys(seed: u64) -> KeyPair {
-        KeyPair::generate(SignatureScheme::Mss { height: 4 }, &mut SecureRandom::from_seed(seed))
+        KeyPair::generate(
+            SignatureScheme::Mss { height: 4 },
+            &mut SecureRandom::from_seed(seed),
+        )
     }
 
     fn token(kp: &KeyPair) -> NrToken {
@@ -264,7 +322,12 @@ mod tests {
         // is pinned — the paper's reason for embedding run identifiers.
         let kp = keys(3);
         let t = token(&kp);
-        assert!(!t.verify(&kp.verifying_key(), Some(TokenKind::NroReq), Some(RunId::from_u128(2)), None));
+        assert!(!t.verify(
+            &kp.verifying_key(),
+            Some(TokenKind::NroReq),
+            Some(RunId::from_u128(2)),
+            None
+        ));
     }
 
     #[test]
@@ -324,7 +387,9 @@ mod tests {
     #[test]
     fn kind_labels_are_distinct() {
         use std::collections::HashSet;
-        let labels: HashSet<&str> = (0u8..12).map(|t| TokenKind::from_tag(t).unwrap().label()).collect();
+        let labels: HashSet<&str> = (0u8..12)
+            .map(|t| TokenKind::from_tag(t).unwrap().label())
+            .collect();
         assert_eq!(labels.len(), 12);
         assert!(TokenKind::from_tag(99).is_none());
     }

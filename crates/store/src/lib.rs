@@ -11,8 +11,12 @@
 //!   are **hash-chained**: each embeds the hash of its predecessor, so any
 //!   after-the-fact tampering with the local log is detectable (a
 //!   strengthening over the paper's plain log, see DESIGN.md §5.2).
+//!   [`EpochCommitment`] seals a range of records under one signed Merkle
+//!   root, amortizing a signature over the whole range and letting an
+//!   adjudicator authenticate a *window* of the log without a full replay.
 //! * [`log`] — the [`EvidenceLog`] trait with in-memory and append-only
-//!   file backends, chain verification and queries by protocol run.
+//!   file backends (records stored behind `Arc`, snapshots clone handles,
+//!   never payloads), chain verification and queries by protocol run.
 //! * [`state`] — [`StateStore`], a content-addressed store mapping digests
 //!   to state bytes, with named version histories for shared objects.
 
@@ -21,7 +25,7 @@ pub mod record;
 pub mod state;
 
 pub use log::{EvidenceLog, FileLog, MemoryLog};
-pub use record::{ChainViolation, EvidenceRecord, RecordDraft};
+pub use record::{ChainViolation, EpochCommitment, EvidenceRecord, RecordDraft, EPOCH_KIND};
 pub use state::StateStore;
 
 use std::error::Error;

@@ -20,13 +20,25 @@
 //!
 //! Both backends cache the chain-head digest, so appending hashes only
 //! the new record (into a reused scratch buffer) instead of re-encoding
-//! and re-hashing its predecessor on every call.
+//! and re-hashing its predecessor on every call. Records are stored as
+//! `Arc<EvidenceRecord>`: [`EvidenceLog::append`] returns a handle to the
+//! stored record without cloning its payload, and snapshots
+//! ([`EvidenceLog::snapshot_range`], [`EvidenceLog::records`],
+//! [`EvidenceLog::by_run`]) clone reference counts, never record bytes.
+//!
+//! # Epoch commitments
+//!
+//! Epoch-commitment records (see [`crate::record::EpochCommitment`]) are
+//! ordinary chained records; backends treat them like any other append.
+//! Sealing policy lives above the store (the protocols crate's
+//! `CommitmentScheduler`).
 
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{BufReader, Read, Write as IoWrite};
 use std::ops::Range;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 
@@ -46,18 +58,19 @@ use crate::StoreError;
 /// callback must not call back into the same log.
 pub trait EvidenceLog: Send + Sync {
     /// Appends `draft`, assigning its sequence number and chain link.
+    /// Returns a handle to the stored record — the payload is not cloned.
     ///
     /// # Errors
     ///
     /// Returns [`StoreError`] if persisting fails (file backend).
-    fn append(&self, draft: RecordDraft) -> Result<EvidenceRecord, StoreError>;
+    fn append(&self, draft: RecordDraft) -> Result<Arc<EvidenceRecord>, StoreError>;
 
     /// Visits every record in sequence order, without cloning.
     fn for_each(&self, f: &mut dyn FnMut(&EvidenceRecord));
 
-    /// Clones the records whose sequence numbers fall in `range`
-    /// (clamped to the log's length).
-    fn snapshot_range(&self, range: Range<u64>) -> Vec<EvidenceRecord>;
+    /// Snapshots the records whose sequence numbers fall in `range`
+    /// (clamped to the log's length). Clones reference counts only.
+    fn snapshot_range(&self, range: Range<u64>) -> Vec<Arc<EvidenceRecord>>;
 
     /// Visits the log in bounded snapshot windows of `window_len`
     /// records: peak memory stays one window and the backend's lock is
@@ -67,7 +80,7 @@ pub trait EvidenceLog: Send + Sync {
     /// Coverage is bounded to the log's length at entry — records
     /// appended concurrently are not chased, so the scan terminates even
     /// under a sustained appender (it sees a consistent prefix).
-    fn for_each_window(&self, window_len: u64, f: &mut dyn FnMut(&[EvidenceRecord]) -> bool) {
+    fn for_each_window(&self, window_len: u64, f: &mut dyn FnMut(&[Arc<EvidenceRecord>]) -> bool) {
         let window_len = window_len.max(1);
         let end = self.len();
         let mut start = 0u64;
@@ -80,10 +93,11 @@ pub trait EvidenceLog: Send + Sync {
         }
     }
 
-    /// All records, in sequence order (full snapshot — prefer
+    /// All records, in sequence order (full snapshot of handles — prefer
     /// [`EvidenceLog::for_each`] or [`EvidenceLog::snapshot_range`] when
-    /// a clone of the whole log is not required).
-    fn records(&self) -> Vec<EvidenceRecord> {
+    /// the whole log is not required; this clones reference counts, not
+    /// record bytes).
+    fn records(&self) -> Vec<Arc<EvidenceRecord>> {
         self.snapshot_range(0..self.len())
     }
 
@@ -91,14 +105,11 @@ pub trait EvidenceLog: Send + Sync {
     ///
     /// The default is a full scan; backends should override it with an
     /// indexed lookup (both in-tree backends keep a `RunId → seqs` index).
-    fn by_run(&self, run_id: &RunId) -> Vec<EvidenceRecord> {
-        let mut out = Vec::new();
-        self.for_each(&mut |r| {
-            if r.draft.run_id == *run_id {
-                out.push(r.clone());
-            }
-        });
-        out
+    fn by_run(&self, run_id: &RunId) -> Vec<Arc<EvidenceRecord>> {
+        self.records()
+            .into_iter()
+            .filter(|r| r.draft.run_id == *run_id)
+            .collect()
     }
 
     /// Counts records matching `pred` without cloning any.
@@ -150,11 +161,12 @@ pub trait EvidenceLog: Send + Sync {
     }
 }
 
-/// Shared backend state: the records, the cached chain head, and the
+/// Shared backend state: the records (behind `Arc`, so snapshots clone
+/// reference counts only), the cached chain head, and the
 /// `RunId → sequence numbers` index.
 #[derive(Debug, Default)]
 struct LogState {
-    records: Vec<EvidenceRecord>,
+    records: Vec<Arc<EvidenceRecord>>,
     head: Digest,
     run_index: HashMap<RunId, Vec<u64>>,
     scratch: Writer,
@@ -168,7 +180,12 @@ impl LogState {
         for rec in &records {
             run_index.entry(rec.draft.run_id).or_default().push(rec.seq);
         }
-        Self { records, head, run_index, scratch: Writer::new() }
+        Self {
+            records: records.into_iter().map(Arc::new).collect(),
+            head,
+            run_index,
+            scratch: Writer::new(),
+        }
     }
 
     /// Chains `draft` onto the log. `persist` receives the record's
@@ -179,27 +196,37 @@ impl LogState {
         &mut self,
         draft: RecordDraft,
         persist: impl FnOnce(&[u8]) -> Result<(), StoreError>,
-    ) -> Result<EvidenceRecord, StoreError> {
-        let record =
-            EvidenceRecord { seq: self.records.len() as u64, prev_hash: self.head, draft };
+    ) -> Result<Arc<EvidenceRecord>, StoreError> {
+        let record = EvidenceRecord {
+            seq: self.records.len() as u64,
+            prev_hash: self.head,
+            draft,
+        };
         let hash = record.record_hash_with(&mut self.scratch);
         persist(self.scratch.as_slice())?;
         self.head = hash;
-        self.run_index.entry(record.draft.run_id).or_default().push(record.seq);
-        self.records.push(record.clone());
+        self.run_index
+            .entry(record.draft.run_id)
+            .or_default()
+            .push(record.seq);
+        let record = Arc::new(record);
+        self.records.push(Arc::clone(&record));
         Ok(record)
     }
 
-    fn snapshot_range(&self, range: Range<u64>) -> Vec<EvidenceRecord> {
+    fn snapshot_range(&self, range: Range<u64>) -> Vec<Arc<EvidenceRecord>> {
         let len = self.records.len() as u64;
         let start = range.start.min(len) as usize;
         let end = range.end.min(len) as usize;
         self.records[start..start.max(end)].to_vec()
     }
 
-    fn by_run(&self, run_id: &RunId) -> Vec<EvidenceRecord> {
+    fn by_run(&self, run_id: &RunId) -> Vec<Arc<EvidenceRecord>> {
         match self.run_index.get(run_id) {
-            Some(seqs) => seqs.iter().map(|&s| self.records[s as usize].clone()).collect(),
+            Some(seqs) => seqs
+                .iter()
+                .map(|&s| Arc::clone(&self.records[s as usize]))
+                .collect(),
             None => Vec::new(),
         }
     }
@@ -219,7 +246,7 @@ impl MemoryLog {
 }
 
 impl EvidenceLog for MemoryLog {
-    fn append(&self, draft: RecordDraft) -> Result<EvidenceRecord, StoreError> {
+    fn append(&self, draft: RecordDraft) -> Result<Arc<EvidenceRecord>, StoreError> {
         self.state.lock().append_with(draft, |_| Ok(()))
     }
 
@@ -229,11 +256,11 @@ impl EvidenceLog for MemoryLog {
         }
     }
 
-    fn snapshot_range(&self, range: Range<u64>) -> Vec<EvidenceRecord> {
+    fn snapshot_range(&self, range: Range<u64>) -> Vec<Arc<EvidenceRecord>> {
         self.state.lock().snapshot_range(range)
     }
 
-    fn by_run(&self, run_id: &RunId) -> Vec<EvidenceRecord> {
+    fn by_run(&self, run_id: &RunId) -> Vec<Arc<EvidenceRecord>> {
         self.state.lock().by_run(run_id)
     }
 
@@ -273,9 +300,35 @@ impl FileLog {
     /// # Errors
     ///
     /// Returns [`StoreError`] on I/O failure, undecodable bytes or a chain
-    /// violation.
+    /// violation. A file truncated mid-append fails too — use
+    /// [`FileLog::open_recover`] to discard a torn tail instead.
     pub fn open(path: impl AsRef<Path>) -> Result<Self, StoreError> {
-        let path = path.as_ref().to_path_buf();
+        Self::open_impl(path.as_ref(), false)
+    }
+
+    /// Opens the log, discarding a torn tail left by a crash mid-append.
+    ///
+    /// A process killed between `write` and `flush` can leave a partial
+    /// length prefix or a partial record at the end of the file. Those
+    /// bytes never made it into the in-memory chain, so dropping them
+    /// restores the last consistent prefix: the file is truncated back to
+    /// the end of the last complete record and the log reopens cleanly
+    /// (subsequent appends — including a re-seal of any unsealed epoch
+    /// range — continue the chain from the recovered head).
+    ///
+    /// Corruption *inside* the retained prefix (undecodable record bytes,
+    /// a broken chain link) still fails: recovery never masks tampering.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] on I/O failure, mid-file corruption or a
+    /// chain violation.
+    pub fn open_recover(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        Self::open_impl(path.as_ref(), true)
+    }
+
+    fn open_impl(path: &Path, recover: bool) -> Result<Self, StoreError> {
+        let path = path.to_path_buf();
         let mut records = Vec::new();
         let mut verifier = ChainVerifier::new();
         let mut file_len = 0u64;
@@ -286,6 +339,10 @@ impl FileLog {
             let mut offset = 0usize;
             while offset < bytes.len() {
                 if offset + 4 > bytes.len() {
+                    if recover {
+                        file_len = offset as u64;
+                        break;
+                    }
                     return Err(StoreError::Corrupt("truncated length prefix".into()));
                 }
                 let len = u32::from_le_bytes([
@@ -294,10 +351,14 @@ impl FileLog {
                     bytes[offset + 2],
                     bytes[offset + 3],
                 ]) as usize;
-                offset += 4;
-                if offset + len > bytes.len() {
+                if offset + 4 + len > bytes.len() {
+                    if recover {
+                        file_len = offset as u64;
+                        break;
+                    }
                     return Err(StoreError::Corrupt("truncated record".into()));
                 }
+                offset += 4;
                 let mut r = Reader::new(&bytes[offset..offset + len]);
                 let record = EvidenceRecord::decode(&mut r)
                     .map_err(|e| StoreError::Corrupt(e.to_string()))?;
@@ -312,6 +373,11 @@ impl FileLog {
         let head = verifier.head();
         verifier.finish().map_err(StoreError::Chain)?;
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        if recover {
+            // Drop the torn tail so later appends extend the recovered
+            // prefix instead of interleaving with garbage bytes.
+            file.set_len(file_len)?;
+        }
         Ok(Self {
             path,
             inner: Mutex::new(FileLogInner {
@@ -329,9 +395,13 @@ impl FileLog {
 }
 
 impl EvidenceLog for FileLog {
-    fn append(&self, draft: RecordDraft) -> Result<EvidenceRecord, StoreError> {
+    fn append(&self, draft: RecordDraft) -> Result<Arc<EvidenceRecord>, StoreError> {
         let mut inner = self.inner.lock();
-        let FileLogInner { file, file_len, state } = &mut *inner;
+        let FileLogInner {
+            file,
+            file_len,
+            state,
+        } = &mut *inner;
         state.append_with(draft, |encoded| {
             let len = u32::try_from(encoded.len())
                 .map_err(|_| StoreError::Corrupt("record too large".into()))?;
@@ -359,11 +429,11 @@ impl EvidenceLog for FileLog {
         }
     }
 
-    fn snapshot_range(&self, range: Range<u64>) -> Vec<EvidenceRecord> {
+    fn snapshot_range(&self, range: Range<u64>) -> Vec<Arc<EvidenceRecord>> {
         self.inner.lock().state.snapshot_range(range)
     }
 
-    fn by_run(&self, run_id: &RunId) -> Vec<EvidenceRecord> {
+    fn by_run(&self, run_id: &RunId) -> Vec<Arc<EvidenceRecord>> {
         self.inner.lock().state.by_run(run_id)
     }
 
@@ -441,13 +511,16 @@ mod tests {
         for run in 0..3u128 {
             let run_id = RunId::from_u128(run);
             let indexed = log.by_run(&run_id);
-            let scanned: Vec<EvidenceRecord> = log
+            let scanned: Vec<Arc<EvidenceRecord>> = log
                 .records()
                 .into_iter()
                 .filter(|r| r.draft.run_id == run_id)
                 .collect();
             assert_eq!(indexed, scanned, "run {run}");
-            assert!(indexed.windows(2).all(|w| w[0].seq < w[1].seq), "ordered by seq");
+            assert!(
+                indexed.windows(2).all(|w| w[0].seq < w[1].seq),
+                "ordered by seq"
+            );
         }
         assert!(log.by_run(&RunId::from_u128(99)).is_empty());
     }
@@ -501,7 +574,13 @@ mod tests {
         for i in 0..5 {
             log.append(draft(i)).unwrap();
         }
-        assert_eq!(log.snapshot_range(1..3).iter().map(|r| r.seq).collect::<Vec<_>>(), [1, 2]);
+        assert_eq!(
+            log.snapshot_range(1..3)
+                .iter()
+                .map(|r| r.seq)
+                .collect::<Vec<_>>(),
+            [1, 2]
+        );
         assert_eq!(log.snapshot_range(3..100).len(), 2);
         assert!(log.snapshot_range(7..9).is_empty());
         assert_eq!(log.snapshot_range(0..5), log.records());
@@ -595,7 +674,65 @@ mod tests {
         }
         let bytes = std::fs::read(&path).unwrap();
         std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
-        assert!(matches!(FileLog::open(&path).unwrap_err(), StoreError::Corrupt(_)));
+        assert!(matches!(
+            FileLog::open(&path).unwrap_err(),
+            StoreError::Corrupt(_)
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn file_log_recovers_from_torn_tail() {
+        for cut in [1usize, 3, 10] {
+            let path = temp_path(&format!("recover-{cut}.log"));
+            let _ = std::fs::remove_file(&path);
+            {
+                let log = FileLog::open(&path).unwrap();
+                for i in 0..5 {
+                    log.append(draft(i)).unwrap();
+                }
+            }
+            // Simulate a crash mid-append: chop `cut` bytes off the tail,
+            // leaving a partial record (or partial length prefix).
+            let bytes = std::fs::read(&path).unwrap();
+            std::fs::write(&path, &bytes[..bytes.len() - cut]).unwrap();
+            // Strict open refuses; recovery drops the torn record.
+            assert!(matches!(
+                FileLog::open(&path).unwrap_err(),
+                StoreError::Corrupt(_)
+            ));
+            let log = FileLog::open_recover(&path).unwrap();
+            assert_eq!(log.len(), 4, "cut={cut}: torn record 4 dropped");
+            log.verify().unwrap();
+            // Appends continue the recovered chain, and a strict reopen
+            // then succeeds (the torn bytes are gone from disk).
+            log.append(draft(99)).unwrap();
+            drop(log);
+            let log = FileLog::open(&path).unwrap();
+            assert_eq!(log.len(), 5);
+            log.verify().unwrap();
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+
+    #[test]
+    fn recovery_does_not_mask_mid_file_corruption() {
+        let path = temp_path("recover-corrupt.log");
+        let _ = std::fs::remove_file(&path);
+        {
+            let log = FileLog::open(&path).unwrap();
+            for i in 0..4 {
+                log.append(draft(i)).unwrap();
+            }
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 3;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(
+            FileLog::open_recover(&path).is_err(),
+            "tampering inside the prefix must still be rejected"
+        );
         let _ = std::fs::remove_file(&path);
     }
 

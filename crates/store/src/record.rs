@@ -1,8 +1,22 @@
-//! Evidence records and the hash chain.
+//! Evidence records, the hash chain, and epoch commitments.
+//!
+//! An [`EpochCommitment`] seals a contiguous range `[lo, hi]` of the log
+//! under one signed Merkle root: the signature is produced **once** per
+//! epoch instead of once per record, and any record in the range remains
+//! individually checkable against the root. Epoch commitments are stored
+//! as ordinary chained records (kind [`EPOCH_KIND`]) so they inherit the
+//! log's tamper evidence, and they let an adjudicator verify a
+//! `snapshot_range` *window* of a log — the window's records recompute the
+//! committed root — without replaying the chain from genesis
+//! ([`ChainVerifier::resume`]).
 
 use std::fmt;
+use std::sync::Arc;
 
-use nonrep_crypto::digest::{sha256, Digest};
+use nonrep_crypto::digest::{sha256, Digest, Sha256};
+use nonrep_crypto::merkle::leaf_hash;
+use nonrep_crypto::sig::{Signature, VerifyingKey};
+use nonrep_crypto::MerkleAccumulator;
 use nonrep_types::codec::{CodecError, Decode, Encode, Reader, Writer};
 use nonrep_types::ids::{OrgId, RunId};
 use nonrep_types::time::Timestamp;
@@ -58,6 +72,11 @@ impl EvidenceRecord {
     pub fn byte_len(&self) -> usize {
         self.encode_to_vec().len()
     }
+
+    /// `true` if this record carries an [`EpochCommitment`].
+    pub fn is_epoch_commit(&self) -> bool {
+        self.draft.kind == EPOCH_KIND
+    }
 }
 
 impl Encode for RecordDraft {
@@ -102,6 +121,135 @@ impl Decode for EvidenceRecord {
     }
 }
 
+/// Record kind under which epoch commitments are logged.
+pub const EPOCH_KIND: &str = "epoch_commit";
+
+/// The protocol-run identifier used for epoch-commitment records (epochs
+/// span runs, so they are filed under a reserved nil run).
+pub fn epoch_run_id() -> RunId {
+    RunId::from_u128(0)
+}
+
+/// A sealed epoch: one signature over the Merkle root of the records in
+/// `[lo, hi]` (inclusive).
+///
+/// The signed message covers the range bounds as well as the root, so
+/// neither the root nor the claimed coverage can be reinterpreted after
+/// sealing. Leaves of the epoch tree are the covered records'
+/// [`EvidenceRecord::record_hash`] values (which already bind each
+/// record's position and chain link).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochCommitment {
+    /// First covered sequence number.
+    pub lo: u64,
+    /// Last covered sequence number (inclusive).
+    pub hi: u64,
+    /// Merkle root over the covered records' hashes.
+    pub root: Digest,
+    /// The sealer's signature over [`EpochCommitment::signing_digest`].
+    pub signature: Signature,
+}
+
+impl EpochCommitment {
+    /// The domain-separated digest the sealer signs for `(lo, hi, root)`.
+    pub fn signing_digest(lo: u64, hi: u64, root: &Digest) -> Digest {
+        let mut h = Sha256::new();
+        h.update(b"nonrep.epoch.v1");
+        h.update(&lo.to_le_bytes());
+        h.update(&hi.to_le_bytes());
+        h.update(root.as_bytes());
+        h.finalize()
+    }
+
+    /// The Merkle root over a slice of covered record hashes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hashes` is empty (an epoch always covers ≥ 1 record).
+    pub fn root_over_hashes(hashes: &[Digest]) -> Digest {
+        let mut acc = MerkleAccumulator::new();
+        for h in hashes {
+            acc.push(leaf_hash(h.as_bytes()));
+        }
+        acc.root()
+    }
+
+    /// Verifies this commitment against the covered records.
+    ///
+    /// `records` must be exactly the records of `[lo, hi]` in order; the
+    /// root is recomputed from their hashes and the signature checked
+    /// under `key`. Any tampering — a record, the root, a range bound, or
+    /// the signature — fails.
+    pub fn verify(&self, key: &VerifyingKey, records: &[Arc<EvidenceRecord>]) -> bool {
+        if self.hi < self.lo || records.len() as u64 != self.hi - self.lo + 1 {
+            return false;
+        }
+        if records.first().map(|r| r.seq) != Some(self.lo)
+            || records.last().map(|r| r.seq) != Some(self.hi)
+        {
+            return false;
+        }
+        let hashes: Vec<Digest> = records.iter().map(|r| r.record_hash()).collect();
+        self.verify_hashes(key, &hashes)
+    }
+
+    /// [`EpochCommitment::verify`] over precomputed record hashes (the
+    /// streaming adjudication path, which tracks hashes as it walks the
+    /// chain instead of re-encoding records).
+    pub fn verify_hashes(&self, key: &VerifyingKey, hashes: &[Digest]) -> bool {
+        if self.hi < self.lo || hashes.len() as u64 != self.hi - self.lo + 1 {
+            return false;
+        }
+        Self::root_over_hashes(hashes) == self.root
+            && key.verify_digest(
+                &Self::signing_digest(self.lo, self.hi, &self.root),
+                &self.signature,
+            )
+    }
+
+    /// Wraps this commitment as a log record draft (kind [`EPOCH_KIND`],
+    /// content digest = epoch root).
+    pub fn to_draft(&self, actor: OrgId, at: Timestamp) -> RecordDraft {
+        RecordDraft {
+            run_id: epoch_run_id(),
+            kind: EPOCH_KIND.to_string(),
+            actor,
+            at,
+            content_digest: self.root,
+            payload: self.encode_to_vec(),
+        }
+    }
+
+    /// Decodes the commitment carried by an epoch record, if `record` is
+    /// one.
+    pub fn from_record(record: &EvidenceRecord) -> Option<Self> {
+        if record.draft.kind != EPOCH_KIND {
+            return None;
+        }
+        Self::decode_from_slice(&record.draft.payload).ok()
+    }
+}
+
+impl Encode for EpochCommitment {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.lo);
+        w.put_u64(self.hi);
+        self.root.encode(w);
+        self.signature.encode(w);
+    }
+}
+
+impl Decode for EpochCommitment {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            lo: r.get_u64()?,
+            hi: r.get_u64()?,
+            root: Digest::decode(r)?,
+            signature: Signature::decode(r)?,
+        })
+    }
+}
+
 /// Where and how a hash chain failed verification.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ChainViolation {
@@ -119,6 +267,12 @@ pub enum ChainViolation {
     },
     /// The first record does not start from [`Digest::ZERO`].
     BadGenesis,
+    /// The submitted window's tail does not hash to the claimed chain
+    /// head (windowed adjudication).
+    HeadMismatch {
+        /// Sequence number of the last record in the window.
+        seq: u64,
+    },
 }
 
 impl fmt::Display for ChainViolation {
@@ -129,6 +283,12 @@ impl fmt::Display for ChainViolation {
                 write!(f, "bad sequence: expected {expected}, found {found}")
             }
             ChainViolation::BadGenesis => f.write_str("first record does not chain from zero"),
+            ChainViolation::HeadMismatch { seq } => {
+                write!(
+                    f,
+                    "window tail at seq {seq} does not hash to the claimed head"
+                )
+            }
         }
     }
 }
@@ -158,7 +318,28 @@ impl ChainVerifier {
     /// Creates a verifier expecting a chain starting at sequence 0 from
     /// [`Digest::ZERO`].
     pub fn new() -> Self {
-        Self { prev_hash: Digest::ZERO, next_seq: 0, scratch: Writer::new(), violation: None }
+        Self {
+            prev_hash: Digest::ZERO,
+            next_seq: 0,
+            scratch: Writer::new(),
+            violation: None,
+        }
+    }
+
+    /// Creates a verifier resuming mid-chain: the next record must have
+    /// sequence `next_seq` and chain from `prev_hash`.
+    ///
+    /// This is the windowed-adjudication entry point: a
+    /// `snapshot_range` window anchors at its first record's `prev_hash`
+    /// (whose authenticity comes from epoch commitments and token
+    /// signatures, not from replaying the chain from genesis).
+    pub fn resume(next_seq: u64, prev_hash: Digest) -> Self {
+        Self {
+            prev_hash,
+            next_seq,
+            scratch: Writer::new(),
+            violation: None,
+        }
     }
 
     /// Checks the next record; after the first violation further records
@@ -168,8 +349,10 @@ impl ChainVerifier {
             return;
         }
         if rec.seq != self.next_seq {
-            self.violation =
-                Some(ChainViolation::BadSequence { expected: self.next_seq, found: rec.seq });
+            self.violation = Some(ChainViolation::BadSequence {
+                expected: self.next_seq,
+                found: rec.seq,
+            });
             return;
         }
         if rec.prev_hash != self.prev_hash {
@@ -239,8 +422,15 @@ mod tests {
     fn chain(n: u64) -> Vec<EvidenceRecord> {
         let mut out: Vec<EvidenceRecord> = Vec::new();
         for i in 0..n {
-            let prev_hash = out.last().map(EvidenceRecord::record_hash).unwrap_or(Digest::ZERO);
-            out.push(EvidenceRecord { seq: i, prev_hash, draft: draft(i) });
+            let prev_hash = out
+                .last()
+                .map(EvidenceRecord::record_hash)
+                .unwrap_or(Digest::ZERO);
+            out.push(EvidenceRecord {
+                seq: i,
+                prev_hash,
+                draft: draft(i),
+            });
         }
         out
     }
@@ -256,7 +446,10 @@ mod tests {
     fn tampered_payload_breaks_chain() {
         let mut records = chain(5);
         records[2].draft.payload = vec![0xFF];
-        assert_eq!(verify_chain(&records), Err(ChainViolation::BrokenLink { seq: 3 }));
+        assert_eq!(
+            verify_chain(&records),
+            Err(ChainViolation::BrokenLink { seq: 3 })
+        );
     }
 
     #[test]
@@ -265,7 +458,10 @@ mod tests {
         records.remove(2);
         assert_eq!(
             verify_chain(&records),
-            Err(ChainViolation::BadSequence { expected: 2, found: 3 })
+            Err(ChainViolation::BadSequence {
+                expected: 2,
+                found: 3
+            })
         );
     }
 
@@ -283,6 +479,111 @@ mod tests {
         let mut records = chain(2);
         records[0].prev_hash = sha256(b"evil");
         assert_eq!(verify_chain(&records), Err(ChainViolation::BadGenesis));
+    }
+
+    fn arc_chain(n: u64) -> Vec<Arc<EvidenceRecord>> {
+        chain(n).into_iter().map(Arc::new).collect()
+    }
+
+    fn test_keys() -> nonrep_crypto::sig::KeyPair {
+        nonrep_crypto::sig::KeyPair::generate(
+            nonrep_crypto::sig::SignatureScheme::Mss { height: 3 },
+            &mut nonrep_crypto::rng::SecureRandom::from_seed(42),
+        )
+    }
+
+    fn seal(
+        records: &[Arc<EvidenceRecord>],
+        keys: &nonrep_crypto::sig::KeyPair,
+    ) -> EpochCommitment {
+        let lo = records.first().unwrap().seq;
+        let hi = records.last().unwrap().seq;
+        let hashes: Vec<Digest> = records.iter().map(|r| r.record_hash()).collect();
+        let root = EpochCommitment::root_over_hashes(&hashes);
+        let signature = keys
+            .sign_digest(&EpochCommitment::signing_digest(lo, hi, &root))
+            .unwrap();
+        EpochCommitment {
+            lo,
+            hi,
+            root,
+            signature,
+        }
+    }
+
+    #[test]
+    fn epoch_commitment_verifies_and_roundtrips() {
+        let records = arc_chain(6);
+        let keys = test_keys();
+        let commit = seal(&records[1..5], &keys);
+        let vk = keys.verifying_key();
+        assert!(commit.verify(&vk, &records[1..5]));
+        let back = EpochCommitment::decode_from_slice(&commit.encode_to_vec()).unwrap();
+        assert_eq!(back, commit);
+        // As a record draft it is recognizable and decodable.
+        let draft = commit.to_draft(OrgId::new("org"), Timestamp(9));
+        let rec = EvidenceRecord {
+            seq: 6,
+            prev_hash: Digest::ZERO,
+            draft,
+        };
+        assert!(rec.is_epoch_commit());
+        assert_eq!(EpochCommitment::from_record(&rec).unwrap(), commit);
+    }
+
+    #[test]
+    fn epoch_commitment_rejects_all_tampering() {
+        let records = arc_chain(5);
+        let keys = test_keys();
+        let vk = keys.verifying_key();
+        let commit = seal(&records, &keys);
+
+        // Tampered record content.
+        let mut doctored = records.clone();
+        Arc::make_mut(&mut doctored[2]).draft.payload = vec![0xFF];
+        assert!(!commit.verify(&vk, &doctored));
+
+        // Tampered root.
+        let mut bad_root = commit.clone();
+        bad_root.root = sha256(b"evil");
+        assert!(!bad_root.verify(&vk, &records));
+
+        // Tampered range bounds (signature covers lo/hi).
+        let mut bad_lo = seal(&records[1..], &keys);
+        bad_lo.lo = 0;
+        assert!(!bad_lo.verify(&vk, &records));
+        let mut bad_hi = commit.clone();
+        bad_hi.hi = 3;
+        assert!(!bad_hi.verify(&vk, &records[..4]));
+
+        // Wrong key.
+        let other = nonrep_crypto::sig::KeyPair::generate(
+            nonrep_crypto::sig::SignatureScheme::Mss { height: 3 },
+            &mut nonrep_crypto::rng::SecureRandom::from_seed(43),
+        );
+        assert!(!commit.verify(&other.verifying_key(), &records));
+
+        // Dropped / reordered coverage.
+        assert!(!commit.verify(&vk, &records[..4]));
+        let mut swapped = records.clone();
+        swapped.swap(1, 2);
+        assert!(!commit.verify(&vk, &swapped));
+    }
+
+    #[test]
+    fn chain_verifier_resumes_mid_chain() {
+        let records = chain(8);
+        let mut v = ChainVerifier::resume(records[3].seq, records[3].prev_hash);
+        for rec in &records[3..] {
+            v.check(rec);
+        }
+        assert_eq!(v.head(), records.last().unwrap().record_hash());
+        v.finish().unwrap();
+        // A gap inside the window is still caught.
+        let mut v = ChainVerifier::resume(records[3].seq, records[3].prev_hash);
+        v.check(&records[3]);
+        v.check(&records[5]);
+        assert!(v.violated());
     }
 
     #[test]

@@ -28,7 +28,10 @@ impl StateStore {
     /// Stores `state`, returning its digest. Idempotent.
     pub fn put(&self, state: &[u8]) -> Digest {
         let digest = sha256(state);
-        self.blobs.write().entry(digest).or_insert_with(|| state.to_vec());
+        self.blobs
+            .write()
+            .entry(digest)
+            .or_insert_with(|| state.to_vec());
         digest
     }
 
@@ -64,7 +67,11 @@ impl StateStore {
 
     /// The digest of `object` at `version`, if recorded.
     pub fn version_digest(&self, object: &str, version: u64) -> Option<Digest> {
-        self.versions.read().get(object)?.get(version as usize).copied()
+        self.versions
+            .read()
+            .get(object)?
+            .get(version as usize)
+            .copied()
     }
 
     /// The latest `(version, digest)` of `object`, if any.
@@ -77,7 +84,11 @@ impl StateStore {
 
     /// Full version history of `object` (oldest first).
     pub fn history(&self, object: &str) -> Vec<Digest> {
-        self.versions.read().get(object).cloned().unwrap_or_default()
+        self.versions
+            .read()
+            .get(object)
+            .cloned()
+            .unwrap_or_default()
     }
 
     /// Checks that `state` is a *previously recorded* version of `object`,
@@ -102,7 +113,11 @@ impl StateStore {
     pub fn install_history(&self, object: &str, history: Vec<Digest>, latest_state: Option<&[u8]>) {
         if let Some(state) = latest_state {
             let digest = self.put(state);
-            debug_assert_eq!(Some(&digest), history.last(), "latest state must match history");
+            debug_assert_eq!(
+                Some(&digest),
+                history.last(),
+                "latest state must match history"
+            );
         }
         self.versions.write().insert(object.to_owned(), history);
     }

@@ -57,7 +57,10 @@ impl fmt::Display for CodecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CodecError::UnexpectedEnd { needed, remaining } => {
-                write!(f, "unexpected end of input: needed {needed} bytes, {remaining} remaining")
+                write!(
+                    f,
+                    "unexpected end of input: needed {needed} bytes, {remaining} remaining"
+                )
             }
             CodecError::FieldTooLong(len) => write!(f, "field length {len} exceeds maximum"),
             CodecError::InvalidTag { ty, tag } => write!(f, "invalid tag {tag} for type {ty}"),
@@ -87,7 +90,9 @@ impl Writer {
 
     /// Creates a writer with pre-allocated capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        Self { buf: Vec::with_capacity(cap) }
+        Self {
+            buf: Vec::with_capacity(cap),
+        }
     }
 
     /// Number of bytes written so far.
@@ -197,7 +202,10 @@ impl<'a> Reader<'a> {
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
         if self.rest.len() < n {
-            return Err(CodecError::UnexpectedEnd { needed: n, remaining: self.rest.len() });
+            return Err(CodecError::UnexpectedEnd {
+                needed: n,
+                remaining: self.rest.len(),
+            });
         }
         let (head, tail) = self.rest.split_at(n);
         self.rest = tail;
@@ -479,7 +487,13 @@ mod tests {
         let bytes = w.into_vec();
         let mut r = Reader::new(&bytes[..4]);
         let err = r.get_u64().unwrap_err();
-        assert_eq!(err, CodecError::UnexpectedEnd { needed: 8, remaining: 4 });
+        assert_eq!(
+            err,
+            CodecError::UnexpectedEnd {
+                needed: 8,
+                remaining: 4
+            }
+        );
     }
 
     #[test]
@@ -495,7 +509,10 @@ mod tests {
     #[test]
     fn non_canonical_bool_rejected() {
         let mut r = Reader::new(&[2]);
-        assert!(matches!(r.get_bool(), Err(CodecError::InvalidTag { ty: "bool", tag: 2 })));
+        assert!(matches!(
+            r.get_bool(),
+            Err(CodecError::InvalidTag { ty: "bool", tag: 2 })
+        ));
     }
 
     #[test]
@@ -510,8 +527,14 @@ mod tests {
     fn option_roundtrip() {
         let some: Option<u64> = Some(9);
         let none: Option<u64> = None;
-        assert_eq!(Option::<u64>::decode_from_slice(&some.encode_to_vec()).unwrap(), some);
-        assert_eq!(Option::<u64>::decode_from_slice(&none.encode_to_vec()).unwrap(), none);
+        assert_eq!(
+            Option::<u64>::decode_from_slice(&some.encode_to_vec()).unwrap(),
+            some
+        );
+        assert_eq!(
+            Option::<u64>::decode_from_slice(&none.encode_to_vec()).unwrap(),
+            none
+        );
     }
 
     #[test]

@@ -21,9 +21,10 @@ use crate::codec::{CodecError, Decode, Encode, Reader, Writer};
 /// Floating point is deliberately represented by its IEEE-754 bit pattern
 /// ([`Value::F64Bits`]) so that `Value` can implement `Eq`/`Hash` and encode
 /// canonically; use [`Value::from_f64`]/[`Value::as_f64`] at the edges.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub enum Value {
     /// Absence of a value.
+    #[default]
     Null,
     /// A boolean.
     Bool(bool),
@@ -145,12 +146,6 @@ impl Value {
             Value::Map(m) => 1 + m.values().map(Value::node_count).sum::<usize>(),
             _ => 1,
         }
-    }
-}
-
-impl Default for Value {
-    fn default() -> Self {
-        Value::Null
     }
 }
 
@@ -348,7 +343,10 @@ mod tests {
             ("unit_price", Value::from_f64(1999.99)),
             ("rush", Value::from(true)),
             ("notes", Value::Null),
-            ("serials", Value::list([Value::from(1u64), Value::from(2u64)])),
+            (
+                "serials",
+                Value::list([Value::from(1u64), Value::from(2u64)]),
+            ),
             ("blob", Value::from(vec![0u8, 255])),
         ])
     }
@@ -401,8 +399,16 @@ mod tests {
         assert_eq!(v.get("rush").and_then(Value::as_bool), Some(true));
         assert_eq!(v.get("unit_price").and_then(Value::as_f64), Some(1999.99));
         assert!(v.get("notes").unwrap().is_null());
-        assert_eq!(v.get("serials").and_then(Value::as_list).map(<[Value]>::len), Some(2));
-        assert_eq!(v.get("blob").and_then(Value::as_bytes), Some(&[0u8, 255][..]));
+        assert_eq!(
+            v.get("serials")
+                .and_then(Value::as_list)
+                .map(<[Value]>::len),
+            Some(2)
+        );
+        assert_eq!(
+            v.get("blob").and_then(Value::as_bytes),
+            Some(&[0u8, 255][..])
+        );
         assert!(v.get("missing").is_none());
     }
 
@@ -432,7 +438,10 @@ mod tests {
     fn invalid_tag_rejected() {
         assert!(matches!(
             Value::decode_from_slice(&[99]),
-            Err(CodecError::InvalidTag { ty: "Value", tag: 99 })
+            Err(CodecError::InvalidTag {
+                ty: "Value",
+                tag: 99
+            })
         ));
     }
 }

@@ -53,7 +53,9 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// Creates an id rendered as `name/parameter`.
     pub fn new(name: impl Display, parameter: impl Display) -> Self {
-        Self { id: format!("{name}/{parameter}") }
+        Self {
+            id: format!("{name}/{parameter}"),
+        }
     }
 }
 
@@ -150,8 +152,11 @@ impl BenchmarkGroup<'_> {
         if !filter_matches(&self.name, &id) {
             return self;
         }
-        let mut bencher =
-            Bencher { warm_up_time: self.warm_up_time, measurement_time: self.measurement_time, result: None };
+        let mut bencher = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            result: None,
+        };
         f(&mut bencher);
         self.report(&id, bencher.result);
         self
@@ -166,8 +171,11 @@ impl BenchmarkGroup<'_> {
         if !filter_matches(&self.name, &id) {
             return self;
         }
-        let mut bencher =
-            Bencher { warm_up_time: self.warm_up_time, measurement_time: self.measurement_time, result: None };
+        let mut bencher = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            result: None,
+        };
         f(&mut bencher, input);
         self.report(&id, bencher.result);
         self
@@ -180,7 +188,10 @@ impl BenchmarkGroup<'_> {
         let Some(m) = result else { return };
         let rate = match self.throughput {
             Some(Throughput::Bytes(n)) if m.ns_per_iter > 0.0 => {
-                format!("  ({:.1} MiB/s)", n as f64 / m.ns_per_iter * 1e9 / (1024.0 * 1024.0))
+                format!(
+                    "  ({:.1} MiB/s)",
+                    n as f64 / m.ns_per_iter * 1e9 / (1024.0 * 1024.0)
+                )
             }
             Some(Throughput::Elements(n)) if m.ns_per_iter > 0.0 => {
                 format!("  ({:.0} elem/s)", n as f64 / m.ns_per_iter * 1e9)
@@ -221,7 +232,7 @@ fn format_ns(ns: f64) -> String {
         let s = v.to_string();
         let mut out = String::new();
         for (i, c) in s.chars().enumerate() {
-            if i > 0 && (s.len() - i) % 3 == 0 {
+            if i > 0 && (s.len() - i).is_multiple_of(3) {
                 out.push(',');
             }
             out.push(c);
@@ -272,8 +283,10 @@ impl Bencher {
             }
         }
         let elapsed = start.elapsed();
-        self.result =
-            Some(Measurement { ns_per_iter: elapsed.as_nanos() as f64 / iters as f64, iters });
+        self.result = Some(Measurement {
+            ns_per_iter: elapsed.as_nanos() as f64 / iters as f64,
+            iters,
+        });
     }
 
     /// Times `routine` with a per-iteration setup excluded from the timing.
@@ -297,8 +310,10 @@ impl Bencher {
             total += start.elapsed();
             iters += 1;
         }
-        self.result =
-            Some(Measurement { ns_per_iter: total.as_nanos() as f64 / iters as f64, iters });
+        self.result = Some(Measurement {
+            ns_per_iter: total.as_nanos() as f64 / iters as f64,
+            iters,
+        });
     }
 }
 
@@ -349,7 +364,9 @@ mod tests {
     fn iter_batched_runs() {
         let mut c = Criterion::default();
         let mut group = c.benchmark_group("shim2");
-        group.warm_up_time(Duration::from_millis(1)).measurement_time(Duration::from_millis(2));
+        group
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
         group.bench_function("batched", |b| {
             b.iter_batched(|| vec![1u8; 8], |v| v.len(), BatchSize::PerIteration)
         });

@@ -60,7 +60,9 @@ pub mod test_runner {
                 h ^= u64::from(b);
                 h = h.wrapping_mul(0x0000_0100_0000_01B3);
             }
-            Self { state: h ^ 0x9E37_79B9_7F4A_7C15 }
+            Self {
+                state: h ^ 0x9E37_79B9_7F4A_7C15,
+            }
         }
 
         /// Next 64 random bits.
@@ -119,7 +121,10 @@ pub mod strategy {
             let mut strat = self.clone().boxed();
             for _ in 0..depth {
                 let deeper = f(strat).boxed();
-                strat = Union { options: vec![self.clone().boxed(), deeper] }.boxed();
+                strat = Union {
+                    options: vec![self.clone().boxed(), deeper],
+                }
+                .boxed();
             }
             strat
         }
@@ -211,7 +216,9 @@ pub mod strategy {
 
     impl<T> Clone for Union<T> {
         fn clone(&self) -> Self {
-            Self { options: self.options.clone() }
+            Self {
+                options: self.options.clone(),
+            }
         }
     }
 
@@ -336,7 +343,10 @@ pub mod strategy {
                             i += 1;
                         }
                     }
-                    assert!(i < chars.len(), "unterminated character class in {pattern:?}");
+                    assert!(
+                        i < chars.len(),
+                        "unterminated character class in {pattern:?}"
+                    );
                     i += 1; // skip ']'
                     ranges
                 }
@@ -373,8 +383,10 @@ pub mod strategy {
                 (1, 1)
             };
             let count = min + rng.below((max - min + 1) as u64) as usize;
-            let total_width: u64 =
-                class.iter().map(|&(lo, hi)| hi as u64 - lo as u64 + 1).sum();
+            let total_width: u64 = class
+                .iter()
+                .map(|&(lo, hi)| hi as u64 - lo as u64 + 1)
+                .sum();
             for _ in 0..count {
                 let mut pick = rng.below(total_width);
                 for &(lo, hi) in &class {
@@ -499,7 +511,9 @@ pub mod array {
 pub mod prelude {
     pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
     pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Uniform choice among strategies with the same value type.
@@ -619,8 +633,8 @@ macro_rules! __proptest_impl {
 
 #[cfg(test)]
 mod tests {
-    use crate::prelude::*;
     use crate::collection::{btree_map, vec};
+    use crate::prelude::*;
 
     proptest! {
         #[test]

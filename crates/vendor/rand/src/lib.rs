@@ -59,7 +59,8 @@ fn fill_os_entropy(buf: &mut [u8]) {
     // degrading silently (matching real rand's from_entropy behavior).
     let mut f = std::fs::File::open("/dev/urandom")
         .expect("from_entropy: no OS entropy source (/dev/urandom unavailable)");
-    f.read_exact(buf).expect("from_entropy: reading /dev/urandom failed");
+    f.read_exact(buf)
+        .expect("from_entropy: reading /dev/urandom failed");
 }
 
 /// Concrete RNG implementations.
@@ -136,7 +137,12 @@ pub mod rngs {
             for (i, chunk) in seed.chunks_exact(4).enumerate() {
                 key[i] = u32::from_le_bytes(chunk.try_into().unwrap());
             }
-            Self { key, counter: 0, buf: [0u8; 64], buf_pos: 64 }
+            Self {
+                key,
+                counter: 0,
+                buf: [0u8; 64],
+                buf_pos: 64,
+            }
         }
     }
 

@@ -50,7 +50,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     // step).
     let spec = purchase_order_contract();
     let issues = spec.check();
-    assert!(issues.is_empty(), "contract failed verification: {issues:?}");
+    assert!(
+        issues.is_empty(),
+        "contract failed verification: {issues:?}"
+    );
     println!("contract '{}' statically verified: no defects", spec.name());
 
     let bus = LocalBus::new();
@@ -79,8 +82,15 @@ fn main() -> Result<(), Box<dyn Error>> {
             }
             println!("accepted: {state}");
         } else {
-            let veto = out.votes.iter().find(|v| !v.accept).expect("vetoed round has a veto");
-            println!("VETOED:   {state}\n          by {} — {}", veto.voter, veto.reason);
+            let veto = out
+                .votes
+                .iter()
+                .find(|v| !v.accept)
+                .expect("vetoed round has a veto");
+            println!(
+                "VETOED:   {state}\n          by {} — {}",
+                veto.voter, veto.reason
+            );
         }
         Ok(out.accepted)
     };

@@ -21,8 +21,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     // Two organisations, each with its own trusted-interceptor stack.
     let dealer =
         OrgMiddleware::builder("dealer", bus.clone(), directory.clone(), clock.clone()).build();
-    let manufacturer =
-        OrgMiddleware::builder("manufacturer", bus, directory, clock).build();
+    let manufacturer = OrgMiddleware::builder("manufacturer", bus, directory, clock).build();
 
     // The manufacturer deploys a quoting component and declares, in its
     // deployment descriptor, that invocations require non-repudiation.
@@ -30,13 +29,19 @@ fn main() -> Result<(), Box<dyn Error>> {
         DeploymentDescriptor::new("urn:parts", [MethodName::new("quote")])
             .with_non_repudiation(NrConfig::protocol("direct")),
         Arc::new(FnComponent::new().method("quote", |args| {
-            let part = args.get("part").and_then(Value::as_str).unwrap_or("unknown");
+            let part = args
+                .get("part")
+                .and_then(Value::as_str)
+                .unwrap_or("unknown");
             let price = match part {
                 "gearbox" => 4200i64,
                 "chassis" => 10500,
                 _ => 999,
             };
-            Ok(Value::map([("part", Value::from(part)), ("price", Value::from(price))]))
+            Ok(Value::map([
+                ("part", Value::from(part)),
+                ("price", Value::from(price)),
+            ]))
         })),
     )?;
 
@@ -62,14 +67,16 @@ fn main() -> Result<(), Box<dyn Error>> {
     }
 
     // Neither party can now deny its part: run the adjudicator over both
-    // logs as a dispute-resolution dry run.
+    // parties' evidence as a dispute-resolution dry run. Each submits a
+    // `snapshot_range` *window* of its log plus its chain head — handles
+    // into the Arc-backed store, never a clone of the record set.
     let run_id = dealer.log().snapshot_range(0..1)[0].draft.run_id;
     let adjudicator = Adjudicator::new(dealer.directory().clone() as Arc<dyn KeyDirectory>);
-    let verdict = adjudicator.adjudicate_logs(
+    let verdict = adjudicator.adjudicate_windows(
         run_id,
         &[
-            (OrgId::new("dealer"), &**dealer.log()),
-            (OrgId::new("manufacturer"), &**manufacturer.log()),
+            dealer.submit_full_window(),
+            manufacturer.submit_full_window(),
         ],
     );
     println!("\n{verdict}");

@@ -32,13 +32,16 @@ fn world(domain: TrustDomain) -> Result<World, Box<dyn Error>> {
     match &domain {
         TrustDomain::InlineTtp { first_hop } if first_hop.as_str() == "ttp-a" => {
             // Distributed inline TTPs (Fig 3(b)): ttp-a relays to ttp-b.
-            let ttp_a = OrgMiddleware::builder("ttp-a", bus.clone(), dir.clone(), clock.clone()).build();
+            let ttp_a =
+                OrgMiddleware::builder("ttp-a", bus.clone(), dir.clone(), clock.clone()).build();
             ttp_a.serve_as_inline_ttp(Some(OrgId::new("ttp-b")));
-            let ttp_b = OrgMiddleware::builder("ttp-b", bus.clone(), dir.clone(), clock.clone()).build();
+            let ttp_b =
+                OrgMiddleware::builder("ttp-b", bus.clone(), dir.clone(), clock.clone()).build();
             ttp_b.serve_as_inline_ttp(None);
         }
         TrustDomain::InlineTtp { first_hop } => {
-            let ttp = OrgMiddleware::builder(first_hop.clone(), bus.clone(), dir.clone(), clock).build();
+            let ttp =
+                OrgMiddleware::builder(first_hop.clone(), bus.clone(), dir.clone(), clock).build();
             ttp.serve_as_inline_ttp(None);
         }
         TrustDomain::FairOffline { ttp } => {
@@ -52,7 +55,11 @@ fn world(domain: TrustDomain) -> Result<World, Box<dyn Error>> {
             .with_non_repudiation(NrConfig::protocol("direct")),
         Arc::new(FnComponent::new().method("work", |args| Ok(args.clone()))),
     )?;
-    Ok(World { bus, client, server })
+    Ok(World {
+        bus,
+        client,
+        server,
+    })
 }
 
 fn main() -> Result<(), Box<dyn Error>> {
@@ -64,9 +71,24 @@ fn main() -> Result<(), Box<dyn Error>> {
         ("plain (no NR)", TrustDomain::Direct), // plain handled specially below
         ("voluntary (ref [23])", TrustDomain::Voluntary),
         ("direct (Fig 3c)", TrustDomain::Direct),
-        ("inline TTP (Fig 3a)", TrustDomain::InlineTtp { first_hop: OrgId::new("ttp") }),
-        ("distributed TTP (Fig 3b)", TrustDomain::InlineTtp { first_hop: OrgId::new("ttp-a") }),
-        ("fair offline TTP", TrustDomain::FairOffline { ttp: OrgId::new("ttp") }),
+        (
+            "inline TTP (Fig 3a)",
+            TrustDomain::InlineTtp {
+                first_hop: OrgId::new("ttp"),
+            },
+        ),
+        (
+            "distributed TTP (Fig 3b)",
+            TrustDomain::InlineTtp {
+                first_hop: OrgId::new("ttp-a"),
+            },
+        ),
+        (
+            "fair offline TTP",
+            TrustDomain::FairOffline {
+                ttp: OrgId::new("ttp"),
+            },
+        ),
     ];
     for (i, (label, domain)) in deployments.into_iter().enumerate() {
         let w = world(domain)?;
@@ -74,9 +96,13 @@ fn main() -> Result<(), Box<dyn Error>> {
         let value = Value::map([("payload", Value::from("x".repeat(64)))]);
         let result = if i == 0 {
             // Baseline: the plain, un-evidenced proxy.
-            w.client.plain_proxy(w.server.org(), "urn:svc").invoke("work", value)?
+            w.client
+                .plain_proxy(w.server.org(), "urn:svc")
+                .invoke("work", value)?
         } else {
-            w.client.nr_proxy(w.server.org(), "urn:svc").invoke("work", value)?
+            w.client
+                .nr_proxy(w.server.org(), "urn:svc")
+                .invoke("work", value)?
         };
         assert!(result.get("payload").is_some());
         let stats = w.bus.stats();

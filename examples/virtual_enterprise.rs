@@ -55,7 +55,11 @@ fn main() -> Result<(), Box<dyn Error>> {
             ]))
         })),
     )?;
-    for (mw, base) in [(&supplier_a, 700i64), (&supplier_b, 850), (&supplier_c, 620)] {
+    for (mw, base) in [
+        (&supplier_a, 700i64),
+        (&supplier_b, 850),
+        (&supplier_c, 620),
+    ] {
         mw.deploy(
             DeploymentDescriptor::new("urn:parts", [MethodName::new("quote")])
                 .with_non_repudiation(NrConfig::protocol("direct")),
@@ -117,10 +121,16 @@ fn main() -> Result<(), Box<dyn Error>> {
     let outcome = manufacturer.propose_update(&group, "spec", slow)?;
     println!("\nproposal 1 accepted: {}", outcome.accepted);
     for vote in &outcome.votes {
-        println!("  vote by {:<12} accept={} reason={:?}", vote.voter, vote.accept, vote.reason);
+        println!(
+            "  vote by {:<12} accept={} reason={:?}",
+            vote.voter, vote.accept, vote.reason
+        );
     }
     assert!(!outcome.accepted);
-    assert!(manufacturer.current_state("spec").is_none(), "veto leaves replicas untouched");
+    assert!(
+        manufacturer.current_state("spec").is_none(),
+        "veto leaves replicas untouched"
+    );
 
     // Renegotiated proposal: accepted unanimously and applied everywhere.
     let fast = b"part=gearbox;ratio=4.1;delivery_days=60;".to_vec();
@@ -149,7 +159,13 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     // ---- Audit summary -------------------------------------------------
     println!("\nevidence held:");
-    for mw in [&dealer, &manufacturer, &supplier_a, &supplier_b, &supplier_c] {
+    for mw in [
+        &dealer,
+        &manufacturer,
+        &supplier_a,
+        &supplier_b,
+        &supplier_c,
+    ] {
         mw.log().verify()?;
         println!(
             "  {:<12} {:>3} records, {:>6} bytes, chain OK",

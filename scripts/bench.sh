@@ -1,19 +1,21 @@
 #!/usr/bin/env bash
-# Runs the perf-tracked benches (e1 invocation, e6 crypto, e7 evidence
-# space) and writes BENCH_<N>.json at the repo root with before/after
-# numbers, where "before" is the checked-in baseline captured from the
-# seed implementation (scripts/bench_baseline_1.jsonl).
+# Runs the full perf-tracked experiment suite (e1–e3, e5–e11) and writes
+# BENCH_<N>.json at the repo root with before/after numbers, where
+# "before" is the checked-in baseline (scripts/bench_baseline_<N>.jsonl —
+# seed-implementation numbers carried forward; benches added after the
+# seed appear with "after" numbers only).
 #
-# Usage: scripts/bench.sh [N]    (default N=1)
+# Usage: scripts/bench.sh [N]    (default N=2)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-N="${1:-1}"
+N="${1:-2}"
 BASELINE="scripts/bench_baseline_${N}.jsonl"
 CURRENT="$(mktemp /tmp/nonrep-bench-XXXX.jsonl)"
 trap 'rm -f "$CURRENT"' EXIT
 
-for bench in e1_invocation e6_crypto e7_evidence_space; do
+for bench in e1_invocation e2_sharing e3_trust_domains e5_container e6_crypto \
+             e7_evidence_space e8_messages e9_faults e10_group_size e11_batch_commit; do
     NONREP_BENCH_JSON="$CURRENT" cargo bench -p nonrep_bench --bench "$bench"
 done
 

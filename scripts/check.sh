@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# CI gate: tier-1 verification plus formatting and lint checks.
+#
+#   scripts/check.sh           # build + tests + fmt + clippy
+#   scripts/check.sh --fast    # skip the release build (tests only)
+#
+# Tier-1 (ROADMAP): cargo build --release && cargo test -q
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+if [[ "$FAST" -eq 0 ]]; then
+    echo "==> cargo build --release"
+    cargo build --release
+fi
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "check.sh: all green"

@@ -70,7 +70,7 @@ pub mod prelude {
     pub use nonrep_container::descriptor::{DeploymentDescriptor, NrConfig, SharedObjectConfig};
     pub use nonrep_container::{ClientProxy, Component, Container, ContainerError};
     pub use nonrep_core::{
-        b2b_address, Adjudicator, ClientNrInterceptor, OrgMiddleware, TrustDomain,
+        b2b_address, Adjudicator, ClientNrInterceptor, OrgMiddleware, TrustDomain, WindowSubmission,
     };
     pub use nonrep_crypto::sig::{KeyPair, SignatureScheme};
     pub use nonrep_crypto::SecureRandom;
@@ -79,6 +79,7 @@ pub mod prelude {
     pub use nonrep_net::latency::LatencyModel;
     pub use nonrep_net::retry::RetryPolicy;
     pub use nonrep_protocols::party::{KeyDirectory, Party, StaticKeyDirectory};
+    pub use nonrep_protocols::scheduler::{BatchPolicy, CommitmentMode};
     pub use nonrep_protocols::tokens::TokenKind;
     pub use nonrep_protocols::ProtocolError;
     pub use nonrep_store::{EvidenceLog, StateStore};

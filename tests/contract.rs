@@ -44,7 +44,12 @@ fn world() -> World {
     b.install_group(group.clone(), set);
     let monitor = Arc::new(ContractMonitor::new(contract()));
     b.add_validator(ContractValidator::new(monitor.clone(), event_of));
-    World { a, b, group, monitor }
+    World {
+        a,
+        b,
+        group,
+        monitor,
+    }
 }
 
 #[test]
@@ -60,7 +65,9 @@ fn compliant_updates_flow_and_monitor_advances() {
         (b"revise;v=2", "spec.revise"),
         (b"agree;v=2", "spec.agree"),
     ] {
-        let out = w.a.propose_update(&w.group, "spec", state.to_vec()).unwrap();
+        let out =
+            w.a.propose_update(&w.group, "spec", state.to_vec())
+                .unwrap();
         assert!(out.accepted, "{event}");
         w.monitor.observe(event).unwrap();
     }
@@ -71,10 +78,13 @@ fn compliant_updates_flow_and_monitor_advances() {
 #[test]
 fn breaching_update_is_vetoed_with_signed_reason() {
     let w = world();
-    w.a.propose_update(&w.group, "spec", b"agree;v=1".to_vec()).unwrap();
+    w.a.propose_update(&w.group, "spec", b"agree;v=1".to_vec())
+        .unwrap();
     w.monitor.observe("spec.agree").unwrap();
     // Withdrawing after agreement would breach: vetoed.
-    let out = w.a.propose_update(&w.group, "spec", b"withdraw;v=1".to_vec()).unwrap();
+    let out =
+        w.a.propose_update(&w.group, "spec", b"withdraw;v=1".to_vec())
+            .unwrap();
     assert!(!out.accepted);
     let veto = out.votes.iter().find(|v| !v.accept).unwrap();
     assert!(veto.reason.contains("contract violation"));
@@ -83,21 +93,26 @@ fn breaching_update_is_vetoed_with_signed_reason() {
     assert_eq!(w.monitor.state().as_str(), "agreed");
     // The veto is in A's evidence log, attributable to B.
     let veto_records =
-        w.a.log().count_where(&|r| r.draft.kind == "vote" && r.draft.actor == OrgId::new("b"));
+        w.a.log()
+            .count_where(&|r| r.draft.kind == "vote" && r.draft.actor == OrgId::new("b"));
     assert!(veto_records >= 1);
 }
 
 #[test]
 fn out_of_scope_objects_are_not_contract_checked() {
     let w = world();
-    let out = w.a.propose_update(&w.group, "other-doc", b"anything".to_vec()).unwrap();
+    let out =
+        w.a.propose_update(&w.group, "other-doc", b"anything".to_vec())
+            .unwrap();
     assert!(out.accepted);
 }
 
 #[test]
 fn unknown_contract_event_is_rejected() {
     let w = world();
-    let out = w.a.propose_update(&w.group, "spec", b"explode;v=1".to_vec()).unwrap();
+    let out =
+        w.a.propose_update(&w.group, "spec", b"explode;v=1".to_vec())
+            .unwrap();
     assert!(!out.accepted);
     assert!(out.votes[0].reason.contains("spec.explode"));
 }

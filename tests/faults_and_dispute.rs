@@ -28,14 +28,16 @@ fn crashed_server_fails_cleanly_and_recovers() {
 
     bus.fault_plan().crash(server.org());
     // The b2b endpoint is a separate bus identity; crash it too.
-    bus.fault_plan().crash(&nonrep::core::b2b_address(server.org()));
+    bus.fault_plan()
+        .crash(&nonrep::core::b2b_address(server.org()));
     let err = proxy.invoke("work", Value::from(1i64)).unwrap_err();
     assert!(matches!(err, ContainerError::Protocol(_)));
     // Only the client's own NRO is logged — nothing from the server.
     assert_eq!(client.log().len(), 1);
 
     bus.fault_plan().recover(server.org());
-    bus.fault_plan().recover(&nonrep::core::b2b_address(server.org()));
+    bus.fault_plan()
+        .recover(&nonrep::core::b2b_address(server.org()));
     assert!(proxy.invoke("work", Value::from(2i64)).is_ok());
 }
 
@@ -52,9 +54,15 @@ fn partition_blocks_but_evidence_stays_consistent() {
     let proxy = client.nr_proxy(server.org(), "urn:svc");
     proxy.invoke("work", Value::from(1i64)).unwrap();
 
-    bus.fault_plan().partition(&OrgId::new("client"), &nonrep::core::b2b_address(server.org()));
+    bus.fault_plan().partition(
+        &OrgId::new("client"),
+        &nonrep::core::b2b_address(server.org()),
+    );
     assert!(proxy.invoke("work", Value::from(2i64)).is_err());
-    bus.fault_plan().heal(&OrgId::new("client"), &nonrep::core::b2b_address(server.org()));
+    bus.fault_plan().heal(
+        &OrgId::new("client"),
+        &nonrep::core::b2b_address(server.org()),
+    );
     proxy.invoke("work", Value::from(3i64)).unwrap();
 
     // Two completed exchanges: 8 records each side, chains intact.
@@ -126,7 +134,9 @@ fn fair_exchange_defeats_defecting_server_end_to_end() {
     let clock = LogicalClock::new();
     let ttp_org = OrgId::new("ttp");
     let client = OrgMiddleware::builder("client", bus.clone(), dir.clone(), clock.clone())
-        .domain(TrustDomain::FairOffline { ttp: ttp_org.clone() })
+        .domain(TrustDomain::FairOffline {
+            ttp: ttp_org.clone(),
+        })
         .build();
     let server = OrgMiddleware::builder("server", bus.clone(), dir.clone(), clock.clone())
         .offline_ttp(ttp_org.clone())

@@ -7,14 +7,21 @@ use std::sync::Arc;
 use nonrep::prelude::*;
 
 fn world() -> (Arc<LocalBus>, Arc<StaticKeyDirectory>, LogicalClock) {
-    (LocalBus::new(), Arc::new(StaticKeyDirectory::new()), LogicalClock::new())
+    (
+        LocalBus::new(),
+        Arc::new(StaticKeyDirectory::new()),
+        LogicalClock::new(),
+    )
 }
 
 fn deploy_parts(server: &OrgMiddleware) {
     server
         .deploy(
-            DeploymentDescriptor::new("urn:parts", [MethodName::new("quote"), MethodName::new("fail")])
-                .with_non_repudiation(NrConfig::protocol("direct")),
+            DeploymentDescriptor::new(
+                "urn:parts",
+                [MethodName::new("quote"), MethodName::new("fail")],
+            )
+            .with_non_repudiation(NrConfig::protocol("direct")),
             Arc::new(
                 FnComponent::new()
                     .method("quote", |args| {
@@ -24,7 +31,9 @@ fn deploy_parts(server: &OrgMiddleware) {
                             ("price", Value::from(100i64)),
                         ]))
                     })
-                    .method("fail", |_| Err(ContainerError::Application("out of stock".into()))),
+                    .method("fail", |_| {
+                        Err(ContainerError::Application("out of stock".into()))
+                    }),
             ),
         )
         .unwrap();
@@ -38,13 +47,20 @@ fn full_exchange_produces_symmetric_evidence() {
     deploy_parts(&server);
 
     let proxy = client.nr_proxy(server.org(), "urn:parts");
-    let quote = proxy.invoke("quote", Value::map([("part", Value::from("gearbox"))])).unwrap();
+    let quote = proxy
+        .invoke("quote", Value::map([("part", Value::from("gearbox"))]))
+        .unwrap();
     assert_eq!(quote.get("price").and_then(Value::as_i64), Some(100));
 
     for mw in [&client, &server] {
         let mut kinds: Vec<String> = Vec::new();
         mw.log().for_each(&mut |r| kinds.push(r.draft.kind.clone()));
-        assert_eq!(kinds, vec!["NRO_req", "NRR_req", "NRO_resp", "NRR_resp"], "{}", mw.org());
+        assert_eq!(
+            kinds,
+            vec!["NRO_req", "NRR_req", "NRO_resp", "NRR_resp"],
+            "{}",
+            mw.org()
+        );
         mw.log().verify().unwrap();
     }
 }
@@ -98,7 +114,11 @@ fn at_most_once_under_lossy_channel() {
     for _ in 0..25 {
         proxy.invoke("inc", Value::Null).unwrap();
     }
-    assert_eq!(*executions.lock().unwrap(), 25, "retries must not re-execute");
+    assert_eq!(
+        *executions.lock().unwrap(),
+        25,
+        "retries must not re-execute"
+    );
     assert!(bus.stats().dropped > 0, "loss must actually have occurred");
 }
 
@@ -111,13 +131,22 @@ fn voluntary_baseline_gives_client_nothing() {
     let server = OrgMiddleware::builder("server", bus, dir, clock).build();
     deploy_parts(&server);
     let proxy = client.nr_proxy(server.org(), "urn:parts");
-    proxy.invoke("quote", Value::map([("part", Value::from("hub"))])).unwrap();
+    proxy
+        .invoke("quote", Value::map([("part", Value::from("hub"))]))
+        .unwrap();
     // Asymmetry (E11): the server holds the client's NRO; the client holds
     // nothing *about the server*.
     let mut server_kinds: Vec<String> = Vec::new();
-    server.log().for_each(&mut |r| server_kinds.push(r.draft.kind.clone()));
+    server
+        .log()
+        .for_each(&mut |r| server_kinds.push(r.draft.kind.clone()));
     assert_eq!(server_kinds, vec!["NRO_req"]);
-    assert_eq!(client.log().count_where(&|r| r.draft.actor == *server.org()), 0);
+    assert_eq!(
+        client
+            .log()
+            .count_where(&|r| r.draft.actor == *server.org()),
+        0
+    );
 }
 
 #[test]
@@ -128,8 +157,12 @@ fn plain_and_nr_coexist_on_one_bus() {
     deploy_parts(&server);
     let plain = client.plain_proxy(server.org(), "urn:parts");
     let nr = client.nr_proxy(server.org(), "urn:parts");
-    assert!(plain.invoke("quote", Value::map([("part", Value::from("x"))])).is_ok());
-    assert!(nr.invoke("quote", Value::map([("part", Value::from("x"))])).is_ok());
+    assert!(plain
+        .invoke("quote", Value::map([("part", Value::from("x"))]))
+        .is_ok());
+    assert!(nr
+        .invoke("quote", Value::map([("part", Value::from("x"))]))
+        .is_ok());
     // Only the NR invocation left evidence.
     assert_eq!(client.log().len(), 4);
 }

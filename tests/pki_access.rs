@@ -4,7 +4,9 @@
 
 use std::sync::Arc;
 
-use nonrep::access::{AccessPolicy, Action, CredentialRoleMapper, Permission, Role, SessionManager};
+use nonrep::access::{
+    AccessPolicy, Action, CredentialRoleMapper, Permission, Role, SessionManager,
+};
 use nonrep::container::interceptor::AccessControlInterceptor;
 use nonrep::pki::{CertificateAuthority, CredentialManager};
 use nonrep::prelude::*;
@@ -24,17 +26,30 @@ fn pki_world() -> PkiWorld {
     );
     let ca = CertificateAuthority::new(OrgId::new("root-ca"), ca_keys, Arc::new(clock.clone()));
     let manager = CredentialManager::new(Arc::new(clock.clone()));
-    manager.add_anchor(ca.self_signed(1_000_000).unwrap()).unwrap();
+    manager
+        .add_anchor(ca.self_signed(1_000_000).unwrap())
+        .unwrap();
     let mapper = CredentialRoleMapper::new()
         .map_attribute("supplier", Role::new("supplier"))
         .baseline_role(Role::new("member"));
     let policy = AccessPolicy::new()
-        .grant(Role::new("supplier"), Permission::new("urn:parts.*", Action::Invoke))
-        .grant(Role::new("member"), Permission::new("urn:info.read", Action::Invoke));
+        .grant(
+            Role::new("supplier"),
+            Permission::new("urn:parts.*", Action::Invoke),
+        )
+        .grant(
+            Role::new("member"),
+            Permission::new("urn:info.read", Action::Invoke),
+        );
     let sessions = Arc::new(
         SessionManager::new(mapper, policy).deactivate_on("contract.breach", Role::new("supplier")),
     );
-    PkiWorld { ca, manager, sessions, clock }
+    PkiWorld {
+        ca,
+        manager,
+        sessions,
+        clock,
+    }
 }
 
 fn guarded_container(sessions: Arc<SessionManager>) -> Arc<Container> {
@@ -59,9 +74,8 @@ fn certificate_to_invocation_pipeline() {
     // Supplier-a presents a CA-issued certificate with the supplier role.
     let subject_keys =
         KeyPair::generate(SignatureScheme::Arbitrated, &mut SecureRandom::from_seed(2));
-    let cert = w
-        .ca
-        .issue(
+    let cert =
+        w.ca.issue(
             OrgId::new("supplier-a"),
             subject_keys.verifying_key(),
             vec!["supplier".into()],
@@ -83,7 +97,12 @@ fn certificate_to_invocation_pipeline() {
     assert_eq!(order.unwrap(), Value::from("ordered"));
     // Baseline member role also granted.
     assert!(container
-        .invoke(nonrep::container::Invocation::new("supplier-a", "urn:info", "read", Value::Null))
+        .invoke(nonrep::container::Invocation::new(
+            "supplier-a",
+            "urn:info",
+            "read",
+            Value::Null
+        ))
         .is_ok());
 }
 
@@ -92,7 +111,12 @@ fn unknown_caller_denied() {
     let w = pki_world();
     let container = guarded_container(w.sessions.clone());
     let err = container
-        .invoke(nonrep::container::Invocation::new("ghost", "urn:parts", "order", Value::Null))
+        .invoke(nonrep::container::Invocation::new(
+            "ghost",
+            "urn:parts",
+            "order",
+            Value::Null,
+        ))
         .unwrap_err();
     assert!(matches!(err, ContainerError::AccessDenied(_)));
 }
@@ -102,9 +126,8 @@ fn breach_event_deactivates_role_mid_session() {
     let w = pki_world();
     let subject_keys =
         KeyPair::generate(SignatureScheme::Arbitrated, &mut SecureRandom::from_seed(3));
-    let cert = w
-        .ca
-        .issue(
+    let cert =
+        w.ca.issue(
             OrgId::new("supplier-a"),
             subject_keys.verifying_key(),
             vec!["supplier".into()],
@@ -118,11 +141,20 @@ fn breach_event_deactivates_role_mid_session() {
         || nonrep::container::Invocation::new("supplier-a", "urn:parts", "order", Value::Null);
     assert!(container.invoke(inv()).is_ok());
     // A contract breach event strips the supplier role (OASIS-style).
-    w.sessions.on_event(&OrgId::new("supplier-a"), "contract.breach");
-    assert!(matches!(container.invoke(inv()), Err(ContainerError::AccessDenied(_))));
+    w.sessions
+        .on_event(&OrgId::new("supplier-a"), "contract.breach");
+    assert!(matches!(
+        container.invoke(inv()),
+        Err(ContainerError::AccessDenied(_))
+    ));
     // The baseline member role survives.
     assert!(container
-        .invoke(nonrep::container::Invocation::new("supplier-a", "urn:info", "read", Value::Null))
+        .invoke(nonrep::container::Invocation::new(
+            "supplier-a",
+            "urn:info",
+            "read",
+            Value::Null
+        ))
         .is_ok());
 }
 
@@ -131,9 +163,8 @@ fn revoked_certificate_cannot_activate() {
     let w = pki_world();
     let subject_keys =
         KeyPair::generate(SignatureScheme::Arbitrated, &mut SecureRandom::from_seed(4));
-    let cert = w
-        .ca
-        .issue(
+    let cert =
+        w.ca.issue(
             OrgId::new("supplier-b"),
             subject_keys.verifying_key(),
             vec!["supplier".into()],
@@ -152,9 +183,13 @@ fn expired_certificate_rejected_by_clock() {
     let w = pki_world();
     let subject_keys =
         KeyPair::generate(SignatureScheme::Arbitrated, &mut SecureRandom::from_seed(5));
-    let cert = w
-        .ca
-        .issue(OrgId::new("supplier-c"), subject_keys.verifying_key(), vec![], 100)
+    let cert =
+        w.ca.issue(
+            OrgId::new("supplier-c"),
+            subject_keys.verifying_key(),
+            vec![],
+            100,
+        )
         .unwrap();
     w.manager.add_certificate(cert.clone());
     w.manager.verify_certificate(&cert).unwrap();

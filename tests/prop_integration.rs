@@ -9,7 +9,11 @@ use proptest::collection::vec;
 use proptest::prelude::*;
 
 fn world() -> (Arc<LocalBus>, Arc<StaticKeyDirectory>, LogicalClock) {
-    (LocalBus::new(), Arc::new(StaticKeyDirectory::new()), LogicalClock::new())
+    (
+        LocalBus::new(),
+        Arc::new(StaticKeyDirectory::new()),
+        LogicalClock::new(),
+    )
 }
 
 proptest! {

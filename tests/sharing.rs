@@ -29,7 +29,9 @@ fn with_group(names: &[&str]) -> (Vec<Arc<OrgMiddleware>>, GroupId) {
 #[test]
 fn unanimous_update_reaches_every_replica() {
     let (mws, group) = with_group(&["a", "b", "c", "d"]);
-    let out = mws[0].propose_update(&group, "spec", b"v1".to_vec()).unwrap();
+    let out = mws[0]
+        .propose_update(&group, "spec", b"v1".to_vec())
+        .unwrap();
     assert!(out.accepted);
     assert_eq!(out.votes.len(), 3);
     for mw in &mws {
@@ -40,9 +42,14 @@ fn unanimous_update_reaches_every_replica() {
 #[test]
 fn any_member_can_propose_and_versions_stay_in_lockstep() {
     let (mws, group) = with_group(&["a", "b", "c"]);
-    for (i, state) in [b"s0".as_slice(), b"s1", b"s2", b"s3", b"s4", b"s5"].iter().enumerate() {
+    for (i, state) in [b"s0".as_slice(), b"s1", b"s2", b"s3", b"s4", b"s5"]
+        .iter()
+        .enumerate()
+    {
         let proposer = &mws[i % 3];
-        let out = proposer.propose_update(&group, "doc", state.to_vec()).unwrap();
+        let out = proposer
+            .propose_update(&group, "doc", state.to_vec())
+            .unwrap();
         assert!(out.accepted);
         assert_eq!(out.version, Some(i as u64));
     }
@@ -55,7 +62,9 @@ fn any_member_can_propose_and_versions_stay_in_lockstep() {
 #[test]
 fn veto_is_attributable_and_blocks_everywhere() {
     let (mws, group) = with_group(&["a", "b", "c"]);
-    mws[0].propose_update(&group, "spec", b"good".to_vec()).unwrap();
+    mws[0]
+        .propose_update(&group, "spec", b"good".to_vec())
+        .unwrap();
     mws[2].add_validator(Arc::new(|_: &str, _: Option<&[u8]>, p: &[u8]| {
         if p.starts_with(b"evil") {
             Err("rejected by policy".to_string())
@@ -63,7 +72,9 @@ fn veto_is_attributable_and_blocks_everywhere() {
             Ok(())
         }
     }));
-    let out = mws[1].propose_update(&group, "spec", b"evil update".to_vec()).unwrap();
+    let out = mws[1]
+        .propose_update(&group, "spec", b"evil update".to_vec())
+        .unwrap();
     assert!(!out.accepted);
     let veto = out.votes.iter().find(|v| !v.accept).unwrap();
     assert_eq!(veto.voter, OrgId::new("c"));
@@ -99,7 +110,9 @@ fn connect_transfers_state_and_extends_membership() {
     assert_eq!(c.current_state("spec").unwrap(), b"v1");
     assert_eq!(c.store().history("spec").len(), 2);
     // And can propose immediately.
-    let update = c.propose_update(&group, "spec", b"v2-from-c".to_vec()).unwrap();
+    let update = c
+        .propose_update(&group, "spec", b"v2-from-c".to_vec())
+        .unwrap();
     assert!(update.accepted);
     assert_eq!(a.current_state("spec").unwrap(), b"v2-from-c");
 }
@@ -113,7 +126,9 @@ fn disconnect_shrinks_the_group_everywhere() {
         assert_eq!(mw.group_members(&group).unwrap().len(), 2);
     }
     // A subsequent update involves only the remaining members.
-    let update = mws[1].propose_update(&group, "doc", b"post-leave".to_vec()).unwrap();
+    let update = mws[1]
+        .propose_update(&group, "doc", b"post-leave".to_vec())
+        .unwrap();
     assert!(update.accepted);
     assert_eq!(update.votes.len(), 1);
 }
@@ -121,7 +136,9 @@ fn disconnect_shrinks_the_group_everywhere() {
 #[test]
 fn evidence_of_rounds_is_complete_and_verifiable() {
     let (mws, group) = with_group(&["a", "b", "c"]);
-    let out = mws[0].propose_update(&group, "spec", b"v".to_vec()).unwrap();
+    let out = mws[0]
+        .propose_update(&group, "spec", b"v".to_vec())
+        .unwrap();
     // Proposer: proposal + 2 votes + decision.
     assert_eq!(mws[0].log().by_run(&out.run_id).len(), 4);
     // Validators: proposal + own vote + decision.
@@ -134,9 +151,15 @@ fn evidence_of_rounds_is_complete_and_verifiable() {
 #[test]
 fn concurrent_object_histories_are_independent() {
     let (mws, group) = with_group(&["a", "b"]);
-    mws[0].propose_update(&group, "alpha", b"a1".to_vec()).unwrap();
-    mws[1].propose_update(&group, "beta", b"b1".to_vec()).unwrap();
-    mws[0].propose_update(&group, "alpha", b"a2".to_vec()).unwrap();
+    mws[0]
+        .propose_update(&group, "alpha", b"a1".to_vec())
+        .unwrap();
+    mws[1]
+        .propose_update(&group, "beta", b"b1".to_vec())
+        .unwrap();
+    mws[0]
+        .propose_update(&group, "alpha", b"a2".to_vec())
+        .unwrap();
     assert_eq!(mws[1].store().history("alpha").len(), 2);
     assert_eq!(mws[1].store().history("beta").len(), 1);
 }

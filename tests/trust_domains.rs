@@ -25,7 +25,8 @@ fn build(domain: TrustDomain) -> Case {
     let server = sb.build();
     match &domain {
         TrustDomain::InlineTtp { first_hop } if first_hop.as_str() == "ttp-a" => {
-            let a = OrgMiddleware::builder("ttp-a", bus.clone(), dir.clone(), clock.clone()).build();
+            let a =
+                OrgMiddleware::builder("ttp-a", bus.clone(), dir.clone(), clock.clone()).build();
             a.serve_as_inline_ttp(Some(OrgId::new("ttp-b")));
             let b = OrgMiddleware::builder("ttp-b", bus.clone(), dir.clone(), clock).build();
             b.serve_as_inline_ttp(None);
@@ -48,13 +49,20 @@ fn build(domain: TrustDomain) -> Case {
             Arc::new(FnComponent::new().method("work", |args| Ok(args.clone()))),
         )
         .unwrap();
-    Case { bus, client, server }
+    Case {
+        bus,
+        client,
+        server,
+    }
 }
 
 fn messages_for(domain: TrustDomain) -> u64 {
     let case = build(domain);
     let proxy = case.client.nr_proxy(case.server.org(), "urn:svc");
-    assert_eq!(proxy.invoke("work", Value::from(1i64)).unwrap(), Value::from(1i64));
+    assert_eq!(
+        proxy.invoke("work", Value::from(1i64)).unwrap(),
+        Value::from(1i64)
+    );
     case.bus.stats().delivered
 }
 
@@ -63,9 +71,15 @@ fn every_domain_delivers_the_correct_result() {
     for domain in [
         TrustDomain::Direct,
         TrustDomain::Voluntary,
-        TrustDomain::InlineTtp { first_hop: OrgId::new("ttp") },
-        TrustDomain::InlineTtp { first_hop: OrgId::new("ttp-a") },
-        TrustDomain::FairOffline { ttp: OrgId::new("ttp") },
+        TrustDomain::InlineTtp {
+            first_hop: OrgId::new("ttp"),
+        },
+        TrustDomain::InlineTtp {
+            first_hop: OrgId::new("ttp-a"),
+        },
+        TrustDomain::FairOffline {
+            ttp: OrgId::new("ttp"),
+        },
     ] {
         let case = build(domain.clone());
         let proxy = case.client.nr_proxy(case.server.org(), "urn:svc");
@@ -81,15 +95,27 @@ fn every_domain_delivers_the_correct_result() {
 fn message_counts_follow_the_paper_shape() {
     let voluntary = messages_for(TrustDomain::Voluntary);
     let direct = messages_for(TrustDomain::Direct);
-    let inline = messages_for(TrustDomain::InlineTtp { first_hop: OrgId::new("ttp") });
-    let distributed = messages_for(TrustDomain::InlineTtp { first_hop: OrgId::new("ttp-a") });
-    let fair = messages_for(TrustDomain::FairOffline { ttp: OrgId::new("ttp") });
+    let inline = messages_for(TrustDomain::InlineTtp {
+        first_hop: OrgId::new("ttp"),
+    });
+    let distributed = messages_for(TrustDomain::InlineTtp {
+        first_hop: OrgId::new("ttp-a"),
+    });
+    let fair = messages_for(TrustDomain::FairOffline {
+        ttp: OrgId::new("ttp"),
+    });
 
     // Shape (paper §3.1/Fig 3): voluntary < direct < fair-offline,
     // direct < single inline TTP < distributed inline TTPs.
-    assert!(voluntary < direct, "voluntary {voluntary} vs direct {direct}");
+    assert!(
+        voluntary < direct,
+        "voluntary {voluntary} vs direct {direct}"
+    );
     assert!(direct < inline, "direct {direct} vs inline {inline}");
-    assert!(inline < distributed, "inline {inline} vs distributed {distributed}");
+    assert!(
+        inline < distributed,
+        "inline {inline} vs distributed {distributed}"
+    );
     assert!(direct < fair, "direct {direct} vs fair {fair}");
 }
 
@@ -99,7 +125,9 @@ fn inline_ttp_holds_the_full_audit_trail() {
     let dir = Arc::new(StaticKeyDirectory::new());
     let clock = LogicalClock::new();
     let client = OrgMiddleware::builder("client", bus.clone(), dir.clone(), clock.clone())
-        .domain(TrustDomain::InlineTtp { first_hop: OrgId::new("ttp") })
+        .domain(TrustDomain::InlineTtp {
+            first_hop: OrgId::new("ttp"),
+        })
         .build();
     let server = OrgMiddleware::builder("server", bus.clone(), dir.clone(), clock.clone()).build();
     let ttp = OrgMiddleware::builder("ttp", bus, dir, clock).build();
@@ -111,7 +139,10 @@ fn inline_ttp_holds_the_full_audit_trail() {
             Arc::new(FnComponent::new().method("work", |args| Ok(args.clone()))),
         )
         .unwrap();
-    client.nr_proxy(server.org(), "urn:svc").invoke("work", Value::from(1i64)).unwrap();
+    client
+        .nr_proxy(server.org(), "urn:svc")
+        .invoke("work", Value::from(1i64))
+        .unwrap();
     // TTP: client NRO + own 2 receipts + 4 tokens of the inner direct leg.
     assert_eq!(ttp.log().len(), 7);
     ttp.log().verify().unwrap();
@@ -141,11 +172,13 @@ fn per_interaction_domain_override() {
         .unwrap();
     let direct = client.nr_proxy(server.org(), "urn:svc");
     let via_ttp = client.nr_proxy_in(
-        TrustDomain::InlineTtp { first_hop: OrgId::new("ttp") },
+        TrustDomain::InlineTtp {
+            first_hop: OrgId::new("ttp"),
+        },
         server.org(),
         "urn:svc",
     );
     assert!(direct.invoke("work", Value::from(1i64)).is_ok());
     assert!(via_ttp.invoke("work", Value::from(2i64)).is_ok());
-    assert!(ttp.log().len() > 0);
+    assert!(!ttp.log().is_empty());
 }
