@@ -4,7 +4,7 @@
 //! organisations. The exchange of credentials at first connection … can be
 //! used as hooks to trigger the mapping of credentials to roles in a
 //! virtual enterprise," and points at Cambridge's event-based access
-//! control (ref [2]) "where roles are activated, based on credentials
+//! control (ref \[2\]) "where roles are activated, based on credentials
 //! presented, and de-activated in response to events".
 //!
 //! * [`policy`] — [`Role`], [`Action`], [`AccessPolicy`] (role →

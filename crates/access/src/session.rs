@@ -3,7 +3,7 @@
 //! Roles are *activated* when an organisation presents a valid certificate
 //! and *deactivated* in response to events (contract breach, membership
 //! departure, timeout…), following the OASIS model the paper cites (§3.5,
-//! ref [2]).
+//! ref \[2\]).
 
 use std::collections::{HashMap, HashSet};
 use std::fmt;

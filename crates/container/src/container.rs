@@ -145,7 +145,7 @@ impl Container {
     /// Executes an invocation *bypassing* the interceptor chain.
     ///
     /// Used by the NR protocol handlers at "the appropriate point during
-    /// execution of the non-repudiation protocol [when] the client's
+    /// execution of the non-repudiation protocol \[when\] the client's
     /// request is actually passed … to the EJB component for execution"
     /// (§4.2) — the chain already ran when the request first arrived.
     ///

@@ -30,6 +30,15 @@ pub struct NrConfig {
     /// *identifies* the batching requirement; the middleware instantiates
     /// the commitment scheduler that satisfies it.
     pub evidence_batch: Option<u32>,
+    /// Requested seal deadline in milliseconds: the longest any appended
+    /// evidence may sit uncovered by an epoch commitment (and, on a
+    /// buffered file log, un-fsynced). `None` leaves sealing purely
+    /// size/run-end driven.
+    ///
+    /// With `evidence_batch` set this yields a seal-on-size-*or*-time
+    /// policy; on its own it asks for the middleware's load-driven
+    /// auto-tuned batching under the given deadline.
+    pub evidence_deadline_ms: Option<u64>,
 }
 
 impl NrConfig {
@@ -39,6 +48,7 @@ impl NrConfig {
             platform: "rust".into(),
             protocol: protocol.into(),
             evidence_batch: None,
+            evidence_deadline_ms: None,
         }
     }
 
@@ -46,6 +56,14 @@ impl NrConfig {
     #[must_use]
     pub fn with_batched_evidence(mut self, batch_size: u32) -> Self {
         self.evidence_batch = Some(batch_size.max(1));
+        self
+    }
+
+    /// Requests a seal deadline: evidence is committed (and made durable
+    /// on buffered logs) within `deadline_ms`, even when the log goes idle.
+    #[must_use]
+    pub fn with_evidence_deadline_ms(mut self, deadline_ms: u64) -> Self {
+        self.evidence_deadline_ms = Some(deadline_ms.max(1));
         self
     }
 }

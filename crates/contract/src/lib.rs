@@ -1,7 +1,7 @@
 //! Contract representation and run-time monitoring.
 //!
 //! Paper §6: "We intend to integrate the underlying mechanisms presented
-//! here with work on run-time monitoring of contracts [16]. Contracts are
+//! here with work on run-time monitoring of contracts \[16\]. Contracts are
 //! represented as executable finite state machines that can be verified
 //! using model-checking tools. We will, for example, use implementations
 //! of the verified state machines to validate changes to shared

@@ -18,7 +18,7 @@ pub enum TrustDomain {
     /// three-message direct exchange, no TTP.
     Direct,
     /// Asymmetric voluntary baseline (not a trust domain in the paper's
-    /// sense — no client guarantees; provided for comparison, ref [23]).
+    /// sense — no client guarantees; provided for comparison, ref \[23\]).
     Voluntary,
     /// Inline TTP (Fig 3(a)) or distributed inline TTPs (Fig 3(b)): all
     /// traffic enters at `first_hop`; further hops are the TTPs' own

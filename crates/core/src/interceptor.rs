@@ -10,7 +10,7 @@
 //!   the organisation's coordinator, and returns the evidenced response.
 //! * [`ContainerExecutor`] is the server-side counterpart: protocol
 //!   handlers call it "at the appropriate point during execution of the
-//!   non-repudiation protocol [when] the client's request is actually
+//!   non-repudiation protocol \[when\] the client's request is actually
 //!   passed through the interceptor chain to the EJB component" — it runs
 //!   the *full server chain* (access control, logging, …), so a request
 //!   that arrives with valid evidence can still be denied by policy, and
@@ -35,7 +35,7 @@ use nonrep_types::value::Value;
 pub enum ProtocolClient {
     /// Three-message direct exchange (paper §3.2).
     Direct(DirectClient),
-    /// Asymmetric voluntary baseline (paper §5, ref [23]).
+    /// Asymmetric voluntary baseline (paper §5, ref \[23\]).
     Voluntary(VoluntaryClient),
     /// Routed through inline TTP(s) (paper Fig 3(a)/(b)).
     InlineTtp(InlineTtpClient),

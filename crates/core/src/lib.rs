@@ -9,6 +9,10 @@
 //!   store, sharing membership, and protocol handlers. The programmatic
 //!   face of "the NR interceptor, B2BInvocationHandler, B2BProtocolHandler
 //!   and B2BCoordinator comprise each party's trusted interceptor" (§4.2).
+//!   The builder also selects the evidence pipeline: commitment mode
+//!   (per-record vs batched, size/time/auto seal policy — with a
+//!   background deadline sealer when a time bound is set) and the log
+//!   backend (e.g. a per-epoch-fsynced file log).
 //! * [`interceptor`] — [`ClientNrInterceptor`], the client-side JBoss-NR-
 //!   interceptor analogue: first on the outgoing path, it diverts the
 //!   invocation into a non-repudiation protocol instead of the plain

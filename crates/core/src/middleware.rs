@@ -15,6 +15,8 @@ use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::Arc;
 
+use parking_lot::Mutex;
+
 use nonrep_container::component::Component;
 use nonrep_container::descriptor::DeploymentDescriptor;
 use nonrep_container::proxy::{BusTransport, ClientProxy, ContainerEndpoint};
@@ -30,7 +32,7 @@ use nonrep_protocols::invocation::fair_offline::{
 use nonrep_protocols::invocation::inline_ttp::{InlineTtpClient, InlineTtpHandler};
 use nonrep_protocols::invocation::voluntary::{VoluntaryClient, VoluntaryServerHandler};
 use nonrep_protocols::party::{Party, StaticKeyDirectory};
-use nonrep_protocols::scheduler::CommitmentMode;
+use nonrep_protocols::scheduler::{BatchPolicy, CommitmentMode, DeadlineSealer};
 use nonrep_protocols::sharing::coordination::{
     CoordinationOutcome, SharingMember, UpdateValidator,
 };
@@ -63,6 +65,7 @@ pub struct MiddlewareBuilder {
     offline_ttp: Option<OrgId>,
     server_conduct: ServerConduct,
     commitment: CommitmentMode,
+    evidence_log: Option<Arc<dyn EvidenceLog>>,
 }
 
 impl fmt::Debug for MiddlewareBuilder {
@@ -119,20 +122,57 @@ impl MiddlewareBuilder {
     /// Sets the evidence-commitment mode; defaults to per-record signing.
     /// [`CommitmentMode::batched`] routes this organisation's evidence
     /// through the batched pipeline: one signature per token batch, and
-    /// epoch commitments sealing the log every `batch_size` records.
+    /// epoch commitments sealing the log every `batch_size` records. A
+    /// policy with a seal deadline ([`BatchPolicy::size_or_time`] /
+    /// [`BatchPolicy::auto`]) additionally gets a background
+    /// [`DeadlineSealer`], so idle evidence is sealed on time.
     #[must_use]
     pub fn commitment(mut self, mode: CommitmentMode) -> Self {
         self.commitment = mode;
         self
     }
 
+    /// Uses `log` as this organisation's evidence backend instead of the
+    /// default in-memory log — e.g. a `nonrep_store::FileLog` opened with
+    /// `SyncPolicy::PerEpoch` so durability (one fsync) lands with each
+    /// epoch seal of the batched pipeline.
+    ///
+    /// A buffering backend must be paired with a batched commitment mode
+    /// (see [`MiddlewareBuilder::commitment`]); [`MiddlewareBuilder::build`]
+    /// panics otherwise.
+    #[must_use]
+    pub fn evidence_log(mut self, log: Arc<dyn EvidenceLog>) -> Self {
+        self.evidence_log = Some(log);
+        self
+    }
+
     /// Assembles the middleware and registers it on the bus.
+    ///
+    /// # Panics
+    ///
+    /// If the configured evidence log buffers its appends
+    /// (`SyncPolicy::PerEpoch`) while the commitment mode is per-record:
+    /// per-record mode never seals, so nothing would ever be fsynced and
+    /// a kill could lose the organisation's whole evidence history. That
+    /// combination is a deployment error, rejected here rather than
+    /// discovered at the first crash.
     pub fn build(self) -> Arc<OrgMiddleware> {
+        let log: Arc<dyn EvidenceLog> = self
+            .evidence_log
+            .unwrap_or_else(|| Arc::new(MemoryLog::new()));
+        // Validate before any side effect (keygen, directory insert), so
+        // a rejected configuration leaves no stale key registered.
+        assert!(
+            !(log.buffers_appends() && matches!(self.commitment, CommitmentMode::PerRecord)),
+            "evidence log buffers appends per epoch (SyncPolicy::PerEpoch) but the \
+             commitment mode is PerRecord, which never seals epochs — nothing would \
+             ever be made durable; configure MiddlewareBuilder::commitment with a \
+             batched mode (see nonrep_store::SyncPolicy)"
+        );
         let mut rng = SecureRandom::from_seed(self.seed);
         let keys = Arc::new(KeyPair::generate(self.scheme, &mut rng));
         self.directory
             .insert(self.org.clone(), keys.verifying_key());
-        let log: Arc<dyn EvidenceLog> = Arc::new(MemoryLog::new());
         let party = Party::with_commitment(
             self.org.clone(),
             keys,
@@ -175,7 +215,7 @@ impl MiddlewareBuilder {
         coordinator.register_handler(sharing.clone());
         coordinator.register_handler(MembershipHandler::new(sharing.clone()));
 
-        Arc::new(OrgMiddleware {
+        let mw = Arc::new(OrgMiddleware {
             org: self.org,
             bus: self.bus,
             directory: self.directory,
@@ -186,8 +226,19 @@ impl MiddlewareBuilder {
             groups,
             sharing,
             domain: self.domain,
-        })
+            sealer: Mutex::new(None),
+        });
+        mw.ensure_deadline_sealer();
+        mw
     }
+}
+
+/// Polling cadence for a [`DeadlineSealer`] serving a `max_delay_ms`
+/// deadline: a quarter of the deadline, clamped to 5ms..=1s. (The
+/// cadence is wall-clock even under a [`LogicalClock`]; the deadline
+/// itself is always read on the scheduler's own clock.)
+fn sealer_poll_interval(max_delay_ms: u64) -> std::time::Duration {
+    std::time::Duration::from_millis((max_delay_ms / 4).clamp(5, 1000))
 }
 
 /// One organisation's assembled middleware stack.
@@ -202,6 +253,10 @@ pub struct OrgMiddleware {
     groups: Arc<GroupRegistry>,
     sharing: Arc<SharingMember>,
     domain: TrustDomain,
+    /// Background deadline poller, present whenever the commitment policy
+    /// carries a seal deadline (spawned at build or on a deploy-time
+    /// upgrade; stopped when the middleware is dropped).
+    sealer: Mutex<Option<DeadlineSealer>>,
 }
 
 impl fmt::Debug for OrgMiddleware {
@@ -237,6 +292,23 @@ impl OrgMiddleware {
             offline_ttp: None,
             server_conduct: ServerConduct::Honest,
             commitment: CommitmentMode::PerRecord,
+            evidence_log: None,
+        }
+    }
+
+    /// Spawns the background [`DeadlineSealer`] if the current commitment
+    /// policy has a seal deadline and none is running yet.
+    fn ensure_deadline_sealer(&self) {
+        if let CommitmentMode::Batched(policy) = self.party.scheduler().mode() {
+            if let Some(delay) = policy.max_delay_ms {
+                let mut sealer = self.sealer.lock();
+                if sealer.is_none() {
+                    *sealer = Some(DeadlineSealer::spawn(
+                        Arc::clone(self.party.scheduler()),
+                        sealer_poll_interval(delay),
+                    ));
+                }
+            }
         }
     }
 
@@ -270,9 +342,11 @@ impl OrgMiddleware {
         self.party.log()
     }
 
-    /// Seals any pending evidence under an epoch commitment (no-op in
-    /// per-record mode). Call before submitting evidence for adjudication
-    /// so the log's tail is covered by a batch proof.
+    /// Seals any pending evidence under an epoch commitment and, on
+    /// buffered log backends, forces it to disk (in per-record mode there
+    /// is nothing to seal, but the log is still flushed). Call before
+    /// submitting evidence for adjudication so the log's tail is covered
+    /// by a batch proof.
     ///
     /// # Errors
     ///
@@ -301,49 +375,50 @@ impl OrgMiddleware {
 
     /// Deploys a component, honouring the descriptor's declarative NR
     /// configuration: a component that requests batched evidence
-    /// (`NrConfig::with_batched_evidence`) upgrades this organisation's
-    /// commitment scheduler to the batched pipeline.
+    /// (`NrConfig::with_batched_evidence`) and/or a seal deadline
+    /// (`NrConfig::with_evidence_deadline_ms`) upgrades this
+    /// organisation's commitment scheduler to the matching batched
+    /// pipeline — size-sealed, size-or-time, or (deadline only)
+    /// load-driven auto-tuned — and starts the background
+    /// [`DeadlineSealer`] when a deadline is in play.
     ///
     /// # Errors
     ///
     /// See [`Container::deploy`]; additionally
     /// [`ContainerError::Protocol`] if two components declare *different*
-    /// batch sizes (the pipeline is org-global, so that is a deployment
-    /// conflict) or if switching commitment mode fails to persist its
-    /// closing seal.
+    /// batching policies (the pipeline is org-global, so that is a
+    /// deployment conflict) or if switching commitment mode fails to
+    /// persist its closing seal.
     pub fn deploy(
         &self,
         descriptor: DeploymentDescriptor,
         component: Arc<dyn Component>,
     ) -> Result<(), ContainerError> {
-        if let Some(batch) = descriptor
-            .non_repudiation
-            .as_ref()
-            .and_then(|nr| nr.evidence_batch)
-        {
-            let requested = CommitmentMode::batched(batch as usize);
-            match self.party.scheduler().mode() {
-                // The commitment pipeline is org-global: the first batching
-                // component switches it on; a later component asking for a
-                // *different* batch size is a deployment conflict, not a
-                // silent reconfiguration.
-                CommitmentMode::Batched(existing)
-                    if CommitmentMode::Batched(existing) != requested =>
-                {
-                    return Err(ContainerError::Protocol(format!(
-                        "conflicting evidence batch sizes: org already batches {} per epoch, \
-                         descriptor for {} requests {batch}",
-                        existing.batch_size, descriptor.service
-                    )));
-                }
-                CommitmentMode::Batched(_) => {}
-                CommitmentMode::PerRecord => {
-                    self.party
-                        .scheduler()
-                        .set_mode(requested)
-                        .map_err(|e| ContainerError::Protocol(e.to_string()))?;
-                }
+        let requested = descriptor.non_repudiation.as_ref().and_then(|nr| {
+            match (nr.evidence_batch, nr.evidence_deadline_ms) {
+                (Some(batch), Some(deadline)) => Some(CommitmentMode::Batched(
+                    BatchPolicy::size_or_time(batch as usize, deadline),
+                )),
+                (Some(batch), None) => Some(CommitmentMode::batched(batch as usize)),
+                (None, Some(deadline)) => Some(CommitmentMode::auto(deadline)),
+                (None, None) => None,
             }
+        });
+        if let Some(requested) = requested {
+            // The commitment pipeline is org-global: the first batching
+            // component switches it on; a later (or racing) component
+            // asking for a *different* policy is a deployment conflict,
+            // not a silent reconfiguration. `upgrade_mode` decides under
+            // one lock hold, so concurrent deploys cannot both win.
+            let in_force = self.party.scheduler().upgrade_mode(requested);
+            if in_force != requested {
+                return Err(ContainerError::Protocol(format!(
+                    "conflicting evidence batching: org already runs {in_force:?}, \
+                     descriptor for {} requests {requested:?}",
+                    descriptor.service
+                )));
+            }
+            self.ensure_deadline_sealer();
         }
         self.container.deploy(descriptor, component)
     }

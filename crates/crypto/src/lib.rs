@@ -13,14 +13,16 @@
 //! * [`wots`] — Winternitz one-time signatures,
 //! * [`mss`] — a stateful, **forward-secure** Merkle signature scheme (the
 //!   many-time signature built from WOTS leaves; forward security matches
-//!   the paper's discussion of forward-secure schemes, ref [25]),
+//!   the paper's discussion of forward-secure schemes, ref \[25\]),
 //! * [`arbitrated`] — a shared-key HMAC "signature" for TTP-arbitrated
 //!   deployments (the lightweight end of the paper's trust spectrum, §3.1),
 //! * [`batch`] — incremental Merkle accumulator and [`BatchSignature`]:
 //!   one signature over a batch root covers N records, each individually
 //!   verifiable via its authentication path,
 //! * [`par`] — scoped-thread data parallelism used by key generation,
-//!   Merkle construction and batch commitments,
+//!   Merkle construction and batch commitments; the worker budget is
+//!   detected from the host, or overridden with the `NONREP_WORKERS`
+//!   environment variable (see [`par::workers`]),
 //! * [`sig`] — scheme-agnostic [`Signature`]/[`KeyPair`] types and traits,
 //! * [`timestamp`] — a time-stamping authority (§3.5).
 //!

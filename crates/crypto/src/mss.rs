@@ -7,7 +7,7 @@
 //!   compromising the signer later cannot forge signatures for earlier
 //!   indices — this mirrors the paper's interest in forward-secure schemes
 //!   that "obviate the need for a third party signature on time-stamps"
-//!   (§3.5, ref [25]).
+//!   (§3.5, ref \[25\]).
 //!
 //! The public key is the 32-byte Merkle root. A signature carries the leaf
 //! index, the W-OTS signature, and the authentication path.

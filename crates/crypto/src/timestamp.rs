@@ -8,7 +8,7 @@
 //!
 //! When the signing organisations use the forward-secure MSS scheme, a
 //! third-party timestamp becomes optional for the compromise argument
-//! (paper ref [25]) — the TSA remains useful as a neutral time source.
+//! (paper ref \[25\]) — the TSA remains useful as a neutral time source.
 
 use std::fmt;
 use std::sync::Arc;

@@ -4,7 +4,7 @@
 //! involved in all communication between the parties but may be called upon
 //! to resolve or abort a protocol run to deliver fairness and/or liveness
 //! guarantees to honest parties". The construction follows the
-//! Zhou–Gollmann key-escrow idea (paper refs [12]/[26]):
+//! Zhou–Gollmann key-escrow idea (paper refs \[12\]/\[26\]):
 //!
 //! ```text
 //! main protocol

@@ -6,7 +6,7 @@
 //!
 //! | module | trust model | messages | evidence held by client |
 //! |---|---|---|---|
-//! | [`voluntary`] | server trusts client's NRO only (ref [23] baseline) | 2 | none |
+//! | [`voluntary`] | server trusts client's NRO only (ref \[23\] baseline) | 2 | none |
 //! | [`direct`] | direct trust domain (Fig 3c) | 3 (+ack) | NRR_req, NRO_resp |
 //! | [`inline_ttp`] | inline TTP(s) relay everything (Fig 3a/b) | 2×hops | TTP receipts |
 //! | [`fair_offline`] | offline TTP for resolve/abort | 4 (+TTP) | key or TTP resolution |

@@ -1,7 +1,7 @@
 //! The asymmetric "voluntary" baseline protocol.
 //!
 //! Reproduces the CORBA-filter approach of Wichert et al (paper §5, ref
-//! [23]): "the client provides the server with non-repudiation of origin of
+//! \[23\]): "the client provides the server with non-repudiation of origin of
 //! a request but there is no exchange to provide corresponding evidence to
 //! the client."
 //!

@@ -12,7 +12,7 @@
 //!   (§3.2): `req,NROreq → resp,NRRreq,NROresp → NRRresp`. No TTP;
 //!   safety and liveness under the trusted-interceptor assumptions.
 //! * [`invocation::voluntary`] — the asymmetric baseline of Wichert et al
-//!   (paper §5, ref [23]): client supplies NRO of the request, gets no
+//!   (paper §5, ref \[23\]): client supplies NRO of the request, gets no
 //!   evidence back. Cheap but one-sided; benchmarked as E11.
 //! * [`invocation::inline_ttp`] — all traffic relayed through inline
 //!   TTP(s) that issue their own receipts (paper Fig 3(a)/(b)).
@@ -34,7 +34,9 @@
 //! [`party::Party`] (one organisation's protocol identity: keys, clock,
 //! evidence log, key directory), [`scheduler::CommitmentScheduler`] (the
 //! batched evidence-commitment pipeline every party routes token issuance
-//! and log appends through), [`coordinator::B2BCoordinator`]
+//! and log appends through — sealing epochs on size, elapsed time, or a
+//! load-driven auto-tuned mix, with [`scheduler::DeadlineSealer`]
+//! covering idle logs), [`coordinator::B2BCoordinator`]
 //! (`deliver`/`deliverRequest` dispatch to registered
 //! [`handler::ProtocolHandler`]s), and [`ttp`] (inline relay and offline
 //! escrow TTP nodes).
@@ -53,7 +55,7 @@ pub use coordinator::B2BCoordinator;
 pub use handler::ProtocolHandler;
 pub use message::ProtocolMessage;
 pub use party::{KeyDirectory, Party, StaticKeyDirectory};
-pub use scheduler::{BatchPolicy, CommitmentMode, CommitmentScheduler, TokenSpec};
+pub use scheduler::{BatchPolicy, CommitmentMode, CommitmentScheduler, DeadlineSealer, TokenSpec};
 pub use tokens::{NrToken, TokenKind};
 
 use std::error::Error;

@@ -69,7 +69,7 @@ pub struct Party {
     log: Arc<dyn EvidenceLog>,
     directory: Arc<dyn KeyDirectory>,
     rng: Mutex<SecureRandom>,
-    scheduler: CommitmentScheduler,
+    scheduler: Arc<CommitmentScheduler>,
 }
 
 impl fmt::Debug for Party {
@@ -111,13 +111,13 @@ impl Party {
         mode: CommitmentMode,
     ) -> Arc<Self> {
         let org = org.into();
-        let scheduler = CommitmentScheduler::new(
+        let scheduler = Arc::new(CommitmentScheduler::new(
             Arc::clone(&keys),
             Arc::clone(&log),
             org.clone(),
             Arc::clone(&clock),
             mode,
-        );
+        ));
         Arc::new(Self {
             org,
             keys,
@@ -222,9 +222,10 @@ impl Party {
             .ok_or_else(|| ProtocolError::UnknownKey(org.clone()))
     }
 
-    /// This party's evidence-commitment scheduler (flush policy, epoch
-    /// sealing state).
-    pub fn scheduler(&self) -> &CommitmentScheduler {
+    /// This party's evidence-commitment scheduler (seal policy, epoch
+    /// sealing state). Returned as an `Arc` so deployments can hand it to
+    /// a background [`crate::scheduler::DeadlineSealer`].
+    pub fn scheduler(&self) -> &Arc<CommitmentScheduler> {
         &self.scheduler
     }
 
@@ -268,7 +269,9 @@ impl Party {
         self.scheduler.end_of_run().map_err(ProtocolError::from)
     }
 
-    /// Explicitly seals pending evidence under an epoch commitment.
+    /// Explicitly seals pending evidence under an epoch commitment (and
+    /// flushes buffered log backends — see
+    /// [`crate::scheduler::CommitmentScheduler::seal`]).
     ///
     /// # Errors
     ///

@@ -25,16 +25,41 @@
 //! compatibility mode and the default: every token gets its own
 //! signature and no epoch records are written.
 //!
-//! # Flush policy
+//! # Seal policy
 //!
 //! Sealing is policy-driven: automatically when `batch_size` unsealed
-//! records accumulate, explicitly via [`CommitmentScheduler::seal`], and
+//! records accumulate, when the oldest unsealed record has waited
+//! [`BatchPolicy::max_delay_ms`] (checked on every append and by
+//! [`CommitmentScheduler::poll`] — see [`DeadlineSealer`] for the
+//! background wakeup), explicitly via [`CommitmentScheduler::seal`], and
 //! (if [`BatchPolicy::seal_on_run_end`] is set) whenever a protocol run
 //! completes ([`CommitmentScheduler::end_of_run`]), so a finished
 //! exchange's evidence is always covered by a commitment.
+//!
+//! [`BatchPolicy::auto`] adds a load-driven tuner on top of
+//! size-or-time: the effective batch size grows while batches fill well
+//! before the deadline (high throughput → more amortization per
+//! signature and per fsync) and shrinks when the deadline keeps firing
+//! on part-filled batches (low throughput → smaller loss window). The
+//! deadline bounds the unsealed tail in *time* either way, which is what
+//! bounds the crash-loss window of a `SyncPolicy::PerEpoch` file log
+//! (see `nonrep_store::SyncPolicy`).
+//!
+//! # Durability interaction
+//!
+//! The epoch is also the store's durability unit: a
+//! `nonrep_store::FileLog` opened with `SyncPolicy::PerEpoch` buffers
+//! appends and lands one grouped write + fsync exactly when the sealed
+//! epoch-commitment record is appended. The scheduler needs no extra
+//! hook for that — sealing *is* the flush point — but
+//! [`CommitmentScheduler::seal`] additionally flushes the log in
+//! per-record mode so `flush_evidence`-style calls drain buffered
+//! backends regardless of commitment mode.
 
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use parking_lot::Mutex;
 
@@ -43,7 +68,7 @@ use nonrep_crypto::sig::KeyPair;
 use nonrep_store::record::EpochCommitment;
 use nonrep_store::{EvidenceLog, EvidenceRecord, RecordDraft, StoreError};
 use nonrep_types::ids::{OrgId, RunId};
-use nonrep_types::time::Clock;
+use nonrep_types::time::{Clock, Timestamp};
 
 use crate::tokens::{NrToken, TokenKind};
 use crate::ProtocolError;
@@ -52,28 +77,84 @@ use crate::ProtocolError;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BatchPolicy {
     /// Seal automatically once this many unsealed records accumulate.
+    /// Under [`BatchPolicy::auto`] this is the *initial* effective batch
+    /// size; the tuner moves it within
+    /// [`BatchPolicy::MIN_AUTO_BATCH`]..=[`BatchPolicy::MAX_AUTO_BATCH`].
     pub batch_size: usize,
     /// Also seal when a protocol run completes
     /// ([`CommitmentScheduler::end_of_run`]). Keeps completed exchanges
     /// fully covered at the cost of smaller batches; high-throughput
     /// deployments with many concurrent runs can disable it and rely on
-    /// `batch_size` alone.
+    /// size/time sealing so runs share epochs.
     pub seal_on_run_end: bool,
+    /// Maximum time, in milliseconds on the scheduler's clock, the
+    /// *oldest* unsealed record may wait before a seal is forced.
+    /// `None` disables the time trigger. The deadline is checked on
+    /// every append and by [`CommitmentScheduler::poll`]; pair it with a
+    /// [`DeadlineSealer`] so an *idle* log still seals on time.
+    pub max_delay_ms: Option<u64>,
+    /// Enables the load-driven batch-size tuner (see
+    /// [`BatchPolicy::auto`]). Requires `max_delay_ms` — without a
+    /// deadline there is no load signal to tune against.
+    pub auto_tune: bool,
 }
 
 impl BatchPolicy {
+    /// Smallest effective batch size the auto-tuner will shrink to.
+    pub const MIN_AUTO_BATCH: usize = 4;
+    /// Largest effective batch size the auto-tuner will grow to.
+    pub const MAX_AUTO_BATCH: usize = 4096;
+    /// Initial effective batch size under [`BatchPolicy::auto`].
+    pub const DEFAULT_AUTO_BATCH: usize = 16;
+
     /// Seal every `batch_size` records and at each run end.
     pub fn new(batch_size: usize) -> Self {
         Self {
             batch_size: batch_size.max(1),
             seal_on_run_end: true,
+            max_delay_ms: None,
+            auto_tune: false,
         }
     }
 
-    /// Seal on batch size only (maximum amortization).
+    /// Seal on size *or* elapsed time: every `batch_size` records, or as
+    /// soon as the oldest unsealed record is `max_delay_ms` old,
+    /// whichever comes first. Run-end sealing is off — concurrent runs
+    /// share epochs, and the deadline bounds how long a completed run's
+    /// evidence can sit unsealed (and, on a `SyncPolicy::PerEpoch` file
+    /// log, un-fsynced). Re-enable per-run coverage with
+    /// [`BatchPolicy::sealing_on_run_end`] if an application needs it.
+    pub fn size_or_time(batch_size: usize, max_delay_ms: u64) -> Self {
+        Self {
+            batch_size: batch_size.max(1),
+            seal_on_run_end: false,
+            max_delay_ms: Some(max_delay_ms.max(1)),
+            auto_tune: false,
+        }
+    }
+
+    /// [`BatchPolicy::size_or_time`] with a load-driven batch size: the
+    /// effective size starts at [`BatchPolicy::DEFAULT_AUTO_BATCH`],
+    /// doubles whenever a batch fills in under half the deadline (high
+    /// load — amortize more per signature/fsync) and halves whenever the
+    /// deadline fires on a less-than-half-full batch (low load — shrink
+    /// the loss window), clamped to
+    /// [`BatchPolicy::MIN_AUTO_BATCH`]..=[`BatchPolicy::MAX_AUTO_BATCH`].
+    pub fn auto(max_delay_ms: u64) -> Self {
+        Self {
+            batch_size: Self::DEFAULT_AUTO_BATCH,
+            seal_on_run_end: false,
+            max_delay_ms: Some(max_delay_ms.max(1)),
+            auto_tune: true,
+        }
+    }
+
+    /// Sets run-end sealing (builder). `false` on a [`BatchPolicy::new`]
+    /// policy means sealing on batch size only — maximum amortization,
+    /// with concurrent runs sharing epochs.
     #[must_use]
-    pub fn size_only(mut self) -> Self {
-        self.seal_on_run_end = false;
+    pub fn sealing_on_run_end(mut self, on: bool) -> Self {
+        self.seal_on_run_end = on;
         self
     }
 }
@@ -91,6 +172,12 @@ impl CommitmentMode {
     /// Batched mode with the given batch size and run-end sealing.
     pub fn batched(batch_size: usize) -> Self {
         CommitmentMode::Batched(BatchPolicy::new(batch_size))
+    }
+
+    /// Batched mode with the load-driven auto-tuner
+    /// ([`BatchPolicy::auto`]) under the given seal deadline.
+    pub fn auto(max_delay_ms: u64) -> Self {
+        CommitmentMode::Batched(BatchPolicy::auto(max_delay_ms))
     }
 }
 
@@ -116,12 +203,58 @@ impl TokenSpec {
     }
 }
 
+/// What caused a seal — drives the auto-tuner (only size/deadline seals
+/// are load signals; explicit and run-end seals say nothing about load).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SealTrigger {
+    Size,
+    Deadline,
+    /// Automatic seal at protocol-run completion: cooldown-gated like
+    /// the size/deadline triggers (runs complete constantly, so without
+    /// gating an outage would burn one finite signature per run), but
+    /// not a load signal for the tuner.
+    RunEnd,
+    /// Automatic seal because the next append would overflow the
+    /// backend's byte cap. Cooldown-gated, and deliberately *not* a
+    /// tuner signal: it says the records are large, not that the load
+    /// is high — feeding it to the tuner as a size seal would ratchet
+    /// the effective batch toward its max on every cap seal.
+    Overflow,
+    /// User/operator-driven ([`CommitmentScheduler::seal`], mode
+    /// switches): bypasses the failure cooldown.
+    Explicit,
+}
+
 #[derive(Debug)]
 struct SchedulerState {
     mode: CommitmentMode,
     /// First log sequence number not yet covered by an epoch commitment.
     sealed_next: u64,
+    /// When the oldest currently-unsealed record was appended (`None`
+    /// when nothing is pending). The time trigger compares against this.
+    pending_since: Option<Timestamp>,
+    /// Current effective batch size (equals the policy's `batch_size`
+    /// unless the auto-tuner has moved it).
+    effective_batch: usize,
+    /// When the last seal attempt failed, and how many attempts have
+    /// failed in a row. `Some` doubles as the degraded flag: the next
+    /// attempt then *probes* the log with a cheap `flush()` before
+    /// signing, so a broken disk does not burn one finite forward-secure
+    /// signature (MSS leaf) per retry — at most one leaf is spent per
+    /// outage, not one per poll. Automatic (size/deadline) retries are gated by
+    /// an exponential cooldown derived from these, so an outage neither
+    /// hammers the failing disk from the append path nor — when the
+    /// failure is one the flush probe cannot see, e.g. ENOSPC under
+    /// write-through, where fsync of already-clean pages succeeds —
+    /// burns a signature per retry. Explicit seals bypass the cooldown.
+    last_seal_failure: Option<Timestamp>,
+    seal_failure_streak: u32,
 }
+
+/// Base cooldown after a failed seal before the next *automatic* retry
+/// (doubles per consecutive failure, capped at `<< MAX_SHIFT` ≈ 8.5 min).
+const SEAL_RETRY_COOLDOWN_MS: u64 = 1_000;
+const SEAL_RETRY_MAX_SHIFT: u32 = 9;
 
 /// Routes all of a party's evidence generation, amortizing signatures in
 /// batched mode. See the [module docs](self).
@@ -165,12 +298,28 @@ impl CommitmentScheduler {
                 sealed_next = r.seq + 1;
             }
         });
+        // Records orphaned by a crash (appended after the last surviving
+        // commitment) restart their deadline countdown now: their
+        // original append times are in the log, but what the deadline
+        // bounds is how long they sit unsealed *from here on*.
+        let pending_since = (log.len() > sealed_next).then(|| clock.now());
+        let effective_batch = match mode {
+            CommitmentMode::Batched(policy) => policy.batch_size,
+            CommitmentMode::PerRecord => 1,
+        };
         Self {
             keys,
             log,
             actor,
             clock,
-            state: Mutex::new(SchedulerState { mode, sealed_next }),
+            state: Mutex::new(SchedulerState {
+                mode,
+                sealed_next,
+                pending_since,
+                effective_batch,
+                last_seal_failure: None,
+                seal_failure_streak: 0,
+            }),
         }
     }
 
@@ -193,10 +342,70 @@ impl CommitmentScheduler {
     pub fn set_mode(&self, mode: CommitmentMode) -> Result<(), StoreError> {
         let mut state = self.state.lock();
         if matches!(state.mode, CommitmentMode::Batched(_)) {
-            self.seal_locked(&mut state)?;
+            self.seal_locked(&mut state, SealTrigger::Explicit)?;
         }
-        state.mode = mode;
+        self.apply_mode_locked(&mut state, mode);
         Ok(())
+    }
+
+    /// Mode-entry bookkeeping shared by [`CommitmentScheduler::set_mode`]
+    /// and [`CommitmentScheduler::upgrade_mode`]: effective batch size,
+    /// and — when entering batched mode with an already-unsealed tail
+    /// (e.g. upgraded from per-record) — the deadline countdown start.
+    fn apply_mode_locked(&self, state: &mut SchedulerState, mode: CommitmentMode) {
+        state.mode = mode;
+        match mode {
+            CommitmentMode::Batched(policy) => {
+                state.effective_batch = policy.batch_size;
+                state.pending_since =
+                    (self.log.len() > state.sealed_next).then(|| self.clock.now());
+            }
+            CommitmentMode::PerRecord => {
+                state.effective_batch = 1;
+                state.pending_since = None;
+            }
+        }
+    }
+
+    /// Atomically applies `requested` *if* the scheduler is still in
+    /// per-record mode, and returns the mode in force afterwards. Unlike
+    /// a `mode()`-check-then-`set_mode()` sequence this holds the state
+    /// lock across the decision, so two concurrent upgraders cannot both
+    /// observe per-record mode and silently overwrite each other —
+    /// exactly one wins, and a caller whose `requested` differs from the
+    /// returned mode knows it lost to a conflicting policy (deploy-time
+    /// upgrades treat that as a deployment conflict).
+    pub fn upgrade_mode(&self, requested: CommitmentMode) -> CommitmentMode {
+        let mut state = self.state.lock();
+        match state.mode {
+            CommitmentMode::PerRecord => {
+                // Per-record mode has no epoch commitments at all, so
+                // there is no pending range to close with a seal (unlike
+                // `set_mode` when *leaving* batched mode). Any existing
+                // uncovered tail — normal in per-record mode — starts
+                // its deadline countdown in `apply_mode_locked`.
+                self.apply_mode_locked(&mut state, requested);
+                requested
+            }
+            current => current,
+        }
+    }
+
+    /// `true` while the scheduler is in the degraded-seal state: the
+    /// last seal attempt failed to persist its commitment and retries
+    /// are probing the log before signing. Evidence keeps accumulating
+    /// unsealed (and, on buffered backends, un-fsynced) until a retry
+    /// succeeds — deployments that must bound data loss should monitor
+    /// this together with [`CommitmentScheduler::unsealed_len`].
+    pub fn is_degraded(&self) -> bool {
+        self.state.lock().last_seal_failure.is_some()
+    }
+
+    /// The batch size currently in force: the policy's `batch_size`, as
+    /// moved by the auto-tuner under [`BatchPolicy::auto`] (1 in
+    /// per-record mode, where every record is its own signature).
+    pub fn effective_batch_size(&self) -> usize {
+        self.state.lock().effective_batch
     }
 
     /// Number of appended records not yet covered by an epoch commitment.
@@ -254,25 +463,95 @@ impl CommitmentScheduler {
     }
 
     /// Appends an evidence record, sealing an epoch automatically when
-    /// the batch policy's size is reached.
+    /// the batch policy's size is reached or the oldest unsealed record
+    /// has waited out [`BatchPolicy::max_delay_ms`].
+    ///
+    /// A *failed* auto-seal does not fail the append: the caller's
+    /// record is committed either way, the records stay pending, and
+    /// sealing retries on the next trigger ([`CommitmentScheduler::poll`]
+    /// included). Persistent seal failures surface through the explicit
+    /// paths ([`CommitmentScheduler::seal`], flush-style calls), are
+    /// observable via [`CommitmentScheduler::is_degraded`] /
+    /// [`CommitmentScheduler::unsealed_len`], and are ultimately bounded
+    /// by the store (a buffered `FileLog` caps its unflushed buffer and
+    /// fails appends beyond it, which this method *does* propagate).
     ///
     /// # Errors
     ///
-    /// [`StoreError`] if persisting (or sealing) fails.
+    /// [`StoreError`] if persisting the record itself fails.
     pub fn record(&self, draft: RecordDraft) -> Result<Arc<EvidenceRecord>, StoreError> {
         let mut state = self.state.lock();
+        // On a bounded-buffer backend in batched mode, seal *before* an
+        // append that would overflow the byte cap: the epoch record is
+        // cap-exempt and its append flushes (drains) the whole buffer.
+        // Without this, a size-only policy whose batch never fills
+        // before the cap would wedge appends permanently. A generous
+        // size estimate errs toward sealing slightly early — never
+        // toward a spurious append failure. If sealing is itself failing
+        // (cooldown, spent key) the seal error propagates: buffer-full
+        // with broken sealing is real backpressure.
+        if matches!(state.mode, CommitmentMode::Batched(_)) {
+            if let Some(headroom) = self.log.buffer_headroom() {
+                let estimate =
+                    (draft.payload.len() + draft.kind.len() + draft.actor.as_str().len() + 4096)
+                        as u64;
+                if estimate > headroom {
+                    self.seal_locked(&mut state, SealTrigger::Overflow)?;
+                }
+            }
+        }
         let record = self.log.append(draft)?;
         if let CommitmentMode::Batched(policy) = state.mode {
-            if self.log.len().saturating_sub(state.sealed_next) >= policy.batch_size as u64 {
-                self.seal_locked(&mut state)?;
+            let now = self.clock.now();
+            let since = *state.pending_since.get_or_insert(now);
+            let due = if self.log.len().saturating_sub(state.sealed_next)
+                >= state.effective_batch as u64
+            {
+                Some(SealTrigger::Size)
+            } else if policy.max_delay_ms.is_some_and(|d| now.since(since) >= d) {
+                Some(SealTrigger::Deadline)
+            } else {
+                None
+            };
+            if let Some(trigger) = due {
+                // Deferred, not fatal (see the doc comment above): the
+                // seal keeps retrying, and the degraded probe keeps the retries
+                // from burning a signature each.
+                let _ = self.seal_locked(&mut state, trigger);
             }
         }
         Ok(record)
     }
 
+    /// Deadline check: seals the pending range if the oldest unsealed
+    /// record has waited out [`BatchPolicy::max_delay_ms`]. Returns the
+    /// epoch record if a seal happened. No-op when the policy has no
+    /// time trigger, when nothing is pending, or in per-record mode.
+    ///
+    /// Call this periodically so an *idle* log still seals on time —
+    /// [`DeadlineSealer`] wraps exactly that loop in a background thread.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] if the seal cannot be persisted.
+    pub fn poll(&self) -> Result<Option<Arc<EvidenceRecord>>, StoreError> {
+        let mut state = self.state.lock();
+        let CommitmentMode::Batched(policy) = state.mode else {
+            return Ok(None);
+        };
+        let (Some(deadline), Some(since)) = (policy.max_delay_ms, state.pending_since) else {
+            return Ok(None);
+        };
+        if self.clock.now().since(since) < deadline {
+            return Ok(None);
+        }
+        self.seal_locked(&mut state, SealTrigger::Deadline)
+    }
+
     /// Explicitly seals the pending unsealed range, if any, returning the
-    /// appended epoch record. No-op in per-record mode (that mode means
-    /// *no* epoch commitments, so flushing has nothing to seal).
+    /// appended epoch record. In per-record mode (no epoch commitments)
+    /// there is nothing to seal, but the log is still flushed so buffered
+    /// backends drain.
     ///
     /// # Errors
     ///
@@ -280,22 +559,33 @@ impl CommitmentScheduler {
     pub fn seal(&self) -> Result<Option<Arc<EvidenceRecord>>, StoreError> {
         let mut state = self.state.lock();
         if matches!(state.mode, CommitmentMode::PerRecord) {
+            self.log.flush()?;
             return Ok(None);
         }
-        self.seal_locked(&mut state)
+        self.seal_locked(&mut state, SealTrigger::Explicit)
     }
 
     /// Run-completion hook: seals pending evidence when the policy asks
     /// for run-end sealing. No-op in per-record mode.
     ///
+    /// A failed seal does **not** fail the completed run: by the time
+    /// this hook fires the exchange succeeded and all its evidence is
+    /// appended, so propagating a sealing error here would bait callers
+    /// into retrying — and duplicating — a finished exchange. The
+    /// records stay pending, sealing retries on later triggers, and the
+    /// condition is visible via [`CommitmentScheduler::is_degraded`];
+    /// callers that must *know* the seal landed use
+    /// [`CommitmentScheduler::seal`], which does propagate.
+    ///
     /// # Errors
     ///
-    /// [`StoreError`] if the seal cannot be persisted.
+    /// None currently — the `Result` is kept so a future hard-fail (e.g.
+    /// a poisoned log) can surface without an API break.
     pub fn end_of_run(&self) -> Result<(), StoreError> {
         let mut state = self.state.lock();
         if let CommitmentMode::Batched(policy) = state.mode {
             if policy.seal_on_run_end {
-                self.seal_locked(&mut state)?;
+                let _ = self.seal_locked(&mut state, SealTrigger::RunEnd);
             }
         }
         Ok(())
@@ -303,36 +593,221 @@ impl CommitmentScheduler {
 
     /// Seals `[sealed_next, len)` under one signature. Caller holds the
     /// state lock, serializing seals against scheduler appends.
+    ///
+    /// On a `SyncPolicy::PerEpoch` file log, appending the commitment
+    /// record is also the durability point: the store writes and fsyncs
+    /// the whole buffered batch when the epoch record lands.
     fn seal_locked(
         &self,
         state: &mut SchedulerState,
+        trigger: SealTrigger,
+    ) -> Result<Option<Arc<EvidenceRecord>>, StoreError> {
+        if self.log.len() <= state.sealed_next {
+            return Ok(None);
+        }
+        if trigger != SealTrigger::Explicit {
+            if let Some(at) = state.last_seal_failure {
+                // Exponential cooldown between automatic retries of a
+                // failing seal: without it, every append past the due
+                // trigger would re-probe (rewriting the whole pending
+                // buffer against a failing disk) or re-sign (burning a
+                // finite leaf when the failure is invisible to the
+                // probe). Returns an error — not Ok — so pollers like
+                // [`DeadlineSealer`] keep backing off too.
+                let shift = state
+                    .seal_failure_streak
+                    .saturating_sub(1)
+                    .min(SEAL_RETRY_MAX_SHIFT);
+                if self.clock.now().since(at) < (SEAL_RETRY_COOLDOWN_MS << shift) {
+                    return Err(StoreError::Unavailable(
+                        "epoch seal cooling down after failure".into(),
+                    ));
+                }
+            }
+        }
+        let result = self.try_seal_locked(state, trigger);
+        match &result {
+            Ok(_) => {
+                state.last_seal_failure = None;
+                state.seal_failure_streak = 0;
+            }
+            Err(_) => {
+                state.last_seal_failure = Some(self.clock.now());
+                state.seal_failure_streak = state.seal_failure_streak.saturating_add(1);
+            }
+        }
+        result
+    }
+
+    /// The fallible body of [`CommitmentScheduler::seal_locked`] — every
+    /// error return here counts toward the caller's failure streak.
+    fn try_seal_locked(
+        &self,
+        state: &mut SchedulerState,
+        trigger: SealTrigger,
     ) -> Result<Option<Arc<EvidenceRecord>>, StoreError> {
         let len = self.log.len();
-        if state.sealed_next >= len {
-            return Ok(None);
+        if self.keys.remaining() == Some(0) {
+            // Exhausted forward-secure key: a terminal condition, checked
+            // before hashing the pending range so retries never pay a
+            // re-hash of the ever-growing unsealed tail, and visible to
+            // `is_degraded` monitors. The range cannot be *sealed*
+            // without a signature, but it can still be made *durable*:
+            // flush the buffered tail so exhaustion does not also void
+            // the crash-loss bound of a `SyncPolicy::PerEpoch` log
+            // (degrading durability cadence to the retry cooldown, not
+            // to never).
+            self.log.flush()?;
+            return Err(StoreError::Unavailable(
+                "epoch seal failed: signing key exhausted".into(),
+            ));
+        }
+        if state.last_seal_failure.is_some() {
+            // The previous attempt failed. Probe the backend with a
+            // signature-free flush first: if the disk is still broken
+            // this fails without consuming one of the finite
+            // forward-secure signatures.
+            self.log.flush()?;
         }
         let lo = state.sealed_next;
         let hi = len - 1;
         let covered = self.log.snapshot_range(lo..len);
         let hashes: Vec<Digest> = covered.iter().map(|r| r.record_hash()).collect();
         let root = EpochCommitment::root_over_hashes(&hashes);
-        let signature = self
+        let signature = match self
             .keys
             .sign_digest(&EpochCommitment::signing_digest(lo, hi, &root))
-            .map_err(|e| StoreError::Corrupt(format!("epoch seal failed: {e}")))?;
+        {
+            Ok(signature) => signature,
+            Err(e) => {
+                // Signing failures (exhaustion racing the check above,
+                // or any other scheme error) degrade like persist
+                // failures: observable, and retried cheaply.
+                return Err(StoreError::Unavailable(format!("epoch seal failed: {e}")));
+            }
+        };
         let commitment = EpochCommitment {
             lo,
             hi,
             root,
             signature,
         };
+        // A buffered (`SyncPolicy::PerEpoch`) backend rolls the epoch
+        // record back out of its chain when the grouped fsync fails, so
+        // an error here leaves no orphaned commitment behind — the range
+        // stays pending and the next attempt re-seals it cleanly.
         let record = self
             .log
             .append(commitment.to_draft(self.actor.clone(), self.clock.now()))?;
         // The epoch record itself is not covered; the next epoch starts
         // after it, so commitments always cover ordinary records only.
         state.sealed_next = record.seq + 1;
+        self.tune_locked(state, trigger, hi - lo + 1);
+        state.pending_since = None;
         Ok(Some(record))
+    }
+
+    /// Load-driven batch-size update, fed by the seal that just landed.
+    fn tune_locked(&self, state: &mut SchedulerState, trigger: SealTrigger, sealed: u64) {
+        let CommitmentMode::Batched(policy) = state.mode else {
+            return;
+        };
+        if !policy.auto_tune {
+            return;
+        }
+        let Some(deadline) = policy.max_delay_ms else {
+            return;
+        };
+        let elapsed = state
+            .pending_since
+            .map_or(0, |since| self.clock.now().since(since));
+        match trigger {
+            // The batch filled in under half the deadline: load is high,
+            // a bigger batch amortizes more per signature and per fsync
+            // while still sealing well within the deadline.
+            SealTrigger::Size if elapsed * 2 < deadline => {
+                state.effective_batch =
+                    (state.effective_batch * 2).min(BatchPolicy::MAX_AUTO_BATCH);
+            }
+            // The deadline fired on a less-than-half-full batch: load is
+            // low, a smaller batch keeps epochs (and the crash-loss
+            // window of a buffered log) proportionate to actual traffic.
+            SealTrigger::Deadline if sealed * 2 < state.effective_batch as u64 => {
+                state.effective_batch =
+                    (state.effective_batch / 2).max(BatchPolicy::MIN_AUTO_BATCH);
+            }
+            // Explicit/run-end seals say nothing about load.
+            _ => {}
+        }
+    }
+}
+
+/// Background deadline wakeups for a [`CommitmentScheduler`].
+///
+/// Spawns a thread that calls [`CommitmentScheduler::poll`] every
+/// `poll_interval` (wall-clock), so a log that goes *idle* under a
+/// [`BatchPolicy::max_delay_ms`] policy still seals within its deadline —
+/// without a wakeup, the time trigger would only ever be checked on the
+/// next append. The thread reads deadlines through the scheduler's own
+/// [`Clock`], so it drives simulated (`LogicalClock`) and wall-clock
+/// deployments alike; only the polling cadence is wall-time.
+///
+/// Seal errors inside the poll loop are not fatal: the records stay
+/// pending and the next poll (or append, or explicit seal) retries them.
+/// Consecutive failures back the polling off exponentially (up to 64×
+/// the configured interval) so a persistently broken disk is not
+/// hammered with fsync probes; the first success restores the cadence.
+/// The thread stops and joins when the handle is dropped.
+pub struct DeadlineSealer {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl fmt::Debug for DeadlineSealer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("DeadlineSealer")
+    }
+}
+
+impl DeadlineSealer {
+    /// Spawns the polling thread over `scheduler`.
+    pub fn spawn(scheduler: Arc<CommitmentScheduler>, poll_interval: Duration) -> Self {
+        // Clamp away a zero interval: park_timeout(0) returns
+        // immediately, which would turn the poller into a busy spin that
+        // pins a core (and on which the error backoff's doubling stays
+        // zero forever).
+        let poll_interval = poll_interval.max(Duration::from_millis(1));
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            let mut delay = poll_interval;
+            while !thread_stop.load(Ordering::Relaxed) {
+                std::thread::park_timeout(delay);
+                if thread_stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                delay = match scheduler.poll() {
+                    Ok(_) => poll_interval,
+                    // Failure backoff; the degraded probe already keeps the
+                    // retries signature-free, this keeps them rare.
+                    Err(_) => (delay * 2).min(poll_interval * 64),
+                };
+            }
+        });
+        Self {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for DeadlineSealer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            handle.thread().unpark();
+            let _ = handle.join();
+        }
     }
 }
 
@@ -354,6 +829,12 @@ mod tests {
         let clock = Arc::new(LogicalClock::new());
         let s = CommitmentScheduler::new(keys, log.clone(), OrgId::new("org"), clock, mode);
         (s, log)
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("nonrep-sched-{name}-{}.log", std::process::id()));
+        p
     }
 
     fn draft(n: u64) -> RecordDraft {
@@ -428,8 +909,10 @@ mod tests {
         s.record(draft(9)).unwrap();
         s.end_of_run().unwrap();
         assert_eq!(s.unsealed_len(), 0);
-        // size_only policy ignores run ends.
-        let (s2, _) = scheduler(CommitmentMode::Batched(BatchPolicy::new(100).size_only()));
+        // A policy without run-end sealing ignores run ends.
+        let (s2, _) = scheduler(CommitmentMode::Batched(
+            BatchPolicy::new(100).sealing_on_run_end(false),
+        ));
         s2.record(draft(0)).unwrap();
         s2.end_of_run().unwrap();
         assert_eq!(s2.unsealed_len(), 1);
@@ -475,11 +958,7 @@ mod tests {
     #[test]
     fn file_log_crash_mid_commitment_recovers_and_reseals() {
         use nonrep_store::FileLog;
-        let path = {
-            let mut p = std::env::temp_dir();
-            p.push(format!("nonrep-sched-recover-{}.log", std::process::id()));
-            p
-        };
+        let path = temp_path("recover-");
         let _ = std::fs::remove_file(&path);
         let keys = Arc::new(KeyPair::generate(
             SignatureScheme::Mss { height: 6 },
@@ -532,12 +1011,541 @@ mod tests {
         let _ = std::fs::remove_file(&path);
     }
 
+    fn scheduler_with_clock(
+        mode: CommitmentMode,
+        clock: Arc<dyn Clock>,
+    ) -> (Arc<CommitmentScheduler>, Arc<dyn EvidenceLog>) {
+        let keys = Arc::new(KeyPair::generate(
+            SignatureScheme::Mss { height: 6 },
+            &mut SecureRandom::from_seed(1),
+        ));
+        let log: Arc<dyn EvidenceLog> = Arc::new(MemoryLog::new());
+        let s = Arc::new(CommitmentScheduler::new(
+            keys,
+            log.clone(),
+            OrgId::new("org"),
+            clock,
+            mode,
+        ));
+        (s, log)
+    }
+
+    #[test]
+    fn size_or_time_seals_on_deadline_via_append() {
+        let clock = Arc::new(LogicalClock::new());
+        let mode = CommitmentMode::Batched(BatchPolicy::size_or_time(100, 50));
+        let (s, log) = scheduler_with_clock(mode, clock.clone());
+        s.record(draft(0)).unwrap();
+        clock.advance(49);
+        s.record(draft(1)).unwrap();
+        assert_eq!(
+            log.count_where(&|r| r.is_epoch_commit()),
+            0,
+            "deadline not reached yet"
+        );
+        clock.advance(1);
+        // 50ms after the *oldest* unsealed record: this append seals.
+        s.record(draft(2)).unwrap();
+        assert_eq!(log.count_where(&|r| r.is_epoch_commit()), 1);
+        assert_eq!(s.unsealed_len(), 0);
+        log.verify().unwrap();
+    }
+
+    #[test]
+    fn poll_seals_an_idle_log_after_the_deadline() {
+        let clock = Arc::new(LogicalClock::new());
+        let mode = CommitmentMode::Batched(BatchPolicy::size_or_time(100, 50));
+        let (s, log) = scheduler_with_clock(mode, clock.clone());
+        for i in 0..3 {
+            s.record(draft(i)).unwrap();
+        }
+        // Idle: no more appends. Polls before the deadline do nothing.
+        clock.advance(49);
+        assert!(s.poll().unwrap().is_none());
+        assert_eq!(s.unsealed_len(), 3);
+        clock.advance(1);
+        let epoch = s.poll().unwrap().expect("deadline reached");
+        let commit = EpochCommitment::from_record(&epoch).unwrap();
+        assert_eq!((commit.lo, commit.hi), (0, 2));
+        assert_eq!(s.unsealed_len(), 0);
+        // Nothing pending → poll is a no-op regardless of elapsed time.
+        clock.advance(1000);
+        assert!(s.poll().unwrap().is_none());
+        log.verify().unwrap();
+    }
+
+    #[test]
+    fn poll_is_noop_without_time_trigger_or_in_per_record_mode() {
+        let clock = Arc::new(LogicalClock::new());
+        let (s, _) = scheduler_with_clock(CommitmentMode::batched(100), clock.clone());
+        s.record(draft(0)).unwrap();
+        clock.advance(1_000_000);
+        assert!(s.poll().unwrap().is_none(), "no max_delay_ms → no trigger");
+        let (s2, _) = scheduler_with_clock(CommitmentMode::PerRecord, clock);
+        s2.record(draft(0)).unwrap();
+        assert!(s2.poll().unwrap().is_none());
+    }
+
+    #[test]
+    fn deadline_countdown_restarts_after_each_seal() {
+        let clock = Arc::new(LogicalClock::new());
+        let mode = CommitmentMode::Batched(BatchPolicy::size_or_time(100, 50));
+        let (s, log) = scheduler_with_clock(mode, clock.clone());
+        s.record(draft(0)).unwrap();
+        clock.advance(50);
+        s.poll().unwrap().unwrap();
+        // New pending record: its own 50ms window, not the old one's.
+        s.record(draft(1)).unwrap();
+        clock.advance(49);
+        assert!(s.poll().unwrap().is_none());
+        clock.advance(1);
+        assert!(s.poll().unwrap().is_some());
+        assert_eq!(log.count_where(&|r| r.is_epoch_commit()), 2);
+    }
+
+    #[test]
+    fn deadline_sealer_seals_idle_log_in_wall_time() {
+        use nonrep_types::time::SystemClock;
+        // Real clock + real thread: an idle log under size_or_time seals
+        // within the deadline with no further appends.
+        let mode = CommitmentMode::Batched(BatchPolicy::size_or_time(1000, 30));
+        let (s, log) = scheduler_with_clock(mode, Arc::new(SystemClock::new()));
+        s.record(draft(0)).unwrap();
+        let sealer = DeadlineSealer::spawn(Arc::clone(&s), Duration::from_millis(5));
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while s.unsealed_len() > 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        drop(sealer); // stops and joins the poller
+        assert_eq!(s.unsealed_len(), 0, "sealer never fired");
+        assert_eq!(log.count_where(&|r| r.is_epoch_commit()), 1);
+        log.verify().unwrap();
+    }
+
+    #[test]
+    fn auto_tuner_grows_under_load_and_shrinks_when_idle() {
+        let clock = Arc::new(LogicalClock::new());
+        let (s, log) = scheduler_with_clock(CommitmentMode::auto(100), clock.clone());
+        assert_eq!(s.effective_batch_size(), BatchPolicy::DEFAULT_AUTO_BATCH);
+        // High load: fill batches with no time passing → size seals far
+        // inside the deadline → effective batch doubles each epoch.
+        let mut n = 0u64;
+        for _ in 0..2 {
+            let target = s.effective_batch_size() as u64;
+            for _ in 0..target {
+                s.record(draft(n)).unwrap();
+                n += 1;
+            }
+        }
+        assert_eq!(
+            s.effective_batch_size(),
+            4 * BatchPolicy::DEFAULT_AUTO_BATCH
+        );
+        // Low load: one record, deadline fires → batch halves, floored.
+        for _ in 0..20 {
+            s.record(draft(n)).unwrap();
+            n += 1;
+            clock.advance(100);
+            s.poll().unwrap().unwrap();
+        }
+        assert_eq!(s.effective_batch_size(), BatchPolicy::MIN_AUTO_BATCH);
+        log.verify().unwrap();
+    }
+
+    #[test]
+    fn auto_tuner_respects_max_bound() {
+        let clock = Arc::new(LogicalClock::new());
+        let (s, _) = scheduler_with_clock(CommitmentMode::auto(1_000_000), clock);
+        let mut n = 0u64;
+        // Enough full-speed epochs to hit the cap several times over.
+        for _ in 0..12 {
+            let target = s.effective_batch_size() as u64;
+            for _ in 0..target {
+                s.record(draft(n)).unwrap();
+                n += 1;
+            }
+            assert!(s.effective_batch_size() <= BatchPolicy::MAX_AUTO_BATCH);
+        }
+        assert_eq!(s.effective_batch_size(), BatchPolicy::MAX_AUTO_BATCH);
+    }
+
+    #[test]
+    fn recovered_unsealed_tail_restarts_deadline_countdown() {
+        // A scheduler constructed over a log with an orphaned (unsealed)
+        // tail starts the clock on it immediately: the deadline bounds
+        // time-to-seal from *now*, so poll() seals it once the delay
+        // elapses even if nothing else is ever appended.
+        let clock = Arc::new(LogicalClock::new());
+        let log: Arc<dyn EvidenceLog> = Arc::new(MemoryLog::new());
+        let keys = Arc::new(KeyPair::generate(
+            SignatureScheme::Mss { height: 6 },
+            &mut SecureRandom::from_seed(2),
+        ));
+        // Simulate the recovered state: two plain records, no commitment.
+        log.append(draft(0)).unwrap();
+        log.append(draft(1)).unwrap();
+        let s = CommitmentScheduler::new(
+            keys,
+            log.clone(),
+            OrgId::new("org"),
+            clock.clone(),
+            CommitmentMode::Batched(BatchPolicy::size_or_time(100, 50)),
+        );
+        assert_eq!(s.unsealed_len(), 2);
+        clock.advance(49);
+        assert!(s.poll().unwrap().is_none());
+        clock.advance(1);
+        let epoch = s.poll().unwrap().expect("orphaned tail sealed on time");
+        let commit = EpochCommitment::from_record(&epoch).unwrap();
+        assert_eq!((commit.lo, commit.hi), (0, 1));
+    }
+
+    #[test]
+    fn per_epoch_file_log_kill_mid_epoch_loses_only_unsealed_tail() {
+        use nonrep_store::{FileLog, SyncPolicy};
+        let path = temp_path("perepoch-kill-");
+        let _ = std::fs::remove_file(&path);
+        let keys = Arc::new(KeyPair::generate(
+            SignatureScheme::Mss { height: 6 },
+            &mut SecureRandom::from_seed(7),
+        ));
+        let clock = Arc::new(LogicalClock::new());
+        {
+            let file = FileLog::open_with(&path, SyncPolicy::PerEpoch).unwrap();
+            let log: Arc<dyn EvidenceLog> = Arc::new(file);
+            let s = CommitmentScheduler::new(
+                keys.clone(),
+                log.clone(),
+                OrgId::new("org"),
+                clock.clone(),
+                CommitmentMode::batched(4),
+            );
+            // One full epoch (fsynced with its seal) + 2 unsealed,
+            // buffered records. Kill: skip FileLog's Drop flush.
+            for i in 0..6 {
+                s.record(draft(i)).unwrap();
+            }
+            assert_eq!(s.unsealed_len(), 2);
+            std::mem::forget(log);
+        }
+        // Recovery: the sealed epoch (records 0..=3 + commitment) is on
+        // disk and intact; the two buffered records are gone — that IS
+        // the loss window the policy documents.
+        let log: Arc<dyn EvidenceLog> =
+            Arc::new(FileLog::open_recover_with(&path, SyncPolicy::PerEpoch).unwrap());
+        log.verify().unwrap();
+        assert_eq!(log.len(), 5, "sealed epoch survives, unsealed tail lost");
+        assert_eq!(log.count_where(&|r| r.is_epoch_commit()), 1);
+        // A fresh scheduler resumes the watermark after the surviving
+        // commitment and keeps sealing (and fsyncing) new evidence.
+        let s = CommitmentScheduler::new(
+            keys.clone(),
+            log.clone(),
+            OrgId::new("org"),
+            clock,
+            CommitmentMode::batched(4),
+        );
+        assert_eq!(s.unsealed_len(), 0);
+        for i in 10..14 {
+            s.record(draft(i)).unwrap();
+        }
+        let commits: Vec<EpochCommitment> = {
+            let mut out = Vec::new();
+            log.for_each(&mut |r| {
+                if let Some(c) = EpochCommitment::from_record(r) {
+                    out.push(c);
+                }
+            });
+            out
+        };
+        assert_eq!(commits.len(), 2);
+        assert_eq!((commits[1].lo, commits[1].hi), (5, 8));
+        let covered = log.snapshot_range(commits[1].lo..commits[1].hi + 1);
+        assert!(commits[1].verify(&keys.verifying_key(), &covered));
+        // Everything sealed is durable: a strict reopen agrees.
+        drop(s);
+        drop(log);
+        let reopened = FileLog::open(&path).unwrap();
+        assert_eq!(reopened.len(), 10);
+        reopened.verify().unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// A log whose epoch-record appends and flushes fail while `fail`
+    /// is set — models a PerEpoch `FileLog` on a broken disk (which
+    /// rolls the commitment back out of its chain on fsync failure, so
+    /// from the scheduler's view the epoch append simply errors).
+    struct FlakyLog {
+        inner: MemoryLog,
+        fail: std::sync::atomic::AtomicBool,
+    }
+
+    impl FlakyLog {
+        fn broken() -> Self {
+            Self {
+                inner: MemoryLog::new(),
+                fail: std::sync::atomic::AtomicBool::new(true),
+            }
+        }
+
+        fn set_fail(&self, fail: bool) {
+            self.fail.store(fail, std::sync::atomic::Ordering::SeqCst);
+        }
+
+        fn failing(&self) -> bool {
+            self.fail.load(std::sync::atomic::Ordering::SeqCst)
+        }
+    }
+
+    impl EvidenceLog for FlakyLog {
+        fn append(&self, draft: RecordDraft) -> Result<Arc<EvidenceRecord>, StoreError> {
+            if self.failing() && draft.kind == EPOCH_KIND {
+                return Err(StoreError::Corrupt("disk full".into()));
+            }
+            self.inner.append(draft)
+        }
+
+        fn flush(&self) -> Result<(), StoreError> {
+            if self.failing() {
+                return Err(StoreError::Corrupt("disk full".into()));
+            }
+            Ok(())
+        }
+
+        fn for_each(&self, f: &mut dyn FnMut(&EvidenceRecord)) {
+            self.inner.for_each(f)
+        }
+
+        fn snapshot_range(&self, range: std::ops::Range<u64>) -> Vec<Arc<EvidenceRecord>> {
+            self.inner.snapshot_range(range)
+        }
+
+        fn head(&self) -> Digest {
+            self.inner.head()
+        }
+
+        fn len(&self) -> u64 {
+            self.inner.len()
+        }
+    }
+
+    #[test]
+    fn seal_failure_is_deferred_and_burns_at_most_one_signature() {
+        let flaky = Arc::new(FlakyLog::broken());
+        let log: Arc<dyn EvidenceLog> = flaky.clone();
+        let keys = Arc::new(KeyPair::generate(
+            SignatureScheme::Mss { height: 6 },
+            &mut SecureRandom::from_seed(9),
+        ));
+        let clock = Arc::new(LogicalClock::new());
+        let s = CommitmentScheduler::new(
+            keys.clone(),
+            log.clone(),
+            OrgId::new("org"),
+            clock.clone(),
+            CommitmentMode::Batched(BatchPolicy::size_or_time(2, 50)),
+        );
+        let budget = keys.remaining().unwrap();
+        assert!(!s.is_degraded());
+        // The append that trips the size trigger still succeeds even
+        // though the seal behind it fails — evidence is never doubly
+        // appended because a caller saw a spurious error.
+        s.record(draft(0)).unwrap();
+        s.record(draft(1)).unwrap();
+        assert_eq!(log.len(), 2, "both records committed");
+        assert_eq!(s.unsealed_len(), 2, "nothing sealed");
+        assert!(s.is_degraded(), "outage is observable");
+        let after_first_attempt = keys.remaining().unwrap();
+        assert_eq!(budget - after_first_attempt, 1, "first attempt signed once");
+        // Retries while the disk is down are cooldown-gated and probe
+        // with flush() first — they must not consume signatures.
+        clock.advance(50);
+        for _ in 0..5 {
+            assert!(s.poll().is_err(), "disk still broken");
+        }
+        // Past the cooldown, a real (probing) retry runs — and still
+        // fails signature-free while the disk is down.
+        clock.advance(1_000);
+        assert!(s.poll().is_err(), "probe sees the disk still broken");
+        assert_eq!(
+            keys.remaining().unwrap(),
+            after_first_attempt,
+            "degraded retries are signature-free"
+        );
+        assert_eq!(log.count_where(&|r| r.is_epoch_commit()), 0, "no orphans");
+        // Disk recovers: the next post-cooldown poll re-seals the range.
+        flaky.set_fail(false);
+        clock.advance(2_000);
+        let epoch = s.poll().unwrap().expect("re-seal after recovery");
+        let commit = EpochCommitment::from_record(&epoch).unwrap();
+        assert_eq!((commit.lo, commit.hi), (0, 1));
+        assert!(commit.verify(&keys.verifying_key(), &log.snapshot_range(0..2)));
+        assert_eq!(s.unsealed_len(), 0);
+        assert_eq!(keys.remaining().unwrap(), after_first_attempt - 1);
+        assert!(!s.is_degraded(), "recovery clears the degraded state");
+        log.verify().unwrap();
+    }
+
+    #[test]
+    fn exhausted_signing_key_degrades_without_hashing_or_panicking() {
+        // MSS height 2 = 4 one-time signatures. Burn them all on epoch
+        // seals, then keep appending: appends must stay Ok, the outage
+        // must be observable, and explicit seals must error cleanly.
+        let keys = Arc::new(KeyPair::generate(
+            SignatureScheme::Mss { height: 2 },
+            &mut SecureRandom::from_seed(11),
+        ));
+        let log: Arc<dyn EvidenceLog> = Arc::new(MemoryLog::new());
+        let s = CommitmentScheduler::new(
+            keys.clone(),
+            log.clone(),
+            OrgId::new("org"),
+            Arc::new(LogicalClock::new()),
+            CommitmentMode::batched(2),
+        );
+        let mut n = 0u64;
+        while keys.remaining().unwrap() > 0 {
+            s.record(draft(n)).unwrap();
+            n += 1;
+        }
+        assert_eq!(log.count_where(&|r| r.is_epoch_commit()), 4);
+        assert!(!s.is_degraded());
+        // Key is spent. Further appends succeed but cannot seal.
+        for _ in 0..6 {
+            s.record(draft(n)).unwrap();
+            n += 1;
+        }
+        assert!(s.is_degraded(), "exhaustion is observable");
+        assert!(s.unsealed_len() >= 6);
+        assert!(
+            matches!(s.seal(), Err(StoreError::Unavailable(_))),
+            "explicit seal surfaces the exhaustion"
+        );
+        log.verify().unwrap();
+    }
+
+    #[test]
+    fn buffer_full_append_seals_and_retries() {
+        // Size-only policy whose batch never fills before the byte cap:
+        // the overflowing append must trigger a seal (draining the
+        // buffer) and then land, not wedge the log permanently.
+        use nonrep_store::{FileLog, SyncPolicy};
+        let path = temp_path("cap-retry-");
+        let _ = std::fs::remove_file(&path);
+        let keys = Arc::new(KeyPair::generate(
+            SignatureScheme::Mss { height: 3 },
+            &mut SecureRandom::from_seed(17),
+        ));
+        let file = Arc::new(FileLog::open_with(&path, SyncPolicy::PerEpoch).unwrap());
+        let s = CommitmentScheduler::new(
+            keys.clone(),
+            file.clone() as Arc<dyn EvidenceLog>,
+            OrgId::new("org"),
+            Arc::new(LogicalClock::new()),
+            CommitmentMode::Batched(BatchPolicy::new(1_000_000).sealing_on_run_end(false)),
+        );
+        let big = |n: u64| RecordDraft {
+            payload: vec![n as u8; 16 << 20],
+            ..draft(n)
+        };
+        for i in 0..3 {
+            s.record(big(i)).unwrap();
+        }
+        assert!(file.unflushed_len() == 3, "all buffered, far from batch");
+        // The 4th 16 MiB record overflows the 64 MiB cap: the scheduler
+        // seals (flushing records 0..2) and retries — the caller just
+        // sees Ok.
+        let record = s.record(big(3)).unwrap();
+        assert_eq!(record.draft.payload.len(), 16 << 20);
+        assert_eq!(file.count_where(&|r| r.is_epoch_commit()), 1);
+        assert_eq!(file.unflushed_len(), 1, "the retried record is buffered");
+        assert!(!s.is_degraded());
+        s.seal().unwrap().unwrap();
+        file.verify().unwrap();
+        drop(s);
+        drop(file);
+        let reopened = FileLog::open(&path).unwrap();
+        assert_eq!(reopened.len(), 6, "4 records + 2 epoch commitments");
+        reopened.verify().unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn exhausted_signer_still_flushes_buffered_evidence() {
+        // PerEpoch file log + tiny key: once the signer is spent the
+        // tail cannot be *sealed*, but seal attempts still make it
+        // *durable* — the crash-loss bound degrades to the retry
+        // cooldown, not to "never".
+        use nonrep_store::{FileLog, SyncPolicy};
+        let path = temp_path("exh-flush-");
+        let _ = std::fs::remove_file(&path);
+        let keys = Arc::new(KeyPair::generate(
+            SignatureScheme::Mss { height: 2 },
+            &mut SecureRandom::from_seed(13),
+        ));
+        let file = Arc::new(FileLog::open_with(&path, SyncPolicy::PerEpoch).unwrap());
+        let s = CommitmentScheduler::new(
+            keys.clone(),
+            file.clone() as Arc<dyn EvidenceLog>,
+            OrgId::new("org"),
+            Arc::new(LogicalClock::new()),
+            CommitmentMode::batched(2),
+        );
+        let mut n = 0u64;
+        while keys.remaining().unwrap() > 0 {
+            s.record(draft(n)).unwrap();
+            n += 1;
+        }
+        // Two more records trip the size trigger with a spent key: the
+        // failed seal attempt flushes them before reporting Unavailable.
+        s.record(draft(n)).unwrap();
+        s.record(draft(n + 1)).unwrap();
+        assert!(s.is_degraded());
+        assert_eq!(
+            file.unflushed_len(),
+            0,
+            "buffered tail fsynced by the failed seal attempt"
+        );
+        // A crash now (no Drop flush) loses nothing: the full history —
+        // including the unsealed tail — reopens strictly.
+        let total = file.len();
+        std::mem::forget(file);
+        drop(s);
+        let reopened = FileLog::open(&path).unwrap();
+        assert_eq!(reopened.len(), total);
+        reopened.verify().unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn upgrade_mode_is_first_wins() {
+        let (s, _) = scheduler(CommitmentMode::PerRecord);
+        let a = CommitmentMode::batched(16);
+        let b = CommitmentMode::auto(500);
+        assert_eq!(s.upgrade_mode(a), a, "first upgrader wins");
+        assert_eq!(s.effective_batch_size(), 16);
+        // A second, conflicting upgrade does not overwrite — it reports
+        // the mode in force so the caller can raise a conflict.
+        assert_eq!(s.upgrade_mode(b), a);
+        assert_eq!(s.mode(), a);
+        // Re-requesting the winning policy is a no-op agreement.
+        assert_eq!(s.upgrade_mode(a), a);
+    }
+
     #[test]
     fn set_mode_seals_pending_before_switching() {
         let (s, log) = scheduler(CommitmentMode::batched(100));
+        assert_eq!(s.effective_batch_size(), 100);
         s.record(draft(0)).unwrap();
         s.set_mode(CommitmentMode::PerRecord).unwrap();
         assert_eq!(log.count_where(&|r| r.is_epoch_commit()), 1);
         assert_eq!(s.mode(), CommitmentMode::PerRecord);
+        assert_eq!(
+            s.effective_batch_size(),
+            1,
+            "per-record mode reports batch size 1, as the constructor does"
+        );
+        s.set_mode(CommitmentMode::batched(8)).unwrap();
+        assert_eq!(s.effective_batch_size(), 8);
     }
 }

@@ -8,7 +8,7 @@
 //!    to B and C";
 //! 2. "B and C independently validate A's proposed update … and their
 //!    respective decisions are … irrefutably attributable to B and C";
-//! 3. "the collective decision … [is] made available to all parties".
+//! 3. "the collective decision … \[is\] made available to all parties".
 //!
 //! Unanimity applies the update everywhere; any veto leaves every replica
 //! untouched. [`membership`] governs who shares the information with

@@ -16,7 +16,9 @@
 //!   adjudicator authenticate a *window* of the log without a full replay.
 //! * [`log`] — the [`EvidenceLog`] trait with in-memory and append-only
 //!   file backends (records stored behind `Arc`, snapshots clone handles,
-//!   never payloads), chain verification and queries by protocol run.
+//!   never payloads), chain verification, queries by protocol run, and
+//!   the [`SyncPolicy`] durability contract (fsync per append, or one
+//!   grouped fsync per sealed epoch).
 //! * [`state`] — [`StateStore`], a content-addressed store mapping digests
 //!   to state bytes, with named version histories for shared objects.
 
@@ -24,7 +26,7 @@ pub mod log;
 pub mod record;
 pub mod state;
 
-pub use log::{EvidenceLog, FileLog, MemoryLog};
+pub use log::{EvidenceLog, FileLog, MemoryLog, SyncPolicy};
 pub use record::{ChainViolation, EpochCommitment, EvidenceRecord, RecordDraft, EPOCH_KIND};
 pub use state::StateStore;
 
@@ -40,6 +42,11 @@ pub enum StoreError {
     Corrupt(String),
     /// The hash chain does not verify.
     Chain(ChainViolation),
+    /// The operation cannot proceed right now, but the log itself is
+    /// intact — e.g. a seal retry is in its failure cooldown, or the
+    /// signer behind it is exhausted. Distinct from [`StoreError::Corrupt`]
+    /// so monitors matching on corruption do not alarm on backoff.
+    Unavailable(String),
 }
 
 impl fmt::Display for StoreError {
@@ -48,6 +55,7 @@ impl fmt::Display for StoreError {
             StoreError::Io(e) => write!(f, "i/o error: {e}"),
             StoreError::Corrupt(msg) => write!(f, "corrupt store: {msg}"),
             StoreError::Chain(v) => write!(f, "chain violation: {v}"),
+            StoreError::Unavailable(msg) => write!(f, "unavailable: {msg}"),
         }
     }
 }

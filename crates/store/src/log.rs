@@ -26,12 +26,18 @@
 //! ([`EvidenceLog::snapshot_range`], [`EvidenceLog::records`],
 //! [`EvidenceLog::by_run`]) clone reference counts, never record bytes.
 //!
-//! # Epoch commitments
+//! # Epoch commitments and durability
 //!
 //! Epoch-commitment records (see [`crate::record::EpochCommitment`]) are
 //! ordinary chained records; backends treat them like any other append.
 //! Sealing policy lives above the store (the protocols crate's
-//! `CommitmentScheduler`).
+//! `CommitmentScheduler`) — but **durability** policy lives here: a
+//! [`FileLog`] opened with [`SyncPolicy::PerEpoch`] buffers appends in
+//! memory and lands a single write + fsync with each epoch-commitment
+//! record, making the epoch the unit of durability as well as of
+//! signature amortization. [`SyncPolicy::WriteThrough`] (the default)
+//! keeps the write-and-fsync-per-append semantics. See [`SyncPolicy`]
+//! for the crash-consistency contract.
 
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
@@ -46,8 +52,45 @@ use nonrep_crypto::digest::Digest;
 use nonrep_types::codec::{Decode, Reader, Writer};
 use nonrep_types::ids::RunId;
 
-use crate::record::{ChainVerifier, ChainViolation, EvidenceRecord, RecordDraft};
+use crate::record::{ChainVerifier, ChainViolation, EvidenceRecord, RecordDraft, EPOCH_KIND};
 use crate::StoreError;
+
+/// When a [`FileLog`] makes appended records durable.
+///
+/// # Crash-consistency contract
+///
+/// * **`WriteThrough`** — an append that returned `Ok` survives a crash
+///   (the record was written and fsynced before the call returned). The
+///   torn-tail window of [`FileLog::open_recover`] is at most one record.
+/// * **`PerEpoch`** — appends buffer in memory; the buffered tail is
+///   written and fsynced *in one batch* when an epoch-commitment record
+///   (kind [`EPOCH_KIND`]) is appended, or when [`EvidenceLog::flush`] is
+///   called explicitly. A crash loses at most the unsealed tail: every
+///   record up to (and including) the last flushed epoch commitment
+///   survives, and [`FileLog::open_recover`] drops whatever suffix of the
+///   final buffered batch did not land intact. Recovery never masks
+///   tampering with record *content*: corruption inside the retained
+///   prefix still fails the open. (Tampered length *prefixes* are
+///   indistinguishable from a torn tail and truncate instead — reported
+///   via [`FileLog::recovery_dropped_bytes`]; see the caveat on
+///   [`FileLog::open_recover`].)
+///
+/// `PerEpoch` is designed to pair with the batched commitment pipeline
+/// (`CommitmentScheduler` in the protocols crate): the scheduler bounds
+/// the unsealed tail by batch size and/or a time deadline, which in turn
+/// bounds the loss window of this policy. Running a `PerEpoch` log
+/// *without* epoch sealing (per-record commitment mode) leaves the tail
+/// buffered indefinitely — the log still flushes on drop, but a kill can
+/// lose an unbounded suffix, so that combination is a misconfiguration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SyncPolicy {
+    /// Write and fsync every append before returning (the default).
+    #[default]
+    WriteThrough,
+    /// Buffer appends; write + fsync once per epoch seal (or explicit
+    /// [`EvidenceLog::flush`]).
+    PerEpoch,
+}
 
 /// An append-only, hash-chained evidence log.
 ///
@@ -121,6 +164,38 @@ pub trait EvidenceLog: Send + Sync {
             }
         });
         count
+    }
+
+    /// `true` if appends buffer in memory until an epoch seal or an
+    /// explicit [`EvidenceLog::flush`] (a [`FileLog`] under
+    /// [`SyncPolicy::PerEpoch`]). Lets assemblies validate that a
+    /// buffering backend is actually paired with a sealing commitment
+    /// policy — without one, nothing would ever reach the disk.
+    fn buffers_appends(&self) -> bool {
+        false
+    }
+
+    /// Remaining capacity, in bytes, of the append buffer — `None` when
+    /// the backend does not buffer (or does not bound its buffer). Lets
+    /// a scheduler seal *before* an append would overflow the cap,
+    /// instead of discovering the overflow as an append error.
+    fn buffer_headroom(&self) -> Option<u64> {
+        None
+    }
+
+    /// Forces any buffered appends to durable storage.
+    ///
+    /// A no-op for backends without a durability boundary (the in-memory
+    /// log, or a [`FileLog`] under [`SyncPolicy::WriteThrough`], whose
+    /// appends are already synced). For a [`SyncPolicy::PerEpoch`] file
+    /// log this writes and fsyncs the buffered tail.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] if the write or fsync fails; the buffered
+    /// records stay pending, so a later flush retries them.
+    fn flush(&self) -> Result<(), StoreError> {
+        Ok(())
     }
 
     /// The chain head: the hash of the last record ([`Digest::ZERO`] for
@@ -214,6 +289,24 @@ impl LogState {
         Ok(record)
     }
 
+    /// Removes the most recently appended record again, restoring the
+    /// chain head and run index. Used by the buffered file backend to
+    /// keep "`append` returned `Err` ⇒ the record is not in the log"
+    /// true when the epoch-seal flush fails *after* the in-memory
+    /// append (the record's only `Arc` is still internal at that point,
+    /// so no caller can observe the transient state).
+    fn rollback_tail(&mut self) {
+        if let Some(record) = self.records.pop() {
+            self.head = record.prev_hash;
+            if let Some(seqs) = self.run_index.get_mut(&record.draft.run_id) {
+                seqs.pop();
+                if seqs.is_empty() {
+                    self.run_index.remove(&record.draft.run_id);
+                }
+            }
+        }
+    }
+
     fn snapshot_range(&self, range: Range<u64>) -> Vec<Arc<EvidenceRecord>> {
         let len = self.records.len() as u64;
         let start = range.start.min(len) as usize;
@@ -278,10 +371,16 @@ impl EvidenceLog for MemoryLog {
 /// On-disk format: a sequence of `u32` little-endian length prefixes, each
 /// followed by one canonically-encoded [`EvidenceRecord`]. The whole log is
 /// loaded and chain-verified on open (rebuilding the head cache and run
-/// index); appends are written through and flushed.
+/// index). Durability of appends is governed by [`SyncPolicy`]: written
+/// and fsynced per append ([`SyncPolicy::WriteThrough`], the default) or
+/// buffered and fsynced once per epoch seal ([`SyncPolicy::PerEpoch`]).
 #[derive(Debug)]
 pub struct FileLog {
     path: PathBuf,
+    policy: SyncPolicy,
+    /// Bytes discarded as a torn tail by recovery at open (0 for strict
+    /// opens and clean files).
+    recovery_dropped: u64,
     inner: Mutex<FileLogInner>,
 }
 
@@ -291,11 +390,95 @@ struct FileLogInner {
     /// Committed on-disk length, tracked so the error path can truncate
     /// a partial write without a per-append stat.
     file_len: u64,
+    /// Encoded-but-unwritten records ([`SyncPolicy::PerEpoch`] only):
+    /// length-prefixed frames exactly as they will land on disk, so one
+    /// flush is a single contiguous write.
+    pending: Vec<u8>,
+    /// Number of records currently buffered in `pending`.
+    pending_records: u64,
+    /// Fail-stop latch: set when a failed write could not be truncated
+    /// away either, i.e. `file_len` may no longer describe the real
+    /// file and stray bytes may sit past the committed prefix. Writing
+    /// anything more would interleave with that garbage or, worse, let
+    /// a later error-path truncation chop into fsynced records — so
+    /// every subsequent append/flush refuses instead.
+    poisoned: bool,
     state: LogState,
 }
 
+impl FileLogInner {
+    fn check_poisoned(&self) -> Result<(), StoreError> {
+        if self.poisoned {
+            return Err(StoreError::Corrupt(
+                "log poisoned: a failed write could not be rolled back; \
+                 reopen with open_recover to restore the durable prefix"
+                    .into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Writes and fsyncs the buffered tail. On failure the file is
+    /// truncated back to its committed length and the buffer is kept, so
+    /// the flush can be retried.
+    fn flush_pending(&mut self) -> Result<(), StoreError> {
+        self.check_poisoned()?;
+        if self.pending.is_empty() {
+            // Nothing buffered — still fsync, so `flush` doubles as a
+            // device health probe: callers that use it to check whether
+            // a previously failing disk has recovered (the scheduler's
+            // degraded-seal probe) get a real answer in write-through
+            // mode too, where the buffer is always empty.
+            self.file.sync_data()?;
+            return Ok(());
+        }
+        let result = (|| {
+            self.file.write_all(&self.pending)?;
+            self.file.sync_data()?;
+            Ok(())
+        })();
+        match result {
+            Ok(()) => {
+                self.file_len += self.pending.len() as u64;
+                self.pending.clear();
+                // Don't pin a burst's peak allocation for the log's
+                // lifetime: steady-state epochs are a few KiB, so shed
+                // capacity beyond a comfortable retained buffer.
+                self.pending.shrink_to(64 << 10);
+                self.pending_records = 0;
+                Ok(())
+            }
+            Err(e) => {
+                // Drop any partially-landed bytes so a retried flush (or
+                // a later write-through append) starts from the committed
+                // prefix instead of interleaving with garbage. If even
+                // the truncation fails, `file_len` no longer describes
+                // the file — fail-stop rather than risk corrupting or
+                // (on a later error) chopping into fsynced records.
+                if self.file.set_len(self.file_len).is_err() {
+                    self.poisoned = true;
+                }
+                Err(e)
+            }
+        }
+    }
+}
+
 impl FileLog {
-    /// Opens (or creates) the log at `path`, verifying any existing chain.
+    /// Upper bound on bytes buffered under [`SyncPolicy::PerEpoch`]
+    /// before appends start failing. The seal policy is supposed to
+    /// bound the buffer at a batch or a deadline's worth of records; a
+    /// buffer anywhere near this size means sealing (or the disk under
+    /// it) is broken, and failing the append surfaces that instead of
+    /// growing without bound toward an OOM kill — which would lose the
+    /// whole buffered tail anyway.
+    pub const MAX_BUFFERED_BYTES: usize = 64 << 20;
+
+    /// Opens (or creates) the log at `path`, verifying any existing
+    /// chain. Opens under [`SyncPolicy::WriteThrough`] — the policy is a
+    /// property of the handle, not of the file, so a `PerEpoch`
+    /// deployment must reopen with [`FileLog::open_with`] to keep its
+    /// grouped-fsync behaviour.
     ///
     /// # Errors
     ///
@@ -303,39 +486,79 @@ impl FileLog {
     /// violation. A file truncated mid-append fails too — use
     /// [`FileLog::open_recover`] to discard a torn tail instead.
     pub fn open(path: impl AsRef<Path>) -> Result<Self, StoreError> {
-        Self::open_impl(path.as_ref(), false)
+        Self::open_impl(path.as_ref(), false, SyncPolicy::WriteThrough)
     }
 
-    /// Opens the log, discarding a torn tail left by a crash mid-append.
+    /// [`FileLog::open`] with an explicit durability policy.
     ///
-    /// A process killed between `write` and `flush` can leave a partial
-    /// length prefix or a partial record at the end of the file. Those
-    /// bytes never made it into the in-memory chain, so dropping them
-    /// restores the last consistent prefix: the file is truncated back to
-    /// the end of the last complete record and the log reopens cleanly
+    /// # Errors
+    ///
+    /// As [`FileLog::open`].
+    pub fn open_with(path: impl AsRef<Path>, policy: SyncPolicy) -> Result<Self, StoreError> {
+        Self::open_impl(path.as_ref(), false, policy)
+    }
+
+    /// Opens the log, discarding a torn tail left by a crash mid-write.
+    /// Like [`FileLog::open`], the handle comes back under
+    /// [`SyncPolicy::WriteThrough`] (safe but fsync-per-append) — a
+    /// `PerEpoch` deployment recovering after a crash should use
+    /// [`FileLog::open_recover_with`] to keep its grouped-fsync policy.
+    ///
+    /// A process killed mid-write can leave a partial length prefix or a
+    /// partial record at the end of the file — under
+    /// [`SyncPolicy::PerEpoch`] the torn region can even span several
+    /// records of the final buffered batch (a contiguous flush landing
+    /// partially writes a prefix of the batch). None of those bytes are
+    /// covered by a flushed epoch commitment, so dropping them restores
+    /// the last consistent prefix: the file is truncated back to the end
+    /// of the last complete record and the log reopens cleanly
     /// (subsequent appends — including a re-seal of any unsealed epoch
     /// range — continue the chain from the recovered head).
     ///
-    /// Corruption *inside* the retained prefix (undecodable record bytes,
-    /// a broken chain link) still fails: recovery never masks tampering.
+    /// Corruption *inside* the retained prefix (undecodable record
+    /// bytes, a broken chain link) still fails: recovery never masks
+    /// tampering with record *content*. One caveat is inherent to the
+    /// framing: a corrupted **length prefix** mid-file is
+    /// indistinguishable from a torn tail (both claim more bytes than
+    /// remain), so recovery truncates there — possibly dropping flushed
+    /// records. The store cannot tell those apart by itself, which is
+    /// why the drop is *reported*
+    /// ([`FileLog::recovery_dropped_bytes`]: alarm when it exceeds one
+    /// buffered batch) and why such a loss cannot be hidden from a
+    /// counterparty — at adjudication the shortened history contradicts
+    /// the tokens and epoch roots the other side holds.
     ///
     /// # Errors
     ///
     /// Returns [`StoreError`] on I/O failure, mid-file corruption or a
     /// chain violation.
     pub fn open_recover(path: impl AsRef<Path>) -> Result<Self, StoreError> {
-        Self::open_impl(path.as_ref(), true)
+        Self::open_impl(path.as_ref(), true, SyncPolicy::WriteThrough)
     }
 
-    fn open_impl(path: &Path, recover: bool) -> Result<Self, StoreError> {
+    /// [`FileLog::open_recover`] with an explicit durability policy.
+    ///
+    /// # Errors
+    ///
+    /// As [`FileLog::open_recover`].
+    pub fn open_recover_with(
+        path: impl AsRef<Path>,
+        policy: SyncPolicy,
+    ) -> Result<Self, StoreError> {
+        Self::open_impl(path.as_ref(), true, policy)
+    }
+
+    fn open_impl(path: &Path, recover: bool, policy: SyncPolicy) -> Result<Self, StoreError> {
         let path = path.to_path_buf();
         let mut records = Vec::new();
         let mut verifier = ChainVerifier::new();
         let mut file_len = 0u64;
+        let mut original_len = 0u64;
         if path.exists() {
             let mut bytes = Vec::new();
             BufReader::new(File::open(&path)?).read_to_end(&mut bytes)?;
             file_len = bytes.len() as u64;
+            original_len = file_len;
             let mut offset = 0usize;
             while offset < bytes.len() {
                 if offset + 4 > bytes.len() {
@@ -380,9 +603,14 @@ impl FileLog {
         }
         Ok(Self {
             path,
+            policy,
+            recovery_dropped: original_len - file_len,
             inner: Mutex::new(FileLogInner {
                 file,
                 file_len,
+                pending: Vec::new(),
+                pending_records: 0,
+                poisoned: false,
                 state: LogState::from_records(records, head),
             }),
         })
@@ -392,35 +620,146 @@ impl FileLog {
     pub fn path(&self) -> &Path {
         &self.path
     }
+
+    /// The durability policy this log was opened with.
+    pub fn sync_policy(&self) -> SyncPolicy {
+        self.policy
+    }
+
+    /// Bytes [`FileLog::open_recover`] discarded as a torn tail (0 when
+    /// nothing was dropped, or the log was opened strictly). A genuine
+    /// crash drops at most one buffered batch; a value far beyond that
+    /// suggests mid-file framing corruption and deserves an alarm (see
+    /// the caveat on [`FileLog::open_recover`]).
+    pub fn recovery_dropped_bytes(&self) -> u64 {
+        self.recovery_dropped
+    }
+
+    /// Number of appended records not yet written + fsynced to disk
+    /// (always 0 under [`SyncPolicy::WriteThrough`]).
+    pub fn unflushed_len(&self) -> u64 {
+        self.inner.lock().pending_records
+    }
+}
+
+impl Drop for FileLog {
+    /// Best-effort flush of any buffered tail, so a *clean* shutdown
+    /// under [`SyncPolicy::PerEpoch`] loses nothing. (A kill, by
+    /// definition, skips this — that is the loss window the policy
+    /// documents.) Write-through logs skip it entirely: every append
+    /// already fsynced, and the empty-buffer flush would pay a redundant
+    /// device barrier per dropped handle.
+    fn drop(&mut self) {
+        if self.policy == SyncPolicy::PerEpoch {
+            let _ = self.inner.lock().flush_pending();
+        }
+    }
 }
 
 impl EvidenceLog for FileLog {
     fn append(&self, draft: RecordDraft) -> Result<Arc<EvidenceRecord>, StoreError> {
         let mut inner = self.inner.lock();
+        inner.check_poisoned()?;
         let FileLogInner {
             file,
             file_len,
+            pending,
+            pending_records,
+            poisoned,
             state,
         } = &mut *inner;
-        state.append_with(draft, |encoded| {
-            let len = u32::try_from(encoded.len())
-                .map_err(|_| StoreError::Corrupt("record too large".into()))?;
-            let result = (|| {
-                file.write_all(&len.to_le_bytes())?;
-                file.write_all(encoded)?;
-                file.flush()?;
-                Ok(())
-            })();
-            match result {
-                Ok(()) => *file_len += 4 + encoded.len() as u64,
-                Err(_) => {
-                    // Best-effort truncation of a partial write, so stray
-                    // bytes cannot corrupt the file ahead of later appends.
-                    let _ = file.set_len(*file_len);
+        match self.policy {
+            SyncPolicy::WriteThrough => state.append_with(draft, |encoded| {
+                let len = u32::try_from(encoded.len())
+                    .map_err(|_| StoreError::Corrupt("record too large".into()))?;
+                let result = (|| {
+                    file.write_all(&len.to_le_bytes())?;
+                    file.write_all(encoded)?;
+                    file.sync_data()?;
+                    Ok(())
+                })();
+                match result {
+                    Ok(()) => *file_len += 4 + encoded.len() as u64,
+                    Err(_) => {
+                        // Truncate the partial write so stray bytes cannot
+                        // corrupt the file ahead of later appends; if even
+                        // that fails, fail-stop (see `poisoned`).
+                        if file.set_len(*file_len).is_err() {
+                            *poisoned = true;
+                        }
+                    }
                 }
+                result
+            }),
+            SyncPolicy::PerEpoch => {
+                let lands_epoch = draft.kind == EPOCH_KIND;
+                let frame_start = pending.len();
+                let record = state.append_with(draft, |encoded| {
+                    let len = u32::try_from(encoded.len())
+                        .map_err(|_| StoreError::Corrupt("record too large".into()))?;
+                    // Epoch frames are exempt from the cap: a seal is
+                    // exactly what *drains* a full buffer (its append
+                    // triggers the flush below), so capping it would
+                    // wedge the one operation that can recover — after
+                    // the sealer has already spent a signature.
+                    if !lands_epoch && pending.len() + 4 + encoded.len() > Self::MAX_BUFFERED_BYTES
+                    {
+                        // Backpressure, not corruption: the log on disk
+                        // is intact, the pipeline above it is stuck.
+                        return Err(StoreError::Unavailable(format!(
+                            "evidence buffer full ({} byte cap) — epoch sealing (or \
+                             the disk under it) appears stuck; seal or flush the log",
+                            Self::MAX_BUFFERED_BYTES
+                        )));
+                    }
+                    // Frame into the in-memory buffer only; the write and
+                    // fsync land with the next epoch seal (or explicit
+                    // flush). Past the cap check, buffering cannot fail,
+                    // so the chain and the buffer never diverge.
+                    pending.extend_from_slice(&len.to_le_bytes());
+                    pending.extend_from_slice(encoded);
+                    *pending_records += 1;
+                    Ok(())
+                })?;
+                if lands_epoch {
+                    // The epoch commitment is the durability point: one
+                    // contiguous write + one fsync covers the whole batch.
+                    if let Err(e) = inner.flush_pending() {
+                        // Keep "Err ⇒ not appended" true: remove the
+                        // epoch record from the chain and the buffer
+                        // again (earlier buffered records stay pending
+                        // and are retried by the next flush). The caller
+                        // can then re-seal once the disk recovers without
+                        // leaving an orphaned commitment behind.
+                        drop(record);
+                        let inner = &mut *inner;
+                        inner.pending.truncate(frame_start);
+                        inner.pending_records -= 1;
+                        inner.state.rollback_tail();
+                        return Err(e);
+                    }
+                }
+                Ok(record)
             }
-            result
-        })
+        }
+    }
+
+    fn buffers_appends(&self) -> bool {
+        self.policy == SyncPolicy::PerEpoch
+    }
+
+    fn buffer_headroom(&self) -> Option<u64> {
+        match self.policy {
+            SyncPolicy::WriteThrough => None,
+            SyncPolicy::PerEpoch => Some(
+                (Self::MAX_BUFFERED_BYTES as u64)
+                    .saturating_sub(self.inner.lock().pending.len() as u64),
+            ),
+        }
+    }
+
+    fn flush(&self) -> Result<(), StoreError> {
+        self.inner.lock().flush_pending()
     }
 
     fn for_each(&self, f: &mut dyn FnMut(&EvidenceRecord)) {
@@ -734,6 +1073,307 @@ mod tests {
             "tampering inside the prefix must still be rejected"
         );
         let _ = std::fs::remove_file(&path);
+    }
+
+    /// Epoch-commitment-shaped draft (kind only — these tests exercise
+    /// the store's durability boundary, not commitment verification).
+    fn epoch_draft(n: u64) -> RecordDraft {
+        RecordDraft {
+            kind: EPOCH_KIND.to_string(),
+            ..draft(n)
+        }
+    }
+
+    #[test]
+    fn per_epoch_buffers_until_epoch_record_lands() {
+        let path = temp_path("buffered.log");
+        let _ = std::fs::remove_file(&path);
+        let log = FileLog::open_with(&path, SyncPolicy::PerEpoch).unwrap();
+        assert_eq!(log.sync_policy(), SyncPolicy::PerEpoch);
+        for i in 0..3 {
+            log.append(draft(i)).unwrap();
+        }
+        // Nothing on disk yet: the three appends are buffered.
+        assert_eq!(log.unflushed_len(), 3);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 0);
+        // The epoch record is the durability point: one write covers all.
+        log.append(epoch_draft(3)).unwrap();
+        assert_eq!(log.unflushed_len(), 0);
+        let on_disk = std::fs::metadata(&path).unwrap().len();
+        assert!(on_disk > 0);
+        // An explicit flush drains the buffer too.
+        log.append(draft(4)).unwrap();
+        assert_eq!(log.unflushed_len(), 1);
+        log.flush().unwrap();
+        assert_eq!(log.unflushed_len(), 0);
+        assert!(std::fs::metadata(&path).unwrap().len() > on_disk);
+        drop(log);
+        // Strict reopen sees the complete, verifiable log.
+        let log = FileLog::open(&path).unwrap();
+        assert_eq!(log.len(), 5);
+        log.verify().unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn per_epoch_clean_drop_flushes_the_tail() {
+        let path = temp_path("drop-flush.log");
+        let _ = std::fs::remove_file(&path);
+        {
+            let log = FileLog::open_with(&path, SyncPolicy::PerEpoch).unwrap();
+            for i in 0..4 {
+                log.append(draft(i)).unwrap();
+            }
+            assert_eq!(log.unflushed_len(), 4);
+        }
+        let log = FileLog::open(&path).unwrap();
+        assert_eq!(log.len(), 4, "clean shutdown loses nothing");
+        log.verify().unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Simulates a kill: the buffered tail vanishes without the `Drop`
+    /// flush running. Leaks the file handle — fine for a test process.
+    fn kill(log: FileLog) {
+        std::mem::forget(log);
+    }
+
+    // Kill-point matrix around the buffered append → seal → fsync
+    // sequence. Timeline of one epoch under `PerEpoch`:
+    //
+    //     appends buffer … epoch record buffers … write() … fsync()
+    //        K1                   K2                 K3        (K4: after)
+    //
+    // K1/K2 (before the write): the whole unsealed batch is lost, the
+    // log recovers to the last flushed prefix. K3 (mid-write): a prefix
+    // of the batch lands, recovery drops the torn record and everything
+    // after it. K4 (after fsync): nothing is lost.
+
+    #[test]
+    fn kill_before_flush_loses_only_the_unsealed_tail() {
+        let path = temp_path("kill-k1.log");
+        let _ = std::fs::remove_file(&path);
+        let log = FileLog::open_with(&path, SyncPolicy::PerEpoch).unwrap();
+        // First epoch flushed…
+        for i in 0..3 {
+            log.append(draft(i)).unwrap();
+        }
+        log.append(epoch_draft(3)).unwrap();
+        // …then an unsealed tail (K1: killed before any flush of it).
+        for i in 4..7 {
+            log.append(draft(i)).unwrap();
+        }
+        assert_eq!(log.unflushed_len(), 3);
+        kill(log);
+        // Even the *strict* open succeeds: the flushed prefix ends on a
+        // record boundary, so there is no torn tail, just fewer records.
+        let log = FileLog::open(&path).unwrap();
+        assert_eq!(log.len(), 4, "exactly the flushed prefix survives");
+        assert_eq!(
+            log.count_where(&|r| r.is_epoch_commit()),
+            1,
+            "the sealed epoch survives"
+        );
+        log.verify().unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn kill_mid_write_drops_torn_suffix_of_the_batch() {
+        // K3: the contiguous flush landed partially. Model every torn
+        // offset: from "only part of the first frame" to "all but the
+        // last byte".
+        let path = temp_path("kill-k3-ref.log");
+        let _ = std::fs::remove_file(&path);
+        let log = FileLog::open_with(&path, SyncPolicy::PerEpoch).unwrap();
+        for i in 0..3 {
+            log.append(draft(i)).unwrap();
+        }
+        log.append(epoch_draft(3)).unwrap();
+        let sealed_len = std::fs::metadata(&path).unwrap().len();
+        for i in 4..7 {
+            log.append(draft(i)).unwrap();
+        }
+        log.append(epoch_draft(7)).unwrap(); // second epoch: flushes 4 frames
+        drop(log);
+        let full = std::fs::read(&path).unwrap();
+        for torn_end in [sealed_len + 1, sealed_len + 7, full.len() as u64 - 1] {
+            std::fs::write(&path, &full[..torn_end as usize]).unwrap();
+            assert!(
+                FileLog::open(&path).is_err(),
+                "strict open must refuse a torn tail at {torn_end}"
+            );
+            let log = FileLog::open_recover_with(&path, SyncPolicy::PerEpoch).unwrap();
+            // Whatever complete frames of the second batch landed are
+            // kept; the torn frame and everything after are dropped. The
+            // first sealed epoch is always intact.
+            assert!(log.len() >= 4, "flushed prefix survives (torn {torn_end})");
+            assert!(log.len() < 8, "torn tail dropped (torn {torn_end})");
+            assert_eq!(log.count_where(&|r| r.is_epoch_commit()), 1);
+            log.verify().unwrap();
+            // The log stays usable: append + seal continue the chain.
+            log.append(draft(99)).unwrap();
+            log.append(epoch_draft(100)).unwrap();
+            drop(log);
+            let reopened = FileLog::open(&path).unwrap();
+            reopened.verify().unwrap();
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn kill_after_fsync_loses_nothing() {
+        // K4: the epoch flush completed; a kill immediately after costs
+        // nothing sealed.
+        let path = temp_path("kill-k4.log");
+        let _ = std::fs::remove_file(&path);
+        let log = FileLog::open_with(&path, SyncPolicy::PerEpoch).unwrap();
+        for i in 0..5 {
+            log.append(draft(i)).unwrap();
+        }
+        log.append(epoch_draft(5)).unwrap();
+        assert_eq!(log.unflushed_len(), 0);
+        kill(log);
+        let log = FileLog::open(&path).unwrap();
+        assert_eq!(log.len(), 6);
+        assert_eq!(log.count_where(&|r| r.is_epoch_commit()), 1);
+        log.verify().unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn recovery_reports_dropped_bytes_for_framing_corruption() {
+        // A corrupted length prefix mid-file cannot be told apart from a
+        // torn tail (both claim more bytes than remain), so recovery
+        // truncates there — but the size of the drop is reported, and a
+        // drop far larger than one buffered batch is the operator's
+        // alarm signal. (Content tampering, by contrast, hard-fails —
+        // see recovery_does_not_mask_mid_file_corruption.)
+        let path = temp_path("framing.log");
+        let _ = std::fs::remove_file(&path);
+        {
+            let log = FileLog::open(&path).unwrap();
+            for i in 0..6 {
+                log.append(draft(i)).unwrap();
+            }
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        let total = bytes.len() as u64;
+        // Record 0's length prefix is at offset 0: make it huge.
+        bytes[3] = 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(FileLog::open(&path).is_err(), "strict open refuses");
+        let log = FileLog::open_recover(&path).unwrap();
+        assert_eq!(log.len(), 0, "overlong frame swallows everything after");
+        assert_eq!(
+            log.recovery_dropped_bytes(),
+            total,
+            "the whole drop is visible to monitors"
+        );
+        drop(log);
+        // A clean log reports zero.
+        let path2 = temp_path("framing-clean.log");
+        let _ = std::fs::remove_file(&path2);
+        {
+            let log = FileLog::open(&path2).unwrap();
+            log.append(draft(0)).unwrap();
+        }
+        let log = FileLog::open_recover(&path2).unwrap();
+        assert_eq!(log.recovery_dropped_bytes(), 0);
+        assert_eq!(log.len(), 1);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&path2);
+    }
+
+    #[test]
+    fn per_epoch_recovery_does_not_mask_mid_file_tampering() {
+        let path = temp_path("kill-tamper.log");
+        let _ = std::fs::remove_file(&path);
+        let log = FileLog::open_with(&path, SyncPolicy::PerEpoch).unwrap();
+        for i in 0..6 {
+            log.append(draft(i)).unwrap();
+        }
+        log.append(epoch_draft(6)).unwrap();
+        drop(log);
+        // Flip a byte in the flushed region *and* tear the tail: recovery
+        // may drop the torn tail but must still reject the tampering.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 3;
+        bytes[mid] ^= 0xFF;
+        bytes.truncate(bytes.len() - 2);
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(
+            FileLog::open_recover_with(&path, SyncPolicy::PerEpoch).is_err(),
+            "tampering inside the retained prefix must still be rejected"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn per_epoch_buffer_is_capped_and_cap_failure_commits_nothing() {
+        let path = temp_path("buffer-cap.log");
+        let _ = std::fs::remove_file(&path);
+        let log = FileLog::open_with(&path, SyncPolicy::PerEpoch).unwrap();
+        // 16 MiB payloads: the 4th would cross the 64 MiB cap.
+        let big = |n: u64| RecordDraft {
+            payload: vec![n as u8; 16 << 20],
+            ..draft(n)
+        };
+        for i in 0..3 {
+            log.append(big(i)).unwrap();
+        }
+        let head_before = log.head();
+        let err = log.append(big(3)).unwrap_err();
+        assert!(matches!(err, StoreError::Unavailable(_)), "{err:?}");
+        // The failed append committed nothing: chain, length and buffer
+        // accounting are exactly as before, and the log keeps working.
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.head(), head_before);
+        assert_eq!(log.unflushed_len(), 3);
+        // An epoch record is exempt from the cap — sealing is exactly
+        // what drains a full buffer, so it must never be refused.
+        log.append(epoch_draft(3)).unwrap();
+        assert_eq!(log.unflushed_len(), 0, "seal drained the full buffer");
+        log.append(draft(4)).unwrap();
+        log.verify().unwrap();
+        drop(log);
+        let reopened = FileLog::open(&path).unwrap();
+        assert_eq!(reopened.len(), 5);
+        reopened.verify().unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rollback_tail_restores_chain_head_and_run_index() {
+        // The rollback used when an epoch-seal flush fails: the popped
+        // record must leave no trace — head, index and subsequent
+        // appends behave as if it was never appended.
+        let log = MemoryLog::new();
+        for i in 0..3 {
+            log.append(draft(i)).unwrap();
+        }
+        let head_before = log.head();
+        let run_of_tail = RunId::from_u128(u128::from(3u64 % 3));
+        let indexed_before = log.by_run(&run_of_tail).len();
+        log.append(draft(3)).unwrap();
+        log.state.lock().rollback_tail();
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.head(), head_before, "chain head restored");
+        assert_eq!(log.by_run(&run_of_tail).len(), indexed_before);
+        // The chain continues cleanly from the restored head.
+        let rec = log.append(draft(9)).unwrap();
+        assert_eq!(rec.seq, 3);
+        assert_eq!(rec.prev_hash, head_before);
+        log.verify().unwrap();
+        // Rolling back past a run's only record drops its index entry.
+        let solo = MemoryLog::new();
+        solo.append(draft(5)).unwrap();
+        solo.state.lock().rollback_tail();
+        assert!(solo.is_empty());
+        assert_eq!(solo.head(), Digest::ZERO);
+        assert!(solo.by_run(&RunId::from_u128(2)).is_empty());
+        solo.append(draft(0)).unwrap();
+        solo.verify().unwrap();
     }
 
     #[test]

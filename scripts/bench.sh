@@ -1,21 +1,22 @@
 #!/usr/bin/env bash
-# Runs the full perf-tracked experiment suite (e1–e3, e5–e11) and writes
+# Runs the full perf-tracked experiment suite (e1–e3, e5–e12) and writes
 # BENCH_<N>.json at the repo root with before/after numbers, where
 # "before" is the checked-in baseline (scripts/bench_baseline_<N>.jsonl —
 # seed-implementation numbers carried forward; benches added after the
-# seed appear with "after" numbers only).
+# seed appear with "after" numbers only). See docs/BENCHMARKS.md.
 #
-# Usage: scripts/bench.sh [N]    (default N=2)
+# Usage: scripts/bench.sh [N]    (default N=3)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-N="${1:-2}"
+N="${1:-3}"
 BASELINE="scripts/bench_baseline_${N}.jsonl"
 CURRENT="$(mktemp /tmp/nonrep-bench-XXXX.jsonl)"
 trap 'rm -f "$CURRENT"' EXIT
 
 for bench in e1_invocation e2_sharing e3_trust_domains e5_container e6_crypto \
-             e7_evidence_space e8_messages e9_faults e10_group_size e11_batch_commit; do
+             e7_evidence_space e8_messages e9_faults e10_group_size e11_batch_commit \
+             e12_durability; do
     NONREP_BENCH_JSON="$CURRENT" cargo bench -p nonrep_bench --bench "$bench"
 done
 

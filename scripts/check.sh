@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# CI gate: tier-1 verification plus formatting and lint checks.
+# CI gate: tier-1 verification plus formatting, lint and doc checks.
 #
-#   scripts/check.sh           # build + tests + fmt + clippy
+#   scripts/check.sh           # build + tests + fmt + clippy + rustdoc
 #   scripts/check.sh --fast    # skip the release build (tests only)
 #
 # Tier-1 (ROADMAP): cargo build --release && cargo test -q
@@ -25,5 +25,8 @@ cargo fmt --check
 
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo doc -D warnings"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
 
 echo "check.sh: all green"

@@ -10,7 +10,7 @@
 //! | [`types`] | ids, dynamic values, canonical codec |
 //! | [`crypto`] | SHA-256, HMAC, Merkle trees, forward-secure signatures, timestamping |
 //! | [`net`] | in-process bus, fault injection, latency models, simulator |
-//! | [`store`] | hash-chained evidence logs, state store |
+//! | [`store`] | hash-chained evidence logs (epoch-grouped durability), state store |
 //! | [`pki`] | certificates, CAs, CRLs, credential management |
 //! | [`access`] | roles, policies, event-driven sessions |
 //! | [`container`] | components, descriptors, interceptor chains, proxies |
@@ -31,7 +31,7 @@
 //!
 //! // Two organisations.
 //! let client = OrgMiddleware::builder("client", bus.clone(), dir.clone(), clock.clone()).build();
-//! let server = OrgMiddleware::builder("server", bus, dir, clock).build();
+//! let server = OrgMiddleware::builder("server", bus, dir.clone(), clock).build();
 //!
 //! // The server deploys a component requiring non-repudiation.
 //! server.deploy(
@@ -47,11 +47,35 @@
 //! let quote = proxy.invoke("quote", Value::from("gearbox"))?;
 //! assert_eq!(quote.get("price").and_then(Value::as_i64), Some(100));
 //!
-//! // Both sides now hold the full §3.2 evidence set.
+//! // Both sides now hold the full §3.2 evidence set, hash-chained.
 //! assert_eq!(client.log().len(), 4);
 //! assert_eq!(server.log().len(), 4);
+//! client.log().verify()?;
+//!
+//! // Dispute-resolution dry run: each party submits a *window* of its
+//! // log (Arc-backed handles plus its chain head — never a deep copy)
+//! // and the adjudicator derives the facts neither side can deny.
+//! let run = client.log().snapshot_range(0..1)[0].draft.run_id;
+//! let adjudicator = Adjudicator::new(dir.clone() as std::sync::Arc<dyn KeyDirectory>);
+//! let verdict = adjudicator.adjudicate_windows(
+//!     run,
+//!     &[client.submit_full_window(), server.submit_full_window()],
+//! );
+//! assert!(verdict.suspect_submitters().is_empty());
+//! assert!(verdict.cannot_deny(client.org(), TokenKind::NroReq));
+//! assert!(verdict.cannot_deny(server.org(), TokenKind::NroResp));
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! For high-throughput deployments the evidence pipeline is tunable per
+//! organisation, without changing any of the above: batched evidence
+//! commitments (`MiddlewareBuilder::commitment`, one signature per epoch
+//! instead of per token, sealed on size and/or a time deadline) and
+//! disk-backed durability grouped at the same epoch boundary
+//! (`MiddlewareBuilder::evidence_log` with a
+//! `store::SyncPolicy::PerEpoch` file log — one fsync per sealed epoch).
+//! See `docs/ARCHITECTURE.md` for the full map from the paper's concepts
+//! to these crates.
 
 pub use nonrep_access as access;
 pub use nonrep_container as container;
@@ -79,10 +103,10 @@ pub mod prelude {
     pub use nonrep_net::latency::LatencyModel;
     pub use nonrep_net::retry::RetryPolicy;
     pub use nonrep_protocols::party::{KeyDirectory, Party, StaticKeyDirectory};
-    pub use nonrep_protocols::scheduler::{BatchPolicy, CommitmentMode};
+    pub use nonrep_protocols::scheduler::{BatchPolicy, CommitmentMode, DeadlineSealer};
     pub use nonrep_protocols::tokens::TokenKind;
     pub use nonrep_protocols::ProtocolError;
-    pub use nonrep_store::{EvidenceLog, StateStore};
+    pub use nonrep_store::{EvidenceLog, FileLog, MemoryLog, StateStore, SyncPolicy};
     pub use nonrep_types::ids::{GroupId, MethodName, OrgId, RunId, ServiceUri};
     pub use nonrep_types::time::{Clock, LogicalClock, Timestamp};
     pub use nonrep_types::value::Value;
