@@ -13,6 +13,25 @@ use std::collections::HashMap;
 
 use nonrep_types::ids::{MethodName, ProtocolId, ServiceUri};
 
+/// Declarative evidence-durability requirement: how the hosting
+/// middleware's evidence log must make appends durable. Mirrors the
+/// store's `DurabilityClass` without depending on it (descriptors are
+/// pure declarations); the middleware validates the requirement against
+/// the log actually in force at deploy time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvidenceDurability {
+    /// Every append must be durable before it returns (a write-through
+    /// file log). Highest per-append cost, zero loss window.
+    WriteThrough,
+    /// Appends may buffer; each epoch seal must land them with an
+    /// inline write + fsync.
+    PerEpoch,
+    /// Appends may buffer; the epoch seal hands them to a background
+    /// sync thread and concurrent epochs share one device barrier
+    /// (lowest append latency; loss window = unsealed + unacked tail).
+    GroupCommit,
+}
+
 /// Non-repudiation configuration for a component.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NrConfig {
@@ -39,6 +58,13 @@ pub struct NrConfig {
     /// policy; on its own it asks for the middleware's load-driven
     /// auto-tuned batching under the given deadline.
     pub evidence_deadline_ms: Option<u64>,
+    /// Required durability class of the hosting middleware's evidence
+    /// log. `None` accepts whatever the deployment runs (including the
+    /// in-memory log of tests); `Some(req)` makes a mismatch a
+    /// deployment error — a component that *identifies* a group-commit
+    /// durability requirement must not silently land on a backend that
+    /// fsyncs inline (or not at all).
+    pub evidence_durability: Option<EvidenceDurability>,
 }
 
 impl NrConfig {
@@ -49,6 +75,7 @@ impl NrConfig {
             protocol: protocol.into(),
             evidence_batch: None,
             evidence_deadline_ms: None,
+            evidence_durability: None,
         }
     }
 
@@ -64,6 +91,14 @@ impl NrConfig {
     #[must_use]
     pub fn with_evidence_deadline_ms(mut self, deadline_ms: u64) -> Self {
         self.evidence_deadline_ms = Some(deadline_ms.max(1));
+        self
+    }
+
+    /// Requires the hosting middleware's evidence log to provide the
+    /// given durability class (deploy fails on a mismatch).
+    #[must_use]
+    pub fn with_evidence_durability(mut self, durability: EvidenceDurability) -> Self {
+        self.evidence_durability = Some(durability);
         self
     }
 }

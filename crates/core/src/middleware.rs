@@ -18,7 +18,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use nonrep_container::component::Component;
-use nonrep_container::descriptor::DeploymentDescriptor;
+use nonrep_container::descriptor::{DeploymentDescriptor, EvidenceDurability};
 use nonrep_container::proxy::{BusTransport, ClientProxy, ContainerEndpoint};
 use nonrep_container::{Container, ContainerError};
 use nonrep_crypto::rng::SecureRandom;
@@ -39,7 +39,7 @@ use nonrep_protocols::sharing::coordination::{
 use nonrep_protocols::sharing::membership::{self, MembershipHandler};
 use nonrep_protocols::sharing::GroupRegistry;
 use nonrep_protocols::{B2BCoordinator, ProtocolError};
-use nonrep_store::{EvidenceLog, MemoryLog, StateStore};
+use nonrep_store::{DurabilityClass, EvidenceLog, MemoryLog, StateStore, SyncPolicy};
 use nonrep_types::ids::{GroupId, OrgId, ServiceUri};
 use nonrep_types::time::LogicalClock;
 
@@ -134,8 +134,9 @@ impl MiddlewareBuilder {
 
     /// Uses `log` as this organisation's evidence backend instead of the
     /// default in-memory log — e.g. a `nonrep_store::FileLog` opened with
-    /// `SyncPolicy::PerEpoch` so durability (one fsync) lands with each
-    /// epoch seal of the batched pipeline.
+    /// `SyncPolicy::PerEpoch` (durability lands inline with each epoch
+    /// seal) or `SyncPolicy::GroupCommit` (the seal hands the batch to a
+    /// dedicated sync thread and concurrent epochs share one fsync).
     ///
     /// A buffering backend must be paired with a batched commitment mode
     /// (see [`MiddlewareBuilder::commitment`]); [`MiddlewareBuilder::build`]
@@ -146,16 +147,37 @@ impl MiddlewareBuilder {
         self
     }
 
+    /// Deploy-time selection of a durable, file-backed evidence log:
+    /// opens (creating or crash-recovering) the log at `path` under
+    /// `policy` and uses it as this organisation's evidence backend.
+    /// Recovery semantics are those of `FileLog::open_recover_with` — a
+    /// torn tail from a previous kill is dropped, mid-file tampering
+    /// still refuses to open.
+    ///
+    /// # Errors
+    ///
+    /// [`nonrep_store::StoreError`] if the log cannot be opened (I/O
+    /// failure, corruption, chain violation).
+    pub fn evidence_file(
+        self,
+        path: impl AsRef<std::path::Path>,
+        policy: SyncPolicy,
+    ) -> Result<Self, nonrep_store::StoreError> {
+        let log = nonrep_store::FileLog::open_recover_with(path, policy)?;
+        Ok(self.evidence_log(Arc::new(log)))
+    }
+
     /// Assembles the middleware and registers it on the bus.
     ///
     /// # Panics
     ///
     /// If the configured evidence log buffers its appends
-    /// (`SyncPolicy::PerEpoch`) while the commitment mode is per-record:
-    /// per-record mode never seals, so nothing would ever be fsynced and
-    /// a kill could lose the organisation's whole evidence history. That
-    /// combination is a deployment error, rejected here rather than
-    /// discovered at the first crash.
+    /// (`SyncPolicy::PerEpoch` or `SyncPolicy::GroupCommit`) while the
+    /// commitment mode is per-record: per-record mode never seals, so
+    /// nothing would ever be fsynced and a kill could lose the
+    /// organisation's whole evidence history. That combination is a
+    /// deployment error, rejected here rather than discovered at the
+    /// first crash.
     pub fn build(self) -> Arc<OrgMiddleware> {
         let log: Arc<dyn EvidenceLog> = self
             .evidence_log
@@ -164,10 +186,10 @@ impl MiddlewareBuilder {
         // a rejected configuration leaves no stale key registered.
         assert!(
             !(log.buffers_appends() && matches!(self.commitment, CommitmentMode::PerRecord)),
-            "evidence log buffers appends per epoch (SyncPolicy::PerEpoch) but the \
-             commitment mode is PerRecord, which never seals epochs — nothing would \
-             ever be made durable; configure MiddlewareBuilder::commitment with a \
-             batched mode (see nonrep_store::SyncPolicy)"
+            "evidence log buffers appends per epoch (SyncPolicy::PerEpoch/GroupCommit) \
+             but the commitment mode is PerRecord, which never seals epochs — nothing \
+             would ever be made durable; configure MiddlewareBuilder::commitment with \
+             a batched mode (see nonrep_store::SyncPolicy)"
         );
         let mut rng = SecureRandom::from_seed(self.seed);
         let keys = Arc::new(KeyPair::generate(self.scheme, &mut rng));
@@ -387,13 +409,41 @@ impl OrgMiddleware {
     /// See [`Container::deploy`]; additionally
     /// [`ContainerError::Protocol`] if two components declare *different*
     /// batching policies (the pipeline is org-global, so that is a
-    /// deployment conflict) or if switching commitment mode fails to
-    /// persist its closing seal.
+    /// deployment conflict), if switching commitment mode fails to
+    /// persist its closing seal, or if the descriptor declares an
+    /// evidence-durability requirement
+    /// (`NrConfig::with_evidence_durability`) the organisation's log does
+    /// not provide — e.g. requiring group commit while the org runs an
+    /// inline per-epoch (or in-memory) log.
     pub fn deploy(
         &self,
         descriptor: DeploymentDescriptor,
         component: Arc<dyn Component>,
     ) -> Result<(), ContainerError> {
+        if let Some(required) = descriptor
+            .non_repudiation
+            .as_ref()
+            .and_then(|nr| nr.evidence_durability)
+        {
+            // Durability is a property of the log the org was *built*
+            // with; a descriptor cannot change it after the fact, so a
+            // mismatch is a deployment error, not a reconfiguration.
+            let required_class = match required {
+                EvidenceDurability::WriteThrough => DurabilityClass::Synchronous,
+                EvidenceDurability::PerEpoch => DurabilityClass::BufferedEpoch,
+                EvidenceDurability::GroupCommit => DurabilityClass::GroupCommit,
+            };
+            let in_force = self.party.log().durability_class();
+            if in_force != required_class {
+                return Err(ContainerError::Protocol(format!(
+                    "evidence durability mismatch: descriptor for {} requires \
+                     {required:?} but the organisation's evidence log provides \
+                     {in_force:?} — build the middleware with \
+                     MiddlewareBuilder::evidence_file(path, SyncPolicy::...) to match",
+                    descriptor.service
+                )));
+            }
+        }
         let requested = descriptor.non_repudiation.as_ref().and_then(|nr| {
             match (nr.evidence_batch, nr.evidence_deadline_ms) {
                 (Some(batch), Some(deadline)) => Some(CommitmentMode::Batched(
@@ -766,5 +816,99 @@ mod tests {
     #[test]
     fn b2b_address_formatting() {
         assert_eq!(b2b_address(&OrgId::new("acme")), OrgId::new("acme#b2b"));
+    }
+
+    fn temp_log(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("nonrep-mw-{name}-{}.log", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn evidence_file_group_commit_end_to_end() {
+        // Deploy-time selection of the group-commit log through the
+        // builder: invocations work, evidence seals asynchronously, and
+        // flush_evidence is the durability barrier — a strict reopen
+        // after it sees the complete log.
+        let (bus, dir, clock) = world();
+        let path = temp_log("gc");
+        let client = OrgMiddleware::builder("client", bus.clone(), dir.clone(), clock.clone())
+            .commitment(CommitmentMode::batched(4))
+            .evidence_file(&path, SyncPolicy::GroupCommit)
+            .unwrap()
+            .build();
+        let server = OrgMiddleware::builder("server", bus, dir, clock).build();
+        deploy_echo(&server);
+        let proxy = client.nr_proxy(server.org(), "urn:echo");
+        assert_eq!(
+            proxy.invoke("echo", Value::from(5i64)).unwrap(),
+            Value::from(5i64)
+        );
+        client.flush_evidence().unwrap();
+        assert_eq!(
+            client.log().durability_class(),
+            DurabilityClass::GroupCommit
+        );
+        let len = client.log().len();
+        assert!(client.log().count_where(&|r| r.is_epoch_commit()) >= 1);
+        drop(client);
+        let reopened = nonrep_store::FileLog::open(&path).unwrap();
+        assert_eq!(reopened.len(), len);
+        reopened.verify().unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn descriptor_durability_requirement_validated_at_deploy() {
+        use nonrep_container::descriptor::NrConfig;
+        let (bus, dir, clock) = world();
+        let path = temp_log("req");
+        let org = OrgMiddleware::builder("org", bus.clone(), dir.clone(), clock.clone())
+            .commitment(CommitmentMode::batched(8))
+            .evidence_file(&path, SyncPolicy::GroupCommit)
+            .unwrap()
+            .build();
+        // Matching requirement deploys fine.
+        org.deploy(
+            DeploymentDescriptor::new("urn:gc", [MethodName::new("m")]).with_non_repudiation(
+                NrConfig::protocol("direct")
+                    .with_evidence_durability(EvidenceDurability::GroupCommit),
+            ),
+            Arc::new(FnComponent::new().method("m", |args| Ok(args.clone()))),
+        )
+        .unwrap();
+        // A component requiring inline per-epoch durability conflicts
+        // with the group-commit log in force.
+        let mismatch = org.deploy(
+            DeploymentDescriptor::new("urn:pe", [MethodName::new("m")]).with_non_repudiation(
+                NrConfig::protocol("direct").with_evidence_durability(EvidenceDurability::PerEpoch),
+            ),
+            Arc::new(FnComponent::new().method("m", |args| Ok(args.clone()))),
+        );
+        assert!(matches!(mismatch, Err(ContainerError::Protocol(_))));
+        // And on a default (in-memory, volatile) org, requiring group
+        // commit fails too…
+        let plain = OrgMiddleware::builder("plain", bus, dir, clock).build();
+        let mismatch = plain.deploy(
+            DeploymentDescriptor::new("urn:gc2", [MethodName::new("m")]).with_non_repudiation(
+                NrConfig::protocol("direct")
+                    .with_evidence_durability(EvidenceDurability::GroupCommit),
+            ),
+            Arc::new(FnComponent::new().method("m", |args| Ok(args.clone()))),
+        );
+        assert!(matches!(mismatch, Err(ContainerError::Protocol(_))));
+        // …and so does requiring write-through: "nothing to flush" must
+        // not satisfy "durable on every append".
+        let mismatch = plain.deploy(
+            DeploymentDescriptor::new("urn:wt", [MethodName::new("m")]).with_non_repudiation(
+                NrConfig::protocol("direct")
+                    .with_evidence_durability(EvidenceDurability::WriteThrough),
+            ),
+            Arc::new(FnComponent::new().method("m", |args| Ok(args.clone()))),
+        );
+        assert!(matches!(mismatch, Err(ContainerError::Protocol(_))));
+        drop(org);
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -269,16 +269,18 @@ impl Party {
         self.scheduler.end_of_run().map_err(ProtocolError::from)
     }
 
-    /// Explicitly seals pending evidence under an epoch commitment (and
-    /// flushes buffered log backends — see
-    /// [`crate::scheduler::CommitmentScheduler::seal`]).
+    /// Explicitly seals pending evidence under an epoch commitment and
+    /// waits out the backend's durability barrier (see
+    /// [`crate::scheduler::CommitmentScheduler::seal_durable`]): when
+    /// this returns `Ok`, the evidence is on stable storage even on an
+    /// async group-commit backend.
     ///
     /// # Errors
     ///
     /// [`ProtocolError::Storage`] if the seal cannot be persisted.
     pub fn flush_evidence(&self) -> Result<(), ProtocolError> {
         self.scheduler
-            .seal()
+            .seal_durable()
             .map(|_| ())
             .map_err(ProtocolError::from)
     }

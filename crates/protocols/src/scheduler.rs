@@ -55,6 +55,19 @@
 //! [`CommitmentScheduler::seal`] additionally flushes the log in
 //! per-record mode so `flush_evidence`-style calls drain buffered
 //! backends regardless of commitment mode.
+//!
+//! Under `SyncPolicy::GroupCommit` the same seal is an **async
+//! handoff**: appending the epoch record enqueues the batch to the
+//! store's dedicated sync thread and the seal returns once the frame is
+//! queued, so append latency is decoupled from disk latency and bursts
+//! of epochs coalesce into one device barrier. A barrier that later
+//! fails is consumed by the **next** seal (the store surfaces the async
+//! completion error from the epoch append), which then enters exactly
+//! the degraded/cooldown path described above — probe with a
+//! signature-free `flush()`, exponential cooldown, at most one MSS leaf
+//! burned per outage discovery. Callers that must *know* the evidence
+//! hit the platter use [`CommitmentScheduler::seal_durable`], which
+//! seals and then waits out the device barrier.
 
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -553,6 +566,12 @@ impl CommitmentScheduler {
     /// there is nothing to seal, but the log is still flushed so buffered
     /// backends drain.
     ///
+    /// On a group-commit backend (`SyncPolicy::GroupCommit`) this
+    /// returns once the epoch's frame is *queued* to the sync thread,
+    /// not when it is on disk — use
+    /// [`CommitmentScheduler::seal_durable`] when the caller needs the
+    /// device barrier to have completed.
+    ///
     /// # Errors
     ///
     /// [`StoreError`] if signing the root or persisting the record fails.
@@ -563,6 +582,25 @@ impl CommitmentScheduler {
             return Ok(None);
         }
         self.seal_locked(&mut state, SealTrigger::Explicit)
+    }
+
+    /// [`CommitmentScheduler::seal`], then waits for the backend's
+    /// durability barrier: when this returns `Ok`, the sealed evidence
+    /// (and everything enqueued before it) is on stable storage even on
+    /// an async group-commit backend. On synchronous backends the seal
+    /// itself already was the barrier and no extra fsync is paid.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] if the seal or the barrier fails.
+    pub fn seal_durable(&self) -> Result<Option<Arc<EvidenceRecord>>, StoreError> {
+        let record = self.seal()?;
+        if self.log.durability_class() == nonrep_store::DurabilityClass::GroupCommit {
+            // The seal only queued the frame; flush submits a barrier
+            // behind it and waits (coalescing with it when possible).
+            self.log.flush()?;
+        }
+        Ok(record)
     }
 
     /// Run-completion hook: seals pending evidence when the policy asks
@@ -1547,5 +1585,242 @@ mod tests {
         );
         s.set_mode(CommitmentMode::batched(8)).unwrap();
         assert_eq!(s.effective_batch_size(), 8);
+    }
+
+    #[test]
+    fn group_commit_seal_queues_and_seal_durable_waits() {
+        use nonrep_store::{FileLog, SyncPolicy};
+        let path = temp_path("gc-seal-");
+        let _ = std::fs::remove_file(&path);
+        let keys = Arc::new(KeyPair::generate(
+            SignatureScheme::Mss { height: 6 },
+            &mut SecureRandom::from_seed(21),
+        ));
+        let file = Arc::new(FileLog::open_with(&path, SyncPolicy::GroupCommit).unwrap());
+        let s = CommitmentScheduler::new(
+            keys.clone(),
+            file.clone() as Arc<dyn EvidenceLog>,
+            OrgId::new("org"),
+            Arc::new(LogicalClock::new()),
+            CommitmentMode::batched(4),
+        );
+        // Two auto-seals: each returns once its frame is queued.
+        for i in 0..8 {
+            s.record(draft(i)).unwrap();
+        }
+        assert_eq!(s.unsealed_len(), 0, "both epochs sealed");
+        assert_eq!(file.count_where(&|r| r.is_epoch_commit()), 2);
+        // The explicit durable path waits out the barrier: everything —
+        // including the async epochs queued above — is now on disk.
+        s.record(draft(8)).unwrap();
+        s.seal_durable().unwrap().unwrap();
+        assert_eq!(file.unflushed_len(), 0);
+        // Kill (no Drop drain): nothing acked is lost.
+        drop(s);
+        std::mem::forget(file);
+        let reopened = FileLog::open(&path).unwrap();
+        assert_eq!(reopened.len(), 12, "9 records + 3 epoch commitments");
+        reopened.verify().unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Satellite stress test: N concurrent appenders through ONE
+    /// scheduler over a group-commit `FileLog`, auto-sealing under
+    /// contention, then a kill. The recovered log must equal the acked
+    /// prefix exactly — the buffered (never-enqueued) tail is the only
+    /// loss. (The kill points *between* enqueue, coalesced write and
+    /// fsync ack are pinned deterministically at the store layer by the
+    /// G-matrix tests in `nonrep_store::log`.)
+    #[test]
+    fn group_commit_concurrent_appenders_recover_to_acked_prefix() {
+        use nonrep_store::{FileLog, SyncPolicy};
+        let path = temp_path("gc-stress-");
+        let _ = std::fs::remove_file(&path);
+        let keys = Arc::new(KeyPair::generate(
+            SignatureScheme::Mss { height: 6 },
+            &mut SecureRandom::from_seed(23),
+        ));
+        let clock: Arc<dyn Clock> = Arc::new(LogicalClock::new());
+        let file = Arc::new(FileLog::open_with(&path, SyncPolicy::GroupCommit).unwrap());
+        let s = Arc::new(CommitmentScheduler::new(
+            keys.clone(),
+            file.clone() as Arc<dyn EvidenceLog>,
+            OrgId::new("org"),
+            clock.clone(),
+            CommitmentMode::batched(16),
+        ));
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let s = Arc::clone(&s);
+                scope.spawn(move || {
+                    for i in 0..50u64 {
+                        s.record(draft(t * 1000 + i)).unwrap();
+                    }
+                });
+            }
+        });
+        // Seal the tail and wait out the barrier: the whole history is
+        // acked now.
+        s.seal_durable().unwrap();
+        assert_eq!(file.unflushed_len(), 0);
+        let acked = file.len();
+        assert_eq!(
+            file.count_where(&|r| !r.is_epoch_commit()),
+            200,
+            "no append lost under contention"
+        );
+        // A buffered, never-enqueued tail…
+        for i in 0..5u64 {
+            s.record(draft(9000 + i)).unwrap();
+        }
+        assert_eq!(file.unflushed_len(), 5);
+        // …vanishes in the kill (no Drop drain, no barrier).
+        drop(s);
+        std::mem::forget(file);
+        let recovered = FileLog::open_recover_with(&path, SyncPolicy::GroupCommit).unwrap();
+        assert_eq!(
+            recovered.len(),
+            acked,
+            "recovered log equals the acked prefix"
+        );
+        recovered.verify().unwrap();
+        // A fresh scheduler resumes from the surviving watermark and
+        // keeps sealing.
+        let log: Arc<dyn EvidenceLog> = Arc::new(recovered);
+        let s = CommitmentScheduler::new(keys, log.clone(), OrgId::new("org"), clock, {
+            CommitmentMode::batched(16)
+        });
+        s.record(draft(10_000)).unwrap();
+        s.seal_durable().unwrap().unwrap();
+        assert_eq!(s.unsealed_len(), 0);
+        log.verify().unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// A log with group-commit semantics whose device can be broken:
+    /// while `fail` is set, an epoch append still *succeeds* (the frame
+    /// is "queued") but the barrier behind it fails asynchronously — the
+    /// error surfaces on the NEXT epoch append or flush, exactly as a
+    /// `SyncPolicy::GroupCommit` `FileLog` surfaces it.
+    struct AsyncFlakyLog {
+        inner: MemoryLog,
+        fail: std::sync::atomic::AtomicBool,
+        pending_error: Mutex<bool>,
+    }
+
+    impl AsyncFlakyLog {
+        fn new() -> Self {
+            Self {
+                inner: MemoryLog::new(),
+                fail: std::sync::atomic::AtomicBool::new(false),
+                pending_error: Mutex::new(false),
+            }
+        }
+
+        fn set_fail(&self, fail: bool) {
+            self.fail.store(fail, std::sync::atomic::Ordering::SeqCst);
+        }
+
+        fn failing(&self) -> bool {
+            self.fail.load(std::sync::atomic::Ordering::SeqCst)
+        }
+
+        fn barrier_error() -> StoreError {
+            StoreError::Io(std::io::Error::other("async barrier failed"))
+        }
+    }
+
+    impl EvidenceLog for AsyncFlakyLog {
+        fn append(&self, draft: RecordDraft) -> Result<Arc<EvidenceRecord>, StoreError> {
+            if draft.kind == EPOCH_KIND {
+                // The next seal consumes a previous barrier's failure.
+                if std::mem::take(&mut *self.pending_error.lock()) {
+                    return Err(Self::barrier_error());
+                }
+                let record = self.inner.append(draft)?;
+                if self.failing() {
+                    // Enqueue "succeeded"; the barrier will fail async.
+                    *self.pending_error.lock() = true;
+                }
+                return Ok(record);
+            }
+            self.inner.append(draft)
+        }
+
+        fn flush(&self) -> Result<(), StoreError> {
+            if std::mem::take(&mut *self.pending_error.lock()) || self.failing() {
+                return Err(Self::barrier_error());
+            }
+            Ok(())
+        }
+
+        fn durability_class(&self) -> nonrep_store::DurabilityClass {
+            nonrep_store::DurabilityClass::GroupCommit
+        }
+
+        fn for_each(&self, f: &mut dyn FnMut(&EvidenceRecord)) {
+            self.inner.for_each(f)
+        }
+
+        fn snapshot_range(&self, range: std::ops::Range<u64>) -> Vec<Arc<EvidenceRecord>> {
+            self.inner.snapshot_range(range)
+        }
+
+        fn head(&self) -> Digest {
+            self.inner.head()
+        }
+
+        fn len(&self) -> u64 {
+            self.inner.len()
+        }
+    }
+
+    #[test]
+    fn async_barrier_failure_degrades_on_next_seal_and_recovers() {
+        let flaky = Arc::new(AsyncFlakyLog::new());
+        let log: Arc<dyn EvidenceLog> = flaky.clone();
+        let keys = Arc::new(KeyPair::generate(
+            SignatureScheme::Mss { height: 6 },
+            &mut SecureRandom::from_seed(25),
+        ));
+        let clock = Arc::new(LogicalClock::new());
+        let s = CommitmentScheduler::new(
+            keys.clone(),
+            log.clone(),
+            OrgId::new("org"),
+            clock.clone(),
+            CommitmentMode::Batched(BatchPolicy::size_or_time(2, 50)),
+        );
+        let budget = keys.remaining().unwrap();
+        // Device breaks. The seal itself still succeeds — it returns
+        // once the frame is queued, and the barrier fails behind it.
+        flaky.set_fail(true);
+        s.record(draft(0)).unwrap();
+        s.record(draft(1)).unwrap();
+        assert!(!s.is_degraded(), "async failure not visible yet");
+        assert_eq!(s.unsealed_len(), 0, "epoch sealed (queued)");
+        assert_eq!(budget - keys.remaining().unwrap(), 1);
+        // The NEXT seal consumes the async completion error: it fails,
+        // rolls its own epoch record back, and enters the degraded path.
+        s.record(draft(2)).unwrap();
+        s.record(draft(3)).unwrap();
+        assert!(s.is_degraded(), "async failure consumed and observable");
+        assert_eq!(s.unsealed_len(), 2, "second epoch rolled back");
+        let after_discovery = keys.remaining().unwrap();
+        assert_eq!(budget - after_discovery, 2, "discovery cost one leaf");
+        // Cooldown-gated, signature-free retries while the device is
+        // down (the probe flush fails first).
+        clock.advance(2_000);
+        assert!(s.poll().is_err());
+        assert_eq!(keys.remaining().unwrap(), after_discovery);
+        // Device recovers: the next post-cooldown retry re-seals.
+        flaky.set_fail(false);
+        clock.advance(4_000);
+        let epoch = s.poll().unwrap().expect("re-seal after recovery");
+        let commit = EpochCommitment::from_record(&epoch).unwrap();
+        assert_eq!((commit.lo, commit.hi), (3, 4));
+        assert!(!s.is_degraded());
+        assert_eq!(s.unsealed_len(), 0);
+        log.verify().unwrap();
     }
 }

@@ -1,0 +1,446 @@
+//! Group-commit durability queue for [`FileLog`](crate::FileLog).
+//!
+//! PR 3 made the epoch the fsync unit ([`crate::SyncPolicy::PerEpoch`]),
+//! but the sealing thread still executed the write +
+//! fsync *inline* while holding the log's lock: every appender behind
+//! a seal stalled on disk latency. Classic group commit decouples the
+//! two — the seal *enqueues* the epoch's frames to a dedicated sync
+//! thread and returns immediately; the sync thread drains the bounded
+//! handoff channel, coalescing every epoch that arrived while the
+//! previous barrier was in flight into **one contiguous write + one
+//! fsync**. Under bursts, many epochs share a single device barrier and
+//! append latency is fully decoupled from disk latency.
+//!
+//! The moving parts:
+//!
+//! * [`GroupCommitQueue`] — the bounded channel plus the sync thread.
+//!   Owned by a `FileLog` under `SyncPolicy::GroupCommit`; sealing
+//!   submits frames, dropping the log drains and joins the thread (a
+//!   *clean* shutdown loses nothing).
+//! * [`DurabilityTicket`] — the completion handle a submission returns.
+//!   [`DurabilityTicket::wait_durable`] blocks until the frame's barrier
+//!   lands (or fails); `EvidenceLog::flush` is exactly "submit a barrier
+//!   frame, wait on its ticket".
+//!
+//! # Crash and failure contract
+//!
+//! * A frame whose ticket completed `Ok` is durable: its bytes were
+//!   written and fsynced before the completion.
+//! * A crash loses at most the *unsealed + unacked* tail: frames not
+//!   yet enqueued (still in the log's pending buffer) and frames whose
+//!   barrier had not completed. Everything behind a completed ticket
+//!   survives; recovery (`FileLog::open_recover_with`) drops a torn
+//!   suffix of the in-flight batch, exactly as for `PerEpoch`.
+//! * A failed barrier keeps its bytes in the thread's backlog and
+//!   retries them ahead of the next frame, so the on-disk chain never
+//!   skips records the in-memory chain holds. The error is recorded and
+//!   **consumed by the next submission** (the scheduler's next seal),
+//!   which then fails without burning a signature — mirroring the PR 3
+//!   degraded-probe design; the failed frame's own ticket completes
+//!   `Err` immediately.
+//! * If a failed write cannot be truncated away either, the queue
+//!   poisons itself fail-stop: the on-disk length no longer matches the
+//!   tracked prefix, so writing anything more could interleave with
+//!   stray bytes — every later submission and barrier refuses, and the
+//!   operator reopens with recovery.
+
+use std::fs::File;
+use std::io::Write as IoWrite;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use crate::StoreError;
+
+/// Default bound of the handoff channel, in frames. One frame per epoch
+/// seal: 64 pending epochs means the disk is far behind the sealers, at
+/// which point submission blocks (backpressure) rather than queueing
+/// unboundedly.
+pub(crate) const DEFAULT_QUEUE_DEPTH: usize = 64;
+
+/// `StoreError` is not `Clone` (it can wrap an `io::Error`); the queue
+/// needs each failure twice — once for the failed frame's ticket, once
+/// recorded for the next submission to consume.
+fn duplicate(e: &StoreError) -> StoreError {
+    match e {
+        StoreError::Io(io) => StoreError::Io(std::io::Error::new(io.kind(), io.to_string())),
+        StoreError::Corrupt(s) => StoreError::Corrupt(s.clone()),
+        StoreError::Chain(v) => StoreError::Chain(v.clone()),
+        StoreError::Unavailable(s) => StoreError::Unavailable(s.clone()),
+    }
+}
+
+fn poisoned_error() -> StoreError {
+    StoreError::Corrupt(
+        "group-commit queue poisoned: a failed write could not be rolled back; \
+         reopen with open_recover to restore the durable prefix"
+            .into(),
+    )
+}
+
+/// Completion slot shared between a [`DurabilityTicket`] and the sync
+/// thread. Plain `std` mutex + condvar: completions are rare (one per
+/// barrier, not per record) and waiters block anyway.
+#[derive(Debug)]
+struct Completion {
+    result: Mutex<Option<Result<(), StoreError>>>,
+    cv: Condvar,
+}
+
+impl Completion {
+    fn pending() -> Arc<Self> {
+        Arc::new(Self {
+            result: Mutex::new(None),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn complete(&self, result: Result<(), StoreError>) {
+        let mut slot = self.result.lock().expect("completion lock");
+        *slot = Some(result);
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) -> Result<(), StoreError> {
+        let mut slot = self.result.lock().expect("completion lock");
+        loop {
+            match &*slot {
+                Some(Ok(())) => return Ok(()),
+                Some(Err(e)) => return Err(duplicate(e)),
+                None => slot = self.cv.wait(slot).expect("completion wait"),
+            }
+        }
+    }
+
+    fn is_complete(&self) -> bool {
+        self.result.lock().expect("completion lock").is_some()
+    }
+}
+
+/// Completion handle for one group-commit submission.
+///
+/// Returned by `FileLog::flush_async` (and retrievable for the latest
+/// epoch seal via `FileLog::last_seal_ticket`). The ticket is cheap to
+/// clone; all clones observe the same completion.
+#[derive(Debug, Clone)]
+pub struct DurabilityTicket {
+    completion: Arc<Completion>,
+}
+
+impl DurabilityTicket {
+    /// An already-completed ticket, for backends whose flush is
+    /// synchronous (by the time the call returns, the data is durable).
+    pub fn ready() -> Self {
+        let completion = Completion::pending();
+        completion.complete(Ok(()));
+        Self { completion }
+    }
+
+    /// Blocks until the submission's device barrier lands, returning its
+    /// outcome. `Ok` means every byte of the frame (and, by write
+    /// ordering, of all frames submitted before it) is on stable
+    /// storage. `Err` means the barrier failed — the bytes are *not*
+    /// durable yet, stay queued in the sync thread's backlog, and the
+    /// same error is surfaced to the next seal/flush so the scheduler's
+    /// degraded logic engages.
+    ///
+    /// # Errors
+    ///
+    /// The write or fsync failure of the frame's barrier.
+    pub fn wait_durable(&self) -> Result<(), StoreError> {
+        self.completion.wait()
+    }
+
+    /// `true` once the barrier completed (successfully or not) —
+    /// non-blocking.
+    pub fn is_complete(&self) -> bool {
+        self.completion.is_complete()
+    }
+}
+
+/// One handed-off batch: length-prefixed record frames exactly as they
+/// land on disk. `bytes` may be empty — an empty frame is a *barrier*:
+/// it forces the backlog out and fsyncs even with nothing new to write,
+/// which is what makes `flush()` double as a device health probe.
+struct Frame {
+    bytes: Vec<u8>,
+    records: u64,
+    completion: Arc<Completion>,
+}
+
+/// State shared between the submitting side and the sync thread.
+#[derive(Debug)]
+struct QueueState {
+    /// Most recent barrier failure not yet consumed by a submission.
+    last_error: Option<StoreError>,
+    /// Fail-stop latch (see the module docs).
+    poisoned: bool,
+    /// Absolute count of records whose barrier completed `Ok` (seeded
+    /// with the record count loaded from disk at open).
+    durable_records: u64,
+    /// Successful device barriers since open. Multiple submitted frames
+    /// completing under one increment is the coalescing win.
+    batches_synced: u64,
+    /// Test hook: fail this many upcoming barriers without touching the
+    /// file (models a transient device error).
+    inject_failures: u32,
+    /// Test hook: while set, the sync thread parks after receiving a
+    /// frame (models a slow device, letting a burst of frames queue up
+    /// so coalescing can be asserted deterministically).
+    held: bool,
+}
+
+#[derive(Debug)]
+struct Shared {
+    state: Mutex<QueueState>,
+    /// Signalled when `held` clears.
+    gate: Condvar,
+}
+
+/// Dedicated-sync-thread group-commit queue (see the [module
+/// docs](self)). Created by `FileLog` when opened under
+/// `SyncPolicy::GroupCommit`; not constructible directly.
+#[derive(Debug)]
+pub struct GroupCommitQueue {
+    tx: Option<SyncSender<Frame>>,
+    shared: Arc<Shared>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl GroupCommitQueue {
+    /// Spawns the sync thread over `file`, whose committed length is
+    /// `file_len` and which currently holds `durable_records` records.
+    pub(crate) fn spawn(file: File, file_len: u64, durable_records: u64) -> Self {
+        let (tx, rx) = sync_channel(DEFAULT_QUEUE_DEPTH);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState {
+                last_error: None,
+                poisoned: false,
+                durable_records,
+                batches_synced: 0,
+                inject_failures: 0,
+                held: false,
+            }),
+            gate: Condvar::new(),
+        });
+        let thread_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("nonrep-group-commit".into())
+            .spawn(move || run_sync_thread(rx, file, file_len, thread_shared))
+            .expect("spawn group-commit sync thread");
+        Self {
+            tx: Some(tx),
+            shared,
+            handle: Some(handle),
+        }
+    }
+
+    /// Fails if the queue is poisoned (fail-stop; does not consume the
+    /// pending async error).
+    pub(crate) fn check_poisoned(&self) -> Result<(), StoreError> {
+        if self.shared.state.lock().expect("queue state").poisoned {
+            return Err(poisoned_error());
+        }
+        Ok(())
+    }
+
+    /// Consumes the pending async failure, if any: the completion-error
+    /// path of the async handoff. The *next* seal or flush after a
+    /// failed barrier calls this first and fails with the barrier's
+    /// error instead of submitting more work (and, above the store, the
+    /// scheduler's degraded/cooldown logic takes over from there).
+    pub(crate) fn take_error(&self) -> Result<(), StoreError> {
+        let mut state = self.shared.state.lock().expect("queue state");
+        if state.poisoned {
+            return Err(poisoned_error());
+        }
+        if let Some(e) = state.last_error.take() {
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Hands `bytes` (holding `records` complete frames) to the sync
+    /// thread. Returns the ticket immediately — the write and fsync
+    /// happen on the sync thread. Blocks only when the bounded channel
+    /// is full (the disk is `DEFAULT_QUEUE_DEPTH` epochs behind: that is
+    /// backpressure, not a failure). On a dead sync thread the bytes are
+    /// handed back so the caller can restore its pending buffer.
+    pub(crate) fn submit(
+        &self,
+        bytes: Vec<u8>,
+        records: u64,
+    ) -> Result<DurabilityTicket, (Vec<u8>, StoreError)> {
+        let completion = Completion::pending();
+        let frame = Frame {
+            bytes,
+            records,
+            completion: Arc::clone(&completion),
+        };
+        match self.tx.as_ref().expect("queue sender").send(frame) {
+            Ok(()) => Ok(DurabilityTicket { completion }),
+            Err(send_error) => Err((
+                send_error.0.bytes,
+                StoreError::Unavailable("group-commit sync thread is gone".into()),
+            )),
+        }
+    }
+
+    /// Absolute count of records whose barrier completed successfully.
+    pub(crate) fn durable_records(&self) -> u64 {
+        self.shared
+            .state
+            .lock()
+            .expect("queue state")
+            .durable_records
+    }
+
+    /// Successful device barriers since open.
+    pub(crate) fn batches_synced(&self) -> u64 {
+        self.shared
+            .state
+            .lock()
+            .expect("queue state")
+            .batches_synced
+    }
+
+    /// Test hook: make the next `n` barriers fail without touching the
+    /// file.
+    #[cfg(test)]
+    pub(crate) fn inject_barrier_failures(&self, n: u32) {
+        self.shared
+            .state
+            .lock()
+            .expect("queue state")
+            .inject_failures = n;
+    }
+
+    /// Test hook: park the sync thread after its next receive (`true`)
+    /// or release it (`false`), so a burst of frames can be queued and
+    /// their coalescing into one barrier asserted deterministically.
+    #[cfg(test)]
+    pub(crate) fn hold_barriers(&self, held: bool) {
+        self.shared.state.lock().expect("queue state").held = held;
+        self.shared.gate.notify_all();
+    }
+}
+
+impl Drop for GroupCommitQueue {
+    /// Closes the channel and joins the thread. Frames submitted before
+    /// the drop are still received and written — a clean shutdown
+    /// drains; only a kill loses the in-flight tail.
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The sync-thread loop: receive one frame (blocking), drain whatever
+/// else is queued (coalescing), land backlog + all drained frames as one
+/// contiguous write + one fsync, complete every ticket.
+fn run_sync_thread(rx: Receiver<Frame>, mut file: File, mut file_len: u64, shared: Arc<Shared>) {
+    // Bytes (and their record count) from failed barriers, retried ahead
+    // of newer frames so the on-disk chain never skips records.
+    let mut backlog: Vec<u8> = Vec::new();
+    let mut backlog_records: u64 = 0;
+    while let Ok(first) = rx.recv() {
+        {
+            // Test-only gate: models a device so slow that a burst of
+            // seals queues up behind one in-flight barrier.
+            let mut state = shared.state.lock().expect("queue state");
+            while state.held {
+                state = shared.gate.wait(state).expect("gate wait");
+            }
+        }
+        let mut frames = vec![first];
+        while let Ok(frame) = rx.try_recv() {
+            frames.push(frame);
+        }
+        if shared.state.lock().expect("queue state").poisoned {
+            for frame in &frames {
+                frame.completion.complete(Err(poisoned_error()));
+            }
+            continue;
+        }
+        let mut batch = std::mem::take(&mut backlog);
+        let mut records = backlog_records;
+        backlog_records = 0;
+        for frame in &mut frames {
+            batch.append(&mut frame.bytes);
+            records += frame.records;
+        }
+        match land_batch(&mut file, &mut file_len, &batch, &shared) {
+            Ok(()) => {
+                {
+                    let mut state = shared.state.lock().expect("queue state");
+                    state.durable_records += records;
+                    state.batches_synced += 1;
+                }
+                for frame in &frames {
+                    frame.completion.complete(Ok(()));
+                }
+            }
+            Err(e) => {
+                // Keep the bytes for retry; record the error for the
+                // next submission to consume; fail the waiting tickets.
+                backlog = batch;
+                backlog_records = records;
+                shared.state.lock().expect("queue state").last_error = Some(duplicate(&e));
+                for frame in &frames {
+                    frame.completion.complete(Err(duplicate(&e)));
+                }
+            }
+        }
+    }
+    // Channel disconnected (log dropped): every frame submitted before
+    // the drop was received above. A backlog left by a failed barrier
+    // gets one last attempt — the device may have recovered since the
+    // failure, and a *clean* shutdown promises to drain everything it
+    // can. (Its tickets already completed `Err`; this only narrows the
+    // loss, it cannot un-report it.)
+    if !backlog.is_empty() && !shared.state.lock().expect("queue state").poisoned {
+        let _ = land_batch(&mut file, &mut file_len, &backlog, &shared);
+    }
+}
+
+/// One contiguous write + one fsync. An empty batch still fsyncs — the
+/// barrier doubles as the degraded-probe health check. On failure the
+/// partial write is truncated away; if even that fails, the queue
+/// poisons itself (fail-stop, see the module docs).
+fn land_batch(
+    file: &mut File,
+    file_len: &mut u64,
+    batch: &[u8],
+    shared: &Shared,
+) -> Result<(), StoreError> {
+    {
+        let mut state = shared.state.lock().expect("queue state");
+        if state.inject_failures > 0 {
+            state.inject_failures -= 1;
+            // Simulated device error: nothing touched the file, so no
+            // truncation is needed and the committed prefix is intact.
+            return Err(StoreError::Io(std::io::Error::other(
+                "injected barrier failure",
+            )));
+        }
+    }
+    let result = (|| {
+        file.write_all(batch)?;
+        file.sync_data()?;
+        Ok(())
+    })();
+    match result {
+        Ok(()) => {
+            *file_len += batch.len() as u64;
+            Ok(())
+        }
+        Err(e) => {
+            if file.set_len(*file_len).is_err() {
+                shared.state.lock().expect("queue state").poisoned = true;
+            }
+            Err(e)
+        }
+    }
+}

@@ -17,16 +17,22 @@
 //! * [`log`] — the [`EvidenceLog`] trait with in-memory and append-only
 //!   file backends (records stored behind `Arc`, snapshots clone handles,
 //!   never payloads), chain verification, queries by protocol run, and
-//!   the [`SyncPolicy`] durability contract (fsync per append, or one
-//!   grouped fsync per sealed epoch).
+//!   the [`SyncPolicy`] durability contract (fsync per append, one
+//!   grouped fsync per sealed epoch, or async group commit).
+//! * [`group_commit`] — the [`GroupCommitQueue`] behind
+//!   [`SyncPolicy::GroupCommit`]: a dedicated sync thread fed by a
+//!   bounded handoff channel, coalescing concurrently sealed epochs into
+//!   one device barrier, with [`DurabilityTicket`] completions.
 //! * [`state`] — [`StateStore`], a content-addressed store mapping digests
 //!   to state bytes, with named version histories for shared objects.
 
+pub mod group_commit;
 pub mod log;
 pub mod record;
 pub mod state;
 
-pub use log::{EvidenceLog, FileLog, MemoryLog, SyncPolicy};
+pub use group_commit::{DurabilityTicket, GroupCommitQueue};
+pub use log::{DurabilityClass, EvidenceLog, FileLog, MemoryLog, SyncPolicy};
 pub use record::{ChainViolation, EpochCommitment, EvidenceRecord, RecordDraft, EPOCH_KIND};
 pub use state::StateStore;
 

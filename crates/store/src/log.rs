@@ -52,6 +52,7 @@ use nonrep_crypto::digest::Digest;
 use nonrep_types::codec::{Decode, Reader, Writer};
 use nonrep_types::ids::RunId;
 
+use crate::group_commit::{DurabilityTicket, GroupCommitQueue};
 use crate::record::{ChainVerifier, ChainViolation, EvidenceRecord, RecordDraft, EPOCH_KIND};
 use crate::StoreError;
 
@@ -74,22 +75,63 @@ use crate::StoreError;
 ///   indistinguishable from a torn tail and truncate instead — reported
 ///   via [`FileLog::recovery_dropped_bytes`]; see the caveat on
 ///   [`FileLog::open_recover`].)
+/// * **`GroupCommit`** — appends buffer exactly as under `PerEpoch`, but
+///   the epoch seal *enqueues* the buffered batch to a dedicated sync
+///   thread ([`crate::group_commit::GroupCommitQueue`]) and returns once
+///   the frame is queued; epochs sealed while a barrier is in flight
+///   coalesce into **one** contiguous write + fsync. A crash loses at
+///   most the *unsealed + unacked* tail: everything behind a completed
+///   [`DurabilityTicket`] survives ([`EvidenceLog::flush`] is the
+///   synchronous barrier; [`EvidenceLog::flush_async`] hands back the
+///   ticket). A failed barrier keeps its bytes queued for retry and its
+///   error is consumed by the *next* seal or flush; an unrecoverable
+///   write error poisons the queue fail-stop. Tampering detection and
+///   recovery behave exactly as under `PerEpoch`.
 ///
-/// `PerEpoch` is designed to pair with the batched commitment pipeline
-/// (`CommitmentScheduler` in the protocols crate): the scheduler bounds
-/// the unsealed tail by batch size and/or a time deadline, which in turn
-/// bounds the loss window of this policy. Running a `PerEpoch` log
-/// *without* epoch sealing (per-record commitment mode) leaves the tail
-/// buffered indefinitely — the log still flushes on drop, but a kill can
-/// lose an unbounded suffix, so that combination is a misconfiguration.
+/// `PerEpoch` and `GroupCommit` are designed to pair with the batched
+/// commitment pipeline (`CommitmentScheduler` in the protocols crate):
+/// the scheduler bounds the unsealed tail by batch size and/or a time
+/// deadline, which in turn bounds the loss window of these policies.
+/// Running such a log *without* epoch sealing (per-record commitment
+/// mode) leaves the tail buffered indefinitely — the log still flushes
+/// on drop, but a kill can lose an unbounded suffix, so that combination
+/// is a misconfiguration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SyncPolicy {
     /// Write and fsync every append before returning (the default).
     #[default]
     WriteThrough,
-    /// Buffer appends; write + fsync once per epoch seal (or explicit
-    /// [`EvidenceLog::flush`]).
+    /// Buffer appends; write + fsync *inline* once per epoch seal (or
+    /// explicit [`EvidenceLog::flush`]).
     PerEpoch,
+    /// Buffer appends; the epoch seal hands the batch to a dedicated
+    /// sync thread and returns immediately. Concurrent epochs coalesce
+    /// into one device barrier; append latency is decoupled from disk
+    /// latency entirely.
+    GroupCommit,
+}
+
+/// How an [`EvidenceLog`] backend makes appends durable — the property
+/// assemblies validate declarative deployment requirements against (see
+/// `nonrep_container::descriptor::NrConfig`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DurabilityClass {
+    /// No stable storage at all: a crash loses the whole log
+    /// ([`MemoryLog`], and the default for custom backends). Distinct
+    /// from [`DurabilityClass::Synchronous`] so a deployment that
+    /// *requires* write-through durability cannot be satisfied by a
+    /// backend that merely has nothing to flush.
+    Volatile,
+    /// Every append is written and fsynced before it returns: a
+    /// [`FileLog`] under [`SyncPolicy::WriteThrough`].
+    Synchronous,
+    /// Appends buffer; the epoch seal lands them with an inline write +
+    /// fsync ([`SyncPolicy::PerEpoch`]).
+    BufferedEpoch,
+    /// Appends buffer; the epoch seal enqueues them to a background sync
+    /// thread and concurrent epochs share one device barrier
+    /// ([`SyncPolicy::GroupCommit`]).
+    GroupCommit,
 }
 
 /// An append-only, hash-chained evidence log.
@@ -166,13 +208,24 @@ pub trait EvidenceLog: Send + Sync {
         count
     }
 
+    /// How this backend makes appends durable. Defaults to
+    /// [`DurabilityClass::Volatile`] (no stable storage); persistent
+    /// backends override it.
+    fn durability_class(&self) -> DurabilityClass {
+        DurabilityClass::Volatile
+    }
+
     /// `true` if appends buffer in memory until an epoch seal or an
     /// explicit [`EvidenceLog::flush`] (a [`FileLog`] under
-    /// [`SyncPolicy::PerEpoch`]). Lets assemblies validate that a
-    /// buffering backend is actually paired with a sealing commitment
-    /// policy — without one, nothing would ever reach the disk.
+    /// [`SyncPolicy::PerEpoch`] or [`SyncPolicy::GroupCommit`]). Lets
+    /// assemblies validate that a buffering backend is actually paired
+    /// with a sealing commitment policy — without one, nothing would
+    /// ever reach the disk.
     fn buffers_appends(&self) -> bool {
-        false
+        matches!(
+            self.durability_class(),
+            DurabilityClass::BufferedEpoch | DurabilityClass::GroupCommit
+        )
     }
 
     /// Remaining capacity, in bytes, of the append buffer — `None` when
@@ -188,7 +241,11 @@ pub trait EvidenceLog: Send + Sync {
     /// A no-op for backends without a durability boundary (the in-memory
     /// log, or a [`FileLog`] under [`SyncPolicy::WriteThrough`], whose
     /// appends are already synced). For a [`SyncPolicy::PerEpoch`] file
-    /// log this writes and fsyncs the buffered tail.
+    /// log this writes and fsyncs the buffered tail; under
+    /// [`SyncPolicy::GroupCommit`] it submits a barrier to the sync
+    /// thread and **waits** for it — the synchronous durability point of
+    /// the async pipeline (and the signature-free health probe the
+    /// scheduler's degraded path relies on).
     ///
     /// # Errors
     ///
@@ -196,6 +253,26 @@ pub trait EvidenceLog: Send + Sync {
     /// records stay pending, so a later flush retries them.
     fn flush(&self) -> Result<(), StoreError> {
         Ok(())
+    }
+
+    /// Begins making buffered appends durable *without* waiting for the
+    /// device barrier, returning a [`DurabilityTicket`] to wait on (or
+    /// poll) later.
+    ///
+    /// The default — correct for every synchronous backend — performs a
+    /// plain [`EvidenceLog::flush`] and returns an already-completed
+    /// ticket; only a [`SyncPolicy::GroupCommit`] file log overrides
+    /// this with a real async handoff.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] if the handoff (or, for synchronous
+    /// backends, the flush itself) fails. Errors of the *asynchronous*
+    /// barrier are reported through the ticket and consumed by the next
+    /// flush or seal.
+    fn flush_async(&self) -> Result<DurabilityTicket, StoreError> {
+        self.flush()?;
+        Ok(DurabilityTicket::ready())
     }
 
     /// The chain head: the hash of the last record ([`Digest::ZERO`] for
@@ -403,6 +480,14 @@ struct FileLogInner {
     /// a later error-path truncation chop into fsynced records — so
     /// every subsequent append/flush refuses instead.
     poisoned: bool,
+    /// The group-commit sync thread ([`SyncPolicy::GroupCommit`] only).
+    /// Owns its own handle to the file; under this policy all writes go
+    /// through it and `file`/`file_len` above stay at their open-time
+    /// values.
+    group: Option<GroupCommitQueue>,
+    /// Ticket of the most recent group-commit submission (epoch seal or
+    /// async flush), so callers can await the seal they just triggered.
+    last_ticket: Option<DurabilityTicket>,
     state: LogState,
 }
 
@@ -458,6 +543,33 @@ impl FileLogInner {
                 if self.file.set_len(self.file_len).is_err() {
                     self.poisoned = true;
                 }
+                Err(e)
+            }
+        }
+    }
+
+    /// Hands the pending buffer (possibly empty — then a pure barrier)
+    /// to the group-commit sync thread, consuming any async completion
+    /// error from an earlier barrier first. On failure the buffer is
+    /// left exactly as it was, so the caller can roll back an epoch
+    /// frame or retry later.
+    fn enqueue_pending(&mut self) -> Result<DurabilityTicket, StoreError> {
+        let queue = self
+            .group
+            .as_ref()
+            .expect("GroupCommit policy without queue");
+        queue.take_error()?;
+        let bytes = std::mem::take(&mut self.pending);
+        let records = self.pending_records;
+        self.pending_records = 0;
+        match queue.submit(bytes, records) {
+            Ok(ticket) => {
+                self.last_ticket = Some(ticket.clone());
+                Ok(ticket)
+            }
+            Err((bytes, e)) => {
+                self.pending = bytes;
+                self.pending_records = records;
                 Err(e)
             }
         }
@@ -601,6 +713,20 @@ impl FileLog {
             // prefix instead of interleaving with garbage bytes.
             file.set_len(file_len)?;
         }
+        let record_count = records.len() as u64;
+        // Under group commit all writes go through a dedicated sync
+        // thread, which gets its own handle (same file description — the
+        // append mode keeps both cursors at the end, and only the sync
+        // thread ever writes).
+        let group = (policy == SyncPolicy::GroupCommit)
+            .then(|| -> Result<GroupCommitQueue, StoreError> {
+                Ok(GroupCommitQueue::spawn(
+                    file.try_clone()?,
+                    file_len,
+                    record_count,
+                ))
+            })
+            .transpose()?;
         Ok(Self {
             path,
             policy,
@@ -611,6 +737,8 @@ impl FileLog {
                 pending: Vec::new(),
                 pending_records: 0,
                 poisoned: false,
+                group,
+                last_ticket: None,
                 state: LogState::from_records(records, head),
             }),
         })
@@ -636,22 +764,96 @@ impl FileLog {
     }
 
     /// Number of appended records not yet written + fsynced to disk
-    /// (always 0 under [`SyncPolicy::WriteThrough`]).
+    /// (always 0 under [`SyncPolicy::WriteThrough`]). Under
+    /// [`SyncPolicy::GroupCommit`] this counts both the pending
+    /// (un-enqueued) buffer and frames in flight whose barrier has not
+    /// completed yet — the tail a kill right now would lose.
     pub fn unflushed_len(&self) -> u64 {
-        self.inner.lock().pending_records
+        let inner = self.inner.lock();
+        match &inner.group {
+            Some(queue) => {
+                (inner.state.records.len() as u64).saturating_sub(queue.durable_records())
+            }
+            None => inner.pending_records,
+        }
+    }
+
+    /// The [`DurabilityTicket`] of the most recent group-commit
+    /// submission (epoch seal or [`EvidenceLog::flush_async`]), if any —
+    /// `None` for other policies or before the first seal. Lets a caller
+    /// that just sealed await exactly that barrier instead of issuing a
+    /// second one.
+    pub fn last_seal_ticket(&self) -> Option<DurabilityTicket> {
+        self.inner.lock().last_ticket.clone()
+    }
+
+    /// Successful group-commit device barriers since open (0 for other
+    /// policies). Fewer barriers than epoch seals is the coalescing win;
+    /// exposed for monitors and benches.
+    pub fn sync_batches(&self) -> u64 {
+        self.inner
+            .lock()
+            .group
+            .as_ref()
+            .map_or(0, GroupCommitQueue::batches_synced)
+    }
+
+    /// Test hook: make the next `n` group-commit barriers fail without
+    /// touching the file (models a transient device outage).
+    #[cfg(test)]
+    pub(crate) fn inject_barrier_failures(&self, n: u32) {
+        self.inner
+            .lock()
+            .group
+            .as_ref()
+            .expect("not a GroupCommit log")
+            .inject_barrier_failures(n);
+    }
+
+    /// Test hook: park (or release) the group-commit sync thread, so a
+    /// burst of seals queues up behind one in-flight barrier.
+    #[cfg(test)]
+    pub(crate) fn hold_barriers(&self, held: bool) {
+        self.inner
+            .lock()
+            .group
+            .as_ref()
+            .expect("not a GroupCommit log")
+            .hold_barriers(held);
     }
 }
 
 impl Drop for FileLog {
     /// Best-effort flush of any buffered tail, so a *clean* shutdown
-    /// under [`SyncPolicy::PerEpoch`] loses nothing. (A kill, by
-    /// definition, skips this — that is the loss window the policy
-    /// documents.) Write-through logs skip it entirely: every append
-    /// already fsynced, and the empty-buffer flush would pay a redundant
-    /// device barrier per dropped handle.
+    /// under [`SyncPolicy::PerEpoch`] / [`SyncPolicy::GroupCommit`]
+    /// loses nothing. (A kill, by definition, skips this — that is the
+    /// loss window those policies document.) For group commit the
+    /// pending buffer is enqueued and the queue's own drop then drains
+    /// the channel and joins the sync thread, landing every submitted
+    /// frame. Write-through logs skip it entirely: every append already
+    /// fsynced, and the empty-buffer flush would pay a redundant device
+    /// barrier per dropped handle.
     fn drop(&mut self) {
-        if self.policy == SyncPolicy::PerEpoch {
-            let _ = self.inner.lock().flush_pending();
+        match self.policy {
+            SyncPolicy::WriteThrough => {}
+            SyncPolicy::PerEpoch => {
+                let _ = self.inner.lock().flush_pending();
+            }
+            SyncPolicy::GroupCommit => {
+                let mut inner = self.inner.lock();
+                if !inner.pending.is_empty() {
+                    // An unconsumed async failure must not block the
+                    // final drain: the first attempt may merely consume
+                    // it, so try once more — the sync thread retries its
+                    // backlog together with this frame on the way out.
+                    if inner.enqueue_pending().is_err() {
+                        let _ = inner.enqueue_pending();
+                    }
+                }
+                // Dropping the queue closes the channel, drains every
+                // submitted frame to disk and joins the sync thread.
+                inner.group.take();
+            }
         }
     }
 }
@@ -660,6 +862,12 @@ impl EvidenceLog for FileLog {
     fn append(&self, draft: RecordDraft) -> Result<Arc<EvidenceRecord>, StoreError> {
         let mut inner = self.inner.lock();
         inner.check_poisoned()?;
+        if let Some(queue) = &inner.group {
+            // Fail-stop propagates from the sync thread: once the queue
+            // is poisoned nothing will ever become durable, so refusing
+            // the append beats buffering toward guaranteed loss.
+            queue.check_poisoned()?;
+        }
         let FileLogInner {
             file,
             file_len,
@@ -667,6 +875,7 @@ impl EvidenceLog for FileLog {
             pending_records,
             poisoned,
             state,
+            ..
         } = &mut *inner;
         match self.policy {
             SyncPolicy::WriteThrough => state.append_with(draft, |encoded| {
@@ -691,7 +900,7 @@ impl EvidenceLog for FileLog {
                 }
                 result
             }),
-            SyncPolicy::PerEpoch => {
+            SyncPolicy::PerEpoch | SyncPolicy::GroupCommit => {
                 let lands_epoch = draft.kind == EPOCH_KIND;
                 let frame_start = pending.len();
                 let record = state.append_with(draft, |encoded| {
@@ -699,9 +908,9 @@ impl EvidenceLog for FileLog {
                         .map_err(|_| StoreError::Corrupt("record too large".into()))?;
                     // Epoch frames are exempt from the cap: a seal is
                     // exactly what *drains* a full buffer (its append
-                    // triggers the flush below), so capping it would
-                    // wedge the one operation that can recover — after
-                    // the sealer has already spent a signature.
+                    // triggers the flush/handoff below), so capping it
+                    // would wedge the one operation that can recover —
+                    // after the sealer has already spent a signature.
                     if !lands_epoch && pending.len() + 4 + encoded.len() > Self::MAX_BUFFERED_BYTES
                     {
                         // Backpressure, not corruption: the log on disk
@@ -722,9 +931,20 @@ impl EvidenceLog for FileLog {
                     Ok(())
                 })?;
                 if lands_epoch {
-                    // The epoch commitment is the durability point: one
-                    // contiguous write + one fsync covers the whole batch.
-                    if let Err(e) = inner.flush_pending() {
+                    // The epoch commitment is the durability point. Under
+                    // PerEpoch: one inline contiguous write + fsync
+                    // covers the whole batch. Under GroupCommit: the
+                    // batch is handed to the sync thread and this append
+                    // returns once the frame is queued — an earlier
+                    // barrier's *async* failure is consumed here and
+                    // fails this seal instead (mirroring the inline
+                    // error path one epoch late).
+                    let sealed = match self.policy {
+                        SyncPolicy::PerEpoch => inner.flush_pending(),
+                        SyncPolicy::GroupCommit => inner.enqueue_pending().map(|_| ()),
+                        SyncPolicy::WriteThrough => unreachable!("outer match"),
+                    };
+                    if let Err(e) = sealed {
                         // Keep "Err ⇒ not appended" true: remove the
                         // epoch record from the chain and the buffer
                         // again (earlier buffered records stay pending
@@ -744,14 +964,18 @@ impl EvidenceLog for FileLog {
         }
     }
 
-    fn buffers_appends(&self) -> bool {
-        self.policy == SyncPolicy::PerEpoch
+    fn durability_class(&self) -> DurabilityClass {
+        match self.policy {
+            SyncPolicy::WriteThrough => DurabilityClass::Synchronous,
+            SyncPolicy::PerEpoch => DurabilityClass::BufferedEpoch,
+            SyncPolicy::GroupCommit => DurabilityClass::GroupCommit,
+        }
     }
 
     fn buffer_headroom(&self) -> Option<u64> {
         match self.policy {
             SyncPolicy::WriteThrough => None,
-            SyncPolicy::PerEpoch => Some(
+            SyncPolicy::PerEpoch | SyncPolicy::GroupCommit => Some(
                 (Self::MAX_BUFFERED_BYTES as u64)
                     .saturating_sub(self.inner.lock().pending.len() as u64),
             ),
@@ -759,7 +983,26 @@ impl EvidenceLog for FileLog {
     }
 
     fn flush(&self) -> Result<(), StoreError> {
-        self.inner.lock().flush_pending()
+        match self.policy {
+            SyncPolicy::WriteThrough | SyncPolicy::PerEpoch => self.inner.lock().flush_pending(),
+            SyncPolicy::GroupCommit => {
+                // Submit a barrier, then wait *outside* the log's lock so
+                // appenders keep running while the disk syncs — the whole
+                // point of the group-commit design.
+                let ticket = self.inner.lock().enqueue_pending()?;
+                ticket.wait_durable()
+            }
+        }
+    }
+
+    fn flush_async(&self) -> Result<DurabilityTicket, StoreError> {
+        match self.policy {
+            SyncPolicy::WriteThrough | SyncPolicy::PerEpoch => {
+                self.inner.lock().flush_pending()?;
+                Ok(DurabilityTicket::ready())
+            }
+            SyncPolicy::GroupCommit => self.inner.lock().enqueue_pending(),
+        }
     }
 
     fn for_each(&self, f: &mut dyn FnMut(&EvidenceRecord)) {
@@ -1374,6 +1617,318 @@ mod tests {
         assert!(solo.by_run(&RunId::from_u128(2)).is_empty());
         solo.append(draft(0)).unwrap();
         solo.verify().unwrap();
+    }
+
+    // Group-commit kill-point matrix. Timeline of one epoch under
+    // `GroupCommit`:
+    //
+    //   appends buffer … epoch record buffers … ENQUEUE … write() … fsync() … ACK
+    //      G1                  G1                 G2        G3        G3     (G4: after)
+    //
+    // G1 (before the enqueue): the whole unsealed batch is lost. G2
+    // (enqueued, sync thread never ran): same on-disk outcome — the
+    // durable prefix ends at the previous barrier. G3 (mid-write): a
+    // prefix of the coalesced batch lands; recovery drops the torn
+    // record and everything after. G4 (after the fsync, ack not yet
+    // observed): the data is durable regardless — an ack is knowledge,
+    // not durability. The on-disk states of G2/G3 are simulated by file
+    // surgery (truncation), exactly like the PerEpoch K-matrix: a kill
+    // is indistinguishable from the state it leaves on disk.
+
+    #[test]
+    fn group_commit_seal_is_async_and_barrier_makes_it_durable() {
+        let path = temp_path("gc-async.log");
+        let _ = std::fs::remove_file(&path);
+        let log = FileLog::open_with(&path, SyncPolicy::GroupCommit).unwrap();
+        assert_eq!(log.sync_policy(), SyncPolicy::GroupCommit);
+        assert_eq!(log.durability_class(), DurabilityClass::GroupCommit);
+        assert!(log.buffers_appends());
+        for i in 0..3 {
+            log.append(draft(i)).unwrap();
+        }
+        assert_eq!(log.unflushed_len(), 3);
+        // The seal returns once the frame is queued; the ticket is the
+        // completion path.
+        log.append(epoch_draft(3)).unwrap();
+        let ticket = log.last_seal_ticket().expect("seal produced a ticket");
+        ticket.wait_durable().unwrap();
+        assert_eq!(log.unflushed_len(), 0);
+        assert!(log.sync_batches() >= 1);
+        let on_disk = std::fs::metadata(&path).unwrap().len();
+        assert!(on_disk > 0, "barrier landed the batch");
+        // flush() is the synchronous barrier for the async pipeline.
+        log.append(draft(4)).unwrap();
+        assert_eq!(log.unflushed_len(), 1);
+        log.flush().unwrap();
+        assert_eq!(log.unflushed_len(), 0);
+        assert!(std::fs::metadata(&path).unwrap().len() > on_disk);
+        drop(log);
+        let log = FileLog::open(&path).unwrap();
+        assert_eq!(log.len(), 5);
+        log.verify().unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn group_commit_clean_drop_drains_everything() {
+        let path = temp_path("gc-drop.log");
+        let _ = std::fs::remove_file(&path);
+        {
+            let log = FileLog::open_with(&path, SyncPolicy::GroupCommit).unwrap();
+            for i in 0..3 {
+                log.append(draft(i)).unwrap();
+            }
+            log.append(epoch_draft(3)).unwrap(); // enqueued, not awaited
+            log.append(draft(4)).unwrap(); // still buffered
+        }
+        let log = FileLog::open(&path).unwrap();
+        assert_eq!(log.len(), 5, "clean shutdown loses nothing");
+        log.verify().unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn group_commit_kill_before_enqueue_loses_only_unacked_tail() {
+        // G1: buffered records never enqueued — the kill loses exactly
+        // them; everything behind the last completed barrier survives.
+        let path = temp_path("gc-k1.log");
+        let _ = std::fs::remove_file(&path);
+        let log = FileLog::open_with(&path, SyncPolicy::GroupCommit).unwrap();
+        for i in 0..3 {
+            log.append(draft(i)).unwrap();
+        }
+        log.append(epoch_draft(3)).unwrap();
+        log.last_seal_ticket().unwrap().wait_durable().unwrap();
+        for i in 4..7 {
+            log.append(draft(i)).unwrap();
+        }
+        assert_eq!(log.unflushed_len(), 3);
+        kill(log);
+        // Strict open succeeds: the acked prefix ends on a record
+        // boundary. Exactly the acked prefix survives.
+        let log = FileLog::open(&path).unwrap();
+        assert_eq!(log.len(), 4, "acked prefix survives, unacked tail lost");
+        assert_eq!(log.count_where(&|r| r.is_epoch_commit()), 1);
+        log.verify().unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn group_commit_kill_between_enqueue_and_ack_recovers_acked_prefix() {
+        // G2/G3: the second epoch's frame was enqueued but the barrier
+        // never completed (or landed partially). Build the fully-durable
+        // file first, then model every on-disk state a kill in that
+        // window can leave: nothing landed (truncate to the first
+        // barrier), part of the batch landed (torn offsets inside the
+        // second batch).
+        let path = temp_path("gc-k23.log");
+        let _ = std::fs::remove_file(&path);
+        let log = FileLog::open_with(&path, SyncPolicy::GroupCommit).unwrap();
+        for i in 0..3 {
+            log.append(draft(i)).unwrap();
+        }
+        log.append(epoch_draft(3)).unwrap();
+        log.last_seal_ticket().unwrap().wait_durable().unwrap();
+        let acked_len = std::fs::metadata(&path).unwrap().len();
+        for i in 4..7 {
+            log.append(draft(i)).unwrap();
+        }
+        log.append(epoch_draft(7)).unwrap();
+        drop(log); // drains: the full second batch is on disk
+        let full = std::fs::read(&path).unwrap();
+        assert!(full.len() as u64 > acked_len);
+        for torn_end in [
+            acked_len,
+            acked_len + 1,
+            acked_len + 7,
+            full.len() as u64 - 1,
+        ] {
+            std::fs::write(&path, &full[..torn_end as usize]).unwrap();
+            let log = FileLog::open_recover_with(&path, SyncPolicy::GroupCommit).unwrap();
+            // At least the acked prefix; at most complete frames of the
+            // unacked batch. Never a torn record, never a lost ack.
+            assert!(log.len() >= 4, "acked prefix survives (torn {torn_end})");
+            assert!(log.len() < 8, "torn tail dropped (torn {torn_end})");
+            assert_eq!(
+                log.count_where(&|r| r.is_epoch_commit()),
+                1,
+                "second (unacked) commitment gone (torn {torn_end})"
+            );
+            log.verify().unwrap();
+            // The log stays usable: append + seal + barrier continue.
+            log.append(draft(99)).unwrap();
+            log.append(epoch_draft(100)).unwrap();
+            log.flush().unwrap();
+            drop(log);
+            FileLog::open(&path).unwrap().verify().unwrap();
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn group_commit_kill_after_fsync_loses_nothing() {
+        // G4: barrier completed; the kill costs nothing acked.
+        let path = temp_path("gc-k4.log");
+        let _ = std::fs::remove_file(&path);
+        let log = FileLog::open_with(&path, SyncPolicy::GroupCommit).unwrap();
+        for i in 0..5 {
+            log.append(draft(i)).unwrap();
+        }
+        log.append(epoch_draft(5)).unwrap();
+        log.last_seal_ticket().unwrap().wait_durable().unwrap();
+        kill(log);
+        let log = FileLog::open(&path).unwrap();
+        assert_eq!(log.len(), 6);
+        log.verify().unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn group_commit_barrier_failure_surfaces_on_next_seal_and_retries() {
+        // A failed async barrier: the frame's ticket errors, the bytes
+        // stay in the sync thread's backlog, and the error is consumed
+        // by the NEXT seal (which fails and rolls its epoch record back,
+        // exactly like an inline PerEpoch flush failure — one epoch
+        // late). Once the "device" recovers, the next barrier lands the
+        // backlog and the new frame in ONE coalesced batch.
+        let path = temp_path("gc-fail.log");
+        let _ = std::fs::remove_file(&path);
+        let log = FileLog::open_with(&path, SyncPolicy::GroupCommit).unwrap();
+        for i in 0..3 {
+            log.append(draft(i)).unwrap();
+        }
+        log.inject_barrier_failures(1);
+        log.append(epoch_draft(3)).unwrap(); // enqueue succeeds (async!)
+        let ticket = log.last_seal_ticket().unwrap();
+        assert!(ticket.wait_durable().is_err(), "barrier failed");
+        assert!(ticket.is_complete());
+        assert_eq!(log.unflushed_len(), 4, "nothing acked");
+        assert_eq!(log.sync_batches(), 0);
+        // The next seal consumes the async error and fails, keeping
+        // "Err ⇒ not appended": its epoch record is rolled back.
+        let len_before = log.len();
+        let head_before = log.head();
+        assert!(log.append(epoch_draft(4)).is_err());
+        assert_eq!(log.len(), len_before);
+        assert_eq!(log.head(), head_before);
+        // Error consumed; the device works again: one barrier lands the
+        // backlog (first epoch's batch) plus the re-seal in one batch.
+        log.append(epoch_draft(4)).unwrap();
+        log.last_seal_ticket().unwrap().wait_durable().unwrap();
+        assert_eq!(log.unflushed_len(), 0);
+        assert_eq!(log.sync_batches(), 1, "backlog + retry coalesced");
+        drop(log);
+        let reopened = FileLog::open(&path).unwrap();
+        assert_eq!(reopened.len(), 5, "3 records + 2 epoch commitments");
+        assert_eq!(reopened.count_where(&|r| r.is_epoch_commit()), 2);
+        reopened.verify().unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn group_commit_flush_probe_consumes_async_error_then_recovers() {
+        // The scheduler's degraded probe path: after an async failure,
+        // flush() first consumes the recorded error (failing without new
+        // work), and the following flush is the real probe-and-retry.
+        let path = temp_path("gc-probe.log");
+        let _ = std::fs::remove_file(&path);
+        let log = FileLog::open_with(&path, SyncPolicy::GroupCommit).unwrap();
+        log.append(draft(0)).unwrap();
+        log.inject_barrier_failures(1);
+        let ticket = log.flush_async().unwrap();
+        assert!(ticket.wait_durable().is_err());
+        assert!(matches!(log.flush(), Err(StoreError::Io(_))), "consumed");
+        log.flush().unwrap();
+        assert_eq!(log.unflushed_len(), 0);
+        drop(log);
+        assert_eq!(FileLog::open(&path).unwrap().len(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn group_commit_clean_drop_after_transient_failure_drains_backlog() {
+        // One transient barrier failure, then the device recovers but no
+        // further seal runs: a CLEAN drop must still land both the sync
+        // thread's backlog (the failed epoch's bytes) and the pending
+        // buffer — even though the first drop-time enqueue merely
+        // consumes the recorded async error.
+        let path = temp_path("gc-drop-backlog.log");
+        let _ = std::fs::remove_file(&path);
+        {
+            let log = FileLog::open_with(&path, SyncPolicy::GroupCommit).unwrap();
+            for i in 0..3 {
+                log.append(draft(i)).unwrap();
+            }
+            log.inject_barrier_failures(1);
+            log.append(epoch_draft(3)).unwrap();
+            assert!(log.last_seal_ticket().unwrap().wait_durable().is_err());
+            // More buffered records after the failure; never sealed.
+            log.append(draft(4)).unwrap();
+            assert_eq!(log.unflushed_len(), 5);
+            // Clean drop. Injection is exhausted, so the device works.
+        }
+        let reopened = FileLog::open(&path).unwrap();
+        assert_eq!(reopened.len(), 5, "backlog and pending both drained");
+        assert_eq!(reopened.count_where(&|r| r.is_epoch_commit()), 1);
+        reopened.verify().unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn group_commit_recovery_does_not_mask_mid_file_tampering() {
+        let path = temp_path("gc-tamper.log");
+        let _ = std::fs::remove_file(&path);
+        {
+            let log = FileLog::open_with(&path, SyncPolicy::GroupCommit).unwrap();
+            for i in 0..6 {
+                log.append(draft(i)).unwrap();
+            }
+            log.append(epoch_draft(6)).unwrap();
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 3;
+        bytes[mid] ^= 0xFF;
+        bytes.truncate(bytes.len() - 2);
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(
+            FileLog::open_recover_with(&path, SyncPolicy::GroupCommit).is_err(),
+            "tampering inside the retained prefix must still be rejected"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn group_commit_coalesces_bursts_into_fewer_barriers() {
+        // Deterministic coalescing: park the sync thread (modelling a
+        // slow device), seal four epochs — none of which blocks — then
+        // release it: every queued frame lands under a single device
+        // barrier.
+        let path = temp_path("gc-coalesce.log");
+        let _ = std::fs::remove_file(&path);
+        let log = FileLog::open_with(&path, SyncPolicy::GroupCommit).unwrap();
+        log.hold_barriers(true);
+        let mut tickets = Vec::new();
+        for n in 0..4u64 {
+            log.append(draft(n * 10)).unwrap();
+            log.append(epoch_draft(n * 10 + 1)).unwrap();
+            tickets.push(log.last_seal_ticket().unwrap());
+        }
+        assert_eq!(log.sync_batches(), 0, "device is held");
+        assert!(tickets.iter().all(|t| !t.is_complete()));
+        log.hold_barriers(false);
+        for ticket in &tickets {
+            ticket.wait_durable().unwrap();
+        }
+        assert_eq!(log.unflushed_len(), 0);
+        assert_eq!(
+            log.sync_batches(),
+            1,
+            "four epochs coalesced into one device barrier"
+        );
+        assert_eq!(log.count_where(&|r| r.is_epoch_commit()), 4);
+        drop(log);
+        FileLog::open(&path).unwrap().verify().unwrap();
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

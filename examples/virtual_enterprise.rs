@@ -14,6 +14,13 @@
 //! 4. supplier C is brought into the sharing group later (connect
 //!    protocol).
 //!
+//! The manufacturer — the busiest party — runs its evidence on a
+//! **group-commit** file log: epochs of evidence are sealed by one
+//! signature and handed to a dedicated sync thread, so its append path
+//! never waits on an fsync, and its deployment descriptor *declares*
+//! that requirement (`EvidenceDurability::GroupCommit`) so a
+//! misconfigured stack refuses to deploy.
+//!
 //! Run with: `cargo run --example virtual_enterprise`
 
 use std::collections::BTreeSet;
@@ -37,15 +44,30 @@ fn main() -> Result<(), Box<dyn Error>> {
     let clock = LogicalClock::new();
 
     let dealer = org_stack("dealer", &bus, &dir, &clock);
-    let manufacturer = org_stack("manufacturer", &bus, &dir, &clock);
+    // The manufacturer's evidence goes to a durable, group-committed
+    // file log: batched commitments (one signature per 8-record epoch),
+    // each sealed epoch enqueued to the log's sync thread instead of
+    // fsyncing inline.
+    let log_path = std::env::temp_dir().join(format!("nonrep-ve-{}.log", std::process::id()));
+    let _ = std::fs::remove_file(&log_path);
+    let manufacturer_builder =
+        OrgMiddleware::builder("manufacturer", bus.clone(), dir.clone(), clock.clone());
+    let manufacturer = manufacturer_builder
+        .commitment(CommitmentMode::batched(8))
+        .evidence_file(&log_path, SyncPolicy::GroupCommit)?
+        .build();
     let supplier_a = org_stack("supplier-a", &bus, &dir, &clock);
     let supplier_b = org_stack("supplier-b", &bus, &dir, &clock);
     let supplier_c = org_stack("supplier-c", &bus, &dir, &clock);
 
     // ---- Services ---------------------------------------------------
     manufacturer.deploy(
-        DeploymentDescriptor::new("urn:cars", [MethodName::new("order")])
-            .with_non_repudiation(NrConfig::protocol("direct")),
+        DeploymentDescriptor::new("urn:cars", [MethodName::new("order")]).with_non_repudiation(
+            // Declarative: this component requires the async
+            // group-commit durability class — deploying it on a
+            // middleware without one is a configuration error.
+            NrConfig::protocol("direct").with_evidence_durability(EvidenceDurability::GroupCommit),
+        ),
         Arc::new(FnComponent::new().method("order", |args| {
             let model = args.get("model").and_then(Value::as_str).unwrap_or("?");
             Ok(Value::map([
@@ -158,6 +180,9 @@ fn main() -> Result<(), Box<dyn Error>> {
     assert!(outcome.accepted);
 
     // ---- Audit summary -------------------------------------------------
+    // Seal + wait out the manufacturer's device barrier: after this,
+    // every record of its history is on stable storage.
+    manufacturer.flush_evidence()?;
     println!("\nevidence held:");
     for mw in [
         &dealer,
@@ -174,6 +199,21 @@ fn main() -> Result<(), Box<dyn Error>> {
             mw.log().total_bytes()
         );
     }
+    // The manufacturer's durable log survives this process: prove it by
+    // reopening the file strictly and re-verifying the chain.
+    let manufacturer_records = manufacturer.log().len();
+    drop(manufacturer);
+    let reopened = FileLog::open(&log_path)?;
+    assert_eq!(reopened.len(), manufacturer_records);
+    reopened
+        .verify()
+        .map_err(nonrep::store::StoreError::Chain)?;
+    println!(
+        "\nmanufacturer log reopened from disk: {} records, chain OK",
+        reopened.len()
+    );
+    drop(reopened);
+    let _ = std::fs::remove_file(&log_path);
     println!("\nvirtual enterprise scenario complete");
     Ok(())
 }

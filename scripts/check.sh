@@ -1,16 +1,31 @@
 #!/usr/bin/env bash
-# CI gate: tier-1 verification plus formatting, lint and doc checks.
+# CI gate: tier-1 verification plus formatting, lint, doc and example
+# checks. This script IS the CI definition — .github/workflows/ci.yml
+# just runs it, so the gate cannot drift from what developers run
+# locally.
 #
-#   scripts/check.sh           # build + tests + fmt + clippy + rustdoc
-#   scripts/check.sh --fast    # skip the release build (tests only)
+#   scripts/check.sh           # build + tests + fmt + clippy + rustdoc + examples
+#   scripts/check.sh --fast    # skip the release build and example smoke tests
+#   scripts/check.sh --bench   # additionally run the bench-regression gate
+#                              # (self-test + newest BENCH_*.json vs baseline)
 #
 # Tier-1 (ROADMAP): cargo build --release && cargo test -q
 set -euo pipefail
 
-cd "$(dirname "$0")/.."
+cd "$(dirname "$0")/.." || exit 1
 
 FAST=0
-[[ "${1:-}" == "--fast" ]] && FAST=1
+BENCH=0
+for arg in "$@"; do
+    case "$arg" in
+        --fast) FAST=1 ;;
+        --bench) BENCH=1 ;;
+        *)
+            echo "check.sh: unknown option '$arg' (expected --fast or --bench)" >&2
+            exit 2
+            ;;
+    esac
+done
 
 if [[ "$FAST" -eq 0 ]]; then
     echo "==> cargo build --release"
@@ -28,5 +43,27 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo doc -D warnings"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
+
+if command -v shellcheck >/dev/null 2>&1; then
+    echo "==> shellcheck scripts/*.sh"
+    shellcheck scripts/*.sh
+else
+    echo "==> shellcheck not installed; skipping (CI runs it)"
+fi
+
+if [[ "$FAST" -eq 0 ]]; then
+    echo "==> example smoke tests"
+    for example in quickstart dispute_resolution contract_monitoring trust_domains \
+                   virtual_enterprise; do
+        echo "--> cargo run --release --example $example"
+        cargo run --release --quiet --example "$example" >/dev/null
+    done
+fi
+
+if [[ "$BENCH" -eq 1 ]]; then
+    echo "==> bench-regression gate"
+    scripts/bench_gate.sh --self-test
+    scripts/bench_gate.sh
+fi
 
 echo "check.sh: all green"

@@ -91,7 +91,9 @@ pub use nonrep_types as types;
 /// The most common imports for applications built on the middleware.
 pub mod prelude {
     pub use nonrep_container::component::FnComponent;
-    pub use nonrep_container::descriptor::{DeploymentDescriptor, NrConfig, SharedObjectConfig};
+    pub use nonrep_container::descriptor::{
+        DeploymentDescriptor, EvidenceDurability, NrConfig, SharedObjectConfig,
+    };
     pub use nonrep_container::{ClientProxy, Component, Container, ContainerError};
     pub use nonrep_core::{
         b2b_address, Adjudicator, ClientNrInterceptor, OrgMiddleware, TrustDomain, WindowSubmission,
@@ -106,7 +108,9 @@ pub mod prelude {
     pub use nonrep_protocols::scheduler::{BatchPolicy, CommitmentMode, DeadlineSealer};
     pub use nonrep_protocols::tokens::TokenKind;
     pub use nonrep_protocols::ProtocolError;
-    pub use nonrep_store::{EvidenceLog, FileLog, MemoryLog, StateStore, SyncPolicy};
+    pub use nonrep_store::{
+        DurabilityClass, DurabilityTicket, EvidenceLog, FileLog, MemoryLog, StateStore, SyncPolicy,
+    };
     pub use nonrep_types::ids::{GroupId, MethodName, OrgId, RunId, ServiceUri};
     pub use nonrep_types::time::{Clock, LogicalClock, Timestamp};
     pub use nonrep_types::value::Value;
