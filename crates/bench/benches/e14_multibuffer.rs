@@ -1,0 +1,107 @@
+//! E14: the multi-buffer SHA-256 engine under the W-OTS workloads it
+//! was built for — key generation, signing and verification swept
+//! across every dispatch tier the host can run.
+//!
+//! Tier rows use *forced* dispatch (`Dispatch::all()` filtered by
+//! availability), so one run on one host compares all profiles
+//! side by side:
+//!
+//! * `single_scalar` — the sequential scalar path: what a host without
+//!   SHA-NI ran before this engine existed. The baseline the ≥ 2×
+//!   multi-buffer claim is measured against.
+//! * `scalar` — the portable 4-way interleaved kernel on the same
+//!   machine profile: the no-SHA-NI host win.
+//! * `sse2` / `avx2` — the explicit SIMD kernels (4- and 8-way).
+//! * `single` — one lane through the digest module's runtime dispatch
+//!   (SHA-NI here, if present): the path `auto` must never regress.
+//!
+//! The regression gate (`scripts/bench_gate.sh`) guards these rows via
+//! `scripts/bench_baseline_5.jsonl`; see docs/BENCHMARKS.md for how to
+//! read forced-tier rows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nonrep_crypto::digest::{mb, sha256};
+use nonrep_crypto::wots::{self, WotsKeyPair};
+use std::time::Duration;
+
+fn tier_name(d: mb::Dispatch) -> &'static str {
+    match d {
+        mb::Dispatch::Avx2 => "avx2",
+        mb::Dispatch::Sse2 => "sse2",
+        mb::Dispatch::Scalar => "scalar",
+        mb::Dispatch::Single => "single",
+        mb::Dispatch::SingleScalar => "single_scalar",
+    }
+}
+
+fn bench_multibuffer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e14_multibuffer");
+    group
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    let tiers: Vec<mb::Dispatch> = mb::Dispatch::all()
+        .into_iter()
+        .filter(|t| t.is_available())
+        .collect();
+    let seed = [0x77u8; 32];
+    let digest = sha256(b"e14 message");
+
+    for &tier in &tiers {
+        group.bench_with_input(
+            BenchmarkId::new("wots_keygen", tier_name(tier)),
+            &tier,
+            |b, &t| b.iter(|| WotsKeyPair::from_seed_with(seed, t)),
+        );
+    }
+
+    let kp = WotsKeyPair::from_seed(seed);
+    for &tier in &tiers {
+        group.bench_with_input(
+            BenchmarkId::new("wots_sign", tier_name(tier)),
+            &tier,
+            |b, &t| b.iter(|| kp.sign_with(&digest, t)),
+        );
+    }
+
+    let sig = kp.sign(&digest);
+    let pk = kp.public_key();
+    for &tier in &tiers {
+        group.bench_with_input(
+            BenchmarkId::new("wots_verify", tier_name(tier)),
+            &tier,
+            |b, &t| b.iter(|| assert!(wots::verify_with(&pk, &digest, &sig, t))),
+        );
+    }
+
+    // The raw engine: a full 8-lane chain-step batch (one compression
+    // per lane on avx2, two 4-lane batches on the narrower tiers).
+    for &tier in &tiers {
+        let mut blocks = [[0u8; 64]; 8];
+        for (l, block) in blocks.iter_mut().enumerate() {
+            for (j, byte) in block[..36].iter_mut().enumerate() {
+                *byte = (l * 29 + j) as u8;
+            }
+            block[36] = 0x80;
+            block[56..].copy_from_slice(&(36u64 * 8).to_be_bytes());
+        }
+        group.bench_with_input(
+            BenchmarkId::new("chain_steps_8", tier_name(tier)),
+            &tier,
+            |b, &t| b.iter(|| mb::chain_steps_with(t, &mut blocks)),
+        );
+    }
+    group.finish();
+
+    let active = mb::Dispatch::active();
+    println!(
+        "\nE14 report — auto dispatch on this host: {} ({} lane{})\n",
+        tier_name(active),
+        active.lanes(),
+        if active.lanes() == 1 { "" } else { "s" },
+    );
+}
+
+criterion_group!(benches, bench_multibuffer);
+criterion_main!(benches);

@@ -8,7 +8,7 @@
 //! linear in capacity.
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
-use nonrep_crypto::digest::{sha256, sha256_pair, Digest};
+use nonrep_crypto::digest::{mb, sha256, sha256_pair, sha256_short, Digest};
 use nonrep_crypto::hmac::hmac_sha256;
 use nonrep_crypto::merkle::MerkleTree;
 use nonrep_crypto::rng::SecureRandom;
@@ -78,6 +78,18 @@ fn bench_crypto(c: &mut Criterion) {
         let vk = kp.verifying_key();
         group.bench_function("mss_verify", |b| {
             b.iter(|| assert!(vk.verify(b"message", &sig)))
+        });
+    }
+
+    // The multi-buffer engine vs the single-lane path on the same work:
+    // 16 chain-step-shaped messages, lane-batched and one at a time.
+    // The active dispatch is host-dependent (see e14 for forced tiers).
+    {
+        let msgs: Vec<Vec<u8>> = (0..16u8).map(|i| vec![i; 36]).collect();
+        let refs: Vec<&[u8]> = msgs.iter().map(Vec::as_slice).collect();
+        group.bench_function("mb_hash_lanes_16x36B", |b| b.iter(|| mb::hash_lanes(&refs)));
+        group.bench_function("sha256_short_16x36B", |b| {
+            b.iter(|| refs.iter().map(|m| sha256_short(m)).collect::<Vec<_>>())
         });
     }
 

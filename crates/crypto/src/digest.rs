@@ -22,10 +22,16 @@
 //! fits one padded block with a single compression, and [`sha256_pair`]
 //! hashes the tag+digest+digest shape used by every Merkle node and
 //! evidence chain link as exactly two compressions over stack blocks.
+//!
+//! For workloads with many *independent* messages (W-OTS chain walks,
+//! Merkle levels, batched HMAC derivation), the [`mb`] submodule
+//! compresses up to 16 of them in lockstep across SIMD lanes.
 
 use std::fmt;
 
 use nonrep_types::codec::{CodecError, Decode, Encode, Reader, Writer};
+
+pub mod mb;
 
 /// A 256-bit digest.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]

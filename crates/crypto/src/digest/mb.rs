@@ -1,0 +1,1317 @@
+//! Lane-interleaved multi-buffer SHA-256.
+//!
+//! The W-OTS chain walk hashes 67 *independent* chains and Merkle level
+//! construction hashes independent node pairs — embarrassingly
+//! data-parallel work that the single-message paths in [`super`] feed
+//! through one compression at a time. This module compresses N
+//! independent single-block messages in lockstep across SIMD lanes with
+//! a *transposed* state layout: eight vectors hold the working variables
+//! `a..h`, each vector carrying one 32-bit word per lane, so every round
+//! of the compression advances all lanes at once.
+//!
+//! Three kernels sit behind one dispatch:
+//!
+//! * **AVX2, 8-way** (`x86_64`, runtime-detected) — explicit
+//!   intrinsics,
+//! * **SSE2, 4-way** (`x86_64` baseline) — explicit intrinsics,
+//! * **portable**: the same transposed kernel over `[u32; N]` arrays
+//!   with every op an elementwise loop — no intrinsics. Instantiated
+//!   4-wide at baseline codegen for any target, and *re-instantiated
+//!   16-wide under the avx2 target feature* on hosts that have it
+//!   (function multiversioning): the autovectorizer lowers the same
+//!   array code to 256-bit SIMD it refuses to emit at the `x86_64`
+//!   SSE2 baseline, and 16 lanes give it two 8-wide streams to
+//!   interleave.
+//!
+//! # Dispatch
+//!
+//! [`Dispatch::active`] picks the tier once per process: the
+//! `NONREP_DISPATCH` environment variable (`avx2|sse2|scalar|auto`,
+//! mirroring `NONREP_WORKERS`) pins a tier for benches and tests;
+//! `auto` (or unset) *measures* every available multi-buffer kernel
+//! against the single-lane path of [`super`] (SHA-NI where the host has
+//! it) on chain-step-shaped work and picks the fastest — so dispatch
+//! never selects a tier slower than measured single-lane SHA-NI, and on
+//! a fast SHA-NI host the engine may legitimately decide that
+//! [`Dispatch::Single`] wins and multi-buffer stays off.
+//!
+//! A forced tier that the host cannot run falls back down the chain
+//! (`avx2 → sse2 → scalar`); forcing bypasses calibration by design.
+//!
+//! # API shape
+//!
+//! * [`hash_lanes`] / [`hash_lanes_with`] — N short (≤ 55-byte)
+//!   messages to N digests; the differential-test anchor.
+//! * [`chain_steps_with`] (+ the fixed-width [`chain_steps_x8`] /
+//!   [`chain_steps_x4`]) — one W-OTS chain step per lane *in place*:
+//!   each padded block's value field (bytes 4..36) is replaced by its
+//!   digest, implementing `value ← H(header ‖ value)` without copies.
+//! * [`pair_lanes_with`] — the 65-byte `tag ‖ left ‖ right` Merkle-node
+//!   shape, two lockstep compressions per lane batch.
+//! * [`Midstate`] + [`finish_short_lanes_with`] — shared-prefix hashing
+//!   (HMAC under one key across many short messages: the W-OTS secret
+//!   derivation).
+//!
+//! All lane-batched paths are bit-identical to their sequential
+//! counterparts; `scripts/check.sh` additionally runs the crypto suite
+//! under `NONREP_DISPATCH=scalar` so a SIMD bug cannot hide behind a
+//! fast host.
+
+use std::sync::OnceLock;
+
+use super::{compress_blocks, scalar, sha256_short, state_to_digest, Digest, H0};
+
+/// Widest lane count of any kernel (the 16-lane multiversioned
+/// portable instance).
+pub const MAX_LANES: usize = 16;
+
+/// Longest message that fits one padded SHA-256 block.
+const SHORT_MAX: usize = 55;
+
+/// A multi-buffer dispatch tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dispatch {
+    /// 8 lanes, AVX2 transposed-state intrinsics kernel (`x86_64`,
+    /// detected).
+    Avx2,
+    /// 4 lanes, SSE2 transposed-state intrinsics kernel (`x86_64`
+    /// baseline).
+    Sse2,
+    /// The portable interleaved kernel (any target, no intrinsics):
+    /// 4 lanes at baseline codegen, or the 16-lane instance
+    /// re-instantiated under the avx2 target feature when the host has
+    /// it, so the autovectorizer can use the full ISA
+    /// (multiversioning).
+    Scalar,
+    /// Multi-buffer off: one lane through [`super`]'s runtime dispatch
+    /// (SHA-NI where the host has it). What `auto` picks when the
+    /// single-lane path measures faster than every SIMD tier.
+    Single,
+    /// One lane pinned to the portable *scalar* compression — the
+    /// sequential no-SHA-NI host profile on any machine. Never
+    /// auto-selected; exists as the reference row benchmarks (e14) and
+    /// differential tests compare multi-buffer tiers against.
+    SingleScalar,
+}
+
+impl Dispatch {
+    /// Every tier, widest first.
+    pub fn all() -> [Dispatch; 5] {
+        [
+            Dispatch::Avx2,
+            Dispatch::Sse2,
+            Dispatch::Scalar,
+            Dispatch::Single,
+            Dispatch::SingleScalar,
+        ]
+    }
+
+    /// Lanes the tier advances per compression on this host.
+    pub fn lanes(self) -> usize {
+        match self {
+            Dispatch::Avx2 => 8,
+            Dispatch::Sse2 => 4,
+            Dispatch::Scalar => scalar_lanes(),
+            Dispatch::Single | Dispatch::SingleScalar => 1,
+        }
+    }
+
+    /// Whether this host can run the tier.
+    pub fn is_available(self) -> bool {
+        match self {
+            #[cfg(target_arch = "x86_64")]
+            Dispatch::Avx2 => avx2::available(),
+            #[cfg(not(target_arch = "x86_64"))]
+            Dispatch::Avx2 => false,
+            Dispatch::Sse2 => cfg!(target_arch = "x86_64"),
+            Dispatch::Scalar | Dispatch::Single | Dispatch::SingleScalar => true,
+        }
+    }
+
+    /// The process-wide tier: `NONREP_DISPATCH` if set (clamped to what
+    /// the host can run), otherwise the calibrated auto choice. Decided
+    /// once and cached.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unrecognized `NONREP_DISPATCH` value. A tier pin
+    /// exists to *guarantee* which kernel runs (the forced-scalar
+    /// differential pass in `scripts/check.sh` relies on it); a typo
+    /// silently falling back to auto would void that guarantee while
+    /// reporting green.
+    pub fn active() -> Dispatch {
+        static ACTIVE: OnceLock<Dispatch> = OnceLock::new();
+        *ACTIVE.get_or_init(|| match std::env::var("NONREP_DISPATCH").as_deref() {
+            Ok("avx2") => clamp(Dispatch::Avx2),
+            Ok("sse2") => clamp(Dispatch::Sse2),
+            Ok("scalar") => Dispatch::Scalar,
+            Ok("auto") | Ok("") | Err(_) => auto_select(),
+            Ok(other) => panic!(
+                "NONREP_DISPATCH={other:?} is not a dispatch tier \
+                 (expected avx2|sse2|scalar|auto)"
+            ),
+        })
+    }
+}
+
+/// Falls back down the tier chain until the host can run the request.
+fn clamp(want: Dispatch) -> Dispatch {
+    let chain = [want, Dispatch::Sse2, Dispatch::Scalar];
+    chain
+        .into_iter()
+        .find(|t| t.is_available())
+        .unwrap_or(Dispatch::Scalar)
+}
+
+/// Lanes of the active tier (1 when multi-buffer is off).
+pub fn lane_width() -> usize {
+    Dispatch::active().lanes()
+}
+
+/// Picks the auto tier: every available multi-buffer kernel is timed
+/// against the single-lane path (SHA-NI on capable hosts) on
+/// chain-step-shaped work, and the fastest wins — a multi-buffer tier
+/// is selected only when it measured *strictly faster* than
+/// single-lane, so dispatch can never pick a tier slower than measured
+/// SHA-NI. The measurement runs once, on first use.
+fn auto_select() -> Dispatch {
+    let mut best: Option<(Dispatch, u128)> = None;
+    for tier in [Dispatch::Avx2, Dispatch::Sse2, Dispatch::Scalar] {
+        if !tier.is_available() {
+            continue;
+        }
+        let per_hash = time_tier(tier);
+        if best.is_none_or(|(_, t)| per_hash < t) {
+            best = Some((tier, per_hash));
+        }
+    }
+    let single = time_tier(Dispatch::Single);
+    match best {
+        Some((tier, per_hash)) if per_hash < single => tier,
+        _ => Dispatch::Single,
+    }
+}
+
+/// Picoseconds per hash for `d` on the 36-byte chain-step shape, best
+/// of three runs.
+fn time_tier(d: Dispatch) -> u128 {
+    use std::hint::black_box;
+    use std::time::Instant;
+
+    const STEPS: usize = 128;
+    let width = d.lanes();
+    let mut blocks = [[0u8; 64]; MAX_LANES];
+    for (l, block) in blocks.iter_mut().take(width).enumerate() {
+        for (i, byte) in block.iter_mut().take(36).enumerate() {
+            *byte = (l as u8).wrapping_mul(31) ^ i as u8;
+        }
+        block[36] = 0x80;
+        block[56..].copy_from_slice(&(36u64 * 8).to_be_bytes());
+    }
+    let mut best = u128::MAX;
+    for _ in 0..3 {
+        let start = Instant::now();
+        for _ in 0..STEPS {
+            chain_steps_with(d, &mut blocks[..width]);
+        }
+        best = best.min(start.elapsed().as_nanos());
+        black_box(&blocks);
+    }
+    best.saturating_mul(1000) / (STEPS * width) as u128
+}
+
+/// One round of the compression for every lane at once; identical
+/// structure to the scalar `round!` in [`super`], over lane vectors.
+macro_rules! mb_round {
+    ($a:ident, $b:ident, $c:ident, $d:ident, $e:ident, $f:ident, $g:ident, $h:ident,
+     $k:expr, $w:expr) => {{
+        let s1 = xor(xor(rotr_6($e), rotr_11($e)), rotr_25($e));
+        let ch = xor(and($e, $f), andnot($e, $g));
+        let t1 = add(add(add(add($h, s1), ch), splat($k)), $w);
+        let s0 = xor(xor(rotr_2($a), rotr_13($a)), rotr_22($a));
+        let maj = xor(xor(and($a, $b), and($a, $c)), and($b, $c));
+        $d = add($d, t1);
+        $h = add(add(t1, s0), maj);
+    }};
+}
+
+/// Eight rounds with the register rotation hard-coded (mirrors the
+/// scalar `rounds8!`).
+macro_rules! mb_rounds8 {
+    ($a:ident, $b:ident, $c:ident, $d:ident, $e:ident, $f:ident, $g:ident, $h:ident,
+     $t:expr, $w:ident) => {{
+        mb_round!($a, $b, $c, $d, $e, $f, $g, $h, K[$t], $w[($t) & 15]);
+        mb_round!($h, $a, $b, $c, $d, $e, $f, $g, K[$t + 1], $w[($t + 1) & 15]);
+        mb_round!($g, $h, $a, $b, $c, $d, $e, $f, K[$t + 2], $w[($t + 2) & 15]);
+        mb_round!($f, $g, $h, $a, $b, $c, $d, $e, K[$t + 3], $w[($t + 3) & 15]);
+        mb_round!($e, $f, $g, $h, $a, $b, $c, $d, K[$t + 4], $w[($t + 4) & 15]);
+        mb_round!($d, $e, $f, $g, $h, $a, $b, $c, K[$t + 5], $w[($t + 5) & 15]);
+        mb_round!($c, $d, $e, $f, $g, $h, $a, $b, K[$t + 6], $w[($t + 6) & 15]);
+        mb_round!($b, $c, $d, $e, $f, $g, $h, $a, K[$t + 7], $w[($t + 7) & 15]);
+    }};
+}
+
+/// One rolling message-schedule step for every lane at once.
+macro_rules! mb_schedule_step {
+    ($w:ident, $t:expr) => {{
+        let w15 = $w[($t + 1) & 15];
+        let w2 = $w[($t + 14) & 15];
+        let s0 = xor(xor(rotr_7(w15), rotr_18(w15)), shr_3(w15));
+        let s1 = xor(xor(rotr_17(w2), rotr_19(w2)), shr_10(w2));
+        $w[$t & 15] = add(add(add($w[$t & 15], s0), $w[($t + 9) & 15]), s1);
+    }};
+}
+
+/// The full transposed compression for the *intrinsics* backends: load
+/// lane-transposed state and message vectors, 64 rounds, feed-forward,
+/// store. Expanded inside each backend so every op resolves to that
+/// backend's vector type. (The portable backend carries its own body,
+/// shaped so the lane loops seed the autovectorizer — see
+/// `portable_backend!`.)
+macro_rules! mb_compress_body {
+    ($states:expr, $blocks:expr) => {{
+        let mut a = load_state($states, 0);
+        let mut b = load_state($states, 1);
+        let mut c = load_state($states, 2);
+        let mut d = load_state($states, 3);
+        let mut e = load_state($states, 4);
+        let mut f = load_state($states, 5);
+        let mut g = load_state($states, 6);
+        let mut h = load_state($states, 7);
+        let (a0, b0, c0, d0, e0, f0, g0, h0) = (a, b, c, d, e, f, g, h);
+        let mut w = [
+            gather($blocks, 0),
+            gather($blocks, 1),
+            gather($blocks, 2),
+            gather($blocks, 3),
+            gather($blocks, 4),
+            gather($blocks, 5),
+            gather($blocks, 6),
+            gather($blocks, 7),
+            gather($blocks, 8),
+            gather($blocks, 9),
+            gather($blocks, 10),
+            gather($blocks, 11),
+            gather($blocks, 12),
+            gather($blocks, 13),
+            gather($blocks, 14),
+            gather($blocks, 15),
+        ];
+        mb_rounds8!(a, b, c, d, e, f, g, h, 0, w);
+        mb_rounds8!(a, b, c, d, e, f, g, h, 8, w);
+        let mut t = 16;
+        while t < 64 {
+            mb_schedule_step!(w, t);
+            mb_schedule_step!(w, t + 1);
+            mb_schedule_step!(w, t + 2);
+            mb_schedule_step!(w, t + 3);
+            mb_schedule_step!(w, t + 4);
+            mb_schedule_step!(w, t + 5);
+            mb_schedule_step!(w, t + 6);
+            mb_schedule_step!(w, t + 7);
+            mb_rounds8!(a, b, c, d, e, f, g, h, t, w);
+            t += 8;
+        }
+        store_state($states, 0, add(a, a0));
+        store_state($states, 1, add(b, b0));
+        store_state($states, 2, add(c, c0));
+        store_state($states, 3, add(d, d0));
+        store_state($states, 4, add(e, e0));
+        store_state($states, 5, add(f, f0));
+        store_state($states, 6, add(g, g0));
+        store_state($states, 7, add(h, h0));
+    }};
+}
+
+/// AVX2 backend: 8 lanes per `__m256i` vector.
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::super::K;
+    use core::arch::x86_64::*;
+
+    /// Whether the avx2 feature is present (cached).
+    pub(super) fn available() -> bool {
+        use std::sync::OnceLock;
+        static AVAILABLE: OnceLock<bool> = OnceLock::new();
+        *AVAILABLE.get_or_init(|| is_x86_feature_detected!("avx2"))
+    }
+
+    type V = __m256i;
+
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn splat(x: u32) -> V {
+        _mm256_set1_epi32(x as i32)
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn add(a: V, b: V) -> V {
+        _mm256_add_epi32(a, b)
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn xor(a: V, b: V) -> V {
+        _mm256_xor_si256(a, b)
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn and(a: V, b: V) -> V {
+        _mm256_and_si256(a, b)
+    }
+
+    /// `!a & b`.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn andnot(a: V, b: V) -> V {
+        _mm256_andnot_si256(a, b)
+    }
+
+    macro_rules! rotr_fn {
+        ($name:ident, $r:literal) => {
+            #[inline]
+            #[target_feature(enable = "avx2")]
+            unsafe fn $name(v: V) -> V {
+                _mm256_or_si256(
+                    _mm256_srli_epi32::<$r>(v),
+                    _mm256_slli_epi32::<{ 32 - $r }>(v),
+                )
+            }
+        };
+    }
+    rotr_fn!(rotr_2, 2);
+    rotr_fn!(rotr_6, 6);
+    rotr_fn!(rotr_7, 7);
+    rotr_fn!(rotr_11, 11);
+    rotr_fn!(rotr_13, 13);
+    rotr_fn!(rotr_17, 17);
+    rotr_fn!(rotr_18, 18);
+    rotr_fn!(rotr_19, 19);
+    rotr_fn!(rotr_22, 22);
+    rotr_fn!(rotr_25, 25);
+
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn shr_3(v: V) -> V {
+        _mm256_srli_epi32::<3>(v)
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn shr_10(v: V) -> V {
+        _mm256_srli_epi32::<10>(v)
+    }
+
+    /// Message word `t` of every lane, big-endian, transposed.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn gather(blocks: &[[u8; 64]; 8], t: usize) -> V {
+        let mut tmp = [0u32; 8];
+        for (slot, block) in tmp.iter_mut().zip(blocks) {
+            *slot = u32::from_be_bytes(block[4 * t..4 * t + 4].try_into().expect("4-byte word"));
+        }
+        _mm256_loadu_si256(tmp.as_ptr().cast())
+    }
+
+    /// State word `w` of every lane, transposed.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn load_state(states: &[[u32; 8]; 8], w: usize) -> V {
+        let mut tmp = [0u32; 8];
+        for (slot, state) in tmp.iter_mut().zip(states) {
+            *slot = state[w];
+        }
+        _mm256_loadu_si256(tmp.as_ptr().cast())
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn store_state(states: &mut [[u32; 8]; 8], w: usize, v: V) {
+        let mut tmp = [0u32; 8];
+        _mm256_storeu_si256(tmp.as_mut_ptr().cast(), v);
+        for (state, slot) in states.iter_mut().zip(tmp) {
+            state[w] = slot;
+        }
+    }
+
+    /// Compresses one 64-byte block per lane into its lane's state.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure the avx2 target feature is available.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn compress(states: &mut [[u32; 8]; 8], blocks: &[[u8; 64]; 8]) {
+        mb_compress_body!(states, blocks);
+    }
+}
+
+/// SSE2 backend: 4 lanes per `__m128i` vector (`x86_64` baseline).
+#[cfg(target_arch = "x86_64")]
+mod sse2 {
+    use super::super::K;
+    use core::arch::x86_64::*;
+
+    type V = __m128i;
+
+    #[inline]
+    #[target_feature(enable = "sse2")]
+    unsafe fn splat(x: u32) -> V {
+        _mm_set1_epi32(x as i32)
+    }
+
+    #[inline]
+    #[target_feature(enable = "sse2")]
+    unsafe fn add(a: V, b: V) -> V {
+        _mm_add_epi32(a, b)
+    }
+
+    #[inline]
+    #[target_feature(enable = "sse2")]
+    unsafe fn xor(a: V, b: V) -> V {
+        _mm_xor_si128(a, b)
+    }
+
+    #[inline]
+    #[target_feature(enable = "sse2")]
+    unsafe fn and(a: V, b: V) -> V {
+        _mm_and_si128(a, b)
+    }
+
+    /// `!a & b`.
+    #[inline]
+    #[target_feature(enable = "sse2")]
+    unsafe fn andnot(a: V, b: V) -> V {
+        _mm_andnot_si128(a, b)
+    }
+
+    macro_rules! rotr_fn {
+        ($name:ident, $r:literal) => {
+            #[inline]
+            #[target_feature(enable = "sse2")]
+            unsafe fn $name(v: V) -> V {
+                _mm_or_si128(_mm_srli_epi32::<$r>(v), _mm_slli_epi32::<{ 32 - $r }>(v))
+            }
+        };
+    }
+    rotr_fn!(rotr_2, 2);
+    rotr_fn!(rotr_6, 6);
+    rotr_fn!(rotr_7, 7);
+    rotr_fn!(rotr_11, 11);
+    rotr_fn!(rotr_13, 13);
+    rotr_fn!(rotr_17, 17);
+    rotr_fn!(rotr_18, 18);
+    rotr_fn!(rotr_19, 19);
+    rotr_fn!(rotr_22, 22);
+    rotr_fn!(rotr_25, 25);
+
+    #[inline]
+    #[target_feature(enable = "sse2")]
+    unsafe fn shr_3(v: V) -> V {
+        _mm_srli_epi32::<3>(v)
+    }
+
+    #[inline]
+    #[target_feature(enable = "sse2")]
+    unsafe fn shr_10(v: V) -> V {
+        _mm_srli_epi32::<10>(v)
+    }
+
+    #[inline]
+    #[target_feature(enable = "sse2")]
+    unsafe fn gather(blocks: &[[u8; 64]; 4], t: usize) -> V {
+        let mut tmp = [0u32; 4];
+        for (slot, block) in tmp.iter_mut().zip(blocks) {
+            *slot = u32::from_be_bytes(block[4 * t..4 * t + 4].try_into().expect("4-byte word"));
+        }
+        _mm_loadu_si128(tmp.as_ptr().cast())
+    }
+
+    #[inline]
+    #[target_feature(enable = "sse2")]
+    unsafe fn load_state(states: &[[u32; 8]; 4], w: usize) -> V {
+        let mut tmp = [0u32; 4];
+        for (slot, state) in tmp.iter_mut().zip(states) {
+            *slot = state[w];
+        }
+        _mm_loadu_si128(tmp.as_ptr().cast())
+    }
+
+    #[inline]
+    #[target_feature(enable = "sse2")]
+    unsafe fn store_state(states: &mut [[u32; 8]; 4], w: usize, v: V) {
+        let mut tmp = [0u32; 4];
+        _mm_storeu_si128(tmp.as_mut_ptr().cast(), v);
+        for (state, slot) in states.iter_mut().zip(tmp) {
+            state[w] = slot;
+        }
+    }
+
+    /// Compresses one 64-byte block per lane into its lane's state.
+    ///
+    /// # Safety
+    ///
+    /// SSE2 is part of the `x86_64` baseline; always available there.
+    #[target_feature(enable = "sse2")]
+    pub(super) unsafe fn compress(states: &mut [[u32; 8]; 4], blocks: &[[u8; 64]; 4]) {
+        mb_compress_body!(states, blocks);
+    }
+}
+
+/// Generates a portable interleaved backend over `[u32; N]` lane
+/// vectors: every op is an elementwise loop, so the body is plain array
+/// code LLVM's vectorizers can lower to whatever SIMD the *function's*
+/// codegen context offers — and that still overlaps N independent
+/// dependency chains when they lower it to scalar code.
+macro_rules! portable_backend {
+    ($name:ident, $lanes:expr) => {
+        mod $name {
+            use super::super::K;
+
+            type V = [u32; $lanes];
+
+            #[inline(always)]
+            fn splat(x: u32) -> V {
+                [x; $lanes]
+            }
+
+            #[inline(always)]
+            fn add(a: V, b: V) -> V {
+                let mut out = [0u32; $lanes];
+                for i in 0..$lanes {
+                    out[i] = a[i].wrapping_add(b[i]);
+                }
+                out
+            }
+
+            #[inline(always)]
+            fn xor(a: V, b: V) -> V {
+                let mut out = [0u32; $lanes];
+                for i in 0..$lanes {
+                    out[i] = a[i] ^ b[i];
+                }
+                out
+            }
+
+            #[inline(always)]
+            fn and(a: V, b: V) -> V {
+                let mut out = [0u32; $lanes];
+                for i in 0..$lanes {
+                    out[i] = a[i] & b[i];
+                }
+                out
+            }
+
+            /// `!a & b`.
+            #[inline(always)]
+            fn andnot(a: V, b: V) -> V {
+                let mut out = [0u32; $lanes];
+                for i in 0..$lanes {
+                    out[i] = !a[i] & b[i];
+                }
+                out
+            }
+
+            #[inline(always)]
+            fn rotr<const R: u32>(v: V) -> V {
+                let mut out = [0u32; $lanes];
+                for i in 0..$lanes {
+                    out[i] = v[i].rotate_right(R);
+                }
+                out
+            }
+
+            #[inline(always)]
+            fn shr<const R: u32>(v: V) -> V {
+                let mut out = [0u32; $lanes];
+                for i in 0..$lanes {
+                    out[i] = v[i] >> R;
+                }
+                out
+            }
+
+            #[inline(always)]
+            fn rotr_2(v: V) -> V {
+                rotr::<2>(v)
+            }
+            #[inline(always)]
+            fn rotr_6(v: V) -> V {
+                rotr::<6>(v)
+            }
+            #[inline(always)]
+            fn rotr_7(v: V) -> V {
+                rotr::<7>(v)
+            }
+            #[inline(always)]
+            fn rotr_11(v: V) -> V {
+                rotr::<11>(v)
+            }
+            #[inline(always)]
+            fn rotr_13(v: V) -> V {
+                rotr::<13>(v)
+            }
+            #[inline(always)]
+            fn rotr_17(v: V) -> V {
+                rotr::<17>(v)
+            }
+            #[inline(always)]
+            fn rotr_18(v: V) -> V {
+                rotr::<18>(v)
+            }
+            #[inline(always)]
+            fn rotr_19(v: V) -> V {
+                rotr::<19>(v)
+            }
+            #[inline(always)]
+            fn rotr_22(v: V) -> V {
+                rotr::<22>(v)
+            }
+            #[inline(always)]
+            fn rotr_25(v: V) -> V {
+                rotr::<25>(v)
+            }
+            #[inline(always)]
+            fn shr_3(v: V) -> V {
+                shr::<3>(v)
+            }
+            #[inline(always)]
+            fn shr_10(v: V) -> V {
+                shr::<10>(v)
+            }
+
+            #[inline(always)]
+            fn gather(blocks: &[[u8; 64]; $lanes], t: usize) -> V {
+                let mut tmp = [0u32; $lanes];
+                for (slot, block) in tmp.iter_mut().zip(blocks) {
+                    *slot = u32::from_be_bytes(
+                        block[4 * t..4 * t + 4].try_into().expect("4-byte word"),
+                    );
+                }
+                tmp
+            }
+
+            /// Compresses one 64-byte block per lane into its lane's
+            /// state. `inline(always)` so a `#[target_feature]` wrapper
+            /// absorbs the body into its own codegen context and the
+            /// vectorizer sees the full ISA (multiversioning).
+            ///
+            /// The body differs from `mb_compress_body!` in exactly the
+            /// shapes that seed LLVM's SLP vectorizer: state load and
+            /// feed-forward are *fused per-lane loops over contiguous
+            /// words* (the store group it builds its trees from) and the
+            /// message schedule is a rolled loop. With the intrinsics
+            /// layout the same code ran scalar with heavy spilling.
+            #[inline(always)]
+            pub(super) fn compress(states: &mut [[u32; 8]; $lanes], blocks: &[[u8; 64]; $lanes]) {
+                let mut a = splat(0);
+                let mut b = splat(0);
+                let mut c = splat(0);
+                let mut d = splat(0);
+                let mut e = splat(0);
+                let mut f = splat(0);
+                let mut g = splat(0);
+                let mut h = splat(0);
+                for (l, state) in states.iter().enumerate() {
+                    a[l] = state[0];
+                    b[l] = state[1];
+                    c[l] = state[2];
+                    d[l] = state[3];
+                    e[l] = state[4];
+                    f[l] = state[5];
+                    g[l] = state[6];
+                    h[l] = state[7];
+                }
+                let (a0, b0, c0, d0, e0, f0, g0, h0) = (a, b, c, d, e, f, g, h);
+                let mut w = [
+                    gather(blocks, 0),
+                    gather(blocks, 1),
+                    gather(blocks, 2),
+                    gather(blocks, 3),
+                    gather(blocks, 4),
+                    gather(blocks, 5),
+                    gather(blocks, 6),
+                    gather(blocks, 7),
+                    gather(blocks, 8),
+                    gather(blocks, 9),
+                    gather(blocks, 10),
+                    gather(blocks, 11),
+                    gather(blocks, 12),
+                    gather(blocks, 13),
+                    gather(blocks, 14),
+                    gather(blocks, 15),
+                ];
+                mb_rounds8!(a, b, c, d, e, f, g, h, 0, w);
+                mb_rounds8!(a, b, c, d, e, f, g, h, 8, w);
+                let mut t = 16;
+                while t < 64 {
+                    for i in 0..8 {
+                        let w15 = w[(t + i + 1) & 15];
+                        let w2 = w[(t + i + 14) & 15];
+                        let s0 = xor(xor(rotr_7(w15), rotr_18(w15)), shr_3(w15));
+                        let s1 = xor(xor(rotr_17(w2), rotr_19(w2)), shr_10(w2));
+                        w[(t + i) & 15] =
+                            add(add(add(w[(t + i) & 15], s0), w[(t + i + 9) & 15]), s1);
+                    }
+                    mb_rounds8!(a, b, c, d, e, f, g, h, t, w);
+                    t += 8;
+                }
+                for (l, state) in states.iter_mut().enumerate() {
+                    state[0] = a[l].wrapping_add(a0[l]);
+                    state[1] = b[l].wrapping_add(b0[l]);
+                    state[2] = c[l].wrapping_add(c0[l]);
+                    state[3] = d[l].wrapping_add(d0[l]);
+                    state[4] = e[l].wrapping_add(e0[l]);
+                    state[5] = f[l].wrapping_add(f0[l]);
+                    state[6] = g[l].wrapping_add(g0[l]);
+                    state[7] = h[l].wrapping_add(h0[l]);
+                }
+            }
+        }
+    };
+}
+
+// The true fallback instance: 4 lanes, baseline codegen, any target.
+portable_backend!(portable4, 4);
+// A 16-lane instance for the AVX2-feature wrapper below: wide enough
+// that the autovectorizer runs two 8-wide streams and hides latency.
+#[cfg(target_arch = "x86_64")]
+portable_backend!(portable16, 16);
+
+/// The portable kernel re-instantiated under the AVX2 target feature:
+/// still plain array code — no intrinsics — but the autovectorizer may
+/// use the full 256-bit ISA, which it declines to do at the `x86_64`
+/// SSE2 baseline (two-operand destructive encodings make the cost model
+/// bail). Function multiversioning, the autovectorizer edition.
+///
+/// # Safety
+///
+/// Caller must ensure the avx2 target feature is available.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn portable16_avx2(states: &mut [[u32; 8]; 16], blocks: &[[u8; 64]; 16]) {
+    portable16::compress(states, blocks);
+}
+
+/// Lane count of the portable tier on this host: the 16-lane
+/// multiversioned instance where AVX2 codegen is available, the 4-lane
+/// baseline instance otherwise.
+fn scalar_lanes() -> usize {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if avx2::available() {
+            return 16;
+        }
+    }
+    4
+}
+
+/// Splits `states`/`blocks` into `N`-lane chunks for `kernel`, padding
+/// the final partial chunk with dummy lanes whose results are dropped.
+fn compress_chunks<const N: usize>(
+    states: &mut [[u32; 8]],
+    blocks: &[[u8; 64]],
+    kernel: impl Fn(&mut [[u32; 8]; N], &[[u8; 64]; N]),
+) {
+    let mut schunks = states.chunks_exact_mut(N);
+    let mut bchunks = blocks.chunks_exact(N);
+    for (s, b) in (&mut schunks).zip(&mut bchunks) {
+        kernel(
+            s.try_into().expect("exact state chunk"),
+            b.try_into().expect("exact block chunk"),
+        );
+    }
+    let srem = schunks.into_remainder();
+    let brem = bchunks.remainder();
+    if !srem.is_empty() {
+        let mut ps = [[0u32; 8]; N];
+        let mut pb = [[0u8; 64]; N];
+        ps[..srem.len()].copy_from_slice(srem);
+        pb[..brem.len()].copy_from_slice(brem);
+        kernel(&mut ps, &pb);
+        srem.copy_from_slice(&ps[..srem.len()]);
+    }
+}
+
+/// Compresses one 64-byte block per lane into its lane's state under
+/// `d`, chunking to the tier's width.
+fn compress_lanes(d: Dispatch, states: &mut [[u32; 8]], blocks: &[[u8; 64]]) {
+    debug_assert_eq!(states.len(), blocks.len());
+    assert!(
+        d.is_available(),
+        "dispatch tier {d:?} is not available on this host"
+    );
+    match d {
+        Dispatch::Single => {
+            for (state, block) in states.iter_mut().zip(blocks) {
+                compress_blocks(state, &block[..]);
+            }
+        }
+        Dispatch::SingleScalar => {
+            for (state, block) in states.iter_mut().zip(blocks) {
+                scalar::compress_blocks(state, &block[..]);
+            }
+        }
+        #[cfg(target_arch = "x86_64")]
+        Dispatch::Avx2 => {
+            // Availability asserted above.
+            compress_chunks::<8>(states, blocks, |s, b| unsafe { avx2::compress(s, b) })
+        }
+        #[cfg(target_arch = "x86_64")]
+        Dispatch::Sse2 => {
+            compress_chunks::<4>(states, blocks, |s, b| unsafe { sse2::compress(s, b) })
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        Dispatch::Avx2 | Dispatch::Sse2 => unreachable!("tier unavailable off x86_64"),
+        Dispatch::Scalar => {
+            #[cfg(target_arch = "x86_64")]
+            if avx2::available() {
+                // Availability checked: the multiversioned instance.
+                compress_chunks::<16>(states, blocks, |s, b| unsafe { portable16_avx2(s, b) });
+                return;
+            }
+            compress_chunks::<4>(states, blocks, portable4::compress);
+        }
+    }
+}
+
+/// Pads a ≤ 55-byte message into one compression block.
+fn pad_short(msg: &[u8], block: &mut [u8; 64]) {
+    assert!(
+        msg.len() <= SHORT_MAX,
+        "mb: message does not fit one padded block"
+    );
+    block[..msg.len()].copy_from_slice(msg);
+    block[msg.len()] = 0x80;
+    block[56..].copy_from_slice(&((msg.len() as u64) * 8).to_be_bytes());
+}
+
+/// Writes a lane's final state over `out` as the big-endian digest.
+fn state_to_bytes(state: &[u32; 8], out: &mut [u8]) {
+    for (chunk, word) in out.chunks_exact_mut(4).zip(state) {
+        chunk.copy_from_slice(&word.to_be_bytes());
+    }
+}
+
+/// Single-lane short hash pinned to the portable scalar compression —
+/// what [`super::sha256_short`] computes on a host without SHA-NI. The
+/// reference the multi-buffer tiers are differentially tested against,
+/// and e14's sequential-scalar baseline row.
+///
+/// # Panics
+///
+/// Panics if `data` exceeds 55 bytes.
+pub fn sha256_short_scalar(data: &[u8]) -> Digest {
+    let mut block = [0u8; 64];
+    pad_short(data, &mut block);
+    let mut state = H0;
+    scalar::compress_blocks(&mut state, &block);
+    state_to_digest(&state)
+}
+
+/// Hashes N independent short (≤ 55-byte) messages in lockstep under
+/// the active dispatch. Equivalent to mapping [`super::sha256_short`]
+/// over `msgs`, at up to `lane_width()` messages per compression.
+///
+/// # Panics
+///
+/// Panics if any message exceeds 55 bytes.
+pub fn hash_lanes(msgs: &[&[u8]]) -> Vec<Digest> {
+    hash_lanes_with(Dispatch::active(), msgs)
+}
+
+/// [`hash_lanes`] under an explicit dispatch tier.
+///
+/// # Panics
+///
+/// Panics if any message exceeds 55 bytes or `d` is unavailable here.
+pub fn hash_lanes_with(d: Dispatch, msgs: &[&[u8]]) -> Vec<Digest> {
+    let mut out = Vec::with_capacity(msgs.len());
+    if d.lanes() <= 1 {
+        let single: fn(&[u8]) -> Digest = match d {
+            Dispatch::SingleScalar => sha256_short_scalar,
+            _ => sha256_short,
+        };
+        out.extend(msgs.iter().map(|m| single(m)));
+        return out;
+    }
+    for chunk in msgs.chunks(MAX_LANES) {
+        let mut blocks = [[0u8; 64]; MAX_LANES];
+        let mut states = [H0; MAX_LANES];
+        for (block, msg) in blocks.iter_mut().zip(chunk) {
+            pad_short(msg, block);
+        }
+        compress_lanes(d, &mut states[..chunk.len()], &blocks[..chunk.len()]);
+        out.extend(states[..chunk.len()].iter().map(state_to_digest));
+    }
+    out
+}
+
+/// One W-OTS chain step per lane, in place: every block must be a
+/// pre-padded 36-byte message (`header ‖ value`, 0x80 at byte 36, the
+/// 288-bit length in bytes 56..64); each block's value field (bytes
+/// 4..36) is replaced by the block's digest, implementing
+/// `value ← H(header ‖ value)` with no copies. The caller advances the
+/// step byte between calls.
+///
+/// # Panics
+///
+/// Panics if `blocks` exceeds [`MAX_LANES`] entries or `d` is
+/// unavailable on this host.
+pub fn chain_steps_with(d: Dispatch, blocks: &mut [[u8; 64]]) {
+    assert!(blocks.len() <= MAX_LANES, "mb: too many chain lanes");
+    if d.lanes() <= 1 {
+        let single: fn(&[u8]) -> Digest = match d {
+            Dispatch::SingleScalar => sha256_short_scalar,
+            _ => sha256_short,
+        };
+        for block in blocks {
+            let digest = single(&block[..36]);
+            block[4..36].copy_from_slice(digest.as_bytes());
+        }
+        return;
+    }
+    let mut states = [H0; MAX_LANES];
+    compress_lanes(d, &mut states[..blocks.len()], blocks);
+    for (block, state) in blocks.iter_mut().zip(&states) {
+        state_to_bytes(state, &mut block[4..36]);
+    }
+}
+
+/// Eight chain steps in lockstep under the active dispatch (two 4-lane
+/// batches on a 4-wide tier). See [`chain_steps_with`].
+pub fn chain_steps_x8(blocks: &mut [[u8; 64]; 8]) {
+    chain_steps_with(Dispatch::active(), blocks);
+}
+
+/// Four chain steps in lockstep under the active dispatch. See
+/// [`chain_steps_with`].
+pub fn chain_steps_x4(blocks: &mut [[u8; 64]; 4]) {
+    chain_steps_with(Dispatch::active(), blocks);
+}
+
+/// Hashes `tag ‖ left_i ‖ right_i` (the 65-byte Merkle-node / chain-link
+/// shape of [`super::sha256_pair`]) for every pair, two lockstep
+/// compressions per lane batch.
+///
+/// # Panics
+///
+/// Panics if `d` is unavailable on this host.
+pub fn pair_lanes_with(d: Dispatch, tag: u8, pairs: &[(Digest, Digest)]) -> Vec<Digest> {
+    let mut out = Vec::with_capacity(pairs.len());
+    if d.lanes() <= 1 {
+        match d {
+            Dispatch::SingleScalar => {
+                for (left, right) in pairs {
+                    let mut blocks = [0u8; 128];
+                    fill_pair_blocks(tag, left, right, &mut blocks);
+                    let mut state = H0;
+                    scalar::compress_blocks(&mut state, &blocks);
+                    out.push(state_to_digest(&state));
+                }
+            }
+            _ => {
+                for (left, right) in pairs {
+                    out.push(super::sha256_pair(tag, left.as_bytes(), right.as_bytes()));
+                }
+            }
+        }
+        return out;
+    }
+    for chunk in pairs.chunks(MAX_LANES) {
+        let mut block0 = [[0u8; 64]; MAX_LANES];
+        let mut block1 = [[0u8; 64]; MAX_LANES];
+        let mut states = [H0; MAX_LANES];
+        for (i, (left, right)) in chunk.iter().enumerate() {
+            let mut both = [0u8; 128];
+            fill_pair_blocks(tag, left, right, &mut both);
+            block0[i].copy_from_slice(&both[..64]);
+            block1[i].copy_from_slice(&both[64..]);
+        }
+        compress_lanes(d, &mut states[..chunk.len()], &block0[..chunk.len()]);
+        compress_lanes(d, &mut states[..chunk.len()], &block1[..chunk.len()]);
+        out.extend(states[..chunk.len()].iter().map(state_to_digest));
+    }
+    out
+}
+
+/// Lays out `tag ‖ left ‖ right` with SHA-256 padding over two blocks.
+fn fill_pair_blocks(tag: u8, left: &Digest, right: &Digest, blocks: &mut [u8; 128]) {
+    blocks[0] = tag;
+    blocks[1..33].copy_from_slice(left.as_bytes());
+    blocks[33..65].copy_from_slice(right.as_bytes());
+    blocks[65] = 0x80;
+    blocks[120..].copy_from_slice(&(65u64 * 8).to_be_bytes());
+}
+
+/// SHA-256 state after absorbing a block-aligned prefix; the shared
+/// seed of [`finish_short_lanes_with`]. Lets HMAC under one key hash
+/// many short messages without re-compressing the key pad every time.
+#[derive(Debug, Clone, Copy)]
+pub struct Midstate {
+    state: [u32; 8],
+    prefix_len: u64,
+}
+
+impl Midstate {
+    /// Absorbs `prefix`, whose length must be a multiple of 64.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prefix.len()` is not block-aligned.
+    pub fn new(prefix: &[u8]) -> Self {
+        assert!(
+            prefix.len().is_multiple_of(64),
+            "midstate prefix must be block-aligned"
+        );
+        let mut state = H0;
+        compress_blocks(&mut state, prefix);
+        Self {
+            state,
+            prefix_len: prefix.len() as u64,
+        }
+    }
+}
+
+/// Finishes `prefix ‖ msg_i` for many short tails in lockstep: each
+/// `msg` (≤ 55 bytes) is padded into the prefix's final block and all
+/// lanes compress from the shared midstate at once.
+///
+/// # Panics
+///
+/// Panics if any message exceeds 55 bytes or `d` is unavailable here.
+pub fn finish_short_lanes_with(d: Dispatch, mid: &Midstate, msgs: &[&[u8]]) -> Vec<Digest> {
+    let mut out = Vec::with_capacity(msgs.len());
+    for chunk in msgs.chunks(MAX_LANES) {
+        let mut blocks = [[0u8; 64]; MAX_LANES];
+        let mut states = [mid.state; MAX_LANES];
+        for (block, msg) in blocks.iter_mut().zip(chunk) {
+            assert!(
+                msg.len() <= SHORT_MAX,
+                "mb: message does not fit one padded block"
+            );
+            block[..msg.len()].copy_from_slice(msg);
+            block[msg.len()] = 0x80;
+            let bit_len = (mid.prefix_len + msg.len() as u64) * 8;
+            block[56..].copy_from_slice(&bit_len.to_be_bytes());
+        }
+        compress_lanes(d, &mut states[..chunk.len()], &blocks[..chunk.len()]);
+        out.extend(states[..chunk.len()].iter().map(state_to_digest));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{sha256_pair, Sha256};
+    use super::*;
+
+    fn available_tiers() -> Vec<Dispatch> {
+        Dispatch::all()
+            .into_iter()
+            .filter(|t| t.is_available())
+            .collect()
+    }
+
+    #[test]
+    fn hash_lanes_matches_short_for_all_tiers_and_counts() {
+        // Every tier, every batch size from a single lone message up to
+        // two full batches plus a partial tail, every length class.
+        for tier in available_tiers() {
+            for n in 1..=(2 * MAX_LANES + 1) {
+                let msgs: Vec<Vec<u8>> = (0..n)
+                    .map(|i| {
+                        let len = (i * 7 + n) % (SHORT_MAX + 1);
+                        (0..len).map(|j| (i * 31 + j) as u8).collect()
+                    })
+                    .collect();
+                let refs: Vec<&[u8]> = msgs.iter().map(Vec::as_slice).collect();
+                let got = hash_lanes_with(tier, &refs);
+                for (msg, digest) in msgs.iter().zip(&got) {
+                    assert_eq!(*digest, sha256_short(msg), "tier {tier:?} n {n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nist_abc_through_every_tier() {
+        for tier in available_tiers() {
+            let digests = hash_lanes_with(tier, &[b"abc".as_slice(); 8]);
+            for d in digests {
+                assert_eq!(
+                    d.to_hex(),
+                    "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad",
+                    "tier {tier:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sha256_short_scalar_matches_dispatch() {
+        for len in [0usize, 1, 36, 55] {
+            let data: Vec<u8> = (0..len).map(|i| i as u8 ^ 0xA5).collect();
+            assert_eq!(sha256_short_scalar(&data), sha256_short(&data), "len {len}");
+        }
+    }
+
+    #[test]
+    fn chain_step_shape_matches_sequential_all_tiers() {
+        // The exact W-OTS shape: 36-byte message, digest written back
+        // over the value field, step byte advanced by the caller.
+        for tier in available_tiers() {
+            let mut blocks = [[0u8; 64]; MAX_LANES];
+            let mut reference = [[0u8; 32]; MAX_LANES];
+            for (l, block) in blocks.iter_mut().enumerate() {
+                block[0] = 0x02;
+                block[1..3].copy_from_slice(&(l as u16).to_le_bytes());
+                block[3] = 0;
+                for (j, byte) in block[4..36].iter_mut().enumerate() {
+                    *byte = (l * 17 + j) as u8;
+                }
+                block[36] = 0x80;
+                block[56..].copy_from_slice(&(36u64 * 8).to_be_bytes());
+                reference[l].copy_from_slice(&block[4..36]);
+            }
+            for step in 0u8..5 {
+                for (l, r) in reference.iter_mut().enumerate() {
+                    let mut buf = [0u8; 36];
+                    buf[0] = 0x02;
+                    buf[1..3].copy_from_slice(&(l as u16).to_le_bytes());
+                    buf[3] = step;
+                    buf[4..].copy_from_slice(r);
+                    *r = *sha256_short(&buf).as_bytes();
+                }
+                for block in blocks.iter_mut() {
+                    block[3] = step;
+                }
+                chain_steps_with(tier, &mut blocks);
+                for (l, block) in blocks.iter().enumerate() {
+                    assert_eq!(
+                        &block[4..36],
+                        &reference[l][..],
+                        "tier {tier:?} step {step} lane {l}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_width_wrappers_match_sequential() {
+        let make = |n: usize| {
+            let mut blocks = vec![[0u8; 64]; n];
+            for (l, block) in blocks.iter_mut().enumerate() {
+                for (j, byte) in block[..36].iter_mut().enumerate() {
+                    *byte = (l * 13 + j) as u8;
+                }
+                block[36] = 0x80;
+                block[56..].copy_from_slice(&(36u64 * 8).to_be_bytes());
+            }
+            blocks
+        };
+        let mut b8: [[u8; 64]; 8] = make(8).try_into().unwrap();
+        let expected8: Vec<Digest> = b8.iter().map(|b| sha256_short(&b[..36])).collect();
+        chain_steps_x8(&mut b8);
+        for (block, exp) in b8.iter().zip(&expected8) {
+            assert_eq!(&block[4..36], exp.as_bytes());
+        }
+        let mut b4: [[u8; 64]; 4] = make(4).try_into().unwrap();
+        let expected4: Vec<Digest> = b4.iter().map(|b| sha256_short(&b[..36])).collect();
+        chain_steps_x4(&mut b4);
+        for (block, exp) in b4.iter().zip(&expected4) {
+            assert_eq!(&block[4..36], exp.as_bytes());
+        }
+    }
+
+    #[test]
+    fn pair_lanes_matches_sha256_pair_all_tiers() {
+        let pairs: Vec<(Digest, Digest)> = (0u64..11)
+            .map(|i| {
+                (
+                    super::super::sha256(&i.to_le_bytes()),
+                    super::super::sha256(&(i * 31).to_le_bytes()),
+                )
+            })
+            .collect();
+        for tier in available_tiers() {
+            for tag in [0u8, 1, 0xFF] {
+                let got = pair_lanes_with(tier, tag, &pairs);
+                for ((left, right), digest) in pairs.iter().zip(&got) {
+                    assert_eq!(
+                        *digest,
+                        sha256_pair(tag, left.as_bytes(), right.as_bytes()),
+                        "tier {tier:?} tag {tag}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn finish_short_lanes_matches_streaming_all_tiers() {
+        for prefix_blocks in [1usize, 2] {
+            let prefix: Vec<u8> = (0..prefix_blocks * 64).map(|i| i as u8 ^ 0x3C).collect();
+            let mid = Midstate::new(&prefix);
+            let msgs: Vec<Vec<u8>> = (0..9usize)
+                .map(|i| (0..(i * 6) % 56).map(|j| (i + j) as u8).collect())
+                .collect();
+            let refs: Vec<&[u8]> = msgs.iter().map(Vec::as_slice).collect();
+            for tier in available_tiers() {
+                let got = finish_short_lanes_with(tier, &mid, &refs);
+                for (msg, digest) in msgs.iter().zip(&got) {
+                    let mut h = Sha256::new();
+                    h.update(&prefix);
+                    h.update(msg);
+                    assert_eq!(*digest, h.finalize(), "tier {tier:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dispatch_invariants() {
+        assert!(Dispatch::Scalar.is_available());
+        assert!(Dispatch::Single.is_available());
+        assert!(Dispatch::SingleScalar.is_available());
+        let active = Dispatch::active();
+        assert!(active.is_available());
+        assert_eq!(lane_width(), active.lanes());
+        for tier in Dispatch::all() {
+            assert!(tier.lanes() == 1 || tier.lanes() >= 4);
+        }
+        // The forced-tier fallback chain always lands somewhere runnable.
+        assert!(clamp(Dispatch::Avx2).is_available());
+        assert!(clamp(Dispatch::Sse2).is_available());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit one padded block")]
+    fn hash_lanes_rejects_long_messages() {
+        let long = [0u8; 56];
+        let _ = hash_lanes_with(Dispatch::Scalar, &[&long]);
+    }
+
+    #[test]
+    fn portable_baseline_instance_matches_reference() {
+        // On AVX2 hosts `Dispatch::Scalar` runs the 16-lane
+        // multiversioned instance, so drive the 4-lane baseline
+        // instance directly: it is the kernel every non-x86 target
+        // falls back to and must stay covered everywhere.
+        for n in 1..=9usize {
+            let msgs: Vec<Vec<u8>> = (0..n)
+                .map(|i| (0..(i * 9) % 56).map(|j| (i * 41 + j) as u8).collect())
+                .collect();
+            let mut states = vec![H0; n];
+            let mut blocks = vec![[0u8; 64]; n];
+            for (block, msg) in blocks.iter_mut().zip(&msgs) {
+                pad_short(msg, block);
+            }
+            compress_chunks::<4>(&mut states, &blocks, portable4::compress);
+            for (state, msg) in states.iter().zip(&msgs) {
+                assert_eq!(state_to_digest(state), sha256_short(msg), "n {n}");
+            }
+        }
+    }
+}

@@ -1,21 +1,11 @@
 //! HMAC-SHA-256 (RFC 2104), verified against RFC 4231 test vectors.
 
-use crate::digest::{Digest, Sha256};
+use crate::digest::{mb, Digest, Sha256};
 
 const BLOCK: usize = 64;
 
-/// Computes HMAC-SHA-256 of `msg` under `key`.
-///
-/// # Example
-///
-/// ```
-/// use nonrep_crypto::hmac::hmac_sha256;
-///
-/// let tag = hmac_sha256(b"shared-secret", b"message");
-/// assert_eq!(tag, hmac_sha256(b"shared-secret", b"message"));
-/// assert_ne!(tag, hmac_sha256(b"other-secret", b"message"));
-/// ```
-pub fn hmac_sha256(key: &[u8], msg: &[u8]) -> Digest {
+/// Expands `key` into its xored inner/outer pad blocks.
+fn pad_blocks(key: &[u8]) -> ([u8; BLOCK], [u8; BLOCK]) {
     let mut key_block = [0u8; BLOCK];
     if key.len() > BLOCK {
         let hashed = crate::digest::sha256(key);
@@ -29,6 +19,22 @@ pub fn hmac_sha256(key: &[u8], msg: &[u8]) -> Digest {
         ipad[i] ^= key_block[i];
         opad[i] ^= key_block[i];
     }
+    (ipad, opad)
+}
+
+/// Computes HMAC-SHA-256 of `msg` under `key`.
+///
+/// # Example
+///
+/// ```
+/// use nonrep_crypto::hmac::hmac_sha256;
+///
+/// let tag = hmac_sha256(b"shared-secret", b"message");
+/// assert_eq!(tag, hmac_sha256(b"shared-secret", b"message"));
+/// assert_ne!(tag, hmac_sha256(b"other-secret", b"message"));
+/// ```
+pub fn hmac_sha256(key: &[u8], msg: &[u8]) -> Digest {
+    let (ipad, opad) = pad_blocks(key);
     let mut inner = Sha256::new();
     inner.update(&ipad);
     inner.update(msg);
@@ -37,6 +43,32 @@ pub fn hmac_sha256(key: &[u8], msg: &[u8]) -> Digest {
     outer.update(&opad);
     outer.update(inner_digest.as_bytes());
     outer.finalize()
+}
+
+/// HMAC-SHA-256 of many *short* (≤ 55-byte) messages under one key,
+/// lane-batched: the key's inner and outer pad blocks are compressed
+/// once into [`mb::Midstate`]s, then every message's inner and outer
+/// finishing blocks run through the multi-buffer engine in lockstep —
+/// two batched compressions per message instead of four sequential
+/// ones. Bit-identical to mapping [`hmac_sha256`] over `msgs`.
+///
+/// This is the W-OTS secret-derivation shape: 67 two-byte chain indices
+/// MACed under one leaf seed.
+///
+/// # Panics
+///
+/// Panics if any message exceeds 55 bytes or `d` is unavailable on
+/// this host.
+pub fn hmac_short_lanes_with(d: mb::Dispatch, key: &[u8], msgs: &[&[u8]]) -> Vec<Digest> {
+    let (ipad, opad) = pad_blocks(key);
+    let inner_mid = mb::Midstate::new(&ipad);
+    let inner = mb::finish_short_lanes_with(d, &inner_mid, msgs);
+    let outer_mid = mb::Midstate::new(&opad);
+    let inner_refs: Vec<&[u8]> = inner
+        .iter()
+        .map(|digest| digest.as_bytes().as_slice())
+        .collect();
+    mb::finish_short_lanes_with(d, &outer_mid, &inner_refs)
 }
 
 /// Constant-time comparison of two digests.
@@ -99,6 +131,25 @@ mod tests {
             tag.to_hex(),
             "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
         );
+    }
+
+    #[test]
+    fn short_lanes_match_sequential_for_every_tier() {
+        let key = [0x42u8; 32];
+        let msgs: Vec<Vec<u8>> = (0..11u16)
+            .map(|i| i.to_le_bytes().to_vec())
+            .chain([vec![], vec![7u8; 55]])
+            .collect();
+        let refs: Vec<&[u8]> = msgs.iter().map(Vec::as_slice).collect();
+        for tier in mb::Dispatch::all() {
+            if !tier.is_available() {
+                continue;
+            }
+            let got = hmac_short_lanes_with(tier, &key, &refs);
+            for (msg, tag) in msgs.iter().zip(&got) {
+                assert_eq!(*tag, hmac_sha256(&key, msg), "tier {tier:?}");
+            }
+        }
     }
 
     #[test]

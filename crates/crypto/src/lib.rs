@@ -6,6 +6,10 @@
 //! generator". This crate provides all three from scratch:
 //!
 //! * [`digest`] — SHA-256 (FIPS 180-4) and the 32-byte [`Digest`] type,
+//!   plus [`digest::mb`], the lane-interleaved multi-buffer engine that
+//!   hashes independent messages in SIMD lockstep (AVX2/SSE2/portable
+//!   tiers, runtime-dispatched; pin one with the `NONREP_DISPATCH`
+//!   environment variable, see [`digest::mb::Dispatch::active`]),
 //! * [`hmac`] — HMAC-SHA-256,
 //! * [`rng`] — a seedable secure-random facade (deterministic under test),
 //! * [`merkle`] — Merkle trees (used by the signature scheme and by the

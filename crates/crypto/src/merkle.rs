@@ -6,7 +6,7 @@
 //! (`0x00` / `0x01` tags) so a leaf can never be confused with a node —
 //! the classic second-preimage defence.
 
-use crate::digest::{sha256_pair, Digest, Sha256};
+use crate::digest::{mb, sha256_pair, Digest, Sha256};
 use crate::par;
 
 use nonrep_types::codec::{CodecError, Decode, Encode, Reader, Writer};
@@ -27,9 +27,54 @@ pub fn leaf_hash(data: &[u8]) -> Digest {
     h.finalize()
 }
 
+/// Leaf-hashes a batch of digest-sized payloads (e.g. W-OTS public
+/// keys, the MSS keygen shape) through the multi-buffer engine: each
+/// 33-byte leaf message fits one compression block, so up to
+/// [`mb::lane_width`] leaves hash per compression. Identical to mapping
+/// [`leaf_hash`] over the payload bytes.
+pub fn leaf_hash_digests(payloads: &[Digest]) -> Vec<Digest> {
+    leaf_hash_digests_with(mb::Dispatch::active(), payloads)
+}
+
+/// [`leaf_hash_digests`] under an explicit dispatch tier.
+pub fn leaf_hash_digests_with(d: mb::Dispatch, payloads: &[Digest]) -> Vec<Digest> {
+    let msgs: Vec<[u8; 33]> = payloads
+        .iter()
+        .map(|p| {
+            let mut msg = [0u8; 33];
+            msg[0] = LEAF_TAG;
+            msg[1..].copy_from_slice(p.as_bytes());
+            msg
+        })
+        .collect();
+    let refs: Vec<&[u8]> = msgs.iter().map(|m| m.as_slice()).collect();
+    mb::hash_lanes_with(d, &refs)
+}
+
 /// Hashes two child digests into their parent.
 pub fn node_hash(left: &Digest, right: &Digest) -> Digest {
     sha256_pair(NODE_TAG, left.as_bytes(), right.as_bytes())
+}
+
+/// Builds one tree level: parents of `prev`, split across `workers`
+/// threads, each worker hashing its contiguous node range N-pairs-at-a-
+/// time through the multi-buffer engine.
+fn build_level(prev: &[Digest], workers: usize, d: mb::Dispatch) -> Vec<Digest> {
+    let parents = prev.len().div_ceil(2);
+    par::par_map_range_with(workers, parents, PAR_MIN_NODES, |range| {
+        let pairs: Vec<(Digest, Digest)> = range
+            .map(|i| {
+                let left = prev[2 * i];
+                let right = if 2 * i + 1 < prev.len() {
+                    prev[2 * i + 1]
+                } else {
+                    left
+                };
+                (left, right)
+            })
+            .collect();
+        mb::pair_lanes_with(d, NODE_TAG, &pairs)
+    })
 }
 
 /// A complete binary Merkle tree over a power-of-two number of leaves.
@@ -123,27 +168,20 @@ impl MerkleTree {
 
     /// [`MerkleTree::from_leaf_hashes`] with an explicit worker budget:
     /// each level's node hashes are split across scoped threads once the
-    /// level is wide enough to amortize them. The resulting tree is
-    /// identical for every worker count.
+    /// level is wide enough to amortize them, and every worker hashes
+    /// its node range lane-batched (multi-buffer pair hashing). The
+    /// resulting tree is identical for every worker count and dispatch
+    /// tier.
     ///
     /// # Panics
     ///
     /// Panics if `leaves` is empty.
     pub fn from_leaf_hashes_with_workers(leaves: Vec<Digest>, workers: usize) -> Self {
         assert!(!leaves.is_empty(), "merkle tree needs at least one leaf");
+        let d = mb::Dispatch::active();
         let mut levels = vec![leaves];
         while levels.last().unwrap().len() > 1 {
-            let prev = levels.last().unwrap();
-            let parents = prev.len().div_ceil(2);
-            let next = par::par_map_indexed_with(workers, parents, PAR_MIN_NODES, |i| {
-                let left = prev[2 * i];
-                let right = if 2 * i + 1 < prev.len() {
-                    prev[2 * i + 1]
-                } else {
-                    left
-                };
-                node_hash(&left, &right)
-            });
+            let next = build_level(levels.last().unwrap(), workers, d);
             levels.push(next);
         }
         Self { levels }
@@ -316,6 +354,50 @@ mod tests {
     #[should_panic(expected = "at least one leaf")]
     fn empty_tree_panics() {
         let _ = MerkleTree::from_leaf_hashes(vec![]);
+    }
+
+    #[test]
+    fn lane_batched_levels_match_node_hash_for_every_tier() {
+        // Odd widths exercise the duplicated-last-leaf lane and partial
+        // final batches at every level.
+        for n in [2usize, 3, 5, 9, 17, 33] {
+            let leaves: Vec<Digest> = (0..n as u32).map(|i| leaf_hash(&i.to_le_bytes())).collect();
+            let mut expected = leaves.clone();
+            while expected.len() > 1 {
+                expected = (0..expected.len().div_ceil(2))
+                    .map(|i| {
+                        let left = expected[2 * i];
+                        let right = *expected.get(2 * i + 1).unwrap_or(&left);
+                        node_hash(&left, &right)
+                    })
+                    .collect();
+            }
+            for tier in mb::Dispatch::all() {
+                if !tier.is_available() {
+                    continue;
+                }
+                let mut level = leaves.clone();
+                while level.len() > 1 {
+                    level = build_level(&level, 1, tier);
+                }
+                assert_eq!(level[0], expected[0], "n={n} tier={tier:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn leaf_hash_digests_matches_leaf_hash() {
+        let payloads: Vec<Digest> = (0u32..19).map(|i| leaf_hash(&i.to_le_bytes())).collect();
+        for tier in mb::Dispatch::all() {
+            if !tier.is_available() {
+                continue;
+            }
+            let got = leaf_hash_digests_with(tier, &payloads);
+            for (p, digest) in payloads.iter().zip(&got) {
+                assert_eq!(*digest, leaf_hash(p.as_bytes()), "tier {tier:?}");
+            }
+        }
+        assert_eq!(leaf_hash_digests(&payloads).len(), payloads.len());
     }
 
     #[test]

@@ -17,8 +17,8 @@ use std::fmt;
 
 use nonrep_types::codec::{CodecError, Decode, Encode, Reader, Writer};
 
-use crate::digest::Digest;
-use crate::merkle::{leaf_hash, AuthPath, MerkleTree};
+use crate::digest::{mb, Digest};
+use crate::merkle::{leaf_hash, leaf_hash_digests_with, AuthPath, MerkleTree};
 use crate::par;
 use crate::rng::SecureRandom;
 use crate::wots::{self, WotsKeyPair, WotsSignature};
@@ -110,8 +110,11 @@ impl MssSigner {
     ///
     /// Seeds are drawn from `rng` sequentially (so the key is identical
     /// for a given seed stream regardless of the worker count); the
-    /// expensive W-OTS chain walks and the Merkle levels are split across
-    /// scoped threads.
+    /// expensive W-OTS chain walks and the Merkle levels are split
+    /// across scoped threads, and inside each worker the per-leaf chain
+    /// walks and the leaf hashes run lane-batched through the
+    /// multi-buffer engine — thread-level and lane-level parallelism
+    /// compose.
     ///
     /// # Panics
     ///
@@ -122,8 +125,13 @@ impl MssSigner {
         assert!((1..=20).contains(&height), "height must be in 1..=20");
         let count = 1usize << height;
         let seeds: Vec<[u8; 32]> = (0..count).map(|_| rng.secret32()).collect();
-        let leaf_hashes = par::par_map_with(workers, &seeds, PAR_MIN_LEAVES, |seed| {
-            leaf_hash(WotsKeyPair::from_seed(*seed).public_key().as_bytes())
+        let d = mb::Dispatch::active();
+        let leaf_hashes = par::par_map_range_with(workers, count, PAR_MIN_LEAVES, |range| {
+            let pks: Vec<Digest> = seeds[range]
+                .iter()
+                .map(|seed| WotsKeyPair::from_seed_with(*seed, d).public_key())
+                .collect();
+            leaf_hash_digests_with(d, &pks)
         });
         let tree = MerkleTree::from_leaf_hashes_with_workers(leaf_hashes, workers);
         Self {
@@ -133,8 +141,9 @@ impl MssSigner {
         }
     }
 
-    /// Strictly sequential key generation (the pre-parallel reference
-    /// path, kept for differential tests and benchmarks).
+    /// Strictly sequential key generation: one thread, single-lane
+    /// hashing (the pre-parallel, pre-multi-buffer reference path, kept
+    /// for differential tests and benchmarks).
     ///
     /// # Panics
     ///
@@ -146,7 +155,7 @@ impl MssSigner {
         let mut leaf_hashes = Vec::with_capacity(count);
         for _ in 0..count {
             let seed = rng.secret32();
-            let kp = WotsKeyPair::from_seed(seed);
+            let kp = WotsKeyPair::from_seed_with(seed, mb::Dispatch::Single);
             leaf_hashes.push(leaf_hash(kp.public_key().as_bytes()));
             leaf_seeds.push(Some(seed));
         }

@@ -30,6 +30,64 @@ pub fn workers() -> usize {
     })
 }
 
+/// Maps `f` over contiguous index ranges of `0..n` with an explicit
+/// worker budget, concatenating the per-range outputs in order.
+///
+/// This is the primitive that composes thread-level and lane-level
+/// parallelism: each worker owns one contiguous range and is free to
+/// process it in lane-width batches through the multi-buffer hash
+/// engine ([`crate::digest::mb`]) — Merkle level construction and MSS
+/// leaf hashing both do. `f` must return exactly one item per index of
+/// its range.
+///
+/// Falls back to a single `f(0..n)` call when `n / min_per_worker` does
+/// not justify a second worker.
+///
+/// # Panics
+///
+/// Propagates panics from `f` (the scope joins all workers first).
+pub fn par_map_range_with<R, F>(
+    worker_budget: usize,
+    n: usize,
+    min_per_worker: usize,
+    f: F,
+) -> Vec<R>
+where
+    R: Send,
+    F: Fn(std::ops::Range<usize>) -> Vec<R> + Sync,
+{
+    let max_useful = n.checked_div(min_per_worker).unwrap_or(worker_budget);
+    let workers = worker_budget.min(max_useful).max(1);
+    if workers == 1 || n == 0 {
+        return f(0..n);
+    }
+    let chunk = n.div_ceil(workers);
+    let mut out: Vec<R> = Vec::with_capacity(n);
+    std::thread::scope(|s| {
+        let f = &f;
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let start = (w * chunk).min(n);
+                let end = ((w + 1) * chunk).min(n);
+                s.spawn(move || f(start..end))
+            })
+            .collect();
+        for handle in handles {
+            out.extend(handle.join().expect("parallel worker panicked"));
+        }
+    });
+    out
+}
+
+/// [`par_map_range_with`] using the default [`workers`] budget.
+pub fn par_map_range<R, F>(n: usize, min_per_worker: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(std::ops::Range<usize>) -> Vec<R> + Sync,
+{
+    par_map_range_with(workers(), n, min_per_worker, f)
+}
+
 /// Maps `f` over `0..n` with an explicit worker budget, preserving order.
 ///
 /// Splits into contiguous index ranges, one per worker; falls back to a
@@ -49,27 +107,9 @@ where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
-    let max_useful = n.checked_div(min_per_worker).unwrap_or(worker_budget);
-    let workers = worker_budget.min(max_useful).max(1);
-    if workers == 1 || n == 0 {
-        return (0..n).map(f).collect();
-    }
-    let chunk = n.div_ceil(workers);
-    let mut out: Vec<R> = Vec::with_capacity(n);
-    std::thread::scope(|s| {
-        let f = &f;
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                let start = (w * chunk).min(n);
-                let end = ((w + 1) * chunk).min(n);
-                s.spawn(move || (start..end).map(f).collect::<Vec<R>>())
-            })
-            .collect();
-        for handle in handles {
-            out.extend(handle.join().expect("parallel worker panicked"));
-        }
-    });
-    out
+    par_map_range_with(worker_budget, n, min_per_worker, |range| {
+        range.map(&f).collect()
+    })
 }
 
 /// [`par_map_indexed_with`] using the default [`workers`] budget.
@@ -147,6 +187,24 @@ mod tests {
         // 7 items across 4 workers: chunks of 2 with a short tail.
         let out = par_map_indexed_with(4, 7, 1, |i| i);
         assert_eq!(out, vec![0, 1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn range_map_matches_indexed_map() {
+        let expected: Vec<usize> = (0..1000).map(|i| i * 7).collect();
+        for workers in [1usize, 2, 3, 8] {
+            let got = par_map_range_with(workers, 1000, 1, |range| {
+                // Workers may batch their range however they like — here
+                // in chunks of 8, mimicking a lane-width inner loop.
+                let mut out = Vec::with_capacity(range.len());
+                let idx: Vec<usize> = range.collect();
+                for chunk in idx.chunks(8) {
+                    out.extend(chunk.iter().map(|i| i * 7));
+                }
+                out
+            });
+            assert_eq!(got, expected, "workers={workers}");
+        }
     }
 
     #[test]

@@ -11,9 +11,21 @@
 //! **One-time** means exactly that: signing two different messages with the
 //! same key reveals enough chain preimages to forge. The MSS layer enforces
 //! single use; this module documents and tests the primitive in isolation.
+//!
+//! # Performance
+//!
+//! The 67 chains are *independent*, so key generation, signing and
+//! verification walk them lane-batched through the multi-buffer engine
+//! ([`crate::digest::mb`]): up to eight chains advance per compression,
+//! scheduled deepest-remaining-first so lanes stay full as chains finish
+//! at different steps, and the per-chain secrets are derived with the
+//! batched HMAC path ([`crate::hmac::hmac_short_lanes_with`]). Every
+//! public entry point has a `_with` variant taking an explicit
+//! [`mb::Dispatch`] tier; [`mb::Dispatch::Single`] reproduces the
+//! sequential reference path bit for bit.
 
-use crate::digest::{sha256_short, Digest, Sha256};
-use crate::hmac::hmac_sha256;
+use crate::digest::{mb, sha256_short, Digest, Sha256};
+use crate::hmac::{hmac_sha256, hmac_short_lanes_with};
 
 /// Chunks carrying message digest bits (256 / 4).
 pub const MSG_CHUNKS: usize = 64;
@@ -90,23 +102,139 @@ fn chunks_of(digest: &Digest) -> [u8; CHAINS] {
 }
 
 /// Applies the domain-separated chain function `steps` times starting at
-/// step `from`.
-fn chain(mut value: [u8; 32], chain_idx: u16, from: u8, steps: u8) -> [u8; 32] {
+/// step `from`, one compression per step through `hash`.
+fn chain_seq(
+    mut value: [u8; 32],
+    chain_idx: u16,
+    from: u8,
+    steps: u8,
+    hash: fn(&[u8]) -> Digest,
+) -> [u8; 32] {
     // 36-byte message — fits one padded block, so each step is a single
-    // compression over a stack buffer (this loop dominates key generation).
+    // compression over a stack buffer.
     let mut buf = [0u8; 36];
     buf[0] = CHAIN_TAG;
     buf[1..3].copy_from_slice(&chain_idx.to_le_bytes());
     for s in from..from + steps {
         buf[3] = s;
         buf[4..].copy_from_slice(&value);
-        value = *sha256_short(&buf).as_bytes();
+        value = *hash(&buf).as_bytes();
     }
     value
 }
 
+/// The sequential chain function (the reference the lane-batched walk is
+/// tested against).
+#[cfg(test)]
+fn chain(value: [u8; 32], chain_idx: u16, from: u8, steps: u8) -> [u8; 32] {
+    chain_seq(value, chain_idx, from, steps, sha256_short)
+}
+
+/// A 64-byte compression block pre-padded for the 36-byte chain-step
+/// message of `chain_idx`; the step byte and value field are filled per
+/// step.
+fn padded_chain_block(chain_idx: u16) -> [u8; 64] {
+    let mut block = [0u8; 64];
+    block[0] = CHAIN_TAG;
+    block[1..3].copy_from_slice(&chain_idx.to_le_bytes());
+    block[36] = 0x80;
+    block[56..].copy_from_slice(&(36u64 * 8).to_be_bytes());
+    block
+}
+
+/// Walks all 67 chains: chain `i` starts from `values[i]` at step
+/// `start[i]` and advances `steps[i]` steps in place.
+///
+/// Under a multi-lane dispatch the walk runs lane-batched: chains are
+/// scheduled deepest-remaining-first into the tier's lanes, every lane
+/// advances one step per lockstep compression, and a finished lane is
+/// immediately refilled with the next pending chain — so lanes stay
+/// full even though chains finish at different steps (signing and
+/// verification advance each chain by its digest-dependent chunk).
+fn walk_chains(
+    d: mb::Dispatch,
+    values: &mut [[u8; 32]; CHAINS],
+    start: &[u8; CHAINS],
+    steps: &[u8; CHAINS],
+) {
+    let width = d.lanes();
+    if width <= 1 {
+        let hash: fn(&[u8]) -> Digest = match d {
+            mb::Dispatch::SingleScalar => mb::sha256_short_scalar,
+            _ => sha256_short,
+        };
+        for i in 0..CHAINS {
+            if steps[i] > 0 {
+                values[i] = chain_seq(values[i], i as u16, start[i], steps[i], hash);
+            }
+        }
+        return;
+    }
+    // Deepest chains first: the stragglers start early, so the tail of
+    // the schedule (when fewer chains remain than lanes) is short.
+    let mut order: Vec<usize> = (0..CHAINS).filter(|&i| steps[i] > 0).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(steps[i]));
+    let mut next = 0usize;
+    let mut blocks = [[0u8; 64]; mb::MAX_LANES];
+    let mut lane_chain = [usize::MAX; mb::MAX_LANES];
+    let mut lane_left = [0u8; mb::MAX_LANES];
+    let mut active = 0usize;
+    loop {
+        for l in 0..width {
+            if lane_left[l] > 0 {
+                continue;
+            }
+            if lane_chain[l] != usize::MAX {
+                // Chain finished: its final value sits in the block.
+                values[lane_chain[l]].copy_from_slice(&blocks[l][4..36]);
+                lane_chain[l] = usize::MAX;
+                active -= 1;
+            }
+            if next < order.len() {
+                let c = order[next];
+                next += 1;
+                blocks[l] = padded_chain_block(c as u16);
+                blocks[l][3] = start[c];
+                blocks[l][4..36].copy_from_slice(&values[c]);
+                lane_chain[l] = c;
+                lane_left[l] = steps[c];
+                active += 1;
+            }
+        }
+        if active == 0 {
+            return;
+        }
+        mb::chain_steps_with(d, &mut blocks[..width]);
+        for l in 0..width {
+            if lane_chain[l] != usize::MAX {
+                lane_left[l] -= 1;
+                if lane_left[l] > 0 {
+                    blocks[l][3] += 1;
+                }
+            }
+        }
+    }
+}
+
 fn derive_secret(seed: &[u8; 32], chain_idx: u16) -> [u8; 32] {
     *hmac_sha256(seed, &chain_idx.to_le_bytes()).as_bytes()
+}
+
+/// Derives all 67 per-chain secrets, lane-batching the HMACs.
+fn derive_secrets(d: mb::Dispatch, seed: &[u8; 32]) -> [[u8; 32]; CHAINS] {
+    let mut out = [[0u8; 32]; CHAINS];
+    if d.lanes() <= 1 {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = derive_secret(seed, i as u16);
+        }
+        return out;
+    }
+    let msgs: Vec<[u8; 2]> = (0..CHAINS as u16).map(|i| i.to_le_bytes()).collect();
+    let refs: Vec<&[u8]> = msgs.iter().map(|m| m.as_slice()).collect();
+    for (slot, mac) in out.iter_mut().zip(hmac_short_lanes_with(d, seed, &refs)) {
+        *slot = *mac.as_bytes();
+    }
+    out
 }
 
 fn compress_pk(ends: &[[u8; 32]; CHAINS]) -> Digest {
@@ -119,16 +247,19 @@ fn compress_pk(ends: &[[u8; 32]; CHAINS]) -> Digest {
 }
 
 impl WotsKeyPair {
-    /// Derives a key pair from a 32-byte seed.
+    /// Derives a key pair from a 32-byte seed under the active dispatch.
     pub fn from_seed(seed: [u8; 32]) -> Self {
-        let mut ends = [[0u8; 32]; CHAINS];
-        for (i, end) in ends.iter_mut().enumerate() {
-            let sk = derive_secret(&seed, i as u16);
-            *end = chain(sk, i as u16, 0, MAX_STEP);
-        }
+        Self::from_seed_with(seed, mb::Dispatch::active())
+    }
+
+    /// [`WotsKeyPair::from_seed`] under an explicit dispatch tier. The
+    /// key material is identical for every tier.
+    pub fn from_seed_with(seed: [u8; 32], d: mb::Dispatch) -> Self {
+        let mut values = derive_secrets(d, &seed);
+        walk_chains(d, &mut values, &[0; CHAINS], &[MAX_STEP; CHAINS]);
         Self {
             seed,
-            public: compress_pk(&ends),
+            public: compress_pk(&values),
         }
     }
 
@@ -142,13 +273,16 @@ impl WotsKeyPair {
     /// The caller (the MSS layer) is responsible for using the key at most
     /// once.
     pub fn sign(&self, digest: &Digest) -> WotsSignature {
+        self.sign_with(digest, mb::Dispatch::active())
+    }
+
+    /// [`WotsKeyPair::sign`] under an explicit dispatch tier. The
+    /// signature is identical for every tier.
+    pub fn sign_with(&self, digest: &Digest, d: mb::Dispatch) -> WotsSignature {
         let chunks = chunks_of(digest);
-        let mut chains = [[0u8; 32]; CHAINS];
-        for i in 0..CHAINS {
-            let sk = derive_secret(&self.seed, i as u16);
-            chains[i] = chain(sk, i as u16, 0, chunks[i]);
-        }
-        WotsSignature { chains }
+        let mut values = derive_secrets(d, &self.seed);
+        walk_chains(d, &mut values, &[0; CHAINS], &chunks);
+        WotsSignature { chains: values }
     }
 }
 
@@ -156,17 +290,34 @@ impl WotsKeyPair {
 ///
 /// Verification succeeds iff the result equals the signer's public key.
 pub fn recover_public_key(digest: &Digest, sig: &WotsSignature) -> Digest {
+    recover_public_key_with(digest, sig, mb::Dispatch::active())
+}
+
+/// [`recover_public_key`] under an explicit dispatch tier.
+pub fn recover_public_key_with(digest: &Digest, sig: &WotsSignature, d: mb::Dispatch) -> Digest {
     let chunks = chunks_of(digest);
-    let mut ends = [[0u8; 32]; CHAINS];
-    for i in 0..CHAINS {
-        ends[i] = chain(sig.chains[i], i as u16, chunks[i], MAX_STEP - chunks[i]);
+    let mut steps = [0u8; CHAINS];
+    for (step, chunk) in steps.iter_mut().zip(chunks) {
+        *step = MAX_STEP - chunk;
     }
-    compress_pk(&ends)
+    let mut values = sig.chains;
+    walk_chains(d, &mut values, &chunks, &steps);
+    compress_pk(&values)
 }
 
 /// Verifies `sig` over `digest` against `public_key`.
 pub fn verify(public_key: &Digest, digest: &Digest, sig: &WotsSignature) -> bool {
     recover_public_key(digest, sig) == *public_key
+}
+
+/// [`verify`] under an explicit dispatch tier.
+pub fn verify_with(
+    public_key: &Digest,
+    digest: &Digest,
+    sig: &WotsSignature,
+    d: mb::Dispatch,
+) -> bool {
+    recover_public_key_with(digest, sig, d) == *public_key
 }
 
 #[cfg(test)]
@@ -257,5 +408,94 @@ mod tests {
     fn deterministic_keys_from_seed() {
         assert_eq!(keypair(9).public_key(), keypair(9).public_key());
         assert_ne!(keypair(9).public_key(), keypair(10).public_key());
+    }
+
+    #[test]
+    fn every_tier_matches_the_sequential_reference() {
+        // Keygen, signing and verification must be bit-identical across
+        // every dispatch tier the host can run; Single is the sequential
+        // reference path.
+        let seed = [0xC3u8; 32];
+        let reference = WotsKeyPair::from_seed_with(seed, mb::Dispatch::Single);
+        let digests = [sha256(b"alpha"), sha256(b"beta"), sha256(b"gamma")];
+        for tier in mb::Dispatch::all() {
+            if !tier.is_available() {
+                continue;
+            }
+            let kp = WotsKeyPair::from_seed_with(seed, tier);
+            assert_eq!(kp.public_key(), reference.public_key(), "{tier:?}");
+            for digest in &digests {
+                let sig = kp.sign_with(digest, tier);
+                assert_eq!(
+                    sig,
+                    reference.sign_with(digest, mb::Dispatch::Single),
+                    "{tier:?}"
+                );
+                assert_eq!(
+                    recover_public_key_with(digest, &sig, tier),
+                    recover_public_key(digest, &sig),
+                    "{tier:?}"
+                );
+                assert!(
+                    verify_with(&kp.public_key(), digest, &sig, tier),
+                    "{tier:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lane_walk_handles_skewed_step_counts() {
+        // Adversarially skewed schedules: one deep chain among shallow
+        // ones, all-zero steps, single-step chains — the refill
+        // scheduler must still match the sequential walk exactly.
+        for tier in mb::Dispatch::all() {
+            if !tier.is_available() || tier.lanes() <= 1 {
+                continue;
+            }
+            for pattern in 0u8..4 {
+                let mut start = [0u8; CHAINS];
+                let mut steps = [0u8; CHAINS];
+                for i in 0..CHAINS {
+                    let (s, n) = match pattern {
+                        0 => (0, if i == 3 { MAX_STEP } else { 1 }),
+                        1 => (0, (i % 3) as u8),
+                        2 => ((i % 7) as u8, (i % 5) as u8),
+                        _ => (0, 0),
+                    };
+                    start[i] = s;
+                    steps[i] = n.min(MAX_STEP - s);
+                }
+                let init: [[u8; 32]; CHAINS] =
+                    std::array::from_fn(|i| *sha256(&[i as u8, pattern]).as_bytes());
+                let mut got = init;
+                walk_chains(tier, &mut got, &start, &steps);
+                let mut want = init;
+                for i in 0..CHAINS {
+                    if steps[i] > 0 {
+                        want[i] = chain(want[i], i as u16, start[i], steps[i]);
+                    }
+                }
+                assert_eq!(got, want, "tier {tier:?} pattern {pattern}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_secret_derivation_matches_hmac() {
+        let seed = [0x5Au8; 32];
+        for tier in mb::Dispatch::all() {
+            if !tier.is_available() {
+                continue;
+            }
+            let derived = derive_secrets(tier, &seed);
+            for (i, secret) in derived.iter().enumerate() {
+                assert_eq!(
+                    *secret,
+                    derive_secret(&seed, i as u16),
+                    "{tier:?} chain {i}"
+                );
+            }
+        }
     }
 }

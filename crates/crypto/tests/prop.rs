@@ -1,15 +1,95 @@
 //! Property tests for the cryptographic primitives.
 
-use nonrep_crypto::digest::{sha256, Digest, Sha256};
-use nonrep_crypto::hmac::hmac_sha256;
-use nonrep_crypto::merkle::{leaf_hash, MerkleTree};
+use nonrep_crypto::digest::{mb, sha256, sha256_short, Digest, Sha256};
+use nonrep_crypto::hmac::{hmac_sha256, hmac_short_lanes_with};
+use nonrep_crypto::merkle::{leaf_hash, leaf_hash_digests_with, MerkleTree};
 use nonrep_crypto::rng::SecureRandom;
 use nonrep_crypto::sig::{KeyPair, Signature, SignatureScheme};
+use nonrep_crypto::wots::{self, WotsKeyPair};
 use nonrep_types::codec::{Decode, Encode};
 use proptest::collection::vec;
 use proptest::prelude::*;
 
+/// Every dispatch tier this host can run.
+fn tiers() -> Vec<mb::Dispatch> {
+    mb::Dispatch::all()
+        .into_iter()
+        .filter(|t| t.is_available())
+        .collect()
+}
+
 proptest! {
+    /// `mb::hash_lanes` equals sequential `sha256_short` for every
+    /// dispatch tier, every batch size (including partial final
+    /// batches of 1..=lanes messages) and arbitrary short messages.
+    #[test]
+    fn mb_hash_lanes_matches_sequential(
+        seed in any::<u64>(),
+        n in 1usize..2 * mb::MAX_LANES + 2,
+        len in 0usize..56,
+    ) {
+        let msgs: Vec<Vec<u8>> = (0..n)
+            .map(|i| {
+                (0..len.saturating_sub(i % 3))
+                    .map(|j| (seed as usize + i * 131 + j) as u8)
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[u8]> = msgs.iter().map(Vec::as_slice).collect();
+        let expected: Vec<Digest> = msgs.iter().map(|m| sha256_short(m)).collect();
+        for tier in tiers() {
+            prop_assert_eq!(&mb::hash_lanes_with(tier, &refs), &expected, "tier {:?}", tier);
+        }
+        prop_assert_eq!(&mb::hash_lanes(&refs), &expected);
+    }
+
+    /// Lane-batched W-OTS equals the sequential reference for every
+    /// tier: identical keys and signatures, verification accepts the
+    /// right digest and rejects a different one.
+    #[test]
+    fn wots_tiers_equivalent(seed in proptest::array::uniform32(any::<u8>()),
+                             m1 in vec(any::<u8>(), 0..64), m2 in vec(any::<u8>(), 0..64)) {
+        prop_assume!(m1 != m2);
+        let d1 = sha256(&m1);
+        let d2 = sha256(&m2);
+        let reference = WotsKeyPair::from_seed_with(seed, mb::Dispatch::Single);
+        let ref_sig = reference.sign_with(&d1, mb::Dispatch::Single);
+        for tier in tiers() {
+            let kp = WotsKeyPair::from_seed_with(seed, tier);
+            prop_assert_eq!(kp.public_key(), reference.public_key(), "tier {:?}", tier);
+            let sig = kp.sign_with(&d1, tier);
+            prop_assert_eq!(&sig, &ref_sig, "tier {:?}", tier);
+            prop_assert!(wots::verify_with(&kp.public_key(), &d1, &sig, tier));
+            prop_assert!(!wots::verify_with(&kp.public_key(), &d2, &sig, tier));
+        }
+    }
+
+    /// Batched short-message HMAC equals `hmac_sha256` per message for
+    /// every tier.
+    #[test]
+    fn hmac_lanes_match_sequential(key in vec(any::<u8>(), 1..64), n in 1usize..20) {
+        let msgs: Vec<Vec<u8>> = (0..n).map(|i| vec![i as u8; (i * 5) % 56]).collect();
+        let refs: Vec<&[u8]> = msgs.iter().map(Vec::as_slice).collect();
+        let expected: Vec<Digest> = msgs.iter().map(|m| hmac_sha256(&key, m)).collect();
+        for tier in tiers() {
+            prop_assert_eq!(&hmac_short_lanes_with(tier, &key, &refs), &expected,
+                            "tier {:?}", tier);
+        }
+    }
+
+    /// Lane-batched leaf hashing equals `leaf_hash` for every tier.
+    #[test]
+    fn leaf_hash_lanes_match_sequential(n in 1usize..40, seed in any::<u64>()) {
+        let payloads: Vec<Digest> =
+            (0..n).map(|i| sha256(&(seed ^ i as u64).to_le_bytes())).collect();
+        let expected: Vec<Digest> =
+            payloads.iter().map(|p| leaf_hash(p.as_bytes())).collect();
+        for tier in tiers() {
+            prop_assert_eq!(&leaf_hash_digests_with(tier, &payloads), &expected,
+                            "tier {:?}", tier);
+        }
+    }
+
     /// Incremental hashing equals one-shot hashing for any split.
     #[test]
     fn sha256_incremental_equals_oneshot(data in vec(any::<u8>(), 0..512), split in 0usize..512) {

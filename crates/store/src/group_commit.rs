@@ -38,6 +38,14 @@
 //!   which then fails without burning a signature — mirroring the PR 3
 //!   degraded-probe design; the failed frame's own ticket completes
 //!   `Err` immediately.
+//! * While the backlog is non-empty the sync thread also retries it on
+//!   a **timer** (1 s, backing off exponentially to 64 s), so an *idle*
+//!   log recovers from a transient device error without waiting for the
+//!   next appender or seal to poke the queue. A successful timer retry
+//!   makes the backlog durable and clears the recorded error — the
+//!   failure healed itself, so the next seal proceeds normally. (The
+//!   failed frames' tickets already reported `Err`; recovery narrows
+//!   the loss, it cannot un-report it.)
 //! * If a failed write cannot be truncated away either, the queue
 //!   poisons itself fail-stop: the on-disk length no longer matches the
 //!   tracked prefix, so writing anything more could interleave with
@@ -46,9 +54,10 @@
 
 use std::fs::File;
 use std::io::Write as IoWrite;
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use crate::StoreError;
 
@@ -337,15 +346,49 @@ impl Drop for GroupCommitQueue {
     }
 }
 
+/// First timer-driven retry delay after a failed barrier leaves bytes
+/// in the backlog. Long enough that a test (or scheduler) acting
+/// promptly on the failure observes the documented error-consumption
+/// flow before any retry fires.
+const RETRY_BASE: Duration = Duration::from_secs(1);
+/// Exponential-backoff cap for repeated idle retries (a dead device is
+/// probed at most this often).
+const RETRY_CAP: Duration = Duration::from_secs(64);
+
 /// The sync-thread loop: receive one frame (blocking), drain whatever
 /// else is queued (coalescing), land backlog + all drained frames as one
 /// contiguous write + one fsync, complete every ticket.
+///
+/// While a failed barrier's bytes sit in the backlog, the receive uses
+/// a timeout: if no appender or seal pokes the queue, a **timer-driven
+/// retry** (exponential backoff, [`RETRY_BASE`] doubling to
+/// [`RETRY_CAP`]) lands the backlog on its own — an idle log recovers
+/// from a transient device error without waiting for the next frame. A
+/// successful retry clears the recorded async error: every byte it
+/// covered is durable, so there is nothing left for the next seal to
+/// consume (its tickets, if any, already reported the original
+/// failure).
 fn run_sync_thread(rx: Receiver<Frame>, mut file: File, mut file_len: u64, shared: Arc<Shared>) {
     // Bytes (and their record count) from failed barriers, retried ahead
     // of newer frames so the on-disk chain never skips records.
     let mut backlog: Vec<u8> = Vec::new();
     let mut backlog_records: u64 = 0;
-    while let Ok(first) = rx.recv() {
+    let mut retry_delay = RETRY_BASE;
+    loop {
+        let first = if backlog.is_empty() {
+            match rx.recv() {
+                Ok(frame) => Some(frame),
+                Err(_) => break,
+            }
+        } else {
+            match rx.recv_timeout(retry_delay) {
+                Ok(frame) => Some(frame),
+                // Timer fired with the backlog still pending: retry it
+                // without a new frame.
+                Err(RecvTimeoutError::Timeout) => None,
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        };
         {
             // Test-only gate: models a device so slow that a burst of
             // seals queues up behind one in-flight barrier.
@@ -354,7 +397,8 @@ fn run_sync_thread(rx: Receiver<Frame>, mut file: File, mut file_len: u64, share
                 state = shared.gate.wait(state).expect("gate wait");
             }
         }
-        let mut frames = vec![first];
+        let mut frames: Vec<Frame> = Vec::new();
+        frames.extend(first);
         while let Ok(frame) = rx.try_recv() {
             frames.push(frame);
         }
@@ -362,6 +406,11 @@ fn run_sync_thread(rx: Receiver<Frame>, mut file: File, mut file_len: u64, share
             for frame in &frames {
                 frame.completion.complete(Err(poisoned_error()));
             }
+            // Poisoned bytes can never land (the on-disk length no
+            // longer matches the tracked prefix); drop the backlog so
+            // the loop goes back to blocking receives.
+            backlog.clear();
+            backlog_records = 0;
             continue;
         }
         let mut batch = std::mem::take(&mut backlog);
@@ -371,16 +420,27 @@ fn run_sync_thread(rx: Receiver<Frame>, mut file: File, mut file_len: u64, share
             batch.append(&mut frame.bytes);
             records += frame.records;
         }
+        if batch.is_empty() && frames.is_empty() {
+            continue;
+        }
+        let retry_only = frames.is_empty();
         match land_batch(&mut file, &mut file_len, &batch, &shared) {
             Ok(()) => {
                 {
                     let mut state = shared.state.lock().expect("queue state");
                     state.durable_records += records;
                     state.batches_synced += 1;
+                    if retry_only {
+                        // The failure healed itself: everything it kept
+                        // un-durable is now on stable storage, so the
+                        // next seal need not fail over a stale error.
+                        state.last_error = None;
+                    }
                 }
                 for frame in &frames {
                     frame.completion.complete(Ok(()));
                 }
+                retry_delay = RETRY_BASE;
             }
             Err(e) => {
                 // Keep the bytes for retry; record the error for the
@@ -390,6 +450,10 @@ fn run_sync_thread(rx: Receiver<Frame>, mut file: File, mut file_len: u64, share
                 shared.state.lock().expect("queue state").last_error = Some(duplicate(&e));
                 for frame in &frames {
                     frame.completion.complete(Err(duplicate(&e)));
+                }
+                if retry_only {
+                    // Repeated idle retries back off exponentially.
+                    retry_delay = (retry_delay * 2).min(RETRY_CAP);
                 }
             }
         }
@@ -442,5 +506,69 @@ fn land_batch(
             }
             Err(e)
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    fn temp_file(name: &str) -> (std::path::PathBuf, File) {
+        let path = std::env::temp_dir().join(format!("nonrep-gc-{}-{}", std::process::id(), name));
+        let _ = std::fs::remove_file(&path);
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .expect("open temp file");
+        (path, file)
+    }
+
+    #[test]
+    fn timer_retry_lands_backlog_on_idle_queue() {
+        // A failed barrier on an otherwise idle log: no appender or
+        // seal ever pokes the queue again, yet the backlog must land
+        // via the timer-driven retry and the stale error must clear.
+        let (path, file) = temp_file("idle-retry.log");
+        let queue = GroupCommitQueue::spawn(file, 0, 0);
+        queue.inject_barrier_failures(1);
+        let ticket = queue.submit(b"frame-bytes".to_vec(), 3).expect("submit");
+        assert!(ticket.wait_durable().is_err(), "injected failure reported");
+        assert_eq!(queue.durable_records(), 0);
+        // No further submissions. The first retry fires after ~1s.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while queue.durable_records() < 3 {
+            assert!(Instant::now() < deadline, "timer retry never landed");
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        assert_eq!(queue.batches_synced(), 1);
+        // The failure healed itself: nothing left to consume.
+        queue.take_error().expect("stale error cleared by recovery");
+        drop(queue);
+        assert_eq!(std::fs::read(&path).expect("read log"), b"frame-bytes");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn error_still_consumed_when_submission_beats_the_timer() {
+        // A submission arriving before the first retry observes the
+        // documented flow: the recorded error is consumed, the backlog
+        // is retried ahead of (and coalesced with) the new frame.
+        let (path, file) = temp_file("fast-consume.log");
+        let queue = GroupCommitQueue::spawn(file, 0, 0);
+        queue.inject_barrier_failures(1);
+        let ticket = queue.submit(b"aaa".to_vec(), 1).expect("submit");
+        assert!(ticket.wait_durable().is_err());
+        assert!(queue.take_error().is_err(), "error consumed by next seal");
+        let ticket = queue.submit(b"bbb".to_vec(), 1).expect("submit");
+        ticket
+            .wait_durable()
+            .expect("backlog + frame land together");
+        assert_eq!(queue.durable_records(), 2);
+        assert_eq!(queue.batches_synced(), 1, "one coalesced barrier");
+        drop(queue);
+        assert_eq!(std::fs::read(&path).expect("read log"), b"aaabbb");
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -1,23 +1,23 @@
 #!/usr/bin/env bash
-# Runs the full perf-tracked experiment suite (e1–e3, e5–e13) and writes
+# Runs the full perf-tracked experiment suite (e1–e3, e5–e14) and writes
 # BENCH_<N>.json at the repo root with before/after numbers, where
 # "before" is the checked-in baseline (scripts/bench_baseline_<N>.jsonl —
 # seed-implementation numbers carried forward, plus regression-guard
 # rows for post-seed benches). See docs/BENCHMARKS.md; the regression
 # gate over the result is scripts/bench_gate.sh.
 #
-# Usage: scripts/bench.sh [N]    (default N=4)
+# Usage: scripts/bench.sh [N]    (default N=5)
 set -euo pipefail
 
 cd "$(dirname "$0")/.." || exit 1
-N="${1:-4}"
+N="${1:-5}"
 BASELINE="scripts/bench_baseline_${N}.jsonl"
 CURRENT="$(mktemp /tmp/nonrep-bench-XXXX.jsonl)"
 trap 'rm -f "$CURRENT"' EXIT
 
 for bench in e1_invocation e2_sharing e3_trust_domains e5_container e6_crypto \
              e7_evidence_space e8_messages e9_faults e10_group_size e11_batch_commit \
-             e12_durability e13_group_commit; do
+             e12_durability e13_group_commit e14_multibuffer; do
     NONREP_BENCH_JSON="$CURRENT" cargo bench -p nonrep_bench --bench "$bench"
 done
 

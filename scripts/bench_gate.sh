@@ -3,7 +3,7 @@
 # numbers against its checked-in baseline
 # (scripts/bench_baseline_<N>.jsonl) and fails on a >25% regression on
 # the headline perf paths (e1_invocation, e11_batch, e12_durability,
-# e13_group_commit). See docs/BENCHMARKS.md.
+# e13_group_commit, e14_multibuffer). See docs/BENCHMARKS.md.
 #
 #   scripts/bench_gate.sh                      # newest BENCH_*.json vs its baseline
 #   scripts/bench_gate.sh BENCH_4.json         # explicit report (baseline inferred)
@@ -24,7 +24,8 @@ run_gate() {
 import json, sys
 
 bench_path, baseline_path, threshold = sys.argv[1], sys.argv[2], float(sys.argv[3])
-HEADLINE = {"e1_invocation", "e11_batch", "e12_durability", "e13_group_commit"}
+HEADLINE = {"e1_invocation", "e11_batch", "e12_durability", "e13_group_commit",
+            "e14_multibuffer"}
 
 baseline = {}
 with open(baseline_path) as f:

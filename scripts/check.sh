@@ -35,6 +35,12 @@ fi
 echo "==> cargo test -q"
 cargo test -q
 
+# SIMD bugs must not hide behind a fast host: the crypto differential
+# suite (multi-buffer vs sequential hashing, W-OTS tier equivalence)
+# re-runs with dispatch pinned to the portable kernel.
+echo "==> NONREP_DISPATCH=scalar cargo test -q -p nonrep_crypto"
+NONREP_DISPATCH=scalar cargo test -q -p nonrep_crypto
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
