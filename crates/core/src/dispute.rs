@@ -62,6 +62,18 @@ pub struct LogReport {
     /// when the covered range lies inside the submission — the recomputed
     /// root over the covered records).
     pub epoch_verified: usize,
+    /// Tokens whose decoded fields disagree with the record context they
+    /// were stored under (run id, kind, actor or content digest). The
+    /// middleware always records a token under its own context
+    /// ([`nonrep_protocols::party::Party::store_token`]), so a mismatch
+    /// means the record was hand-crafted — e.g. a token from one run
+    /// replayed into another run's history.
+    pub context_mismatches: usize,
+    /// Violation found by corroborating the submission against epoch
+    /// anchors the submitter previously gossiped to counterparties
+    /// ([`Adjudicator::verify_window_with_anchors`]): a forked history or
+    /// withheld records. `None` when no anchors were checked or all agree.
+    pub anchor_violation: Option<ChainViolation>,
 }
 
 impl LogReport {
@@ -80,6 +92,8 @@ impl LogReport {
             && self.undecodable == 0
             && self.tokens.iter().all(|(_, ok)| *ok)
             && self.epoch_verified == self.epoch_commits
+            && self.context_mismatches == 0
+            && self.anchor_violation.is_none()
     }
 }
 
@@ -163,6 +177,44 @@ impl Verdict {
             .filter(|r| !r.clean())
             .map(|r| r.submitter.clone())
             .collect()
+    }
+
+    /// Chain and anchor violations established against submitters, in
+    /// submission order.
+    pub fn violations(&self) -> Vec<(OrgId, ChainViolation)> {
+        let mut out = Vec::new();
+        for report in &self.reports {
+            if let Err(v) = &report.chain {
+                out.push((report.submitter.clone(), v.clone()));
+            }
+            if let Some(v) = &report.anchor_violation {
+                out.push((report.submitter.clone(), v.clone()));
+            }
+        }
+        out
+    }
+
+    /// Issuers proven to have both resolved *and* aborted this run.
+    ///
+    /// An honest offline TTP's escrow ledger refuses to issue a `Resolve`
+    /// after an `Abort` (and vice versa), so verified tokens of both kinds
+    /// from one issuer for one run prove the TTP equivocated — told the
+    /// two exchange parties contradictory outcomes.
+    pub fn conflicting_decisions(&self) -> Vec<OrgId> {
+        let resolved: std::collections::BTreeSet<&OrgId> = self
+            .facts
+            .iter()
+            .filter(|f| f.kind == TokenKind::Resolve)
+            .map(|f| &f.issuer)
+            .collect();
+        let mut out: Vec<OrgId> = self
+            .facts
+            .iter()
+            .filter(|f| f.kind == TokenKind::Abort && resolved.contains(&f.issuer))
+            .map(|f| f.issuer.clone())
+            .collect();
+        out.dedup();
+        out
     }
 }
 
@@ -272,6 +324,51 @@ impl Adjudicator {
         verdict_from_reports(run_id, reports)
     }
 
+    /// [`Adjudicator::verify_window`] plus corroboration against epoch
+    /// `anchors` previously gossiped by the submitter to counterparties
+    /// (see `ReportBuilder::check_anchors` rules: forked histories and
+    /// withheld evidence become [`ChainViolation`]s on the report).
+    pub fn verify_window_with_anchors(
+        &self,
+        submission: &WindowSubmission,
+        anchors: &[EpochCommitment],
+    ) -> LogReport {
+        let mut builder = ReportBuilder::for_window(
+            submission.submitter.clone(),
+            &*self.directory,
+            submission.records.first().map(|r| (r.seq, r.prev_hash)),
+        );
+        for record in &submission.records {
+            builder.check(record);
+        }
+        builder.check_head_claim(&submission.head);
+        builder.check_anchors(anchors, submission.head != Digest::ZERO);
+        builder.finish()
+    }
+
+    /// Adjudicates `run_id` over windowed submissions with cross-submitter
+    /// anchor corroboration: `anchors[org]` holds the epoch commitments
+    /// that counterparties collected *from* `org` over the bus while the
+    /// evidence was being produced. A submitter whose submission conflicts
+    /// with its own gossiped anchors is established as having forked or
+    /// truncated its history ([`Verdict::violations`]).
+    pub fn adjudicate_with_anchors(
+        &self,
+        run_id: RunId,
+        submissions: &[WindowSubmission],
+        anchors: &BTreeMap<OrgId, Vec<EpochCommitment>>,
+    ) -> Verdict {
+        static NO_ANCHORS: &[EpochCommitment] = &[];
+        let reports = submissions
+            .iter()
+            .map(|s| {
+                let theirs = anchors.get(&s.submitter).map_or(NO_ANCHORS, Vec::as_slice);
+                self.verify_window_with_anchors(s, theirs)
+            })
+            .collect();
+        verdict_from_reports(run_id, reports)
+    }
+
     /// Adjudicates `run_id` directly over live evidence logs, verifying
     /// each chain and decoding tokens in place instead of snapshotting
     /// whole logs first. This is the hot path for audit/dispute queries
@@ -305,6 +402,8 @@ struct ReportBuilder<'a> {
     epoch_commits: usize,
     epoch_verified: usize,
     head_violation: Option<ChainViolation>,
+    context_mismatches: usize,
+    anchor_violation: Option<ChainViolation>,
 }
 
 impl<'a> ReportBuilder<'a> {
@@ -320,6 +419,8 @@ impl<'a> ReportBuilder<'a> {
             epoch_commits: 0,
             epoch_verified: 0,
             head_violation: None,
+            context_mismatches: 0,
+            anchor_violation: None,
         }
     }
 
@@ -369,6 +470,18 @@ impl<'a> ReportBuilder<'a> {
                     .key_of(&token.issuer)
                     .map(|key| token.verify(&key, None, None, None))
                     .unwrap_or(false);
+                // The middleware stores every token under the token's own
+                // context (`Party::store_token` copies run id, kind label,
+                // issuer and subject into the draft), so any disagreement
+                // here proves a hand-crafted record — e.g. a genuine token
+                // from run A replayed into run B's history.
+                if token.run_id != record.draft.run_id
+                    || token.kind.label() != record.draft.kind
+                    || token.issuer != record.draft.actor
+                    || token.subject != record.draft.content_digest
+                {
+                    self.context_mismatches += 1;
+                }
                 self.tokens.push((token, ok));
             }
             Err(_) => self.undecodable += 1,
@@ -403,6 +516,69 @@ impl<'a> ReportBuilder<'a> {
         }
     }
 
+    /// Corroborates the submission against epoch anchors the submitter
+    /// gossiped to counterparties while the evidence was being produced.
+    ///
+    /// Only anchors whose signature verifies under the submitter's own key
+    /// count — a counterparty cannot frame an honest submitter by
+    /// presenting anchors the submitter never signed. For each verified
+    /// anchor:
+    ///
+    /// - a covered range lying inside the submission must recompute to the
+    ///   anchored root, else the submitter forked its history
+    ///   ([`ChainViolation::ForkedHistory`]);
+    /// - two verified anchors over the same range with different roots are
+    ///   themselves proof of a fork (the submitter told two counterparties
+    ///   two different histories);
+    /// - when the submission claims to reach the log's tail
+    ///   (`claims_tail`), an anchor attesting records beyond that tail
+    ///   proves evidence was withheld
+    ///   ([`ChainViolation::WithheldRecords`]). Partial windows claim
+    ///   nothing about the tail and are never flagged.
+    fn check_anchors(&mut self, anchors: &[EpochCommitment], claims_tail: bool) {
+        let Some(key) = self.directory.key_of(&self.submitter) else {
+            return; // unknown submitter key: anchors cannot be attributed
+        };
+        let verified: Vec<&EpochCommitment> = anchors
+            .iter()
+            .filter(|a| a.hi >= a.lo)
+            .filter(|a| {
+                key.verify_digest(
+                    &EpochCommitment::signing_digest(a.lo, a.hi, &a.root),
+                    &a.signature,
+                )
+            })
+            .collect();
+        for (i, a) in verified.iter().enumerate() {
+            if verified[i + 1..]
+                .iter()
+                .any(|b| a.lo == b.lo && a.hi == b.hi && a.root != b.root)
+            {
+                self.anchor_violation
+                    .get_or_insert(ChainViolation::ForkedHistory { lo: a.lo, hi: a.hi });
+            }
+        }
+        let first = self.first_seq.unwrap_or(0);
+        let last = first + (self.hashes.len() as u64).saturating_sub(1);
+        for a in &verified {
+            if !self.hashes.is_empty() && a.lo >= first && a.hi <= last {
+                let lo = (a.lo - first) as usize;
+                let hi = (a.hi - first) as usize;
+                if EpochCommitment::root_over_hashes(&self.hashes[lo..=hi]) != a.root {
+                    self.anchor_violation
+                        .get_or_insert(ChainViolation::ForkedHistory { lo: a.lo, hi: a.hi });
+                }
+            }
+            if claims_tail && a.hi > last {
+                self.anchor_violation
+                    .get_or_insert(ChainViolation::WithheldRecords {
+                        attested: a.hi,
+                        submitted: if self.hashes.is_empty() { 0 } else { last },
+                    });
+            }
+        }
+    }
+
     /// Cross-checks a claimed chain head against the last record fed in
     /// ([`Digest::ZERO`] claims nothing).
     fn check_head_claim(&mut self, head: &Digest) {
@@ -432,6 +608,8 @@ impl<'a> ReportBuilder<'a> {
             undecodable: self.undecodable,
             epoch_commits: self.epoch_commits,
             epoch_verified: self.epoch_verified,
+            context_mismatches: self.context_mismatches,
+            anchor_violation: self.anchor_violation,
         }
     }
 }
@@ -588,6 +766,206 @@ mod tests {
         let verdict =
             adjudicator.adjudicate(run1, &[(OrgId::new("alice"), p.alice.log().records())]);
         assert!(verdict.facts.iter().all(|f| f.run_id == run1));
+    }
+
+    #[test]
+    fn replayed_token_is_flagged_and_contributes_no_cross_run_fact() {
+        use nonrep_store::record::RecordDraft;
+        use nonrep_types::codec::Encode;
+        let p = pair();
+        let run1 = p.alice.new_run_id();
+        let run2 = p.alice.new_run_id();
+        let token = p
+            .alice
+            .issue_token(TokenKind::NroReq, run1, sha256(b"req"))
+            .unwrap();
+        p.alice.store_token(&token).unwrap();
+        // Bob received the run-1 token honestly…
+        p.bob
+            .verify_and_store(&token, TokenKind::NroReq, run1, None)
+            .unwrap();
+        // …then replays it into run 2's history: a hand-crafted record
+        // whose context says run 2 but whose payload is the run-1 token.
+        p.bob
+            .log()
+            .append(RecordDraft {
+                run_id: run2,
+                kind: token.kind.label().to_string(),
+                actor: token.issuer.clone(),
+                at: p.bob.now(),
+                content_digest: token.subject,
+                payload: token.encode_to_vec(),
+            })
+            .unwrap();
+        let adjudicator = Adjudicator::new(p.dir.clone() as Arc<dyn KeyDirectory>);
+        let verdict = adjudicator.adjudicate(run2, &[(OrgId::new("bob"), p.bob.log().records())]);
+        // The replay establishes nothing in run 2 (facts group by the
+        // token's own run id)…
+        assert!(verdict.facts.is_empty());
+        // …and the context mismatch marks bob's submission as crafted.
+        assert_eq!(verdict.suspect_submitters(), vec![OrgId::new("bob")]);
+        assert_eq!(verdict.reports[0].context_mismatches, 1);
+    }
+
+    #[test]
+    fn withheld_evidence_detected_via_gossiped_anchors() {
+        let clock = LogicalClock::new();
+        let dir = Arc::new(StaticKeyDirectory::new());
+        let alice = Party::quick_batched("alice", 1, &clock, &dir, 2);
+        let run = alice.new_run_id();
+        for i in 0..4u8 {
+            let t = alice
+                .issue_token(TokenKind::NroReq, run, sha256(&[i]))
+                .unwrap();
+            alice.store_token(&t).unwrap();
+        }
+        alice.flush_evidence().unwrap();
+        // Counterparties collected alice's sealed epoch anchors while the
+        // evidence was produced.
+        let anchors: Vec<EpochCommitment> = alice
+            .log()
+            .records()
+            .iter()
+            .filter_map(|r| EpochCommitment::from_record(r))
+            .collect();
+        assert!(anchors.len() >= 2);
+        // Alice later submits a truncated "full log": a valid prefix with
+        // an honestly-computed head over the truncated tail — undetectable
+        // by chain verification alone.
+        let records = alice.log().snapshot_range(0..2);
+        let head = records.last().unwrap().record_hash();
+        let submission = WindowSubmission {
+            submitter: OrgId::new("alice"),
+            records,
+            head,
+        };
+        let adjudicator = Adjudicator::new(dir.clone() as Arc<dyn KeyDirectory>);
+        assert!(adjudicator.verify_window(&submission).clean());
+        let report = adjudicator.verify_window_with_anchors(&submission, &anchors);
+        assert!(matches!(
+            report.anchor_violation,
+            Some(ChainViolation::WithheldRecords { .. })
+        ));
+        assert!(!report.clean());
+    }
+
+    #[test]
+    fn forked_history_detected_via_gossiped_anchors() {
+        let clock = LogicalClock::new();
+        let dir = Arc::new(StaticKeyDirectory::new());
+        let alice = Party::quick_batched("alice", 1, &clock, &dir, 2);
+        let run = alice.new_run_id();
+        for i in 0..2u8 {
+            let t = alice
+                .issue_token(TokenKind::NroReq, run, sha256(&[i]))
+                .unwrap();
+            alice.store_token(&t).unwrap();
+        }
+        alice.flush_evidence().unwrap();
+        let real = alice
+            .log()
+            .records()
+            .iter()
+            .find_map(|r| EpochCommitment::from_record(r))
+            .unwrap();
+        // Alice told another counterparty a *different* history for the
+        // same epoch: same range, different root, genuinely signed.
+        let other_root = sha256(b"the history alice showed bob");
+        let signature = alice
+            .keys()
+            .sign_digest(&EpochCommitment::signing_digest(
+                real.lo,
+                real.hi,
+                &other_root,
+            ))
+            .unwrap();
+        let forked = EpochCommitment {
+            lo: real.lo,
+            hi: real.hi,
+            root: other_root,
+            signature,
+        };
+        let submission = WindowSubmission::from_log("alice", &**alice.log(), 0..alice.log().len());
+        let adjudicator = Adjudicator::new(dir.clone() as Arc<dyn KeyDirectory>);
+        // The divergent anchor alone: its in-window root recomputation
+        // conflicts with the submitted records.
+        let report =
+            adjudicator.verify_window_with_anchors(&submission, std::slice::from_ref(&forked));
+        assert!(matches!(
+            report.anchor_violation,
+            Some(ChainViolation::ForkedHistory { .. })
+        ));
+        // Both anchors together: pairwise equivocation over one range.
+        let report = adjudicator.verify_window_with_anchors(&submission, &[real.clone(), forked]);
+        assert!(matches!(
+            report.anchor_violation,
+            Some(ChainViolation::ForkedHistory { .. })
+        ));
+        // The genuine anchor alone corroborates the submission.
+        assert!(adjudicator
+            .verify_window_with_anchors(&submission, &[real])
+            .clean());
+    }
+
+    #[test]
+    fn unattributable_anchors_cannot_frame_an_honest_submitter() {
+        let clock = LogicalClock::new();
+        let dir = Arc::new(StaticKeyDirectory::new());
+        let alice = Party::quick_batched("alice", 1, &clock, &dir, 2);
+        let mallory = Party::quick("mallory", 66, &clock, &dir);
+        let run = alice.new_run_id();
+        for i in 0..2u8 {
+            let t = alice
+                .issue_token(TokenKind::NroReq, run, sha256(&[i]))
+                .unwrap();
+            alice.store_token(&t).unwrap();
+        }
+        alice.flush_evidence().unwrap();
+        // Mallory fabricates an anchor accusing alice of withholding up to
+        // seq 99 — but can only sign it with mallory's own key.
+        let root = sha256(b"fabricated");
+        let signature = mallory
+            .keys()
+            .sign_digest(&EpochCommitment::signing_digest(0, 99, &root))
+            .unwrap();
+        let fabricated = EpochCommitment {
+            lo: 0,
+            hi: 99,
+            root,
+            signature,
+        };
+        let submission = WindowSubmission::from_log("alice", &**alice.log(), 0..alice.log().len());
+        let adjudicator = Adjudicator::new(dir.clone() as Arc<dyn KeyDirectory>);
+        let report = adjudicator.verify_window_with_anchors(&submission, &[fabricated]);
+        assert!(report.anchor_violation.is_none());
+        assert!(report.clean());
+    }
+
+    #[test]
+    fn resolve_plus_abort_facts_expose_ttp_equivocation() {
+        let p = pair();
+        let run = p.alice.new_run_id();
+        // Alice (as an offline TTP) issues contradictory outcomes for one
+        // exchange; the victims hold one token each and submit them.
+        let resolve = p
+            .alice
+            .issue_token(TokenKind::Resolve, run, sha256(b"escrowed key"))
+            .unwrap();
+        let abort = p
+            .alice
+            .issue_token(TokenKind::Abort, run, sha256(b"abort"))
+            .unwrap();
+        p.bob
+            .verify_and_store(&resolve, TokenKind::Resolve, run, None)
+            .unwrap();
+        p.bob
+            .verify_and_store(&abort, TokenKind::Abort, run, None)
+            .unwrap();
+        let adjudicator = Adjudicator::new(p.dir.clone() as Arc<dyn KeyDirectory>);
+        let verdict = adjudicator.adjudicate(run, &[(OrgId::new("bob"), p.bob.log().records())]);
+        assert_eq!(verdict.conflicting_decisions(), vec![OrgId::new("alice")]);
+        // Bob's submission itself is honest.
+        assert!(verdict.suspect_submitters().is_empty());
     }
 
     #[test]

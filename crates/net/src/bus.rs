@@ -191,7 +191,7 @@ impl RequestBus for LocalBus {
                 // A decided drop may hit the response instead of the
                 // request: the request is then delivered and executed, but
                 // the caller still sees a failure (at-most-once ambiguity).
-                if self.fault.drop_is_response_loss() {
+                if self.fault.drop_is_response_loss(from, to) {
                     self.advance_hop();
                     self.stats.record_delivery(from, to, payload.len());
                     let _ = endpoint.handle_request(from, payload);

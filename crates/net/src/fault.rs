@@ -16,7 +16,6 @@ use std::collections::{HashMap, HashSet};
 
 use parking_lot::Mutex;
 
-use nonrep_crypto::rng::SecureRandom;
 use nonrep_types::ids::OrgId;
 
 /// What the fault plan decides for one message.
@@ -36,10 +35,45 @@ pub enum Verdict {
 struct FaultState {
     /// Consecutive drops per directed link.
     consecutive: HashMap<(OrgId, OrgId), u32>,
+    /// Attempt index per directed link (how many probabilistic judgments
+    /// the link has consumed).
+    attempts: HashMap<(OrgId, OrgId), u64>,
     crashed: HashSet<OrgId>,
     /// Partitioned unordered pairs.
     partitions: HashSet<(OrgId, OrgId)>,
-    rng: Option<SecureRandom>,
+}
+
+/// Domain-separation salts for the keyed drop decisions.
+const DROP_SALT: u64 = 0x6472_6f70; // "drop"
+const RESPONSE_SALT: u64 = 0x7265_7370; // "resp"
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Keyed coin flip: a pure function of (seed, link, attempt, salt), so the
+/// verdict for one link's nth attempt cannot depend on traffic elsewhere.
+fn link_chance(seed: u64, from: &OrgId, to: &OrgId, attempt: u64, salt: u64, p: f64) -> bool {
+    if p <= 0.0 {
+        return false;
+    }
+    let mut x = splitmix64(seed ^ fnv1a(from.as_str()));
+    x = splitmix64(x ^ fnv1a(to.as_str()).rotate_left(17));
+    x = splitmix64(x ^ attempt);
+    x = splitmix64(x ^ salt);
+    ((x >> 11) as f64 / (1u64 << 53) as f64) < p
 }
 
 /// Configurable fault injection shared by bus and simulator.
@@ -52,6 +86,7 @@ pub struct FaultPlan {
     /// Probability that a *response* (rather than the request) is lost,
     /// given a drop occurs. Exercises at-most-once ambiguity.
     response_drop_share: f64,
+    seed: u64,
     state: Mutex<FaultState>,
 }
 
@@ -76,13 +111,18 @@ impl FaultPlan {
             drop_probability: 0.0,
             max_consecutive_drops: 0,
             response_drop_share: 0.0,
+            seed: 0,
             state: Mutex::new(FaultState::default()),
         }
     }
 
     /// A plan with probabilistic drops, bounded per link.
     ///
-    /// `seed` makes the plan deterministic.
+    /// `seed` makes the plan deterministic: each verdict is a pure function
+    /// of `(seed, sender, receiver, attempt)`, where `attempt` counts that
+    /// directed link's own judgments. Traffic on other links — or the order
+    /// in which concurrent scenarios interleave — cannot change a link's
+    /// verdict sequence.
     ///
     /// # Panics
     ///
@@ -97,11 +137,15 @@ impl FaultPlan {
             drop_probability,
             max_consecutive_drops,
             response_drop_share: 0.3,
-            state: Mutex::new(FaultState {
-                rng: Some(SecureRandom::from_seed(seed)),
-                ..FaultState::default()
-            }),
+            seed,
+            state: Mutex::new(FaultState::default()),
         }
+    }
+
+    /// The per-link bound on consecutive drops. Retry budgets above this
+    /// bound guarantee delivery on non-partitioned, non-crashed links.
+    pub fn max_consecutive_drops(&self) -> u32 {
+        self.max_consecutive_drops
     }
 
     /// Sets how often a drop manifests as a lost *response* instead of a
@@ -153,14 +197,22 @@ impl FaultPlan {
             return Verdict::Deliver;
         }
         let key = (from.clone(), to.clone());
+        let attempt = st.attempts.entry(key.clone()).or_insert(0);
+        let this_attempt = *attempt;
+        *attempt += 1;
         let count = st.consecutive.get(&key).copied().unwrap_or(0);
         if count >= self.max_consecutive_drops {
             st.consecutive.insert(key, 0);
             return Verdict::Deliver;
         }
-        let p = self.drop_probability;
-        let dropped = st.rng.as_mut().map(|rng| rng.chance(p)).unwrap_or(false);
-        if dropped {
+        if link_chance(
+            self.seed,
+            from,
+            to,
+            this_attempt,
+            DROP_SALT,
+            self.drop_probability,
+        ) {
             *st.consecutive.entry(key).or_insert(0) += 1;
             Verdict::Drop
         } else {
@@ -169,18 +221,31 @@ impl FaultPlan {
         }
     }
 
-    /// Whether a decided drop should be a lost response instead of a lost
-    /// request.
-    pub fn drop_is_response_loss(&self) -> bool {
+    /// Whether the drop just decided for `from -> to` should be a lost
+    /// response instead of a lost request.
+    ///
+    /// Keyed to the same link attempt that produced the drop (different
+    /// domain salt), so the answer is as schedule-invariant as the drop
+    /// verdict itself.
+    pub fn drop_is_response_loss(&self, from: &OrgId, to: &OrgId) -> bool {
         if self.response_drop_share <= 0.0 {
             return false;
         }
-        let share = self.response_drop_share;
-        let mut st = self.state.lock();
-        st.rng
-            .as_mut()
-            .map(|rng| rng.chance(share))
-            .unwrap_or(false)
+        let st = self.state.lock();
+        let attempt = st
+            .attempts
+            .get(&(from.clone(), to.clone()))
+            .copied()
+            .unwrap_or(0)
+            .saturating_sub(1);
+        link_chance(
+            self.seed,
+            from,
+            to,
+            attempt,
+            RESPONSE_SALT,
+            self.response_drop_share,
+        )
     }
 }
 
@@ -273,5 +338,51 @@ mod tests {
     #[should_panic(expected = "drop probability")]
     fn probability_one_rejected() {
         let _ = FaultPlan::lossy(1.0, 3, 0);
+    }
+
+    #[test]
+    fn verdicts_are_independent_of_cross_link_interleaving() {
+        let a = OrgId::new("a");
+        let b = OrgId::new("b");
+        let c = OrgId::new("c");
+        let d = OrgId::new("d");
+        // Baseline: a->b judged alone.
+        let quiet = FaultPlan::lossy(0.5, 4, 99);
+        let baseline: Vec<_> = (0..40).map(|_| quiet.judge(&a, &b)).collect();
+        // Same seed, but heavy interleaved traffic on other links.
+        let noisy = FaultPlan::lossy(0.5, 4, 99);
+        let mut interleaved = Vec::new();
+        for i in 0..40 {
+            for _ in 0..(i % 5) {
+                let _ = noisy.judge(&c, &d);
+                let _ = noisy.judge(&b, &c);
+            }
+            interleaved.push(noisy.judge(&a, &b));
+        }
+        assert_eq!(baseline, interleaved);
+    }
+
+    #[test]
+    fn response_loss_is_keyed_per_link() {
+        let a = OrgId::new("a");
+        let b = OrgId::new("b");
+        let c = OrgId::new("c");
+        // Replaying the same judgments must replay the same response-loss
+        // answers, and other links' judgments must not perturb them.
+        let observe = |noise: bool| {
+            let plan = FaultPlan::lossy(0.6, 8, 123).with_response_drop_share(0.5);
+            let mut out = Vec::new();
+            for _ in 0..40 {
+                if noise {
+                    let _ = plan.judge(&a, &c);
+                }
+                if plan.judge(&a, &b) == Verdict::Drop {
+                    out.push(plan.drop_is_response_loss(&a, &b));
+                }
+            }
+            out
+        };
+        assert_eq!(observe(false), observe(true));
+        assert!(!observe(false).is_empty());
     }
 }

@@ -152,7 +152,23 @@ impl DirectClient {
     /// evidence, or signing/persistence failure. If the error occurs after
     /// step 2 the client has already persisted the server's evidence.
     pub fn invoke(&self, server: &OrgId, request: Vec<u8>) -> Result<DirectOutcome, ProtocolError> {
-        let run_id = self.party.new_run_id();
+        self.invoke_with(self.party.new_run_id(), server, request)
+    }
+
+    /// [`DirectClient::invoke`] under a caller-chosen run identifier.
+    ///
+    /// Scenario harnesses derive run ids from their seed so that replays
+    /// and schedule permutations adjudicate identical runs.
+    ///
+    /// # Errors
+    ///
+    /// As [`DirectClient::invoke`].
+    pub fn invoke_with(
+        &self,
+        run_id: RunId,
+        server: &OrgId,
+        request: Vec<u8>,
+    ) -> Result<DirectOutcome, ProtocolError> {
         let req_digest = sha256(&request);
 
         // Step 1: NRO_req + request.

@@ -189,7 +189,21 @@ impl FairClient {
     /// receipt was committed; other [`ProtocolError`]s on bad evidence or
     /// unreachable peers.
     pub fn invoke(&self, server: &OrgId, request: Vec<u8>) -> Result<FairOutcome, ProtocolError> {
-        let run_id = self.party.new_run_id();
+        self.invoke_with(self.party.new_run_id(), server, request)
+    }
+
+    /// [`FairClient::invoke`] under a caller-chosen run identifier
+    /// (deterministic scenario harnesses).
+    ///
+    /// # Errors
+    ///
+    /// As [`FairClient::invoke`].
+    pub fn invoke_with(
+        &self,
+        run_id: RunId,
+        server: &OrgId,
+        request: Vec<u8>,
+    ) -> Result<FairOutcome, ProtocolError> {
         let req_digest = sha256(&request);
         let nro_req = self
             .party

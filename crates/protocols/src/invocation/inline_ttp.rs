@@ -133,7 +133,21 @@ impl InlineTtpClient {
     ///
     /// [`ProtocolError`] on communication failure or bad evidence.
     pub fn invoke(&self, server: &OrgId, request: Vec<u8>) -> Result<InlineOutcome, ProtocolError> {
-        let run_id = self.party.new_run_id();
+        self.invoke_with(self.party.new_run_id(), server, request)
+    }
+
+    /// [`InlineTtpClient::invoke`] under a caller-chosen run identifier
+    /// (deterministic scenario harnesses).
+    ///
+    /// # Errors
+    ///
+    /// As [`InlineTtpClient::invoke`].
+    pub fn invoke_with(
+        &self,
+        run_id: RunId,
+        server: &OrgId,
+        request: Vec<u8>,
+    ) -> Result<InlineOutcome, ProtocolError> {
         let req_digest = sha256(&request);
         let nro_req = self
             .party

@@ -70,7 +70,21 @@ impl VoluntaryClient {
         server: &OrgId,
         request: Vec<u8>,
     ) -> Result<VoluntaryOutcome, ProtocolError> {
-        let run_id = self.party.new_run_id();
+        self.invoke_with(self.party.new_run_id(), server, request)
+    }
+
+    /// [`VoluntaryClient::invoke`] under a caller-chosen run identifier
+    /// (deterministic scenario harnesses).
+    ///
+    /// # Errors
+    ///
+    /// As [`VoluntaryClient::invoke`].
+    pub fn invoke_with(
+        &self,
+        run_id: RunId,
+        server: &OrgId,
+        request: Vec<u8>,
+    ) -> Result<VoluntaryOutcome, ProtocolError> {
         let req_digest = sha256(&request);
         let nro_req = self
             .party

@@ -42,6 +42,7 @@
 //! escrow TTP nodes).
 
 pub mod coordinator;
+pub mod gossip;
 pub mod handler;
 pub mod invocation;
 pub mod message;

@@ -799,6 +799,7 @@ impl CommitmentScheduler {
 pub struct DeadlineSealer {
     stop: Arc<AtomicBool>,
     handle: Option<std::thread::JoinHandle<()>>,
+    scheduler: Arc<CommitmentScheduler>,
 }
 
 impl fmt::Debug for DeadlineSealer {
@@ -817,6 +818,7 @@ impl DeadlineSealer {
         let poll_interval = poll_interval.max(Duration::from_millis(1));
         let stop = Arc::new(AtomicBool::new(false));
         let thread_stop = Arc::clone(&stop);
+        let thread_scheduler = Arc::clone(&scheduler);
         let handle = std::thread::spawn(move || {
             let mut delay = poll_interval;
             while !thread_stop.load(Ordering::Relaxed) {
@@ -824,7 +826,7 @@ impl DeadlineSealer {
                 if thread_stop.load(Ordering::Relaxed) {
                     break;
                 }
-                delay = match scheduler.poll() {
+                delay = match thread_scheduler.poll() {
                     Ok(_) => poll_interval,
                     // Failure backoff; the degraded probe already keeps the
                     // retries signature-free, this keeps them rare.
@@ -835,7 +837,34 @@ impl DeadlineSealer {
         Self {
             stop,
             handle: Some(handle),
+            scheduler,
         }
+    }
+
+    /// A threadless sealer for deterministic harnesses: nothing polls in
+    /// the background, the driver calls [`DeadlineSealer::tick`] at the
+    /// points *it* chooses. Combined with a
+    /// [`nonrep_types::time::LogicalClock`] the deadline path replays
+    /// bit-identically — wall time never enters the schedule.
+    pub fn manual(scheduler: Arc<CommitmentScheduler>) -> Self {
+        Self {
+            stop: Arc::new(AtomicBool::new(false)),
+            handle: None,
+            scheduler,
+        }
+    }
+
+    /// Runs one deadline poll now, returning the epoch record if the poll
+    /// sealed (exactly [`CommitmentScheduler::poll`]). On a
+    /// [`DeadlineSealer::manual`] sealer this is the *only* driver of the
+    /// deadline path; on a spawned sealer it is a deterministic kick in
+    /// addition to the background cadence.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] if the seal cannot be persisted.
+    pub fn tick(&self) -> Result<Option<Arc<EvidenceRecord>>, StoreError> {
+        self.scheduler.poll()
     }
 }
 
@@ -1158,6 +1187,34 @@ mod tests {
         assert_eq!(s.unsealed_len(), 0, "sealer never fired");
         assert_eq!(log.count_where(&|r| r.is_epoch_commit()), 1);
         log.verify().unwrap();
+    }
+
+    #[test]
+    fn manual_sealer_is_deterministic_under_logical_clock() {
+        // No background thread: the deadline path fires exactly when the
+        // driver advances the logical clock and ticks — twice over, the
+        // same schedule produces the same epoch layout.
+        let run = || {
+            let clock = Arc::new(LogicalClock::new());
+            let mode = CommitmentMode::Batched(BatchPolicy::size_or_time(1000, 30));
+            let (s, log) = scheduler_with_clock(mode, clock.clone());
+            let sealer = DeadlineSealer::manual(Arc::clone(&s));
+            s.record(draft(0)).unwrap();
+            assert!(sealer.tick().unwrap().is_none(), "deadline not reached");
+            clock.advance(30);
+            assert!(sealer.tick().unwrap().is_some(), "deadline seal");
+            s.record(draft(1)).unwrap();
+            clock.advance(29);
+            assert!(sealer.tick().unwrap().is_none());
+            clock.advance(1);
+            assert!(sealer.tick().unwrap().is_some());
+            log.verify().unwrap();
+            log.records()
+                .iter()
+                .map(|r| r.record_hash())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -1,0 +1,531 @@
+//! The fleet engine: builds a world from a [`Scenario`], drives the work
+//! items in a schedule-seed-derived order, and adjudicates every run with
+//! anchor corroboration.
+//!
+//! # Determinism and schedule invariance
+//!
+//! Two different kinds of reproducibility are engineered here:
+//!
+//! - **Replay determinism** — `run_fleet(scenario, s)` twice yields
+//!   byte-identical [`FleetOutcome`]s: every key, run id, payload and
+//!   channel-fault verdict derives from the scenario seed (the fault plan
+//!   keys drop decisions off `(seed, link, attempt)`, never off shared RNG
+//!   state).
+//! - **Schedule invariance** — `run_fleet(scenario, a)` and
+//!   `run_fleet(scenario, b)` yield *equal verdicts* for any two schedule
+//!   seeds, even though the permuted execution order changes every
+//!   signature (MSS leaf order), every channel-drop pattern, and the
+//!   record order of multi-item logs. The verdict layer never looks at
+//!   any of those: facts compare token kind/issuer/subject/run plus the
+//!   set of logs holding them, and byzantine organisations participate in
+//!   exactly one item so their crafted submissions are order-free.
+//!
+//! The retry budget is sized above the scenario's bounded consecutive-drop
+//! budget, so message delivery (and hence run completion) is guaranteed —
+//! losses perturb *how* evidence is produced, never *whether* it is.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use nonrep_core::dispute::{Adjudicator, Verdict, WindowSubmission};
+use nonrep_crypto::digest::{sha256, Digest};
+use nonrep_crypto::rng::SecureRandom;
+use nonrep_crypto::sig::{KeyPair, SignatureScheme};
+use nonrep_net::bus::LocalBus;
+use nonrep_net::fault::FaultPlan;
+use nonrep_net::latency::LatencyModel;
+use nonrep_net::retry::{ReliableRequester, RetryPolicy};
+use nonrep_protocols::gossip::{AnchorGossip, AnchorGossipHandler, AnchorStore};
+use nonrep_protocols::invocation::direct::{DirectClient, DirectServerHandler};
+use nonrep_protocols::invocation::fair_offline::{
+    FairClient, FairServerHandler, OfflineTtpHandler, ServerConduct,
+};
+use nonrep_protocols::invocation::inline_ttp::{InlineTtpClient, InlineTtpHandler};
+use nonrep_protocols::invocation::voluntary::{VoluntaryClient, VoluntaryServerHandler};
+use nonrep_protocols::invocation::RequestExecutor;
+use nonrep_protocols::party::{KeyDirectory, Party, StaticKeyDirectory};
+use nonrep_protocols::{B2BCoordinator, BatchPolicy, CommitmentMode};
+use nonrep_store::log::{FileLog, SyncPolicy};
+use nonrep_store::record::ChainViolation;
+use nonrep_store::MemoryLog;
+use nonrep_types::ids::{OrgId, RunId};
+use nonrep_types::time::LogicalClock;
+
+use crate::adversary::{
+    Adversary, EquivocatingTtp, EvidenceWithholder, ForkHistorySubmitter, HonestSubmitter,
+    TokenReplayer,
+};
+use crate::scenario::{Adversity, Role, Scenario, Variant, WorkItem};
+
+/// The adjudicated result of one work item, reduced to the
+/// schedule-invariant verdict content. Two outcomes compare equal exactly
+/// when the adjudicator established the same things.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Scenario item index.
+    pub index: usize,
+    /// The adjudicated run.
+    pub run_id: RunId,
+    /// Protocol variant driven.
+    pub variant: &'static str,
+    /// `true` if the client's invocation returned success.
+    pub completed: bool,
+    /// Established facts: `(kind, issuer, subject, held_by)` with
+    /// `held_by` sorted.
+    pub facts: BTreeSet<(String, String, String, Vec<String>)>,
+    /// Submitters whose evidence failed verification.
+    pub suspects: BTreeSet<String>,
+    /// `(org, violation-kind)` pairs established against submitters.
+    pub violations: BTreeSet<(String, String)>,
+    /// Issuers proven to have both resolved and aborted the run.
+    pub conflicting_decisions: BTreeSet<String>,
+}
+
+/// The adjudicated result of a whole fleet execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetOutcome {
+    /// Scenario seed.
+    pub seed: u64,
+    /// Schedule seed the items were permuted with.
+    pub schedule_seed: u64,
+    /// Per-item outcomes, in scenario (not execution) order.
+    pub runs: Vec<RunOutcome>,
+}
+
+impl FleetOutcome {
+    /// `true` if `org` was flagged suspect in at least one run.
+    pub fn detected(&self, org: &OrgId) -> bool {
+        self.runs.iter().any(|r| r.suspects.contains(org.as_str()))
+    }
+
+    /// Every organisation flagged suspect anywhere.
+    pub fn all_suspects(&self) -> BTreeSet<String> {
+        self.runs
+            .iter()
+            .flat_map(|r| r.suspects.iter().cloned())
+            .collect()
+    }
+
+    /// `true` if both executions established the same verdicts (the
+    /// schedule seed itself is allowed to differ).
+    pub fn verdicts_match(&self, other: &FleetOutcome) -> bool {
+        self.seed == other.seed && self.runs == other.runs
+    }
+}
+
+fn violation_label(v: &ChainViolation) -> &'static str {
+    match v {
+        ChainViolation::BrokenLink { .. } => "broken_link",
+        ChainViolation::BadSequence { .. } => "bad_sequence",
+        ChainViolation::BadGenesis => "bad_genesis",
+        ChainViolation::HeadMismatch { .. } => "head_mismatch",
+        ChainViolation::ForkedHistory { .. } => "forked_history",
+        ChainViolation::WithheldRecords { .. } => "withheld_records",
+    }
+}
+
+fn derive_seed(seed: u64, org: &OrgId, salt: u64) -> u64 {
+    let mut x = seed ^ salt;
+    for b in org.as_str().bytes() {
+        x = (x ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    x | 1
+}
+
+struct OrgHandle {
+    conduct: Box<dyn Adversary>,
+    coordinator: Arc<B2BCoordinator>,
+    gossip: AnchorGossip,
+    /// `false` for organisations that never seal epochs (nothing to
+    /// gossip, and an exhausted org could not sign the frames anyway).
+    gossips: bool,
+}
+
+struct Fleet<'a> {
+    scenario: &'a Scenario,
+    bus: Arc<LocalBus>,
+    clock: LogicalClock,
+    dir: Arc<StaticKeyDirectory>,
+    keys: BTreeMap<OrgId, Arc<KeyPair>>,
+    handles: BTreeMap<OrgId, OrgHandle>,
+    anchors: Arc<AnchorStore>,
+    durable_path: PathBuf,
+    retry: RetryPolicy,
+}
+
+fn echo_executor() -> Arc<dyn RequestExecutor> {
+    Arc::new(|_caller: &OrgId, req: &[u8]| Ok([b"ok:".as_slice(), req].concat()))
+}
+
+impl<'a> Fleet<'a> {
+    fn build(scenario: &'a Scenario, scratch: &Path) -> std::io::Result<Self> {
+        std::fs::create_dir_all(scratch)?;
+        let fault = FaultPlan::lossy(
+            scenario.drop_probability,
+            scenario.max_consecutive_drops,
+            scenario.seed,
+        );
+        let retry = RetryPolicy::new(scenario.max_consecutive_drops + 2);
+        let bus = LocalBus::with_config(fault, LatencyModel::Zero, scenario.seed);
+        let clock = LogicalClock::new();
+        let dir = Arc::new(StaticKeyDirectory::new());
+        let durable_path = scratch.join(format!("{}-o0.log", scenario.seed));
+        let _ = std::fs::remove_file(&durable_path);
+        let mut fleet = Fleet {
+            scenario,
+            bus,
+            clock,
+            dir,
+            keys: BTreeMap::new(),
+            handles: BTreeMap::new(),
+            anchors: Arc::new(AnchorStore::new()),
+            durable_path,
+            retry,
+        };
+
+        let orgs: Vec<OrgId> = scenario
+            .regular
+            .iter()
+            .chain(std::iter::once(&scenario.ttp))
+            .chain(scenario.exhausted.iter())
+            .cloned()
+            .collect();
+        for org in &orgs {
+            let exhausted = scenario.exhausted.as_ref() == Some(org);
+            let height = if exhausted { 4 } else { 7 };
+            let mut rng = SecureRandom::from_seed(derive_seed(scenario.seed, org, 0x6b65));
+            let keys = Arc::new(KeyPair::generate(SignatureScheme::Mss { height }, &mut rng));
+            fleet.dir.insert(org.clone(), keys.verifying_key());
+            fleet.keys.insert(org.clone(), keys);
+        }
+        for org in &orgs {
+            fleet.install(org, false)?;
+        }
+        // Key exhaustion is injected *before* the scenario starts: the
+        // burn count then never depends on the schedule.
+        if let Some(x) = &scenario.exhausted {
+            let keys = &fleet.keys[x];
+            while keys.sign_digest(&Digest::ZERO).is_ok() {}
+        }
+        Ok(fleet)
+    }
+
+    /// Builds (or, after a crash, rebuilds) the full protocol stack of
+    /// `org` and registers it on the bus. `recovered` selects
+    /// `FileLog::open_recover` for the durable organisation.
+    fn install(&mut self, org: &OrgId, recovered: bool) -> std::io::Result<()> {
+        let scenario = self.scenario;
+        let role = scenario.role_of(org);
+        let exhausted = scenario.exhausted.as_ref() == Some(org);
+        let durable = *org == scenario.regular[0];
+        let log: Arc<dyn nonrep_store::EvidenceLog> = if durable {
+            let file = if recovered {
+                FileLog::open_recover_with(&self.durable_path, SyncPolicy::WriteThrough)
+            } else {
+                FileLog::open_with(&self.durable_path, SyncPolicy::WriteThrough)
+            }
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
+            Arc::new(file)
+        } else {
+            Arc::new(MemoryLog::new())
+        };
+        // Per-record commitment for organisations whose logs must carry no
+        // epoch anchors (the replayer's poison pill lands after the final
+        // flush; the exhausted org cannot sign seals); everyone else runs
+        // the batched pipeline and gossips its anchors.
+        let batched = !exhausted && role != Some(Role::TokenReplayer);
+        let mode = if batched {
+            CommitmentMode::Batched(BatchPolicy::new(2))
+        } else {
+            CommitmentMode::PerRecord
+        };
+        let salt = if recovered { 0x7265_6375 } else { 0x7274 };
+        let party = Party::with_commitment(
+            org.clone(),
+            Arc::clone(&self.keys[org]),
+            Arc::new(self.clock.clone()),
+            log,
+            Arc::clone(&self.dir) as Arc<dyn KeyDirectory>,
+            SecureRandom::from_seed(derive_seed(scenario.seed, org, salt)),
+            mode,
+        );
+        let coordinator = B2BCoordinator::new(
+            org.clone(),
+            ReliableRequester::new(self.bus.clone(), self.retry),
+        );
+        self.bus.register(org.clone(), coordinator.clone());
+        if *org == scenario.ttp {
+            coordinator.register_handler(InlineTtpHandler::terminal(
+                party.clone(),
+                coordinator.clone(),
+            ));
+            coordinator.register_handler(OfflineTtpHandler::new(party.clone()));
+        } else {
+            coordinator.register_handler(DirectServerHandler::new(party.clone(), echo_executor()));
+            coordinator
+                .register_handler(VoluntaryServerHandler::new(party.clone(), echo_executor()));
+            coordinator.register_handler(FairServerHandler::new(
+                party.clone(),
+                coordinator.clone(),
+                echo_executor(),
+                scenario.ttp.clone(),
+                ServerConduct::Honest,
+            ));
+        }
+        coordinator.register_handler(Arc::new(AnchorGossipHandler::new(
+            party.clone(),
+            Arc::clone(&self.anchors),
+        )));
+        let forged_subject = sha256(format!("forged-{}-{org}", scenario.seed).as_bytes());
+        let conduct: Box<dyn Adversary> = match role {
+            None => Box::new(HonestSubmitter::new(party.clone())),
+            Some(Role::ForkHistory) => {
+                Box::new(ForkHistorySubmitter::new(party.clone(), forged_subject))
+            }
+            Some(Role::Withholder) => Box::new(EvidenceWithholder::new(party.clone())),
+            Some(Role::TokenReplayer) => Box::new(TokenReplayer::new(
+                party.clone(),
+                replay_target_run(scenario),
+            )),
+            Some(Role::EquivocatingTtp) => {
+                Box::new(EquivocatingTtp::new(party.clone(), forged_subject))
+            }
+        };
+        let gossip = AnchorGossip::new(party, coordinator.clone());
+        self.handles.insert(
+            org.clone(),
+            OrgHandle {
+                conduct,
+                coordinator,
+                gossip,
+                gossips: batched,
+            },
+        );
+        Ok(())
+    }
+
+    fn crash_and_recover_durable(&mut self) -> std::io::Result<()> {
+        let org = self.scenario.regular[0].clone();
+        // Drop the whole stack first so the FileLog closes, then recover
+        // the evidence from disk and rebuild around the recovered log.
+        self.bus.unregister(&org);
+        self.handles.remove(&org);
+        self.install(&org, true)?;
+        self.bus.fault_plan().recover(&org);
+        Ok(())
+    }
+
+    fn flush_and_gossip(&self, org: &OrgId) {
+        let handle = &self.handles[org];
+        handle
+            .conduct
+            .party()
+            .flush_evidence()
+            .unwrap_or_else(|e| panic!("{org}: flush failed: {e}"));
+        if handle.gossips {
+            let peers: Vec<OrgId> = self.handles.keys().filter(|o| *o != org).cloned().collect();
+            handle
+                .gossip
+                .gossip_to(&peers)
+                .unwrap_or_else(|e| panic!("{org}: anchor gossip failed: {e}"));
+        }
+    }
+
+    fn run_item(&mut self, item: &WorkItem) -> std::io::Result<bool> {
+        match &item.adversity {
+            Some(Adversity::CrashRecover(org)) => self.bus.fault_plan().crash(org),
+            Some(Adversity::Partition(a, b)) => self.bus.fault_plan().partition(a, b),
+            None => {}
+        }
+        let handle = &self.handles[&item.client];
+        let party = Arc::clone(handle.conduct.party());
+        let coordinator = Arc::clone(&handle.coordinator);
+        let request = format!("req-{}-{}", self.scenario.seed, item.index).into_bytes();
+        let completed = match item.variant {
+            Variant::Direct => DirectClient::new(party, coordinator)
+                .invoke_with(item.run_id, &item.server, request)
+                .is_ok(),
+            Variant::Voluntary => VoluntaryClient::new(party, coordinator)
+                .invoke_with(item.run_id, &item.server, request)
+                .is_ok(),
+            Variant::InlineTtp => {
+                InlineTtpClient::new(party, coordinator, self.scenario.ttp.clone())
+                    .invoke_with(item.run_id, &item.server, request)
+                    .is_ok()
+            }
+            Variant::FairOffline => FairClient::new(party, coordinator, self.scenario.ttp.clone())
+                .invoke_with(item.run_id, &item.server, request)
+                .is_ok(),
+        };
+        match &item.adversity {
+            Some(Adversity::CrashRecover(_)) => self.crash_and_recover_durable()?,
+            Some(Adversity::Partition(a, b)) => self.bus.fault_plan().heal(a, b),
+            None => {}
+        }
+        // Participants seal what the run produced and gossip the anchors
+        // while every organisation is reachable again.
+        for p in item.participants(&self.scenario.ttp) {
+            self.flush_and_gossip(&p);
+        }
+        Ok(completed)
+    }
+
+    fn adjudicate(&self, item: &WorkItem, completed: bool) -> RunOutcome {
+        let adjudicator = Adjudicator::new(Arc::clone(&self.dir) as Arc<dyn KeyDirectory>);
+        let submissions: Vec<WindowSubmission> = item
+            .participants(&self.scenario.ttp)
+            .iter()
+            .map(|p| self.handles[p].conduct.submission())
+            .collect();
+        let anchors = self.anchors.snapshot();
+        let verdict = adjudicator.adjudicate_with_anchors(item.run_id, &submissions, &anchors);
+        reduce(item, completed, &verdict)
+    }
+}
+
+/// The run id the token replayer re-files foreign tokens under: reserved,
+/// never adjudicated, and distinct from every item's run id.
+fn replay_target_run(scenario: &Scenario) -> RunId {
+    RunId::from_u128(((scenario.seed as u128) << 16) | 0xdead)
+}
+
+fn reduce(item: &WorkItem, completed: bool, verdict: &Verdict) -> RunOutcome {
+    let facts = verdict
+        .facts
+        .iter()
+        .map(|f| {
+            let mut held: Vec<String> = f.held_by.iter().map(|o| o.to_string()).collect();
+            held.sort();
+            (
+                f.kind.label().to_string(),
+                f.issuer.to_string(),
+                f.subject.to_string(),
+                held,
+            )
+        })
+        .collect();
+    RunOutcome {
+        index: item.index,
+        run_id: item.run_id,
+        variant: item.variant.name(),
+        completed,
+        facts,
+        suspects: verdict
+            .suspect_submitters()
+            .iter()
+            .map(ToString::to_string)
+            .collect(),
+        violations: verdict
+            .violations()
+            .iter()
+            .map(|(o, v)| (o.to_string(), violation_label(v).to_string()))
+            .collect(),
+        conflicting_decisions: verdict
+            .conflicting_decisions()
+            .iter()
+            .map(ToString::to_string)
+            .collect(),
+    }
+}
+
+/// Executes `scenario` with the item order derived from `schedule_seed`
+/// and adjudicates every run. `scratch` hosts the durable organisation's
+/// `FileLog` (one file per scenario seed — concurrent fleets need
+/// distinct scratch directories).
+///
+/// # Errors
+///
+/// [`std::io::Error`] if the durable log cannot be created or recovered.
+/// Protocol-level failures do not error the fleet: they surface as
+/// `completed == false` on the item (and, for byzantine conduct, as
+/// suspects in the verdicts).
+pub fn run_fleet(
+    scenario: &Scenario,
+    schedule_seed: u64,
+    scratch: &Path,
+) -> std::io::Result<FleetOutcome> {
+    let mut fleet = Fleet::build(scenario, scratch)?;
+    let mut completed = vec![false; scenario.items.len()];
+    for index in scenario.schedule(schedule_seed) {
+        let item = scenario.items[index].clone();
+        completed[index] = fleet.run_item(&item)?;
+    }
+    // Final seal + gossip for everyone, then let the adversaries plant
+    // their dispute-time evidence.
+    let orgs: Vec<OrgId> = fleet.handles.keys().cloned().collect();
+    for org in &orgs {
+        fleet.flush_and_gossip(org);
+    }
+    for org in &orgs {
+        fleet.handles[org].conduct.finalize();
+    }
+    let runs = scenario
+        .items
+        .iter()
+        .map(|item| fleet.adjudicate(item, completed[item.index]))
+        .collect();
+    Ok(FleetOutcome {
+        seed: scenario.seed,
+        schedule_seed,
+        runs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("nonrep-sim-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn showcase_replays_identically_for_equal_seeds() {
+        let scenario = Scenario::showcase(3);
+        let a = run_fleet(&scenario, 0, &scratch("replay-a")).unwrap();
+        let b = run_fleet(&scenario, 0, &scratch("replay-b")).unwrap();
+        assert_eq!(a, b);
+        assert!(!a.runs.is_empty());
+        assert!(a.runs.iter().any(|r| !r.facts.is_empty()));
+    }
+
+    #[test]
+    fn showcase_detects_every_byzantine_and_accuses_no_honest_org() {
+        let scenario = Scenario::showcase(11);
+        let out = run_fleet(&scenario, 0, &scratch("detect")).unwrap();
+        for (org, role) in &scenario.byzantine {
+            assert!(out.detected(org), "{org} ({}) not detected", role.name());
+        }
+        // The fork and the equivocating TTP are convicted specifically by
+        // anchor corroboration; the withholder by the attested tail.
+        let all_violations: BTreeSet<(String, String)> = out
+            .runs
+            .iter()
+            .flat_map(|r| r.violations.iter().cloned())
+            .collect();
+        assert!(all_violations.contains(&("o2".into(), "forked_history".into())));
+        assert!(all_violations.contains(&("ttp".into(), "forked_history".into())));
+        assert!(all_violations.contains(&("o3".into(), "withheld_records".into())));
+        for org in scenario.honest_orgs() {
+            assert!(!out.detected(&org), "honest {org} falsely accused");
+        }
+        // The exhausted client's item fails; every other item completes.
+        for run in &out.runs {
+            let exhausted_item =
+                scenario.items[run.index].client == *scenario.exhausted.as_ref().unwrap();
+            assert_eq!(run.completed, !exhausted_item, "item {}", run.index);
+        }
+    }
+
+    #[test]
+    fn showcase_verdicts_survive_a_schedule_permutation() {
+        let scenario = Scenario::showcase(17);
+        let base = run_fleet(&scenario, 0, &scratch("perm-base")).unwrap();
+        let permuted = run_fleet(&scenario, 42, &scratch("perm-alt")).unwrap();
+        assert_ne!(scenario.schedule(0), scenario.schedule(42));
+        assert!(base.verdicts_match(&permuted));
+    }
+}

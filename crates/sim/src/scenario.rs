@@ -1,0 +1,526 @@
+//! Seeded scenario descriptions.
+//!
+//! A [`Scenario`] is a *pure function of one `u64` seed*: the fleet of
+//! organisations, which of them are byzantine (and how), the protocol
+//! variant mix, the channel loss rate, and the adversity overlays
+//! (crash/recovery, partitions, key exhaustion) are all derived from the
+//! seed with a splitmix64 walk — no ambient randomness, no clock. Running
+//! the same scenario twice therefore replays the same world, and a failing
+//! seed printed by the smoke runner is a complete reproduction recipe.
+//!
+//! Two generators are provided:
+//!
+//! - [`Scenario::from_seed`] — the randomised family the property sweep
+//!   walks: 2–4 regular organisations, a TTP, an optional exhausted-key
+//!   organisation, zero or more byzantine roles, and 2–4 honest work items
+//!   plus one *guarantee item* per byzantine party.
+//! - [`Scenario::showcase`] — the maximal hand-laid fleet (every byzantine
+//!   role at once) used by the `fleet_sim` example and the headline
+//!   regression test.
+//!
+//! Byzantine organisations participate in **exactly one** work item each.
+//! Items execute atomically, so a single-item log has the same record
+//! order under every schedule permutation — which is what lets the
+//! crafted submissions (and hence the verdicts) stay schedule-invariant.
+
+use nonrep_types::ids::{OrgId, RunId};
+
+/// The four NR-invocation protocol variants the simulator can drive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// Three-message direct exchange (paper §3.2, Fig 3(c)).
+    Direct,
+    /// Wichert et al baseline: client NRO only.
+    Voluntary,
+    /// All traffic relayed through the inline TTP (Fig 3(a)).
+    InlineTtp,
+    /// Fair exchange with the offline TTP (escrowed key).
+    FairOffline,
+}
+
+impl Variant {
+    /// Short stable name (logs, repro output).
+    pub fn name(self) -> &'static str {
+        match self {
+            Variant::Direct => "direct",
+            Variant::Voluntary => "voluntary",
+            Variant::InlineTtp => "inline_ttp",
+            Variant::FairOffline => "fair_offline",
+        }
+    }
+
+    /// `true` if the variant routes through the TTP organisation.
+    pub fn uses_ttp(self) -> bool {
+        matches!(self, Variant::InlineTtp | Variant::FairOffline)
+    }
+}
+
+/// How a byzantine organisation misbehaves *at submission time*. During
+/// protocol execution every byzantine party runs the honest stack — the
+/// attacks in scope are evidence attacks, which is exactly what the
+/// paper's adjudication layer must survive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Submits an internally consistent *rewritten* history that diverges
+    /// from the epoch anchors it gossiped while executing.
+    ForkHistory,
+    /// Submits a truncated prefix of its log while claiming it is the
+    /// whole thing.
+    Withholder,
+    /// Appends a counterparty's genuine token to its log under a
+    /// different run id before submitting.
+    TokenReplayer,
+    /// An inline TTP that rewrites one of its own receipts, forking its
+    /// history against its gossiped anchors.
+    EquivocatingTtp,
+}
+
+impl Role {
+    /// Short stable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Role::ForkHistory => "fork_history",
+            Role::Withholder => "withholder",
+            Role::TokenReplayer => "token_replayer",
+            Role::EquivocatingTtp => "equivocating_ttp",
+        }
+    }
+}
+
+/// A scripted adversity overlay attached to one work item: applied before
+/// the item runs, healed (and, for a crash, recovered from disk) after.
+/// Overlays only ever target non-participants of their item, so the
+/// bounded-failure budget of the channel is the *only* adversity protocol
+/// traffic sees — the overlays exercise the recovery machinery without
+/// making delivery (and hence the verdicts) schedule-dependent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Adversity {
+    /// Crash `org` for the duration of the item; afterwards recover its
+    /// evidence log from disk (`FileLog::open_recover`) and rebuild its
+    /// protocol stack around the recovered log.
+    CrashRecover(OrgId),
+    /// Partition the two (non-participant) organisations from each other
+    /// for the duration of the item.
+    Partition(OrgId, OrgId),
+}
+
+/// One protocol run to drive: a client invoking a server under a variant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkItem {
+    /// Position in the scenario (adjudication reports in this order).
+    pub index: usize,
+    /// Seed-derived run identifier — identical across permutations, so
+    /// every schedule adjudicates the same runs.
+    pub run_id: RunId,
+    /// Protocol variant to run.
+    pub variant: Variant,
+    /// Invoking organisation.
+    pub client: OrgId,
+    /// Serving organisation.
+    pub server: OrgId,
+    /// Optional adversity overlay around this item.
+    pub adversity: Option<Adversity>,
+}
+
+impl WorkItem {
+    /// The organisations whose evidence is submitted when this item is
+    /// adjudicated (client, server, and the TTP when the variant uses
+    /// one).
+    pub fn participants(&self, ttp: &OrgId) -> Vec<OrgId> {
+        let mut p = vec![self.client.clone(), self.server.clone()];
+        if self.variant.uses_ttp() {
+            p.push(ttp.clone());
+        }
+        p
+    }
+
+    /// `true` if `org` takes part in this item.
+    pub fn involves(&self, org: &OrgId, ttp: &OrgId) -> bool {
+        self.participants(ttp).contains(org)
+    }
+}
+
+/// A complete seeded scenario: fleet, adversary assignment, work list,
+/// and channel-fault budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// The seed everything below derives from.
+    pub seed: u64,
+    /// Regular organisations `o0..`; `o0` is always honest and keeps its
+    /// evidence in a `FileLog` (the crash/recovery target).
+    pub regular: Vec<OrgId>,
+    /// The trusted-third-party organisation.
+    pub ttp: OrgId,
+    /// An organisation whose signing keys are exhausted before the
+    /// scenario starts, if the seed asks for one.
+    pub exhausted: Option<OrgId>,
+    /// Byzantine role per organisation (regular orgs and/or the TTP).
+    pub byzantine: Vec<(OrgId, Role)>,
+    /// The runs to drive, in index order.
+    pub items: Vec<WorkItem>,
+    /// Per-hop message drop probability on the bus.
+    pub drop_probability: f64,
+    /// Bound on consecutive drops per link (the paper's bounded-failure
+    /// assumption; the engine sizes its retry budget above it).
+    pub max_consecutive_drops: u32,
+}
+
+/// splitmix64 — the derivation PRF for everything scenario-shaped.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A tiny deterministic generator over splitmix64.
+struct Derive(u64);
+
+impl Derive {
+    fn new(seed: u64, salt: u64) -> Self {
+        Self(splitmix64(seed ^ salt))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = splitmix64(self.0);
+        self.0
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// Derives the run id of item `index`: unique within the scenario,
+/// distinct across seeds, and never the reserved gossip run id 0.
+fn run_id_for(seed: u64, index: usize) -> RunId {
+    let hi = splitmix64(seed ^ (index as u64).wrapping_mul(0xd6e8_feb8_6659_fd93));
+    RunId::from_u128(((hi as u128) << 64) | (index as u128 + 1))
+}
+
+impl Scenario {
+    /// Derives the randomised scenario family for `seed`.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut d = Derive::new(seed, 0x5363_656e_6172_696f); // "Scenario"
+        let n_regular = 2 + d.below(3) as usize;
+        let regular: Vec<OrgId> = (0..n_regular)
+            .map(|i| OrgId::new(format!("o{i}")))
+            .collect();
+        let ttp = OrgId::new("ttp");
+
+        // o0 is always honest (it is the durable/recovery org); at least
+        // two honest regular orgs must remain to carry the honest items.
+        let capacity = n_regular.saturating_sub(2);
+        let byz_count = d.below(capacity as u64 + 1) as usize;
+        let mut byzantine: Vec<(OrgId, Role)> = Vec::new();
+        let roles = [Role::ForkHistory, Role::Withholder, Role::TokenReplayer];
+        for i in 0..byz_count {
+            // Take roles from the tail of the fleet: o_{n-1}, o_{n-2}, ...
+            let org = regular[n_regular - 1 - i].clone();
+            let role = roles[d.below(roles.len() as u64) as usize];
+            byzantine.push((org, role));
+        }
+        let ttp_byzantine = d.below(4) == 0;
+        if ttp_byzantine {
+            byzantine.push((ttp.clone(), Role::EquivocatingTtp));
+        }
+        let honest: Vec<OrgId> = regular
+            .iter()
+            .filter(|o| byzantine.iter().all(|(b, _)| b != *o))
+            .cloned()
+            .collect();
+
+        let exhausted = (d.below(3) == 0).then(|| OrgId::new("xkey"));
+
+        // Honest items: 2–4 runs between honest regular orgs. A byzantine
+        // TTP gets exactly one (guarantee) item, so honest items then
+        // avoid the TTP variants.
+        let variants: &[Variant] = if ttp_byzantine {
+            &[Variant::Direct, Variant::Voluntary]
+        } else {
+            &[
+                Variant::Direct,
+                Variant::Voluntary,
+                Variant::InlineTtp,
+                Variant::FairOffline,
+            ]
+        };
+        let mut items = Vec::new();
+        let honest_items = 2 + d.below(3);
+        for _ in 0..honest_items {
+            let c = d.below(honest.len() as u64) as usize;
+            let s = (c + 1 + d.below(honest.len() as u64 - 1) as usize) % honest.len();
+            items.push((
+                variants[d.below(variants.len() as u64) as usize],
+                honest[c].clone(),
+                honest[s].clone(),
+            ));
+        }
+        // Guarantee items: each byzantine org participates in exactly one
+        // run, so its log (and thus its crafted submission) has the same
+        // record order under every schedule permutation.
+        for (org, role) in &byzantine {
+            match role {
+                Role::EquivocatingTtp => {
+                    // An inline run relayed by the byzantine TTP.
+                    items.push((Variant::InlineTtp, honest[0].clone(), honest[1].clone()));
+                }
+                _ => {
+                    // A direct run gives the byzantine client both its own
+                    // tokens (to fork) and counterparty tokens (to replay).
+                    let server = honest[1 % honest.len()].clone();
+                    items.push((Variant::Direct, org.clone(), server));
+                }
+            }
+        }
+        if let Some(x) = &exhausted {
+            items.push((Variant::Direct, x.clone(), honest[0].clone()));
+        }
+
+        let mut items: Vec<WorkItem> = items
+            .into_iter()
+            .enumerate()
+            .map(|(index, (variant, client, server))| WorkItem {
+                index,
+                run_id: run_id_for(seed, index),
+                variant,
+                client,
+                server,
+                adversity: None,
+            })
+            .collect();
+
+        // Crash/recovery overlay: o0 crashes during the first item it does
+        // not participate in, then recovers its FileLog from disk.
+        let o0 = regular[0].clone();
+        if let Some(item) = items.iter_mut().find(|i| !i.involves(&o0, &ttp)) {
+            item.adversity = Some(Adversity::CrashRecover(o0));
+        }
+        // Partition overlay: the first *other* item with two regular
+        // non-participants gets them partitioned for its duration.
+        let all_orgs: Vec<OrgId> = regular.clone();
+        for item in items.iter_mut() {
+            if item.adversity.is_some() {
+                continue;
+            }
+            let outsiders: Vec<&OrgId> = all_orgs
+                .iter()
+                .filter(|o| !item.involves(o, &ttp))
+                .collect();
+            if outsiders.len() >= 2 {
+                item.adversity = Some(Adversity::Partition(
+                    outsiders[0].clone(),
+                    outsiders[1].clone(),
+                ));
+                break;
+            }
+        }
+
+        let drop_probability = [0.0, 0.1, 0.25][d.below(3) as usize];
+        Scenario {
+            seed,
+            regular,
+            ttp,
+            exhausted,
+            byzantine,
+            items,
+            drop_probability,
+            max_consecutive_drops: 2,
+        }
+    }
+
+    /// The maximal hand-laid fleet: five regular organisations with every
+    /// regular byzantine role present, an equivocating TTP, an
+    /// exhausted-key organisation, a crash/recovery overlay and a
+    /// partition overlay. `seed` still varies run ids, request payloads
+    /// and the channel drop pattern.
+    pub fn showcase(seed: u64) -> Self {
+        let regular: Vec<OrgId> = (0..5).map(|i| OrgId::new(format!("o{i}"))).collect();
+        let ttp = OrgId::new("ttp");
+        let byzantine = vec![
+            (regular[2].clone(), Role::ForkHistory),
+            (regular[3].clone(), Role::Withholder),
+            (regular[4].clone(), Role::TokenReplayer),
+            (ttp.clone(), Role::EquivocatingTtp),
+        ];
+        let plan: Vec<(Variant, usize, usize)> = vec![
+            (Variant::Direct, 0, 1),
+            (Variant::Voluntary, 1, 0),
+            (Variant::Direct, 2, 1),    // fork-history guarantee item
+            (Variant::Direct, 3, 1),    // withholder guarantee item
+            (Variant::Direct, 4, 1),    // token-replayer guarantee item
+            (Variant::InlineTtp, 0, 1), // equivocating-TTP guarantee item
+        ];
+        let mut items: Vec<WorkItem> = plan
+            .into_iter()
+            .enumerate()
+            .map(|(index, (variant, c, s))| WorkItem {
+                index,
+                run_id: run_id_for(seed, index),
+                variant,
+                client: regular[c].clone(),
+                server: regular[s].clone(),
+                adversity: None,
+            })
+            .collect();
+        // o0 crashes during the fork-history item and recovers from disk;
+        // two idle orgs are partitioned during the withholder item.
+        items[2].adversity = Some(Adversity::CrashRecover(regular[0].clone()));
+        items[3].adversity = Some(Adversity::Partition(regular[2].clone(), regular[4].clone()));
+        let exhausted = OrgId::new("xkey");
+        let index = items.len();
+        items.push(WorkItem {
+            index,
+            run_id: run_id_for(seed, index),
+            variant: Variant::Direct,
+            client: exhausted.clone(),
+            server: regular[0].clone(),
+            adversity: None,
+        });
+        Scenario {
+            seed,
+            regular,
+            ttp,
+            exhausted: Some(exhausted),
+            byzantine,
+            items,
+            drop_probability: 0.2,
+            max_consecutive_drops: 2,
+        }
+    }
+
+    /// The honest organisations of the fleet: everyone who is not
+    /// byzantine (the exhausted org is honest — it merely ran out of
+    /// keys).
+    pub fn honest_orgs(&self) -> Vec<OrgId> {
+        let mut orgs: Vec<OrgId> = self
+            .regular
+            .iter()
+            .chain(std::iter::once(&self.ttp))
+            .chain(self.exhausted.iter())
+            .cloned()
+            .collect();
+        orgs.retain(|o| self.byzantine.iter().all(|(b, _)| b != o));
+        orgs
+    }
+
+    /// The byzantine role of `org`, if any.
+    pub fn role_of(&self, org: &OrgId) -> Option<Role> {
+        self.byzantine
+            .iter()
+            .find(|(b, _)| b == org)
+            .map(|(_, r)| *r)
+    }
+
+    /// The guarantee item of `org` — the single run a byzantine org
+    /// participates in.
+    pub fn guarantee_item(&self, org: &OrgId) -> Option<&WorkItem> {
+        self.items.iter().find(|i| i.involves(org, &self.ttp))
+    }
+
+    /// A permutation of item indices derived from `schedule_seed` — the
+    /// execution order the engine drives. `schedule_seed == 0` is the
+    /// identity schedule.
+    pub fn schedule(&self, schedule_seed: u64) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.items.len()).collect();
+        if schedule_seed == 0 {
+            return order;
+        }
+        let mut d = Derive::new(schedule_seed, 0x7363_6865_6475_6c65); // "schedule"
+        for i in (1..order.len()).rev() {
+            let j = d.below(i as u64 + 1) as usize;
+            order.swap(i, j);
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_are_pure_functions_of_the_seed() {
+        for seed in 0..200u64 {
+            assert_eq!(Scenario::from_seed(seed), Scenario::from_seed(seed));
+        }
+        assert_ne!(Scenario::from_seed(1), Scenario::from_seed(2));
+    }
+
+    #[test]
+    fn byzantine_orgs_participate_in_exactly_one_item() {
+        for seed in 0..200u64 {
+            let s = Scenario::from_seed(seed);
+            for (org, _) in &s.byzantine {
+                let n = s.items.iter().filter(|i| i.involves(org, &s.ttp)).count();
+                assert_eq!(n, 1, "seed {seed}: {org} participates in {n} items");
+            }
+        }
+    }
+
+    #[test]
+    fn o0_is_never_byzantine_and_two_honest_regulars_remain() {
+        for seed in 0..200u64 {
+            let s = Scenario::from_seed(seed);
+            assert!(s.role_of(&s.regular[0]).is_none(), "seed {seed}");
+            let honest_regular = s.regular.iter().filter(|o| s.role_of(o).is_none()).count();
+            assert!(honest_regular >= 2, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn overlays_only_target_non_participants() {
+        for seed in 0..200u64 {
+            let s = Scenario::from_seed(seed);
+            for item in &s.items {
+                match &item.adversity {
+                    Some(Adversity::CrashRecover(org)) => {
+                        assert!(!item.involves(org, &s.ttp), "seed {seed}")
+                    }
+                    Some(Adversity::Partition(a, b)) => {
+                        assert!(!item.involves(a, &s.ttp), "seed {seed}");
+                        assert!(!item.involves(b, &s.ttp), "seed {seed}");
+                        assert_ne!(a, b, "seed {seed}");
+                    }
+                    None => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_ids_are_unique_and_never_the_gossip_run() {
+        for seed in [0u64, 1, 7, 99, u64::MAX] {
+            let s = Scenario::from_seed(seed);
+            let mut ids: Vec<_> = s.items.iter().map(|i| i.run_id).collect();
+            ids.sort();
+            ids.dedup();
+            assert_eq!(ids.len(), s.items.len());
+            assert!(ids.iter().all(|r| *r != RunId::from_u128(0)));
+        }
+    }
+
+    #[test]
+    fn schedules_permute_every_item_exactly_once() {
+        let s = Scenario::showcase(5);
+        assert_eq!(s.schedule(0), (0..s.items.len()).collect::<Vec<_>>());
+        for seed in 1..50u64 {
+            let mut order = s.schedule(seed);
+            order.sort_unstable();
+            assert_eq!(order, (0..s.items.len()).collect::<Vec<_>>());
+        }
+        // Permutations actually differ from the identity somewhere.
+        assert!((1..50u64).any(|x| s.schedule(x) != s.schedule(0)));
+    }
+
+    #[test]
+    fn showcase_fields_every_byzantine_role() {
+        let s = Scenario::showcase(1);
+        let mut roles: Vec<Role> = s.byzantine.iter().map(|(_, r)| *r).collect();
+        roles.dedup();
+        assert_eq!(roles.len(), 4);
+        for (org, _) in &s.byzantine {
+            assert!(s.guarantee_item(org).is_some(), "{org} has no item");
+        }
+    }
+}

@@ -295,6 +295,14 @@ impl GroupCommitQueue {
         }
     }
 
+    /// Submits an empty barrier frame without consuming the pending async
+    /// error: the deterministic counterpart of the sync thread's idle
+    /// retry timer (see [`FileLog::kick_sync`](crate::FileLog::kick_sync)).
+    pub(crate) fn kick(&self) -> Result<DurabilityTicket, StoreError> {
+        self.check_poisoned()?;
+        self.submit(Vec::new(), 0).map_err(|(_, e)| e)
+    }
+
     /// Absolute count of records whose barrier completed successfully.
     pub(crate) fn durable_records(&self) -> u64 {
         self.shared

@@ -798,6 +798,27 @@ impl FileLog {
             .map_or(0, GroupCommitQueue::batches_synced)
     }
 
+    /// Deterministic wake-up of the group-commit sync thread: submits an
+    /// empty barrier frame, forcing any backlog left by a failed barrier
+    /// to be re-attempted *now* instead of when the thread's wall-clock
+    /// retry timer fires. Unlike [`EvidenceLog::flush`] the pending async
+    /// error is left in place for the next seal to consume, so scenario
+    /// harnesses replaying under a [`nonrep_types::time::LogicalClock`]
+    /// can drive recovery without perturbing the documented
+    /// error-consumption flow. Returns a ready ticket on synchronous
+    /// policies (nothing is ever backlogged there).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Unavailable`] if the sync thread is gone.
+    pub fn kick_sync(&self) -> Result<DurabilityTicket, StoreError> {
+        let inner = self.inner.lock();
+        match &inner.group {
+            Some(queue) => queue.kick(),
+            None => Ok(DurabilityTicket::ready()),
+        }
+    }
+
     /// Test hook: make the next `n` group-commit barriers fail without
     /// touching the file (models a transient device outage).
     #[cfg(test)]
@@ -1840,6 +1861,30 @@ mod tests {
         assert!(matches!(log.flush(), Err(StoreError::Io(_))), "consumed");
         log.flush().unwrap();
         assert_eq!(log.unflushed_len(), 0);
+        drop(log);
+        assert_eq!(FileLog::open(&path).unwrap().len(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn group_commit_kick_retries_backlog_without_consuming_the_error() {
+        // The deterministic stand-in for the sync thread's wall-clock
+        // retry timer: after a transient barrier failure, kick_sync()
+        // lands the backlog immediately, yet the recorded async error is
+        // still there for the next flush to consume — the documented
+        // error-consumption flow is unperturbed.
+        let path = temp_path("gc-kick.log");
+        let _ = std::fs::remove_file(&path);
+        let log = FileLog::open_with(&path, SyncPolicy::GroupCommit).unwrap();
+        log.append(draft(0)).unwrap();
+        log.inject_barrier_failures(1);
+        let ticket = log.flush_async().unwrap();
+        assert!(ticket.wait_durable().is_err());
+        assert_eq!(log.unflushed_len(), 1);
+        log.kick_sync().unwrap().wait_durable().unwrap();
+        assert_eq!(log.unflushed_len(), 0, "backlog landed by the kick");
+        assert!(matches!(log.flush(), Err(StoreError::Io(_))), "error kept");
+        log.flush().unwrap();
         drop(log);
         assert_eq!(FileLog::open(&path).unwrap().len(), 1);
         let _ = std::fs::remove_file(&path);

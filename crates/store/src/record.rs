@@ -273,6 +273,24 @@ pub enum ChainViolation {
         /// Sequence number of the last record in the window.
         seq: u64,
     },
+    /// A counterparty-corroborated epoch anchor attests a different
+    /// history for `[lo, hi]` than the records the submitter produced:
+    /// the submitter forked its own log.
+    ForkedHistory {
+        /// First sequence number the conflicting anchor covers.
+        lo: u64,
+        /// Last sequence number the conflicting anchor covers.
+        hi: u64,
+    },
+    /// A counterparty-corroborated epoch anchor attests records beyond
+    /// the submitted tail: the submitter withheld evidence it had
+    /// previously committed to.
+    WithheldRecords {
+        /// Highest sequence number a verified anchor attests.
+        attested: u64,
+        /// Highest sequence number actually submitted.
+        submitted: u64,
+    },
 }
 
 impl fmt::Display for ChainViolation {
@@ -287,6 +305,22 @@ impl fmt::Display for ChainViolation {
                 write!(
                     f,
                     "window tail at seq {seq} does not hash to the claimed head"
+                )
+            }
+            ChainViolation::ForkedHistory { lo, hi } => {
+                write!(
+                    f,
+                    "submitted records [{lo}, {hi}] conflict with a corroborated epoch anchor"
+                )
+            }
+            ChainViolation::WithheldRecords {
+                attested,
+                submitted,
+            } => {
+                write!(
+                    f,
+                    "a corroborated epoch anchor attests records up to seq {attested} \
+                     but only seq {submitted} was submitted"
                 )
             }
         }

@@ -1,0 +1,87 @@
+//! Adversarial fleet smoke run.
+//!
+//! Builds the showcase scenario (every byzantine role on stage) from
+//! `NONREP_SIM_SEED` (default 1), executes it under two different
+//! schedules, and checks the three fleet invariants: schedule-invariant
+//! verdicts, every byzantine submitter detected, zero false accusations.
+//!
+//! Replay a failure reported by CI or the property sweep with:
+//!
+//! ```sh
+//! NONREP_SIM_SEED=<seed> cargo run --release --example fleet_sim
+//! ```
+
+use std::process::ExitCode;
+
+use nonrep_sim::engine::run_fleet;
+use nonrep_sim::scenario::Scenario;
+
+fn main() -> ExitCode {
+    let seed: u64 = std::env::var("NONREP_SIM_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let scenario = Scenario::showcase(seed);
+    println!(
+        "fleet seed {seed}: {} orgs (+ttp{}), {} byzantine, {} work items",
+        scenario.regular.len(),
+        if scenario.exhausted.is_some() {
+            ", +exhausted"
+        } else {
+            ""
+        },
+        scenario.byzantine.len(),
+        scenario.items.len(),
+    );
+
+    let scratch = std::env::temp_dir().join(format!("nonrep-fleet-sim-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let base = match run_fleet(&scenario, 0, &scratch.join("base")) {
+        Ok(out) => out,
+        Err(e) => return fail(seed, &format!("base fleet errored: {e}")),
+    };
+    let permuted = match run_fleet(&scenario, seed ^ 0x5eed, &scratch.join("permuted")) {
+        Ok(out) => out,
+        Err(e) => return fail(seed, &format!("permuted fleet errored: {e}")),
+    };
+
+    for run in &base.runs {
+        println!(
+            "  run {:>2} [{:>12}] completed={} facts={} suspects={:?}",
+            run.index,
+            run.variant,
+            run.completed,
+            run.facts.len(),
+            run.suspects,
+        );
+    }
+
+    if !base.verdicts_match(&permuted) {
+        return fail(seed, "verdicts diverged under schedule permutation");
+    }
+    for (org, role) in &scenario.byzantine {
+        if !base.detected(org) {
+            return fail(
+                seed,
+                &format!("byzantine {org} ({}) escaped detection", role.name()),
+            );
+        }
+    }
+    for org in scenario.honest_orgs() {
+        if base.detected(&org) {
+            return fail(seed, &format!("honest {org} falsely accused"));
+        }
+    }
+    println!(
+        "ok: verdicts schedule-invariant, {} byzantine org(s) detected ({:?}), no false accusations",
+        scenario.byzantine.len(),
+        base.all_suspects(),
+    );
+    ExitCode::SUCCESS
+}
+
+fn fail(seed: u64, what: &str) -> ExitCode {
+    eprintln!("FLEET VIOLATION: {what}");
+    eprintln!("repro: NONREP_SIM_SEED={seed} cargo run --release --example fleet_sim");
+    ExitCode::FAILURE
+}

@@ -64,6 +64,11 @@ if [[ "$FAST" -eq 0 ]]; then
         echo "--> cargo run --release --example $example"
         cargo run --release --quiet --example "$example" >/dev/null
     done
+
+    # Adversarial fleet sweep: seeded byzantine scenarios replayed under
+    # permuted schedules; prints a NONREP_SIM_SEED repro line on failure.
+    echo "==> adversarial fleet sweep (scripts/sim.sh)"
+    scripts/sim.sh 4
 fi
 
 if [[ "$BENCH" -eq 1 ]]; then

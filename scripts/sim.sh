@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Adversarial fleet smoke sweep: runs the seeded fleet simulator
+# (examples/fleet_sim.rs) over a seed range and fails loudly with a
+# one-line repro command if any seed violates the fleet invariants
+# (schedule-invariant verdicts, all byzantine submitters detected, zero
+# false accusations).
+#
+#   scripts/sim.sh                 # seeds 1..8, release build
+#   scripts/sim.sh 5               # seeds 1..5
+#   scripts/sim.sh 3 12            # seeds 3..12
+#   NONREP_SIM_DEBUG=1 scripts/sim.sh   # dev profile (faster build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.." || exit 1
+
+LO=1
+HI=8
+if [[ $# -eq 1 ]]; then
+    HI="$1"
+elif [[ $# -ge 2 ]]; then
+    LO="$1"
+    HI="$2"
+fi
+
+PROFILE_FLAG="--release"
+if [[ "${NONREP_SIM_DEBUG:-0}" == "1" ]]; then
+    PROFILE_FLAG=""
+fi
+
+# Build once up front so per-seed runs are pure execution time.
+# shellcheck disable=SC2086  # PROFILE_FLAG is intentionally word-split
+cargo build $PROFILE_FLAG --quiet --example fleet_sim
+
+for seed in $(seq "$LO" "$HI"); do
+    echo "==> fleet seed $seed"
+    # shellcheck disable=SC2086
+    if ! NONREP_SIM_SEED="$seed" cargo run $PROFILE_FLAG --quiet --example fleet_sim; then
+        echo "sim.sh: FLEET INVARIANT VIOLATION at seed $seed" >&2
+        echo "repro: NONREP_SIM_SEED=$seed cargo run --release --example fleet_sim" >&2
+        exit 1
+    fi
+done
+
+echo "sim.sh: seeds $LO..$HI green"
