@@ -40,7 +40,7 @@ use nonrep_crypto::digest::Digest;
 use nonrep_protocols::party::KeyDirectory;
 use nonrep_protocols::tokens::{NrToken, TokenKind};
 use nonrep_store::record::{ChainVerifier, ChainViolation, EpochCommitment, EvidenceRecord};
-use nonrep_store::EvidenceLog;
+use nonrep_store::{EvidenceLog, ShardedEvidenceLog, SuperEpochCommitment};
 use nonrep_types::codec::Decode;
 use nonrep_types::ids::{OrgId, RunId};
 
@@ -111,6 +111,12 @@ pub struct WindowSubmission {
     /// window does not extend to the log's tail (the head then cannot be
     /// cross-checked against the window).
     pub head: Digest,
+    /// Which shard of a sharded evidence plane this window was cut from.
+    /// `None` for single-log submissions (and for the meta shard, whose
+    /// super-epoch records are checked directly). Super-epoch anchors only
+    /// constrain the shard they name, so corroboration via
+    /// [`Adjudicator::verify_window_with_super_anchors`] needs this tag.
+    pub shard: Option<u32>,
 }
 
 impl WindowSubmission {
@@ -131,7 +137,26 @@ impl WindowSubmission {
             submitter: submitter.into(),
             records,
             head: if reaches_tail { head } else { Digest::ZERO },
+            shard: None,
         }
+    }
+
+    /// Builds a submission from one shard of a sharded evidence plane,
+    /// tagged with the shard index so super-epoch anchors naming that
+    /// shard can corroborate it.
+    ///
+    /// # Panics
+    ///
+    /// If `shard` is out of range for `log`.
+    pub fn from_shard(
+        submitter: impl Into<OrgId>,
+        log: &ShardedEvidenceLog,
+        shard: u32,
+        range: Range<u64>,
+    ) -> Self {
+        let mut submission = Self::from_log(submitter, &**log.shard(shard), range);
+        submission.shard = Some(shard);
+        submission
     }
 }
 
@@ -369,6 +394,85 @@ impl Adjudicator {
         verdict_from_reports(run_id, reports)
     }
 
+    /// [`Adjudicator::verify_window`] plus corroboration against
+    /// super-epoch anchors (`supers`) previously gossiped by the
+    /// submitter from its sharded evidence plane. The submission must be
+    /// shard-tagged ([`WindowSubmission::from_shard`]); each verified
+    /// super-epoch contributes the shard anchor naming that shard, and
+    /// the fork / withheld-records rules of
+    /// [`Adjudicator::verify_window_with_anchors`] apply unchanged.
+    pub fn verify_window_with_super_anchors(
+        &self,
+        submission: &WindowSubmission,
+        supers: &[SuperEpochCommitment],
+    ) -> LogReport {
+        let mut builder = ReportBuilder::for_window(
+            submission.submitter.clone(),
+            &*self.directory,
+            submission.records.first().map(|r| (r.seq, r.prev_hash)),
+        );
+        for record in &submission.records {
+            builder.check(record);
+        }
+        builder.check_head_claim(&submission.head);
+        builder.check_super_anchors(supers, submission.shard, submission.head != Digest::ZERO);
+        builder.finish()
+    }
+
+    /// Adjudicates `run_id` over shard-tagged windowed submissions with
+    /// super-epoch corroboration: `supers[org]` holds the
+    /// [`SuperEpochCommitment`]s counterparties collected *from* `org`
+    /// over the bus. The windowed adjudication path consumes super-epochs
+    /// exactly like [`EpochCommitment`] anchors — a submitter whose shard
+    /// window conflicts with the shard anchors inside its own gossiped
+    /// super-epochs is established as having forked or truncated that
+    /// shard's history ([`Verdict::violations`]).
+    pub fn adjudicate_sharded(
+        &self,
+        run_id: RunId,
+        submissions: &[WindowSubmission],
+        supers: &BTreeMap<OrgId, Vec<SuperEpochCommitment>>,
+    ) -> Verdict {
+        static NO_SUPERS: &[SuperEpochCommitment] = &[];
+        let reports = submissions
+            .iter()
+            .map(|s| {
+                let theirs = supers.get(&s.submitter).map_or(NO_SUPERS, Vec::as_slice);
+                self.verify_window_with_super_anchors(s, theirs)
+            })
+            .collect();
+        verdict_from_reports(run_id, reports)
+    }
+
+    /// Adjudicates a mixed fleet: each shard-tagged submission is
+    /// corroborated against the super-epoch `supers` its submitter
+    /// gossiped, each untagged one against the plain epoch `anchors` —
+    /// one verdict over organisations running single-log and sharded
+    /// evidence planes side by side.
+    pub fn adjudicate_gossiped(
+        &self,
+        run_id: RunId,
+        submissions: &[WindowSubmission],
+        anchors: &BTreeMap<OrgId, Vec<EpochCommitment>>,
+        supers: &BTreeMap<OrgId, Vec<SuperEpochCommitment>>,
+    ) -> Verdict {
+        static NO_ANCHORS: &[EpochCommitment] = &[];
+        static NO_SUPERS: &[SuperEpochCommitment] = &[];
+        let reports = submissions
+            .iter()
+            .map(|s| {
+                if s.shard.is_some() {
+                    let theirs = supers.get(&s.submitter).map_or(NO_SUPERS, Vec::as_slice);
+                    self.verify_window_with_super_anchors(s, theirs)
+                } else {
+                    let theirs = anchors.get(&s.submitter).map_or(NO_ANCHORS, Vec::as_slice);
+                    self.verify_window_with_anchors(s, theirs)
+                }
+            })
+            .collect();
+        verdict_from_reports(run_id, reports)
+    }
+
     /// Adjudicates `run_id` directly over live evidence logs, verifying
     /// each chain and decoding tokens in place instead of snapshotting
     /// whole logs first. This is the hot path for audit/dispute queries
@@ -463,6 +567,27 @@ impl<'a> ReportBuilder<'a> {
             }
             return;
         }
+        if record.is_super_epoch_commit() {
+            // A super-epoch is self-contained: its merkle-of-merkles root
+            // and batch signature verify from the record alone, so a
+            // doctored shard root inside it fails here even though the
+            // shard histories it anchors live outside this submission.
+            self.epoch_commits += 1;
+            match SuperEpochCommitment::from_record(record) {
+                Some(commitment) => {
+                    let ok = self
+                        .directory
+                        .key_of(&self.submitter)
+                        .map(|key| commitment.verify(&key))
+                        .unwrap_or(false);
+                    if ok {
+                        self.epoch_verified += 1;
+                    }
+                }
+                None => self.undecodable += 1,
+            }
+            return;
+        }
         match NrToken::decode_from_slice(&record.draft.payload) {
             Ok(token) => {
                 let ok = self
@@ -539,7 +664,7 @@ impl<'a> ReportBuilder<'a> {
         let Some(key) = self.directory.key_of(&self.submitter) else {
             return; // unknown submitter key: anchors cannot be attributed
         };
-        let verified: Vec<&EpochCommitment> = anchors
+        let verified: Vec<(u64, u64, Digest)> = anchors
             .iter()
             .filter(|a| a.hi >= a.lo)
             .filter(|a| {
@@ -548,31 +673,78 @@ impl<'a> ReportBuilder<'a> {
                     &a.signature,
                 )
             })
+            .map(|a| (a.lo, a.hi, a.root))
             .collect();
+        self.corroborate_ranges(&verified, claims_tail);
+    }
+
+    /// Corroborates the submission against super-epoch anchors the
+    /// submitter gossiped from a sharded evidence plane.
+    ///
+    /// Only whole super-epochs that verify under the submitter's key
+    /// count (structure, merkle-of-merkles root and batch signature — see
+    /// [`SuperEpochCommitment::verify`]), and each contributes only the
+    /// [`nonrep_store::ShardAnchor`] naming the submission's shard: a
+    /// super-epoch says nothing about shards it does not anchor, and a
+    /// submission not cut from a shard (`shard == None`) cannot be
+    /// corroborated this way at all. The fork / withheld-records rules
+    /// are then identical to [`ReportBuilder::check_anchors`].
+    fn check_super_anchors(
+        &mut self,
+        supers: &[SuperEpochCommitment],
+        shard: Option<u32>,
+        claims_tail: bool,
+    ) {
+        let Some(shard) = shard else {
+            return; // untagged window: no shard for the anchors to name
+        };
+        let Some(key) = self.directory.key_of(&self.submitter) else {
+            return; // unknown submitter key: anchors cannot be attributed
+        };
+        let verified: Vec<(u64, u64, Digest)> = supers
+            .iter()
+            .filter(|s| s.verify(&key))
+            .filter_map(|s| s.anchor_for(shard))
+            .filter(|a| a.hi >= a.lo)
+            .map(|a| (a.lo, a.hi, a.root))
+            .collect();
+        self.corroborate_ranges(&verified, claims_tail);
+    }
+
+    /// The shared fork / withheld-records logic over already-attributed
+    /// anchor ranges `(lo, hi, root)`:
+    ///
+    /// - a covered range lying inside the submission must recompute to the
+    ///   anchored root, else the submitter forked its history;
+    /// - two anchors over the same range with different roots are
+    ///   themselves proof of a fork;
+    /// - when the submission claims the log's tail, an anchor attesting
+    ///   records beyond it proves evidence was withheld.
+    fn corroborate_ranges(&mut self, verified: &[(u64, u64, Digest)], claims_tail: bool) {
         for (i, a) in verified.iter().enumerate() {
             if verified[i + 1..]
                 .iter()
-                .any(|b| a.lo == b.lo && a.hi == b.hi && a.root != b.root)
+                .any(|b| a.0 == b.0 && a.1 == b.1 && a.2 != b.2)
             {
                 self.anchor_violation
-                    .get_or_insert(ChainViolation::ForkedHistory { lo: a.lo, hi: a.hi });
+                    .get_or_insert(ChainViolation::ForkedHistory { lo: a.0, hi: a.1 });
             }
         }
         let first = self.first_seq.unwrap_or(0);
         let last = first + (self.hashes.len() as u64).saturating_sub(1);
-        for a in &verified {
-            if !self.hashes.is_empty() && a.lo >= first && a.hi <= last {
-                let lo = (a.lo - first) as usize;
-                let hi = (a.hi - first) as usize;
-                if EpochCommitment::root_over_hashes(&self.hashes[lo..=hi]) != a.root {
+        for (lo, hi, root) in verified {
+            if !self.hashes.is_empty() && *lo >= first && *hi <= last {
+                let lo_i = (lo - first) as usize;
+                let hi_i = (hi - first) as usize;
+                if EpochCommitment::root_over_hashes(&self.hashes[lo_i..=hi_i]) != *root {
                     self.anchor_violation
-                        .get_or_insert(ChainViolation::ForkedHistory { lo: a.lo, hi: a.hi });
+                        .get_or_insert(ChainViolation::ForkedHistory { lo: *lo, hi: *hi });
                 }
             }
-            if claims_tail && a.hi > last {
+            if claims_tail && *hi > last {
                 self.anchor_violation
                     .get_or_insert(ChainViolation::WithheldRecords {
-                        attested: a.hi,
+                        attested: *hi,
                         submitted: if self.hashes.is_empty() { 0 } else { last },
                     });
             }
@@ -838,6 +1010,7 @@ mod tests {
             submitter: OrgId::new("alice"),
             records,
             head,
+            shard: None,
         };
         let adjudicator = Adjudicator::new(dir.clone() as Arc<dyn KeyDirectory>);
         assert!(adjudicator.verify_window(&submission).clean());
@@ -939,6 +1112,148 @@ mod tests {
         let report = adjudicator.verify_window_with_anchors(&submission, &[fabricated]);
         assert!(report.anchor_violation.is_none());
         assert!(report.clean());
+    }
+
+    fn sharded_alice(
+        clock: &LogicalClock,
+        dir: &Arc<StaticKeyDirectory>,
+        path: &std::path::Path,
+        shards: u32,
+    ) -> Arc<Party> {
+        let mut rng = nonrep_crypto::rng::SecureRandom::from_seed(41);
+        let keys = Arc::new(nonrep_crypto::sig::KeyPair::generate(
+            nonrep_crypto::sig::SignatureScheme::Mss { height: 8 },
+            &mut rng,
+        ));
+        dir.insert(OrgId::new("alice"), keys.verifying_key());
+        let log = Arc::new(
+            ShardedEvidenceLog::open(path, shards, nonrep_store::SyncPolicy::PerEpoch).unwrap(),
+        );
+        Party::with_sharded_commitment(
+            "alice",
+            keys,
+            Arc::new(clock.clone()),
+            log,
+            Arc::clone(dir) as Arc<dyn KeyDirectory>,
+            rng,
+            nonrep_protocols::CommitmentMode::batched(2),
+        )
+    }
+
+    fn scratch(tag: &str) -> std::path::PathBuf {
+        let base = std::env::temp_dir().join(format!(
+            "nonrep-dispute-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&base);
+        base
+    }
+
+    #[test]
+    fn doctored_shard_root_in_super_epoch_is_flagged() {
+        let clock = LogicalClock::new();
+        let dir = Arc::new(StaticKeyDirectory::new());
+        let base = scratch("doctored-super");
+        let alice = sharded_alice(&clock, &dir, &base, 2);
+        let run = alice.new_run_id();
+        for i in 0..4u8 {
+            let t = alice
+                .issue_token(TokenKind::NroReq, run, sha256(&[i]))
+                .unwrap();
+            alice.store_token(&t).unwrap();
+        }
+        alice.flush_evidence().unwrap();
+        let plane = alice.sharded_plane().unwrap();
+        let (_, genuine) = plane.log().latest_super_epoch().unwrap();
+        let adjudicator = Adjudicator::new(dir.clone() as Arc<dyn KeyDirectory>);
+
+        // The meta shard with the genuine super-epoch adjudicates clean —
+        // windowed adjudication consumes super-epochs like epoch commits.
+        let meta =
+            WindowSubmission::from_log("alice", &**plane.log().meta(), 0..plane.log().meta().len());
+        assert_eq!(adjudicator.verify_window(&meta).epoch_commits, 1);
+        assert!(adjudicator.verify_window(&meta).clean());
+
+        // Alice rewrites shard 0's history and re-presents the super-epoch
+        // with the rewritten shard root in a fresh, internally-consistent
+        // meta log. The batch signature covers the merkle-of-merkles root,
+        // so the doctored entry fails verification at adjudication.
+        let mut doctored = genuine.clone();
+        doctored.entries[0].root = sha256(b"rewritten shard history");
+        let forged_meta = nonrep_store::MemoryLog::new();
+        forged_meta
+            .append(doctored.to_draft(OrgId::new("alice"), alice.now()))
+            .unwrap();
+        let report = adjudicator.verify_log_in_place(OrgId::new("alice"), &forged_meta);
+        assert!(report.chain.is_ok(), "forgery is internally consistent");
+        assert_eq!(report.epoch_commits, 1);
+        assert_eq!(report.epoch_verified, 0);
+        assert!(!report.clean());
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn shard_truncation_detected_via_super_epoch_anchors() {
+        let clock = LogicalClock::new();
+        let dir = Arc::new(StaticKeyDirectory::new());
+        let base = scratch("shard-truncate");
+        let alice = sharded_alice(&clock, &dir, &base, 2);
+        let run = alice.new_run_id();
+        for i in 0..4u8 {
+            let t = alice
+                .issue_token(TokenKind::NroReq, run, sha256(&[i]))
+                .unwrap();
+            alice.store_token(&t).unwrap();
+        }
+        alice.flush_evidence().unwrap();
+        let plane = alice.sharded_plane().unwrap();
+        let shard = plane.shard_for(&run);
+        // Counterparties hold the super-epochs alice gossiped.
+        let supers: Vec<SuperEpochCommitment> = plane
+            .log()
+            .meta()
+            .records()
+            .iter()
+            .filter_map(|r| SuperEpochCommitment::from_record(r))
+            .collect();
+        assert_eq!(supers.len(), 1);
+        let adjudicator = Adjudicator::new(dir.clone() as Arc<dyn KeyDirectory>);
+
+        // The full shard window corroborates against the anchors.
+        let shard_len = plane.log().shard(shard).len();
+        let honest = WindowSubmission::from_shard("alice", plane.log(), shard, 0..shard_len);
+        assert!(adjudicator
+            .verify_window_with_super_anchors(&honest, &supers)
+            .clean());
+
+        // A truncated window with an honestly-computed head claim passes
+        // every internal check, but the shard anchor inside alice's own
+        // super-epoch attests records beyond the claimed tail.
+        let records = plane.log().shard(shard).snapshot_range(0..1);
+        let head = records.last().unwrap().record_hash();
+        let truncated = WindowSubmission {
+            submitter: OrgId::new("alice"),
+            records,
+            head,
+            shard: Some(shard),
+        };
+        assert!(adjudicator.verify_window(&truncated).clean());
+        let supers_by_org = BTreeMap::from([(OrgId::new("alice"), supers.clone())]);
+        let verdict =
+            adjudicator.adjudicate_sharded(run, std::slice::from_ref(&truncated), &supers_by_org);
+        assert!(matches!(
+            verdict.reports[0].anchor_violation,
+            Some(ChainViolation::WithheldRecords { .. })
+        ));
+        assert_eq!(verdict.suspect_submitters(), vec![OrgId::new("alice")]);
+
+        // An untagged window cannot be corroborated by shard anchors.
+        let mut untagged = truncated;
+        untagged.shard = None;
+        let report = adjudicator.verify_window_with_super_anchors(&untagged, &supers);
+        assert!(report.anchor_violation.is_none());
+        let _ = std::fs::remove_dir_all(&base);
     }
 
     #[test]

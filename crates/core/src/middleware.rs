@@ -39,7 +39,9 @@ use nonrep_protocols::sharing::coordination::{
 use nonrep_protocols::sharing::membership::{self, MembershipHandler};
 use nonrep_protocols::sharing::GroupRegistry;
 use nonrep_protocols::{B2BCoordinator, ProtocolError};
-use nonrep_store::{DurabilityClass, EvidenceLog, MemoryLog, StateStore, SyncPolicy};
+use nonrep_store::{
+    DurabilityClass, EvidenceLog, MemoryLog, ShardedEvidenceLog, StateStore, SyncPolicy,
+};
 use nonrep_types::ids::{GroupId, OrgId, ServiceUri};
 use nonrep_types::time::LogicalClock;
 
@@ -66,6 +68,7 @@ pub struct MiddlewareBuilder {
     server_conduct: ServerConduct,
     commitment: CommitmentMode,
     evidence_log: Option<Arc<dyn EvidenceLog>>,
+    sharded_evidence: Option<Arc<ShardedEvidenceLog>>,
 }
 
 impl fmt::Debug for MiddlewareBuilder {
@@ -167,6 +170,43 @@ impl MiddlewareBuilder {
         Ok(self.evidence_log(Arc::new(log)))
     }
 
+    /// Uses an already-open sharded evidence plane as this organisation's
+    /// backend: appends partition across the plane's shards by run id,
+    /// each shard seals its own epochs, and periodic super-epoch records
+    /// on the meta shard restore the global anchor. The party's
+    /// [`Party::log`] becomes the *meta* shard (global anchors for gossip
+    /// and windowed adjudication); per-shard windows come from
+    /// [`OrgMiddleware::submit_shard_window`].
+    ///
+    /// Requires a batched commitment mode, like any buffering backend
+    /// (see [`MiddlewareBuilder::build`]).
+    #[must_use]
+    pub fn sharded_evidence(mut self, log: Arc<ShardedEvidenceLog>) -> Self {
+        self.sharded_evidence = Some(log);
+        self
+    }
+
+    /// Deploy-time selection of a sharded evidence plane: opens (creating
+    /// or crash-recovering) `shards` data shards plus the meta shard under
+    /// `dir`, all sharing one group-commit pool, and uses the plane as
+    /// this organisation's evidence backend. The shard count is validated
+    /// here — deploy time — and must match the directory's existing
+    /// layout when reopening.
+    ///
+    /// # Errors
+    ///
+    /// [`nonrep_store::StoreError`] if the count is out of bounds, the
+    /// layout mismatches, or a shard cannot be opened.
+    pub fn sharded_evidence_dir(
+        self,
+        dir: impl AsRef<std::path::Path>,
+        shards: u32,
+        policy: SyncPolicy,
+    ) -> Result<Self, nonrep_store::StoreError> {
+        let log = ShardedEvidenceLog::open_recover(dir, shards, policy)?;
+        Ok(self.sharded_evidence(Arc::new(log)))
+    }
+
     /// Assembles the middleware and registers it on the bus.
     ///
     /// # Panics
@@ -179,13 +219,21 @@ impl MiddlewareBuilder {
     /// deployment error, rejected here rather than discovered at the
     /// first crash.
     pub fn build(self) -> Arc<OrgMiddleware> {
-        let log: Arc<dyn EvidenceLog> = self
-            .evidence_log
-            .unwrap_or_else(|| Arc::new(MemoryLog::new()));
         // Validate before any side effect (keygen, directory insert), so
         // a rejected configuration leaves no stale key registered.
         assert!(
-            !(log.buffers_appends() && matches!(self.commitment, CommitmentMode::PerRecord)),
+            !(self.sharded_evidence.is_some() && self.evidence_log.is_some()),
+            "both evidence_log and sharded_evidence configured — pick one backend"
+        );
+        let buffers = match &self.sharded_evidence {
+            Some(sharded) => sharded.meta().buffers_appends(),
+            None => self
+                .evidence_log
+                .as_ref()
+                .is_some_and(|log| log.buffers_appends()),
+        };
+        assert!(
+            !(buffers && matches!(self.commitment, CommitmentMode::PerRecord)),
             "evidence log buffers appends per epoch (SyncPolicy::PerEpoch/GroupCommit) \
              but the commitment mode is PerRecord, which never seals epochs — nothing \
              would ever be made durable; configure MiddlewareBuilder::commitment with \
@@ -195,15 +243,27 @@ impl MiddlewareBuilder {
         let keys = Arc::new(KeyPair::generate(self.scheme, &mut rng));
         self.directory
             .insert(self.org.clone(), keys.verifying_key());
-        let party = Party::with_commitment(
-            self.org.clone(),
-            keys,
-            Arc::new(self.clock.clone()),
-            log,
-            Arc::clone(&self.directory) as Arc<_>,
-            rng,
-            self.commitment,
-        );
+        let party = match self.sharded_evidence {
+            Some(sharded) => Party::with_sharded_commitment(
+                self.org.clone(),
+                keys,
+                Arc::new(self.clock.clone()),
+                sharded,
+                Arc::clone(&self.directory) as Arc<_>,
+                rng,
+                self.commitment,
+            ),
+            None => Party::with_commitment(
+                self.org.clone(),
+                keys,
+                Arc::new(self.clock.clone()),
+                self.evidence_log
+                    .unwrap_or_else(|| Arc::new(MemoryLog::new())),
+                Arc::clone(&self.directory) as Arc<_>,
+                rng,
+                self.commitment,
+            ),
+        };
 
         let requester = ReliableRequester::new(self.bus.clone(), self.retry);
         let coordinator = B2BCoordinator::with_peer_suffix(self.org.clone(), requester, "#b2b");
@@ -315,18 +375,20 @@ impl OrgMiddleware {
             server_conduct: ServerConduct::Honest,
             commitment: CommitmentMode::PerRecord,
             evidence_log: None,
+            sharded_evidence: None,
         }
     }
 
     /// Spawns the background [`DeadlineSealer`] if the current commitment
-    /// policy has a seal deadline and none is running yet.
+    /// policy has a seal deadline and none is running yet. On a sharded
+    /// evidence plane one sealer thread polls every shard's scheduler.
     fn ensure_deadline_sealer(&self) {
-        if let CommitmentMode::Batched(policy) = self.party.scheduler().mode() {
+        if let CommitmentMode::Batched(policy) = self.party.commitment_mode() {
             if let Some(delay) = policy.max_delay_ms {
                 let mut sealer = self.sealer.lock();
                 if sealer.is_none() {
-                    *sealer = Some(DeadlineSealer::spawn(
-                        Arc::clone(self.party.scheduler()),
+                    *sealer = Some(DeadlineSealer::spawn_many(
+                        self.party.schedulers(),
                         sealer_poll_interval(delay),
                     ));
                 }
@@ -390,6 +452,38 @@ impl OrgMiddleware {
         self.submit_window(0..self.party.log().len())
     }
 
+    /// This organisation's sharded evidence plane, when it runs one
+    /// (see [`MiddlewareBuilder::sharded_evidence_dir`]).
+    pub fn sharded_log(&self) -> Option<&Arc<ShardedEvidenceLog>> {
+        self.party.sharded_plane().map(|p| p.log())
+    }
+
+    /// Builds a shard-tagged adjudication submission covering `range` of
+    /// shard `shard` on a sharded evidence plane — super-epoch anchors
+    /// naming that shard corroborate it
+    /// (`Adjudicator::verify_window_with_super_anchors`).
+    ///
+    /// # Panics
+    ///
+    /// If the organisation does not run a sharded evidence plane, or
+    /// `shard` is out of range.
+    pub fn submit_shard_window(&self, shard: u32, range: std::ops::Range<u64>) -> WindowSubmission {
+        let log = self
+            .sharded_log()
+            .expect("submit_shard_window requires a sharded evidence plane");
+        WindowSubmission::from_shard(self.org.clone(), log, shard, range)
+    }
+
+    /// [`OrgMiddleware::submit_shard_window`] over the shard's whole log.
+    pub fn submit_shard_full_window(&self, shard: u32) -> WindowSubmission {
+        let len = self
+            .sharded_log()
+            .expect("submit_shard_full_window requires a sharded evidence plane")
+            .shard(shard)
+            .len();
+        self.submit_shard_window(shard, 0..len)
+    }
+
     /// The default trust domain for outgoing invocations.
     pub fn domain(&self) -> &TrustDomain {
         &self.domain
@@ -444,6 +538,35 @@ impl OrgMiddleware {
                 )));
             }
         }
+        if let Some(required) = descriptor
+            .non_repudiation
+            .as_ref()
+            .and_then(|nr| nr.evidence_shards)
+        {
+            // Like durability, the evidence-plane layout is fixed when the
+            // organisation is built; a descriptor can only *require* it.
+            nonrep_store::validate_shard_count(required).map_err(|e| {
+                ContainerError::Protocol(format!(
+                    "invalid evidence_shards in descriptor for {}: {e}",
+                    descriptor.service
+                ))
+            })?;
+            let in_force = self.party.sharded_plane().map(|p| p.shard_count());
+            if in_force != Some(required) {
+                return Err(ContainerError::Protocol(format!(
+                    "evidence sharding mismatch: descriptor for {} requires a \
+                     {required}-shard evidence plane but the organisation runs {} — \
+                     build the middleware with \
+                     MiddlewareBuilder::sharded_evidence_dir(dir, {required}, \
+                     SyncPolicy::...) to match",
+                    descriptor.service,
+                    match in_force {
+                        Some(n) => format!("a {n}-shard plane"),
+                        None => "a single unsharded log".to_string(),
+                    }
+                )));
+            }
+        }
         let requested = descriptor.non_repudiation.as_ref().and_then(|nr| {
             match (nr.evidence_batch, nr.evidence_deadline_ms) {
                 (Some(batch), Some(deadline)) => Some(CommitmentMode::Batched(
@@ -460,7 +583,7 @@ impl OrgMiddleware {
             // asking for a *different* policy is a deployment conflict,
             // not a silent reconfiguration. `upgrade_mode` decides under
             // one lock hold, so concurrent deploys cannot both win.
-            let in_force = self.party.scheduler().upgrade_mode(requested);
+            let in_force = self.party.upgrade_commitment_mode(requested);
             if in_force != requested {
                 return Err(ContainerError::Protocol(format!(
                     "conflicting evidence batching: org already runs {in_force:?}, \
@@ -857,6 +980,81 @@ mod tests {
         assert_eq!(reopened.len(), len);
         reopened.verify().unwrap();
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sharded_evidence_plane_end_to_end() {
+        use crate::dispute::Adjudicator;
+        let (bus, dir, clock) = world();
+        let mut base = std::env::temp_dir();
+        base.push(format!("nonrep-mw-sharded-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let client = OrgMiddleware::builder("client", bus.clone(), dir.clone(), clock.clone())
+            .commitment(CommitmentMode::batched(4))
+            .sharded_evidence_dir(&base, 4, SyncPolicy::GroupCommit)
+            .unwrap()
+            .build();
+        let server = OrgMiddleware::builder("server", bus, dir, clock).build();
+        deploy_echo(&server);
+        let proxy = client.nr_proxy(server.org(), "urn:echo");
+        assert_eq!(
+            proxy.invoke("echo", Value::from(5i64)).unwrap(),
+            Value::from(5i64)
+        );
+        // flush_evidence seals every shard tail, appends a super-epoch to
+        // the meta shard and lands it all behind the shared pool.
+        client.flush_evidence().unwrap();
+        let plane = client.sharded_log().unwrap();
+        assert_eq!(plane.shard_count(), 4);
+        let (_, commitment) = plane.latest_super_epoch().unwrap();
+        assert!(!commitment.entries.is_empty());
+        plane.verify_all().unwrap();
+        // The run's evidence lives on exactly one shard; its shard-tagged
+        // window adjudicates clean against the gossiped super-epoch.
+        let run = plane
+            .shards()
+            .iter()
+            .flat_map(|s| s.records())
+            .find(|r| !r.is_epoch_commit())
+            .unwrap()
+            .draft
+            .run_id;
+        let shard = plane.shard_for(&run);
+        assert!(plane.shard(shard).len() >= 2);
+        let adjudicator = Adjudicator::new(
+            client.directory().clone() as Arc<dyn nonrep_protocols::party::KeyDirectory>
+        );
+        let submission = client.submit_shard_full_window(shard);
+        let report = adjudicator.verify_window_with_super_anchors(&submission, &[commitment]);
+        assert!(report.clean());
+        // Descriptor shard requirements are validated at deploy time.
+        use nonrep_container::descriptor::NrConfig;
+        client
+            .deploy(
+                DeploymentDescriptor::new("urn:sharded", [MethodName::new("m")])
+                    .with_non_repudiation(
+                        NrConfig::protocol("direct")
+                            .with_batched_evidence(4)
+                            .with_evidence_shards(4),
+                    ),
+                Arc::new(FnComponent::new().method("m", |args| Ok(args.clone()))),
+            )
+            .unwrap();
+        let mismatch = client.deploy(
+            DeploymentDescriptor::new("urn:wrong", [MethodName::new("m")])
+                .with_non_repudiation(NrConfig::protocol("direct").with_evidence_shards(16)),
+            Arc::new(FnComponent::new().method("m", |args| Ok(args.clone()))),
+        );
+        assert!(matches!(mismatch, Err(ContainerError::Protocol(_))));
+        // An unsharded org cannot satisfy a shard requirement either.
+        let mismatch = server.deploy(
+            DeploymentDescriptor::new("urn:needs-shards", [MethodName::new("m")])
+                .with_non_repudiation(NrConfig::protocol("direct").with_evidence_shards(4)),
+            Arc::new(FnComponent::new().method("m", |args| Ok(args.clone()))),
+        );
+        assert!(matches!(mismatch, Err(ContainerError::Protocol(_))));
+        drop(client);
+        let _ = std::fs::remove_dir_all(&base);
     }
 
     #[test]

@@ -947,6 +947,86 @@ pub fn hash_lanes_with(d: Dispatch, msgs: &[&[u8]]) -> Vec<Digest> {
     out
 }
 
+/// Hashes N *equal-length* messages of any length in lockstep under the
+/// active dispatch — the multi-block generalisation of [`hash_lanes`]
+/// for shapes like the W-OTS public-key compression (`tag ‖ 67 chain
+/// ends` = 2145 bytes, 34 blocks per lane). Equivalent to mapping the
+/// streaming [`super::Sha256`] over `msgs`.
+///
+/// # Panics
+///
+/// Panics if the messages do not all share one length.
+pub fn hash_eq_lanes(msgs: &[&[u8]]) -> Vec<Digest> {
+    hash_eq_lanes_with(Dispatch::active(), msgs)
+}
+
+/// [`hash_eq_lanes`] under an explicit dispatch tier.
+///
+/// # Panics
+///
+/// Panics if the messages do not all share one length or `d` is
+/// unavailable on this host.
+pub fn hash_eq_lanes_with(d: Dispatch, msgs: &[&[u8]]) -> Vec<Digest> {
+    let Some(len) = msgs.first().map(|m| m.len()) else {
+        return Vec::new();
+    };
+    assert!(
+        msgs.iter().all(|m| m.len() == len),
+        "mb: lockstep lanes need equal-length messages"
+    );
+    let total_blocks = (len + 9).div_ceil(64);
+    let mut out = Vec::with_capacity(msgs.len());
+    if d.lanes() <= 1 {
+        let mut buf = vec![0u8; total_blocks * 64];
+        for msg in msgs {
+            buf.fill(0);
+            buf[..len].copy_from_slice(msg);
+            buf[len] = 0x80;
+            buf[total_blocks * 64 - 8..].copy_from_slice(&((len as u64) * 8).to_be_bytes());
+            let mut state = H0;
+            match d {
+                Dispatch::SingleScalar => scalar::compress_blocks(&mut state, &buf),
+                _ => compress_blocks(&mut state, &buf),
+            }
+            out.push(state_to_digest(&state));
+        }
+        return out;
+    }
+    for chunk in msgs.chunks(MAX_LANES) {
+        let mut states = [H0; MAX_LANES];
+        for b in 0..total_blocks {
+            let mut blocks = [[0u8; 64]; MAX_LANES];
+            let lo = b * 64;
+            for (block, msg) in blocks.iter_mut().zip(chunk) {
+                fill_eq_block(block, msg, lo, b + 1 == total_blocks);
+            }
+            compress_lanes(d, &mut states[..chunk.len()], &blocks[..chunk.len()]);
+        }
+        out.extend(states[..chunk.len()].iter().map(state_to_digest));
+    }
+    out
+}
+
+/// Lays out bytes `lo..lo + 64` of `msg`'s SHA-256 padded form: message
+/// bytes, the 0x80 terminator where it falls in range, and (in the final
+/// block) the big-endian bit length.
+fn fill_eq_block(block: &mut [u8; 64], msg: &[u8], lo: usize, last: bool) {
+    let len = msg.len();
+    if lo + 64 <= len {
+        block.copy_from_slice(&msg[lo..lo + 64]);
+        return;
+    }
+    if lo < len {
+        block[..len - lo].copy_from_slice(&msg[lo..]);
+    }
+    if (lo..lo + 64).contains(&len) {
+        block[len - lo] = 0x80;
+    }
+    if last {
+        block[56..].copy_from_slice(&((len as u64) * 8).to_be_bytes());
+    }
+}
+
 /// One W-OTS chain step per lane, in place: every block must be a
 /// pre-padded 36-byte message (`header ‖ value`, 0x80 at byte 36, the
 /// 288-bit length in bytes 56..64); each block's value field (bytes
@@ -1146,6 +1226,37 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn hash_eq_lanes_matches_streaming_for_all_tiers_and_lengths() {
+        // Every padding-boundary length class: empty, one block with and
+        // without room for the length, exact multiples, the 0x80-fits-
+        // but-length-does-not window (56..64), and the 34-block W-OTS
+        // public-key shape (2145).
+        for len in [0usize, 1, 55, 56, 63, 64, 65, 119, 120, 128, 2145] {
+            for n in [1usize, MAX_LANES - 1, MAX_LANES, MAX_LANES + 3] {
+                let msgs: Vec<Vec<u8>> = (0..n)
+                    .map(|i| (0..len).map(|j| (i * 83 + j) as u8).collect())
+                    .collect();
+                let refs: Vec<&[u8]> = msgs.iter().map(Vec::as_slice).collect();
+                for tier in available_tiers() {
+                    let got = hash_eq_lanes_with(tier, &refs);
+                    for (msg, digest) in msgs.iter().zip(&got) {
+                        let mut h = Sha256::new();
+                        h.update(msg);
+                        assert_eq!(*digest, h.finalize(), "tier {tier:?} len {len} n {n}");
+                    }
+                }
+            }
+        }
+        assert!(hash_eq_lanes(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length messages")]
+    fn hash_eq_lanes_rejects_ragged_lengths() {
+        let _ = hash_eq_lanes_with(Dispatch::Scalar, &[b"aa".as_slice(), b"b".as_slice()]);
     }
 
     #[test]

@@ -18,7 +18,7 @@ use std::fmt;
 use nonrep_types::codec::{CodecError, Decode, Encode, Reader, Writer};
 
 use crate::digest::{mb, Digest};
-use crate::merkle::{leaf_hash, leaf_hash_digests_with, AuthPath, MerkleTree};
+use crate::merkle::{implied_roots_with, leaf_hash, leaf_hash_digests_with, AuthPath, MerkleTree};
 use crate::par;
 use crate::rng::SecureRandom;
 use crate::wots::{self, WotsKeyPair, WotsSignature};
@@ -127,10 +127,7 @@ impl MssSigner {
         let seeds: Vec<[u8; 32]> = (0..count).map(|_| rng.secret32()).collect();
         let d = mb::Dispatch::active();
         let leaf_hashes = par::par_map_range_with(workers, count, PAR_MIN_LEAVES, |range| {
-            let pks: Vec<Digest> = seeds[range]
-                .iter()
-                .map(|seed| WotsKeyPair::from_seed_with(*seed, d).public_key())
-                .collect();
+            let pks = WotsKeyPair::public_keys_from_seeds_with(&seeds[range], d);
             leaf_hash_digests_with(d, &pks)
         });
         let tree = MerkleTree::from_leaf_hashes_with_workers(leaf_hashes, workers);
@@ -197,8 +194,11 @@ impl MssSigner {
             .take()
             .expect("unused leaf seed present");
         self.next_leaf += 1;
-        let kp = WotsKeyPair::from_seed(seed);
-        let wots = kp.sign(digest);
+        // Sign straight from the seed: the full keypair derivation would
+        // also walk every chain to its end for a public key this path
+        // never reads (the verifier recovers it) — roughly double the
+        // signing cost for nothing.
+        let wots = WotsKeyPair::sign_from_seed_with(&seed, digest, mb::Dispatch::active());
         let path = self.tree.auth_path(idx);
         Ok(MssSignature {
             leaf_index: idx as u32,
@@ -215,20 +215,65 @@ impl MssSigner {
 /// signature to *one* one-time key, so it must not be forgeable
 /// independently of the path).
 pub fn verify(public_key: &Digest, digest: &Digest, sig: &MssSignature) -> bool {
-    // Path directions encode the leaf position: at level l the sibling is on
-    // the right iff bit l of the index is 0.
+    if !index_matches_path(sig) {
+        return false;
+    }
+    let candidate_pk = wots::recover_public_key(digest, &sig.wots);
+    let leaf = leaf_hash(candidate_pk.as_bytes());
+    MerkleTree::verify(public_key, &leaf, &sig.path)
+}
+
+/// Whether the declared leaf index agrees with the direction bits of
+/// the authentication path: at level l the sibling is on the right iff
+/// bit l of the index is 0.
+fn index_matches_path(sig: &MssSignature) -> bool {
     let mut implied_index: u64 = 0;
     for (level, step) in sig.path.steps.iter().enumerate() {
         if !step.sibling_on_right {
             implied_index |= 1 << level;
         }
     }
-    if implied_index != u64::from(sig.leaf_index) {
-        return false;
-    }
-    let candidate_pk = wots::recover_public_key(digest, &sig.wots);
-    let leaf = leaf_hash(candidate_pk.as_bytes());
-    MerkleTree::verify(public_key, &leaf, &sig.path)
+    implied_index == u64::from(sig.leaf_index)
+}
+
+/// Batch [`verify`] under the active dispatch: checks many signatures
+/// against one `public_key` (root), returning one flag per signature.
+/// Identical to mapping [`verify`] over the pairs, but every hashing
+/// stage runs lane-batched — the W-OTS recovery walks are scheduled
+/// over one flat chain list spanning all signatures, the candidate-key
+/// compressions and leaf hashes run in lockstep, and the
+/// authentication paths climb level by level through
+/// [`crate::merkle::implied_roots`].
+///
+/// # Panics
+///
+/// Panics if `digests` and `sigs` differ in length.
+pub fn verify_many(public_key: &Digest, digests: &[Digest], sigs: &[&MssSignature]) -> Vec<bool> {
+    verify_many_with(public_key, digests, sigs, mb::Dispatch::active())
+}
+
+/// [`verify_many`] under an explicit dispatch tier.
+///
+/// # Panics
+///
+/// Panics if `digests` and `sigs` differ in length or the tier is
+/// unavailable on this host.
+pub fn verify_many_with(
+    public_key: &Digest,
+    digests: &[Digest],
+    sigs: &[&MssSignature],
+    d: mb::Dispatch,
+) -> Vec<bool> {
+    assert_eq!(digests.len(), sigs.len(), "one digest per signature");
+    let wots_sigs: Vec<&WotsSignature> = sigs.iter().map(|s| &s.wots).collect();
+    let pks = wots::recover_public_keys_with(digests, &wots_sigs, d);
+    let leaves = leaf_hash_digests_with(d, &pks);
+    let paths: Vec<&AuthPath> = sigs.iter().map(|s| &s.path).collect();
+    let roots = implied_roots_with(d, &leaves, &paths);
+    sigs.iter()
+        .zip(&roots)
+        .map(|(sig, root)| index_matches_path(sig) && *root == *public_key)
+        .collect()
 }
 
 #[cfg(test)]
@@ -333,6 +378,42 @@ mod tests {
     #[should_panic(expected = "height must be in 1..=20")]
     fn zero_height_panics() {
         let _ = signer(0, 11);
+    }
+
+    #[test]
+    fn verify_many_matches_verify_for_every_tier() {
+        // A mixed batch: valid signatures, a wrong digest, a tampered
+        // chain value, and a doctored leaf index — the batch path must
+        // agree with the one-at-a-time path on every flag.
+        let mut s = signer(3, 12);
+        let pk = s.public_key();
+        let mut digests: Vec<Digest> = (0..6u8).map(|i| sha256(&[i, 0x9D])).collect();
+        let mut sigs: Vec<MssSignature> = digests
+            .iter()
+            .map(|digest| s.sign(digest).unwrap())
+            .collect();
+        digests[1] = sha256(b"swapped after signing");
+        sigs[2].wots.chains[0][0] ^= 0xFF;
+        sigs[3].leaf_index ^= 1;
+        let sig_refs: Vec<&MssSignature> = sigs.iter().collect();
+        let expected: Vec<bool> = digests
+            .iter()
+            .zip(&sigs)
+            .map(|(digest, sig)| verify(&pk, digest, sig))
+            .collect();
+        assert_eq!(expected, [true, false, false, false, true, true]);
+        for tier in mb::Dispatch::all() {
+            if !tier.is_available() {
+                continue;
+            }
+            assert_eq!(
+                verify_many_with(&pk, &digests, &sig_refs, tier),
+                expected,
+                "tier {tier:?}"
+            );
+        }
+        assert_eq!(verify_many(&pk, &digests, &sig_refs), expected);
+        assert!(verify_many(&pk, &[], &[]).is_empty());
     }
 
     #[test]

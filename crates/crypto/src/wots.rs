@@ -142,8 +142,22 @@ fn padded_chain_block(chain_idx: u16) -> [u8; 64] {
     block
 }
 
-/// Walks all 67 chains: chain `i` starts from `values[i]` at step
-/// `start[i]` and advances `steps[i]` steps in place.
+/// Walks all 67 chains of one key: chain `i` starts from `values[i]` at
+/// step `start[i]` and advances `steps[i]` steps in place. See
+/// [`walk_chains_flat`] for the schedule.
+fn walk_chains(
+    d: mb::Dispatch,
+    values: &mut [[u8; 32]; CHAINS],
+    start: &[u8; CHAINS],
+    steps: &[u8; CHAINS],
+) {
+    let idx: [u16; CHAINS] = std::array::from_fn(|i| i as u16);
+    walk_chains_flat(d, values, &idx, start, steps);
+}
+
+/// Walks an arbitrary job list of chains: entry `i` starts from
+/// `values[i]` (chain header `chain_idx[i]`) at step `start[i]` and
+/// advances `steps[i]` steps in place.
 ///
 /// Under a multi-lane dispatch the walk runs lane-batched: chains are
 /// scheduled deepest-remaining-first into the tier's lanes, every lane
@@ -151,28 +165,36 @@ fn padded_chain_block(chain_idx: u16) -> [u8; 64] {
 /// immediately refilled with the next pending chain — so lanes stay
 /// full even though chains finish at different steps (signing and
 /// verification advance each chain by its digest-dependent chunk).
-fn walk_chains(
+/// Batch callers flatten the chains of many keys or signatures into one
+/// job list, so lanes also stay full *across* W-OTS boundaries instead
+/// of draining at each key's 67-chain tail.
+fn walk_chains_flat(
     d: mb::Dispatch,
-    values: &mut [[u8; 32]; CHAINS],
-    start: &[u8; CHAINS],
-    steps: &[u8; CHAINS],
+    values: &mut [[u8; 32]],
+    chain_idx: &[u16],
+    start: &[u8],
+    steps: &[u8],
 ) {
+    debug_assert!(
+        values.len() == chain_idx.len() && values.len() == start.len(),
+        "walk job columns must align"
+    );
     let width = d.lanes();
     if width <= 1 {
         let hash: fn(&[u8]) -> Digest = match d {
             mb::Dispatch::SingleScalar => mb::sha256_short_scalar,
             _ => sha256_short,
         };
-        for i in 0..CHAINS {
+        for i in 0..values.len() {
             if steps[i] > 0 {
-                values[i] = chain_seq(values[i], i as u16, start[i], steps[i], hash);
+                values[i] = chain_seq(values[i], chain_idx[i], start[i], steps[i], hash);
             }
         }
         return;
     }
     // Deepest chains first: the stragglers start early, so the tail of
     // the schedule (when fewer chains remain than lanes) is short.
-    let mut order: Vec<usize> = (0..CHAINS).filter(|&i| steps[i] > 0).collect();
+    let mut order: Vec<usize> = (0..values.len()).filter(|&i| steps[i] > 0).collect();
     order.sort_by_key(|&i| std::cmp::Reverse(steps[i]));
     let mut next = 0usize;
     let mut blocks = [[0u8; 64]; mb::MAX_LANES];
@@ -193,7 +215,7 @@ fn walk_chains(
             if next < order.len() {
                 let c = order[next];
                 next += 1;
-                blocks[l] = padded_chain_block(c as u16);
+                blocks[l] = padded_chain_block(chain_idx[c]);
                 blocks[l][3] = start[c];
                 blocks[l][4..36].copy_from_slice(&values[c]);
                 lane_chain[l] = c;
@@ -246,6 +268,32 @@ fn compress_pk(ends: &[[u8; 32]; CHAINS]) -> Digest {
     h.finalize()
 }
 
+/// `PK_TAG ‖ 67 chain ends`: the public-key compression message.
+const PK_MSG_LEN: usize = 1 + CHAINS * 32;
+
+/// Compresses many keys' chain ends to public keys in lockstep:
+/// `values` holds the flattened chain ends (67 per key, key-major), and
+/// every key's 2145-byte compression message has identical length, so
+/// up to `d.lanes()` keys advance per compressed block
+/// ([`mb::hash_eq_lanes_with`]). Identical to mapping [`compress_pk`]
+/// over the per-key end arrays.
+fn compress_pk_lanes(d: mb::Dispatch, values: &[[u8; 32]]) -> Vec<Digest> {
+    debug_assert!(values.len().is_multiple_of(CHAINS), "67 ends per key");
+    let bufs: Vec<[u8; PK_MSG_LEN]> = values
+        .chunks_exact(CHAINS)
+        .map(|ends| {
+            let mut buf = [0u8; PK_MSG_LEN];
+            buf[0] = PK_TAG;
+            for (slot, end) in buf[1..].chunks_exact_mut(32).zip(ends) {
+                slot.copy_from_slice(end);
+            }
+            buf
+        })
+        .collect();
+    let refs: Vec<&[u8]> = bufs.iter().map(|b| b.as_slice()).collect();
+    mb::hash_eq_lanes_with(d, &refs)
+}
+
 impl WotsKeyPair {
     /// Derives a key pair from a 32-byte seed under the active dispatch.
     pub fn from_seed(seed: [u8; 32]) -> Self {
@@ -261,6 +309,45 @@ impl WotsKeyPair {
             seed,
             public: compress_pk(&values),
         }
+    }
+
+    /// Derives the public keys of many seeds, lane-batched *across*
+    /// keys: per-chain secrets via the batched HMAC path, then one flat
+    /// walk over all `67·N` chains (every chain runs the full 15 steps,
+    /// so lanes stay in lockstep across key boundaries with no refill
+    /// tail per key), then the public-key compressions in lockstep.
+    /// Identical to mapping [`WotsKeyPair::from_seed_with`] and taking
+    /// each public key — the MSS keygen hot path.
+    pub fn public_keys_from_seeds_with(seeds: &[[u8; 32]], d: mb::Dispatch) -> Vec<Digest> {
+        if d.lanes() <= 1 {
+            return seeds
+                .iter()
+                .map(|s| Self::from_seed_with(*s, d).public_key())
+                .collect();
+        }
+        let mut values = Vec::with_capacity(seeds.len() * CHAINS);
+        for seed in seeds {
+            values.extend(derive_secrets(d, seed));
+        }
+        let n = values.len();
+        let idx: Vec<u16> = (0..n).map(|i| (i % CHAINS) as u16).collect();
+        let start = vec![0u8; n];
+        let steps = vec![MAX_STEP; n];
+        walk_chains_flat(d, &mut values, &idx, &start, &steps);
+        compress_pk_lanes(d, &values)
+    }
+
+    /// Signs `digest` with the key derived from `seed` *without*
+    /// deriving the public key: the signing walk stops at each chain's
+    /// digest-dependent chunk, so going through [`WotsKeyPair::from_seed`]
+    /// first (which walks every chain to the end for the public key)
+    /// would roughly double the work. The signature is identical to
+    /// `from_seed(seed).sign(digest)`. The caller owns one-time use.
+    pub fn sign_from_seed_with(seed: &[u8; 32], digest: &Digest, d: mb::Dispatch) -> WotsSignature {
+        let chunks = chunks_of(digest);
+        let mut values = derive_secrets(d, seed);
+        walk_chains(d, &mut values, &[0; CHAINS], &chunks);
+        WotsSignature { chains: values }
     }
 
     /// The compressed public key (hash of all chain ends).
@@ -279,11 +366,48 @@ impl WotsKeyPair {
     /// [`WotsKeyPair::sign`] under an explicit dispatch tier. The
     /// signature is identical for every tier.
     pub fn sign_with(&self, digest: &Digest, d: mb::Dispatch) -> WotsSignature {
-        let chunks = chunks_of(digest);
-        let mut values = derive_secrets(d, &self.seed);
-        walk_chains(d, &mut values, &[0; CHAINS], &chunks);
-        WotsSignature { chains: values }
+        Self::sign_from_seed_with(&self.seed, digest, d)
     }
+}
+
+/// Batch [`recover_public_key_with`]: recomputes every signature's
+/// candidate public key, the verification walks scheduled over one flat
+/// job list (lanes refill across signature boundaries, not just within
+/// one signature's 67 chains) and the final compressions in lockstep.
+/// Identical to mapping [`recover_public_key_with`] over the pairs —
+/// the batch-verification hot path of the MSS layer.
+///
+/// # Panics
+///
+/// Panics if `digests` and `sigs` differ in length.
+pub fn recover_public_keys_with(
+    digests: &[Digest],
+    sigs: &[&WotsSignature],
+    d: mb::Dispatch,
+) -> Vec<Digest> {
+    assert_eq!(digests.len(), sigs.len(), "one digest per signature");
+    if d.lanes() <= 1 {
+        return digests
+            .iter()
+            .zip(sigs)
+            .map(|(digest, sig)| recover_public_key_with(digest, sig, d))
+            .collect();
+    }
+    let n = digests.len() * CHAINS;
+    let mut values = Vec::with_capacity(n);
+    let mut idx = Vec::with_capacity(n);
+    let mut start = Vec::with_capacity(n);
+    let mut steps = Vec::with_capacity(n);
+    for (digest, sig) in digests.iter().zip(sigs) {
+        values.extend(sig.chains);
+        for (c, chunk) in chunks_of(digest).into_iter().enumerate() {
+            idx.push(c as u16);
+            start.push(chunk);
+            steps.push(MAX_STEP - chunk);
+        }
+    }
+    walk_chains_flat(d, &mut values, &idx, &start, &steps);
+    compress_pk_lanes(d, &values)
 }
 
 /// Recomputes the candidate public key from a signature and digest.
@@ -478,6 +602,67 @@ mod tests {
                 }
                 assert_eq!(got, want, "tier {tier:?} pattern {pattern}");
             }
+        }
+    }
+
+    #[test]
+    fn batched_public_keys_match_from_seed_for_every_tier() {
+        // The cross-key flat walk + lockstep compressions must reproduce
+        // the per-key path exactly, for batch sizes that leave partial
+        // lane batches at both the walk and the compression stage.
+        let seeds: Vec<[u8; 32]> = (0u8..5).map(|i| [i.wrapping_mul(37) ^ 0x11; 32]).collect();
+        let expected: Vec<Digest> = seeds
+            .iter()
+            .map(|s| WotsKeyPair::from_seed_with(*s, mb::Dispatch::Single).public_key())
+            .collect();
+        for tier in mb::Dispatch::all() {
+            if !tier.is_available() {
+                continue;
+            }
+            for n in [0usize, 1, 2, 5] {
+                assert_eq!(
+                    WotsKeyPair::public_keys_from_seeds_with(&seeds[..n], tier),
+                    expected[..n],
+                    "tier {tier:?} n {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_recovery_matches_per_signature_for_every_tier() {
+        // Signatures over different digests skew the per-chain step
+        // counts across the flat job list; the shared refill schedule
+        // must still recover each candidate key exactly.
+        let kps: Vec<WotsKeyPair> = (10u8..14).map(keypair).collect();
+        let digests: Vec<Digest> = (0u8..4).map(|i| sha256(&[i, 0xEE])).collect();
+        let sigs: Vec<WotsSignature> = kps.iter().zip(&digests).map(|(kp, d)| kp.sign(d)).collect();
+        let sig_refs: Vec<&WotsSignature> = sigs.iter().collect();
+        for tier in mb::Dispatch::all() {
+            if !tier.is_available() {
+                continue;
+            }
+            let got = recover_public_keys_with(&digests, &sig_refs, tier);
+            for (kp, pk) in kps.iter().zip(&got) {
+                assert_eq!(*pk, kp.public_key(), "tier {tier:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sign_from_seed_matches_keypair_sign() {
+        let seed = [0x77u8; 32];
+        let kp = WotsKeyPair::from_seed(seed);
+        let digest = sha256(b"direct");
+        for tier in mb::Dispatch::all() {
+            if !tier.is_available() {
+                continue;
+            }
+            assert_eq!(
+                WotsKeyPair::sign_from_seed_with(&seed, &digest, tier),
+                kp.sign(&digest),
+                "{tier:?}"
+            );
         }
     }
 

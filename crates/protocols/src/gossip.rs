@@ -27,6 +27,15 @@
 //! Duplicate anchors are idempotent; *conflicting* anchors (same range,
 //! different root, both genuinely signed) are deliberately both kept —
 //! they are the proof of equivocation.
+//!
+//! Sharded parties gossip the same way: their [`crate::party::Party::log`]
+//! is the meta shard, so the cursor walks
+//! [`SuperEpochCommitment`] records — each one a merkle-of-merkles anchor
+//! over every shard's latest epoch — and sends them at
+//! [`STEP_SUPER_EPOCH`]. The handler verifies the whole structure (entry
+//! ordering, recomputed root, batch signature) before filing it in the
+//! store's super-epoch dimension, which feeds
+//! `Adjudicator::adjudicate_sharded`.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -34,6 +43,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use nonrep_store::record::EpochCommitment;
+use nonrep_store::SuperEpochCommitment;
 use nonrep_types::codec::{Decode, Encode};
 use nonrep_types::ids::{OrgId, ProtocolId, RunId};
 
@@ -46,6 +56,11 @@ use crate::ProtocolError;
 /// Wire id of the anchor-gossip protocol.
 pub const PROTOCOL_ID: &str = "anchor-gossip";
 
+/// Message step carrying a single-shard [`EpochCommitment`].
+pub const STEP_EPOCH: u32 = 1;
+/// Message step carrying a [`SuperEpochCommitment`] global anchor.
+pub const STEP_SUPER_EPOCH: u32 = 2;
+
 /// Anchors do not belong to any protocol run; they travel under the same
 /// reserved run id as epoch records in the log.
 fn gossip_run_id() -> RunId {
@@ -57,6 +72,7 @@ fn gossip_run_id() -> RunId {
 #[derive(Debug, Default)]
 pub struct AnchorStore {
     anchors: Mutex<BTreeMap<OrgId, Vec<EpochCommitment>>>,
+    supers: Mutex<BTreeMap<OrgId, Vec<SuperEpochCommitment>>>,
 }
 
 impl AnchorStore {
@@ -85,6 +101,27 @@ impl AnchorStore {
     /// `Adjudicator::adjudicate_with_anchors`.
     pub fn snapshot(&self) -> BTreeMap<OrgId, Vec<EpochCommitment>> {
         self.anchors.lock().clone()
+    }
+
+    /// Files a super-epoch anchor under `org`. Same semantics as
+    /// [`AnchorStore::record`]: duplicates dropped, conflicts kept.
+    pub fn record_super(&self, org: &OrgId, commitment: SuperEpochCommitment) {
+        let mut supers = self.supers.lock();
+        let list = supers.entry(org.clone()).or_default();
+        if !list.contains(&commitment) {
+            list.push(commitment);
+        }
+    }
+
+    /// The super-epoch anchors collected from `org`, in arrival order.
+    pub fn super_epochs_for(&self, org: &OrgId) -> Vec<SuperEpochCommitment> {
+        self.supers.lock().get(org).cloned().unwrap_or_default()
+    }
+
+    /// Every super-epoch anchor collected, ready for
+    /// `Adjudicator::adjudicate_sharded`.
+    pub fn snapshot_supers(&self) -> BTreeMap<OrgId, Vec<SuperEpochCommitment>> {
+        self.supers.lock().clone()
     }
 }
 
@@ -120,20 +157,49 @@ impl ProtocolHandler for AnchorGossipHandler {
                 what: "anchor gossip frame".into(),
             });
         }
-        let commitment = EpochCommitment::decode_from_slice(&msg.body)
-            .map_err(|e| ProtocolError::BadMessage(format!("undecodable anchor: {e}")))?;
-        // The anchor must be signed by the sender itself: gossip binds an
-        // organisation to *its own* history only.
-        if !key.verify_digest(
-            &EpochCommitment::signing_digest(commitment.lo, commitment.hi, &commitment.root),
-            &commitment.signature,
-        ) {
-            return Err(ProtocolError::BadSignature {
-                org: msg.sender.clone(),
-                what: "gossiped epoch anchor".into(),
-            });
+        match msg.step {
+            STEP_EPOCH => {
+                let commitment = EpochCommitment::decode_from_slice(&msg.body)
+                    .map_err(|e| ProtocolError::BadMessage(format!("undecodable anchor: {e}")))?;
+                // The anchor must be signed by the sender itself: gossip
+                // binds an organisation to *its own* history only.
+                if !key.verify_digest(
+                    &EpochCommitment::signing_digest(
+                        commitment.lo,
+                        commitment.hi,
+                        &commitment.root,
+                    ),
+                    &commitment.signature,
+                ) {
+                    return Err(ProtocolError::BadSignature {
+                        org: msg.sender.clone(),
+                        what: "gossiped epoch anchor".into(),
+                    });
+                }
+                self.store.record(&msg.sender, commitment);
+            }
+            STEP_SUPER_EPOCH => {
+                let commitment =
+                    SuperEpochCommitment::decode_from_slice(&msg.body).map_err(|e| {
+                        ProtocolError::BadMessage(format!("undecodable super anchor: {e}"))
+                    })?;
+                // `verify` checks well-formedness (non-empty, strictly
+                // increasing shards), the merkle-of-merkles root, and the
+                // sender's batch signature in one pass.
+                if !commitment.verify(&key) {
+                    return Err(ProtocolError::BadSignature {
+                        org: msg.sender.clone(),
+                        what: "gossiped super-epoch anchor".into(),
+                    });
+                }
+                self.store.record_super(&msg.sender, commitment);
+            }
+            step => {
+                return Err(ProtocolError::BadMessage(format!(
+                    "unknown anchor gossip step {step}"
+                )));
+            }
         }
-        self.store.record(&msg.sender, commitment);
         Ok(())
     }
 
@@ -188,13 +254,19 @@ impl AnchorGossip {
         while *cursor < len {
             let records = log.snapshot_range(*cursor..len);
             for record in &records {
-                if let Some(commitment) = EpochCommitment::from_record(record) {
+                let body = if let Some(commitment) = EpochCommitment::from_record(record) {
+                    Some((STEP_EPOCH, commitment.encode_to_vec()))
+                } else {
+                    SuperEpochCommitment::from_record(record)
+                        .map(|commitment| (STEP_SUPER_EPOCH, commitment.encode_to_vec()))
+                };
+                if let Some((step, body)) = body {
                     let msg = ProtocolMessage::new(
                         PROTOCOL_ID,
                         gossip_run_id(),
-                        1,
+                        step,
                         self.party.org().clone(),
-                        commitment.encode_to_vec(),
+                        body,
                     )
                     .signed(self.party.keys())
                     .map_err(ProtocolError::from)?;
@@ -325,5 +397,132 @@ mod tests {
         handler.process(&OrgId::new("mallory"), own).unwrap();
         assert!(store.anchors_for(&OrgId::new("alice")).is_empty());
         assert_eq!(store.anchors_for(&OrgId::new("mallory")).len(), 1);
+    }
+
+    fn sharded_alice(
+        clock: &LogicalClock,
+        dir: &Arc<StaticKeyDirectory>,
+        path: &std::path::Path,
+    ) -> Arc<Party> {
+        let mut rng = nonrep_crypto::rng::SecureRandom::from_seed(31);
+        let keys = Arc::new(nonrep_crypto::sig::KeyPair::generate(
+            nonrep_crypto::sig::SignatureScheme::Mss { height: 8 },
+            &mut rng,
+        ));
+        dir.insert(OrgId::new("alice"), keys.verifying_key());
+        let log = Arc::new(
+            nonrep_store::ShardedEvidenceLog::open(path, 2, nonrep_store::SyncPolicy::PerEpoch)
+                .unwrap(),
+        );
+        Party::with_sharded_commitment(
+            "alice",
+            keys,
+            Arc::new(clock.clone()),
+            log,
+            Arc::clone(dir) as Arc<dyn crate::party::KeyDirectory>,
+            rng,
+            crate::scheduler::CommitmentMode::batched(2),
+        )
+    }
+
+    #[test]
+    fn super_epoch_anchors_gossip_from_the_meta_shard() {
+        let (bus, clock, dir) = world();
+        let base = std::env::temp_dir().join(format!(
+            "nonrep-gossip-super-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&base);
+        let alice = sharded_alice(&clock, &dir, &base);
+        let bob = Party::quick("bob", 2, &clock, &dir);
+        let alice_coord = coordinator(&bus, "alice");
+        let _bob_coord = coordinator(&bus, "bob");
+        let store = Arc::new(AnchorStore::new());
+        _bob_coord.register_handler(Arc::new(AnchorGossipHandler::new(
+            bob.clone(),
+            store.clone(),
+        )));
+
+        let run = alice.new_run_id();
+        for i in 0..4u8 {
+            let t = alice
+                .issue_token(TokenKind::NroReq, run, sha256(&[i]))
+                .unwrap();
+            alice.store_token(&t).unwrap();
+        }
+        // flush_evidence seals every shard tail and appends one
+        // super-epoch to the meta shard — the log the gossiper scans.
+        alice.flush_evidence().unwrap();
+
+        let gossip = AnchorGossip::new(alice.clone(), alice_coord);
+        let peers = [OrgId::new("bob")];
+        assert_eq!(gossip.gossip_to(&peers).unwrap(), 1);
+        assert_eq!(gossip.gossip_to(&peers).unwrap(), 0);
+        let held = store.super_epochs_for(&OrgId::new("alice"));
+        assert_eq!(held.len(), 1);
+        let key = bob.key_of(&OrgId::new("alice")).unwrap();
+        assert!(held[0].verify(&key));
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn doctored_super_epoch_anchor_is_rejected() {
+        let (bus, clock, dir) = world();
+        let base = std::env::temp_dir().join(format!(
+            "nonrep-gossip-doctored-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&base);
+        let alice = sharded_alice(&clock, &dir, &base);
+        let bob = Party::quick("bob", 2, &clock, &dir);
+        let _ = coordinator(&bus, "alice");
+        let store = Arc::new(AnchorStore::new());
+        let handler = AnchorGossipHandler::new(bob.clone(), store.clone());
+
+        let run = alice.new_run_id();
+        for i in 0..4u8 {
+            let t = alice
+                .issue_token(TokenKind::NroReq, run, sha256(&[i]))
+                .unwrap();
+            alice.store_token(&t).unwrap();
+        }
+        alice.flush_evidence().unwrap();
+        let plane = alice.sharded_plane().unwrap();
+        let (_, genuine) = plane.log().latest_super_epoch().unwrap();
+
+        // A doctored shard root inside an otherwise genuine super-epoch
+        // must fail verification at the receiving handler.
+        let mut doctored = genuine.clone();
+        doctored.entries[0].root = sha256(b"rewritten shard history");
+        let msg = ProtocolMessage::new(
+            PROTOCOL_ID,
+            gossip_run_id(),
+            STEP_SUPER_EPOCH,
+            OrgId::new("alice"),
+            doctored.encode_to_vec(),
+        )
+        .signed(alice.keys())
+        .unwrap();
+        assert!(matches!(
+            handler.process(&OrgId::new("alice"), msg),
+            Err(ProtocolError::BadSignature { .. })
+        ));
+        assert!(store.super_epochs_for(&OrgId::new("alice")).is_empty());
+
+        // The genuine anchor is accepted.
+        let ok = ProtocolMessage::new(
+            PROTOCOL_ID,
+            gossip_run_id(),
+            STEP_SUPER_EPOCH,
+            OrgId::new("alice"),
+            genuine.encode_to_vec(),
+        )
+        .signed(alice.keys())
+        .unwrap();
+        handler.process(&OrgId::new("alice"), ok).unwrap();
+        assert_eq!(store.super_epochs_for(&OrgId::new("alice")).len(), 1);
+        let _ = std::fs::remove_dir_all(&base);
     }
 }

@@ -47,6 +47,7 @@ pub mod handler;
 pub mod invocation;
 pub mod message;
 pub mod party;
+pub mod plane;
 pub mod scheduler;
 pub mod sharing;
 pub mod tokens;
@@ -56,6 +57,7 @@ pub use coordinator::B2BCoordinator;
 pub use handler::ProtocolHandler;
 pub use message::ProtocolMessage;
 pub use party::{KeyDirectory, Party, StaticKeyDirectory};
+pub use plane::ShardedCommitmentPlane;
 pub use scheduler::{BatchPolicy, CommitmentMode, CommitmentScheduler, DeadlineSealer, TokenSpec};
 pub use tokens::{NrToken, TokenKind};
 

@@ -20,10 +20,11 @@ use parking_lot::Mutex;
 use nonrep_crypto::digest::Digest;
 use nonrep_crypto::rng::SecureRandom;
 use nonrep_crypto::sig::{KeyPair, VerifyingKey};
-use nonrep_store::{EvidenceLog, MemoryLog, RecordDraft};
+use nonrep_store::{EvidenceLog, MemoryLog, RecordDraft, ShardedEvidenceLog};
 use nonrep_types::ids::{OrgId, RunId};
 use nonrep_types::time::{Clock, LogicalClock, Timestamp};
 
+use crate::plane::ShardedCommitmentPlane;
 use crate::scheduler::{CommitmentMode, CommitmentScheduler, TokenSpec};
 use crate::tokens::{NrToken, TokenKind};
 use crate::ProtocolError;
@@ -61,6 +62,15 @@ impl KeyDirectory for StaticKeyDirectory {
     }
 }
 
+/// The commitment plane evidence routes through: one scheduler over one
+/// log (the default), or per-shard schedulers over a
+/// [`ShardedEvidenceLog`] (see [`crate::plane`]). Protocol code never
+/// sees the difference — [`Party`] routes.
+enum EvidencePlane {
+    Single(Arc<CommitmentScheduler>),
+    Sharded(Arc<ShardedCommitmentPlane>),
+}
+
 /// One organisation's protocol-level identity and local services.
 pub struct Party {
     org: OrgId,
@@ -69,7 +79,7 @@ pub struct Party {
     log: Arc<dyn EvidenceLog>,
     directory: Arc<dyn KeyDirectory>,
     rng: Mutex<SecureRandom>,
-    scheduler: Arc<CommitmentScheduler>,
+    plane: EvidencePlane,
 }
 
 impl fmt::Debug for Party {
@@ -125,7 +135,43 @@ impl Party {
             log,
             directory,
             rng: Mutex::new(rng),
-            scheduler,
+            plane: EvidencePlane::Single(scheduler),
+        })
+    }
+
+    /// Creates a party over a sharded evidence plane: per-shard
+    /// commitment schedulers route appends by run id, and the meta shard
+    /// carries the super-epoch anchors (see [`crate::plane`]).
+    ///
+    /// [`Party::log`] returns the plane's **meta shard** — the log that
+    /// holds the organisation's global anchors; per-shard logs are
+    /// reached through [`Party::sharded_plane`].
+    pub fn with_sharded_commitment(
+        org: impl Into<OrgId>,
+        keys: Arc<KeyPair>,
+        clock: Arc<dyn Clock>,
+        sharded: Arc<ShardedEvidenceLog>,
+        directory: Arc<dyn KeyDirectory>,
+        rng: SecureRandom,
+        mode: CommitmentMode,
+    ) -> Arc<Self> {
+        let org = org.into();
+        let log = Arc::clone(sharded.meta()) as Arc<dyn EvidenceLog>;
+        let plane = Arc::new(ShardedCommitmentPlane::new(
+            sharded,
+            Arc::clone(&keys),
+            org.clone(),
+            Arc::clone(&clock),
+            mode,
+        ));
+        Arc::new(Self {
+            org,
+            keys,
+            clock,
+            log,
+            directory,
+            rng: Mutex::new(rng),
+            plane: EvidencePlane::Sharded(plane),
         })
     }
 
@@ -196,7 +242,10 @@ impl Party {
         self.clock.now()
     }
 
-    /// This party's evidence log.
+    /// This party's evidence log. On a sharded party
+    /// ([`Party::with_sharded_commitment`]) this is the plane's meta
+    /// shard — the global-anchor log; per-shard logs live behind
+    /// [`Party::sharded_plane`].
     pub fn log(&self) -> &Arc<dyn EvidenceLog> {
         &self.log
     }
@@ -225,8 +274,58 @@ impl Party {
     /// This party's evidence-commitment scheduler (seal policy, epoch
     /// sealing state). Returned as an `Arc` so deployments can hand it to
     /// a background [`crate::scheduler::DeadlineSealer`].
+    ///
+    /// # Panics
+    ///
+    /// On a sharded party there is no *single* scheduler — use
+    /// [`Party::schedulers`] or [`Party::sharded_plane`].
     pub fn scheduler(&self) -> &Arc<CommitmentScheduler> {
-        &self.scheduler
+        match &self.plane {
+            EvidencePlane::Single(scheduler) => scheduler,
+            EvidencePlane::Sharded(_) => panic!(
+                "sharded party has one scheduler per shard; \
+                 use Party::schedulers() or Party::sharded_plane()"
+            ),
+        }
+    }
+
+    /// Every commitment scheduler of this party: one for the default
+    /// single plane, one per shard for a sharded party — hand the lot to
+    /// [`crate::scheduler::DeadlineSealer::spawn_many`] so idle shards
+    /// seal on time.
+    pub fn schedulers(&self) -> Vec<Arc<CommitmentScheduler>> {
+        match &self.plane {
+            EvidencePlane::Single(scheduler) => vec![Arc::clone(scheduler)],
+            EvidencePlane::Sharded(plane) => plane.schedulers().to_vec(),
+        }
+    }
+
+    /// The sharded commitment plane, when this party was built over one.
+    pub fn sharded_plane(&self) -> Option<&Arc<ShardedCommitmentPlane>> {
+        match &self.plane {
+            EvidencePlane::Sharded(plane) => Some(plane),
+            EvidencePlane::Single(_) => None,
+        }
+    }
+
+    /// The commitment mode in force (uniform across shards on a sharded
+    /// party).
+    pub fn commitment_mode(&self) -> CommitmentMode {
+        match &self.plane {
+            EvidencePlane::Single(scheduler) => scheduler.mode(),
+            EvidencePlane::Sharded(plane) => plane.mode(),
+        }
+    }
+
+    /// Atomically applies `requested` if the party is still in per-record
+    /// mode (every shard, on a sharded party), returning the mode in
+    /// force afterwards — semantics of
+    /// [`CommitmentScheduler::upgrade_mode`].
+    pub fn upgrade_commitment_mode(&self, requested: CommitmentMode) -> CommitmentMode {
+        match &self.plane {
+            EvidencePlane::Single(scheduler) => scheduler.upgrade_mode(requested),
+            EvidencePlane::Sharded(plane) => plane.upgrade_mode(requested),
+        }
     }
 
     /// Issues a signed token as this party (routed through the
@@ -241,9 +340,7 @@ impl Party {
         run_id: RunId,
         subject: Digest,
     ) -> Result<NrToken, ProtocolError> {
-        let mut tokens = self
-            .scheduler
-            .issue(&[TokenSpec::new(kind, run_id, subject)])?;
+        let mut tokens = self.issue_tokens(&[TokenSpec::new(kind, run_id, subject)])?;
         Ok(tokens.pop().expect("one spec yields one token"))
     }
 
@@ -256,7 +353,10 @@ impl Party {
     ///
     /// [`ProtocolError::Signing`] if the key is exhausted.
     pub fn issue_tokens(&self, specs: &[TokenSpec]) -> Result<Vec<NrToken>, ProtocolError> {
-        self.scheduler.issue(specs)
+        match &self.plane {
+            EvidencePlane::Single(scheduler) => scheduler.issue(specs),
+            EvidencePlane::Sharded(plane) => plane.issue(specs),
+        }
     }
 
     /// Marks the end of a protocol run: seals any pending evidence if the
@@ -266,7 +366,11 @@ impl Party {
     ///
     /// [`ProtocolError::Storage`] if the seal cannot be persisted.
     pub fn end_of_run(&self) -> Result<(), ProtocolError> {
-        self.scheduler.end_of_run().map_err(ProtocolError::from)
+        match &self.plane {
+            EvidencePlane::Single(scheduler) => scheduler.end_of_run(),
+            EvidencePlane::Sharded(plane) => plane.end_of_run(),
+        }
+        .map_err(ProtocolError::from)
     }
 
     /// Explicitly seals pending evidence under an epoch commitment and
@@ -279,10 +383,13 @@ impl Party {
     ///
     /// [`ProtocolError::Storage`] if the seal cannot be persisted.
     pub fn flush_evidence(&self) -> Result<(), ProtocolError> {
-        self.scheduler
-            .seal_durable()
-            .map(|_| ())
-            .map_err(ProtocolError::from)
+        match &self.plane {
+            EvidencePlane::Single(scheduler) => scheduler.seal_durable().map(|_| ()),
+            // Sharded: seal every shard, cut the covering super-epoch,
+            // and wait out the shared barrier — all frames coalesce.
+            EvidencePlane::Sharded(plane) => plane.flush_durable(),
+        }
+        .map_err(ProtocolError::from)
     }
 
     /// Verifies a token allegedly issued by `issuer`, pinned to
@@ -324,14 +431,18 @@ impl Party {
     /// [`ProtocolError::Storage`] on logging failure.
     pub fn store_token(&self, token: &NrToken) -> Result<(), ProtocolError> {
         use nonrep_types::codec::Encode;
-        self.scheduler.record(RecordDraft {
+        let draft = RecordDraft {
             run_id: token.run_id,
             kind: token.kind.label().to_string(),
             actor: token.issuer.clone(),
             at: self.now(),
             content_digest: token.subject,
             payload: token.encode_to_vec(),
-        })?;
+        };
+        match &self.plane {
+            EvidencePlane::Single(scheduler) => scheduler.record(draft)?,
+            EvidencePlane::Sharded(plane) => plane.record(draft)?,
+        };
         Ok(())
     }
 }

@@ -799,7 +799,7 @@ impl CommitmentScheduler {
 pub struct DeadlineSealer {
     stop: Arc<AtomicBool>,
     handle: Option<std::thread::JoinHandle<()>>,
-    scheduler: Arc<CommitmentScheduler>,
+    schedulers: Vec<Arc<CommitmentScheduler>>,
 }
 
 impl fmt::Debug for DeadlineSealer {
@@ -811,6 +811,16 @@ impl fmt::Debug for DeadlineSealer {
 impl DeadlineSealer {
     /// Spawns the polling thread over `scheduler`.
     pub fn spawn(scheduler: Arc<CommitmentScheduler>, poll_interval: Duration) -> Self {
+        Self::spawn_many(vec![scheduler], poll_interval)
+    }
+
+    /// Spawns **one** polling thread over several schedulers — the shape
+    /// of a sharded commitment plane, where each shard has its own
+    /// scheduler but a thread per shard would be waste. Every cycle
+    /// polls every scheduler; a failing scheduler backs the whole
+    /// cadence off (the shards share a disk, so one shard's barrier
+    /// failure is rarely alone).
+    pub fn spawn_many(schedulers: Vec<Arc<CommitmentScheduler>>, poll_interval: Duration) -> Self {
         // Clamp away a zero interval: park_timeout(0) returns
         // immediately, which would turn the poller into a busy spin that
         // pins a core (and on which the error backoff's doubling stays
@@ -818,7 +828,7 @@ impl DeadlineSealer {
         let poll_interval = poll_interval.max(Duration::from_millis(1));
         let stop = Arc::new(AtomicBool::new(false));
         let thread_stop = Arc::clone(&stop);
-        let thread_scheduler = Arc::clone(&scheduler);
+        let thread_schedulers = schedulers.clone();
         let handle = std::thread::spawn(move || {
             let mut delay = poll_interval;
             while !thread_stop.load(Ordering::Relaxed) {
@@ -826,18 +836,23 @@ impl DeadlineSealer {
                 if thread_stop.load(Ordering::Relaxed) {
                     break;
                 }
-                delay = match thread_scheduler.poll() {
-                    Ok(_) => poll_interval,
+                let mut failed = false;
+                for scheduler in &thread_schedulers {
+                    failed |= scheduler.poll().is_err();
+                }
+                delay = if failed {
                     // Failure backoff; the degraded probe already keeps the
                     // retries signature-free, this keeps them rare.
-                    Err(_) => (delay * 2).min(poll_interval * 64),
+                    (delay * 2).min(poll_interval * 64)
+                } else {
+                    poll_interval
                 };
             }
         });
         Self {
             stop,
             handle: Some(handle),
-            scheduler,
+            schedulers,
         }
     }
 
@@ -847,24 +862,46 @@ impl DeadlineSealer {
     /// [`nonrep_types::time::LogicalClock`] the deadline path replays
     /// bit-identically — wall time never enters the schedule.
     pub fn manual(scheduler: Arc<CommitmentScheduler>) -> Self {
+        Self::manual_many(vec![scheduler])
+    }
+
+    /// [`DeadlineSealer::manual`] over several schedulers (a sharded
+    /// plane's, typically): one [`DeadlineSealer::tick`] polls them all.
+    pub fn manual_many(schedulers: Vec<Arc<CommitmentScheduler>>) -> Self {
         Self {
             stop: Arc::new(AtomicBool::new(false)),
             handle: None,
-            scheduler,
+            schedulers,
         }
     }
 
-    /// Runs one deadline poll now, returning the epoch record if the poll
-    /// sealed (exactly [`CommitmentScheduler::poll`]). On a
+    /// Runs one deadline poll now over every scheduler, returning the
+    /// last epoch record sealed by this tick, if any (exactly
+    /// [`CommitmentScheduler::poll`] per scheduler). On a
     /// [`DeadlineSealer::manual`] sealer this is the *only* driver of the
     /// deadline path; on a spawned sealer it is a deterministic kick in
     /// addition to the background cadence.
     ///
     /// # Errors
     ///
-    /// [`StoreError`] if the seal cannot be persisted.
+    /// The first per-scheduler [`StoreError`]; every scheduler is still
+    /// polled (one shard's failure must not starve the others' seals).
     pub fn tick(&self) -> Result<Option<Arc<EvidenceRecord>>, StoreError> {
-        self.scheduler.poll()
+        let mut sealed = None;
+        let mut first_err = None;
+        for scheduler in &self.schedulers {
+            match scheduler.poll() {
+                Ok(Some(record)) => sealed = Some(record),
+                Ok(None) => {}
+                Err(e) => {
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(sealed),
+        }
     }
 }
 

@@ -34,6 +34,7 @@ use nonrep_crypto::digest::Digest;
 use nonrep_protocols::party::Party;
 use nonrep_protocols::tokens::{NrToken, TokenKind};
 use nonrep_store::record::{EpochCommitment, EvidenceRecord, RecordDraft, EPOCH_KIND};
+use nonrep_store::EvidenceLog;
 use nonrep_types::codec::{Decode, Encode};
 use nonrep_types::ids::{OrgId, RunId};
 
@@ -53,13 +54,31 @@ pub trait Adversary: Send + Sync {
     fn finalize(&self) {}
 
     /// The evidence submission this organisation presents to the
-    /// adjudicator.
-    fn submission(&self) -> WindowSubmission;
+    /// adjudicator for `run`. Every strategy here submits the same
+    /// window for every run (the crafted histories are whole-log
+    /// artefacts); the run only matters to honest parties on a *sharded*
+    /// evidence plane, which present the full window of the shard the
+    /// run routes to, tagged so super-epoch anchors corroborate it.
+    fn submission(&self, run: RunId) -> WindowSubmission;
 }
 
 fn full_log_submission(party: &Party) -> WindowSubmission {
     let log = party.log();
     WindowSubmission::from_log(party.org().clone(), log.as_ref(), 0..log.len())
+}
+
+/// The honest submission for `run`: on a sharded party the full window
+/// of the shard `run` routes to (shard-tagged — corroborated against the
+/// party's gossiped super-epoch anchors); otherwise the full single log.
+fn honest_submission(party: &Party, run: RunId) -> WindowSubmission {
+    match party.sharded_plane() {
+        Some(plane) => {
+            let log = plane.log();
+            let shard = log.shard_for(&run);
+            WindowSubmission::from_shard(party.org().clone(), log, shard, 0..log.shard(shard).len())
+        }
+        None => full_log_submission(party),
+    }
 }
 
 /// Submits the full log, exactly as an honest organisation would.
@@ -79,8 +98,8 @@ impl Adversary for HonestSubmitter {
         &self.party
     }
 
-    fn submission(&self) -> WindowSubmission {
-        full_log_submission(&self.party)
+    fn submission(&self, run: RunId) -> WindowSubmission {
+        honest_submission(&self.party, run)
     }
 }
 
@@ -150,6 +169,7 @@ fn forked_submission(
         submitter: party.org().clone(),
         records: forged,
         head: prev,
+        shard: None,
     }
 }
 
@@ -175,7 +195,7 @@ impl Adversary for ForkHistorySubmitter {
         &self.party
     }
 
-    fn submission(&self) -> WindowSubmission {
+    fn submission(&self, _run: RunId) -> WindowSubmission {
         forked_submission(&self.party, None, self.forged_subject)
     }
 }
@@ -198,7 +218,7 @@ impl Adversary for EvidenceWithholder {
         &self.party
     }
 
-    fn submission(&self) -> WindowSubmission {
+    fn submission(&self, _run: RunId) -> WindowSubmission {
         let records = self.party.log().snapshot_range(0..1);
         // The head claim is the truncated tail's hash: a well-formed lie
         // that only a counterparty-held anchor can expose.
@@ -210,6 +230,7 @@ impl Adversary for EvidenceWithholder {
             submitter: self.party.org().clone(),
             records,
             head,
+            shard: None,
         }
     }
 }
@@ -264,7 +285,7 @@ impl Adversary for TokenReplayer {
             .expect("append replayed record");
     }
 
-    fn submission(&self) -> WindowSubmission {
+    fn submission(&self, _run: RunId) -> WindowSubmission {
         full_log_submission(&self.party)
     }
 }
@@ -293,7 +314,7 @@ impl Adversary for EquivocatingTtp {
         &self.party
     }
 
-    fn submission(&self) -> WindowSubmission {
+    fn submission(&self, _run: RunId) -> WindowSubmission {
         forked_submission(
             &self.party,
             Some(TokenKind::TtpReceipt),
@@ -336,11 +357,11 @@ mod tests {
 
     #[test]
     fn forked_submission_is_internally_clean_but_anchors_convict_it() {
-        let (party, dir, _) = batched_party_with_tokens();
+        let (party, dir, run) = batched_party_with_tokens();
         let anchors = real_anchors(&party);
         assert!(!anchors.is_empty());
         let adversary = ForkHistorySubmitter::new(party.clone(), sha256(b"forged"));
-        let submission = adversary.submission();
+        let submission = adversary.submission(run);
         let judge = Adjudicator::new(dir as Arc<dyn KeyDirectory>);
         // Internally consistent: chain, tokens and epoch proofs all pass.
         assert!(judge.verify_window(&submission).clean());
@@ -354,10 +375,10 @@ mod tests {
 
     #[test]
     fn withheld_submission_claims_the_truncated_tail() {
-        let (party, dir, _) = batched_party_with_tokens();
+        let (party, dir, run) = batched_party_with_tokens();
         let anchors = real_anchors(&party);
         let adversary = EvidenceWithholder::new(party.clone());
-        let submission = adversary.submission();
+        let submission = adversary.submission(run);
         assert_eq!(submission.records.len(), 1);
         assert_ne!(submission.head, Digest::ZERO);
         let judge = Adjudicator::new(dir as Arc<dyn KeyDirectory>);
@@ -385,10 +406,58 @@ mod tests {
             .unwrap();
         let adversary = TokenReplayer::new(alice.clone(), RunId::from_u128(6));
         adversary.finalize();
-        let submission = adversary.submission();
+        let submission = adversary.submission(run);
         let judge = Adjudicator::new(dir as Arc<dyn KeyDirectory>);
         let report = judge.verify_window(&submission);
         assert_eq!(report.context_mismatches, 1);
         assert!(!report.clean());
+    }
+
+    #[test]
+    fn honest_submission_on_a_sharded_party_is_the_runs_shard_window() {
+        use nonrep_protocols::CommitmentMode;
+        use nonrep_store::{ShardedEvidenceLog, SyncPolicy};
+
+        let dir = std::env::temp_dir().join(format!(
+            "nonrep-sim-adv-shard-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let clock = LogicalClock::new();
+        let keydir = Arc::new(StaticKeyDirectory::new());
+        let keys = Arc::new(nonrep_crypto::sig::KeyPair::generate(
+            nonrep_crypto::sig::SignatureScheme::Mss { height: 8 },
+            &mut nonrep_crypto::rng::SecureRandom::from_seed(61),
+        ));
+        keydir.insert(OrgId::new("alice"), keys.verifying_key());
+        let sharded = Arc::new(ShardedEvidenceLog::open(&dir, 4, SyncPolicy::PerEpoch).unwrap());
+        let party = Party::with_sharded_commitment(
+            "alice",
+            keys,
+            Arc::new(clock),
+            Arc::clone(&sharded),
+            keydir as Arc<dyn KeyDirectory>,
+            nonrep_crypto::rng::SecureRandom::from_seed(62),
+            CommitmentMode::batched(2),
+        );
+        let run = RunId::from_u128(9);
+        for i in 0..3u8 {
+            let t = party
+                .issue_token(TokenKind::NroReq, run, sha256(&[i]))
+                .unwrap();
+            party.store_token(&t).unwrap();
+        }
+        party.flush_evidence().unwrap();
+        let submission = HonestSubmitter::new(party).submission(run);
+        let shard = sharded.shard_for(&run);
+        assert_eq!(submission.shard, Some(shard));
+        assert_eq!(
+            submission.records.len() as u64,
+            sharded.shard(shard).len(),
+            "the whole shard window is presented"
+        );
+        assert!(submission.records.iter().any(|r| r.draft.run_id == run));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

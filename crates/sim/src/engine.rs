@@ -23,6 +23,20 @@
 //! The retry budget is sized above the scenario's bounded consecutive-drop
 //! budget, so message delivery (and hence run completion) is guaranteed —
 //! losses perturb *how* evidence is produced, never *whether* it is.
+//!
+//! # Sharded evidence planes
+//!
+//! When `scenario.evidence_shards > 1` the durable organisation runs on a
+//! [`ShardedEvidenceLog`] instead of a single `FileLog`: evidence routes
+//! to shards by run id, every flush cuts per-shard epochs plus one
+//! super-epoch on the meta shard, gossip carries the super-epochs
+//! (`STEP_SUPER_EPOCH`), and the org's submissions are per-run
+//! shard-tagged windows the adjudicator corroborates against the gossiped
+//! super-epoch anchors. Its crash faults land *at the shard barrier*: the
+//! kill leaves a half-written append image on one shard's tail, which
+//! `ShardedEvidenceLog::open_recover` must drop. Only fully durable
+//! (anchored) records precede the torn bytes, so recovery is verdict-
+//! neutral and schedule invariance holds across the whole family.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
@@ -48,7 +62,7 @@ use nonrep_protocols::party::{KeyDirectory, Party, StaticKeyDirectory};
 use nonrep_protocols::{B2BCoordinator, BatchPolicy, CommitmentMode};
 use nonrep_store::log::{FileLog, SyncPolicy};
 use nonrep_store::record::ChainViolation;
-use nonrep_store::MemoryLog;
+use nonrep_store::{MemoryLog, ShardedEvidenceLog};
 use nonrep_types::ids::{OrgId, RunId};
 use nonrep_types::time::LogicalClock;
 
@@ -151,6 +165,9 @@ struct Fleet<'a> {
     handles: BTreeMap<OrgId, OrgHandle>,
     anchors: Arc<AnchorStore>,
     durable_path: PathBuf,
+    /// Directory of `o0`'s sharded plane when
+    /// `scenario.evidence_shards > 1` (unused otherwise).
+    sharded_dir: PathBuf,
     retry: RetryPolicy,
 }
 
@@ -172,6 +189,8 @@ impl<'a> Fleet<'a> {
         let dir = Arc::new(StaticKeyDirectory::new());
         let durable_path = scratch.join(format!("{}-o0.log", scenario.seed));
         let _ = std::fs::remove_file(&durable_path);
+        let sharded_dir = scratch.join(format!("{}-o0-shards", scenario.seed));
+        let _ = std::fs::remove_dir_all(&sharded_dir);
         let mut fleet = Fleet {
             scenario,
             bus,
@@ -181,6 +200,7 @@ impl<'a> Fleet<'a> {
             handles: BTreeMap::new(),
             anchors: Arc::new(AnchorStore::new()),
             durable_path,
+            sharded_dir,
             retry,
         };
 
@@ -219,17 +239,6 @@ impl<'a> Fleet<'a> {
         let role = scenario.role_of(org);
         let exhausted = scenario.exhausted.as_ref() == Some(org);
         let durable = *org == scenario.regular[0];
-        let log: Arc<dyn nonrep_store::EvidenceLog> = if durable {
-            let file = if recovered {
-                FileLog::open_recover_with(&self.durable_path, SyncPolicy::WriteThrough)
-            } else {
-                FileLog::open_with(&self.durable_path, SyncPolicy::WriteThrough)
-            }
-            .map_err(|e| std::io::Error::other(e.to_string()))?;
-            Arc::new(file)
-        } else {
-            Arc::new(MemoryLog::new())
-        };
         // Per-record commitment for organisations whose logs must carry no
         // epoch anchors (the replayer's poison pill lands after the final
         // flush; the exhausted org cannot sign seals); everyone else runs
@@ -241,15 +250,56 @@ impl<'a> Fleet<'a> {
             CommitmentMode::PerRecord
         };
         let salt = if recovered { 0x7265_6375 } else { 0x7274 };
-        let party = Party::with_commitment(
-            org.clone(),
-            Arc::clone(&self.keys[org]),
-            Arc::new(self.clock.clone()),
-            log,
-            Arc::clone(&self.dir) as Arc<dyn KeyDirectory>,
-            SecureRandom::from_seed(derive_seed(scenario.seed, org, salt)),
-            mode,
-        );
+        let rng = SecureRandom::from_seed(derive_seed(scenario.seed, org, salt));
+        let party = if durable && scenario.evidence_shards > 1 {
+            // The durable organisation on the sharded evidence plane:
+            // per-run shard routing, one group-commit pool under every
+            // shard, super-epoch anchors on the meta shard.
+            let sharded = if recovered {
+                ShardedEvidenceLog::open_recover(
+                    &self.sharded_dir,
+                    scenario.evidence_shards,
+                    SyncPolicy::GroupCommit,
+                )
+            } else {
+                ShardedEvidenceLog::open(
+                    &self.sharded_dir,
+                    scenario.evidence_shards,
+                    SyncPolicy::GroupCommit,
+                )
+            }
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
+            Party::with_sharded_commitment(
+                org.clone(),
+                Arc::clone(&self.keys[org]),
+                Arc::new(self.clock.clone()),
+                Arc::new(sharded),
+                Arc::clone(&self.dir) as Arc<dyn KeyDirectory>,
+                rng,
+                mode,
+            )
+        } else {
+            let log: Arc<dyn nonrep_store::EvidenceLog> = if durable {
+                let file = if recovered {
+                    FileLog::open_recover_with(&self.durable_path, SyncPolicy::WriteThrough)
+                } else {
+                    FileLog::open_with(&self.durable_path, SyncPolicy::WriteThrough)
+                }
+                .map_err(|e| std::io::Error::other(e.to_string()))?;
+                Arc::new(file)
+            } else {
+                Arc::new(MemoryLog::new())
+            };
+            Party::with_commitment(
+                org.clone(),
+                Arc::clone(&self.keys[org]),
+                Arc::new(self.clock.clone()),
+                log,
+                Arc::clone(&self.dir) as Arc<dyn KeyDirectory>,
+                rng,
+                mode,
+            )
+        };
         let coordinator = B2BCoordinator::new(
             org.clone(),
             ReliableRequester::new(self.bus.clone(), self.retry),
@@ -307,10 +357,23 @@ impl<'a> Fleet<'a> {
 
     fn crash_and_recover_durable(&mut self) -> std::io::Result<()> {
         let org = self.scenario.regular[0].clone();
-        // Drop the whole stack first so the FileLog closes, then recover
-        // the evidence from disk and rebuild around the recovered log.
+        // Drop the whole stack first so the log closes, then recover the
+        // evidence from disk and rebuild around the recovered log.
         self.bus.unregister(&org);
         self.handles.remove(&org);
+        if self.scenario.evidence_shards > 1 {
+            // The kill lands at the shard barrier: leave the half-written
+            // append image a mid-write crash leaves on one shard's tail.
+            // Recovery must drop exactly these bytes — every durable
+            // (anchored) record precedes them, so the verdicts cannot
+            // move. Which shard is torn derives from the seed.
+            let shard = (self.scenario.seed % u64::from(self.scenario.evidence_shards)) as u32;
+            let path = self.sharded_dir.join(format!("shard-{shard:03}.log"));
+            let mut file = std::fs::OpenOptions::new().append(true).open(&path)?;
+            use std::io::Write;
+            file.write_all(b"torn mid-append frame")?;
+            file.sync_all()?;
+        }
         self.install(&org, true)?;
         self.bus.fault_plan().recover(&org);
         Ok(())
@@ -376,10 +439,14 @@ impl<'a> Fleet<'a> {
         let submissions: Vec<WindowSubmission> = item
             .participants(&self.scenario.ttp)
             .iter()
-            .map(|p| self.handles[p].conduct.submission())
+            .map(|p| self.handles[p].conduct.submission(item.run_id))
             .collect();
+        // Mixed corroboration: shard-tagged submissions (the sharded
+        // durable org) against gossiped super-epochs, everyone else
+        // against plain epoch anchors.
         let anchors = self.anchors.snapshot();
-        let verdict = adjudicator.adjudicate_with_anchors(item.run_id, &submissions, &anchors);
+        let supers = self.anchors.snapshot_supers();
+        let verdict = adjudicator.adjudicate_gossiped(item.run_id, &submissions, &anchors, &supers);
         reduce(item, completed, &verdict)
     }
 }
@@ -431,8 +498,9 @@ fn reduce(item: &WorkItem, completed: bool, verdict: &Verdict) -> RunOutcome {
 
 /// Executes `scenario` with the item order derived from `schedule_seed`
 /// and adjudicates every run. `scratch` hosts the durable organisation's
-/// `FileLog` (one file per scenario seed — concurrent fleets need
-/// distinct scratch directories).
+/// `FileLog` — or its sharded plane's directory when
+/// `scenario.evidence_shards > 1` (one path per scenario seed —
+/// concurrent fleets need distinct scratch directories).
 ///
 /// # Errors
 ///
@@ -475,6 +543,7 @@ pub fn run_fleet(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use nonrep_store::EvidenceLog;
 
     fn scratch(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("nonrep-sim-{}-{tag}", std::process::id()));
@@ -527,5 +596,94 @@ mod tests {
         let permuted = run_fleet(&scenario, 42, &scratch("perm-alt")).unwrap();
         assert_ne!(scenario.schedule(0), scenario.schedule(42));
         assert!(base.verdicts_match(&permuted));
+    }
+
+    #[test]
+    fn sharded_showcase_convicts_byzantines_and_survives_permutation() {
+        // The full byzantine cast with o0 on a four-way sharded plane:
+        // super-epoch gossip, shard-window submissions, and a crash that
+        // tears a shard tail at the barrier — same verdicts, any schedule.
+        let scenario = Scenario::showcase_sharded(29);
+        let base = run_fleet(&scenario, 0, &scratch("shard-base")).unwrap();
+        let permuted = run_fleet(&scenario, 42, &scratch("shard-alt")).unwrap();
+        assert!(base.verdicts_match(&permuted));
+        for (org, role) in &scenario.byzantine {
+            assert!(base.detected(org), "{org} ({}) not detected", role.name());
+        }
+        for org in scenario.honest_orgs() {
+            assert!(!base.detected(&org), "honest {org} falsely accused");
+        }
+        // The sharded org's evidence actually established facts: its
+        // shard windows held tokens for at least one adjudicated run.
+        let o0 = scenario.regular[0].as_str();
+        assert!(base
+            .runs
+            .iter()
+            .flat_map(|r| r.facts.iter())
+            .any(|(_, _, _, held)| held.iter().any(|h| h == o0)));
+    }
+
+    #[test]
+    fn shard_tear_below_the_barrier_flags_stale_super_epochs_and_reseals() {
+        use nonrep_protocols::tokens::TokenKind;
+
+        // Build the sharded fleet and drive the first item (o0 client):
+        // its flush seals the run's shard and cuts a covering super-epoch.
+        let scenario = Scenario::showcase_sharded(23);
+        let mut fleet = Fleet::build(&scenario, &scratch("shard-tear")).unwrap();
+        let item = scenario.items[0].clone();
+        assert!(fleet.run_item(&item).unwrap());
+        let o0 = scenario.regular[0].clone();
+        let torn_shard = {
+            let party = fleet.handles[&o0].conduct.party();
+            let plane = party.sharded_plane().unwrap().log();
+            let shard = plane.shard_for(&item.run_id);
+            let (_, sup) = plane.latest_super_epoch().expect("super-epoch sealed");
+            let anchor = sup.anchor_for(shard).expect("run's shard anchored");
+            assert!(plane.shard(shard).len() > anchor.hi);
+            shard
+        };
+        // Crash o0 and destroy the anchored shard *below* its sealed
+        // boundary — unlike a torn append, this loses records the global
+        // anchor vouches for.
+        fleet.bus.unregister(&o0);
+        fleet.handles.remove(&o0);
+        let path = fleet.sharded_dir.join(format!("shard-{torn_shard:03}.log"));
+        let file = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(1).unwrap();
+        drop(file);
+        fleet.install(&o0, true).unwrap();
+        fleet.bus.fault_plan().recover(&o0);
+        let party = Arc::clone(fleet.handles[&o0].conduct.party());
+        let plane = Arc::clone(party.sharded_plane().unwrap().log());
+        // Recovery dropped the torn shard and flagged every super-epoch
+        // whose anchor outruns what the disk still holds.
+        let recovery = plane.recovery();
+        assert!(recovery.shard_dropped[torn_shard as usize] > 0);
+        assert!(
+            recovery
+                .stale_super_epochs
+                .iter()
+                .any(|s| s.shard == torn_shard && s.recovered_len == 0),
+            "stale super-epoch not flagged: {recovery:?}"
+        );
+        // New evidence on the torn shard re-seals it, and the next
+        // super-epoch anchors the re-sealed state (superseding the stale
+        // one) — the plane verifies end to end.
+        let run = (0u128..)
+            .map(RunId::from_u128)
+            .find(|r| *r != RunId::from_u128(0) && plane.shard_for(r) == torn_shard)
+            .unwrap();
+        for i in 0..2u8 {
+            let t = party
+                .issue_token(TokenKind::NroReq, run, sha256(&[i]))
+                .unwrap();
+            party.store_token(&t).unwrap();
+        }
+        party.flush_evidence().unwrap();
+        let (_, newest) = plane.latest_super_epoch().unwrap();
+        let anchor = newest.anchor_for(torn_shard).expect("re-sealed anchor");
+        assert_eq!(anchor.hi + 2, plane.shard(torn_shard).len());
+        plane.verify_all().unwrap();
     }
 }

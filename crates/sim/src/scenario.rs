@@ -17,6 +17,10 @@
 //! - [`Scenario::showcase`] — the maximal hand-laid fleet (every byzantine
 //!   role at once) used by the `fleet_sim` example and the headline
 //!   regression test.
+//! - [`Scenario::showcase_sharded`] — the showcase with the durable
+//!   organisation on a sharded evidence plane: super-epoch anchors,
+//!   per-run shard-window submissions, and crash faults that land at the
+//!   shard barrier.
 //!
 //! Byzantine organisations participate in **exactly one** work item each.
 //! Items execute atomically, so a single-item log has the same record
@@ -158,6 +162,12 @@ pub struct Scenario {
     pub byzantine: Vec<(OrgId, Role)>,
     /// The runs to drive, in index order.
     pub items: Vec<WorkItem>,
+    /// Shard count of `o0`'s durable evidence plane: `1` keeps the
+    /// classic single `FileLog`; `> 1` puts `o0` on a
+    /// `ShardedEvidenceLog` (group-commit pool, per-shard epochs,
+    /// super-epoch anchors on the meta shard) — its gossip then carries
+    /// super-epochs and its submissions are per-run shard windows.
+    pub evidence_shards: u32,
     /// Per-hop message drop probability on the bus.
     pub drop_probability: f64,
     /// Bound on consecutive drops per link (the paper's bounded-failure
@@ -317,6 +327,10 @@ impl Scenario {
         }
 
         let drop_probability = [0.0, 0.1, 0.25][d.below(3) as usize];
+        // A third of the family runs o0 on a sharded evidence plane, so
+        // the property sweep covers super-epoch gossip, shard-window
+        // submissions and shard-barrier crash faults for free.
+        let evidence_shards = [1, 1, 2, 4][d.below(4) as usize];
         Scenario {
             seed,
             regular,
@@ -324,6 +338,7 @@ impl Scenario {
             exhausted,
             byzantine,
             items,
+            evidence_shards,
             drop_probability,
             max_consecutive_drops: 2,
         }
@@ -384,8 +399,22 @@ impl Scenario {
             exhausted: Some(exhausted),
             byzantine,
             items,
+            evidence_shards: 1,
             drop_probability: 0.2,
             max_consecutive_drops: 2,
+        }
+    }
+
+    /// [`Scenario::showcase`] with `o0` on a four-way sharded evidence
+    /// plane: the same maximal byzantine cast and adversity overlays, but
+    /// the durable organisation routes evidence by run across shards,
+    /// anchors them with super-epochs, and crashes *at the shard
+    /// barrier* (the recovery drops the torn shard tail the kill left
+    /// behind).
+    pub fn showcase_sharded(seed: u64) -> Self {
+        Self {
+            evidence_shards: 4,
+            ..Self::showcase(seed)
         }
     }
 
@@ -511,6 +540,23 @@ mod tests {
         }
         // Permutations actually differ from the identity somewhere.
         assert!((1..50u64).any(|x| s.schedule(x) != s.schedule(0)));
+    }
+
+    #[test]
+    fn shard_counts_are_valid_and_the_sharded_family_is_reachable() {
+        for seed in 0..200u64 {
+            let s = Scenario::from_seed(seed);
+            assert!(
+                matches!(s.evidence_shards, 1 | 2 | 4),
+                "seed {seed}: bad shard count {}",
+                s.evidence_shards
+            );
+        }
+        assert!((0..200u64).any(|s| Scenario::from_seed(s).evidence_shards > 1));
+        assert!((0..200u64).any(|s| Scenario::from_seed(s).evidence_shards == 1));
+        let sharded = Scenario::showcase_sharded(9);
+        assert_eq!(sharded.evidence_shards, 4);
+        assert_eq!(sharded.items, Scenario::showcase(9).items);
     }
 
     #[test]

@@ -52,8 +52,10 @@ use nonrep_crypto::digest::Digest;
 use nonrep_types::codec::{Decode, Reader, Writer};
 use nonrep_types::ids::RunId;
 
-use crate::group_commit::{DurabilityTicket, GroupCommitQueue};
-use crate::record::{ChainVerifier, ChainViolation, EvidenceRecord, RecordDraft, EPOCH_KIND};
+use crate::group_commit::{DurabilityTicket, GroupCommitPool, GroupCommitQueue};
+use crate::record::{
+    ChainVerifier, ChainViolation, EvidenceRecord, RecordDraft, EPOCH_KIND, SUPER_EPOCH_KIND,
+};
 use crate::StoreError;
 
 /// When a [`FileLog`] makes appended records durable.
@@ -598,7 +600,7 @@ impl FileLog {
     /// violation. A file truncated mid-append fails too — use
     /// [`FileLog::open_recover`] to discard a torn tail instead.
     pub fn open(path: impl AsRef<Path>) -> Result<Self, StoreError> {
-        Self::open_impl(path.as_ref(), false, SyncPolicy::WriteThrough)
+        Self::open_impl(path.as_ref(), false, SyncPolicy::WriteThrough, None)
     }
 
     /// [`FileLog::open`] with an explicit durability policy.
@@ -607,7 +609,36 @@ impl FileLog {
     ///
     /// As [`FileLog::open`].
     pub fn open_with(path: impl AsRef<Path>, policy: SyncPolicy) -> Result<Self, StoreError> {
-        Self::open_impl(path.as_ref(), false, policy)
+        Self::open_impl(path.as_ref(), false, policy, None)
+    }
+
+    /// Opens the log under [`SyncPolicy::GroupCommit`], attached to a
+    /// *shared* [`GroupCommitPool`] instead of a private sync thread —
+    /// the sharded evidence plane opens every shard this way so
+    /// concurrent shards' epoch frames coalesce into few device
+    /// barriers.
+    ///
+    /// # Errors
+    ///
+    /// As [`FileLog::open`].
+    pub fn open_in_pool(
+        path: impl AsRef<Path>,
+        pool: &Arc<GroupCommitPool>,
+    ) -> Result<Self, StoreError> {
+        Self::open_impl(path.as_ref(), false, SyncPolicy::GroupCommit, Some(pool))
+    }
+
+    /// [`FileLog::open_in_pool`] with crash recovery (see
+    /// [`FileLog::open_recover`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`FileLog::open_recover`].
+    pub fn open_recover_in_pool(
+        path: impl AsRef<Path>,
+        pool: &Arc<GroupCommitPool>,
+    ) -> Result<Self, StoreError> {
+        Self::open_impl(path.as_ref(), true, SyncPolicy::GroupCommit, Some(pool))
     }
 
     /// Opens the log, discarding a torn tail left by a crash mid-write.
@@ -645,7 +676,7 @@ impl FileLog {
     /// Returns [`StoreError`] on I/O failure, mid-file corruption or a
     /// chain violation.
     pub fn open_recover(path: impl AsRef<Path>) -> Result<Self, StoreError> {
-        Self::open_impl(path.as_ref(), true, SyncPolicy::WriteThrough)
+        Self::open_impl(path.as_ref(), true, SyncPolicy::WriteThrough, None)
     }
 
     /// [`FileLog::open_recover`] with an explicit durability policy.
@@ -657,10 +688,15 @@ impl FileLog {
         path: impl AsRef<Path>,
         policy: SyncPolicy,
     ) -> Result<Self, StoreError> {
-        Self::open_impl(path.as_ref(), true, policy)
+        Self::open_impl(path.as_ref(), true, policy, None)
     }
 
-    fn open_impl(path: &Path, recover: bool, policy: SyncPolicy) -> Result<Self, StoreError> {
+    fn open_impl(
+        path: &Path,
+        recover: bool,
+        policy: SyncPolicy,
+        pool: Option<&Arc<GroupCommitPool>>,
+    ) -> Result<Self, StoreError> {
         let path = path.to_path_buf();
         let mut records = Vec::new();
         let mut verifier = ChainVerifier::new();
@@ -720,11 +756,11 @@ impl FileLog {
         // thread ever writes).
         let group = (policy == SyncPolicy::GroupCommit)
             .then(|| -> Result<GroupCommitQueue, StoreError> {
-                Ok(GroupCommitQueue::spawn(
-                    file.try_clone()?,
-                    file_len,
-                    record_count,
-                ))
+                let sync_handle = file.try_clone()?;
+                Ok(match pool {
+                    Some(pool) => pool.attach(sync_handle, file_len, record_count),
+                    None => GroupCommitQueue::spawn(sync_handle, file_len, record_count),
+                })
             })
             .transpose()?;
         Ok(Self {
@@ -922,7 +958,10 @@ impl EvidenceLog for FileLog {
                 result
             }),
             SyncPolicy::PerEpoch | SyncPolicy::GroupCommit => {
-                let lands_epoch = draft.kind == EPOCH_KIND;
+                // Super-epoch records (the sharded plane's meta shard)
+                // are sealing points too: they trigger the same flush /
+                // handoff as an ordinary epoch commitment.
+                let lands_epoch = draft.kind == EPOCH_KIND || draft.kind == SUPER_EPOCH_KIND;
                 let frame_start = pending.len();
                 let record = state.append_with(draft, |encoded| {
                     let len = u32::try_from(encoded.len())

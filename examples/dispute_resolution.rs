@@ -76,6 +76,7 @@ fn main() -> Result<(), Box<dyn Error>> {
             .cloned()
             .collect(),
         head: honest.head,
+        shard: None,
     };
     println!(
         "\nmanufacturer submits a doctored window ({} of {} records)",

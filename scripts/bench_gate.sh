@@ -3,7 +3,10 @@
 # numbers against its checked-in baseline
 # (scripts/bench_baseline_<N>.jsonl) and fails on a >25% regression on
 # the headline perf paths (e1_invocation, e11_batch, e12_durability,
-# e13_group_commit, e14_multibuffer). See docs/BENCHMARKS.md.
+# e13_group_commit, e14_multibuffer, e15_sharded). The disk-bound rows
+# among these are best-of-3 numbers (scripts/bench.sh runs e12/e13/e15
+# three times), so a trip means a real slowdown, not fsync drift. See
+# docs/BENCHMARKS.md.
 #
 #   scripts/bench_gate.sh                      # newest BENCH_*.json vs its baseline
 #   scripts/bench_gate.sh BENCH_4.json         # explicit report (baseline inferred)
@@ -25,7 +28,7 @@ import json, sys
 
 bench_path, baseline_path, threshold = sys.argv[1], sys.argv[2], float(sys.argv[3])
 HEADLINE = {"e1_invocation", "e11_batch", "e12_durability", "e13_group_commit",
-            "e14_multibuffer"}
+            "e14_multibuffer", "e15_sharded"}
 
 baseline = {}
 with open(baseline_path) as f:
@@ -76,12 +79,13 @@ if [[ "${1:-}" == "--self-test" ]]; then
     printf '%s\n' \
         '{"group":"e1_invocation","bench":"direct_16KiB","ns_per_iter":100000.0,"iters":100}' \
         '{"group":"e13_group_commit","bench":"append_4x64/group_commit","ns_per_iter":1000000.0,"iters":10}' \
+        '{"group":"e15_sharded","bench":"adjudicate_run_16x32/shards_16","ns_per_iter":30000.0,"iters":1000}' \
         >"$tmp/baseline.jsonl"
     printf '%s\n' \
-        '{"benches":{"e1_invocation/direct_16KiB":{"after_ns":130000.0},"e13_group_commit/append_4x64/group_commit":{"after_ns":900000.0}}}' \
+        '{"benches":{"e1_invocation/direct_16KiB":{"after_ns":130000.0},"e13_group_commit/append_4x64/group_commit":{"after_ns":900000.0},"e15_sharded/adjudicate_run_16x32/shards_16":{"after_ns":31000.0}}}' \
         >"$tmp/regressed.json"
     printf '%s\n' \
-        '{"benches":{"e1_invocation/direct_16KiB":{"after_ns":110000.0},"e13_group_commit/append_4x64/group_commit":{"after_ns":1200000.0}}}' \
+        '{"benches":{"e1_invocation/direct_16KiB":{"after_ns":110000.0},"e13_group_commit/append_4x64/group_commit":{"after_ns":1200000.0},"e15_sharded/adjudicate_run_16x32/shards_16":{"after_ns":31000.0}}}' \
         >"$tmp/clean.json"
     echo "==> self-test: synthetic 30% regression must fail"
     if run_gate "$tmp/regressed.json" "$tmp/baseline.jsonl"; then
