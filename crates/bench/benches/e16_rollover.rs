@@ -1,0 +1,141 @@
+//! E16: the hierarchical key lifecycle under sustained signing.
+//!
+//! Measures what certified subtree rollover costs relative to a single
+//! flat tree of equal capacity:
+//!
+//! * `sign/*` — one steady-state leaf signature per scheme (fresh key
+//!   each iteration, keygen excluded): the per-signature price of the
+//!   hierarchy when no rollover fires.
+//! * `verify/*` — one signature verified through the ordinary
+//!   `VerifyingKey` path: the chained-cert walk an HSS signature adds.
+//! * `rollover_cycle/hss` — five signatures crossing exactly one
+//!   subtree exhaustion: the throughput dip at the rollover boundary,
+//!   amortised over the cycle.
+//! * `sustained_60/*` — sixty signatures straight through: the HSS
+//!   signer crosses fourteen subtree exhaustions (2^2-leaf subtrees)
+//!   while the flat 2^6 tree never rolls. The gate guards this row:
+//!   "never stop signing" must not mean "sign slowly".
+//!
+//! The regression gate (`scripts/bench_gate.sh`) guards these rows via
+//! `scripts/bench_baseline_7.jsonl`; see docs/BENCHMARKS.md.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use nonrep_crypto::rng::SecureRandom;
+use nonrep_crypto::sig::{KeyPair, SignatureScheme};
+use std::time::Duration;
+
+const HSS: SignatureScheme = SignatureScheme::Hss {
+    root_height: 4,
+    subtree_height: 2,
+};
+const MSS: SignatureScheme = SignatureScheme::Mss { height: 6 };
+
+fn scheme_name(scheme: SignatureScheme) -> &'static str {
+    match scheme {
+        SignatureScheme::Hss { .. } => "hss_4x2",
+        SignatureScheme::Mss { .. } => "mss_h6",
+        _ => "other",
+    }
+}
+
+fn bench_rollover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e16_rollover");
+    group
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    // Steady-state sign: fresh key per iteration (setup excluded), one
+    // leaf signature, no rollover in the measured path.
+    for scheme in [HSS, MSS] {
+        group.bench_with_input(
+            BenchmarkId::new("sign", scheme_name(scheme)),
+            &scheme,
+            |b, &scheme| {
+                let mut seed = 0u64;
+                b.iter_batched(
+                    || {
+                        seed += 1;
+                        KeyPair::generate(scheme, &mut SecureRandom::from_seed(seed))
+                    },
+                    |kp| kp.sign(b"message").unwrap(),
+                    BatchSize::PerIteration,
+                )
+            },
+        );
+    }
+
+    // Verify through the ordinary VerifyingKey path: the HSS row walks
+    // signature -> subtree root -> rollover cert -> registered root.
+    for scheme in [HSS, MSS] {
+        let kp = KeyPair::generate(scheme, &mut SecureRandom::from_seed(99));
+        let sig = kp.sign(b"message").unwrap();
+        let vk = kp.verifying_key();
+        group.bench_with_input(
+            BenchmarkId::new("verify", scheme_name(scheme)),
+            &(),
+            |b, _| b.iter(|| assert!(vk.verify(b"message", &sig))),
+        );
+    }
+
+    // The rollover boundary: five signatures on a fresh hierarchy of
+    // 2^2-leaf subtrees — four exhaust the first subtree, the fifth
+    // lands on the freshly certified second generation. The dip the
+    // cycle pays (cert signature + subtree activation) is amortised
+    // into this row; compare against 5x the sign/hss_4x2 row.
+    group.bench_function("rollover_cycle/hss", |b| {
+        let mut seed = 1000u64;
+        b.iter_batched(
+            || {
+                seed += 1;
+                KeyPair::generate(HSS, &mut SecureRandom::from_seed(seed))
+            },
+            |kp| {
+                for _ in 0..5 {
+                    kp.sign(b"message").unwrap();
+                }
+                assert_eq!(kp.generation(), 1);
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    // Sustained issuance: sixty signatures straight through one key.
+    // The hierarchical signer crosses fourteen subtree exhaustions
+    // (well past the acceptance bar of four); the flat tree of equal
+    // capacity never rolls. Same work, so the rows compare directly.
+    for scheme in [HSS, MSS] {
+        group.bench_with_input(
+            BenchmarkId::new("sustained_60", scheme_name(scheme)),
+            &scheme,
+            |b, &scheme| {
+                let mut seed = 2000u64;
+                b.iter_batched(
+                    || {
+                        seed += 1;
+                        KeyPair::generate(scheme, &mut SecureRandom::from_seed(seed))
+                    },
+                    |kp| {
+                        for i in 0..60u8 {
+                            kp.sign(&[i]).unwrap();
+                        }
+                        if matches!(scheme, SignatureScheme::Hss { .. }) {
+                            assert!(kp.generation() >= 14);
+                        }
+                    },
+                    BatchSize::PerIteration,
+                )
+            },
+        );
+    }
+    group.finish();
+
+    println!(
+        "\nE16 report — hierarchical lifecycle: compare sign/hss_4x2 vs sign/mss_h6 \
+         (steady state), rollover_cycle/hss vs 5x sign (boundary dip), and \
+         sustained_60 rows (14 rollovers vs none over equal capacity).\n"
+    );
+}
+
+criterion_group!(benches, bench_rollover);
+criterion_main!(benches);

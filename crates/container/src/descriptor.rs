@@ -32,6 +32,22 @@ pub enum EvidenceDurability {
     GroupCommit,
 }
 
+/// Declarative signing-key lifecycle requirement: what exhaustion
+/// behaviour the hosting organisation's signing key must have. Like
+/// [`EvidenceDurability`], the descriptor *identifies* the requirement;
+/// the key itself is a property of the organisation the middleware was
+/// built with, never reconfigured by a descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyLifecycle {
+    /// A single forward-secure tree: finite signatures, signing stops at
+    /// exhaustion. Acceptable for bounded deployments.
+    SingleTree,
+    /// A hierarchical key (root tree certifying rolling subtrees):
+    /// signing survives subtree exhaustion via certified rollover, so a
+    /// long-lived component never lands on a signer that goes dark.
+    Hierarchical,
+}
+
 /// Non-repudiation configuration for a component.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NrConfig {
@@ -74,6 +90,13 @@ pub struct NrConfig {
     /// property of the log the organisation was built with, never
     /// reconfigured by a descriptor.
     pub evidence_shards: Option<u32>,
+    /// Required lifecycle of the hosting organisation's signing key.
+    /// `None` accepts any key; `Some(req)` makes a mismatch a deployment
+    /// error — a long-lived component that *identifies* a hierarchical
+    /// (never-exhausting) key requirement must not silently land on a
+    /// single finite tree that will eventually stop signing (and vice
+    /// versa for deployments that demand the strict single-tree bound).
+    pub key_lifecycle: Option<KeyLifecycle>,
 }
 
 impl NrConfig {
@@ -86,6 +109,7 @@ impl NrConfig {
             evidence_deadline_ms: None,
             evidence_durability: None,
             evidence_shards: None,
+            key_lifecycle: None,
         }
     }
 
@@ -118,6 +142,14 @@ impl NrConfig {
     #[must_use]
     pub fn with_evidence_shards(mut self, shards: u32) -> Self {
         self.evidence_shards = Some(shards);
+        self
+    }
+
+    /// Requires the hosting organisation's signing key to have the given
+    /// lifecycle (deploy fails on a mismatch).
+    #[must_use]
+    pub fn with_key_lifecycle(mut self, lifecycle: KeyLifecycle) -> Self {
+        self.key_lifecycle = Some(lifecycle);
         self
     }
 }

@@ -35,7 +35,9 @@ pub mod proxy;
 
 pub use component::{Component, FnComponent};
 pub use container::Container;
-pub use descriptor::{DeploymentDescriptor, EvidenceDurability, NrConfig, SharedObjectConfig};
+pub use descriptor::{
+    DeploymentDescriptor, EvidenceDurability, KeyLifecycle, NrConfig, SharedObjectConfig,
+};
 pub use interceptor::{Chain, Interceptor, Invocation, InvocationTarget};
 pub use proxy::{BusTransport, ClientProxy, ContainerEndpoint, ProxyTransport};
 

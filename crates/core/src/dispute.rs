@@ -39,7 +39,9 @@ use std::sync::Arc;
 use nonrep_crypto::digest::Digest;
 use nonrep_protocols::party::KeyDirectory;
 use nonrep_protocols::tokens::{NrToken, TokenKind};
-use nonrep_store::record::{ChainVerifier, ChainViolation, EpochCommitment, EvidenceRecord};
+use nonrep_store::record::{
+    ChainVerifier, ChainViolation, EpochCommitment, EvidenceRecord, KeyRollover,
+};
 use nonrep_store::{EvidenceLog, ShardedEvidenceLog, SuperEpochCommitment};
 use nonrep_types::codec::Decode;
 use nonrep_types::ids::{OrgId, RunId};
@@ -74,6 +76,11 @@ pub struct LogReport {
     /// ([`Adjudicator::verify_window_with_anchors`]): a forked history or
     /// withheld records. `None` when no anchors were checked or all agree.
     pub anchor_violation: Option<ChainViolation>,
+    /// Key-rollover records encountered in the submission.
+    pub rollovers: usize,
+    /// Rollover records whose subtree certificate chains to the
+    /// submitter's registered root key (and names its own generation).
+    pub rollovers_verified: usize,
 }
 
 impl LogReport {
@@ -94,6 +101,7 @@ impl LogReport {
             && self.epoch_verified == self.epoch_commits
             && self.context_mismatches == 0
             && self.anchor_violation.is_none()
+            && self.rollovers_verified == self.rollovers
     }
 }
 
@@ -508,6 +516,8 @@ struct ReportBuilder<'a> {
     head_violation: Option<ChainViolation>,
     context_mismatches: usize,
     anchor_violation: Option<ChainViolation>,
+    rollovers: usize,
+    rollovers_verified: usize,
 }
 
 impl<'a> ReportBuilder<'a> {
@@ -525,6 +535,8 @@ impl<'a> ReportBuilder<'a> {
             head_violation: None,
             context_mismatches: 0,
             anchor_violation: None,
+            rollovers: 0,
+            rollovers_verified: 0,
         }
     }
 
@@ -582,6 +594,29 @@ impl<'a> ReportBuilder<'a> {
                         .unwrap_or(false);
                     if ok {
                         self.epoch_verified += 1;
+                    }
+                }
+                None => self.undecodable += 1,
+            }
+            return;
+        }
+        if record.is_key_rollover() {
+            // A rollover record attests a hierarchical signer's
+            // generation change: its subtree certificate must chain to
+            // the submitter's registered root key. A forged cert — an
+            // attacker grafting its own subtree into someone else's
+            // lifecycle — fails here even though the hash chain around
+            // the record is intact.
+            self.rollovers += 1;
+            match KeyRollover::from_record(record) {
+                Some(roll) => {
+                    let ok = self
+                        .directory
+                        .key_of(&self.submitter)
+                        .map(|key| roll.verify(&key))
+                        .unwrap_or(false);
+                    if ok {
+                        self.rollovers_verified += 1;
                     }
                 }
                 None => self.undecodable += 1,
@@ -782,6 +817,8 @@ impl<'a> ReportBuilder<'a> {
             epoch_verified: self.epoch_verified,
             context_mismatches: self.context_mismatches,
             anchor_violation: self.anchor_violation,
+            rollovers: self.rollovers,
+            rollovers_verified: self.rollovers_verified,
         }
     }
 }

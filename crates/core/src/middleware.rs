@@ -18,7 +18,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use nonrep_container::component::Component;
-use nonrep_container::descriptor::{DeploymentDescriptor, EvidenceDurability};
+use nonrep_container::descriptor::{DeploymentDescriptor, EvidenceDurability, KeyLifecycle};
 use nonrep_container::proxy::{BusTransport, ClientProxy, ContainerEndpoint};
 use nonrep_container::{Container, ContainerError};
 use nonrep_crypto::rng::SecureRandom;
@@ -567,6 +567,40 @@ impl OrgMiddleware {
                 )));
             }
         }
+        if let Some(required) = descriptor
+            .non_repudiation
+            .as_ref()
+            .and_then(|nr| nr.key_lifecycle)
+        {
+            // The signing key, too, is fixed when the organisation is
+            // built (`MiddlewareBuilder::scheme`); a descriptor can only
+            // *require* its lifecycle. A long-lived component demanding a
+            // hierarchical (never-exhausting) key must not silently land
+            // on a finite single tree — and a deployment pinned to the
+            // strict single-tree bound must not land on a rolling key.
+            let hierarchical = self.party.keys().is_hierarchical();
+            let satisfied = match required {
+                KeyLifecycle::Hierarchical => hierarchical,
+                KeyLifecycle::SingleTree => !hierarchical,
+            };
+            if !satisfied {
+                return Err(ContainerError::Protocol(format!(
+                    "key lifecycle mismatch: descriptor for {} requires {required:?} \
+                     but the organisation's signing key is {} — build the middleware \
+                     with MiddlewareBuilder::scheme(SignatureScheme::{}) to match",
+                    descriptor.service,
+                    if hierarchical {
+                        "hierarchical"
+                    } else {
+                        "a single tree"
+                    },
+                    match required {
+                        KeyLifecycle::Hierarchical => "Hss { .. }",
+                        KeyLifecycle::SingleTree => "Mss { .. }",
+                    }
+                )));
+            }
+        }
         let requested = descriptor.non_repudiation.as_ref().and_then(|nr| {
             match (nr.evidence_batch, nr.evidence_deadline_ms) {
                 (Some(batch), Some(deadline)) => Some(CommitmentMode::Batched(
@@ -1108,5 +1142,51 @@ mod tests {
         assert!(matches!(mismatch, Err(ContainerError::Protocol(_))));
         drop(org);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn descriptor_key_lifecycle_requirement_validated_at_deploy() {
+        use nonrep_container::descriptor::{KeyLifecycle, NrConfig};
+        let (bus, dir, clock) = world();
+        let rolling = OrgMiddleware::builder("rolling", bus.clone(), dir.clone(), clock.clone())
+            .scheme(SignatureScheme::Hss {
+                root_height: 3,
+                subtree_height: 4,
+            })
+            .build();
+        // Matching requirement deploys fine.
+        rolling
+            .deploy(
+                DeploymentDescriptor::new("urn:hier", [MethodName::new("m")]).with_non_repudiation(
+                    NrConfig::protocol("direct").with_key_lifecycle(KeyLifecycle::Hierarchical),
+                ),
+                Arc::new(FnComponent::new().method("m", |args| Ok(args.clone()))),
+            )
+            .unwrap();
+        // A strict single-tree requirement conflicts with the rolling key.
+        let mismatch = rolling.deploy(
+            DeploymentDescriptor::new("urn:single", [MethodName::new("m")]).with_non_repudiation(
+                NrConfig::protocol("direct").with_key_lifecycle(KeyLifecycle::SingleTree),
+            ),
+            Arc::new(FnComponent::new().method("m", |args| Ok(args.clone()))),
+        );
+        assert!(matches!(mismatch, Err(ContainerError::Protocol(_))));
+        // A default (single-tree MSS) org cannot satisfy Hierarchical…
+        let flat = OrgMiddleware::builder("flat", bus, dir, clock).build();
+        let mismatch = flat.deploy(
+            DeploymentDescriptor::new("urn:hier2", [MethodName::new("m")]).with_non_repudiation(
+                NrConfig::protocol("direct").with_key_lifecycle(KeyLifecycle::Hierarchical),
+            ),
+            Arc::new(FnComponent::new().method("m", |args| Ok(args.clone()))),
+        );
+        assert!(matches!(mismatch, Err(ContainerError::Protocol(_))));
+        // …but satisfies SingleTree.
+        flat.deploy(
+            DeploymentDescriptor::new("urn:single2", [MethodName::new("m")]).with_non_repudiation(
+                NrConfig::protocol("direct").with_key_lifecycle(KeyLifecycle::SingleTree),
+            ),
+            Arc::new(FnComponent::new().method("m", |args| Ok(args.clone()))),
+        )
+        .unwrap();
     }
 }

@@ -18,6 +18,10 @@
 //! * [`mss`] — a stateful, **forward-secure** Merkle signature scheme (the
 //!   many-time signature built from WOTS leaves; forward security matches
 //!   the paper's discussion of forward-secure schemes, ref \[25\]),
+//! * [`hss`] — the two-level hierarchical lifecycle over [`mss`]: a
+//!   long-lived root tree certifies rolling subtrees (pre-generated in
+//!   the background) so signing never stops at tree exhaustion, while
+//!   verifiers keep holding one unchanging root public key,
 //! * [`arbitrated`] — a shared-key HMAC "signature" for TTP-arbitrated
 //!   deployments (the lightweight end of the paper's trust spectrum, §3.1),
 //! * [`batch`] — incremental Merkle accumulator and [`BatchSignature`]:
@@ -47,6 +51,7 @@ pub mod arbitrated;
 pub mod batch;
 pub mod digest;
 pub mod hmac;
+pub mod hss;
 pub mod merkle;
 pub mod mss;
 pub mod par;
@@ -58,5 +63,6 @@ pub mod wots;
 
 pub use batch::{BatchSignature, MerkleAccumulator};
 pub use digest::{sha256, Digest, Sha256};
+pub use hss::{HssSignature, HssSigner, RolloverEvent, SubtreeCert};
 pub use rng::SecureRandom;
 pub use sig::{KeyId, KeyPair, Signature, SignatureScheme, VerifyingKey};

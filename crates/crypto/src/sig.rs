@@ -22,6 +22,7 @@ use nonrep_types::codec::{CodecError, Decode, Encode, Reader, Writer};
 use crate::arbitrated::ArbitratedKey;
 use crate::batch::{batch_digest, batch_leaves, BatchSignature};
 use crate::digest::{sha256, Digest};
+use crate::hss::{HssSignature, HssSigner, RolloverEvent, SubtreeSig};
 use crate::merkle::MerkleTree;
 use crate::mss::{self, MssError, MssSignature, MssSigner};
 use crate::rng::SecureRandom;
@@ -62,6 +63,16 @@ pub enum SignatureScheme {
     Mss {
         /// Tree height; capacity is `2^height` signatures.
         height: u8,
+    },
+    /// Two-level hierarchical MSS (see [`crate::hss`]): a root tree of
+    /// `root_height` certifies rolling subtrees of `subtree_height`,
+    /// for `2^root_height · 2^subtree_height` total signatures under
+    /// one unchanging public key.
+    Hss {
+        /// Root tree height; one leaf is spent per subtree generation.
+        root_height: u8,
+        /// Height of each short-lived subtree.
+        subtree_height: u8,
     },
     /// Shared-key HMAC tags (arbitrated; not publicly verifiable).
     Arbitrated,
@@ -112,6 +123,12 @@ pub enum SignaturePayload {
     /// record's authentication path to the signed batch root (see
     /// [`crate::batch`]).
     BatchedMss(BatchSignature),
+    /// Hierarchical signature: a subtree signature (direct or batched)
+    /// chained to the root key by its subtree certificate (see
+    /// [`crate::hss`]). Boxed: the chained cert makes it several times
+    /// the size of the other variants, and signatures mostly live
+    /// behind this enum in bulk.
+    Hss(Box<HssSignature>),
 }
 
 impl Signature {
@@ -122,19 +139,25 @@ impl Signature {
             SignaturePayload::Mss(s) => s.byte_len(),
             SignaturePayload::Arbitrated(_) => 32,
             SignaturePayload::BatchedMss(b) => b.byte_len(),
+            SignaturePayload::Hss(h) => h.byte_len(),
         }
     }
 
     /// `true` if this signature was produced by a batch seal (one
     /// underlying signature shared across the batch).
     pub fn is_batched(&self) -> bool {
-        matches!(self.payload, SignaturePayload::BatchedMss(_))
+        match &self.payload {
+            SignaturePayload::BatchedMss(_) => true,
+            SignaturePayload::Hss(h) => h.is_batched(),
+            _ => false,
+        }
     }
 }
 
 const SIG_TAG_MSS: u8 = 0;
 const SIG_TAG_ARB: u8 = 1;
 const SIG_TAG_BATCH: u8 = 2;
+const SIG_TAG_HSS: u8 = 3;
 
 impl Encode for Signature {
     fn encode(&self, w: &mut Writer) {
@@ -152,6 +175,10 @@ impl Encode for Signature {
                 w.put_u8(SIG_TAG_BATCH);
                 b.encode(w);
             }
+            SignaturePayload::Hss(h) => {
+                w.put_u8(SIG_TAG_HSS);
+                h.encode(w);
+            }
         }
     }
 }
@@ -163,6 +190,7 @@ impl Decode for Signature {
             SIG_TAG_MSS => SignaturePayload::Mss(MssSignature::decode(r)?),
             SIG_TAG_ARB => SignaturePayload::Arbitrated(Digest::decode(r)?),
             SIG_TAG_BATCH => SignaturePayload::BatchedMss(BatchSignature::decode(r)?),
+            SIG_TAG_HSS => SignaturePayload::Hss(Box::new(HssSignature::decode(r)?)),
             tag => {
                 return Err(CodecError::InvalidTag {
                     ty: "Signature",
@@ -262,6 +290,7 @@ impl VerifyingKey {
         match (self, &sig.payload) {
             (VerifyingKey::Mss { root }, SignaturePayload::Mss(s)) => mss::verify(root, digest, s),
             (VerifyingKey::Mss { root }, SignaturePayload::BatchedMss(b)) => b.verify(root, digest),
+            (VerifyingKey::Mss { root }, SignaturePayload::Hss(h)) => h.verify(root, digest),
             (VerifyingKey::Arbitrated { secret }, SignaturePayload::Arbitrated(tag)) => {
                 ArbitratedKey::from_bytes(*secret).verify(digest.as_bytes(), tag)
             }
@@ -272,6 +301,7 @@ impl VerifyingKey {
 
 enum SignerInner {
     Mss(MssSigner),
+    Hss(Box<HssSigner>),
     Arbitrated(ArbitratedKey),
 }
 
@@ -279,6 +309,7 @@ impl fmt::Debug for SignerInner {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SignerInner::Mss(_) => f.write_str("Mss(..)"),
+            SignerInner::Hss(_) => f.write_str("Hss(..)"),
             SignerInner::Arbitrated(_) => f.write_str("Arbitrated(..)"),
         }
     }
@@ -315,6 +346,24 @@ impl KeyPair {
                     key_id,
                 }
             }
+            SignatureScheme::Hss {
+                root_height,
+                subtree_height,
+            } => {
+                let signer = HssSigner::generate(root_height, subtree_height, rng);
+                // The verifying key is the ordinary MSS root digest:
+                // directories, key ids and gossip cannot tell a
+                // hierarchical key from a single tree.
+                let verifying = VerifyingKey::Mss {
+                    root: signer.public_key(),
+                };
+                let key_id = verifying.key_id();
+                Self {
+                    inner: Mutex::new(SignerInner::Hss(Box::new(signer))),
+                    verifying,
+                    key_id,
+                }
+            }
             SignatureScheme::Arbitrated => {
                 let key = ArbitratedKey::generate(rng);
                 let verifying = VerifyingKey::Arbitrated {
@@ -340,11 +389,50 @@ impl KeyPair {
         self.key_id
     }
 
-    /// Remaining signatures, if the scheme is stateful.
+    /// Remaining signatures, if the scheme is stateful. For a
+    /// hierarchical key this is the *total* across current and future
+    /// subtrees (saturated at `u32::MAX`), so `Some(0)` still means
+    /// "cannot sign anything ever again".
     pub fn remaining(&self) -> Option<u32> {
         match &*self.inner.lock() {
             SignerInner::Mss(s) => Some(s.remaining()),
+            SignerInner::Hss(s) => Some(u32::try_from(s.remaining_total()).unwrap_or(u32::MAX)),
             SignerInner::Arbitrated(_) => None,
+        }
+    }
+
+    /// The active subtree generation of a hierarchical key (0 for
+    /// every other scheme, and before the first rollover).
+    pub fn generation(&self) -> u32 {
+        match &*self.inner.lock() {
+            SignerInner::Hss(s) => s.generation(),
+            _ => 0,
+        }
+    }
+
+    /// `true` if this key rolls subtree generations (scheme
+    /// [`SignatureScheme::Hss`]).
+    pub fn is_hierarchical(&self) -> bool {
+        matches!(&*self.inner.lock(), SignerInner::Hss(_))
+    }
+
+    /// Leaves left on a hierarchical key's *active subtree* (`None`
+    /// for other schemes) — the quantity exhaustion forecasting tracks.
+    pub fn subtree_remaining(&self) -> Option<u32> {
+        match &*self.inner.lock() {
+            SignerInner::Hss(s) => Some(s.subtree_remaining()),
+            _ => None,
+        }
+    }
+
+    /// Every subtree rollover this key has performed, oldest first
+    /// (empty for non-hierarchical schemes). The history is retained
+    /// for the key's lifetime so the evidence layer can persist a
+    /// rollover record even after a crash lost the original append.
+    pub fn rollover_history(&self) -> Vec<RolloverEvent> {
+        match &*self.inner.lock() {
+            SignerInner::Hss(s) => s.rollover_history().to_vec(),
+            _ => Vec::new(),
         }
     }
 
@@ -367,6 +455,7 @@ impl KeyPair {
     pub fn sign_digest(&self, digest: &Digest) -> Result<Signature, SignError> {
         let payload = match &mut *self.inner.lock() {
             SignerInner::Mss(s) => SignaturePayload::Mss(s.sign(digest)?),
+            SignerInner::Hss(s) => SignaturePayload::Hss(Box::new(s.sign(digest)?)),
             SignerInner::Arbitrated(k) => SignaturePayload::Arbitrated(k.tag(digest.as_bytes())),
         };
         Ok(Signature {
@@ -410,6 +499,27 @@ impl KeyPair {
                             leaf_count: digests.len() as u32,
                             auth_path: tree.auth_path(i),
                         }),
+                    })
+                    .collect())
+            }
+            SignerInner::Hss(s) => {
+                // Same one-shot tree as the MSS arm; the single leaf
+                // signature comes from the active subtree and every
+                // batched payload carries the chaining cert.
+                let tree = MerkleTree::from_leaf_hashes(batch_leaves(digests));
+                let (mss_sig, cert) = s.sign_leaf(&batch_digest(&tree.root()))?;
+                Ok((0..digests.len())
+                    .map(|i| Signature {
+                        key_id: self.key_id,
+                        payload: SignaturePayload::Hss(Box::new(HssSignature {
+                            subtree_sig: SubtreeSig::Batched(BatchSignature {
+                                mss_sig: mss_sig.clone(),
+                                leaf_index: i as u32,
+                                leaf_count: digests.len() as u32,
+                                auth_path: tree.auth_path(i),
+                            }),
+                            subtree_root_cert: cert.clone(),
+                        })),
                     })
                     .collect())
             }
@@ -593,6 +703,82 @@ mod tests {
         // the batch digest (domain separation).
         let direct = kp.sign_digest(&sha256(b"msg")).unwrap();
         assert!(!vk.verify_digest(&sha256(b"other"), &direct));
+    }
+
+    fn hss_pair(seed: u64) -> KeyPair {
+        KeyPair::generate(
+            SignatureScheme::Hss {
+                root_height: 2,
+                subtree_height: 1,
+            },
+            &mut SecureRandom::from_seed(seed),
+        )
+    }
+
+    #[test]
+    fn hss_verifies_through_the_ordinary_verifying_key_path() {
+        let kp = hss_pair(30);
+        // The verifying key is a plain MSS root: key ids, directories
+        // and the wire format cannot tell the schemes apart.
+        assert!(matches!(kp.verifying_key(), VerifyingKey::Mss { .. }));
+        let sig = kp.sign(b"contract").unwrap();
+        assert!(kp.verifying_key().verify(b"contract", &sig));
+        assert!(!kp.verifying_key().verify(b"tampered", &sig));
+        let back = Signature::decode_from_slice(&sig.encode_to_vec()).unwrap();
+        assert!(kp.verifying_key().verify(b"contract", &back));
+    }
+
+    #[test]
+    fn hss_keeps_signing_across_subtree_exhaustion() {
+        let kp = hss_pair(31);
+        // 4 root leaves − 1 for generation 0 ⇒ 3 future subtrees of 2:
+        // 8 total signatures, 3 rollovers.
+        assert_eq!(kp.remaining(), Some(8));
+        let vk = kp.verifying_key();
+        for i in 0..8u8 {
+            let m = [i];
+            let sig = kp.sign(&m).unwrap();
+            assert!(vk.verify(&m, &sig), "message {i}");
+        }
+        assert_eq!(kp.remaining(), Some(0));
+        assert_eq!(kp.generation(), 3);
+        assert_eq!(kp.rollover_history().len(), 3);
+        assert_eq!(kp.sign(b"x").unwrap_err(), SignError::KeyExhausted);
+    }
+
+    #[test]
+    fn hss_batch_signing_burns_one_subtree_leaf_and_chains_the_cert() {
+        let kp = KeyPair::generate(
+            SignatureScheme::Hss {
+                root_height: 2,
+                subtree_height: 2,
+            },
+            &mut SecureRandom::from_seed(32),
+        );
+        let digests: Vec<_> = (0..5u8).map(|i| sha256(&[i])).collect();
+        let before = kp.remaining().unwrap();
+        let sigs = kp.sign_batch(&digests).unwrap();
+        assert_eq!(kp.remaining().unwrap(), before - 1);
+        let vk = kp.verifying_key();
+        for (d, s) in digests.iter().zip(&sigs) {
+            assert!(s.is_batched());
+            assert!(vk.verify_digest(d, s));
+        }
+        assert!(!vk.verify_digest(&digests[0], &sigs[1]));
+        let back = Signature::decode_from_slice(&sigs[2].encode_to_vec()).unwrap();
+        assert!(vk.verify_digest(&digests[2], &back));
+    }
+
+    #[test]
+    fn non_hierarchical_keys_report_empty_lifecycle() {
+        let kp = mss_pair(33);
+        assert!(!kp.is_hierarchical());
+        assert_eq!(kp.generation(), 0);
+        assert!(kp.rollover_history().is_empty());
+        assert_eq!(kp.subtree_remaining(), None);
+        let h = hss_pair(34);
+        assert!(h.is_hierarchical());
+        assert_eq!(h.subtree_remaining(), Some(2));
     }
 
     #[test]

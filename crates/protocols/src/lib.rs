@@ -58,7 +58,10 @@ pub use handler::ProtocolHandler;
 pub use message::ProtocolMessage;
 pub use party::{KeyDirectory, Party, StaticKeyDirectory};
 pub use plane::ShardedCommitmentPlane;
-pub use scheduler::{BatchPolicy, CommitmentMode, CommitmentScheduler, DeadlineSealer, TokenSpec};
+pub use scheduler::{
+    BatchPolicy, CommitmentMode, CommitmentScheduler, DeadlineSealer, ExhaustionForecaster,
+    TokenSpec,
+};
 pub use tokens::{NrToken, TokenKind};
 
 use std::error::Error;

@@ -78,7 +78,7 @@ use parking_lot::Mutex;
 
 use nonrep_crypto::digest::Digest;
 use nonrep_crypto::sig::KeyPair;
-use nonrep_store::record::EpochCommitment;
+use nonrep_store::record::{EpochCommitment, KeyRollover};
 use nonrep_store::{EvidenceLog, EvidenceRecord, RecordDraft, StoreError};
 use nonrep_types::ids::{OrgId, RunId};
 use nonrep_types::time::{Clock, Timestamp};
@@ -238,11 +238,91 @@ enum SealTrigger {
     Explicit,
 }
 
+/// EWMA forecast of signing-key exhaustion, fed one observation per
+/// sealed epoch.
+///
+/// Every seal burns finite forward-secure leaves — one for the epoch
+/// signature plus however many the same key spent on tokens since the
+/// previous seal. The forecaster smooths that *leaves-per-epoch* rate
+/// with an exponentially weighted moving average and divides the key's
+/// remaining capacity by it, answering "how many more seals until the
+/// signer starves?". The auto-tuner uses the answer to slow seal cadence
+/// (bigger batches → fewer signatures per record) *before* exhaustion
+/// forces degraded mode; for hierarchical keys the capacity already
+/// counts future subtrees, so a healthy rollover never looks like
+/// starvation.
+///
+/// The EWMA (α = 0.25) deliberately under-reacts to one-epoch bursts —
+/// a single spike moves the rate by a quarter of its excess — while a
+/// sustained ramp converges within a handful of epochs.
+#[derive(Debug, Clone, Default)]
+pub struct ExhaustionForecaster {
+    rate: f64,
+    last_remaining: Option<u32>,
+}
+
+impl ExhaustionForecaster {
+    /// EWMA smoothing factor: weight of the newest leaves-per-epoch
+    /// sample.
+    pub const ALPHA: f64 = 0.25;
+
+    /// A fresh forecaster with no history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds the key's remaining-signature count as observed at an epoch
+    /// seal. The first call only anchors the baseline; every later call
+    /// folds `previous - current` into the smoothed rate. `None`
+    /// (a scheme without exhaustion) is ignored.
+    pub fn observe_remaining(&mut self, remaining: Option<u32>) {
+        let Some(now) = remaining else { return };
+        if let Some(prev) = self.last_remaining {
+            let spent = f64::from(prev.saturating_sub(now));
+            self.rate = if self.last_rate_is_unset() {
+                spent
+            } else {
+                Self::ALPHA * spent + (1.0 - Self::ALPHA) * self.rate
+            };
+        }
+        self.last_remaining = Some(now);
+    }
+
+    fn last_rate_is_unset(&self) -> bool {
+        self.rate == 0.0
+    }
+
+    /// The smoothed leaves-per-epoch spend rate (0.0 until warm).
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Predicted epochs until the key can no longer sign, or `None`
+    /// while the forecaster is cold or the key cannot exhaust.
+    pub fn forecast_epochs(&self, remaining: Option<u32>) -> Option<f64> {
+        let remaining = remaining?;
+        if self.rate <= 0.0 {
+            return None;
+        }
+        Some(f64::from(remaining) / self.rate)
+    }
+}
+
+/// When the forecast drops below this many epochs-to-exhaustion, the
+/// tuner doubles the effective batch per seal (seal cadence slows, so
+/// each remaining leaf covers more records).
+const EXHAUSTION_LOW_WATER_EPOCHS: f64 = 16.0;
+
 #[derive(Debug)]
 struct SchedulerState {
     mode: CommitmentMode,
     /// First log sequence number not yet covered by an epoch commitment.
     sealed_next: u64,
+    /// Highest hierarchical-key generation whose rollover record is in
+    /// the log (0 = none). Seals append records for newer generations.
+    rollover_persisted: u32,
+    /// Leaves-per-epoch EWMA driving pre-exhaustion cadence slowdown.
+    forecast: ExhaustionForecaster,
     /// When the oldest currently-unsealed record was appended (`None`
     /// when nothing is pending). The time trigger compares against this.
     pending_since: Option<Timestamp>,
@@ -306,9 +386,18 @@ impl CommitmentScheduler {
         mode: CommitmentMode,
     ) -> Self {
         let mut sealed_next = 0u64;
+        let mut rollover_persisted = 0u32;
         log.for_each(&mut |r| {
             if r.is_epoch_commit() {
                 sealed_next = r.seq + 1;
+            } else if r.is_key_rollover() {
+                // Recover the rollover watermark so a reopened log does
+                // not get duplicate records for generations already
+                // persisted (and *does* get records for generations the
+                // crash orphaned in signer memory).
+                if let Some(roll) = KeyRollover::from_record(r) {
+                    rollover_persisted = rollover_persisted.max(roll.generation);
+                }
             }
         });
         // Records orphaned by a crash (appended after the last surviving
@@ -328,6 +417,8 @@ impl CommitmentScheduler {
             state: Mutex::new(SchedulerState {
                 mode,
                 sealed_next,
+                rollover_persisted,
+                forecast: ExhaustionForecaster::new(),
                 pending_since,
                 effective_batch,
                 last_seal_failure: None,
@@ -684,7 +775,6 @@ impl CommitmentScheduler {
         state: &mut SchedulerState,
         trigger: SealTrigger,
     ) -> Result<Option<Arc<EvidenceRecord>>, StoreError> {
-        let len = self.log.len();
         if self.keys.remaining() == Some(0) {
             // Exhausted forward-secure key: a terminal condition, checked
             // before hashing the pending range so retries never pay a
@@ -707,6 +797,21 @@ impl CommitmentScheduler {
             // forward-secure signatures.
             self.log.flush()?;
         }
+        // Persist any hierarchical-key rollovers the signer performed
+        // since the last seal (the watermark makes this exactly-once
+        // across crashes). Appended *before* the range bounds are taken,
+        // each rollover record is covered by the very epoch sealed
+        // below — a generation change burns no leaf beyond the cert the
+        // signer already spent.
+        for ev in self.keys.rollover_history() {
+            if ev.generation > state.rollover_persisted {
+                let roll = KeyRollover::from_event(&ev);
+                self.log
+                    .append(roll.to_draft(self.actor.clone(), self.clock.now()))?;
+                state.rollover_persisted = ev.generation;
+            }
+        }
+        let len = self.log.len();
         let lo = state.sealed_next;
         let hi = len - 1;
         let covered = self.log.snapshot_range(lo..len);
@@ -740,6 +845,7 @@ impl CommitmentScheduler {
         // The epoch record itself is not covered; the next epoch starts
         // after it, so commitments always cover ordinary records only.
         state.sealed_next = record.seq + 1;
+        state.forecast.observe_remaining(self.keys.remaining());
         self.tune_locked(state, trigger, hi - lo + 1);
         state.pending_since = None;
         Ok(Some(record))
@@ -752,6 +858,21 @@ impl CommitmentScheduler {
         };
         if !policy.auto_tune {
             return;
+        }
+        // Exhaustion pressure outranks load signals: when the EWMA
+        // forecast says fewer than `EXHAUSTION_LOW_WATER_EPOCHS` seals
+        // remain in the key, grow the batch regardless of trigger —
+        // slowing seal cadence stretches the remaining leaves so a
+        // hierarchical signer reaches its next subtree (and a flat one
+        // reaches operator intervention) without a starvation-forced
+        // degraded-mode entry. The deadline still bounds unsealed-tail
+        // latency, so this trades seal frequency, not coverage.
+        if let Some(epochs) = state.forecast.forecast_epochs(self.keys.remaining()) {
+            if epochs < EXHAUSTION_LOW_WATER_EPOCHS {
+                state.effective_batch =
+                    (state.effective_batch * 2).min(BatchPolicy::MAX_AUTO_BATCH);
+                return;
+            }
         }
         let Some(deadline) = policy.max_delay_ms else {
             return;
@@ -1299,6 +1420,319 @@ mod tests {
             assert!(s.effective_batch_size() <= BatchPolicy::MAX_AUTO_BATCH);
         }
         assert_eq!(s.effective_batch_size(), BatchPolicy::MAX_AUTO_BATCH);
+    }
+
+    #[test]
+    fn forecaster_warms_up_before_forecasting() {
+        let mut f = ExhaustionForecaster::new();
+        assert!(f.forecast_epochs(Some(100)).is_none(), "cold start");
+        f.observe_remaining(Some(100)); // anchors the baseline only
+        assert!(f.forecast_epochs(Some(100)).is_none());
+        f.observe_remaining(Some(98));
+        assert!((f.rate() - 2.0).abs() < 1e-9);
+        assert!((f.forecast_epochs(Some(98)).unwrap() - 49.0).abs() < 1e-9);
+        // Schemes without exhaustion never forecast.
+        assert!(f.forecast_epochs(None).is_none());
+    }
+
+    #[test]
+    fn forecaster_shrugs_off_a_one_epoch_burst() {
+        // Steady 2 leaves/epoch, then a single 40-leaf burst: the EWMA
+        // folds in a quarter of the spike and decays back, so one burst
+        // must not collapse the forecast (which would slow the seal
+        // cadence prematurely).
+        let mut f = ExhaustionForecaster::new();
+        let mut remaining = 1000u32;
+        f.observe_remaining(Some(remaining));
+        for _ in 0..10 {
+            remaining -= 2;
+            f.observe_remaining(Some(remaining));
+        }
+        let steady = f.forecast_epochs(Some(remaining)).unwrap();
+        remaining -= 40;
+        f.observe_remaining(Some(remaining));
+        let after_burst = f.forecast_epochs(Some(remaining)).unwrap();
+        assert!(f.rate() < 12.0, "one burst moves the rate by alpha only");
+        assert!(
+            after_burst > steady / 8.0,
+            "forecast dampened, not collapsed: {after_burst} vs steady {steady}"
+        );
+        // A few steady epochs later the rate has mostly decayed back.
+        for _ in 0..6 {
+            remaining -= 2;
+            f.observe_remaining(Some(remaining));
+        }
+        assert!(f.rate() < 4.0, "burst decays, got {}", f.rate());
+    }
+
+    #[test]
+    fn forecaster_converges_on_a_sustained_ramp() {
+        // Load ramps from 1 to 10 leaves/epoch and stays there: the EWMA
+        // must follow within a few epochs so starvation is predicted
+        // while there is still slack to react.
+        let mut f = ExhaustionForecaster::new();
+        let mut remaining = 500u32;
+        f.observe_remaining(Some(remaining));
+        for spent in 1..=10u32 {
+            remaining -= spent;
+            f.observe_remaining(Some(remaining));
+        }
+        for _ in 0..10 {
+            remaining -= 10;
+            f.observe_remaining(Some(remaining));
+        }
+        assert!(
+            f.rate() > 8.0,
+            "rate tracks the sustained level: {}",
+            f.rate()
+        );
+        assert!(f.forecast_epochs(Some(80)).unwrap() < EXHAUSTION_LOW_WATER_EPOCHS);
+    }
+
+    #[test]
+    fn seal_cadence_slows_before_exhaustion_instead_of_degrading() {
+        // A small flat key under auto-tune and trickle load: the load
+        // signal alone would pin the batch at the floor (deadline seals
+        // on near-empty batches), but once the forecast crosses the
+        // low-water mark, exhaustion pressure regrows it so the
+        // remaining leaves are stretched instead of burned one per
+        // trickle seal.
+        let clock = Arc::new(LogicalClock::new());
+        let keys = Arc::new(KeyPair::generate(
+            SignatureScheme::Mss { height: 5 },
+            &mut SecureRandom::from_seed(3),
+        ));
+        let log: Arc<dyn EvidenceLog> = Arc::new(MemoryLog::new());
+        let s = CommitmentScheduler::new(
+            keys.clone(),
+            log.clone(),
+            OrgId::new("org"),
+            clock.clone(),
+            CommitmentMode::auto(100),
+        );
+        let mut floored = false;
+        for n in 0..24u64 {
+            s.record(draft(n)).unwrap();
+            clock.advance(100);
+            s.poll().unwrap().unwrap();
+            floored |= s.effective_batch_size() == BatchPolicy::MIN_AUTO_BATCH;
+        }
+        assert!(floored, "low load first halves the batch to the floor");
+        assert!(
+            s.effective_batch_size() >= 8 * BatchPolicy::MIN_AUTO_BATCH,
+            "exhaustion pressure regrew the batch, got {}",
+            s.effective_batch_size()
+        );
+        assert!(!s.is_degraded(), "the key never starved");
+        assert!(keys.remaining().unwrap() > 0);
+        log.verify().unwrap();
+    }
+
+    /// Everything the rollover tests want to inspect, collected in one
+    /// `for_each` pass (snapshotting inside the pass would re-enter the
+    /// log's lock).
+    fn lifecycle_records(
+        log: &Arc<dyn EvidenceLog>,
+    ) -> (Vec<(u64, KeyRollover)>, Vec<EpochCommitment>) {
+        let mut rollovers = Vec::new();
+        let mut epochs = Vec::new();
+        log.for_each(&mut |r| {
+            if let Some(roll) = KeyRollover::from_record(r) {
+                rollovers.push((r.seq, roll));
+            } else if let Some(c) = EpochCommitment::from_record(r) {
+                epochs.push(c);
+            }
+        });
+        (rollovers, epochs)
+    }
+
+    #[test]
+    fn hss_rollovers_are_sealed_into_the_chain_without_extra_leaves() {
+        let keys = Arc::new(KeyPair::generate(
+            SignatureScheme::Hss {
+                root_height: 2,
+                subtree_height: 1,
+            },
+            &mut SecureRandom::from_seed(21),
+        ));
+        let log: Arc<dyn EvidenceLog> = Arc::new(MemoryLog::new());
+        let s = CommitmentScheduler::new(
+            keys.clone(),
+            log.clone(),
+            OrgId::new("org"),
+            Arc::new(LogicalClock::new()),
+            CommitmentMode::batched(2),
+        );
+        // 4 subtrees x 2 leaves: 8 epoch seals drain the hierarchy.
+        let mut n = 0u64;
+        while keys.remaining().unwrap() > 0 {
+            s.record(draft(n)).unwrap();
+            n += 1;
+        }
+        assert_eq!(
+            log.count_where(&|r| r.is_epoch_commit()),
+            8,
+            "one leaf per epoch — rollovers burned none"
+        );
+        assert_eq!(keys.generation(), 3);
+        let (rollovers, epochs) = lifecycle_records(&log);
+        let gens: Vec<u32> = rollovers.iter().map(|(_, r)| r.generation).collect();
+        assert_eq!(gens, vec![1, 2, 3]);
+        let vk = keys.verifying_key();
+        for (seq, roll) in &rollovers {
+            assert!(roll.verify(&vk), "cert chains to the registered root");
+            assert!(
+                epochs.iter().any(|c| c.lo <= *seq && *seq <= c.hi),
+                "rollover record at {seq} is covered by an epoch"
+            );
+        }
+        // Epoch commitments themselves verify across generations.
+        for c in &epochs {
+            let covered = log.snapshot_range(c.lo..c.hi + 1);
+            assert!(c.verify(&vk, &covered), "epoch [{},{}]", c.lo, c.hi);
+        }
+        log.verify().unwrap();
+    }
+
+    #[test]
+    fn kill_before_rollover_record_flush_recovers_exactly_once() {
+        // R1: the signer has rolled to generation 1 but the rollover
+        // record has not hit the log yet. Kill, recover: the watermark
+        // rescan finds nothing persisted, so the next seal appends the
+        // record exactly once — and signing resumes on generation 1
+        // without reusing a leaf.
+        use nonrep_store::{FileLog, SyncPolicy};
+        let path = temp_path("rollover-r1-");
+        let _ = std::fs::remove_file(&path);
+        let keys = Arc::new(KeyPair::generate(
+            SignatureScheme::Hss {
+                root_height: 2,
+                subtree_height: 1,
+            },
+            &mut SecureRandom::from_seed(23),
+        ));
+        let clock = Arc::new(LogicalClock::new());
+        {
+            let log: Arc<dyn EvidenceLog> =
+                Arc::new(FileLog::open_with(&path, SyncPolicy::PerEpoch).unwrap());
+            let s = CommitmentScheduler::new(
+                keys.clone(),
+                log.clone(),
+                OrgId::new("org"),
+                clock.clone(),
+                CommitmentMode::batched(2),
+            );
+            // Three seals: the third one's signature rolls the signer to
+            // generation 1; its record would only land at seal 4.
+            for i in 0..6 {
+                s.record(draft(i)).unwrap();
+            }
+            assert_eq!(keys.generation(), 1);
+            assert_eq!(
+                log.count_where(&|r| r.is_key_rollover()),
+                0,
+                "rollover exists only in signer memory at the kill point"
+            );
+            std::mem::forget(log);
+        }
+        let log: Arc<dyn EvidenceLog> =
+            Arc::new(FileLog::open_recover_with(&path, SyncPolicy::PerEpoch).unwrap());
+        let s = CommitmentScheduler::new(
+            keys.clone(),
+            log.clone(),
+            OrgId::new("org"),
+            clock,
+            CommitmentMode::batched(2),
+        );
+        let mut n = 10u64;
+        while keys.remaining().unwrap() > 0 {
+            s.record(draft(n)).unwrap();
+            n += 1;
+        }
+        let (rollovers, epochs) = lifecycle_records(&log);
+        let gens: Vec<u32> = rollovers.iter().map(|(_, r)| r.generation).collect();
+        assert_eq!(gens, vec![1, 2, 3], "each generation recorded exactly once");
+        let vk = keys.verifying_key();
+        for c in &epochs {
+            let covered = log.snapshot_range(c.lo..c.hi + 1);
+            assert!(c.verify(&vk, &covered), "epoch [{},{}]", c.lo, c.hi);
+        }
+        assert_eq!(
+            epochs.len(),
+            8,
+            "8 leaves, 8 sealed epochs — no leaf double-spent across the kill"
+        );
+        log.verify().unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn kill_mid_pregeneration_resumes_the_same_generation_chain() {
+        // R2: kill while the background subtree pre-generation may still
+        // be in flight. The generation chain is drawn from a dedicated
+        // seed stream, so recovery continues the exact chain a
+        // never-killed signer would have produced.
+        use nonrep_store::{FileLog, SyncPolicy};
+        let path = temp_path("rollover-r2-");
+        let _ = std::fs::remove_file(&path);
+        let scheme = SignatureScheme::Hss {
+            root_height: 2,
+            subtree_height: 2,
+        };
+        let keys = Arc::new(KeyPair::generate(scheme, &mut SecureRandom::from_seed(29)));
+        let clock = Arc::new(LogicalClock::new());
+        {
+            let log: Arc<dyn EvidenceLog> =
+                Arc::new(FileLog::open_with(&path, SyncPolicy::PerEpoch).unwrap());
+            let s = CommitmentScheduler::new(
+                keys.clone(),
+                log.clone(),
+                OrgId::new("org"),
+                clock.clone(),
+                CommitmentMode::batched(2),
+            );
+            // Two seals spend half of generation 0, which kicks off
+            // background pre-generation of generation 1. Kill right there.
+            for i in 0..4 {
+                s.record(draft(i)).unwrap();
+            }
+            assert_eq!(keys.generation(), 0);
+            std::mem::forget(log);
+        }
+        let log: Arc<dyn EvidenceLog> =
+            Arc::new(FileLog::open_recover_with(&path, SyncPolicy::PerEpoch).unwrap());
+        let s = CommitmentScheduler::new(
+            keys.clone(),
+            log.clone(),
+            OrgId::new("org"),
+            clock,
+            CommitmentMode::batched(2),
+        );
+        let mut n = 10u64;
+        while keys.remaining().unwrap() > 0 {
+            s.record(draft(n)).unwrap();
+            n += 1;
+        }
+        let (rollovers, _) = lifecycle_records(&log);
+        let chain: Vec<(u32, Digest)> = rollovers
+            .iter()
+            .map(|(_, r)| (r.generation, r.cert.subtree_root))
+            .collect();
+        // Reference: an identical signer, never killed, spent the same
+        // way — the rollover chain depends only on the key seed, not on
+        // what was signed or when the process died.
+        let reference = KeyPair::generate(scheme, &mut SecureRandom::from_seed(29));
+        while reference.remaining().unwrap() > 0 {
+            reference.sign_digest(&sha256(b"ref")).unwrap();
+        }
+        let expected: Vec<(u32, Digest)> = reference
+            .rollover_history()
+            .iter()
+            .map(|e| (e.generation, e.cert.subtree_root))
+            .collect();
+        assert_eq!(chain, expected, "recovered chain forked from the reference");
+        log.verify().unwrap();
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -23,6 +23,11 @@
 //!   gossiped anchor attests more).
 //! - [`TokenReplayer`] — re-files a counterparty's genuine token under a
 //!   different run id (caught as a draft/token context mismatch).
+//! - [`ForgedRolloverSubmitter`] — grafts a key-rollover record whose
+//!   subtree cert was signed by a root other than its registered one onto
+//!   its submission, chain intact: the byzantine move against the
+//!   hierarchical key lifecycle, convicted purely by the cert
+//!   cryptography (`rollovers_verified < rollovers`).
 //! - [`EquivocatingTtp`] — an inline TTP that forks its history at one of
 //!   its own `TtpReceipt` records: the paper's "what if the trusted third
 //!   party lies" case, reduced to fork detection.
@@ -30,10 +35,12 @@
 use std::sync::Arc;
 
 use nonrep_core::dispute::WindowSubmission;
-use nonrep_crypto::digest::Digest;
+use nonrep_crypto::digest::{sha256, Digest};
+use nonrep_crypto::rng::SecureRandom;
+use nonrep_crypto::HssSigner;
 use nonrep_protocols::party::Party;
 use nonrep_protocols::tokens::{NrToken, TokenKind};
-use nonrep_store::record::{EpochCommitment, EvidenceRecord, RecordDraft, EPOCH_KIND};
+use nonrep_store::record::{EpochCommitment, EvidenceRecord, KeyRollover, RecordDraft, EPOCH_KIND};
 use nonrep_store::EvidenceLog;
 use nonrep_types::codec::{Decode, Encode};
 use nonrep_types::ids::{OrgId, RunId};
@@ -290,6 +297,68 @@ impl Adversary for TokenReplayer {
     }
 }
 
+/// Byzantine submitter that grafts a forged key-rollover record onto the
+/// end of its otherwise honest log window. The record decodes, chains
+/// perfectly (the head claim covers it), and lands beyond every gossiped
+/// anchor — but its subtree cert was signed by a hierarchy root that is
+/// *not* the submitter's registered key, so the adjudicator counts an
+/// unverified rollover and the report goes unclean. This is the attack
+/// the certified-rollover design exists to stop: an organisation cannot
+/// launder a key it does not own into its evidence history.
+pub struct ForgedRolloverSubmitter {
+    party: Arc<Party>,
+    /// Seed of the foreign hierarchy whose rollover cert is grafted.
+    cert_seed: u64,
+}
+
+impl ForgedRolloverSubmitter {
+    /// Wraps `party`; the forged cert derives from `cert_seed` (kept off
+    /// the party's own key material, so the cert can never verify).
+    pub fn new(party: Arc<Party>, cert_seed: u64) -> Self {
+        Self { party, cert_seed }
+    }
+
+    /// A genuine-looking rollover record minted by a hierarchy the
+    /// submitter does not own: a fresh HSS signer is driven through its
+    /// first subtree exhaustion and the resulting (correctly signed,
+    /// wrong-root) event is repackaged under the submitter's name.
+    fn forged_rollover(&self) -> KeyRollover {
+        let mut rng = SecureRandom::from_seed(self.cert_seed);
+        let mut signer = HssSigner::generate(2, 1, &mut rng);
+        let mut i = 0u8;
+        while signer.rollover_history().is_empty() {
+            signer.sign(&sha256(&[i])).expect("fresh hierarchy signs");
+            i += 1;
+        }
+        KeyRollover::from_event(&signer.rollover_history()[0])
+    }
+}
+
+impl Adversary for ForgedRolloverSubmitter {
+    fn party(&self) -> &Arc<Party> {
+        &self.party
+    }
+
+    fn submission(&self, _run: RunId) -> WindowSubmission {
+        let mut submission = full_log_submission(&self.party);
+        let (seq, prev_hash) = submission
+            .records
+            .last()
+            .map(|r| (r.seq + 1, r.record_hash()))
+            .unwrap_or((0, Digest::ZERO));
+        let record = Arc::new(EvidenceRecord {
+            seq,
+            prev_hash,
+            draft: self
+                .forged_rollover()
+                .to_draft(self.party.org().clone(), self.party.now()),
+        });
+        submission.head = record.record_hash();
+        submission.records.push(record);
+        submission
+    }
+}
+
 /// An inline TTP that forks its history at one of its own `TtpReceipt`
 /// records — the receipts counterparties rely on are rewritten, but the
 /// anchors it gossiped while relaying convict it.
@@ -411,6 +480,32 @@ mod tests {
         let report = judge.verify_window(&submission);
         assert_eq!(report.context_mismatches, 1);
         assert!(!report.clean());
+    }
+
+    #[test]
+    fn forged_rollover_chains_cleanly_but_fails_cert_verification() {
+        let (party, dir, run) = batched_party_with_tokens();
+        let anchors = real_anchors(&party);
+        let adversary = ForgedRolloverSubmitter::new(party.clone(), 0x726f_6c6c);
+        let submission = adversary.submission(run);
+        // One record beyond the honest log, head claim covering it.
+        assert_eq!(submission.records.len() as u64, party.log().len() + 1);
+        assert_eq!(
+            submission.head,
+            submission.records.last().unwrap().record_hash()
+        );
+        let judge = Adjudicator::new(dir as Arc<dyn KeyDirectory>);
+        let report = judge.verify_window(&submission);
+        // The chain holds and the record decodes — only the cert check
+        // catches the graft.
+        assert!(report.chain.is_ok());
+        assert_eq!(report.rollovers, 1);
+        assert_eq!(report.rollovers_verified, 0);
+        assert!(!report.clean());
+        // The grafted tail lands beyond every gossiped anchor, so anchor
+        // corroboration alone would have let it through.
+        let with_anchors = judge.verify_window_with_anchors(&submission, &anchors);
+        assert!(with_anchors.anchor_violation.is_none());
     }
 
     #[test]

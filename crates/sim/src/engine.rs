@@ -67,8 +67,8 @@ use nonrep_types::ids::{OrgId, RunId};
 use nonrep_types::time::LogicalClock;
 
 use crate::adversary::{
-    Adversary, EquivocatingTtp, EvidenceWithholder, ForkHistorySubmitter, HonestSubmitter,
-    TokenReplayer,
+    Adversary, EquivocatingTtp, EvidenceWithholder, ForgedRolloverSubmitter, ForkHistorySubmitter,
+    HonestSubmitter, TokenReplayer,
 };
 use crate::scenario::{Adversity, Role, Scenario, Variant, WorkItem};
 
@@ -213,9 +213,22 @@ impl<'a> Fleet<'a> {
             .collect();
         for org in &orgs {
             let exhausted = scenario.exhausted.as_ref() == Some(org);
-            let height = if exhausted { 4 } else { 7 };
+            // The hierarchical org gets the same 128-signature capacity as
+            // everyone else (2^5 subtrees of 2^2 leaves vs one 2^7 tree),
+            // but crosses a certified subtree rollover every 4 signatures
+            // — rollover is routine, not an edge case, in every schedule.
+            let scheme = if exhausted {
+                SignatureScheme::Mss { height: 4 }
+            } else if scenario.hierarchical.as_ref() == Some(org) {
+                SignatureScheme::Hss {
+                    root_height: 5,
+                    subtree_height: 2,
+                }
+            } else {
+                SignatureScheme::Mss { height: 7 }
+            };
             let mut rng = SecureRandom::from_seed(derive_seed(scenario.seed, org, 0x6b65));
-            let keys = Arc::new(KeyPair::generate(SignatureScheme::Mss { height }, &mut rng));
+            let keys = Arc::new(KeyPair::generate(scheme, &mut rng));
             fleet.dir.insert(org.clone(), keys.verifying_key());
             fleet.keys.insert(org.clone(), keys);
         }
@@ -337,6 +350,10 @@ impl<'a> Fleet<'a> {
             Some(Role::TokenReplayer) => Box::new(TokenReplayer::new(
                 party.clone(),
                 replay_target_run(scenario),
+            )),
+            Some(Role::ForgedRollover) => Box::new(ForgedRolloverSubmitter::new(
+                party.clone(),
+                derive_seed(scenario.seed, org, 0x726f_6c6c),
             )),
             Some(Role::EquivocatingTtp) => {
                 Box::new(EquivocatingTtp::new(party.clone(), forged_subject))
@@ -578,6 +595,9 @@ mod tests {
         assert!(all_violations.contains(&("o2".into(), "forked_history".into())));
         assert!(all_violations.contains(&("ttp".into(), "forked_history".into())));
         assert!(all_violations.contains(&("o3".into(), "withheld_records".into())));
+        // The forged-rollover org is convicted by cert cryptography alone:
+        // no chain violation is ever established against it.
+        assert!(all_violations.iter().all(|(o, _)| o != "o5"));
         for org in scenario.honest_orgs() {
             assert!(!out.detected(&org), "honest {org} falsely accused");
         }
@@ -621,6 +641,172 @@ mod tests {
             .iter()
             .flat_map(|r| r.facts.iter())
             .any(|(_, _, _, held)| held.iter().any(|h| h == o0)));
+    }
+
+    #[test]
+    fn showcase_crash_crosses_the_rollover_boundary_and_recovery_keeps_the_chain() {
+        use nonrep_store::record::KeyRollover;
+
+        // Drive the showcase item by item so the hierarchical org's
+        // generation can be observed around the crash overlay: its
+        // subtrees roll before the crash, the recovery resumes the same
+        // generation chain, and rollovers keep arriving afterwards.
+        let scenario = Scenario::showcase(13);
+        let mut fleet = Fleet::build(&scenario, &scratch("roll-crash")).unwrap();
+        let o0 = scenario.regular[0].clone();
+        let crash_index = scenario
+            .items
+            .iter()
+            .position(|i| matches!(&i.adversity, Some(Adversity::CrashRecover(org)) if *org == o0))
+            .expect("showcase has a crash overlay on o0");
+        let mut gen_at_crash = 0;
+        for index in scenario.schedule(0) {
+            if index == crash_index {
+                gen_at_crash = fleet.keys[&o0].generation();
+            }
+            let item = scenario.items[index].clone();
+            fleet.run_item(&item).unwrap();
+        }
+        let orgs: Vec<OrgId> = fleet.handles.keys().cloned().collect();
+        for org in &orgs {
+            fleet.flush_and_gossip(org);
+        }
+        // Subtree exhaustions happened on both sides of the crash: the
+        // signer had already rolled when the kill landed, and recovery
+        // kept it rolling instead of starving it.
+        assert!(gen_at_crash >= 1, "no rollover before the crash");
+        let final_gen = fleet.keys[&o0].generation();
+        assert!(final_gen > gen_at_crash, "no rollover after recovery");
+        // The recovered log persisted every generation's rollover record
+        // exactly once (the watermark rescan survives the crash), and all
+        // of them verify under o0's registered root.
+        let log = Arc::clone(fleet.handles[&o0].conduct.party().log());
+        let mut generations: Vec<u32> = Vec::new();
+        log.for_each(&mut |r| {
+            if let Some(roll) = KeyRollover::from_record(r) {
+                generations.push(roll.generation);
+            }
+        });
+        // Exactly-once and in order: a contiguous prefix of the
+        // generation chain (a rollover triggered by the very last seal's
+        // own signature, or by post-seal gossip signing, is only
+        // persisted at the *next* seal — so the newest generations may
+        // legitimately still be pending).
+        let persisted = generations.len() as u32;
+        assert_eq!(
+            generations,
+            (1..=persisted).collect::<Vec<u32>>(),
+            "rollover records must cover a generation prefix exactly once"
+        );
+        assert!(
+            persisted >= gen_at_crash,
+            "the crash must not lose persisted rollovers ({persisted} < {gen_at_crash})"
+        );
+        let judge = Adjudicator::new(Arc::clone(&fleet.dir) as Arc<dyn KeyDirectory>);
+        let report = judge.verify_log_in_place(o0.clone(), log.as_ref());
+        assert!(report.clean());
+        assert_eq!(report.rollovers, persisted as usize);
+        assert_eq!(report.rollovers_verified, report.rollovers);
+    }
+
+    #[test]
+    fn group_commit_backlog_kill_recovers_the_acked_prefix_and_verdicts_hold() {
+        use nonrep_protocols::tokens::TokenKind;
+        use std::time::{Duration, Instant};
+
+        // The sharded fleet runs its durable org under
+        // `SyncPolicy::GroupCommit`. Drive one item to completion, then
+        // pile an un-flushed burst onto a different shard and kill the
+        // org with the backlog still in flight: recovery must come back
+        // to exactly the acked prefix, and the already-adjudicated
+        // verdict must not move.
+        let scenario = Scenario::showcase_sharded(31);
+        let mut fleet = Fleet::build(&scenario, &scratch("gc-backlog")).unwrap();
+        let item = scenario.items[0].clone();
+        let completed = fleet.run_item(&item).unwrap();
+        assert!(completed);
+        let before = fleet.adjudicate(&item, completed);
+        assert!(before.suspects.is_empty());
+        assert!(!before.facts.is_empty());
+
+        let o0 = scenario.regular[0].clone();
+        let party = Arc::clone(fleet.handles[&o0].conduct.party());
+        let plane = Arc::clone(party.sharded_plane().unwrap().log());
+        let shards = scenario.evidence_shards;
+        // A run on a different shard than the adjudicated item keeps the
+        // item's submission window byte-identical across the kill.
+        let item_shard = plane.shard_for(&item.run_id);
+        let burst_run = (1u128..)
+            .map(RunId::from_u128)
+            .find(|r| {
+                plane.shard_for(r) != item_shard && scenario.items.iter().all(|i| i.run_id != *r)
+            })
+            .unwrap();
+        for i in 0..3u8 {
+            let t = party
+                .issue_token(TokenKind::NroReq, burst_run, sha256(&[i]))
+                .unwrap();
+            party.store_token(&t).unwrap();
+        }
+        // Let the sync thread drain every barrier that was enqueued; what
+        // remains un-flushed is the pure in-memory backlog the kill will
+        // take. (Stability poll: the backlog count must sit still.)
+        let unflushed = |plane: &ShardedEvidenceLog| -> Vec<u64> {
+            (0..shards)
+                .map(|s| plane.shard(s).unflushed_len())
+                .collect()
+        };
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let backlog = loop {
+            let sample = unflushed(&plane);
+            std::thread::sleep(Duration::from_millis(100));
+            if unflushed(&plane) == sample || Instant::now() > deadline {
+                break sample;
+            }
+        };
+        assert!(
+            backlog.iter().sum::<u64>() > 0,
+            "the burst left no backlog to lose"
+        );
+        let at_kill: Vec<u64> = (0..shards).map(|s| plane.shard(s).len()).collect();
+
+        // Kill o0 mid-backlog: forget an Arc so no destructor ever drains
+        // the buffered tail, then recover from disk and rebuild.
+        fleet.bus.unregister(&o0);
+        fleet.handles.remove(&o0);
+        std::mem::forget(party);
+        fleet.install(&o0, true).unwrap();
+
+        let recovered = Arc::clone(
+            fleet.handles[&o0]
+                .conduct
+                .party()
+                .sharded_plane()
+                .unwrap()
+                .log(),
+        );
+        for s in 0..shards {
+            assert_eq!(
+                recovered.shard(s).len(),
+                at_kill[s as usize] - backlog[s as usize],
+                "shard {s}: recovery must resume at the acked prefix"
+            );
+        }
+        // The verdict on the already-adjudicated run is unchanged: the
+        // backlog the kill took was never part of any submission.
+        let after = fleet.adjudicate(&item, completed);
+        assert_eq!(before, after);
+        // And the recovered plane keeps sealing: fresh evidence lands,
+        // flushes, and the whole plane verifies end to end.
+        let party = Arc::clone(fleet.handles[&o0].conduct.party());
+        for i in 0..2u8 {
+            let t = party
+                .issue_token(TokenKind::NroReq, burst_run, sha256(&[0x40 | i]))
+                .unwrap();
+            party.store_token(&t).unwrap();
+        }
+        party.flush_evidence().unwrap();
+        recovered.verify_all().unwrap();
     }
 
     #[test]

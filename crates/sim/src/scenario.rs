@@ -74,6 +74,11 @@ pub enum Role {
     /// Appends a counterparty's genuine token to its log under a
     /// different run id before submitting.
     TokenReplayer,
+    /// Grafts a key-rollover record whose subtree cert was signed by a
+    /// root *other than its registered one* onto its submission — the
+    /// byzantine move against the hierarchical key lifecycle. The chain
+    /// stays intact; only the cert cryptography convicts it.
+    ForgedRollover,
     /// An inline TTP that rewrites one of its own receipts, forking its
     /// history against its gossiped anchors.
     EquivocatingTtp,
@@ -86,6 +91,7 @@ impl Role {
             Role::ForkHistory => "fork_history",
             Role::Withholder => "withholder",
             Role::TokenReplayer => "token_replayer",
+            Role::ForgedRollover => "forged_rollover",
             Role::EquivocatingTtp => "equivocating_ttp",
         }
     }
@@ -158,6 +164,13 @@ pub struct Scenario {
     /// An organisation whose signing keys are exhausted before the
     /// scenario starts, if the seed asks for one.
     pub exhausted: Option<OrgId>,
+    /// An always-honest organisation running a *hierarchical* (HSS)
+    /// signing key, if the seed asks for one: its short subtrees exhaust
+    /// and roll over mid-scenario, so the sweep exercises certified
+    /// rollover under every schedule — and, when the choice lands on
+    /// `o0`, under the crash/recovery overlay too (crash at the rollover
+    /// boundary).
+    pub hierarchical: Option<OrgId>,
     /// Byzantine role per organisation (regular orgs and/or the TTP).
     pub byzantine: Vec<(OrgId, Role)>,
     /// The runs to drive, in index order.
@@ -223,7 +236,12 @@ impl Scenario {
         let capacity = n_regular.saturating_sub(2);
         let byz_count = d.below(capacity as u64 + 1) as usize;
         let mut byzantine: Vec<(OrgId, Role)> = Vec::new();
-        let roles = [Role::ForkHistory, Role::Withholder, Role::TokenReplayer];
+        let roles = [
+            Role::ForkHistory,
+            Role::Withholder,
+            Role::TokenReplayer,
+            Role::ForgedRollover,
+        ];
         for i in 0..byz_count {
             // Take roles from the tail of the fleet: o_{n-1}, o_{n-2}, ...
             let org = regular[n_regular - 1 - i].clone();
@@ -331,11 +349,18 @@ impl Scenario {
         // the property sweep covers super-epoch gossip, shard-window
         // submissions and shard-barrier crash faults for free.
         let evidence_shards = [1, 1, 2, 4][d.below(4) as usize];
+        // Half the family puts one always-honest organisation on a
+        // hierarchical key (o0 and o1 are never byzantine, so the choice
+        // is safe): its subtrees roll mid-scenario, and the o0 draw
+        // composes with the crash overlay above into a crash at the
+        // rollover boundary.
+        let hierarchical = (d.below(2) == 0).then(|| regular[d.below(2) as usize].clone());
         Scenario {
             seed,
             regular,
             ttp,
             exhausted,
+            hierarchical,
             byzantine,
             items,
             evidence_shards,
@@ -344,18 +369,21 @@ impl Scenario {
         }
     }
 
-    /// The maximal hand-laid fleet: five regular organisations with every
+    /// The maximal hand-laid fleet: six regular organisations with every
     /// regular byzantine role present, an equivocating TTP, an
     /// exhausted-key organisation, a crash/recovery overlay and a
-    /// partition overlay. `seed` still varies run ids, request payloads
-    /// and the channel drop pattern.
+    /// partition overlay. The durable organisation `o0` runs a
+    /// hierarchical key, so the crash overlay doubles as a
+    /// crash-at-the-rollover-boundary fault. `seed` still varies run
+    /// ids, request payloads and the channel drop pattern.
     pub fn showcase(seed: u64) -> Self {
-        let regular: Vec<OrgId> = (0..5).map(|i| OrgId::new(format!("o{i}"))).collect();
+        let regular: Vec<OrgId> = (0..6).map(|i| OrgId::new(format!("o{i}"))).collect();
         let ttp = OrgId::new("ttp");
         let byzantine = vec![
             (regular[2].clone(), Role::ForkHistory),
             (regular[3].clone(), Role::Withholder),
             (regular[4].clone(), Role::TokenReplayer),
+            (regular[5].clone(), Role::ForgedRollover),
             (ttp.clone(), Role::EquivocatingTtp),
         ];
         let plan: Vec<(Variant, usize, usize)> = vec![
@@ -364,6 +392,7 @@ impl Scenario {
             (Variant::Direct, 2, 1),    // fork-history guarantee item
             (Variant::Direct, 3, 1),    // withholder guarantee item
             (Variant::Direct, 4, 1),    // token-replayer guarantee item
+            (Variant::Direct, 5, 1),    // forged-rollover guarantee item
             (Variant::InlineTtp, 0, 1), // equivocating-TTP guarantee item
         ];
         let mut items: Vec<WorkItem> = plan
@@ -392,11 +421,13 @@ impl Scenario {
             server: regular[0].clone(),
             adversity: None,
         });
+        let hierarchical = Some(regular[0].clone());
         Scenario {
             seed,
             regular,
             ttp,
             exhausted: Some(exhausted),
+            hierarchical,
             byzantine,
             items,
             evidence_shards: 1,
@@ -564,9 +595,42 @@ mod tests {
         let s = Scenario::showcase(1);
         let mut roles: Vec<Role> = s.byzantine.iter().map(|(_, r)| *r).collect();
         roles.dedup();
-        assert_eq!(roles.len(), 4);
+        assert_eq!(roles.len(), 5);
         for (org, _) in &s.byzantine {
             assert!(s.guarantee_item(org).is_some(), "{org} has no item");
         }
+        // The durable org runs the hierarchical key, so its crash overlay
+        // is a crash at the rollover boundary.
+        assert_eq!(s.hierarchical.as_ref(), Some(&s.regular[0]));
+    }
+
+    #[test]
+    fn hierarchical_orgs_are_always_honest_and_every_combination_is_reachable() {
+        for seed in 0..200u64 {
+            let s = Scenario::from_seed(seed);
+            if let Some(h) = &s.hierarchical {
+                assert!(s.role_of(h).is_none(), "seed {seed}: {h} byzantine");
+                assert_ne!(Some(h), s.exhausted.as_ref(), "seed {seed}");
+                assert!(s.regular.contains(h), "seed {seed}");
+            }
+        }
+        assert!((0..200u64).any(|x| Scenario::from_seed(x).hierarchical.is_some()));
+        assert!((0..200u64).any(|x| Scenario::from_seed(x).hierarchical.is_none()));
+        // The crash-at-rollover-boundary composition: the hierarchical
+        // choice lands on o0 while o0 also carries the crash overlay.
+        assert!((0..200u64).any(|x| {
+            let s = Scenario::from_seed(x);
+            s.hierarchical.as_ref() == Some(&s.regular[0])
+                && s.items.iter().any(|i| {
+                    matches!(&i.adversity, Some(Adversity::CrashRecover(o)) if *o == s.regular[0])
+                })
+        }));
+        // The forged-rollover role is reachable in the seeded family.
+        assert!((0..200u64).any(|x| {
+            Scenario::from_seed(x)
+                .byzantine
+                .iter()
+                .any(|(_, r)| *r == Role::ForgedRollover)
+        }));
     }
 }

@@ -37,9 +37,14 @@ cargo test -q
 
 # SIMD bugs must not hide behind a fast host: the crypto differential
 # suite (multi-buffer vs sequential hashing, W-OTS tier equivalence)
-# re-runs with dispatch pinned to the portable kernel.
+# re-runs with dispatch pinned to the portable kernel. The hss suite is
+# named explicitly: the hierarchical lifecycle (subtree walks, rollover
+# certs, chained verification) leans on the same lane-batched kernels,
+# so it must stay green on the portable path too.
 echo "==> NONREP_DISPATCH=scalar cargo test -q -p nonrep_crypto"
 NONREP_DISPATCH=scalar cargo test -q -p nonrep_crypto
+echo "==> NONREP_DISPATCH=scalar cargo test -q -p nonrep_crypto hss"
+NONREP_DISPATCH=scalar cargo test -q -p nonrep_crypto hss
 
 echo "==> cargo fmt --check"
 cargo fmt --check
