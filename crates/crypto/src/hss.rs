@@ -21,10 +21,17 @@
 //!   subtree seed is drawn (and retained) *before* the thread starts,
 //!   so a lost or still-running pregeneration falls back to a
 //!   synchronous build of the **identical** subtree — the generation
-//!   chain is a pure function of the signer's seed stream.
+//!   chain is a pure function of the seed chain's initial secret.
 //! * **Forward security** is preserved: subtree leaves destroy their
-//!   seeds on use exactly as in [`mss`], and retired subtrees are
-//!   dropped wholesale.
+//!   seeds on use exactly as in [`mss`], retired subtrees are dropped
+//!   wholesale, and subtree seeds come from a one-way hash ratchet
+//!   (`SeedChain`) whose prior state is overwritten on every draw.
+//!   Compromising live signer state therefore exposes the active and
+//!   future subtrees but cannot re-derive a retired subtree's seeds, so
+//!   signatures over already-sealed evidence stay unforgeable. (The
+//!   retained pregen seed only covers a subtree that has signed nothing
+//!   yet, and erasure is a best-effort overwrite — not a guarded-memory
+//!   guarantee.)
 
 use std::thread::JoinHandle;
 
@@ -202,11 +209,50 @@ pub struct RolloverEvent {
     pub cert: SubtreeCert,
 }
 
+/// Domain prefixes for the forward-secure subtree seed chain: from one
+/// 32-byte state, `SEED` derives the next subtree's key material and
+/// `RATCHET` derives the successor state.
+const CHAIN_SEED_DOMAIN: &[u8] = b"nonrep.hss.chain.seed.v1";
+const CHAIN_RATCHET_DOMAIN: &[u8] = b"nonrep.hss.chain.ratchet.v1";
+
+/// Forward-secure source of subtree seeds: a one-way hash ratchet whose
+/// state is overwritten on every draw. The whole generation chain is a
+/// pure function of the initial secret — regenerating a signer from the
+/// same key seed replays it, which is what crash recovery relies on —
+/// but the *live* state only reaches forward: both derivations are
+/// one-way hashes and the state that produced a retired subtree's seed
+/// is destroyed the moment the next one is drawn.
+struct SeedChain {
+    state: [u8; 32],
+}
+
+impl SeedChain {
+    fn new(secret: [u8; 32]) -> Self {
+        Self { state: secret }
+    }
+
+    /// Derives the next subtree seed, then ratchets the state forward —
+    /// overwriting the state that produced the seed.
+    fn next_seed(&mut self) -> [u8; 32] {
+        let mut h = Sha256::new();
+        h.update(CHAIN_SEED_DOMAIN);
+        h.update(&self.state);
+        let seed = *h.finalize().as_bytes();
+        let mut h = Sha256::new();
+        h.update(CHAIN_RATCHET_DOMAIN);
+        h.update(&self.state);
+        self.state = *h.finalize().as_bytes();
+        seed
+    }
+}
+
 /// An in-flight (or completed) background subtree build. The seed is
 /// retained so a pregeneration that never finishes — or whose thread is
-/// lost — can be replayed synchronously with an identical result.
+/// lost — can be replayed synchronously with an identical result. (The
+/// retention is forward-security-neutral: the seed covers the *next*
+/// subtree, which has signed nothing yet.)
 struct Pregen {
-    seed: u64,
+    seed: [u8; 32],
     handle: Option<JoinHandle<MssSigner>>,
 }
 
@@ -223,8 +269,8 @@ impl Pregen {
     }
 }
 
-fn build_subtree(seed: u64, height: u8, workers: usize) -> MssSigner {
-    MssSigner::generate_with_workers(height, &mut SecureRandom::from_seed(seed), workers)
+fn build_subtree(seed: [u8; 32], height: u8, workers: usize) -> MssSigner {
+    MssSigner::generate_with_workers(height, &mut SecureRandom::from_seed32(seed), workers)
 }
 
 /// The signing half of a hierarchical key: a root [`MssSigner`] that
@@ -237,9 +283,10 @@ pub struct HssSigner {
     active_cert: SubtreeCert,
     subtree_height: u8,
     generation: u32,
-    /// Deterministic source of subtree seeds — the generation chain is
-    /// a pure function of this stream, independent of pregen timing.
-    seed_stream: SecureRandom,
+    /// Forward-secure source of subtree seeds — the generation chain is
+    /// a pure function of its initial secret, independent of pregen
+    /// timing, but the live state cannot be rewound to retired subtrees.
+    seed_chain: SeedChain,
     pregen: Option<Pregen>,
     rollovers: Vec<RolloverEvent>,
     workers: usize,
@@ -279,8 +326,8 @@ impl HssSigner {
         workers: usize,
     ) -> Self {
         let mut root = MssSigner::generate_with_workers(root_height, rng, workers);
-        let mut seed_stream = SecureRandom::from_seed(rng.next_u64());
-        let active = build_subtree(seed_stream.next_u64(), subtree_height, workers);
+        let mut seed_chain = SeedChain::new(rng.secret32());
+        let active = build_subtree(seed_chain.next_seed(), subtree_height, workers);
         let active_cert = certify(&mut root, 0, active.public_key())
             .expect("fresh root key certifies generation 0");
         Self {
@@ -289,7 +336,7 @@ impl HssSigner {
             active_cert,
             subtree_height,
             generation: 0,
-            seed_stream,
+            seed_chain,
             pregen: None,
             rollovers: Vec::new(),
             workers,
@@ -389,7 +436,7 @@ impl HssSigner {
         let next = match self.pregen.take() {
             Some(p) => p.into_subtree(self.subtree_height, self.workers),
             None => build_subtree(
-                self.seed_stream.next_u64(),
+                self.seed_chain.next_seed(),
                 self.subtree_height,
                 self.workers,
             ),
@@ -419,7 +466,7 @@ impl HssSigner {
         {
             return;
         }
-        let seed = self.seed_stream.next_u64();
+        let seed = self.seed_chain.next_seed();
         let height = self.subtree_height;
         let workers = self.workers;
         let handle = std::thread::Builder::new()
@@ -527,6 +574,32 @@ mod tests {
             assert_eq!(sa, sb, "message {i}");
         }
         assert_eq!(a.rollover_history(), b.rollover_history());
+    }
+
+    #[test]
+    fn seed_chain_is_deterministic_from_its_initial_secret() {
+        let mut a = SeedChain::new([7u8; 32]);
+        let mut b = SeedChain::new([7u8; 32]);
+        for _ in 0..4 {
+            assert_eq!(a.next_seed(), b.next_seed());
+        }
+    }
+
+    #[test]
+    fn seed_chain_ratchets_forward_and_destroys_prior_state() {
+        let mut chain = SeedChain::new([7u8; 32]);
+        let s0 = chain.next_seed();
+        let s1 = chain.next_seed();
+        assert_ne!(s0, s1, "each generation gets a distinct seed");
+        // The live state only reaches forward: a chain resumed from it
+        // produces exactly the future seeds, and no state that could
+        // re-derive s0 or s1 remains anywhere in the signer.
+        let mut resumed = SeedChain::new(chain.state);
+        let s2 = chain.next_seed();
+        assert_eq!(resumed.next_seed(), s2);
+        assert_ne!(chain.state, [7u8; 32], "initial secret was overwritten");
+        assert_ne!(resumed.next_seed(), s0);
+        assert_ne!(resumed.next_seed(), s1);
     }
 
     #[test]

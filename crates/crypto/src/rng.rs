@@ -29,6 +29,15 @@ impl SecureRandom {
         }
     }
 
+    /// Seeds from a full 256-bit value — the generator's entire seed
+    /// space, unlike the 64-bit convenience above. Used where the seed
+    /// itself is key material (e.g. hierarchical subtree generation).
+    pub fn from_seed32(seed: [u8; 32]) -> Self {
+        Self {
+            inner: StdRng::from_seed(seed),
+        }
+    }
+
     /// Seeds from operating-system entropy (production).
     pub fn from_entropy() -> Self {
         Self {
@@ -108,6 +117,15 @@ mod tests {
         let mut b = SecureRandom::from_seed(42);
         assert_eq!(a.bytes(32), b.bytes(32));
         assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn seeded32_rng_is_deterministic() {
+        let mut a = SecureRandom::from_seed32([9u8; 32]);
+        let mut b = SecureRandom::from_seed32([9u8; 32]);
+        assert_eq!(a.bytes(32), b.bytes(32));
+        let mut c = SecureRandom::from_seed32([10u8; 32]);
+        assert_ne!(a.bytes(32), c.bytes(32));
     }
 
     #[test]

@@ -257,7 +257,10 @@ enum SealTrigger {
 /// sustained ramp converges within a handful of epochs.
 #[derive(Debug, Clone, Default)]
 pub struct ExhaustionForecaster {
-    rate: f64,
+    /// `None` until the first full inter-seal interval has been
+    /// observed — an explicit warm-up state, so a genuinely idle epoch
+    /// (rate 0.0) is a real sample and later bursts stay EWMA-dampened.
+    rate: Option<f64>,
     last_remaining: Option<u32>,
 }
 
@@ -279,32 +282,30 @@ impl ExhaustionForecaster {
         let Some(now) = remaining else { return };
         if let Some(prev) = self.last_remaining {
             let spent = f64::from(prev.saturating_sub(now));
-            self.rate = if self.last_rate_is_unset() {
-                spent
-            } else {
-                Self::ALPHA * spent + (1.0 - Self::ALPHA) * self.rate
-            };
+            self.rate = Some(match self.rate {
+                // First measured interval: adopt at full weight.
+                None => spent,
+                Some(rate) => Self::ALPHA * spent + (1.0 - Self::ALPHA) * rate,
+            });
         }
         self.last_remaining = Some(now);
     }
 
-    fn last_rate_is_unset(&self) -> bool {
-        self.rate == 0.0
-    }
-
     /// The smoothed leaves-per-epoch spend rate (0.0 until warm).
     pub fn rate(&self) -> f64 {
-        self.rate
+        self.rate.unwrap_or(0.0)
     }
 
     /// Predicted epochs until the key can no longer sign, or `None`
-    /// while the forecaster is cold or the key cannot exhaust.
+    /// while the forecaster is cold, the measured rate is zero, or the
+    /// key cannot exhaust.
     pub fn forecast_epochs(&self, remaining: Option<u32>) -> Option<f64> {
         let remaining = remaining?;
-        if self.rate <= 0.0 {
+        let rate = self.rate?;
+        if rate <= 0.0 {
             return None;
         }
-        Some(f64::from(remaining) / self.rate)
+        Some(f64::from(remaining) / rate)
     }
 }
 
@@ -775,6 +776,33 @@ impl CommitmentScheduler {
         state: &mut SchedulerState,
         trigger: SealTrigger,
     ) -> Result<Option<Arc<EvidenceRecord>>, StoreError> {
+        if state.last_seal_failure.is_some() {
+            // The previous attempt failed. Probe the backend with a
+            // signature-free flush first: if the disk is still broken
+            // this fails without consuming one of the finite
+            // forward-secure signatures (or appending rollover records
+            // it would buffer behind a dead disk).
+            self.log.flush()?;
+        }
+        // Persist any hierarchical-key rollovers the signer performed
+        // since the last seal (the watermark makes this exactly-once
+        // across crashes). Appended *before* the range bounds are taken,
+        // each rollover record is covered by the very epoch sealed
+        // below — a generation change burns no leaf beyond the cert the
+        // signer already spent. This also runs before the exhaustion
+        // check below: the hierarchy's *terminal* generation can be
+        // activated and fully spent between two seals (token signatures
+        // burn leaves outside the seal path), and its record must still
+        // reach the log — unsealed but durable via the exhaustion flush
+        // — rather than sit in signer memory forever.
+        for ev in self.keys.rollover_history() {
+            if ev.generation > state.rollover_persisted {
+                let roll = KeyRollover::from_event(&ev);
+                self.log
+                    .append(roll.to_draft(self.actor.clone(), self.clock.now()))?;
+                state.rollover_persisted = ev.generation;
+            }
+        }
         if self.keys.remaining() == Some(0) {
             // Exhausted forward-secure key: a terminal condition, checked
             // before hashing the pending range so retries never pay a
@@ -789,27 +817,6 @@ impl CommitmentScheduler {
             return Err(StoreError::Unavailable(
                 "epoch seal failed: signing key exhausted".into(),
             ));
-        }
-        if state.last_seal_failure.is_some() {
-            // The previous attempt failed. Probe the backend with a
-            // signature-free flush first: if the disk is still broken
-            // this fails without consuming one of the finite
-            // forward-secure signatures.
-            self.log.flush()?;
-        }
-        // Persist any hierarchical-key rollovers the signer performed
-        // since the last seal (the watermark makes this exactly-once
-        // across crashes). Appended *before* the range bounds are taken,
-        // each rollover record is covered by the very epoch sealed
-        // below — a generation change burns no leaf beyond the cert the
-        // signer already spent.
-        for ev in self.keys.rollover_history() {
-            if ev.generation > state.rollover_persisted {
-                let roll = KeyRollover::from_event(&ev);
-                self.log
-                    .append(roll.to_draft(self.actor.clone(), self.clock.now()))?;
-                state.rollover_persisted = ev.generation;
-            }
         }
         let len = self.log.len();
         let lo = state.sealed_next;
@@ -1733,6 +1740,71 @@ mod tests {
         assert_eq!(chain, expected, "recovered chain forked from the reference");
         log.verify().unwrap();
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn terminal_generation_rollover_record_still_lands_after_exhaustion() {
+        // The hierarchy's last generation can be activated *and* fully
+        // spent between two seals (token signatures burn leaves outside
+        // the seal path). The rollover record must still reach the log:
+        // persisting runs before the exhaustion early-return, so even a
+        // degraded seal attempt writes it — unsealed, but durable.
+        let clock = Arc::new(LogicalClock::new());
+        let keys = Arc::new(KeyPair::generate(
+            SignatureScheme::Hss {
+                root_height: 1,
+                subtree_height: 1,
+            },
+            &mut SecureRandom::from_seed(17),
+        ));
+        let log: Arc<dyn EvidenceLog> = Arc::new(MemoryLog::new());
+        let s = CommitmentScheduler::new(
+            keys.clone(),
+            log.clone(),
+            OrgId::new("org"),
+            clock,
+            CommitmentMode::batched(2),
+        );
+        // Two size seals spend generation 0's two leaves.
+        for n in 0..4u64 {
+            s.record(draft(n)).unwrap();
+        }
+        assert_eq!(keys.generation(), 0);
+        // Token-path signatures activate and exhaust the terminal
+        // generation with no seal in between.
+        keys.sign_digest(&sha256(b"t0")).unwrap();
+        keys.sign_digest(&sha256(b"t1")).unwrap();
+        assert_eq!(keys.generation(), 1);
+        assert_eq!(keys.remaining(), Some(0));
+        s.record(draft(4)).unwrap();
+        assert!(s.seal().is_err(), "hierarchy is spent — the seal degrades");
+        let (rollovers, _) = lifecycle_records(&log);
+        let gens: Vec<u32> = rollovers.iter().map(|(_, r)| r.generation).collect();
+        assert_eq!(gens, vec![1], "terminal rollover record reached the log");
+        log.verify().unwrap();
+    }
+
+    #[test]
+    fn idle_epochs_complete_warmup_so_a_burst_is_still_dampened() {
+        // A signer idle after its baseline anchor used to look
+        // permanently cold (rate 0.0 doubled as the "unset" sentinel),
+        // so the first real burst was adopted at full weight and could
+        // instantly collapse the forecast. Warm-up is an explicit state
+        // now: idle epochs are genuine zero-rate samples and the burst
+        // folds in at ALPHA weight like any other.
+        let mut f = ExhaustionForecaster::new();
+        f.observe_remaining(Some(1000));
+        for _ in 0..5 {
+            f.observe_remaining(Some(1000)); // idle: nothing spent
+        }
+        assert_eq!(f.rate(), 0.0);
+        f.observe_remaining(Some(960)); // 40-leaf burst
+        assert!(
+            (f.rate() - ExhaustionForecaster::ALPHA * 40.0).abs() < 1e-9,
+            "burst folded in at ALPHA weight, got {}",
+            f.rate()
+        );
+        assert!(f.forecast_epochs(Some(960)).unwrap() > EXHAUSTION_LOW_WATER_EPOCHS);
     }
 
     #[test]
