@@ -38,7 +38,7 @@ use std::sync::Arc;
 
 use nonrep_crypto::digest::Digest;
 use nonrep_protocols::party::KeyDirectory;
-use nonrep_protocols::tokens::{NrToken, TokenKind};
+use nonrep_protocols::tokens::{defection_digest, NrToken, TokenKind};
 use nonrep_store::record::{
     ChainVerifier, ChainViolation, EpochCommitment, EvidenceRecord, KeyRollover,
 };
@@ -233,6 +233,37 @@ impl Verdict {
     /// after an `Abort` (and vice versa), so verified tokens of both kinds
     /// from one issuer for one run prove the TTP equivocated — told the
     /// two exchange parties contradictory outcomes.
+    /// Parties convicted of defection by the trusted `ttp`'s dispute
+    /// decision for this run.
+    ///
+    /// A fair-offline resolve mints a [`TokenKind::Decision`] whose
+    /// subject is the domain-separated
+    /// [`nonrep_protocols::tokens::defection_digest`] of the accused
+    /// and the run, so the conviction is checkable from
+    /// the sealed evidence alone: any submitter whose recomputed digest
+    /// matches a verified decision issued by `ttp` is the named
+    /// defector. Decisions issued by anyone else are ignored — only the
+    /// agreed TTP can convict.
+    pub fn convicted_defectors(&self, ttp: &OrgId) -> Vec<OrgId> {
+        let decisions: Vec<&Fact> = self
+            .facts
+            .iter()
+            .filter(|f| f.kind == TokenKind::Decision && f.issuer == *ttp)
+            .collect();
+        if decisions.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for report in &self.reports {
+            let candidate = &report.submitter;
+            let digest = defection_digest(candidate, self.run_id);
+            if decisions.iter().any(|f| f.subject == digest) && !out.contains(candidate) {
+                out.push(candidate.clone());
+            }
+        }
+        out
+    }
+
     pub fn conflicting_decisions(&self) -> Vec<OrgId> {
         let resolved: std::collections::BTreeSet<&OrgId> = self
             .facts

@@ -7,12 +7,28 @@
 //! server interceptor → client interceptor : ack                    (step 4)
 //! ```
 //!
-//! Steps 1/2 ride one `deliverRequest`; steps 3/4 ride a second. The server
-//! caches step 2 per run, so a client retry after a lost response re-collects
-//! the identical message without re-executing the request (at-most-once,
-//! §3.2). Each side verifies every peer token before persisting it; a bad
-//! token aborts the exchange (interceptor assumption 4: well-constructed
-//! messages only).
+//! The client side is the [`DirectChoreography`] session type — a
+//! signed request/reply round followed by a lossy receipt/ack round —
+//! driven by the shared [`ExchangeEngine`]: steps 1/2 ride one
+//! `deliverRequest`, steps 3/4 a second. The server caches step 2 per
+//! run, so a client retry after a lost response re-collects the
+//! identical message without re-executing the request (at-most-once,
+//! §3.2). Each side verifies every peer token before persisting it; a
+//! bad token aborts the exchange (interceptor assumption 4:
+//! well-constructed messages only).
+//!
+//! Sending the receipt before the request is a compile error:
+//!
+//! ```compile_fail
+//! use nonrep_protocols::invocation::direct::DirectChoreography;
+//! use nonrep_protocols::session::{Client, Session};
+//! use nonrep_types::ids::OrgId;
+//!
+//! fn receipt_first(s: Session<Client, DirectChoreography>, server: &OrgId) {
+//!     // Step 3 before step 1: the opening state has no `call_lossy`.
+//!     let _ = s.call_lossy(server, vec![]);
+//! }
+//! ```
 
 use std::fmt;
 use std::sync::Arc;
@@ -25,12 +41,16 @@ use crate::handler::ProtocolHandler;
 use crate::invocation::{RequestExecutor, RunRegistry, ServerResponse};
 use crate::message::ProtocolMessage;
 use crate::party::Party;
-use crate::scheduler::TokenSpec;
+use crate::session::{Call, CallLossy, Client, End, ExchangeEngine, ExchangeError};
 use crate::tokens::{NrToken, TokenKind};
 use crate::{B2BCoordinator, ProtocolError};
 
 /// Protocol id of the direct protocol.
 pub const PROTOCOL_ID: &str = "direct";
+
+/// The client's choreography: signed request/evidence round (steps
+/// 1/2), then a lossy receipt/ack round (steps 3/4), then seal.
+pub type DirectChoreography = Call<1, 2, CallLossy<3, 4, End>>;
 
 /// Step-1 body: the request and the client's NRO.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -124,20 +144,21 @@ pub struct DirectOutcome {
 
 /// Client side of the direct protocol.
 pub struct DirectClient {
-    party: Arc<Party>,
-    coordinator: Arc<B2BCoordinator>,
+    engine: ExchangeEngine,
 }
 
 impl fmt::Debug for DirectClient {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "DirectClient({})", self.party.org())
+        write!(f, "DirectClient({})", self.engine.party().org())
     }
 }
 
 impl DirectClient {
     /// Creates a client executing through `coordinator`.
     pub fn new(party: Arc<Party>, coordinator: Arc<B2BCoordinator>) -> Self {
-        Self { party, coordinator }
+        Self {
+            engine: ExchangeEngine::new(party, coordinator, PROTOCOL_ID),
+        }
     }
 
     /// Runs the full exchange for `request` against `server`.
@@ -148,11 +169,13 @@ impl DirectClient {
     ///
     /// # Errors
     ///
-    /// [`ProtocolError`] on communication failure (after retries), bad peer
-    /// evidence, or signing/persistence failure. If the error occurs after
-    /// step 2 the client has already persisted the server's evidence.
-    pub fn invoke(&self, server: &OrgId, request: Vec<u8>) -> Result<DirectOutcome, ProtocolError> {
-        self.invoke_with(self.party.new_run_id(), server, request)
+    /// [`ExchangeError::Transport`] on communication failure (after
+    /// retries), [`ExchangeError::Peer`] on bad peer evidence,
+    /// [`ExchangeError::Local`] on signing/persistence failure. If the
+    /// error occurs after step 2 the client has already persisted the
+    /// server's evidence.
+    pub fn invoke(&self, server: &OrgId, request: Vec<u8>) -> Result<DirectOutcome, ExchangeError> {
+        self.invoke_with(self.engine.party().new_run_id(), server, request)
     }
 
     /// [`DirectClient::invoke`] under a caller-chosen run identifier.
@@ -168,84 +191,43 @@ impl DirectClient {
         run_id: RunId,
         server: &OrgId,
         request: Vec<u8>,
-    ) -> Result<DirectOutcome, ProtocolError> {
+    ) -> Result<DirectOutcome, ExchangeError> {
         let req_digest = sha256(&request);
+        let session = self.engine.session::<Client, DirectChoreography>(run_id);
 
-        // Step 1: NRO_req + request.
+        // Step 1: NRO_req + request; steps 1/2 ride one deliverRequest
+        // (with retries; the server caches its reply per run).
         let nro_req = self
-            .party
-            .issue_token(TokenKind::NroReq, run_id, req_digest)?;
-        self.party.store_token(&nro_req)?;
+            .engine
+            .issue_and_store(TokenKind::NroReq, run_id, req_digest)?;
         let step1 = Step1 { request, nro_req };
-        let msg1 = ProtocolMessage::new(
-            PROTOCOL_ID,
-            run_id,
-            1,
-            self.party.org().clone(),
-            step1.encode_to_vec(),
-        )
-        .signed(self.party.keys())
-        .map_err(ProtocolError::from)?;
-
-        // Steps 1/2 over deliverRequest (with retries; server caches).
-        let msg2 = self.coordinator.deliver_request(server, &msg1)?;
-        if msg2.step != 2 || msg2.run_id != run_id {
-            return Err(ProtocolError::BadMessage(format!(
-                "expected step 2 of run {run_id}, got step {} of run {}",
-                msg2.step, msg2.run_id
-            )));
-        }
-        let server_key = self.party.key_of(server)?;
-        if !msg2.verify_frame(&server_key) {
-            return Err(ProtocolError::BadSignature {
-                org: server.clone(),
-                what: "step-2 frame".into(),
-            });
-        }
-        let step2 = Step2::decode_from_slice(&msg2.body)
-            .map_err(|e| ProtocolError::BadMessage(e.to_string()))?;
+        let (msg2, session) = session.call(server, step1.encode_to_vec())?;
+        let step2: Step2 = self.engine.decode_body(&msg2.body)?;
 
         // Verify and persist the server's evidence.
-        self.party.verify_and_store(
-            &step2.nrr_req,
-            TokenKind::NrrReq,
-            run_id,
-            Some(&req_digest),
-        )?;
+        self.engine
+            .absorb(&step2.nrr_req, TokenKind::NrrReq, run_id, Some(&req_digest))?;
         let resp_digest = sha256(&step2.response.encode_to_vec());
-        self.party.verify_and_store(
+        self.engine.absorb(
             &step2.nro_resp,
             TokenKind::NroResp,
             run_id,
             Some(&resp_digest),
         )?;
 
-        // Step 3: client receipt for the response.
+        // Step 3: client receipt for the response. The exchange is
+        // already complete for the client; a lost ack only means the
+        // server may chase the receipt (it has evidence that the
+        // response was produced, §3.2).
         let nrr_resp = self
-            .party
-            .issue_token(TokenKind::NrrResp, run_id, resp_digest)?;
-        self.party.store_token(&nrr_resp)?;
-        let msg3 = ProtocolMessage::new(
-            PROTOCOL_ID,
-            run_id,
-            3,
-            self.party.org().clone(),
-            Step3 { nrr_resp }.encode_to_vec(),
-        )
-        .signed(self.party.keys())
-        .map_err(ProtocolError::from)?;
-        let receipt_acked = match self.coordinator.deliver_request(server, &msg3) {
-            Ok(ack) => ack.step == 4,
-            // The exchange is already complete for the client; a lost ack
-            // only means the server may chase the receipt (it has evidence
-            // that the response was produced, §3.2).
-            Err(ProtocolError::Net(_)) => false,
-            Err(e) => return Err(e),
-        };
+            .engine
+            .issue_and_store(TokenKind::NrrResp, run_id, resp_digest)?;
+        let (receipt_acked, session) =
+            session.call_lossy(server, Step3 { nrr_resp }.encode_to_vec())?;
 
         // The run is complete for the client: let the commitment policy
         // seal its evidence (no-op in per-record mode).
-        self.party.end_of_run()?;
+        session.finish()?;
 
         Ok(DirectOutcome {
             run_id,
@@ -259,14 +241,14 @@ impl DirectClient {
 
 /// Server side of the direct protocol: a [`ProtocolHandler`].
 pub struct DirectServerHandler {
-    party: Arc<Party>,
+    engine: ExchangeEngine,
     executor: Arc<dyn RequestExecutor>,
     runs: RunRegistry,
 }
 
 impl fmt::Debug for DirectServerHandler {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "DirectServerHandler({})", self.party.org())
+        write!(f, "DirectServerHandler({})", self.engine.party().org())
     }
 }
 
@@ -274,7 +256,7 @@ impl DirectServerHandler {
     /// Creates the handler; register it with the server's coordinator.
     pub fn new(party: Arc<Party>, executor: Arc<dyn RequestExecutor>) -> Arc<Self> {
         Arc::new(Self {
-            party,
+            engine: ExchangeEngine::local(party, PROTOCOL_ID),
             executor,
             runs: RunRegistry::new(),
         })
@@ -295,22 +277,15 @@ impl DirectServerHandler {
         if let Some(cached) = self.runs.cached_response(&msg.run_id) {
             return Ok(cached);
         }
-        let client_key = self.party.key_of(from)?;
-        if !msg.verify_frame(&client_key) {
-            return Err(ProtocolError::BadSignature {
-                org: from.clone(),
-                what: "step-1 frame".into(),
-            });
-        }
-        let step1 = Step1::decode_from_slice(&msg.body)
-            .map_err(|e| ProtocolError::BadMessage(e.to_string()))?;
+        self.engine.verify_frame_from(&msg, from)?;
+        let step1: Step1 = self.engine.decode_body(&msg.body)?;
         if step1.nro_req.issuer != *from {
             return Err(ProtocolError::BadMessage(
                 "NRO_req issuer is not the sender".into(),
             ));
         }
         let req_digest = sha256(&step1.request);
-        self.party.verify_and_store(
+        self.engine.absorb(
             &step1.nro_req,
             TokenKind::NroReq,
             msg.run_id,
@@ -325,31 +300,22 @@ impl DirectServerHandler {
         };
         let resp_digest = sha256(&response.encode_to_vec());
 
-        // Both server tokens are issued in one scheduler call: in batched
-        // commitment mode the pair shares a single signature.
-        let mut tokens = self.party.issue_tokens(&[
-            TokenSpec::new(TokenKind::NrrReq, msg.run_id, req_digest),
-            TokenSpec::new(TokenKind::NroResp, msg.run_id, resp_digest),
-        ])?;
-        let nro_resp = tokens.pop().expect("two specs yield two tokens");
-        let nrr_req = tokens.pop().expect("two specs yield two tokens");
-        self.party.store_token(&nrr_req)?;
-        self.party.store_token(&nro_resp)?;
+        // The shared seal hook issues the server's token pair in one
+        // scheduler call (a single batch signature in batched mode).
+        let (nrr_req, nro_resp) =
+            self.engine
+                .issue_paired_tokens(msg.run_id, req_digest, resp_digest)?;
 
-        let msg2 = ProtocolMessage::new(
-            PROTOCOL_ID,
+        let msg2 = self.engine.request_frame(
             msg.run_id,
             2,
-            self.party.org().clone(),
             Step2 {
                 response,
                 nrr_req,
                 nro_resp,
             }
             .encode_to_vec(),
-        )
-        .signed(self.party.keys())
-        .map_err(ProtocolError::from)?;
+        )?;
         self.runs.record_response(msg.run_id, msg2.clone());
         Ok(msg2)
     }
@@ -363,21 +329,13 @@ impl DirectServerHandler {
             .runs
             .cached_response(&msg.run_id)
             .ok_or(ProtocolError::UnknownRun(msg.run_id))?;
-        let client_key = self.party.key_of(from)?;
-        if !msg.verify_frame(&client_key) {
-            return Err(ProtocolError::BadSignature {
-                org: from.clone(),
-                what: "step-3 frame".into(),
-            });
-        }
-        let step3 = Step3::decode_from_slice(&msg.body)
-            .map_err(|e| ProtocolError::BadMessage(e.to_string()))?;
+        self.engine.verify_frame_from(&msg, from)?;
+        let step3: Step3 = self.engine.decode_body(&msg.body)?;
         // The receipt must cover the digest of the response we actually sent.
-        let step2 = Step2::decode_from_slice(&cached.body)
-            .map_err(|e| ProtocolError::BadMessage(e.to_string()))?;
+        let step2: Step2 = self.engine.decode_body(&cached.body)?;
         let resp_digest = sha256(&step2.response.encode_to_vec());
         if !self.runs.receipt_received(&msg.run_id) {
-            self.party.verify_and_store(
+            self.engine.absorb(
                 &step3.nrr_resp,
                 TokenKind::NrrResp,
                 msg.run_id,
@@ -385,15 +343,9 @@ impl DirectServerHandler {
             )?;
             self.runs.mark_receipt(&msg.run_id);
             // The server's evidence set for this run is complete.
-            self.party.end_of_run()?;
+            self.engine.seal_run()?;
         }
-        Ok(ProtocolMessage::new(
-            PROTOCOL_ID,
-            msg.run_id,
-            4,
-            self.party.org().clone(),
-            Vec::new(),
-        ))
+        Ok(self.engine.open_frame(msg.run_id, 4, Vec::new()))
     }
 }
 
@@ -608,7 +560,7 @@ mod tests {
     }
 
     #[test]
-    fn unknown_client_rejected() {
+    fn unknown_client_rejected_as_transport_fault() {
         let fx = fixture();
         // A party whose key the server does not know.
         let clock = LogicalClock::new();
@@ -627,9 +579,11 @@ mod tests {
         fx.bus.register(OrgId::new("rogue"), coord.clone());
         let client = DirectClient::new(rogue, coord);
         let err = client.invoke(&fx.server, b"req".to_vec()).unwrap_err();
+        // The remote handler's refusal surfaces through the bus as an
+        // endpoint error — a transport-class fault for the caller.
         assert!(matches!(
             err,
-            ProtocolError::Net(nonrep_net::NetError::Endpoint(_))
+            ExchangeError::Transport(nonrep_net::NetError::Endpoint(_))
         ));
         assert_eq!(*fx.exec_count.lock(), 0, "request must not execute");
     }

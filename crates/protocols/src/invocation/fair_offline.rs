@@ -17,7 +17,9 @@
 //!   4  S → C : K                         — normal completion
 //!
 //! recovery sub-protocols at T
-//!   resolve (C) : present NRR_resp  → T stores it for S, releases K
+//!   resolve (C) : present NRR_resp  → T stores it for S, releases K and a
+//!                                     signed dispute *decision* naming the
+//!                                     defecting server
 //!   abort   (S) : if not resolved   → run dead; future resolve refused
 //!   fetch   (S) : retrieve the NRR_resp deposited by a resolving client
 //! ```
@@ -25,6 +27,29 @@
 //! **Fairness**: after step 3 the client can always obtain `K` (from S or
 //! T), and the server can always obtain `NRR_resp` (from C or T). Before
 //! step 3 neither party holds the other's item — aborting is harmless.
+//!
+//! The client side is the [`FairChoreography`]: a signed opening round,
+//! then a *branching* step — the receipt round either completes normally
+//! (step 4 delivers the key) or diverts into the
+//! [`ResolveChoreography`], the optimistic **dispute sub-protocol**. A
+//! TTP resolution is itself evidence: the resolve ack carries a signed
+//! [`TokenKind::Decision`] over [`defection_digest`]`(server, run)`,
+//! convicting the defector from the sealed record alone.
+//!
+//! The branch order is fixed by the types — escalating to the TTP before
+//! the exchange even starts is a compile error:
+//!
+//! ```compile_fail
+//! use nonrep_protocols::invocation::fair_offline::FairChoreography;
+//! use nonrep_protocols::session::{Client, Session};
+//! use nonrep_types::ids::OrgId;
+//!
+//! fn dispute_first(s: Session<Client, FairChoreography>, ttp: &OrgId) {
+//!     // The opening state only offers `call`; the dispute branch is
+//!     // reachable only through the receipt round.
+//!     let _ = s.call_or(ttp, vec![], |_| true); // error: no method `call_or`
+//! }
+//! ```
 
 use std::collections::HashMap;
 use std::fmt;
@@ -42,26 +67,61 @@ use crate::invocation::direct::Step1;
 use crate::invocation::{RequestExecutor, RunRegistry, ServerResponse};
 use crate::message::ProtocolMessage;
 use crate::party::Party;
-use crate::scheduler::TokenSpec;
-use crate::tokens::{NrToken, TokenKind};
+use crate::session::{
+    Branch, Call, CallOpen, CallOr, Client, End, ExchangeEngine, ExchangeError, PeerFault, Server,
+    Session,
+};
+use crate::tokens::{defection_digest, NrToken, TokenKind};
 use crate::{B2BCoordinator, ProtocolError};
 
 /// Protocol id of the fair offline-TTP protocol.
 pub const PROTOCOL_ID: &str = "fair-offline";
 
 // Step numbers. 1–4 are the main exchange; 10+ are TTP sub-protocols.
-const STEP_REQUEST: u32 = 1;
-const STEP_RESPONSE: u32 = 2;
-const STEP_RECEIPT: u32 = 3;
-const STEP_KEY: u32 = 4;
-const STEP_ESCROW: u32 = 10;
-const STEP_ESCROW_ACK: u32 = 11;
-const STEP_RESOLVE: u32 = 20;
-const STEP_RESOLVE_ACK: u32 = 21;
-const STEP_ABORT: u32 = 30;
-const STEP_ABORT_ACK: u32 = 31;
-const STEP_FETCH: u32 = 40;
-const STEP_FETCH_ACK: u32 = 41;
+/// Step 1: client's request + `NRO_req`.
+pub const STEP_REQUEST: u32 = 1;
+/// Step 2: encrypted response + evidence + escrow ack.
+pub const STEP_RESPONSE: u32 = 2;
+/// Step 3: client's `NRR_resp` (the commitment point).
+pub const STEP_RECEIPT: u32 = 3;
+/// Step 4: the decryption key, in the honest completion.
+pub const STEP_KEY: u32 = 4;
+/// Server deposits the key with the TTP.
+pub const STEP_ESCROW: u32 = 10;
+/// TTP acknowledges the escrow (signed token in the body).
+pub const STEP_ESCROW_ACK: u32 = 11;
+/// Client escalates: presents the receipt, demands the key.
+pub const STEP_RESOLVE: u32 = 20;
+/// TTP releases the key and its signed dispute decision.
+pub const STEP_RESOLVE_ACK: u32 = 21;
+/// Server asks the TTP to kill an unresolved run.
+pub const STEP_ABORT: u32 = 30;
+/// TTP confirms the abort (signed token in the body).
+pub const STEP_ABORT_ACK: u32 = 31;
+/// Server fetches the receipt a resolving client deposited.
+pub const STEP_FETCH: u32 = 40;
+/// TTP returns the deposited receipt.
+pub const STEP_FETCH_ACK: u32 = 41;
+
+/// The dispute sub-protocol: one open round at the TTP. The ack frame is
+/// unsigned — the [`ResolveAck`] payload carries the TTP's signed
+/// [`TokenKind::Decision`], which is the evidence that matters.
+pub type ResolveChoreography = CallOpen<STEP_RESOLVE, STEP_RESOLVE_ACK, End>;
+
+/// The client's choreography: signed request round, then the receipt
+/// round branches — an acceptable step-4 key completes normally, any
+/// defection diverts into the [`ResolveChoreography`].
+pub type FairChoreography =
+    Call<STEP_REQUEST, STEP_RESPONSE, CallOr<STEP_RECEIPT, STEP_KEY, End, ResolveChoreography>>;
+
+/// The server's escrow leg: deposit the key, collect the signed ack.
+pub type EscrowChoreography = CallOpen<STEP_ESCROW, STEP_ESCROW_ACK, End>;
+
+/// The server's abort sub-protocol at the TTP.
+pub type AbortChoreography = CallOpen<STEP_ABORT, STEP_ABORT_ACK, End>;
+
+/// The server's fetch sub-protocol at the TTP.
+pub type FetchChoreography = CallOpen<STEP_FETCH, STEP_FETCH_ACK, End>;
 
 /// Step-2 body.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -129,6 +189,36 @@ impl Decode for EscrowBody {
     }
 }
 
+/// Resolve-ack body (TTP → client): the escrowed key plus the TTP's
+/// signed dispute decision naming the server that failed to complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResolveAck {
+    /// The escrowed decryption key.
+    pub key: [u8; 32],
+    /// Signed [`TokenKind::Decision`] over
+    /// [`defection_digest`]`(server, run)`.
+    pub decision: NrToken,
+}
+
+impl Encode for ResolveAck {
+    fn encode(&self, w: &mut Writer) {
+        w.put_raw(&self.key);
+        self.decision.encode(w);
+    }
+}
+
+impl Decode for ResolveAck {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let raw = r.get_raw(32)?;
+        let mut key = [0u8; 32];
+        key.copy_from_slice(raw);
+        Ok(Self {
+            key,
+            decision: NrToken::decode(r)?,
+        })
+    }
+}
+
 /// The client's view of a fair exchange.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FairOutcome {
@@ -149,20 +239,25 @@ pub struct FairOutcome {
 pub enum KeySource {
     /// The server completed step 4 normally.
     Server,
-    /// The server defected; the TTP resolved the run.
+    /// The server defected; the TTP resolved the run and issued a signed
+    /// dispute decision against it.
     TtpResolve,
 }
 
 /// Client side of the fair offline-TTP protocol.
 pub struct FairClient {
-    party: Arc<Party>,
-    coordinator: Arc<B2BCoordinator>,
+    engine: ExchangeEngine,
     ttp: OrgId,
 }
 
 impl fmt::Debug for FairClient {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "FairClient({} ttp={})", self.party.org(), self.ttp)
+        write!(
+            f,
+            "FairClient({} ttp={})",
+            self.engine.party().org(),
+            self.ttp
+        )
     }
 }
 
@@ -170,8 +265,7 @@ impl FairClient {
     /// Creates a client whose recovery TTP is `ttp`.
     pub fn new(party: Arc<Party>, coordinator: Arc<B2BCoordinator>, ttp: OrgId) -> Self {
         Self {
-            party,
-            coordinator,
+            engine: ExchangeEngine::new(party, coordinator, PROTOCOL_ID),
             ttp,
         }
     }
@@ -179,17 +273,18 @@ impl FairClient {
     /// Runs the fair exchange against `server`.
     ///
     /// If the server defects after collecting the receipt (step 4 never
-    /// arrives), the client automatically runs the resolve sub-protocol
-    /// with the TTP; [`FairOutcome::key_source`] records which path
-    /// delivered the key.
+    /// arrives), the session diverts into the dispute sub-protocol with
+    /// the TTP; [`FairOutcome::key_source`] records which path delivered
+    /// the key, and on the dispute path the TTP's signed decision against
+    /// the defector lands in this party's evidence log.
     ///
     /// # Errors
     ///
-    /// [`ProtocolError::Aborted`] if the server aborted before the client's
-    /// receipt was committed; other [`ProtocolError`]s on bad evidence or
+    /// [`PeerFault::Aborted`] if the server aborted before the client's
+    /// receipt was committed; other [`ExchangeError`]s on bad evidence or
     /// unreachable peers.
-    pub fn invoke(&self, server: &OrgId, request: Vec<u8>) -> Result<FairOutcome, ProtocolError> {
-        self.invoke_with(self.party.new_run_id(), server, request)
+    pub fn invoke(&self, server: &OrgId, request: Vec<u8>) -> Result<FairOutcome, ExchangeError> {
+        self.invoke_with(self.engine.party().new_run_id(), server, request)
     }
 
     /// [`FairClient::invoke`] under a caller-chosen run identifier
@@ -203,45 +298,19 @@ impl FairClient {
         run_id: RunId,
         server: &OrgId,
         request: Vec<u8>,
-    ) -> Result<FairOutcome, ProtocolError> {
+    ) -> Result<FairOutcome, ExchangeError> {
         let req_digest = sha256(&request);
+        let session = self.engine.session::<Client, FairChoreography>(run_id);
         let nro_req = self
-            .party
-            .issue_token(TokenKind::NroReq, run_id, req_digest)?;
-        self.party.store_token(&nro_req)?;
-        let msg1 = ProtocolMessage::new(
-            PROTOCOL_ID,
-            run_id,
-            STEP_REQUEST,
-            self.party.org().clone(),
-            Step1 { request, nro_req }.encode_to_vec(),
-        )
-        .signed(self.party.keys())
-        .map_err(ProtocolError::from)?;
+            .engine
+            .issue_and_store(TokenKind::NroReq, run_id, req_digest)?;
 
-        let msg2 = self.coordinator.deliver_request(server, &msg1)?;
-        if msg2.step != STEP_RESPONSE || msg2.run_id != run_id {
-            return Err(ProtocolError::BadMessage(
-                "expected fair step-2 reply".into(),
-            ));
-        }
-        let server_key = self.party.key_of(server)?;
-        if !msg2.verify_frame(&server_key) {
-            return Err(ProtocolError::BadSignature {
-                org: server.clone(),
-                what: "fair step-2 frame".into(),
-            });
-        }
-        let step2 = FairStep2::decode_from_slice(&msg2.body)
-            .map_err(|e| ProtocolError::BadMessage(e.to_string()))?;
+        let (msg2, session) = session.call(server, Step1 { request, nro_req }.encode_to_vec())?;
+        let step2: FairStep2 = self.engine.decode_body(&msg2.body)?;
         // Verify all evidence before committing.
-        self.party.verify_and_store(
-            &step2.nrr_req,
-            TokenKind::NrrReq,
-            run_id,
-            Some(&req_digest),
-        )?;
-        self.party.verify_and_store(
+        self.engine
+            .absorb(&step2.nrr_req, TokenKind::NrrReq, run_id, Some(&req_digest))?;
+        self.engine.absorb(
             &step2.nro_resp,
             TokenKind::NroResp,
             run_id,
@@ -249,11 +318,11 @@ impl FairClient {
         )?;
         // The escrow ack must come from *our* TTP and cover this run.
         if step2.escrow_ack.issuer != self.ttp {
-            return Err(ProtocolError::BadMessage(
+            return Err(ExchangeError::Peer(PeerFault::BadMessage(
                 "escrow ack not from the agreed TTP".into(),
-            ));
+            )));
         }
-        self.party.verify_and_store(
+        self.engine.absorb(
             &step2.escrow_ack,
             TokenKind::Escrow,
             run_id,
@@ -261,42 +330,34 @@ impl FairClient {
         )?;
 
         // Step 3: commit the receipt. From here the exchange must end
-        // fairly: K from the server or from the TTP.
-        let nrr_resp = self
-            .party
-            .issue_token(TokenKind::NrrResp, run_id, step2.resp_digest)?;
-        self.party.store_token(&nrr_resp)?;
-        let msg3 = ProtocolMessage::new(
-            PROTOCOL_ID,
-            run_id,
-            STEP_RECEIPT,
-            self.party.org().clone(),
-            nrr_resp.encode_to_vec(),
-        )
-        .signed(self.party.keys())
-        .map_err(ProtocolError::from)?;
-
-        let (key, key_source) = match self.coordinator.deliver_request(server, &msg3) {
-            Ok(msg4) if msg4.step == STEP_KEY && msg4.body.len() == 32 => {
+        // fairly: K from the server, or K + a conviction from the TTP.
+        let nrr_resp =
+            self.engine
+                .issue_and_store(TokenKind::NrrResp, run_id, step2.resp_digest)?;
+        let branch = session.call_or(server, nrr_resp.encode_to_vec(), |m| m.body.len() == 32)?;
+        let (key, key_source, session) = match branch {
+            Branch::Primary(msg4, session) => {
                 let mut key = [0u8; 32];
                 key.copy_from_slice(&msg4.body);
-                (key, KeySource::Server)
+                (key, KeySource::Server, session)
             }
-            // Server defected or vanished: resolve with the TTP.
-            _ => (self.resolve(run_id, &nrr_resp)?, KeySource::TtpResolve),
+            // Server defected or vanished: the dispute sub-protocol.
+            Branch::Diverted(dispute) => {
+                let (key, session) = self.resolve(dispute, server, &nrr_resp)?;
+                (key, KeySource::TtpResolve, session)
+            }
         };
 
         let plain = xor_keystream(&key, &step2.enc_response);
         if sha256(&plain) != step2.resp_digest {
-            return Err(ProtocolError::BadMessage(
+            return Err(ExchangeError::Peer(PeerFault::BadMessage(
                 "decrypted response does not match committed digest".into(),
-            ));
+            )));
         }
-        let response = ServerResponse::decode_from_slice(&plain)
-            .map_err(|e| ProtocolError::BadMessage(e.to_string()))?;
+        let response: ServerResponse = self.engine.decode_body(&plain)?;
         // Run complete (key in hand, evidence stored): let the commitment
         // policy seal it.
-        self.party.end_of_run()?;
+        session.finish()?;
         Ok(FairOutcome {
             run_id,
             response,
@@ -306,30 +367,43 @@ impl FairClient {
         })
     }
 
-    /// The resolve sub-protocol: deposit the receipt with the TTP, get the
-    /// key back.
-    fn resolve(&self, run_id: RunId, nrr_resp: &NrToken) -> Result<[u8; 32], ProtocolError> {
-        let msg = ProtocolMessage::new(
-            PROTOCOL_ID,
-            run_id,
-            STEP_RESOLVE,
-            self.party.org().clone(),
-            nrr_resp.encode_to_vec(),
-        )
-        .signed(self.party.keys())
-        .map_err(ProtocolError::from)?;
-        let reply = self.coordinator.deliver_request(&self.ttp, &msg)?;
-        if reply.step != STEP_RESOLVE_ACK || reply.body.len() != 32 {
-            return Err(ProtocolError::Aborted(run_id));
+    /// The dispute sub-protocol: deposit the receipt with the TTP, get
+    /// the key and the TTP's signed decision against `server` back.
+    fn resolve(
+        &self,
+        dispute: Session<Client, ResolveChoreography>,
+        server: &OrgId,
+        nrr_resp: &NrToken,
+    ) -> Result<([u8; 32], Session<Client, End>), ExchangeError> {
+        let run = dispute.run();
+        let (reply, session) = match dispute.call_open(&self.ttp, nrr_resp.encode_to_vec()) {
+            Ok(ok) => ok,
+            Err(ExchangeError::Transport(e)) => return Err(ExchangeError::Transport(e)),
+            // A refusal (aborted run, bad receipt) surfaces as a
+            // wrong-step reply: the run is dead for this client.
+            Err(_) => return Err(ExchangeError::Peer(PeerFault::Aborted(run))),
+        };
+        let ack: ResolveAck = self
+            .engine
+            .decode_body(&reply.body)
+            .map_err(|_| ExchangeError::Peer(PeerFault::Aborted(run)))?;
+        // The decision must be the agreed TTP's signed conviction of the
+        // server we were exchanging with, for *this* run.
+        if ack.decision.issuer != self.ttp {
+            return Err(ExchangeError::Peer(PeerFault::BadMessage(
+                "dispute decision not from the agreed TTP".into(),
+            )));
         }
-        let mut key = [0u8; 32];
-        key.copy_from_slice(&reply.body);
-        // Record the TTP's involvement in our log.
-        let resolve_note = self
-            .party
-            .issue_token(TokenKind::Resolve, run_id, sha256(&key))?;
-        self.party.store_token(&resolve_note)?;
-        Ok(key)
+        self.engine.absorb(
+            &ack.decision,
+            TokenKind::Decision,
+            run,
+            Some(&defection_digest(server, run)),
+        )?;
+        // Record the TTP's involvement in our own log too.
+        self.engine
+            .issue_and_store(TokenKind::Resolve, run, sha256(&ack.key))?;
+        Ok((ack.key, session))
     }
 }
 
@@ -339,8 +413,10 @@ pub enum ServerConduct {
     /// Follow the protocol.
     #[default]
     Honest,
-    /// Collect the client's receipt at step 3 but never send the key
-    /// (the defection the resolve sub-protocol exists for).
+    /// Collect the client's receipt at step 3 but never send the key —
+    /// the defection the dispute sub-protocol exists for; a resolving
+    /// client walks away with the key *and* the TTP's signed decision
+    /// against this server.
     WithholdKey,
 }
 
@@ -352,8 +428,7 @@ struct FairRunState {
 
 /// Server side of the fair offline-TTP protocol.
 pub struct FairServerHandler {
-    party: Arc<Party>,
-    coordinator: Arc<B2BCoordinator>,
+    engine: ExchangeEngine,
     executor: Arc<dyn RequestExecutor>,
     ttp: OrgId,
     conduct: ServerConduct,
@@ -363,7 +438,7 @@ pub struct FairServerHandler {
 
 impl fmt::Debug for FairServerHandler {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "FairServerHandler({})", self.party.org())
+        write!(f, "FairServerHandler({})", self.engine.party().org())
     }
 }
 
@@ -377,8 +452,7 @@ impl FairServerHandler {
         conduct: ServerConduct,
     ) -> Arc<Self> {
         Arc::new(Self {
-            party,
-            coordinator,
+            engine: ExchangeEngine::new(party, coordinator, PROTOCOL_ID),
             executor,
             ttp,
             conduct,
@@ -403,25 +477,18 @@ impl FairServerHandler {
     /// [`ProtocolError::Rejected`] if the run was already resolved (the
     /// TTP then holds the client's receipt — fetch it instead).
     pub fn abort(&self, run: RunId) -> Result<NrToken, ProtocolError> {
-        let msg = ProtocolMessage::new(
-            PROTOCOL_ID,
-            run,
-            STEP_ABORT,
-            self.party.org().clone(),
-            Vec::new(),
-        )
-        .signed(self.party.keys())
-        .map_err(ProtocolError::from)?;
-        let reply = self.coordinator.deliver_request(&self.ttp, &msg)?;
-        if reply.step != STEP_ABORT_ACK {
-            return Err(ProtocolError::Rejected(
-                "run already resolved at TTP".into(),
-            ));
-        }
-        let token = NrToken::decode_from_slice(&reply.body)
-            .map_err(|e| ProtocolError::BadMessage(e.to_string()))?;
-        self.party
-            .verify_and_store(&token, TokenKind::Abort, run, None)?;
+        let session = self.engine.session::<Server, AbortChoreography>(run);
+        let (reply, _done) = match session.call_open(&self.ttp, Vec::new()) {
+            Ok(ok) => ok,
+            Err(ExchangeError::Transport(e)) => return Err(ProtocolError::Net(e)),
+            Err(_) => {
+                return Err(ProtocolError::Rejected(
+                    "run already resolved at TTP".into(),
+                ));
+            }
+        };
+        let token: NrToken = self.engine.decode_body(&reply.body)?;
+        self.engine.absorb(&token, TokenKind::Abort, run, None)?;
         Ok(token)
     }
 
@@ -431,23 +498,14 @@ impl FairServerHandler {
     ///
     /// [`ProtocolError::UnknownRun`] if the TTP holds no receipt for `run`.
     pub fn fetch_receipt(&self, run: RunId) -> Result<NrToken, ProtocolError> {
-        let msg = ProtocolMessage::new(
-            PROTOCOL_ID,
-            run,
-            STEP_FETCH,
-            self.party.org().clone(),
-            Vec::new(),
-        )
-        .signed(self.party.keys())
-        .map_err(ProtocolError::from)?;
-        let reply = self.coordinator.deliver_request(&self.ttp, &msg)?;
-        if reply.step != STEP_FETCH_ACK {
-            return Err(ProtocolError::UnknownRun(run));
-        }
-        let token = NrToken::decode_from_slice(&reply.body)
-            .map_err(|e| ProtocolError::BadMessage(e.to_string()))?;
-        self.party
-            .verify_and_store(&token, TokenKind::NrrResp, run, None)?;
+        let session = self.engine.session::<Server, FetchChoreography>(run);
+        let (reply, _done) = match session.call_open(&self.ttp, Vec::new()) {
+            Ok(ok) => ok,
+            Err(ExchangeError::Transport(e)) => return Err(ProtocolError::Net(e)),
+            Err(_) => return Err(ProtocolError::UnknownRun(run)),
+        };
+        let token: NrToken = self.engine.decode_body(&reply.body)?;
+        self.engine.absorb(&token, TokenKind::NrrResp, run, None)?;
         Ok(token)
     }
 
@@ -459,17 +517,10 @@ impl FairServerHandler {
         if let Some(cached) = self.runs.cached_response(&msg.run_id) {
             return Ok(cached);
         }
-        let client_key = self.party.key_of(from)?;
-        if !msg.verify_frame(&client_key) {
-            return Err(ProtocolError::BadSignature {
-                org: from.clone(),
-                what: "fair step-1 frame".into(),
-            });
-        }
-        let step1 = Step1::decode_from_slice(&msg.body)
-            .map_err(|e| ProtocolError::BadMessage(e.to_string()))?;
+        self.engine.verify_frame_from(&msg, from)?;
+        let step1: Step1 = self.engine.decode_body(&msg.body)?;
         let req_digest = sha256(&step1.request);
-        self.party.verify_and_store(
+        self.engine.absorb(
             &step1.nro_req,
             TokenKind::NroReq,
             msg.run_id,
@@ -482,7 +533,7 @@ impl FairServerHandler {
         };
         let plain = response.encode_to_vec();
         let resp_digest = sha256(&plain);
-        let key = self.party.fresh_secret();
+        let key = self.engine.party().fresh_secret();
         let enc_response = xor_keystream(&key, &plain);
 
         // Escrow the key with the TTP *before* committing to step 2.
@@ -491,44 +542,31 @@ impl FairServerHandler {
             resp_digest,
             client: from.clone(),
         };
-        let escrow_msg = ProtocolMessage::new(
-            PROTOCOL_ID,
-            msg.run_id,
-            STEP_ESCROW,
-            self.party.org().clone(),
-            escrow.encode_to_vec(),
-        )
-        .signed(self.party.keys())
-        .map_err(ProtocolError::from)?;
-        let ack = self.coordinator.deliver_request(&self.ttp, &escrow_msg)?;
-        if ack.step != STEP_ESCROW_ACK {
-            return Err(ProtocolError::BadMessage("TTP refused escrow".into()));
-        }
-        let escrow_ack = NrToken::decode_from_slice(&ack.body)
-            .map_err(|e| ProtocolError::BadMessage(e.to_string()))?;
-        self.party.verify_and_store(
+        let session = self
+            .engine
+            .session::<Server, EscrowChoreography>(msg.run_id);
+        let (ack, _escrowed) = match session.call_open(&self.ttp, escrow.encode_to_vec()) {
+            Ok(ok) => ok,
+            Err(ExchangeError::Transport(e)) => return Err(ProtocolError::Net(e)),
+            Err(_) => return Err(ProtocolError::BadMessage("TTP refused escrow".into())),
+        };
+        let escrow_ack: NrToken = self.engine.decode_body(&ack.body)?;
+        self.engine.absorb(
             &escrow_ack,
             TokenKind::Escrow,
             msg.run_id,
             Some(&resp_digest),
         )?;
 
-        // One scheduler call for the pair: a single signature in batched
-        // commitment mode.
-        let mut tokens = self.party.issue_tokens(&[
-            TokenSpec::new(TokenKind::NrrReq, msg.run_id, req_digest),
-            TokenSpec::new(TokenKind::NroResp, msg.run_id, resp_digest),
-        ])?;
-        let nro_resp = tokens.pop().expect("two specs yield two tokens");
-        let nrr_req = tokens.pop().expect("two specs yield two tokens");
-        self.party.store_token(&nrr_req)?;
-        self.party.store_token(&nro_resp)?;
+        // The shared seal hook: one scheduler call for the pair (a single
+        // batch signature in batched commitment mode).
+        let (nrr_req, nro_resp) =
+            self.engine
+                .issue_paired_tokens(msg.run_id, req_digest, resp_digest)?;
 
-        let msg2 = ProtocolMessage::new(
-            PROTOCOL_ID,
+        let msg2 = self.engine.request_frame(
             msg.run_id,
             STEP_RESPONSE,
-            self.party.org().clone(),
             FairStep2 {
                 enc_response,
                 resp_digest,
@@ -537,9 +575,7 @@ impl FairServerHandler {
                 escrow_ack,
             }
             .encode_to_vec(),
-        )
-        .signed(self.party.keys())
-        .map_err(ProtocolError::from)?;
+        )?;
         self.keys.lock().insert(
             msg.run_id,
             FairRunState {
@@ -556,15 +592,8 @@ impl FairServerHandler {
         from: &OrgId,
         msg: ProtocolMessage,
     ) -> Result<ProtocolMessage, ProtocolError> {
-        let client_key = self.party.key_of(from)?;
-        if !msg.verify_frame(&client_key) {
-            return Err(ProtocolError::BadSignature {
-                org: from.clone(),
-                what: "fair step-3 frame".into(),
-            });
-        }
-        let nrr_resp = NrToken::decode_from_slice(&msg.body)
-            .map_err(|e| ProtocolError::BadMessage(e.to_string()))?;
+        self.engine.verify_frame_from(&msg, from)?;
+        let nrr_resp: NrToken = self.engine.decode_body(&msg.body)?;
         let key = {
             let mut keys = self.keys.lock();
             let state = keys
@@ -573,25 +602,13 @@ impl FairServerHandler {
             state.receipt_received = true;
             state.key
         };
-        self.party
-            .verify_and_store(&nrr_resp, TokenKind::NrrResp, msg.run_id, None)?;
+        self.engine
+            .absorb(&nrr_resp, TokenKind::NrrResp, msg.run_id, None)?;
         match self.conduct {
-            ServerConduct::Honest => Ok(ProtocolMessage::new(
-                PROTOCOL_ID,
-                msg.run_id,
-                STEP_KEY,
-                self.party.org().clone(),
-                key.to_vec(),
-            )),
+            ServerConduct::Honest => Ok(self.engine.open_frame(msg.run_id, STEP_KEY, key.to_vec())),
             // Defection: acknowledge nothing useful (wrong step forces the
-            // client down the resolve path).
-            ServerConduct::WithholdKey => Ok(ProtocolMessage::new(
-                PROTOCOL_ID,
-                msg.run_id,
-                99,
-                self.party.org().clone(),
-                Vec::new(),
-            )),
+            // client down the dispute path).
+            ServerConduct::WithholdKey => Ok(self.engine.open_frame(msg.run_id, 99, Vec::new())),
         }
     }
 }
@@ -620,23 +637,37 @@ impl ProtocolHandler for FairServerHandler {
     }
 }
 
+/// One escrowed key, with the parties it binds.
+#[derive(Debug, Clone)]
+struct EscrowedKey {
+    key: [u8; 32],
+    resp_digest: Digest,
+    client: OrgId,
+    server: OrgId,
+}
+
 #[derive(Debug, Default)]
 struct EscrowEntry {
-    key: Option<([u8; 32], Digest, OrgId)>,
+    key: Option<EscrowedKey>,
     aborted: bool,
     resolved: bool,
     receipt: Option<NrToken>,
 }
 
 /// The offline TTP: escrow ledger plus resolve/abort/fetch sub-protocols.
+///
+/// A resolve is adjudication, not just recovery: the TTP releases the key
+/// *and* issues a signed [`TokenKind::Decision`] over
+/// [`defection_digest`]`(server, run)` — durable, third-party evidence
+/// that the escrowing server failed to complete the run.
 pub struct OfflineTtpHandler {
-    party: Arc<Party>,
+    engine: ExchangeEngine,
     ledger: Mutex<HashMap<RunId, EscrowEntry>>,
 }
 
 impl fmt::Debug for OfflineTtpHandler {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "OfflineTtpHandler({})", self.party.org())
+        write!(f, "OfflineTtpHandler({})", self.engine.party().org())
     }
 }
 
@@ -644,7 +675,7 @@ impl OfflineTtpHandler {
     /// Creates the TTP handler.
     pub fn new(party: Arc<Party>) -> Arc<Self> {
         Arc::new(Self {
-            party,
+            engine: ExchangeEngine::local(party, PROTOCOL_ID),
             ledger: Mutex::new(HashMap::new()),
         })
     }
@@ -672,34 +703,27 @@ impl OfflineTtpHandler {
         from: &OrgId,
         msg: ProtocolMessage,
     ) -> Result<ProtocolMessage, ProtocolError> {
-        let server_key = self.party.key_of(from)?;
-        if !msg.verify_frame(&server_key) {
-            return Err(ProtocolError::BadSignature {
-                org: from.clone(),
-                what: "escrow".into(),
-            });
-        }
-        let body = EscrowBody::decode_from_slice(&msg.body)
-            .map_err(|e| ProtocolError::BadMessage(e.to_string()))?;
+        self.engine.verify_frame_from(&msg, from)?;
+        let body: EscrowBody = self.engine.decode_body(&msg.body)?;
         {
             let mut ledger = self.ledger.lock();
             let entry = ledger.entry(msg.run_id).or_default();
             if entry.aborted {
                 return Err(ProtocolError::Aborted(msg.run_id));
             }
-            entry.key = Some((body.key, body.resp_digest, body.client.clone()));
+            entry.key = Some(EscrowedKey {
+                key: body.key,
+                resp_digest: body.resp_digest,
+                client: body.client.clone(),
+                server: from.clone(),
+            });
         }
         let ack = self
-            .party
-            .issue_token(TokenKind::Escrow, msg.run_id, body.resp_digest)?;
-        self.party.store_token(&ack)?;
-        Ok(ProtocolMessage::new(
-            PROTOCOL_ID,
-            msg.run_id,
-            STEP_ESCROW_ACK,
-            self.party.org().clone(),
-            ack.encode_to_vec(),
-        ))
+            .engine
+            .issue_and_store(TokenKind::Escrow, msg.run_id, body.resp_digest)?;
+        Ok(self
+            .engine
+            .open_frame(msg.run_id, STEP_ESCROW_ACK, ack.encode_to_vec()))
     }
 
     fn handle_resolve(
@@ -707,16 +731,10 @@ impl OfflineTtpHandler {
         from: &OrgId,
         msg: ProtocolMessage,
     ) -> Result<ProtocolMessage, ProtocolError> {
-        let client_key = self.party.key_of(from)?;
-        if !msg.verify_frame(&client_key) {
-            return Err(ProtocolError::BadSignature {
-                org: from.clone(),
-                what: "resolve".into(),
-            });
-        }
-        let nrr_resp = NrToken::decode_from_slice(&msg.body)
-            .map_err(|e| ProtocolError::BadMessage(e.to_string()))?;
-        let key = {
+        self.engine.verify_frame_from(&msg, from)?;
+        let client_key = self.engine.party().key_of(from)?;
+        let nrr_resp: NrToken = self.engine.decode_body(&msg.body)?;
+        let escrowed = {
             let mut ledger = self.ledger.lock();
             let entry = ledger
                 .get_mut(&msg.run_id)
@@ -724,11 +742,11 @@ impl OfflineTtpHandler {
             if entry.aborted {
                 return Err(ProtocolError::Aborted(msg.run_id));
             }
-            let (key, resp_digest, client) = entry
+            let escrowed = entry
                 .key
                 .clone()
                 .ok_or(ProtocolError::UnknownRun(msg.run_id))?;
-            if client != *from {
+            if escrowed.client != *from {
                 return Err(ProtocolError::Rejected(
                     "resolver is not the escrowed client".into(),
                 ));
@@ -738,7 +756,7 @@ impl OfflineTtpHandler {
                 &client_key,
                 Some(TokenKind::NrrResp),
                 Some(msg.run_id),
-                Some(&resp_digest),
+                Some(&escrowed.resp_digest),
             ) {
                 return Err(ProtocolError::BadSignature {
                     org: from.clone(),
@@ -747,19 +765,27 @@ impl OfflineTtpHandler {
             }
             entry.resolved = true;
             entry.receipt = Some(nrr_resp.clone());
-            key
+            escrowed
         };
-        self.party.store_token(&nrr_resp)?;
-        let note = self
-            .party
-            .issue_token(TokenKind::Resolve, msg.run_id, sha256(&key))?;
-        self.party.store_token(&note)?;
-        Ok(ProtocolMessage::new(
-            PROTOCOL_ID,
+        self.engine.party().store_token(&nrr_resp)?;
+        // Adjudicate: the escrowing server failed to complete a run its
+        // client committed to. The decision is signed evidence any
+        // verifier can check by recomputing the defection digest.
+        let decision = self.engine.issue_and_store(
+            TokenKind::Decision,
+            msg.run_id,
+            defection_digest(&escrowed.server, msg.run_id),
+        )?;
+        self.engine
+            .issue_and_store(TokenKind::Resolve, msg.run_id, sha256(&escrowed.key))?;
+        Ok(self.engine.open_frame(
             msg.run_id,
             STEP_RESOLVE_ACK,
-            self.party.org().clone(),
-            key.to_vec(),
+            ResolveAck {
+                key: escrowed.key,
+                decision,
+            }
+            .encode_to_vec(),
         ))
     }
 
@@ -768,13 +794,7 @@ impl OfflineTtpHandler {
         from: &OrgId,
         msg: ProtocolMessage,
     ) -> Result<ProtocolMessage, ProtocolError> {
-        let server_key = self.party.key_of(from)?;
-        if !msg.verify_frame(&server_key) {
-            return Err(ProtocolError::BadSignature {
-                org: from.clone(),
-                what: "abort".into(),
-            });
-        }
+        self.engine.verify_frame_from(&msg, from)?;
         let mut ledger = self.ledger.lock();
         let entry = ledger.entry(msg.run_id).or_default();
         if entry.resolved {
@@ -784,16 +804,11 @@ impl OfflineTtpHandler {
         entry.aborted = true;
         drop(ledger);
         let token = self
-            .party
-            .issue_token(TokenKind::Abort, msg.run_id, Digest::ZERO)?;
-        self.party.store_token(&token)?;
-        Ok(ProtocolMessage::new(
-            PROTOCOL_ID,
-            msg.run_id,
-            STEP_ABORT_ACK,
-            self.party.org().clone(),
-            token.encode_to_vec(),
-        ))
+            .engine
+            .issue_and_store(TokenKind::Abort, msg.run_id, Digest::ZERO)?;
+        Ok(self
+            .engine
+            .open_frame(msg.run_id, STEP_ABORT_ACK, token.encode_to_vec()))
     }
 
     fn handle_fetch(
@@ -801,26 +816,16 @@ impl OfflineTtpHandler {
         from: &OrgId,
         msg: ProtocolMessage,
     ) -> Result<ProtocolMessage, ProtocolError> {
-        let server_key = self.party.key_of(from)?;
-        if !msg.verify_frame(&server_key) {
-            return Err(ProtocolError::BadSignature {
-                org: from.clone(),
-                what: "fetch".into(),
-            });
-        }
+        self.engine.verify_frame_from(&msg, from)?;
         let receipt = self
             .ledger
             .lock()
             .get(&msg.run_id)
             .and_then(|e| e.receipt.clone())
             .ok_or(ProtocolError::UnknownRun(msg.run_id))?;
-        Ok(ProtocolMessage::new(
-            PROTOCOL_ID,
-            msg.run_id,
-            STEP_FETCH_ACK,
-            self.party.org().clone(),
-            receipt.encode_to_vec(),
-        ))
+        Ok(self
+            .engine
+            .open_frame(msg.run_id, STEP_FETCH_ACK, receipt.encode_to_vec()))
     }
 }
 
@@ -938,6 +943,31 @@ mod tests {
     }
 
     #[test]
+    fn resolve_yields_signed_decision_against_defector() {
+        let w = world(ServerConduct::WithholdKey);
+        let out = w.client.invoke(&w.server, b"req".to_vec()).unwrap();
+        assert_eq!(out.key_source, KeySource::TtpResolve);
+        // The dispute left a TTP-signed decision in the *client's* log,
+        // checkable without the TTP ledger: its subject is the
+        // recomputable defection digest of (server, run).
+        let expected = defection_digest(&w.server, out.run_id);
+        let records = w.client_party.log().by_run(&out.run_id);
+        let decision = records
+            .iter()
+            .find(|r| r.draft.kind == TokenKind::Decision.label())
+            .expect("decision recorded at the client");
+        assert_eq!(decision.draft.content_digest, expected);
+        let token = NrToken::decode_from_slice(&decision.draft.payload).unwrap();
+        assert_eq!(token.issuer, OrgId::new("ttp"));
+        assert!(token.verify(
+            &w.client_party.key_of(&OrgId::new("ttp")).unwrap(),
+            Some(TokenKind::Decision),
+            Some(out.run_id),
+            Some(&expected),
+        ));
+    }
+
+    #[test]
     fn abort_before_receipt_blocks_resolve() {
         let w = world(ServerConduct::Honest);
         // Simulate: server escrows, but client never sends step 3; server
@@ -978,10 +1008,11 @@ mod tests {
             .client_party
             .issue_token(TokenKind::NrrResp, run, step2.resp_digest)
             .unwrap();
-        let err = w.client.resolve(run, &nrr).unwrap_err();
+        let dispute = w.client.engine.session::<Client, ResolveChoreography>(run);
+        let err = w.client.resolve(dispute, &w.server, &nrr).unwrap_err();
         assert!(matches!(
             err,
-            ProtocolError::Aborted(_) | ProtocolError::Net(_)
+            ExchangeError::Peer(PeerFault::Aborted(_)) | ExchangeError::Transport(_)
         ));
     }
 
@@ -1008,11 +1039,17 @@ mod tests {
             .client_party
             .issue_token(TokenKind::NrrResp, out.run_id, sha256(b"wrong"))
             .unwrap();
-        let err = w.client.resolve(out.run_id, &bogus).unwrap_err();
+        let dispute = w
+            .client
+            .engine
+            .session::<Client, ResolveChoreography>(out.run_id);
+        let err = w.client.resolve(dispute, &w.server, &bogus).unwrap_err();
         assert!(matches!(
             err,
-            ProtocolError::Aborted(_) | ProtocolError::Net(_)
+            ExchangeError::Peer(PeerFault::Aborted(_)) | ExchangeError::Transport(_)
         ));
+        // And no conviction was minted against the honest server.
+        assert!(!w.ttp_handler.is_resolved(&out.run_id));
     }
 
     #[test]

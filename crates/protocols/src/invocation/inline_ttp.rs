@@ -12,6 +12,26 @@
 //!   terminal mode.
 //! * Fig 3(b): `client → TTP_A → TTP_B → server` — TTP_A relays to TTP_B
 //!   (relay mode), TTP_B is terminal.
+//!
+//! The client drives the [`InlineChoreography`] (the step-2 reply is
+//! verified under its *sender*'s key — the first hop answers, not the
+//! server); a relay TTP drives the [`crate::session::Ttp`]-role
+//! [`RelayChoreography`], forwarding the client's pre-signed frame
+//! unchanged so the originator's signature travels end-to-end.
+//!
+//! Relaying anything but the due step is a compile *and* run-time
+//! impossibility — and the client cannot re-enter its only round:
+//!
+//! ```compile_fail
+//! use nonrep_protocols::invocation::inline_ttp::InlineChoreography;
+//! use nonrep_protocols::session::{Client, Session};
+//! use nonrep_types::ids::OrgId;
+//!
+//! fn replay_round(s: Session<Client, InlineChoreography>, ttp: &OrgId) {
+//!     let _ = s.call_relayed(ttp, vec![]);
+//!     let _ = s.call_relayed(ttp, vec![]); // error[E0382]: use of moved value
+//! }
+//! ```
 
 use std::fmt;
 use std::sync::Arc;
@@ -25,11 +45,22 @@ use crate::invocation::direct::DirectClient;
 use crate::invocation::{RunRegistry, ServerResponse};
 use crate::message::ProtocolMessage;
 use crate::party::Party;
+use crate::session::{
+    CallRelayed, Client, End, ExchangeEngine, ExchangeError, Forward, PeerFault, Ttp,
+};
 use crate::tokens::{NrToken, TokenKind};
 use crate::{B2BCoordinator, ProtocolError};
 
 /// Protocol id of the inline-TTP protocol.
 pub const PROTOCOL_ID: &str = "inline-ttp";
+
+/// The client's choreography: one relayed request/response round (the
+/// reply frame is signed by the first TTP hop), then seal.
+pub type InlineChoreography = CallRelayed<1, 2, End>;
+
+/// A relay TTP's choreography: forward the client's pre-signed step 1
+/// unchanged to the next hop and take its signed step-2 reply.
+pub type RelayChoreography = Forward<1, 2, End>;
 
 /// Step-1 body: the request, its NRO, and the ultimate destination.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -105,15 +136,19 @@ pub struct InlineOutcome {
 
 /// Client side of the inline-TTP protocol.
 pub struct InlineTtpClient {
-    party: Arc<Party>,
-    coordinator: Arc<B2BCoordinator>,
+    engine: ExchangeEngine,
     /// First TTP hop.
     ttp: OrgId,
 }
 
 impl fmt::Debug for InlineTtpClient {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "InlineTtpClient({} via {})", self.party.org(), self.ttp)
+        write!(
+            f,
+            "InlineTtpClient({} via {})",
+            self.engine.party().org(),
+            self.ttp
+        )
     }
 }
 
@@ -121,8 +156,7 @@ impl InlineTtpClient {
     /// Creates a client that routes through `ttp`.
     pub fn new(party: Arc<Party>, coordinator: Arc<B2BCoordinator>, ttp: OrgId) -> Self {
         Self {
-            party,
-            coordinator,
+            engine: ExchangeEngine::new(party, coordinator, PROTOCOL_ID),
             ttp,
         }
     }
@@ -131,9 +165,9 @@ impl InlineTtpClient {
     ///
     /// # Errors
     ///
-    /// [`ProtocolError`] on communication failure or bad evidence.
-    pub fn invoke(&self, server: &OrgId, request: Vec<u8>) -> Result<InlineOutcome, ProtocolError> {
-        self.invoke_with(self.party.new_run_id(), server, request)
+    /// [`ExchangeError`] on communication failure or bad evidence.
+    pub fn invoke(&self, server: &OrgId, request: Vec<u8>) -> Result<InlineOutcome, ExchangeError> {
+        self.invoke_with(self.engine.party().new_run_id(), server, request)
     }
 
     /// [`InlineTtpClient::invoke`] under a caller-chosen run identifier
@@ -147,67 +181,46 @@ impl InlineTtpClient {
         run_id: RunId,
         server: &OrgId,
         request: Vec<u8>,
-    ) -> Result<InlineOutcome, ProtocolError> {
+    ) -> Result<InlineOutcome, ExchangeError> {
         let req_digest = sha256(&request);
+        let session = self.engine.session::<Client, InlineChoreography>(run_id);
         let nro_req = self
-            .party
-            .issue_token(TokenKind::NroReq, run_id, req_digest)?;
-        self.party.store_token(&nro_req)?;
+            .engine
+            .issue_and_store(TokenKind::NroReq, run_id, req_digest)?;
         let step1 = InlineStep1 {
             server: server.clone(),
             request,
             nro_req,
         };
-        let msg1 = ProtocolMessage::new(
-            PROTOCOL_ID,
-            run_id,
-            1,
-            self.party.org().clone(),
-            step1.encode_to_vec(),
-        )
-        .signed(self.party.keys())
-        .map_err(ProtocolError::from)?;
-        let msg2 = self.coordinator.deliver_request(&self.ttp, &msg1)?;
-        if msg2.step != 2 || msg2.run_id != run_id {
-            return Err(ProtocolError::BadMessage(
-                "expected inline step-2 reply".into(),
-            ));
-        }
-        // The reply frame is signed by the first TTP hop.
-        let hop_key = self.party.key_of(&msg2.sender)?;
-        if !msg2.verify_frame(&hop_key) {
-            return Err(ProtocolError::BadSignature {
-                org: msg2.sender.clone(),
-                what: "inline step-2 frame".into(),
-            });
-        }
-        let resp = InlineResp::decode_from_slice(&msg2.body)
-            .map_err(|e| ProtocolError::BadMessage(e.to_string()))?;
+        // The reply frame is signed by the first TTP hop, so the relayed
+        // round verifies it under the reply *sender*'s key.
+        let (msg2, session) = session.call_relayed(&self.ttp, step1.encode_to_vec())?;
+        let resp: InlineResp = self.engine.decode_body(&msg2.body)?;
         // Verify every receipt under its issuer key and persist it.
         for receipt in &resp.receipts {
-            self.party
-                .verify_and_store(receipt, TokenKind::TtpReceipt, run_id, None)?;
+            self.engine
+                .absorb(receipt, TokenKind::TtpReceipt, run_id, None)?;
         }
         // Verify the server's own response-origin token. It is bound to the
         // *inner* run id of the TTP↔server direct exchange (the TTP acts as
         // the protocol client there), so only kind and subject are pinned;
         // the TTP receipts bind the inner exchange to this outer run.
         let resp_digest = sha256(&resp.response.encode_to_vec());
-        let server_key = self.party.key_of(&resp.server_nro_resp.issuer)?;
+        let server_key = self.engine.party().key_of(&resp.server_nro_resp.issuer)?;
         if !resp.server_nro_resp.verify(
             &server_key,
             Some(TokenKind::NroResp),
             None,
             Some(&resp_digest),
         ) {
-            return Err(ProtocolError::BadSignature {
+            return Err(ExchangeError::Peer(PeerFault::BadSignature {
                 org: resp.server_nro_resp.issuer.clone(),
                 what: "server NRO_resp".into(),
-            });
+            }));
         }
-        self.party.store_token(&resp.server_nro_resp)?;
+        self.engine.party().store_token(&resp.server_nro_resp)?;
         // Run complete: seal pending evidence if the policy asks for it.
-        self.party.end_of_run()?;
+        session.finish()?;
         Ok(InlineOutcome {
             run_id,
             response: resp.response,
@@ -219,8 +232,7 @@ impl InlineTtpClient {
 
 /// An inline TTP node: relay or terminal.
 pub struct InlineTtpHandler {
-    party: Arc<Party>,
-    coordinator: Arc<B2BCoordinator>,
+    engine: ExchangeEngine,
     /// `Some(next)` = relay to the next TTP; `None` = terminal (invoke the
     /// server directly).
     next_hop: Option<OrgId>,
@@ -232,7 +244,7 @@ impl fmt::Debug for InlineTtpHandler {
         write!(
             f,
             "InlineTtpHandler({}, next={:?})",
-            self.party.org(),
+            self.engine.party().org(),
             self.next_hop
         )
     }
@@ -243,8 +255,7 @@ impl InlineTtpHandler {
     /// with the direct protocol.
     pub fn terminal(party: Arc<Party>, coordinator: Arc<B2BCoordinator>) -> Arc<Self> {
         Arc::new(Self {
-            party,
-            coordinator,
+            engine: ExchangeEngine::new(party, coordinator, PROTOCOL_ID),
             next_hop: None,
             runs: RunRegistry::new(),
         })
@@ -254,8 +265,7 @@ impl InlineTtpHandler {
     /// Fig 3(b)).
     pub fn relay(party: Arc<Party>, coordinator: Arc<B2BCoordinator>, next: OrgId) -> Arc<Self> {
         Arc::new(Self {
-            party,
-            coordinator,
+            engine: ExchangeEngine::new(party, coordinator, PROTOCOL_ID),
             next_hop: Some(next),
             runs: RunRegistry::new(),
         })
@@ -271,57 +281,49 @@ impl InlineTtpHandler {
         }
         // The frame is signed by the *originating client* (msg.sender), not
         // necessarily the bus-level previous hop.
-        let client_key = self.party.key_of(&msg.sender)?;
-        if !msg.verify_frame(&client_key) {
-            return Err(ProtocolError::BadSignature {
-                org: msg.sender.clone(),
-                what: "inline step-1 frame".into(),
-            });
-        }
-        let step1 = InlineStep1::decode_from_slice(&msg.body)
-            .map_err(|e| ProtocolError::BadMessage(e.to_string()))?;
+        self.engine.verify_sender_frame(&msg)?;
+        let step1: InlineStep1 = self.engine.decode_body(&msg.body)?;
         let req_digest = sha256(&step1.request);
-        self.party.verify_and_store(
+        self.engine.absorb(
             &step1.nro_req,
             TokenKind::NroReq,
             msg.run_id,
             Some(&req_digest),
         )?;
         // Receipt for the request passing through this TTP.
-        let receipt_req = self
-            .party
-            .issue_token(TokenKind::TtpReceipt, msg.run_id, req_digest)?;
-        self.party.store_token(&receipt_req)?;
+        let receipt_req =
+            self.engine
+                .issue_and_store(TokenKind::TtpReceipt, msg.run_id, req_digest)?;
 
         let (response, server_nro_resp, mut receipts) = match &self.next_hop {
             None => {
                 // Terminal: invoke the server with the direct protocol,
                 // acting as the client's proxy.
-                let direct =
-                    DirectClient::new(Arc::clone(&self.party), Arc::clone(&self.coordinator));
+                let direct = DirectClient::new(
+                    Arc::clone(self.engine.party()),
+                    Arc::clone(
+                        self.engine
+                            .coordinator()
+                            .expect("ttp engine has a coordinator"),
+                    ),
+                );
                 let outcome = direct.invoke(&step1.server, step1.request.clone())?;
                 (outcome.response, outcome.nro_resp, Vec::new())
             }
             Some(next) => {
-                // Relay: forward the original message unchanged.
-                let reply = self.coordinator.deliver_request(next, &msg)?;
-                let hop_key = self.party.key_of(&reply.sender)?;
-                if !reply.verify_frame(&hop_key) {
-                    return Err(ProtocolError::BadSignature {
-                        org: reply.sender.clone(),
-                        what: "relayed step-2 frame".into(),
-                    });
-                }
-                let inner = InlineResp::decode_from_slice(&reply.body)
-                    .map_err(|e| ProtocolError::BadMessage(e.to_string()))?;
+                // Relay: forward the original message unchanged — a
+                // TTP-role session, so the originator's signature travels
+                // end-to-end.
+                let relay = self.engine.session::<Ttp, RelayChoreography>(msg.run_id);
+                let (reply, _end) = relay.forward(next, &msg)?;
+                let inner: InlineResp = self.engine.decode_body(&reply.body)?;
                 (inner.response, inner.server_nro_resp, inner.receipts)
             }
         };
         let resp_digest = sha256(&response.encode_to_vec());
         let receipt_resp =
-            self.party
-                .issue_token(TokenKind::TtpReceipt, msg.run_id, resp_digest)?;
-        self.party.store_token(&receipt_resp)?;
+            self.engine
+                .issue_and_store(TokenKind::TtpReceipt, msg.run_id, resp_digest)?;
         // This hop's receipts go in front of any inner receipts.
         let mut all = vec![receipt_req, receipt_resp];
         all.append(&mut receipts);
@@ -330,15 +332,9 @@ impl InlineTtpHandler {
             server_nro_resp,
             receipts: all,
         };
-        let msg2 = ProtocolMessage::new(
-            PROTOCOL_ID,
-            msg.run_id,
-            2,
-            self.party.org().clone(),
-            body.encode_to_vec(),
-        )
-        .signed(self.party.keys())
-        .map_err(ProtocolError::from)?;
+        let msg2 = self
+            .engine
+            .request_frame(msg.run_id, 2, body.encode_to_vec())?;
         self.runs.record_response(msg.run_id, msg2.clone());
         Ok(msg2)
     }

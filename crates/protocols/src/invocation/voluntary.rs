@@ -10,9 +10,24 @@
 //! server → client : resp              (step 2, no evidence)
 //! ```
 //!
-//! The comparison baseline for experiments E8/E11: half the messages and a
-//! fraction of the evidence bytes of the direct protocol — and none of the
-//! client-side guarantees.
+//! The client side is the single-round [`VoluntaryChoreography`]: an
+//! *open* reply, because the bare response carries no evidence to
+//! verify. The comparison baseline for experiments E8/E11: half the
+//! messages and a fraction of the evidence bytes of the direct protocol
+//! — and none of the client-side guarantees.
+//!
+//! Repeating the only round is a compile error — the session is consumed:
+//!
+//! ```compile_fail
+//! use nonrep_protocols::invocation::voluntary::VoluntaryChoreography;
+//! use nonrep_protocols::session::{Client, Session};
+//! use nonrep_types::ids::OrgId;
+//!
+//! fn double_send(s: Session<Client, VoluntaryChoreography>, server: &OrgId) {
+//!     let _ = s.call_open(server, vec![]);
+//!     let _ = s.call_open(server, vec![]); // error[E0382]: use of moved value
+//! }
+//! ```
 
 use std::fmt;
 use std::sync::Arc;
@@ -25,22 +40,27 @@ use crate::invocation::direct::Step1;
 use crate::invocation::{RequestExecutor, RunRegistry, ServerResponse};
 use crate::message::ProtocolMessage;
 use crate::party::Party;
+use crate::session::{CallOpen, Client, End, ExchangeEngine, ExchangeError};
 use crate::tokens::TokenKind;
 use crate::{B2BCoordinator, ProtocolError};
-use nonrep_types::codec::{Decode, Encode};
+use nonrep_types::codec::Encode;
 
 /// Protocol id of the voluntary protocol.
 pub const PROTOCOL_ID: &str = "voluntary";
 
+/// The client's choreography: one open request/response round, then
+/// seal. The reply frame is deliberately unverified — the baseline
+/// offers the client no evidence at all.
+pub type VoluntaryChoreography = CallOpen<1, 2, End>;
+
 /// Client side: sends NRO, receives a bare response.
 pub struct VoluntaryClient {
-    party: Arc<Party>,
-    coordinator: Arc<B2BCoordinator>,
+    engine: ExchangeEngine,
 }
 
 impl fmt::Debug for VoluntaryClient {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "VoluntaryClient({})", self.party.org())
+        write!(f, "VoluntaryClient({})", self.engine.party().org())
     }
 }
 
@@ -57,20 +77,22 @@ pub struct VoluntaryOutcome {
 impl VoluntaryClient {
     /// Creates a client executing through `coordinator`.
     pub fn new(party: Arc<Party>, coordinator: Arc<B2BCoordinator>) -> Self {
-        Self { party, coordinator }
+        Self {
+            engine: ExchangeEngine::new(party, coordinator, PROTOCOL_ID),
+        }
     }
 
     /// Sends `request` with an NRO token and returns the bare response.
     ///
     /// # Errors
     ///
-    /// [`ProtocolError`] on communication or signing failure.
+    /// [`ExchangeError`] on communication or signing failure.
     pub fn invoke(
         &self,
         server: &OrgId,
         request: Vec<u8>,
-    ) -> Result<VoluntaryOutcome, ProtocolError> {
-        self.invoke_with(self.party.new_run_id(), server, request)
+    ) -> Result<VoluntaryOutcome, ExchangeError> {
+        self.invoke_with(self.engine.party().new_run_id(), server, request)
     }
 
     /// [`VoluntaryClient::invoke`] under a caller-chosen run identifier
@@ -84,29 +106,17 @@ impl VoluntaryClient {
         run_id: RunId,
         server: &OrgId,
         request: Vec<u8>,
-    ) -> Result<VoluntaryOutcome, ProtocolError> {
+    ) -> Result<VoluntaryOutcome, ExchangeError> {
         let req_digest = sha256(&request);
+        let session = self.engine.session::<Client, VoluntaryChoreography>(run_id);
         let nro_req = self
-            .party
-            .issue_token(TokenKind::NroReq, run_id, req_digest)?;
-        self.party.store_token(&nro_req)?;
-        let msg1 = ProtocolMessage::new(
-            PROTOCOL_ID,
-            run_id,
-            1,
-            self.party.org().clone(),
-            Step1 { request, nro_req }.encode_to_vec(),
-        )
-        .signed(self.party.keys())
-        .map_err(ProtocolError::from)?;
-        let msg2 = self.coordinator.deliver_request(server, &msg1)?;
-        if msg2.step != 2 || msg2.run_id != run_id {
-            return Err(ProtocolError::BadMessage("expected step-2 reply".into()));
-        }
-        let response = ServerResponse::decode_from_slice(&msg2.body)
-            .map_err(|e| ProtocolError::BadMessage(e.to_string()))?;
+            .engine
+            .issue_and_store(TokenKind::NroReq, run_id, req_digest)?;
+        let (msg2, session) =
+            session.call_open(server, Step1 { request, nro_req }.encode_to_vec())?;
+        let response: ServerResponse = self.engine.decode_body(&msg2.body)?;
         // Run complete: seal pending evidence if the policy asks for it.
-        self.party.end_of_run()?;
+        session.finish()?;
         Ok(VoluntaryOutcome { run_id, response })
     }
 }
@@ -114,14 +124,14 @@ impl VoluntaryClient {
 /// Server side: verifies + stores the client's NRO, executes, answers with
 /// a bare response.
 pub struct VoluntaryServerHandler {
-    party: Arc<Party>,
+    engine: ExchangeEngine,
     executor: Arc<dyn RequestExecutor>,
     runs: RunRegistry,
 }
 
 impl fmt::Debug for VoluntaryServerHandler {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "VoluntaryServerHandler({})", self.party.org())
+        write!(f, "VoluntaryServerHandler({})", self.engine.party().org())
     }
 }
 
@@ -129,7 +139,7 @@ impl VoluntaryServerHandler {
     /// Creates the handler.
     pub fn new(party: Arc<Party>, executor: Arc<dyn RequestExecutor>) -> Arc<Self> {
         Arc::new(Self {
-            party,
+            engine: ExchangeEngine::local(party, PROTOCOL_ID),
             executor,
             runs: RunRegistry::new(),
         })
@@ -161,17 +171,10 @@ impl ProtocolHandler for VoluntaryServerHandler {
         if let Some(cached) = self.runs.cached_response(&msg.run_id) {
             return Ok(cached);
         }
-        let client_key = self.party.key_of(from)?;
-        if !msg.verify_frame(&client_key) {
-            return Err(ProtocolError::BadSignature {
-                org: from.clone(),
-                what: "step-1 frame".into(),
-            });
-        }
-        let step1 = Step1::decode_from_slice(&msg.body)
-            .map_err(|e| ProtocolError::BadMessage(e.to_string()))?;
+        self.engine.verify_frame_from(&msg, from)?;
+        let step1: Step1 = self.engine.decode_body(&msg.body)?;
         let req_digest = sha256(&step1.request);
-        self.party.verify_and_store(
+        self.engine.absorb(
             &step1.nro_req,
             TokenKind::NroReq,
             msg.run_id,
@@ -181,17 +184,13 @@ impl ProtocolHandler for VoluntaryServerHandler {
             Ok(result) => ServerResponse::Executed(result),
             Err(reason) => ServerResponse::Failed(reason),
         };
-        let msg2 = ProtocolMessage::new(
-            PROTOCOL_ID,
-            msg.run_id,
-            2,
-            self.party.org().clone(),
-            response.encode_to_vec(),
-        );
+        let msg2 = self
+            .engine
+            .open_frame(msg.run_id, 2, response.encode_to_vec());
         self.runs.record_response(msg.run_id, msg2.clone());
         // The server holds all the evidence it will ever get for this
         // one-sided run; seal it if the commitment policy asks for it.
-        self.party.end_of_run()?;
+        self.engine.seal_run()?;
         Ok(msg2)
     }
 }

@@ -38,8 +38,10 @@
 //! load-driven auto-tuned mix, with [`scheduler::DeadlineSealer`]
 //! covering idle logs), [`coordinator::B2BCoordinator`]
 //! (`deliver`/`deliverRequest` dispatch to registered
-//! [`handler::ProtocolHandler`]s), and [`ttp`] (inline relay and offline
-//! escrow TTP nodes).
+//! [`handler::ProtocolHandler`]s), and [`session`] (the typestate
+//! choreography core: every variant above is a typed state machine
+//! driven by one shared [`session::ExchangeEngine`], with the TTP as a
+//! first-class [`session::Role`]).
 
 pub mod coordinator;
 pub mod gossip;
@@ -49,9 +51,9 @@ pub mod message;
 pub mod party;
 pub mod plane;
 pub mod scheduler;
+pub mod session;
 pub mod sharing;
 pub mod tokens;
-pub mod ttp;
 
 pub use coordinator::B2BCoordinator;
 pub use handler::ProtocolHandler;
@@ -62,6 +64,7 @@ pub use scheduler::{
     BatchPolicy, CommitmentMode, CommitmentScheduler, DeadlineSealer, ExhaustionForecaster,
     TokenSpec,
 };
+pub use session::{ExchangeEngine, ExchangeError, LocalFault, PeerFault};
 pub use tokens::{NrToken, TokenKind};
 
 use std::error::Error;

@@ -1,0 +1,302 @@
+//! The shared exchange engine: one implementation of framing, delivery
+//! with retries, evidence capture and run sealing for every choreography.
+//!
+//! Each protocol variant used to hand-roll this plumbing. The engine
+//! centralises it:
+//!
+//! - **framing** — [`ExchangeEngine::request_frame`] signs outbound
+//!   messages, [`ExchangeEngine::open_frame`] builds unsigned ones;
+//! - **delivery** — [`ExchangeEngine::deliver`] rides the coordinator's
+//!   [`ReliableRequester`](nonrep_net::retry::ReliableRequester), so
+//!   retries, fault injection (`net::fault`) and latency models apply
+//!   uniformly;
+//! - **verification** — [`ExchangeEngine::verify_frame_from`] /
+//!   [`ExchangeEngine::verify_sender_frame`] check frame signatures,
+//!   [`ExchangeEngine::absorb`] verifies-and-persists peer tokens;
+//! - **evidence** — [`ExchangeEngine::issue_and_store`] and the shared
+//!   seal hook [`ExchangeEngine::issue_paired_tokens`] route issuance
+//!   through the party's `CommitmentScheduler` (one batch signature for
+//!   a token pair in batched mode);
+//! - **sealing** — [`ExchangeEngine::seal_run`] invokes the party's
+//!   `end_of_run` commitment hook.
+//!
+//! Typed choreographies drive the engine through
+//! [`Session`]; handlers (which are callback-shaped by
+//! the coordinator's RPC dispatch) call the same helpers directly, so
+//! client and server sides share one evidence path.
+
+use std::fmt;
+use std::sync::Arc;
+
+use nonrep_crypto::digest::Digest;
+use nonrep_types::codec::Decode;
+use nonrep_types::ids::{OrgId, ProtocolId, RunId};
+
+use crate::message::ProtocolMessage;
+use crate::party::Party;
+use crate::scheduler::TokenSpec;
+use crate::tokens::{NrToken, TokenKind};
+use crate::B2BCoordinator;
+
+use super::error::{ExchangeError, PeerFault};
+use super::typestate::{Role, Session, State};
+
+/// The shared engine behind every session-typed choreography.
+///
+/// Cheap to clone: it holds `Arc`s to one party's identity and
+/// coordinator plus the protocol id the frames are stamped with.
+#[derive(Clone)]
+pub struct ExchangeEngine {
+    party: Arc<Party>,
+    coordinator: Option<Arc<B2BCoordinator>>,
+    protocol: ProtocolId,
+}
+
+impl fmt::Debug for ExchangeEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ExchangeEngine({}, {})", self.party.org(), self.protocol)
+    }
+}
+
+impl ExchangeEngine {
+    /// Creates an engine for `protocol` over this party's coordinator.
+    pub fn new(
+        party: Arc<Party>,
+        coordinator: Arc<B2BCoordinator>,
+        protocol: impl Into<ProtocolId>,
+    ) -> Self {
+        Self {
+            party,
+            coordinator: Some(coordinator),
+            protocol: protocol.into(),
+        }
+    }
+
+    /// Creates a delivery-less engine: framing, verification and
+    /// evidence helpers only. Reply-side handlers that never initiate a
+    /// round (the direct server) use this; calling
+    /// [`ExchangeEngine::deliver`] on a local engine panics.
+    pub fn local(party: Arc<Party>, protocol: impl Into<ProtocolId>) -> Self {
+        Self {
+            party,
+            coordinator: None,
+            protocol: protocol.into(),
+        }
+    }
+
+    /// The party whose identity this engine signs and stores under.
+    pub fn party(&self) -> &Arc<Party> {
+        &self.party
+    }
+
+    /// The protocol id stamped on every frame.
+    pub fn protocol(&self) -> &ProtocolId {
+        &self.protocol
+    }
+
+    /// The coordinator delivering this engine's rounds (`None` for a
+    /// [`ExchangeEngine::local`] engine).
+    pub fn coordinator(&self) -> Option<&Arc<B2BCoordinator>> {
+        self.coordinator.as_ref()
+    }
+
+    /// Opens a typed session on `run` in role `R` at the initial state
+    /// `S` of a choreography.
+    pub fn session<R: Role, S: State>(&self, run: RunId) -> Session<R, S> {
+        Session::open(self.clone(), run)
+    }
+
+    /// Builds and signs an outbound frame for `step` of `run`.
+    ///
+    /// # Errors
+    ///
+    /// [`ExchangeError::Local`] if signing fails (key exhausted).
+    pub fn request_frame(
+        &self,
+        run: RunId,
+        step: u32,
+        body: Vec<u8>,
+    ) -> Result<ProtocolMessage, ExchangeError> {
+        ProtocolMessage::new(
+            self.protocol.clone(),
+            run,
+            step,
+            self.party.org().clone(),
+            body,
+        )
+        .signed(self.party.keys())
+        .map_err(ExchangeError::from)
+    }
+
+    /// Builds an unsigned frame (acks and voluntary-style replies whose
+    /// payload carries its own evidence, or none).
+    pub fn open_frame(&self, run: RunId, step: u32, body: Vec<u8>) -> ProtocolMessage {
+        ProtocolMessage::new(
+            self.protocol.clone(),
+            run,
+            step,
+            self.party.org().clone(),
+            body,
+        )
+    }
+
+    /// Delivers `msg` to `to` as a request/reply round, with the
+    /// coordinator's retry policy (and any injected faults) applied.
+    ///
+    /// # Errors
+    ///
+    /// [`ExchangeError::Transport`] after retries are exhausted, or the
+    /// remote handler's fault classified via [`ExchangeError::from`].
+    ///
+    /// # Panics
+    ///
+    /// If this engine was built with [`ExchangeEngine::local`].
+    pub fn deliver(
+        &self,
+        to: &OrgId,
+        msg: &ProtocolMessage,
+    ) -> Result<ProtocolMessage, ExchangeError> {
+        self.coordinator
+            .as_ref()
+            .expect("local engine cannot deliver; build with ExchangeEngine::new")
+            .deliver_request(to, msg)
+            .map_err(ExchangeError::from)
+    }
+
+    /// Checks a reply belongs to `run` and carries `expected` as step.
+    ///
+    /// # Errors
+    ///
+    /// [`PeerFault::UnexpectedStep`] otherwise.
+    pub fn expect_step(
+        &self,
+        run: RunId,
+        expected: u32,
+        reply: ProtocolMessage,
+    ) -> Result<ProtocolMessage, ExchangeError> {
+        if reply.step != expected || reply.run_id != run {
+            return Err(ExchangeError::Peer(PeerFault::UnexpectedStep {
+                run,
+                expected,
+                got: reply.step,
+            }));
+        }
+        Ok(reply)
+    }
+
+    /// Verifies `msg`'s frame signature under `org`'s directory key.
+    ///
+    /// # Errors
+    ///
+    /// [`PeerFault::BadSignature`] on verification failure,
+    /// [`ExchangeError::Local`] if no key is known for `org`.
+    pub fn verify_frame_from(
+        &self,
+        msg: &ProtocolMessage,
+        org: &OrgId,
+    ) -> Result<(), ExchangeError> {
+        let key = self.party.key_of(org).map_err(ExchangeError::from)?;
+        if !msg.verify_frame(&key) {
+            return Err(ExchangeError::Peer(PeerFault::BadSignature {
+                org: org.clone(),
+                what: format!("step-{} frame", msg.step),
+            }));
+        }
+        Ok(())
+    }
+
+    /// Verifies `msg`'s frame signature under its *claimed sender*'s key
+    /// (relay hops, where the first-hop reply is signed by whichever node
+    /// answered).
+    ///
+    /// # Errors
+    ///
+    /// As [`ExchangeEngine::verify_frame_from`].
+    pub fn verify_sender_frame(&self, msg: &ProtocolMessage) -> Result<(), ExchangeError> {
+        let sender = msg.sender.clone();
+        self.verify_frame_from(msg, &sender)
+    }
+
+    /// Decodes a message body, classifying malformed input as a peer
+    /// fault.
+    ///
+    /// # Errors
+    ///
+    /// [`PeerFault::BadMessage`] on codec failure.
+    pub fn decode_body<T: Decode>(&self, body: &[u8]) -> Result<T, ExchangeError> {
+        T::decode_from_slice(body).map_err(ExchangeError::from)
+    }
+
+    /// Issues a token as this party and persists it, routed through the
+    /// commitment scheduler.
+    ///
+    /// # Errors
+    ///
+    /// [`ExchangeError::Local`] on signing or persistence failure.
+    pub fn issue_and_store(
+        &self,
+        kind: TokenKind,
+        run: RunId,
+        subject: Digest,
+    ) -> Result<NrToken, ExchangeError> {
+        let token = self.party.issue_token(kind, run, subject)?;
+        self.party.store_token(&token)?;
+        Ok(token)
+    }
+
+    /// The shared seal hook for responder evidence: issues the
+    /// `NRR_req`/`NRO_resp` pair every request/response variant owes the
+    /// client, in **one** scheduler call (a single batch signature covers
+    /// both tokens in batched commitment mode), and persists both.
+    ///
+    /// Returns `(nrr_req, nro_resp)`.
+    ///
+    /// # Errors
+    ///
+    /// [`ExchangeError::Local`] on signing or persistence failure.
+    pub fn issue_paired_tokens(
+        &self,
+        run: RunId,
+        req_digest: Digest,
+        resp_digest: Digest,
+    ) -> Result<(NrToken, NrToken), ExchangeError> {
+        let mut tokens = self.party.issue_tokens(&[
+            TokenSpec::new(TokenKind::NrrReq, run, req_digest),
+            TokenSpec::new(TokenKind::NroResp, run, resp_digest),
+        ])?;
+        let nro_resp = tokens.pop().expect("two specs yield two tokens");
+        let nrr_req = tokens.pop().expect("two specs yield two tokens");
+        self.party.store_token(&nrr_req)?;
+        self.party.store_token(&nro_resp)?;
+        Ok((nrr_req, nro_resp))
+    }
+
+    /// Verifies a peer token pinned to `kind`/`run` (and `subject` if
+    /// given) and persists it — the interceptor's verify-then-log duty.
+    ///
+    /// # Errors
+    ///
+    /// [`PeerFault::BadSignature`] on verification failure,
+    /// [`ExchangeError::Local`] on unknown key or persistence failure.
+    pub fn absorb(
+        &self,
+        token: &NrToken,
+        kind: TokenKind,
+        run: RunId,
+        subject: Option<&Digest>,
+    ) -> Result<(), ExchangeError> {
+        self.party
+            .verify_and_store(token, kind, run, subject)
+            .map_err(ExchangeError::from)
+    }
+
+    /// Marks the end of a protocol run: seals pending evidence if the
+    /// commitment policy asks for run-end sealing.
+    ///
+    /// # Errors
+    ///
+    /// [`ExchangeError::Local`] if the seal cannot be persisted.
+    pub fn seal_run(&self) -> Result<(), ExchangeError> {
+        self.party.end_of_run().map_err(ExchangeError::from)
+    }
+}

@@ -1,0 +1,54 @@
+//! Legal-trace derivation from session types.
+//!
+//! Every choreography state type ([`State`](super::State)) can enumerate
+//! the complete set of message traces its session can legally produce —
+//! the conformance suite walks these traces against live fixtures and
+//! asserts the exact evidence records each one must leave behind, so the
+//! tests are *generated from* the session type rather than maintained in
+//! parallel with it.
+
+/// How one request/reply round travels and is checked on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireMode {
+    /// Signed request; signed reply verified under the callee's key.
+    Signed,
+    /// Signed request; signed reply verified under its *sender*'s key
+    /// (relay hops).
+    Relayed,
+    /// Signed request; reply frame not verified (payload carries its own
+    /// evidence, or none).
+    Open,
+    /// Signed request; a lost or unacknowledged reply is tolerated.
+    Lossy,
+    /// A pre-signed frame forwarded unchanged (TTP relay legs).
+    Forwarded,
+}
+
+/// One request/reply round of a legal trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceStep {
+    /// The step number the session sends.
+    pub step: u32,
+    /// The step number the session expects back.
+    pub reply: u32,
+    /// How the round is framed and checked.
+    pub mode: WireMode,
+}
+
+impl TraceStep {
+    /// Builds a trace step.
+    pub const fn new(step: u32, reply: u32, mode: WireMode) -> Self {
+        Self { step, reply, mode }
+    }
+}
+
+/// Prepends `head` to every trace in `tails`.
+pub(super) fn prepend(head: TraceStep, tails: Vec<Vec<TraceStep>>) -> Vec<Vec<TraceStep>> {
+    tails
+        .into_iter()
+        .map(|mut t| {
+            t.insert(0, head);
+            t
+        })
+        .collect()
+}

@@ -267,6 +267,20 @@ impl Decode for NrToken {
     }
 }
 
+/// The subject digest of a dispute [`TokenKind::Decision`]: a
+/// domain-separated commitment to *who defected in which run*. Both the
+/// TTP (when it resolves against a non-completing server) and any later
+/// adjudicator (recomputing the digest from the accused identity and the
+/// run id) derive the same value, so a decision token is checkable
+/// without access to the TTP's ledger.
+pub fn defection_digest(accused: &OrgId, run: RunId) -> Digest {
+    let mut w = Writer::new();
+    w.put_str("nonrep.defect.v1");
+    accused.encode(&mut w);
+    run.encode(&mut w);
+    nonrep_crypto::sha256(&w.into_vec())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

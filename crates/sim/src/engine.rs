@@ -94,6 +94,10 @@ pub struct RunOutcome {
     pub violations: BTreeSet<(String, String)>,
     /// Issuers proven to have both resolved and aborted the run.
     pub conflicting_decisions: BTreeSet<String>,
+    /// Organisations convicted as protocol-time defectors: a TTP-signed
+    /// dispute `Decision` in the adjudicated evidence names them for
+    /// this run (fair-offline dispute sub-protocol).
+    pub defectors: BTreeSet<String>,
 }
 
 /// The adjudicated result of a whole fleet execution.
@@ -108,9 +112,12 @@ pub struct FleetOutcome {
 }
 
 impl FleetOutcome {
-    /// `true` if `org` was flagged suspect in at least one run.
+    /// `true` if `org` was flagged suspect in at least one run, or
+    /// convicted as a protocol-time defector.
     pub fn detected(&self, org: &OrgId) -> bool {
-        self.runs.iter().any(|r| r.suspects.contains(org.as_str()))
+        self.runs
+            .iter()
+            .any(|r| r.suspects.contains(org.as_str()) || r.defectors.contains(org.as_str()))
     }
 
     /// Every organisation flagged suspect anywhere.
@@ -328,12 +335,20 @@ impl<'a> Fleet<'a> {
             coordinator.register_handler(DirectServerHandler::new(party.clone(), echo_executor()));
             coordinator
                 .register_handler(VoluntaryServerHandler::new(party.clone(), echo_executor()));
+            // The defecting server is the one protocol-time adversary:
+            // it withholds the fair-exchange step-4 key on the wire
+            // (its evidence submission stays honest).
+            let fair_conduct = if role == Some(Role::DefectingServer) {
+                ServerConduct::WithholdKey
+            } else {
+                ServerConduct::Honest
+            };
             coordinator.register_handler(FairServerHandler::new(
                 party.clone(),
                 coordinator.clone(),
                 echo_executor(),
                 scenario.ttp.clone(),
-                ServerConduct::Honest,
+                fair_conduct,
             ));
         }
         coordinator.register_handler(Arc::new(AnchorGossipHandler::new(
@@ -358,6 +373,9 @@ impl<'a> Fleet<'a> {
             Some(Role::EquivocatingTtp) => {
                 Box::new(EquivocatingTtp::new(party.clone(), forged_subject))
             }
+            // The defection already happened on the wire; at dispute time
+            // the server presents its genuine log like everyone honest.
+            Some(Role::DefectingServer) => Box::new(HonestSubmitter::new(party.clone())),
         };
         let gossip = AnchorGossip::new(party, coordinator.clone());
         self.handles.insert(
@@ -464,7 +482,7 @@ impl<'a> Fleet<'a> {
         let anchors = self.anchors.snapshot();
         let supers = self.anchors.snapshot_supers();
         let verdict = adjudicator.adjudicate_gossiped(item.run_id, &submissions, &anchors, &supers);
-        reduce(item, completed, &verdict)
+        reduce(item, completed, &verdict, &self.scenario.ttp)
     }
 }
 
@@ -474,7 +492,7 @@ fn replay_target_run(scenario: &Scenario) -> RunId {
     RunId::from_u128(((scenario.seed as u128) << 16) | 0xdead)
 }
 
-fn reduce(item: &WorkItem, completed: bool, verdict: &Verdict) -> RunOutcome {
+fn reduce(item: &WorkItem, completed: bool, verdict: &Verdict, ttp: &OrgId) -> RunOutcome {
     let facts = verdict
         .facts
         .iter()
@@ -507,6 +525,11 @@ fn reduce(item: &WorkItem, completed: bool, verdict: &Verdict) -> RunOutcome {
             .collect(),
         conflicting_decisions: verdict
             .conflicting_decisions()
+            .iter()
+            .map(ToString::to_string)
+            .collect(),
+        defectors: verdict
+            .convicted_defectors(ttp)
             .iter()
             .map(ToString::to_string)
             .collect(),
@@ -598,6 +621,23 @@ mod tests {
         // The forged-rollover org is convicted by cert cryptography alone:
         // no chain violation is ever established against it.
         assert!(all_violations.iter().all(|(o, _)| o != "o5"));
+        // The defecting server is convicted by the TTP's signed dispute
+        // decision alone — its own submission is honest, so neither a
+        // chain violation nor a suspect flag is ever raised against it.
+        assert!(all_violations.iter().all(|(o, _)| o != "o6"));
+        assert!(out.runs.iter().all(|r| !r.suspects.contains("o6")));
+        let defectors: BTreeSet<String> = out
+            .runs
+            .iter()
+            .flat_map(|r| r.defectors.iter().cloned())
+            .collect();
+        assert_eq!(defectors, BTreeSet::from(["o6".to_string()]));
+        // The conviction lands exactly on the fair-offline dispute run.
+        for run in &out.runs {
+            if !run.defectors.is_empty() {
+                assert_eq!(run.variant, "fair_offline", "item {}", run.index);
+            }
+        }
         for org in scenario.honest_orgs() {
             assert!(!out.detected(&org), "honest {org} falsely accused");
         }

@@ -26,6 +26,12 @@
 //! Items execute atomically, so a single-item log has the same record
 //! order under every schedule permutation — which is what lets the
 //! crafted submissions (and hence the verdicts) stay schedule-invariant.
+//! The showcase's equivocating TTP is the one sanctioned exception: it
+//! additionally adjudicates the defecting server's dispute item. That is
+//! safe because its crafted fork is pinned *by token kind* to the inline
+//! run's receipt (the offline-TTP records carry no receipts), and the
+//! verdict layer reduces submissions to order-free content — so the extra
+//! item permutes its log without moving any verdict.
 
 use nonrep_types::ids::{OrgId, RunId};
 
@@ -59,10 +65,15 @@ impl Variant {
     }
 }
 
-/// How a byzantine organisation misbehaves *at submission time*. During
-/// protocol execution every byzantine party runs the honest stack — the
+/// How a byzantine organisation misbehaves. Every role except
+/// [`Role::DefectingServer`] attacks *at submission time* — during
+/// protocol execution those parties run the honest stack, because the
 /// attacks in scope are evidence attacks, which is exactly what the
-/// paper's adjudication layer must survive.
+/// paper's adjudication layer must survive. The defecting server is the
+/// one protocol-time adversary: it defects *inside* the fair-exchange
+/// choreography, and it is convicted not by anything in its own
+/// submission but by the TTP's signed dispute decision held in its
+/// counterparty's evidence.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Role {
     /// Submits an internally consistent *rewritten* history that diverges
@@ -82,6 +93,13 @@ pub enum Role {
     /// An inline TTP that rewrites one of its own receipts, forking its
     /// history against its gossiped anchors.
     EquivocatingTtp,
+    /// A fair-offline server that executes the request and collects the
+    /// client's receipt, then withholds the step-4 decryption key. The
+    /// client's dispute sub-protocol recovers the key from the TTP's
+    /// escrow, and the TTP's signed `Decision` token — logged by the
+    /// client — convicts the server at adjudication. It submits its
+    /// evidence honestly: the defection *is* the attack.
+    DefectingServer,
 }
 
 impl Role {
@@ -93,6 +111,7 @@ impl Role {
             Role::TokenReplayer => "token_replayer",
             Role::ForgedRollover => "forged_rollover",
             Role::EquivocatingTtp => "equivocating_ttp",
+            Role::DefectingServer => "defecting_server",
         }
     }
 }
@@ -235,20 +254,32 @@ impl Scenario {
         // two honest regular orgs must remain to carry the honest items.
         let capacity = n_regular.saturating_sub(2);
         let byz_count = d.below(capacity as u64 + 1) as usize;
+        let ttp_byzantine = d.below(4) == 0;
         let mut byzantine: Vec<(OrgId, Role)> = Vec::new();
-        let roles = [
-            Role::ForkHistory,
-            Role::Withholder,
-            Role::TokenReplayer,
-            Role::ForgedRollover,
-        ];
+        // The defecting server's dispute escalates to the TTP, so that
+        // role only enters the pool when the TTP is honest.
+        let roles: &[Role] = if ttp_byzantine {
+            &[
+                Role::ForkHistory,
+                Role::Withholder,
+                Role::TokenReplayer,
+                Role::ForgedRollover,
+            ]
+        } else {
+            &[
+                Role::ForkHistory,
+                Role::Withholder,
+                Role::TokenReplayer,
+                Role::ForgedRollover,
+                Role::DefectingServer,
+            ]
+        };
         for i in 0..byz_count {
             // Take roles from the tail of the fleet: o_{n-1}, o_{n-2}, ...
             let org = regular[n_regular - 1 - i].clone();
             let role = roles[d.below(roles.len() as u64) as usize];
             byzantine.push((org, role));
         }
-        let ttp_byzantine = d.below(4) == 0;
         if ttp_byzantine {
             byzantine.push((ttp.clone(), Role::EquivocatingTtp));
         }
@@ -292,6 +323,12 @@ impl Scenario {
                 Role::EquivocatingTtp => {
                     // An inline run relayed by the byzantine TTP.
                     items.push((Variant::InlineTtp, honest[0].clone(), honest[1].clone()));
+                }
+                Role::DefectingServer => {
+                    // The defector *serves* a fair run: an honest client
+                    // drives the exchange, hits the withheld key, and
+                    // disputes at the (honest) TTP.
+                    items.push((Variant::FairOffline, honest[0].clone(), org.clone()));
                 }
                 _ => {
                     // A direct run gives the byzantine client both its own
@@ -369,31 +406,35 @@ impl Scenario {
         }
     }
 
-    /// The maximal hand-laid fleet: six regular organisations with every
+    /// The maximal hand-laid fleet: seven regular organisations with every
     /// regular byzantine role present, an equivocating TTP, an
     /// exhausted-key organisation, a crash/recovery overlay and a
     /// partition overlay. The durable organisation `o0` runs a
     /// hierarchical key, so the crash overlay doubles as a
-    /// crash-at-the-rollover-boundary fault. `seed` still varies run
-    /// ids, request payloads and the channel drop pattern.
+    /// crash-at-the-rollover-boundary fault. `o6` serves a fair-offline
+    /// run and withholds the key, so the dispute sub-protocol runs in
+    /// every showcase execution. `seed` still varies run ids, request
+    /// payloads and the channel drop pattern.
     pub fn showcase(seed: u64) -> Self {
-        let regular: Vec<OrgId> = (0..6).map(|i| OrgId::new(format!("o{i}"))).collect();
+        let regular: Vec<OrgId> = (0..7).map(|i| OrgId::new(format!("o{i}"))).collect();
         let ttp = OrgId::new("ttp");
         let byzantine = vec![
             (regular[2].clone(), Role::ForkHistory),
             (regular[3].clone(), Role::Withholder),
             (regular[4].clone(), Role::TokenReplayer),
             (regular[5].clone(), Role::ForgedRollover),
+            (regular[6].clone(), Role::DefectingServer),
             (ttp.clone(), Role::EquivocatingTtp),
         ];
         let plan: Vec<(Variant, usize, usize)> = vec![
             (Variant::Direct, 0, 1),
             (Variant::Voluntary, 1, 0),
-            (Variant::Direct, 2, 1),    // fork-history guarantee item
-            (Variant::Direct, 3, 1),    // withholder guarantee item
-            (Variant::Direct, 4, 1),    // token-replayer guarantee item
-            (Variant::Direct, 5, 1),    // forged-rollover guarantee item
-            (Variant::InlineTtp, 0, 1), // equivocating-TTP guarantee item
+            (Variant::Direct, 2, 1),      // fork-history guarantee item
+            (Variant::Direct, 3, 1),      // withholder guarantee item
+            (Variant::Direct, 4, 1),      // token-replayer guarantee item
+            (Variant::Direct, 5, 1),      // forged-rollover guarantee item
+            (Variant::InlineTtp, 0, 1),   // equivocating-TTP guarantee item
+            (Variant::FairOffline, 1, 6), // defecting-server dispute item
         ];
         let mut items: Vec<WorkItem> = plan
             .into_iter()
@@ -595,13 +636,35 @@ mod tests {
         let s = Scenario::showcase(1);
         let mut roles: Vec<Role> = s.byzantine.iter().map(|(_, r)| *r).collect();
         roles.dedup();
-        assert_eq!(roles.len(), 5);
+        assert_eq!(roles.len(), 6);
         for (org, _) in &s.byzantine {
             assert!(s.guarantee_item(org).is_some(), "{org} has no item");
         }
         // The durable org runs the hierarchical key, so its crash overlay
         // is a crash at the rollover boundary.
         assert_eq!(s.hierarchical.as_ref(), Some(&s.regular[0]));
+    }
+
+    #[test]
+    fn defecting_servers_serve_fair_runs_under_an_honest_ttp() {
+        let mut reachable = false;
+        for seed in 0..400u64 {
+            let s = Scenario::from_seed(seed);
+            for (org, role) in &s.byzantine {
+                if *role != Role::DefectingServer {
+                    continue;
+                }
+                reachable = true;
+                // The dispute escalates to the TTP, so the TTP is honest.
+                assert!(s.role_of(&s.ttp).is_none(), "seed {seed}: byzantine ttp");
+                // The defector is the *server* of a fair-offline run.
+                let item = s.guarantee_item(org).expect("guarantee item");
+                assert_eq!(item.variant, Variant::FairOffline, "seed {seed}");
+                assert_eq!(&item.server, org, "seed {seed}");
+                assert!(s.role_of(&item.client).is_none(), "seed {seed}");
+            }
+        }
+        assert!(reachable, "no defecting server in 400 seeds");
     }
 
     #[test]

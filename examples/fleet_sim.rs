@@ -5,6 +5,11 @@
 //! schedules, and checks the three fleet invariants: schedule-invariant
 //! verdicts, every byzantine submitter detected, zero false accusations.
 //!
+//! With `NONREP_SIM_DISPUTE=1` it instead sweeps the *seeded family* for
+//! scenarios that field a defecting fair-offline server, and checks that
+//! every one of them convicts the defector from the sealed dispute
+//! evidence — schedule-invariantly and with zero false accusations.
+//!
 //! Replay a failure reported by CI or the property sweep with:
 //!
 //! ```sh
@@ -14,13 +19,16 @@
 use std::process::ExitCode;
 
 use nonrep_sim::engine::run_fleet;
-use nonrep_sim::scenario::Scenario;
+use nonrep_sim::scenario::{Role, Scenario};
 
 fn main() -> ExitCode {
     let seed: u64 = std::env::var("NONREP_SIM_SEED")
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(1);
+    if std::env::var("NONREP_SIM_DISPUTE").is_ok_and(|v| v != "0") {
+        return dispute_sweep(seed);
+    }
     let scenario = Scenario::showcase(seed);
     println!(
         "fleet seed {seed}: {} orgs (+ttp{}), {} byzantine, {} work items",
@@ -47,12 +55,13 @@ fn main() -> ExitCode {
 
     for run in &base.runs {
         println!(
-            "  run {:>2} [{:>12}] completed={} facts={} suspects={:?}",
+            "  run {:>2} [{:>12}] completed={} facts={} suspects={:?} defectors={:?}",
             run.index,
             run.variant,
             run.completed,
             run.facts.len(),
             run.suspects,
+            run.defectors,
         );
     }
 
@@ -84,4 +93,63 @@ fn fail(seed: u64, what: &str) -> ExitCode {
     eprintln!("FLEET VIOLATION: {what}");
     eprintln!("repro: NONREP_SIM_SEED={seed} cargo run --release --example fleet_sim");
     ExitCode::FAILURE
+}
+
+/// Sweeps the seeded family from `base_seed` upward for scenarios that
+/// draw a [`Role::DefectingServer`], and drives the first four of them
+/// under two schedules each: the defector must be convicted from the
+/// sealed dispute evidence in both executions, the verdicts must match,
+/// and no honest organisation may be accused.
+fn dispute_sweep(base_seed: u64) -> ExitCode {
+    let scratch = std::env::temp_dir().join(format!("nonrep-fleet-dispute-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let mut checked = 0u32;
+    let mut seed = base_seed.max(1);
+    while checked < 4 {
+        let scenario = Scenario::from_seed(seed);
+        let defectors: Vec<_> = scenario
+            .byzantine
+            .iter()
+            .filter(|(_, r)| *r == Role::DefectingServer)
+            .map(|(o, _)| o.clone())
+            .collect();
+        if defectors.is_empty() {
+            seed += 1;
+            continue;
+        }
+        println!("==> dispute seed {seed}: defecting server(s) {defectors:?}");
+        let base = match run_fleet(&scenario, 0, &scratch.join(format!("{seed}-base"))) {
+            Ok(out) => out,
+            Err(e) => return fail(seed, &format!("dispute base fleet errored: {e}")),
+        };
+        let permuted = match run_fleet(
+            &scenario,
+            seed ^ 0x5eed,
+            &scratch.join(format!("{seed}-perm")),
+        ) {
+            Ok(out) => out,
+            Err(e) => return fail(seed, &format!("dispute permuted fleet errored: {e}")),
+        };
+        if !base.verdicts_match(&permuted) {
+            return fail(seed, "dispute verdicts diverged under schedule permutation");
+        }
+        for org in &defectors {
+            let convicted = base.runs.iter().any(|r| r.defectors.contains(org.as_str()));
+            if !convicted {
+                return fail(seed, &format!("defecting server {org} not convicted"));
+            }
+        }
+        for org in scenario.honest_orgs() {
+            if base.detected(&org) {
+                return fail(seed, &format!("honest {org} accused in dispute scenario"));
+            }
+        }
+        checked += 1;
+        seed += 1;
+    }
+    println!(
+        "ok: {checked} dispute scenarios convicted their defectors under permuted schedules, \
+         no false accusations"
+    );
+    ExitCode::SUCCESS
 }

@@ -35,6 +35,13 @@ fi
 echo "==> cargo test -q"
 cargo test -q
 
+# Session-type conformance: the suite walks every legal trace of every
+# choreography against live fixtures (it already ran inside the full
+# test pass above; this explicit invocation keeps the gate loud if the
+# suite is ever renamed or filtered out).
+echo "==> cargo test -q -p nonrep_protocols --test conformance"
+cargo test -q -p nonrep_protocols --test conformance
+
 # SIMD bugs must not hide behind a fast host: the crypto differential
 # suite (multi-buffer vs sequential hashing, W-OTS tier equivalence)
 # re-runs with dispatch pinned to the portable kernel. The hss suite is

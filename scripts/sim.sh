@@ -3,7 +3,10 @@
 # (examples/fleet_sim.rs) over a seed range and fails loudly with a
 # one-line repro command if any seed violates the fleet invariants
 # (schedule-invariant verdicts, all byzantine submitters detected, zero
-# false accusations).
+# false accusations). A final dispute sweep then walks the seeded
+# family for scenarios with a defecting fair-offline server and checks
+# that every one convicts the defector from the sealed dispute
+# evidence.
 #
 #   scripts/sim.sh                 # seeds 1..8, release build
 #   scripts/sim.sh 5               # seeds 1..5
@@ -41,4 +44,12 @@ for seed in $(seq "$LO" "$HI"); do
     fi
 done
 
-echo "sim.sh: seeds $LO..$HI green"
+echo "==> dispute sweep (seeded family, defecting servers)"
+# shellcheck disable=SC2086
+if ! NONREP_SIM_DISPUTE=1 NONREP_SIM_SEED="$LO" cargo run $PROFILE_FLAG --quiet --example fleet_sim; then
+    echo "sim.sh: DISPUTE SWEEP VIOLATION (base seed $LO)" >&2
+    echo "repro: NONREP_SIM_DISPUTE=1 NONREP_SIM_SEED=$LO cargo run --release --example fleet_sim" >&2
+    exit 1
+fi
+
+echo "sim.sh: seeds $LO..$HI green (incl. dispute sweep)"
