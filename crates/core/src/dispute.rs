@@ -31,7 +31,7 @@
 //! from genesis, checks the tail against the claimed head, and verifies
 //! every in-window commitment over the records it covers.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::ops::Range;
 use std::sync::Arc;
@@ -233,39 +233,8 @@ impl Verdict {
     /// after an `Abort` (and vice versa), so verified tokens of both kinds
     /// from one issuer for one run prove the TTP equivocated — told the
     /// two exchange parties contradictory outcomes.
-    /// Parties convicted of defection by the trusted `ttp`'s dispute
-    /// decision for this run.
-    ///
-    /// A fair-offline resolve mints a [`TokenKind::Decision`] whose
-    /// subject is the domain-separated
-    /// [`nonrep_protocols::tokens::defection_digest`] of the accused
-    /// and the run, so the conviction is checkable from
-    /// the sealed evidence alone: any submitter whose recomputed digest
-    /// matches a verified decision issued by `ttp` is the named
-    /// defector. Decisions issued by anyone else are ignored — only the
-    /// agreed TTP can convict.
-    pub fn convicted_defectors(&self, ttp: &OrgId) -> Vec<OrgId> {
-        let decisions: Vec<&Fact> = self
-            .facts
-            .iter()
-            .filter(|f| f.kind == TokenKind::Decision && f.issuer == *ttp)
-            .collect();
-        if decisions.is_empty() {
-            return Vec::new();
-        }
-        let mut out = Vec::new();
-        for report in &self.reports {
-            let candidate = &report.submitter;
-            let digest = defection_digest(candidate, self.run_id);
-            if decisions.iter().any(|f| f.subject == digest) && !out.contains(candidate) {
-                out.push(candidate.clone());
-            }
-        }
-        out
-    }
-
     pub fn conflicting_decisions(&self) -> Vec<OrgId> {
-        let resolved: std::collections::BTreeSet<&OrgId> = self
+        let resolved: BTreeSet<&OrgId> = self
             .facts
             .iter()
             .filter(|f| f.kind == TokenKind::Resolve)
@@ -278,6 +247,80 @@ impl Verdict {
             .map(|f| f.issuer.clone())
             .collect();
         out.dedup();
+        out
+    }
+
+    /// Parties convicted of defection by the trusted `ttp`'s dispute
+    /// decision for this run.
+    ///
+    /// A fair-offline resolve mints a [`TokenKind::Decision`] whose
+    /// subject is the domain-separated
+    /// [`nonrep_protocols::tokens::defection_digest`] of the accused and
+    /// the run, so the conviction is checkable from the sealed evidence
+    /// alone: any organisation known to this adjudication whose
+    /// recomputed digest matches a verified decision issued by `ttp` is
+    /// the named defector. Candidates are every organisation the verdict
+    /// saw — submitters, but also token issuers and fact holders — so a
+    /// real defector that declines to submit its own log is still
+    /// attributed through the tokens it issued into its counterparties'
+    /// logs. Decisions issued by anyone else are ignored — only the
+    /// agreed TTP can convict.
+    pub fn convicted_defectors(&self, ttp: &OrgId) -> Vec<OrgId> {
+        let decisions: Vec<&Fact> = self
+            .facts
+            .iter()
+            .filter(|f| f.kind == TokenKind::Decision && f.issuer == *ttp)
+            .collect();
+        if decisions.is_empty() {
+            return Vec::new();
+        }
+        let mut candidates: BTreeSet<&OrgId> = BTreeSet::new();
+        for report in &self.reports {
+            candidates.insert(&report.submitter);
+        }
+        for fact in &self.facts {
+            candidates.insert(&fact.issuer);
+            candidates.extend(fact.held_by.iter());
+        }
+        candidates
+            .into_iter()
+            .filter(|candidate| {
+                let digest = defection_digest(candidate, self.run_id);
+                decisions.iter().any(|f| f.subject == digest)
+            })
+            .cloned()
+            .collect()
+    }
+
+    /// Submitters proven *by their own submission* to have collected the
+    /// counterparty's receipt and still aborted the run at the TTP.
+    ///
+    /// The fair-offline abort sub-protocol exists for runs whose step-3
+    /// receipt never arrived. A server that absorbs the client's
+    /// `NRR_resp` and then wins an abort race against the client's
+    /// resolve keeps both items — the one unfair interleaving an offline
+    /// TTP cannot prevent. It cannot, however, *use* the receipt without
+    /// self-incrimination: its evidence log then carries a peer-issued
+    /// [`TokenKind::NrrResp`] alongside the `ttp`'s [`TokenKind::Abort`]
+    /// token for the same run, and this rule convicts exactly that
+    /// combination. An honest server is never caught by it — once it
+    /// aborts, it refuses late receipts — and because only an
+    /// organisation's own submission can convict it, counterparties
+    /// cannot frame it by planting tokens in theirs.
+    pub fn abort_after_receipt(&self, ttp: &OrgId) -> Vec<OrgId> {
+        let mut out = Vec::new();
+        for report in &self.reports {
+            let relevant = |t: &NrToken| t.run_id == self.run_id;
+            let holds_peer_receipt = report.tokens.iter().any(|(t, ok)| {
+                *ok && relevant(t) && t.kind == TokenKind::NrrResp && t.issuer != report.submitter
+            });
+            let holds_abort = report.tokens.iter().any(|(t, ok)| {
+                *ok && relevant(t) && t.kind == TokenKind::Abort && t.issuer == *ttp
+            });
+            if holds_peer_receipt && holds_abort && !out.contains(&report.submitter) {
+                out.push(report.submitter.clone());
+            }
+        }
         out
     }
 }
@@ -1349,6 +1392,130 @@ mod tests {
         assert_eq!(verdict.conflicting_decisions(), vec![OrgId::new("alice")]);
         // Bob's submission itself is honest.
         assert!(verdict.suspect_submitters().is_empty());
+    }
+
+    struct Trio {
+        client: Arc<Party>,
+        server: Arc<Party>,
+        ttp: Arc<Party>,
+        dir: Arc<StaticKeyDirectory>,
+    }
+
+    fn trio() -> Trio {
+        let clock = LogicalClock::new();
+        let dir = Arc::new(StaticKeyDirectory::new());
+        Trio {
+            client: Party::quick("client", 1, &clock, &dir),
+            server: Party::quick("server", 2, &clock, &dir),
+            ttp: Party::quick("ttp", 3, &clock, &dir),
+            dir,
+        }
+    }
+
+    #[test]
+    fn abort_after_receipt_convicts_the_racing_server() {
+        // The fair-offline race: the server absorbs the client's step-3
+        // receipt, then wins an abort race at the TTP. Its own log now
+        // pairs the peer receipt with the TTP's abort token.
+        let t = trio();
+        let run = t.client.new_run_id();
+        let digest = sha256(b"response");
+        let receipt = t
+            .client
+            .issue_token(TokenKind::NrrResp, run, digest)
+            .unwrap();
+        t.client.store_token(&receipt).unwrap();
+        t.server
+            .verify_and_store(&receipt, TokenKind::NrrResp, run, Some(&digest))
+            .unwrap();
+        let abort = t
+            .ttp
+            .issue_token(TokenKind::Abort, run, Digest::ZERO)
+            .unwrap();
+        t.server
+            .verify_and_store(&abort, TokenKind::Abort, run, None)
+            .unwrap();
+
+        let adjudicator = Adjudicator::new(t.dir.clone() as Arc<dyn KeyDirectory>);
+        let verdict = adjudicator.adjudicate(
+            run,
+            &[
+                (OrgId::new("client"), t.client.log().records()),
+                (OrgId::new("server"), t.server.log().records()),
+            ],
+        );
+        // The server is convicted by its own submission; the client,
+        // holding only its self-issued receipt, is not.
+        assert_eq!(
+            verdict.abort_after_receipt(&OrgId::new("ttp")),
+            vec![OrgId::new("server")]
+        );
+        // Abort tokens from anyone but the agreed TTP convict nobody.
+        assert!(verdict
+            .abort_after_receipt(&OrgId::new("someone-else"))
+            .is_empty());
+        // Both submissions are internally honest — this is a conduct
+        // conviction, not a tampering flag.
+        assert!(verdict.suspect_submitters().is_empty());
+    }
+
+    #[test]
+    fn fetched_receipt_without_abort_convicts_nobody() {
+        // The legitimate mirror image: after a client resolve, the server
+        // fetches the deposited receipt. Peer receipt, no abort — clean.
+        let t = trio();
+        let run = t.client.new_run_id();
+        let receipt = t
+            .client
+            .issue_token(TokenKind::NrrResp, run, sha256(b"response"))
+            .unwrap();
+        t.server
+            .verify_and_store(&receipt, TokenKind::NrrResp, run, None)
+            .unwrap();
+        let adjudicator = Adjudicator::new(t.dir.clone() as Arc<dyn KeyDirectory>);
+        let verdict =
+            adjudicator.adjudicate(run, &[(OrgId::new("server"), t.server.log().records())]);
+        assert!(verdict.abort_after_receipt(&OrgId::new("ttp")).is_empty());
+    }
+
+    #[test]
+    fn absent_defector_is_attributed_via_counterparty_logs() {
+        // A real defector does not submit its log. It is still named: the
+        // tokens it issued into the client's log make it a known
+        // organisation, and the TTP's decision digest matches it.
+        let t = trio();
+        let run = t.client.new_run_id();
+        let nrr_req = t
+            .server
+            .issue_token(TokenKind::NrrReq, run, sha256(b"request"))
+            .unwrap();
+        t.client
+            .verify_and_store(&nrr_req, TokenKind::NrrReq, run, None)
+            .unwrap();
+        let decision = t
+            .ttp
+            .issue_token(
+                TokenKind::Decision,
+                run,
+                defection_digest(&OrgId::new("server"), run),
+            )
+            .unwrap();
+        t.client
+            .verify_and_store(&decision, TokenKind::Decision, run, None)
+            .unwrap();
+
+        let adjudicator = Adjudicator::new(t.dir.clone() as Arc<dyn KeyDirectory>);
+        // Only the client submits — the defector stays silent.
+        let verdict =
+            adjudicator.adjudicate(run, &[(OrgId::new("client"), t.client.log().records())]);
+        assert_eq!(
+            verdict.convicted_defectors(&OrgId::new("ttp")),
+            vec![OrgId::new("server")]
+        );
+        // A decision from an untrusted issuer convicts nobody.
+        assert!(verdict
+            .convicted_defectors(&OrgId::new("someone-else"))
+            .is_empty());
     }
 
     #[test]

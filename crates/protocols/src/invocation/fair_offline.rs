@@ -24,9 +24,21 @@
 //!   fetch   (S) : retrieve the NRR_resp deposited by a resolving client
 //! ```
 //!
-//! **Fairness**: after step 3 the client can always obtain `K` (from S or
-//! T), and the server can always obtain `NRR_resp` (from C or T). Before
-//! step 3 neither party holds the other's item — aborting is harmless.
+//! **Fairness**: after step 3 the server can always obtain `NRR_resp`
+//! (from C or T), and the client can obtain `K` from S or T — a wrong
+//! key at step 4 counts as a withheld one (the acceptance check decrypts
+//! against the committed digest before believing it), so garbage diverts
+//! to the TTP exactly like silence. One race is inherent to an *offline*
+//! TTP: a server that collects the receipt directly and then wins an
+//! abort race at T leaves the client without `K`. That interleaving is
+//! not prevented but it is **adjudicable**: pulling it off plants the
+//! client's `NRR_resp` next to the TTP's `Abort` token in the server's
+//! own evidence log, and the core adjudicator's
+//! `Verdict::abort_after_receipt` convicts exactly that combination —
+//! the server cannot use the receipt without self-incrimination. An
+//! honest server never trips the rule: once it aborts, a late receipt is
+//! refused. Before step 3 neither party holds the other's item —
+//! aborting is harmless.
 //!
 //! The client side is the [`FairChoreography`]: a signed opening round,
 //! then a *branching* step — the receipt round either completes normally
@@ -272,16 +284,21 @@ impl FairClient {
 
     /// Runs the fair exchange against `server`.
     ///
-    /// If the server defects after collecting the receipt (step 4 never
-    /// arrives), the session diverts into the dispute sub-protocol with
-    /// the TTP; [`FairOutcome::key_source`] records which path delivered
-    /// the key, and on the dispute path the TTP's signed decision against
-    /// the defector lands in this party's evidence log.
+    /// If the server defects after collecting the receipt — step 4 never
+    /// arrives, or arrives carrying a key that does not decrypt the
+    /// committed ciphertext — the session diverts into the dispute
+    /// sub-protocol with the TTP; [`FairOutcome::key_source`] records
+    /// which path delivered the key, and on the dispute path the TTP's
+    /// signed decision against the defector lands in this party's
+    /// evidence log.
     ///
     /// # Errors
     ///
-    /// [`PeerFault::Aborted`] if the server aborted before the client's
-    /// receipt was committed; other [`ExchangeError`]s on bad evidence or
+    /// [`PeerFault::Aborted`] if the server aborted the run at the TTP —
+    /// normally before the client's receipt was committed (harmless), but
+    /// a malicious server can also win an abort race *after* collecting
+    /// the receipt; that interleaving is convicted at adjudication (see
+    /// the module docs). Other [`ExchangeError`]s on bad evidence or
     /// unreachable peers.
     pub fn invoke(&self, server: &OrgId, request: Vec<u8>) -> Result<FairOutcome, ExchangeError> {
         self.invoke_with(self.engine.party().new_run_id(), server, request)
@@ -334,7 +351,16 @@ impl FairClient {
         let nrr_resp =
             self.engine
                 .issue_and_store(TokenKind::NrrResp, run_id, step2.resp_digest)?;
-        let branch = session.call_or(server, nrr_resp.encode_to_vec(), |m| m.body.len() == 32)?;
+        // Accept a step-4 body only if it actually decrypts the committed
+        // ciphertext: 32 bytes of garbage is a withheld key with extra
+        // steps, and diverts to the TTP exactly like silence.
+        let branch = session.call_or(server, nrr_resp.encode_to_vec(), |m| {
+            m.body.len() == 32 && {
+                let mut key = [0u8; 32];
+                key.copy_from_slice(&m.body);
+                sha256(&xor_keystream(&key, &step2.enc_response)) == step2.resp_digest
+            }
+        })?;
         let (key, key_source, session) = match branch {
             Branch::Primary(msg4, session) => {
                 let mut key = [0u8; 32];
@@ -349,6 +375,10 @@ impl FairClient {
         };
 
         let plain = xor_keystream(&key, &step2.enc_response);
+        // Primary-path keys were vetted by the branch predicate; this
+        // recheck guards the resolve path against a server that escrowed
+        // garbage (the client still holds the TTP's signed decision
+        // against it by the time this fires).
         if sha256(&plain) != step2.resp_digest {
             return Err(ExchangeError::Peer(PeerFault::BadMessage(
                 "decrypted response does not match committed digest".into(),
@@ -418,12 +448,25 @@ pub enum ServerConduct {
     /// client walks away with the key *and* the TTP's signed decision
     /// against this server.
     WithholdKey,
+    /// Collect the receipt and answer step 4 with a well-formed but
+    /// wrong key. The client's acceptance check decrypts against the
+    /// committed digest before taking the primary branch, so this is
+    /// treated as a withheld key and diverts to the TTP.
+    GarbageKey,
 }
 
 #[derive(Debug)]
 struct FairRunState {
     key: [u8; 32],
+    /// The committed response digest: the step-3 receipt must cover it,
+    /// or the key is not released (a receipt over an arbitrary digest is
+    /// worthless as non-repudiation-of-receipt evidence).
+    resp_digest: Digest,
     receipt_received: bool,
+    /// Set once this server aborted the run at the TTP; a receipt
+    /// arriving afterwards is refused, so an honest server's log never
+    /// holds the client's `NRR_resp` alongside an `Abort` token.
+    aborted: bool,
 }
 
 /// Server side of the fair offline-TTP protocol.
@@ -489,6 +532,13 @@ impl FairServerHandler {
         };
         let token: NrToken = self.engine.decode_body(&reply.body)?;
         self.engine.absorb(&token, TokenKind::Abort, run, None)?;
+        // The run is dead from our side: refuse any receipt that arrives
+        // late, so this log never pairs an Abort with the client's
+        // NRR_resp (the combination `Verdict::abort_after_receipt`
+        // convicts a racing server of).
+        if let Some(state) = self.keys.lock().get_mut(&run) {
+            state.aborted = true;
+        }
         Ok(token)
     }
 
@@ -580,7 +630,9 @@ impl FairServerHandler {
             msg.run_id,
             FairRunState {
                 key,
+                resp_digest,
                 receipt_received: false,
+                aborted: false,
             },
         );
         self.runs.record_response(msg.run_id, msg2.clone());
@@ -594,21 +646,42 @@ impl FairServerHandler {
     ) -> Result<ProtocolMessage, ProtocolError> {
         self.engine.verify_frame_from(&msg, from)?;
         let nrr_resp: NrToken = self.engine.decode_body(&msg.body)?;
-        let key = {
-            let mut keys = self.keys.lock();
+        let (key, resp_digest) = {
+            let keys = self.keys.lock();
             let state = keys
-                .get_mut(&msg.run_id)
+                .get(&msg.run_id)
                 .ok_or(ProtocolError::UnknownRun(msg.run_id))?;
-            state.receipt_received = true;
-            state.key
+            if state.aborted {
+                // We already killed this run at the TTP; accepting the
+                // receipt now would leave this log holding the client's
+                // NRR_resp next to an Abort token — the combination
+                // `Verdict::abort_after_receipt` convicts.
+                return Err(ProtocolError::Aborted(msg.run_id));
+            }
+            (state.key, state.resp_digest)
         };
-        self.engine
-            .absorb(&nrr_resp, TokenKind::NrrResp, msg.run_id, None)?;
+        // The receipt must cover the committed response digest — the key
+        // is exchanged for evidence that is actually worth something.
+        self.engine.absorb(
+            &nrr_resp,
+            TokenKind::NrrResp,
+            msg.run_id,
+            Some(&resp_digest),
+        )?;
+        if let Some(state) = self.keys.lock().get_mut(&msg.run_id) {
+            state.receipt_received = true;
+        }
         match self.conduct {
             ServerConduct::Honest => Ok(self.engine.open_frame(msg.run_id, STEP_KEY, key.to_vec())),
             // Defection: acknowledge nothing useful (wrong step forces the
             // client down the dispute path).
             ServerConduct::WithholdKey => Ok(self.engine.open_frame(msg.run_id, 99, Vec::new())),
+            // Defection with a fig leaf: a well-formed but useless key.
+            // The client's acceptance check decrypts before believing it,
+            // so this diverts to the TTP exactly like silence.
+            ServerConduct::GarbageKey => {
+                Ok(self.engine.open_frame(msg.run_id, STEP_KEY, vec![0x5a; 32]))
+            }
         }
     }
 }
@@ -801,6 +874,16 @@ impl OfflineTtpHandler {
             // Resolve won the race: the server should fetch the receipt.
             return Err(ProtocolError::Rejected("already resolved".into()));
         }
+        // Only the party that escrowed the key may kill the run — a
+        // stranger (or the client itself) cannot abort someone else's
+        // exchange out from under them.
+        if let Some(escrowed) = &entry.key {
+            if escrowed.server != *from {
+                return Err(ProtocolError::Rejected(
+                    "aborter is not the escrowed server".into(),
+                ));
+            }
+        }
         entry.aborted = true;
         drop(ledger);
         let token = self
@@ -965,6 +1048,180 @@ mod tests {
             Some(out.run_id),
             Some(&expected),
         ));
+    }
+
+    #[test]
+    fn garbage_key_is_a_defection_not_an_error() {
+        // A well-formed 32-byte key that fails to decrypt is a withheld
+        // key with extra steps: the client must divert to the TTP, not
+        // die on a decode error with its receipt already committed.
+        let w = world(ServerConduct::GarbageKey);
+        let out = w.client.invoke(&w.server, b"req".to_vec()).unwrap();
+        assert_eq!(out.response, ServerResponse::Executed(b"res:req".to_vec()));
+        assert_eq!(out.key_source, KeySource::TtpResolve);
+        assert!(w.ttp_handler.is_resolved(&out.run_id));
+        // The defector was convicted just like a silent one.
+        let expected = defection_digest(&w.server, out.run_id);
+        let records = w.client_party.log().by_run(&out.run_id);
+        assert!(records
+            .iter()
+            .any(|r| r.draft.kind == TokenKind::Decision.label()
+                && r.draft.content_digest == expected));
+    }
+
+    #[test]
+    fn receipt_over_wrong_digest_does_not_release_the_key() {
+        // The server only exchanges K for a receipt covering the
+        // committed response digest; a receipt over garbage is refused
+        // and never marks the run as receipted.
+        let w = world(ServerConduct::Honest);
+        let run = w.client_party.new_run_id();
+        let request = b"req".to_vec();
+        let nro = w
+            .client_party
+            .issue_token(TokenKind::NroReq, run, sha256(&request))
+            .unwrap();
+        let msg1 = ProtocolMessage::new(
+            PROTOCOL_ID,
+            run,
+            STEP_REQUEST,
+            "client",
+            Step1 {
+                request,
+                nro_req: nro,
+            }
+            .encode_to_vec(),
+        )
+        .signed(w.client_party.keys())
+        .unwrap();
+        w.server_handler
+            .process_request(&OrgId::new("client"), msg1)
+            .unwrap();
+
+        let bogus = w
+            .client_party
+            .issue_token(TokenKind::NrrResp, run, sha256(b"not the response"))
+            .unwrap();
+        let msg3 = ProtocolMessage::new(
+            PROTOCOL_ID,
+            run,
+            STEP_RECEIPT,
+            "client",
+            bogus.encode_to_vec(),
+        )
+        .signed(w.client_party.keys())
+        .unwrap();
+        let err = w
+            .server_handler
+            .process_request(&OrgId::new("client"), msg3)
+            .unwrap_err();
+        assert!(matches!(err, ProtocolError::BadSignature { .. }));
+        assert!(!w.server_handler.receipt_received(&run));
+    }
+
+    #[test]
+    fn receipt_then_abort_race_is_self_incriminating() {
+        // The one unfair interleaving an offline TTP cannot prevent: the
+        // server collects the step-3 receipt directly, then wins the
+        // abort race at the TTP before the client's resolve arrives.
+        let w = world(ServerConduct::WithholdKey);
+        let run = w.client_party.new_run_id();
+        let request = b"req".to_vec();
+        let nro = w
+            .client_party
+            .issue_token(TokenKind::NroReq, run, sha256(&request))
+            .unwrap();
+        let msg1 = ProtocolMessage::new(
+            PROTOCOL_ID,
+            run,
+            STEP_REQUEST,
+            "client",
+            Step1 {
+                request,
+                nro_req: nro,
+            }
+            .encode_to_vec(),
+        )
+        .signed(w.client_party.keys())
+        .unwrap();
+        let msg2 = w
+            .server_handler
+            .process_request(&OrgId::new("client"), msg1)
+            .unwrap();
+        let step2 = FairStep2::decode_from_slice(&msg2.body).unwrap();
+        let nrr = w
+            .client_party
+            .issue_token(TokenKind::NrrResp, run, step2.resp_digest)
+            .unwrap();
+        w.client_party.store_token(&nrr).unwrap();
+        let msg3 = ProtocolMessage::new(
+            PROTOCOL_ID,
+            run,
+            STEP_RECEIPT,
+            "client",
+            nrr.encode_to_vec(),
+        )
+        .signed(w.client_party.keys())
+        .unwrap();
+        w.server_handler
+            .process_request(&OrgId::new("client"), msg3)
+            .unwrap();
+        assert!(w.server_handler.receipt_received(&run));
+
+        // The server aborts; the client's resolve loses the race.
+        w.server_handler.abort(run).unwrap();
+        let dispute = w.client.engine.session::<Client, ResolveChoreography>(run);
+        let err = w.client.resolve(dispute, &w.server, &nrr).unwrap_err();
+        assert!(matches!(
+            err,
+            ExchangeError::Peer(PeerFault::Aborted(_)) | ExchangeError::Transport(_)
+        ));
+
+        // The race is self-incriminating: the server's own evidence log
+        // now pairs the client's NRR_resp with the TTP's Abort token —
+        // the combination `Verdict::abort_after_receipt` convicts.
+        let records = w.server_party.log().by_run(&run);
+        assert!(records
+            .iter()
+            .any(|r| r.draft.kind == TokenKind::NrrResp.label()
+                && r.draft.actor == OrgId::new("client")));
+        assert!(records.iter().any(
+            |r| r.draft.kind == TokenKind::Abort.label() && r.draft.actor == OrgId::new("ttp")
+        ));
+
+        // And a receipt arriving after the abort is refused, so an
+        // *honest* aborting server never produces that pairing.
+        let late = ProtocolMessage::new(
+            PROTOCOL_ID,
+            run,
+            STEP_RECEIPT,
+            "client",
+            nrr.encode_to_vec(),
+        )
+        .signed(w.client_party.keys())
+        .unwrap();
+        let err = w
+            .server_handler
+            .process_request(&OrgId::new("client"), late)
+            .unwrap_err();
+        assert!(matches!(err, ProtocolError::Aborted(_)));
+    }
+
+    #[test]
+    fn stranger_cannot_abort_someone_elses_run() {
+        // Only the escrowed server may kill a run: the client (or anyone
+        // else) racing an abort against its own exchange is refused.
+        let w = world(ServerConduct::Honest);
+        let out = w.client.invoke(&w.server, b"req".to_vec()).unwrap();
+        let msg = ProtocolMessage::new(PROTOCOL_ID, out.run_id, STEP_ABORT, "client", Vec::new())
+            .signed(w.client_party.keys())
+            .unwrap();
+        let err = w
+            .ttp_handler
+            .process_request(&OrgId::new("client"), msg)
+            .unwrap_err();
+        assert!(matches!(err, ProtocolError::Rejected(_)));
+        assert!(!w.ttp_handler.is_aborted(&out.run_id));
     }
 
     #[test]

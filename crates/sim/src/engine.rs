@@ -96,7 +96,9 @@ pub struct RunOutcome {
     pub conflicting_decisions: BTreeSet<String>,
     /// Organisations convicted as protocol-time defectors: a TTP-signed
     /// dispute `Decision` in the adjudicated evidence names them for
-    /// this run (fair-offline dispute sub-protocol).
+    /// this run (fair-offline dispute sub-protocol), or their own
+    /// submission pairs the counterparty's `NRR_resp` with a TTP `Abort`
+    /// token (the receipt-then-abort race, `Verdict::abort_after_receipt`).
     pub defectors: BTreeSet<String>,
 }
 
@@ -531,6 +533,7 @@ fn reduce(item: &WorkItem, completed: bool, verdict: &Verdict, ttp: &OrgId) -> R
         defectors: verdict
             .convicted_defectors(ttp)
             .iter()
+            .chain(verdict.abort_after_receipt(ttp).iter())
             .map(ToString::to_string)
             .collect(),
     }
