@@ -1,0 +1,191 @@
+//! E17: timeout supervision on the no-timeout fast path.
+//!
+//! The exchange supervisor buys liveness (every stalled run terminates
+//! in an abort or a sealed fault) — this bench guards what that costs
+//! an exchange where *nothing goes wrong*:
+//!
+//! * `fair_16/bare` vs `fair_16/supervised` — sixteen complete
+//!   fair-offline exchanges against an honest server, without and with
+//!   a receipt-window watch armed per run (armed on step 2, discharged
+//!   by the receipt, never fired). The acceptance bound is
+//!   supervised ≤ 1.05× bare: supervision on the fast path is two
+//!   `BTreeMap` operations per run and must stay invisible next to the
+//!   signature work.
+//! * `watch_discharge` — the raw bookkeeping pair (`watch_for` +
+//!   `complete`) in isolation.
+//! * `sweep_idle_64` — one sweep over sixty-four armed, unexpired
+//!   watches: the periodic scan a deployment pays while everything is
+//!   healthy.
+//!
+//! The regression gate (`scripts/bench_gate.sh`) guards these rows via
+//! `scripts/bench_baseline_7.jsonl`; see docs/BENCHMARKS.md.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use nonrep_net::bus::LocalBus;
+use nonrep_net::retry::{ReliableRequester, RetryPolicy};
+use nonrep_protocols::invocation::fair_offline::{
+    FairClient, FairServerHandler, FairServerRuntime, OfflineTtpHandler, ServerConduct,
+};
+use nonrep_protocols::invocation::RequestExecutor;
+use nonrep_protocols::party::{Party, StaticKeyDirectory};
+use nonrep_protocols::{B2BCoordinator, EscalationAction, EscalationOutcome, ExchangeSupervisor};
+use nonrep_types::ids::{OrgId, ProtocolId, RunId};
+use nonrep_types::time::LogicalClock;
+use std::time::Duration;
+
+/// Receipt window far beyond anything the bench advances the clock by:
+/// the watch is armed and discharged but can never fire.
+const WINDOW_MS: u64 = 60_000;
+
+/// Exchanges per measured batch — comfortably inside the MSS `2^8`
+/// signature budget of each freshly generated party.
+const RUNS: usize = 16;
+
+struct World {
+    client: FairClient,
+    client_party: Arc<Party>,
+    server: OrgId,
+}
+
+fn world(supervised: bool) -> World {
+    let bus = LocalBus::new();
+    let clock = LogicalClock::new();
+    let dir = Arc::new(StaticKeyDirectory::new());
+    let client_party = Party::quick("client", 1, &clock, &dir);
+    let server_party = Party::quick("server", 2, &clock, &dir);
+    let ttp_party = Party::quick("ttp", 3, &clock, &dir);
+
+    let mk = |org: &str| {
+        let c = B2BCoordinator::new(
+            org,
+            ReliableRequester::new(bus.clone(), RetryPolicy::new(4)),
+        );
+        bus.register(OrgId::new(org), c.clone());
+        c
+    };
+    let client_coord = mk("client");
+    let server_coord = mk("server");
+    let ttp_coord = mk("ttp");
+
+    let echo: Arc<dyn RequestExecutor> =
+        Arc::new(|_: &OrgId, req: &[u8]| Ok([b"res:".as_slice(), req].concat()));
+    let runtime = if supervised {
+        FairServerRuntime {
+            supervision: Some((ExchangeSupervisor::new(Arc::new(clock.clone())), WINDOW_MS)),
+            journal: None,
+        }
+    } else {
+        FairServerRuntime::default()
+    };
+    server_coord.register_handler(FairServerHandler::with_runtime(
+        server_party,
+        server_coord.clone(),
+        echo,
+        OrgId::new("ttp"),
+        ServerConduct::Honest,
+        runtime,
+    ));
+    ttp_coord.register_handler(OfflineTtpHandler::new(ttp_party));
+
+    let client = FairClient::new(
+        client_party.clone(),
+        client_coord.clone(),
+        OrgId::new("ttp"),
+    );
+    World {
+        client,
+        client_party,
+        server: OrgId::new("server"),
+    }
+}
+
+fn drive(w: &World) {
+    for _ in 0..RUNS {
+        let run = w.client_party.new_run_id();
+        w.client
+            .invoke_with(run, &w.server, b"payload".to_vec())
+            .unwrap();
+    }
+}
+
+/// A do-nothing escalation for the micro rows; the fast path never
+/// fires it, so its body is irrelevant to what is being measured.
+struct Noop;
+
+impl EscalationAction for Noop {
+    fn escalate(&self, _run: RunId) -> EscalationOutcome {
+        EscalationOutcome::AlreadyComplete
+    }
+}
+
+fn bench_supervisor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e17_supervisor");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    // Sixteen complete fair exchanges, bare vs supervised. Fresh
+    // parties per batch (setup excluded) keep the one-time signature
+    // budget honest; the supervised row arms and discharges one watch
+    // per exchange and must track the bare row within 5%.
+    for supervised in [false, true] {
+        let name = if supervised { "supervised" } else { "bare" };
+        group.bench_with_input(
+            BenchmarkId::new(format!("fair_{RUNS}"), name),
+            &supervised,
+            |b, &supervised| {
+                b.iter_batched(|| world(supervised), |w| drive(&w), BatchSize::PerIteration)
+            },
+        );
+    }
+
+    // The raw bookkeeping pair a supervised run adds: register a watch
+    // against the shared clock, discharge it when the awaited message
+    // lands.
+    {
+        let clock = LogicalClock::new();
+        let supervisor = ExchangeSupervisor::new(Arc::new(clock));
+        let variant = ProtocolId::new("fair_offline");
+        let action: Arc<dyn EscalationAction> = Arc::new(Noop);
+        let mut n = 0u128;
+        group.bench_function("watch_discharge", |b| {
+            b.iter(|| {
+                n += 1;
+                let run = RunId::from_u128(n);
+                supervisor.watch_for(run, &variant, 3, WINDOW_MS, action.clone());
+                assert!(supervisor.complete(run));
+            })
+        });
+    }
+
+    // One idle sweep over a fleet's worth of armed watches, none
+    // expired: the steady-state cost of the periodic liveness scan.
+    {
+        let clock = LogicalClock::new();
+        let supervisor = ExchangeSupervisor::new(Arc::new(clock));
+        let variant = ProtocolId::new("fair_offline");
+        let action: Arc<dyn EscalationAction> = Arc::new(Noop);
+        for i in 0..64u128 {
+            supervisor.watch_for(RunId::from_u128(i), &variant, 3, WINDOW_MS, action.clone());
+        }
+        group.bench_function("sweep_idle_64", |b| {
+            b.iter(|| {
+                let fired = supervisor.sweep();
+                assert!(fired.is_empty());
+            })
+        });
+    }
+    group.finish();
+
+    println!(
+        "\nE17 report — supervision fast path: fair_{RUNS}/supervised must stay within \
+         1.05x of fair_{RUNS}/bare (the gate holds both rows to the checked-in \
+         baseline); watch_discharge and sweep_idle_64 are the absolute costs.\n"
+    );
+}
+
+criterion_group!(benches, bench_supervisor);
+criterion_main!(benches);

@@ -40,7 +40,7 @@ use nonrep_crypto::digest::Digest;
 use nonrep_protocols::party::KeyDirectory;
 use nonrep_protocols::tokens::{defection_digest, NrToken, TokenKind};
 use nonrep_store::record::{
-    ChainVerifier, ChainViolation, EpochCommitment, EvidenceRecord, KeyRollover,
+    ChainVerifier, ChainViolation, EpochCommitment, EvidenceRecord, KeyRollover, RunMarker,
 };
 use nonrep_store::{EvidenceLog, ShardedEvidenceLog, SuperEpochCommitment};
 use nonrep_types::codec::Decode;
@@ -321,6 +321,45 @@ impl Verdict {
                 out.push(report.submitter.clone());
             }
         }
+        out
+    }
+
+    /// Parties attributed as having *stalled* a timeout-aborted run:
+    /// they provably started it (a verified [`TokenKind::NroReq`] they
+    /// issued) yet never produced the step-3 receipt, and the `ttp`
+    /// aborted the run.
+    ///
+    /// This is the adjudicator's view of the supervisor's escalation
+    /// ladder: a client that goes silent after the response window
+    /// opens leaves exactly this shape behind — its own `NRO_req`, the
+    /// server's absorbed evidence, a TTP [`TokenKind::Abort`], and no
+    /// [`TokenKind::NrrResp`] under its signature anywhere. Attribution,
+    /// not conviction: timeouts cannot distinguish a crashed party from
+    /// a malicious one (nor from one behind a partition), so the result
+    /// names who *owes* the missing receipt — grounds to stop serving
+    /// them, not to punish them. Safety never rested on the receipt
+    /// arriving; the abort already restored fairness.
+    pub fn stalled_parties(&self, ttp: &OrgId) -> Vec<OrgId> {
+        let aborted = self
+            .facts
+            .iter()
+            .any(|f| f.kind == TokenKind::Abort && f.issuer == *ttp);
+        if !aborted {
+            return Vec::new();
+        }
+        let receipted: BTreeSet<&OrgId> = self
+            .facts
+            .iter()
+            .filter(|f| f.kind == TokenKind::NrrResp)
+            .map(|f| &f.issuer)
+            .collect();
+        let mut out: Vec<OrgId> = self
+            .facts
+            .iter()
+            .filter(|f| f.kind == TokenKind::NroReq && !receipted.contains(&f.issuer))
+            .map(|f| f.issuer.clone())
+            .collect();
+        out.dedup();
         out
     }
 }
@@ -694,6 +733,17 @@ impl<'a> ReportBuilder<'a> {
                     }
                 }
                 None => self.undecodable += 1,
+            }
+            return;
+        }
+        if record.is_run_marker() {
+            // Progress bookkeeping for crash recovery: the submitter's
+            // private claim about its own run state, carried inside the
+            // tamper-evident chain but attesting nothing about the peer.
+            // Decodable markers are neutral; an undecodable one is an
+            // edited record like any other.
+            if RunMarker::from_record(record).is_none() {
+                self.undecodable += 1;
             }
             return;
         }
@@ -1457,6 +1507,84 @@ mod tests {
         // Both submissions are internally honest — this is a conduct
         // conviction, not a tampering flag.
         assert!(verdict.suspect_submitters().is_empty());
+    }
+
+    #[test]
+    fn stalled_parties_names_the_silent_client_of_a_timeout_abort() {
+        // A client goes silent after the receipt window opens; the
+        // server's supervisor aborts at the TTP. The adjudicator sees
+        // the client's NRO_req (it provably started the run), the TTP's
+        // abort, and no NRR_resp under the client's signature.
+        let t = trio();
+        let run = t.client.new_run_id();
+        let nro = t
+            .client
+            .issue_token(TokenKind::NroReq, run, sha256(b"req"))
+            .unwrap();
+        t.server
+            .verify_and_store(&nro, TokenKind::NroReq, run, None)
+            .unwrap();
+        let abort = t
+            .ttp
+            .issue_token(TokenKind::Abort, run, Digest::ZERO)
+            .unwrap();
+        t.server
+            .verify_and_store(&abort, TokenKind::Abort, run, None)
+            .unwrap();
+        let adjudicator = Adjudicator::new(t.dir.clone() as Arc<dyn KeyDirectory>);
+        let verdict =
+            adjudicator.adjudicate(run, &[(OrgId::new("server"), t.server.log().records())]);
+        assert_eq!(
+            verdict.stalled_parties(&OrgId::new("ttp")),
+            vec![OrgId::new("client")]
+        );
+        // An abort from a non-agreed TTP attributes nobody.
+        assert!(verdict
+            .stalled_parties(&OrgId::new("someone-else"))
+            .is_empty());
+    }
+
+    #[test]
+    fn stalled_parties_spares_a_client_whose_receipt_exists() {
+        // The abort race: the receipt DID arrive somewhere before the
+        // abort won. Whatever else the verdict says (abort_after_receipt
+        // convicts the server), the client is not the stalled party.
+        let t = trio();
+        let run = t.client.new_run_id();
+        let nro = t
+            .client
+            .issue_token(TokenKind::NroReq, run, sha256(b"req"))
+            .unwrap();
+        t.server
+            .verify_and_store(&nro, TokenKind::NroReq, run, None)
+            .unwrap();
+        let receipt = t
+            .client
+            .issue_token(TokenKind::NrrResp, run, sha256(b"response"))
+            .unwrap();
+        t.server
+            .verify_and_store(&receipt, TokenKind::NrrResp, run, None)
+            .unwrap();
+        let abort = t
+            .ttp
+            .issue_token(TokenKind::Abort, run, Digest::ZERO)
+            .unwrap();
+        t.server
+            .verify_and_store(&abort, TokenKind::Abort, run, None)
+            .unwrap();
+        let adjudicator = Adjudicator::new(t.dir.clone() as Arc<dyn KeyDirectory>);
+        let verdict =
+            adjudicator.adjudicate(run, &[(OrgId::new("server"), t.server.log().records())]);
+        assert!(verdict.stalled_parties(&OrgId::new("ttp")).is_empty());
+        // ... and without any abort at all, nobody is stalled either.
+        let no_abort = adjudicator.adjudicate(
+            run,
+            &[(OrgId::new("client"), {
+                t.client.store_token(&nro).unwrap();
+                t.client.log().records()
+            })],
+        );
+        assert!(no_abort.stalled_parties(&OrgId::new("ttp")).is_empty());
     }
 
     #[test]

@@ -41,7 +41,7 @@ use crate::handler::ProtocolHandler;
 use crate::invocation::{RequestExecutor, RunRegistry, ServerResponse};
 use crate::message::ProtocolMessage;
 use crate::party::Party;
-use crate::session::{Call, CallLossy, Client, End, ExchangeEngine, ExchangeError};
+use crate::session::{Call, CallLossy, Client, End, ExchangeEngine, ExchangeError, RunJournal};
 use crate::tokens::{NrToken, TokenKind};
 use crate::{B2BCoordinator, ProtocolError};
 
@@ -159,6 +159,20 @@ impl DirectClient {
         Self {
             engine: ExchangeEngine::new(party, coordinator, PROTOCOL_ID),
         }
+    }
+
+    /// Enables crash-recovery journalling: completed steps leave
+    /// progress markers in this party's evidence log for
+    /// [`RunJournal::open_runs`] to find on reopen.
+    #[must_use]
+    pub fn with_journal(mut self, journal: Arc<RunJournal>) -> Self {
+        self.engine = self.engine.with_journal(journal);
+        self
+    }
+
+    /// The engine driving this client.
+    pub fn engine(&self) -> &ExchangeEngine {
+        &self.engine
     }
 
     /// Runs the full exchange for `request` against `server`.

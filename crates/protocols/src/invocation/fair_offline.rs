@@ -65,7 +65,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 
 use parking_lot::Mutex;
 
@@ -80,8 +80,8 @@ use crate::invocation::{RequestExecutor, RunRegistry, ServerResponse};
 use crate::message::ProtocolMessage;
 use crate::party::Party;
 use crate::session::{
-    Branch, Call, CallOpen, CallOr, Client, End, ExchangeEngine, ExchangeError, PeerFault, Server,
-    Session,
+    Branch, Call, CallOpen, CallOr, Client, End, EscalationAction, EscalationOutcome,
+    ExchangeEngine, ExchangeError, ExchangeSupervisor, PeerFault, RunJournal, Server, Session,
 };
 use crate::tokens::{defection_digest, NrToken, TokenKind};
 use crate::{B2BCoordinator, ProtocolError};
@@ -282,6 +282,22 @@ impl FairClient {
         }
     }
 
+    /// Enables crash-recovery journalling: every completed step of an
+    /// invocation leaves a progress marker in this party's evidence
+    /// log, so a crashed client finds the run via
+    /// [`RunJournal::open_runs`] on reopen.
+    #[must_use]
+    pub fn with_journal(mut self, journal: Arc<RunJournal>) -> Self {
+        self.engine = self.engine.with_journal(journal);
+        self
+    }
+
+    /// The engine driving this client (kill-point harnesses journal
+    /// recovery decisions through it).
+    pub fn engine(&self) -> &ExchangeEngine {
+        &self.engine
+    }
+
     /// Runs the fair exchange against `server`.
     ///
     /// If the server defects after collecting the receipt — step 4 never
@@ -316,6 +332,29 @@ impl FairClient {
         server: &OrgId,
         request: Vec<u8>,
     ) -> Result<FairOutcome, ExchangeError> {
+        self.invoke_paced(run_id, server, request, || ())
+    }
+
+    /// [`FairClient::invoke_with`] with a pause hook fired after the
+    /// server's step-2 evidence is verified and *before* the receipt is
+    /// committed — exactly the window the server's receipt deadline
+    /// covers. Harnesses model a slow-but-live client by advancing the
+    /// logical clock (and sweeping the supervisor) inside `pause`: a
+    /// client that resumes inside the window completes normally and
+    /// must never be treated as a staller.
+    ///
+    /// # Errors
+    ///
+    /// As [`FairClient::invoke`]; additionally, if the pause outlasted
+    /// the server's receipt window the server will have timeout-aborted
+    /// the run, surfacing here as [`PeerFault::Aborted`].
+    pub fn invoke_paced(
+        &self,
+        run_id: RunId,
+        server: &OrgId,
+        request: Vec<u8>,
+        pause: impl FnOnce(),
+    ) -> Result<FairOutcome, ExchangeError> {
         let req_digest = sha256(&request);
         let session = self.engine.session::<Client, FairChoreography>(run_id);
         let nro_req = self
@@ -345,6 +384,10 @@ impl FairClient {
             run_id,
             Some(&step2.resp_digest),
         )?;
+
+        // The receipt window: the server is now committed (key escrowed,
+        // evidence issued) and waiting on step 3.
+        pause();
 
         // Step 3: commit the receipt. From here the exchange must end
         // fairly: K from the server, or K + a conviction from the TTP.
@@ -395,6 +438,45 @@ impl FairClient {
             nro_resp: step2.nro_resp,
             key_source,
         })
+    }
+
+    /// The stalling adversary's driver: runs the exchange only through
+    /// step 2 — request sent, server evidence collected and verified —
+    /// then goes silent forever, never committing the receipt. The
+    /// server is left holding an escrowed key and an open receipt
+    /// window; its supervisor must timeout-abort the run at the TTP.
+    /// Harmless before step 3 by construction: neither party holds the
+    /// other's item, so the abort closes the run with no winner and no
+    /// false conviction.
+    ///
+    /// # Errors
+    ///
+    /// As [`FairClient::invoke`] for steps 1–2.
+    pub fn invoke_stalling(
+        &self,
+        run_id: RunId,
+        server: &OrgId,
+        request: Vec<u8>,
+    ) -> Result<(), ExchangeError> {
+        let req_digest = sha256(&request);
+        let session = self.engine.session::<Client, FairChoreography>(run_id);
+        let nro_req = self
+            .engine
+            .issue_and_store(TokenKind::NroReq, run_id, req_digest)?;
+        let (msg2, session) = session.call(server, Step1 { request, nro_req }.encode_to_vec())?;
+        let step2: FairStep2 = self.engine.decode_body(&msg2.body)?;
+        self.engine
+            .absorb(&step2.nrr_req, TokenKind::NrrReq, run_id, Some(&req_digest))?;
+        self.engine.absorb(
+            &step2.nro_resp,
+            TokenKind::NroResp,
+            run_id,
+            Some(&step2.resp_digest),
+        )?;
+        // Silence: the session is dropped mid-choreography (legal at
+        // runtime — typestate forbids wrong orders, not walking away).
+        drop(session);
+        Ok(())
     }
 
     /// The dispute sub-protocol: deposit the receipt with the TTP, get
@@ -453,6 +535,13 @@ pub enum ServerConduct {
     /// committed digest before taking the primary branch, so this is
     /// treated as a withheld key and diverts to the TTP.
     GarbageKey,
+    /// Go silent before the key release: the server never answers step
+    /// 3 at all — the client's round dies on the wire (transport
+    /// fault), which diverts it into the dispute sub-protocol exactly
+    /// like a withheld key. Distinct from [`ServerConduct::WithholdKey`]
+    /// (which answers promptly with a useless frame): a staller makes
+    /// the client burn its whole retry budget first.
+    Stall,
 }
 
 #[derive(Debug)]
@@ -469,6 +558,49 @@ struct FairRunState {
     aborted: bool,
 }
 
+/// Optional runtime attachments for a fair server: deadline supervision
+/// of the receipt window and crash-recovery journalling.
+#[derive(Clone, Default)]
+pub struct FairServerRuntime {
+    /// Supervisor plus the receipt window in clock milliseconds: once
+    /// step 2 is sent, the client has this long to commit its receipt
+    /// before the server escalates to the TTP's abort choreography.
+    pub supervision: Option<(Arc<ExchangeSupervisor>, u64)>,
+    /// Crash-recovery journal for the server's own log.
+    pub journal: Option<Arc<RunJournal>>,
+}
+
+struct Supervision {
+    supervisor: Arc<ExchangeSupervisor>,
+    receipt_window_ms: u64,
+    me: Weak<FairServerHandler>,
+}
+
+/// The supervisor's escalation for a fair server whose client went
+/// silent after the receipt window opened: run the TTP's abort
+/// choreography. Re-checks run state first — a receipt that raced the
+/// sweep means nothing is aborted, so the timeout path can never pair
+/// the client's `NRR_resp` with an `Abort` token in an honest server's
+/// log (the combination `Verdict::abort_after_receipt` convicts).
+struct FairTimeoutAbort {
+    handler: Weak<FairServerHandler>,
+}
+
+impl EscalationAction for FairTimeoutAbort {
+    fn escalate(&self, run: RunId) -> EscalationOutcome {
+        let Some(handler) = self.handler.upgrade() else {
+            return EscalationOutcome::Failed("fair server handler dropped".into());
+        };
+        if handler.receipt_received(&run) {
+            return EscalationOutcome::AlreadyComplete;
+        }
+        match handler.abort(run) {
+            Ok(_) => EscalationOutcome::Aborted,
+            Err(e) => EscalationOutcome::Failed(e.to_string()),
+        }
+    }
+}
+
 /// Server side of the fair offline-TTP protocol.
 pub struct FairServerHandler {
     engine: ExchangeEngine,
@@ -477,6 +609,7 @@ pub struct FairServerHandler {
     conduct: ServerConduct,
     runs: RunRegistry,
     keys: Mutex<HashMap<RunId, FairRunState>>,
+    supervision: Option<Supervision>,
 }
 
 impl fmt::Debug for FairServerHandler {
@@ -494,14 +627,52 @@ impl FairServerHandler {
         ttp: OrgId,
         conduct: ServerConduct,
     ) -> Arc<Self> {
-        Arc::new(Self {
-            engine: ExchangeEngine::new(party, coordinator, PROTOCOL_ID),
+        Self::with_runtime(
+            party,
+            coordinator,
+            executor,
+            ttp,
+            conduct,
+            FairServerRuntime::default(),
+        )
+    }
+
+    /// [`FairServerHandler::new`] with runtime attachments: a
+    /// supervisor watching the receipt window (escalating to the TTP's
+    /// abort choreography on expiry) and/or a crash-recovery journal.
+    pub fn with_runtime(
+        party: Arc<Party>,
+        coordinator: Arc<B2BCoordinator>,
+        executor: Arc<dyn RequestExecutor>,
+        ttp: OrgId,
+        conduct: ServerConduct,
+        runtime: FairServerRuntime,
+    ) -> Arc<Self> {
+        let mut engine = ExchangeEngine::new(party, coordinator, PROTOCOL_ID);
+        if let Some(journal) = runtime.journal {
+            engine = engine.with_journal(journal);
+        }
+        Arc::new_cyclic(|me| Self {
+            engine,
             executor,
             ttp,
             conduct,
             runs: RunRegistry::new(),
             keys: Mutex::new(HashMap::new()),
+            supervision: runtime
+                .supervision
+                .map(|(supervisor, receipt_window_ms)| Supervision {
+                    supervisor,
+                    receipt_window_ms,
+                    me: me.clone(),
+                }),
         })
+    }
+
+    /// The engine driving this handler (kill-point harnesses journal
+    /// recovery decisions through it).
+    pub fn engine(&self) -> &ExchangeEngine {
+        &self.engine
     }
 
     /// `true` if the client's receipt arrived directly for `run`.
@@ -539,6 +710,9 @@ impl FairServerHandler {
         if let Some(state) = self.keys.lock().get_mut(&run) {
             state.aborted = true;
         }
+        // Journalled servers close the run and seal: the abort decision
+        // itself must survive a crash.
+        self.engine.journal_abort(run, STEP_RECEIPT)?;
         Ok(token)
     }
 
@@ -636,6 +810,22 @@ impl FairServerHandler {
             },
         );
         self.runs.record_response(msg.run_id, msg2.clone());
+        // Step 2 is committed: the receipt window opens. A supervised
+        // server arms the timeout-abort escalation here — if the client
+        // never commits its receipt, the TTP abort choreography closes
+        // the run.
+        self.engine.journal_progress(msg.run_id, STEP_RESPONSE)?;
+        if let Some(sup) = &self.supervision {
+            sup.supervisor.watch_for(
+                msg.run_id,
+                self.engine.protocol(),
+                STEP_RECEIPT,
+                sup.receipt_window_ms,
+                Arc::new(FairTimeoutAbort {
+                    handler: sup.me.clone(),
+                }),
+            );
+        }
         Ok(msg2)
     }
 
@@ -671,8 +861,16 @@ impl FairServerHandler {
         if let Some(state) = self.keys.lock().get_mut(&msg.run_id) {
             state.receipt_received = true;
         }
+        // The receipt arrived: discharge the deadline watch. Done before
+        // replying, so a sweep racing this handler sees the run complete.
+        if let Some(sup) = &self.supervision {
+            sup.supervisor.complete(msg.run_id);
+        }
         match self.conduct {
-            ServerConduct::Honest => Ok(self.engine.open_frame(msg.run_id, STEP_KEY, key.to_vec())),
+            ServerConduct::Honest => {
+                self.engine.journal_close(msg.run_id, STEP_KEY)?;
+                Ok(self.engine.open_frame(msg.run_id, STEP_KEY, key.to_vec()))
+            }
             // Defection: acknowledge nothing useful (wrong step forces the
             // client down the dispute path).
             ServerConduct::WithholdKey => Ok(self.engine.open_frame(msg.run_id, 99, Vec::new())),
@@ -682,6 +880,12 @@ impl FairServerHandler {
             ServerConduct::GarbageKey => {
                 Ok(self.engine.open_frame(msg.run_id, STEP_KEY, vec![0x5a; 32]))
             }
+            // Silence: no reply at all. The coordinator surfaces this as
+            // an endpoint fault, so the client's round fails like a dead
+            // host rather than a wrong-step frame.
+            ServerConduct::Stall => Err(ProtocolError::Rejected(
+                "server went silent before key release".into(),
+            )),
         }
     }
 }
@@ -955,15 +1159,24 @@ mod tests {
         server_party: Arc<Party>,
         ttp_handler: Arc<OfflineTtpHandler>,
         server: OrgId,
+        clock: LogicalClock,
+        supervisor: Arc<ExchangeSupervisor>,
     }
 
     fn world(conduct: ServerConduct) -> World {
+        world_with(conduct, None)
+    }
+
+    /// `receipt_window_ms: Some(w)` builds a *supervised* server whose
+    /// receipt deadline is `w` ms on the shared logical clock.
+    fn world_with(conduct: ServerConduct, receipt_window_ms: Option<u64>) -> World {
         let bus = LocalBus::new();
         let clock = LogicalClock::new();
         let dir = Arc::new(StaticKeyDirectory::new());
         let client_party = Party::quick("client", 1, &clock, &dir);
         let server_party = Party::quick("server", 2, &clock, &dir);
         let ttp_party = Party::quick("ttp", 3, &clock, &dir);
+        let supervisor = ExchangeSupervisor::new(Arc::new(clock.clone()));
 
         let mk = |org: &str| {
             let c = B2BCoordinator::new(
@@ -977,12 +1190,16 @@ mod tests {
         let coord_s = mk("server");
         let coord_t = mk("ttp");
 
-        let server_handler = FairServerHandler::new(
+        let server_handler = FairServerHandler::with_runtime(
             server_party.clone(),
             coord_s.clone(),
             Arc::new(|_: &OrgId, req: &[u8]| Ok([b"res:".as_slice(), req].concat())),
             OrgId::new("ttp"),
             conduct,
+            FairServerRuntime {
+                supervision: receipt_window_ms.map(|w| (supervisor.clone(), w)),
+                journal: None,
+            },
         );
         coord_s.register_handler(server_handler.clone());
         let ttp_handler = OfflineTtpHandler::new(ttp_party);
@@ -995,6 +1212,8 @@ mod tests {
             server_party,
             ttp_handler,
             server: OrgId::new("server"),
+            clock,
+            supervisor,
         }
     }
 
@@ -1334,6 +1553,143 @@ mod tests {
             err,
             ProtocolError::Rejected(_) | ProtocolError::BadSignature { .. }
         ));
+    }
+
+    #[test]
+    fn stalling_client_is_timeout_aborted_without_false_accusation() {
+        // The client goes silent after the receipt window opens; the
+        // supervised server escalates to the TTP's abort choreography.
+        let w = world_with(ServerConduct::Honest, Some(100));
+        let run = w.client_party.new_run_id();
+        w.client
+            .invoke_stalling(run, &w.server, b"req".to_vec())
+            .unwrap();
+        assert_eq!(w.supervisor.in_flight(), 1, "receipt window armed");
+
+        // Inside the window nothing fires.
+        w.clock.advance(99);
+        assert!(w.supervisor.sweep().is_empty());
+
+        // Past the window the abort choreography closes the run.
+        w.clock.advance(1);
+        let reports = w.supervisor.sweep();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].outcome, EscalationOutcome::Aborted);
+        assert_eq!(reports[0].awaiting_step, STEP_RECEIPT);
+        assert!(w.ttp_handler.is_aborted(&run));
+        assert_eq!(w.supervisor.in_flight(), 0, "no run left in flight");
+
+        // The stalled client can no longer recover the key.
+        let nrr = w
+            .client_party
+            .issue_token(TokenKind::NrrResp, run, sha256(b"whatever"))
+            .unwrap();
+        let dispute = w.client.engine.session::<Client, ResolveChoreography>(run);
+        assert!(w.client.resolve(dispute, &w.server, &nrr).is_err());
+
+        // No false accusation: the server's log holds the TTP's Abort
+        // but NOT the client's NRR_resp, so `abort_after_receipt` has
+        // nothing to convict.
+        let records = w.server_party.log().by_run(&run);
+        assert!(records
+            .iter()
+            .any(|r| r.draft.kind == TokenKind::Abort.label()));
+        assert!(!records
+            .iter()
+            .any(|r| r.draft.kind == TokenKind::NrrResp.label()
+                && r.draft.actor == OrgId::new("client")));
+    }
+
+    #[test]
+    fn slow_client_inside_the_window_is_never_aborted() {
+        // A client that answers just under the deadline completes
+        // normally: slowness is not defection.
+        let w = world_with(ServerConduct::Honest, Some(100));
+        let run = w.client_party.new_run_id();
+        let clock = w.clock.clone();
+        let supervisor = w.supervisor.clone();
+        let out = w
+            .client
+            .invoke_paced(run, &w.server, b"req".to_vec(), || {
+                clock.advance(99);
+                assert!(supervisor.sweep().is_empty(), "window not yet expired");
+            })
+            .unwrap();
+        assert_eq!(out.key_source, KeySource::Server);
+        assert!(!w.ttp_handler.is_aborted(&run));
+        assert_eq!(w.supervisor.in_flight(), 0, "watch discharged on receipt");
+        // Late sweeps stay quiet: the watch is gone.
+        w.clock.advance(1000);
+        assert!(w.supervisor.sweep().is_empty());
+    }
+
+    #[test]
+    fn receipt_racing_the_sweep_reports_already_complete() {
+        // The awaited receipt arrives between the deadline passing and
+        // the escalation firing: the action re-checks and aborts nothing.
+        let w = world_with(ServerConduct::Honest, Some(50));
+        let out = w.client.invoke(&w.server, b"req".to_vec()).unwrap();
+        // Re-arm a watch on the already-complete run (the race window).
+        w.supervisor.watch_for(
+            out.run_id,
+            &ProtocolId::new(PROTOCOL_ID),
+            STEP_RECEIPT,
+            5,
+            Arc::new(FairTimeoutAbort {
+                handler: Arc::downgrade(&w.server_handler),
+            }),
+        );
+        w.clock.advance(10);
+        let reports = w.supervisor.sweep();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].outcome, EscalationOutcome::AlreadyComplete);
+        assert!(!w.ttp_handler.is_aborted(&out.run_id));
+    }
+
+    #[test]
+    fn stalling_server_is_defeated_by_resolve() {
+        // Silence before the key release is a transport fault at the
+        // client, which diverts into the dispute sub-protocol exactly
+        // like a withheld key — and convicts the same way.
+        let w = world(ServerConduct::Stall);
+        let out = w.client.invoke(&w.server, b"req".to_vec()).unwrap();
+        assert_eq!(out.response, ServerResponse::Executed(b"res:req".to_vec()));
+        assert_eq!(out.key_source, KeySource::TtpResolve);
+        assert!(w.ttp_handler.is_resolved(&out.run_id));
+        let expected = defection_digest(&w.server, out.run_id);
+        let records = w.client_party.log().by_run(&out.run_id);
+        assert!(records
+            .iter()
+            .any(|r| r.draft.kind == TokenKind::Decision.label()
+                && r.draft.content_digest == expected));
+    }
+
+    #[test]
+    fn journalled_exchange_leaves_no_open_runs() {
+        // A journalled client that completes a run leaves a closed
+        // journal: recovery on reopen finds nothing to do.
+        let w = world(ServerConduct::Honest);
+        let journal = RunJournal::new(w.client_party.clone());
+        let client = FairClient::new(
+            w.client_party.clone(),
+            w.client
+                .engine
+                .coordinator()
+                .expect("client engine has a coordinator")
+                .clone(),
+            OrgId::new("ttp"),
+        )
+        .with_journal(journal.clone());
+        let out = client.invoke(&w.server, b"req".to_vec()).unwrap();
+        assert!(journal.recovered_open_runs().is_empty());
+        // The markers are in the chain and the chain still verifies.
+        assert!(w
+            .client_party
+            .log()
+            .by_run(&out.run_id)
+            .iter()
+            .any(|r| r.is_run_marker()));
+        w.client_party.log().verify().unwrap();
     }
 
     #[test]

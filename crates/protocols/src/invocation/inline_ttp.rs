@@ -46,7 +46,7 @@ use crate::invocation::{RunRegistry, ServerResponse};
 use crate::message::ProtocolMessage;
 use crate::party::Party;
 use crate::session::{
-    CallRelayed, Client, End, ExchangeEngine, ExchangeError, Forward, PeerFault, Ttp,
+    CallRelayed, Client, End, ExchangeEngine, ExchangeError, Forward, PeerFault, RunJournal, Ttp,
 };
 use crate::tokens::{NrToken, TokenKind};
 use crate::{B2BCoordinator, ProtocolError};
@@ -159,6 +159,20 @@ impl InlineTtpClient {
             engine: ExchangeEngine::new(party, coordinator, PROTOCOL_ID),
             ttp,
         }
+    }
+
+    /// Enables crash-recovery journalling: completed steps leave
+    /// progress markers in this party's evidence log for
+    /// [`RunJournal::open_runs`] to find on reopen.
+    #[must_use]
+    pub fn with_journal(mut self, journal: Arc<RunJournal>) -> Self {
+        self.engine = self.engine.with_journal(journal);
+        self
+    }
+
+    /// The engine driving this client.
+    pub fn engine(&self) -> &ExchangeEngine {
+        &self.engine
     }
 
     /// Invokes `request` on `server` via the TTP path.

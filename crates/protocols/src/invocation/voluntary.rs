@@ -40,7 +40,7 @@ use crate::invocation::direct::Step1;
 use crate::invocation::{RequestExecutor, RunRegistry, ServerResponse};
 use crate::message::ProtocolMessage;
 use crate::party::Party;
-use crate::session::{CallOpen, Client, End, ExchangeEngine, ExchangeError};
+use crate::session::{CallOpen, Client, End, ExchangeEngine, ExchangeError, RunJournal};
 use crate::tokens::TokenKind;
 use crate::{B2BCoordinator, ProtocolError};
 use nonrep_types::codec::Encode;
@@ -80,6 +80,20 @@ impl VoluntaryClient {
         Self {
             engine: ExchangeEngine::new(party, coordinator, PROTOCOL_ID),
         }
+    }
+
+    /// Enables crash-recovery journalling: completed steps leave
+    /// progress markers in this party's evidence log for
+    /// [`RunJournal::open_runs`] to find on reopen.
+    #[must_use]
+    pub fn with_journal(mut self, journal: Arc<RunJournal>) -> Self {
+        self.engine = self.engine.with_journal(journal);
+        self
+    }
+
+    /// The engine driving this client.
+    pub fn engine(&self) -> &ExchangeEngine {
+        &self.engine
     }
 
     /// Sends `request` with an NRO token and returns the bare response.

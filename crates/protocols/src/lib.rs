@@ -64,7 +64,10 @@ pub use scheduler::{
     BatchPolicy, CommitmentMode, CommitmentScheduler, DeadlineSealer, ExhaustionForecaster,
     TokenSpec,
 };
-pub use session::{ExchangeEngine, ExchangeError, LocalFault, PeerFault};
+pub use session::{
+    EscalationAction, EscalationOutcome, ExchangeEngine, ExchangeError, ExchangeSupervisor,
+    ExpiryReport, LocalFault, OpenRun, PeerFault, RunJournal, SealOnTimeout,
+};
 pub use tokens::{NrToken, TokenKind};
 
 use std::error::Error;

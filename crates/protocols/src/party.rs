@@ -242,6 +242,11 @@ impl Party {
         self.clock.now()
     }
 
+    /// The clock itself (deadline supervision shares it).
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
     /// This party's evidence log. On a sharded party
     /// ([`Party::with_sharded_commitment`]) this is the plane's meta
     /// shard — the global-anchor log; per-shard logs live behind
@@ -439,6 +444,16 @@ impl Party {
             content_digest: token.subject,
             payload: token.encode_to_vec(),
         };
+        self.record_draft(draft)
+    }
+
+    /// Appends an arbitrary draft through the commitment pipeline (run
+    /// journal markers and other non-token records).
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Storage`] on logging failure.
+    pub fn record_draft(&self, draft: RecordDraft) -> Result<(), ProtocolError> {
         match &self.plane {
             EvidencePlane::Single(scheduler) => scheduler.record(draft)?,
             EvidencePlane::Sharded(plane) => plane.record(draft)?,

@@ -39,6 +39,7 @@ use crate::tokens::{NrToken, TokenKind};
 use crate::B2BCoordinator;
 
 use super::error::{ExchangeError, PeerFault};
+use super::journal::RunJournal;
 use super::typestate::{Role, Session, State};
 
 /// The shared engine behind every session-typed choreography.
@@ -50,6 +51,7 @@ pub struct ExchangeEngine {
     party: Arc<Party>,
     coordinator: Option<Arc<B2BCoordinator>>,
     protocol: ProtocolId,
+    journal: Option<Arc<RunJournal>>,
 }
 
 impl fmt::Debug for ExchangeEngine {
@@ -69,6 +71,7 @@ impl ExchangeEngine {
             party,
             coordinator: Some(coordinator),
             protocol: protocol.into(),
+            journal: None,
         }
     }
 
@@ -81,6 +84,59 @@ impl ExchangeEngine {
             party,
             coordinator: None,
             protocol: protocol.into(),
+            journal: None,
+        }
+    }
+
+    /// Enables crash-recovery journalling: every completed choreography
+    /// step appends a progress marker through `journal`, and sealing a
+    /// run appends its close marker. Off by default — the fast path
+    /// pays nothing unless a deployment opts in.
+    #[must_use]
+    pub fn with_journal(mut self, journal: Arc<RunJournal>) -> Self {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// The run journal, if journalling is enabled.
+    pub fn journal(&self) -> Option<&Arc<RunJournal>> {
+        self.journal.as_ref()
+    }
+
+    /// Journals "step `step` of `run` completed", if journalling is on.
+    ///
+    /// # Errors
+    ///
+    /// [`ExchangeError::Local`] if the marker cannot be persisted.
+    pub fn journal_progress(&self, run: RunId, step: u32) -> Result<(), ExchangeError> {
+        match &self.journal {
+            Some(journal) => journal.progress(run, &self.protocol, step),
+            None => Ok(()),
+        }
+    }
+
+    /// Journals "`run` closed after `step`", if journalling is on.
+    ///
+    /// # Errors
+    ///
+    /// [`ExchangeError::Local`] if the marker cannot be persisted.
+    pub fn journal_close(&self, run: RunId, step: u32) -> Result<(), ExchangeError> {
+        match &self.journal {
+            Some(journal) => journal.close(run, &self.protocol, step),
+            None => Ok(()),
+        }
+    }
+
+    /// Journals "`run` aborted at `step`" and seals, if journalling is
+    /// on.
+    ///
+    /// # Errors
+    ///
+    /// [`ExchangeError::Local`] if the marker cannot be persisted.
+    pub fn journal_abort(&self, run: RunId, step: u32) -> Result<(), ExchangeError> {
+        match &self.journal {
+            Some(journal) => journal.abort(run, &self.protocol, step),
+            None => Ok(()),
         }
     }
 

@@ -56,6 +56,18 @@ pub enum PeerFault {
         /// Version the validator holds.
         current: u64,
     },
+    /// The peer failed to act within its step deadline: the run's
+    /// deadline budget expired while this party awaited the peer's next
+    /// message. The partial evidence sealed so far remains valid; the
+    /// supervisor decides the escalation (abort, resolve, or report).
+    Timeout {
+        /// The run whose deadline expired.
+        run: RunId,
+        /// The choreography step that was awaited.
+        step: u32,
+        /// Simulated milliseconds waited past the last progress.
+        waited_ms: u64,
+    },
 }
 
 /// This party could not do its share: missing keys, exhausted signing
@@ -96,6 +108,17 @@ impl ExchangeError {
     pub fn is_local_fault(&self) -> bool {
         matches!(self, ExchangeError::Local(_))
     }
+
+    /// `true` if the failure is a deadline expiry — either the peer
+    /// overran a step deadline ([`PeerFault::Timeout`]) or the transport
+    /// exhausted its overall retry budget ([`NetError::Timeout`]).
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            ExchangeError::Peer(PeerFault::Timeout { .. })
+                | ExchangeError::Transport(NetError::Timeout { .. })
+        )
+    }
 }
 
 impl fmt::Display for PeerFault {
@@ -118,6 +141,14 @@ impl fmt::Display for PeerFault {
             } => write!(
                 f,
                 "stale version: proposed base {proposed_base}, current {current}"
+            ),
+            PeerFault::Timeout {
+                run,
+                step,
+                waited_ms,
+            } => write!(
+                f,
+                "run {run} timed out awaiting step {step} ({waited_ms} ms past deadline)"
             ),
         }
     }
@@ -195,6 +226,16 @@ impl From<ExchangeError> for ProtocolError {
                 proposed_base,
                 current,
             },
+            // Lossy by design (like UnexpectedStep): the coordinator
+            // surface has no timeout variant; the supervisor retains the
+            // typed form.
+            ExchangeError::Peer(PeerFault::Timeout {
+                run,
+                step,
+                waited_ms,
+            }) => ProtocolError::Rejected(format!(
+                "run {run} timed out awaiting step {step} ({waited_ms} ms past deadline)"
+            )),
             ExchangeError::Local(LocalFault::UnknownKey(org)) => ProtocolError::UnknownKey(org),
             ExchangeError::Local(LocalFault::Signing(msg)) => ProtocolError::Signing(msg),
             ExchangeError::Local(LocalFault::Storage(msg)) => ProtocolError::Storage(msg),
@@ -269,6 +310,32 @@ mod tests {
             }
             assert_eq!(ProtocolError::from(ex), err, "lossless round trip");
         }
+    }
+
+    #[test]
+    fn peer_timeout_flattens_to_rejected_and_is_timeout() {
+        let ex = ExchangeError::Peer(PeerFault::Timeout {
+            run: RunId::from_u128(5),
+            step: 3,
+            waited_ms: 120,
+        });
+        assert!(ex.is_timeout());
+        assert!(ex.is_peer_fault());
+        match ProtocolError::from(ex) {
+            ProtocolError::Rejected(msg) => {
+                assert!(msg.contains("timed out awaiting step 3"), "{msg}");
+            }
+            other => panic!("expected Rejected, got {other:?}"),
+        }
+        let transport = ExchangeError::Transport(NetError::Timeout {
+            attempts: 4,
+            waited_ms: 99,
+        });
+        assert!(transport.is_timeout());
+        assert!(
+            !ExchangeError::Transport(NetError::Dropped).is_timeout(),
+            "a mere drop is not a deadline expiry"
+        );
     }
 
     #[test]

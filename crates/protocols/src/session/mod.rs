@@ -43,11 +43,17 @@
 
 pub mod engine;
 pub mod error;
+pub mod journal;
+pub mod supervisor;
 pub mod trace;
 pub mod typestate;
 
 pub use engine::ExchangeEngine;
 pub use error::{ExchangeError, LocalFault, PeerFault};
+pub use journal::{OpenRun, RunJournal};
+pub use supervisor::{
+    EscalationAction, EscalationOutcome, ExchangeSupervisor, ExpiryReport, SealOnTimeout,
+};
 pub use trace::{TraceStep, WireMode};
 pub use typestate::{
     Branch, Call, CallLossy, CallOpen, CallOr, CallRelayed, Client, End, Forward, Role, Server,

@@ -253,7 +253,53 @@ impl<R: Role, const STEP: u32, const REPLY: u32, Next: State> Session<R, Call<ST
         let reply = self.engine.deliver(to, &msg)?;
         let reply = self.engine.expect_step(self.run, REPLY, reply)?;
         self.engine.verify_frame_from(&reply, to)?;
+        self.engine.journal_progress(self.run, STEP)?;
         Ok((reply, self.advance()))
+    }
+
+    /// As [`Session::call`], but the round must complete within
+    /// `deadline_ms` on the party's clock. A transport failure that
+    /// exhausted the window — or the transport's own deadline budget
+    /// ([`NetError::Timeout`](nonrep_net::NetError::Timeout)) — is
+    /// classified as [`PeerFault::Timeout`](super::error::PeerFault),
+    /// with local evidence already captured, so the caller can surface
+    /// "the peer stalled" rather than a generic transport fault. A
+    /// reply that arrives *late but arrives* is still accepted: the
+    /// deadline drives escalation, never conviction of a slow-but-live
+    /// peer.
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::call`], with timed-out transports reported as
+    /// [`ExchangeError::Peer`].
+    pub fn call_with_deadline(
+        self,
+        to: &OrgId,
+        body: Vec<u8>,
+        deadline_ms: u64,
+    ) -> Result<(ProtocolMessage, Session<R, Next>), ExchangeError> {
+        let msg = self.engine.request_frame(self.run, STEP, body)?;
+        let started = self.engine.party().now();
+        match self.engine.deliver(to, &msg) {
+            Ok(reply) => {
+                let reply = self.engine.expect_step(self.run, REPLY, reply)?;
+                self.engine.verify_frame_from(&reply, to)?;
+                self.engine.journal_progress(self.run, STEP)?;
+                Ok((reply, self.advance()))
+            }
+            Err(e) => {
+                let waited = self.engine.party().now().since(started);
+                match e {
+                    ExchangeError::Transport(t)
+                        if waited >= deadline_ms
+                            || matches!(t, nonrep_net::NetError::Timeout { .. }) =>
+                    {
+                        Err(super::supervisor::timeout_fault(self.run, REPLY, waited))
+                    }
+                    other => Err(other),
+                }
+            }
+        }
     }
 }
 
@@ -276,6 +322,7 @@ impl<R: Role, const STEP: u32, const REPLY: u32, Next: State>
         let reply = self.engine.deliver(to, &msg)?;
         let reply = self.engine.expect_step(self.run, REPLY, reply)?;
         self.engine.verify_sender_frame(&reply)?;
+        self.engine.journal_progress(self.run, STEP)?;
         Ok((reply, self.advance()))
     }
 }
@@ -297,6 +344,7 @@ impl<R: Role, const STEP: u32, const REPLY: u32, Next: State>
         let msg = self.engine.request_frame(self.run, STEP, body)?;
         let reply = self.engine.deliver(to, &msg)?;
         let reply = self.engine.expect_step(self.run, REPLY, reply)?;
+        self.engine.journal_progress(self.run, STEP)?;
         Ok((reply, self.advance()))
     }
 }
@@ -318,11 +366,13 @@ impl<R: Role, const STEP: u32, const REPLY: u32, Next: State>
         body: Vec<u8>,
     ) -> Result<(bool, Session<R, Next>), ExchangeError> {
         let msg = self.engine.request_frame(self.run, STEP, body)?;
-        match self.engine.deliver(to, &msg) {
-            Ok(ack) => Ok((ack.step == REPLY, self.advance())),
-            Err(ExchangeError::Transport(_)) => Ok((false, self.advance())),
-            Err(e) => Err(e),
-        }
+        let outcome = match self.engine.deliver(to, &msg) {
+            Ok(ack) => ack.step == REPLY,
+            Err(ExchangeError::Transport(_)) => false,
+            Err(e) => return Err(e),
+        };
+        self.engine.journal_progress(self.run, STEP)?;
+        Ok((outcome, self.advance()))
     }
 }
 
@@ -348,6 +398,7 @@ impl<R: Role, const STEP: u32, const REPLY: u32, Next: State, Alt: State>
         let msg = self.engine.request_frame(self.run, STEP, body)?;
         match self.engine.deliver(to, &msg) {
             Ok(reply) if reply.step == REPLY && reply.run_id == self.run && accept(&reply) => {
+                self.engine.journal_progress(self.run, STEP)?;
                 Ok(Branch::Primary(Box::new(reply), self.advance()))
             }
             _ => Ok(Branch::Diverted(self.advance())),
@@ -380,19 +431,22 @@ impl<R: Role, const STEP: u32, const REPLY: u32, Next: State>
         let reply = self.engine.deliver(to, msg)?;
         let reply = self.engine.expect_step(self.run, REPLY, reply)?;
         self.engine.verify_sender_frame(&reply)?;
+        self.engine.journal_progress(self.run, STEP)?;
         Ok((reply, self.advance()))
     }
 }
 
 impl<R: Role> Session<R, End> {
-    /// Completes the run: invokes the engine's seal hook
-    /// (`end_of_run`), letting the commitment policy seal the run's
-    /// evidence.
+    /// Completes the run: journals the close marker (if journalling is
+    /// on) and invokes the engine's seal hook (`end_of_run`), letting
+    /// the commitment policy seal the run's evidence — close marker
+    /// included.
     ///
     /// # Errors
     ///
     /// [`ExchangeError::Local`] if the seal cannot be persisted.
     pub fn finish(self) -> Result<(), ExchangeError> {
+        self.engine.journal_close(self.run, 0)?;
         self.engine.seal_run()
     }
 }

@@ -1,0 +1,618 @@
+//! The crash kill-point matrix: a journalled party killed at every
+//! choreography step of every variant either **resumes to the same
+//! facts** as an uninterrupted run or **aborts safely**, and no kill
+//! point ever manufactures an accusation against an honest peer.
+//!
+//! "Kill" means the driving code stops mid-choreography (the session is
+//! dropped); the party's evidence log — progress markers included —
+//! survives, exactly as a durable log would across a process crash.
+//! "Recovery" reopens the log with [`RunJournal::open_runs`] and acts on
+//! what it finds:
+//!
+//! - last completed step < the variant's commitment point → the run is
+//!   re-driven from the top (server caches make redelivery idempotent)
+//!   or aborted, whichever the recovering party prefers — both are safe
+//!   because nothing irrevocable happened yet;
+//! - last completed step ≥ the final wire step → the run is materially
+//!   complete, recovery just closes and seals it;
+//! - a fair *server* recovering with an open receipt window escalates
+//!   to the TTP's abort choreography, which is safe precisely because
+//!   the receipt never arrived.
+
+use std::sync::Arc;
+
+use nonrep_crypto::digest::sha256;
+use nonrep_net::bus::LocalBus;
+use nonrep_net::retry::{ReliableRequester, RetryPolicy};
+use nonrep_protocols::invocation::direct::{
+    DirectChoreography, DirectClient, DirectServerHandler, Step1, Step2, Step3,
+};
+use nonrep_protocols::invocation::fair_offline::{
+    FairChoreography, FairClient, FairServerHandler, FairServerRuntime, FairStep2, KeySource,
+    OfflineTtpHandler, ResolveChoreography, ServerConduct, STEP_KEY, STEP_RECEIPT, STEP_RESOLVE,
+};
+use nonrep_protocols::invocation::inline_ttp::{
+    InlineChoreography, InlineStep1, InlineTtpClient, InlineTtpHandler,
+};
+use nonrep_protocols::invocation::voluntary::{
+    VoluntaryChoreography, VoluntaryClient, VoluntaryServerHandler,
+};
+use nonrep_protocols::invocation::{direct, voluntary};
+use nonrep_protocols::party::{Party, StaticKeyDirectory};
+use nonrep_protocols::session::{Branch, Client, Session};
+use nonrep_protocols::tokens::TokenKind;
+use nonrep_protocols::{B2BCoordinator, ExchangeSupervisor, RunJournal};
+use nonrep_types::codec::Encode;
+use nonrep_types::ids::OrgId;
+use nonrep_types::time::LogicalClock;
+
+/// One process-wide fixture: client, server and TTP parties wired over
+/// a local bus, with every variant's server handler registered and a
+/// journal on the client party.
+struct World {
+    clock: LogicalClock,
+    client_party: Arc<Party>,
+    server_party: Arc<Party>,
+    client_coord: Arc<B2BCoordinator>,
+    journal: Arc<RunJournal>,
+    server_journal: Arc<RunJournal>,
+    fair_server: Arc<FairServerHandler>,
+    ttp_handler: Arc<OfflineTtpHandler>,
+    supervisor: Arc<ExchangeSupervisor>,
+    server: OrgId,
+    ttp: OrgId,
+}
+
+const RECEIPT_WINDOW_MS: u64 = 200;
+
+fn world() -> World {
+    let bus = LocalBus::new();
+    let clock = LogicalClock::new();
+    let dir = Arc::new(StaticKeyDirectory::new());
+    let client_party = Party::quick("client", 1, &clock, &dir);
+    let server_party = Party::quick("server", 2, &clock, &dir);
+    let ttp_party = Party::quick("ttp", 3, &clock, &dir);
+    let supervisor = ExchangeSupervisor::new(Arc::new(clock.clone()));
+
+    let mk = |org: &str| {
+        let c = B2BCoordinator::new(
+            org,
+            ReliableRequester::new(bus.clone(), RetryPolicy::new(4)),
+        );
+        bus.register(OrgId::new(org), c.clone());
+        c
+    };
+    let client_coord = mk("client");
+    let server_coord = mk("server");
+    let ttp_coord = mk("ttp");
+
+    let echo = || -> Arc<dyn nonrep_protocols::invocation::RequestExecutor> {
+        Arc::new(|_: &OrgId, req: &[u8]| Ok([b"res:".as_slice(), req].concat()))
+    };
+    server_coord.register_handler(DirectServerHandler::new(server_party.clone(), echo()));
+    server_coord.register_handler(VoluntaryServerHandler::new(server_party.clone(), echo()));
+    let server_journal = RunJournal::new(server_party.clone());
+    let fair_server = FairServerHandler::with_runtime(
+        server_party.clone(),
+        server_coord.clone(),
+        echo(),
+        OrgId::new("ttp"),
+        ServerConduct::Honest,
+        FairServerRuntime {
+            supervision: Some((supervisor.clone(), RECEIPT_WINDOW_MS)),
+            journal: Some(server_journal.clone()),
+        },
+    );
+    server_coord.register_handler(fair_server.clone());
+    let ttp_handler = OfflineTtpHandler::new(ttp_party.clone());
+    ttp_coord.register_handler(ttp_handler.clone());
+    ttp_coord.register_handler(InlineTtpHandler::terminal(ttp_party, ttp_coord.clone()));
+
+    let journal = RunJournal::new(client_party.clone());
+    World {
+        clock,
+        client_party,
+        server_party,
+        client_coord,
+        journal,
+        server_journal,
+        fair_server,
+        ttp_handler,
+        supervisor,
+        server: OrgId::new("server"),
+        ttp: OrgId::new("ttp"),
+    }
+}
+
+impl World {
+    fn direct_client(&self) -> DirectClient {
+        DirectClient::new(self.client_party.clone(), self.client_coord.clone())
+            .with_journal(self.journal.clone())
+    }
+
+    fn voluntary_client(&self) -> VoluntaryClient {
+        VoluntaryClient::new(self.client_party.clone(), self.client_coord.clone())
+            .with_journal(self.journal.clone())
+    }
+
+    fn inline_client(&self) -> InlineTtpClient {
+        InlineTtpClient::new(
+            self.client_party.clone(),
+            self.client_coord.clone(),
+            self.ttp.clone(),
+        )
+        .with_journal(self.journal.clone())
+    }
+
+    fn fair_client(&self) -> FairClient {
+        FairClient::new(
+            self.client_party.clone(),
+            self.client_coord.clone(),
+            self.ttp.clone(),
+        )
+        .with_journal(self.journal.clone())
+    }
+
+    /// The single open run the client journal reports, asserting there
+    /// is exactly one.
+    fn sole_open_run(&self) -> nonrep_protocols::OpenRun {
+        let open = self.journal.recovered_open_runs();
+        assert_eq!(open.len(), 1, "exactly one in-flight run expected");
+        open.into_iter().next().unwrap()
+    }
+
+    fn assert_recovered_clean(&self) {
+        assert!(
+            self.journal.recovered_open_runs().is_empty(),
+            "recovery must leave no open runs"
+        );
+        self.client_party.log().verify().unwrap();
+    }
+}
+
+// ---------------------------------------------------------------- direct
+
+#[test]
+fn direct_killed_after_step1_resumes_to_the_same_facts() {
+    let w = world();
+    let client = w.direct_client();
+    // Control: an uninterrupted run.
+    let control = client
+        .invoke_with(w.client_party.new_run_id(), &w.server, b"req".to_vec())
+        .unwrap();
+
+    // Crash run: the step-1/2 round completes, then the process dies
+    // before the receipt is sent.
+    let run = w.client_party.new_run_id();
+    let engine = client.engine();
+    let session = engine.session::<Client, DirectChoreography>(run);
+    let nro_req = engine
+        .issue_and_store(TokenKind::NroReq, run, sha256(b"req"))
+        .unwrap();
+    let (_msg2, session) = session
+        .call(
+            &w.server,
+            Step1 {
+                request: b"req".to_vec(),
+                nro_req,
+            }
+            .encode_to_vec(),
+        )
+        .unwrap();
+    drop(session); // crash
+
+    // Recovery: the journal shows the run open at step 1; before the
+    // receipt is committed a re-drive is safe — the server's run cache
+    // replays step 2 instead of re-executing.
+    let open = w.sole_open_run();
+    assert_eq!(open.run, run);
+    assert_eq!(open.last_step, 1);
+    assert_eq!(open.variant.as_str(), direct::PROTOCOL_ID);
+    let recovered = client.invoke_with(run, &w.server, b"req".to_vec()).unwrap();
+    assert_eq!(recovered.response, control.response);
+    assert_eq!(recovered.nrr_req.kind, TokenKind::NrrReq);
+    assert!(recovered.receipt_acked);
+    w.assert_recovered_clean();
+}
+
+#[test]
+fn direct_killed_after_step3_closes_on_recovery() {
+    let w = world();
+    let client = w.direct_client();
+    let run = w.client_party.new_run_id();
+    let engine = client.engine();
+    let session = engine.session::<Client, DirectChoreography>(run);
+    let req_digest = sha256(b"req");
+    let nro_req = engine
+        .issue_and_store(TokenKind::NroReq, run, req_digest)
+        .unwrap();
+    let (msg2, session) = session
+        .call(
+            &w.server,
+            Step1 {
+                request: b"req".to_vec(),
+                nro_req,
+            }
+            .encode_to_vec(),
+        )
+        .unwrap();
+    let step2: Step2 = engine.decode_body(&msg2.body).unwrap();
+    engine
+        .absorb(&step2.nrr_req, TokenKind::NrrReq, run, Some(&req_digest))
+        .unwrap();
+    let resp_digest = sha256(&step2.response.encode_to_vec());
+    engine
+        .absorb(&step2.nro_resp, TokenKind::NroResp, run, Some(&resp_digest))
+        .unwrap();
+    let nrr_resp = engine
+        .issue_and_store(TokenKind::NrrResp, run, resp_digest)
+        .unwrap();
+    let (_acked, session) = session
+        .call_lossy(&w.server, Step3 { nrr_resp }.encode_to_vec())
+        .unwrap();
+    drop(session); // crash before the seal
+
+    // Recovery: the final wire step completed — the evidence set is
+    // whole, the run just closes.
+    let open = w.sole_open_run();
+    assert_eq!(open.last_step, 3);
+    client.engine().journal_close(run, 3).unwrap();
+    client.engine().seal_run().unwrap();
+    w.assert_recovered_clean();
+    // The server saw the receipt: no party has grounds to accuse.
+    assert!(w
+        .server_party
+        .log()
+        .by_run(&run)
+        .iter()
+        .any(|r| r.draft.kind == TokenKind::NrrResp.label()));
+}
+
+// ------------------------------------------------------------- voluntary
+
+#[test]
+fn voluntary_killed_after_its_single_round_closes_on_recovery() {
+    let w = world();
+    let client = w.voluntary_client();
+    let run = w.client_party.new_run_id();
+    let engine = client.engine();
+    let session = engine.session::<Client, VoluntaryChoreography>(run);
+    let nro_req = engine
+        .issue_and_store(TokenKind::NroReq, run, sha256(b"req"))
+        .unwrap();
+    let (_msg2, session) = session
+        .call_open(
+            &w.server,
+            Step1 {
+                request: b"req".to_vec(),
+                nro_req,
+            }
+            .encode_to_vec(),
+        )
+        .unwrap();
+    drop(session); // crash before the seal
+
+    let open = w.sole_open_run();
+    assert_eq!(open.last_step, 1);
+    assert_eq!(open.variant.as_str(), voluntary::PROTOCOL_ID);
+    client.engine().journal_close(run, 1).unwrap();
+    client.engine().seal_run().unwrap();
+    w.assert_recovered_clean();
+}
+
+#[test]
+fn voluntary_killed_before_any_step_leaves_nothing_behind() {
+    // The degenerate kill point: the process died before any wire step
+    // completed. No journal entry, no open run, nothing to recover.
+    let w = world();
+    let client = w.voluntary_client();
+    let run = w.client_party.new_run_id();
+    let engine = client.engine();
+    let session = engine.session::<Client, VoluntaryChoreography>(run);
+    let _nro_req = engine
+        .issue_and_store(TokenKind::NroReq, run, sha256(b"req"))
+        .unwrap();
+    drop(session); // crash before step 1 even went out
+    assert!(w.journal.recovered_open_runs().is_empty());
+    // The issued token is still in the tamper-evident log — a dangling
+    // NRO_req accuses nobody.
+    w.client_party.log().verify().unwrap();
+}
+
+// ------------------------------------------------------------ inline TTP
+
+#[test]
+fn inline_killed_after_its_relayed_round_closes_on_recovery() {
+    let w = world();
+    let client = w.inline_client();
+    let run = w.client_party.new_run_id();
+    let engine = client.engine();
+    let session = engine.session::<Client, InlineChoreography>(run);
+    let nro_req = engine
+        .issue_and_store(TokenKind::NroReq, run, sha256(b"req"))
+        .unwrap();
+    let (_msg2, session) = session
+        .call_relayed(
+            &w.ttp,
+            InlineStep1 {
+                server: w.server.clone(),
+                request: b"req".to_vec(),
+                nro_req,
+            }
+            .encode_to_vec(),
+        )
+        .unwrap();
+    drop(session); // crash before the seal
+
+    let open = w.sole_open_run();
+    assert_eq!(open.last_step, 1);
+    client.engine().journal_close(run, 1).unwrap();
+    client.engine().seal_run().unwrap();
+    w.assert_recovered_clean();
+}
+
+// ---------------------------------------------------------- fair client
+
+#[test]
+fn fair_client_killed_before_receipt_aborts_with_no_accusation() {
+    // Killed after the step-1/2 round but before committing the
+    // receipt: the commitment point was never crossed, so recovery
+    // declines to resume and closes the run. Nobody can be accused —
+    // and the *server's* supervisor independently reclaims its side.
+    let w = world();
+    let client = w.fair_client();
+    let run = w.client_party.new_run_id();
+    // invoke_stalling is exactly "drive to step 2 and die".
+    client
+        .invoke_stalling(run, &w.server, b"req".to_vec())
+        .unwrap();
+
+    let open = w.sole_open_run();
+    assert_eq!(open.run, run);
+    assert_eq!(open.last_step, 1);
+    client.engine().journal_abort(run, STEP_RECEIPT).unwrap();
+    w.assert_recovered_clean();
+
+    // The server's receipt window expires; its supervisor aborts at the
+    // TTP. No NRR_resp ever reached it, so no false accusation arises.
+    w.clock.advance(RECEIPT_WINDOW_MS);
+    let reports = w.supervisor.sweep();
+    assert_eq!(reports.len(), 1);
+    assert!(w.ttp_handler.is_aborted(&run));
+    let server_records = w.server_party.log().by_run(&run);
+    assert!(!server_records.iter().any(
+        |r| r.draft.kind == TokenKind::NrrResp.label() && r.draft.actor == OrgId::new("client")
+    ));
+}
+
+#[test]
+fn fair_client_killed_after_key_arrival_closes_on_recovery() {
+    let w = world();
+    let client = w.fair_client();
+    let run = w.client_party.new_run_id();
+    let engine = client.engine();
+    let session = engine.session::<Client, FairChoreography>(run);
+    let req_digest = sha256(b"req");
+    let nro_req = engine
+        .issue_and_store(TokenKind::NroReq, run, req_digest)
+        .unwrap();
+    let (msg2, session) = session
+        .call(
+            &w.server,
+            Step1 {
+                request: b"req".to_vec(),
+                nro_req,
+            }
+            .encode_to_vec(),
+        )
+        .unwrap();
+    let step2: FairStep2 = engine.decode_body(&msg2.body).unwrap();
+    engine
+        .absorb(&step2.nrr_req, TokenKind::NrrReq, run, Some(&req_digest))
+        .unwrap();
+    engine
+        .absorb(
+            &step2.nro_resp,
+            TokenKind::NroResp,
+            run,
+            Some(&step2.resp_digest),
+        )
+        .unwrap();
+    let nrr_resp = engine
+        .issue_and_store(TokenKind::NrrResp, run, step2.resp_digest)
+        .unwrap();
+    let branch: Branch<Client, _, _> = session
+        .call_or(&w.server, nrr_resp.encode_to_vec(), |m| m.body.len() == 32)
+        .unwrap();
+    let session: Session<Client, nonrep_protocols::session::End> = match branch {
+        Branch::Primary(_msg4, s) => s,
+        Branch::Diverted(_) => panic!("honest server must deliver the key"),
+    };
+    drop(session); // crash after the key arrived, before the seal
+
+    let open = w.sole_open_run();
+    assert_eq!(open.last_step, STEP_RECEIPT);
+    client.engine().journal_close(run, STEP_KEY).unwrap();
+    client.engine().seal_run().unwrap();
+    w.assert_recovered_clean();
+    // Both items changed hands before the kill: receipt at the server,
+    // key at the client — fairness held through the crash.
+    assert!(w.fair_server.receipt_received(&run));
+}
+
+#[test]
+fn fair_client_killed_mid_resolve_still_holds_the_conviction() {
+    // Crash inside the dispute sub-protocol, after the TTP answered but
+    // before the seal: the Decision token is already in the log, so
+    // recovery closes the run and the conviction survives.
+    let w = world();
+    // A second, defecting fair server on its own org.
+    let bus_server = {
+        let dir_entry = w.client_party.key_of(&w.server).is_ok();
+        assert!(dir_entry);
+        &w.server
+    };
+    let _ = bus_server;
+    let w2 = {
+        // Rebuild a world whose fair server withholds the key.
+        let bus = LocalBus::new();
+        let clock = LogicalClock::new();
+        let dir = Arc::new(StaticKeyDirectory::new());
+        let client_party = Party::quick("client", 1, &clock, &dir);
+        let server_party = Party::quick("server", 2, &clock, &dir);
+        let ttp_party = Party::quick("ttp", 3, &clock, &dir);
+        let mk = |org: &str| {
+            let c = B2BCoordinator::new(
+                org,
+                ReliableRequester::new(bus.clone(), RetryPolicy::new(4)),
+            );
+            bus.register(OrgId::new(org), c.clone());
+            c
+        };
+        let client_coord = mk("client");
+        let server_coord = mk("server");
+        let ttp_coord = mk("ttp");
+        server_coord.register_handler(FairServerHandler::new(
+            server_party.clone(),
+            server_coord.clone(),
+            Arc::new(|_: &OrgId, req: &[u8]| Ok([b"res:".as_slice(), req].concat())),
+            OrgId::new("ttp"),
+            ServerConduct::WithholdKey,
+        ));
+        let ttp_handler = OfflineTtpHandler::new(ttp_party);
+        ttp_coord.register_handler(ttp_handler);
+        let journal = RunJournal::new(client_party.clone());
+        (
+            FairClient::new(client_party.clone(), client_coord, OrgId::new("ttp"))
+                .with_journal(journal.clone()),
+            client_party,
+            journal,
+            server_party,
+        )
+    };
+    let (client, client_party, journal, _server_party) = w2;
+
+    let run = client_party.new_run_id();
+    let engine = client.engine();
+    let session = engine.session::<Client, FairChoreography>(run);
+    let req_digest = sha256(b"req");
+    let nro_req = engine
+        .issue_and_store(TokenKind::NroReq, run, req_digest)
+        .unwrap();
+    let (msg2, session) = session
+        .call(
+            &OrgId::new("server"),
+            Step1 {
+                request: b"req".to_vec(),
+                nro_req,
+            }
+            .encode_to_vec(),
+        )
+        .unwrap();
+    let step2: FairStep2 = engine.decode_body(&msg2.body).unwrap();
+    let nrr_resp = engine
+        .issue_and_store(TokenKind::NrrResp, run, step2.resp_digest)
+        .unwrap();
+    // The withholding server answers step 3 with a useless frame → the
+    // session diverts into the dispute sub-protocol.
+    let branch: Branch<Client, _, _> = session
+        .call_or(&OrgId::new("server"), nrr_resp.encode_to_vec(), |m| {
+            m.body.len() == 32
+        })
+        .unwrap();
+    let dispute: Session<Client, ResolveChoreography> = match branch {
+        Branch::Diverted(d) => d,
+        Branch::Primary(..) => panic!("withholding server must not deliver the key"),
+    };
+    let (_reply, session) = dispute
+        .call_open(&OrgId::new("ttp"), nrr_resp.encode_to_vec())
+        .unwrap();
+    drop(session); // crash after the TTP resolved, before the seal
+
+    let open = journal.recovered_open_runs();
+    assert_eq!(open.len(), 1);
+    assert_eq!(open[0].last_step, STEP_RESOLVE);
+    engine.journal_close(run, STEP_RESOLVE).unwrap();
+    engine.seal_run().unwrap();
+    assert!(journal.recovered_open_runs().is_empty());
+    client_party.log().verify().unwrap();
+}
+
+// ---------------------------------------------------------- fair server
+
+#[test]
+fn fair_server_recovering_an_open_receipt_window_aborts_safely() {
+    // The server crashes after step 2 went out (receipt window open,
+    // supervisor state lost with the process). On reopen its journal
+    // shows the run in flight; recovery escalates to the TTP's abort
+    // choreography rather than waiting on a receipt that may never
+    // come — safe, because the receipt never arrived.
+    let w = world();
+    let client = w.fair_client();
+    let run = w.client_party.new_run_id();
+    client
+        .invoke_stalling(run, &w.server, b"req".to_vec())
+        .unwrap();
+
+    // "Restart": read the server journal as a fresh process would.
+    let open = w.server_journal.recovered_open_runs();
+    assert_eq!(open.len(), 1);
+    assert_eq!(open[0].run, run);
+    // Recovery action: abort at the TTP (journal_abort inside closes
+    // the server's journal entry and seals).
+    w.fair_server.abort(run).unwrap();
+    assert!(w.ttp_handler.is_aborted(&run));
+    assert!(w.server_journal.recovered_open_runs().is_empty());
+    w.server_party.log().verify().unwrap();
+
+    // No false accusation: Abort present, client NRR_resp absent.
+    let records = w.server_party.log().by_run(&run);
+    assert!(records
+        .iter()
+        .any(|r| r.draft.kind == TokenKind::Abort.label()));
+    assert!(!records.iter().any(
+        |r| r.draft.kind == TokenKind::NrrResp.label() && r.draft.actor == OrgId::new("client")
+    ));
+}
+
+#[test]
+fn fair_recovery_composes_with_a_full_honest_rerun() {
+    // After a crash-and-abort cycle the parties are not poisoned: a
+    // fresh run between the same parties completes normally.
+    let w = world();
+    let client = w.fair_client();
+    let crashed = w.client_party.new_run_id();
+    client
+        .invoke_stalling(crashed, &w.server, b"req".to_vec())
+        .unwrap();
+    client
+        .engine()
+        .journal_abort(crashed, STEP_RECEIPT)
+        .unwrap();
+    w.clock.advance(RECEIPT_WINDOW_MS);
+    assert_eq!(w.supervisor.sweep().len(), 1);
+
+    let out = client
+        .invoke_with(w.client_party.new_run_id(), &w.server, b"again".to_vec())
+        .unwrap();
+    assert_eq!(out.key_source, KeySource::Server);
+    w.assert_recovered_clean();
+}
+
+#[test]
+fn all_variant_traces_have_kill_coverage() {
+    // Structural guard: the matrix above kills at every wire step the
+    // four client choreographies can take. If a choreography grows a
+    // step, this inventory breaks before the matrix silently thins.
+    use nonrep_protocols::session::State;
+    let step_counts: Vec<usize> = DirectChoreography::traces()
+        .iter()
+        .chain(VoluntaryChoreography::traces().iter())
+        .chain(InlineChoreography::traces().iter())
+        .chain(FairChoreography::traces().iter())
+        .map(Vec::len)
+        .collect();
+    // direct: one 2-step trace; voluntary/inline: one 1-step trace
+    // each; fair: the 2-step primary and 3-step dispute traces.
+    assert_eq!(step_counts, vec![2, 1, 1, 2, 3]);
+}

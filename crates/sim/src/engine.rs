@@ -53,13 +53,14 @@ use nonrep_net::retry::{ReliableRequester, RetryPolicy};
 use nonrep_protocols::gossip::{AnchorGossip, AnchorGossipHandler, AnchorStore};
 use nonrep_protocols::invocation::direct::{DirectClient, DirectServerHandler};
 use nonrep_protocols::invocation::fair_offline::{
-    FairClient, FairServerHandler, OfflineTtpHandler, ServerConduct,
+    FairClient, FairServerHandler, FairServerRuntime, OfflineTtpHandler, ServerConduct,
 };
 use nonrep_protocols::invocation::inline_ttp::{InlineTtpClient, InlineTtpHandler};
 use nonrep_protocols::invocation::voluntary::{VoluntaryClient, VoluntaryServerHandler};
 use nonrep_protocols::invocation::RequestExecutor;
 use nonrep_protocols::party::{KeyDirectory, Party, StaticKeyDirectory};
-use nonrep_protocols::{B2BCoordinator, BatchPolicy, CommitmentMode};
+use nonrep_protocols::tokens::TokenKind;
+use nonrep_protocols::{B2BCoordinator, BatchPolicy, CommitmentMode, ExchangeSupervisor};
 use nonrep_store::log::{FileLog, SyncPolicy};
 use nonrep_store::record::ChainViolation;
 use nonrep_store::{MemoryLog, ShardedEvidenceLog};
@@ -100,6 +101,17 @@ pub struct RunOutcome {
     /// submission pairs the counterparty's `NRR_resp` with a TTP `Abort`
     /// token (the receipt-then-abort race, `Verdict::abort_after_receipt`).
     pub defectors: BTreeSet<String>,
+    /// `true` if the agreed TTP's `Abort` token is among the established
+    /// facts — the run was closed by the abort choreography (a
+    /// supervisor timeout escalation) rather than by key release.
+    pub aborted: bool,
+    /// Parties attributed as *stalling* a timeout-aborted run: they
+    /// provably started it and never produced the receipt the abort
+    /// stands in for (`Verdict::stalled_parties`). Attribution, not
+    /// conviction — but in the simulator's bounded-failure world only a
+    /// genuine staller ever earns it, so [`FleetOutcome::detected`]
+    /// counts it.
+    pub stalled: BTreeSet<String>,
 }
 
 /// The adjudicated result of a whole fleet execution.
@@ -117,9 +129,11 @@ impl FleetOutcome {
     /// `true` if `org` was flagged suspect in at least one run, or
     /// convicted as a protocol-time defector.
     pub fn detected(&self, org: &OrgId) -> bool {
-        self.runs
-            .iter()
-            .any(|r| r.suspects.contains(org.as_str()) || r.defectors.contains(org.as_str()))
+        self.runs.iter().any(|r| {
+            r.suspects.contains(org.as_str())
+                || r.defectors.contains(org.as_str())
+                || r.stalled.contains(org.as_str())
+        })
     }
 
     /// Every organisation flagged suspect anywhere.
@@ -165,10 +179,18 @@ struct OrgHandle {
     gossips: bool,
 }
 
+/// The receipt window fair servers arm on the shared supervisor: how
+/// long (in simulated milliseconds) a client may sit between the step-2
+/// response and the step-3 receipt before the server escalates to the
+/// TTP's abort choreography. Scenario time only advances when a conduct
+/// role burns it, so honest runs never come near the deadline.
+const RECEIPT_WINDOW_MS: u64 = 400;
+
 struct Fleet<'a> {
     scenario: &'a Scenario,
     bus: Arc<LocalBus>,
     clock: LogicalClock,
+    supervisor: Arc<ExchangeSupervisor>,
     dir: Arc<StaticKeyDirectory>,
     keys: BTreeMap<OrgId, Arc<KeyPair>>,
     handles: BTreeMap<OrgId, OrgHandle>,
@@ -195,6 +217,7 @@ impl<'a> Fleet<'a> {
         let retry = RetryPolicy::new(scenario.max_consecutive_drops + 2);
         let bus = LocalBus::with_config(fault, LatencyModel::Zero, scenario.seed);
         let clock = LogicalClock::new();
+        let supervisor = ExchangeSupervisor::new(Arc::new(clock.clone()));
         let dir = Arc::new(StaticKeyDirectory::new());
         let durable_path = scratch.join(format!("{}-o0.log", scenario.seed));
         let _ = std::fs::remove_file(&durable_path);
@@ -204,6 +227,7 @@ impl<'a> Fleet<'a> {
             scenario,
             bus,
             clock,
+            supervisor,
             dir,
             keys: BTreeMap::new(),
             handles: BTreeMap::new(),
@@ -233,8 +257,14 @@ impl<'a> Fleet<'a> {
                     root_height: 5,
                     subtree_height: 2,
                 }
+            } else if *org == scenario.ttp {
+                SignatureScheme::Mss {
+                    height: scenario.ttp_key_height,
+                }
             } else {
-                SignatureScheme::Mss { height: 7 }
+                SignatureScheme::Mss {
+                    height: scenario.key_height,
+                }
             };
             let mut rng = SecureRandom::from_seed(derive_seed(scenario.seed, org, 0x6b65));
             let keys = Arc::new(KeyPair::generate(scheme, &mut rng));
@@ -337,20 +367,28 @@ impl<'a> Fleet<'a> {
             coordinator.register_handler(DirectServerHandler::new(party.clone(), echo_executor()));
             coordinator
                 .register_handler(VoluntaryServerHandler::new(party.clone(), echo_executor()));
-            // The defecting server is the one protocol-time adversary:
-            // it withholds the fair-exchange step-4 key on the wire
-            // (its evidence submission stays honest).
-            let fair_conduct = if role == Some(Role::DefectingServer) {
-                ServerConduct::WithholdKey
-            } else {
-                ServerConduct::Honest
+            // Protocol-time conduct: the defecting server withholds the
+            // fair-exchange step-4 key on the wire, the stalling server
+            // goes silent before releasing it (both submit honestly —
+            // the wire behaviour is the attack).
+            let fair_conduct = match role {
+                Some(Role::DefectingServer) => ServerConduct::WithholdKey,
+                Some(Role::StallingServer) => ServerConduct::Stall,
+                _ => ServerConduct::Honest,
             };
-            coordinator.register_handler(FairServerHandler::new(
+            // Every fair server arms the shared supervisor with the
+            // receipt window; a client that goes silent after step 2 is
+            // escalated to the TTP's abort choreography at sweep time.
+            coordinator.register_handler(FairServerHandler::with_runtime(
                 party.clone(),
                 coordinator.clone(),
                 echo_executor(),
                 scenario.ttp.clone(),
                 fair_conduct,
+                FairServerRuntime {
+                    supervision: Some((Arc::clone(&self.supervisor), RECEIPT_WINDOW_MS)),
+                    journal: None,
+                },
             ));
         }
         coordinator.register_handler(Arc::new(AnchorGossipHandler::new(
@@ -376,8 +414,11 @@ impl<'a> Fleet<'a> {
                 Box::new(EquivocatingTtp::new(party.clone(), forged_subject))
             }
             // The defection already happened on the wire; at dispute time
-            // the server presents its genuine log like everyone honest.
-            Some(Role::DefectingServer) => Box::new(HonestSubmitter::new(party.clone())),
+            // these parties present their genuine logs like everyone
+            // honest.
+            Some(Role::DefectingServer | Role::StallingClient | Role::StallingServer) => {
+                Box::new(HonestSubmitter::new(party.clone()))
+            }
         };
         let gossip = AnchorGossip::new(party, coordinator.clone());
         self.handles.insert(
@@ -424,7 +465,12 @@ impl<'a> Fleet<'a> {
             .flush_evidence()
             .unwrap_or_else(|e| panic!("{org}: flush failed: {e}"));
         if handle.gossips {
-            let peers: Vec<OrgId> = self.handles.keys().filter(|o| *o != org).cloned().collect();
+            // Anchors land in the shared store on first delivery, so a
+            // bounded fan-out keeps corroboration intact while capping
+            // the per-flush signature cost at fleet scale.
+            let mut peers: Vec<OrgId> =
+                self.handles.keys().filter(|o| *o != org).cloned().collect();
+            peers.truncate(self.scenario.gossip_fanout);
             handle
                 .gossip
                 .gossip_to(&peers)
@@ -454,9 +500,38 @@ impl<'a> Fleet<'a> {
                     .invoke_with(item.run_id, &item.server, request)
                     .is_ok()
             }
-            Variant::FairOffline => FairClient::new(party, coordinator, self.scenario.ttp.clone())
-                .invoke_with(item.run_id, &item.server, request)
-                .is_ok(),
+            Variant::FairOffline => {
+                let client = FairClient::new(party, coordinator, self.scenario.ttp.clone());
+                if self.scenario.role_of(&item.client) == Some(Role::StallingClient) {
+                    // The staller walks away inside the receipt window.
+                    // Its silence costs the window; the server's
+                    // supervisor then times the run out into the TTP's
+                    // abort choreography. The run never completes for a
+                    // client that stalls it.
+                    let _ = client.invoke_stalling(item.run_id, &item.server, request);
+                    self.clock.advance(RECEIPT_WINDOW_MS);
+                    for report in self.supervisor.sweep() {
+                        assert_eq!(report.run, item.run_id, "foreign watch fired: {report}");
+                    }
+                    false
+                } else if self.scenario.slow.as_ref() == Some(&item.client) {
+                    // The slow-but-honest peer answers one simulated
+                    // millisecond under the deadline; nothing may fire.
+                    let clock = self.clock.clone();
+                    let supervisor = Arc::clone(&self.supervisor);
+                    client
+                        .invoke_paced(item.run_id, &item.server, request, move || {
+                            clock.advance(RECEIPT_WINDOW_MS - 1);
+                            let fired = supervisor.sweep();
+                            assert!(fired.is_empty(), "slow peer timed out: {fired:?}");
+                        })
+                        .is_ok()
+                } else {
+                    client
+                        .invoke_with(item.run_id, &item.server, request)
+                        .is_ok()
+                }
+            }
         };
         match &item.adversity {
             Some(Adversity::CrashRecover(_)) => self.crash_and_recover_durable()?,
@@ -534,6 +609,15 @@ fn reduce(item: &WorkItem, completed: bool, verdict: &Verdict, ttp: &OrgId) -> R
             .convicted_defectors(ttp)
             .iter()
             .chain(verdict.abort_after_receipt(ttp).iter())
+            .map(ToString::to_string)
+            .collect(),
+        aborted: verdict
+            .facts
+            .iter()
+            .any(|f| f.kind == TokenKind::Abort && f.issuer == *ttp),
+        stalled: verdict
+            .stalled_parties(ttp)
+            .iter()
             .map(ToString::to_string)
             .collect(),
     }
@@ -624,32 +708,91 @@ mod tests {
         // The forged-rollover org is convicted by cert cryptography alone:
         // no chain violation is ever established against it.
         assert!(all_violations.iter().all(|(o, _)| o != "o5"));
-        // The defecting server is convicted by the TTP's signed dispute
-        // decision alone — its own submission is honest, so neither a
-        // chain violation nor a suspect flag is ever raised against it.
-        assert!(all_violations.iter().all(|(o, _)| o != "o6"));
-        assert!(out.runs.iter().all(|r| !r.suspects.contains("o6")));
+        // The wire-conduct adversaries (defecting server, both stallers)
+        // are convicted from protocol evidence alone — their own
+        // submissions are honest, so neither a chain violation nor a
+        // suspect flag is ever raised against them.
+        for wire_adversary in ["o6", "o7", "o8"] {
+            assert!(all_violations.iter().all(|(o, _)| o != wire_adversary));
+            assert!(out
+                .runs
+                .iter()
+                .all(|r| !r.suspects.contains(wire_adversary)));
+        }
+        // Withholding the key (o6) and stalling before its release (o8)
+        // are punished identically: a TTP dispute decision.
         let defectors: BTreeSet<String> = out
             .runs
             .iter()
             .flat_map(|r| r.defectors.iter().cloned())
             .collect();
-        assert_eq!(defectors, BTreeSet::from(["o6".to_string()]));
-        // The conviction lands exactly on the fair-offline dispute run.
+        assert_eq!(
+            defectors,
+            BTreeSet::from(["o6".to_string(), "o8".to_string()])
+        );
+        // The stalling client is attributed through the timeout abort:
+        // exactly its run is abort-closed, and exactly it is named.
+        let stalled: BTreeSet<String> = out
+            .runs
+            .iter()
+            .flat_map(|r| r.stalled.iter().cloned())
+            .collect();
+        assert_eq!(stalled, BTreeSet::from(["o7".to_string()]));
         for run in &out.runs {
-            if !run.defectors.is_empty() {
+            let staller_item = scenario.items[run.index].client == scenario.regular[7];
+            assert_eq!(run.aborted, staller_item, "item {}", run.index);
+            // Convictions and attributions land only on fair-offline runs.
+            if !run.defectors.is_empty() || !run.stalled.is_empty() {
                 assert_eq!(run.variant, "fair_offline", "item {}", run.index);
             }
         }
         for org in scenario.honest_orgs() {
             assert!(!out.detected(&org), "honest {org} falsely accused");
         }
-        // The exhausted client's item fails; every other item completes.
+        // The slow-but-honest peer (o1) drove fair runs right up against
+        // the deadline and was never accused of anything.
+        assert!(!out.detected(scenario.slow.as_ref().unwrap()));
+        // The exhausted client's item and the stalled run fail; every
+        // other item completes.
         for run in &out.runs {
-            let exhausted_item =
-                scenario.items[run.index].client == *scenario.exhausted.as_ref().unwrap();
-            assert_eq!(run.completed, !exhausted_item, "item {}", run.index);
+            let item = &scenario.items[run.index];
+            let expect_fail = item.client == *scenario.exhausted.as_ref().unwrap()
+                || scenario.role_of(&item.client) == Some(Role::StallingClient);
+            assert_eq!(run.completed, !expect_fail, "item {}", run.index);
         }
+    }
+
+    #[test]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "hundred-org fleet; run in release (scripts/sim.sh stall sweep)"
+    )]
+    fn metropolis_convicts_stallers_at_fleet_scale_under_any_schedule() {
+        let scenario = Scenario::metropolis(41);
+        assert!(scenario.regular.len() >= 100);
+        let base = run_fleet(&scenario, 0, &scratch("metro-base")).unwrap();
+        let permuted = run_fleet(&scenario, 42, &scratch("metro-perm")).unwrap();
+        assert!(base.verdicts_match(&permuted));
+        for (org, role) in &scenario.byzantine {
+            assert!(base.detected(org), "{org} ({}) not detected", role.name());
+        }
+        for org in scenario.honest_orgs() {
+            assert!(!base.detected(&org), "honest {org} falsely accused");
+        }
+        // Every stalled or crashed run terminated with a verdict: the
+        // staller's run is the only abort-closed one, and it names the
+        // staller alone.
+        let aborted: Vec<&RunOutcome> = base.runs.iter().filter(|r| r.aborted).collect();
+        assert_eq!(aborted.len(), 1);
+        assert_eq!(aborted[0].stalled, BTreeSet::from(["m097".to_string()]));
+        assert!(!aborted[0].completed);
+        // Everything except the stalled run completed despite the
+        // partitions, the crash, and the lossy channel.
+        assert_eq!(
+            base.runs.iter().filter(|r| !r.completed).count(),
+            1,
+            "exactly one run (the stalled one) may fail at fleet scale"
+        );
     }
 
     #[test]

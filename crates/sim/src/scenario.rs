@@ -100,6 +100,22 @@ pub enum Role {
     /// client — convicts the server at adjudication. It submits its
     /// evidence honestly: the defection *is* the attack.
     DefectingServer,
+    /// A fair-offline *client* that goes silent inside the receipt
+    /// window — after the server's signed response arrives, before the
+    /// step-3 receipt goes out. The server's exchange supervisor times
+    /// the window out and escalates to the TTP's abort choreography;
+    /// the adjudicator then attributes the stall from the abort token
+    /// plus the client's own `NRO_req` (`Verdict::stalled_parties`).
+    /// Like the defecting server, it submits honestly: walking away
+    /// *is* the attack.
+    StallingClient,
+    /// A fair-offline server that collects the step-3 receipt and then
+    /// goes silent before the step-4 key release. The client's session
+    /// diverts into the dispute sub-protocol, recovers the key from the
+    /// TTP's escrow, and the TTP's signed `Decision` convicts the
+    /// server — stalling after taking the receipt is indistinguishable
+    /// from withholding the key, and is punished identically.
+    StallingServer,
 }
 
 impl Role {
@@ -112,6 +128,8 @@ impl Role {
             Role::ForgedRollover => "forged_rollover",
             Role::EquivocatingTtp => "equivocating_ttp",
             Role::DefectingServer => "defecting_server",
+            Role::StallingClient => "stalling_client",
+            Role::StallingServer => "stalling_server",
         }
     }
 }
@@ -190,6 +208,11 @@ pub struct Scenario {
     /// `o0`, under the crash/recovery overlay too (crash at the rollover
     /// boundary).
     pub hierarchical: Option<OrgId>,
+    /// An always-honest organisation whose fair-offline invocations
+    /// pause just under the server's receipt deadline (the SlowPeer
+    /// conduct), if the scenario fields one: present to prove the
+    /// negative — slowness alone must never be convicted.
+    pub slow: Option<OrgId>,
     /// Byzantine role per organisation (regular orgs and/or the TTP).
     pub byzantine: Vec<(OrgId, Role)>,
     /// The runs to drive, in index order.
@@ -205,6 +228,18 @@ pub struct Scenario {
     /// Bound on consecutive drops per link (the paper's bounded-failure
     /// assumption; the engine sizes its retry budget above it).
     pub max_consecutive_drops: u32,
+    /// Merkle-tree height of the regular organisations' MSS keys
+    /// (signature capacity `2^h`). The metropolis fleet shrinks it so a
+    /// hundred-organisation world builds quickly.
+    pub key_height: u8,
+    /// Merkle-tree height of the TTP's key — larger fleets route more
+    /// runs through the TTP, so its signature budget scales separately.
+    pub ttp_key_height: u8,
+    /// Upper bound on anchor-gossip fan-out per flush. Anchors land in
+    /// the shared store on first delivery, so a bounded fan-out keeps
+    /// corroboration intact while capping the per-flush signature cost
+    /// — which is what lets a hundred organisations gossip at all.
+    pub gossip_fanout: usize,
 }
 
 /// splitmix64 — the derivation PRF for everything scenario-shaped.
@@ -256,8 +291,9 @@ impl Scenario {
         let byz_count = d.below(capacity as u64 + 1) as usize;
         let ttp_byzantine = d.below(4) == 0;
         let mut byzantine: Vec<(OrgId, Role)> = Vec::new();
-        // The defecting server's dispute escalates to the TTP, so that
-        // role only enters the pool when the TTP is honest.
+        // The defecting server's dispute — and both stalling roles'
+        // timeout escalations — run through the TTP, so those roles
+        // only enter the pool when the TTP is honest.
         let roles: &[Role] = if ttp_byzantine {
             &[
                 Role::ForkHistory,
@@ -272,6 +308,8 @@ impl Scenario {
                 Role::TokenReplayer,
                 Role::ForgedRollover,
                 Role::DefectingServer,
+                Role::StallingClient,
+                Role::StallingServer,
             ]
         };
         for i in 0..byz_count {
@@ -330,6 +368,18 @@ impl Scenario {
                     // disputes at the (honest) TTP.
                     items.push((Variant::FairOffline, honest[0].clone(), org.clone()));
                 }
+                Role::StallingClient => {
+                    // The staller *invokes* a fair run against an honest
+                    // server and walks away in the receipt window; the
+                    // server's supervisor escalates to the TTP abort.
+                    items.push((Variant::FairOffline, org.clone(), honest[0].clone()));
+                }
+                Role::StallingServer => {
+                    // The staller serves a fair run and goes silent
+                    // before the key release; the honest client resolves
+                    // at the TTP.
+                    items.push((Variant::FairOffline, honest[0].clone(), org.clone()));
+                }
                 _ => {
                     // A direct run gives the byzantine client both its own
                     // tokens (to fork) and counterparty tokens (to replay).
@@ -340,6 +390,14 @@ impl Scenario {
         }
         if let Some(x) = &exhausted {
             items.push((Variant::Direct, x.clone(), honest[0].clone()));
+        }
+        // A third of the honest-TTP family fields a slow-but-honest fair
+        // client: it pauses just under the server's receipt deadline, so
+        // the sweep continuously proves slowness alone is never
+        // convicted under any schedule.
+        let slow = (!ttp_byzantine && d.below(3) == 0).then(|| honest[0].clone());
+        if let Some(s) = &slow {
+            items.push((Variant::FairOffline, s.clone(), honest[1].clone()));
         }
 
         let mut items: Vec<WorkItem> = items
@@ -398,25 +456,32 @@ impl Scenario {
             ttp,
             exhausted,
             hierarchical,
+            slow,
             byzantine,
             items,
             evidence_shards,
             drop_probability,
             max_consecutive_drops: 2,
+            key_height: 7,
+            ttp_key_height: 7,
+            gossip_fanout: usize::MAX,
         }
     }
 
-    /// The maximal hand-laid fleet: seven regular organisations with every
+    /// The maximal hand-laid fleet: nine regular organisations with every
     /// regular byzantine role present, an equivocating TTP, an
     /// exhausted-key organisation, a crash/recovery overlay and a
     /// partition overlay. The durable organisation `o0` runs a
     /// hierarchical key, so the crash overlay doubles as a
     /// crash-at-the-rollover-boundary fault. `o6` serves a fair-offline
     /// run and withholds the key, so the dispute sub-protocol runs in
-    /// every showcase execution. `seed` still varies run ids, request
-    /// payloads and the channel drop pattern.
+    /// every showcase execution; `o7` stalls a fair run as client (the
+    /// timeout abort fires), `o8` stalls one as server (the client
+    /// resolves), and `o1` is the slow-but-honest peer that answers just
+    /// under the deadline. `seed` still varies run ids, request payloads
+    /// and the channel drop pattern.
     pub fn showcase(seed: u64) -> Self {
-        let regular: Vec<OrgId> = (0..7).map(|i| OrgId::new(format!("o{i}"))).collect();
+        let regular: Vec<OrgId> = (0..9).map(|i| OrgId::new(format!("o{i}"))).collect();
         let ttp = OrgId::new("ttp");
         let byzantine = vec![
             (regular[2].clone(), Role::ForkHistory),
@@ -424,6 +489,8 @@ impl Scenario {
             (regular[4].clone(), Role::TokenReplayer),
             (regular[5].clone(), Role::ForgedRollover),
             (regular[6].clone(), Role::DefectingServer),
+            (regular[7].clone(), Role::StallingClient),
+            (regular[8].clone(), Role::StallingServer),
             (ttp.clone(), Role::EquivocatingTtp),
         ];
         let plan: Vec<(Variant, usize, usize)> = vec![
@@ -435,6 +502,8 @@ impl Scenario {
             (Variant::Direct, 5, 1),      // forged-rollover guarantee item
             (Variant::InlineTtp, 0, 1),   // equivocating-TTP guarantee item
             (Variant::FairOffline, 1, 6), // defecting-server dispute item
+            (Variant::FairOffline, 7, 0), // stalling-client timeout item
+            (Variant::FairOffline, 1, 8), // stalling-server resolve item
         ];
         let mut items: Vec<WorkItem> = plan
             .into_iter()
@@ -463,17 +532,22 @@ impl Scenario {
             adversity: None,
         });
         let hierarchical = Some(regular[0].clone());
+        let slow = Some(regular[1].clone());
         Scenario {
             seed,
             regular,
             ttp,
             exhausted: Some(exhausted),
             hierarchical,
+            slow,
             byzantine,
             items,
             evidence_shards: 1,
             drop_probability: 0.2,
             max_consecutive_drops: 2,
+            key_height: 7,
+            ttp_key_height: 7,
+            gossip_fanout: usize::MAX,
         }
     }
 
@@ -487,6 +561,104 @@ impl Scenario {
         Self {
             evidence_shards: 4,
             ..Self::showcase(seed)
+        }
+    }
+
+    /// A hundred-organisation fleet for the stalling-adversary sweep:
+    /// 48 pairwise exchanges across the variant mix, a stalling client,
+    /// a stalling server, a defecting server, and a slow-but-honest peer
+    /// — with partition overlays running *during* the stalling items, so
+    /// timeout verdicts are reached while bystanders are cut off. Keys
+    /// are short and anchor gossip fans out to a bounded peer set: the
+    /// point is scale in *runs and organisations*, not in signature
+    /// budgets, and this is what lets the world build in seconds.
+    pub fn metropolis(seed: u64) -> Self {
+        let regular: Vec<OrgId> = (0..100).map(|i| OrgId::new(format!("m{i:03}"))).collect();
+        let ttp = OrgId::new("ttp");
+        let byzantine = vec![
+            (regular[97].clone(), Role::StallingClient),
+            (regular[98].clone(), Role::StallingServer),
+            (regular[99].clone(), Role::DefectingServer),
+        ];
+        let variants = [
+            Variant::Direct,
+            Variant::Voluntary,
+            Variant::InlineTtp,
+            Variant::FairOffline,
+        ];
+        // Pair the first 96 organisations off into 48 honest exchanges;
+        // m096 idles (a fleet member that only gossips), the byzantine
+        // tail gets exactly one guarantee item each.
+        let mut plan: Vec<(Variant, OrgId, OrgId)> = (0..48)
+            .map(|i| {
+                (
+                    variants[i % variants.len()],
+                    regular[2 * i].clone(),
+                    regular[2 * i + 1].clone(),
+                )
+            })
+            .collect();
+        plan.push((
+            Variant::FairOffline,
+            regular[97].clone(),
+            regular[1].clone(),
+        ));
+        plan.push((
+            Variant::FairOffline,
+            regular[2].clone(),
+            regular[98].clone(),
+        ));
+        plan.push((
+            Variant::FairOffline,
+            regular[3].clone(),
+            regular[99].clone(),
+        ));
+        // The slow peer answers a fair exchange just under the deadline.
+        plan.push((Variant::FairOffline, regular[5].clone(), regular[4].clone()));
+        let mut items: Vec<WorkItem> = plan
+            .into_iter()
+            .enumerate()
+            .map(|(index, (variant, client, server))| WorkItem {
+                index,
+                run_id: run_id_for(seed, index),
+                variant,
+                client,
+                server,
+                adversity: None,
+            })
+            .collect();
+        // The durable organisation crashes and recovers mid-fleet, and
+        // every stalling/dispute item runs under a bystander partition:
+        // the escalation choreographies must convict through them.
+        items[1].adversity = Some(Adversity::CrashRecover(regular[0].clone()));
+        items[48].adversity = Some(Adversity::Partition(
+            regular[90].clone(),
+            regular[91].clone(),
+        ));
+        items[49].adversity = Some(Adversity::Partition(
+            regular[92].clone(),
+            regular[93].clone(),
+        ));
+        items[50].adversity = Some(Adversity::Partition(
+            regular[94].clone(),
+            regular[95].clone(),
+        ));
+        let slow = Some(regular[5].clone());
+        Scenario {
+            seed,
+            regular,
+            ttp,
+            exhausted: None,
+            hierarchical: None,
+            slow,
+            byzantine,
+            items,
+            evidence_shards: 1,
+            drop_probability: 0.1,
+            max_consecutive_drops: 2,
+            key_height: 5,
+            ttp_key_height: 8,
+            gossip_fanout: 2,
         }
     }
 
@@ -636,13 +808,93 @@ mod tests {
         let s = Scenario::showcase(1);
         let mut roles: Vec<Role> = s.byzantine.iter().map(|(_, r)| *r).collect();
         roles.dedup();
-        assert_eq!(roles.len(), 6);
+        assert_eq!(roles.len(), 8);
         for (org, _) in &s.byzantine {
             assert!(s.guarantee_item(org).is_some(), "{org} has no item");
         }
         // The durable org runs the hierarchical key, so its crash overlay
         // is a crash at the rollover boundary.
         assert_eq!(s.hierarchical.as_ref(), Some(&s.regular[0]));
+        // The slow peer is honest: it must be present to prove slowness
+        // is never convicted, and never double as an adversary.
+        let slow = s.slow.as_ref().expect("showcase fields a slow peer");
+        assert!(s.role_of(slow).is_none());
+    }
+
+    #[test]
+    fn stalling_roles_are_reachable_and_correctly_shaped() {
+        let mut saw_client = false;
+        let mut saw_server = false;
+        for seed in 0..400u64 {
+            let s = Scenario::from_seed(seed);
+            for (org, role) in &s.byzantine {
+                let item = match role {
+                    Role::StallingClient => {
+                        saw_client = true;
+                        s.guarantee_item(org).expect("guarantee item")
+                    }
+                    Role::StallingServer => {
+                        saw_server = true;
+                        s.guarantee_item(org).expect("guarantee item")
+                    }
+                    _ => continue,
+                };
+                // Both stalls escalate to the TTP, so the TTP is honest
+                // and the run is fair-offline.
+                assert!(s.role_of(&s.ttp).is_none(), "seed {seed}: byzantine ttp");
+                assert_eq!(item.variant, Variant::FairOffline, "seed {seed}");
+                if *role == Role::StallingClient {
+                    assert_eq!(&item.client, org, "seed {seed}");
+                    assert!(s.role_of(&item.server).is_none(), "seed {seed}");
+                } else {
+                    assert_eq!(&item.server, org, "seed {seed}");
+                    assert!(s.role_of(&item.client).is_none(), "seed {seed}");
+                }
+            }
+            if let Some(slow) = &s.slow {
+                // The slow peer is always honest and always fields a
+                // fair-offline item it drives as client.
+                assert!(s.role_of(slow).is_none(), "seed {seed}");
+                assert!(
+                    s.items
+                        .iter()
+                        .any(|i| i.variant == Variant::FairOffline && i.client == *slow),
+                    "seed {seed}: slow peer has no fair item"
+                );
+            }
+        }
+        assert!(saw_client, "no stalling client in 400 seeds");
+        assert!(saw_server, "no stalling server in 400 seeds");
+        assert!((0..400u64).any(|x| Scenario::from_seed(x).slow.is_some()));
+    }
+
+    #[test]
+    fn metropolis_is_a_pure_hundred_org_fleet_with_one_item_per_byzantine() {
+        let s = Scenario::metropolis(7);
+        assert_eq!(s, Scenario::metropolis(7));
+        assert!(s.regular.len() >= 100);
+        for (org, _) in &s.byzantine {
+            let n = s.items.iter().filter(|i| i.involves(org, &s.ttp)).count();
+            assert_eq!(n, 1, "{org} participates in {n} items");
+        }
+        // The stalling and dispute items run under bystander partitions.
+        for item in &s.items {
+            if let Some(Adversity::Partition(a, b)) = &item.adversity {
+                assert!(!item.involves(a, &s.ttp));
+                assert!(!item.involves(b, &s.ttp));
+            }
+        }
+        let stalled_under_partition = s.items.iter().any(|i| {
+            i.variant == Variant::FairOffline
+                && s.role_of(&i.client) == Some(Role::StallingClient)
+                && matches!(i.adversity, Some(Adversity::Partition(..)))
+        });
+        assert!(stalled_under_partition);
+        // Run ids stay unique at fleet scale.
+        let mut ids: Vec<_> = s.items.iter().map(|i| i.run_id).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), s.items.len());
     }
 
     #[test]

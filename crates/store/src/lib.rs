@@ -40,8 +40,9 @@ pub mod state;
 pub use group_commit::{DurabilityTicket, GroupCommitPool, GroupCommitQueue};
 pub use log::{DurabilityClass, EvidenceLog, FileLog, MemoryLog, SyncPolicy};
 pub use record::{
-    ChainViolation, EpochCommitment, EvidenceRecord, KeyRollover, RecordDraft, ShardAnchor,
-    SuperEpochCommitment, EPOCH_KIND, ROLLOVER_KIND, SUPER_EPOCH_KIND,
+    ChainViolation, EpochCommitment, EvidenceRecord, KeyRollover, MarkerPhase, RecordDraft,
+    RunMarker, ShardAnchor, SuperEpochCommitment, EPOCH_KIND, ROLLOVER_KIND, RUN_MARKER_KIND,
+    SUPER_EPOCH_KIND,
 };
 pub use shard::{
     latest_epoch, latest_super_epoch, shard_index, validate_shard_count, ShardedEvidenceLog,

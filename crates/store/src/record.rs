@@ -88,6 +88,11 @@ impl EvidenceRecord {
     pub fn is_key_rollover(&self) -> bool {
         self.draft.kind == ROLLOVER_KIND
     }
+
+    /// `true` if this record carries a [`RunMarker`].
+    pub fn is_run_marker(&self) -> bool {
+        self.draft.kind == RUN_MARKER_KIND
+    }
 }
 
 impl Encode for RecordDraft {
@@ -344,6 +349,106 @@ impl Decode for KeyRollover {
             retired_root: Digest::decode(r)?,
             leaves_spent: r.get_u32()?,
             cert: nonrep_crypto::hss::SubtreeCert::decode(r)?,
+        })
+    }
+}
+
+/// Record kind under which exchange progress markers are journalled.
+pub const RUN_MARKER_KIND: &str = "run_marker";
+
+/// Phase of an exchange recorded by a [`RunMarker`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MarkerPhase {
+    /// The run reached (completed) the marked choreography step.
+    Progress,
+    /// The run completed and its evidence was sealed.
+    Closed,
+    /// The run was closed without completing (timeout abort, crash
+    /// recovery declining to resume).
+    Aborted,
+}
+
+impl MarkerPhase {
+    fn tag(self) -> u8 {
+        match self {
+            MarkerPhase::Progress => 0,
+            MarkerPhase::Closed => 1,
+            MarkerPhase::Aborted => 2,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<Self, CodecError> {
+        match tag {
+            0 => Ok(MarkerPhase::Progress),
+            1 => Ok(MarkerPhase::Closed),
+            2 => Ok(MarkerPhase::Aborted),
+            _ => Err(CodecError::InvalidTag {
+                ty: "MarkerPhase",
+                tag,
+            }),
+        }
+    }
+}
+
+/// A progress marker for one in-flight exchange, journalled into the
+/// evidence log so a crashed party can enumerate the runs it had open
+/// and resume or abort each one on recovery. Markers ride the ordinary
+/// hash chain (tamper-evident) but carry no signature of their own:
+/// they are this party's private bookkeeping, not cross-party evidence,
+/// and adjudicators skip them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunMarker {
+    /// The run the marker describes.
+    pub run_id: RunId,
+    /// The protocol variant executing the run (protocol id string).
+    pub variant: String,
+    /// The last choreography step this party completed (0 before any).
+    pub step: u32,
+    /// What the marker records.
+    pub phase: MarkerPhase,
+}
+
+impl RunMarker {
+    /// Wraps this marker as a log record draft (kind
+    /// [`RUN_MARKER_KIND`], filed under the run it describes).
+    pub fn to_draft(&self, actor: OrgId, at: Timestamp) -> RecordDraft {
+        let payload = self.encode_to_vec();
+        RecordDraft {
+            run_id: self.run_id,
+            kind: RUN_MARKER_KIND.to_string(),
+            actor,
+            at,
+            content_digest: sha256(&payload),
+            payload,
+        }
+    }
+
+    /// Decodes the marker carried by a record, if `record` is one.
+    pub fn from_record(record: &EvidenceRecord) -> Option<Self> {
+        if record.draft.kind != RUN_MARKER_KIND {
+            return None;
+        }
+        Self::decode_from_slice(&record.draft.payload).ok()
+    }
+}
+
+impl Encode for RunMarker {
+    fn encode(&self, w: &mut Writer) {
+        self.run_id.encode(w);
+        w.put_bytes(self.variant.as_bytes());
+        w.put_u32(self.step);
+        w.put_u8(self.phase.tag());
+    }
+}
+
+impl Decode for RunMarker {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            run_id: RunId::decode(r)?,
+            variant: String::from_utf8(r.get_bytes()?.to_vec())
+                .map_err(|_| CodecError::InvalidUtf8)?,
+            step: r.get_u32()?,
+            phase: MarkerPhase::from_tag(r.get_u8()?)?,
         })
     }
 }

@@ -10,6 +10,13 @@
 //! every one of them convicts the defector from the sealed dispute
 //! evidence — schedule-invariantly and with zero false accusations.
 //!
+//! With `NONREP_SIM_STALL=1` it drives the hundred-organisation
+//! *metropolis* fleet under two schedules: every stalled run must
+//! terminate in a timeout abort that attributes the staller (and only
+//! the staller), the stalling server must be convicted by the TTP's
+//! dispute decision, and the slow-but-honest peer must come through
+//! unaccused.
+//!
 //! Replay a failure reported by CI or the property sweep with:
 //!
 //! ```sh
@@ -28,6 +35,9 @@ fn main() -> ExitCode {
         .unwrap_or(1);
     if std::env::var("NONREP_SIM_DISPUTE").is_ok_and(|v| v != "0") {
         return dispute_sweep(seed);
+    }
+    if std::env::var("NONREP_SIM_STALL").is_ok_and(|v| v != "0") {
+        return stall_sweep(seed);
     }
     let scenario = Scenario::showcase(seed);
     println!(
@@ -55,13 +65,16 @@ fn main() -> ExitCode {
 
     for run in &base.runs {
         println!(
-            "  run {:>2} [{:>12}] completed={} facts={} suspects={:?} defectors={:?}",
+            "  run {:>2} [{:>12}] completed={} aborted={} facts={} suspects={:?} \
+             defectors={:?} stalled={:?}",
             run.index,
             run.variant,
             run.completed,
+            run.aborted,
             run.facts.len(),
             run.suspects,
             run.defectors,
+            run.stalled,
         );
     }
 
@@ -152,4 +165,101 @@ fn dispute_sweep(base_seed: u64) -> ExitCode {
          no false accusations"
     );
     ExitCode::SUCCESS
+}
+
+/// Drives the hundred-organisation metropolis fleet under two schedules
+/// and checks the timeout-supervision invariants at scale: every run
+/// terminates, the stalled run ends in a TTP abort attributing exactly
+/// the staller, the stalling server is convicted by dispute decision,
+/// and neither the slow peer nor any other honest organisation is ever
+/// accused.
+fn stall_sweep(seed: u64) -> ExitCode {
+    let scenario = Scenario::metropolis(seed);
+    println!(
+        "metropolis seed {seed}: {} orgs (+ttp), {} byzantine ({}), {} work items",
+        scenario.regular.len(),
+        scenario.byzantine.len(),
+        scenario
+            .byzantine
+            .iter()
+            .map(|(o, r)| format!("{o}={}", r.name()))
+            .collect::<Vec<_>>()
+            .join(", "),
+        scenario.items.len(),
+    );
+    let scratch = std::env::temp_dir().join(format!("nonrep-fleet-stall-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let base = match run_fleet(&scenario, 0, &scratch.join("base")) {
+        Ok(out) => out,
+        Err(e) => return stall_fail(seed, &format!("metropolis base fleet errored: {e}")),
+    };
+    let permuted = match run_fleet(&scenario, seed ^ 0x5eed, &scratch.join("permuted")) {
+        Ok(out) => out,
+        Err(e) => return stall_fail(seed, &format!("metropolis permuted fleet errored: {e}")),
+    };
+    for run in base
+        .runs
+        .iter()
+        .filter(|r| r.aborted || !r.completed || !r.stalled.is_empty() || !r.defectors.is_empty())
+    {
+        println!(
+            "  run {:>2} [{:>12}] completed={} aborted={} defectors={:?} stalled={:?}",
+            run.index, run.variant, run.completed, run.aborted, run.defectors, run.stalled,
+        );
+    }
+    if !base.verdicts_match(&permuted) {
+        return stall_fail(
+            seed,
+            "metropolis verdicts diverged under schedule permutation",
+        );
+    }
+    for (org, role) in &scenario.byzantine {
+        if !base.detected(org) {
+            return stall_fail(
+                seed,
+                &format!(
+                    "byzantine {org} ({}) escaped detection at fleet scale",
+                    role.name()
+                ),
+            );
+        }
+    }
+    for org in scenario.honest_orgs() {
+        if base.detected(&org) {
+            return stall_fail(
+                seed,
+                &format!("honest {org} falsely accused at fleet scale"),
+            );
+        }
+    }
+    let aborted: Vec<_> = base.runs.iter().filter(|r| r.aborted).collect();
+    if aborted.len() != 1 || aborted[0].stalled.len() != 1 {
+        return stall_fail(
+            seed,
+            "expected exactly one abort-closed run naming one staller",
+        );
+    }
+    let incomplete = base.runs.iter().filter(|r| !r.completed).count();
+    if incomplete != 1 {
+        return stall_fail(
+            seed,
+            &format!("{incomplete} runs failed to terminate with an outcome (expected 1)"),
+        );
+    }
+    println!(
+        "ok: {} orgs, {} runs all terminated; timeout abort attributed {:?}; \
+         verdicts schedule-invariant; no false accusations",
+        scenario.regular.len(),
+        base.runs.len(),
+        aborted[0].stalled,
+    );
+    ExitCode::SUCCESS
+}
+
+fn stall_fail(seed: u64, what: &str) -> ExitCode {
+    eprintln!("STALL SWEEP VIOLATION: {what}");
+    eprintln!(
+        "repro: NONREP_SIM_STALL=1 NONREP_SIM_SEED={seed} cargo run --release --example fleet_sim"
+    );
+    ExitCode::FAILURE
 }

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Runs the full perf-tracked experiment suite (e1–e3, e5–e16) and writes
+# Runs the full perf-tracked experiment suite (e1–e3, e5–e17) and writes
 # BENCH_<N>.json at the repo root with before/after numbers, where
 # "before" is the checked-in baseline (scripts/bench_baseline_<N>.jsonl —
 # seed-implementation numbers carried forward, plus regression-guard
@@ -25,7 +25,7 @@ DISK_BOUND=" e12_durability e13_group_commit e15_sharded "
 for bench in e1_invocation e2_sharing e3_trust_domains e5_container e6_crypto \
              e7_evidence_space e8_messages e9_faults e10_group_size e11_batch_commit \
              e12_durability e13_group_commit e14_multibuffer e15_sharded \
-             e16_rollover; do
+             e16_rollover e17_supervisor; do
     runs=1
     [[ "$DISK_BOUND" == *" $bench "* ]] && runs=3
     for ((r = 0; r < runs; r++)); do

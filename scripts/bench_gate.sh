@@ -3,7 +3,8 @@
 # numbers against its checked-in baseline
 # (scripts/bench_baseline_<N>.jsonl) and fails on a >25% regression on
 # the headline perf paths (e1_invocation, e11_batch, e12_durability,
-# e13_group_commit, e14_multibuffer, e15_sharded, e16_rollover). The disk-bound rows
+# e13_group_commit, e14_multibuffer, e15_sharded, e16_rollover,
+# e17_supervisor). The disk-bound rows
 # among these are best-of-3 numbers (scripts/bench.sh runs e12/e13/e15
 # three times), so a trip means a real slowdown, not fsync drift. See
 # docs/BENCHMARKS.md.
@@ -28,7 +29,7 @@ import json, sys
 
 bench_path, baseline_path, threshold = sys.argv[1], sys.argv[2], float(sys.argv[3])
 HEADLINE = {"e1_invocation", "e11_batch", "e12_durability", "e13_group_commit",
-            "e14_multibuffer", "e15_sharded", "e16_rollover"}
+            "e14_multibuffer", "e15_sharded", "e16_rollover", "e17_supervisor"}
 
 baseline = {}
 with open(baseline_path) as f:

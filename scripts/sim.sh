@@ -6,7 +6,9 @@
 # false accusations). A final dispute sweep then walks the seeded
 # family for scenarios with a defecting fair-offline server and checks
 # that every one convicts the defector from the sealed dispute
-# evidence.
+# evidence, and a stalling sweep drives the hundred-organisation
+# metropolis fleet: every stalled run must terminate in a timeout abort
+# that attributes exactly the staller, with zero false accusations.
 #
 #   scripts/sim.sh                 # seeds 1..8, release build
 #   scripts/sim.sh 5               # seeds 1..5
@@ -52,4 +54,12 @@ if ! NONREP_SIM_DISPUTE=1 NONREP_SIM_SEED="$LO" cargo run $PROFILE_FLAG --quiet 
     exit 1
 fi
 
-echo "sim.sh: seeds $LO..$HI green (incl. dispute sweep)"
+echo "==> stalling-adversary sweep (metropolis fleet, timeout aborts)"
+# shellcheck disable=SC2086
+if ! NONREP_SIM_STALL=1 NONREP_SIM_SEED="$LO" cargo run $PROFILE_FLAG --quiet --example fleet_sim; then
+    echo "sim.sh: STALL SWEEP VIOLATION (base seed $LO)" >&2
+    echo "repro: NONREP_SIM_STALL=1 NONREP_SIM_SEED=$LO cargo run --release --example fleet_sim" >&2
+    exit 1
+fi
+
+echo "sim.sh: seeds $LO..$HI green (incl. dispute + stall sweeps)"
